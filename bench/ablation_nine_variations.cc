@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Extension: the full {G,S,P} x {g,s,p} taxonomy that Yeh & Patt's
+ * follow-up work develops from this paper's three variations. First
+ * level: one global register (G), 64 per-set registers (S), or
+ * per-address registers (P, ideal); second level: one table (g), 64
+ * per-set tables (s), or per-address tables (p). All at k = 8.
+ *
+ * The paper's GAg/PAg/PAp are the corners of this matrix; the set
+ * schemes trade interference against cost between them.
+ */
+
+#include <cstdio>
+
+#include "predictor/two_level.hh"
+#include "sim/experiment.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace tl;
+
+TwoLevelConfig
+configFor(HistoryScope history, PatternScope pattern)
+{
+    TwoLevelConfig config;
+    config.historyScope = history;
+    config.patternScope = pattern;
+    config.historyBits = 8;
+    config.historySetBits = 6; // 64 history sets
+    config.patternSetBits = 6; // 64 pattern tables
+    if (history == HistoryScope::PerAddress)
+        config.bhtKind = BhtKind::Ideal;
+    return config;
+}
+
+} // namespace
+
+int
+main()
+{
+    WorkloadSuite suite;
+
+    const HistoryScope histories[] = {HistoryScope::Global,
+                                      HistoryScope::PerSet,
+                                      HistoryScope::PerAddress};
+    const PatternScope patterns[] = {PatternScope::Global,
+                                     PatternScope::PerSet,
+                                     PatternScope::PerAddress};
+
+    TextTable table({"History \\ Pattern", "global (g)",
+                     "per-set (s)", "per-address (p)"});
+    table.setTitle("Extension: Tot GMean accuracy (%) over the "
+                   "{G,S,P} x {g,s,p} taxonomy at k=8");
+
+    for (HistoryScope history : histories) {
+        std::vector<std::string> row;
+        row.push_back(history == HistoryScope::Global ? "global (G)"
+                      : history == HistoryScope::PerSet
+                          ? "per-set (S)"
+                          : "per-address (P)");
+        for (PatternScope pattern : patterns) {
+            TwoLevelConfig config = configFor(history, pattern);
+            ResultSet results = runOnSuite(
+                config.variationName(),
+                [&config] {
+                    return std::make_unique<TwoLevelPredictor>(
+                        config);
+                },
+                suite);
+            row.push_back(TextTable::num(results.totalGMean()));
+        }
+        table.addRow(std::move(row));
+    }
+    std::fputs(table.toText().c_str(), stdout);
+    std::printf("\nexpected: accuracy rises down (finer history) and "
+                "right (finer pattern tables); the paper's corners "
+                "GAg <= PAg <= PAp bound the matrix\n");
+    return 0;
+}

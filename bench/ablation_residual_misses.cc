@@ -1,0 +1,150 @@
+/**
+ * @file
+ * "We are examining that 3 percent to try to characterize it and
+ * hopefully reduce it" — the paper's closing sentence. This bench
+ * does the examination for the ~97% PAg configuration: every residual
+ * misprediction is attributed to a cause.
+ *
+ *   bht-miss      the branch's history register was cold (BHT miss
+ *                 at prediction time);
+ *   pattern-cold  the pattern table entry had never been updated;
+ *   interference  another branch was the last to update the entry
+ *                 (second-level interference, what PAp removes);
+ *   inherent      the branch itself trained the entry and still
+ *                 mispredicted — genuinely hard behaviour (noise or
+ *                 a pattern longer than the history register).
+ */
+
+#include <cstdio>
+
+#include "predictor/branch_history_table.hh"
+#include "predictor/pattern_table.hh"
+#include "sim/experiment.hh"
+#include "util/bitops.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace tl;
+
+constexpr unsigned k = 12;
+
+/** An instrumented PAg(512,4,12-sr) built from library parts. */
+class InstrumentedPag
+{
+  public:
+    InstrumentedPag()
+        : bht(BhtGeometry{512, 4}), pht(k, Automaton::a2()),
+          lastWriter(std::size_t{1} << k, noWriter)
+    {
+    }
+
+    struct Counts
+    {
+        std::uint64_t branches = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t bhtMiss = 0;
+        std::uint64_t patternCold = 0;
+        std::uint64_t interference = 0;
+        std::uint64_t inherent = 0;
+    };
+
+    void
+    run(const Trace &trace)
+    {
+        for (const BranchRecord &record : trace.records()) {
+            if (!record.isConditional())
+                continue;
+            ++counts.branches;
+
+            auto ref = bht.access(record.pc);
+            bool cold_history = !ref;
+            if (!ref) {
+                ref = bht.allocate(record.pc);
+                ref.payload->hist = mask(k);
+                ref.payload->fillPending = true;
+            }
+            std::uint64_t pattern = ref.payload->hist;
+            bool prediction = pht.predict(pattern);
+
+            if (prediction != record.taken) {
+                ++counts.misses;
+                if (cold_history)
+                    ++counts.bhtMiss;
+                else if (lastWriter[pattern] == noWriter)
+                    ++counts.patternCold;
+                else if (lastWriter[pattern] != record.pc)
+                    ++counts.interference;
+                else
+                    ++counts.inherent;
+            }
+
+            pht.update(pattern, record.taken);
+            lastWriter[pattern] = record.pc;
+            if (ref.payload->fillPending) {
+                ref.payload->hist = record.taken ? mask(k) : 0;
+                ref.payload->fillPending = false;
+            } else {
+                ref.payload->hist =
+                    ((ref.payload->hist << 1) |
+                     (record.taken ? 1 : 0)) &
+                    mask(k);
+            }
+        }
+    }
+
+    Counts counts;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t hist = 0;
+        bool fillPending = false;
+    };
+
+    static constexpr std::uint64_t noWriter = ~std::uint64_t{0};
+
+    AssociativeTable<Entry> bht;
+    PatternHistoryTable pht;
+    std::vector<std::uint64_t> lastWriter;
+};
+
+} // namespace
+
+int
+main()
+{
+    WorkloadSuite suite;
+
+    TextTable table({"Benchmark", "Miss%", "bht-miss%",
+                     "pattern-cold%", "interference%", "inherent%"});
+    table.setTitle("The residual mispredictions of "
+                   "PAg(512,4,12-sr), by cause (shares of all "
+                   "mispredicts)");
+
+    for (const Workload *workload : allWorkloads()) {
+        InstrumentedPag pag;
+        pag.run(suite.testing(*workload));
+        const auto &c = pag.counts;
+        auto share = [&](std::uint64_t part) {
+            return c.misses ? 100.0 * double(part) / double(c.misses)
+                            : 0.0;
+        };
+        table.addRow({
+            workload->name(),
+            TextTable::num(100.0 * double(c.misses) /
+                           double(c.branches)),
+            TextTable::num(share(c.bhtMiss), 1),
+            TextTable::num(share(c.patternCold), 1),
+            TextTable::num(share(c.interference), 1),
+            TextTable::num(share(c.inherent), 1),
+        });
+    }
+    std::fputs(table.toText().c_str(), stdout);
+    std::printf(
+        "\nreading: 'interference' is what PAp's per-address tables "
+        "remove; 'bht-miss' is what bigger BHTs remove (Fig. 10); "
+        "'inherent' is the part the paper says needs new ideas\n");
+    return 0;
+}

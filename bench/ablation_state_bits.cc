@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Exploring the paper's "s" dimension (pattern history bits per PHT
+ * entry) beyond the four-state machines of Figure 2: n-bit saturating
+ * up/down counters (SC1..SC4; SC1 = Last-Time, SC2 = A2) and
+ * majority-of-last-s shift registers (SM2, SM3) in a PAg structure.
+ *
+ * The paper's conclusion notes "the sensitivity to ... s, the size of
+ * each entry in the pattern history table"; this bench measures it.
+ */
+
+#include <cstdio>
+
+#include "predictor/two_level.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+
+int
+main()
+{
+    using namespace tl;
+
+    WorkloadSuite suite;
+
+    // The automata must outlive the predictors built per benchmark.
+    static const Automaton sc1 = Automaton::saturatingCounter(1);
+    static const Automaton sc2 = Automaton::saturatingCounter(2);
+    static const Automaton sc3 = Automaton::saturatingCounter(3);
+    static const Automaton sc4 = Automaton::saturatingCounter(4);
+    static const Automaton sm2 = Automaton::shiftMajority(2);
+    static const Automaton sm3 = Automaton::shiftMajority(3);
+
+    std::vector<ResultSet> columns;
+    for (const Automaton *atm :
+         {&sc1, &sc2, &sc3, &sc4, &sm2, &sm3}) {
+        columns.push_back(runOnSuite(
+            atm->name(),
+            [atm] {
+                TwoLevelConfig config = TwoLevelConfig::pag(12);
+                config.automaton = atm;
+                return std::make_unique<TwoLevelPredictor>(config);
+            },
+            suite));
+    }
+
+    printReport("Extension: pattern-history state size s on "
+                "PAg(512,4,12-sr) (accuracy %)",
+                columns, "ablation_state_bits");
+    std::printf("SC1 = Last-Time, SC2 = A2; expected: two bits of "
+                "hysteresis capture most of the benefit, wider "
+                "counters adapt more slowly\n");
+    return 0;
+}

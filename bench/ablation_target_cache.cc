@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Ablation for Section 3.2: target-address caching. Direction
+ * prediction alone leaves a bubble whenever a taken branch's target
+ * is not cached; this bench measures, per benchmark, how fetch
+ * outcomes split into correct fetches, misfetches (right direction,
+ * missing target) and mispredicts, across target-cache sizes.
+ */
+
+#include <cstdio>
+
+#include "predictor/indirect.hh"
+#include "predictor/return_stack.hh"
+#include "predictor/two_level.hh"
+#include "sim/experiment.hh"
+#include "sim/fetch.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace tl;
+
+    WorkloadSuite suite;
+
+    const BhtGeometry geometries[] = {
+        {64, 1}, {256, 4}, {512, 4}, {1024, 4}};
+
+    TextTable table({"Benchmark", "Cache", "CorrectFetch%",
+                     "Misfetch%", "Mispredict%"});
+    table.setTitle("Section 3.2 ablation: fetch outcomes by target "
+                   "cache size (PAg(512,4,12-sr) direction "
+                   "predictor)");
+
+    for (const Workload *workload : allWorkloads()) {
+        const Trace &trace = suite.testing(*workload);
+        for (const BhtGeometry &geometry : geometries) {
+            TwoLevelPredictor direction(TwoLevelConfig::pag(12));
+            TargetCache targets(geometry);
+            FetchResult result =
+                simulateFetch(trace, direction, targets);
+            table.addRow({
+                workload->name(),
+                geometry.describe(),
+                TextTable::num(result.correctPercent()),
+                TextTable::num(result.misfetchPercent()),
+                TextTable::num(result.mispredictPercent()),
+            });
+        }
+        // The largest cache again, plus a 16-entry return address
+        // stack (the Kaeli/Emma fix the paper cites as [4]).
+        {
+            TwoLevelPredictor direction(TwoLevelConfig::pag(12));
+            TargetCache targets(geometries[3]);
+            ReturnStack ras(16);
+            FetchResult result =
+                simulateFetch(trace, direction, targets, &ras);
+            table.addRow({
+                workload->name(),
+                "1024-entry 4-way + RAS",
+                TextTable::num(result.correctPercent()),
+                TextTable::num(result.misfetchPercent()),
+                TextTable::num(result.mispredictPercent()),
+            });
+        }
+        // The full frontend: RAS plus a history-indexed indirect
+        // target predictor (the two-level idea applied to targets).
+        {
+            TwoLevelPredictor direction(TwoLevelConfig::pag(12));
+            TargetCache targets(geometries[3]);
+            ReturnStack ras(16);
+            IndirectTargetPredictor indirect(10, 10);
+            FetchResult result = simulateFetch(
+                trace, direction, targets, &ras, &indirect);
+            table.addRow({
+                workload->name(),
+                "+ RAS + indirect pred",
+                TextTable::num(result.correctPercent()),
+                TextTable::num(result.misfetchPercent()),
+                TextTable::num(result.mispredictPercent()),
+            });
+        }
+        table.addSeparator();
+    }
+    std::fputs(table.toText().c_str(), stdout);
+    std::printf(
+        "\nexpected: misfetches vanish once the cache covers the "
+        "benchmark's taken-branch working set (gcc needs the most "
+        "entries), and the return address stack removes the "
+        "moving-target return misfetches in the call-heavy "
+        "benchmarks. The residual floor is jump-table dispatch "
+        "whose target is keyed by a loop index: direction-history "
+        "indexing (the '+ indirect pred' rows) barely dents it — "
+        "index-keyed dispatch correlates with values, not recent "
+        "directions.\n");
+    return 0;
+}

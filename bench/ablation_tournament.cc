@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Post-paper extension (the direction of the paper's concluding
+ * remarks): a tournament of the paper's best scheme (PAg) with a
+ * per-branch counter predictor (BTB-A2). The hybrid should match PAg
+ * where pattern history wins and recover the counter's robustness on
+ * the branches two-level prediction struggles with.
+ */
+
+#include <cstdio>
+
+#include "predictor/btb.hh"
+#include "predictor/tournament.hh"
+#include "predictor/two_level.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+
+int
+main()
+{
+    using namespace tl;
+
+    WorkloadSuite suite;
+    std::vector<ResultSet> columns;
+
+    columns.push_back(
+        runOnSuite("PAg(BHT(512,4,12-sr),1xPHT(4096,A2))", suite));
+    columns.push_back(runOnSuite("BTB(BHT(512,4,A2))", suite));
+    columns.push_back(runOnSuite(
+        "Tournament(PAg,BTB-A2)",
+        [] {
+            return std::make_unique<TournamentPredictor>(
+                std::make_unique<TwoLevelPredictor>(
+                    TwoLevelConfig::pag(12)),
+                std::make_unique<BtbPredictor>(BtbConfig{}));
+        },
+        suite));
+
+    printReport("Extension: tournament of PAg and BTB-A2 "
+                "(accuracy %)",
+                columns, "ablation_tournament");
+    std::printf("expected: the tournament at least matches the "
+                "better component on every benchmark\n");
+    return 0;
+}

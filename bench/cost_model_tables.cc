@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Section 3.4: the hardware cost model, Equations 3 through 6.
+ * Regenerates cost tables over the paper's parameter ranges: GAg cost
+ * vs history length (exponential), PAg/PAp cost vs BHT size (linear)
+ * and the full-vs-approximate function comparison.
+ */
+
+#include <cstdio>
+
+#include "predictor/cost_model.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace tl;
+
+    // --- GAg: exponential in k (Equation 4) ------------------------
+    TextTable gag({"k", "BHT part", "PHT part", "Total"});
+    gag.setTitle("GAg cost vs history register length (Eq. 4, unit "
+                 "base costs)");
+    for (unsigned k : {6u, 8u, 10u, 12u, 14u, 16u, 18u}) {
+        CostBreakdown cost = gagCost(k, 2);
+        gag.addRow({TextTable::num(std::uint64_t{k}),
+                    TextTable::num(cost.bht(), 0),
+                    TextTable::num(cost.pht(), 0),
+                    TextTable::num(cost.total(), 0)});
+    }
+    std::fputs(gag.toText().c_str(), stdout);
+    std::fputc('\n', stdout);
+
+    // --- PAg / PAp: full Equation 3 across BHT geometries -----------
+    TextTable two({"h", "assoc", "k", "PAg total (Eq.3)",
+                   "PAg approx (Eq.5)", "PAp total (Eq.3)",
+                   "PAp approx (Eq.6)"});
+    two.setTitle("PAg/PAp cost vs BHT geometry (a = 30 address "
+                 "bits, s = 2)");
+    for (std::size_t h : {256u, 512u, 1024u}) {
+        for (unsigned assoc : {1u, 4u}) {
+            for (unsigned k : {6u, 12u}) {
+                CostParams params;
+                params.addressBits = 30;
+                params.bhtEntries = h;
+                params.bhtAssoc = assoc;
+                params.historyBits = k;
+                params.patternStateBits = 2;
+                params.patternTables = 1;
+                double pag_full = fullCost(params).total();
+                double pag_approx = pagCostApprox(params);
+                params.patternTables = h;
+                double pap_full = fullCost(params).total();
+                double pap_approx = papCostApprox(params);
+                two.addRow({TextTable::num(std::uint64_t{h}),
+                            TextTable::num(std::uint64_t{assoc}),
+                            TextTable::num(std::uint64_t{k}),
+                            TextTable::num(pag_full, 0),
+                            TextTable::num(pag_approx, 0),
+                            TextTable::num(pap_full, 0),
+                            TextTable::num(pap_approx, 0)});
+            }
+        }
+    }
+    std::fputs(two.toText().c_str(), stdout);
+    std::fputc('\n', stdout);
+
+    // --- Figure 8 cost ranking --------------------------------------
+    double gag18 = gagCost(18, 2).total();
+    CostParams pag12;
+    pag12.bhtEntries = 512;
+    pag12.bhtAssoc = 4;
+    pag12.historyBits = 12;
+    pag12.patternTables = 1;
+    CostParams pap6 = pag12;
+    pap6.historyBits = 6;
+    pap6.patternTables = 512;
+    std::printf("iso-accuracy costs: GAg(18) = %.0f, PAg(12) = %.0f, "
+                "PAp(6) = %.0f\n",
+                gag18, fullCost(pag12).total(), fullCost(pap6).total());
+    std::printf("paper: PAg is the cheapest of the three\n");
+    return 0;
+}

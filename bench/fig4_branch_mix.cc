@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 4: distribution of dynamic branch instructions by class.
+ * The paper reports that about 80 percent of dynamic branches are
+ * conditional, making conditional-branch prediction the dominant
+ * concern.
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.hh"
+#include "trace/stats.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace tl;
+
+    std::uint64_t budget = defaultBranchBudget();
+    TextTable table({"Benchmark", "Cond%", "Uncond%", "Call%",
+                     "Return%", "Indirect%", "Br/Inst%"});
+    table.setTitle("Figure 4: dynamic branch class distribution");
+
+    double cond_sum = 0.0;
+    for (const Workload *workload : allWorkloads()) {
+        Trace trace = workload->captureTesting(budget);
+        TraceStats stats;
+        TraceReplaySource source(trace);
+        stats.addAll(source);
+        cond_sum += stats.classPercent(BranchClass::Conditional);
+        table.addRow({
+            workload->name(),
+            TextTable::num(stats.classPercent(BranchClass::Conditional),
+                           1),
+            TextTable::num(
+                stats.classPercent(BranchClass::Unconditional), 1),
+            TextTable::num(stats.classPercent(BranchClass::Call), 1),
+            TextTable::num(stats.classPercent(BranchClass::Return), 1),
+            TextTable::num(stats.classPercent(BranchClass::Indirect),
+                           1),
+            TextTable::num(stats.branchPercentOfInstructions(), 1),
+        });
+    }
+    std::fputs(table.toText().c_str(), stdout);
+    std::printf("\nmean conditional share: %.1f%% "
+                "(paper: about 80%%)\n",
+                cond_sum / static_cast<double>(allWorkloads().size()));
+    return 0;
+}

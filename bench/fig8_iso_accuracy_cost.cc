@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 8 + Section 5.1.3: the three variations configured to reach
+ * comparable accuracy — GAg with an 18-bit register, PAg with 12-bit
+ * registers, PAp with 6-bit registers — and their hardware costs per
+ * the Section 3.4 model.
+ *
+ * Paper result: all three reach about 97 percent; PAg is the cheapest
+ * (GAg pays for a huge pattern table, PAp for 512 pattern tables).
+ */
+
+#include <cstdio>
+
+#include "predictor/two_level.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+
+int
+main()
+{
+    using namespace tl;
+
+    WorkloadSuite suite;
+    struct Config
+    {
+        const char *spec;
+        TwoLevelConfig config;
+    };
+    const Config configs[] = {
+        {"GAg(HR(1,,18-sr),1xPHT(262144,A2))",
+         TwoLevelConfig::gag(18)},
+        {"PAg(BHT(512,4,12-sr),1xPHT(4096,A2))",
+         TwoLevelConfig::pag(12)},
+        {"PAp(BHT(512,4,6-sr),512xPHT(64,A2))",
+         TwoLevelConfig::pap(6)},
+    };
+
+    std::vector<ResultSet> columns;
+    for (const Config &c : configs)
+        columns.push_back(runOnSuite(c.spec, suite));
+    printReport("Figure 8: the three variations at iso-accuracy "
+                "(accuracy %)",
+                columns, "fig8_iso_accuracy");
+
+    TextTable costs({"Scheme", "BHT cost", "PHT cost", "Total",
+                     "Tot GMean"});
+    costs.setTitle("Hardware cost (unit base costs, Eqs. 3-4)");
+    for (std::size_t i = 0; i < 3; ++i) {
+        TwoLevelPredictor predictor(configs[i].config);
+        auto cost = predictor.hardwareCost();
+        costs.addRow({
+            configs[i].config.variationName(),
+            TextTable::num(cost->bht(), 0),
+            TextTable::num(cost->pht(), 0),
+            TextTable::num(cost->total(), 0),
+            TextTable::num(columns[i].totalGMean()),
+        });
+    }
+    std::fputs(costs.toText().c_str(), stdout);
+    std::printf("\npaper: PAg is the least expensive scheme at this "
+                "accuracy level\n");
+    return 0;
+}

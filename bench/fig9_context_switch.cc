@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 9: effect of context switches on the three iso-accuracy
+ * configurations. A context switch (flushing the branch history
+ * table; pattern tables survive) fires on every trap in the trace and
+ * every 500,000 instructions otherwise.
+ *
+ * Paper result: average degradation below 1 percent; gcc degrades the
+ * most under PAg/PAp because of its many traps, while GAg is nearly
+ * insensitive (a flushed global register refills quickly).
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+
+int
+main()
+{
+    using namespace tl;
+
+    WorkloadSuite suite;
+    const char *specs[] = {
+        "GAg(HR(1,,18-sr),1xPHT(262144,A2))",
+        "PAg(BHT(512,4,12-sr),1xPHT(4096,A2))",
+        "PAp(BHT(512,4,6-sr),512xPHT(64,A2))",
+    };
+
+    std::vector<ResultSet> columns;
+    for (const char *spec : specs) {
+        columns.push_back(runOnSuite(spec, suite));
+        std::string with_switches(spec);
+        with_switches.insert(with_switches.size() - 1, ",c");
+        columns.push_back(runOnSuite(with_switches, suite));
+    }
+
+    printReport("Figure 9: accuracy (%) without / with context "
+                "switches",
+                columns, "fig9_context_switch");
+
+    for (std::size_t i = 0; i < columns.size(); i += 2) {
+        std::printf("%-40s degradation: %+.2f%%\n",
+                    columns[i].scheme().c_str(),
+                    columns[i].totalGMean() -
+                        columns[i + 1].totalGMean());
+    }
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: predictor lookup/update
+ * throughput and tracer speed — the library's quality-of-service
+ * numbers (not a paper figure).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "predictor/btb.hh"
+#include "predictor/static_schemes.hh"
+#include "predictor/two_level.hh"
+#include "sim/engine.hh"
+#include "trace/synthetic.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace tl;
+
+/** A reusable noisy trace for predictor throughput runs. */
+const Trace &
+benchTrace()
+{
+    static const Trace trace = [] {
+        Trace t;
+        MarkovSource source({{0x1000, 0.9, 0.7},
+                             {0x2040, 0.8, 0.8},
+                             {0x30c0, 0.95, 0.3},
+                             {0x4100, 0.6, 0.6}},
+                            200000, 12345);
+        t.appendAll(source);
+        return t;
+    }();
+    return trace;
+}
+
+void
+runPredictor(benchmark::State &state, BranchPredictor &predictor)
+{
+    const Trace &trace = benchTrace();
+    for (auto _ : state) {
+        SimResult result = simulate(trace, predictor);
+        benchmark::DoNotOptimize(result.correct);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+
+void
+BM_GAg(benchmark::State &state)
+{
+    TwoLevelPredictor predictor(TwoLevelConfig::gag(
+        static_cast<unsigned>(state.range(0))));
+    runPredictor(state, predictor);
+}
+BENCHMARK(BM_GAg)->Arg(6)->Arg(12)->Arg(18);
+
+void
+BM_PAgPractical(benchmark::State &state)
+{
+    TwoLevelPredictor predictor(TwoLevelConfig::pag(12));
+    runPredictor(state, predictor);
+}
+BENCHMARK(BM_PAgPractical);
+
+void
+BM_PAgIdeal(benchmark::State &state)
+{
+    TwoLevelPredictor predictor(TwoLevelConfig::pagIdeal(12));
+    runPredictor(state, predictor);
+}
+BENCHMARK(BM_PAgIdeal);
+
+void
+BM_PApPractical(benchmark::State &state)
+{
+    TwoLevelPredictor predictor(TwoLevelConfig::pap(6));
+    runPredictor(state, predictor);
+}
+BENCHMARK(BM_PApPractical);
+
+void
+BM_Btb(benchmark::State &state)
+{
+    BtbPredictor predictor(BtbConfig{});
+    runPredictor(state, predictor);
+}
+BENCHMARK(BM_Btb);
+
+void
+BM_AlwaysTaken(benchmark::State &state)
+{
+    AlwaysTakenPredictor predictor;
+    runPredictor(state, predictor);
+}
+BENCHMARK(BM_AlwaysTaken);
+
+void
+BM_TracerMatrix300(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Trace trace = matrix300Workload().captureTesting(20000);
+        benchmark::DoNotOptimize(trace.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 20000);
+}
+BENCHMARK(BM_TracerMatrix300);
+
+void
+BM_TracerGcc(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Trace trace = gccWorkload().captureTesting(20000);
+        benchmark::DoNotOptimize(trace.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 20000);
+}
+BENCHMARK(BM_TracerGcc);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * compare_schemes: run a set of predictors over the nine-benchmark
+ * suite and print the paper-style accuracy table (a smaller
+ * Figure 11).
+ *
+ * Usage:
+ *   compare_schemes                     # the default scheme zoo
+ *   compare_schemes "<spec>" ...        # explicit Table-3 specs, e.g.
+ *       compare_schemes "PAg(BHT(512,4,12-sr),1xPHT(4096,A2))" BTFN
+ *
+ * Set TL_BENCH_BRANCHES to change the per-benchmark trace length.
+ */
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tl;
+
+    std::vector<std::string> specs;
+    if (argc > 1) {
+        for (int i = 1; i < argc; ++i)
+            specs.emplace_back(argv[i]);
+    } else {
+        specs = {
+            "PAg(BHT(512,4,12-sr),1xPHT(4096,A2))",
+            "PSg(BHT(512,4,12-sr),1xPHT(4096,PB))",
+            "BTB(BHT(512,4,A2))",
+            "Profiling",
+            "BTB(BHT(512,4,LT))",
+            "BTFN",
+            "AlwaysTaken",
+        };
+    }
+
+    WorkloadSuite suite;
+    std::vector<ResultSet> columns;
+    columns.reserve(specs.size());
+    for (const std::string &spec : specs)
+        columns.push_back(runOnSuite(spec, suite));
+
+    printReport("Prediction accuracy (percent) per scheme", columns,
+                "compare_schemes");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * cost_explorer: sweep Two-Level configurations, measure accuracy on
+ * the built-in suite and hardware cost from the Section 3.4 model,
+ * then report the cheapest configuration reaching a target accuracy —
+ * the design exploration behind the paper's Figure 8.
+ *
+ * Usage:
+ *   cost_explorer [target_accuracy_percent]   (default 94)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "predictor/two_level.hh"
+#include "sim/experiment.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tl;
+
+    double target = argc > 1 ? std::atof(argv[1]) : 94.0;
+    if (target <= 0.0 || target >= 100.0) {
+        std::fprintf(stderr, "target accuracy must be in (0, 100)\n");
+        return 1;
+    }
+
+    WorkloadSuite suite;
+
+    struct Candidate
+    {
+        TwoLevelConfig config;
+        double accuracy = 0.0;
+        double cost = 0.0;
+    };
+    std::vector<Candidate> candidates;
+
+    // The design space: the three variations over history lengths.
+    for (unsigned k : {4u, 6u, 8u, 10u, 12u, 14u, 16u, 18u})
+        candidates.push_back({TwoLevelConfig::gag(k)});
+    for (unsigned k : {4u, 6u, 8u, 10u, 12u, 14u})
+        candidates.push_back({TwoLevelConfig::pag(k)});
+    for (unsigned k : {2u, 4u, 6u, 8u})
+        candidates.push_back({TwoLevelConfig::pap(k)});
+
+    TextTable table(
+        {"Scheme", "k", "Tot GMean", "Cost", "Meets target"});
+    table.setTitle(strprintf(
+        "Accuracy vs hardware cost (target %.1f%%)", target));
+
+    const Candidate *best = nullptr;
+    for (Candidate &candidate : candidates) {
+        ResultSet results = runOnSuite(
+            candidate.config.schemeName(),
+            [&candidate] {
+                return std::make_unique<TwoLevelPredictor>(
+                    candidate.config);
+            },
+            suite);
+        candidate.accuracy = results.totalGMean();
+        TwoLevelPredictor predictor(candidate.config);
+        candidate.cost = predictor.hardwareCost()->total();
+
+        bool meets = candidate.accuracy >= target;
+        table.addRow({
+            candidate.config.variationName(),
+            TextTable::num(std::uint64_t{candidate.config.historyBits}),
+            TextTable::num(candidate.accuracy),
+            TextTable::num(candidate.cost, 0),
+            meets ? "yes" : "",
+        });
+        if (meets && (!best || candidate.cost < best->cost))
+            best = &candidate;
+    }
+
+    std::fputs(table.toText().c_str(), stdout);
+    if (best) {
+        std::printf("\ncheapest configuration reaching %.1f%%: %s "
+                    "(accuracy %.2f%%, cost %.0f)\n",
+                    target, best->config.schemeName().c_str(),
+                    best->accuracy, best->cost);
+    } else {
+        std::printf("\nno configuration in the swept space reaches "
+                    "%.1f%%\n",
+                    target);
+    }
+    return 0;
+}

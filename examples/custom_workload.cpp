@@ -1,0 +1,107 @@
+/**
+ * @file
+ * custom_workload: write your own benchmark in M88-lite assembly and
+ * race predictors on it.
+ *
+ * The program below is a small bubble sort over a pseudo-random
+ * array — a classic branch-prediction torture test: the inner
+ * compare-and-swap branch starts near-random and becomes perfectly
+ * predictable as the array sorts.
+ *
+ * Usage:
+ *   custom_workload              # run the built-in bubble sort
+ *   custom_workload <file.s>     # assemble and run your own program
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "isa/assembler.hh"
+#include "isa/cpu.hh"
+#include "predictor/factory.hh"
+#include "sim/engine.hh"
+#include "trace/stats.hh"
+
+namespace
+{
+
+const char *bubbleSortSource = R"(
+; bubble sort of 64 LCG-generated values, repeated forever
+; r1 = outer i, r2 = inner j, r3 = LCG state, r4/r5 = elements
+; r6 = n, r7 = address scratch, r10 = pass counter
+        li   r6, 64
+        li   r3, 0x2545f491
+outer:
+        ; (re)generate the array
+        li   r2, 0
+gen:
+        muli r3, r3, 6364136223846793005
+        addi r3, r3, 1442695040888963407
+        srli r4, r3, 33
+        andi r4, r4, 1023
+        st   r4, r2, 256        ; array at mem[256..]
+        addi r2, r2, 1
+        blt  r2, r6, gen
+
+        ; bubble sort
+        li   r1, 0
+sort_i:
+        li   r2, 0
+        sub  r8, r6, r1
+        addi r8, r8, -1         ; inner bound = n - i - 1
+sort_j:
+        ld   r4, r2, 256
+        addi r7, r2, 1
+        ld   r5, r7, 256
+        ble  r4, r5, no_swap    ; the torture branch
+        st   r5, r2, 256
+        st   r4, r7, 256
+no_swap:
+        addi r2, r2, 1
+        blt  r2, r8, sort_j
+        addi r1, r1, 1
+        blt  r1, r6, sort_i
+
+        addi r10, r10, 1
+        br   outer
+        halt
+)";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tl;
+
+    isa::Program program = argc > 1
+                               ? isa::assembleFile(argv[1])
+                               : isa::assemble(bubbleSortSource);
+    std::printf("program: %zu instructions, %zu static conditional "
+                "branches\n",
+                program.size(), program.staticConditionalBranches());
+
+    Trace trace = isa::captureTraceLimited(program, 200000);
+    TraceStats stats;
+    TraceReplaySource stat_source(trace);
+    stats.addAll(stat_source);
+    std::printf("trace: %llu conditional branches, %.1f%% taken\n\n",
+                static_cast<unsigned long long>(
+                    stats.conditionalBranches()),
+                stats.takenPercent());
+
+    const char *specs[] = {
+        "PAg(BHT(512,4,12-sr),1xPHT(4096,A2))",
+        "GAg(HR(1,,12-sr),1xPHT(4096,A2))",
+        "BTB(BHT(512,4,A2))",
+        "BTFN",
+        "AlwaysTaken",
+    };
+    for (const char *spec : specs) {
+        auto predictor = makePredictor(spec);
+        SimResult result = simulate(trace, *predictor);
+        std::printf("%-42s %.2f%%\n", predictor->name().c_str(),
+                    result.accuracyPercent());
+    }
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * mispredict_profile: per-branch-site misprediction breakdown for a
+ * workload under a given predictor — the tool you reach for when
+ * asking *which* branches a scheme fails on (the paper's Section 6
+ * closes by wanting to characterize the residual 3%).
+ *
+ * Usage:
+ *   mispredict_profile <workload> [spec]
+ *       default spec: PAg(BHT(512,4,12-sr),1xPHT(4096,A2))
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "predictor/factory.hh"
+#include "sim/experiment.hh"
+#include "workloads/registry.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tl;
+
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: mispredict_profile <workload> [spec]\n");
+        return 1;
+    }
+    const Workload &workload = workloadByName(argv[1]);
+    std::string spec_text =
+        argc > 2 ? argv[2] : "PAg(BHT(512,4,12-sr),1xPHT(4096,A2))";
+
+    SchemeSpec spec = SchemeSpec::parse(spec_text);
+    auto predictor = makePredictor(spec);
+    if (predictor->needsTraining()) {
+        Trace training =
+            workload.captureTraining(defaultBranchBudget());
+        TraceReplaySource source(training);
+        predictor->train(source);
+    }
+
+    Trace trace = workload.captureTesting(defaultBranchBudget());
+
+    struct SiteStats
+    {
+        std::uint64_t count = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t taken = 0;
+    };
+    std::map<std::uint64_t, SiteStats> sites;
+    std::uint64_t total = 0, misses = 0;
+
+    for (const BranchRecord &record : trace.records()) {
+        if (!record.isConditional())
+            continue;
+        BranchQuery query = BranchQuery::fromRecord(record);
+        bool correct =
+            predictor->predictAndUpdate(query, record.taken);
+        SiteStats &site = sites[record.pc];
+        ++site.count;
+        ++total;
+        if (record.taken)
+            ++site.taken;
+        if (!correct) {
+            ++site.misses;
+            ++misses;
+        }
+    }
+
+    std::printf("%s on %s: %llu cond branches, %llu mispredicts "
+                "(%.2f%% accuracy), %zu sites\n\n",
+                spec_text.c_str(), workload.name().c_str(),
+                static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(misses),
+                total ? 100.0 * (1.0 - double(misses) / double(total))
+                      : 0.0,
+                sites.size());
+
+    std::vector<std::pair<std::uint64_t, SiteStats>> sorted(
+        sites.begin(), sites.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second.misses > b.second.misses;
+              });
+
+    std::printf("%-10s %10s %10s %8s %8s %9s\n", "pc", "execs",
+                "misses", "miss%", "taken%", "shareOfMiss");
+    std::size_t shown = 0;
+    for (const auto &[pc, site] : sorted) {
+        if (shown++ >= 20)
+            break;
+        std::printf("%#-10llx %10llu %10llu %7.2f%% %7.1f%% %8.2f%%\n",
+                    static_cast<unsigned long long>(pc),
+                    static_cast<unsigned long long>(site.count),
+                    static_cast<unsigned long long>(site.misses),
+                    100.0 * double(site.misses) / double(site.count),
+                    100.0 * double(site.taken) / double(site.count),
+                    misses ? 100.0 * double(site.misses) /
+                                 double(misses)
+                           : 0.0);
+    }
+    return 0;
+}

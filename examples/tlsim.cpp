@@ -1,0 +1,201 @@
+/**
+ * @file
+ * tlsim: the command-line front end to the library — run any
+ * predictor specification against any built-in workload or trace
+ * file, with the paper's simulation options.
+ *
+ * Usage:
+ *   tlsim --spec <spec> [--spec <spec> ...]
+ *         (--workload <name> [--dataset <name>] | --trace <file>)
+ *         [--branches N] [--context-switches] [--interval N]
+ *         [--fetch] [--csv]
+ *
+ * Examples:
+ *   tlsim --spec 'PAg(BHT(512,4,12-sr),1xPHT(4096,A2))' \
+ *         --workload gcc
+ *   tlsim --spec 'BTB(BHT(512,4,A2))' --spec BTFN \
+ *         --workload eqntott --branches 500000
+ *   tlsim --spec 'GAg(HR(1,,12-sr),1xPHT(4096,A2))' \
+ *         --trace mytrace.txt --fetch
+ *
+ * Schemes that need training (PSg, GSg, Profiling) are trained on the
+ * workload's training dataset; combining them with --trace or a
+ * workload without training data is an error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "predictor/factory.hh"
+#include "predictor/return_stack.hh"
+#include "sim/engine.hh"
+#include "sim/experiment.hh"
+#include "sim/fetch.hh"
+#include "trace/io.hh"
+#include "util/status.hh"
+#include "util/table.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace tl;
+
+struct Options
+{
+    std::vector<std::string> specs;
+    std::string workload;
+    std::string dataset;
+    std::string traceFile;
+    std::uint64_t branches = 0;
+    bool contextSwitches = false;
+    std::uint64_t interval = 500000;
+    bool fetch = false;
+    bool csv = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --spec <spec> [--spec <spec> ...]\n"
+        "       (--workload <name> [--dataset <name>] | --trace "
+        "<file>)\n"
+        "       [--branches N] [--context-switches] [--interval N]\n"
+        "       [--fetch] [--csv]\n",
+        argv0);
+    std::exit(1);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options options;
+    auto need_value = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--spec") {
+            options.specs.push_back(need_value(i));
+        } else if (arg == "--workload") {
+            options.workload = need_value(i);
+        } else if (arg == "--dataset") {
+            options.dataset = need_value(i);
+        } else if (arg == "--trace") {
+            options.traceFile = need_value(i);
+        } else if (arg == "--branches") {
+            options.branches = std::strtoull(
+                need_value(i).c_str(), nullptr, 10);
+        } else if (arg == "--context-switches") {
+            options.contextSwitches = true;
+        } else if (arg == "--interval") {
+            options.interval = std::strtoull(
+                need_value(i).c_str(), nullptr, 10);
+        } else if (arg == "--fetch") {
+            options.fetch = true;
+        } else if (arg == "--csv") {
+            options.csv = true;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n",
+                         arg.c_str());
+            usage(argv[0]);
+        }
+    }
+    if (options.specs.empty())
+        usage(argv[0]);
+    bool have_workload = !options.workload.empty();
+    bool have_trace = !options.traceFile.empty();
+    if (have_workload == have_trace)
+        usage(argv[0]); // exactly one source
+    return options;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options = parseArgs(argc, argv);
+    std::uint64_t budget =
+        options.branches ? options.branches : defaultBranchBudget();
+
+    // --- acquire the trace ------------------------------------------
+    Trace trace;
+    const Workload *workload = nullptr;
+    if (!options.traceFile.empty()) {
+        trace = loadTrace(options.traceFile);
+    } else {
+        workload = &workloadByName(options.workload);
+        std::string dataset = options.dataset.empty()
+                                  ? workload->testingDataset()
+                                  : options.dataset;
+        trace = workload->capture(dataset, budget);
+    }
+
+    SimOptions sim_options;
+    sim_options.maxConditionalBranches = budget;
+    sim_options.contextSwitches = options.contextSwitches;
+    sim_options.contextSwitchInterval = options.interval;
+
+    TextTable table(
+        options.fetch
+            ? std::vector<std::string>{"Scheme", "CorrectFetch%",
+                                       "Misfetch%", "Mispredict%"}
+            : std::vector<std::string>{"Scheme", "Branches",
+                                       "Accuracy%", "Switches"});
+    table.setTitle(strprintf(
+        "tlsim: %s (%zu records)",
+        options.traceFile.empty() ? options.workload.c_str()
+                                  : options.traceFile.c_str(),
+        trace.size()));
+
+    for (const std::string &spec_text : options.specs) {
+        SchemeSpec spec = SchemeSpec::parse(spec_text);
+        auto predictor = makePredictor(spec);
+        if (predictor->needsTraining()) {
+            if (!workload || !workload->hasTraining()) {
+                fatal("scheme '%s' needs a training dataset; use a "
+                      "workload with one (Table 2)",
+                      spec_text.c_str());
+            }
+            Trace training = workload->captureTraining(budget);
+            TraceReplaySource source(training);
+            predictor->train(source);
+        }
+        if (spec.contextSwitch)
+            sim_options.contextSwitches = true;
+
+        if (options.fetch) {
+            TargetCache targets;
+            ReturnStack ras(16);
+            FetchResult result =
+                simulateFetch(trace, *predictor, targets, &ras);
+            table.addRow({
+                predictor->name(),
+                TextTable::num(result.correctPercent()),
+                TextTable::num(result.misfetchPercent()),
+                TextTable::num(result.mispredictPercent()),
+            });
+        } else {
+            SimResult result =
+                simulate(trace, *predictor, sim_options);
+            table.addRow({
+                predictor->name(),
+                TextTable::num(result.conditionalBranches),
+                TextTable::num(result.accuracyPercent()),
+                TextTable::num(result.contextSwitchCount),
+            });
+        }
+    }
+
+    std::fputs(options.csv ? table.toCsv().c_str()
+                           : table.toText().c_str(),
+               stdout);
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * trace_inspector: inspect the branch statistics of the built-in
+ * workloads, or of a trace file.
+ *
+ * Usage:
+ *   trace_inspector                 # summarize all nine workloads
+ *   trace_inspector <workload>      # one workload, more detail
+ *   trace_inspector --file <path>   # a stored trace (binary or .txt)
+ *   trace_inspector --save <workload> <path>  # export a trace file
+ *
+ * The per-workload summary corresponds to the paper's Table 1
+ * (static conditional branches) and Figure 4 (dynamic branch class
+ * distribution).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "trace/io.hh"
+#include "trace/stats.hh"
+#include "util/table.hh"
+#include "workloads/registry.hh"
+
+namespace
+{
+
+using namespace tl;
+
+void
+printDetail(const std::string &name, const Trace &trace)
+{
+    TraceStats stats;
+    TraceReplaySource source(trace);
+    stats.addAll(source);
+
+    std::printf("%s\n", name.c_str());
+    std::printf("  records                 %llu\n",
+                static_cast<unsigned long long>(trace.size()));
+    std::printf("  dynamic instructions    %llu\n",
+                static_cast<unsigned long long>(stats.instructions()));
+    std::printf("  branch %% of instructions %.1f%%\n",
+                stats.branchPercentOfInstructions());
+    std::printf("  static cond branches    %llu\n",
+                static_cast<unsigned long long>(
+                    stats.staticConditionalBranches()));
+    std::printf("  taken rate              %.1f%%\n",
+                stats.takenPercent());
+    std::printf("  traps                   %llu\n",
+                static_cast<unsigned long long>(stats.traps()));
+    for (unsigned c = 0; c < numBranchClasses; ++c) {
+        BranchClass cls = static_cast<BranchClass>(c);
+        std::printf("  %-8s %6.2f%%  (%llu)\n", branchClassName(cls),
+                    stats.classPercent(cls),
+                    static_cast<unsigned long long>(
+                        stats.dynamicBranches(cls)));
+    }
+}
+
+int
+summarizeAll()
+{
+    std::uint64_t budget = defaultBranchBudget();
+    TextTable table({"Benchmark", "StaticCnd", "Cond%", "Uncond%",
+                     "Call%", "Ret%", "Ind%", "Taken%", "Br/Inst%",
+                     "Traps"});
+    table.setTitle(
+        "Workload suite summary (Table 1 / Figure 4 analogues)");
+    for (const Workload *workload : allWorkloads()) {
+        Trace trace = workload->captureTesting(budget);
+        TraceStats stats;
+        TraceReplaySource source(trace);
+        stats.addAll(source);
+        table.addRow({
+            workload->name(),
+            TextTable::num(stats.staticConditionalBranches()),
+            TextTable::num(stats.classPercent(BranchClass::Conditional),
+                           1),
+            TextTable::num(
+                stats.classPercent(BranchClass::Unconditional), 1),
+            TextTable::num(stats.classPercent(BranchClass::Call), 1),
+            TextTable::num(stats.classPercent(BranchClass::Return), 1),
+            TextTable::num(stats.classPercent(BranchClass::Indirect),
+                           1),
+            TextTable::num(stats.takenPercent(), 1),
+            TextTable::num(stats.branchPercentOfInstructions(), 1),
+            TextTable::num(stats.traps()),
+        });
+    }
+    std::fputs(table.toText().c_str(), stdout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tl;
+
+    if (argc == 1)
+        return summarizeAll();
+
+    std::string arg = argv[1];
+    if (arg == "--file" && argc == 3) {
+        printDetail(argv[2], loadTrace(argv[2]));
+        return 0;
+    }
+    if (arg == "--save" && argc == 4) {
+        const Workload &workload = workloadByName(argv[2]);
+        Trace trace = workload.captureTesting(defaultBranchBudget());
+        saveTrace(trace, argv[3]);
+        std::printf("wrote %zu records to %s\n", trace.size(), argv[3]);
+        return 0;
+    }
+    const Workload &workload = workloadByName(arg);
+    printDetail(workload.name(),
+                workload.captureTesting(defaultBranchBudget()));
+    return 0;
+}

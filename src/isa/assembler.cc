@@ -1,0 +1,404 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/status.hh"
+#include "util/strings.hh"
+
+namespace tl::isa
+{
+
+namespace
+{
+
+/** Assembler working state: builder plus named labels. */
+class Assembler
+{
+  public:
+    Program
+    run(std::string_view source)
+    {
+        std::size_t lineno = 0;
+        std::size_t start = 0;
+        while (start <= source.size()) {
+            std::size_t end = source.find('\n', start);
+            if (end == std::string_view::npos)
+                end = source.size();
+            ++lineno;
+            parseLine(source.substr(start, end - start), lineno);
+            start = end + 1;
+        }
+        return builder.build();
+    }
+
+  private:
+    [[noreturn]] void
+    err(std::size_t lineno, const std::string &message)
+    {
+        fatal("asm line %zu: %s", lineno, message.c_str());
+    }
+
+    Label
+    labelByName(const std::string &name)
+    {
+        auto it = labelsByName.find(name);
+        if (it != labelsByName.end())
+            return it->second;
+        Label label = builder.newLabel(name);
+        labelsByName.emplace(name, label);
+        return label;
+    }
+
+    static bool
+    isIdentChar(char c)
+    {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+               c == '.';
+    }
+
+    std::optional<Reg>
+    parseReg(std::string_view token)
+    {
+        if (token.size() < 2 || (token[0] != 'r' && token[0] != 'R'))
+            return std::nullopt;
+        auto number = parseU64(token.substr(1));
+        if (!number || *number >= numRegs)
+            return std::nullopt;
+        return static_cast<Reg>(*number);
+    }
+
+    std::optional<std::int64_t>
+    parseImm(std::string_view token)
+    {
+        if (token.empty())
+            return std::nullopt;
+        bool negative = token[0] == '-';
+        if (negative)
+            token.remove_prefix(1);
+        if (token.empty())
+            return std::nullopt;
+        std::uint64_t magnitude = 0;
+        if (startsWith(token, "0x") || startsWith(token, "0X")) {
+            token.remove_prefix(2);
+            if (token.empty())
+                return std::nullopt;
+            for (char c : token) {
+                int digit;
+                if (c >= '0' && c <= '9')
+                    digit = c - '0';
+                else if (c >= 'a' && c <= 'f')
+                    digit = c - 'a' + 10;
+                else if (c >= 'A' && c <= 'F')
+                    digit = c - 'A' + 10;
+                else
+                    return std::nullopt;
+                magnitude = magnitude * 16 +
+                            static_cast<std::uint64_t>(digit);
+            }
+        } else {
+            auto value = parseU64(token);
+            if (!value)
+                return std::nullopt;
+            magnitude = *value;
+        }
+        std::int64_t value = static_cast<std::int64_t>(magnitude);
+        return negative ? -value : value;
+    }
+
+    std::vector<std::string>
+    tokenizeOperands(std::string_view text)
+    {
+        std::vector<std::string> operands;
+        for (const std::string &piece : split(text, ',')) {
+            std::string_view trimmed = trim(piece);
+            operands.emplace_back(trimmed);
+        }
+        if (operands.size() == 1 && operands[0].empty())
+            operands.clear();
+        return operands;
+    }
+
+    Reg
+    wantReg(const std::vector<std::string> &ops, std::size_t i,
+            std::size_t lineno)
+    {
+        if (i >= ops.size())
+            err(lineno, "missing register operand");
+        auto reg = parseReg(ops[i]);
+        if (!reg)
+            err(lineno, "bad register '" + ops[i] + "'");
+        return *reg;
+    }
+
+    std::int64_t
+    wantImm(const std::vector<std::string> &ops, std::size_t i,
+            std::size_t lineno)
+    {
+        if (i >= ops.size())
+            err(lineno, "missing immediate operand");
+        auto imm = parseImm(ops[i]);
+        if (!imm)
+            err(lineno, "bad immediate '" + ops[i] + "'");
+        return *imm;
+    }
+
+    Label
+    wantLabel(const std::vector<std::string> &ops, std::size_t i,
+              std::size_t lineno)
+    {
+        if (i >= ops.size())
+            err(lineno, "missing label operand");
+        const std::string &name = ops[i];
+        if (name.empty() ||
+            std::isdigit(static_cast<unsigned char>(name[0]))) {
+            err(lineno, "bad label '" + name + "'");
+        }
+        for (char c : name) {
+            if (!isIdentChar(c))
+                err(lineno, "bad label '" + name + "'");
+        }
+        return labelByName(name);
+    }
+
+    void
+    checkOperandCount(const std::vector<std::string> &ops,
+                      std::size_t expected, std::size_t lineno)
+    {
+        if (ops.size() != expected) {
+            err(lineno, strprintf("expected %zu operands, got %zu",
+                                  expected, ops.size()));
+        }
+    }
+
+    void
+    parseDirective(std::string_view text, std::size_t lineno)
+    {
+        std::istringstream stream{std::string(text)};
+        std::string directive;
+        stream >> directive;
+        if (directive == ".data") {
+            std::string addr_str, value_str;
+            stream >> addr_str >> value_str;
+            if (!stream)
+                err(lineno, ".data needs an address and a value");
+            auto addr = parseImm(addr_str);
+            auto value = parseImm(value_str);
+            if (!addr || *addr < 0)
+                err(lineno, "bad .data address '" + addr_str + "'");
+            if (!value)
+                err(lineno, "bad .data value '" + value_str + "'");
+            builder.data(static_cast<std::uint64_t>(*addr), *value);
+        } else if (directive == ".dataLabel") {
+            std::string addr_str, label_name;
+            stream >> addr_str >> label_name;
+            if (!stream)
+                err(lineno, ".dataLabel needs an address and a label");
+            auto addr = parseImm(addr_str);
+            if (!addr || *addr < 0)
+                err(lineno, "bad .dataLabel address '" + addr_str + "'");
+            builder.dataLabel(static_cast<std::uint64_t>(*addr),
+                              labelByName(label_name));
+        } else {
+            err(lineno, "unknown directive '" + directive + "'");
+        }
+    }
+
+    void
+    parseInstruction(std::string_view text, std::size_t lineno)
+    {
+        std::size_t space = 0;
+        while (space < text.size() &&
+               !std::isspace(static_cast<unsigned char>(text[space]))) {
+            ++space;
+        }
+        std::string mnemonic = toLower(text.substr(0, space));
+        std::vector<std::string> ops =
+            tokenizeOperands(trim(text.substr(space)));
+
+        auto reg3 = [&](auto emit) {
+            checkOperandCount(ops, 3, lineno);
+            Reg rd = wantReg(ops, 0, lineno);
+            Reg ra = wantReg(ops, 1, lineno);
+            Reg rb = wantReg(ops, 2, lineno);
+            emit(rd, ra, rb);
+        };
+        auto regRegImm = [&](auto emit) {
+            checkOperandCount(ops, 3, lineno);
+            Reg rd = wantReg(ops, 0, lineno);
+            Reg ra = wantReg(ops, 1, lineno);
+            std::int64_t imm = wantImm(ops, 2, lineno);
+            emit(rd, ra, imm);
+        };
+        auto branch = [&](auto emit) {
+            checkOperandCount(ops, 3, lineno);
+            Reg ra = wantReg(ops, 0, lineno);
+            Reg rb = wantReg(ops, 1, lineno);
+            Label target = wantLabel(ops, 2, lineno);
+            emit(ra, rb, target);
+        };
+
+        ProgramBuilder &b = builder;
+        if (mnemonic == "add") {
+            reg3([&](Reg d, Reg a, Reg c) { b.add(d, a, c); });
+        } else if (mnemonic == "sub") {
+            reg3([&](Reg d, Reg a, Reg c) { b.sub(d, a, c); });
+        } else if (mnemonic == "mul") {
+            reg3([&](Reg d, Reg a, Reg c) { b.mul(d, a, c); });
+        } else if (mnemonic == "div") {
+            reg3([&](Reg d, Reg a, Reg c) { b.div(d, a, c); });
+        } else if (mnemonic == "rem") {
+            reg3([&](Reg d, Reg a, Reg c) { b.rem(d, a, c); });
+        } else if (mnemonic == "and") {
+            reg3([&](Reg d, Reg a, Reg c) { b.and_(d, a, c); });
+        } else if (mnemonic == "or") {
+            reg3([&](Reg d, Reg a, Reg c) { b.or_(d, a, c); });
+        } else if (mnemonic == "xor") {
+            reg3([&](Reg d, Reg a, Reg c) { b.xor_(d, a, c); });
+        } else if (mnemonic == "sll") {
+            reg3([&](Reg d, Reg a, Reg c) { b.sll(d, a, c); });
+        } else if (mnemonic == "srl") {
+            reg3([&](Reg d, Reg a, Reg c) { b.srl(d, a, c); });
+        } else if (mnemonic == "sra") {
+            reg3([&](Reg d, Reg a, Reg c) { b.sra(d, a, c); });
+        } else if (mnemonic == "slt") {
+            reg3([&](Reg d, Reg a, Reg c) { b.slt(d, a, c); });
+        } else if (mnemonic == "addi") {
+            regRegImm([&](Reg d, Reg a, std::int64_t i) { b.addi(d, a, i); });
+        } else if (mnemonic == "muli") {
+            regRegImm([&](Reg d, Reg a, std::int64_t i) { b.muli(d, a, i); });
+        } else if (mnemonic == "andi") {
+            regRegImm([&](Reg d, Reg a, std::int64_t i) { b.andi(d, a, i); });
+        } else if (mnemonic == "ori") {
+            regRegImm([&](Reg d, Reg a, std::int64_t i) { b.ori(d, a, i); });
+        } else if (mnemonic == "xori") {
+            regRegImm([&](Reg d, Reg a, std::int64_t i) { b.xori(d, a, i); });
+        } else if (mnemonic == "slli") {
+            regRegImm([&](Reg d, Reg a, std::int64_t i) { b.slli(d, a, i); });
+        } else if (mnemonic == "srli") {
+            regRegImm([&](Reg d, Reg a, std::int64_t i) { b.srli(d, a, i); });
+        } else if (mnemonic == "ld") {
+            regRegImm([&](Reg d, Reg a, std::int64_t i) { b.ld(d, a, i); });
+        } else if (mnemonic == "st") {
+            regRegImm([&](Reg d, Reg a, std::int64_t i) { b.st(d, a, i); });
+        } else if (mnemonic == "li") {
+            checkOperandCount(ops, 2, lineno);
+            Reg rd = wantReg(ops, 0, lineno);
+            b.li(rd, wantImm(ops, 1, lineno));
+        } else if (mnemonic == "mov") {
+            checkOperandCount(ops, 2, lineno);
+            Reg rd = wantReg(ops, 0, lineno);
+            Reg ra = wantReg(ops, 1, lineno);
+            b.mov(rd, ra);
+        } else if (mnemonic == "beq") {
+            branch([&](Reg a, Reg c, Label t) { b.beq(a, c, t); });
+        } else if (mnemonic == "bne") {
+            branch([&](Reg a, Reg c, Label t) { b.bne(a, c, t); });
+        } else if (mnemonic == "blt") {
+            branch([&](Reg a, Reg c, Label t) { b.blt(a, c, t); });
+        } else if (mnemonic == "bge") {
+            branch([&](Reg a, Reg c, Label t) { b.bge(a, c, t); });
+        } else if (mnemonic == "ble") {
+            branch([&](Reg a, Reg c, Label t) { b.ble(a, c, t); });
+        } else if (mnemonic == "bgt") {
+            branch([&](Reg a, Reg c, Label t) { b.bgt(a, c, t); });
+        } else if (mnemonic == "beqz") {
+            checkOperandCount(ops, 2, lineno);
+            Reg ra = wantReg(ops, 0, lineno);
+            b.beqz(ra, wantLabel(ops, 1, lineno));
+        } else if (mnemonic == "bnez") {
+            checkOperandCount(ops, 2, lineno);
+            Reg ra = wantReg(ops, 0, lineno);
+            b.bnez(ra, wantLabel(ops, 1, lineno));
+        } else if (mnemonic == "br") {
+            checkOperandCount(ops, 1, lineno);
+            b.br(wantLabel(ops, 0, lineno));
+        } else if (mnemonic == "call") {
+            checkOperandCount(ops, 1, lineno);
+            b.call(wantLabel(ops, 0, lineno));
+        } else if (mnemonic == "jr") {
+            checkOperandCount(ops, 1, lineno);
+            b.jr(wantReg(ops, 0, lineno));
+        } else if (mnemonic == "ret") {
+            checkOperandCount(ops, 0, lineno);
+            b.ret();
+        } else if (mnemonic == "trap") {
+            checkOperandCount(ops, 0, lineno);
+            b.trap();
+        } else if (mnemonic == "nop") {
+            checkOperandCount(ops, 0, lineno);
+            b.nop();
+        } else if (mnemonic == "halt") {
+            checkOperandCount(ops, 0, lineno);
+            b.halt();
+        } else {
+            err(lineno, "unknown mnemonic '" + mnemonic + "'");
+        }
+    }
+
+    void
+    parseLine(std::string_view raw, std::size_t lineno)
+    {
+        // Strip comments.
+        std::size_t comment = raw.find_first_of(";#");
+        if (comment != std::string_view::npos)
+            raw = raw.substr(0, comment);
+        std::string_view line = trim(raw);
+        if (line.empty())
+            return;
+
+        // Leading "name:" label definitions (possibly several).
+        for (;;) {
+            std::size_t i = 0;
+            while (i < line.size() && isIdentChar(line[i]))
+                ++i;
+            if (i == 0 || i >= line.size() || line[i] != ':')
+                break;
+            std::string name(line.substr(0, i));
+            Label label = labelByName(name);
+            if (boundLabels.count(name))
+                err(lineno, "label '" + name + "' defined twice");
+            builder.bind(label);
+            boundLabels.insert(name);
+            line = trim(line.substr(i + 1));
+            if (line.empty())
+                return;
+        }
+
+        if (line[0] == '.')
+            parseDirective(line, lineno);
+        else
+            parseInstruction(line, lineno);
+    }
+
+    ProgramBuilder builder;
+    std::map<std::string, Label> labelsByName;
+    std::set<std::string> boundLabels;
+};
+
+} // namespace
+
+Program
+assemble(std::string_view source)
+{
+    Assembler assembler;
+    return assembler.run(source);
+}
+
+Program
+assembleFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open assembly file '%s'", path.c_str());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return assemble(buffer.str());
+}
+
+} // namespace tl::isa

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Text assembler for the M88-lite ISA.
+ *
+ * Syntax (one statement per line, ';' or '#' start a comment):
+ *
+ *     start:                  ; label definition
+ *         li   r1, 10
+ *     loop:
+ *         addi r2, r2, 1
+ *         blt  r2, r1, loop   ; registers and a label operand
+ *         st   r2, r0, 100
+ *         trap
+ *         halt
+ *     .data 100 42            ; initialize mem[100] = 42
+ *     .dataLabel 101 loop     ; mem[101] = address of 'loop'
+ *
+ * Pseudo-instructions: mov rd, ra / beqz ra, label / bnez ra, label.
+ * Immediates accept decimal (optionally negative) and 0x hex.
+ */
+
+#ifndef TL_ISA_ASSEMBLER_HH
+#define TL_ISA_ASSEMBLER_HH
+
+#include <string>
+#include <string_view>
+
+#include "isa/program.hh"
+
+namespace tl::isa
+{
+
+/**
+ * Assemble source text into a Program.
+ *
+ * Calls fatal() with a line number on any syntax error, unknown
+ * mnemonic, bad register, or undefined label.
+ */
+Program assemble(std::string_view source);
+
+/** Assemble the contents of a file. */
+Program assembleFile(const std::string &path);
+
+} // namespace tl::isa
+
+#endif // TL_ISA_ASSEMBLER_HH

@@ -1,0 +1,312 @@
+#include "isa/cpu.hh"
+
+#include <utility>
+
+#include "util/status.hh"
+
+namespace tl::isa
+{
+
+Cpu::Cpu(Program prog, CpuOptions options)
+    : program(std::move(prog)), options(options)
+{
+    if (program.code.empty())
+        fatal("cannot execute an empty program");
+    memory.assign(options.memWords, 0);
+    for (const auto &[addr, value] : program.dataInit) {
+        checkMem(addr, "data initializer");
+        memory[addr] = value;
+    }
+}
+
+std::int64_t
+Cpu::reg(unsigned index) const
+{
+    if (index >= numRegs)
+        fatal("register r%u out of range", index);
+    return index == 0 ? 0 : regs[index];
+}
+
+void
+Cpu::setReg(unsigned index, std::int64_t value)
+{
+    if (index >= numRegs)
+        fatal("register r%u out of range", index);
+    if (index != 0)
+        regs[index] = value;
+}
+
+void
+Cpu::checkMem(std::uint64_t addr, const char *what) const
+{
+    if (addr >= memory.size()) {
+        fatal("%s: memory address %#llx out of range (pc=%#llx)", what,
+              static_cast<unsigned long long>(addr),
+              static_cast<unsigned long long>(instAddress(pc)));
+    }
+}
+
+std::int64_t
+Cpu::mem(std::uint64_t addr) const
+{
+    checkMem(addr, "mem read");
+    return memory[addr];
+}
+
+void
+Cpu::setMem(std::uint64_t addr, std::int64_t value)
+{
+    checkMem(addr, "mem write");
+    memory[addr] = value;
+}
+
+std::size_t
+Cpu::targetIndex(std::uint64_t addr, const char *what) const
+{
+    if (addr < codeBase || (addr - codeBase) % instBytes != 0) {
+        fatal("%s: bad target address %#llx (pc=%#llx)", what,
+              static_cast<unsigned long long>(addr),
+              static_cast<unsigned long long>(instAddress(pc)));
+    }
+    std::size_t index = instIndex(addr);
+    if (index >= program.code.size()) {
+        fatal("%s: target address %#llx beyond program end", what,
+              static_cast<unsigned long long>(addr));
+    }
+    return index;
+}
+
+bool
+Cpu::step(BranchRecord &record)
+{
+    const Instruction &inst = program.code[pc];
+    ++instCount;
+    ++instsSinceBranch;
+
+    std::int64_t a = reg(inst.ra);
+    std::int64_t b = reg(inst.rb);
+    std::size_t next_pc = pc + 1;
+
+    auto shiftAmount = [](std::int64_t amount) {
+        return static_cast<unsigned>(amount) & 63u;
+    };
+
+    auto emitBranch = [&](BranchClass cls, std::uint64_t target,
+                          bool taken) {
+        record.pc = instAddress(pc);
+        record.target = target;
+        record.cls = cls;
+        record.taken = taken;
+        record.instsSince = instsSinceBranch;
+        record.trap = pendingTrap;
+        instsSinceBranch = 0;
+        pendingTrap = false;
+    };
+
+    switch (inst.op) {
+      case Opcode::Add:
+        setReg(inst.rd, a + b);
+        break;
+      case Opcode::Sub:
+        setReg(inst.rd, a - b);
+        break;
+      case Opcode::Mul:
+        setReg(inst.rd, a * b);
+        break;
+      case Opcode::Div:
+        setReg(inst.rd, b == 0 ? 0 : a / b);
+        break;
+      case Opcode::Rem:
+        setReg(inst.rd, b == 0 ? 0 : a % b);
+        break;
+      case Opcode::And:
+        setReg(inst.rd, a & b);
+        break;
+      case Opcode::Or:
+        setReg(inst.rd, a | b);
+        break;
+      case Opcode::Xor:
+        setReg(inst.rd, a ^ b);
+        break;
+      case Opcode::Sll:
+        setReg(inst.rd, a << shiftAmount(b));
+        break;
+      case Opcode::Srl:
+        setReg(inst.rd,
+               static_cast<std::int64_t>(
+                   static_cast<std::uint64_t>(a) >> shiftAmount(b)));
+        break;
+      case Opcode::Sra:
+        setReg(inst.rd, a >> shiftAmount(b));
+        break;
+      case Opcode::Slt:
+        setReg(inst.rd, a < b ? 1 : 0);
+        break;
+
+      case Opcode::Addi:
+        setReg(inst.rd, a + inst.imm);
+        break;
+      case Opcode::Muli:
+        setReg(inst.rd, a * inst.imm);
+        break;
+      case Opcode::Andi:
+        setReg(inst.rd, a & inst.imm);
+        break;
+      case Opcode::Ori:
+        setReg(inst.rd, a | inst.imm);
+        break;
+      case Opcode::Xori:
+        setReg(inst.rd, a ^ inst.imm);
+        break;
+      case Opcode::Slli:
+        setReg(inst.rd, a << shiftAmount(inst.imm));
+        break;
+      case Opcode::Srli:
+        setReg(inst.rd,
+               static_cast<std::int64_t>(static_cast<std::uint64_t>(a) >>
+                                         shiftAmount(inst.imm)));
+        break;
+
+      case Opcode::Li:
+        setReg(inst.rd, inst.imm);
+        break;
+
+      case Opcode::Ld: {
+        std::uint64_t addr = static_cast<std::uint64_t>(a + inst.imm);
+        checkMem(addr, "ld");
+        setReg(inst.rd, memory[addr]);
+        break;
+      }
+      case Opcode::St: {
+        std::uint64_t addr = static_cast<std::uint64_t>(a + inst.imm);
+        checkMem(addr, "st");
+        memory[addr] = reg(inst.rd);
+        break;
+      }
+
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Ble:
+      case Opcode::Bgt: {
+        bool taken = false;
+        switch (inst.op) {
+          case Opcode::Beq: taken = a == b; break;
+          case Opcode::Bne: taken = a != b; break;
+          case Opcode::Blt: taken = a < b; break;
+          case Opcode::Bge: taken = a >= b; break;
+          case Opcode::Ble: taken = a <= b; break;
+          case Opcode::Bgt: taken = a > b; break;
+          default: panic("unreachable");
+        }
+        std::uint64_t target = static_cast<std::uint64_t>(inst.imm);
+        std::size_t target_index = targetIndex(target, "branch");
+        emitBranch(BranchClass::Conditional, target, taken);
+        pc = taken ? target_index : next_pc;
+        return true;
+      }
+
+      case Opcode::Br: {
+        std::uint64_t target = static_cast<std::uint64_t>(inst.imm);
+        std::size_t target_index = targetIndex(target, "br");
+        emitBranch(BranchClass::Unconditional, target, true);
+        pc = target_index;
+        return true;
+      }
+
+      case Opcode::Call: {
+        std::uint64_t target = static_cast<std::uint64_t>(inst.imm);
+        std::size_t target_index = targetIndex(target, "call");
+        if (callStack.size() >= options.maxCallDepth)
+            fatal("call stack overflow at pc=%#llx",
+                  static_cast<unsigned long long>(instAddress(pc)));
+        callStack.push_back(next_pc);
+        emitBranch(BranchClass::Call, target, true);
+        pc = target_index;
+        return true;
+      }
+
+      case Opcode::Ret: {
+        if (callStack.empty())
+            fatal("ret with empty call stack at pc=%#llx",
+                  static_cast<unsigned long long>(instAddress(pc)));
+        std::size_t return_index = callStack.back();
+        callStack.pop_back();
+        if (return_index >= program.code.size())
+            fatal("ret to address beyond program end");
+        emitBranch(BranchClass::Return, instAddress(return_index), true);
+        pc = return_index;
+        return true;
+      }
+
+      case Opcode::Jr: {
+        std::uint64_t target = static_cast<std::uint64_t>(a);
+        std::size_t target_index = targetIndex(target, "jr");
+        emitBranch(BranchClass::Indirect, target, true);
+        pc = target_index;
+        return true;
+      }
+
+      case Opcode::Trap:
+        ++trapCount;
+        pendingTrap = true;
+        break;
+
+      case Opcode::Nop:
+        break;
+
+      case Opcode::Halt:
+        sawHalt = true;
+        done = true;
+        return false;
+    }
+
+    pc = next_pc;
+    if (pc >= program.code.size())
+        fatal("fell off the end of the program");
+    return false;
+}
+
+bool
+Cpu::next(BranchRecord &record)
+{
+    while (!done) {
+        if (instCount >= options.maxInstructions) {
+            done = true;
+            break;
+        }
+        if (step(record))
+            return true;
+    }
+    return false;
+}
+
+void
+Cpu::run()
+{
+    BranchRecord record;
+    while (next(record)) {
+    }
+}
+
+Trace
+captureTrace(const Program &program, CpuOptions options)
+{
+    Cpu cpu(program, options);
+    Trace trace;
+    trace.appendAll(cpu);
+    return trace;
+}
+
+Trace
+captureTraceLimited(const Program &program, std::uint64_t maxConditional,
+                    CpuOptions options)
+{
+    Cpu cpu(program, options);
+    Trace trace;
+    trace.appendConditionalLimited(cpu, maxConditional);
+    return trace;
+}
+
+} // namespace tl::isa

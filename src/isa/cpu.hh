@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The M88-lite interpreter.
+ *
+ * Cpu executes a Program and doubles as a TraceSource: every call to
+ * next() runs instructions until the next control-flow instruction and
+ * reports it as a BranchRecord, exactly like the paper's
+ * instruction-level tracer feeding the branch prediction simulator.
+ */
+
+#ifndef TL_ISA_CPU_HH
+#define TL_ISA_CPU_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "trace/trace.hh"
+
+namespace tl::isa
+{
+
+/** Execution limits and machine configuration. */
+struct CpuOptions
+{
+    /** Data memory size in 64-bit words. */
+    std::uint64_t memWords = std::uint64_t{1} << 20;
+
+    /** Stop after this many dynamic instructions (safety net). */
+    std::uint64_t maxInstructions = std::uint64_t{1} << 62;
+
+    /** Maximum call nesting before declaring runaway recursion. */
+    std::uint64_t maxCallDepth = 1 << 20;
+};
+
+/** Interpreter for M88-lite programs; also a branch TraceSource. */
+class Cpu : public TraceSource
+{
+  public:
+    /**
+     * Construct over a copy of @p program (the Cpu owns its program,
+     * so temporaries are safe to pass).
+     */
+    explicit Cpu(Program prog, CpuOptions options = {});
+
+    /**
+     * Execute until the next control-flow instruction.
+     *
+     * @retval true a branch executed; @p record describes it.
+     * @retval false the program halted (or hit the instruction limit)
+     *         without executing another branch.
+     */
+    bool next(BranchRecord &record) override;
+
+    /** Run the remaining program, discarding branch records. */
+    void run();
+
+    /** True once Halt executed or the instruction limit was reached. */
+    bool finished() const { return done; }
+
+    /** True specifically when Halt was executed. */
+    bool halted() const { return sawHalt; }
+
+    /** Dynamic instructions executed so far. */
+    std::uint64_t instructionsExecuted() const { return instCount; }
+
+    /** Number of Trap instructions executed so far. */
+    std::uint64_t trapsExecuted() const { return trapCount; }
+
+    /** Current program counter as a code address. */
+    std::uint64_t pcAddress() const { return instAddress(pc); }
+
+    /** Read an architectural register (r0 reads as 0). */
+    std::int64_t reg(unsigned index) const;
+
+    /** Write an architectural register (writes to r0 are ignored). */
+    void setReg(unsigned index, std::int64_t value);
+
+    /** Read a data memory word. Calls fatal() when out of range. */
+    std::int64_t mem(std::uint64_t addr) const;
+
+    /** Write a data memory word. Calls fatal() when out of range. */
+    void setMem(std::uint64_t addr, std::int64_t value);
+
+  private:
+    /**
+     * Execute the instruction at pc.
+     *
+     * @param record Filled in if the instruction is control flow.
+     * @retval true if a branch record was produced.
+     */
+    bool step(BranchRecord &record);
+
+    void checkMem(std::uint64_t addr, const char *what) const;
+    std::size_t targetIndex(std::uint64_t addr, const char *what) const;
+
+    Program program;
+    CpuOptions options;
+
+    std::array<std::int64_t, numRegs> regs{};
+    std::vector<std::int64_t> memory;
+    std::vector<std::size_t> callStack;
+
+    std::size_t pc = 0;
+    std::uint64_t instCount = 0;
+    std::uint64_t trapCount = 0;
+    std::uint32_t instsSinceBranch = 0;
+    bool pendingTrap = false;
+    bool done = false;
+    bool sawHalt = false;
+};
+
+/** Convenience: run @p program and capture its whole branch trace. */
+Trace captureTrace(const Program &program, CpuOptions options = {});
+
+/**
+ * Convenience: run @p program until @p maxConditional conditional
+ * branches have been traced (or it halts).
+ */
+Trace captureTraceLimited(const Program &program,
+                          std::uint64_t maxConditional,
+                          CpuOptions options = {});
+
+} // namespace tl::isa
+
+#endif // TL_ISA_CPU_HH

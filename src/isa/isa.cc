@@ -1,0 +1,148 @@
+#include "isa/isa.hh"
+
+#include "util/status.hh"
+
+namespace tl::isa
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Sll: return "sll";
+      case Opcode::Srl: return "srl";
+      case Opcode::Sra: return "sra";
+      case Opcode::Slt: return "slt";
+      case Opcode::Addi: return "addi";
+      case Opcode::Muli: return "muli";
+      case Opcode::Andi: return "andi";
+      case Opcode::Ori: return "ori";
+      case Opcode::Xori: return "xori";
+      case Opcode::Slli: return "slli";
+      case Opcode::Srli: return "srli";
+      case Opcode::Li: return "li";
+      case Opcode::Ld: return "ld";
+      case Opcode::St: return "st";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Ble: return "ble";
+      case Opcode::Bgt: return "bgt";
+      case Opcode::Br: return "br";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+      case Opcode::Jr: return "jr";
+      case Opcode::Trap: return "trap";
+      case Opcode::Nop: return "nop";
+      case Opcode::Halt: return "halt";
+    }
+    panic("unknown opcode %d", static_cast<int>(op));
+}
+
+bool
+isConditionalBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Ble:
+      case Opcode::Bgt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isControlFlow(Opcode op)
+{
+    if (isConditionalBranch(op))
+        return true;
+    switch (op) {
+      case Opcode::Br:
+      case Opcode::Call:
+      case Opcode::Ret:
+      case Opcode::Jr:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+disassemble(const Instruction &inst)
+{
+    const char *name = opcodeName(inst.op);
+    auto r = [](Reg reg) { return strprintf("r%u", unsigned(reg)); };
+    switch (inst.op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Sra:
+      case Opcode::Slt:
+        return strprintf("%s %s, %s, %s", name, r(inst.rd).c_str(),
+                         r(inst.ra).c_str(), r(inst.rb).c_str());
+      case Opcode::Addi:
+      case Opcode::Muli:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Slli:
+      case Opcode::Srli:
+        return strprintf("%s %s, %s, %lld", name, r(inst.rd).c_str(),
+                         r(inst.ra).c_str(),
+                         static_cast<long long>(inst.imm));
+      case Opcode::Li:
+        return strprintf("%s %s, %lld", name, r(inst.rd).c_str(),
+                         static_cast<long long>(inst.imm));
+      case Opcode::Ld:
+        return strprintf("%s %s, %s, %lld", name, r(inst.rd).c_str(),
+                         r(inst.ra).c_str(),
+                         static_cast<long long>(inst.imm));
+      case Opcode::St:
+        return strprintf("%s %s, %s, %lld", name, r(inst.rd).c_str(),
+                         r(inst.ra).c_str(),
+                         static_cast<long long>(inst.imm));
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Ble:
+      case Opcode::Bgt:
+        return strprintf("%s %s, %s, %#llx", name, r(inst.ra).c_str(),
+                         r(inst.rb).c_str(),
+                         static_cast<unsigned long long>(inst.imm));
+      case Opcode::Br:
+      case Opcode::Call:
+        return strprintf("%s %#llx", name,
+                         static_cast<unsigned long long>(inst.imm));
+      case Opcode::Jr:
+        return strprintf("%s %s", name, r(inst.ra).c_str());
+      case Opcode::Ret:
+      case Opcode::Trap:
+      case Opcode::Nop:
+      case Opcode::Halt:
+        return name;
+    }
+    panic("unknown opcode %d", static_cast<int>(inst.op));
+}
+
+} // namespace tl::isa

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The "M88-lite" mini ISA.
+ *
+ * The paper generates its branch traces with a Motorola 88100
+ * instruction-level simulator. That tracer is not available, so the
+ * repository carries a small RISC-style ISA of its own: 32 integer
+ * registers, a flat word-addressed data memory, ALU/memory
+ * instructions, and the full set of control-flow classes the paper's
+ * Figure 4 distinguishes (conditional branches, unconditional
+ * branches, calls, returns, indirect jumps) plus TRAP instructions to
+ * drive the context-switch experiments of Section 5.1.4.
+ *
+ * Instructions occupy 4 address units; code starts at codeBase so
+ * branch addresses look like real text addresses.
+ */
+
+#ifndef TL_ISA_ISA_HH
+#define TL_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tl::isa
+{
+
+/** Number of architectural integer registers; r0 is hardwired to 0. */
+constexpr unsigned numRegs = 32;
+
+/** A register number. */
+using Reg = std::uint8_t;
+
+/** Base address of the text segment. */
+constexpr std::uint64_t codeBase = 0x1000;
+
+/** Size of one instruction in address units. */
+constexpr std::uint64_t instBytes = 4;
+
+/** Opcodes of the M88-lite ISA. */
+enum class Opcode : std::uint8_t
+{
+    // ALU register-register: rd <- ra op rb
+    Add, Sub, Mul, Div, Rem, And, Or, Xor, Sll, Srl, Sra,
+    Slt,  //!< rd <- (ra < rb) ? 1 : 0, signed
+
+    // ALU register-immediate: rd <- ra op imm
+    Addi, Muli, Andi, Ori, Xori, Slli, Srli,
+
+    // rd <- imm (64-bit immediate load)
+    Li,
+
+    // Memory: rd <- mem[ra + imm] / mem[ra + imm] <- rd
+    Ld, St,
+
+    // Conditional direct branches: compare ra, rb; target = imm
+    Beq, Bne, Blt, Bge, Ble, Bgt,
+
+    // Unconditional direct branch: target = imm
+    Br,
+
+    // Subroutine call (target = imm) and return
+    Call, Ret,
+
+    // Indirect jump to the address held in ra
+    Jr,
+
+    // Trap (syscall marker); execution continues
+    Trap,
+
+    // Miscellaneous
+    Nop, Halt,
+};
+
+/** Number of opcodes. */
+constexpr unsigned numOpcodes = static_cast<unsigned>(Opcode::Halt) + 1;
+
+/** Mnemonic for an opcode ("add", "beq", ...). */
+const char *opcodeName(Opcode op);
+
+/** True for Beq..Bgt. */
+bool isConditionalBranch(Opcode op);
+
+/** True for any control-flow opcode (branches, call, ret, jr). */
+bool isControlFlow(Opcode op);
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    Reg rd = 0;           //!< destination (or source for St)
+    Reg ra = 0;           //!< first source
+    Reg rb = 0;           //!< second source
+    std::int64_t imm = 0; //!< immediate / branch target address
+
+    bool operator==(const Instruction &other) const = default;
+};
+
+/** Render an instruction as assembly text. */
+std::string disassemble(const Instruction &inst);
+
+/** Address of instruction @p index in the text segment. */
+constexpr std::uint64_t
+instAddress(std::size_t index)
+{
+    return codeBase + index * instBytes;
+}
+
+/** Inverse of instAddress(). */
+constexpr std::size_t
+instIndex(std::uint64_t address)
+{
+    return static_cast<std::size_t>((address - codeBase) / instBytes);
+}
+
+} // namespace tl::isa
+
+#endif // TL_ISA_ISA_HH

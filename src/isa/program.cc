@@ -1,0 +1,206 @@
+#include "isa/program.hh"
+
+#include "util/status.hh"
+
+namespace tl::isa
+{
+
+std::string
+Program::listing() const
+{
+    // Invert the symbol table to annotate label positions.
+    std::map<std::uint64_t, std::string> by_addr;
+    for (const auto &[name, addr] : symbols)
+        by_addr[addr] = name;
+
+    std::string out;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        std::uint64_t addr = instAddress(i);
+        auto it = by_addr.find(addr);
+        if (it != by_addr.end())
+            out += it->second + ":\n";
+        out += strprintf("  %#6llx  %s\n",
+                         static_cast<unsigned long long>(addr),
+                         disassemble(code[i]).c_str());
+    }
+    return out;
+}
+
+std::size_t
+Program::staticConditionalBranches() const
+{
+    std::size_t count = 0;
+    for (const Instruction &inst : code) {
+        if (isConditionalBranch(inst.op))
+            ++count;
+    }
+    return count;
+}
+
+Label
+ProgramBuilder::newLabel(std::string name)
+{
+    std::size_t id = labels.size();
+    if (name.empty())
+        name = strprintf("L%zu", id);
+    labels.push_back(LabelInfo{std::move(name), false, 0});
+    return Label(id);
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    if (!label.valid)
+        fatal("bind: label was not created by this builder");
+    LabelInfo &info = labels.at(label.id);
+    if (info.bound)
+        fatal("label '%s' bound twice", info.name.c_str());
+    info.bound = true;
+    info.index = code.size();
+}
+
+Label
+ProgramBuilder::here(std::string name)
+{
+    Label label = newLabel(std::move(name));
+    bind(label);
+    return label;
+}
+
+void
+ProgramBuilder::checkReg(Reg reg) const
+{
+    if (reg >= numRegs)
+        fatal("register r%u out of range", unsigned(reg));
+}
+
+void
+ProgramBuilder::emit3(Opcode op, Reg rd, Reg ra, Reg rb)
+{
+    checkReg(rd);
+    checkReg(ra);
+    checkReg(rb);
+    code.push_back(Instruction{op, rd, ra, rb, 0});
+}
+
+void
+ProgramBuilder::emitImm(Opcode op, Reg rd, Reg ra, std::int64_t imm)
+{
+    checkReg(rd);
+    checkReg(ra);
+    code.push_back(Instruction{op, rd, ra, 0, imm});
+}
+
+void
+ProgramBuilder::emitBranch(Opcode op, Reg ra, Reg rb, Label target)
+{
+    checkReg(ra);
+    checkReg(rb);
+    if (!target.valid)
+        fatal("branch to a label not created by this builder");
+    fixups.push_back(Fixup{code.size(), target.id});
+    code.push_back(Instruction{op, 0, ra, rb, 0});
+}
+
+void
+ProgramBuilder::li(Reg rd, std::int64_t imm)
+{
+    checkReg(rd);
+    code.push_back(Instruction{Opcode::Li, rd, 0, 0, imm});
+}
+
+void
+ProgramBuilder::ld(Reg rd, Reg ra, std::int64_t offset)
+{
+    checkReg(rd);
+    checkReg(ra);
+    code.push_back(Instruction{Opcode::Ld, rd, ra, 0, offset});
+}
+
+void
+ProgramBuilder::st(Reg rs, Reg ra, std::int64_t offset)
+{
+    checkReg(rs);
+    checkReg(ra);
+    code.push_back(Instruction{Opcode::St, rs, ra, 0, offset});
+}
+
+void
+ProgramBuilder::ret()
+{
+    code.push_back(Instruction{Opcode::Ret, 0, 0, 0, 0});
+}
+
+void
+ProgramBuilder::jr(Reg ra)
+{
+    checkReg(ra);
+    code.push_back(Instruction{Opcode::Jr, 0, ra, 0, 0});
+}
+
+void
+ProgramBuilder::trap()
+{
+    code.push_back(Instruction{Opcode::Trap, 0, 0, 0, 0});
+}
+
+void
+ProgramBuilder::nop()
+{
+    code.push_back(Instruction{Opcode::Nop, 0, 0, 0, 0});
+}
+
+void
+ProgramBuilder::halt()
+{
+    code.push_back(Instruction{Opcode::Halt, 0, 0, 0, 0});
+}
+
+void
+ProgramBuilder::data(std::uint64_t addr, std::int64_t value)
+{
+    dataInit.emplace_back(addr, value);
+}
+
+void
+ProgramBuilder::dataLabel(std::uint64_t addr, Label label)
+{
+    if (!label.valid)
+        fatal("dataLabel: label was not created by this builder");
+    dataFixups.push_back(DataFixup{addr, label.id});
+}
+
+std::size_t
+ProgramBuilder::labelIndexOrDie(std::size_t id) const
+{
+    const LabelInfo &info = labels.at(id);
+    if (!info.bound)
+        fatal("label '%s' referenced but never bound", info.name.c_str());
+    return info.index;
+}
+
+Program
+ProgramBuilder::build()
+{
+    Program program;
+    program.code = code;
+    program.dataInit = dataInit;
+
+    for (const Fixup &fixup : fixups) {
+        std::size_t index = labelIndexOrDie(fixup.labelId);
+        program.code[fixup.instIndex].imm =
+            static_cast<std::int64_t>(instAddress(index));
+    }
+    for (const DataFixup &fixup : dataFixups) {
+        std::size_t index = labelIndexOrDie(fixup.labelId);
+        program.dataInit.emplace_back(
+            fixup.addr, static_cast<std::int64_t>(instAddress(index)));
+    }
+    for (const LabelInfo &info : labels) {
+        if (info.bound)
+            program.symbols[info.name] = instAddress(info.index);
+    }
+    return program;
+}
+
+} // namespace tl::isa

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Program representation and the ProgramBuilder DSL.
+ *
+ * Workloads construct their code through ProgramBuilder rather than
+ * assembly text: it is type-checked, supports forward label
+ * references, and can emit label addresses into initial data memory
+ * for jump tables. The text assembler (assembler.hh) produces the
+ * same Program type.
+ */
+
+#ifndef TL_ISA_PROGRAM_HH
+#define TL_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace tl::isa
+{
+
+/** A complete executable program: code plus initial data memory. */
+struct Program
+{
+    /** The text segment; instruction i lives at instAddress(i). */
+    std::vector<Instruction> code;
+
+    /** Initial data memory: (word address, value) pairs. */
+    std::vector<std::pair<std::uint64_t, std::int64_t>> dataInit;
+
+    /** Bound label name -> code address (for diagnostics and tests). */
+    std::map<std::string, std::uint64_t> symbols;
+
+    /** Number of instructions. */
+    std::size_t size() const { return code.size(); }
+
+    /** Full disassembly listing with addresses and label names. */
+    std::string listing() const;
+
+    /** Count of static conditional branch instructions in the code. */
+    std::size_t staticConditionalBranches() const;
+};
+
+/** An abstract code position, bindable before or after use. */
+class Label
+{
+  public:
+    Label() = default;
+
+  private:
+    friend class ProgramBuilder;
+    explicit Label(std::size_t id) : id(id), valid(true) {}
+    std::size_t id = 0;
+    bool valid = false;
+};
+
+/** Incremental builder for Program with forward-reference labels. */
+class ProgramBuilder
+{
+  public:
+    /** Create a fresh (unbound) label. */
+    Label newLabel(std::string name = "");
+
+    /** Bind @p label to the current end of code. */
+    void bind(Label label);
+
+    /** Create a label bound at the current position. */
+    Label here(std::string name = "");
+
+    /// @name ALU register-register
+    /// @{
+    void add(Reg rd, Reg ra, Reg rb) { emit3(Opcode::Add, rd, ra, rb); }
+    void sub(Reg rd, Reg ra, Reg rb) { emit3(Opcode::Sub, rd, ra, rb); }
+    void mul(Reg rd, Reg ra, Reg rb) { emit3(Opcode::Mul, rd, ra, rb); }
+    void div(Reg rd, Reg ra, Reg rb) { emit3(Opcode::Div, rd, ra, rb); }
+    void rem(Reg rd, Reg ra, Reg rb) { emit3(Opcode::Rem, rd, ra, rb); }
+    void and_(Reg rd, Reg ra, Reg rb) { emit3(Opcode::And, rd, ra, rb); }
+    void or_(Reg rd, Reg ra, Reg rb) { emit3(Opcode::Or, rd, ra, rb); }
+    void xor_(Reg rd, Reg ra, Reg rb) { emit3(Opcode::Xor, rd, ra, rb); }
+    void sll(Reg rd, Reg ra, Reg rb) { emit3(Opcode::Sll, rd, ra, rb); }
+    void srl(Reg rd, Reg ra, Reg rb) { emit3(Opcode::Srl, rd, ra, rb); }
+    void sra(Reg rd, Reg ra, Reg rb) { emit3(Opcode::Sra, rd, ra, rb); }
+    void slt(Reg rd, Reg ra, Reg rb) { emit3(Opcode::Slt, rd, ra, rb); }
+    /// @}
+
+    /// @name ALU register-immediate
+    /// @{
+    void addi(Reg rd, Reg ra, std::int64_t imm)
+    { emitImm(Opcode::Addi, rd, ra, imm); }
+    void muli(Reg rd, Reg ra, std::int64_t imm)
+    { emitImm(Opcode::Muli, rd, ra, imm); }
+    void andi(Reg rd, Reg ra, std::int64_t imm)
+    { emitImm(Opcode::Andi, rd, ra, imm); }
+    void ori(Reg rd, Reg ra, std::int64_t imm)
+    { emitImm(Opcode::Ori, rd, ra, imm); }
+    void xori(Reg rd, Reg ra, std::int64_t imm)
+    { emitImm(Opcode::Xori, rd, ra, imm); }
+    void slli(Reg rd, Reg ra, std::int64_t imm)
+    { emitImm(Opcode::Slli, rd, ra, imm); }
+    void srli(Reg rd, Reg ra, std::int64_t imm)
+    { emitImm(Opcode::Srli, rd, ra, imm); }
+    /// @}
+
+    /** rd <- imm. */
+    void li(Reg rd, std::int64_t imm);
+
+    /** rd <- ra (pseudo: add rd, ra, r0). */
+    void mov(Reg rd, Reg ra) { add(rd, ra, 0); }
+
+    /** rd <- mem[ra + offset]. */
+    void ld(Reg rd, Reg ra, std::int64_t offset);
+
+    /** mem[ra + offset] <- rs. */
+    void st(Reg rs, Reg ra, std::int64_t offset);
+
+    /// @name Control flow
+    /// @{
+    void beq(Reg ra, Reg rb, Label t) { emitBranch(Opcode::Beq, ra, rb, t); }
+    void bne(Reg ra, Reg rb, Label t) { emitBranch(Opcode::Bne, ra, rb, t); }
+    void blt(Reg ra, Reg rb, Label t) { emitBranch(Opcode::Blt, ra, rb, t); }
+    void bge(Reg ra, Reg rb, Label t) { emitBranch(Opcode::Bge, ra, rb, t); }
+    void ble(Reg ra, Reg rb, Label t) { emitBranch(Opcode::Ble, ra, rb, t); }
+    void bgt(Reg ra, Reg rb, Label t) { emitBranch(Opcode::Bgt, ra, rb, t); }
+
+    /** beq ra, r0, target (pseudo). */
+    void beqz(Reg ra, Label target) { beq(ra, 0, target); }
+
+    /** bne ra, r0, target (pseudo). */
+    void bnez(Reg ra, Label target) { bne(ra, 0, target); }
+
+    void br(Label target) { emitBranch(Opcode::Br, 0, 0, target); }
+    void call(Label target) { emitBranch(Opcode::Call, 0, 0, target); }
+    void ret();
+    void jr(Reg ra);
+    /// @}
+
+    void trap();
+    void nop();
+    void halt();
+
+    /** Initialize data memory word @p addr to @p value. */
+    void data(std::uint64_t addr, std::int64_t value);
+
+    /**
+     * Initialize data memory word @p addr with the code address of
+     * @p label once resolved (for jump tables used with jr).
+     */
+    void dataLabel(std::uint64_t addr, Label label);
+
+    /** Current instruction count (address of the next instruction). */
+    std::size_t position() const { return code.size(); }
+
+    /**
+     * Resolve all label references and produce the Program.
+     *
+     * Calls fatal() if any referenced label was never bound.
+     */
+    Program build();
+
+  private:
+    struct LabelInfo
+    {
+        std::string name;
+        bool bound = false;
+        std::size_t index = 0;
+    };
+
+    struct Fixup
+    {
+        std::size_t instIndex;
+        std::size_t labelId;
+    };
+
+    struct DataFixup
+    {
+        std::uint64_t addr;
+        std::size_t labelId;
+    };
+
+    void emit3(Opcode op, Reg rd, Reg ra, Reg rb);
+    void emitImm(Opcode op, Reg rd, Reg ra, std::int64_t imm);
+    void emitBranch(Opcode op, Reg ra, Reg rb, Label target);
+    void checkReg(Reg reg) const;
+    std::size_t labelIndexOrDie(std::size_t id) const;
+
+    std::vector<Instruction> code;
+    std::vector<LabelInfo> labels;
+    std::vector<Fixup> fixups;
+    std::vector<DataFixup> dataFixups;
+    std::vector<std::pair<std::uint64_t, std::int64_t>> dataInit;
+};
+
+} // namespace tl::isa
+
+#endif // TL_ISA_PROGRAM_HH

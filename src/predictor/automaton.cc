@@ -1,0 +1,178 @@
+#include "predictor/automaton.hh"
+
+#include "util/bitops.hh"
+#include "util/status.hh"
+#include "util/strings.hh"
+
+namespace tl
+{
+
+Automaton::Automaton(std::string name,
+                     std::vector<std::array<State, 2>> transitions,
+                     std::vector<bool> predictions, State initState)
+    : name_(std::move(name)), transitions(std::move(transitions)),
+      predictions(std::move(predictions)), initState_(initState)
+{
+    if (this->predictions.empty())
+        fatal("automaton '%s' has no states", name_.c_str());
+    if (this->transitions.size() != this->predictions.size())
+        fatal("automaton '%s': transition/prediction size mismatch",
+              name_.c_str());
+    unsigned states = numStates();
+    if (initState_ >= states)
+        fatal("automaton '%s': init state out of range", name_.c_str());
+    for (const auto &row : this->transitions) {
+        if (row[0] >= states || row[1] >= states)
+            fatal("automaton '%s': transition out of range",
+                  name_.c_str());
+    }
+    stateBits_ = ceilLog2(states);
+    if (stateBits_ == 0)
+        stateBits_ = 1;
+}
+
+const Automaton &
+Automaton::lastTime()
+{
+    // State = the last outcome; predict it again.
+    static const Automaton atm(
+        "LT", {{0, 1}, {0, 1}}, {false, true}, 1);
+    return atm;
+}
+
+const Automaton &
+Automaton::a1()
+{
+    // State = last two outcomes as (older << 1) | newer.
+    // Predict not-taken only when no taken outcome is recorded.
+    static const Automaton atm(
+        "A1",
+        {
+            {0, 1}, // 00 -> shift in outcome
+            {2, 3}, // 01
+            {0, 1}, // 10
+            {2, 3}, // 11
+        },
+        {false, true, true, true}, 3);
+    return atm;
+}
+
+const Automaton &
+Automaton::a2()
+{
+    // Classic 2-bit saturating up-down counter; taken in {2,3}.
+    static const Automaton atm(
+        "A2",
+        {
+            {0, 1},
+            {0, 2},
+            {1, 3},
+            {2, 3},
+        },
+        {false, false, true, true}, 3);
+    return atm;
+}
+
+const Automaton &
+Automaton::a3()
+{
+    // A2 variant: weak states resolve fast. A mispredict in a weak
+    // state (1 taken / 2 not-taken) jumps to the opposite strong
+    // state rather than moving one step.
+    static const Automaton atm(
+        "A3",
+        {
+            {0, 1},
+            {0, 3}, // taken in weakly-not-taken jumps to strongly-taken
+            {0, 3}, // not-taken in weakly-taken jumps to strongly-not-taken
+            {2, 3},
+        },
+        {false, false, true, true}, 3);
+    return atm;
+}
+
+const Automaton &
+Automaton::a4()
+{
+    // A2 variant: one-sided fast fall. A not-taken in the weakly-
+    // taken state (2) drops directly to strongly-not-taken, while
+    // every other transition matches A2 — in particular the strong
+    // states keep their hysteresis (unlike Last-Time).
+    static const Automaton atm(
+        "A4",
+        {
+            {0, 1},
+            {0, 2},
+            {0, 3}, // not-taken in weakly-taken falls to state 0
+            {2, 3},
+        },
+        {false, false, true, true}, 3);
+    return atm;
+}
+
+const Automaton &
+Automaton::byName(const std::string &name)
+{
+    std::string lower = toLower(name);
+    if (lower == "lt" || lower == "last-time" || lower == "lasttime")
+        return lastTime();
+    if (lower == "a1")
+        return a1();
+    if (lower == "a2")
+        return a2();
+    if (lower == "a3")
+        return a3();
+    if (lower == "a4")
+        return a4();
+    fatal("unknown automaton '%s'", name.c_str());
+}
+
+bool
+Automaton::isKnown(const std::string &name)
+{
+    std::string lower = toLower(name);
+    return lower == "lt" || lower == "last-time" ||
+           lower == "lasttime" || lower == "a1" || lower == "a2" ||
+           lower == "a3" || lower == "a4";
+}
+
+Automaton
+Automaton::saturatingCounter(unsigned bits)
+{
+    if (bits == 0 || bits > 6)
+        fatal("saturatingCounter: bits must be in [1, 6]");
+    unsigned states = 1u << bits;
+    std::vector<std::array<State, 2>> transitions(states);
+    std::vector<bool> predictions(states);
+    for (unsigned s = 0; s < states; ++s) {
+        transitions[s][0] = static_cast<State>(s > 0 ? s - 1 : 0);
+        transitions[s][1] =
+            static_cast<State>(s < states - 1 ? s + 1 : states - 1);
+        predictions[s] = s >= states / 2;
+    }
+    return Automaton(strprintf("SC%u", bits), std::move(transitions),
+                     std::move(predictions), static_cast<State>(states - 1));
+}
+
+Automaton
+Automaton::shiftMajority(unsigned s)
+{
+    if (s == 0 || s > 6)
+        fatal("shiftMajority: s must be in [1, 6]");
+    unsigned states = 1u << s;
+    std::vector<std::array<State, 2>> transitions(states);
+    std::vector<bool> predictions(states);
+    for (unsigned state = 0; state < states; ++state) {
+        transitions[state][0] =
+            static_cast<State>((state << 1) & (states - 1));
+        transitions[state][1] =
+            static_cast<State>(((state << 1) | 1u) & (states - 1));
+        // Majority of the s recorded outcomes; ties predict taken.
+        predictions[state] = 2 * popCount(state) >= s;
+    }
+    return Automaton(strprintf("SM%u", s), std::move(transitions),
+                     std::move(predictions),
+                     static_cast<State>(states - 1));
+}
+
+} // namespace tl

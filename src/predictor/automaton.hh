@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Pattern-history automata (the paper's Figure 2).
+ *
+ * Each pattern history table entry holds the state of a small
+ * finite-state Moore machine. The prediction decision function lambda
+ * maps a state to a taken/not-taken prediction (Eq. 1) and the
+ * transition function delta maps (state, outcome) to the next state
+ * (Eq. 2). The paper evaluates five machines:
+ *
+ *  - Last-Time (LT): 1 bit; predict whatever happened last time.
+ *  - A1: 2-bit shift register of the last two outcomes; predict
+ *    not-taken only when both recorded outcomes are not-taken.
+ *  - A2: 2-bit saturating up-down counter (J. Smith); predict taken
+ *    when the counter is >= 2.
+ *  - A3, A4: variations of A2. The exact diagrams appear only in the
+ *    paper's Figure 2 image; we implement two principled variants
+ *    (see DESIGN.md, substitution S2): A3 resolves weak states fast
+ *    in both directions (a mispredict in a weak state jumps to the
+ *    opposite strong state); A4 falls fast on the not-taken side
+ *    only (a not-taken in the weakly-taken state drops to strongly-
+ *    not-taken). Both keep the strong states' hysteresis.
+ *
+ * Automaton instances are immutable tables; predictors store only the
+ * per-entry state bits.
+ */
+
+#ifndef TL_PREDICTOR_AUTOMATON_HH
+#define TL_PREDICTOR_AUTOMATON_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tl
+{
+
+/** An immutable finite-state Moore machine (lambda, delta). */
+class Automaton
+{
+  public:
+    /** State type; automata here are small (<= 64 states). */
+    using State = std::uint8_t;
+
+    /**
+     * Construct a custom automaton.
+     *
+     * @param name Short identifier ("A2", "LT", ...).
+     * @param transitions transitions[s][outcome] = next state, where
+     *        outcome 0 = not taken, 1 = taken.
+     * @param predictions predictions[s] = predict taken in state s.
+     * @param initState Power-on state for every table entry.
+     */
+    Automaton(std::string name,
+              std::vector<std::array<State, 2>> transitions,
+              std::vector<bool> predictions, State initState);
+
+    /** The Last-Time automaton (1 bit). */
+    static const Automaton &lastTime();
+
+    /** A1: last two outcomes, predict taken unless both not-taken. */
+    static const Automaton &a1();
+
+    /** A2: 2-bit saturating up-down counter. */
+    static const Automaton &a2();
+
+    /** A3: A2 variant with fast resolution of weak states. */
+    static const Automaton &a3();
+
+    /** A4: A2 variant with a fast not-taken fall from state 2. */
+    static const Automaton &a4();
+
+    /**
+     * Look up one of the five paper automata by name
+     * ("LT", "A1", "A2", "A3", "A4"; case-insensitive).
+     * Calls fatal() for unknown names.
+     */
+    static const Automaton &byName(const std::string &name);
+
+    /** True if @p name refers to one of the five paper automata. */
+    static bool isKnown(const std::string &name);
+
+    /**
+     * Generic n-bit saturating up-down counter: predict taken in the
+     * upper half of states, initialized to the maximum state. bits=2
+     * reproduces A2. (Extension beyond the paper's Figure 2.)
+     */
+    static Automaton saturatingCounter(unsigned bits);
+
+    /**
+     * Shift register of the last @p s outcomes predicting the
+     * majority (ties predict taken), initialized to all-taken. This
+     * generalizes the paper's "last s occurrences" formulation; s=1
+     * reproduces Last-Time. (Extension beyond the paper's Figure 2.)
+     */
+    static Automaton shiftMajority(unsigned s);
+
+    /** Identifier. */
+    const std::string &name() const { return name_; }
+
+    /** Number of states. */
+    unsigned numStates() const
+    {
+        return static_cast<unsigned>(predictions.size());
+    }
+
+    /** Bits needed to store one state: the cost model's "s". */
+    unsigned stateBits() const { return stateBits_; }
+
+    /** Power-on state. */
+    State initState() const { return initState_; }
+
+    /** The prediction decision function lambda (Eq. 1). */
+    bool
+    predict(State state) const
+    {
+        return predictions[state];
+    }
+
+    /** The state transition function delta (Eq. 2). */
+    State
+    next(State state, bool taken) const
+    {
+        return transitions[state][taken ? 1 : 0];
+    }
+
+  private:
+    std::string name_;
+    std::vector<std::array<State, 2>> transitions;
+    std::vector<bool> predictions;
+    State initState_;
+    unsigned stateBits_;
+};
+
+} // namespace tl
+
+#endif // TL_PREDICTOR_AUTOMATON_HH

@@ -1,0 +1,28 @@
+#include "predictor/branch_history_table.hh"
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+void
+BhtGeometry::validate() const
+{
+    if (numEntries == 0 || !isPowerOfTwo(numEntries))
+        fatal("BHT entries (%zu) must be a power of two", numEntries);
+    if (assoc == 0 || !isPowerOfTwo(assoc))
+        fatal("BHT associativity (%u) must be a power of two", assoc);
+    if (assoc > numEntries)
+        fatal("BHT associativity (%u) exceeds entry count (%zu)", assoc,
+              numEntries);
+}
+
+std::string
+BhtGeometry::describe() const
+{
+    if (assoc == 1)
+        return strprintf("%zu-entry direct-mapped", numEntries);
+    return strprintf("%zu-entry %u-way", numEntries, assoc);
+}
+
+} // namespace tl

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * The per-address branch history table of Section 3.3, implemented as
+ * a generic set-associative cache with true LRU replacement.
+ *
+ * The paper's practical BHT configurations are 4-way set-associative
+ * or direct-mapped caches of 256 or 512 entries; the same structure
+ * (with different payloads) realizes the BTB designs of J. Smith and
+ * the target-address cache of Section 3.2. An "Ideal BHT" (IBHT) with
+ * one entry per static branch is modeled separately by the predictors
+ * using a hash map.
+ *
+ * Addressing follows the paper: the lower part of the branch address
+ * indexes the table, the higher part is stored as the tag. Because
+ * instructions are 4 address units wide, the two always-zero low bits
+ * are dropped before indexing.
+ */
+
+#ifndef TL_PREDICTOR_BRANCH_HISTORY_TABLE_HH
+#define TL_PREDICTOR_BRANCH_HISTORY_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bitops.hh"
+#include "util/status.hh"
+
+namespace tl
+{
+
+/** Geometry of a practical branch history table. */
+struct BhtGeometry
+{
+    /** Total entries (h in the cost model); power of two. */
+    std::size_t numEntries = 512;
+
+    /** Associativity (2^j); 1 = direct-mapped; power of two. */
+    unsigned assoc = 4;
+
+    /** Number of sets. */
+    std::size_t sets() const { return numEntries / assoc; }
+
+    /** Index bits i = log2(h) - j ... (bits used to select a set). */
+    unsigned setIndexBits() const { return floorLog2(sets()); }
+
+    /** Validate; calls fatal() on nonsense geometry. */
+    void validate() const;
+
+    /** "512-entry 4-way" style description. */
+    std::string describe() const;
+};
+
+/** Hit/miss statistics of an associative table. */
+struct TableStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+
+    std::uint64_t accesses() const { return hits + misses; }
+
+    double
+    hitRate() const
+    {
+        return accesses() ? static_cast<double>(hits) /
+                                static_cast<double>(accesses())
+                          : 0.0;
+    }
+};
+
+/**
+ * A tagged set-associative table with true LRU replacement.
+ *
+ * @tparam Payload Per-entry content (history register + prediction
+ *         bit for the BHT, an automaton state for a BTB, ...).
+ */
+template <typename Payload>
+class AssociativeTable
+{
+  public:
+    /** Reference to an entry: payload plus its global slot index. */
+    struct Ref
+    {
+        Payload *payload = nullptr;
+        std::size_t slot = 0;
+
+        explicit operator bool() const { return payload != nullptr; }
+    };
+
+    explicit AssociativeTable(BhtGeometry geometry)
+        : geometry(geometry)
+    {
+        geometry.validate();
+        slots.assign(geometry.numEntries, Slot{});
+    }
+
+    /** Table geometry. */
+    const BhtGeometry &geom() const { return geometry; }
+
+    /** Hit/miss statistics. */
+    const TableStats &stats() const { return tableStats; }
+
+    /**
+     * Look up @p address. On a hit the entry's LRU age is refreshed
+     * and a valid Ref is returned; on a miss an invalid Ref is
+     * returned. Accounts a hit or a miss.
+     */
+    Ref
+    access(std::uint64_t address)
+    {
+        std::uint64_t key = addressKey(address);
+        std::size_t set = setOf(key);
+        std::uint64_t tag = tagOf(key);
+        for (unsigned way = 0; way < geometry.assoc; ++way) {
+            Slot &slot = slotAt(set, way);
+            if (slot.valid && slot.tag == tag) {
+                ++tableStats.hits;
+                slot.lastUse = ++tick;
+                return Ref{&slot.payload, slotIndex(set, way)};
+            }
+        }
+        ++tableStats.misses;
+        return Ref{};
+    }
+
+    /**
+     * Like access() but without statistics or LRU refresh; for
+     * diagnostics and tests.
+     */
+    Ref
+    peek(std::uint64_t address)
+    {
+        std::uint64_t key = addressKey(address);
+        std::size_t set = setOf(key);
+        std::uint64_t tag = tagOf(key);
+        for (unsigned way = 0; way < geometry.assoc; ++way) {
+            Slot &slot = slotAt(set, way);
+            if (slot.valid && slot.tag == tag)
+                return Ref{&slot.payload, slotIndex(set, way)};
+        }
+        return Ref{};
+    }
+
+    /**
+     * Allocate an entry for @p address, evicting the LRU entry of the
+     * set if necessary. The returned payload is default-constructed.
+     *
+     * @param evicted Set to true when a valid entry was displaced.
+     * @pre @p address is not currently present.
+     */
+    Ref
+    allocate(std::uint64_t address, bool *evicted = nullptr)
+    {
+        std::uint64_t key = addressKey(address);
+        std::size_t set = setOf(key);
+        std::uint64_t tag = tagOf(key);
+
+        unsigned victim = 0;
+        std::uint64_t oldest = ~std::uint64_t{0};
+        for (unsigned way = 0; way < geometry.assoc; ++way) {
+            Slot &slot = slotAt(set, way);
+            if (!slot.valid) {
+                victim = way;
+                oldest = 0;
+                break;
+            }
+            if (slot.lastUse < oldest) {
+                oldest = slot.lastUse;
+                victim = way;
+            }
+        }
+
+        Slot &slot = slotAt(set, victim);
+        if (slot.valid) {
+            ++tableStats.evictions;
+            if (evicted)
+                *evicted = true;
+        } else if (evicted) {
+            *evicted = false;
+        }
+        slot.valid = true;
+        slot.tag = tag;
+        slot.lastUse = ++tick;
+        slot.payload = Payload{};
+        return Ref{&slot.payload, slotIndex(set, victim)};
+    }
+
+    /** Invalidate every entry (context switch flush). */
+    void
+    flush()
+    {
+        for (Slot &slot : slots)
+            slot.valid = false;
+    }
+
+    /** Invalidate entries and clear statistics (power-on reset). */
+    void
+    reset()
+    {
+        flush();
+        tableStats = TableStats{};
+        tick = 0;
+    }
+
+    /** Count of currently valid entries. */
+    std::size_t
+    validEntries() const
+    {
+        std::size_t count = 0;
+        for (const Slot &slot : slots) {
+            if (slot.valid)
+                ++count;
+        }
+        return count;
+    }
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        Payload payload{};
+    };
+
+    /** Drop the always-zero instruction offset bits. */
+    static std::uint64_t addressKey(std::uint64_t address)
+    {
+        return address >> 2;
+    }
+
+    std::size_t setOf(std::uint64_t key) const
+    {
+        return key & mask(geometry.setIndexBits());
+    }
+
+    std::uint64_t tagOf(std::uint64_t key) const
+    {
+        return key >> geometry.setIndexBits();
+    }
+
+    std::size_t slotIndex(std::size_t set, unsigned way) const
+    {
+        return set * geometry.assoc + way;
+    }
+
+    Slot &slotAt(std::size_t set, unsigned way)
+    {
+        return slots[slotIndex(set, way)];
+    }
+
+    BhtGeometry geometry;
+    std::vector<Slot> slots;
+    TableStats tableStats;
+    std::uint64_t tick = 0;
+};
+
+} // namespace tl
+
+#endif // TL_PREDICTOR_BRANCH_HISTORY_TABLE_HH

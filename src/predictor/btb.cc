@@ -1,0 +1,72 @@
+#include "predictor/btb.hh"
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+void
+BtbConfig::validate() const
+{
+    bht.validate();
+    if (!automaton)
+        fatal("BTB: no automaton configured");
+}
+
+std::string
+BtbConfig::schemeName() const
+{
+    return strprintf("BTB(BHT(%zu,%u,%s))", bht.numEntries, bht.assoc,
+                     automaton->name().c_str());
+}
+
+BtbPredictor::BtbPredictor(BtbConfig config)
+    : cfg(config)
+{
+    cfg.validate();
+    table = std::make_unique<AssociativeTable<Entry>>(cfg.bht);
+}
+
+std::string
+BtbPredictor::name() const
+{
+    return cfg.schemeName();
+}
+
+bool
+BtbPredictor::predict(const BranchQuery &branch)
+{
+    auto ref = table->access(branch.pc);
+    if (!ref) {
+        ref = table->allocate(branch.pc);
+        ref.payload->state = cfg.automaton->initState();
+    }
+    return cfg.automaton->predict(ref.payload->state);
+}
+
+void
+BtbPredictor::update(const BranchQuery &branch, bool taken)
+{
+    auto ref = table->peek(branch.pc);
+    if (!ref) {
+        // The entry was never allocated (update without predict) or
+        // has been displaced; allocate it fresh.
+        ref = table->allocate(branch.pc);
+        ref.payload->state = cfg.automaton->initState();
+    }
+    ref.payload->state = cfg.automaton->next(ref.payload->state, taken);
+}
+
+void
+BtbPredictor::contextSwitch()
+{
+    table->flush();
+}
+
+void
+BtbPredictor::reset()
+{
+    table->reset();
+}
+
+} // namespace tl

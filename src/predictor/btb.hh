@@ -1,0 +1,66 @@
+/**
+ * @file
+ * J. Smith's Branch Target Buffer designs: a tagged set-associative
+ * buffer whose entries hold a per-branch automaton (a 2-bit saturating
+ * up-down counter, or Last-Time). There is no pattern level; the
+ * automaton tracks the branch itself rather than a history pattern.
+ *
+ * These are the "BTB(BHT(512,4,A2))" and "BTB(BHT(512,4,LT))" rows of
+ * the paper's Table 3 and the corresponding curves in Figure 11.
+ */
+
+#ifndef TL_PREDICTOR_BTB_HH
+#define TL_PREDICTOR_BTB_HH
+
+#include <memory>
+
+#include "predictor/automaton.hh"
+#include "predictor/branch_history_table.hh"
+#include "predictor/predictor.hh"
+
+namespace tl
+{
+
+/** Configuration of a BTB-style per-branch automaton predictor. */
+struct BtbConfig
+{
+    BhtGeometry bht{512, 4};
+    const Automaton *automaton = &Automaton::a2();
+
+    /** Calls fatal() on invalid parameters. */
+    void validate() const;
+
+    /** Name in the paper's convention, e.g. "BTB(BHT(512,4,A2))". */
+    std::string schemeName() const;
+};
+
+/** Per-branch automaton predictor in a tagged buffer. */
+class BtbPredictor : public BranchPredictor
+{
+  public:
+    explicit BtbPredictor(BtbConfig config);
+
+    std::string name() const override;
+    bool predict(const BranchQuery &branch) override;
+    void update(const BranchQuery &branch, bool taken) override;
+    void contextSwitch() override;
+    void reset() override;
+
+    const BtbConfig &config() const { return cfg; }
+
+    /** Buffer hit/miss statistics. */
+    const TableStats &stats() const { return table->stats(); }
+
+  private:
+    struct Entry
+    {
+        Automaton::State state = 0;
+    };
+
+    BtbConfig cfg;
+    std::unique_ptr<AssociativeTable<Entry>> table;
+};
+
+} // namespace tl
+
+#endif // TL_PREDICTOR_BTB_HH

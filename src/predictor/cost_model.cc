@@ -1,0 +1,164 @@
+#include "predictor/cost_model.hh"
+
+#include <cmath>
+
+#include "util/bitops.hh"
+#include "util/status.hh"
+
+namespace tl
+{
+
+namespace
+{
+
+double
+pow2(unsigned exponent)
+{
+    return std::ldexp(1.0, static_cast<int>(exponent));
+}
+
+} // namespace
+
+void
+CostParams::validate() const
+{
+    if (bhtEntries == 0 || !isPowerOfTwo(bhtEntries))
+        fatal("cost model: h (%zu) must be a power of two", bhtEntries);
+    if (bhtAssoc == 0 || !isPowerOfTwo(bhtAssoc) ||
+        bhtAssoc > bhtEntries) {
+        fatal("cost model: associativity (%u) must be a power of two "
+              "<= h",
+              bhtAssoc);
+    }
+    if (historyBits == 0)
+        fatal("cost model: k must be positive");
+    if (patternStateBits == 0)
+        fatal("cost model: s must be positive");
+    unsigned i = floorLog2(bhtEntries);
+    unsigned j = floorLog2(bhtAssoc);
+    if (addressBits + j < i)
+        fatal("cost model: constraint a + j >= i violated "
+              "(a=%u, j=%u, i=%u)",
+              addressBits, j, i);
+}
+
+CostBreakdown
+fullCost(const CostParams &params, const CostConstants &constants)
+{
+    params.validate();
+
+    double a = params.addressBits;
+    double h = static_cast<double>(params.bhtEntries);
+    unsigned i_bits = floorLog2(params.bhtEntries);
+    unsigned j_bits = floorLog2(params.bhtAssoc);
+    double i = i_bits;
+    double j = j_bits;
+    double k = params.historyBits;
+    double s = params.patternStateBits;
+    double p = static_cast<double>(params.patternTables);
+    double ways = static_cast<double>(params.bhtAssoc); // 2^j
+
+    CostBreakdown cost;
+
+    // BHT storage: tag + history register + prediction bit + LRU bits
+    // per entry.
+    cost.bhtStorage =
+        h * ((a - i + j) + k + 1 + j) * constants.storage;
+
+    // BHT accessing logic: address decoder, tag comparators per way,
+    // 2^j-to-1 history multiplexer.
+    cost.bhtAccess = h * constants.decoder +
+                     ways * (a - i + j) * constants.comparator +
+                     ways * k * constants.mux;
+
+    // BHT updating logic: per-entry history shifter, per-way LRU
+    // incrementors.
+    cost.bhtUpdate =
+        h * k * constants.shifter + ways * j * constants.incrementor;
+
+    // Pattern history tables (p copies).
+    double entries = pow2(params.historyBits); // 2^k
+    cost.phtStorage = p * entries * s * constants.storage;
+    cost.phtAccess = p * entries * constants.decoder;
+    cost.phtUpdate =
+        p * s * pow2(params.patternStateBits + 1) * constants.automaton;
+
+    return cost;
+}
+
+CostBreakdown
+gagCost(unsigned historyBits, unsigned patternStateBits,
+        const CostConstants &constants)
+{
+    if (historyBits == 0 || patternStateBits == 0)
+        fatal("gagCost: k and s must be positive");
+
+    double k = historyBits;
+    double s = patternStateBits;
+    double entries = pow2(historyBits);
+
+    // Equation 4: {(k + 1) C_s + k C_sh} + {2^k (s C_s + C_d)}.
+    CostBreakdown cost;
+    cost.bhtStorage = (k + 1) * constants.storage;
+    cost.bhtUpdate = k * constants.shifter;
+    cost.phtStorage = entries * s * constants.storage;
+    cost.phtAccess = entries * constants.decoder;
+    return cost;
+}
+
+namespace
+{
+
+/** The shared BHT term of Equations 5 and 6. */
+double
+approxBhtTerm(const CostParams &params, const CostConstants &constants)
+{
+    double a = params.addressBits;
+    double h = static_cast<double>(params.bhtEntries);
+    double i = floorLog2(params.bhtEntries);
+    double j = floorLog2(params.bhtAssoc);
+    double k = params.historyBits;
+    return h * ((a + 2 * j + k + 1 - i) * constants.storage +
+                constants.decoder + k * constants.shifter);
+}
+
+/** The per-table PHT term 2^k (s C_s + C_d) of Equations 4-6. */
+double
+approxPhtTerm(const CostParams &params, const CostConstants &constants)
+{
+    double entries = pow2(params.historyBits);
+    double s = params.patternStateBits;
+    return entries * (s * constants.storage + constants.decoder);
+}
+
+} // namespace
+
+double
+pagCostApprox(const CostParams &params, const CostConstants &constants)
+{
+    params.validate();
+    return approxBhtTerm(params, constants) +
+           approxPhtTerm(params, constants);
+}
+
+double
+papCostApprox(const CostParams &params, const CostConstants &constants)
+{
+    params.validate();
+    double h = static_cast<double>(params.bhtEntries);
+    return approxBhtTerm(params, constants) +
+           h * approxPhtTerm(params, constants);
+}
+
+std::string
+CostBreakdown::toString() const
+{
+    return strprintf(
+        "BHT: storage %.0f + access %.0f + update %.0f = %.0f\n"
+        "PHT: storage %.0f + access %.0f + update %.0f = %.0f\n"
+        "total: %.0f",
+        bhtStorage, bhtAccess, bhtUpdate, bht(), phtStorage, phtAccess,
+        phtUpdate, pht(), total());
+}
+
+} // namespace tl

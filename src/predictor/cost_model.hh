@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The hardware cost model of Section 3.4 (Equations 3 through 6).
+ *
+ * Costs are expressed in relative units built from per-component base
+ * costs (the paper's constants C_s, C_d, C_c, C_m, C_sh, C_i, C_a).
+ * The paper never assigns numeric values to the constants, so they
+ * default to 1.0; CostConstants lets users substitute technology
+ * numbers. Symbols follow the paper:
+ *
+ *   a = branch address bits
+ *   h = branch history table entries
+ *   2^j = BHT set associativity, i = log2(h)
+ *   k = history register length
+ *   s = pattern history state bits per PHT entry
+ *   p = number of pattern history tables (1 for GAg/PAg, h for PAp)
+ */
+
+#ifndef TL_PREDICTOR_COST_MODEL_HH
+#define TL_PREDICTOR_COST_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tl
+{
+
+/** Base costs of the hardware building blocks (paper's C_* terms). */
+struct CostConstants
+{
+    double storage = 1.0;     //!< C_s, one bit of storage
+    double decoder = 1.0;     //!< C_d, address decoder per entry
+    double comparator = 1.0;  //!< C_c, tag comparator per bit
+    double mux = 1.0;         //!< C_m, multiplexer per bit
+    double shifter = 1.0;     //!< C_sh, shifter per bit
+    double incrementor = 1.0; //!< C_i, LRU incrementor per bit
+    double automaton = 1.0;   //!< C_a, state-update logic term
+};
+
+/** Structural parameters of a scheme (the symbols of Section 3.4). */
+struct CostParams
+{
+    unsigned addressBits = 30;     //!< a
+    std::size_t bhtEntries = 512;  //!< h
+    unsigned bhtAssoc = 4;         //!< 2^j
+    unsigned historyBits = 12;     //!< k
+    unsigned patternStateBits = 2; //!< s
+    std::size_t patternTables = 1; //!< p
+
+    /** Calls fatal() when the paper's constraint a + j >= i fails. */
+    void validate() const;
+};
+
+/** Cost split by structure and function, as in Equation 3. */
+struct CostBreakdown
+{
+    double bhtStorage = 0.0;
+    double bhtAccess = 0.0;
+    double bhtUpdate = 0.0;
+    double phtStorage = 0.0;
+    double phtAccess = 0.0;
+    double phtUpdate = 0.0;
+
+    /** Total first-level (branch history table) cost. */
+    double bht() const { return bhtStorage + bhtAccess + bhtUpdate; }
+
+    /** Total second-level (pattern history tables) cost. */
+    double pht() const { return phtStorage + phtAccess + phtUpdate; }
+
+    /** Total cost of the scheme. */
+    double total() const { return bht() + pht(); }
+
+    /** Multi-line human-readable rendering. */
+    std::string toString() const;
+};
+
+/**
+ * The full cost function of Equation 3, for schemes with a practical
+ * branch history table (PAg with p = 1, PAp with p = h).
+ */
+CostBreakdown fullCost(const CostParams &params,
+                       const CostConstants &constants = {});
+
+/**
+ * The simplified GAg cost of Equation 4: a single history register
+ * (no tags, no BHT access logic) plus one pattern history table.
+ */
+CostBreakdown gagCost(unsigned historyBits, unsigned patternStateBits,
+                      const CostConstants &constants = {});
+
+/** The paper's PAg approximation, Equation 5 (a single total). */
+double pagCostApprox(const CostParams &params,
+                     const CostConstants &constants = {});
+
+/** The paper's PAp approximation, Equation 6 (a single total). */
+double papCostApprox(const CostParams &params,
+                     const CostConstants &constants = {});
+
+} // namespace tl
+
+#endif // TL_PREDICTOR_COST_MODEL_HH

@@ -1,0 +1,91 @@
+#include "predictor/factory.hh"
+
+#include "predictor/btb.hh"
+#include "predictor/static_schemes.hh"
+#include "predictor/static_training.hh"
+#include "predictor/two_level.hh"
+#include "util/status.hh"
+
+namespace tl
+{
+
+namespace
+{
+
+BhtGeometry
+geometryFrom(const SchemeSpec &spec)
+{
+    BhtGeometry geometry;
+    geometry.numEntries = spec.historyEntries;
+    geometry.assoc = spec.assoc == 0 ? 1 : spec.assoc;
+    geometry.validate();
+    return geometry;
+}
+
+} // namespace
+
+std::unique_ptr<BranchPredictor>
+makePredictor(const SchemeSpec &spec)
+{
+    if (spec.scheme == "AlwaysTaken")
+        return std::make_unique<AlwaysTakenPredictor>();
+    if (spec.scheme == "BTFN")
+        return std::make_unique<BtfnPredictor>();
+    if (spec.scheme == "Profiling")
+        return std::make_unique<ProfilePredictor>();
+
+    if (spec.scheme == "BTB") {
+        BtbConfig config;
+        config.bht = geometryFrom(spec);
+        config.automaton = &Automaton::byName(spec.historyContent);
+        return std::make_unique<BtbPredictor>(config);
+    }
+
+    if (spec.isStaticTraining()) {
+        StaticTrainingConfig config;
+        config.historyScope = spec.scheme == "GSg"
+                                  ? HistoryScope::Global
+                                  : HistoryScope::PerAddress;
+        config.historyBits = spec.historyBits;
+        if (config.historyScope == HistoryScope::PerAddress) {
+            if (spec.historyKind == "IBHT") {
+                config.bhtKind = BhtKind::Ideal;
+            } else {
+                config.bhtKind = BhtKind::Practical;
+                config.bht = geometryFrom(spec);
+            }
+        }
+        return std::make_unique<StaticTrainingPredictor>(config);
+    }
+
+    if (spec.isTwoLevel()) {
+        TwoLevelConfig config;
+        config.historyScope = spec.scheme[0] == 'G'
+                                  ? HistoryScope::Global
+                                  : HistoryScope::PerAddress;
+        config.patternScope = spec.scheme[2] == 'g'
+                                  ? PatternScope::Global
+                                  : PatternScope::PerAddress;
+        config.historyBits = spec.historyBits;
+        config.automaton = &Automaton::byName(spec.patternContent);
+        if (config.historyScope == HistoryScope::PerAddress) {
+            if (spec.historyKind == "IBHT") {
+                config.bhtKind = BhtKind::Ideal;
+            } else {
+                config.bhtKind = BhtKind::Practical;
+                config.bht = geometryFrom(spec);
+            }
+        }
+        return std::make_unique<TwoLevelPredictor>(config);
+    }
+
+    fatal("factory: unhandled scheme '%s'", spec.scheme.c_str());
+}
+
+std::unique_ptr<BranchPredictor>
+makePredictor(std::string_view text)
+{
+    return makePredictor(SchemeSpec::parse(text));
+}
+
+} // namespace tl

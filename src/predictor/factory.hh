@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Construct predictors from parsed scheme specifications. This is the
+ * bridge between Table-3 style configuration strings and the concrete
+ * predictor classes; examples and benches build their predictor zoo
+ * through it.
+ */
+
+#ifndef TL_PREDICTOR_FACTORY_HH
+#define TL_PREDICTOR_FACTORY_HH
+
+#include <memory>
+#include <string_view>
+
+#include "predictor/predictor.hh"
+#include "predictor/spec.hh"
+
+namespace tl
+{
+
+/**
+ * Build a predictor from a parsed spec.
+ *
+ * Schemes needing a profiling pass (GSg, PSg, Profiling) are returned
+ * untrained; call train() with a training trace before simulating.
+ * Calls fatal() for inconsistent specifications.
+ */
+std::unique_ptr<BranchPredictor> makePredictor(const SchemeSpec &spec);
+
+/** Parse @p text and build the predictor. */
+std::unique_ptr<BranchPredictor> makePredictor(std::string_view text);
+
+} // namespace tl
+
+#endif // TL_PREDICTOR_FACTORY_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The k-bit branch history (shift) register of Section 2.1.
+ *
+ * Per Section 4.2 of the paper, a history register is initialized to
+ * all 1s when allocated (taken branches being more common), and after
+ * the first outcome of the branch that caused the allocation is
+ * known, "the result bit is extended throughout the history
+ * register" — fill() implements that.
+ */
+
+#ifndef TL_PREDICTOR_HISTORY_REGISTER_HH
+#define TL_PREDICTOR_HISTORY_REGISTER_HH
+
+#include <cstdint>
+
+#include "util/bitops.hh"
+#include "util/status.hh"
+
+namespace tl
+{
+
+/** A k-bit shift register of branch outcomes. */
+class HistoryRegister
+{
+  public:
+    /** Construct with @p kBits of history, initialized to all 1s. */
+    explicit HistoryRegister(unsigned kBits = 1)
+        : kBits(kBits)
+    {
+        if (kBits == 0 || kBits > 30)
+            fatal("history register length %u out of range [1, 30]",
+                  kBits);
+        resetAllOnes();
+    }
+
+    /** Number of history bits (the paper's k). */
+    unsigned bits() const { return kBits; }
+
+    /** Current pattern R_{c-k} ... R_{c-1}; the PHT index. */
+    std::uint64_t value() const { return pattern; }
+
+    /** Shift the latest outcome into the least significant bit. */
+    void
+    shiftIn(bool taken)
+    {
+        pattern = ((pattern << 1) | (taken ? 1 : 0)) & mask(kBits);
+    }
+
+    /** Set every bit to @p taken (first-result extension). */
+    void
+    fill(bool taken)
+    {
+        pattern = taken ? mask(kBits) : 0;
+    }
+
+    /** Reinitialize to all 1s (allocation / context switch). */
+    void resetAllOnes() { pattern = mask(kBits); }
+
+    /** Directly set the pattern (used by repair policies). */
+    void
+    set(std::uint64_t value)
+    {
+        pattern = value & mask(kBits);
+    }
+
+    bool operator==(const HistoryRegister &other) const = default;
+
+  private:
+    unsigned kBits;
+    std::uint64_t pattern = 0;
+};
+
+} // namespace tl
+
+#endif // TL_PREDICTOR_HISTORY_REGISTER_HH

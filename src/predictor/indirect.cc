@@ -1,0 +1,52 @@
+#include "predictor/indirect.hh"
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+IndirectTargetPredictor::IndirectTargetPredictor(unsigned tableBits,
+                                                 unsigned historyBits)
+    : history(historyBits), tableBits(tableBits)
+{
+    if (tableBits == 0 || tableBits > 20)
+        fatal("indirect predictor: table bits %u out of range "
+              "[1, 20]",
+              tableBits);
+    targets.assign(std::size_t{1} << tableBits, 0);
+    valid.assign(targets.size(), false);
+}
+
+std::size_t
+IndirectTargetPredictor::indexFor(std::uint64_t pc) const
+{
+    std::uint64_t folded = xorFold(pc >> 2, tableBits);
+    return (folded ^ history.value()) & mask(tableBits);
+}
+
+std::optional<std::uint64_t>
+IndirectTargetPredictor::lookup(std::uint64_t pc) const
+{
+    std::size_t index = indexFor(pc);
+    if (!valid[index])
+        return std::nullopt;
+    return targets[index];
+}
+
+void
+IndirectTargetPredictor::update(std::uint64_t pc,
+                                std::uint64_t target)
+{
+    std::size_t index = indexFor(pc);
+    targets[index] = target;
+    valid[index] = true;
+}
+
+void
+IndirectTargetPredictor::flush()
+{
+    valid.assign(valid.size(), false);
+    history.resetAllOnes();
+}
+
+} // namespace tl

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * History-indexed indirect-jump target prediction.
+ *
+ * A plain target cache (Section 3.2) keeps one target per branch, so
+ * an indirect jump that disperses to many targets — a jump-table
+ * dispatch in gcc or eqntott — misfetches whenever the target
+ * changes. The fix, pioneered in the Yeh/Patt lineage (Chang, Hao &
+ * Patt's "target correlation"), applies the paper's own two-level
+ * idea to targets: index a target table with the jump address XORed
+ * with recent global direction history, so different control-flow
+ * contexts select different cached targets.
+ *
+ * This is the "two-level" idea applied to the second fetch problem,
+ * included as a post-paper extension.
+ */
+
+#ifndef TL_PREDICTOR_INDIRECT_HH
+#define TL_PREDICTOR_INDIRECT_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "predictor/history_register.hh"
+#include "util/bitops.hh"
+
+namespace tl
+{
+
+/** A history-indexed cache of indirect-branch targets. */
+class IndirectTargetPredictor
+{
+  public:
+    /**
+     * @param tableBits log2 of the target table size.
+     * @param historyBits direction-history bits folded into the index.
+     */
+    explicit IndirectTargetPredictor(unsigned tableBits = 9,
+                                     unsigned historyBits = 8);
+
+    /** Predicted target for the indirect jump at @p pc, if any. */
+    std::optional<std::uint64_t> lookup(std::uint64_t pc) const;
+
+    /** Record the resolved target of the indirect jump at @p pc. */
+    void update(std::uint64_t pc, std::uint64_t target);
+
+    /**
+     * Feed a conditional-branch outcome into the global context
+     * history (call for every conditional branch, as the direction
+     * predictor resolves them).
+     */
+    void observeDirection(bool taken) { history.shiftIn(taken); }
+
+    /** Flush targets and context (context switch). */
+    void flush();
+
+    /** Number of table entries. */
+    std::size_t entries() const { return targets.size(); }
+
+  private:
+    std::size_t indexFor(std::uint64_t pc) const;
+
+    std::vector<std::uint64_t> targets;
+    std::vector<bool> valid;
+    HistoryRegister history;
+    unsigned tableBits;
+};
+
+} // namespace tl
+
+#endif // TL_PREDICTOR_INDIRECT_HH

@@ -1,0 +1,54 @@
+#include "predictor/pattern_table.hh"
+
+#include "util/bitops.hh"
+#include "util/status.hh"
+
+namespace tl
+{
+
+PatternHistoryTable::PatternHistoryTable(unsigned historyBits,
+                                         const Automaton &automaton)
+    : atm(&automaton), historyBits(historyBits)
+{
+    if (historyBits == 0 || historyBits > 24)
+        fatal("pattern history table: history length %u out of "
+              "range [1, 24]",
+              historyBits);
+    states.assign(std::size_t{1} << historyBits, atm->initState());
+}
+
+bool
+PatternHistoryTable::predict(std::uint64_t pattern) const
+{
+    return atm->predict(states[pattern & mask(historyBits)]);
+}
+
+void
+PatternHistoryTable::update(std::uint64_t pattern, bool taken)
+{
+    Automaton::State &state = states[pattern & mask(historyBits)];
+    state = atm->next(state, taken);
+}
+
+Automaton::State
+PatternHistoryTable::state(std::uint64_t pattern) const
+{
+    return states[pattern & mask(historyBits)];
+}
+
+void
+PatternHistoryTable::setState(std::uint64_t pattern,
+                              Automaton::State state)
+{
+    if (state >= atm->numStates())
+        fatal("setState: state %u out of range", unsigned(state));
+    states[pattern & mask(historyBits)] = state;
+}
+
+void
+PatternHistoryTable::reset()
+{
+    states.assign(states.size(), atm->initState());
+}
+
+} // namespace tl

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The pattern history table (PHT) of Section 2.1: 2^k entries, one
+ * per possible history register pattern, each holding the state bits
+ * of a pattern-history automaton.
+ */
+
+#ifndef TL_PREDICTOR_PATTERN_TABLE_HH
+#define TL_PREDICTOR_PATTERN_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "predictor/automaton.hh"
+
+namespace tl
+{
+
+/** A 2^k-entry table of automaton states indexed by history pattern. */
+class PatternHistoryTable
+{
+  public:
+    /**
+     * @param historyBits k; the table has 2^k entries.
+     * @param automaton The Moore machine stored in each entry; must
+     *        outlive the table (the five paper automata are static).
+     */
+    PatternHistoryTable(unsigned historyBits, const Automaton &automaton);
+
+    /** Number of entries (2^k). */
+    std::size_t entries() const { return states.size(); }
+
+    /** Bits of state per entry (the cost model's s). */
+    unsigned stateBits() const { return atm->stateBits(); }
+
+    /** The automaton stored in the entries. */
+    const Automaton &automaton() const { return *atm; }
+
+    /** Predict for @p pattern: lambda(S_c), Eq. 1. */
+    bool predict(std::uint64_t pattern) const;
+
+    /** Update entry @p pattern with @p taken: delta, Eq. 2. */
+    void update(std::uint64_t pattern, bool taken);
+
+    /** Raw state of an entry (tests and diagnostics). */
+    Automaton::State state(std::uint64_t pattern) const;
+
+    /** Overwrite the state of an entry (static-training presets). */
+    void setState(std::uint64_t pattern, Automaton::State state);
+
+    /**
+     * Reinitialize every entry to the automaton's init state. Note
+     * the paper never reinitializes PHTs at context switches; this is
+     * for power-on and slot reallocation in PAp.
+     */
+    void reset();
+
+  private:
+    const Automaton *atm;
+    unsigned historyBits;
+    std::vector<Automaton::State> states;
+};
+
+} // namespace tl
+
+#endif // TL_PREDICTOR_PATTERN_TABLE_HH

@@ -1,0 +1,18 @@
+#include "predictor/predictor.hh"
+
+#include "trace/trace.hh"
+#include "util/status.hh"
+
+namespace tl
+{
+
+void
+BranchPredictor::train(TraceSource &)
+{
+    if (needsTraining())
+        panic("%s declares needsTraining() but does not implement "
+              "train()",
+              name().c_str());
+}
+
+} // namespace tl

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The branch predictor interface shared by every scheme in the study:
+ * the three Two-Level Adaptive variations, the Static Training
+ * schemes, the Branch Target Buffer designs, and the static schemes.
+ */
+
+#ifndef TL_PREDICTOR_PREDICTOR_HH
+#define TL_PREDICTOR_PREDICTOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/record.hh"
+
+namespace tl
+{
+
+class TraceSource;
+
+/** Static information available when a branch is predicted. */
+struct BranchQuery
+{
+    /** Address of the branch instruction. */
+    std::uint64_t pc = 0;
+
+    /** Branch target address (for BTFN-style direction heuristics). */
+    std::uint64_t target = 0;
+
+    /** Branch class; predictors here only see conditional branches. */
+    BranchClass cls = BranchClass::Conditional;
+
+    /** Build a query from a trace record (drops the outcome). */
+    static BranchQuery
+    fromRecord(const BranchRecord &record)
+    {
+        return BranchQuery{record.pc, record.target, record.cls};
+    }
+};
+
+/** Abstract direction predictor for conditional branches. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Scheme name in the paper's naming convention. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Predict the direction of a conditional branch.
+     *
+     * Predictors may allocate table entries here (the paper allocates
+     * a BHT entry on a miss at prediction time).
+     *
+     * @retval true predicted taken.
+     */
+    virtual bool predict(const BranchQuery &branch) = 0;
+
+    /**
+     * Resolve the branch: feed the actual outcome back into the
+     * run-time structures. Called once per predicted branch, after
+     * predict(), in program order.
+     */
+    virtual void update(const BranchQuery &branch, bool taken) = 0;
+
+    /**
+     * A context switch occurred. Per Section 5.1.4 the branch history
+     * table is flushed and reinitialized; pattern history tables are
+     * NOT reinitialized. Schemes without run-time state ignore this.
+     */
+    virtual void contextSwitch() {}
+
+    /** Return every structure to its power-on state. */
+    virtual void reset() = 0;
+
+    /**
+     * True if the scheme needs a profiling pass over a training trace
+     * before it can predict (Static Training, Profiling).
+     */
+    virtual bool needsTraining() const { return false; }
+
+    /**
+     * Run the profiling pass. Predictors with needsTraining() false
+     * ignore this. May be called again to retrain.
+     */
+    virtual void train(TraceSource &training);
+
+    /**
+     * Convenience: predict and update in one call; returns whether
+     * the prediction was correct.
+     */
+    bool
+    predictAndUpdate(const BranchQuery &branch, bool taken)
+    {
+        bool predicted = predict(branch);
+        update(branch, taken);
+        return predicted == taken;
+    }
+};
+
+} // namespace tl
+
+#endif // TL_PREDICTOR_PREDICTOR_HH

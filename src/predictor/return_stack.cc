@@ -1,0 +1,53 @@
+#include "predictor/return_stack.hh"
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+ReturnStack::ReturnStack(std::size_t depth)
+{
+    if (depth == 0)
+        fatal("return stack depth must be positive");
+    entries.assign(depth, 0);
+}
+
+void
+ReturnStack::pushCall(std::uint64_t returnAddress)
+{
+    entries[top] = returnAddress;
+    top = (top + 1) % entries.size();
+    if (live == entries.size())
+        ++overflowCount; // wrapped over the oldest entry
+    else
+        ++live;
+}
+
+std::optional<std::uint64_t>
+ReturnStack::popReturn()
+{
+    if (live == 0) {
+        ++underflowCount;
+        return std::nullopt;
+    }
+    top = (top + entries.size() - 1) % entries.size();
+    --live;
+    return entries[top];
+}
+
+void
+ReturnStack::flush()
+{
+    top = 0;
+    live = 0;
+}
+
+void
+ReturnStack::reset()
+{
+    flush();
+    overflowCount = 0;
+    underflowCount = 0;
+}
+
+} // namespace tl

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A return address stack (RAS).
+ *
+ * The paper's target-address cache (Section 3.2) mispredicts
+ * subroutine returns whenever the same return instruction goes back
+ * to a different call site — the "moving target branch" problem of
+ * Kaeli and Emma, the paper's reference [4]. The classic fix is a
+ * small hardware stack: calls push their fall-through address,
+ * returns pop it. This module provides that stack; sim/fetch.hh uses
+ * it (when supplied) to predict return targets instead of the target
+ * cache.
+ *
+ * The stack has a fixed depth and wraps on overflow, like real
+ * hardware: deep recursion silently loses the oldest entries and the
+ * corresponding returns mispredict — behaviour the tests pin down.
+ */
+
+#ifndef TL_PREDICTOR_RETURN_STACK_HH
+#define TL_PREDICTOR_RETURN_STACK_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace tl
+{
+
+/** A fixed-depth, wrapping return address stack. */
+class ReturnStack
+{
+  public:
+    /** @param depth Number of entries (power of two not required). */
+    explicit ReturnStack(std::size_t depth = 16);
+
+    /** A call executed: push its return (fall-through) address. */
+    void pushCall(std::uint64_t returnAddress);
+
+    /**
+     * A return is being predicted: pop the predicted target. Empty
+     * when the stack holds nothing (underflow — mispredict and fall
+     * back to the target cache).
+     */
+    std::optional<std::uint64_t> popReturn();
+
+    /** Entries currently held (<= depth). */
+    std::size_t size() const { return live; }
+
+    /** Configured depth. */
+    std::size_t depth() const { return entries.size(); }
+
+    /** Number of pushes that overwrote a live entry (overflow). */
+    std::uint64_t overflows() const { return overflowCount; }
+
+    /** Number of pops from an empty stack (underflow). */
+    std::uint64_t underflows() const { return underflowCount; }
+
+    /** Empty the stack (context switch / flush). */
+    void flush();
+
+    /** Power-on reset including statistics. */
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> entries;
+    std::size_t top = 0;  //!< index of the next free slot
+    std::size_t live = 0; //!< valid entries
+    std::uint64_t overflowCount = 0;
+    std::uint64_t underflowCount = 0;
+};
+
+} // namespace tl
+
+#endif // TL_PREDICTOR_RETURN_STACK_HH

@@ -1,0 +1,282 @@
+#include "predictor/spec.hh"
+
+#include <cctype>
+
+#include "predictor/automaton.hh"
+#include "util/status.hh"
+#include "util/strings.hh"
+
+namespace tl
+{
+
+namespace
+{
+
+/** Remove every whitespace character. */
+std::string
+stripSpaces(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            out += c;
+    }
+    return out;
+}
+
+/** Parse "512", "2^9" or "inf"; inf yields 0. */
+std::size_t
+parseSize(const std::string &text, const char *what)
+{
+    if (toLower(text) == "inf")
+        return 0;
+    if (startsWith(text, "2^")) {
+        auto exponent = parseU64(text.substr(2));
+        if (!exponent || *exponent > 32)
+            fatal("spec: bad %s size '%s'", what, text.c_str());
+        return std::size_t{1} << *exponent;
+    }
+    auto value = parseU64(text);
+    if (!value)
+        fatal("spec: bad %s size '%s'", what, text.c_str());
+    return *value;
+}
+
+/** Split "Name(args)" into name and argument list; args untouched. */
+bool
+splitCall(const std::string &text, std::string &name, std::string &args)
+{
+    std::size_t open = text.find('(');
+    if (open == std::string::npos)
+        return false;
+    if (text.back() != ')')
+        fatal("spec: unbalanced parentheses in '%s'", text.c_str());
+    name = text.substr(0, open);
+    args = text.substr(open + 1, text.size() - open - 2);
+    return true;
+}
+
+/** Canonical scheme capitalization. */
+std::string
+canonicalScheme(const std::string &name)
+{
+    std::string lower = toLower(name);
+    if (lower == "gag") return "GAg";
+    if (lower == "pag") return "PAg";
+    if (lower == "pap") return "PAp";
+    if (lower == "gap") return "GAp";
+    if (lower == "gsg") return "GSg";
+    if (lower == "psg") return "PSg";
+    if (lower == "btb") return "BTB";
+    if (lower == "alwaystaken" || lower == "always-taken")
+        return "AlwaysTaken";
+    if (lower == "btfn") return "BTFN";
+    if (lower == "profiling" || lower == "profile") return "Profiling";
+    fatal("spec: unknown scheme '%s'", name.c_str());
+}
+
+} // namespace
+
+bool
+SchemeSpec::isTwoLevel() const
+{
+    return scheme == "GAg" || scheme == "PAg" || scheme == "PAp" ||
+           scheme == "GAp";
+}
+
+bool
+SchemeSpec::isStaticTraining() const
+{
+    return scheme == "GSg" || scheme == "PSg";
+}
+
+SchemeSpec
+SchemeSpec::parse(std::string_view raw)
+{
+    std::string text = stripSpaces(raw);
+    if (text.empty())
+        fatal("spec: empty specification");
+
+    SchemeSpec spec;
+    std::string name, args;
+    if (!splitCall(text, name, args)) {
+        // Bare static schemes: AlwaysTaken / BTFN / Profiling.
+        spec.scheme = canonicalScheme(text);
+        if (spec.scheme != "AlwaysTaken" && spec.scheme != "BTFN" &&
+            spec.scheme != "Profiling") {
+            fatal("spec: scheme '%s' requires parameters",
+                  spec.scheme.c_str());
+        }
+        return spec;
+    }
+    spec.scheme = canonicalScheme(name);
+    if (spec.scheme == "AlwaysTaken" || spec.scheme == "BTFN" ||
+        spec.scheme == "Profiling") {
+        if (!args.empty())
+            fatal("spec: scheme '%s' takes no parameters",
+                  spec.scheme.c_str());
+        return spec;
+    }
+
+    std::vector<std::string> fields = splitTopLevel(args, ',');
+    // Optional trailing context-switch flag.
+    if (!fields.empty() && toLower(fields.back()) == "c") {
+        spec.contextSwitch = true;
+        fields.pop_back();
+    }
+    if (fields.empty())
+        fatal("spec: missing history part in '%s'", text.c_str());
+
+    // --- First level -----------------------------------------------
+    std::string history_name, history_args;
+    if (!splitCall(fields[0], history_name, history_args))
+        fatal("spec: bad history part '%s'", fields[0].c_str());
+    std::string history_kind = toLower(history_name);
+    if (history_kind == "hr")
+        spec.historyKind = "HR";
+    else if (history_kind == "bht")
+        spec.historyKind = "BHT";
+    else if (history_kind == "ibht")
+        spec.historyKind = "IBHT";
+    else
+        fatal("spec: unknown history structure '%s'",
+              history_name.c_str());
+
+    std::vector<std::string> history_fields =
+        splitTopLevel(history_args, ',');
+    if (history_fields.size() != 3)
+        fatal("spec: history part needs (size,assoc,content): '%s'",
+              fields[0].c_str());
+
+    spec.historyEntries = parseSize(history_fields[0], "history");
+    if (history_fields[1].empty()) {
+        spec.assoc = 0;
+    } else {
+        auto assoc = parseU64(history_fields[1]);
+        if (!assoc || *assoc == 0)
+            fatal("spec: bad associativity '%s'",
+                  history_fields[1].c_str());
+        spec.assoc = static_cast<unsigned>(*assoc);
+    }
+
+    const std::string &content = history_fields[2];
+    if (endsWith(content, "-sr")) {
+        auto bits = parseU64(
+            std::string_view(content).substr(0, content.size() - 3));
+        if (!bits || *bits == 0 || *bits > 24)
+            fatal("spec: bad history register content '%s'",
+                  content.c_str());
+        spec.historyBits = static_cast<unsigned>(*bits);
+    } else if (Automaton::isKnown(content)) {
+        spec.historyContent = Automaton::byName(content).name();
+    } else {
+        fatal("spec: bad history entry content '%s'", content.c_str());
+    }
+
+    // --- Second level ----------------------------------------------
+    if (fields.size() > 2)
+        fatal("spec: too many parts in '%s'", text.c_str());
+    if (fields.size() == 2 && !fields[1].empty()) {
+        std::string pattern_field = fields[1];
+        std::size_t x = pattern_field.find_first_of("xX");
+        if (x == std::string::npos)
+            fatal("spec: pattern part needs 'NxPHT(...)': '%s'",
+                  pattern_field.c_str());
+        std::string set_size = pattern_field.substr(0, x);
+        spec.patternTables = parseSize(set_size, "pattern set");
+        spec.patternTablesInf = toLower(set_size) == "inf";
+
+        std::string pattern_name, pattern_args;
+        if (!splitCall(pattern_field.substr(x + 1), pattern_name,
+                       pattern_args) ||
+            toLower(pattern_name) != "pht") {
+            fatal("spec: bad pattern part '%s'", pattern_field.c_str());
+        }
+        std::vector<std::string> pattern_fields =
+            splitTopLevel(pattern_args, ',');
+        if (pattern_fields.size() != 2)
+            fatal("spec: pattern part needs (size,content): '%s'",
+                  pattern_field.c_str());
+        spec.patternEntries = parseSize(pattern_fields[0], "pattern");
+        const std::string &pattern_content = pattern_fields[1];
+        if (toLower(pattern_content) == "pb")
+            spec.patternContent = "PB";
+        else if (Automaton::isKnown(pattern_content))
+            spec.patternContent =
+                Automaton::byName(pattern_content).name();
+        else
+            fatal("spec: bad pattern entry content '%s'",
+                  pattern_content.c_str());
+    }
+
+    // --- Consistency checks ----------------------------------------
+    if (spec.isTwoLevel() || spec.isStaticTraining()) {
+        if (spec.historyBits == 0)
+            fatal("spec: %s needs a k-sr history register content",
+                  spec.scheme.c_str());
+        if (spec.patternContent.empty())
+            fatal("spec: %s needs a pattern part", spec.scheme.c_str());
+        std::size_t expected = std::size_t{1} << spec.historyBits;
+        if (spec.patternEntries != 0 && spec.patternEntries != expected) {
+            fatal("spec: pattern table size %zu does not match 2^%u",
+                  spec.patternEntries, spec.historyBits);
+        }
+        spec.patternEntries = expected;
+        bool global_history = spec.scheme[0] == 'G';
+        if (global_history && spec.historyKind != "HR")
+            fatal("spec: %s uses a single HR", spec.scheme.c_str());
+        if (!global_history && spec.historyKind == "HR")
+            fatal("spec: %s needs a BHT or IBHT", spec.scheme.c_str());
+        if (spec.isStaticTraining() && spec.patternContent != "PB")
+            fatal("spec: %s pattern content must be PB",
+                  spec.scheme.c_str());
+        if (spec.isTwoLevel() && spec.patternContent == "PB")
+            fatal("spec: %s pattern content cannot be PB",
+                  spec.scheme.c_str());
+    } else if (spec.scheme == "BTB") {
+        if (spec.historyContent.empty())
+            fatal("spec: BTB entry content must be an automaton");
+        if (!spec.patternContent.empty())
+            fatal("spec: BTB has no pattern part");
+        if (spec.historyKind != "BHT")
+            fatal("spec: BTB needs a practical BHT");
+    }
+
+    return spec;
+}
+
+std::string
+SchemeSpec::toString() const
+{
+    if (scheme == "AlwaysTaken" || scheme == "BTFN" ||
+        scheme == "Profiling") {
+        return scheme;
+    }
+
+    std::string history_size =
+        historyEntries == 0 ? "inf" : strprintf("%zu", historyEntries);
+    std::string assoc_text = assoc == 0 ? "" : strprintf("%u", assoc);
+    std::string content = historyBits > 0
+                              ? strprintf("%u-sr", historyBits)
+                              : historyContent;
+    std::string history =
+        strprintf("%s(%s,%s,%s)", historyKind.c_str(),
+                  history_size.c_str(), assoc_text.c_str(),
+                  content.c_str());
+
+    std::string out = scheme + "(" + history;
+    if (!patternContent.empty()) {
+        std::string set_size = patternTablesInf
+                                   ? "inf"
+                                   : strprintf("%zu", patternTables);
+        out += strprintf(",%sxPHT(%zu,%s)", set_size.c_str(),
+                         patternEntries, patternContent.c_str());
+    }
+    if (contextSwitch)
+        out += ",c";
+    out += ")";
+    return out;
+}
+
+} // namespace tl

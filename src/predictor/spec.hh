@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Parser and formatter for the paper's predictor naming convention
+ * (Section 4.2, Table 3):
+ *
+ *   Scheme(History(Size,Associativity,Entry_Content),
+ *          Pattern_Table_Set_Size x Pattern(Size,Entry_Content),
+ *          Context_Switch)
+ *
+ * Examples accepted:
+ *
+ *   GAg(HR(1,,18-sr),1xPHT(262144,A2))
+ *   PAg(BHT(512,4,12-sr),1xPHT(4096,A2),c)
+ *   PAg(IBHT(inf,,12-sr),1xPHT(4096,A2))
+ *   PAp(BHT(512,4,6-sr),512xPHT(64,A2))
+ *   GSg(HR(1,,12-sr),1xPHT(4096,PB))
+ *   BTB(BHT(512,4,A2))
+ *   AlwaysTaken / BTFN / Profiling
+ *
+ * Pattern table sizes may also be written as "2^12". Whitespace is
+ * ignored. A trailing ",c" field requests context-switch simulation;
+ * it is carried in the spec and interpreted by the simulation layer
+ * (predictors themselves are switch-agnostic).
+ */
+
+#ifndef TL_PREDICTOR_SPEC_HH
+#define TL_PREDICTOR_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tl
+{
+
+/** A parsed predictor specification. */
+struct SchemeSpec
+{
+    /**
+     * Canonical scheme name: "GAg", "PAg", "PAp", "GAp", "GSg",
+     * "PSg", "BTB", "AlwaysTaken", "BTFN" or "Profiling".
+     */
+    std::string scheme;
+
+    /// @name First level (blank for the static schemes)
+    /// @{
+    /** "HR", "BHT" or "IBHT". */
+    std::string historyKind;
+
+    /** Entries in the history structure; 0 encodes "inf". */
+    std::size_t historyEntries = 1;
+
+    /** Set associativity; 0 when the field was left blank. */
+    unsigned assoc = 0;
+
+    /** History register length k for "k-sr" contents; 0 otherwise. */
+    unsigned historyBits = 0;
+
+    /** Automaton name when the entry content is an automaton (BTB). */
+    std::string historyContent;
+    /// @}
+
+    /// @name Second level (absent for BTB and the static schemes)
+    /// @{
+    /** Number of pattern history tables; 0 encodes absent or "inf". */
+    std::size_t patternTables = 0;
+
+    /** True when the set size was written as "inf". */
+    bool patternTablesInf = false;
+
+    /** Entries per pattern history table (2^k). */
+    std::size_t patternEntries = 0;
+
+    /** "A1".."A4", "LT" or "PB". */
+    std::string patternContent;
+    /// @}
+
+    /** True when the spec carried the trailing ",c" flag. */
+    bool contextSwitch = false;
+
+    /**
+     * Parse a specification string. Calls fatal() with a diagnostic
+     * on malformed input or inconsistent parameters (e.g. a pattern
+     * table size that is not 2^k for the given history length).
+     */
+    static SchemeSpec parse(std::string_view text);
+
+    /** Render back into the naming convention. */
+    std::string toString() const;
+
+    /** True for GAg/PAg/PAp/GAp. */
+    bool isTwoLevel() const;
+
+    /** True for GSg/PSg. */
+    bool isStaticTraining() const;
+};
+
+} // namespace tl
+
+#endif // TL_PREDICTOR_SPEC_HH

@@ -1,0 +1,40 @@
+#include "predictor/static_schemes.hh"
+
+#include "trace/trace.hh"
+
+namespace tl
+{
+
+bool
+ProfilePredictor::predict(const BranchQuery &branch)
+{
+    auto it = preset.find(branch.pc);
+    return it == preset.end() ? true : it->second;
+}
+
+void
+ProfilePredictor::train(TraceSource &training)
+{
+    struct Count
+    {
+        std::uint64_t taken = 0;
+        std::uint64_t total = 0;
+    };
+    std::unordered_map<std::uint64_t, Count> counts;
+
+    BranchRecord record;
+    while (training.next(record)) {
+        if (!record.isConditional())
+            continue;
+        Count &count = counts[record.pc];
+        ++count.total;
+        if (record.taken)
+            ++count.taken;
+    }
+
+    preset.clear();
+    for (const auto &[pc, count] : counts)
+        preset[pc] = 2 * count.taken >= count.total;
+}
+
+} // namespace tl

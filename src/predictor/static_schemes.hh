@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The static prediction schemes of Section 4.2: Always Taken,
+ * Backward-Taken/Forward-Not-Taken (BTFN), and the per-branch
+ * Profiling scheme that presets each static branch's direction to its
+ * majority outcome in a training run.
+ */
+
+#ifndef TL_PREDICTOR_STATIC_SCHEMES_HH
+#define TL_PREDICTOR_STATIC_SCHEMES_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "predictor/predictor.hh"
+
+namespace tl
+{
+
+/** Predict taken for every conditional branch. */
+class AlwaysTakenPredictor : public BranchPredictor
+{
+  public:
+    std::string name() const override { return "AlwaysTaken"; }
+
+    bool
+    predict(const BranchQuery &) override
+    {
+        return true;
+    }
+
+    void update(const BranchQuery &, bool) override {}
+    void reset() override {}
+};
+
+/**
+ * Backward Taken, Forward Not taken: loops mispredict only on exit,
+ * but irregular forward branches defeat the heuristic.
+ */
+class BtfnPredictor : public BranchPredictor
+{
+  public:
+    std::string name() const override { return "BTFN"; }
+
+    bool
+    predict(const BranchQuery &branch) override
+    {
+        return branch.target < branch.pc;
+    }
+
+    void update(const BranchQuery &, bool) override {}
+    void reset() override {}
+};
+
+/**
+ * Profiling: each static branch is preset to the direction it takes
+ * most frequently in a training run. Branches never seen in training
+ * predict taken.
+ */
+class ProfilePredictor : public BranchPredictor
+{
+  public:
+    std::string name() const override { return "Profiling"; }
+
+    bool predict(const BranchQuery &branch) override;
+    void update(const BranchQuery &, bool) override {}
+    void reset() override {}
+
+    bool needsTraining() const override { return true; }
+    void train(TraceSource &training) override;
+
+    /** Number of static branches profiled. */
+    std::size_t profiledBranches() const { return preset.size(); }
+
+  private:
+    std::unordered_map<std::uint64_t, bool> preset;
+};
+
+} // namespace tl
+
+#endif // TL_PREDICTOR_STATIC_SCHEMES_HH

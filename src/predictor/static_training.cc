@@ -1,0 +1,254 @@
+#include "predictor/static_training.hh"
+
+#include "trace/trace.hh"
+#include "util/status.hh"
+
+namespace tl
+{
+
+std::string
+StaticTrainingConfig::variationName() const
+{
+    char first = historyScope == HistoryScope::Global ? 'G' : 'P';
+    char last = patternScope == PatternScope::Global ? 'g' : 'p';
+    return strprintf("%cS%c", first, last);
+}
+
+std::string
+StaticTrainingConfig::schemeName() const
+{
+    std::string history;
+    if (historyScope == HistoryScope::Global) {
+        history = strprintf("HR(1,,%u-sr)", historyBits);
+    } else if (bhtKind == BhtKind::Ideal) {
+        history = strprintf("IBHT(inf,,%u-sr)", historyBits);
+    } else {
+        history = strprintf("BHT(%zu,%u,%u-sr)", bht.numEntries,
+                            bht.assoc, historyBits);
+    }
+    const char *set_size =
+        patternScope == PatternScope::Global ? "1" : "inf";
+    return strprintf("%s(%s,%sxPHT(%llu,PB))",
+                     variationName().c_str(), history.c_str(),
+                     set_size,
+                     static_cast<unsigned long long>(std::uint64_t{1}
+                                                     << historyBits));
+}
+
+void
+StaticTrainingConfig::validate() const
+{
+    if (historyBits == 0 || historyBits > 24)
+        fatal("static training: history length %u out of range [1, 24]",
+              historyBits);
+    if (historyScope == HistoryScope::PerAddress &&
+        bhtKind == BhtKind::Practical) {
+        bht.validate();
+    }
+    if (historyScope == HistoryScope::PerSet ||
+        patternScope == PatternScope::PerSet) {
+        fatal("static training: per-set scopes are not supported");
+    }
+}
+
+StaticTrainingConfig
+StaticTrainingConfig::gsg(unsigned historyBits)
+{
+    StaticTrainingConfig config;
+    config.historyScope = HistoryScope::Global;
+    config.historyBits = historyBits;
+    return config;
+}
+
+StaticTrainingConfig
+StaticTrainingConfig::psg(unsigned historyBits, BhtGeometry bht)
+{
+    StaticTrainingConfig config;
+    config.historyScope = HistoryScope::PerAddress;
+    config.historyBits = historyBits;
+    config.bht = bht;
+    return config;
+}
+
+StaticTrainingConfig
+StaticTrainingConfig::psp(unsigned historyBits, BhtGeometry bht)
+{
+    StaticTrainingConfig config = psg(historyBits, bht);
+    config.patternScope = PatternScope::PerAddress;
+    return config;
+}
+
+PatternProfile::PatternProfile(unsigned historyBits)
+    : historyBits(historyBits)
+{
+    if (historyBits == 0 || historyBits > 24)
+        fatal("pattern profile: history length %u out of range [1, 24]",
+              historyBits);
+    takenCount.assign(std::size_t{1} << historyBits, 0);
+    totalCount.assign(std::size_t{1} << historyBits, 0);
+}
+
+void
+PatternProfile::account(std::uint64_t pattern, bool taken)
+{
+    pattern &= mask(historyBits);
+    ++totalCount[pattern];
+    ++totalSamples;
+    if (taken)
+        ++takenCount[pattern];
+}
+
+bool
+PatternProfile::presetBit(std::uint64_t pattern) const
+{
+    pattern &= mask(historyBits);
+    if (totalCount[pattern] == 0)
+        return true; // unseen patterns default to taken
+    return 2 * takenCount[pattern] >= totalCount[pattern];
+}
+
+std::size_t
+PatternProfile::patternsSeen() const
+{
+    std::size_t seen = 0;
+    for (std::uint64_t count : totalCount) {
+        if (count)
+            ++seen;
+    }
+    return seen;
+}
+
+StaticTrainingPredictor::StaticTrainingPredictor(
+    StaticTrainingConfig config)
+    : cfg(config)
+{
+    cfg.validate();
+    profileData = std::make_unique<PatternProfile>(cfg.historyBits);
+    if (cfg.historyScope == HistoryScope::PerAddress &&
+        cfg.bhtKind == BhtKind::Practical) {
+        practical = std::make_unique<AssociativeTable<HistoryEntry>>(
+            cfg.bht);
+    }
+    reset();
+}
+
+std::string
+StaticTrainingPredictor::name() const
+{
+    return cfg.schemeName();
+}
+
+StaticTrainingPredictor::HistoryEntry &
+StaticTrainingPredictor::historyFor(std::uint64_t pc)
+{
+    if (cfg.historyScope == HistoryScope::Global)
+        return globalEntry;
+    if (cfg.bhtKind == BhtKind::Ideal) {
+        auto [it, inserted] = ideal.try_emplace(pc);
+        if (inserted) {
+            it->second.pattern = allOnes();
+            it->second.fillPending = true;
+        }
+        return it->second;
+    }
+    auto ref = practical->access(pc);
+    if (!ref) {
+        ref = practical->allocate(pc);
+        ref.payload->pattern = allOnes();
+        ref.payload->fillPending = true;
+    }
+    return *ref.payload;
+}
+
+void
+StaticTrainingPredictor::advanceHistory(HistoryEntry &entry, bool taken)
+{
+    if (entry.fillPending) {
+        entry.pattern = taken ? allOnes() : 0;
+        entry.fillPending = false;
+    } else {
+        entry.pattern =
+            ((entry.pattern << 1) | (taken ? 1 : 0)) & allOnes();
+    }
+}
+
+const PatternProfile *
+StaticTrainingPredictor::profileFor(std::uint64_t pc) const
+{
+    if (cfg.patternScope == PatternScope::Global)
+        return profileData.get();
+    auto it = addressProfiles.find(pc);
+    return it == addressProfiles.end() ? nullptr : &it->second;
+}
+
+bool
+StaticTrainingPredictor::predict(const BranchQuery &branch)
+{
+    HistoryEntry &entry = historyFor(branch.pc);
+    const PatternProfile *profile = profileFor(branch.pc);
+    // Branches never seen in training default to taken.
+    return profile ? profile->presetBit(entry.pattern) : true;
+}
+
+void
+StaticTrainingPredictor::update(const BranchQuery &branch, bool taken)
+{
+    HistoryEntry &entry = historyFor(branch.pc);
+    advanceHistory(entry, taken);
+}
+
+void
+StaticTrainingPredictor::contextSwitch()
+{
+    if (cfg.historyScope == HistoryScope::Global) {
+        globalEntry.pattern = allOnes();
+        globalEntry.fillPending = false;
+        return;
+    }
+    if (cfg.bhtKind == BhtKind::Ideal) {
+        ideal.clear();
+        return;
+    }
+    practical->flush();
+}
+
+void
+StaticTrainingPredictor::reset()
+{
+    globalEntry = HistoryEntry{};
+    globalEntry.pattern = allOnes();
+    ideal.clear();
+    if (practical)
+        practical->reset();
+    // The preset table and trained flag survive reset(): retraining
+    // requires another train() call.
+}
+
+void
+StaticTrainingPredictor::train(TraceSource &training)
+{
+    // A fresh profile replaces any previous one.
+    profileData = std::make_unique<PatternProfile>(cfg.historyBits);
+    addressProfiles.clear();
+    reset();
+
+    BranchRecord record;
+    while (training.next(record)) {
+        if (!record.isConditional())
+            continue;
+        HistoryEntry &entry = historyFor(record.pc);
+        if (cfg.patternScope == PatternScope::Global) {
+            profileData->account(entry.pattern, record.taken);
+        } else {
+            auto [it, inserted] = addressProfiles.try_emplace(
+                record.pc, cfg.historyBits);
+            it->second.account(entry.pattern, record.taken);
+        }
+        advanceHistory(entry, record.taken);
+    }
+
+    isTrained = true;
+    reset();
+}
+
+} // namespace tl

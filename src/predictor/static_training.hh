@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Lee and A. Smith's Static Training schemes (the paper's GSg / PSg
+ * comparison points).
+ *
+ * Structurally these mirror the Two-Level Adaptive predictors: a
+ * global (GSg) or per-address (PSg) branch history register feeds a
+ * global pattern history table. The crucial difference (Section 2.1)
+ * is that each pattern table entry holds a *preset prediction bit*
+ * computed by profiling a training run, and never changes during
+ * execution: given the same history pattern, Static Training always
+ * makes the same prediction.
+ *
+ * PSp (per-address preset tables) is *not simulated in the paper*
+ * because of its unreasonable profile storage requirements — for a
+ * software study, however, the storage is affordable, so this
+ * implementation includes it as an extension (patternScope =
+ * PerAddress): one preset table per static branch, profiled
+ * per-branch. It bounds how much Static Training could ever gain
+ * from removing pattern interference.
+ */
+
+#ifndef TL_PREDICTOR_STATIC_TRAINING_HH
+#define TL_PREDICTOR_STATIC_TRAINING_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "predictor/branch_history_table.hh"
+#include "predictor/predictor.hh"
+#include "predictor/two_level.hh"
+
+namespace tl
+{
+
+/** Configuration of a Static Training predictor. */
+struct StaticTrainingConfig
+{
+    /** Global history = GSg; per-address history = PSg/PSp. */
+    HistoryScope historyScope = HistoryScope::PerAddress;
+
+    /**
+     * Global preset table (..g, the paper's schemes) or one preset
+     * table per static branch (..p — the PSp extension).
+     */
+    PatternScope patternScope = PatternScope::Global;
+
+    /** History register length k. */
+    unsigned historyBits = 12;
+
+    /** BHT realization for per-address history. */
+    BhtKind bhtKind = BhtKind::Practical;
+
+    /** Practical BHT geometry. */
+    BhtGeometry bht{512, 4};
+
+    /** "GSg", "PSg", "PSp" or "GSp". */
+    std::string variationName() const;
+
+    /** Full name in the paper's naming convention ("PB" content). */
+    std::string schemeName() const;
+
+    /** Calls fatal() on invalid parameters. */
+    void validate() const;
+
+    static StaticTrainingConfig gsg(unsigned historyBits);
+    static StaticTrainingConfig psg(unsigned historyBits,
+                                    BhtGeometry bht = {512, 4});
+
+    /** The PSp extension: per-address history and preset tables. */
+    static StaticTrainingConfig psp(unsigned historyBits,
+                                    BhtGeometry bht = {512, 4});
+};
+
+/**
+ * A per-pattern profile gathered from a training trace: taken and
+ * total occurrence counts for every history pattern.
+ */
+class PatternProfile
+{
+  public:
+    explicit PatternProfile(unsigned historyBits);
+
+    /** Account one outcome under @p pattern. */
+    void account(std::uint64_t pattern, bool taken);
+
+    /**
+     * Majority direction for @p pattern; patterns never observed in
+     * training default to taken (the dominant direction).
+     */
+    bool presetBit(std::uint64_t pattern) const;
+
+    /** Number of patterns observed at least once. */
+    std::size_t patternsSeen() const;
+
+    /** Total outcomes accounted. */
+    std::uint64_t samples() const { return totalSamples; }
+
+  private:
+    unsigned historyBits;
+    std::vector<std::uint64_t> takenCount;
+    std::vector<std::uint64_t> totalCount;
+    std::uint64_t totalSamples = 0;
+};
+
+/** The GSg / PSg predictor. */
+class StaticTrainingPredictor : public BranchPredictor
+{
+  public:
+    explicit StaticTrainingPredictor(StaticTrainingConfig config);
+
+    std::string name() const override;
+    bool predict(const BranchQuery &branch) override;
+    void update(const BranchQuery &branch, bool taken) override;
+    void contextSwitch() override;
+    void reset() override;
+
+    bool needsTraining() const override { return true; }
+
+    /**
+     * Profile the training trace: run the same first-level history
+     * structure over it and preset the pattern table by per-pattern
+     * majority. Run-time state is reset afterwards.
+     */
+    void train(TraceSource &training) override;
+
+    /** True once train() has been called. */
+    bool trained() const { return isTrained; }
+
+    /**
+     * The global profile gathered by train() (the per-pattern counts
+     * behind the ..g schemes' preset table).
+     */
+    const PatternProfile &profile() const { return *profileData; }
+
+    /** Number of per-branch profiles (PSp); 0 for the ..g schemes. */
+    std::size_t perBranchProfiles() const
+    {
+        return addressProfiles.size();
+    }
+
+    const StaticTrainingConfig &config() const { return cfg; }
+
+  private:
+    struct HistoryEntry
+    {
+        std::uint64_t pattern = 0;
+        bool fillPending = false;
+    };
+
+    HistoryEntry &historyFor(std::uint64_t pc);
+    void advanceHistory(HistoryEntry &entry, bool taken);
+    std::uint64_t allOnes() const { return mask(cfg.historyBits); }
+
+    /** The profile serving @p pc under the configured scope. */
+    const PatternProfile *profileFor(std::uint64_t pc) const;
+
+    StaticTrainingConfig cfg;
+    std::unique_ptr<PatternProfile> profileData;
+    std::unordered_map<std::uint64_t, PatternProfile> addressProfiles;
+    bool isTrained = false;
+
+    HistoryEntry globalEntry;
+    std::unordered_map<std::uint64_t, HistoryEntry> ideal;
+    std::unique_ptr<AssociativeTable<HistoryEntry>> practical;
+};
+
+} // namespace tl
+
+#endif // TL_PREDICTOR_STATIC_TRAINING_HH

@@ -1,0 +1,29 @@
+#include "predictor/target_cache.hh"
+
+namespace tl
+{
+
+TargetCache::TargetCache(BhtGeometry geometry)
+    : table(geometry)
+{
+}
+
+std::optional<std::uint64_t>
+TargetCache::lookup(std::uint64_t pc)
+{
+    auto ref = table.access(pc);
+    if (!ref)
+        return std::nullopt;
+    return ref.payload->target;
+}
+
+void
+TargetCache::update(std::uint64_t pc, std::uint64_t target)
+{
+    auto ref = table.peek(pc);
+    if (!ref)
+        ref = table.allocate(pc);
+    ref.payload->target = target;
+}
+
+} // namespace tl

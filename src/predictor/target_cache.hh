@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Target-address caching (the paper's Section 3.2).
+ *
+ * Predicting a branch's direction is not enough to keep fetch busy:
+ * the taken target must also be available, or the pipeline takes a
+ * bubble while the target is computed. The paper adds a target field
+ * to each branch history table entry and accesses the table by fetch
+ * address so the prediction and target are ready before decode; on a
+ * miss, fetch falls through sequentially and a static prediction is
+ * applied after decode.
+ *
+ * TargetCache models that field as a tagged set-associative cache of
+ * branch targets (the same structure as the BHT, per the paper); the
+ * fetch-level consequences are measured by sim/fetch.hh.
+ */
+
+#ifndef TL_PREDICTOR_TARGET_CACHE_HH
+#define TL_PREDICTOR_TARGET_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "predictor/branch_history_table.hh"
+
+namespace tl
+{
+
+/** A cache of branch target addresses keyed by branch address. */
+class TargetCache
+{
+  public:
+    explicit TargetCache(BhtGeometry geometry = {512, 4});
+
+    /**
+     * Look up the cached target for @p pc.
+     *
+     * @return The target recorded by the last update, or empty on a
+     *         miss (fetch must fall through sequentially).
+     */
+    std::optional<std::uint64_t> lookup(std::uint64_t pc);
+
+    /**
+     * Record the resolved target of a branch at @p pc, allocating an
+     * entry if needed.
+     */
+    void update(std::uint64_t pc, std::uint64_t target);
+
+    /** Flush all entries (context switch). */
+    void flush() { table.flush(); }
+
+    /** Power-on reset including statistics. */
+    void reset() { table.reset(); }
+
+    /** Hit/miss statistics. */
+    const TableStats &stats() const { return table.stats(); }
+
+    /** Geometry. */
+    const BhtGeometry &geom() const { return table.geom(); }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t target = 0;
+    };
+
+    AssociativeTable<Entry> table;
+};
+
+} // namespace tl
+
+#endif // TL_PREDICTOR_TARGET_CACHE_HH

@@ -1,0 +1,115 @@
+#include "predictor/tournament.hh"
+
+#include "trace/trace.hh"
+#include "util/bitops.hh"
+#include "util/status.hh"
+
+namespace tl
+{
+
+TournamentPredictor::TournamentPredictor(
+    std::unique_ptr<BranchPredictor> first,
+    std::unique_ptr<BranchPredictor> second,
+    std::size_t chooserEntries)
+    : first(std::move(first)), second(std::move(second))
+{
+    if (!this->first || !this->second)
+        fatal("tournament: both components are required");
+    if (chooserEntries == 0 || !isPowerOfTwo(chooserEntries))
+        fatal("tournament: chooser entries (%zu) must be a power of "
+              "two",
+              chooserEntries);
+    chooser.assign(chooserEntries, 2); // weakly prefer the first
+}
+
+std::string
+TournamentPredictor::name() const
+{
+    return "Tournament(" + first->name() + "," + second->name() + ")";
+}
+
+Automaton::State &
+TournamentPredictor::chooserFor(std::uint64_t pc)
+{
+    return chooser[(pc >> 2) & (chooser.size() - 1)];
+}
+
+bool
+TournamentPredictor::predict(const BranchQuery &branch)
+{
+    lastFirstPrediction = first->predict(branch);
+    lastSecondPrediction = second->predict(branch);
+    lastFromFirst = chooserFor(branch.pc) >= 2;
+    ++predictions;
+    if (lastFromFirst)
+        ++fromFirst;
+    return lastFromFirst ? lastFirstPrediction
+                         : lastSecondPrediction;
+}
+
+void
+TournamentPredictor::update(const BranchQuery &branch, bool taken)
+{
+    first->update(branch, taken);
+    second->update(branch, taken);
+    // Train the chooser only on disagreement, toward the component
+    // that was right.
+    if (lastFirstPrediction != lastSecondPrediction) {
+        Automaton::State &state = chooserFor(branch.pc);
+        const Automaton &a2 = Automaton::a2();
+        state = a2.next(state, lastFirstPrediction == taken);
+    }
+}
+
+void
+TournamentPredictor::contextSwitch()
+{
+    first->contextSwitch();
+    second->contextSwitch();
+    // The chooser is untagged per-address state like a BHT entry;
+    // flush it with the rest of the run-time tables.
+    chooser.assign(chooser.size(), 2);
+}
+
+void
+TournamentPredictor::reset()
+{
+    first->reset();
+    second->reset();
+    chooser.assign(chooser.size(), 2);
+    fromFirst = 0;
+    predictions = 0;
+}
+
+bool
+TournamentPredictor::needsTraining() const
+{
+    return first->needsTraining() || second->needsTraining();
+}
+
+void
+TournamentPredictor::train(TraceSource &training)
+{
+    // Both components see the same training stream; replaying
+    // requires a rewindable source, so we materialize it once.
+    Trace trace;
+    trace.appendAll(training);
+    if (first->needsTraining()) {
+        TraceReplaySource replay(trace);
+        first->train(replay);
+    }
+    if (second->needsTraining()) {
+        TraceReplaySource replay(trace);
+        second->train(replay);
+    }
+}
+
+double
+TournamentPredictor::firstComponentSharePercent() const
+{
+    return predictions ? 100.0 * double(fromFirst) /
+                             double(predictions)
+                       : 0.0;
+}
+
+} // namespace tl

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A tournament (hybrid) predictor — a post-paper extension in the
+ * direction of the paper's closing remarks ("we are examining that
+ * 3 percent to try to characterize it and hopefully reduce it"):
+ * combine two component predictors with a per-branch chooser, the
+ * structure McFarling later published and the Alpha 21264 shipped.
+ *
+ * The chooser is an untagged table of 2-bit saturating counters
+ * indexed by the branch address. Both components always train; the
+ * chooser trains only when the components disagree, toward whichever
+ * was right.
+ */
+
+#ifndef TL_PREDICTOR_TOURNAMENT_HH
+#define TL_PREDICTOR_TOURNAMENT_HH
+
+#include <memory>
+#include <vector>
+
+#include "predictor/automaton.hh"
+#include "predictor/predictor.hh"
+
+namespace tl
+{
+
+/** Two component predictors under a per-branch chooser. */
+class TournamentPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param first Preferred when the chooser counter is high.
+     * @param second Preferred when the chooser counter is low.
+     * @param chooserEntries Chooser table size (power of two).
+     */
+    TournamentPredictor(std::unique_ptr<BranchPredictor> first,
+                        std::unique_ptr<BranchPredictor> second,
+                        std::size_t chooserEntries = 1024);
+
+    std::string name() const override;
+    bool predict(const BranchQuery &branch) override;
+    void update(const BranchQuery &branch, bool taken) override;
+    void contextSwitch() override;
+    void reset() override;
+
+    bool needsTraining() const override;
+    void train(TraceSource &training) override;
+
+    /** Fraction of predictions taken from the first component. */
+    double firstComponentSharePercent() const;
+
+  private:
+    Automaton::State &chooserFor(std::uint64_t pc);
+
+    std::unique_ptr<BranchPredictor> first;
+    std::unique_ptr<BranchPredictor> second;
+    std::vector<Automaton::State> chooser;
+
+    bool lastFromFirst = false;
+    bool lastFirstPrediction = false;
+    bool lastSecondPrediction = false;
+    std::uint64_t fromFirst = 0;
+    std::uint64_t predictions = 0;
+};
+
+} // namespace tl
+
+#endif // TL_PREDICTOR_TOURNAMENT_HH

@@ -1,0 +1,452 @@
+#include "predictor/two_level.hh"
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+std::string
+TwoLevelConfig::variationName() const
+{
+    char first = historyScope == HistoryScope::Global ? 'G'
+                 : historyScope == HistoryScope::PerSet ? 'S'
+                                                        : 'P';
+    char last = patternScope == PatternScope::Global ? 'g'
+                : patternScope == PatternScope::PerSet ? 's'
+                                                       : 'p';
+    return strprintf("%cA%c", first, last);
+}
+
+std::string
+TwoLevelConfig::schemeName() const
+{
+    std::string history;
+    if (historyScope == HistoryScope::Global) {
+        history = strprintf("HR(1,,%u-sr)", historyBits);
+    } else if (historyScope == HistoryScope::PerSet) {
+        history = strprintf(
+            "SHR(%llu,,%u-sr)",
+            static_cast<unsigned long long>(std::uint64_t{1}
+                                            << historySetBits),
+            historyBits);
+    } else if (bhtKind == BhtKind::Ideal) {
+        history = strprintf("IBHT(inf,,%u-sr)", historyBits);
+    } else {
+        history = strprintf("BHT(%zu,%u,%u-sr)", bht.numEntries,
+                            bht.assoc, historyBits);
+    }
+
+    std::size_t tables = 1;
+    if (patternScope == PatternScope::PerSet)
+        tables = std::size_t{1} << patternSetBits;
+    else if (patternScope == PatternScope::PerAddress)
+        tables = (historyScope == HistoryScope::PerAddress &&
+                  bhtKind == BhtKind::Practical)
+                     ? bht.numEntries
+                     : 0; // 0 renders as "inf" below
+
+    std::string set_size =
+        tables == 0 ? "inf" : strprintf("%zu", tables);
+    std::string pattern =
+        strprintf("%sxPHT(%llu,%s)", set_size.c_str(),
+                  static_cast<unsigned long long>(std::uint64_t{1}
+                                                  << historyBits),
+                  automaton->name().c_str());
+    return strprintf("%s(%s,%s)", variationName().c_str(),
+                     history.c_str(), pattern.c_str());
+}
+
+void
+TwoLevelConfig::validate() const
+{
+    if (historyBits == 0 || historyBits > 24)
+        fatal("two-level: history length %u out of range [1, 24]",
+              historyBits);
+    if (!automaton)
+        fatal("two-level: no automaton configured");
+    if (historyScope == HistoryScope::PerAddress &&
+        bhtKind == BhtKind::Practical) {
+        bht.validate();
+    }
+    if (indexMode == IndexMode::Xor &&
+        patternScope != PatternScope::Global) {
+        fatal("two-level: XOR indexing only applies to shared pattern "
+              "tables");
+    }
+    if (historyScope == HistoryScope::PerSet &&
+        (historySetBits == 0 || historySetBits > 16)) {
+        fatal("two-level: history set bits %u out of range [1, 16]",
+              historySetBits);
+    }
+    if (patternScope == PatternScope::PerSet &&
+        (patternSetBits == 0 || patternSetBits > 16)) {
+        fatal("two-level: pattern set bits %u out of range [1, 16]",
+              patternSetBits);
+    }
+}
+
+TwoLevelConfig
+TwoLevelConfig::gag(unsigned historyBits)
+{
+    TwoLevelConfig config;
+    config.historyScope = HistoryScope::Global;
+    config.patternScope = PatternScope::Global;
+    config.historyBits = historyBits;
+    return config;
+}
+
+TwoLevelConfig
+TwoLevelConfig::pag(unsigned historyBits, BhtGeometry bht)
+{
+    TwoLevelConfig config;
+    config.historyScope = HistoryScope::PerAddress;
+    config.patternScope = PatternScope::Global;
+    config.historyBits = historyBits;
+    config.bhtKind = BhtKind::Practical;
+    config.bht = bht;
+    return config;
+}
+
+TwoLevelConfig
+TwoLevelConfig::pagIdeal(unsigned historyBits)
+{
+    TwoLevelConfig config = pag(historyBits);
+    config.bhtKind = BhtKind::Ideal;
+    return config;
+}
+
+TwoLevelConfig
+TwoLevelConfig::pap(unsigned historyBits, BhtGeometry bht)
+{
+    TwoLevelConfig config = pag(historyBits, bht);
+    config.patternScope = PatternScope::PerAddress;
+    return config;
+}
+
+TwoLevelConfig
+TwoLevelConfig::papIdeal(unsigned historyBits)
+{
+    TwoLevelConfig config = pap(historyBits);
+    config.bhtKind = BhtKind::Ideal;
+    return config;
+}
+
+TwoLevelConfig
+TwoLevelConfig::sag(unsigned historyBits, unsigned historySetBits)
+{
+    TwoLevelConfig config;
+    config.historyScope = HistoryScope::PerSet;
+    config.patternScope = PatternScope::Global;
+    config.historyBits = historyBits;
+    config.historySetBits = historySetBits;
+    return config;
+}
+
+TwoLevelConfig
+TwoLevelConfig::sas(unsigned historyBits, unsigned setBits)
+{
+    TwoLevelConfig config = sag(historyBits, setBits);
+    config.patternScope = PatternScope::PerSet;
+    config.patternSetBits = setBits;
+    return config;
+}
+
+TwoLevelPredictor::TwoLevelPredictor(TwoLevelConfig config)
+    : cfg(config)
+{
+    cfg.validate();
+
+    bool per_addr_history =
+        cfg.historyScope == HistoryScope::PerAddress;
+    bool practical_bht =
+        per_addr_history && cfg.bhtKind == BhtKind::Practical;
+
+    if (practical_bht) {
+        practical = std::make_unique<AssociativeTable<HistoryEntry>>(
+            cfg.bht);
+    }
+
+    if (cfg.historyScope == HistoryScope::PerSet) {
+        setEntries.assign(std::size_t{1} << cfg.historySetBits,
+                          HistoryEntry{});
+    }
+
+    if (cfg.patternScope == PatternScope::Global) {
+        tables.emplace_back(cfg.historyBits, *cfg.automaton);
+    } else if (cfg.patternScope == PatternScope::PerSet) {
+        std::size_t count = std::size_t{1} << cfg.patternSetBits;
+        tables.reserve(count);
+        for (std::size_t set = 0; set < count; ++set)
+            tables.emplace_back(cfg.historyBits, *cfg.automaton);
+    } else if (practical_bht) {
+        // One PHT per BHT slot (the paper's p = h).
+        tables.reserve(cfg.bht.numEntries);
+        for (std::size_t slot = 0; slot < cfg.bht.numEntries; ++slot)
+            tables.emplace_back(cfg.historyBits, *cfg.automaton);
+        slotOwner.assign(cfg.bht.numEntries, noOwner);
+    }
+    // Per-address PHTs over an ideal BHT (or global history, "GAp")
+    // are created on demand in phtFor().
+
+    reset();
+}
+
+std::string
+TwoLevelPredictor::name() const
+{
+    return cfg.schemeName();
+}
+
+void
+TwoLevelPredictor::reset()
+{
+    globalEntry = HistoryEntry{};
+    globalEntry.arch = globalEntry.spec = allOnes();
+    for (HistoryEntry &entry : setEntries) {
+        entry = HistoryEntry{};
+        entry.arch = entry.spec = allOnes();
+    }
+    ideal.clear();
+    idealStats = TableStats{};
+    if (practical)
+        practical->reset();
+    for (PatternHistoryTable &table : tables)
+        table.reset();
+    if (cfg.patternScope == PatternScope::PerAddress &&
+        (cfg.historyScope != HistoryScope::PerAddress ||
+         cfg.bhtKind == BhtKind::Ideal)) {
+        tables.clear();
+        idealPhtIndex.clear();
+    }
+    if (!slotOwner.empty())
+        slotOwner.assign(slotOwner.size(), noOwner);
+}
+
+TwoLevelPredictor::HistoryEntry &
+TwoLevelPredictor::historyFor(std::uint64_t pc, std::size_t &slot)
+{
+    slot = 0;
+    if (cfg.historyScope == HistoryScope::Global)
+        return globalEntry;
+    if (cfg.historyScope == HistoryScope::PerSet)
+        return setEntries[setIndex(pc, cfg.historySetBits)];
+
+    if (cfg.bhtKind == BhtKind::Ideal) {
+        auto [it, inserted] = ideal.try_emplace(pc);
+        if (inserted) {
+            ++idealStats.misses;
+            HistoryEntry &entry = it->second;
+            entry.arch = entry.spec = allOnes();
+            entry.fillPending = true;
+        } else {
+            ++idealStats.hits;
+        }
+        return it->second;
+    }
+
+    auto ref = practical->access(pc);
+    if (!ref) {
+        ref = practical->allocate(pc);
+        HistoryEntry &entry = *ref.payload;
+        entry.arch = entry.spec = allOnes();
+        entry.fillPending = true;
+        if (!slotOwner.empty() && slotOwner[ref.slot] != pc) {
+            // A different static branch takes over this slot: its
+            // per-address pattern history starts fresh (PAp).
+            tables[ref.slot].reset();
+            slotOwner[ref.slot] = pc;
+        }
+    }
+    slot = ref.slot;
+    return *ref.payload;
+}
+
+PatternHistoryTable &
+TwoLevelPredictor::phtFor(std::uint64_t pc, std::size_t slot)
+{
+    if (cfg.patternScope == PatternScope::Global)
+        return tables[0];
+    if (cfg.patternScope == PatternScope::PerSet)
+        return tables[setIndex(pc, cfg.patternSetBits)];
+
+    bool slot_bound = cfg.historyScope == HistoryScope::PerAddress &&
+                      cfg.bhtKind == BhtKind::Practical;
+    if (slot_bound)
+        return tables[slot];
+
+    // Ideal per-address tables: one per static branch, on demand.
+    auto it = idealPhtIndex.find(pc);
+    if (it == idealPhtIndex.end()) {
+        idealPhtIndex.emplace(pc, tables.size());
+        tables.emplace_back(cfg.historyBits, *cfg.automaton);
+        return tables.back();
+    }
+    return tables[it->second];
+}
+
+std::uint64_t
+TwoLevelPredictor::index(std::uint64_t pattern, std::uint64_t pc) const
+{
+    if (cfg.indexMode == IndexMode::Concat)
+        return pattern;
+    return pattern ^ ((pc >> 2) & allOnes());
+}
+
+bool
+TwoLevelPredictor::predict(const BranchQuery &branch)
+{
+    std::size_t slot = 0;
+    HistoryEntry &entry = historyFor(branch.pc, slot);
+    PatternHistoryTable &pht = phtFor(branch.pc, slot);
+
+    bool speculative = cfg.speculative != SpeculativeMode::Off;
+    std::uint64_t pattern = speculative ? entry.spec : entry.arch;
+    bool prediction = pht.predict(index(pattern, branch.pc));
+
+    entry.lastPrediction = prediction;
+    entry.hasPrediction = true;
+    if (speculative) {
+        entry.spec =
+            ((entry.spec << 1) | (prediction ? 1 : 0)) & allOnes();
+    }
+    return prediction;
+}
+
+void
+TwoLevelPredictor::update(const BranchQuery &branch, bool taken)
+{
+    std::size_t slot = 0;
+    HistoryEntry &entry = historyFor(branch.pc, slot);
+    PatternHistoryTable &pht = phtFor(branch.pc, slot);
+
+    // The PHT entry addressed by the architectural history pattern is
+    // updated with the resolved outcome (Eq. 2). With speculative
+    // history the *read* may have used a corrupted pattern, but the
+    // update targets the architecturally correct entry (Section 3.1:
+    // the PHT update is not timing critical and waits for the
+    // resolved result).
+    pht.update(index(entry.arch, branch.pc), taken);
+
+    if (entry.fillPending) {
+        // First resolved outcome after allocation: extend the result
+        // bit throughout the history register (Section 4.2).
+        entry.arch = taken ? allOnes() : 0;
+        entry.fillPending = false;
+    } else {
+        entry.arch = ((entry.arch << 1) | (taken ? 1 : 0)) & allOnes();
+    }
+
+    switch (cfg.speculative) {
+      case SpeculativeMode::Off:
+        entry.spec = entry.arch;
+        break;
+      case SpeculativeMode::NoRepair:
+        break;
+      case SpeculativeMode::Reinitialize:
+        if (entry.hasPrediction && entry.lastPrediction != taken)
+            entry.spec = allOnes();
+        break;
+      case SpeculativeMode::Repair:
+        if (entry.hasPrediction && entry.lastPrediction != taken)
+            entry.spec = entry.arch;
+        break;
+    }
+}
+
+void
+TwoLevelPredictor::contextSwitch()
+{
+    // Flush and reinitialize the branch history table; pattern
+    // history tables keep their contents (Section 5.1.4).
+    if (cfg.historyScope == HistoryScope::Global) {
+        globalEntry.arch = globalEntry.spec = allOnes();
+        globalEntry.fillPending = false;
+        globalEntry.hasPrediction = false;
+        return;
+    }
+    if (cfg.historyScope == HistoryScope::PerSet) {
+        for (HistoryEntry &entry : setEntries) {
+            entry.arch = entry.spec = allOnes();
+            entry.fillPending = false;
+            entry.hasPrediction = false;
+        }
+        return;
+    }
+    if (cfg.bhtKind == BhtKind::Ideal) {
+        ideal.clear();
+        return;
+    }
+    practical->flush();
+    // slotOwner intentionally survives: if the same branch reclaims
+    // its slot after the switch, its per-address pattern history is
+    // still valid (the paper keeps PHT contents across switches).
+}
+
+TableStats
+TwoLevelPredictor::bhtStats() const
+{
+    if (cfg.historyScope == HistoryScope::Global)
+        return TableStats{};
+    if (cfg.bhtKind == BhtKind::Ideal)
+        return idealStats;
+    return practical->stats();
+}
+
+std::optional<CostBreakdown>
+TwoLevelPredictor::hardwareCost(unsigned addressBits,
+                                const CostConstants &constants) const
+{
+    unsigned state_bits = cfg.automaton->stateBits();
+    if (cfg.historyScope == HistoryScope::Global &&
+        cfg.patternScope == PatternScope::Global) {
+        return gagCost(cfg.historyBits, state_bits, constants);
+    }
+    if (cfg.historyScope != HistoryScope::PerAddress ||
+        cfg.patternScope == PatternScope::PerSet ||
+        cfg.bhtKind == BhtKind::Ideal) {
+        // Ideal structures are not implementable; the paper's cost
+        // model (Sec. 3.4) does not cover the set-scheme extension.
+        return std::nullopt;
+    }
+    CostParams params;
+    params.addressBits = addressBits;
+    params.bhtEntries = cfg.bht.numEntries;
+    params.bhtAssoc = cfg.bht.assoc;
+    params.historyBits = cfg.historyBits;
+    params.patternStateBits = state_bits;
+    params.patternTables = cfg.patternScope == PatternScope::Global
+                               ? 1
+                               : cfg.bht.numEntries;
+    return fullCost(params, constants);
+}
+
+std::uint64_t
+TwoLevelPredictor::historyPattern(std::uint64_t pc) const
+{
+    if (cfg.historyScope == HistoryScope::Global)
+        return cfg.speculative == SpeculativeMode::Off
+                   ? globalEntry.arch
+                   : globalEntry.spec;
+    if (cfg.historyScope == HistoryScope::PerSet) {
+        const HistoryEntry &entry =
+            setEntries[setIndex(pc, cfg.historySetBits)];
+        return cfg.speculative == SpeculativeMode::Off ? entry.arch
+                                                       : entry.spec;
+    }
+    if (cfg.bhtKind == BhtKind::Ideal) {
+        auto it = ideal.find(pc);
+        if (it == ideal.end())
+            return allOnes();
+        return cfg.speculative == SpeculativeMode::Off
+                   ? it->second.arch
+                   : it->second.spec;
+    }
+    auto ref = const_cast<AssociativeTable<HistoryEntry> &>(*practical)
+                   .peek(pc);
+    if (!ref)
+        return allOnes();
+    return cfg.speculative == SpeculativeMode::Off ? ref.payload->arch
+                                                   : ref.payload->spec;
+}
+
+} // namespace tl

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Two-Level Adaptive Branch Prediction (the paper's Section 2).
+ *
+ * One engine implements all three variations as points in a design
+ * space:
+ *
+ *  - GAg: a single global history register and a single global
+ *    pattern history table.
+ *  - PAg: per-address history registers (in an ideal or practical
+ *    branch history table) and a single global pattern history table.
+ *  - PAp: per-address history registers and per-address pattern
+ *    history tables.
+ *
+ * (GAp — global history with per-address pattern tables — is also
+ * expressible; the paper does not evaluate it but the engine supports
+ * it for completeness.)
+ *
+ * Initialization and update rules follow Sections 2.1, 3.1 and 4.2:
+ * history registers initialize to all 1s and are refilled with the
+ * first resolved outcome after a BHT miss; PHT entries initialize to
+ * the automaton's init state (state 3 for the counters, 1 for
+ * Last-Time); context switches flush the BHT but never reinitialize
+ * pattern history tables.
+ *
+ * The speculative-history mechanism of Section 3.1 is modeled by the
+ * SpeculativeMode knob: predictions are shifted into the (separate)
+ * speculative history register at predict time, and on a detected
+ * misprediction the register is left corrupted, reinitialized, or
+ * repaired from the architectural history, depending on the policy.
+ */
+
+#ifndef TL_PREDICTOR_TWO_LEVEL_HH
+#define TL_PREDICTOR_TWO_LEVEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "predictor/automaton.hh"
+#include "predictor/branch_history_table.hh"
+#include "predictor/cost_model.hh"
+#include "predictor/history_register.hh"
+#include "predictor/pattern_table.hh"
+#include "predictor/predictor.hh"
+
+namespace tl
+{
+
+/**
+ * First-level (branch history) organization.
+ *
+ * Global and PerAddress are the paper's G.. and P.. variations;
+ * PerSet is the S.. middle ground of Yeh & Patt's follow-up taxonomy
+ * (an untagged array of history registers indexed by low address
+ * bits), included as an extension.
+ */
+enum class HistoryScope
+{
+    Global,     //!< one history register shared by all branches (G..)
+    PerSet,     //!< one register per address set (S.., extension)
+    PerAddress  //!< one history register per static branch (P..)
+};
+
+/** Second-level (pattern history) organization. */
+enum class PatternScope
+{
+    Global,     //!< one pattern history table (..g)
+    PerSet,     //!< one table per address set (..s, extension)
+    PerAddress  //!< one pattern history table per static branch (..p)
+};
+
+/** Branch history table realization for per-address history. */
+enum class BhtKind
+{
+    Ideal,    //!< IBHT: one entry per static branch, never misses
+    Practical //!< tagged set-associative cache (Section 3.3)
+};
+
+/** How the history pattern indexes the pattern history table. */
+enum class IndexMode
+{
+    Concat, //!< the paper's scheme: the pattern is the index
+    Xor     //!< gshare-style pc XOR history (post-paper extension)
+};
+
+/** Speculative history update policy (Section 3.1). */
+enum class SpeculativeMode
+{
+    Off,          //!< update history with resolved outcomes only
+    NoRepair,     //!< shift predictions in; never repair
+    Reinitialize, //!< on mispredict, reinitialize the history register
+    Repair        //!< on mispredict, restore the architectural history
+};
+
+/** Configuration of a Two-Level Adaptive predictor. */
+struct TwoLevelConfig
+{
+    HistoryScope historyScope = HistoryScope::PerAddress;
+    PatternScope patternScope = PatternScope::Global;
+
+    /** History register length k. */
+    unsigned historyBits = 12;
+
+    /** Pattern-history automaton (one of Automaton's named machines). */
+    const Automaton *automaton = &Automaton::a2();
+
+    /** BHT realization (ignored for global history). */
+    BhtKind bhtKind = BhtKind::Practical;
+
+    /** Practical BHT geometry (ignored for Ideal / global history). */
+    BhtGeometry bht{512, 4};
+
+    SpeculativeMode speculative = SpeculativeMode::Off;
+    IndexMode indexMode = IndexMode::Concat;
+
+    /**
+     * log2 of the number of history-register sets (PerSet history) —
+     * the registers are untagged and indexed by low address bits.
+     */
+    unsigned historySetBits = 4;
+
+    /** log2 of the number of pattern tables (PerSet patterns). */
+    unsigned patternSetBits = 4;
+
+    /**
+     * Variation name from the two scopes: "GAg", "PAg", "PAp", and
+     * the extension quadrants ("GAp", "SAg", "GAs", "SAs", "PAs",
+     * "SAp").
+     */
+    std::string variationName() const;
+
+    /** Full name in the paper's naming convention. */
+    std::string schemeName() const;
+
+    /** Calls fatal() on an invalid combination. */
+    void validate() const;
+
+    /// @name Named constructors for the paper's configurations
+    /// @{
+    static TwoLevelConfig gag(unsigned historyBits);
+    static TwoLevelConfig pag(unsigned historyBits,
+                              BhtGeometry bht = {512, 4});
+    static TwoLevelConfig pagIdeal(unsigned historyBits);
+    static TwoLevelConfig pap(unsigned historyBits,
+                              BhtGeometry bht = {512, 4});
+    static TwoLevelConfig papIdeal(unsigned historyBits);
+
+    /** Per-set history, global table (extension: "SAg"). */
+    static TwoLevelConfig sag(unsigned historyBits,
+                              unsigned historySetBits);
+
+    /** Per-set history and per-set tables (extension: "SAs"). */
+    static TwoLevelConfig sas(unsigned historyBits,
+                              unsigned setBits);
+    /// @}
+};
+
+/** The unified GAg / PAg / PAp predictor. */
+class TwoLevelPredictor : public BranchPredictor
+{
+  public:
+    explicit TwoLevelPredictor(TwoLevelConfig config);
+
+    std::string name() const override;
+    bool predict(const BranchQuery &branch) override;
+    void update(const BranchQuery &branch, bool taken) override;
+    void contextSwitch() override;
+    void reset() override;
+
+    /** The configuration this predictor was built with. */
+    const TwoLevelConfig &config() const { return cfg; }
+
+    /** Practical-BHT hit/miss statistics (empty stats for others). */
+    TableStats bhtStats() const;
+
+    /** Number of distinct static branches tracked (ideal BHT only). */
+    std::size_t idealEntries() const { return ideal.size(); }
+
+    /**
+     * Hardware cost per Section 3.4 (the full Equation 3, or
+     * Equation 4 for GAg). Empty for ideal-BHT configurations, which
+     * are not implementable.
+     *
+     * @param addressBits The cost model's "a".
+     * @param constants Technology base costs.
+     */
+    std::optional<CostBreakdown>
+    hardwareCost(unsigned addressBits = 30,
+                 const CostConstants &constants = {}) const;
+
+    /** Read the current (speculative) history pattern for @p pc. */
+    std::uint64_t historyPattern(std::uint64_t pc) const;
+
+  private:
+    /** Per-branch first-level state. */
+    struct HistoryEntry
+    {
+        std::uint64_t arch = 0;     //!< resolved-outcome history
+        std::uint64_t spec = 0;     //!< speculative history
+        bool fillPending = false;   //!< awaiting first-result fill
+        bool lastPrediction = false;
+        bool hasPrediction = false; //!< lastPrediction is meaningful
+    };
+
+    /** Locate (or allocate) the history entry for @p pc. */
+    HistoryEntry &historyFor(std::uint64_t pc, std::size_t &slot);
+
+    /** Pattern history table serving @p pc in slot @p slot. */
+    PatternHistoryTable &phtFor(std::uint64_t pc, std::size_t slot);
+
+    /** PHT index derived from a history pattern (IndexMode). */
+    std::uint64_t index(std::uint64_t pattern, std::uint64_t pc) const;
+
+    std::uint64_t allOnes() const { return mask(cfg.historyBits); }
+
+    /** Untagged set index for @p pc over 2^bits sets. */
+    static std::size_t setIndex(std::uint64_t pc, unsigned bits)
+    {
+        return (pc >> 2) & mask(bits);
+    }
+
+    TwoLevelConfig cfg;
+
+    // First level.
+    HistoryEntry globalEntry;
+    std::vector<HistoryEntry> setEntries;
+    std::unordered_map<std::uint64_t, HistoryEntry> ideal;
+    std::unique_ptr<AssociativeTable<HistoryEntry>> practical;
+    TableStats idealStats;
+
+    // Second level.
+    std::vector<PatternHistoryTable> tables;
+    std::unordered_map<std::uint64_t, std::size_t> idealPhtIndex;
+    std::vector<std::uint64_t> slotOwner;
+
+    static constexpr std::uint64_t noOwner = ~std::uint64_t{0};
+};
+
+} // namespace tl
+
+#endif // TL_PREDICTOR_TWO_LEVEL_HH

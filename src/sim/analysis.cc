@@ -1,0 +1,112 @@
+#include "sim/analysis.hh"
+
+#include <unordered_map>
+
+#include "predictor/history_register.hh"
+#include "util/status.hh"
+
+namespace tl
+{
+
+namespace
+{
+
+/** Outcome tallies for one (branch, pattern) or (pattern) cell. */
+struct Tally
+{
+    std::uint64_t taken = 0;
+    std::uint64_t total = 0;
+
+    bool
+    majorityTaken() const
+    {
+        return 2 * taken >= total;
+    }
+};
+
+/** Shared tail: given per-(pattern, branch) tallies, build a report. */
+InterferenceReport
+buildReport(
+    const std::unordered_map<
+        std::uint64_t,
+        std::unordered_map<std::uint64_t, Tally>> &cells)
+{
+    InterferenceReport report;
+    for (const auto &[pattern, branches] : cells) {
+        ++report.patternsUsed;
+        if (branches.size() > 1)
+            ++report.patternsShared;
+
+        Tally global;
+        for (const auto &[pc, tally] : branches) {
+            global.taken += tally.taken;
+            global.total += tally.total;
+        }
+        bool global_majority = global.majorityTaken();
+        for (const auto &[pc, tally] : branches) {
+            report.accesses += tally.total;
+            if (branches.size() > 1)
+                report.sharedAccesses += tally.total;
+            if (tally.majorityTaken() != global_majority)
+                report.conflictingAccesses += tally.total;
+        }
+    }
+    return report;
+}
+
+} // namespace
+
+InterferenceReport
+analyzePagInterference(const Trace &trace, unsigned historyBits)
+{
+    if (historyBits == 0 || historyBits > 24)
+        fatal("interference analysis: history length %u out of "
+              "range",
+              historyBits);
+
+    std::unordered_map<std::uint64_t, HistoryRegister> histories;
+    std::unordered_map<std::uint64_t,
+                       std::unordered_map<std::uint64_t, Tally>>
+        cells;
+
+    for (const BranchRecord &record : trace.records()) {
+        if (!record.isConditional())
+            continue;
+        auto [it, inserted] =
+            histories.try_emplace(record.pc, historyBits);
+        HistoryRegister &history = it->second;
+        Tally &tally = cells[history.value()][record.pc];
+        ++tally.total;
+        if (record.taken)
+            ++tally.taken;
+        history.shiftIn(record.taken);
+    }
+    return buildReport(cells);
+}
+
+InterferenceReport
+analyzeGagInterference(const Trace &trace, unsigned historyBits)
+{
+    if (historyBits == 0 || historyBits > 24)
+        fatal("interference analysis: history length %u out of "
+              "range",
+              historyBits);
+
+    HistoryRegister history(historyBits);
+    std::unordered_map<std::uint64_t,
+                       std::unordered_map<std::uint64_t, Tally>>
+        cells;
+
+    for (const BranchRecord &record : trace.records()) {
+        if (!record.isConditional())
+            continue;
+        Tally &tally = cells[history.value()][record.pc];
+        ++tally.total;
+        if (record.taken)
+            ++tally.taken;
+        history.shiftIn(record.taken);
+    }
+    return buildReport(cells);
+}
+
+} // namespace tl

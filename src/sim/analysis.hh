@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Interference analysis: quantifies the two effects that separate the
+ * three Two-Level variations in the paper's Section 5.1.2.
+ *
+ *  - First-level (history) interference: in GAg, outcomes of
+ *    different branches share one history register, so the pattern a
+ *    branch is predicted with mixes in other branches' behaviour.
+ *  - Second-level (pattern) interference: in GAg/PAg, different
+ *    branches update the same pattern history table entry; when their
+ *    next-outcome behaviour at a shared pattern disagrees, the entry
+ *    fights (removed entirely by PAp's per-address tables).
+ *
+ * The analyses replay a trace with ideal per-address (or global)
+ * histories and measure how often a branch's own behaviour at a
+ * pattern disagrees with the pattern's all-branches majority — an
+ * upper bound on what a shared-PHT predictor must get wrong.
+ */
+
+#ifndef TL_SIM_ANALYSIS_HH
+#define TL_SIM_ANALYSIS_HH
+
+#include <cstdint>
+
+#include "trace/trace.hh"
+
+namespace tl
+{
+
+/** Result of a pattern-interference analysis. */
+struct InterferenceReport
+{
+    /** Conditional branch executions analyzed. */
+    std::uint64_t accesses = 0;
+
+    /** Executions whose history pattern is also used by another
+     *  static branch. */
+    std::uint64_t sharedAccesses = 0;
+
+    /** Executions where the branch's own majority outcome at the
+     *  pattern disagrees with the pattern's global majority. */
+    std::uint64_t conflictingAccesses = 0;
+
+    /** Distinct history patterns observed. */
+    std::uint64_t patternsUsed = 0;
+
+    /** Patterns used by two or more static branches. */
+    std::uint64_t patternsShared = 0;
+
+    /** Share of accesses on patterns used by several branches. */
+    double
+    sharedPercent() const
+    {
+        return accesses ? 100.0 * double(sharedAccesses) /
+                              double(accesses)
+                        : 0.0;
+    }
+
+    /** Share of accesses fighting the pattern's global majority. */
+    double
+    conflictPercent() const
+    {
+        return accesses ? 100.0 * double(conflictingAccesses) /
+                              double(accesses)
+                        : 0.0;
+    }
+};
+
+/**
+ * Pattern-table interference of a PAg structure: per-address k-bit
+ * histories indexing one shared table.
+ */
+InterferenceReport analyzePagInterference(const Trace &trace,
+                                          unsigned historyBits);
+
+/**
+ * Combined interference of a GAg structure: a single global k-bit
+ * history register indexing one shared table.
+ */
+InterferenceReport analyzeGagInterference(const Trace &trace,
+                                          unsigned historyBits);
+
+} // namespace tl
+
+#endif // TL_SIM_ANALYSIS_HH

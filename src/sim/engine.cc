@@ -1,0 +1,60 @@
+#include "sim/engine.hh"
+
+namespace tl
+{
+
+SimResult
+simulate(TraceSource &source, BranchPredictor &predictor,
+         const SimOptions &options)
+{
+    SimResult result;
+    std::uint64_t insts_since_switch = 0;
+
+    BranchRecord record;
+    while (source.next(record)) {
+        if (options.maxConditionalBranches != 0 &&
+            result.conditionalBranches >=
+                options.maxConditionalBranches) {
+            break;
+        }
+
+        ++result.allBranches;
+        result.instructions += record.instsSince;
+
+        if (options.contextSwitches) {
+            insts_since_switch += record.instsSince;
+            bool trap_switch = options.switchOnTrap && record.trap;
+            bool quantum_switch =
+                insts_since_switch >= options.contextSwitchInterval;
+            if (trap_switch || quantum_switch) {
+                predictor.contextSwitch();
+                ++result.contextSwitchCount;
+                insts_since_switch = 0;
+            }
+        }
+
+        if (!record.isConditional())
+            continue;
+
+        ++result.conditionalBranches;
+        if (record.taken)
+            ++result.taken;
+
+        BranchQuery query = BranchQuery::fromRecord(record);
+        bool prediction = predictor.predict(query);
+        predictor.update(query, record.taken);
+        if (prediction == record.taken)
+            ++result.correct;
+    }
+    return result;
+}
+
+SimResult
+simulate(const Trace &trace, BranchPredictor &predictor,
+         const SimOptions &options)
+{
+    TraceReplaySource source(trace);
+    return simulate(source, predictor, options);
+}
+
+} // namespace tl

@@ -1,0 +1,87 @@
+#include "sim/experiment.hh"
+
+#include <cstdlib>
+
+#include "util/status.hh"
+#include "util/strings.hh"
+
+namespace tl
+{
+
+std::uint64_t
+defaultBranchBudget()
+{
+    if (const char *env = std::getenv("TL_BENCH_BRANCHES")) {
+        auto value = parseU64(env);
+        if (value && *value > 0)
+            return *value;
+        warn("ignoring invalid TL_BENCH_BRANCHES='%s'", env);
+    }
+    return 200000;
+}
+
+WorkloadSuite::WorkloadSuite(std::uint64_t condBranches)
+    : budget(condBranches ? condBranches : defaultBranchBudget())
+{
+}
+
+const Trace &
+WorkloadSuite::testing(const Workload &workload)
+{
+    auto it = testingTraces.find(workload.name());
+    if (it == testingTraces.end()) {
+        it = testingTraces
+                 .emplace(workload.name(),
+                          workload.captureTesting(budget))
+                 .first;
+    }
+    return it->second;
+}
+
+const Trace &
+WorkloadSuite::training(const Workload &workload)
+{
+    auto it = trainingTraces.find(workload.name());
+    if (it == trainingTraces.end()) {
+        it = trainingTraces
+                 .emplace(workload.name(),
+                          workload.captureTraining(budget))
+                 .first;
+    }
+    return it->second;
+}
+
+ResultSet
+runOnSuite(const std::string &displayName, const PredictorFactory &make,
+           WorkloadSuite &suite, const SimOptions &options)
+{
+    ResultSet results(displayName);
+    for (const Workload *workload : allWorkloads()) {
+        std::unique_ptr<BranchPredictor> predictor = make();
+        if (predictor->needsTraining()) {
+            if (!workload->hasTraining())
+                continue; // omitted point, as in the paper's Fig. 11
+            TraceReplaySource training(suite.training(*workload));
+            predictor->train(training);
+        }
+        SimResult sim =
+            simulate(suite.testing(*workload), *predictor, options);
+        results.add(BenchmarkResult{workload->name(),
+                                    workload->isInteger(), sim});
+    }
+    return results;
+}
+
+ResultSet
+runOnSuite(const std::string &specText, WorkloadSuite &suite,
+           SimOptions options)
+{
+    SchemeSpec spec = SchemeSpec::parse(specText);
+    if (spec.contextSwitch)
+        options.contextSwitches = true;
+    return runOnSuite(
+        spec.toString(), [&spec] { return makePredictor(spec); },
+        suite, options);
+}
+
+} // namespace tl

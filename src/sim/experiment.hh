@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Experiment plumbing shared by the bench binaries: cached workload
+ * traces (the paper replays fixed trace files across predictor
+ * configurations) and helpers that run one scheme over the whole
+ * nine-benchmark suite.
+ *
+ * The conditional-branch budget per benchmark defaults to a
+ * laptop-friendly value and can be overridden with the environment
+ * variable TL_BENCH_BRANCHES (the paper uses 20 million).
+ */
+
+#ifndef TL_SIM_EXPERIMENT_HH
+#define TL_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "predictor/factory.hh"
+#include "sim/engine.hh"
+#include "sim/metrics.hh"
+#include "workloads/registry.hh"
+
+namespace tl
+{
+
+/** Branch budget per benchmark: TL_BENCH_BRANCHES or 200000. */
+std::uint64_t defaultBranchBudget();
+
+/** Lazily generated, cached traces for the nine-benchmark suite. */
+class WorkloadSuite
+{
+  public:
+    explicit WorkloadSuite(std::uint64_t condBranches = 0);
+
+    /** Conditional branches captured per benchmark. */
+    std::uint64_t condBranches() const { return budget; }
+
+    /** The testing-dataset trace of @p workload (cached). */
+    const Trace &testing(const Workload &workload);
+
+    /**
+     * The training-dataset trace of @p workload (cached); calls
+     * fatal() for benchmarks whose Table 2 entry is NA.
+     */
+    const Trace &training(const Workload &workload);
+
+  private:
+    std::uint64_t budget;
+    std::map<std::string, Trace> testingTraces;
+    std::map<std::string, Trace> trainingTraces;
+};
+
+/** A factory producing a fresh predictor per benchmark. */
+using PredictorFactory =
+    std::function<std::unique_ptr<BranchPredictor>()>;
+
+/**
+ * Run one scheme over every benchmark in the suite.
+ *
+ * A fresh predictor is built per benchmark. Schemes that need
+ * training are trained on the benchmark's training trace; benchmarks
+ * without a training dataset are skipped for such schemes, exactly as
+ * the paper omits those data points in Figure 11.
+ *
+ * @param displayName Column label in reports.
+ * @param make Fresh-predictor factory.
+ * @param suite Trace cache.
+ * @param options Simulation options (context switches etc.).
+ */
+ResultSet runOnSuite(const std::string &displayName,
+                     const PredictorFactory &make, WorkloadSuite &suite,
+                     const SimOptions &options = {});
+
+/**
+ * Convenience overload: build predictors from a Table-3 style spec
+ * string; the spec's ",c" flag turns on context-switch simulation.
+ */
+ResultSet runOnSuite(const std::string &specText, WorkloadSuite &suite,
+                     SimOptions options = {});
+
+} // namespace tl
+
+#endif // TL_SIM_EXPERIMENT_HH

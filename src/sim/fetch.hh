@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fetch-redirect simulation (the paper's Section 3.2 consequences).
+ *
+ * A direction prediction alone does not steer fetch: when a branch is
+ * predicted taken, the target must come from the target cache. This
+ * engine classifies every branch into:
+ *
+ *  - correct fetch: direction predicted correctly, and (if the path
+ *    taken required a target) the cached target matched;
+ *  - misfetch: the direction was right but the target was missing or
+ *    stale — fetch stalls for the target-generation bubble;
+ *  - mispredict: the direction was wrong — the speculative work after
+ *    the branch is squashed.
+ *
+ * Non-conditional branches (calls, unconditional jumps, indirect
+ * jumps) always "go" and only need a target; returns are counted as
+ * target misses unless the cached target happens to match (the
+ * paper's cited Kaeli/Emma problem of moving-target returns).
+ */
+
+#ifndef TL_SIM_FETCH_HH
+#define TL_SIM_FETCH_HH
+
+#include <cstdint>
+
+#include "predictor/predictor.hh"
+#include "predictor/target_cache.hh"
+#include "trace/trace.hh"
+
+namespace tl
+{
+
+/** Outcome counters of a fetch simulation. */
+struct FetchResult
+{
+    std::uint64_t branches = 0;       //!< all branch records
+    std::uint64_t correctFetch = 0;   //!< fetch steered correctly
+    std::uint64_t misfetches = 0;     //!< right direction, no target
+    std::uint64_t mispredicts = 0;    //!< wrong direction
+
+    double
+    correctPercent() const
+    {
+        return branches ? 100.0 * double(correctFetch) /
+                              double(branches)
+                        : 0.0;
+    }
+
+    double
+    misfetchPercent() const
+    {
+        return branches
+                   ? 100.0 * double(misfetches) / double(branches)
+                   : 0.0;
+    }
+
+    double
+    mispredictPercent() const
+    {
+        return branches
+                   ? 100.0 * double(mispredicts) / double(branches)
+                   : 0.0;
+    }
+};
+
+class ReturnStack;
+class IndirectTargetPredictor;
+
+/**
+ * Drive @p source through a direction predictor plus target cache.
+ *
+ * The direction predictor handles conditional branches only; other
+ * classes are always taken and judged purely on target availability.
+ *
+ * @param returnStack When non-null, return targets are predicted from
+ *        the stack (calls push their fall-through address) instead of
+ *        the target cache — the Kaeli/Emma fix for moving-target
+ *        returns. On stack underflow the target cache is consulted as
+ *        a fallback.
+ * @param indirect When non-null, indirect-jump targets are predicted
+ *        from the history-indexed table instead of the target cache —
+ *        the two-level idea applied to jump-table dispatch.
+ */
+FetchResult simulateFetch(TraceSource &source,
+                          BranchPredictor &direction,
+                          TargetCache &targets,
+                          ReturnStack *returnStack = nullptr,
+                          IndirectTargetPredictor *indirect = nullptr);
+
+/** Convenience overload for in-memory traces. */
+FetchResult simulateFetch(const Trace &trace,
+                          BranchPredictor &direction,
+                          TargetCache &targets,
+                          ReturnStack *returnStack = nullptr,
+                          IndirectTargetPredictor *indirect = nullptr);
+
+} // namespace tl
+
+#endif // TL_SIM_FETCH_HH

@@ -1,0 +1,58 @@
+#include "sim/metrics.hh"
+
+#include "util/stats.hh"
+
+namespace tl
+{
+
+ResultSet::ResultSet(std::string scheme)
+    : schemeName(std::move(scheme))
+{
+}
+
+void
+ResultSet::add(BenchmarkResult result)
+{
+    entries.push_back(std::move(result));
+}
+
+std::optional<double>
+ResultSet::accuracy(const std::string &benchmark) const
+{
+    for (const BenchmarkResult &entry : entries) {
+        if (entry.benchmark == benchmark)
+            return entry.sim.accuracyPercent();
+    }
+    return std::nullopt;
+}
+
+double
+ResultSet::gmeanWhere(bool wantInteger, bool all) const
+{
+    std::vector<double> values;
+    for (const BenchmarkResult &entry : entries) {
+        if (all || entry.isInteger == wantInteger)
+            values.push_back(entry.sim.accuracyPercent());
+    }
+    return geometricMean(values);
+}
+
+double
+ResultSet::totalGMean() const
+{
+    return gmeanWhere(false, true);
+}
+
+double
+ResultSet::intGMean() const
+{
+    return gmeanWhere(true, false);
+}
+
+double
+ResultSet::fpGMean() const
+{
+    return gmeanWhere(false, false);
+}
+
+} // namespace tl

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Per-benchmark result collection and the geometric-mean summary rows
+ * the paper reports under every figure: "Int GMean" (integer
+ * benchmarks), "FP GMean" (floating point benchmarks) and "Tot GMean"
+ * (all benchmarks).
+ */
+
+#ifndef TL_SIM_METRICS_HH
+#define TL_SIM_METRICS_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hh"
+
+namespace tl
+{
+
+/** One benchmark's simulation outcome under one predictor. */
+struct BenchmarkResult
+{
+    std::string benchmark;
+    bool isInteger = false;
+    SimResult sim;
+};
+
+/** A column of Figure-style results: one predictor, nine benchmarks. */
+class ResultSet
+{
+  public:
+    /** @param scheme Display name of the predictor. */
+    explicit ResultSet(std::string scheme = "");
+
+    /** Predictor display name. */
+    const std::string &scheme() const { return schemeName; }
+
+    /** Append one benchmark's result. */
+    void add(BenchmarkResult result);
+
+    /** All results in insertion order. */
+    const std::vector<BenchmarkResult> &results() const
+    {
+        return entries;
+    }
+
+    /** Accuracy for @p benchmark; empty if absent. */
+    std::optional<double> accuracy(const std::string &benchmark) const;
+
+    /** Geometric mean accuracy across all benchmarks (percent). */
+    double totalGMean() const;
+
+    /** Geometric mean accuracy across integer benchmarks (percent). */
+    double intGMean() const;
+
+    /** Geometric mean across floating point benchmarks (percent). */
+    double fpGMean() const;
+
+  private:
+    double gmeanWhere(bool wantInteger, bool all) const;
+
+    std::string schemeName;
+    std::vector<BenchmarkResult> entries;
+};
+
+} // namespace tl
+
+#endif // TL_SIM_METRICS_HH

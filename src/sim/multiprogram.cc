@@ -1,0 +1,86 @@
+#include "sim/multiprogram.hh"
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+double
+MultiProgramResult::accuracyPercent() const
+{
+    std::uint64_t branches = 0, correct = 0;
+    for (const SimResult &result : perProcess) {
+        branches += result.conditionalBranches;
+        correct += result.correct;
+    }
+    return branches ? 100.0 * double(correct) / double(branches)
+                    : 0.0;
+}
+
+MultiProgramResult
+simulateMultiprogrammed(const std::vector<const Trace *> &traces,
+                        BranchPredictor &predictor,
+                        const MultiProgramOptions &options)
+{
+    if (traces.empty())
+        fatal("multiprogram: no processes");
+    if (options.quantum == 0)
+        fatal("multiprogram: quantum must be positive");
+
+    MultiProgramResult result;
+    result.perProcess.resize(traces.size());
+    std::vector<std::size_t> positions(traces.size(), 0);
+
+    std::size_t live = traces.size();
+    std::size_t current = 0;
+    while (live > 0) {
+        const Trace &trace = *traces[current];
+        std::size_t &position = positions[current];
+        SimResult &process = result.perProcess[current];
+
+        if (position >= trace.size()) {
+            // This process already finished; rotate.
+            current = (current + 1) % traces.size();
+            continue;
+        }
+
+        std::uint64_t insts = 0;
+        bool trapped = false;
+        while (position < trace.size() && insts < options.quantum &&
+               !trapped) {
+            BranchRecord record = trace[position++];
+            record.pc += options.addressOffset * current;
+            record.target += options.addressOffset * current;
+
+            trapped = options.switchOnTrap && record.trap;
+            insts += record.instsSince;
+            ++process.allBranches;
+            process.instructions += record.instsSince;
+            if (!record.isConditional())
+                continue;
+            ++process.conditionalBranches;
+            if (record.taken)
+                ++process.taken;
+            BranchQuery query = BranchQuery::fromRecord(record);
+            bool prediction = predictor.predict(query);
+            predictor.update(query, record.taken);
+            if (prediction == record.taken)
+                ++process.correct;
+        }
+
+        if (position >= trace.size())
+            --live;
+
+        if (live > 0) {
+            ++result.switches;
+            if (options.flushOnSwitch) {
+                predictor.contextSwitch();
+                ++result.perProcess[current].contextSwitchCount;
+            }
+            current = (current + 1) % traces.size();
+        }
+    }
+    return result;
+}
+
+} // namespace tl

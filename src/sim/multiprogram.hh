@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Multiprogrammed simulation.
+ *
+ * The paper models context switches by flushing the branch history
+ * table on every trap or 500k-instruction quantum (Section 5.1.4).
+ * That is an approximation of what really happens: another process's
+ * branches run through the same hardware and evict/alias the
+ * predictor's state. This module simulates the real thing — several
+ * workload traces time-sliced through one predictor — so the quality
+ * of the paper's flush approximation can be measured
+ * (bench/ablation_multiprogram).
+ *
+ * Two address-space models are provided:
+ *  - shared (offset 0): processes alias each other's table entries,
+ *    like physically-indexed tables without ASIDs;
+ *  - disjoint (a per-process address offset): no aliasing, only the
+ *    history staleness of being descheduled remains.
+ */
+
+#ifndef TL_SIM_MULTIPROGRAM_HH
+#define TL_SIM_MULTIPROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "predictor/predictor.hh"
+#include "sim/engine.hh"
+#include "trace/trace.hh"
+
+namespace tl
+{
+
+/** Options for a multiprogrammed run. */
+struct MultiProgramOptions
+{
+    /** Instructions per scheduling quantum. */
+    std::uint64_t quantum = 500000;
+
+    /**
+     * Per-process pc offset multiplier: process i's addresses are
+     * shifted by i * addressOffset. 0 = fully shared address space
+     * (maximum aliasing); a large value (e.g. 1 << 30) = disjoint.
+     */
+    std::uint64_t addressOffset = 0;
+
+    /**
+     * Notify the predictor (contextSwitch(), i.e. the paper's flush)
+     * at every quantum boundary. Off by default: the point of the
+     * multiprogrammed simulation is to let the *other process* do
+     * the damage instead of an explicit flush.
+     */
+    bool flushOnSwitch = false;
+
+    /**
+     * Deschedule a process immediately when one of its records
+     * carries the trap marker (a system call blocks and the OS runs
+     * someone else) — the same trigger the paper's flush model uses.
+     */
+    bool switchOnTrap = true;
+};
+
+/** Per-process and aggregate results of a multiprogrammed run. */
+struct MultiProgramResult
+{
+    /** One SimResult per process, in input order. */
+    std::vector<SimResult> perProcess;
+
+    /** Scheduling switches performed. */
+    std::uint64_t switches = 0;
+
+    /** Aggregate accuracy over all processes. */
+    double accuracyPercent() const;
+};
+
+/**
+ * Time-slice @p traces through @p predictor.
+ *
+ * Round-robin over the processes; a process's turn ends when its
+ * quantum of instructions elapses (or its trace ends). Each process
+ * replays its trace once. Conditional branches are predicted and
+ * verified exactly as in simulate().
+ */
+MultiProgramResult
+simulateMultiprogrammed(const std::vector<const Trace *> &traces,
+                        BranchPredictor &predictor,
+                        const MultiProgramOptions &options = {});
+
+} // namespace tl
+
+#endif // TL_SIM_MULTIPROGRAM_HH

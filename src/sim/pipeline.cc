@@ -1,0 +1,57 @@
+#include "sim/pipeline.hh"
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+void
+PipelineModel::validate() const
+{
+    if (issueWidth == 0)
+        fatal("pipeline model: issue width must be positive");
+}
+
+PipelineEstimate
+estimateCycles(const SimResult &result, const PipelineModel &model)
+{
+    model.validate();
+    PipelineEstimate estimate;
+    estimate.instructions = result.instructions;
+    estimate.baseCycles = double(result.instructions) /
+                          double(model.issueWidth);
+    std::uint64_t mispredicts =
+        result.conditionalBranches - result.correct;
+    estimate.mispredictCycles =
+        double(mispredicts) * double(model.mispredictPenalty);
+    return estimate;
+}
+
+PipelineEstimate
+estimateCycles(const FetchResult &result, std::uint64_t instructions,
+               const PipelineModel &model)
+{
+    model.validate();
+    PipelineEstimate estimate;
+    estimate.instructions = instructions;
+    estimate.baseCycles =
+        double(instructions) / double(model.issueWidth);
+    estimate.mispredictCycles = double(result.mispredicts) *
+                                double(model.mispredictPenalty);
+    estimate.misfetchCycles =
+        double(result.misfetches) * double(model.misfetchPenalty);
+    return estimate;
+}
+
+double
+speedup(const SimResult &better, const SimResult &worse,
+        const PipelineModel &model)
+{
+    PipelineEstimate fast = estimateCycles(better, model);
+    PipelineEstimate slow = estimateCycles(worse, model);
+    if (fast.totalCycles() <= 0.0)
+        fatal("speedup: empty simulation result");
+    return slow.totalCycles() / fast.totalCycles();
+}
+
+} // namespace tl

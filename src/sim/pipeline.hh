@@ -1,0 +1,104 @@
+/**
+ * @file
+ * A simple pipeline performance model connecting prediction accuracy
+ * to delivered performance — the paper's introduction motivates the
+ * whole study with it: "even a prediction miss rate of 5 percent
+ * results in a substantial loss in performance due to the number of
+ * instructions fetched each cycle and the number of cycles these
+ * instructions are in the pipeline before an incorrect branch
+ * prediction becomes known."
+ *
+ * The model is the standard first-order one: each mispredicted branch
+ * squashes `mispredictPenalty` issue cycles; each misfetch (correct
+ * direction, missing target — see sim/fetch.hh) stalls for
+ * `misfetchPenalty` cycles; everything else issues at `issueWidth`
+ * instructions per cycle.
+ */
+
+#ifndef TL_SIM_PIPELINE_HH
+#define TL_SIM_PIPELINE_HH
+
+#include <cstdint>
+
+#include "sim/engine.hh"
+#include "sim/fetch.hh"
+
+namespace tl
+{
+
+/** First-order pipeline cost parameters. */
+struct PipelineModel
+{
+    /** Instructions issued per cycle when fetch runs free. */
+    unsigned issueWidth = 4;
+
+    /** Squashed cycles per direction mispredict (pipeline depth). */
+    unsigned mispredictPenalty = 8;
+
+    /** Stall cycles per target misfetch. */
+    unsigned misfetchPenalty = 2;
+
+    /** Calls fatal() on nonsense parameters. */
+    void validate() const;
+};
+
+/** Cycle accounting for one simulated run. */
+struct PipelineEstimate
+{
+    std::uint64_t instructions = 0;
+    double baseCycles = 0.0;
+    double mispredictCycles = 0.0;
+    double misfetchCycles = 0.0;
+
+    double totalCycles() const
+    {
+        return baseCycles + mispredictCycles + misfetchCycles;
+    }
+
+    /** Delivered instructions per cycle. */
+    double
+    ipc() const
+    {
+        double cycles = totalCycles();
+        return cycles > 0.0 ? double(instructions) / cycles : 0.0;
+    }
+
+    /** Fraction of cycles lost to branch handling, in percent. */
+    double
+    branchLossPercent() const
+    {
+        double cycles = totalCycles();
+        return cycles > 0.0 ? 100.0 *
+                                  (mispredictCycles +
+                                   misfetchCycles) /
+                                  cycles
+                            : 0.0;
+    }
+};
+
+/**
+ * Estimate cycle counts from a direction-only simulation (targets
+ * assumed perfect, the usual accuracy-to-performance translation).
+ */
+PipelineEstimate estimateCycles(const SimResult &result,
+                                const PipelineModel &model = {});
+
+/**
+ * Estimate cycle counts from a fetch simulation, additionally
+ * charging misfetch stalls. @p instructions is the dynamic
+ * instruction count covered by the fetch run.
+ */
+PipelineEstimate estimateCycles(const FetchResult &result,
+                                std::uint64_t instructions,
+                                const PipelineModel &model = {});
+
+/**
+ * Speedup of @p better over @p worse under @p model — e.g. the
+ * performance value of moving from a BTB to a Two-Level predictor.
+ */
+double speedup(const SimResult &better, const SimResult &worse,
+               const PipelineModel &model = {});
+
+} // namespace tl
+
+#endif // TL_SIM_PIPELINE_HH

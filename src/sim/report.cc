@@ -1,0 +1,69 @@
+#include "sim/report.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/status.hh"
+#include "workloads/registry.hh"
+
+namespace tl
+{
+
+TextTable
+accuracyTable(const std::vector<ResultSet> &columns)
+{
+    std::vector<std::string> headers = {"Benchmark"};
+    for (const ResultSet &column : columns)
+        headers.push_back(column.scheme());
+    TextTable table(std::move(headers));
+
+    for (const Workload *workload : allWorkloads()) {
+        std::vector<std::string> row = {workload->name()};
+        for (const ResultSet &column : columns) {
+            auto accuracy = column.accuracy(workload->name());
+            row.push_back(accuracy ? TextTable::num(*accuracy) : "-");
+        }
+        table.addRow(std::move(row));
+    }
+
+    table.addSeparator();
+    auto gmeanRow = [&](const char *label, auto getter) {
+        std::vector<std::string> row = {label};
+        for (const ResultSet &column : columns)
+            row.push_back(TextTable::num(getter(column)));
+        table.addRow(std::move(row));
+    };
+    gmeanRow("Int GMean",
+             [](const ResultSet &r) { return r.intGMean(); });
+    gmeanRow("FP GMean",
+             [](const ResultSet &r) { return r.fpGMean(); });
+    gmeanRow("Tot GMean",
+             [](const ResultSet &r) { return r.totalGMean(); });
+    return table;
+}
+
+void
+printReport(const std::string &title,
+            const std::vector<ResultSet> &columns,
+            const std::string &fileStem)
+{
+    TextTable table = accuracyTable(columns);
+    table.setTitle(title);
+    std::fputs(table.toText().c_str(), stdout);
+    std::fputc('\n', stdout);
+
+    if (const char *dir = std::getenv("TL_RESULTS_DIR")) {
+        std::string path =
+            std::string(dir) + "/" + fileStem + ".csv";
+        std::ofstream out(path);
+        if (!out) {
+            warn("cannot write results CSV '%s'", path.c_str());
+            return;
+        }
+        out << table.toCsv();
+        inform("wrote %s", path.c_str());
+    }
+}
+
+} // namespace tl

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure/table rendering: the paper-style accuracy table with one
+ * column per scheme, one row per benchmark, and the three geometric
+ * mean rows ("Int GMean", "FP GMean", "Tot GMean") at the bottom.
+ */
+
+#ifndef TL_SIM_REPORT_HH
+#define TL_SIM_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "util/table.hh"
+
+namespace tl
+{
+
+/**
+ * Build the accuracy table for a set of scheme columns. Benchmarks
+ * appear in registry order; a scheme missing a benchmark (static
+ * training without a training set) shows "-".
+ */
+TextTable accuracyTable(const std::vector<ResultSet> &columns);
+
+/**
+ * Print @p columns under @p title, and — when the TL_RESULTS_DIR
+ * environment variable is set — also write "<dir>/<fileStem>.csv".
+ */
+void printReport(const std::string &title,
+                 const std::vector<ResultSet> &columns,
+                 const std::string &fileStem);
+
+} // namespace tl
+
+#endif // TL_SIM_REPORT_HH

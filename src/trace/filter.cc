@@ -1,0 +1,102 @@
+#include "trace/filter.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+FilterSource::FilterSource(TraceSource &inner,
+                           RecordPredicate predicate)
+    : inner(inner), predicate(std::move(predicate))
+{
+    if (!this->predicate)
+        fatal("FilterSource: empty predicate");
+}
+
+bool
+FilterSource::next(BranchRecord &record)
+{
+    std::uint64_t carried_insts = 0;
+    bool carried_trap = false;
+    BranchRecord candidate;
+    while (inner.next(candidate)) {
+        if (predicate(candidate)) {
+            record = candidate;
+            record.instsSince = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(carried_insts +
+                                            candidate.instsSince,
+                                        ~std::uint32_t{0}));
+            record.trap = candidate.trap || carried_trap;
+            return true;
+        }
+        carried_insts += candidate.instsSince;
+        carried_trap |= candidate.trap;
+    }
+    return false;
+}
+
+Trace
+filterTrace(const Trace &trace, const RecordPredicate &predicate)
+{
+    TraceReplaySource source(trace);
+    FilterSource filtered(source, predicate);
+    Trace out;
+    out.appendAll(filtered);
+    return out;
+}
+
+Trace
+filterByAddressRange(const Trace &trace, std::uint64_t lo,
+                     std::uint64_t hi)
+{
+    if (lo >= hi)
+        fatal("filterByAddressRange: empty range");
+    return filterTrace(trace, [lo, hi](const BranchRecord &record) {
+        return record.pc >= lo && record.pc < hi;
+    });
+}
+
+Trace
+filterByClass(const Trace &trace, BranchClass cls)
+{
+    return filterTrace(trace, [cls](const BranchRecord &record) {
+        return record.cls == cls;
+    });
+}
+
+std::pair<Trace, Trace>
+splitTrace(const Trace &trace, double fraction)
+{
+    if (fraction < 0.0 || fraction > 1.0)
+        fatal("splitTrace: fraction %g outside [0, 1]", fraction);
+    std::size_t cut = static_cast<std::size_t>(
+        fraction * static_cast<double>(trace.size()));
+    Trace head, tail;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (i < cut)
+            head.append(trace[i]);
+        else
+            tail.append(trace[i]);
+    }
+    return {std::move(head), std::move(tail)};
+}
+
+Trace
+subsampleConditionals(const Trace &trace, unsigned stride)
+{
+    if (stride == 0)
+        fatal("subsampleConditionals: stride must be positive");
+    std::unordered_map<std::uint64_t, unsigned> counters;
+    return filterTrace(trace,
+                       [&counters, stride](const BranchRecord &r) {
+                           if (!r.isConditional())
+                               return true;
+                           unsigned count = counters[r.pc]++;
+                           return count % stride == 0;
+                       });
+}
+
+} // namespace tl

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Trace transformation utilities: filtering by predicate, address
+ * ranges, branch class; prefix/suffix splitting for self-training
+ * experiments; and deterministic subsampling.
+ */
+
+#ifndef TL_TRACE_FILTER_HH
+#define TL_TRACE_FILTER_HH
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "trace/trace.hh"
+
+namespace tl
+{
+
+/** Predicate over branch records. */
+using RecordPredicate = std::function<bool(const BranchRecord &)>;
+
+/**
+ * A TraceSource view that forwards only records matching the
+ * predicate. The instsSince fields of dropped records are folded
+ * into the next forwarded record so instruction counting (and the
+ * context-switch quantum) stays correct, and trap markers are
+ * likewise carried forward.
+ */
+class FilterSource : public TraceSource
+{
+  public:
+    /** @p inner must outlive the filter. */
+    FilterSource(TraceSource &inner, RecordPredicate predicate);
+
+    bool next(BranchRecord &record) override;
+
+  private:
+    TraceSource &inner;
+    RecordPredicate predicate;
+};
+
+/** Copy the records of @p trace matching @p predicate. */
+Trace filterTrace(const Trace &trace, const RecordPredicate &predicate);
+
+/** Records whose pc lies in [lo, hi). */
+Trace filterByAddressRange(const Trace &trace, std::uint64_t lo,
+                           std::uint64_t hi);
+
+/** Records of a single branch class. */
+Trace filterByClass(const Trace &trace, BranchClass cls);
+
+/**
+ * Split @p trace at @p fraction (0..1) of its records: first part and
+ * remainder — e.g. train a profiling scheme on the first 30% of a run
+ * and test it on the rest.
+ */
+std::pair<Trace, Trace> splitTrace(const Trace &trace,
+                                   double fraction);
+
+/**
+ * Keep every @p stride-th conditional branch of each static site
+ * (non-conditional records are preserved); a cheap way to thin very
+ * long traces while keeping per-site behaviour.
+ */
+Trace subsampleConditionals(const Trace &trace, unsigned stride);
+
+} // namespace tl
+
+#endif // TL_TRACE_FILTER_HH

@@ -1,0 +1,192 @@
+#include "trace/io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/status.hh"
+#include "util/strings.hh"
+
+namespace tl
+{
+
+namespace
+{
+
+constexpr char traceMagic[4] = {'T', 'L', 'B', 'T'};
+
+void
+putU32(std::ostream &out, std::uint32_t value)
+{
+    char bytes[4];
+    for (int i = 0; i < 4; ++i)
+        bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+    out.write(bytes, 4);
+}
+
+void
+putU64(std::ostream &out, std::uint64_t value)
+{
+    char bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+    out.write(bytes, 8);
+}
+
+std::uint32_t
+getU32(std::istream &in)
+{
+    unsigned char bytes[4];
+    in.read(reinterpret_cast<char *>(bytes), 4);
+    if (!in)
+        fatal("truncated binary trace (u32)");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
+    return value;
+}
+
+std::uint64_t
+getU64(std::istream &in)
+{
+    unsigned char bytes[8];
+    in.read(reinterpret_cast<char *>(bytes), 8);
+    if (!in)
+        fatal("truncated binary trace (u64)");
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+    return value;
+}
+
+BranchClass
+classFromName(const std::string &name)
+{
+    for (unsigned i = 0; i < numBranchClasses; ++i) {
+        BranchClass cls = static_cast<BranchClass>(i);
+        if (name == branchClassName(cls))
+            return cls;
+    }
+    fatal("unknown branch class name '%s'", name.c_str());
+}
+
+} // namespace
+
+void
+writeBinaryTrace(const Trace &trace, std::ostream &out)
+{
+    out.write(traceMagic, 4);
+    putU32(out, traceFormatVersion);
+    putU64(out, trace.size());
+    for (const BranchRecord &r : trace.records()) {
+        putU64(out, r.pc);
+        putU64(out, r.target);
+        std::uint32_t flags = static_cast<std::uint32_t>(r.cls) |
+                              (r.taken ? 0x100u : 0u) |
+                              (r.trap ? 0x200u : 0u);
+        putU32(out, flags);
+        putU32(out, r.instsSince);
+    }
+}
+
+Trace
+readBinaryTrace(std::istream &in)
+{
+    char magic[4];
+    in.read(magic, 4);
+    if (!in || std::memcmp(magic, traceMagic, 4) != 0)
+        fatal("not a binary trace (bad magic)");
+    std::uint32_t version = getU32(in);
+    if (version != traceFormatVersion)
+        fatal("unsupported trace format version %u", version);
+    std::uint64_t count = getU64(in);
+
+    Trace trace;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        BranchRecord r;
+        r.pc = getU64(in);
+        r.target = getU64(in);
+        std::uint32_t flags = getU32(in);
+        unsigned cls = flags & 0xff;
+        if (cls >= numBranchClasses)
+            fatal("corrupt binary trace: branch class %u", cls);
+        r.cls = static_cast<BranchClass>(cls);
+        r.taken = (flags & 0x100u) != 0;
+        r.trap = (flags & 0x200u) != 0;
+        r.instsSince = getU32(in);
+        trace.append(r);
+    }
+    return trace;
+}
+
+void
+writeTextTrace(const Trace &trace, std::ostream &out)
+{
+    out << "# pc target class direction insts_since trap\n";
+    for (const BranchRecord &r : trace.records())
+        out << r.toString() << "\n";
+}
+
+Trace
+readTextTrace(std::istream &in)
+{
+    Trace trace;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::string_view text = trim(line);
+        if (text.empty() || text[0] == '#')
+            continue;
+        std::istringstream fields{std::string(text)};
+        std::string pc_str, target_str, cls_str, dir_str, trap_str;
+        std::uint32_t insts = 0;
+        fields >> pc_str >> target_str >> cls_str >> dir_str >> insts >>
+            trap_str;
+        if (!fields)
+            fatal("malformed trace line %zu: '%s'", lineno, line.c_str());
+        BranchRecord r;
+        r.pc = std::stoull(pc_str, nullptr, 0);
+        r.target = std::stoull(target_str, nullptr, 0);
+        r.cls = classFromName(cls_str);
+        if (dir_str != "T" && dir_str != "N")
+            fatal("malformed direction on trace line %zu", lineno);
+        r.taken = dir_str == "T";
+        r.instsSince = insts;
+        if (trap_str != "!" && trap_str != ".")
+            fatal("malformed trap flag on trace line %zu", lineno);
+        r.trap = trap_str == "!";
+        trace.append(r);
+    }
+    return trace;
+}
+
+void
+saveTrace(const Trace &trace, const std::string &path)
+{
+    bool text = endsWith(path, ".txt");
+    std::ofstream out(path,
+                      text ? std::ios::out : std::ios::out |
+                                                 std::ios::binary);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    if (text)
+        writeTextTrace(trace, out);
+    else
+        writeBinaryTrace(trace, out);
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    bool text = endsWith(path, ".txt");
+    std::ifstream in(path,
+                     text ? std::ios::in : std::ios::in | std::ios::binary);
+    if (!in)
+        fatal("cannot open '%s' for reading", path.c_str());
+    return text ? readTextTrace(in) : readBinaryTrace(in);
+}
+
+} // namespace tl

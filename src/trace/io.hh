@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Trace file input/output.
+ *
+ * Two formats are supported:
+ *  - a compact little-endian binary format ("TLBT" magic, versioned),
+ *  - a line-oriented text format matching BranchRecord::toString(),
+ *    convenient for inspection and for importing external traces.
+ */
+
+#ifndef TL_TRACE_IO_HH
+#define TL_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace tl
+{
+
+/** Binary trace format version written by this library. */
+constexpr std::uint32_t traceFormatVersion = 1;
+
+/** Write @p trace to @p out in the binary format. */
+void writeBinaryTrace(const Trace &trace, std::ostream &out);
+
+/**
+ * Read a binary trace from @p in.
+ *
+ * Calls fatal() on a malformed stream (bad magic, truncated record,
+ * unsupported version).
+ */
+Trace readBinaryTrace(std::istream &in);
+
+/** Write @p trace to @p out, one record per line. */
+void writeTextTrace(const Trace &trace, std::ostream &out);
+
+/**
+ * Read a text trace from @p in. Blank lines and lines starting with
+ * '#' are ignored. Calls fatal() on malformed lines.
+ */
+Trace readTextTrace(std::istream &in);
+
+/** Write a trace to a file, choosing format by extension (.txt = text). */
+void saveTrace(const Trace &trace, const std::string &path);
+
+/** Read a trace from a file, choosing format by extension (.txt = text). */
+Trace loadTrace(const std::string &path);
+
+} // namespace tl
+
+#endif // TL_TRACE_IO_HH

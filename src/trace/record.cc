@@ -1,0 +1,36 @@
+#include "trace/record.hh"
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+const char *
+branchClassName(BranchClass cls)
+{
+    switch (cls) {
+      case BranchClass::Conditional:
+        return "cond";
+      case BranchClass::Unconditional:
+        return "uncond";
+      case BranchClass::Call:
+        return "call";
+      case BranchClass::Return:
+        return "return";
+      case BranchClass::Indirect:
+        return "indirect";
+    }
+    panic("unknown branch class %d", static_cast<int>(cls));
+}
+
+std::string
+BranchRecord::toString() const
+{
+    return strprintf("%#llx %#llx %s %c %u %c",
+                     static_cast<unsigned long long>(pc),
+                     static_cast<unsigned long long>(target),
+                     branchClassName(cls), taken ? 'T' : 'N', instsSince,
+                     trap ? '!' : '.');
+}
+
+} // namespace tl

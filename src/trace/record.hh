@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The branch trace record: the unit of information that flows from a
+ * trace source (instruction-level simulator, stored trace file or
+ * synthetic generator) into the branch prediction simulator.
+ *
+ * This mirrors the paper's Section 4 setup, where an instruction-level
+ * simulator produces instruction and address traces that are fed into
+ * the branch prediction simulator.
+ */
+
+#ifndef TL_TRACE_RECORD_HH
+#define TL_TRACE_RECORD_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tl
+{
+
+/**
+ * Branch classes distinguished by the tracer (Figure 4 of the paper
+ * breaks dynamic branches into classes; conditional branches dominate
+ * at about 80 percent).
+ */
+enum class BranchClass : std::uint8_t
+{
+    Conditional,   //!< conditional direct branch
+    Unconditional, //!< unconditional direct branch
+    Call,          //!< subroutine call
+    Return,        //!< subroutine return
+    Indirect,      //!< register-indirect jump
+};
+
+/** Short printable name for a branch class. */
+const char *branchClassName(BranchClass cls);
+
+/** Number of distinct branch classes. */
+constexpr unsigned numBranchClasses = 5;
+
+/** One dynamic branch instance observed by the tracer. */
+struct BranchRecord
+{
+    /** Address of the branch instruction. */
+    std::uint64_t pc = 0;
+
+    /** Branch target address (valid for direct branches). */
+    std::uint64_t target = 0;
+
+    /** Class of the branch. */
+    BranchClass cls = BranchClass::Conditional;
+
+    /** Resolved direction (always true for unconditional classes). */
+    bool taken = false;
+
+    /**
+     * Dynamic instructions executed since the previous record,
+     * including this branch itself. Drives the 500k-instruction
+     * context-switch quantum of Section 5.1.4.
+     */
+    std::uint32_t instsSince = 1;
+
+    /**
+     * True if a trap occurred since the previous record. The paper
+     * triggers a context switch on every trap in the trace.
+     */
+    bool trap = false;
+
+    /** True for a conditional branch. */
+    bool
+    isConditional() const
+    {
+        return cls == BranchClass::Conditional;
+    }
+
+    /** True if this branch jumps backward (target below pc). */
+    bool
+    isBackward() const
+    {
+        return target < pc;
+    }
+
+    bool operator==(const BranchRecord &other) const = default;
+
+    /** One-line textual rendering (also the text trace format). */
+    std::string toString() const;
+};
+
+} // namespace tl
+
+#endif // TL_TRACE_RECORD_HH

@@ -1,0 +1,50 @@
+#include "trace/stats.hh"
+
+#include "util/stats.hh"
+
+namespace tl
+{
+
+void
+TraceStats::add(const BranchRecord &record)
+{
+    ++totalBranches;
+    ++perClass[static_cast<std::size_t>(record.cls)];
+    totalInstructions += record.instsSince;
+    staticAll.insert(record.pc);
+    if (record.isConditional()) {
+        staticConditional.insert(record.pc);
+        if (record.taken)
+            ++takenConditional;
+    }
+    if (record.trap)
+        ++trapCount;
+}
+
+void
+TraceStats::addAll(TraceSource &source)
+{
+    BranchRecord record;
+    while (source.next(record))
+        add(record);
+}
+
+double
+TraceStats::classPercent(BranchClass cls) const
+{
+    return percent(dynamicBranches(cls), totalBranches);
+}
+
+double
+TraceStats::takenPercent() const
+{
+    return percent(takenConditional, conditionalBranches());
+}
+
+double
+TraceStats::branchPercentOfInstructions() const
+{
+    return percent(totalBranches, totalInstructions);
+}
+
+} // namespace tl

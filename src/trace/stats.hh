@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Trace statistics: the numbers behind the paper's Table 1 (static
+ * conditional branch counts) and Figure 4 (dynamic branch class
+ * distribution).
+ */
+
+#ifndef TL_TRACE_STATS_HH
+#define TL_TRACE_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+
+#include "trace/trace.hh"
+
+namespace tl
+{
+
+/** Aggregate statistics over a stream of branch records. */
+class TraceStats
+{
+  public:
+    /** Account for one record. */
+    void add(const BranchRecord &record);
+
+    /** Drain a source, accounting for every record. */
+    void addAll(TraceSource &source);
+
+    /** Total dynamic branches of all classes. */
+    std::uint64_t dynamicBranches() const { return totalBranches; }
+
+    /** Dynamic branch count for one class. */
+    std::uint64_t dynamicBranches(BranchClass cls) const
+    {
+        return perClass[static_cast<std::size_t>(cls)];
+    }
+
+    /** Percentage of dynamic branches in @p cls (Figure 4). */
+    double classPercent(BranchClass cls) const;
+
+    /** Dynamic conditional branches. */
+    std::uint64_t
+    conditionalBranches() const
+    {
+        return dynamicBranches(BranchClass::Conditional);
+    }
+
+    /** Distinct conditional branch addresses seen (Table 1). */
+    std::uint64_t
+    staticConditionalBranches() const
+    {
+        return staticConditional.size();
+    }
+
+    /** Distinct branch addresses of any class. */
+    std::uint64_t staticBranches() const { return staticAll.size(); }
+
+    /** Fraction of conditional branches that were taken, in percent. */
+    double takenPercent() const;
+
+    /** Total dynamic instructions implied by instsSince fields. */
+    std::uint64_t instructions() const { return totalInstructions; }
+
+    /** Branch instructions as a percentage of all instructions. */
+    double branchPercentOfInstructions() const;
+
+    /** Number of records carrying the trap flag. */
+    std::uint64_t traps() const { return trapCount; }
+
+  private:
+    std::array<std::uint64_t, numBranchClasses> perClass{};
+    std::uint64_t totalBranches = 0;
+    std::uint64_t takenConditional = 0;
+    std::uint64_t totalInstructions = 0;
+    std::uint64_t trapCount = 0;
+    std::unordered_set<std::uint64_t> staticConditional;
+    std::unordered_set<std::uint64_t> staticAll;
+};
+
+} // namespace tl
+
+#endif // TL_TRACE_STATS_HH

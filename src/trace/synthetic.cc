@@ -1,0 +1,176 @@
+#include "trace/synthetic.hh"
+
+#include <cassert>
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+namespace
+{
+
+/** Fill target/class/instsSince defaults for a conditional branch. */
+void
+fillConditional(BranchRecord &record, std::uint64_t pc, bool taken,
+                bool backward)
+{
+    record.pc = pc;
+    record.target = backward ? (pc >= 64 ? pc - 64 : 0) : pc + 64;
+    record.cls = BranchClass::Conditional;
+    record.taken = taken;
+    record.instsSince = 4;
+    record.trap = false;
+}
+
+} // namespace
+
+PatternSource::PatternSource(std::uint64_t pc, std::string pattern,
+                             std::uint64_t count, bool backward)
+    : pc(pc), pattern(std::move(pattern)), remaining(count),
+      backward(backward)
+{
+    if (this->pattern.empty())
+        fatal("PatternSource: empty pattern");
+    for (char c : this->pattern) {
+        if (c != 'T' && c != 'N')
+            fatal("PatternSource: bad pattern character '%c'", c);
+    }
+}
+
+bool
+PatternSource::next(BranchRecord &record)
+{
+    if (remaining == 0)
+        return false;
+    --remaining;
+    bool taken = pattern[position % pattern.size()] == 'T';
+    ++position;
+    fillConditional(record, pc, taken, backward);
+    return true;
+}
+
+LoopSource::LoopSource(std::uint64_t pc, unsigned period,
+                       std::uint64_t loops)
+    : pc(pc), period(period), remaining(loops * period)
+{
+    if (period == 0)
+        fatal("LoopSource: period must be >= 1");
+}
+
+bool
+LoopSource::next(BranchRecord &record)
+{
+    if (remaining == 0)
+        return false;
+    --remaining;
+    bool taken = (phase + 1) % period != 0;
+    ++phase;
+    fillConditional(record, pc, taken, true);
+    return true;
+}
+
+BiasedSource::BiasedSource(std::vector<Site> sites, std::uint64_t count,
+                           std::uint64_t seed)
+    : sites(std::move(sites)), remaining(count), rng(seed)
+{
+    if (this->sites.empty())
+        fatal("BiasedSource: no sites");
+}
+
+bool
+BiasedSource::next(BranchRecord &record)
+{
+    if (remaining == 0)
+        return false;
+    --remaining;
+    const Site &site = sites[index];
+    index = (index + 1) % sites.size();
+    fillConditional(record, site.pc, rng.nextBool(site.takenProbability),
+                    true);
+    return true;
+}
+
+MarkovSource::MarkovSource(std::vector<Site> sites, std::uint64_t count,
+                           std::uint64_t seed)
+    : sites(std::move(sites)), remaining(count), rng(seed)
+{
+    if (this->sites.empty())
+        fatal("MarkovSource: no sites");
+    lastTaken.assign(this->sites.size(), true);
+}
+
+bool
+MarkovSource::next(BranchRecord &record)
+{
+    if (remaining == 0)
+        return false;
+    --remaining;
+    const Site &site = sites[index];
+    bool prev = lastTaken[index];
+    double p_taken = prev ? site.pStayTaken : 1.0 - site.pStayNotTaken;
+    bool taken = rng.nextBool(p_taken);
+    lastTaken[index] = taken;
+    index = (index + 1) % sites.size();
+    fillConditional(record, site.pc, taken, true);
+    return true;
+}
+
+InterleaveSource::InterleaveSource(
+    std::vector<std::unique_ptr<TraceSource>> children)
+    : children(std::move(children))
+{
+    if (this->children.empty())
+        fatal("InterleaveSource: no children");
+}
+
+bool
+InterleaveSource::next(BranchRecord &record)
+{
+    if (!children[index]->next(record))
+        return false;
+    index = (index + 1) % children.size();
+    return true;
+}
+
+ClassMixSource::ClassMixSource(Config config, std::uint64_t count,
+                               std::uint64_t seed)
+    : config(std::move(config)), remaining(count), rng(seed)
+{
+    if (this->config.classWeights.size() != numBranchClasses)
+        fatal("ClassMixSource: expected %u class weights",
+              numBranchClasses);
+    if (this->config.sitesPerClass == 0)
+        fatal("ClassMixSource: sitesPerClass must be >= 1");
+    if (this->config.minInstsBetween < 1 ||
+        this->config.minInstsBetween > this->config.maxInstsBetween) {
+        fatal("ClassMixSource: bad instruction gap range");
+    }
+}
+
+bool
+ClassMixSource::next(BranchRecord &record)
+{
+    if (remaining == 0)
+        return false;
+    --remaining;
+
+    std::size_t cls_index = rng.nextWeighted(config.classWeights);
+    BranchClass cls = static_cast<BranchClass>(cls_index);
+    std::uint64_t site = rng.nextBelow(config.sitesPerClass);
+    // Distinct address ranges per class keep static sites disjoint.
+    std::uint64_t pc = 0x1000 + (cls_index << 16) + site * 8;
+
+    record.pc = pc;
+    record.target = pc + 128;
+    record.cls = cls;
+    record.taken = cls == BranchClass::Conditional
+                       ? rng.nextBool(config.conditionalTakenProbability)
+                       : true;
+    record.instsSince = static_cast<std::uint32_t>(
+        rng.nextRange(config.minInstsBetween, config.maxInstsBetween));
+    record.trap = rng.nextBool(config.trapProbability);
+    return true;
+}
+
+} // namespace tl

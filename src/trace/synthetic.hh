@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Synthetic trace generators.
+ *
+ * These are small, composable TraceSources used by the test suite and
+ * by examples: explicit direction patterns, loop branches, biased and
+ * Markov-behaviour branches, interleavings of sub-sources, and a mixed
+ * branch-class source. The nine paper workloads live in
+ * src/workloads/ and run on the ISA interpreter instead; the
+ * generators here exist to construct branch streams with *exactly*
+ * known structure so predictor properties can be asserted.
+ */
+
+#ifndef TL_TRACE_SYNTHETIC_HH
+#define TL_TRACE_SYNTHETIC_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "util/random.hh"
+
+namespace tl
+{
+
+/**
+ * A single static branch that repeats an explicit direction pattern.
+ *
+ * Pattern "TTN" with count 6 produces T,T,N,T,T,N.
+ */
+class PatternSource : public TraceSource
+{
+  public:
+    /**
+     * @param pc Branch address.
+     * @param pattern String of 'T'/'N' characters.
+     * @param count Total branches to emit.
+     * @param backward If true the branch target lies below the pc.
+     */
+    PatternSource(std::uint64_t pc, std::string pattern,
+                  std::uint64_t count, bool backward = true);
+
+    bool next(BranchRecord &record) override;
+
+  private:
+    std::uint64_t pc;
+    std::string pattern;
+    std::uint64_t remaining;
+    std::uint64_t position = 0;
+    bool backward;
+};
+
+/**
+ * A loop-closing branch: taken (period-1) times, then not taken, per
+ * loop execution. The canonical fully-predictable-by-history case.
+ */
+class LoopSource : public TraceSource
+{
+  public:
+    /**
+     * @param pc Branch address.
+     * @param period Loop trip count (>= 1).
+     * @param loops Number of complete loop executions.
+     */
+    LoopSource(std::uint64_t pc, unsigned period, std::uint64_t loops);
+
+    bool next(BranchRecord &record) override;
+
+  private:
+    std::uint64_t pc;
+    unsigned period;
+    std::uint64_t remaining;
+    unsigned phase = 0;
+};
+
+/** Per-branch independent Bernoulli behaviour. */
+class BiasedSource : public TraceSource
+{
+  public:
+    /** One static branch site with its taken probability. */
+    struct Site
+    {
+        std::uint64_t pc;
+        double takenProbability;
+    };
+
+    /**
+     * @param sites Static branch pool (visited round-robin).
+     * @param count Total branches to emit.
+     * @param seed PRNG seed.
+     */
+    BiasedSource(std::vector<Site> sites, std::uint64_t count,
+                 std::uint64_t seed);
+
+    bool next(BranchRecord &record) override;
+
+  private:
+    std::vector<Site> sites;
+    std::uint64_t remaining;
+    std::size_t index = 0;
+    Rng rng;
+};
+
+/**
+ * Per-branch two-state Markov behaviour: P(taken | last taken) and
+ * P(not-taken | last not-taken) are specified per site. Captures
+ * "streaky" branches that saturating counters like but Last-Time
+ * mispredicts on every streak boundary.
+ */
+class MarkovSource : public TraceSource
+{
+  public:
+    /** One static branch site with its Markov parameters. */
+    struct Site
+    {
+        std::uint64_t pc;
+        double pStayTaken;    //!< P(taken_{i+1} | taken_i)
+        double pStayNotTaken; //!< P(!taken_{i+1} | !taken_i)
+    };
+
+    MarkovSource(std::vector<Site> sites, std::uint64_t count,
+                 std::uint64_t seed);
+
+    bool next(BranchRecord &record) override;
+
+  private:
+    std::vector<Site> sites;
+    std::vector<bool> lastTaken;
+    std::uint64_t remaining;
+    std::size_t index = 0;
+    Rng rng;
+};
+
+/**
+ * Round-robin interleaving of child sources. Ends when any child
+ * ends. The tool for constructing history-interference scenarios
+ * (many branches sharing one global history register).
+ */
+class InterleaveSource : public TraceSource
+{
+  public:
+    explicit InterleaveSource(
+        std::vector<std::unique_ptr<TraceSource>> children);
+
+    bool next(BranchRecord &record) override;
+
+  private:
+    std::vector<std::unique_ptr<TraceSource>> children;
+    std::size_t index = 0;
+};
+
+/**
+ * Random mixture of branch classes over a site pool, used to exercise
+ * the Figure-4 style class-mix statistics without the interpreter.
+ */
+class ClassMixSource : public TraceSource
+{
+  public:
+    /** Relative frequency of each class (indexed by BranchClass). */
+    struct Config
+    {
+        std::vector<double> classWeights =
+            {0.8, 0.08, 0.055, 0.055, 0.01};
+        unsigned sitesPerClass = 16;
+        double conditionalTakenProbability = 0.6;
+        double trapProbability = 0.0;
+        std::uint32_t minInstsBetween = 2;
+        std::uint32_t maxInstsBetween = 10;
+    };
+
+    ClassMixSource(Config config, std::uint64_t count,
+                   std::uint64_t seed);
+
+    bool next(BranchRecord &record) override;
+
+  private:
+    Config config;
+    std::uint64_t remaining;
+    Rng rng;
+};
+
+} // namespace tl
+
+#endif // TL_TRACE_SYNTHETIC_HH

@@ -1,0 +1,36 @@
+#include "trace/trace.hh"
+
+namespace tl
+{
+
+void
+Trace::appendAll(TraceSource &source)
+{
+    BranchRecord record;
+    while (source.next(record))
+        records_.push_back(record);
+}
+
+void
+Trace::appendConditionalLimited(TraceSource &source,
+                                std::uint64_t maxConditional)
+{
+    BranchRecord record;
+    std::uint64_t conditional = 0;
+    while (conditional < maxConditional && source.next(record)) {
+        records_.push_back(record);
+        if (record.isConditional())
+            ++conditional;
+    }
+}
+
+bool
+TraceReplaySource::next(BranchRecord &record)
+{
+    if (position >= trace.size())
+        return false;
+    record = trace[position++];
+    return true;
+}
+
+} // namespace tl

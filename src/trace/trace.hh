@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Trace containers and the TraceSource abstraction.
+ *
+ * TraceSource is the pull-based interface between anything that
+ * produces branches (the ISA interpreter, a stored trace, a synthetic
+ * generator) and anything that consumes them (the prediction simulator,
+ * trace statistics, trace file writers).
+ */
+
+#ifndef TL_TRACE_TRACE_HH
+#define TL_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace tl
+{
+
+/** Pull-based stream of branch records. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next record.
+     *
+     * @param record Filled in on success.
+     * @retval true if a record was produced, false at end of trace.
+     */
+    virtual bool next(BranchRecord &record) = 0;
+};
+
+/** An in-memory trace: a sequence of branch records. */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    /** Append a record. */
+    void
+    append(const BranchRecord &record)
+    {
+        records_.push_back(record);
+    }
+
+    /** Number of records. */
+    std::size_t size() const { return records_.size(); }
+
+    /** True if the trace holds no records. */
+    bool empty() const { return records_.empty(); }
+
+    /** Access record @p index. */
+    const BranchRecord &operator[](std::size_t index) const
+    {
+        return records_[index];
+    }
+
+    /** All records. */
+    const std::vector<BranchRecord> &records() const { return records_; }
+
+    /** Remove all records. */
+    void clear() { records_.clear(); }
+
+    /** Drain @p source completely into this trace (appending). */
+    void appendAll(TraceSource &source);
+
+    /**
+     * Drain @p source until @p maxConditional conditional branches
+     * have been captured (or the source ends).
+     */
+    void appendConditionalLimited(TraceSource &source,
+                                  std::uint64_t maxConditional);
+
+    bool operator==(const Trace &other) const = default;
+
+  private:
+    std::vector<BranchRecord> records_;
+};
+
+/** Replay an in-memory trace as a TraceSource. */
+class TraceReplaySource : public TraceSource
+{
+  public:
+    /** The trace must outlive the source. */
+    explicit TraceReplaySource(const Trace &trace) : trace(trace) {}
+
+    bool next(BranchRecord &record) override;
+
+    /** Restart replay from the beginning. */
+    void rewind() { position = 0; }
+
+  private:
+    const Trace &trace;
+    std::size_t position = 0;
+};
+
+} // namespace tl
+
+#endif // TL_TRACE_TRACE_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Bit manipulation helpers used throughout the predictor structures.
+ *
+ * Everything here is constexpr and header-only; these functions are on
+ * the hot path of every table lookup in the simulator.
+ */
+
+#ifndef TL_UTIL_BITOPS_HH
+#define TL_UTIL_BITOPS_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace tl
+{
+
+/**
+ * Return a mask with the low @p nbits bits set.
+ *
+ * @param nbits Number of low bits to set; must be <= 64.
+ */
+constexpr std::uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << nbits) - 1);
+}
+
+/** Extract bits [lo, lo+len) of @p value. */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned lo, unsigned len)
+{
+    return (value >> lo) & mask(len);
+}
+
+/** True if @p value is a power of two (zero is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/**
+ * Floor of log2 of @p value.
+ *
+ * @pre value > 0.
+ */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    unsigned result = 0;
+    while (value > 1) {
+        value >>= 1;
+        ++result;
+    }
+    return result;
+}
+
+/** Ceiling of log2 of @p value (log2 rounded up). @pre value > 0. */
+constexpr unsigned
+ceilLog2(std::uint64_t value)
+{
+    return isPowerOfTwo(value) ? floorLog2(value) : floorLog2(value) + 1;
+}
+
+/** Smallest power of two >= @p value. @pre value > 0. */
+constexpr std::uint64_t
+nextPowerOfTwo(std::uint64_t value)
+{
+    return std::uint64_t{1} << ceilLog2(value);
+}
+
+/** Count of set bits. */
+constexpr unsigned
+popCount(std::uint64_t value)
+{
+    unsigned count = 0;
+    while (value) {
+        value &= value - 1;
+        ++count;
+    }
+    return count;
+}
+
+/**
+ * Fold a wide value down to @p nbits by XOR-ing successive
+ * @p nbits-wide chunks. Used for hashing addresses into small tables.
+ */
+constexpr std::uint64_t
+xorFold(std::uint64_t value, unsigned nbits)
+{
+    if (nbits == 0)
+        return 0;
+    if (nbits >= 64)
+        return value;
+    std::uint64_t folded = 0;
+    while (value) {
+        folded ^= value & mask(nbits);
+        value >>= nbits;
+    }
+    return folded;
+}
+
+} // namespace tl
+
+#endif // TL_UTIL_BITOPS_HH

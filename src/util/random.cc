@@ -1,0 +1,93 @@
+#include "util/random.hh"
+
+#include <cassert>
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+Rng::Rng(std::uint64_t seed)
+    : state(seed ? seed : 0x9e3779b97f4a7c15ULL)
+{
+    // Warm the state so that small seeds do not produce small first
+    // outputs.
+    nextU64();
+    nextU64();
+}
+
+std::uint64_t
+Rng::nextU64()
+{
+    std::uint64_t x = state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state = x;
+    return x * 0x2545f4914f6cdd1dULL;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    std::uint64_t threshold = (~bound + 1) % bound; // (2^64 - bound) % bound
+    for (;;) {
+        std::uint64_t value = nextU64();
+        if (value >= threshold)
+            return value % bound;
+    }
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    assert(lo <= hi);
+    std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(nextU64());
+    return lo + static_cast<std::int64_t>(nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high-quality bits into the mantissa.
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::size_t
+Rng::nextWeighted(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        assert(w >= 0.0);
+        total += w;
+    }
+    if (total <= 0.0)
+        panic("nextWeighted: all weights are zero");
+    double point = nextDouble() * total;
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        cumulative += weights[i];
+        if (point < cumulative)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(nextU64() ^ 0xd1b54a32d192ed03ULL);
+}
+
+} // namespace tl

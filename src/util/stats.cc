@@ -1,0 +1,70 @@
+#include "util/stats.hh"
+
+#include <cmath>
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+void
+RunningStat::add(double value)
+{
+    ++n;
+    total += value;
+    if (n == 1) {
+        m = value;
+        s = 0.0;
+        lo = hi = value;
+        return;
+    }
+    double old_m = m;
+    m += (value - old_m) / static_cast<double>(n);
+    s += (value - old_m) * (value - m);
+    if (value < lo)
+        lo = value;
+    if (value > hi)
+        hi = value;
+}
+
+double
+RunningStat::variance() const
+{
+    return n > 1 ? s / static_cast<double>(n - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            panic("geometricMean: non-positive value %g", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+percent(std::uint64_t part, std::uint64_t whole)
+{
+    if (whole == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+} // namespace tl

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Small statistics helpers: running moments, ratios expressed as
+ * percentages, and the geometric means the paper reports ("Tot GMean",
+ * "Int GMean", "FP GMean").
+ */
+
+#ifndef TL_UTIL_STATS_HH
+#define TL_UTIL_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace tl
+{
+
+/** Accumulates count/mean/min/max/variance incrementally (Welford). */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double value);
+
+    /** Number of samples added. */
+    std::uint64_t count() const { return n; }
+
+    /** Mean of the samples (0 if empty). */
+    double mean() const { return n ? m : 0.0; }
+
+    /** Unbiased sample variance (0 if fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample (0 if empty). */
+    double min() const { return n ? lo : 0.0; }
+
+    /** Largest sample (0 if empty). */
+    double max() const { return n ? hi : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return total; }
+
+    /** Discard all samples. */
+    void reset();
+
+  private:
+    std::uint64_t n = 0;
+    double m = 0.0;
+    double s = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    double total = 0.0;
+};
+
+/**
+ * Geometric mean of a vector of positive values.
+ *
+ * Computed in log space for numerical robustness. Returns 0 for an
+ * empty vector; values must be positive.
+ */
+double geometricMean(const std::vector<double> &values);
+
+/** Ratio @p part / @p whole as a percentage; 0 when whole is 0. */
+double percent(std::uint64_t part, std::uint64_t whole);
+
+} // namespace tl
+
+#endif // TL_UTIL_STATS_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Error reporting in the gem5 spirit: fatal() for user errors that end
+ * the run, panic() for internal invariant violations, warn()/inform()
+ * for status output that never stops the run.
+ */
+
+#ifndef TL_UTIL_STATUS_HH
+#define TL_UTIL_STATUS_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace tl
+{
+
+/**
+ * Terminate with exit(1) because of a user-level error (bad
+ * configuration, malformed input). Accepts printf-style formatting.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Abort because an internal invariant was violated (a bug in this
+ * library, never the user's fault). Accepts printf-style formatting.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr; execution continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vstrprintf(const char *fmt, std::va_list args);
+
+} // namespace tl
+
+#endif // TL_UTIL_STATUS_HH

@@ -1,0 +1,110 @@
+#include "util/strings.hh"
+
+#include <cctype>
+
+namespace tl
+{
+
+std::string_view
+trim(std::string_view text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+std::vector<std::string>
+split(std::string_view text, char delim)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= text.size(); ++i) {
+        if (i == text.size() || text[i] == delim) {
+            fields.emplace_back(text.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return fields;
+}
+
+std::vector<std::string>
+splitTopLevel(std::string_view text, char delim)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    int depth = 0;
+    for (std::size_t i = 0; i <= text.size(); ++i) {
+        if (i == text.size() || (text[i] == delim && depth == 0)) {
+            fields.emplace_back(text.substr(start, i - start));
+            start = i + 1;
+            continue;
+        }
+        if (text[i] == '(')
+            ++depth;
+        else if (text[i] == ')')
+            --depth;
+    }
+    return fields;
+}
+
+std::string
+toLower(std::string_view text)
+{
+    std::string out(text);
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+bool
+endsWith(std::string_view text, std::string_view suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::optional<std::uint64_t>
+parseU64(std::string_view text)
+{
+    if (text.empty())
+        return std::nullopt;
+    std::uint64_t value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return std::nullopt;
+        std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (value > (~std::uint64_t{0} - digit) / 10)
+            return std::nullopt; // overflow
+        value = value * 10 + digit;
+    }
+    return value;
+}
+
+std::string
+join(const std::vector<std::string> &parts, std::string_view sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+} // namespace tl

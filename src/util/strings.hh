@@ -1,0 +1,53 @@
+/**
+ * @file
+ * String helpers used by the assembler, the scheme-spec parser and the
+ * report formatters.
+ */
+
+#ifndef TL_UTIL_STRINGS_HH
+#define TL_UTIL_STRINGS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tl
+{
+
+/** Strip leading and trailing whitespace. */
+std::string_view trim(std::string_view text);
+
+/** Split on a single character delimiter; keeps empty fields. */
+std::vector<std::string> split(std::string_view text, char delim);
+
+/**
+ * Split on a delimiter but ignore delimiters nested inside
+ * parentheses. Used by the scheme-spec parser, where fields themselves
+ * contain parenthesized argument lists.
+ */
+std::vector<std::string> splitTopLevel(std::string_view text, char delim);
+
+/** Lower-case copy (ASCII). */
+std::string toLower(std::string_view text);
+
+/** True if @p text begins with @p prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** True if @p text ends with @p suffix. */
+bool endsWith(std::string_view text, std::string_view suffix);
+
+/**
+ * Parse an unsigned decimal integer; empty optional on any
+ * non-numeric content or overflow.
+ */
+std::optional<std::uint64_t> parseU64(std::string_view text);
+
+/** Join strings with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view sep);
+
+} // namespace tl
+
+#endif // TL_UTIL_STRINGS_HH

@@ -1,0 +1,163 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers(std::move(headers))
+{
+    if (this->headers.empty())
+        panic("TextTable requires at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers.size()) {
+        panic("TextTable row has %zu cells, expected %zu", cells.size(),
+              headers.size());
+    }
+    rows.push_back(Row{false, std::move(cells)});
+}
+
+void
+TextTable::addSeparator()
+{
+    rows.push_back(Row{true, {}});
+}
+
+std::size_t
+TextTable::rowCount() const
+{
+    std::size_t count = 0;
+    for (const Row &row : rows) {
+        if (!row.separator)
+            ++count;
+    }
+    return count;
+}
+
+namespace
+{
+
+bool
+looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    for (char c : cell) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '-' && c != '+' && c != '%' && c != 'e' && c != 'x') {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+TextTable::toText() const
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const Row &row : rows) {
+        if (row.separator)
+            continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                line += "  ";
+            const std::string &cell = cells[c];
+            std::size_t pad = widths[c] - cell.size();
+            // Right-align numbers, left-align labels.
+            if (looksNumeric(cell))
+                line += std::string(pad, ' ') + cell;
+            else
+                line += cell + std::string(pad, ' ');
+        }
+        // Strip trailing pad.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::size_t total = headers.size() > 0 ? 2 * (headers.size() - 1) : 0;
+    for (std::size_t w : widths)
+        total += w;
+
+    std::string out;
+    if (!title.empty())
+        out += title + "\n";
+    out += renderRow(headers);
+    out += std::string(total, '-') + "\n";
+    for (const Row &row : rows) {
+        if (row.separator)
+            out += std::string(total, '-') + "\n";
+        else
+            out += renderRow(row.cells);
+    }
+    return out;
+}
+
+std::string
+TextTable::toCsv() const
+{
+    auto escape = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string quoted = "\"";
+        for (char c : cell) {
+            if (c == '"')
+                quoted += "\"\"";
+            else
+                quoted += c;
+        }
+        quoted += "\"";
+        return quoted;
+    };
+
+    std::string out;
+    for (std::size_t c = 0; c < headers.size(); ++c) {
+        if (c)
+            out += ',';
+        out += escape(headers[c]);
+    }
+    out += '\n';
+    for (const Row &row : rows) {
+        if (row.separator)
+            continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c) {
+            if (c)
+                out += ',';
+            out += escape(row.cells[c]);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+TextTable::num(double value, int digits)
+{
+    return strprintf("%.*f", digits, value);
+}
+
+std::string
+TextTable::num(std::uint64_t value)
+{
+    return strprintf("%llu", static_cast<unsigned long long>(value));
+}
+
+} // namespace tl

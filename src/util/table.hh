@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Plain-text and CSV table rendering for the experiment reports. Every
+ * bench binary prints its figure/table through TextTable so the output
+ * format is uniform across the repository.
+ */
+
+#ifndef TL_UTIL_TABLE_HH
+#define TL_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace tl
+{
+
+/** A simple column-aligned text table with an optional title. */
+class TextTable
+{
+  public:
+    /** Construct with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Set the title printed above the table. */
+    void setTitle(std::string title) { this->title = std::move(title); }
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Number of data rows (separators excluded). */
+    std::size_t rowCount() const;
+
+    /** Render as aligned text. Numeric-looking cells right-align. */
+    std::string toText() const;
+
+    /** Render as CSV (separators omitted, title omitted). */
+    std::string toCsv() const;
+
+    /** Format a double with @p digits decimal places. */
+    static std::string num(double value, int digits = 2);
+
+    /** Format an unsigned integer. */
+    static std::string num(std::uint64_t value);
+
+  private:
+    struct Row
+    {
+        bool separator = false;
+        std::vector<std::string> cells;
+    };
+
+    std::string title;
+    std::vector<std::string> headers;
+    std::vector<Row> rows;
+};
+
+} // namespace tl
+
+#endif // TL_UTIL_TABLE_HH

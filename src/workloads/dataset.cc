@@ -1,0 +1,15 @@
+#include "workloads/dataset.hh"
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+std::string
+Dataset::describe() const
+{
+    return strprintf("%s (seed=%llu, scale=%u)", name.c_str(),
+                     static_cast<unsigned long long>(seed), scale);
+}
+
+} // namespace tl

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Named datasets for the workload programs, mirroring the paper's
+ * Table 2 (training and testing data sets per benchmark).
+ *
+ * A dataset never changes a workload's *code* — branch addresses must
+ * be identical across datasets so that profiling-based schemes
+ * (Profiling, GSg, PSg) trained on one dataset can predict a run on
+ * another, exactly as in the paper. Datasets only parameterize the
+ * initial data memory and problem scales.
+ */
+
+#ifndef TL_WORKLOADS_DATASET_HH
+#define TL_WORKLOADS_DATASET_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tl
+{
+
+/** Parameters of one workload input. */
+struct Dataset
+{
+    /** Dataset name from Table 2 (e.g. "int_pri_3.eqn"). */
+    std::string name;
+
+    /** Seed for the dataset's embedded data. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Relative problem scale; training datasets are usually smaller
+     * than testing datasets (e.g. "tiny doducin" vs "doducin").
+     */
+    unsigned scale = 100;
+
+    /** Human-readable "name (seed=..., scale=...)" description. */
+    std::string describe() const;
+};
+
+} // namespace tl
+
+#endif // TL_WORKLOADS_DATASET_HH

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * doduc: Monte Carlo simulation of a nuclear reactor component
+ * (floating point, 1149 static conditional branches in the paper's
+ * trace — the *irregular* FP benchmark; training data "tiny doducin",
+ * testing data "doducin").
+ *
+ * The model walks a chain of 96 generated "physics routines" per
+ * timestep. Each routine reads a few words of the evolving state
+ * vector, runs a long fixed-point arithmetic block (FP codes are ~5%
+ * branches, Section 4.1) and takes two or three threshold branches
+ * whose operands drift with the state — irregular, moderately biased
+ * branch behaviour, unlike the loop-dominated FP codes.
+ */
+
+#include "workloads/registry.hh"
+
+#include <algorithm>
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+namespace
+{
+
+using namespace isa;
+using namespace workload_util;
+
+constexpr std::uint64_t stateVec = 0x0000;     // 64-word state vector
+constexpr std::uint64_t statePattern = 0x200;  // 11-entry refresh pattern
+constexpr unsigned stateWords = 64;
+constexpr unsigned patternPeriod = 11;
+constexpr unsigned numRoutines = 96;
+constexpr std::uint64_t seedAddr = 0x250; // LCG seed input word
+
+class DoducWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "doduc"; }
+    bool isInteger() const override { return false; }
+    std::string testingDataset() const override { return "doducin"; }
+    std::string trainingDataset() const override
+    {
+        return "tiny doducin";
+    }
+
+    Dataset
+    dataset(const std::string &datasetName) const override
+    {
+        if (datasetName == "doducin")
+            return Dataset{datasetName, 0xd0d001, 100};
+        if (datasetName == "tiny doducin")
+            return Dataset{datasetName, 0xd0d0ee, 50};
+        fatal("doduc: unknown dataset '%s'", datasetName.c_str());
+    }
+
+    Program
+    build(const Dataset &data) const override
+    {
+        ProgramBuilder b;
+        Rng structure(0xd0d0c);
+        Rng dataRng(data.seed);
+
+        // The physics schedule is shared across datasets ("tiny
+        // doducin" is a shorter run of the same reactor); the dataset
+        // perturbs ~15% of the pattern entries.
+        Rng base(0xd0dba5e);
+        std::vector<std::int64_t> pattern =
+            randomArray(base, patternPeriod, 0, 4095);
+        for (std::int64_t &value : pattern) {
+            if (dataRng.nextBool(0.15))
+                value = dataRng.nextRange(0, 4095);
+        }
+        emitArray(b, statePattern, pattern);
+        emitArray(b, stateVec,
+                  randomArray(dataRng, stateWords, 0, 4095));
+
+        // r3 = LCG, r10 = timestep, r13 = period, r18 = scratch
+        // index.
+        b.data(seedAddr, static_cast<std::int64_t>(data.seed | 1));
+        b.li(29, static_cast<std::int64_t>(stackBase));
+        b.ld(3, 0, static_cast<std::int64_t>(seedAddr));
+        b.li(13, patternPeriod);
+
+        emitStartupPhase(b, structure, 808, 0x260);
+
+        std::vector<Label> routines;
+        routines.reserve(numRoutines);
+        for (unsigned r = 0; r < numRoutines; ++r)
+            routines.push_back(b.newLabel(strprintf("phys_%u", r)));
+
+        Label outer = b.here("timestep");
+
+        // Refresh the whole state vector from the dataset pattern
+        // with a timestep-dependent rotation and 1/64 LCG noise: the
+        // branch operands stay patterned (period 11 in timesteps)
+        // rather than chaotic, while the noise keeps doduc the
+        // irregular FP benchmark.
+        b.li(5, 0);
+        b.li(6, stateWords);
+        Label refresh = b.here("refresh");
+        b.muli(4, 5, 3);
+        b.add(4, 4, 10); // 3*w + t
+        b.rem(4, 4, 13);
+        b.ld(7, 4, static_cast<std::int64_t>(statePattern));
+        emitLcgStep(b, 3);
+        b.srli(8, 3, 44);
+        b.andi(8, 8, 63);
+        Label keep = b.newLabel("refresh_keep");
+        b.bnez(8, keep);
+        b.srli(7, 3, 20);
+        b.andi(7, 7, 4095);
+        b.bind(keep);
+        b.st(7, 5, static_cast<std::int64_t>(stateVec));
+        b.addi(5, 5, 1);
+        b.blt(5, 6, refresh);
+
+        // One timestep = the full chain of routines.
+        for (unsigned r = 0; r < numRoutines; ++r)
+            b.call(routines[r]);
+
+        b.addi(10, 10, 1);
+        b.br(outer);
+
+        for (unsigned r = 0; r < numRoutines; ++r)
+            emitRoutine(b, structure, routines[r]);
+        b.halt();
+
+        return b.build();
+    }
+
+  private:
+    /**
+     * One physics routine: long arithmetic block, then two or three
+     * threshold branches over state words chosen at generation time,
+     * then a state update.
+     */
+    static void
+    emitRoutine(ProgramBuilder &b, Rng &structure, Label entry)
+    {
+        b.bind(entry);
+
+        unsigned in_a =
+            static_cast<unsigned>(structure.nextBelow(stateWords));
+        unsigned in_b =
+            static_cast<unsigned>(structure.nextBelow(stateWords));
+        unsigned out =
+            static_cast<unsigned>(structure.nextBelow(stateWords));
+
+        b.ld(20, 0, static_cast<std::int64_t>(stateVec + in_a));
+        b.ld(21, 0, static_cast<std::int64_t>(stateVec + in_b));
+
+        // The FP-heavy block: 16..32 arithmetic instructions.
+        emitAluRun(b, 16 + static_cast<unsigned>(
+                              structure.nextBelow(17)));
+
+        // A short fixed-trip integration loop (backward branch taken
+        // trip-1 times out of trip).
+        unsigned trip =
+            3 + static_cast<unsigned>(structure.nextBelow(4));
+        b.li(18, static_cast<std::int64_t>(trip));
+        Label integrate = b.here();
+        emitAluRun(b, 4);
+        b.addi(18, 18, -1);
+        b.bnez(18, integrate);
+
+        unsigned branches =
+            2 + static_cast<unsigned>(structure.nextBelow(2));
+        for (unsigned i = 0; i < branches; ++i) {
+            Label skip = b.newLabel();
+            // Threshold near the data median (2048) so the branch is
+            // moderately balanced; the exact offset varies per site.
+            std::int64_t threshold =
+                1024 + static_cast<std::int64_t>(
+                           structure.nextBelow(2048));
+            b.li(9, threshold);
+            Reg operand = structure.nextBool(0.5) ? Reg{20} : Reg{21};
+            if (structure.nextBool(0.5))
+                b.blt(operand, 9, skip);
+            else
+                b.bge(operand, 9, skip);
+            // Taken work: nudge the state word read next time.
+            b.addi(20, 20, 37);
+            emitAluRun(b, 2);
+            b.bind(skip);
+        }
+
+        // Mix and write back (keeps values in [0, 4095]). The mix is
+        // a fixed function of patterned inputs, so downstream
+        // routines reading this word stay patterned too.
+        b.add(22, 20, 21);
+        b.xori(22, 22, 0x2b5);
+        b.andi(22, 22, 4095);
+        b.st(22, 0, static_cast<std::int64_t>(stateVec + out));
+        b.ret();
+    }
+};
+
+} // namespace
+
+const Workload &
+doducWorkload()
+{
+    static DoducWorkload workload;
+    return workload;
+}
+
+} // namespace tl

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * eqntott: truth-table comparison (integer, 277 static conditional
+ * branches in the paper's trace; testing data int_pri_3.eqn, no
+ * training set).
+ *
+ * The real benchmark spends its time in cmppt(), a comparison routine
+ * over pairs of term vectors, whose branches are data-dependent and
+ * correlated (the famous "if (a == b) ... if (a == 0)" chains).
+ *
+ * This model scans two term arrays whose contents follow a
+ * period-13 pattern with 1/128 noise, dispatching each element pair to
+ * one of 32 generated comparator blocks (distinct static branch
+ * sites) through a jump table, then runs a small data-dependent
+ * insertion pass. Patterned-but-not-biased branch sequences are
+ * exactly where pattern-history prediction separates from per-branch
+ * counters.
+ */
+
+#include "workloads/registry.hh"
+
+#include <algorithm>
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+namespace
+{
+
+using namespace isa;
+using namespace workload_util;
+
+constexpr std::uint64_t termA = 0x0000;    // term vector A
+constexpr std::uint64_t termB = 0x2000;    // term vector B
+constexpr std::uint64_t patternA = 0x4000; // 13-entry data pattern A
+constexpr std::uint64_t patternB = 0x4100; // 13-entry data pattern B
+constexpr std::uint64_t cmpTable = 0x4200; // comparator jump table
+constexpr unsigned numComparators = 32;
+constexpr unsigned patternPeriod = 13;
+constexpr std::uint64_t seedAddr = 0x4300;  // LCG seed input word
+constexpr std::uint64_t termsAddr = 0x4301; // term count input word
+
+class EqntottWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "eqntott"; }
+    bool isInteger() const override { return true; }
+    std::string testingDataset() const override
+    {
+        return "int_pri_3.eqn";
+    }
+
+    Dataset
+    dataset(const std::string &datasetName) const override
+    {
+        if (datasetName == "int_pri_3.eqn")
+            return Dataset{datasetName, 0xeb1700a1, 100};
+        fatal("eqntott: unknown dataset '%s'", datasetName.c_str());
+    }
+
+    Program
+    build(const Dataset &data) const override
+    {
+        ProgramBuilder b;
+        Rng structure(0xe96707u); // code shape: fixed across datasets
+        Rng dataRng(data.seed);
+
+        std::int64_t terms =
+            std::max<std::int64_t>(256, 1024 * data.scale / 100);
+
+        // --- data ---------------------------------------------------
+        emitArray(b, patternA, randomArray(dataRng, patternPeriod, 0, 3));
+        emitArray(b, patternB, randomArray(dataRng, patternPeriod, 0, 3));
+
+        // --- code ---------------------------------------------------
+        // r3 = LCG state, r5 = i, r6 = #terms, r11 = score,
+        // r13 = pattern period, r29 = stack pointer.
+        // The dataset's seed and problem size are program *inputs*
+        // read from data memory: the code is identical across
+        // datasets, as the profiling schemes require.
+        b.data(seedAddr, static_cast<std::int64_t>(data.seed | 1));
+        b.data(termsAddr, terms);
+        b.li(29, static_cast<std::int64_t>(stackBase));
+        b.ld(3, 0, static_cast<std::int64_t>(seedAddr));
+        b.ld(6, 0, static_cast<std::int64_t>(termsAddr));
+        b.li(13, patternPeriod);
+
+        // One-shot initialization code (option parsing, table setup):
+        // the long static-branch tail of Table 1.
+        emitStartupPhase(b, structure, 144, 0x4310);
+
+        Label outer = b.here("outer");
+
+        // Regenerate both term vectors: pattern entry with 1/128
+        // noise.
+        b.li(5, 0);
+        Label regen = b.here("regen");
+        b.rem(4, 5, 13);
+        b.ld(7, 4, static_cast<std::int64_t>(patternA));
+        emitLcgStep(b, 3);
+        b.srli(8, 3, 40);
+        b.andi(8, 8, 127);
+        Label keep_a = b.newLabel("keep_a");
+        b.bnez(8, keep_a);
+        b.srli(7, 3, 33);
+        b.andi(7, 7, 3);
+        b.bind(keep_a);
+        b.st(7, 5, static_cast<std::int64_t>(termA));
+        b.ld(7, 4, static_cast<std::int64_t>(patternB));
+        emitLcgStep(b, 3);
+        b.srli(8, 3, 40);
+        b.andi(8, 8, 127);
+        Label keep_b = b.newLabel("keep_b");
+        b.bnez(8, keep_b);
+        b.srli(7, 3, 21);
+        b.andi(7, 7, 3);
+        b.bind(keep_b);
+        b.st(7, 5, static_cast<std::int64_t>(termB));
+        b.addi(5, 5, 1);
+        b.blt(5, 6, regen);
+
+        // Scan: dispatch each pair to a comparator block.
+        b.li(5, 0);
+        Label scan = b.here("scan");
+        b.ld(1, 5, static_cast<std::int64_t>(termA));
+        b.ld(2, 5, static_cast<std::int64_t>(termB));
+        b.andi(7, 5, numComparators - 1);
+        b.ld(8, 7, static_cast<std::int64_t>(cmpTable));
+        b.jr(8);
+
+        Label cont = b.newLabel("scan_cont");
+        std::vector<Label> comparators;
+        comparators.reserve(numComparators);
+        for (unsigned t = 0; t < numComparators; ++t)
+            comparators.push_back(
+                emitComparator(b, structure, t, cont));
+        emitJumpTable(b, cmpTable, comparators);
+
+        b.bind(cont);
+        b.addi(5, 5, 1);
+        b.blt(5, 6, scan);
+
+        // Small insertion pass over the first 32 terms (data-
+        // dependent swap branch, like eqntott's sorting phase).
+        b.li(5, 1);
+        b.li(9, 32);
+        Label sort = b.here("sort");
+        b.ld(1, 5, static_cast<std::int64_t>(termA));
+        b.addi(4, 5, -1);
+        b.ld(2, 4, static_cast<std::int64_t>(termA));
+        Label no_swap = b.newLabel("no_swap");
+        b.bge(1, 2, no_swap);
+        b.st(2, 5, static_cast<std::int64_t>(termA));
+        b.st(1, 4, static_cast<std::int64_t>(termA));
+        b.bind(no_swap);
+        b.addi(5, 5, 1);
+        b.blt(5, 9, sort);
+
+        b.addi(10, 10, 1); // pass counter
+        b.br(outer);
+        b.halt();
+
+        return b.build();
+    }
+
+  private:
+    /**
+     * Emit one comparator block. Reads the pair in (r1, r2), updates
+     * the score in r11, ends with a branch to @p cont. Structure
+     * varies per block so each contributes distinct static branch
+     * sites with distinct behaviour.
+     */
+    static Label
+    emitComparator(ProgramBuilder &b, Rng &structure, unsigned index,
+                   Label cont)
+    {
+        Label entry = b.here(strprintf("cmp_%u", index));
+
+        Label done = b.newLabel();
+        Label on_eq = b.newLabel();
+        Label on_lt = b.newLabel();
+
+        // if (a == b) ...
+        b.beq(1, 2, on_eq);
+        // if (a < b) ...
+        b.blt(1, 2, on_lt);
+        // a > b path.
+        b.addi(11, 11, 1);
+        emitAluRun(b, 1 + static_cast<unsigned>(
+                              structure.nextBelow(3)));
+        b.br(done);
+
+        b.bind(on_lt);
+        b.addi(11, 11, -1);
+        // Extra threshold test against a per-block constant.
+        std::int64_t threshold =
+            static_cast<std::int64_t>(structure.nextBelow(3));
+        b.li(9, threshold);
+        Label lt_small = b.newLabel();
+        b.ble(2, 9, lt_small);
+        b.addi(11, 11, -1);
+        b.bind(lt_small);
+        b.br(done);
+
+        b.bind(on_eq);
+        // Correlated follow-up: a == b, is a zero?
+        Label eq_zero = b.newLabel();
+        b.beqz(1, eq_zero);
+        b.addi(11, 11, 2);
+        b.br(done);
+        b.bind(eq_zero);
+        b.addi(11, 11, 3);
+
+        b.bind(done);
+        if (structure.nextBool(0.5))
+            emitAluRun(b, 2);
+        b.br(cont);
+        return entry;
+    }
+};
+
+} // namespace
+
+const Workload &
+eqntottWorkload()
+{
+    static EqntottWorkload workload;
+    return workload;
+}
+
+} // namespace tl

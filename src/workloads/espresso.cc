@@ -1,0 +1,217 @@
+/**
+ * @file
+ * espresso: two-level logic minimization (integer, 556 static
+ * conditional branches in the paper's trace; training data "cps",
+ * testing data "bca").
+ *
+ * The real benchmark manipulates cube covers with word-level bit
+ * operations: counting literals, testing containment, merging cubes.
+ * This model iterates over a cube array whose 12-bit words follow a
+ * period-13 pattern with sparse bit-flip noise, runs a data-dependent
+ * popcount loop per cube (variable trip counts — the signature
+ * espresso behaviour), and dispatches each cube to one of 32
+ * generated bit-test blocks.
+ */
+
+#include "workloads/registry.hh"
+
+#include <algorithm>
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+namespace
+{
+
+using namespace isa;
+using namespace workload_util;
+
+constexpr std::uint64_t cubes = 0x0000;        // cube array
+constexpr std::uint64_t cubePattern = 0x3000;  // 13-entry word pattern
+constexpr std::uint64_t opTable = 0x3100;      // bit-op jump table
+constexpr unsigned numOps = 32;
+constexpr unsigned patternPeriod = 13;
+constexpr std::uint64_t seedAddr = 0x3200;  // LCG seed input word
+constexpr std::uint64_t countAddr = 0x3201; // cube count input word
+constexpr std::int64_t cubeMask = 0xfff; // 12-bit cubes
+
+class EspressoWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "espresso"; }
+    bool isInteger() const override { return true; }
+    std::string testingDataset() const override { return "bca"; }
+    std::string trainingDataset() const override { return "cps"; }
+
+    Dataset
+    dataset(const std::string &datasetName) const override
+    {
+        if (datasetName == "bca")
+            return Dataset{datasetName, 0xbca0001, 100};
+        if (datasetName == "cps")
+            return Dataset{datasetName, 0xc9500fe, 60};
+        fatal("espresso: unknown dataset '%s'", datasetName.c_str());
+    }
+
+    Program
+    build(const Dataset &data) const override
+    {
+        ProgramBuilder b;
+        Rng structure(0xe59e550u);
+        Rng dataRng(data.seed);
+
+        std::int64_t cubeCount =
+            std::max<std::int64_t>(128, 512 * data.scale / 100);
+
+        // Cube pattern words: a base cover shared by every dataset
+        // (the same logic function), with a per-dataset perturbation
+        // of ~20% of the words — training on "cps" mostly transfers
+        // to "bca", as with the real inputs.
+        Rng base(0xe5ba5e);
+        std::vector<std::int64_t> pattern(patternPeriod);
+        for (std::int64_t &word : pattern) {
+            word = 0;
+            for (unsigned bit = 0; bit < 12; ++bit) {
+                if (base.nextBool(0.5))
+                    word |= std::int64_t{1} << bit;
+            }
+        }
+        for (std::int64_t &word : pattern) {
+            if (dataRng.nextBool(0.2))
+                word ^= std::int64_t{1}
+                        << dataRng.nextBelow(12);
+        }
+        emitArray(b, cubePattern, pattern);
+
+        // r3 = LCG, r5 = i, r6 = #cubes, r11 = literal count,
+        // r13 = period, r16 = running cover state.
+        b.data(seedAddr, static_cast<std::int64_t>(data.seed | 1));
+        b.data(countAddr, cubeCount);
+        b.li(29, static_cast<std::int64_t>(stackBase));
+        b.ld(3, 0, static_cast<std::int64_t>(seedAddr));
+        b.ld(6, 0, static_cast<std::int64_t>(countAddr));
+        b.li(13, patternPeriod);
+
+        emitStartupPhase(b, structure, 456, 0x3210);
+
+        Label outer = b.here("outer");
+
+        // Regenerate the cube array: pattern word, occasionally with
+        // one extra bit flipped.
+        b.li(5, 0);
+        Label regen = b.here("regen");
+        b.rem(4, 5, 13);
+        b.ld(7, 4, static_cast<std::int64_t>(cubePattern));
+        emitLcgStep(b, 3);
+        b.srli(8, 3, 40);
+        b.andi(8, 8, 31);
+        Label keep = b.newLabel("keep");
+        b.bnez(8, keep); // 31/32: keep the pattern word
+        b.srli(8, 3, 33);
+        b.andi(8, 8, 7); // flip one of the low 8 bit positions
+        b.li(9, 1);
+        b.sll(9, 9, 8);
+        b.xor_(7, 7, 9); // flip one bit
+        b.bind(keep);
+        b.st(7, 5, static_cast<std::int64_t>(cubes));
+        b.addi(5, 5, 1);
+        b.blt(5, 6, regen);
+
+        // Scan: popcount loop + dispatched bit-test block per cube.
+        b.li(5, 0);
+        Label scan = b.here("scan");
+        b.ld(1, 5, static_cast<std::int64_t>(cubes));
+
+        // Literal count: do { w &= w - 1; count++ } while (w) — the
+        // backward loop branch is taken popcount(cube)-1 times, a
+        // patterned trip count.
+        b.mov(2, 1);
+        Label pop_done = b.newLabel("pop_done");
+        b.beqz(2, pop_done); // empty cube (rare for dense covers)
+        Label pop_loop = b.here("pop_loop");
+        b.addi(7, 2, -1);
+        b.and_(2, 2, 7);
+        b.addi(11, 11, 1);
+        b.bnez(2, pop_loop);
+        b.bind(pop_done);
+
+        // Dispatch to a bit-test block.
+        b.andi(7, 5, numOps - 1);
+        b.ld(8, 7, static_cast<std::int64_t>(opTable));
+        b.jr(8);
+
+        Label cont = b.newLabel("scan_cont");
+        std::vector<Label> ops;
+        ops.reserve(numOps);
+        for (unsigned t = 0; t < numOps; ++t)
+            ops.push_back(emitBitOp(b, structure, t, cont));
+        emitJumpTable(b, opTable, ops);
+
+        b.bind(cont);
+        b.addi(5, 5, 1);
+        b.blt(5, 6, scan);
+
+        b.addi(10, 10, 1);
+        b.br(outer);
+        b.halt();
+
+        return b.build();
+    }
+
+  private:
+    /**
+     * Emit one bit-test block: tests per-block masks of the cube in
+     * r1 and updates the cover state in r16; ends at @p cont.
+     */
+    static Label
+    emitBitOp(ProgramBuilder &b, Rng &structure, unsigned index,
+              Label cont)
+    {
+        Label entry = b.here(strprintf("op_%u", index));
+
+        // Containment-style test on a single literal (the outcome
+        // follows the cube pattern, so it is learnable but far from
+        // fully biased).
+        std::int64_t mask1 = std::int64_t{1} << structure.nextBelow(12);
+        b.andi(7, 1, mask1);
+        Label miss = b.newLabel();
+        b.beqz(7, miss);
+        // Overlap: merge into the running cover.
+        b.or_(16, 16, 1);
+        emitAluRun(b, 1 + static_cast<unsigned>(
+                              structure.nextBelow(2)));
+        // Secondary test on two literals of the evolving cover.
+        std::int64_t mask2 =
+            (std::int64_t{1} << structure.nextBelow(12)) |
+            (std::int64_t{1} << structure.nextBelow(12));
+        b.andi(7, 16, mask2);
+        Label no_reduce = b.newLabel();
+        b.beqz(7, no_reduce);
+        b.andi(16, 16, (~mask2) & cubeMask); // reduce the cover
+        b.bind(no_reduce);
+        b.br(cont);
+
+        b.bind(miss);
+        // Disjoint: count it and occasionally reset the cover.
+        b.addi(11, 11, 1);
+        Label no_reset = b.newLabel();
+        b.bnez(16, no_reset);
+        b.mov(16, 1);
+        b.bind(no_reset);
+        b.br(cont);
+        return entry;
+    }
+};
+
+} // namespace
+
+const Workload &
+espressoWorkload()
+{
+    static EspressoWorkload workload;
+    return workload;
+}
+
+} // namespace tl

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * fpppp: two-electron integral derivatives (floating point, 653
+ * static conditional branches in the paper's trace; testing data
+ * "natoms", no training set).
+ *
+ * The real benchmark is famous for enormous basic blocks and very few,
+ * very regular branches — every predictor does well on it. The model
+ * runs 48 generated integral blocks per atom pair, each a long
+ * arithmetic run guarded by a branch that goes one way ~99% of the
+ * time (a screening test against a large cutoff), under regular
+ * fixed-trip loops. Branch density is a few percent of instructions,
+ * matching Section 4.1's floating point numbers.
+ */
+
+#include "workloads/registry.hh"
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+namespace
+{
+
+using namespace isa;
+using namespace workload_util;
+
+constexpr std::uint64_t pairData = 0x0000; // per-pair magnitudes
+constexpr unsigned numPairs = 32;
+constexpr unsigned numBlocks = 48;
+
+class FppppWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "fpppp"; }
+    bool isInteger() const override { return false; }
+    std::string testingDataset() const override { return "natoms"; }
+
+    Dataset
+    dataset(const std::string &datasetName) const override
+    {
+        if (datasetName == "natoms")
+            return Dataset{datasetName, 0xf9999, 100};
+        fatal("fpppp: unknown dataset '%s'", datasetName.c_str());
+    }
+
+    Program
+    build(const Dataset &data) const override
+    {
+        ProgramBuilder b;
+        Rng structure(0xf9f9f);
+        Rng dataRng(data.seed);
+
+        // Pair magnitudes: almost all well above the negligibility
+        // cutoffs; a few pairs are tiny and get screened out (the
+        // rare taken path of the screening branches).
+        std::vector<std::int64_t> magnitudes(numPairs);
+        for (std::size_t i = 0; i < magnitudes.size(); ++i) {
+            bool tiny = dataRng.nextBool(0.03);
+            magnitudes[i] = tiny ? dataRng.nextRange(0, 500)
+                                 : 1000 + dataRng.nextRange(0, 3000);
+        }
+        emitArray(b, pairData, magnitudes);
+
+        // r5 = pair index, r6 = #pairs, r19 = pair magnitude.
+        b.li(29, static_cast<std::int64_t>(stackBase));
+        b.li(6, numPairs);
+
+        emitStartupPhase(b, structure, 602, 0x100);
+
+        Label normalize = b.newLabel("normalize");
+
+        Label outer = b.here("scf_pass");
+        b.li(5, 0);
+        Label pair_loop = b.here("pair_loop");
+        b.ld(19, 5, static_cast<std::int64_t>(pairData));
+
+        // The integral blocks are inlined straight-line code — the
+        // signature fpppp shape is enormous basic blocks, not calls.
+        for (unsigned blk = 0; blk < numBlocks; ++blk)
+            emitBlock(b, structure);
+
+        // Contraction: a long-trip accumulation loop per pair (the
+        // loop-dominated, almost-always-taken side of fpppp).
+        b.li(9, 100);
+        Label contract = b.here("contract");
+        emitAluRun(b, 3);
+        b.addi(9, 9, -1);
+        b.bnez(9, contract);
+
+        b.call(normalize); // one small routine per pair
+        b.addi(5, 5, 1);
+        b.blt(5, 6, pair_loop);
+        b.addi(10, 10, 1);
+        b.br(outer);
+
+        // normalize: a short fixed-trip accumulation loop.
+        b.bind(normalize);
+        b.li(9, 6);
+        Label norm_loop = b.here("norm_loop");
+        emitAluRun(b, 5);
+        b.addi(9, 9, -1);
+        b.bnez(9, norm_loop);
+        b.ret();
+
+        b.halt();
+
+        return b.build();
+    }
+
+  private:
+    /**
+     * One inlined integral block: a screening test against a
+     * per-block cutoff (almost always the same direction), then a
+     * long arithmetic run.
+     */
+    static void
+    emitBlock(ProgramBuilder &b, Rng &structure)
+    {
+        Label skip = b.newLabel();
+        // Negligibility cutoffs sit below the common magnitudes, so
+        // the forward branch is rarely taken (~6%) — BTFN-friendly,
+        // like compiled rare-case skips.
+        std::int64_t cutoff =
+            600 + static_cast<std::int64_t>(structure.nextBelow(300));
+        b.li(9, cutoff);
+        b.blt(19, 9, skip); // negligible pair: skip this integral
+        emitAluRun(b, 40 + static_cast<unsigned>(
+                              structure.nextBelow(41)));
+        b.bind(skip);
+    }
+};
+
+} // namespace
+
+const Workload &
+fppppWorkload()
+{
+    static FppppWorkload workload;
+    return workload;
+}
+
+} // namespace tl

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * gcc: the GNU C compiler (integer; by far the largest benchmark —
+ * 6922 static conditional branches in the paper's trace; training
+ * data cexp.i, testing data dbxout.i; many traps, which makes gcc the
+ * benchmark most hurt by context switches in the paper's Figure 9).
+ *
+ * The model is a token-dispatch interpreter, the branchy core of a
+ * compiler front end: a token stream (period-127 pattern with 1/64
+ * noise, Zipf-skewed over 1024 token kinds) drives an indirect jump
+ * through a 1024-entry handler table. Each generated handler carries
+ * several conditional branches on the evolving parser state, giving
+ * thousands of distinct static branch sites — enough to thrash a
+ * 512-entry branch history table, reproducing the paper's Figure 10
+ * capacity effects. A recursive-descent routine adds call/return
+ * depth, and a TRAP fires every 1024 tokens to model gcc's frequent
+ * system calls.
+ */
+
+#include "workloads/registry.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+namespace
+{
+
+using namespace isa;
+using namespace workload_util;
+
+constexpr std::uint64_t tokenPattern = 0x0000;  // 127-entry pattern
+constexpr std::uint64_t handlerTable = 0x1000;  // 1024 handler addresses
+constexpr unsigned numHandlers = 1024;
+constexpr unsigned patternPeriod = 127;
+constexpr std::uint64_t seedAddr = 0x1800; // LCG seed input word
+
+class GccWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "gcc"; }
+    bool isInteger() const override { return true; }
+    std::string testingDataset() const override { return "dbxout.i"; }
+    std::string trainingDataset() const override { return "cexp.i"; }
+
+    Dataset
+    dataset(const std::string &datasetName) const override
+    {
+        if (datasetName == "dbxout.i")
+            return Dataset{datasetName, 0xdb0001, 100};
+        if (datasetName == "cexp.i")
+            return Dataset{datasetName, 0xce4b01, 70};
+        fatal("gcc: unknown dataset '%s'", datasetName.c_str());
+    }
+
+    Program
+    build(const Dataset &data) const override
+    {
+        ProgramBuilder b;
+        Rng structure(0x9cc0de);
+        Rng dataRng(data.seed);
+
+        // Zipf-skewed token pattern: common tokens hit the same few
+        // handlers, rare tokens touch the long tail. The base stream
+        // is shared by every dataset (it is the same compiler parsing
+        // the same language); the dataset perturbs ~15% of positions,
+        // the way cexp.i and dbxout.i differ in content but not in
+        // token statistics.
+        Rng base(0x9ccba5e);
+        std::vector<std::int64_t> pattern(patternPeriod);
+        for (std::int64_t &token : pattern) {
+            double u = base.nextDouble();
+            token = static_cast<std::int64_t>(
+                (numHandlers - 1) * std::pow(u, 4.0));
+        }
+        for (std::int64_t &token : pattern) {
+            if (dataRng.nextBool(0.15)) {
+                double u = dataRng.nextDouble();
+                token = static_cast<std::int64_t>(
+                    (numHandlers - 1) * std::pow(u, 4.0));
+            }
+        }
+        emitArray(b, tokenPattern, pattern);
+
+        // r2 = previous token (the handlers' context), r3 = LCG,
+        // r5 = token index, r12 = period, r16/r17 = parser state,
+        // r29 = stack pointer.
+        b.data(seedAddr, static_cast<std::int64_t>(data.seed | 1));
+        b.li(29, static_cast<std::int64_t>(stackBase));
+        b.li(2, 0);
+        b.ld(3, 0, static_cast<std::int64_t>(seedAddr));
+        b.li(12, patternPeriod);
+        b.li(16, 0x5a5a);
+        b.li(17, 1);
+
+        // gcc's enormous one-shot tail: option handling, target
+        // configuration, pass setup (Table 1: 6922 static branches).
+        emitStartupPhase(b, structure, 5504, 0x1810);
+
+        Label loop = b.here("token_loop");
+
+        // Fetch the next token: pattern with 1/64 noise.
+        b.rem(4, 5, 12);
+        b.ld(1, 4, static_cast<std::int64_t>(tokenPattern));
+        emitLcgStep(b, 3);
+        b.srli(8, 3, 45);
+        b.andi(8, 8, 63);
+        Label use_pattern = b.newLabel("use_pattern");
+        b.bnez(8, use_pattern);
+        b.srli(1, 3, 30);
+        b.andi(1, 1, numHandlers - 1);
+        b.bind(use_pattern);
+
+        // A trap (system call) every 512 tokens — gcc is the trap-
+        // heavy benchmark in the paper's Figure 9.
+        b.andi(9, 5, 511);
+        Label no_trap = b.newLabel("no_trap");
+        b.bnez(9, no_trap);
+        b.trap();
+        b.bind(no_trap);
+
+        // Dispatch through the handler table.
+        b.ld(8, 1, static_cast<std::int64_t>(handlerTable));
+        b.jr(8);
+
+        Label cont = b.newLabel("token_cont");
+        std::vector<Label> handlers;
+        handlers.reserve(numHandlers);
+        for (unsigned t = 0; t < numHandlers; ++t)
+            handlers.push_back(emitHandler(b, structure, t, cont));
+        emitJumpTable(b, handlerTable, handlers);
+
+        b.bind(cont);
+        b.mov(2, 1); // current token becomes the next context
+        // Expression tokens enter the recursive-descent parser
+        // (which clobbers r1, so the context is saved first).
+        b.andi(9, 2, 63);
+        b.addi(9, 9, -7);
+        Label no_parse = b.newLabel("no_parse");
+        b.bnez(9, no_parse);
+        b.andi(1, 16, 3);
+        b.addi(1, 1, 2); // depth 2..5 from the parser state
+        Label parse = b.newLabel("parse");
+        b.call(parse);
+        b.bind(no_parse);
+
+        b.addi(5, 5, 1);
+        b.br(loop);
+
+        emitParser(b, parse);
+        b.halt();
+
+        return b.build();
+    }
+
+  private:
+    /**
+     * Recursive-descent parser: parse(depth) consumes pseudo-tokens
+     * and recurses on one or two children while depth > 0.
+     */
+    static void
+    emitParser(ProgramBuilder &b, Label parse)
+    {
+        b.bind(parse);
+        Label leaf = b.newLabel("parse_leaf");
+        b.beqz(1, leaf);
+        // push depth; parse(depth - 1)
+        emitPush(b, 1);
+        b.addi(1, 1, -1);
+        b.call(parse);
+        emitPop(b, 1);
+        // Second child when the parser state is odd (deterministic in
+        // the token stream, so history predictors can learn it).
+        b.andi(7, 16, 1);
+        Label done = b.newLabel("parse_done");
+        b.beqz(7, done);
+        emitPush(b, 1);
+        b.addi(1, 1, -1);
+        b.call(parse);
+        emitPop(b, 1);
+        b.bind(done);
+        b.ret();
+        b.bind(leaf);
+        emitAluRun(b, 2);
+        b.ret();
+    }
+
+    /**
+     * Emit one token handler. Branches test the evolving parser
+     * state (r16, r17) and LCG bits with per-handler biases, then
+     * update the state; ends at @p cont.
+     */
+    static Label
+    emitHandler(ProgramBuilder &b, Rng &structure, unsigned index,
+                Label cont)
+    {
+        Label entry = b.here(strprintf("h_%u", index));
+
+        unsigned branches =
+            2 + static_cast<unsigned>(structure.nextBelow(3));
+        for (unsigned i = 0; i < branches; ++i) {
+            Label skip = b.newLabel();
+            switch (structure.nextBelow(6)) {
+              case 0:
+              case 1:
+              case 2: {
+                // Context-patterned: test a bit of the previous token
+                // (r2). The token stream is 15/16 pattern-driven, so
+                // these outcomes are learnable from history — like a
+                // parser branching on what it just saw.
+                std::int64_t mask =
+                    std::int64_t{1} << structure.nextBelow(10);
+                b.andi(9, 2, mask);
+                if (structure.nextBool(0.5))
+                    b.beqz(9, skip);
+                else
+                    b.bnez(9, skip);
+                b.addi(17, 17, 1);
+                break;
+              }
+              case 3:
+              case 4: {
+                // Context threshold: previous token class check.
+                std::int64_t threshold = static_cast<std::int64_t>(
+                    structure.nextBelow(numHandlers));
+                b.li(9, threshold);
+                if (structure.nextBool(0.5))
+                    b.blt(2, 9, skip);
+                else
+                    b.bge(2, 9, skip);
+                b.xori(16, 16, 0x11);
+                break;
+              }
+              default: {
+                // Biased noise: p = 1/2^bits of entering the slow
+                // path (error handling, rare semantic checks).
+                unsigned bits =
+                    2 + static_cast<unsigned>(structure.nextBelow(3));
+                b.srli(9, 3, 30 + static_cast<std::int64_t>(
+                                      structure.nextBelow(20)));
+                b.andi(9, 9, (std::int64_t{1} << bits) - 1);
+                b.bnez(9, skip);
+                b.xori(16, 16, 0x11);
+                break;
+              }
+            }
+            b.bind(skip);
+        }
+        // Fold the token into the parser state.
+        b.add(16, 16, 1);
+        b.andi(16, 16, 0xffff);
+        b.andi(17, 17, 0xffff);
+        if (structure.nextBool(0.3))
+            emitAluRun(b, 2);
+        b.br(cont);
+        return entry;
+    }
+};
+
+} // namespace
+
+const Workload &
+gccWorkload()
+{
+    static GccWorkload workload;
+    return workload;
+}
+
+} // namespace tl

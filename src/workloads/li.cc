@@ -1,0 +1,352 @@
+/**
+ * @file
+ * li (xlisp): a small Lisp interpreter (integer, 489 static
+ * conditional branches in the paper's trace; training input "tower of
+ * hanoi", testing input "eight queens").
+ *
+ * The interpreter's input program is *data*, so this model carries
+ * both kernels in one binary and the dataset selects which one runs —
+ * mirroring how the same xlisp executable traces differently on the
+ * two scripts:
+ *
+ *  - tower of hanoi: clean binary recursion, highly regular;
+ *  - eight queens: recursive backtracking with data-dependent
+ *    conflict-check loops (a per-pass "forbidden square" varies the
+ *    search tree between passes).
+ *
+ * Interpreter flavour comes from a cons-cell allocator with a
+ * wrap-around check, a mark/sweep pass over the heap, and a 64-way
+ * eval dispatch over heap cells.
+ */
+
+#include "workloads/registry.hh"
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+namespace
+{
+
+using namespace isa;
+using namespace workload_util;
+
+constexpr std::uint64_t modeFlag = 0x500;   // 0 = hanoi, 1 = queens
+constexpr std::uint64_t seedAddr = 0x501;   // LCG seed input word
+constexpr std::uint64_t boardCols = 0x600;  // queens: col[row]
+constexpr std::uint64_t forbidRow = 0x608;
+constexpr std::uint64_t forbidCol = 0x609;
+constexpr std::uint64_t heapPtr = 0x700;
+constexpr std::uint64_t heapBase = 0x800;
+constexpr std::int64_t heapSize = 1024;
+constexpr std::uint64_t evalTable = 0x1800; // 64 eval op addresses
+constexpr unsigned numEvalOps = 64;
+
+class LiWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "li"; }
+    bool isInteger() const override { return true; }
+    std::string testingDataset() const override
+    {
+        return "eight queens";
+    }
+    std::string trainingDataset() const override
+    {
+        return "tower of hanoi";
+    }
+
+    Dataset
+    dataset(const std::string &datasetName) const override
+    {
+        if (datasetName == "eight queens")
+            return Dataset{datasetName, 0x8fee25, 100};
+        if (datasetName == "tower of hanoi")
+            return Dataset{datasetName, 0x704a01, 60};
+        fatal("li: unknown dataset '%s'", datasetName.c_str());
+    }
+
+    Program
+    build(const Dataset &data) const override
+    {
+        ProgramBuilder b;
+        Rng structure(0x115b);
+
+        bool queens_mode = data.name == "eight queens";
+        b.data(modeFlag, queens_mode ? 1 : 0);
+
+        // r3 = LCG, r10 = pass counter, r17 = solution/move counter,
+        // r29 = stack pointer.
+        b.data(seedAddr, static_cast<std::int64_t>(data.seed | 1));
+        b.li(29, static_cast<std::int64_t>(stackBase));
+        b.ld(3, 0, static_cast<std::int64_t>(seedAddr));
+
+        emitStartupPhase(b, structure, 380, 0x520);
+
+        Label hanoi = b.newLabel("hanoi");
+        Label queens = b.newLabel("queens");
+        Label alloc = b.newLabel("alloc");
+        Label gc = b.newLabel("gc");
+        Label eval = b.newLabel("eval");
+
+        Label outer = b.here("outer");
+        // The interpreter's eval/GC machinery runs at the top of each
+        // pass (and gc again from the search, below), so interpreter
+        // and kernel branches interleave as in the real xlisp.
+        b.call(eval);
+        b.call(gc);
+        b.ld(1, 0, static_cast<std::int64_t>(modeFlag));
+        Label do_hanoi = b.newLabel("do_hanoi");
+        Label kernels_done = b.newLabel("kernels_done");
+        b.beqz(1, do_hanoi);
+
+        // Eight queens: each pass searches one top-level subtree
+        // (queen 0 fixed to column pass mod 8, as an interactive
+        // session would re-evaluate piecewise) with a rotating
+        // forbidden square varying the tree between passes.
+        b.andi(7, 10, 7);
+        b.st(7, 0, static_cast<std::int64_t>(boardCols)); // col[0]
+        b.addi(7, 10, 3);
+        b.andi(7, 7, 7);
+        b.st(7, 0, static_cast<std::int64_t>(forbidRow));
+        b.muli(7, 10, 5);
+        b.andi(7, 7, 7);
+        b.st(7, 0, static_cast<std::int64_t>(forbidCol));
+        b.li(1, 1); // search from row 1
+        b.call(queens);
+        b.br(kernels_done);
+
+        b.bind(do_hanoi);
+        b.li(1, 9); // 9 discs: 2^9 - 1 moves per pass
+        b.call(hanoi);
+
+        b.bind(kernels_done);
+        b.addi(10, 10, 1);
+        b.br(outer);
+
+        emitHanoi(b, hanoi, alloc);
+        emitQueens(b, queens, alloc, gc);
+        emitAlloc(b, alloc);
+        emitGc(b, gc);
+        emitEval(b, structure, eval);
+        b.halt();
+
+        return b.build();
+    }
+
+  private:
+    /** hanoi(n in r1): binary recursion, allocating a cell per move. */
+    static void
+    emitHanoi(ProgramBuilder &b, Label hanoi, Label alloc)
+    {
+        b.bind(hanoi);
+        Label base = b.newLabel("hanoi_base");
+        b.beqz(1, base);
+        emitPush(b, 1);
+        b.addi(1, 1, -1);
+        b.call(hanoi);
+        emitPop(b, 1);
+        b.addi(17, 17, 1); // record the move
+        b.call(alloc);
+        emitPush(b, 1);
+        b.addi(1, 1, -1);
+        b.call(hanoi);
+        emitPop(b, 1);
+        b.ret();
+        b.bind(base);
+        b.ret();
+    }
+
+    /** queens(row in r1): recursive backtracking over an 8x8 board. */
+    static void
+    emitQueens(ProgramBuilder &b, Label queens, Label alloc,
+               Label gcEntry)
+    {
+        b.bind(queens);
+        Label found = b.newLabel("q_found");
+        Label try_col = b.newLabel("q_try");
+        Label next_col = b.newLabel("q_next");
+        Label not_forbidden = b.newLabel("q_notforb");
+        Label check = b.newLabel("q_chk");
+        Label safe = b.newLabel("q_safe");
+        Label done = b.newLabel("q_done");
+
+        b.li(20, 8);
+        b.beq(1, 20, found); // row == 8: a solution
+        b.li(2, 0);          // col = 0
+
+        b.bind(try_col);
+        // Skip the pass-dependent forbidden square.
+        b.ld(21, 0, static_cast<std::int64_t>(forbidRow));
+        b.bne(1, 21, not_forbidden);
+        b.ld(21, 0, static_cast<std::int64_t>(forbidCol));
+        b.beq(2, 21, next_col);
+        b.bind(not_forbidden);
+
+        // Conflict check against rows 0..row-1 (do-while with a
+        // backward, mostly-taken loop branch).
+        b.li(4, 0);
+        b.beqz(1, safe); // row 0 has nothing to conflict with
+        b.bind(check);
+        b.ld(5, 4, static_cast<std::int64_t>(boardCols));
+        // Interpreter-style type checks on the fetched cell: the tag
+        // bits of a small fixnum are always clear, so these branches
+        // are as regular as xlisp's ubiquitous type dispatches.
+        b.andi(6, 5, 0x700);
+        Label fixnum = b.newLabel("q_fixnum");
+        b.beqz(6, fixnum); // always taken: it is a fixnum
+        b.addi(17, 17, 1); // (boxed path, never executed)
+        b.bind(fixnum);
+        b.andi(6, 2, 0x700);
+        Label fixnum2 = b.newLabel("q_fixnum2");
+        b.beqz(6, fixnum2);
+        b.addi(17, 17, 1);
+        b.bind(fixnum2);
+        b.li(6, 64);
+        Label small = b.newLabel("q_small");
+        b.blt(5, 6, small); // always taken: columns are small ints
+        b.addi(17, 17, 1);
+        b.bind(small);
+        b.beq(5, 2, next_col); // same column
+        // |col[j] - col| without a branch (sign-select).
+        b.sub(6, 5, 2);
+        b.slt(7, 6, 0);
+        b.muli(7, 7, -2);
+        b.addi(7, 7, 1); // +1 or -1
+        b.mul(6, 6, 7);
+        b.sub(7, 1, 4);
+        b.beq(6, 7, next_col); // same diagonal
+        b.addi(4, 4, 1);
+        b.blt(4, 1, check);
+
+        b.bind(safe);
+        b.st(2, 1, static_cast<std::int64_t>(boardCols));
+        b.call(alloc); // cons the placement
+        emitPush(b, 1);
+        emitPush(b, 2);
+        b.addi(1, 1, 1);
+        b.call(queens);
+        emitPop(b, 2);
+        emitPop(b, 1);
+
+        b.bind(next_col);
+        b.addi(2, 2, 1);
+        b.li(20, 8);
+        b.blt(2, 20, try_col);
+        b.br(done);
+
+        b.bind(found);
+        b.addi(17, 17, 1);
+        // Every 16th solution triggers a collection, interleaving GC
+        // branches with the search.
+        b.andi(20, 17, 15);
+        Label no_gc = b.newLabel("q_no_gc");
+        b.bnez(20, no_gc);
+        b.call(gcEntry);
+        b.bind(no_gc);
+        b.bind(done);
+        b.ret();
+    }
+
+    /** alloc: bump allocator with a wrap-around (heap-full) check. */
+    static void
+    emitAlloc(ProgramBuilder &b, Label alloc)
+    {
+        b.bind(alloc);
+        Label ok = b.newLabel("alloc_ok");
+        b.ld(26, 0, static_cast<std::int64_t>(heapPtr));
+        b.addi(26, 26, 1);
+        b.li(27, heapSize);
+        b.blt(26, 27, ok);
+        b.li(26, 0); // heap full: wrap (the "collection")
+        b.bind(ok);
+        b.st(26, 0, static_cast<std::int64_t>(heapPtr));
+        b.add(27, 26, 17);
+        b.st(27, 26, static_cast<std::int64_t>(heapBase)); // cell value
+        b.ret();
+    }
+
+    /** gc: mark/sweep-style scan clearing odd-tagged cells. */
+    static void
+    emitGc(ProgramBuilder &b, Label gc)
+    {
+        b.bind(gc);
+        Label loop = b.newLabel("gc_loop");
+        Label skip = b.newLabel("gc_skip");
+        b.li(26, 0);
+        b.li(28, heapSize);
+        b.bind(loop);
+        b.ld(27, 26, static_cast<std::int64_t>(heapBase));
+        b.andi(27, 27, 1);
+        b.beqz(27, skip);
+        b.st(0, 26, static_cast<std::int64_t>(heapBase));
+        b.bind(skip);
+        b.addi(26, 26, 1);
+        b.blt(26, 28, loop);
+        b.ret();
+    }
+
+    /**
+     * eval: dispatch over the first 256 heap cells to 64 generated
+     * "bytecode" blocks (the interpreter's eval loop).
+     */
+    static void
+    emitEval(ProgramBuilder &b, Rng &structure, Label eval)
+    {
+        b.bind(eval);
+        Label loop = b.newLabel("eval_loop");
+        Label cont = b.newLabel("eval_cont");
+        b.li(26, 0);
+        b.li(28, 256);
+        b.bind(loop);
+        b.ld(1, 26, static_cast<std::int64_t>(heapBase));
+        b.andi(7, 1, numEvalOps - 1);
+        b.ld(8, 7, static_cast<std::int64_t>(evalTable));
+        b.jr(8);
+
+        std::vector<Label> ops;
+        ops.reserve(numEvalOps);
+        for (unsigned t = 0; t < numEvalOps; ++t) {
+            Label entry = b.here(strprintf("ev_%u", t));
+            Label skip = b.newLabel();
+            // One or two branches per op on the cell value.
+            std::int64_t mask =
+                std::int64_t{1} << (1 + structure.nextBelow(5));
+            b.andi(9, 1, mask);
+            if (structure.nextBool(0.5))
+                b.beqz(9, skip);
+            else
+                b.bnez(9, skip);
+            b.addi(17, 17, 1);
+            b.bind(skip);
+            if (structure.nextBool(0.4)) {
+                Label skip2 = b.newLabel();
+                b.li(9, static_cast<std::int64_t>(
+                            structure.nextBelow(64)));
+                b.ble(1, 9, skip2);
+                b.xori(17, 17, 5);
+                b.bind(skip2);
+            }
+            b.br(cont);
+            ops.push_back(entry);
+        }
+        emitJumpTable(b, evalTable, ops);
+
+        b.bind(cont);
+        b.addi(26, 26, 1);
+        b.blt(26, 28, loop); // backward, taken 255/256
+        b.ret();
+    }
+};
+
+} // namespace
+
+const Workload &
+liWorkload()
+{
+    static LiWorkload workload;
+    return workload;
+}
+
+} // namespace tl

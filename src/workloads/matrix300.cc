@@ -1,0 +1,150 @@
+/**
+ * @file
+ * matrix300: dense matrix multiply (floating point, 213 static
+ * conditional branches in the paper's trace; built-in data, no
+ * training set).
+ *
+ * The real benchmark multiplies 300x300 matrices with SAXPY inner
+ * loops; its branches are almost exclusively long-trip loop
+ * back-edges, so every predictor scores near-perfectly. The model
+ * runs a 192x192 multiply (long inner trips keep the loop-exit
+ * misprediction share below ~1%), plus initialization and transpose
+ * passes with the same character.
+ */
+
+#include "workloads/registry.hh"
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+namespace
+{
+
+using namespace isa;
+using namespace workload_util;
+
+constexpr std::int64_t n = 192; // matrix dimension
+constexpr std::uint64_t matA = 0x00000;
+constexpr std::uint64_t matB = 0x10000;
+constexpr std::uint64_t matC = 0x20000;
+
+class Matrix300Workload : public Workload
+{
+  public:
+    std::string name() const override { return "matrix300"; }
+    bool isInteger() const override { return false; }
+    std::string testingDataset() const override { return "built-in"; }
+
+    Dataset
+    dataset(const std::string &datasetName) const override
+    {
+        if (datasetName == "built-in")
+            return Dataset{datasetName, 0x300300, 100};
+        fatal("matrix300: unknown dataset '%s'", datasetName.c_str());
+    }
+
+    Program
+    build(const Dataset &data) const override
+    {
+        ProgramBuilder b;
+        Rng structure(0x300ba5e);
+
+        // r1 = i, r2 = j, r4 = k, r5/r6/r7 = addresses,
+        // r20..r23 = arithmetic, r24 = n.
+        b.li(29, static_cast<std::int64_t>(stackBase));
+        b.li(24, n);
+        b.li(3, static_cast<std::int64_t>(data.seed | 1));
+
+        emitStartupPhase(b, structure, 208, 0x30000);
+
+        Label outer = b.here("pass");
+
+        // --- initialization: A[i][j] = f(i, j), B = g(i, j) --------
+        b.li(1, 0);
+        Label init_i = b.here("init_i");
+        b.li(2, 0);
+        Label init_j = b.here("init_j");
+        b.mul(5, 1, 24);
+        b.add(5, 5, 2); // i * n + j
+        b.add(20, 1, 2);
+        b.muli(20, 20, 37);
+        b.andi(20, 20, 1023);
+        b.st(20, 5, static_cast<std::int64_t>(matA));
+        b.sub(21, 1, 2);
+        b.muli(21, 21, 17);
+        b.andi(21, 21, 1023);
+        b.st(21, 5, static_cast<std::int64_t>(matB));
+        b.st(0, 5, static_cast<std::int64_t>(matC));
+        b.addi(2, 2, 1);
+        b.blt(2, 24, init_j);
+        b.addi(1, 1, 1);
+        b.blt(1, 24, init_i);
+
+        // --- C = A * B in j-k-i order (SAXPY inner loop) ------------
+        b.li(2, 0);
+        Label mm_j = b.here("mm_j");
+        b.li(4, 0);
+        Label mm_k = b.here("mm_k");
+        // r22 = B[k][j]
+        b.mul(6, 4, 24);
+        b.add(6, 6, 2);
+        b.ld(22, 6, static_cast<std::int64_t>(matB));
+        b.li(1, 0);
+        Label mm_i = b.here("mm_i");
+        // C[i][j] += A[i][k] * B[k][j]
+        b.mul(5, 1, 24);
+        b.add(7, 5, 4);
+        b.ld(20, 7, static_cast<std::int64_t>(matA));
+        b.add(7, 5, 2);
+        b.ld(21, 7, static_cast<std::int64_t>(matC));
+        b.mul(20, 20, 22);
+        b.add(21, 21, 20);
+        b.st(21, 7, static_cast<std::int64_t>(matC));
+        b.addi(1, 1, 1);
+        b.blt(1, 24, mm_i);
+        b.addi(4, 4, 1);
+        b.blt(4, 24, mm_k);
+        b.addi(2, 2, 1);
+        b.blt(2, 24, mm_j);
+
+        // --- transpose A in place (upper triangle swap) -------------
+        b.li(1, 0);
+        Label tr_i = b.here("tr_i");
+        b.addi(2, 1, 1);
+        Label tr_j = b.here("tr_j");
+        Label tr_j_end = b.newLabel("tr_j_end");
+        b.bge(2, 24, tr_j_end);
+        b.mul(5, 1, 24);
+        b.add(5, 5, 2);
+        b.mul(6, 2, 24);
+        b.add(6, 6, 1);
+        b.ld(20, 5, static_cast<std::int64_t>(matA));
+        b.ld(21, 6, static_cast<std::int64_t>(matA));
+        b.st(21, 5, static_cast<std::int64_t>(matA));
+        b.st(20, 6, static_cast<std::int64_t>(matA));
+        b.addi(2, 2, 1);
+        b.br(tr_j);
+        b.bind(tr_j_end);
+        b.addi(1, 1, 1);
+        b.blt(1, 24, tr_i);
+
+        b.addi(10, 10, 1);
+        b.br(outer);
+        b.halt();
+
+        return b.build();
+    }
+};
+
+} // namespace
+
+const Workload &
+matrix300Workload()
+{
+    static Matrix300Workload workload;
+    return workload;
+}
+
+} // namespace tl

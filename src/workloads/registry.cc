@@ -1,0 +1,30 @@
+#include "workloads/registry.hh"
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+const std::vector<const Workload *> &
+allWorkloads()
+{
+    static const std::vector<const Workload *> workloads = {
+        &eqntottWorkload(),  &espressoWorkload(), &gccWorkload(),
+        &liWorkload(),       &doducWorkload(),    &fppppWorkload(),
+        &matrix300Workload(), &spice2g6Workload(), &tomcatvWorkload(),
+    };
+    return workloads;
+}
+
+const Workload &
+workloadByName(std::string_view name)
+{
+    for (const Workload *workload : allWorkloads()) {
+        if (workload->name() == name)
+            return *workload;
+    }
+    fatal("unknown workload '%.*s'", static_cast<int>(name.size()),
+          name.data());
+}
+
+} // namespace tl

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The nine-benchmark suite (Tables 1 and 2 of the paper): accessors
+ * for each workload singleton and the suite in the paper's order
+ * (four integer benchmarks, then five floating point benchmarks).
+ */
+
+#ifndef TL_WORKLOADS_REGISTRY_HH
+#define TL_WORKLOADS_REGISTRY_HH
+
+#include <string_view>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace tl
+{
+
+/// @name Workload singletons
+/// @{
+const Workload &eqntottWorkload();
+const Workload &espressoWorkload();
+const Workload &gccWorkload();
+const Workload &liWorkload();
+const Workload &doducWorkload();
+const Workload &fppppWorkload();
+const Workload &matrix300Workload();
+const Workload &spice2g6Workload();
+const Workload &tomcatvWorkload();
+/// @}
+
+/** All nine workloads: integer first, then floating point. */
+const std::vector<const Workload *> &allWorkloads();
+
+/** Look a workload up by name; calls fatal() for unknown names. */
+const Workload &workloadByName(std::string_view name);
+
+} // namespace tl
+
+#endif // TL_WORKLOADS_REGISTRY_HH

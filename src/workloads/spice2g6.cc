@@ -1,0 +1,244 @@
+/**
+ * @file
+ * spice2g6: analog circuit simulation (floating point, 606 static
+ * conditional branches in the paper's trace; training data
+ * "short greycode.in", testing data "greycode.in").
+ *
+ * The model follows the benchmark's shape: an outer timestep loop
+ * containing a Newton iteration whose trip count is data-dependent
+ * (a period-13 pattern of 2..5 iterations), a chain of 40 generated
+ * device-evaluation routines branching on node voltages, and a
+ * forward/backward sparse solve with occupancy tests. Mixed
+ * regular/irregular behaviour lands it between the loop-bound FP
+ * codes and the integer codes.
+ */
+
+#include "workloads/registry.hh"
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+namespace
+{
+
+using namespace isa;
+using namespace workload_util;
+
+constexpr std::uint64_t nodeV = 0x0000;        // 32 node voltages
+constexpr std::uint64_t newtonPattern = 0x100; // 13-entry trip pattern
+constexpr std::uint64_t sparsity = 0x200;      // 32 occupancy flags
+constexpr std::uint64_t voltPattern = 0x300;   // 13-entry voltage wave
+constexpr std::uint64_t stampVec = 0x400;      // matrix stamp area
+constexpr unsigned numNodes = 32;
+constexpr unsigned patternPeriod = 13;
+constexpr std::uint64_t seedAddr = 0x430; // LCG seed input word
+constexpr unsigned numDevices = 40;
+
+class Spice2g6Workload : public Workload
+{
+  public:
+    std::string name() const override { return "spice2g6"; }
+    bool isInteger() const override { return false; }
+    std::string testingDataset() const override
+    {
+        return "greycode.in";
+    }
+    std::string trainingDataset() const override
+    {
+        return "short greycode.in";
+    }
+
+    Dataset
+    dataset(const std::string &datasetName) const override
+    {
+        if (datasetName == "greycode.in")
+            return Dataset{datasetName, 0x591ce1, 100};
+        if (datasetName == "short greycode.in")
+            return Dataset{datasetName, 0x591ce2, 50};
+        fatal("spice2g6: unknown dataset '%s'", datasetName.c_str());
+    }
+
+    Program
+    build(const Dataset &data) const override
+    {
+        ProgramBuilder b;
+        Rng structure(0x591ce0);
+        Rng dataRng(data.seed);
+
+        // The circuit is the same in both datasets ("short
+        // greycode.in" is a shorter transient of the same netlist);
+        // the dataset perturbs ~15% of the waveform entries.
+        Rng base(0x591ba5e);
+        std::vector<std::int64_t> trips(patternPeriod);
+        for (std::int64_t &t : trips)
+            t = 2 + base.nextRange(0, 3);
+        std::vector<std::int64_t> wave =
+            randomArray(base, patternPeriod, 0, 4095);
+        std::vector<std::int64_t> occupied(numNodes);
+        for (std::int64_t &f : occupied)
+            f = base.nextBool(0.7) ? 1 : 0;
+        for (std::int64_t &t : trips) {
+            if (dataRng.nextBool(0.15))
+                t = 2 + dataRng.nextRange(0, 3);
+        }
+        for (std::int64_t &v : wave) {
+            if (dataRng.nextBool(0.15))
+                v = dataRng.nextRange(0, 4095);
+        }
+        emitArray(b, newtonPattern, trips);
+        emitArray(b, voltPattern, wave);
+        emitArray(b, sparsity, occupied);
+        emitArray(b, nodeV, randomArray(dataRng, numNodes, 0, 4095));
+
+        std::vector<Label> devices;
+        devices.reserve(numDevices);
+        for (unsigned d = 0; d < numDevices; ++d)
+            devices.push_back(b.newLabel(strprintf("dev_%u", d)));
+        Label solve = b.newLabel("solve");
+
+        // r3 = LCG, r10 = timestep, r13 = period, r14 = newton
+        // counter, r15 = newton trip target.
+        b.data(seedAddr, static_cast<std::int64_t>(data.seed | 1));
+        b.li(29, static_cast<std::int64_t>(stackBase));
+        b.ld(3, 0, static_cast<std::int64_t>(seedAddr));
+        b.li(13, patternPeriod);
+
+        emitStartupPhase(b, structure, 520, 0x440);
+
+        Label outer = b.here("timestep");
+
+        // Refresh the node voltages from the dataset pattern with a
+        // timestep-dependent rotation: device-evaluation branch
+        // operands follow a period-13 schedule, as an oscillating
+        // circuit's node voltages do.
+        b.li(26, 0);
+        b.li(28, numNodes);
+        Label refresh = b.here("refresh");
+        b.muli(4, 26, 5);
+        b.add(4, 4, 10); // 5*node + t
+        b.rem(4, 4, 13);
+        b.ld(7, 4, static_cast<std::int64_t>(voltPattern));
+        b.st(7, 26, static_cast<std::int64_t>(nodeV));
+        b.addi(26, 26, 1);
+        b.blt(26, 28, refresh);
+
+        // Newton trip target for this timestep.
+        b.rem(4, 10, 13);
+        b.ld(15, 4, static_cast<std::int64_t>(newtonPattern));
+        b.li(14, 0);
+
+        Label newton = b.here("newton");
+        for (unsigned d = 0; d < numDevices; ++d)
+            b.call(devices[d]);
+        b.call(solve);
+        b.addi(14, 14, 1);
+        b.blt(14, 15, newton); // data-dependent convergence
+
+        b.addi(10, 10, 1);
+        b.br(outer);
+
+        for (unsigned d = 0; d < numDevices; ++d)
+            emitDevice(b, structure, devices[d]);
+        emitSolve(b, solve);
+        b.halt();
+
+        return b.build();
+    }
+
+  private:
+    /**
+     * One device model: read two node voltages, long arithmetic,
+     * two region branches (cutoff / saturation), stamp one node.
+     */
+    static void
+    emitDevice(ProgramBuilder &b, Rng &structure, Label entry)
+    {
+        b.bind(entry);
+        unsigned node_a =
+            static_cast<unsigned>(structure.nextBelow(numNodes));
+        unsigned node_b =
+            static_cast<unsigned>(structure.nextBelow(numNodes));
+        unsigned node_out =
+            static_cast<unsigned>(structure.nextBelow(numNodes));
+
+        b.ld(20, 0, static_cast<std::int64_t>(nodeV + node_a));
+        b.ld(21, 0, static_cast<std::int64_t>(nodeV + node_b));
+        emitAluRun(b, 8 + static_cast<unsigned>(
+                             structure.nextBelow(9)));
+
+        // Region test 1: cutoff.
+        Label active = b.newLabel();
+        std::int64_t vth =
+            800 + static_cast<std::int64_t>(structure.nextBelow(800));
+        b.li(9, vth);
+        b.bge(20, 9, active);
+        emitAluRun(b, 2); // leakage only
+        b.bind(active);
+
+        // Region test 2: saturation (biased: most devices linear).
+        Label linear = b.newLabel();
+        b.li(9, 3600);
+        b.blt(21, 9, linear);
+        b.addi(21, 21, -128);
+        b.bind(linear);
+
+        // Stamp into the matrix area (devices never read it back, so
+        // within a timestep every Newton iteration sees the same node
+        // voltages — spice's device models are functions of V).
+        b.add(22, 20, 21);
+        b.srli(22, 22, 1);
+        b.andi(22, 22, 4095);
+        b.st(22, 0, static_cast<std::int64_t>(stampVec + node_out));
+        b.ret();
+    }
+
+    /** Sparse triangular solve with occupancy-test branches. */
+    static void
+    emitSolve(ProgramBuilder &b, Label solve)
+    {
+        b.bind(solve);
+        // Forward pass.
+        b.li(26, 0);
+        b.li(28, numNodes);
+        Label fwd = b.here("solve_fwd");
+        Label fwd_skip = b.newLabel("solve_fwd_skip");
+        b.ld(27, 26, static_cast<std::int64_t>(sparsity));
+        b.beqz(27, fwd_skip); // empty row
+        b.ld(20, 26, static_cast<std::int64_t>(nodeV));
+        b.muli(20, 20, 3);
+        b.srli(20, 20, 2);
+        b.andi(20, 20, 4095);
+        b.st(20, 26, static_cast<std::int64_t>(nodeV));
+        b.bind(fwd_skip);
+        b.addi(26, 26, 1);
+        b.blt(26, 28, fwd);
+
+        // Backward pass.
+        b.li(26, numNodes - 1);
+        Label bwd = b.here("solve_bwd");
+        Label bwd_skip = b.newLabel("solve_bwd_skip");
+        b.ld(27, 26, static_cast<std::int64_t>(sparsity));
+        b.beqz(27, bwd_skip);
+        b.ld(20, 26, static_cast<std::int64_t>(nodeV));
+        b.addi(20, 20, 5);
+        b.andi(20, 20, 4095);
+        b.st(20, 26, static_cast<std::int64_t>(nodeV));
+        b.bind(bwd_skip);
+        b.addi(26, 26, -1);
+        b.bge(26, 0, bwd);
+        b.ret();
+    }
+};
+
+} // namespace
+
+const Workload &
+spice2g6Workload()
+{
+    static Spice2g6Workload workload;
+    return workload;
+}
+
+} // namespace tl

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * tomcatv: vectorized mesh generation (floating point, 370 static
+ * conditional branches in the paper's trace; built-in data, no
+ * training set).
+ *
+ * The model is an iterative 2D stencil: per pass, a sweep over the
+ * interior of a 192x192 grid computes a relaxation update (long
+ * arithmetic, two nested fixed-trip loops), a residual-limiting
+ * branch fires on a spatially patterned minority of cells, and a
+ * second sweep applies the correction row by row. Regular,
+ * loop-dominated behaviour with a small data-dependent component —
+ * high accuracy for every predictor, like the real code.
+ */
+
+#include "workloads/registry.hh"
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+namespace
+{
+
+using namespace isa;
+using namespace workload_util;
+
+constexpr std::int64_t gridN = 192;
+constexpr std::uint64_t gridX = 0x0000;
+constexpr std::uint64_t gridY = 0x10000;
+constexpr std::uint64_t rowPattern = 0x20000; // 10-entry residual pattern
+constexpr unsigned patternPeriod = 10;
+
+class TomcatvWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "tomcatv"; }
+    bool isInteger() const override { return false; }
+    std::string testingDataset() const override { return "built-in"; }
+
+    Dataset
+    dataset(const std::string &datasetName) const override
+    {
+        if (datasetName == "built-in")
+            return Dataset{datasetName, 0x70c47, 100};
+        fatal("tomcatv: unknown dataset '%s'", datasetName.c_str());
+    }
+
+    Program
+    build(const Dataset &data) const override
+    {
+        ProgramBuilder b;
+        Rng structure(0x70cba5e);
+        Rng dataRng(data.seed);
+
+        // Residual-limit pattern: ~25% of pattern positions trigger
+        // the limiting branch. The short period (10) keeps the
+        // history windows of reasonable predictors unambiguous, so
+        // pattern-based schemes approach the real tomcatv's
+        // near-perfect accuracy.
+        std::vector<std::int64_t> residual(patternPeriod);
+        for (std::int64_t &r : residual)
+            r = dataRng.nextBool(0.25) ? 1 : 0;
+        emitArray(b, rowPattern, residual);
+
+        // r1 = i, r2 = j, r24 = n-1, r25 = n, r13 = period.
+        b.li(29, static_cast<std::int64_t>(stackBase));
+        b.li(24, gridN - 1);
+        b.li(25, gridN);
+        b.li(13, patternPeriod);
+        b.li(3, static_cast<std::int64_t>(data.seed | 1));
+
+        emitStartupPhase(b, structure, 364, 0x20010);
+
+        // Initialize the grids once (also a pair of regular loops).
+        b.li(1, 0);
+        Label init_i = b.here("init_i");
+        b.li(2, 0);
+        Label init_j = b.here("init_j");
+        b.mul(5, 1, 25);
+        b.add(5, 5, 2);
+        b.add(20, 1, 2);
+        b.muli(20, 20, 53);
+        b.andi(20, 20, 2047);
+        b.st(20, 5, static_cast<std::int64_t>(gridX));
+        b.sub(21, 1, 2);
+        b.muli(21, 21, 29);
+        b.andi(21, 21, 2047);
+        b.st(21, 5, static_cast<std::int64_t>(gridY));
+        b.addi(2, 2, 1);
+        b.blt(2, 25, init_j);
+        b.addi(1, 1, 1);
+        b.blt(1, 25, init_i);
+
+        Label outer = b.here("relax_pass");
+
+        // --- stencil sweep over the interior ------------------------
+        b.li(1, 1);
+        Label sw_i = b.here("sweep_i");
+        b.li(2, 1);
+        Label sw_j = b.here("sweep_j");
+        b.mul(5, 1, 25);
+        b.add(5, 5, 2); // center index
+        b.ld(20, 5, static_cast<std::int64_t>(gridX) - 1); // west
+        b.ld(21, 5, static_cast<std::int64_t>(gridX) + 1); // east
+        b.ld(22, 5,
+             static_cast<std::int64_t>(gridX) - gridN); // north
+        b.ld(23, 5,
+             static_cast<std::int64_t>(gridX) + gridN); // south
+        b.add(20, 20, 21);
+        b.add(20, 20, 22);
+        b.add(20, 20, 23);
+        b.srli(20, 20, 2); // average
+        emitAluRun(b, 6);
+
+        // Residual limiting: patterned by (i + j) mod period.
+        b.add(7, 1, 2);
+        b.rem(7, 7, 13);
+        b.ld(8, 7, static_cast<std::int64_t>(rowPattern));
+        Label no_limit = b.newLabel("no_limit");
+        b.beqz(8, no_limit);
+        b.addi(20, 20, -3);
+        emitAluRun(b, 2);
+        b.bind(no_limit);
+
+        b.andi(20, 20, 2047);
+        b.st(20, 5, static_cast<std::int64_t>(gridY));
+        b.addi(2, 2, 1);
+        b.blt(2, 24, sw_j);
+        b.addi(1, 1, 1);
+        b.blt(1, 24, sw_i);
+
+        // --- correction sweep: copy Y back into X row by row -------
+        b.li(1, 1);
+        Label cp_i = b.here("copy_i");
+        b.li(2, 1);
+        Label cp_j = b.here("copy_j");
+        b.mul(5, 1, 25);
+        b.add(5, 5, 2);
+        b.ld(20, 5, static_cast<std::int64_t>(gridY));
+        b.st(20, 5, static_cast<std::int64_t>(gridX));
+        b.addi(2, 2, 1);
+        b.blt(2, 24, cp_j);
+        b.addi(1, 1, 1);
+        b.blt(1, 24, cp_i);
+
+        b.addi(10, 10, 1);
+        b.br(outer);
+        b.halt();
+
+        return b.build();
+    }
+};
+
+} // namespace
+
+const Workload &
+tomcatvWorkload()
+{
+    static TomcatvWorkload workload;
+    return workload;
+}
+
+} // namespace tl

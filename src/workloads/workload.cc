@@ -1,0 +1,141 @@
+#include "workloads/workload.hh"
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+Trace
+Workload::capture(const std::string &datasetName,
+                  std::uint64_t maxConditional) const
+{
+    isa::Program program = build(dataset(datasetName));
+    return isa::captureTraceLimited(program, maxConditional);
+}
+
+Trace
+Workload::captureTesting(std::uint64_t maxConditional) const
+{
+    return capture(testingDataset(), maxConditional);
+}
+
+Trace
+Workload::captureTraining(std::uint64_t maxConditional) const
+{
+    if (!hasTraining())
+        fatal("workload '%s' has no training dataset (Table 2: NA)",
+              name().c_str());
+    return capture(trainingDataset(), maxConditional);
+}
+
+namespace workload_util
+{
+
+void
+emitArray(isa::ProgramBuilder &builder, std::uint64_t base,
+          const std::vector<std::int64_t> &values)
+{
+    for (std::size_t i = 0; i < values.size(); ++i)
+        builder.data(base + i, values[i]);
+}
+
+std::vector<std::int64_t>
+randomArray(Rng &rng, std::size_t n, std::int64_t lo, std::int64_t hi)
+{
+    std::vector<std::int64_t> values(n);
+    for (std::int64_t &value : values)
+        value = rng.nextRange(lo, hi);
+    return values;
+}
+
+void
+emitAluRun(isa::ProgramBuilder &builder, unsigned count)
+{
+    // Dependent chain over dedicated scratch registers (r27, r28,
+    // r30, r31) so interleaved filler never clobbers a workload's
+    // live values; r30 accumulates so the work is not trivially dead.
+    static constexpr isa::Reg regs[4] = {30, 31, 27, 28};
+    for (unsigned i = 0; i < count; ++i) {
+        isa::Reg rd = regs[i % 4];
+        isa::Reg ra = regs[(i + 1) % 4];
+        switch (i % 5) {
+          case 0:
+            builder.add(rd, rd, ra);
+            break;
+          case 1:
+            builder.xor_(rd, rd, ra);
+            break;
+          case 2:
+            builder.addi(rd, rd, 0x9e37);
+            break;
+          case 3:
+            builder.muli(rd, rd, 6364136223846793005LL);
+            break;
+          case 4:
+            builder.srli(rd, rd, 7);
+            break;
+        }
+    }
+}
+
+void
+emitPush(isa::ProgramBuilder &builder, isa::Reg reg)
+{
+    builder.st(reg, 29, 0);
+    builder.addi(29, 29, -1);
+}
+
+void
+emitPop(isa::ProgramBuilder &builder, isa::Reg reg)
+{
+    builder.addi(29, 29, 1);
+    builder.ld(reg, 29, 0);
+}
+
+void
+emitLcgStep(isa::ProgramBuilder &builder, isa::Reg state)
+{
+    builder.muli(state, state, 6364136223846793005LL);
+    builder.addi(state, state, 1442695040888963407LL);
+}
+
+void
+emitJumpTable(isa::ProgramBuilder &builder, std::uint64_t tableBase,
+              const std::vector<isa::Label> &targets)
+{
+    for (std::size_t i = 0; i < targets.size(); ++i)
+        builder.dataLabel(tableBase + i, targets[i]);
+}
+
+void
+emitStartupPhase(isa::ProgramBuilder &builder, Rng &structure,
+                 unsigned sites, std::uint64_t scratchBase)
+{
+    // Sixteen configuration words; each bit is set with probability
+    // ~0.85, so a `bnez` guard on a random bit is taken-biased.
+    for (unsigned word = 0; word < 16; ++word) {
+        std::int64_t value = 0;
+        for (unsigned bit = 0; bit < 12; ++bit) {
+            if (structure.nextBool(0.85))
+                value |= std::int64_t{1} << bit;
+        }
+        builder.data(scratchBase + word, value);
+    }
+
+    for (unsigned site = 0; site < sites; ++site) {
+        builder.ld(26, 0,
+                   static_cast<std::int64_t>(scratchBase +
+                                             site % 16));
+        builder.andi(26, 26,
+                     std::int64_t{1}
+                         << structure.nextBelow(12));
+        isa::Label skip = builder.newLabel();
+        builder.bnez(26, skip); // taken ~85% of the time
+        builder.addi(28, 28, 1);
+        builder.bind(skip);
+    }
+}
+
+} // namespace workload_util
+
+} // namespace tl

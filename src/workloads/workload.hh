@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The Workload interface: a synthetic stand-in for one SPEC-89
+ * benchmark (DESIGN.md, substitution S1).
+ *
+ * Each workload builds an M88-lite program whose *code* is a pure
+ * function of the workload (identical across datasets) and whose
+ * *data* comes from a named Dataset. Programs loop indefinitely over
+ * their kernel, regenerating working data each pass, so a trace of
+ * any requested length can be captured — the paper similarly traces a
+ * fixed number of conditional branches (20 million) rather than whole
+ * runs.
+ *
+ * Calling convention used by all workload code:
+ *   - arguments in r1..r4, result in r1
+ *   - r29 is the software stack pointer (grows downward)
+ *   - callees may clobber r20..r28
+ *   - data arrays start at low memory; the stack starts at stackBase
+ */
+
+#ifndef TL_WORKLOADS_WORKLOAD_HH
+#define TL_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/cpu.hh"
+#include "isa/program.hh"
+#include "trace/trace.hh"
+#include "util/random.hh"
+#include "workloads/dataset.hh"
+
+namespace tl
+{
+
+/** Base address of the software stack used by workload programs. */
+constexpr std::uint64_t stackBase = (std::uint64_t{1} << 20) - 16;
+
+/** One synthetic SPEC-like benchmark. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Benchmark name ("eqntott", "gcc", ...). */
+    virtual std::string name() const = 0;
+
+    /** True for the integer benchmarks (Int GMean membership). */
+    virtual bool isInteger() const = 0;
+
+    /** Testing dataset name (Table 2). */
+    virtual std::string testingDataset() const = 0;
+
+    /** Training dataset name; empty string = NA (Table 2). */
+    virtual std::string trainingDataset() const { return ""; }
+
+    /** True if a training dataset exists. */
+    bool hasTraining() const { return !trainingDataset().empty(); }
+
+    /** Resolve a dataset name to its parameters. fatal() if unknown. */
+    virtual Dataset dataset(const std::string &datasetName) const = 0;
+
+    /** Build the program for @p data. */
+    virtual isa::Program build(const Dataset &data) const = 0;
+
+    /**
+     * Build and run the program on @p datasetName, capturing a trace
+     * of @p maxConditional conditional branches.
+     */
+    Trace capture(const std::string &datasetName,
+                  std::uint64_t maxConditional) const;
+
+    /** capture() on the testing dataset. */
+    Trace captureTesting(std::uint64_t maxConditional) const;
+
+    /** capture() on the training dataset; fatal() when NA. */
+    Trace captureTraining(std::uint64_t maxConditional) const;
+};
+
+/**
+ * Helpers shared by the workload program generators.
+ */
+namespace workload_util
+{
+
+/** Emit .data initializers for @p values starting at @p base. */
+void emitArray(isa::ProgramBuilder &builder, std::uint64_t base,
+               const std::vector<std::int64_t> &values);
+
+/** Random vector of @p n values uniform in [lo, hi]. */
+std::vector<std::int64_t> randomArray(Rng &rng, std::size_t n,
+                                      std::int64_t lo, std::int64_t hi);
+
+/**
+ * Emit a run of @p count dependent ALU instructions cycling through
+ * scratch registers (r27, r28, r30, r31, which workload code must
+ * treat as clobbered) — straight-line "computation" filler that sets
+ * the branch density of a workload (integer codes are ~24% branches,
+ * floating point codes ~5%, per Section 4.1).
+ */
+void emitAluRun(isa::ProgramBuilder &builder, unsigned count);
+
+/**
+ * Emit a software-stack push of @p reg (r29 is the stack pointer).
+ */
+void emitPush(isa::ProgramBuilder &builder, isa::Reg reg);
+
+/** Emit a software-stack pop into @p reg. */
+void emitPop(isa::ProgramBuilder &builder, isa::Reg reg);
+
+/**
+ * Emit one 64-bit LCG step on @p state (state = state * A + C). The
+ * workloads draw run-time data variation from this generator; its
+ * high bits are extracted with srli/andi by the caller.
+ */
+void emitLcgStep(isa::ProgramBuilder &builder, isa::Reg state);
+
+/**
+ * Emit a jump table: @p tableBase[i] holds the code address of
+ * targets[i], for jr-based dispatch.
+ */
+void emitJumpTable(isa::ProgramBuilder &builder, std::uint64_t tableBase,
+                   const std::vector<isa::Label> &targets);
+
+/**
+ * Emit a one-shot startup phase of @p sites distinct conditional
+ * branches, each testing a bit of a configuration word and executed
+ * exactly once before the main loop.
+ *
+ * Real programs' static conditional branch counts (the paper's
+ * Table 1) are dominated by code executed a handful of times —
+ * initialization, option parsing, error paths — not by the hot
+ * kernels. This models that long tail: it calibrates each workload's
+ * static count to the paper's without perturbing steady-state branch
+ * behaviour. Directions are taken-biased (~85%) so the cold
+ * predictors' taken-initialized tables are mostly right, as they are
+ * on real startup code.
+ *
+ * Uses data words at [@p scratchBase, @p scratchBase + 16) and
+ * clobbers r26..r28.
+ */
+void emitStartupPhase(isa::ProgramBuilder &builder, Rng &structure,
+                      unsigned sites, std::uint64_t scratchBase);
+
+} // namespace workload_util
+
+} // namespace tl
+
+#endif // TL_WORKLOADS_WORKLOAD_HH

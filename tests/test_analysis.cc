@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the interference analyses behind the paper's
+ * Section 5.1.2 arguments.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/analysis.hh"
+#include "trace/synthetic.hh"
+
+namespace tl
+{
+namespace
+{
+
+Trace
+capture(TraceSource &&source)
+{
+    Trace trace;
+    trace.appendAll(source);
+    return trace;
+}
+
+TEST(Analysis, SingleBranchHasNoSharing)
+{
+    Trace trace = capture(PatternSource(0x1000, "TTN", 3000));
+    InterferenceReport report = analyzePagInterference(trace, 4);
+    EXPECT_GT(report.accesses, 0u);
+    EXPECT_EQ(report.sharedAccesses, 0u);
+    EXPECT_EQ(report.conflictingAccesses, 0u);
+    EXPECT_EQ(report.patternsShared, 0u);
+    // Steady state cycles through the three TTN rotations; warmup
+    // from the all-ones initial history adds a couple more.
+    EXPECT_GE(report.patternsUsed, 3u);
+    EXPECT_LE(report.patternsUsed, 6u);
+}
+
+TEST(Analysis, AgreeingBranchesShareWithoutConflict)
+{
+    // Two branches with identical behaviour share every pattern but
+    // never disagree: sharing is harmless (constructive aliasing).
+    std::vector<std::unique_ptr<TraceSource>> children;
+    children.push_back(
+        std::make_unique<PatternSource>(0x1000, "TTN", 3000));
+    children.push_back(
+        std::make_unique<PatternSource>(0x2000, "TTN", 3000));
+    InterleaveSource source(std::move(children));
+    Trace trace = capture(std::move(source));
+
+    InterferenceReport report = analyzePagInterference(trace, 4);
+    EXPECT_GT(report.sharedPercent(), 90.0);
+    EXPECT_EQ(report.conflictingAccesses, 0u);
+}
+
+TEST(Analysis, ConflictingBranchesAreDetected)
+{
+    // The test_two_level conflict pair: at k=2 the window "TN" is
+    // followed by T in one branch and N in the other.
+    std::vector<std::unique_ptr<TraceSource>> children;
+    children.push_back(
+        std::make_unique<PatternSource>(0x1000, "TTN", 4000));
+    children.push_back(
+        std::make_unique<PatternSource>(0x2000, "TTNN", 4000));
+    InterleaveSource source(std::move(children));
+    Trace trace = capture(std::move(source));
+
+    InterferenceReport report = analyzePagInterference(trace, 2);
+    EXPECT_GT(report.conflictPercent(), 5.0);
+    EXPECT_GT(report.patternsShared, 0u);
+}
+
+TEST(Analysis, GagSeesMorePatternsThanPag)
+{
+    // A global register mixes branch outcomes, inflating the set of
+    // observed patterns relative to per-address histories.
+    std::vector<std::unique_ptr<TraceSource>> children;
+    for (int i = 0; i < 4; ++i) {
+        children.push_back(std::make_unique<PatternSource>(
+            0x1000 + 64 * i, i % 2 ? "TTN" : "TNNT", 8000));
+    }
+    InterleaveSource source(std::move(children));
+    Trace trace = capture(std::move(source));
+
+    InterferenceReport pag = analyzePagInterference(trace, 6);
+    InterferenceReport gag = analyzeGagInterference(trace, 6);
+    EXPECT_GT(gag.patternsUsed, pag.patternsUsed);
+}
+
+TEST(Analysis, IgnoresNonConditionalRecords)
+{
+    Trace trace;
+    BranchRecord call;
+    call.pc = 0x5000;
+    call.cls = BranchClass::Call;
+    call.taken = true;
+    trace.append(call);
+    InterferenceReport report = analyzePagInterference(trace, 4);
+    EXPECT_EQ(report.accesses, 0u);
+}
+
+TEST(AnalysisDeath, BadHistoryLength)
+{
+    Trace trace;
+    EXPECT_EXIT(analyzePagInterference(trace, 0),
+                ::testing::ExitedWithCode(1), "history length");
+    EXPECT_EXIT(analyzeGagInterference(trace, 30),
+                ::testing::ExitedWithCode(1), "history length");
+}
+
+} // namespace
+} // namespace tl

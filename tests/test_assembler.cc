@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the text assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/cpu.hh"
+
+namespace tl::isa
+{
+namespace
+{
+
+TEST(Assembler, SimpleLoopRunsCorrectly)
+{
+    Program program = assemble(R"(
+        ; count to ten
+            li   r1, 0
+            li   r2, 10
+        loop:
+            addi r1, r1, 1
+            blt  r1, r2, loop
+            halt
+    )");
+    Cpu cpu(program);
+    cpu.run();
+    EXPECT_TRUE(cpu.halted());
+    EXPECT_EQ(cpu.reg(1), 10);
+}
+
+TEST(Assembler, AllMnemonicsParse)
+{
+    Program program = assemble(R"(
+        start:
+            add r1, r2, r3
+            sub r1, r2, r3
+            mul r1, r2, r3
+            div r1, r2, r3
+            rem r1, r2, r3
+            and r1, r2, r3
+            or  r1, r2, r3
+            xor r1, r2, r3
+            sll r1, r2, r3
+            srl r1, r2, r3
+            sra r1, r2, r3
+            slt r1, r2, r3
+            addi r1, r2, -7
+            muli r1, r2, 3
+            andi r1, r2, 0xff
+            ori  r1, r2, 0x10
+            xori r1, r2, 1
+            slli r1, r2, 4
+            srli r1, r2, 4
+            li   r1, 0x1234
+            mov  r1, r2
+            ld   r1, r2, 8
+            st   r1, r2, 8
+            beq  r1, r2, start
+            bne  r1, r2, start
+            blt  r1, r2, start
+            bge  r1, r2, start
+            ble  r1, r2, start
+            bgt  r1, r2, start
+            beqz r1, start
+            bnez r1, start
+            br   start
+            call start
+            jr   r1
+            ret
+            trap
+            nop
+            halt
+    )");
+    EXPECT_EQ(program.size(), 38u);
+    EXPECT_EQ(program.code[19].op, Opcode::Li);
+    EXPECT_EQ(program.code[19].imm, 0x1234);
+}
+
+TEST(Assembler, ForwardReferences)
+{
+    Program program = assemble(R"(
+            br end
+            nop
+        end:
+            halt
+    )");
+    EXPECT_EQ(program.code[0].imm,
+              static_cast<std::int64_t>(instAddress(2)));
+}
+
+TEST(Assembler, DataDirectives)
+{
+    Program program = assemble(R"(
+        .data 100 -5
+        .data 0x10 7
+        .dataLabel 101 entry
+        entry:
+            halt
+    )");
+    ASSERT_EQ(program.dataInit.size(), 3u);
+    EXPECT_EQ(program.dataInit[0].first, 100u);
+    EXPECT_EQ(program.dataInit[0].second, -5);
+    EXPECT_EQ(program.dataInit[1].first, 16u);
+    EXPECT_EQ(program.dataInit[2].second,
+              static_cast<std::int64_t>(instAddress(0)));
+}
+
+TEST(Assembler, MultipleLabelsOneLine)
+{
+    Program program = assemble(R"(
+        a: b: halt
+    )");
+    EXPECT_EQ(program.symbols.at("a"), instAddress(0));
+    EXPECT_EQ(program.symbols.at("b"), instAddress(0));
+}
+
+TEST(Assembler, CommentsStripped)
+{
+    Program program = assemble("nop # hash comment\nnop ; semi\n");
+    EXPECT_EQ(program.size(), 2u);
+}
+
+TEST(Assembler, JumpTableProgramExecutes)
+{
+    Program program = assemble(R"(
+            li  r1, 0
+            ld  r2, r1, 200
+            jr  r2
+        t0: li r3, 30
+            halt
+        t1: li r3, 31
+            halt
+        .dataLabel 200 t1
+    )");
+    Cpu cpu(program);
+    cpu.run();
+    EXPECT_EQ(cpu.reg(3), 31);
+}
+
+TEST(AssemblerDeath, UnknownMnemonic)
+{
+    EXPECT_EXIT(assemble("frobnicate r1, r2\n"),
+                ::testing::ExitedWithCode(1), "unknown mnemonic");
+}
+
+TEST(AssemblerDeath, BadRegister)
+{
+    EXPECT_EXIT(assemble("add r1, r99, r2\n"),
+                ::testing::ExitedWithCode(1), "bad register");
+}
+
+TEST(AssemblerDeath, WrongOperandCount)
+{
+    EXPECT_EXIT(assemble("add r1, r2\n"),
+                ::testing::ExitedWithCode(1), "expected 3 operands");
+}
+
+TEST(AssemblerDeath, UndefinedLabel)
+{
+    EXPECT_EXIT(assemble("br nowhere\n"),
+                ::testing::ExitedWithCode(1), "never bound");
+}
+
+TEST(AssemblerDeath, DuplicateLabel)
+{
+    EXPECT_EXIT(assemble("a: nop\na: nop\n"),
+                ::testing::ExitedWithCode(1), "defined twice");
+}
+
+TEST(AssemblerDeath, BadImmediate)
+{
+    EXPECT_EXIT(assemble("li r1, zebra\n"),
+                ::testing::ExitedWithCode(1), "bad immediate");
+}
+
+TEST(AssemblerDeath, BadDirective)
+{
+    EXPECT_EXIT(assemble(".frob 1 2\n"),
+                ::testing::ExitedWithCode(1), "unknown directive");
+}
+
+TEST(AssemblerDeath, LineNumberInError)
+{
+    EXPECT_EXIT(assemble("nop\nnop\nbadop\n"),
+                ::testing::ExitedWithCode(1), "line 3");
+}
+
+} // namespace
+} // namespace tl::isa

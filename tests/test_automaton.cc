@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for the pattern-history automata of Figure 2: exhaustive
+ * transition tables for the five paper machines plus properties of
+ * the generic extensions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitops.hh"
+
+#include "predictor/automaton.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(Automaton, LastTimeExhaustive)
+{
+    const Automaton &lt = Automaton::lastTime();
+    EXPECT_EQ(lt.numStates(), 2u);
+    EXPECT_EQ(lt.stateBits(), 1u);
+    EXPECT_EQ(lt.initState(), 1u);
+    // Predict whatever happened last time.
+    EXPECT_FALSE(lt.predict(0));
+    EXPECT_TRUE(lt.predict(1));
+    EXPECT_EQ(lt.next(0, false), 0u);
+    EXPECT_EQ(lt.next(0, true), 1u);
+    EXPECT_EQ(lt.next(1, false), 0u);
+    EXPECT_EQ(lt.next(1, true), 1u);
+}
+
+TEST(Automaton, A1Exhaustive)
+{
+    const Automaton &a1 = Automaton::a1();
+    EXPECT_EQ(a1.numStates(), 4u);
+    EXPECT_EQ(a1.stateBits(), 2u);
+    EXPECT_EQ(a1.initState(), 3u);
+    // Not-taken only when both recorded outcomes are not-taken.
+    EXPECT_FALSE(a1.predict(0));
+    EXPECT_TRUE(a1.predict(1));
+    EXPECT_TRUE(a1.predict(2));
+    EXPECT_TRUE(a1.predict(3));
+    // Shift-register transitions.
+    for (unsigned s = 0; s < 4; ++s) {
+        EXPECT_EQ(a1.next(s, false), (s << 1) & 3u);
+        EXPECT_EQ(a1.next(s, true), ((s << 1) | 1u) & 3u);
+    }
+}
+
+TEST(Automaton, A2Exhaustive)
+{
+    const Automaton &a2 = Automaton::a2();
+    EXPECT_EQ(a2.initState(), 3u);
+    // Saturating counter: taken in {2, 3}.
+    EXPECT_FALSE(a2.predict(0));
+    EXPECT_FALSE(a2.predict(1));
+    EXPECT_TRUE(a2.predict(2));
+    EXPECT_TRUE(a2.predict(3));
+    EXPECT_EQ(a2.next(0, false), 0u); // saturates low
+    EXPECT_EQ(a2.next(0, true), 1u);
+    EXPECT_EQ(a2.next(1, false), 0u);
+    EXPECT_EQ(a2.next(1, true), 2u);
+    EXPECT_EQ(a2.next(2, false), 1u);
+    EXPECT_EQ(a2.next(2, true), 3u);
+    EXPECT_EQ(a2.next(3, false), 2u);
+    EXPECT_EQ(a2.next(3, true), 3u); // saturates high
+}
+
+TEST(Automaton, A3FastWeakResolution)
+{
+    const Automaton &a3 = Automaton::a3();
+    // Same prediction split as A2.
+    EXPECT_FALSE(a3.predict(1));
+    EXPECT_TRUE(a3.predict(2));
+    // Weak states resolve fast on a mispredict.
+    EXPECT_EQ(a3.next(1, true), 3u);
+    EXPECT_EQ(a3.next(2, false), 0u);
+    // Strong transitions match A2.
+    EXPECT_EQ(a3.next(3, false), 2u);
+    EXPECT_EQ(a3.next(0, true), 1u);
+    EXPECT_EQ(a3.next(3, true), 3u);
+    EXPECT_EQ(a3.next(0, false), 0u);
+}
+
+TEST(Automaton, A4FastNotTakenFall)
+{
+    const Automaton &a4 = Automaton::a4();
+    EXPECT_FALSE(a4.predict(1));
+    EXPECT_TRUE(a4.predict(2));
+    // A not-taken in the weakly-taken state falls all the way down.
+    EXPECT_EQ(a4.next(2, false), 0u);
+    // Everything else matches A2 — hysteresis retained.
+    EXPECT_EQ(a4.next(0, true), 1u);
+    EXPECT_EQ(a4.next(1, true), 2u);
+    EXPECT_EQ(a4.next(2, true), 3u);
+    EXPECT_EQ(a4.next(3, false), 2u);
+    EXPECT_EQ(a4.next(3, true), 3u);
+    EXPECT_EQ(a4.next(1, false), 0u);
+    EXPECT_EQ(a4.next(0, false), 0u);
+}
+
+TEST(Automaton, A3A4AreNotLastTimeInDisguise)
+{
+    // Both variants must retain hysteresis: a single deviation in a
+    // strong state does not flip the prediction.
+    for (const Automaton *atm : {&Automaton::a3(), &Automaton::a4()}) {
+        Automaton::State s = 3;
+        s = atm->next(s, false);
+        EXPECT_TRUE(atm->predict(s)) << atm->name();
+    }
+}
+
+TEST(Automaton, ByNameAndIsKnown)
+{
+    EXPECT_EQ(&Automaton::byName("A2"), &Automaton::a2());
+    EXPECT_EQ(&Automaton::byName("a3"), &Automaton::a3());
+    EXPECT_EQ(&Automaton::byName("LT"), &Automaton::lastTime());
+    EXPECT_EQ(&Automaton::byName("Last-Time"),
+              &Automaton::lastTime());
+    EXPECT_TRUE(Automaton::isKnown("a1"));
+    EXPECT_TRUE(Automaton::isKnown("A4"));
+    EXPECT_FALSE(Automaton::isKnown("A5"));
+    EXPECT_FALSE(Automaton::isKnown(""));
+}
+
+TEST(AutomatonDeath, UnknownName)
+{
+    EXPECT_EXIT(Automaton::byName("bogus"),
+                ::testing::ExitedWithCode(1), "unknown automaton");
+}
+
+TEST(Automaton, SaturatingCounter2MatchesA2)
+{
+    Automaton sc2 = Automaton::saturatingCounter(2);
+    const Automaton &a2 = Automaton::a2();
+    for (unsigned s = 0; s < 4; ++s) {
+        EXPECT_EQ(sc2.predict(s), a2.predict(s));
+        EXPECT_EQ(sc2.next(s, false), a2.next(s, false));
+        EXPECT_EQ(sc2.next(s, true), a2.next(s, true));
+    }
+}
+
+/** Saturating counter properties for arbitrary widths. */
+class SaturatingCounterWidth
+    : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SaturatingCounterWidth, CounterInvariants)
+{
+    unsigned bits = GetParam();
+    Automaton sc = Automaton::saturatingCounter(bits);
+    unsigned states = 1u << bits;
+    EXPECT_EQ(sc.numStates(), states);
+    EXPECT_EQ(sc.stateBits(), bits);
+    EXPECT_EQ(sc.initState(), states - 1);
+    for (unsigned s = 0; s < states; ++s) {
+        // Moves by exactly one, saturating.
+        EXPECT_EQ(sc.next(s, true), std::min(s + 1, states - 1));
+        EXPECT_EQ(sc.next(s, false), s == 0 ? 0 : s - 1);
+        // Predicts taken in the upper half.
+        EXPECT_EQ(sc.predict(s), s >= states / 2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SaturatingCounterWidth,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+/** Shift-majority properties for arbitrary depths. */
+class ShiftMajorityDepth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ShiftMajorityDepth, MajorityInvariants)
+{
+    unsigned s = GetParam();
+    Automaton sm = Automaton::shiftMajority(s);
+    unsigned states = 1u << s;
+    EXPECT_EQ(sm.initState(), states - 1);
+    for (unsigned state = 0; state < states; ++state) {
+        EXPECT_EQ(sm.next(state, true),
+                  ((state << 1) | 1u) & (states - 1));
+        EXPECT_EQ(sm.next(state, false), (state << 1) & (states - 1));
+        EXPECT_EQ(sm.predict(state), 2 * popCount(state) >= s);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ShiftMajorityDepth,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Automaton, ShiftMajority1MatchesLastTime)
+{
+    Automaton sm1 = Automaton::shiftMajority(1);
+    const Automaton &lt = Automaton::lastTime();
+    for (unsigned s = 0; s < 2; ++s) {
+        EXPECT_EQ(sm1.predict(s), lt.predict(s));
+        EXPECT_EQ(sm1.next(s, true), lt.next(s, true));
+        EXPECT_EQ(sm1.next(s, false), lt.next(s, false));
+    }
+}
+
+TEST(AutomatonDeath, BadCustomConstruction)
+{
+    EXPECT_EXIT(Automaton("bad", {}, {}, 0),
+                ::testing::ExitedWithCode(1), "no states");
+    EXPECT_EXIT(Automaton("bad", {{0, 1}}, {true}, 5),
+                ::testing::ExitedWithCode(1), "init state");
+    EXPECT_EXIT(Automaton("bad", {{0, 9}}, {true}, 0),
+                ::testing::ExitedWithCode(1), "transition");
+    EXPECT_EXIT(Automaton("bad", {{0, 0}, {1, 1}}, {true}, 0),
+                ::testing::ExitedWithCode(1), "mismatch");
+}
+
+} // namespace
+} // namespace tl

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit tests for the set-associative branch history table (Sec 3.3):
+ * geometry, tagging, true-LRU replacement, flush semantics and
+ * statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/branch_history_table.hh"
+
+namespace tl
+{
+namespace
+{
+
+struct Payload
+{
+    int value = 0;
+};
+
+/** Address that maps to @p set in a table with @p sets sets. */
+std::uint64_t
+addrInSet(std::size_t set, std::size_t sets, unsigned tag)
+{
+    return ((tag * sets + set) << 2) | 0; // low 2 bits dropped
+}
+
+TEST(BhtGeometry, Describe)
+{
+    EXPECT_EQ((BhtGeometry{512, 4}.describe()), "512-entry 4-way");
+    EXPECT_EQ((BhtGeometry{256, 1}.describe()),
+              "256-entry direct-mapped");
+}
+
+TEST(BhtGeometry, Sets)
+{
+    EXPECT_EQ((BhtGeometry{512, 4}.sets()), 128u);
+    EXPECT_EQ((BhtGeometry{512, 4}.setIndexBits()), 7u);
+    EXPECT_EQ((BhtGeometry{256, 1}.sets()), 256u);
+}
+
+TEST(BhtGeometryDeath, Validation)
+{
+    EXPECT_EXIT((BhtGeometry{0, 1}.validate()),
+                ::testing::ExitedWithCode(1), "power of two");
+    EXPECT_EXIT((BhtGeometry{100, 4}.validate()),
+                ::testing::ExitedWithCode(1), "power of two");
+    EXPECT_EXIT((BhtGeometry{64, 3}.validate()),
+                ::testing::ExitedWithCode(1), "power of two");
+    EXPECT_EXIT((BhtGeometry{4, 8}.validate()),
+                ::testing::ExitedWithCode(1), "exceeds");
+}
+
+TEST(AssociativeTable, MissThenHit)
+{
+    AssociativeTable<Payload> table({16, 4});
+    EXPECT_FALSE(table.access(0x1000));
+    auto ref = table.allocate(0x1000);
+    ref.payload->value = 7;
+    auto hit = table.access(0x1000);
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(hit.payload->value, 7);
+    EXPECT_EQ(hit.slot, ref.slot);
+    EXPECT_EQ(table.stats().hits, 1u);
+    // allocate() itself is not an access; only the probe missed.
+    EXPECT_EQ(table.stats().misses, 1u);
+}
+
+TEST(AssociativeTable, TagsDistinguishAliases)
+{
+    AssociativeTable<Payload> table({8, 2});
+    std::size_t sets = 4;
+    std::uint64_t a = addrInSet(1, sets, 1);
+    std::uint64_t b = addrInSet(1, sets, 2);
+    table.allocate(a).payload->value = 1;
+    table.allocate(b).payload->value = 2;
+    EXPECT_EQ(table.access(a).payload->value, 1);
+    EXPECT_EQ(table.access(b).payload->value, 2);
+}
+
+TEST(AssociativeTable, LruEvictionOrder)
+{
+    // 1 set of 2 ways.
+    AssociativeTable<Payload> table({2, 2});
+    std::uint64_t a = 0 << 2, b = 1 << 2, c = 2 << 2;
+    // All three map to the single set.
+    table.allocate(a).payload->value = 1;
+    table.allocate(b).payload->value = 2;
+    // Touch a so b becomes LRU.
+    EXPECT_TRUE(table.access(a));
+    bool evicted = false;
+    table.allocate(c, &evicted).payload->value = 3;
+    EXPECT_TRUE(evicted);
+    EXPECT_TRUE(table.access(a));
+    EXPECT_FALSE(table.access(b)); // b was evicted
+    EXPECT_TRUE(table.access(c));
+    EXPECT_EQ(table.stats().evictions, 1u);
+}
+
+TEST(AssociativeTable, DirectMappedConflicts)
+{
+    AssociativeTable<Payload> table({4, 1});
+    std::uint64_t a = addrInSet(2, 4, 0);
+    std::uint64_t b = addrInSet(2, 4, 9);
+    table.allocate(a);
+    bool evicted = false;
+    table.allocate(b, &evicted);
+    EXPECT_TRUE(evicted);
+    EXPECT_FALSE(table.access(a));
+    EXPECT_TRUE(table.access(b));
+}
+
+TEST(AssociativeTable, AllocateIntoInvalidWayFirst)
+{
+    AssociativeTable<Payload> table({4, 4});
+    bool evicted = true;
+    table.allocate(0x0 << 2, &evicted);
+    EXPECT_FALSE(evicted);
+    table.allocate(0x1 << 2, &evicted);
+    EXPECT_FALSE(evicted);
+    table.allocate(0x2 << 2, &evicted);
+    table.allocate(0x3 << 2, &evicted);
+    EXPECT_FALSE(evicted);
+    EXPECT_EQ(table.validEntries(), 4u);
+    // Fifth allocation into the full set evicts the LRU (first one).
+    table.allocate(0x4 << 2, &evicted);
+    EXPECT_TRUE(evicted);
+    EXPECT_FALSE(table.access(0x0 << 2));
+}
+
+TEST(AssociativeTable, PeekDoesNotTouchStatsOrLru)
+{
+    AssociativeTable<Payload> table({2, 2});
+    table.allocate(0 << 2);
+    table.allocate(1 << 2);
+    auto before = table.stats();
+    EXPECT_TRUE(table.peek(0 << 2));
+    EXPECT_FALSE(table.peek(7 << 2));
+    EXPECT_EQ(table.stats().hits, before.hits);
+    EXPECT_EQ(table.stats().misses, before.misses);
+    // LRU untouched by peek: entry 0 is still LRU and gets evicted.
+    bool evicted = false;
+    table.allocate(2 << 2, &evicted);
+    EXPECT_TRUE(evicted);
+    EXPECT_FALSE(table.peek(0 << 2));
+    EXPECT_TRUE(table.peek(1 << 2));
+}
+
+TEST(AssociativeTable, FlushInvalidatesButKeepsStats)
+{
+    AssociativeTable<Payload> table({4, 2});
+    table.allocate(0x1000);
+    table.access(0x1000);
+    table.flush();
+    EXPECT_EQ(table.validEntries(), 0u);
+    EXPECT_FALSE(table.access(0x1000));
+    EXPECT_EQ(table.stats().hits, 1u); // history preserved
+}
+
+TEST(AssociativeTable, ResetClearsStats)
+{
+    AssociativeTable<Payload> table({4, 2});
+    table.allocate(0x1000);
+    table.access(0x1000);
+    table.reset();
+    EXPECT_EQ(table.stats().hits, 0u);
+    EXPECT_EQ(table.stats().misses, 0u);
+    EXPECT_EQ(table.validEntries(), 0u);
+}
+
+TEST(AssociativeTable, HitRate)
+{
+    TableStats stats;
+    EXPECT_EQ(stats.hitRate(), 0.0);
+    stats.hits = 3;
+    stats.misses = 1;
+    EXPECT_DOUBLE_EQ(stats.hitRate(), 0.75);
+}
+
+/** LRU property over random access sequences and geometries. */
+class LruProperty
+    : public ::testing::TestWithParam<std::pair<std::size_t, unsigned>>
+{
+};
+
+TEST_P(LruProperty, WorkingSetWithinAssocAlwaysHits)
+{
+    auto [entries, assoc] = GetParam();
+    AssociativeTable<Payload> table({entries, assoc});
+    std::size_t sets = entries / assoc;
+    // A working set of exactly `assoc` addresses in one set must
+    // never miss after the initial allocations.
+    std::vector<std::uint64_t> addrs;
+    for (unsigned tag = 0; tag < assoc; ++tag)
+        addrs.push_back(addrInSet(0, sets, tag + 1));
+    for (std::uint64_t addr : addrs)
+        table.allocate(addr);
+    std::uint64_t lcg = 99;
+    for (int i = 0; i < 500; ++i) {
+        lcg = lcg * 6364136223846793005ull + 1;
+        EXPECT_TRUE(table.access(addrs[(lcg >> 33) % addrs.size()]));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, LruProperty,
+    ::testing::Values(std::pair<std::size_t, unsigned>{8, 1},
+                      std::pair<std::size_t, unsigned>{8, 2},
+                      std::pair<std::size_t, unsigned>{16, 4},
+                      std::pair<std::size_t, unsigned>{512, 4},
+                      std::pair<std::size_t, unsigned>{256, 256}));
+
+} // namespace
+} // namespace tl

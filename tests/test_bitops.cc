@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the bit manipulation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitops.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(Bitops, MaskBasics)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xffu);
+    EXPECT_EQ(mask(63), 0x7fffffffffffffffull);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+    EXPECT_EQ(mask(70), ~std::uint64_t{0});
+}
+
+TEST(Bitops, MaskIsConstexpr)
+{
+    static_assert(mask(4) == 0xf);
+    static_assert(bits(0xabcd, 4, 4) == 0xc);
+    static_assert(isPowerOfTwo(64));
+    static_assert(!isPowerOfTwo(0));
+    SUCCEED();
+}
+
+TEST(Bitops, BitsExtraction)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 0, 4), 0xfu);
+    EXPECT_EQ(bits(0xdeadbeef, 4, 8), 0xeeu);
+    EXPECT_EQ(bits(0xdeadbeef, 28, 4), 0xdu);
+    EXPECT_EQ(bits(0xff, 8, 8), 0u);
+}
+
+TEST(Bitops, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(std::uint64_t{1} << 40));
+    EXPECT_FALSE(isPowerOfTwo((std::uint64_t{1} << 40) + 1));
+}
+
+TEST(Bitops, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+}
+
+TEST(Bitops, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(Bitops, NextPowerOfTwo)
+{
+    EXPECT_EQ(nextPowerOfTwo(1), 1u);
+    EXPECT_EQ(nextPowerOfTwo(3), 4u);
+    EXPECT_EQ(nextPowerOfTwo(4), 4u);
+    EXPECT_EQ(nextPowerOfTwo(300), 512u);
+}
+
+TEST(Bitops, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(1), 1u);
+    EXPECT_EQ(popCount(0xff), 8u);
+    EXPECT_EQ(popCount(~std::uint64_t{0}), 64u);
+    EXPECT_EQ(popCount(0xa5a5), 8u);
+}
+
+TEST(Bitops, XorFold)
+{
+    EXPECT_EQ(xorFold(0, 8), 0u);
+    EXPECT_EQ(xorFold(0xff, 8), 0xffu);
+    // 0x1234 folded to 8 bits: 0x34 ^ 0x12.
+    EXPECT_EQ(xorFold(0x1234, 8), 0x34u ^ 0x12u);
+    EXPECT_EQ(xorFold(0xdeadbeef, 64), 0xdeadbeefu);
+    EXPECT_EQ(xorFold(0xdeadbeef, 0), 0u);
+}
+
+/** xorFold output always fits in the requested width. */
+class XorFoldWidth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(XorFoldWidth, StaysInWidth)
+{
+    unsigned width = GetParam();
+    std::uint64_t value = 0x123456789abcdef0ull;
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(xorFold(value, width) & ~mask(width), 0u);
+        value = value * 6364136223846793005ull + 1442695040888963407ull;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, XorFoldWidth,
+                         ::testing::Values(1u, 2u, 3u, 7u, 8u, 13u,
+                                           16u, 31u, 33u, 63u));
+
+} // namespace
+} // namespace tl

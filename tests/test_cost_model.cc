@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the Section 3.4 hardware cost model (Equations 3-6):
+ * hand-computed values, consistency between the full and the
+ * simplified functions, monotonicity, and the paper's Figure 8 cost
+ * ranking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/cost_model.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(CostModel, FullCostHandComputed)
+{
+    // h=512, 4-way (j=2, i=9), a=30, k=12, s=2, p=1, unit constants.
+    CostParams params;
+    params.addressBits = 30;
+    params.bhtEntries = 512;
+    params.bhtAssoc = 4;
+    params.historyBits = 12;
+    params.patternStateBits = 2;
+    params.patternTables = 1;
+    CostBreakdown cost = fullCost(params);
+
+    // BHT storage: h * ((a-i+j) + k + 1 + j) =
+    //   512 * (23 + 12 + 1 + 2) = 512 * 38.
+    EXPECT_DOUBLE_EQ(cost.bhtStorage, 512.0 * 38.0);
+    // BHT access: h*Cd + 2^j*(a-i+j)*Cc + 2^j*k*Cm =
+    //   512 + 4*23 + 4*12 = 652.
+    EXPECT_DOUBLE_EQ(cost.bhtAccess, 512.0 + 92.0 + 48.0);
+    // BHT update: h*k*Csh + 2^j*j*Ci = 512*12 + 4*2 = 6152.
+    EXPECT_DOUBLE_EQ(cost.bhtUpdate, 512.0 * 12.0 + 8.0);
+    // PHT: 2^12 entries: storage 4096*2, access 4096,
+    // update s*2^(s+1) = 2*8 = 16.
+    EXPECT_DOUBLE_EQ(cost.phtStorage, 8192.0);
+    EXPECT_DOUBLE_EQ(cost.phtAccess, 4096.0);
+    EXPECT_DOUBLE_EQ(cost.phtUpdate, 16.0);
+    EXPECT_DOUBLE_EQ(cost.total(), cost.bht() + cost.pht());
+}
+
+TEST(CostModel, GagCostHandComputed)
+{
+    // Equation 4 with k=18, s=2: (k+1)Cs + k*Csh + 2^k(s*Cs + Cd).
+    CostBreakdown cost = gagCost(18, 2);
+    EXPECT_DOUBLE_EQ(cost.bhtStorage, 19.0);
+    EXPECT_DOUBLE_EQ(cost.bhtUpdate, 18.0);
+    EXPECT_DOUBLE_EQ(cost.bhtAccess, 0.0);
+    EXPECT_DOUBLE_EQ(cost.phtStorage, 262144.0 * 2.0);
+    EXPECT_DOUBLE_EQ(cost.phtAccess, 262144.0);
+    EXPECT_DOUBLE_EQ(cost.total(), 19.0 + 18.0 + 786432.0);
+}
+
+TEST(CostModel, PapUsesHPatternTables)
+{
+    CostParams params;
+    params.bhtEntries = 512;
+    params.bhtAssoc = 4;
+    params.historyBits = 6;
+    params.patternTables = 512;
+    CostBreakdown pap = fullCost(params);
+    params.patternTables = 1;
+    CostBreakdown pag = fullCost(params);
+    EXPECT_DOUBLE_EQ(pap.pht(), 512.0 * pag.pht());
+    EXPECT_DOUBLE_EQ(pap.bht(), pag.bht());
+}
+
+TEST(CostModel, ApproximationsTrackFullCost)
+{
+    // Equations 5/6 drop only small terms; they should be within a
+    // few percent of Equation 3 for realistic parameters.
+    CostParams params;
+    params.addressBits = 30;
+    params.bhtEntries = 512;
+    params.bhtAssoc = 4;
+    params.historyBits = 12;
+    params.patternStateBits = 2;
+
+    params.patternTables = 1;
+    double full_pag = fullCost(params).total();
+    double approx_pag = pagCostApprox(params);
+    EXPECT_NEAR(approx_pag / full_pag, 1.0, 0.05);
+
+    params.patternTables = 512;
+    double full_pap = fullCost(params).total();
+    double approx_pap = papCostApprox(params);
+    EXPECT_NEAR(approx_pap / full_pap, 1.0, 0.05);
+}
+
+TEST(CostModel, GagCostGrowsExponentiallyInK)
+{
+    // Doubling behaviour: cost(k+1) ~ 2 * cost(k) for large k.
+    double prev = gagCost(10, 2).total();
+    for (unsigned k = 11; k <= 20; ++k) {
+        double current = gagCost(k, 2).total();
+        EXPECT_GT(current, 1.8 * prev);
+        EXPECT_LT(current, 2.2 * prev);
+        prev = current;
+    }
+}
+
+TEST(CostModel, PagCostLinearInBhtSize)
+{
+    CostParams params;
+    params.bhtEntries = 256;
+    params.bhtAssoc = 4;
+    params.historyBits = 12;
+    double cost_256 = fullCost(params).bht();
+    params.bhtEntries = 512;
+    double cost_512 = fullCost(params).bht();
+    // BHT part roughly doubles (tag width shrinks slightly).
+    EXPECT_GT(cost_512, 1.9 * cost_256);
+    EXPECT_LT(cost_512, 2.1 * cost_256);
+}
+
+TEST(CostModel, Figure8RankingPagCheapest)
+{
+    // The paper's Section 5.1.3: at iso-accuracy, GAg needs k=18,
+    // PAg k=12, PAp k=6 — and PAg is the cheapest of the three.
+    double gag = gagCost(18, 2).total();
+
+    CostParams pag_params;
+    pag_params.bhtEntries = 512;
+    pag_params.bhtAssoc = 4;
+    pag_params.historyBits = 12;
+    pag_params.patternTables = 1;
+    double pag = fullCost(pag_params).total();
+
+    CostParams pap_params = pag_params;
+    pap_params.historyBits = 6;
+    pap_params.patternTables = 512;
+    double pap = fullCost(pap_params).total();
+
+    EXPECT_LT(pag, gag);
+    EXPECT_LT(pag, pap);
+}
+
+TEST(CostModel, ConstantsScaleTerms)
+{
+    CostConstants expensive_storage;
+    expensive_storage.storage = 10.0;
+    CostBreakdown base = gagCost(10, 2);
+    CostBreakdown scaled = gagCost(10, 2, expensive_storage);
+    EXPECT_DOUBLE_EQ(scaled.phtStorage, 10.0 * base.phtStorage);
+    EXPECT_DOUBLE_EQ(scaled.phtAccess, base.phtAccess);
+}
+
+TEST(CostModel, BreakdownToString)
+{
+    std::string text = gagCost(10, 2).toString();
+    EXPECT_NE(text.find("BHT"), std::string::npos);
+    EXPECT_NE(text.find("total"), std::string::npos);
+}
+
+TEST(CostModelDeath, Validation)
+{
+    CostParams params;
+    params.bhtEntries = 100;
+    EXPECT_EXIT(fullCost(params), ::testing::ExitedWithCode(1),
+                "power of two");
+    params = CostParams{};
+    params.historyBits = 0;
+    EXPECT_EXIT(fullCost(params), ::testing::ExitedWithCode(1),
+                "k must be positive");
+    // Constraint a + j >= i.
+    params = CostParams{};
+    params.addressBits = 2;
+    params.bhtEntries = 512;
+    params.bhtAssoc = 1;
+    EXPECT_EXIT(fullCost(params), ::testing::ExitedWithCode(1),
+                "constraint");
+}
+
+} // namespace
+} // namespace tl

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Unit tests for the M88-lite interpreter: instruction semantics,
+ * control flow, trace emission, traps and limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/cpu.hh"
+
+namespace tl::isa
+{
+namespace
+{
+
+/** Run a program to completion and return the CPU for inspection. */
+Cpu
+runToEnd(const Program &program, CpuOptions options = {})
+{
+    Cpu cpu(program, options);
+    cpu.run();
+    return cpu;
+}
+
+TEST(Cpu, AluRegisterRegister)
+{
+    ProgramBuilder b;
+    b.li(1, 20);
+    b.li(2, 6);
+    b.add(3, 1, 2);
+    b.sub(4, 1, 2);
+    b.mul(5, 1, 2);
+    b.div(6, 1, 2);
+    b.rem(7, 1, 2);
+    b.and_(8, 1, 2);
+    b.or_(9, 1, 2);
+    b.xor_(10, 1, 2);
+    b.slt(11, 2, 1);
+    b.slt(12, 1, 2);
+    b.halt();
+    Cpu cpu = runToEnd(b.build());
+
+    EXPECT_EQ(cpu.reg(3), 26);
+    EXPECT_EQ(cpu.reg(4), 14);
+    EXPECT_EQ(cpu.reg(5), 120);
+    EXPECT_EQ(cpu.reg(6), 3);
+    EXPECT_EQ(cpu.reg(7), 2);
+    EXPECT_EQ(cpu.reg(8), 20 & 6);
+    EXPECT_EQ(cpu.reg(9), 20 | 6);
+    EXPECT_EQ(cpu.reg(10), 20 ^ 6);
+    EXPECT_EQ(cpu.reg(11), 1);
+    EXPECT_EQ(cpu.reg(12), 0);
+}
+
+TEST(Cpu, Shifts)
+{
+    ProgramBuilder b;
+    b.li(1, -16);
+    b.li(2, 2);
+    b.sll(3, 1, 2);
+    b.srl(4, 1, 2);
+    b.sra(5, 1, 2);
+    b.slli(6, 1, 1);
+    b.srli(7, 1, 1);
+    b.halt();
+    Cpu cpu = runToEnd(b.build());
+    EXPECT_EQ(cpu.reg(3), -64);
+    EXPECT_EQ(cpu.reg(4),
+              static_cast<std::int64_t>(
+                  static_cast<std::uint64_t>(-16) >> 2));
+    EXPECT_EQ(cpu.reg(5), -4);
+    EXPECT_EQ(cpu.reg(6), -32);
+}
+
+TEST(Cpu, ShiftAmountMasked)
+{
+    ProgramBuilder b;
+    b.li(1, 1);
+    b.li(2, 65); // 65 & 63 == 1
+    b.sll(3, 1, 2);
+    b.halt();
+    Cpu cpu = runToEnd(b.build());
+    EXPECT_EQ(cpu.reg(3), 2);
+}
+
+TEST(Cpu, DivRemByZeroYieldZero)
+{
+    ProgramBuilder b;
+    b.li(1, 10);
+    b.div(2, 1, 0);
+    b.rem(3, 1, 0);
+    b.halt();
+    Cpu cpu = runToEnd(b.build());
+    EXPECT_EQ(cpu.reg(2), 0);
+    EXPECT_EQ(cpu.reg(3), 0);
+}
+
+TEST(Cpu, R0IsHardwiredZero)
+{
+    ProgramBuilder b;
+    b.li(0, 99); // write ignored
+    b.add(1, 0, 0);
+    b.halt();
+    Cpu cpu = runToEnd(b.build());
+    EXPECT_EQ(cpu.reg(0), 0);
+    EXPECT_EQ(cpu.reg(1), 0);
+}
+
+TEST(Cpu, LoadStore)
+{
+    ProgramBuilder b;
+    b.li(1, 100);
+    b.li(2, 42);
+    b.st(2, 1, 5); // mem[105] = 42
+    b.ld(3, 1, 5);
+    b.halt();
+    Cpu cpu = runToEnd(b.build());
+    EXPECT_EQ(cpu.reg(3), 42);
+    EXPECT_EQ(cpu.mem(105), 42);
+}
+
+TEST(Cpu, DataInitialization)
+{
+    ProgramBuilder b;
+    b.data(7, 123);
+    b.ld(1, 0, 7);
+    b.halt();
+    Cpu cpu = runToEnd(b.build());
+    EXPECT_EQ(cpu.reg(1), 123);
+}
+
+TEST(Cpu, ConditionalBranchRecords)
+{
+    ProgramBuilder b;
+    Label skip = b.newLabel();
+    b.li(1, 1);
+    b.beq(1, 0, skip); // not taken
+    b.bne(1, 0, skip); // taken
+    b.nop();           // skipped
+    b.bind(skip);
+    b.halt();
+    Cpu cpu(b.build());
+
+    BranchRecord record;
+    ASSERT_TRUE(cpu.next(record));
+    EXPECT_EQ(record.cls, BranchClass::Conditional);
+    EXPECT_FALSE(record.taken);
+    EXPECT_EQ(record.pc, instAddress(1));
+    EXPECT_EQ(record.target, instAddress(4));
+    EXPECT_EQ(record.instsSince, 2u); // li + beq
+
+    ASSERT_TRUE(cpu.next(record));
+    EXPECT_TRUE(record.taken);
+    EXPECT_EQ(record.instsSince, 1u);
+
+    EXPECT_FALSE(cpu.next(record));
+    EXPECT_TRUE(cpu.halted());
+}
+
+TEST(Cpu, AllComparisons)
+{
+    // For a = 3, b = 5 check every branch condition.
+    struct Case
+    {
+        Opcode op;
+        bool taken;
+    };
+    const Case cases[] = {
+        {Opcode::Beq, false}, {Opcode::Bne, true},
+        {Opcode::Blt, true},  {Opcode::Bge, false},
+        {Opcode::Ble, true},  {Opcode::Bgt, false},
+    };
+    for (const Case &c : cases) {
+        ProgramBuilder b;
+        Label t = b.newLabel();
+        b.li(1, 3);
+        b.li(2, 5);
+        switch (c.op) {
+          case Opcode::Beq: b.beq(1, 2, t); break;
+          case Opcode::Bne: b.bne(1, 2, t); break;
+          case Opcode::Blt: b.blt(1, 2, t); break;
+          case Opcode::Bge: b.bge(1, 2, t); break;
+          case Opcode::Ble: b.ble(1, 2, t); break;
+          case Opcode::Bgt: b.bgt(1, 2, t); break;
+          default: FAIL();
+        }
+        b.bind(t);
+        b.halt();
+        Cpu cpu(b.build());
+        BranchRecord record;
+        ASSERT_TRUE(cpu.next(record)) << opcodeName(c.op);
+        EXPECT_EQ(record.taken, c.taken) << opcodeName(c.op);
+    }
+}
+
+TEST(Cpu, CallReturnNesting)
+{
+    ProgramBuilder b;
+    Label f = b.newLabel("f");
+    Label g = b.newLabel("g");
+    b.call(f);
+    b.halt();
+    b.bind(f);
+    b.addi(1, 1, 1);
+    b.call(g);
+    b.ret();
+    b.bind(g);
+    b.addi(1, 1, 10);
+    b.ret();
+
+    Cpu cpu(b.build());
+    Trace trace;
+    trace.appendAll(cpu);
+    EXPECT_EQ(cpu.reg(1), 11);
+    ASSERT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace[0].cls, BranchClass::Call);
+    EXPECT_EQ(trace[1].cls, BranchClass::Call);
+    EXPECT_EQ(trace[2].cls, BranchClass::Return);
+    EXPECT_EQ(trace[3].cls, BranchClass::Return);
+    // g returns into f, f returns to after the first call.
+    EXPECT_EQ(trace[2].target, trace[1].pc + instBytes);
+    EXPECT_EQ(trace[3].target, trace[0].pc + instBytes);
+}
+
+TEST(Cpu, IndirectJumpViaTable)
+{
+    ProgramBuilder b;
+    Label t0 = b.newLabel("t0");
+    b.dataLabel(50, t0);
+    b.ld(1, 0, 50);
+    b.jr(1);
+    b.halt(); // skipped
+    b.bind(t0);
+    b.li(2, 7);
+    b.halt();
+    Cpu cpu(b.build());
+    Trace trace;
+    trace.appendAll(cpu);
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace[0].cls, BranchClass::Indirect);
+    EXPECT_EQ(cpu.reg(2), 7);
+}
+
+TEST(Cpu, TrapFlagAttachesToNextBranch)
+{
+    ProgramBuilder b;
+    Label l = b.newLabel();
+    b.trap();
+    b.li(1, 1);
+    b.bnez(1, l);
+    b.bind(l);
+    b.beqz(0, l); // loops back; second branch has no trap
+    b.halt();
+    Cpu cpu(b.build());
+    BranchRecord record;
+    ASSERT_TRUE(cpu.next(record));
+    EXPECT_TRUE(record.trap);
+    ASSERT_TRUE(cpu.next(record));
+    EXPECT_FALSE(record.trap);
+    EXPECT_EQ(cpu.trapsExecuted(), 1u);
+}
+
+TEST(Cpu, InstructionLimitStopsRun)
+{
+    ProgramBuilder b;
+    Label loop = b.here();
+    b.addi(1, 1, 1);
+    b.br(loop);
+    CpuOptions options;
+    options.maxInstructions = 100;
+    Cpu cpu(b.build(), options);
+    cpu.run();
+    EXPECT_TRUE(cpu.finished());
+    EXPECT_FALSE(cpu.halted());
+    EXPECT_EQ(cpu.instructionsExecuted(), 100u);
+}
+
+TEST(Cpu, CaptureHelpers)
+{
+    ProgramBuilder b;
+    Label loop = b.here();
+    b.addi(1, 1, 1);
+    b.blt(1, 0, loop); // never taken; falls through after 1 iter
+    b.li(2, 5);
+    Label loop2 = b.here();
+    b.addi(3, 3, 1);
+    b.blt(3, 2, loop2);
+    b.halt();
+
+    Trace full = captureTrace(b.build());
+    EXPECT_EQ(full.size(), 6u);
+
+    Trace limited = captureTraceLimited(b.build(), 3);
+    EXPECT_EQ(limited.size(), 3u);
+}
+
+TEST(CpuDeath, MemoryOutOfRange)
+{
+    ProgramBuilder b;
+    b.li(1, 1 << 21); // beyond default memory
+    b.ld(2, 1, 0);
+    b.halt();
+    Program program = b.build();
+    EXPECT_EXIT(
+        {
+            Cpu cpu(program);
+            cpu.run();
+        },
+        ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(CpuDeath, ReturnWithEmptyStack)
+{
+    ProgramBuilder b;
+    b.ret();
+    Program program = b.build();
+    EXPECT_EXIT(
+        {
+            Cpu cpu(program);
+            cpu.run();
+        },
+        ::testing::ExitedWithCode(1), "empty call stack");
+}
+
+TEST(CpuDeath, BadIndirectTarget)
+{
+    ProgramBuilder b;
+    b.li(1, 0x3); // misaligned, below codeBase
+    b.jr(1);
+    b.halt();
+    Program program = b.build();
+    EXPECT_EXIT(
+        {
+            Cpu cpu(program);
+            cpu.run();
+        },
+        ::testing::ExitedWithCode(1), "bad target");
+}
+
+TEST(CpuDeath, FallOffEnd)
+{
+    ProgramBuilder b;
+    b.nop();
+    Program program = b.build();
+    EXPECT_EXIT(
+        {
+            Cpu cpu(program);
+            cpu.run();
+        },
+        ::testing::ExitedWithCode(1), "fell off");
+}
+
+TEST(CpuDeath, EmptyProgram)
+{
+    Program program;
+    EXPECT_EXIT(Cpu cpu(program), ::testing::ExitedWithCode(1),
+                "empty");
+}
+
+TEST(CpuDeath, CallStackOverflow)
+{
+    ProgramBuilder b;
+    Label f = b.here("f");
+    b.call(f); // infinite recursion
+    Program program = b.build();
+    CpuOptions options;
+    options.maxCallDepth = 64;
+    EXPECT_EXIT(
+        {
+            Cpu cpu(program, options);
+            cpu.run();
+        },
+        ::testing::ExitedWithCode(1), "overflow");
+}
+
+} // namespace
+} // namespace tl::isa

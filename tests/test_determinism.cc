@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Cross-cutting reproducibility properties. The library promises
+ * bit-reproducible experiments: identical seeds and configurations
+ * must give identical traces, predictions and reports, and predictor
+ * behaviour must be a pure function of the observed branch stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "predictor/factory.hh"
+#include "sim/experiment.hh"
+#include "trace/synthetic.hh"
+#include "workloads/registry.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(Determinism, WorkloadSuiteTracesAreIdenticalAcrossInstances)
+{
+    WorkloadSuite first(3000), second(3000);
+    EXPECT_EQ(first.testing(doducWorkload()),
+              second.testing(doducWorkload()));
+    EXPECT_EQ(first.training(gccWorkload()),
+              second.training(gccWorkload()));
+}
+
+TEST(Determinism, TwinPredictorsAgreeOnEveryPrediction)
+{
+    // Two predictors of the same configuration fed the same stream
+    // must make identical predictions at every step — predictors
+    // carry no hidden nondeterminism.
+    const char *specs[] = {
+        "PAg(BHT(512,4,10-sr),1xPHT(1024,A2))",
+        "GAg(HR(1,,10-sr),1xPHT(1024,A3))",
+        "PAp(BHT(64,2,4-sr),64xPHT(16,LT))",
+        "BTB(BHT(64,2,A2))",
+    };
+    for (const char *spec : specs) {
+        auto a = makePredictor(spec);
+        auto b = makePredictor(spec);
+        MarkovSource source({{0x1000, 0.9, 0.6}, {0x2040, 0.7, 0.8}},
+                            20000, 99);
+        BranchRecord record;
+        while (source.next(record)) {
+            if (!record.isConditional())
+                continue;
+            BranchQuery query = BranchQuery::fromRecord(record);
+            bool pa = a->predict(query);
+            bool pb = b->predict(query);
+            ASSERT_EQ(pa, pb) << spec;
+            a->update(query, record.taken);
+            b->update(query, record.taken);
+        }
+    }
+}
+
+TEST(Determinism, ResetRestoresInitialBehaviour)
+{
+    // After reset(), a predictor replays a stream exactly as a fresh
+    // instance would.
+    auto warmed = makePredictor("PAg(BHT(512,4,10-sr),1xPHT(1024,A2))");
+    PatternSource warmup(0x1000, "TTNTN", 5000);
+    simulate(warmup, *warmed);
+    warmed->reset();
+
+    auto fresh = makePredictor("PAg(BHT(512,4,10-sr),1xPHT(1024,A2))");
+    PatternSource stream_a(0x1000, "TNTTNNT", 5000);
+    PatternSource stream_b(0x1000, "TNTTNNT", 5000);
+    SimResult a = simulate(stream_a, *warmed);
+    SimResult b = simulate(stream_b, *fresh);
+    EXPECT_EQ(a.correct, b.correct);
+}
+
+TEST(Determinism, SuiteRunsAreStableAcrossRepetition)
+{
+    WorkloadSuite suite(3000);
+    ResultSet first =
+        runOnSuite("PAg(BHT(512,4,8-sr),1xPHT(256,A2))", suite);
+    ResultSet second =
+        runOnSuite("PAg(BHT(512,4,8-sr),1xPHT(256,A2))", suite);
+    ASSERT_EQ(first.results().size(), second.results().size());
+    for (std::size_t i = 0; i < first.results().size(); ++i) {
+        EXPECT_EQ(first.results()[i].sim.correct,
+                  second.results()[i].sim.correct);
+    }
+    EXPECT_DOUBLE_EQ(first.totalGMean(), second.totalGMean());
+}
+
+TEST(Determinism, TrainingIsReproducible)
+{
+    WorkloadSuite suite(3000);
+    auto run = [&suite] {
+        return runOnSuite("PSg(BHT(512,4,8-sr),1xPHT(256,PB))",
+                          suite)
+            .totalGMean();
+    };
+    EXPECT_DOUBLE_EQ(run(), run());
+}
+
+} // namespace
+} // namespace tl

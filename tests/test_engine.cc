@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the trace-driven simulation engine: counting,
+ * limits, and the Section 5.1.4 context-switch model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/static_schemes.hh"
+#include "predictor/two_level.hh"
+#include "sim/engine.hh"
+#include "trace/synthetic.hh"
+
+namespace tl
+{
+namespace
+{
+
+/** A predictor that counts context switches it receives. */
+class SwitchCounter : public AlwaysTakenPredictor
+{
+  public:
+    void contextSwitch() override { ++switches; }
+    std::uint64_t switches = 0;
+};
+
+Trace
+mixedTrace()
+{
+    Trace trace;
+    BranchRecord r;
+    for (int i = 0; i < 10; ++i) {
+        r.pc = 0x1000;
+        r.target = 0x900;
+        r.cls = BranchClass::Conditional;
+        r.taken = i % 2 == 0;
+        r.instsSince = 10;
+        trace.append(r);
+        r.pc = 0x2000;
+        r.cls = BranchClass::Call;
+        r.taken = true;
+        trace.append(r);
+    }
+    return trace;
+}
+
+TEST(Engine, CountsOnlyConditionalForAccuracy)
+{
+    Trace trace = mixedTrace();
+    AlwaysTakenPredictor predictor;
+    SimResult result = simulate(trace, predictor);
+    EXPECT_EQ(result.conditionalBranches, 10u);
+    EXPECT_EQ(result.allBranches, 20u);
+    EXPECT_EQ(result.taken, 5u);
+    EXPECT_EQ(result.correct, 5u);
+    EXPECT_DOUBLE_EQ(result.accuracyPercent(), 50.0);
+    EXPECT_DOUBLE_EQ(result.missPercent(), 50.0);
+    EXPECT_EQ(result.instructions, 200u);
+}
+
+TEST(Engine, MaxConditionalLimit)
+{
+    Trace trace = mixedTrace();
+    AlwaysTakenPredictor predictor;
+    SimOptions options;
+    options.maxConditionalBranches = 3;
+    SimResult result = simulate(trace, predictor, options);
+    EXPECT_EQ(result.conditionalBranches, 3u);
+}
+
+TEST(Engine, EmptyResult)
+{
+    SimResult result;
+    EXPECT_EQ(result.accuracyPercent(), 0.0);
+    EXPECT_EQ(result.missPercent(), 0.0);
+}
+
+TEST(Engine, QuantumContextSwitches)
+{
+    // 20 records x 10 instructions = 200 instructions; a 50-
+    // instruction quantum fires 4 times.
+    Trace trace = mixedTrace();
+    SwitchCounter predictor;
+    SimOptions options;
+    options.contextSwitches = true;
+    options.contextSwitchInterval = 50;
+    SimResult result = simulate(trace, predictor, options);
+    EXPECT_EQ(result.contextSwitchCount, 4u);
+    EXPECT_EQ(predictor.switches, 4u);
+}
+
+TEST(Engine, TrapContextSwitches)
+{
+    Trace trace;
+    BranchRecord r;
+    r.pc = 0x1000;
+    r.cls = BranchClass::Conditional;
+    r.taken = true;
+    r.instsSince = 1;
+    for (int i = 0; i < 10; ++i) {
+        r.trap = i == 3 || i == 7;
+        trace.append(r);
+    }
+    SwitchCounter predictor;
+    SimOptions options;
+    options.contextSwitches = true;
+    options.contextSwitchInterval = 1000000; // quantum never fires
+    SimResult result = simulate(trace, predictor, options);
+    EXPECT_EQ(result.contextSwitchCount, 2u);
+
+    // Traps can be ignored.
+    SwitchCounter predictor2;
+    options.switchOnTrap = false;
+    result = simulate(trace, predictor2, options);
+    EXPECT_EQ(result.contextSwitchCount, 0u);
+}
+
+TEST(Engine, TrapResetsQuantum)
+{
+    // A trap-driven switch restarts the quantum countdown.
+    Trace trace;
+    BranchRecord r;
+    r.pc = 0x1000;
+    r.cls = BranchClass::Conditional;
+    r.taken = true;
+    r.instsSince = 30;
+    r.trap = false;
+    trace.append(r); // 30 insts
+    r.trap = true;
+    trace.append(r); // trap switch at 60
+    r.trap = false;
+    trace.append(r); // 30 since switch
+    trace.append(r); // 60 since switch -> no quantum switch yet (<100)
+    SwitchCounter predictor;
+    SimOptions options;
+    options.contextSwitches = true;
+    options.contextSwitchInterval = 100;
+    SimResult result = simulate(trace, predictor, options);
+    EXPECT_EQ(result.contextSwitchCount, 1u);
+}
+
+TEST(Engine, SwitchesOffByDefault)
+{
+    Trace trace = mixedTrace();
+    SwitchCounter predictor;
+    SimResult result = simulate(trace, predictor);
+    EXPECT_EQ(result.contextSwitchCount, 0u);
+    EXPECT_EQ(predictor.switches, 0u);
+}
+
+TEST(Engine, ContextSwitchDegradesTwoLevelAccuracy)
+{
+    // The paper's Figure 9 effect in miniature: flushing the BHT
+    // costs accuracy on an otherwise perfectly learnable stream.
+    auto run = [](bool switches) {
+        TwoLevelPredictor predictor(TwoLevelConfig::pag(8));
+        LoopSource source(0x1000, 4, 40000);
+        SimOptions options;
+        options.contextSwitches = switches;
+        options.contextSwitchInterval = 2000;
+        return simulate(source, predictor, options)
+            .accuracyPercent();
+    };
+    double without = run(false);
+    double with = run(true);
+    EXPECT_GT(without, with);
+    EXPECT_LT(without - with, 5.0); // but the damage is small
+}
+
+} // namespace
+} // namespace tl

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the experiment harness: suite trace caching and the
+ * run-one-scheme-over-the-suite helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/two_level.hh"
+#include "sim/experiment.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(WorkloadSuiteCache, CachesTraces)
+{
+    WorkloadSuite suite(2000);
+    const Trace &first = suite.testing(matrix300Workload());
+    const Trace &second = suite.testing(matrix300Workload());
+    EXPECT_EQ(&first, &second); // same object: cached
+    EXPECT_FALSE(first.empty());
+}
+
+TEST(WorkloadSuiteCache, BudgetHonoured)
+{
+    WorkloadSuite suite(1500);
+    EXPECT_EQ(suite.condBranches(), 1500u);
+    const Trace &trace = suite.testing(eqntottWorkload());
+    std::uint64_t conditional = 0;
+    for (const BranchRecord &record : trace.records())
+        conditional += record.isConditional();
+    EXPECT_EQ(conditional, 1500u);
+}
+
+TEST(WorkloadSuiteCache, TrainingTracesForTable2Benchmarks)
+{
+    WorkloadSuite suite(1000);
+    EXPECT_FALSE(suite.training(gccWorkload()).empty());
+    EXPECT_EXIT(suite.training(tomcatvWorkload()),
+                ::testing::ExitedWithCode(1), "no training");
+}
+
+TEST(RunOnSuite, CoversAllNineForAdaptiveSchemes)
+{
+    WorkloadSuite suite(1200);
+    ResultSet results =
+        runOnSuite("PAg(BHT(512,4,8-sr),1xPHT(256,A2))", suite);
+    EXPECT_EQ(results.results().size(), 9u);
+    for (const BenchmarkResult &r : results.results())
+        EXPECT_EQ(r.sim.conditionalBranches, 1200u);
+    EXPECT_GT(results.totalGMean(), 50.0);
+    EXPECT_LE(results.totalGMean(), 100.0);
+}
+
+TEST(RunOnSuite, SkipsUntrainableBenchmarks)
+{
+    // Static training runs only on the five benchmarks that have a
+    // training dataset (Table 2), as in the paper's Figure 11.
+    WorkloadSuite suite(1200);
+    ResultSet results =
+        runOnSuite("PSg(BHT(512,4,8-sr),1xPHT(256,PB))", suite);
+    EXPECT_EQ(results.results().size(), 5u);
+    EXPECT_FALSE(results.accuracy("eqntott").has_value());
+    EXPECT_FALSE(results.accuracy("fpppp").has_value());
+    EXPECT_TRUE(results.accuracy("gcc").has_value());
+    EXPECT_TRUE(results.accuracy("li").has_value());
+}
+
+TEST(RunOnSuite, ContextSwitchFlagFromSpec)
+{
+    WorkloadSuite suite(1200);
+    // Same scheme with and without ",c" must both run; the flag only
+    // changes simulation options.
+    ResultSet without =
+        runOnSuite("GAg(HR(1,,8-sr),1xPHT(256,A2))", suite);
+    ResultSet with =
+        runOnSuite("GAg(HR(1,,8-sr),1xPHT(256,A2),c)", suite);
+    EXPECT_EQ(without.results().size(), with.results().size());
+}
+
+TEST(RunOnSuite, CustomFactoryAndName)
+{
+    WorkloadSuite suite(1000);
+    ResultSet results = runOnSuite(
+        "my-column",
+        [] {
+            return std::make_unique<TwoLevelPredictor>(
+                TwoLevelConfig::pag(8));
+        },
+        suite);
+    EXPECT_EQ(results.scheme(), "my-column");
+    EXPECT_EQ(results.results().size(), 9u);
+}
+
+TEST(DefaultBranchBudget, EnvOverride)
+{
+    ::setenv("TL_BENCH_BRANCHES", "4321", 1);
+    EXPECT_EQ(defaultBranchBudget(), 4321u);
+    ::setenv("TL_BENCH_BRANCHES", "bogus", 1);
+    EXPECT_EQ(defaultBranchBudget(), 200000u);
+    ::unsetenv("TL_BENCH_BRANCHES");
+    EXPECT_EQ(defaultBranchBudget(), 200000u);
+}
+
+} // namespace
+} // namespace tl

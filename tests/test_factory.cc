@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the predictor factory: every Table-3 configuration
+ * builds, reports a faithful name, and behaves according to its
+ * scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/factory.hh"
+#include "sim/engine.hh"
+#include "trace/synthetic.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(Factory, BuildsEveryTable3Row)
+{
+    const char *specs[] = {
+        "GAg(HR(1,,18-sr),1xPHT(262144,A2))",
+        "PAg(BHT(256,1,12-sr),1xPHT(4096,A2))",
+        "PAg(BHT(256,4,12-sr),1xPHT(4096,A2))",
+        "PAg(BHT(512,1,12-sr),1xPHT(4096,A2))",
+        "PAg(BHT(512,4,12-sr),1xPHT(4096,A1))",
+        "PAg(BHT(512,4,12-sr),1xPHT(4096,A2))",
+        "PAg(BHT(512,4,12-sr),1xPHT(4096,A3))",
+        "PAg(BHT(512,4,12-sr),1xPHT(4096,A4))",
+        "PAg(BHT(512,4,12-sr),1xPHT(4096,LT))",
+        "PAg(IBHT(inf,,12-sr),1xPHT(4096,A2))",
+        "PAp(BHT(512,4,6-sr),512xPHT(64,A2))",
+        "GSg(HR(1,,12-sr),1xPHT(4096,PB))",
+        "PSg(BHT(512,4,12-sr),1xPHT(4096,PB))",
+        "BTB(BHT(512,4,A2))",
+        "BTB(BHT(512,4,LT))",
+        "AlwaysTaken",
+        "BTFN",
+        "Profiling",
+    };
+    for (const char *text : specs) {
+        auto predictor = makePredictor(text);
+        ASSERT_NE(predictor, nullptr) << text;
+        EXPECT_FALSE(predictor->name().empty()) << text;
+        // Every predictor must survive a small workout.
+        PatternSource source(0x1000, "TTN", 300);
+        if (predictor->needsTraining()) {
+            PatternSource training(0x1000, "TTN", 300);
+            predictor->train(training);
+        }
+        SimResult result = simulate(source, *predictor);
+        EXPECT_EQ(result.conditionalBranches, 300u) << text;
+    }
+}
+
+TEST(Factory, TrainingFlagPerScheme)
+{
+    EXPECT_FALSE(
+        makePredictor("PAg(BHT(512,4,12-sr),1xPHT(4096,A2))")
+            ->needsTraining());
+    EXPECT_FALSE(makePredictor("BTB(BHT(512,4,A2))")->needsTraining());
+    EXPECT_FALSE(makePredictor("AlwaysTaken")->needsTraining());
+    EXPECT_TRUE(makePredictor("GSg(HR(1,,6-sr),1xPHT(64,PB))")
+                    ->needsTraining());
+    EXPECT_TRUE(makePredictor("PSg(BHT(512,4,6-sr),1xPHT(64,PB))")
+                    ->needsTraining());
+    EXPECT_TRUE(makePredictor("Profiling")->needsTraining());
+}
+
+TEST(Factory, NameRoundTripsThroughSpec)
+{
+    const char *text = "PAg(BHT(512,4,12-sr),1xPHT(4096,A2))";
+    auto predictor = makePredictor(text);
+    // The predictor's self-reported name parses back to the same
+    // configuration.
+    SchemeSpec spec = SchemeSpec::parse(predictor->name());
+    EXPECT_EQ(spec.scheme, "PAg");
+    EXPECT_EQ(spec.historyBits, 12u);
+    EXPECT_EQ(spec.historyEntries, 512u);
+}
+
+TEST(Factory, AutomatonSelectionMatters)
+{
+    // LT and A2 differ on a loop (documented automaton behaviour).
+    auto lt = makePredictor("BTB(BHT(512,4,LT))");
+    auto a2 = makePredictor("BTB(BHT(512,4,A2))");
+    LoopSource source_a(0x1000, 5, 2000);
+    double lt_acc = simulate(source_a, *lt).accuracyPercent();
+    LoopSource source_b(0x1000, 5, 2000);
+    double a2_acc = simulate(source_b, *a2).accuracyPercent();
+    EXPECT_GT(a2_acc, lt_acc + 10.0);
+}
+
+TEST(Factory, ContextSwitchFlagDoesNotAffectConstruction)
+{
+    auto predictor =
+        makePredictor("PAg(BHT(512,4,12-sr),1xPHT(4096,A2),c)");
+    // The ",c" flag is simulation-level; the predictor name omits it.
+    EXPECT_EQ(predictor->name(),
+              "PAg(BHT(512,4,12-sr),1xPHT(4096,A2))");
+}
+
+} // namespace
+} // namespace tl

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the fetch-redirect simulation (Section 3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/static_schemes.hh"
+#include "predictor/two_level.hh"
+#include "sim/fetch.hh"
+#include "trace/synthetic.hh"
+
+namespace tl
+{
+namespace
+{
+
+BranchRecord
+record(std::uint64_t pc, BranchClass cls, bool taken,
+       std::uint64_t target)
+{
+    BranchRecord r;
+    r.pc = pc;
+    r.target = target;
+    r.cls = cls;
+    r.taken = taken;
+    r.instsSince = 4;
+    return r;
+}
+
+TEST(Fetch, NotTakenNeedsNoTarget)
+{
+    Trace trace;
+    for (int i = 0; i < 10; ++i)
+        trace.append(record(0x1000, BranchClass::Conditional, false,
+                            0x2000));
+    // Always-taken direction predictor would mispredict; use BTFN
+    // (forward branch -> predict not taken -> correct).
+    BtfnPredictor direction;
+    TargetCache targets;
+    FetchResult result = simulateFetch(trace, direction, targets);
+    EXPECT_EQ(result.branches, 10u);
+    EXPECT_EQ(result.correctFetch, 10u);
+    EXPECT_EQ(result.misfetches, 0u);
+    EXPECT_EQ(result.mispredicts, 0u);
+}
+
+TEST(Fetch, FirstTakenEncounterMisfetches)
+{
+    Trace trace;
+    for (int i = 0; i < 5; ++i)
+        trace.append(record(0x1000, BranchClass::Conditional, true,
+                            0x800));
+    AlwaysTakenPredictor direction;
+    TargetCache targets;
+    FetchResult result = simulateFetch(trace, direction, targets);
+    // The first execution has no cached target; the rest hit.
+    EXPECT_EQ(result.mispredicts, 0u);
+    EXPECT_EQ(result.misfetches, 1u);
+    EXPECT_EQ(result.correctFetch, 4u);
+}
+
+TEST(Fetch, WrongDirectionIsMispredictNotMisfetch)
+{
+    Trace trace;
+    trace.append(
+        record(0x1000, BranchClass::Conditional, false, 0x800));
+    AlwaysTakenPredictor direction;
+    TargetCache targets;
+    FetchResult result = simulateFetch(trace, direction, targets);
+    EXPECT_EQ(result.mispredicts, 1u);
+    EXPECT_EQ(result.misfetches, 0u);
+}
+
+TEST(Fetch, UnconditionalBranchesOnlyNeedTargets)
+{
+    Trace trace;
+    for (int i = 0; i < 4; ++i)
+        trace.append(record(0x1000, BranchClass::Unconditional, true,
+                            0x4000));
+    AlwaysTakenPredictor direction;
+    TargetCache targets;
+    FetchResult result = simulateFetch(trace, direction, targets);
+    EXPECT_EQ(result.mispredicts, 0u);
+    EXPECT_EQ(result.misfetches, 1u); // cold target only
+    EXPECT_EQ(result.correctFetch, 3u);
+}
+
+TEST(Fetch, MovingTargetReturnsKeepMisfetching)
+{
+    // A return site alternating between two call sites: the cached
+    // target is always the previous one (the Kaeli/Emma problem).
+    Trace trace;
+    for (int i = 0; i < 10; ++i)
+        trace.append(record(0x1000, BranchClass::Return, true,
+                            i % 2 ? 0x5000 : 0x6000));
+    AlwaysTakenPredictor direction;
+    TargetCache targets;
+    FetchResult result = simulateFetch(trace, direction, targets);
+    EXPECT_EQ(result.misfetches, 10u);
+    EXPECT_EQ(result.correctFetch, 0u);
+}
+
+TEST(Fetch, StableLoopFetchesNearPerfectly)
+{
+    TwoLevelPredictor direction(TwoLevelConfig::pag(8));
+    TargetCache targets;
+    LoopSource source(0x1000, 4, 10000);
+    FetchResult result = simulateFetch(source, direction, targets);
+    EXPECT_GT(result.correctPercent(), 99.0);
+    EXPECT_LT(result.misfetchPercent(), 0.5);
+}
+
+TEST(Fetch, PercentagesSumToHundred)
+{
+    TwoLevelPredictor direction(TwoLevelConfig::pag(8));
+    TargetCache targets;
+    MarkovSource source({{0x1000, 0.9, 0.5}}, 5000, 3);
+    FetchResult result = simulateFetch(source, direction, targets);
+    EXPECT_NEAR(result.correctPercent() + result.misfetchPercent() +
+                    result.mispredictPercent(),
+                100.0, 1e-9);
+}
+
+TEST(Fetch, SmallTargetCacheCausesMisfetches)
+{
+    // Many taken branches fighting over a tiny target cache: correct
+    // directions but repeated target misses.
+    std::vector<std::unique_ptr<TraceSource>> children;
+    for (int i = 0; i < 16; ++i) {
+        children.push_back(std::make_unique<PatternSource>(
+            0x1000 + 64 * i, "T", 2000));
+    }
+    InterleaveSource source(std::move(children));
+    AlwaysTakenPredictor direction;
+    TargetCache tiny(BhtGeometry{4, 1});
+    FetchResult result = simulateFetch(source, direction, tiny);
+    EXPECT_EQ(result.mispredicts, 0u);
+    EXPECT_GT(result.misfetchPercent(), 20.0);
+}
+
+} // namespace
+} // namespace tl

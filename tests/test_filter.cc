@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the trace filtering utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/filter.hh"
+
+namespace tl
+{
+namespace
+{
+
+BranchRecord
+record(std::uint64_t pc, BranchClass cls, bool taken,
+       std::uint32_t insts = 5, bool trap = false)
+{
+    BranchRecord r;
+    r.pc = pc;
+    r.target = pc + 16;
+    r.cls = cls;
+    r.taken = taken;
+    r.instsSince = insts;
+    r.trap = trap;
+    return r;
+}
+
+Trace
+mixedTrace()
+{
+    Trace trace;
+    trace.append(record(0x1000, BranchClass::Conditional, true));
+    trace.append(record(0x2000, BranchClass::Call, true));
+    trace.append(record(0x1004, BranchClass::Conditional, false));
+    trace.append(record(0x3000, BranchClass::Return, true));
+    trace.append(record(0x1000, BranchClass::Conditional, true));
+    return trace;
+}
+
+TEST(Filter, ByClass)
+{
+    Trace conditionals =
+        filterByClass(mixedTrace(), BranchClass::Conditional);
+    EXPECT_EQ(conditionals.size(), 3u);
+    for (const BranchRecord &r : conditionals.records())
+        EXPECT_TRUE(r.isConditional());
+}
+
+TEST(Filter, ByAddressRange)
+{
+    Trace ranged = filterByAddressRange(mixedTrace(), 0x1000, 0x2000);
+    EXPECT_EQ(ranged.size(), 3u);
+    for (const BranchRecord &r : ranged.records()) {
+        EXPECT_GE(r.pc, 0x1000u);
+        EXPECT_LT(r.pc, 0x2000u);
+    }
+}
+
+TEST(Filter, InstructionCountsFoldIntoNextRecord)
+{
+    // Dropping the middle records must not lose their instructions:
+    // the context-switch quantum depends on them.
+    Trace trace;
+    trace.append(record(0x1000, BranchClass::Conditional, true, 10));
+    trace.append(record(0x2000, BranchClass::Call, true, 20));
+    trace.append(record(0x3000, BranchClass::Return, true, 30));
+    trace.append(record(0x1004, BranchClass::Conditional, true, 40));
+
+    Trace filtered = filterByClass(trace, BranchClass::Conditional);
+    ASSERT_EQ(filtered.size(), 2u);
+    EXPECT_EQ(filtered[0].instsSince, 10u);
+    EXPECT_EQ(filtered[1].instsSince, 90u); // 20 + 30 + 40
+}
+
+TEST(Filter, TrapFlagsCarryForward)
+{
+    Trace trace;
+    trace.append(
+        record(0x2000, BranchClass::Call, true, 5, /*trap=*/true));
+    trace.append(record(0x1000, BranchClass::Conditional, true, 5));
+    Trace filtered = filterByClass(trace, BranchClass::Conditional);
+    ASSERT_EQ(filtered.size(), 1u);
+    EXPECT_TRUE(filtered[0].trap);
+}
+
+TEST(Filter, SplitTrace)
+{
+    Trace trace = mixedTrace();
+    auto [head, tail] = splitTrace(trace, 0.4);
+    EXPECT_EQ(head.size(), 2u);
+    EXPECT_EQ(tail.size(), 3u);
+    EXPECT_EQ(head[0], trace[0]);
+    EXPECT_EQ(tail[0], trace[2]);
+
+    auto [all, none] = splitTrace(trace, 1.0);
+    EXPECT_EQ(all.size(), trace.size());
+    EXPECT_TRUE(none.empty());
+}
+
+TEST(Filter, SubsampleConditionalsKeepsEveryNth)
+{
+    Trace trace;
+    for (int i = 0; i < 9; ++i)
+        trace.append(record(0x1000, BranchClass::Conditional, true));
+    trace.append(record(0x2000, BranchClass::Call, true));
+
+    Trace sampled = subsampleConditionals(trace, 3);
+    std::size_t conditional = 0, other = 0;
+    for (const BranchRecord &r : sampled.records()) {
+        if (r.isConditional())
+            ++conditional;
+        else
+            ++other;
+    }
+    EXPECT_EQ(conditional, 3u); // occurrences 0, 3, 6
+    EXPECT_EQ(other, 1u);       // non-conditionals all kept
+}
+
+TEST(Filter, SubsamplingIsPerSite)
+{
+    Trace trace;
+    for (int i = 0; i < 4; ++i) {
+        trace.append(record(0x1000, BranchClass::Conditional, true));
+        trace.append(record(0x2000, BranchClass::Conditional, false));
+    }
+    Trace sampled = subsampleConditionals(trace, 2);
+    std::size_t site_a = 0, site_b = 0;
+    for (const BranchRecord &r : sampled.records()) {
+        if (r.pc == 0x1000)
+            ++site_a;
+        else
+            ++site_b;
+    }
+    EXPECT_EQ(site_a, 2u);
+    EXPECT_EQ(site_b, 2u);
+}
+
+TEST(FilterDeath, BadArguments)
+{
+    Trace trace = mixedTrace();
+    EXPECT_EXIT(splitTrace(trace, 1.5), ::testing::ExitedWithCode(1),
+                "fraction");
+    EXPECT_EXIT(subsampleConditionals(trace, 0),
+                ::testing::ExitedWithCode(1), "stride");
+    EXPECT_EXIT(filterByAddressRange(trace, 5, 5),
+                ::testing::ExitedWithCode(1), "empty range");
+    TraceReplaySource source(trace);
+    EXPECT_EXIT(FilterSource(source, nullptr),
+                ::testing::ExitedWithCode(1), "predicate");
+}
+
+TEST(Filter, SelfTrainingUseCase)
+{
+    // Split a run: profile on the head, verify determinism on the
+    // tail (what a user does when no separate training input exists).
+    Trace trace;
+    for (int i = 0; i < 100; ++i) {
+        trace.append(record(0x1000, BranchClass::Conditional,
+                            i % 3 != 0));
+    }
+    auto [head, tail] = splitTrace(trace, 0.3);
+    EXPECT_EQ(head.size() + tail.size(), trace.size());
+    EXPECT_FALSE(head.empty());
+    EXPECT_FALSE(tail.empty());
+}
+
+} // namespace
+} // namespace tl

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the k-bit branch history register.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/history_register.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(HistoryRegister, InitializesToAllOnes)
+{
+    HistoryRegister hr(6);
+    EXPECT_EQ(hr.bits(), 6u);
+    EXPECT_EQ(hr.value(), 0x3fu);
+}
+
+TEST(HistoryRegister, ShiftInFromLsb)
+{
+    HistoryRegister hr(4);
+    hr.fill(false);
+    hr.shiftIn(true);
+    EXPECT_EQ(hr.value(), 0b0001u);
+    hr.shiftIn(true);
+    EXPECT_EQ(hr.value(), 0b0011u);
+    hr.shiftIn(false);
+    EXPECT_EQ(hr.value(), 0b0110u);
+    hr.shiftIn(true);
+    EXPECT_EQ(hr.value(), 0b1101u);
+    // The oldest bit falls off.
+    hr.shiftIn(true);
+    EXPECT_EQ(hr.value(), 0b1011u);
+}
+
+TEST(HistoryRegister, FillExtendsResultBit)
+{
+    HistoryRegister hr(8);
+    hr.fill(false);
+    EXPECT_EQ(hr.value(), 0u);
+    hr.fill(true);
+    EXPECT_EQ(hr.value(), 0xffu);
+}
+
+TEST(HistoryRegister, ResetAllOnes)
+{
+    HistoryRegister hr(5);
+    hr.fill(false);
+    hr.resetAllOnes();
+    EXPECT_EQ(hr.value(), 0x1fu);
+}
+
+TEST(HistoryRegister, SetMasksToWidth)
+{
+    HistoryRegister hr(4);
+    hr.set(0xabc);
+    EXPECT_EQ(hr.value(), 0xcu);
+}
+
+/** Pattern stays within k bits for every register length. */
+class HistoryRegisterWidth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(HistoryRegisterWidth, ValueStaysWithinWidth)
+{
+    unsigned k = GetParam();
+    HistoryRegister hr(k);
+    std::uint64_t lcg = 12345;
+    for (int i = 0; i < 200; ++i) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        hr.shiftIn((lcg >> 60) & 1);
+        EXPECT_EQ(hr.value() & ~mask(k), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HistoryRegisterWidth,
+                         ::testing::Values(1u, 2u, 6u, 12u, 18u, 24u,
+                                           30u));
+
+TEST(HistoryRegisterDeath, RejectsBadLength)
+{
+    EXPECT_EXIT(HistoryRegister(0), ::testing::ExitedWithCode(1),
+                "out of range");
+    EXPECT_EXIT(HistoryRegister(31), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+} // namespace
+} // namespace tl

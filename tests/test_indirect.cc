@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the history-indexed indirect target predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/indirect.hh"
+#include "predictor/static_schemes.hh"
+#include "predictor/two_level.hh"
+#include "sim/fetch.hh"
+#include "workloads/registry.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(Indirect, LooksUpWhatWasStored)
+{
+    IndirectTargetPredictor predictor(8, 6);
+    EXPECT_FALSE(predictor.lookup(0x1000).has_value());
+    predictor.update(0x1000, 0x4000);
+    ASSERT_TRUE(predictor.lookup(0x1000).has_value());
+    EXPECT_EQ(*predictor.lookup(0x1000), 0x4000u);
+}
+
+TEST(Indirect, ContextSeparatesTargets)
+{
+    // The same jump stores different targets under different
+    // direction histories — the point of history indexing.
+    IndirectTargetPredictor predictor(8, 6);
+
+    // Context A: history ...111 (initial).
+    predictor.update(0x1000, 0xaaaa);
+    // Move to context B.
+    for (int i = 0; i < 6; ++i)
+        predictor.observeDirection(false);
+    predictor.update(0x1000, 0xbbbb);
+
+    // Context B reads B's target...
+    EXPECT_EQ(*predictor.lookup(0x1000), 0xbbbbu);
+    // ...and context A still holds A's.
+    for (int i = 0; i < 6; ++i)
+        predictor.observeDirection(true);
+    EXPECT_EQ(*predictor.lookup(0x1000), 0xaaaau);
+}
+
+TEST(Indirect, FlushForgetsEverything)
+{
+    IndirectTargetPredictor predictor(8, 6);
+    predictor.update(0x1000, 0x4000);
+    predictor.flush();
+    EXPECT_FALSE(predictor.lookup(0x1000).has_value());
+}
+
+TEST(IndirectDeath, BadTableBits)
+{
+    EXPECT_EXIT(IndirectTargetPredictor(0, 6),
+                ::testing::ExitedWithCode(1), "table bits");
+    EXPECT_EXIT(IndirectTargetPredictor(24, 6),
+                ::testing::ExitedWithCode(1), "table bits");
+}
+
+TEST(IndirectFetch, CorrelatedDispatchBecomesPredictable)
+{
+    // A dispatch jump whose target correlates with the preceding
+    // conditional branch: T -> handler A, N -> handler B. A plain
+    // target cache misfetches on every alternation; the
+    // history-indexed predictor learns the correlation.
+    auto makeTrace = [] {
+        Trace trace;
+        for (int i = 0; i < 4000; ++i) {
+            bool taken = i % 2 == 0;
+            BranchRecord cond;
+            cond.pc = 0x1000;
+            cond.target = 0x900;
+            cond.cls = BranchClass::Conditional;
+            cond.taken = taken;
+            cond.instsSince = 3;
+            trace.append(cond);
+
+            BranchRecord jump;
+            jump.pc = 0x1100;
+            jump.target = taken ? 0x5000 : 0x6000;
+            jump.cls = BranchClass::Indirect;
+            jump.taken = true;
+            jump.instsSince = 4;
+            trace.append(jump);
+        }
+        return trace;
+    };
+
+    Trace trace = makeTrace();
+    TwoLevelPredictor direction_a(TwoLevelConfig::pag(8));
+    TargetCache targets_a;
+    FetchResult plain = simulateFetch(trace, direction_a, targets_a);
+
+    TwoLevelPredictor direction_b(TwoLevelConfig::pag(8));
+    TargetCache targets_b;
+    IndirectTargetPredictor indirect(9, 8);
+    FetchResult with_indirect = simulateFetch(
+        trace, direction_b, targets_b, nullptr, &indirect);
+
+    // Plain: every indirect execution alternates target -> ~50% of
+    // the jumps misfetch (~25% of all records).
+    EXPECT_GT(plain.misfetchPercent(), 20.0);
+    EXPECT_LT(with_indirect.misfetchPercent(), 2.0);
+}
+
+TEST(IndirectFetch, NeverHurtsOnDispatchHeavyWorkload)
+{
+    // On the real workloads the gain is small: their jump-table
+    // targets are keyed by loop indices, which recent *direction*
+    // history barely encodes (the honest limitation of
+    // history-indexed target prediction — index-keyed dispatch needs
+    // a value predictor, not a direction-history one). The predictor
+    // must at least never do worse than the plain target cache.
+    Trace trace = eqntottWorkload().captureTesting(30000);
+
+    TwoLevelPredictor direction_a(TwoLevelConfig::pag(12));
+    TargetCache targets_a;
+    FetchResult plain = simulateFetch(trace, direction_a, targets_a);
+
+    TwoLevelPredictor direction_b(TwoLevelConfig::pag(12));
+    TargetCache targets_b;
+    IndirectTargetPredictor indirect(10, 10);
+    FetchResult with_indirect = simulateFetch(
+        trace, direction_b, targets_b, nullptr, &indirect);
+
+    EXPECT_LE(with_indirect.misfetchPercent(),
+              plain.misfetchPercent() + 0.5);
+}
+
+} // namespace
+} // namespace tl

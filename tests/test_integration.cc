@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Integration tests: end-to-end properties of the paper's headline
+ * results on reduced trace budgets. These assert the *shape* of the
+ * evaluation (orderings, monotone trends), not absolute numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/factory.hh"
+#include "sim/experiment.hh"
+
+namespace tl
+{
+namespace
+{
+
+class IntegrationSuite : public ::testing::Test
+{
+  protected:
+    // One shared trace cache across the integration assertions.
+    static WorkloadSuite &
+    suite()
+    {
+        static WorkloadSuite shared(30000);
+        return shared;
+    }
+
+    static double
+    gmean(const std::string &spec)
+    {
+        return runOnSuite(spec, suite()).totalGMean();
+    }
+};
+
+TEST_F(IntegrationSuite, TwoLevelBeatsAllOtherSchemes)
+{
+    // Figure 11: the Two-Level Adaptive scheme is the top curve.
+    double pag = gmean("PAg(BHT(512,4,12-sr),1xPHT(4096,A2))");
+    EXPECT_GT(pag, gmean("BTB(BHT(512,4,A2))") + 2.0);
+    EXPECT_GT(pag, gmean("BTB(BHT(512,4,LT))") + 2.0);
+    EXPECT_GT(pag, gmean("BTFN") + 10.0);
+    EXPECT_GT(pag, gmean("AlwaysTaken") + 10.0);
+    EXPECT_GT(pag, 90.0);
+}
+
+TEST_F(IntegrationSuite, GagImprovesWithHistoryLength)
+{
+    // Figure 7: lengthening GAg's history register helps, strongly.
+    double k6 = gmean("GAg(HR(1,,6-sr),1xPHT(64,A2))");
+    double k10 = gmean("GAg(HR(1,,10-sr),1xPHT(1024,A2))");
+    double k14 = gmean("GAg(HR(1,,14-sr),1xPHT(16384,A2))");
+    double k18 = gmean("GAg(HR(1,,18-sr),1xPHT(262144,A2))");
+    EXPECT_LT(k6, k10);
+    EXPECT_LT(k10, k14);
+    EXPECT_LT(k14, k18);
+    EXPECT_GT(k18 - k6, 4.0); // the paper reports a 9% swing
+}
+
+TEST_F(IntegrationSuite, InterferenceOrderingAtEqualHistoryLength)
+{
+    // Figure 6: with equal k, per-address history beats the global
+    // register (first-level interference).
+    double gag = gmean("GAg(HR(1,,6-sr),1xPHT(64,A2))");
+    double pag = gmean("PAg(IBHT(inf,,6-sr),1xPHT(64,A2))");
+    EXPECT_GT(pag, gag + 2.0);
+}
+
+TEST_F(IntegrationSuite, IsoAccuracyTriple)
+{
+    // Figure 8: GAg(18) / PAg(12) / PAp(6) land close together.
+    double gag18 = gmean("GAg(HR(1,,18-sr),1xPHT(262144,A2))");
+    double pag12 = gmean("PAg(BHT(512,4,12-sr),1xPHT(4096,A2))");
+    double pap6 = gmean("PAp(BHT(512,4,6-sr),512xPHT(64,A2))");
+    EXPECT_NEAR(gag18, pag12, 3.5);
+    EXPECT_NEAR(pap6, pag12, 3.5);
+}
+
+TEST_F(IntegrationSuite, AutomatonOrdering)
+{
+    // Figure 5: four-state automata beat Last-Time; A2/A3/A4 are
+    // close to each other.
+    double lt = gmean("PAg(BHT(512,4,12-sr),1xPHT(4096,LT))");
+    double a1 = gmean("PAg(BHT(512,4,12-sr),1xPHT(4096,A1))");
+    double a2 = gmean("PAg(BHT(512,4,12-sr),1xPHT(4096,A2))");
+    double a3 = gmean("PAg(BHT(512,4,12-sr),1xPHT(4096,A3))");
+    double a4 = gmean("PAg(BHT(512,4,12-sr),1xPHT(4096,A4))");
+    EXPECT_GT(a1, lt);
+    EXPECT_GT(a2, lt + 1.0);
+    EXPECT_NEAR(a2, a3, 1.5);
+    EXPECT_NEAR(a2, a4, 1.5);
+}
+
+TEST_F(IntegrationSuite, BhtCapacityOrdering)
+{
+    // Figure 10: bigger/more associative BHTs track the ideal BHT.
+    double small_dm = gmean("PAg(BHT(256,1,12-sr),1xPHT(4096,A2))");
+    double big_sa = gmean("PAg(BHT(512,4,12-sr),1xPHT(4096,A2))");
+    double ideal = gmean("PAg(IBHT(inf,,12-sr),1xPHT(4096,A2))");
+    EXPECT_GE(ideal + 0.2, big_sa);
+    EXPECT_GT(big_sa, small_dm);
+}
+
+TEST_F(IntegrationSuite, ContextSwitchesCostLittleOnAverage)
+{
+    // Figure 9: average degradation below a few percent.
+    double base = gmean("PAg(BHT(512,4,12-sr),1xPHT(4096,A2))");
+    double switched =
+        gmean("PAg(BHT(512,4,12-sr),1xPHT(4096,A2),c)");
+    EXPECT_LE(switched, base + 0.1);
+    EXPECT_LT(base - switched, 4.0);
+}
+
+TEST_F(IntegrationSuite, StaticTrainingTrailsAdaptive)
+{
+    // Figure 11: PSg sits below the adaptive top curve on the
+    // benchmarks it covers.
+    ResultSet psg = runOnSuite(
+        "PSg(BHT(512,4,12-sr),1xPHT(4096,PB))", suite());
+    ResultSet pag = runOnSuite(
+        "PAg(BHT(512,4,12-sr),1xPHT(4096,A2))", suite());
+    // Compare only over the five benchmarks PSg covers.
+    double psg_product = 1.0;
+    double pag_product = 1.0;
+    int n = 0;
+    for (const BenchmarkResult &r : psg.results()) {
+        psg_product *= r.sim.accuracyPercent();
+        pag_product *= *pag.accuracy(r.benchmark);
+        ++n;
+    }
+    ASSERT_EQ(n, 5);
+    EXPECT_GT(pag_product, psg_product);
+}
+
+} // namespace
+} // namespace tl

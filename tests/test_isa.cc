@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for the M88-lite ISA definitions and disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "isa/isa.hh"
+
+namespace tl::isa
+{
+namespace
+{
+
+TEST(Isa, OpcodeNamesAreUnique)
+{
+    std::set<std::string> names;
+    for (unsigned op = 0; op < numOpcodes; ++op)
+        names.insert(opcodeName(static_cast<Opcode>(op)));
+    EXPECT_EQ(names.size(), numOpcodes);
+}
+
+TEST(Isa, ConditionalBranchClassification)
+{
+    EXPECT_TRUE(isConditionalBranch(Opcode::Beq));
+    EXPECT_TRUE(isConditionalBranch(Opcode::Bgt));
+    EXPECT_FALSE(isConditionalBranch(Opcode::Br));
+    EXPECT_FALSE(isConditionalBranch(Opcode::Add));
+    EXPECT_FALSE(isConditionalBranch(Opcode::Call));
+}
+
+TEST(Isa, ControlFlowClassification)
+{
+    EXPECT_TRUE(isControlFlow(Opcode::Beq));
+    EXPECT_TRUE(isControlFlow(Opcode::Br));
+    EXPECT_TRUE(isControlFlow(Opcode::Call));
+    EXPECT_TRUE(isControlFlow(Opcode::Ret));
+    EXPECT_TRUE(isControlFlow(Opcode::Jr));
+    EXPECT_FALSE(isControlFlow(Opcode::Trap));
+    EXPECT_FALSE(isControlFlow(Opcode::Halt));
+    EXPECT_FALSE(isControlFlow(Opcode::Ld));
+}
+
+TEST(Isa, AddressMapping)
+{
+    EXPECT_EQ(instAddress(0), codeBase);
+    EXPECT_EQ(instAddress(10), codeBase + 40);
+    EXPECT_EQ(instIndex(instAddress(123)), 123u);
+}
+
+TEST(Isa, DisassembleForms)
+{
+    EXPECT_EQ(disassemble({Opcode::Add, 1, 2, 3, 0}),
+              "add r1, r2, r3");
+    EXPECT_EQ(disassemble({Opcode::Addi, 1, 2, 0, -5}),
+              "addi r1, r2, -5");
+    EXPECT_EQ(disassemble({Opcode::Li, 4, 0, 0, 99}), "li r4, 99");
+    EXPECT_EQ(disassemble({Opcode::Ld, 1, 2, 0, 16}),
+              "ld r1, r2, 16");
+    EXPECT_EQ(disassemble({Opcode::Beq, 0, 1, 2, 0x1000}),
+              "beq r1, r2, 0x1000");
+    EXPECT_EQ(disassemble({Opcode::Br, 0, 0, 0, 0x1040}),
+              "br 0x1040");
+    EXPECT_EQ(disassemble({Opcode::Jr, 0, 7, 0, 0}), "jr r7");
+    EXPECT_EQ(disassemble({Opcode::Ret, 0, 0, 0, 0}), "ret");
+    EXPECT_EQ(disassemble({Opcode::Halt, 0, 0, 0, 0}), "halt");
+}
+
+} // namespace
+} // namespace tl::isa

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for ResultSet and the geometric-mean summary rows.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/metrics.hh"
+
+namespace tl
+{
+namespace
+{
+
+BenchmarkResult
+result(const std::string &name, bool integer, std::uint64_t correct,
+       std::uint64_t total)
+{
+    BenchmarkResult r;
+    r.benchmark = name;
+    r.isInteger = integer;
+    r.sim.conditionalBranches = total;
+    r.sim.correct = correct;
+    return r;
+}
+
+TEST(ResultSet, AccuracyLookup)
+{
+    ResultSet set("PAg");
+    set.add(result("gcc", true, 90, 100));
+    set.add(result("tomcatv", false, 99, 100));
+    EXPECT_EQ(set.scheme(), "PAg");
+    ASSERT_TRUE(set.accuracy("gcc").has_value());
+    EXPECT_DOUBLE_EQ(*set.accuracy("gcc"), 90.0);
+    EXPECT_FALSE(set.accuracy("nonexistent").has_value());
+}
+
+TEST(ResultSet, GeometricMeans)
+{
+    ResultSet set("X");
+    set.add(result("int_a", true, 90, 100));
+    set.add(result("int_b", true, 40, 100)); // gmean(90,40) = 60
+    set.add(result("fp_a", false, 50, 100));
+    set.add(result("fp_b", false, 98, 100)); // gmean(50,98) = 70
+    EXPECT_NEAR(set.intGMean(), 60.0, 1e-9);
+    EXPECT_NEAR(set.fpGMean(), 70.0, 1e-9);
+    EXPECT_NEAR(set.totalGMean(),
+                std::pow(90.0 * 40.0 * 50.0 * 98.0, 0.25), 1e-9);
+}
+
+TEST(ResultSet, GMeanIsNotArithmetic)
+{
+    ResultSet set("X");
+    set.add(result("a", true, 50, 100));
+    set.add(result("b", true, 100, 100));
+    EXPECT_LT(set.intGMean(), 75.0);
+    EXPECT_NEAR(set.intGMean(), std::sqrt(50.0 * 100.0), 1e-9);
+}
+
+TEST(ResultSet, InsertionOrderPreserved)
+{
+    ResultSet set("X");
+    set.add(result("b", true, 1, 2));
+    set.add(result("a", true, 1, 2));
+    ASSERT_EQ(set.results().size(), 2u);
+    EXPECT_EQ(set.results()[0].benchmark, "b");
+    EXPECT_EQ(set.results()[1].benchmark, "a");
+}
+
+} // namespace
+} // namespace tl

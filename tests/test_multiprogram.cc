@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the multiprogrammed simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/static_schemes.hh"
+#include "predictor/two_level.hh"
+#include "sim/multiprogram.hh"
+#include "trace/synthetic.hh"
+
+namespace tl
+{
+namespace
+{
+
+Trace
+patternTrace(std::uint64_t pc, const std::string &pattern,
+             std::uint64_t count)
+{
+    PatternSource source(pc, pattern, count);
+    Trace trace;
+    trace.appendAll(source);
+    return trace;
+}
+
+TEST(Multiprogram, EveryRecordAttributedOnce)
+{
+    Trace a = patternTrace(0x1000, "T", 1000);
+    Trace b = patternTrace(0x2000, "N", 500);
+    AlwaysTakenPredictor predictor;
+    MultiProgramOptions options;
+    options.quantum = 100;
+    MultiProgramResult result =
+        simulateMultiprogrammed({&a, &b}, predictor, options);
+
+    ASSERT_EQ(result.perProcess.size(), 2u);
+    EXPECT_EQ(result.perProcess[0].conditionalBranches, 1000u);
+    EXPECT_EQ(result.perProcess[1].conditionalBranches, 500u);
+    EXPECT_DOUBLE_EQ(result.perProcess[0].accuracyPercent(), 100.0);
+    EXPECT_DOUBLE_EQ(result.perProcess[1].accuracyPercent(), 0.0);
+    EXPECT_NEAR(result.accuracyPercent(), 100.0 * 1000.0 / 1500.0,
+                1e-9);
+    EXPECT_GT(result.switches, 0u);
+}
+
+TEST(Multiprogram, SingleProcessMatchesPlainSimulation)
+{
+    Trace trace = patternTrace(0x1000, "TTNTN", 5000);
+    TwoLevelPredictor multi(TwoLevelConfig::pag(8));
+    MultiProgramResult mp =
+        simulateMultiprogrammed({&trace}, multi);
+
+    TwoLevelPredictor plain(TwoLevelConfig::pag(8));
+    SimResult direct = simulate(trace, plain);
+
+    EXPECT_EQ(mp.perProcess[0].correct, direct.correct);
+    EXPECT_EQ(mp.switches, 0u);
+}
+
+TEST(Multiprogram, SharedAddressSpaceCausesAliasing)
+{
+    // Two processes whose branch at the SAME pc behaves oppositely:
+    // in a shared address space they fight over predictor state; in
+    // disjoint spaces they do not.
+    Trace a = patternTrace(0x1000, "T", 20000);
+    Trace b = patternTrace(0x1000, "N", 20000);
+    MultiProgramOptions options;
+    options.quantum = 50; // frequent switches maximize the damage
+
+    TwoLevelPredictor shared(TwoLevelConfig::pag(8));
+    MultiProgramResult aliased =
+        simulateMultiprogrammed({&a, &b}, shared, options);
+
+    options.addressOffset = std::uint64_t{1} << 20;
+    TwoLevelPredictor split(TwoLevelConfig::pag(8));
+    MultiProgramResult disjoint =
+        simulateMultiprogrammed({&a, &b}, split, options);
+
+    EXPECT_GT(disjoint.accuracyPercent(), 99.0);
+    EXPECT_LT(aliased.accuracyPercent(),
+              disjoint.accuracyPercent() - 1.0);
+}
+
+TEST(Multiprogram, FlushOnSwitchInvokesPredictorFlush)
+{
+    class SwitchCounter : public AlwaysTakenPredictor
+    {
+      public:
+        void contextSwitch() override { ++flushes; }
+        std::uint64_t flushes = 0;
+    };
+
+    Trace a = patternTrace(0x1000, "T", 100);
+    Trace b = patternTrace(0x2000, "T", 100);
+    SwitchCounter predictor;
+    MultiProgramOptions options;
+    options.quantum = 40; // instsSince = 4 -> 10 branches per quantum
+    options.flushOnSwitch = true;
+    MultiProgramResult result =
+        simulateMultiprogrammed({&a, &b}, predictor, options);
+    EXPECT_EQ(predictor.flushes, result.switches);
+    EXPECT_GT(result.switches, 5u);
+}
+
+TEST(Multiprogram, UnevenTraceLengthsDrainCorrectly)
+{
+    Trace a = patternTrace(0x1000, "T", 50);
+    Trace b = patternTrace(0x2000, "T", 5000);
+    AlwaysTakenPredictor predictor;
+    MultiProgramOptions options;
+    options.quantum = 100;
+    MultiProgramResult result =
+        simulateMultiprogrammed({&a, &b}, predictor, options);
+    EXPECT_EQ(result.perProcess[0].conditionalBranches, 50u);
+    EXPECT_EQ(result.perProcess[1].conditionalBranches, 5000u);
+}
+
+TEST(MultiprogramDeath, Validation)
+{
+    AlwaysTakenPredictor predictor;
+    EXPECT_EXIT(simulateMultiprogrammed({}, predictor),
+                ::testing::ExitedWithCode(1), "no processes");
+    Trace trace = patternTrace(0x1000, "T", 10);
+    MultiProgramOptions options;
+    options.quantum = 0;
+    EXPECT_EXIT(
+        simulateMultiprogrammed({&trace}, predictor, options),
+        ::testing::ExitedWithCode(1), "quantum");
+}
+
+} // namespace
+} // namespace tl

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the pattern history table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/pattern_table.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(PatternHistoryTable, SizeAndInit)
+{
+    PatternHistoryTable pht(6, Automaton::a2());
+    EXPECT_EQ(pht.entries(), 64u);
+    EXPECT_EQ(pht.stateBits(), 2u);
+    for (std::uint64_t p = 0; p < 64; ++p) {
+        EXPECT_EQ(pht.state(p), 3u);
+        EXPECT_TRUE(pht.predict(p)); // init state 3 predicts taken
+    }
+}
+
+TEST(PatternHistoryTable, LastTimeInitState)
+{
+    PatternHistoryTable pht(4, Automaton::lastTime());
+    for (std::uint64_t p = 0; p < 16; ++p) {
+        EXPECT_EQ(pht.state(p), 1u);
+        EXPECT_TRUE(pht.predict(p));
+    }
+}
+
+TEST(PatternHistoryTable, UpdateIsPerEntry)
+{
+    PatternHistoryTable pht(4, Automaton::a2());
+    pht.update(5, false);
+    pht.update(5, false);
+    pht.update(5, false);
+    EXPECT_FALSE(pht.predict(5));
+    EXPECT_EQ(pht.state(5), 0u);
+    // Other entries untouched.
+    EXPECT_TRUE(pht.predict(4));
+    EXPECT_TRUE(pht.predict(6));
+}
+
+TEST(PatternHistoryTable, PatternIsMasked)
+{
+    PatternHistoryTable pht(4, Automaton::a2());
+    pht.update(0x15, false); // aliases to 0x5
+    EXPECT_EQ(pht.state(0x5), 2u);
+}
+
+TEST(PatternHistoryTable, ResetRestoresInit)
+{
+    PatternHistoryTable pht(3, Automaton::a2());
+    for (std::uint64_t p = 0; p < 8; ++p) {
+        pht.update(p, false);
+        pht.update(p, false);
+    }
+    pht.reset();
+    for (std::uint64_t p = 0; p < 8; ++p)
+        EXPECT_EQ(pht.state(p), 3u);
+}
+
+TEST(PatternHistoryTable, SetState)
+{
+    PatternHistoryTable pht(3, Automaton::a2());
+    pht.setState(2, 0);
+    EXPECT_FALSE(pht.predict(2));
+}
+
+TEST(PatternHistoryTableDeath, BadParameters)
+{
+    EXPECT_EXIT(PatternHistoryTable(0, Automaton::a2()),
+                ::testing::ExitedWithCode(1), "out");
+    EXPECT_EXIT(PatternHistoryTable(25, Automaton::a2()),
+                ::testing::ExitedWithCode(1), "out");
+    PatternHistoryTable pht(3, Automaton::a2());
+    EXPECT_EXIT(pht.setState(0, 7), ::testing::ExitedWithCode(1),
+                "state");
+}
+
+/**
+ * Property: driving one pattern with a fixed direction converges the
+ * entry to a saturated state whose prediction matches the direction,
+ * for every automaton.
+ */
+class PhtConvergence
+    : public ::testing::TestWithParam<const Automaton *>
+{
+};
+
+TEST_P(PhtConvergence, ConvergesToDirection)
+{
+    const Automaton &atm = *GetParam();
+    for (bool direction : {false, true}) {
+        PatternHistoryTable pht(4, atm);
+        for (int i = 0; i < 8; ++i)
+            pht.update(9, direction);
+        EXPECT_EQ(pht.predict(9), direction) << atm.name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperAutomata, PhtConvergence,
+    ::testing::Values(&Automaton::lastTime(), &Automaton::a1(),
+                      &Automaton::a2(), &Automaton::a3(),
+                      &Automaton::a4()));
+
+} // namespace
+} // namespace tl

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for Program and the ProgramBuilder DSL.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+
+namespace tl::isa
+{
+namespace
+{
+
+TEST(ProgramBuilder, ForwardAndBackwardLabels)
+{
+    ProgramBuilder b;
+    Label fwd = b.newLabel("fwd");
+    Label start = b.here("start");
+    b.addi(1, 1, 1);
+    b.br(fwd);
+    b.nop();
+    b.bind(fwd);
+    b.br(start);
+    Program program = b.build();
+
+    ASSERT_EQ(program.size(), 4u);
+    EXPECT_EQ(program.code[1].op, Opcode::Br);
+    EXPECT_EQ(program.code[1].imm,
+              static_cast<std::int64_t>(instAddress(3)));
+    EXPECT_EQ(program.code[3].imm,
+              static_cast<std::int64_t>(instAddress(0)));
+    EXPECT_EQ(program.symbols.at("fwd"), instAddress(3));
+    EXPECT_EQ(program.symbols.at("start"), instAddress(0));
+}
+
+TEST(ProgramBuilder, DataAndDataLabel)
+{
+    ProgramBuilder b;
+    Label target = b.newLabel("target");
+    b.data(100, 42);
+    b.dataLabel(101, target);
+    b.nop();
+    b.bind(target);
+    b.halt();
+    Program program = b.build();
+
+    ASSERT_EQ(program.dataInit.size(), 2u);
+    EXPECT_EQ(program.dataInit[0],
+              (std::pair<std::uint64_t, std::int64_t>{100, 42}));
+    EXPECT_EQ(program.dataInit[1].first, 101u);
+    EXPECT_EQ(program.dataInit[1].second,
+              static_cast<std::int64_t>(instAddress(1)));
+}
+
+TEST(ProgramBuilder, PseudoInstructions)
+{
+    ProgramBuilder b;
+    Label l = b.here();
+    b.mov(5, 6);
+    b.beqz(1, l);
+    b.bnez(2, l);
+    Program program = b.build();
+    EXPECT_EQ(program.code[0].op, Opcode::Add);
+    EXPECT_EQ(program.code[0].rb, 0);
+    EXPECT_EQ(program.code[1].op, Opcode::Beq);
+    EXPECT_EQ(program.code[1].rb, 0);
+    EXPECT_EQ(program.code[2].op, Opcode::Bne);
+}
+
+TEST(ProgramBuilder, StaticConditionalBranchCount)
+{
+    ProgramBuilder b;
+    Label l = b.here();
+    b.beq(1, 2, l);
+    b.blt(1, 2, l);
+    b.br(l);
+    b.call(l);
+    b.halt();
+    Program program = b.build();
+    EXPECT_EQ(program.staticConditionalBranches(), 2u);
+}
+
+TEST(ProgramBuilder, ListingContainsLabelsAndCode)
+{
+    ProgramBuilder b;
+    Label loop = b.here("loop");
+    b.addi(1, 1, 1);
+    b.br(loop);
+    Program program = b.build();
+    std::string listing = program.listing();
+    EXPECT_NE(listing.find("loop:"), std::string::npos);
+    EXPECT_NE(listing.find("addi r1, r1, 1"), std::string::npos);
+}
+
+TEST(ProgramBuilder, AnonymousLabelsGetNames)
+{
+    ProgramBuilder b;
+    Label l = b.here();
+    b.br(l);
+    Program program = b.build();
+    EXPECT_EQ(program.symbols.size(), 1u);
+}
+
+TEST(ProgramBuilderDeath, UnboundLabel)
+{
+    ProgramBuilder b;
+    Label never = b.newLabel("never");
+    b.br(never);
+    EXPECT_EXIT(b.build(), ::testing::ExitedWithCode(1),
+                "never bound");
+}
+
+TEST(ProgramBuilderDeath, DoubleBind)
+{
+    ProgramBuilder b;
+    Label l = b.here("x");
+    EXPECT_EXIT(b.bind(l), ::testing::ExitedWithCode(1), "twice");
+}
+
+TEST(ProgramBuilderDeath, ForeignLabel)
+{
+    ProgramBuilder b;
+    Label foreign; // default-constructed, never created by a builder
+    EXPECT_EXIT(b.bind(foreign), ::testing::ExitedWithCode(1),
+                "not created");
+}
+
+TEST(ProgramBuilderDeath, BadRegister)
+{
+    ProgramBuilder b;
+    EXPECT_EXIT(b.add(32, 0, 0), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+} // namespace
+} // namespace tl::isa

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.nextU64() == b.nextU64())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ZeroSeedIsRemapped)
+{
+    Rng a(0);
+    EXPECT_NE(a.nextU64(), 0u);
+}
+
+TEST(Rng, NextBelowBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t value = rng.nextBelow(13);
+        EXPECT_LT(value, 13u);
+    }
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversRange)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        std::int64_t value = rng.nextRange(-3, 3);
+        EXPECT_GE(value, -3);
+        EXPECT_LE(value, 3);
+        saw_lo |= value == -3;
+        saw_hi |= value == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextRangeSingleton)
+{
+    Rng rng(9);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(rng.nextRange(5, 5), 5);
+}
+
+TEST(Rng, NextDoubleUnitInterval)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double value = rng.nextDouble();
+        ASSERT_GE(value, 0.0);
+        ASSERT_LT(value, 1.0);
+        sum += value;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(23);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i) {
+        if (rng.nextBool(0.25))
+            ++hits;
+    }
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(29);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+    }
+}
+
+TEST(Rng, WeightedRespectsZeros)
+{
+    Rng rng(31);
+    std::vector<double> weights = {0.0, 1.0, 0.0, 2.0};
+    for (int i = 0; i < 2000; ++i) {
+        std::size_t index = rng.nextWeighted(weights);
+        EXPECT_TRUE(index == 1 || index == 3);
+    }
+}
+
+TEST(Rng, WeightedFrequency)
+{
+    Rng rng(37);
+    std::vector<double> weights = {1.0, 3.0};
+    int ones = 0;
+    for (int i = 0; i < 20000; ++i) {
+        if (rng.nextWeighted(weights) == 1)
+            ++ones;
+    }
+    EXPECT_NEAR(ones / 20000.0, 0.75, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(41);
+    std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> shuffled = values;
+    rng.shuffle(shuffled);
+    std::multiset<int> a(values.begin(), values.end());
+    std::multiset<int> b(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(43);
+    Rng child = parent.fork();
+    // The child stream differs from the parent's continued stream.
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (parent.nextU64() == child.nextU64())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+} // namespace
+} // namespace tl

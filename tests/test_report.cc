@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Unit tests for the paper-style report tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/report.hh"
+#include "workloads/registry.hh"
+
+namespace tl
+{
+namespace
+{
+
+BenchmarkResult
+result(const std::string &name, bool integer, std::uint64_t correct)
+{
+    BenchmarkResult r;
+    r.benchmark = name;
+    r.isInteger = integer;
+    r.sim.conditionalBranches = 100;
+    r.sim.correct = correct;
+    return r;
+}
+
+TEST(Report, TableHasBenchmarkRowsAndGMeans)
+{
+    ResultSet column("PAg");
+    for (const Workload *workload : allWorkloads())
+        column.add(
+            result(workload->name(), workload->isInteger(), 95));
+
+    TextTable table = accuracyTable({column});
+    // 9 benchmarks + 3 gmean rows.
+    EXPECT_EQ(table.rowCount(), 12u);
+    std::string text = table.toText();
+    EXPECT_NE(text.find("eqntott"), std::string::npos);
+    EXPECT_NE(text.find("tomcatv"), std::string::npos);
+    EXPECT_NE(text.find("Int GMean"), std::string::npos);
+    EXPECT_NE(text.find("FP GMean"), std::string::npos);
+    EXPECT_NE(text.find("Tot GMean"), std::string::npos);
+    EXPECT_NE(text.find("95.00"), std::string::npos);
+}
+
+TEST(Report, MissingBenchmarksShowDash)
+{
+    // A static-training scheme skipping no-training benchmarks shows
+    // "-" in those rows, as the paper omits those data points.
+    ResultSet column("PSg");
+    column.add(result("gcc", true, 90));
+    TextTable table = accuracyTable({column});
+    std::string text = table.toText();
+    EXPECT_NE(text.find('-'), std::string::npos);
+    EXPECT_NE(text.find("90.00"), std::string::npos);
+}
+
+TEST(Report, MultipleColumns)
+{
+    ResultSet a("SchemeA"), b("SchemeB");
+    a.add(result("gcc", true, 90));
+    b.add(result("gcc", true, 80));
+    TextTable table = accuracyTable({a, b});
+    std::string text = table.toText();
+    EXPECT_NE(text.find("SchemeA"), std::string::npos);
+    EXPECT_NE(text.find("SchemeB"), std::string::npos);
+    EXPECT_NE(text.find("90.00"), std::string::npos);
+    EXPECT_NE(text.find("80.00"), std::string::npos);
+}
+
+} // namespace
+} // namespace tl

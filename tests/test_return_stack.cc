@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the return address stack and its integration into
+ * the fetch simulation (the Kaeli/Emma moving-target-return fix the
+ * paper cites as reference [4]).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/cpu.hh"
+#include "predictor/return_stack.hh"
+#include "predictor/static_schemes.hh"
+#include "sim/fetch.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(ReturnStack, PushPopLifo)
+{
+    ReturnStack stack(8);
+    stack.pushCall(0x100);
+    stack.pushCall(0x200);
+    stack.pushCall(0x300);
+    EXPECT_EQ(stack.size(), 3u);
+    EXPECT_EQ(*stack.popReturn(), 0x300u);
+    EXPECT_EQ(*stack.popReturn(), 0x200u);
+    EXPECT_EQ(*stack.popReturn(), 0x100u);
+    EXPECT_EQ(stack.size(), 0u);
+}
+
+TEST(ReturnStack, UnderflowIsEmptyAndCounted)
+{
+    ReturnStack stack(4);
+    EXPECT_FALSE(stack.popReturn().has_value());
+    EXPECT_EQ(stack.underflows(), 1u);
+}
+
+TEST(ReturnStack, OverflowWrapsLosingOldest)
+{
+    ReturnStack stack(2);
+    stack.pushCall(0x100);
+    stack.pushCall(0x200);
+    stack.pushCall(0x300); // overwrites 0x100
+    EXPECT_EQ(stack.overflows(), 1u);
+    EXPECT_EQ(stack.size(), 2u);
+    EXPECT_EQ(*stack.popReturn(), 0x300u);
+    EXPECT_EQ(*stack.popReturn(), 0x200u);
+    EXPECT_FALSE(stack.popReturn().has_value());
+}
+
+TEST(ReturnStack, FlushAndReset)
+{
+    ReturnStack stack(4);
+    stack.pushCall(0x100);
+    stack.popReturn();
+    stack.popReturn(); // underflow
+    stack.flush();
+    EXPECT_EQ(stack.size(), 0u);
+    EXPECT_EQ(stack.underflows(), 1u); // stats survive flush
+    stack.reset();
+    EXPECT_EQ(stack.underflows(), 0u);
+}
+
+TEST(ReturnStackDeath, ZeroDepth)
+{
+    EXPECT_EXIT(ReturnStack(0), ::testing::ExitedWithCode(1),
+                "depth");
+}
+
+/** A trace where one return site alternates between two callers. */
+Trace
+movingTargetTrace(int rounds)
+{
+    Trace trace;
+    for (int i = 0; i < rounds; ++i) {
+        std::uint64_t call_pc = i % 2 ? 0x1100 : 0x1200;
+        BranchRecord call;
+        call.pc = call_pc;
+        call.target = 0x2000; // the subroutine
+        call.cls = BranchClass::Call;
+        call.taken = true;
+        call.instsSince = 3;
+        trace.append(call);
+
+        BranchRecord ret;
+        ret.pc = 0x2040;
+        ret.target = call_pc + isa::instBytes;
+        ret.cls = BranchClass::Return;
+        ret.taken = true;
+        ret.instsSince = 10;
+        trace.append(ret);
+    }
+    return trace;
+}
+
+TEST(ReturnStackFetch, FixesMovingTargetReturns)
+{
+    Trace trace = movingTargetTrace(200);
+
+    // Without a RAS: the cached return target is always stale.
+    AlwaysTakenPredictor direction_a;
+    TargetCache targets_a;
+    FetchResult without =
+        simulateFetch(trace, direction_a, targets_a);
+
+    // With a RAS: every return target comes from the stack.
+    AlwaysTakenPredictor direction_b;
+    TargetCache targets_b;
+    ReturnStack ras(16);
+    FetchResult with =
+        simulateFetch(trace, direction_b, targets_b, &ras);
+
+    // Returns are half the records. Without the RAS they all
+    // misfetch (after the cold start the cache always holds the
+    // previous caller); with it they all hit.
+    EXPECT_GT(without.misfetchPercent(), 45.0);
+    EXPECT_LT(with.misfetchPercent(), 2.0);
+    EXPECT_EQ(ras.underflows(), 0u);
+}
+
+TEST(ReturnStackFetch, DeepRecursionOverflowsGracefully)
+{
+    // Recursion deeper than the stack: the outermost returns
+    // misfetch (their entries were overwritten), the innermost ones
+    // still hit.
+    Trace trace;
+    const int depth = 24; // deeper than the 16-entry stack
+    for (int i = 0; i < depth; ++i) {
+        BranchRecord call;
+        call.pc = 0x1000 + 8 * i;
+        call.target = 0x1000 + 8 * (i + 1);
+        call.cls = BranchClass::Call;
+        call.taken = true;
+        call.instsSince = 2;
+        trace.append(call);
+    }
+    for (int i = depth - 1; i >= 0; --i) {
+        BranchRecord ret;
+        ret.pc = 0x3000;
+        ret.target = 0x1000 + 8 * i + isa::instBytes;
+        ret.cls = BranchClass::Return;
+        ret.taken = true;
+        ret.instsSince = 2;
+        trace.append(ret);
+    }
+
+    AlwaysTakenPredictor direction;
+    TargetCache targets;
+    ReturnStack ras(16);
+    FetchResult result =
+        simulateFetch(trace, direction, targets, &ras);
+    EXPECT_EQ(ras.overflows(), std::uint64_t{depth - 16});
+    // The 16 innermost returns hit; the next ones mostly miss.
+    EXPECT_GE(result.correctFetch, 16u);
+    EXPECT_GT(result.misfetches, 0u);
+}
+
+TEST(ReturnStackFetch, RealProgramCallsAndReturns)
+{
+    // The interpreter's call/return stream through the RAS: nested
+    // calls return perfectly.
+    isa::ProgramBuilder b;
+    isa::Label f = b.newLabel("f");
+    isa::Label g = b.newLabel("g");
+    b.li(1, 50);
+    isa::Label loop = b.here("loop");
+    b.call(f);
+    b.addi(1, 1, -1);
+    b.bnez(1, loop);
+    b.halt();
+    b.bind(f);
+    b.call(g);
+    b.call(g);
+    b.ret();
+    b.bind(g);
+    b.nop();
+    b.ret();
+
+    Trace trace = isa::captureTrace(b.build());
+    AlwaysTakenPredictor direction;
+    TargetCache targets;
+    ReturnStack ras(16);
+    FetchResult result =
+        simulateFetch(trace, direction, targets, &ras);
+    EXPECT_EQ(ras.underflows(), 0u);
+    EXPECT_EQ(ras.overflows(), 0u);
+    // Everything except cold call/branch targets fetches correctly.
+    EXPECT_GT(result.correctPercent(), 95.0);
+}
+
+} // namespace
+} // namespace tl

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * End-to-end smoke test: a PAg predictor should learn a short loop
+ * pattern perfectly, and the whole workload -> trace -> simulate path
+ * should produce sensible accuracy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/two_level.hh"
+#include "sim/engine.hh"
+#include "trace/synthetic.hh"
+#include "workloads/registry.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(Smoke, PagLearnsLoopPattern)
+{
+    TwoLevelPredictor predictor(TwoLevelConfig::pag(8));
+    LoopSource source(0x1000, 4, 5000); // T T T N repeated
+    SimResult result = simulate(source, predictor);
+    EXPECT_EQ(result.conditionalBranches, 20000u);
+    // After warmup the period-4 pattern is fully predictable.
+    EXPECT_GT(result.accuracyPercent(), 99.0);
+}
+
+TEST(Smoke, WorkloadTraceSimulates)
+{
+    Trace trace = matrix300Workload().captureTesting(20000);
+    TwoLevelPredictor predictor(TwoLevelConfig::pag(12));
+    SimResult result = simulate(trace, predictor);
+    EXPECT_EQ(result.conditionalBranches, 20000u);
+    EXPECT_GT(result.accuracyPercent(), 90.0);
+}
+
+} // namespace
+} // namespace tl

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the Table-3 naming convention parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/spec.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(Spec, ParseGAg)
+{
+    SchemeSpec spec =
+        SchemeSpec::parse("GAg(HR(1,,18-sr),1xPHT(262144,A2))");
+    EXPECT_EQ(spec.scheme, "GAg");
+    EXPECT_EQ(spec.historyKind, "HR");
+    EXPECT_EQ(spec.historyEntries, 1u);
+    EXPECT_EQ(spec.assoc, 0u);
+    EXPECT_EQ(spec.historyBits, 18u);
+    EXPECT_EQ(spec.patternTables, 1u);
+    EXPECT_EQ(spec.patternEntries, 262144u);
+    EXPECT_EQ(spec.patternContent, "A2");
+    EXPECT_FALSE(spec.contextSwitch);
+    EXPECT_TRUE(spec.isTwoLevel());
+}
+
+TEST(Spec, ParsePAgWithContextSwitch)
+{
+    SchemeSpec spec =
+        SchemeSpec::parse("PAg(BHT(512,4,12-sr),1xPHT(4096,A2),c)");
+    EXPECT_EQ(spec.scheme, "PAg");
+    EXPECT_EQ(spec.historyKind, "BHT");
+    EXPECT_EQ(spec.historyEntries, 512u);
+    EXPECT_EQ(spec.assoc, 4u);
+    EXPECT_EQ(spec.historyBits, 12u);
+    EXPECT_TRUE(spec.contextSwitch);
+}
+
+TEST(Spec, ParsePowerOfTwoSizes)
+{
+    SchemeSpec spec =
+        SchemeSpec::parse("PAg(BHT(512,4,12-sr),1xPHT(2^12,A2))");
+    EXPECT_EQ(spec.patternEntries, 4096u);
+}
+
+TEST(Spec, PatternSizeInferredFromHistoryBits)
+{
+    // The pattern table size may be omitted as 0 only via 2^k; but a
+    // consistent explicit value must be accepted and checked.
+    SchemeSpec spec =
+        SchemeSpec::parse("PAg(BHT(512,4,10-sr),1xPHT(1024,A2))");
+    EXPECT_EQ(spec.patternEntries, 1024u);
+}
+
+TEST(Spec, ParseIbht)
+{
+    SchemeSpec spec =
+        SchemeSpec::parse("PAg(IBHT(inf,,12-sr),1xPHT(4096,A2))");
+    EXPECT_EQ(spec.historyKind, "IBHT");
+    EXPECT_EQ(spec.historyEntries, 0u);
+}
+
+TEST(Spec, ParsePApInfinitePatternTables)
+{
+    SchemeSpec spec =
+        SchemeSpec::parse("PAp(IBHT(inf,,6-sr),infxPHT(64,A2))");
+    EXPECT_EQ(spec.scheme, "PAp");
+    EXPECT_TRUE(spec.patternTablesInf);
+    EXPECT_EQ(spec.patternEntries, 64u);
+}
+
+TEST(Spec, ParseStaticTraining)
+{
+    SchemeSpec psg =
+        SchemeSpec::parse("PSg(BHT(512,4,12-sr),1xPHT(4096,PB))");
+    EXPECT_TRUE(psg.isStaticTraining());
+    EXPECT_EQ(psg.patternContent, "PB");
+    SchemeSpec gsg =
+        SchemeSpec::parse("GSg(HR(1,,6-sr),1xPHT(64,PB))");
+    EXPECT_TRUE(gsg.isStaticTraining());
+}
+
+TEST(Spec, ParseBtb)
+{
+    SchemeSpec spec = SchemeSpec::parse("BTB(BHT(512,4,A2))");
+    EXPECT_EQ(spec.scheme, "BTB");
+    EXPECT_EQ(spec.historyContent, "A2");
+    EXPECT_EQ(spec.historyBits, 0u);
+    EXPECT_TRUE(spec.patternContent.empty());
+
+    SchemeSpec lt = SchemeSpec::parse("BTB(BHT(512,4,LT))");
+    EXPECT_EQ(lt.historyContent, "LT");
+}
+
+TEST(Spec, ParseBareStaticSchemes)
+{
+    EXPECT_EQ(SchemeSpec::parse("AlwaysTaken").scheme, "AlwaysTaken");
+    EXPECT_EQ(SchemeSpec::parse("BTFN").scheme, "BTFN");
+    EXPECT_EQ(SchemeSpec::parse("Profiling").scheme, "Profiling");
+    EXPECT_EQ(SchemeSpec::parse("profile").scheme, "Profiling");
+}
+
+TEST(Spec, WhitespaceIgnored)
+{
+    SchemeSpec spec = SchemeSpec::parse(
+        "PAg( BHT(512, 4, 12-sr), 1 x PHT(4096, A2), c )");
+    EXPECT_EQ(spec.historyEntries, 512u);
+    EXPECT_TRUE(spec.contextSwitch);
+}
+
+TEST(Spec, CaseInsensitiveSchemeNames)
+{
+    EXPECT_EQ(SchemeSpec::parse("pag(BHT(512,4,12-sr),"
+                                "1xPHT(4096,a2))")
+                  .scheme,
+              "PAg");
+}
+
+/** toString -> parse round-trips for every Table 3 row shape. */
+class SpecRoundTrip : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(SpecRoundTrip, Stable)
+{
+    SchemeSpec first = SchemeSpec::parse(GetParam());
+    SchemeSpec second = SchemeSpec::parse(first.toString());
+    EXPECT_EQ(first.toString(), second.toString());
+    EXPECT_EQ(first.scheme, second.scheme);
+    EXPECT_EQ(first.historyBits, second.historyBits);
+    EXPECT_EQ(first.patternEntries, second.patternEntries);
+    EXPECT_EQ(first.contextSwitch, second.contextSwitch);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table3Rows, SpecRoundTrip,
+    ::testing::Values(
+        "GAg(HR(1,,18-sr),1xPHT(262144,A2))",
+        "GAg(HR(1,,12-sr),1xPHT(4096,A2),c)",
+        "PAg(BHT(256,1,12-sr),1xPHT(4096,A2))",
+        "PAg(BHT(256,4,12-sr),1xPHT(4096,A2))",
+        "PAg(BHT(512,1,12-sr),1xPHT(4096,A2))",
+        "PAg(BHT(512,4,12-sr),1xPHT(4096,A1))",
+        "PAg(BHT(512,4,12-sr),1xPHT(4096,A2),c)",
+        "PAg(BHT(512,4,12-sr),1xPHT(4096,A3))",
+        "PAg(BHT(512,4,12-sr),1xPHT(4096,A4))",
+        "PAg(BHT(512,4,12-sr),1xPHT(4096,LT))",
+        "PAg(IBHT(inf,,12-sr),1xPHT(4096,A2))",
+        "PAp(BHT(512,4,6-sr),512xPHT(64,A2))",
+        "GSg(HR(1,,12-sr),1xPHT(4096,PB))",
+        "PSg(BHT(512,4,12-sr),1xPHT(4096,PB))",
+        "BTB(BHT(512,4,A2))", "BTB(BHT(512,4,LT))", "AlwaysTaken",
+        "BTFN", "Profiling"));
+
+TEST(SpecDeath, Errors)
+{
+    EXPECT_EXIT(SchemeSpec::parse(""), ::testing::ExitedWithCode(1),
+                "empty");
+    EXPECT_EXIT(SchemeSpec::parse("XXg(HR(1,,6-sr),1xPHT(64,A2))"),
+                ::testing::ExitedWithCode(1), "unknown scheme");
+    EXPECT_EXIT(SchemeSpec::parse("GAg"),
+                ::testing::ExitedWithCode(1), "requires parameters");
+    EXPECT_EXIT(
+        SchemeSpec::parse("GAg(BHT(512,4,6-sr),1xPHT(64,A2))"),
+        ::testing::ExitedWithCode(1), "single HR");
+    EXPECT_EXIT(SchemeSpec::parse("PAg(HR(1,,6-sr),1xPHT(64,A2))"),
+                ::testing::ExitedWithCode(1), "BHT or IBHT");
+    EXPECT_EXIT(
+        SchemeSpec::parse("PAg(BHT(512,4,6-sr),1xPHT(128,A2))"),
+        ::testing::ExitedWithCode(1), "does not match");
+    EXPECT_EXIT(
+        SchemeSpec::parse("PAg(BHT(512,4,6-sr),1xPHT(64,PB))"),
+        ::testing::ExitedWithCode(1), "cannot be PB");
+    EXPECT_EXIT(
+        SchemeSpec::parse("PSg(BHT(512,4,6-sr),1xPHT(64,A2))"),
+        ::testing::ExitedWithCode(1), "must be PB");
+    EXPECT_EXIT(SchemeSpec::parse("BTB(BHT(512,4,6-sr))"),
+                ::testing::ExitedWithCode(1), "automaton");
+    EXPECT_EXIT(
+        SchemeSpec::parse("PAg(BHT(512,4,6-sr),1xPHT(64,A9))"),
+        ::testing::ExitedWithCode(1), "content");
+    EXPECT_EXIT(SchemeSpec::parse("AlwaysTaken(5)"),
+                ::testing::ExitedWithCode(1), "no parameters");
+}
+
+} // namespace
+} // namespace tl

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the static schemes: Always Taken, BTFN, Profiling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/static_schemes.hh"
+#include "sim/engine.hh"
+#include "trace/synthetic.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(AlwaysTaken, AlwaysPredictsTaken)
+{
+    AlwaysTakenPredictor predictor;
+    EXPECT_EQ(predictor.name(), "AlwaysTaken");
+    EXPECT_FALSE(predictor.needsTraining());
+    BranchQuery forward{0x1000, 0x2000, BranchClass::Conditional};
+    BranchQuery backward{0x1000, 0x800, BranchClass::Conditional};
+    EXPECT_TRUE(predictor.predict(forward));
+    EXPECT_TRUE(predictor.predict(backward));
+}
+
+TEST(AlwaysTaken, AccuracyEqualsTakenRate)
+{
+    AlwaysTakenPredictor predictor;
+    BiasedSource source({{0x1000, 0.7}}, 40000, 3);
+    SimResult result = simulate(source, predictor);
+    EXPECT_NEAR(result.accuracyPercent(), 70.0, 1.0);
+}
+
+TEST(Btfn, DirectionFromTargetComparison)
+{
+    BtfnPredictor predictor;
+    BranchQuery forward{0x1000, 0x2000, BranchClass::Conditional};
+    BranchQuery backward{0x1000, 0x800, BranchClass::Conditional};
+    EXPECT_FALSE(predictor.predict(forward));
+    EXPECT_TRUE(predictor.predict(backward));
+}
+
+TEST(Btfn, PerfectOnBackwardLoopBody)
+{
+    // A loop-closing backward branch: BTFN mispredicts only the exit.
+    BtfnPredictor predictor;
+    LoopSource source(0x1000, 10, 4000);
+    SimResult result = simulate(source, predictor);
+    EXPECT_NEAR(result.accuracyPercent(), 90.0, 0.5);
+}
+
+TEST(Btfn, WrongOnTakenForwardBranches)
+{
+    BtfnPredictor predictor;
+    PatternSource source(0x1000, "T", 1000, /*backward=*/false);
+    SimResult result = simulate(source, predictor);
+    EXPECT_EQ(result.accuracyPercent(), 0.0);
+}
+
+TEST(Profiling, NeedsTrainingAndLearnsMajority)
+{
+    ProfilePredictor predictor;
+    EXPECT_TRUE(predictor.needsTraining());
+
+    std::vector<std::unique_ptr<TraceSource>> children;
+    children.push_back(
+        std::make_unique<PatternSource>(0x1000, "TTN", 3000));
+    children.push_back(
+        std::make_unique<PatternSource>(0x2000, "NNT", 3000));
+    InterleaveSource training(std::move(children));
+    predictor.train(training);
+    EXPECT_EQ(predictor.profiledBranches(), 2u);
+
+    BranchQuery mostly_taken{0x1000, 0x900,
+                             BranchClass::Conditional};
+    BranchQuery mostly_not{0x2000, 0x1900,
+                           BranchClass::Conditional};
+    EXPECT_TRUE(predictor.predict(mostly_taken));
+    EXPECT_FALSE(predictor.predict(mostly_not));
+}
+
+TEST(Profiling, UnseenBranchesDefaultTaken)
+{
+    ProfilePredictor predictor;
+    PatternSource training(0x1000, "N", 100);
+    predictor.train(training);
+    BranchQuery unseen{0x9999, 0x9000, BranchClass::Conditional};
+    EXPECT_TRUE(predictor.predict(unseen));
+}
+
+TEST(Profiling, UpdateHasNoEffect)
+{
+    ProfilePredictor predictor;
+    PatternSource training(0x1000, "N", 100);
+    predictor.train(training);
+    BranchQuery branch{0x1000, 0x900, BranchClass::Conditional};
+    for (int i = 0; i < 100; ++i)
+        predictor.update(branch, true); // contradicts the profile
+    EXPECT_FALSE(predictor.predict(branch));
+}
+
+TEST(Profiling, TieGoesToTaken)
+{
+    ProfilePredictor predictor;
+    PatternSource training(0x1000, "TN", 100);
+    predictor.train(training);
+    BranchQuery branch{0x1000, 0x900, BranchClass::Conditional};
+    EXPECT_TRUE(predictor.predict(branch));
+}
+
+TEST(Profiling, AccuracyDropsWhenBehaviourFlips)
+{
+    // Profile on taken-biased data, test on not-taken-biased data
+    // (the paper's core criticism of profiling schemes).
+    ProfilePredictor predictor;
+    BiasedSource training({{0x1000, 0.9}}, 20000, 5);
+    predictor.train(training);
+    BiasedSource testing({{0x1000, 0.2}}, 20000, 6);
+    SimResult result = simulate(testing, predictor);
+    EXPECT_NEAR(result.accuracyPercent(), 20.0, 1.5);
+}
+
+} // namespace
+} // namespace tl

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit tests for the Static Training schemes (GSg / PSg): profile
+ * collection, preset-bit semantics, and the defining property that
+ * the same history pattern always yields the same prediction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/static_training.hh"
+#include "sim/engine.hh"
+#include "trace/synthetic.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(PatternProfile, MajorityAndTies)
+{
+    PatternProfile profile(4);
+    profile.account(5, true);
+    profile.account(5, true);
+    profile.account(5, false);
+    EXPECT_TRUE(profile.presetBit(5));
+
+    profile.account(6, false);
+    profile.account(6, false);
+    EXPECT_FALSE(profile.presetBit(6));
+
+    // Ties predict taken.
+    profile.account(7, true);
+    profile.account(7, false);
+    EXPECT_TRUE(profile.presetBit(7));
+
+    EXPECT_EQ(profile.patternsSeen(), 3u);
+    EXPECT_EQ(profile.samples(), 7u);
+}
+
+TEST(PatternProfile, UnseenPatternsDefaultTaken)
+{
+    PatternProfile profile(4);
+    EXPECT_TRUE(profile.presetBit(3));
+}
+
+TEST(StaticTrainingConfig, Names)
+{
+    EXPECT_EQ(StaticTrainingConfig::gsg(12).schemeName(),
+              "GSg(HR(1,,12-sr),1xPHT(4096,PB))");
+    EXPECT_EQ(StaticTrainingConfig::psg(12).schemeName(),
+              "PSg(BHT(512,4,12-sr),1xPHT(4096,PB))");
+}
+
+TEST(StaticTraining, NeedsTraining)
+{
+    StaticTrainingPredictor predictor(StaticTrainingConfig::psg(8));
+    EXPECT_TRUE(predictor.needsTraining());
+    EXPECT_FALSE(predictor.trained());
+}
+
+TEST(StaticTraining, LearnsPatternFromTrainingTrace)
+{
+    StaticTrainingPredictor predictor(StaticTrainingConfig::psg(6));
+    PatternSource training(0x1000, "TTN", 6000);
+    predictor.train(training);
+    EXPECT_TRUE(predictor.trained());
+
+    PatternSource testing(0x1000, "TTN", 6000);
+    SimResult result = simulate(testing, predictor);
+    EXPECT_GT(result.accuracyPercent(), 99.0);
+}
+
+TEST(StaticTraining, PredictionIsAFixedFunctionOfThePattern)
+{
+    // The defining difference from Two-Level Adaptive (Section 2.1):
+    // at a given history pattern, the prediction never changes, no
+    // matter what outcomes are observed at run time.
+    StaticTrainingPredictor predictor(StaticTrainingConfig::gsg(4));
+    PatternSource training(0x1000, "TTNT", 4000);
+    predictor.train(training);
+
+    // Drive the run-time history to pattern 0 twice, feeding
+    // contradictory outcomes in between.
+    auto driveToZero = [&predictor] {
+        BranchQuery branch{0x1000, 0x900,
+                           BranchClass::Conditional};
+        for (int i = 0; i < 8; ++i)
+            predictor.update(branch, false);
+        return predictor.predict(branch);
+    };
+    bool first = driveToZero();
+    // Contradict it repeatedly.
+    BranchQuery branch{0x1000, 0x900, BranchClass::Conditional};
+    for (int i = 0; i < 50; ++i)
+        predictor.update(branch, first);
+    bool second = driveToZero();
+    EXPECT_EQ(first, second);
+}
+
+TEST(StaticTraining, AdaptiveBeatsStaticWhenDataChanges)
+{
+    // Train on one behaviour, test on the opposite: Static Training
+    // keeps mispredicting, Two-Level adapts (the paper's argument
+    // against profiling-based schemes).
+    StaticTrainingPredictor static_predictor(
+        StaticTrainingConfig::psg(6));
+    PatternSource training(0x1000, "TTTTTN", 6000);
+    static_predictor.train(training);
+
+    PatternSource testing_a(0x1000, "NNNNNT", 12000);
+    double static_accuracy =
+        simulate(testing_a, static_predictor).accuracyPercent();
+
+    TwoLevelPredictor adaptive(TwoLevelConfig::pag(6));
+    PatternSource testing_b(0x1000, "NNNNNT", 12000);
+    double adaptive_accuracy =
+        simulate(testing_b, adaptive).accuracyPercent();
+
+    EXPECT_GT(adaptive_accuracy, static_accuracy + 10.0);
+}
+
+TEST(StaticTraining, RetrainReplacesProfile)
+{
+    StaticTrainingPredictor predictor(StaticTrainingConfig::psg(6));
+    PatternSource first(0x1000, "T", 2000);
+    predictor.train(first);
+    PatternSource second(0x1000, "N", 2000);
+    predictor.train(second);
+
+    PatternSource testing(0x1000, "N", 2000);
+    SimResult result = simulate(testing, predictor);
+    EXPECT_GT(result.accuracyPercent(), 99.0);
+}
+
+TEST(StaticTraining, ContextSwitchClearsRunTimeHistoryOnly)
+{
+    StaticTrainingPredictor predictor(StaticTrainingConfig::psg(6));
+    PatternSource training(0x1000, "TTN", 3000);
+    predictor.train(training);
+
+    PatternSource warm(0x1000, "TTN", 300);
+    simulate(warm, predictor);
+    predictor.contextSwitch();
+
+    // Still trained; accuracy recovers immediately after refill.
+    PatternSource testing(0x1000, "TTN", 3000);
+    SimResult result = simulate(testing, predictor);
+    EXPECT_GT(result.accuracyPercent(), 98.0);
+}
+
+TEST(StaticTrainingPsp, NameAndPerBranchProfiles)
+{
+    StaticTrainingConfig config = StaticTrainingConfig::psp(8);
+    EXPECT_EQ(config.variationName(), "PSp");
+    EXPECT_EQ(config.schemeName(),
+              "PSp(BHT(512,4,8-sr),infxPHT(256,PB))");
+
+    StaticTrainingPredictor predictor(config);
+    std::vector<std::unique_ptr<TraceSource>> children;
+    children.push_back(
+        std::make_unique<PatternSource>(0x1000, "TTN", 3000));
+    children.push_back(
+        std::make_unique<PatternSource>(0x2000, "N", 3000));
+    InterleaveSource training(std::move(children));
+    predictor.train(training);
+    EXPECT_EQ(predictor.perBranchProfiles(), 2u);
+}
+
+TEST(StaticTrainingPsp, PerBranchTablesRemovePatternInterference)
+{
+    // Two branches whose behaviour at the same pattern disagrees:
+    // a pooled PSg profile must mispredict one of them; PSp's
+    // per-branch tables serve both.
+    auto makeSource = [] {
+        std::vector<std::unique_ptr<TraceSource>> children;
+        children.push_back(
+            std::make_unique<PatternSource>(0x1000, "TTN", 12000));
+        children.push_back(
+            std::make_unique<PatternSource>(0x2000, "TTNN", 12000));
+        return InterleaveSource(std::move(children));
+    };
+    auto accuracyOf = [&](StaticTrainingConfig config) {
+        StaticTrainingPredictor predictor(config);
+        InterleaveSource training = makeSource();
+        predictor.train(training);
+        InterleaveSource testing = makeSource();
+        return simulate(testing, predictor).accuracyPercent();
+    };
+    double psg = accuracyOf(StaticTrainingConfig::psg(2));
+    double psp = accuracyOf(StaticTrainingConfig::psp(2));
+    EXPECT_GT(psp, 99.0);
+    EXPECT_GT(psp, psg + 3.0);
+}
+
+TEST(StaticTrainingPsp, UnprofiledBranchesDefaultTaken)
+{
+    StaticTrainingPredictor predictor(StaticTrainingConfig::psp(6));
+    PatternSource training(0x1000, "N", 500);
+    predictor.train(training);
+    BranchQuery unseen{0x9999, 0x9000, BranchClass::Conditional};
+    EXPECT_TRUE(predictor.predict(unseen));
+}
+
+TEST(StaticTrainingPspDeath, PerSetScopesRejected)
+{
+    StaticTrainingConfig config = StaticTrainingConfig::psg(6);
+    config.historyScope = HistoryScope::PerSet;
+    EXPECT_EXIT(StaticTrainingPredictor{config},
+                ::testing::ExitedWithCode(1), "per-set");
+}
+
+TEST(StaticTraining, GsgSharesHistoryAcrossBranches)
+{
+    // GSg uses one global register: training with two interleaved
+    // branches bakes the interleaved patterns into the preset table.
+    StaticTrainingPredictor predictor(StaticTrainingConfig::gsg(8));
+    std::vector<std::unique_ptr<TraceSource>> children;
+    children.push_back(
+        std::make_unique<PatternSource>(0x1000, "T", 4000));
+    children.push_back(
+        std::make_unique<PatternSource>(0x2000, "N", 4000));
+    InterleaveSource training(std::move(children));
+    predictor.train(training);
+
+    std::vector<std::unique_ptr<TraceSource>> children2;
+    children2.push_back(
+        std::make_unique<PatternSource>(0x1000, "T", 4000));
+    children2.push_back(
+        std::make_unique<PatternSource>(0x2000, "N", 4000));
+    InterleaveSource testing(std::move(children2));
+    SimResult result = simulate(testing, predictor);
+    EXPECT_GT(result.accuracyPercent(), 99.0);
+}
+
+} // namespace
+} // namespace tl

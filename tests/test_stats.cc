@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for RunningStat, geometricMean and percent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(RunningStat, Empty)
+{
+    RunningStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_EQ(stat.mean(), 0.0);
+    EXPECT_EQ(stat.variance(), 0.0);
+    EXPECT_EQ(stat.min(), 0.0);
+    EXPECT_EQ(stat.max(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat stat;
+    stat.add(5.0);
+    EXPECT_EQ(stat.count(), 1u);
+    EXPECT_EQ(stat.mean(), 5.0);
+    EXPECT_EQ(stat.variance(), 0.0);
+    EXPECT_EQ(stat.min(), 5.0);
+    EXPECT_EQ(stat.max(), 5.0);
+    EXPECT_EQ(stat.sum(), 5.0);
+}
+
+TEST(RunningStat, KnownMoments)
+{
+    // Samples 2, 4, 4, 4, 5, 5, 7, 9: mean 5, population var 4,
+    // sample var 32/7.
+    RunningStat stat;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stat.add(v);
+    EXPECT_EQ(stat.count(), 8u);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(stat.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_EQ(stat.min(), 2.0);
+    EXPECT_EQ(stat.max(), 9.0);
+    EXPECT_EQ(stat.sum(), 40.0);
+}
+
+TEST(RunningStat, Reset)
+{
+    RunningStat stat;
+    stat.add(1.0);
+    stat.add(2.0);
+    stat.reset();
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_EQ(stat.sum(), 0.0);
+}
+
+TEST(RunningStat, NegativeValues)
+{
+    RunningStat stat;
+    stat.add(-3.0);
+    stat.add(3.0);
+    EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+    EXPECT_EQ(stat.min(), -3.0);
+    EXPECT_EQ(stat.max(), 3.0);
+}
+
+TEST(GeometricMean, Basics)
+{
+    EXPECT_EQ(geometricMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geometricMean({7.0}), 7.0);
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geometricMean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(GeometricMean, EqualValues)
+{
+    EXPECT_NEAR(geometricMean({97.0, 97.0, 97.0}), 97.0, 1e-9);
+}
+
+TEST(GeometricMean, BelowArithmeticMean)
+{
+    std::vector<double> values = {90.0, 95.0, 99.0, 85.0};
+    double arithmetic = (90.0 + 95.0 + 99.0 + 85.0) / 4.0;
+    EXPECT_LT(geometricMean(values), arithmetic);
+}
+
+TEST(Percent, Basics)
+{
+    EXPECT_EQ(percent(0, 0), 0.0);
+    EXPECT_EQ(percent(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(percent(1, 2), 50.0);
+    EXPECT_DOUBLE_EQ(percent(97, 100), 97.0);
+    EXPECT_DOUBLE_EQ(percent(200, 100), 200.0);
+}
+
+} // namespace
+} // namespace tl

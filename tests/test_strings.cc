@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the string helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/strings.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("abc"), "abc");
+    EXPECT_EQ(trim("  abc  "), "abc");
+    EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Strings, Split)
+{
+    EXPECT_EQ(split("a,b,c", ','),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+    EXPECT_EQ(split("a,,c", ','),
+              (std::vector<std::string>{"a", "", "c"}));
+    EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, SplitTopLevelRespectsParens)
+{
+    EXPECT_EQ(splitTopLevel("a(b,c),d", ','),
+              (std::vector<std::string>{"a(b,c)", "d"}));
+    EXPECT_EQ(splitTopLevel("f(g(x,y),z),h", ','),
+              (std::vector<std::string>{"f(g(x,y),z)", "h"}));
+    EXPECT_EQ(splitTopLevel("plain", ','),
+              (std::vector<std::string>{"plain"}));
+}
+
+TEST(Strings, SplitTopLevelPaperSpec)
+{
+    auto fields = splitTopLevel(
+        "BHT(512,4,12-sr),1xPHT(4096,A2),c", ',');
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "BHT(512,4,12-sr)");
+    EXPECT_EQ(fields[1], "1xPHT(4096,A2)");
+    EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Strings, ToLower)
+{
+    EXPECT_EQ(toLower("AbC123"), "abc123");
+    EXPECT_EQ(toLower(""), "");
+}
+
+TEST(Strings, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("hello", "he"));
+    EXPECT_FALSE(startsWith("hello", "hello!"));
+    EXPECT_TRUE(startsWith("hello", ""));
+    EXPECT_TRUE(endsWith("trace.txt", ".txt"));
+    EXPECT_FALSE(endsWith("trace.bin", ".txt"));
+    EXPECT_TRUE(endsWith("x", ""));
+}
+
+TEST(Strings, ParseU64)
+{
+    EXPECT_EQ(parseU64("0"), 0u);
+    EXPECT_EQ(parseU64("512"), 512u);
+    EXPECT_EQ(parseU64("18446744073709551615"),
+              ~std::uint64_t{0});
+    EXPECT_FALSE(parseU64(""));
+    EXPECT_FALSE(parseU64("12a"));
+    EXPECT_FALSE(parseU64("-1"));
+    EXPECT_FALSE(parseU64("18446744073709551616")); // overflow
+    EXPECT_FALSE(parseU64("99999999999999999999999"));
+}
+
+TEST(Strings, Join)
+{
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"a"}, ","), "a");
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+} // namespace
+} // namespace tl

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the synthetic trace generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/stats.hh"
+#include "trace/synthetic.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(PatternSource, EmitsExactPattern)
+{
+    PatternSource source(0x1000, "TTN", 7);
+    std::string directions;
+    BranchRecord record;
+    while (source.next(record)) {
+        EXPECT_EQ(record.pc, 0x1000u);
+        EXPECT_TRUE(record.isConditional());
+        directions += record.taken ? 'T' : 'N';
+    }
+    EXPECT_EQ(directions, "TTNTTNT");
+}
+
+TEST(PatternSource, BackwardAndForwardTargets)
+{
+    PatternSource backward(0x1000, "T", 1, true);
+    BranchRecord record;
+    ASSERT_TRUE(backward.next(record));
+    EXPECT_LT(record.target, record.pc);
+
+    PatternSource forward(0x1000, "T", 1, false);
+    ASSERT_TRUE(forward.next(record));
+    EXPECT_GT(record.target, record.pc);
+}
+
+TEST(PatternSourceDeath, RejectsBadPattern)
+{
+    EXPECT_EXIT(PatternSource(0x1000, "TXN", 5),
+                ::testing::ExitedWithCode(1), "pattern");
+    EXPECT_EXIT(PatternSource(0x1000, "", 5),
+                ::testing::ExitedWithCode(1), "empty");
+}
+
+/** LoopSource property: per period, exactly one not-taken. */
+class LoopSourcePeriods : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(LoopSourcePeriods, OneExitPerLoop)
+{
+    unsigned period = GetParam();
+    const std::uint64_t loops = 25;
+    LoopSource source(0x2000, period, loops);
+
+    std::uint64_t total = 0, not_taken = 0;
+    BranchRecord record;
+    while (source.next(record)) {
+        ++total;
+        if (!record.taken)
+            ++not_taken;
+        // The exit is always the period-th branch of its loop.
+        if (total % period == 0)
+            EXPECT_FALSE(record.taken);
+        else
+            EXPECT_TRUE(record.taken);
+    }
+    EXPECT_EQ(total, loops * period);
+    EXPECT_EQ(not_taken, loops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, LoopSourcePeriods,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 16u,
+                                           61u));
+
+TEST(BiasedSource, RespectsBias)
+{
+    BiasedSource source({{0x1000, 0.9}, {0x2000, 0.1}}, 20000, 7);
+    std::uint64_t taken_a = 0, total_a = 0;
+    std::uint64_t taken_b = 0, total_b = 0;
+    BranchRecord record;
+    while (source.next(record)) {
+        if (record.pc == 0x1000) {
+            ++total_a;
+            taken_a += record.taken;
+        } else {
+            ++total_b;
+            taken_b += record.taken;
+        }
+    }
+    EXPECT_EQ(total_a, 10000u);
+    EXPECT_EQ(total_b, 10000u);
+    EXPECT_NEAR(double(taken_a) / double(total_a), 0.9, 0.02);
+    EXPECT_NEAR(double(taken_b) / double(total_b), 0.1, 0.02);
+}
+
+TEST(MarkovSource, StickyBranchesHaveLongRuns)
+{
+    // P(stay) = 0.95 in both states: expected run length 20.
+    MarkovSource source({{0x1000, 0.95, 0.95}}, 50000, 11);
+    BranchRecord record;
+    std::uint64_t transitions = 0, total = 0;
+    bool last = true;
+    while (source.next(record)) {
+        if (total > 0 && record.taken != last)
+            ++transitions;
+        last = record.taken;
+        ++total;
+    }
+    double mean_run = double(total) / double(transitions + 1);
+    EXPECT_GT(mean_run, 10.0);
+}
+
+TEST(InterleaveSource, RoundRobins)
+{
+    std::vector<std::unique_ptr<TraceSource>> children;
+    children.push_back(
+        std::make_unique<PatternSource>(0x1000, "T", 10));
+    children.push_back(
+        std::make_unique<PatternSource>(0x2000, "N", 10));
+    InterleaveSource source(std::move(children));
+
+    BranchRecord record;
+    for (int i = 0; i < 20; ++i) {
+        ASSERT_TRUE(source.next(record));
+        EXPECT_EQ(record.pc, i % 2 == 0 ? 0x1000u : 0x2000u);
+    }
+    EXPECT_FALSE(source.next(record));
+}
+
+TEST(ClassMixSource, ProducesRequestedMix)
+{
+    ClassMixSource::Config config;
+    config.classWeights = {0.8, 0.1, 0.05, 0.05, 0.0};
+    ClassMixSource source(config, 20000, 13);
+
+    TraceStats stats;
+    stats.addAll(source);
+    EXPECT_EQ(stats.dynamicBranches(), 20000u);
+    EXPECT_NEAR(stats.classPercent(BranchClass::Conditional), 80.0,
+                2.0);
+    EXPECT_NEAR(stats.classPercent(BranchClass::Unconditional), 10.0,
+                1.5);
+    EXPECT_EQ(stats.dynamicBranches(BranchClass::Indirect), 0u);
+}
+
+TEST(ClassMixSource, TrapProbability)
+{
+    ClassMixSource::Config config;
+    config.trapProbability = 0.5;
+    ClassMixSource source(config, 10000, 17);
+    TraceStats stats;
+    stats.addAll(source);
+    EXPECT_NEAR(double(stats.traps()) / 10000.0, 0.5, 0.03);
+}
+
+TEST(ClassMixSourceDeath, BadConfig)
+{
+    ClassMixSource::Config config;
+    config.classWeights = {1.0}; // wrong arity
+    EXPECT_EXIT(ClassMixSource(config, 10, 1),
+                ::testing::ExitedWithCode(1), "class weights");
+}
+
+} // namespace
+} // namespace tl

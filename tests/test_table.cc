@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the text/CSV table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(TextTable, BasicRendering)
+{
+    TextTable table({"Name", "Value"});
+    table.addRow({"alpha", "1.00"});
+    table.addRow({"beta", "22.50"});
+    std::string text = table.toText();
+    EXPECT_NE(text.find("Name"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("22.50"), std::string::npos);
+}
+
+TEST(TextTable, TitleIncluded)
+{
+    TextTable table({"A"});
+    table.setTitle("My Title");
+    table.addRow({"x"});
+    EXPECT_EQ(table.toText().rfind("My Title\n", 0), 0u);
+}
+
+TEST(TextTable, RowCountIgnoresSeparators)
+{
+    TextTable table({"A"});
+    table.addRow({"1"});
+    table.addSeparator();
+    table.addRow({"2"});
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TextTable, NumbersRightAlign)
+{
+    TextTable table({"Benchmark", "Acc"});
+    table.addRow({"gcc", "7.10"});
+    table.addRow({"li", "97.20"});
+    std::string text = table.toText();
+    // "7.10" is right-aligned under the wider "97.20".
+    EXPECT_NE(text.find(" 7.10"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscaping)
+{
+    TextTable table({"a", "b"});
+    table.addRow({"plain", "with,comma"});
+    table.addRow({"quote\"inside", "line\nbreak"});
+    std::string csv = table.toCsv();
+    EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(TextTable, CsvSkipsSeparatorsAndTitle)
+{
+    TextTable table({"a"});
+    table.setTitle("title");
+    table.addRow({"1"});
+    table.addSeparator();
+    table.addRow({"2"});
+    std::string csv = table.toCsv();
+    EXPECT_EQ(csv, "a\n1\n2\n");
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(97.123, 2), "97.12");
+    EXPECT_EQ(TextTable::num(97.0, 0), "97");
+    EXPECT_EQ(TextTable::num(std::uint64_t{123456}), "123456");
+}
+
+TEST(TextTableDeath, WrongCellCount)
+{
+    TextTable table({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "cells");
+}
+
+TEST(TextTableDeath, NoColumns)
+{
+    EXPECT_DEATH(TextTable({}), "at least one column");
+}
+
+} // namespace
+} // namespace tl

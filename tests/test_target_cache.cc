@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for the Section 3.2 target-address cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/target_cache.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(TargetCache, MissThenHit)
+{
+    TargetCache cache;
+    EXPECT_FALSE(cache.lookup(0x1000).has_value());
+    cache.update(0x1000, 0x2000);
+    auto target = cache.lookup(0x1000);
+    ASSERT_TRUE(target.has_value());
+    EXPECT_EQ(*target, 0x2000u);
+}
+
+TEST(TargetCache, UpdateOverwritesTarget)
+{
+    // A moving-target branch (e.g. a return): the cache tracks the
+    // most recent target.
+    TargetCache cache;
+    cache.update(0x1000, 0x2000);
+    cache.update(0x1000, 0x3000);
+    EXPECT_EQ(*cache.lookup(0x1000), 0x3000u);
+}
+
+TEST(TargetCache, DistinctBranchesDistinctTargets)
+{
+    TargetCache cache;
+    cache.update(0x1000, 0xa000);
+    cache.update(0x1004, 0xb000);
+    EXPECT_EQ(*cache.lookup(0x1000), 0xa000u);
+    EXPECT_EQ(*cache.lookup(0x1004), 0xb000u);
+}
+
+TEST(TargetCache, CapacityEviction)
+{
+    TargetCache cache(BhtGeometry{2, 1});
+    // Addresses aliasing to the same direct-mapped set.
+    cache.update(0x1000, 0xa000);
+    cache.update(0x1008, 0xb000);
+    EXPECT_FALSE(cache.lookup(0x1000).has_value());
+    EXPECT_TRUE(cache.lookup(0x1008).has_value());
+}
+
+TEST(TargetCache, FlushLosesTargets)
+{
+    TargetCache cache;
+    cache.update(0x1000, 0x2000);
+    cache.flush();
+    EXPECT_FALSE(cache.lookup(0x1000).has_value());
+}
+
+TEST(TargetCache, StatsTrackLookups)
+{
+    TargetCache cache;
+    cache.lookup(0x1000); // miss
+    cache.update(0x1000, 0x2000);
+    cache.lookup(0x1000); // hit
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    cache.reset();
+    EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+} // namespace
+} // namespace tl

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the tournament (hybrid) predictor extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/btb.hh"
+#include "predictor/static_schemes.hh"
+#include "predictor/tournament.hh"
+#include "predictor/two_level.hh"
+#include "sim/engine.hh"
+#include "trace/synthetic.hh"
+
+namespace tl
+{
+namespace
+{
+
+std::unique_ptr<TournamentPredictor>
+makePagPlusBtb()
+{
+    return std::make_unique<TournamentPredictor>(
+        std::make_unique<TwoLevelPredictor>(TwoLevelConfig::pag(12)),
+        std::make_unique<BtbPredictor>(BtbConfig{}));
+}
+
+TEST(Tournament, NameCombinesComponents)
+{
+    auto predictor = makePagPlusBtb();
+    EXPECT_EQ(predictor->name(),
+              "Tournament(PAg(BHT(512,4,12-sr),1xPHT(4096,A2)),"
+              "BTB(BHT(512,4,A2)))");
+}
+
+TEST(Tournament, TracksBetterComponentOnPatternedStream)
+{
+    // The pattern branch: two-level learns it, the BTB cannot. The
+    // tournament must converge to the two-level side.
+    auto predictor = makePagPlusBtb();
+    PatternSource warmup(0x1000, "TNTNN", 4000);
+    simulate(warmup, *predictor);
+    PatternSource measured(0x1000, "TNTNN", 10000);
+    SimResult result = simulate(measured, *predictor);
+    EXPECT_GT(result.accuracyPercent(), 98.0);
+    EXPECT_GT(predictor->firstComponentSharePercent(), 60.0);
+}
+
+TEST(Tournament, AtLeastAsGoodAsEitherComponentAfterWarmup)
+{
+    auto run = [](BranchPredictor &predictor) {
+        MarkovSource warmup({{0x1000, 0.95, 0.6},
+                             {0x2000, 0.85, 0.85}},
+                            20000, 77);
+        simulate(warmup, predictor);
+        MarkovSource measured({{0x1000, 0.95, 0.6},
+                               {0x2000, 0.85, 0.85}},
+                              40000, 78);
+        return simulate(measured, predictor).accuracyPercent();
+    };
+
+    TwoLevelPredictor pag(TwoLevelConfig::pag(12));
+    BtbPredictor btb(BtbConfig{});
+    auto tournament = makePagPlusBtb();
+
+    double pag_only = run(pag);
+    double btb_only = run(btb);
+    double combined = run(*tournament);
+    EXPECT_GE(combined + 1.0, std::max(pag_only, btb_only));
+}
+
+TEST(Tournament, ChooserIsPerBranch)
+{
+    // One branch is AlwaysTaken food (forward, always taken), the
+    // other BTFN food (forward, never taken). Each component alone
+    // scores 50%; the per-branch chooser routes each branch to its
+    // specialist and scores near 100%.
+    auto makeSource = [] {
+        std::vector<std::unique_ptr<TraceSource>> children;
+        // Adjacent addresses: distinct entries of the untagged
+        // chooser table (0x1000 and 0x2000 would alias).
+        children.push_back(std::make_unique<PatternSource>(
+            0x1000, "T", 30000, /*backward=*/false));
+        children.push_back(std::make_unique<PatternSource>(
+            0x1004, "N", 30000, /*backward=*/false));
+        return InterleaveSource(std::move(children));
+    };
+    TournamentPredictor tournament(
+        std::make_unique<AlwaysTakenPredictor>(),
+        std::make_unique<BtfnPredictor>());
+    InterleaveSource source = makeSource();
+    SimResult result = simulate(source, tournament);
+    EXPECT_GT(result.accuracyPercent(), 99.0);
+    double share = tournament.firstComponentSharePercent();
+    EXPECT_GT(share, 30.0);
+    EXPECT_LT(share, 70.0);
+}
+
+TEST(Tournament, ResetAndContextSwitchPropagate)
+{
+    auto predictor = makePagPlusBtb();
+    PatternSource warmup(0x1000, "N", 100);
+    simulate(warmup, *predictor);
+    predictor->contextSwitch(); // must not crash, flushes components
+    predictor->reset();
+    EXPECT_EQ(predictor->firstComponentSharePercent(), 0.0);
+    // After reset, a cold branch predicts taken (both components
+    // initialize taken-biased).
+    BranchQuery branch{0x1000, 0x900, BranchClass::Conditional};
+    EXPECT_TRUE(predictor->predict(branch));
+}
+
+TEST(Tournament, TrainingPropagatesToComponents)
+{
+    auto tournament = std::make_unique<TournamentPredictor>(
+        std::make_unique<ProfilePredictor>(),
+        std::make_unique<BtbPredictor>(BtbConfig{}));
+    EXPECT_TRUE(tournament->needsTraining());
+    PatternSource training(0x1000, "N", 1000);
+    tournament->train(training);
+    // The profile component learned not-taken; drive the chooser to
+    // it by observing a few outcomes.
+    BranchQuery branch{0x1000, 0x900, BranchClass::Conditional};
+    for (int i = 0; i < 8; ++i) {
+        tournament->predict(branch);
+        tournament->update(branch, false);
+    }
+    EXPECT_FALSE(tournament->predict(branch));
+}
+
+TEST(TournamentDeath, Validation)
+{
+    EXPECT_EXIT(TournamentPredictor(nullptr, nullptr),
+                ::testing::ExitedWithCode(1), "components");
+    EXPECT_EXIT(
+        TournamentPredictor(
+            std::make_unique<AlwaysTakenPredictor>(),
+            std::make_unique<AlwaysTakenPredictor>(), 100),
+        ::testing::ExitedWithCode(1), "power of two");
+}
+
+} // namespace
+} // namespace tl

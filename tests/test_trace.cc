@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for BranchRecord, Trace and TraceReplaySource.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.hh"
+
+namespace tl
+{
+namespace
+{
+
+BranchRecord
+makeRecord(std::uint64_t pc, bool taken,
+           BranchClass cls = BranchClass::Conditional)
+{
+    BranchRecord record;
+    record.pc = pc;
+    record.target = pc + 64;
+    record.cls = cls;
+    record.taken = taken;
+    record.instsSince = 3;
+    return record;
+}
+
+TEST(BranchRecord, ClassNames)
+{
+    EXPECT_STREQ(branchClassName(BranchClass::Conditional), "cond");
+    EXPECT_STREQ(branchClassName(BranchClass::Unconditional),
+                 "uncond");
+    EXPECT_STREQ(branchClassName(BranchClass::Call), "call");
+    EXPECT_STREQ(branchClassName(BranchClass::Return), "return");
+    EXPECT_STREQ(branchClassName(BranchClass::Indirect), "indirect");
+}
+
+TEST(BranchRecord, Predicates)
+{
+    BranchRecord record = makeRecord(0x1000, true);
+    EXPECT_TRUE(record.isConditional());
+    EXPECT_FALSE(record.isBackward());
+    record.target = 0x800;
+    EXPECT_TRUE(record.isBackward());
+    record.cls = BranchClass::Call;
+    EXPECT_FALSE(record.isConditional());
+}
+
+TEST(BranchRecord, ToStringFormat)
+{
+    BranchRecord record = makeRecord(0x1000, true);
+    record.trap = true;
+    std::string text = record.toString();
+    EXPECT_NE(text.find("0x1000"), std::string::npos);
+    EXPECT_NE(text.find("cond"), std::string::npos);
+    EXPECT_NE(text.find(" T "), std::string::npos);
+    EXPECT_NE(text.find("!"), std::string::npos);
+}
+
+TEST(Trace, AppendAndAccess)
+{
+    Trace trace;
+    EXPECT_TRUE(trace.empty());
+    trace.append(makeRecord(0x1000, true));
+    trace.append(makeRecord(0x2000, false));
+    EXPECT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[0].pc, 0x1000u);
+    EXPECT_EQ(trace[1].pc, 0x2000u);
+    trace.clear();
+    EXPECT_TRUE(trace.empty());
+}
+
+TEST(Trace, ReplayRoundTrip)
+{
+    Trace trace;
+    for (int i = 0; i < 10; ++i)
+        trace.append(makeRecord(0x1000 + i * 4, i % 2 == 0));
+
+    TraceReplaySource source(trace);
+    Trace copy;
+    copy.appendAll(source);
+    EXPECT_EQ(trace, copy);
+
+    BranchRecord record;
+    EXPECT_FALSE(source.next(record));
+    source.rewind();
+    EXPECT_TRUE(source.next(record));
+    EXPECT_EQ(record.pc, 0x1000u);
+}
+
+TEST(Trace, ConditionalLimitedStopsAtBudget)
+{
+    Trace trace;
+    for (int i = 0; i < 20; ++i) {
+        trace.append(makeRecord(0x1000, true));
+        trace.append(
+            makeRecord(0x2000, true, BranchClass::Unconditional));
+    }
+
+    TraceReplaySource source(trace);
+    Trace limited;
+    limited.appendConditionalLimited(source, 5);
+    std::size_t conditional = 0;
+    for (const BranchRecord &record : limited.records()) {
+        if (record.isConditional())
+            ++conditional;
+    }
+    EXPECT_EQ(conditional, 5u);
+    // Unconditional records in between are preserved.
+    EXPECT_EQ(limited.size(), 9u);
+}
+
+TEST(Trace, ConditionalLimitedExhaustsShortSource)
+{
+    Trace trace;
+    trace.append(makeRecord(0x1000, true));
+    TraceReplaySource source(trace);
+    Trace limited;
+    limited.appendConditionalLimited(source, 100);
+    EXPECT_EQ(limited.size(), 1u);
+}
+
+} // namespace
+} // namespace tl

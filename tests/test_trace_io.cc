@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for binary/text trace file I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "trace/io.hh"
+#include "trace/synthetic.hh"
+
+namespace tl
+{
+namespace
+{
+
+Trace
+sampleTrace()
+{
+    Trace trace;
+    BranchRecord r;
+    r.pc = 0x1000;
+    r.target = 0x2000;
+    r.cls = BranchClass::Conditional;
+    r.taken = true;
+    r.instsSince = 7;
+    r.trap = false;
+    trace.append(r);
+
+    r.pc = 0xdeadbeef;
+    r.target = 0x10;
+    r.cls = BranchClass::Indirect;
+    r.taken = true;
+    r.instsSince = 1;
+    r.trap = true;
+    trace.append(r);
+
+    r.pc = 0x1004;
+    r.target = 0x0ff0;
+    r.cls = BranchClass::Return;
+    r.taken = true;
+    r.instsSince = 1000000;
+    r.trap = false;
+    trace.append(r);
+    return trace;
+}
+
+TEST(TraceIo, BinaryRoundTrip)
+{
+    Trace original = sampleTrace();
+    std::stringstream stream;
+    writeBinaryTrace(original, stream);
+    Trace loaded = readBinaryTrace(stream);
+    EXPECT_EQ(original, loaded);
+}
+
+TEST(TraceIo, BinaryRoundTripEmpty)
+{
+    Trace original;
+    std::stringstream stream;
+    writeBinaryTrace(original, stream);
+    Trace loaded = readBinaryTrace(stream);
+    EXPECT_TRUE(loaded.empty());
+}
+
+TEST(TraceIo, BinaryRoundTripLarge)
+{
+    Trace original;
+    LoopSource source(0x4000, 7, 500);
+    original.appendAll(source);
+    std::stringstream stream;
+    writeBinaryTrace(original, stream);
+    EXPECT_EQ(readBinaryTrace(stream), original);
+}
+
+TEST(TraceIo, TextRoundTrip)
+{
+    Trace original = sampleTrace();
+    std::stringstream stream;
+    writeTextTrace(original, stream);
+    Trace loaded = readTextTrace(stream);
+    EXPECT_EQ(original, loaded);
+}
+
+TEST(TraceIo, TextIgnoresCommentsAndBlanks)
+{
+    std::stringstream stream;
+    stream << "# a comment\n\n"
+           << "0x1000 0x2000 cond T 4 .\n"
+           << "   \n";
+    Trace loaded = readTextTrace(stream);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded[0].pc, 0x1000u);
+    EXPECT_TRUE(loaded[0].taken);
+    EXPECT_FALSE(loaded[0].trap);
+}
+
+TEST(TraceIoDeath, BadMagic)
+{
+    std::stringstream stream;
+    stream << "NOPE----------------";
+    EXPECT_EXIT(readBinaryTrace(stream),
+                ::testing::ExitedWithCode(1), "magic");
+}
+
+TEST(TraceIoDeath, TruncatedBinary)
+{
+    Trace original = sampleTrace();
+    std::stringstream stream;
+    writeBinaryTrace(original, stream);
+    std::string data = stream.str();
+    std::stringstream truncated(
+        data.substr(0, data.size() - 5));
+    EXPECT_EXIT(readBinaryTrace(truncated),
+                ::testing::ExitedWithCode(1), "truncated");
+}
+
+TEST(TraceIoDeath, MalformedTextLine)
+{
+    std::stringstream stream;
+    stream << "0x1000 0x2000 cond X 4 .\n";
+    EXPECT_EXIT(readTextTrace(stream), ::testing::ExitedWithCode(1),
+                "direction");
+}
+
+TEST(TraceIoDeath, UnknownClass)
+{
+    std::stringstream stream;
+    stream << "0x1000 0x2000 banana T 4 .\n";
+    EXPECT_EXIT(readTextTrace(stream), ::testing::ExitedWithCode(1),
+                "class");
+}
+
+TEST(TraceIo, FileRoundTripByExtension)
+{
+    Trace original = sampleTrace();
+
+    std::string binary_path = ::testing::TempDir() + "/tl_trace.bin";
+    saveTrace(original, binary_path);
+    EXPECT_EQ(loadTrace(binary_path), original);
+    std::remove(binary_path.c_str());
+
+    std::string text_path = ::testing::TempDir() + "/tl_trace.txt";
+    saveTrace(original, text_path);
+    // Text files start with the header comment.
+    std::ifstream in(text_path);
+    std::string first_line;
+    std::getline(in, first_line);
+    EXPECT_EQ(first_line[0], '#');
+    EXPECT_EQ(loadTrace(text_path), original);
+    std::remove(text_path.c_str());
+}
+
+} // namespace
+} // namespace tl

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for TraceStats (Table 1 / Figure 4 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/stats.hh"
+
+namespace tl
+{
+namespace
+{
+
+BranchRecord
+record(std::uint64_t pc, BranchClass cls, bool taken,
+       std::uint32_t insts = 4, bool trap = false)
+{
+    BranchRecord r;
+    r.pc = pc;
+    r.target = pc + 16;
+    r.cls = cls;
+    r.taken = taken;
+    r.instsSince = insts;
+    r.trap = trap;
+    return r;
+}
+
+TEST(TraceStats, CountsPerClass)
+{
+    TraceStats stats;
+    stats.add(record(0x10, BranchClass::Conditional, true));
+    stats.add(record(0x20, BranchClass::Conditional, false));
+    stats.add(record(0x30, BranchClass::Call, true));
+    stats.add(record(0x40, BranchClass::Return, true));
+
+    EXPECT_EQ(stats.dynamicBranches(), 4u);
+    EXPECT_EQ(stats.dynamicBranches(BranchClass::Conditional), 2u);
+    EXPECT_EQ(stats.dynamicBranches(BranchClass::Call), 1u);
+    EXPECT_DOUBLE_EQ(stats.classPercent(BranchClass::Conditional),
+                     50.0);
+}
+
+TEST(TraceStats, StaticCountsDeduplicate)
+{
+    TraceStats stats;
+    for (int i = 0; i < 10; ++i)
+        stats.add(record(0x10, BranchClass::Conditional, true));
+    stats.add(record(0x20, BranchClass::Conditional, true));
+    stats.add(record(0x30, BranchClass::Unconditional, true));
+
+    EXPECT_EQ(stats.staticConditionalBranches(), 2u);
+    EXPECT_EQ(stats.staticBranches(), 3u);
+}
+
+TEST(TraceStats, TakenPercent)
+{
+    TraceStats stats;
+    stats.add(record(0x10, BranchClass::Conditional, true));
+    stats.add(record(0x10, BranchClass::Conditional, true));
+    stats.add(record(0x10, BranchClass::Conditional, false));
+    stats.add(record(0x10, BranchClass::Conditional, false));
+    // Unconditional branches do not count toward the taken rate.
+    stats.add(record(0x20, BranchClass::Unconditional, true));
+    EXPECT_DOUBLE_EQ(stats.takenPercent(), 50.0);
+}
+
+TEST(TraceStats, InstructionsAndBranchDensity)
+{
+    TraceStats stats;
+    stats.add(record(0x10, BranchClass::Conditional, true, 9));
+    stats.add(record(0x20, BranchClass::Conditional, true, 1));
+    EXPECT_EQ(stats.instructions(), 10u);
+    EXPECT_DOUBLE_EQ(stats.branchPercentOfInstructions(), 20.0);
+}
+
+TEST(TraceStats, Traps)
+{
+    TraceStats stats;
+    stats.add(record(0x10, BranchClass::Conditional, true, 4, true));
+    stats.add(record(0x10, BranchClass::Conditional, true, 4, false));
+    EXPECT_EQ(stats.traps(), 1u);
+}
+
+TEST(TraceStats, EmptyIsZero)
+{
+    TraceStats stats;
+    EXPECT_EQ(stats.dynamicBranches(), 0u);
+    EXPECT_EQ(stats.takenPercent(), 0.0);
+    EXPECT_EQ(stats.branchPercentOfInstructions(), 0.0);
+    EXPECT_EQ(stats.classPercent(BranchClass::Conditional), 0.0);
+}
+
+} // namespace
+} // namespace tl

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Unit and property tests for the unified Two-Level Adaptive
+ * predictor: configuration, naming, learning properties for the three
+ * variations, initialization rules, interference behaviour and
+ * context-switch semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "predictor/two_level.hh"
+#include "sim/engine.hh"
+#include "trace/synthetic.hh"
+
+namespace tl
+{
+namespace
+{
+
+BranchQuery
+query(std::uint64_t pc)
+{
+    return BranchQuery{pc, pc - 64, BranchClass::Conditional};
+}
+
+TEST(TwoLevelConfig, VariationNames)
+{
+    EXPECT_EQ(TwoLevelConfig::gag(12).variationName(), "GAg");
+    EXPECT_EQ(TwoLevelConfig::pag(12).variationName(), "PAg");
+    EXPECT_EQ(TwoLevelConfig::pap(6).variationName(), "PAp");
+}
+
+TEST(TwoLevelConfig, SchemeNamesFollowPaperConvention)
+{
+    EXPECT_EQ(TwoLevelConfig::gag(18).schemeName(),
+              "GAg(HR(1,,18-sr),1xPHT(262144,A2))");
+    EXPECT_EQ(TwoLevelConfig::pag(12).schemeName(),
+              "PAg(BHT(512,4,12-sr),1xPHT(4096,A2))");
+    EXPECT_EQ(TwoLevelConfig::pap(6).schemeName(),
+              "PAp(BHT(512,4,6-sr),512xPHT(64,A2))");
+    EXPECT_EQ(TwoLevelConfig::pagIdeal(12).schemeName(),
+              "PAg(IBHT(inf,,12-sr),1xPHT(4096,A2))");
+    EXPECT_EQ(TwoLevelConfig::papIdeal(12).schemeName(),
+              "PAp(IBHT(inf,,12-sr),infxPHT(4096,A2))");
+}
+
+TEST(TwoLevelConfigDeath, Validation)
+{
+    TwoLevelConfig config = TwoLevelConfig::pag(12);
+    config.historyBits = 0;
+    EXPECT_EXIT(TwoLevelPredictor{config},
+                ::testing::ExitedWithCode(1), "history length");
+    config = TwoLevelConfig::pag(12);
+    config.bht = BhtGeometry{100, 4};
+    EXPECT_EXIT(TwoLevelPredictor{config},
+                ::testing::ExitedWithCode(1), "power of two");
+    config = TwoLevelConfig::pap(6);
+    config.indexMode = IndexMode::Xor;
+    EXPECT_EXIT(TwoLevelPredictor{config},
+                ::testing::ExitedWithCode(1), "XOR");
+}
+
+/**
+ * Learning property (the core claim of the paper's mechanism): any
+ * periodic direction pattern whose period fits in the history
+ * register is predicted near-perfectly after warmup, by all three
+ * variations and for every four-state automaton.
+ */
+struct LearnCase
+{
+    const char *scheme; // "GAg", "PAg", "PAp"
+    unsigned historyBits;
+    const char *pattern;
+    const char *automaton;
+};
+
+class LearnsPeriodicPattern : public ::testing::TestWithParam<LearnCase>
+{
+  public:
+    static std::unique_ptr<TwoLevelPredictor>
+    make(const LearnCase &c)
+    {
+        TwoLevelConfig config;
+        if (std::string(c.scheme) == "GAg")
+            config = TwoLevelConfig::gag(c.historyBits);
+        else if (std::string(c.scheme) == "PAg")
+            config = TwoLevelConfig::pag(c.historyBits);
+        else
+            config = TwoLevelConfig::pap(c.historyBits);
+        config.automaton = &Automaton::byName(c.automaton);
+        return std::make_unique<TwoLevelPredictor>(config);
+    }
+};
+
+TEST_P(LearnsPeriodicPattern, NearPerfectAfterWarmup)
+{
+    const LearnCase &c = GetParam();
+    auto predictor = make(c);
+    PatternSource warmup(0x1000, c.pattern, 2000);
+    simulate(warmup, *predictor);
+    PatternSource measured(0x1000, c.pattern, 4000);
+    SimResult result = simulate(measured, *predictor);
+    EXPECT_GT(result.accuracyPercent(), 99.0)
+        << c.scheme << " k=" << c.historyBits << " " << c.pattern
+        << " " << c.automaton;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndPatterns, LearnsPeriodicPattern,
+    ::testing::Values(
+        LearnCase{"GAg", 6, "TTTN", "A2"},
+        LearnCase{"GAg", 12, "TTTTTTN", "A2"},
+        LearnCase{"GAg", 18, "TNTTNTTTN", "A2"},
+        LearnCase{"PAg", 6, "TTTN", "A2"},
+        LearnCase{"PAg", 12, "TTNTTTNTTTTN", "A2"},
+        LearnCase{"PAp", 6, "TTTN", "A2"},
+        LearnCase{"PAp", 12, "TNTNNTTN", "A2"},
+        LearnCase{"PAg", 8, "TTNTTN", "A1"},
+        LearnCase{"PAg", 8, "TTNTTN", "A3"},
+        LearnCase{"PAg", 8, "TTNTTN", "A4"},
+        LearnCase{"PAg", 8, "TTNTTN", "LT"},
+        LearnCase{"PAg", 4, "TN", "A2"},
+        LearnCase{"GAg", 2, "TN", "A2"}));
+
+TEST(TwoLevel, LoopExitBeyondHistoryIsMissed)
+{
+    // Period 20 > k=8: the all-ones history window cannot separate
+    // the exit, so accuracy is about (period-1)/period.
+    TwoLevelPredictor predictor(TwoLevelConfig::pagIdeal(8));
+    LoopSource source(0x1000, 20, 3000);
+    SimResult result = simulate(source, predictor);
+    EXPECT_LT(result.accuracyPercent(), 97.0);
+    EXPECT_GT(result.accuracyPercent(), 92.0);
+}
+
+TEST(TwoLevel, FirstEncounterPredictsTaken)
+{
+    // All-ones initial history indexes the all-ones PHT entry, which
+    // starts in a taken state.
+    TwoLevelPredictor predictor(TwoLevelConfig::pag(8));
+    EXPECT_TRUE(predictor.predict(query(0x1000)));
+}
+
+TEST(TwoLevel, FirstResultExtension)
+{
+    // After the first resolved outcome the history register holds
+    // that outcome in every bit (Section 4.2).
+    TwoLevelPredictor predictor(TwoLevelConfig::pag(8));
+    predictor.predict(query(0x1000));
+    predictor.update(query(0x1000), false);
+    EXPECT_EQ(predictor.historyPattern(0x1000), 0u);
+
+    predictor.predict(query(0x2000));
+    predictor.update(query(0x2000), true);
+    EXPECT_EQ(predictor.historyPattern(0x2000), 0xffu);
+
+    // Subsequent outcomes shift normally.
+    predictor.update(query(0x2000), false);
+    EXPECT_EQ(predictor.historyPattern(0x2000), 0xfeu);
+}
+
+TEST(TwoLevel, GlobalHistorySharedAcrossBranches)
+{
+    TwoLevelPredictor predictor(TwoLevelConfig::gag(8));
+    predictor.update(query(0x1000), false);
+    predictor.update(query(0x2000), false);
+    // Both outcomes landed in the same register.
+    EXPECT_EQ(predictor.historyPattern(0x1000) & 0x3, 0u);
+    EXPECT_EQ(predictor.historyPattern(0x9999),
+              predictor.historyPattern(0x1000));
+}
+
+TEST(TwoLevel, PerAddressHistoryIsolated)
+{
+    TwoLevelPredictor predictor(TwoLevelConfig::pagIdeal(8));
+    predictor.predict(query(0x1000));
+    predictor.update(query(0x1000), false);
+    predictor.predict(query(0x2000));
+    predictor.update(query(0x2000), true);
+    EXPECT_EQ(predictor.historyPattern(0x1000), 0u);
+    EXPECT_EQ(predictor.historyPattern(0x2000), 0xffu);
+}
+
+/**
+ * The paper's interference argument (Section 5.1.2): interleaving
+ * many branches degrades GAg with a short history register, while
+ * PAg with per-address registers is unaffected.
+ */
+TEST(TwoLevel, GagSuffersInterferencePagDoesNot)
+{
+    auto makeInterleaved = [] {
+        std::vector<std::unique_ptr<TraceSource>> children;
+        for (int i = 0; i < 8; ++i) {
+            children.push_back(std::make_unique<PatternSource>(
+                0x1000 + i * 64, i % 2 ? "TTN" : "TNNT", 40000));
+        }
+        return InterleaveSource(std::move(children));
+    };
+
+    TwoLevelPredictor gag(TwoLevelConfig::gag(6));
+    InterleaveSource source_a = makeInterleaved();
+    double gag_accuracy =
+        simulate(source_a, gag).accuracyPercent();
+
+    TwoLevelPredictor pag(TwoLevelConfig::pagIdeal(6));
+    InterleaveSource source_b = makeInterleaved();
+    double pag_accuracy =
+        simulate(source_b, pag).accuracyPercent();
+
+    EXPECT_GT(pag_accuracy, 99.0);
+    EXPECT_GT(pag_accuracy, gag_accuracy + 2.0);
+}
+
+/**
+ * PAp removes second-level interference: two branches with identical
+ * (aliasing) history patterns but opposite behaviour collide in PAg's
+ * global PHT and are separated by PAp's per-address PHTs.
+ */
+TEST(TwoLevel, PapRemovesPatternInterference)
+{
+    auto makeConflicting = [] {
+        std::vector<std::unique_ptr<TraceSource>> children;
+        // With k=2, both sequences are individually learnable, but
+        // the window "TN" is followed by T in the first branch and N
+        // in the second: a shared PHT entry fights, per-address PHTs
+        // do not.
+        children.push_back(std::make_unique<PatternSource>(
+            0x1000, "TTN", 60000));
+        children.push_back(std::make_unique<PatternSource>(
+            0x2000, "TTNN", 60000));
+        return InterleaveSource(std::move(children));
+    };
+
+    TwoLevelPredictor pag(TwoLevelConfig::pagIdeal(2));
+    InterleaveSource source_a = makeConflicting();
+    double pag_accuracy =
+        simulate(source_a, pag).accuracyPercent();
+
+    TwoLevelPredictor pap(TwoLevelConfig::papIdeal(2));
+    InterleaveSource source_b = makeConflicting();
+    double pap_accuracy =
+        simulate(source_b, pap).accuracyPercent();
+
+    EXPECT_GT(pap_accuracy, 99.0);
+    EXPECT_GT(pap_accuracy, pag_accuracy + 3.0);
+}
+
+TEST(TwoLevel, ContextSwitchFlushesHistoryKeepsPatterns)
+{
+    TwoLevelPredictor predictor(TwoLevelConfig::pagIdeal(4));
+    // Teach pattern 0000 -> not taken.
+    for (int i = 0; i < 20; ++i) {
+        predictor.predict(query(0x1000));
+        predictor.update(query(0x1000), false);
+    }
+    EXPECT_EQ(predictor.historyPattern(0x1000), 0u);
+    EXPECT_FALSE(predictor.predict(query(0x1000)));
+
+    predictor.contextSwitch();
+    // History register gone: back to the all-ones pattern...
+    EXPECT_EQ(predictor.historyPattern(0x1000), 0xfu);
+    // ...but after refilling the history with not-taken outcomes, the
+    // surviving PHT still remembers the learned behaviour without
+    // retraining the pattern entry.
+    predictor.predict(query(0x1000));
+    predictor.update(query(0x1000), false); // fill -> pattern 0000
+    EXPECT_FALSE(predictor.predict(query(0x1000)));
+}
+
+TEST(TwoLevel, ContextSwitchResetsGlobalRegister)
+{
+    TwoLevelPredictor predictor(TwoLevelConfig::gag(6));
+    predictor.update(query(0x1000), false);
+    ASSERT_NE(predictor.historyPattern(0), 0x3fu);
+    predictor.contextSwitch();
+    EXPECT_EQ(predictor.historyPattern(0), 0x3fu);
+}
+
+TEST(TwoLevel, BhtStatsTrackHitsAndMisses)
+{
+    TwoLevelPredictor predictor(TwoLevelConfig::pag(8));
+    predictor.predict(query(0x1000)); // miss
+    predictor.update(query(0x1000), true);
+    predictor.predict(query(0x1000)); // hit
+    TableStats stats = predictor.bhtStats();
+    EXPECT_GE(stats.misses, 1u);
+    EXPECT_GE(stats.hits, 1u);
+}
+
+TEST(TwoLevel, IdealEntriesGrowPerStaticBranch)
+{
+    TwoLevelPredictor predictor(TwoLevelConfig::pagIdeal(8));
+    for (int i = 0; i < 5; ++i) {
+        predictor.predict(query(0x1000 + i * 4));
+        predictor.predict(query(0x1000 + i * 4));
+    }
+    EXPECT_EQ(predictor.idealEntries(), 5u);
+}
+
+TEST(TwoLevel, ResetRestoresColdState)
+{
+    TwoLevelPredictor predictor(TwoLevelConfig::pag(8));
+    for (int i = 0; i < 50; ++i) {
+        predictor.predict(query(0x1000));
+        predictor.update(query(0x1000), false);
+    }
+    predictor.reset();
+    EXPECT_TRUE(predictor.predict(query(0x1000)));
+    EXPECT_EQ(predictor.bhtStats().hits, 0u);
+}
+
+TEST(TwoLevel, PapSlotReusedByDifferentBranchReinitializesPht)
+{
+    // Direct-mapped 2-entry BHT: two aliasing branches fight over a
+    // slot; each takeover resets the per-slot pattern table, so the
+    // new owner sees fresh (taken-biased) pattern entries rather
+    // than the previous owner's.
+    TwoLevelConfig config = TwoLevelConfig::pap(4, BhtGeometry{2, 1});
+    TwoLevelPredictor predictor(config);
+    std::uint64_t a = 0x1000, b = 0x1008; // same set (2 sets, stride 8)
+    // Train a: all not-taken.
+    for (int i = 0; i < 30; ++i) {
+        predictor.predict(query(a));
+        predictor.update(query(a), false);
+    }
+    EXPECT_FALSE(predictor.predict(query(a)));
+    // b takes the slot over; its PHT must not inherit a's training.
+    EXPECT_TRUE(predictor.predict(query(b)));
+}
+
+TEST(TwoLevel, GShareExtensionSeparatesAliasedBranches)
+{
+    // With XOR indexing, two branches sharing history patterns index
+    // different PHT entries (pc is folded in).
+    TwoLevelConfig config = TwoLevelConfig::gag(8);
+    config.indexMode = IndexMode::Xor;
+    TwoLevelPredictor gshare(config);
+
+    std::vector<std::unique_ptr<TraceSource>> children;
+    children.push_back(
+        std::make_unique<PatternSource>(0x1000, "T", 40000));
+    children.push_back(
+        std::make_unique<PatternSource>(0x1204, "N", 40000));
+    InterleaveSource source(std::move(children));
+    SimResult result = simulate(source, gshare);
+    EXPECT_GT(result.accuracyPercent(), 99.0);
+}
+
+TEST(TwoLevelSetSchemes, NamesAndValidation)
+{
+    TwoLevelConfig sag = TwoLevelConfig::sag(8, 6);
+    EXPECT_EQ(sag.variationName(), "SAg");
+    EXPECT_EQ(sag.schemeName(), "SAg(SHR(64,,8-sr),1xPHT(256,A2))");
+    TwoLevelConfig sas = TwoLevelConfig::sas(8, 4);
+    EXPECT_EQ(sas.variationName(), "SAs");
+    EXPECT_EQ(sas.schemeName(), "SAs(SHR(16,,8-sr),16xPHT(256,A2))");
+
+    TwoLevelConfig bad = TwoLevelConfig::sag(8, 0);
+    EXPECT_EXIT(TwoLevelPredictor{bad}, ::testing::ExitedWithCode(1),
+                "set bits");
+}
+
+TEST(TwoLevelSetSchemes, SetHistoryIsolatesAcrossSets)
+{
+    // Branches in different sets use different history registers;
+    // branches in the same set share one.
+    TwoLevelPredictor predictor(TwoLevelConfig::sag(8, 4));
+    // pc>>2 low 4 bits select the set: 0x1000 -> set 0, 0x1004 ->
+    // set 1, 0x1040 -> set 0 again.
+    predictor.update(query(0x1000), false);
+    EXPECT_EQ(predictor.historyPattern(0x1000) & 1, 0u);
+    EXPECT_EQ(predictor.historyPattern(0x1040) & 1, 0u); // same set
+    EXPECT_EQ(predictor.historyPattern(0x1004), 0xffu);  // other set
+}
+
+TEST(TwoLevelSetSchemes, LearnsPatternsLikeTheCorners)
+{
+    for (auto config : {TwoLevelConfig::sag(8, 4),
+                        TwoLevelConfig::sas(8, 4)}) {
+        TwoLevelPredictor predictor(config);
+        PatternSource warmup(0x1000, "TTNTN", 3000);
+        simulate(warmup, predictor);
+        PatternSource measured(0x1000, "TTNTN", 5000);
+        SimResult result = simulate(measured, predictor);
+        EXPECT_GT(result.accuracyPercent(), 99.0)
+            << config.variationName();
+    }
+}
+
+TEST(TwoLevelSetSchemes, BetweenGlobalAndPerAddress)
+{
+    // On an interference-heavy interleaving, the set scheme sits
+    // between GAg and ideal PAg.
+    auto makeSource = [] {
+        std::vector<std::unique_ptr<TraceSource>> children;
+        for (int i = 0; i < 8; ++i) {
+            children.push_back(std::make_unique<PatternSource>(
+                0x1000 + i * 4, i % 2 ? "TTN" : "TNNT", 30000));
+        }
+        return InterleaveSource(std::move(children));
+    };
+    auto accuracyOf = [&](TwoLevelConfig config) {
+        TwoLevelPredictor predictor(config);
+        InterleaveSource source = makeSource();
+        return simulate(source, predictor).accuracyPercent();
+    };
+    double gag = accuracyOf(TwoLevelConfig::gag(6));
+    double sag = accuracyOf(TwoLevelConfig::sag(6, 2)); // 4 sets
+    double pag = accuracyOf(TwoLevelConfig::pagIdeal(6));
+    EXPECT_GE(sag + 0.5, gag);
+    EXPECT_GE(pag + 0.5, sag);
+    EXPECT_GT(pag, gag + 2.0);
+}
+
+TEST(TwoLevelSetSchemes, ContextSwitchReinitializesSetRegisters)
+{
+    TwoLevelPredictor predictor(TwoLevelConfig::sag(8, 4));
+    predictor.update(query(0x1000), false);
+    ASSERT_NE(predictor.historyPattern(0x1000), 0xffu);
+    predictor.contextSwitch();
+    EXPECT_EQ(predictor.historyPattern(0x1000), 0xffu);
+}
+
+TEST(TwoLevelSetSchemes, NoCostModelForSetSchemes)
+{
+    TwoLevelPredictor sag(TwoLevelConfig::sag(8, 4));
+    EXPECT_FALSE(sag.hardwareCost().has_value());
+}
+
+TEST(TwoLevel, CostAvailability)
+{
+    TwoLevelPredictor gag(TwoLevelConfig::gag(12));
+    EXPECT_TRUE(gag.hardwareCost().has_value());
+    TwoLevelPredictor pag(TwoLevelConfig::pag(12));
+    EXPECT_TRUE(pag.hardwareCost().has_value());
+    TwoLevelPredictor ideal(TwoLevelConfig::pagIdeal(12));
+    EXPECT_FALSE(ideal.hardwareCost().has_value());
+}
+
+TEST(TwoLevel, CostMatchesModelShape)
+{
+    // PAp pays for h pattern tables; PAg for one.
+    TwoLevelPredictor pag(TwoLevelConfig::pag(12));
+    TwoLevelPredictor pap(TwoLevelConfig::pap(12));
+    double pag_pht = pag.hardwareCost()->pht();
+    double pap_pht = pap.hardwareCost()->pht();
+    EXPECT_NEAR(pap_pht / pag_pht, 512.0, 1e-6);
+}
+
+} // namespace
+} // namespace tl

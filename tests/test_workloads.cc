@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the nine SPEC-like workloads: Table 2 dataset wiring,
+ * determinism, dataset sensitivity, code-identity across datasets
+ * (required by the profiling schemes), and branch-mix sanity
+ * (Table 1 / Figure 4 analogues).
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/stats.hh"
+#include "workloads/registry.hh"
+
+namespace tl
+{
+namespace
+{
+
+constexpr std::uint64_t testBudget = 15000;
+
+TEST(Workloads, RegistryHasNineInPaperOrder)
+{
+    const auto &workloads = allWorkloads();
+    ASSERT_EQ(workloads.size(), 9u);
+    const char *expected[] = {"eqntott", "espresso",  "gcc",
+                              "li",      "doduc",     "fpppp",
+                              "matrix300", "spice2g6", "tomcatv"};
+    for (std::size_t i = 0; i < 9; ++i)
+        EXPECT_EQ(workloads[i]->name(), expected[i]);
+    // Four integer benchmarks, five floating point.
+    int integer = 0;
+    for (const Workload *w : workloads)
+        integer += w->isInteger();
+    EXPECT_EQ(integer, 4);
+}
+
+TEST(Workloads, LookupByName)
+{
+    EXPECT_EQ(workloadByName("gcc").name(), "gcc");
+    EXPECT_EXIT(workloadByName("nasa7"), ::testing::ExitedWithCode(1),
+                "unknown workload");
+}
+
+TEST(Workloads, Table2DatasetWiring)
+{
+    // Benchmarks with training sets per Table 2.
+    EXPECT_EQ(espressoWorkload().trainingDataset(), "cps");
+    EXPECT_EQ(espressoWorkload().testingDataset(), "bca");
+    EXPECT_EQ(gccWorkload().trainingDataset(), "cexp.i");
+    EXPECT_EQ(gccWorkload().testingDataset(), "dbxout.i");
+    EXPECT_EQ(liWorkload().trainingDataset(), "tower of hanoi");
+    EXPECT_EQ(liWorkload().testingDataset(), "eight queens");
+    EXPECT_EQ(doducWorkload().trainingDataset(), "tiny doducin");
+    EXPECT_EQ(spice2g6Workload().trainingDataset(),
+              "short greycode.in");
+    // Benchmarks with NA training per Table 2.
+    EXPECT_FALSE(eqntottWorkload().hasTraining());
+    EXPECT_FALSE(fppppWorkload().hasTraining());
+    EXPECT_FALSE(matrix300Workload().hasTraining());
+    EXPECT_FALSE(tomcatvWorkload().hasTraining());
+}
+
+TEST(Workloads, UnknownDatasetIsFatal)
+{
+    EXPECT_EXIT(gccWorkload().dataset("nope"),
+                ::testing::ExitedWithCode(1), "unknown dataset");
+}
+
+TEST(Workloads, TrainingCaptureWithoutTrainingIsFatal)
+{
+    EXPECT_EXIT(eqntottWorkload().captureTraining(100),
+                ::testing::ExitedWithCode(1), "no training");
+}
+
+/** Per-workload structural checks, parameterized over the suite. */
+class WorkloadSuiteTest
+    : public ::testing::TestWithParam<const Workload *>
+{
+};
+
+TEST_P(WorkloadSuiteTest, CaptureIsDeterministic)
+{
+    const Workload &workload = *GetParam();
+    Trace first = workload.captureTesting(2000);
+    Trace second = workload.captureTesting(2000);
+    EXPECT_EQ(first, second);
+}
+
+TEST_P(WorkloadSuiteTest, CodeIdenticalAcrossDatasets)
+{
+    // Profiling-based schemes require the same branch addresses in
+    // training and testing runs: the code must be a pure function of
+    // the workload, datasets may only change data memory.
+    const Workload &workload = *GetParam();
+    isa::Program testing =
+        workload.build(workload.dataset(workload.testingDataset()));
+    if (!workload.hasTraining())
+        return;
+    isa::Program training =
+        workload.build(workload.dataset(workload.trainingDataset()));
+    EXPECT_EQ(testing.code, training.code);
+}
+
+TEST_P(WorkloadSuiteTest, DatasetsProduceDifferentBehaviour)
+{
+    // The budget must exceed the one-shot startup phase (up to ~5500
+    // dataset-independent branches for gcc) plus any deterministic
+    // interpreter preamble before the kernels diverge.
+    const Workload &workload = *GetParam();
+    if (!workload.hasTraining())
+        return;
+    Trace testing = workload.captureTesting(12000);
+    Trace training = workload.captureTraining(12000);
+    EXPECT_NE(testing, training);
+}
+
+TEST_P(WorkloadSuiteTest, BranchMixIsSane)
+{
+    const Workload &workload = *GetParam();
+    Trace trace = workload.captureTesting(testBudget);
+    TraceStats stats;
+    TraceReplaySource source(trace);
+    stats.addAll(source);
+
+    // The budget is honoured exactly (programs loop indefinitely).
+    EXPECT_EQ(stats.conditionalBranches(), testBudget);
+    // Conditional branches dominate (Figure 4: about 80%).
+    EXPECT_GT(stats.classPercent(BranchClass::Conditional), 50.0);
+    // Some branches are taken and some are not.
+    EXPECT_GT(stats.takenPercent(), 20.0);
+    EXPECT_LT(stats.takenPercent(), 100.0);
+    // Branch density: integer codes are branchier than FP codes
+    // (Section 4.1: ~24% vs ~5% of instructions).
+    if (workload.isInteger())
+        EXPECT_GT(stats.branchPercentOfInstructions(), 15.0);
+    else
+        EXPECT_LT(stats.branchPercentOfInstructions(), 25.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNine, WorkloadSuiteTest, ::testing::ValuesIn(allWorkloads()),
+    [](const ::testing::TestParamInfo<const Workload *> &info) {
+        return info.param->name();
+    });
+
+TEST(Workloads, StaticBranchCountsMatchTable1)
+{
+    // The workloads are calibrated to Table 1's static conditional
+    // branch counts (within ~10%, given that the count depends
+    // slightly on how much of the program a finite trace visits).
+    struct Expectation
+    {
+        const Workload *workload;
+        std::uint64_t paper;
+    };
+    const Expectation expectations[] = {
+        {&eqntottWorkload(), 277}, {&espressoWorkload(), 556},
+        {&gccWorkload(), 6922},    {&liWorkload(), 489},
+        {&doducWorkload(), 1149},  {&fppppWorkload(), 653},
+        {&matrix300Workload(), 213}, {&spice2g6Workload(), 606},
+        {&tomcatvWorkload(), 370},
+    };
+    for (const Expectation &e : expectations) {
+        Trace trace = e.workload->captureTesting(150000);
+        TraceStats stats;
+        TraceReplaySource source(trace);
+        stats.addAll(source);
+        double measured =
+            double(stats.staticConditionalBranches());
+        EXPECT_GT(measured, 0.85 * double(e.paper))
+            << e.workload->name();
+        EXPECT_LT(measured, 1.15 * double(e.paper))
+            << e.workload->name();
+    }
+}
+
+TEST(Workloads, GccHasTraps)
+{
+    Trace trace = gccWorkload().captureTesting(30000);
+    TraceStats stats;
+    TraceReplaySource source(trace);
+    stats.addAll(source);
+    EXPECT_GT(stats.traps(), 0u);
+}
+
+TEST(Workloads, LiModesDiffer)
+{
+    // The dataset flag selects the kernel: hanoi (training) is
+    // call-heavier per conditional branch than queens (testing).
+    Trace queens = liWorkload().captureTesting(8000);
+    Trace hanoi = liWorkload().captureTraining(8000);
+    TraceStats queens_stats, hanoi_stats;
+    TraceReplaySource qs(queens), hs(hanoi);
+    queens_stats.addAll(qs);
+    hanoi_stats.addAll(hs);
+    double queens_calls =
+        queens_stats.classPercent(BranchClass::Call);
+    double hanoi_calls = hanoi_stats.classPercent(BranchClass::Call);
+    EXPECT_GT(hanoi_calls, queens_calls);
+}
+
+} // namespace
+} // namespace tl
