@@ -7,6 +7,8 @@
  *   trace_inspector                 # summarize all nine workloads
  *   trace_inspector <workload>      # one workload, more detail
  *   trace_inspector --file <path>   # a stored trace (binary or .txt)
+ *   trace_inspector --file <path> --salvage   # keep the valid prefix
+ *                                             # of a truncated trace
  *   trace_inspector --save <workload> <path>  # export a trace file
  *
  * The per-workload summary corresponds to the paper's Table 1
@@ -103,8 +105,38 @@ main(int argc, char **argv)
         return summarizeAll();
 
     std::string arg = argv[1];
-    if (arg == "--file" && argc == 3) {
-        printDetail(argv[2], loadTrace(argv[2]));
+    if (arg == "--file" && (argc == 3 || argc == 4)) {
+        // Trace files come from outside the process, so a damaged or
+        // truncated file must not kill the inspector: use the
+        // recoverable loader and report the Status ourselves.
+        TraceReadOptions options;
+        if (argc == 4) {
+            if (std::string(argv[3]) != "--salvage") {
+                std::fprintf(stderr,
+                             "trace_inspector: unknown option '%s' "
+                             "(did you mean --salvage?)\n",
+                             argv[3]);
+                return 2;
+            }
+            options.salvageTruncated = true;
+        }
+        TraceReadStats stats;
+        StatusOr<Trace> trace = tryLoadTrace(argv[2], options, &stats);
+        if (!trace.ok()) {
+            std::fprintf(stderr, "trace_inspector: cannot read %s: %s\n",
+                         argv[2], trace.status().toString().c_str());
+            return 1;
+        }
+        if (stats.salvaged) {
+            std::fprintf(stderr,
+                         "trace_inspector: %s was damaged; analyzing "
+                         "the %llu salvageable records (%llu dropped)\n",
+                         argv[2],
+                         static_cast<unsigned long long>(trace->size()),
+                         static_cast<unsigned long long>(
+                             stats.droppedRecords));
+        }
+        printDetail(argv[2], *trace);
         return 0;
     }
     if (arg == "--save" && argc == 4) {

@@ -17,6 +17,12 @@ namespace tl::isa
 namespace
 {
 
+/** Thrown by Assembler::err(); caught at the tryAssemble() boundary. */
+struct AsmFailure
+{
+    Status status;
+};
+
 /** Assembler working state: builder plus named labels. */
 class Assembler
 {
@@ -34,6 +40,14 @@ class Assembler
             parseLine(source.substr(start, end - start), lineno);
             start = end + 1;
         }
+        // Catch undefined labels here, with the referencing line,
+        // rather than letting ProgramBuilder::build() fatal().
+        for (const auto &[name, label] : labelsByName) {
+            if (!boundLabels.count(name)) {
+                err(firstLabelUse[name],
+                    "label '" + name + "' referenced but never bound");
+            }
+        }
         return builder.build();
     }
 
@@ -41,17 +55,19 @@ class Assembler
     [[noreturn]] void
     err(std::size_t lineno, const std::string &message)
     {
-        fatal("asm line %zu: %s", lineno, message.c_str());
+        throw AsmFailure{invalidArgumentError(
+            "asm line %zu: %s", lineno, message.c_str())};
     }
 
     Label
-    labelByName(const std::string &name)
+    labelByName(const std::string &name, std::size_t lineno)
     {
         auto it = labelsByName.find(name);
         if (it != labelsByName.end())
             return it->second;
         Label label = builder.newLabel(name);
         labelsByName.emplace(name, label);
+        firstLabelUse.emplace(name, lineno);
         return label;
     }
 
@@ -163,7 +179,7 @@ class Assembler
             if (!isIdentChar(c))
                 err(lineno, "bad label '" + name + "'");
         }
-        return labelByName(name);
+        return labelByName(name, lineno);
     }
 
     void
@@ -203,7 +219,7 @@ class Assembler
             if (!addr || *addr < 0)
                 err(lineno, "bad .dataLabel address '" + addr_str + "'");
             builder.dataLabel(static_cast<std::uint64_t>(*addr),
-                              labelByName(label_name));
+                              labelByName(label_name, lineno));
         } else {
             err(lineno, "unknown directive '" + directive + "'");
         }
@@ -360,7 +376,7 @@ class Assembler
             if (i == 0 || i >= line.size() || line[i] != ':')
                 break;
             std::string name(line.substr(0, i));
-            Label label = labelByName(name);
+            Label label = labelByName(name, lineno);
             if (boundLabels.count(name))
                 err(lineno, "label '" + name + "' defined twice");
             builder.bind(label);
@@ -378,27 +394,52 @@ class Assembler
 
     ProgramBuilder builder;
     std::map<std::string, Label> labelsByName;
+    std::map<std::string, std::size_t> firstLabelUse;
     std::set<std::string> boundLabels;
 };
 
 } // namespace
 
+StatusOr<Program>
+tryAssemble(std::string_view source)
+{
+    try {
+        Assembler assembler;
+        return assembler.run(source);
+    } catch (const AsmFailure &failure) {
+        return failure.status;
+    }
+}
+
+StatusOr<Program>
+tryAssembleFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return notFoundError("cannot open assembly file '%s'",
+                             path.c_str());
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return tryAssemble(buffer.str());
+}
+
 Program
 assemble(std::string_view source)
 {
-    Assembler assembler;
-    return assembler.run(source);
+    StatusOr<Program> program = tryAssemble(source);
+    if (!program.ok())
+        fatal("%s", program.status().message().c_str());
+    return *std::move(program);
 }
 
 Program
 assembleFile(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        fatal("cannot open assembly file '%s'", path.c_str());
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    return assemble(buffer.str());
+    StatusOr<Program> program = tryAssembleFile(path);
+    if (!program.ok())
+        fatal("%s", program.status().message().c_str());
+    return *std::move(program);
 }
 
 } // namespace tl::isa

@@ -26,6 +26,7 @@
 #include <string_view>
 
 #include "isa/program.hh"
+#include "util/status_or.hh"
 
 namespace tl::isa
 {
@@ -33,12 +34,19 @@ namespace tl::isa
 /**
  * Assemble source text into a Program.
  *
- * Calls fatal() with a line number on any syntax error, unknown
- * mnemonic, bad register, or undefined label.
+ * Fails with StatusCode::InvalidArgument and a line-number diagnostic
+ * on any syntax error, unknown mnemonic, bad register, or undefined
+ * label.
  */
-Program assemble(std::string_view source);
+StatusOr<Program> tryAssemble(std::string_view source);
 
 /** Assemble the contents of a file. */
+StatusOr<Program> tryAssembleFile(const std::string &path);
+
+/** Shim around tryAssemble(): calls fatal() on failure. */
+Program assemble(std::string_view source);
+
+/** Shim around tryAssembleFile(): calls fatal() on failure. */
 Program assembleFile(const std::string &path);
 
 } // namespace tl::isa

@@ -5,16 +5,31 @@
 namespace tl
 {
 
+Status
+BhtGeometry::check() const
+{
+    if (numEntries == 0 || !isPowerOfTwo(numEntries)) {
+        return invalidArgumentError(
+            "BHT entries (%zu) must be a power of two", numEntries);
+    }
+    if (assoc == 0 || !isPowerOfTwo(assoc)) {
+        return invalidArgumentError(
+            "BHT associativity (%u) must be a power of two", assoc);
+    }
+    if (assoc > numEntries) {
+        return invalidArgumentError(
+            "BHT associativity (%u) exceeds entry count (%zu)", assoc,
+            numEntries);
+    }
+    return Status();
+}
+
 void
 BhtGeometry::validate() const
 {
-    if (numEntries == 0 || !isPowerOfTwo(numEntries))
-        fatal("BHT entries (%zu) must be a power of two", numEntries);
-    if (assoc == 0 || !isPowerOfTwo(assoc))
-        fatal("BHT associativity (%u) must be a power of two", assoc);
-    if (assoc > numEntries)
-        fatal("BHT associativity (%u) exceeds entry count (%zu)", assoc,
-              numEntries);
+    Status status = check();
+    if (!status.ok())
+        fatal("%s", status.message().c_str());
 }
 
 std::string

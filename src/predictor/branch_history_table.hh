@@ -25,6 +25,7 @@
 
 #include "util/bitops.hh"
 #include "util/status.hh"
+#include "util/status_or.hh"
 
 namespace tl
 {
@@ -44,7 +45,10 @@ struct BhtGeometry
     /** Index bits i = log2(h) - j ... (bits used to select a set). */
     unsigned setIndexBits() const { return floorLog2(sets()); }
 
-    /** Validate; calls fatal() on nonsense geometry. */
+    /** Non-OK (InvalidArgument) on nonsense geometry. */
+    Status check() const;
+
+    /** Shim around check(): calls fatal() on nonsense geometry. */
     void validate() const;
 
     /** "512-entry 4-way" style description. */

@@ -12,33 +12,42 @@ namespace tl
 namespace
 {
 
-BhtGeometry
+StatusOr<BhtGeometry>
 geometryFrom(const SchemeSpec &spec)
 {
     BhtGeometry geometry;
     geometry.numEntries = spec.historyEntries;
     geometry.assoc = spec.assoc == 0 ? 1 : spec.assoc;
-    geometry.validate();
+    TL_RETURN_IF_ERROR(geometry.check());
     return geometry;
 }
 
 } // namespace
 
-std::unique_ptr<BranchPredictor>
-makePredictor(const SchemeSpec &spec)
+StatusOr<std::unique_ptr<BranchPredictor>>
+tryMakePredictor(const SchemeSpec &spec)
 {
     if (spec.scheme == "AlwaysTaken")
-        return std::make_unique<AlwaysTakenPredictor>();
+        return std::unique_ptr<BranchPredictor>(
+            std::make_unique<AlwaysTakenPredictor>());
     if (spec.scheme == "BTFN")
-        return std::make_unique<BtfnPredictor>();
+        return std::unique_ptr<BranchPredictor>(
+            std::make_unique<BtfnPredictor>());
     if (spec.scheme == "Profiling")
-        return std::make_unique<ProfilePredictor>();
+        return std::unique_ptr<BranchPredictor>(
+            std::make_unique<ProfilePredictor>());
 
     if (spec.scheme == "BTB") {
         BtbConfig config;
-        config.bht = geometryFrom(spec);
+        TL_ASSIGN_OR_RETURN(config.bht, geometryFrom(spec));
+        if (!Automaton::isKnown(spec.historyContent)) {
+            return invalidArgumentError(
+                "factory: unknown automaton '%s'",
+                spec.historyContent.c_str());
+        }
         config.automaton = &Automaton::byName(spec.historyContent);
-        return std::make_unique<BtbPredictor>(config);
+        return std::unique_ptr<BranchPredictor>(
+            std::make_unique<BtbPredictor>(config));
     }
 
     if (spec.isStaticTraining()) {
@@ -52,10 +61,11 @@ makePredictor(const SchemeSpec &spec)
                 config.bhtKind = BhtKind::Ideal;
             } else {
                 config.bhtKind = BhtKind::Practical;
-                config.bht = geometryFrom(spec);
+                TL_ASSIGN_OR_RETURN(config.bht, geometryFrom(spec));
             }
         }
-        return std::make_unique<StaticTrainingPredictor>(config);
+        return std::unique_ptr<BranchPredictor>(
+            std::make_unique<StaticTrainingPredictor>(config));
     }
 
     if (spec.isTwoLevel()) {
@@ -67,25 +77,53 @@ makePredictor(const SchemeSpec &spec)
                                   ? PatternScope::Global
                                   : PatternScope::PerAddress;
         config.historyBits = spec.historyBits;
+        if (!Automaton::isKnown(spec.patternContent)) {
+            return invalidArgumentError(
+                "factory: unknown automaton '%s'",
+                spec.patternContent.c_str());
+        }
         config.automaton = &Automaton::byName(spec.patternContent);
         if (config.historyScope == HistoryScope::PerAddress) {
             if (spec.historyKind == "IBHT") {
                 config.bhtKind = BhtKind::Ideal;
             } else {
                 config.bhtKind = BhtKind::Practical;
-                config.bht = geometryFrom(spec);
+                TL_ASSIGN_OR_RETURN(config.bht, geometryFrom(spec));
             }
         }
-        return std::make_unique<TwoLevelPredictor>(config);
+        return std::unique_ptr<BranchPredictor>(
+            std::make_unique<TwoLevelPredictor>(config));
     }
 
-    fatal("factory: unhandled scheme '%s'", spec.scheme.c_str());
+    return invalidArgumentError("factory: unhandled scheme '%s'",
+                                spec.scheme.c_str());
+}
+
+StatusOr<std::unique_ptr<BranchPredictor>>
+tryMakePredictor(std::string_view text)
+{
+    TL_ASSIGN_OR_RETURN(SchemeSpec spec, SchemeSpec::tryParse(text));
+    return tryMakePredictor(spec);
+}
+
+std::unique_ptr<BranchPredictor>
+makePredictor(const SchemeSpec &spec)
+{
+    StatusOr<std::unique_ptr<BranchPredictor>> predictor =
+        tryMakePredictor(spec);
+    if (!predictor.ok())
+        fatal("%s", predictor.status().message().c_str());
+    return *std::move(predictor);
 }
 
 std::unique_ptr<BranchPredictor>
 makePredictor(std::string_view text)
 {
-    return makePredictor(SchemeSpec::parse(text));
+    StatusOr<std::unique_ptr<BranchPredictor>> predictor =
+        tryMakePredictor(text);
+    if (!predictor.ok())
+        fatal("%s", predictor.status().message().c_str());
+    return *std::move(predictor);
 }
 
 } // namespace tl

@@ -14,6 +14,7 @@
 
 #include "predictor/predictor.hh"
 #include "predictor/spec.hh"
+#include "util/status_or.hh"
 
 namespace tl
 {
@@ -23,11 +24,20 @@ namespace tl
  *
  * Schemes needing a profiling pass (GSg, PSg, Profiling) are returned
  * untrained; call train() with a training trace before simulating.
- * Calls fatal() for inconsistent specifications.
+ * Fails with StatusCode::InvalidArgument for inconsistent
+ * specifications (unknown scheme, non-power-of-two table geometry).
  */
-std::unique_ptr<BranchPredictor> makePredictor(const SchemeSpec &spec);
+StatusOr<std::unique_ptr<BranchPredictor>>
+tryMakePredictor(const SchemeSpec &spec);
 
 /** Parse @p text and build the predictor. */
+StatusOr<std::unique_ptr<BranchPredictor>>
+tryMakePredictor(std::string_view text);
+
+/** Shim around tryMakePredictor(spec): calls fatal() on failure. */
+std::unique_ptr<BranchPredictor> makePredictor(const SchemeSpec &spec);
+
+/** Shim around tryMakePredictor(text): calls fatal() on failure. */
 std::unique_ptr<BranchPredictor> makePredictor(std::string_view text);
 
 } // namespace tl

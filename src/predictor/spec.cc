@@ -1,6 +1,7 @@
 #include "predictor/spec.hh"
 
 #include <cctype>
+#include <cstdarg>
 
 #include "predictor/automaton.hh"
 #include "util/status.hh"
@@ -11,6 +12,24 @@ namespace tl
 
 namespace
 {
+
+/** Thrown by bail(); caught at the tryParse() boundary. */
+struct SpecParseFailure
+{
+    Status status;
+};
+
+/** Report a malformed spec; unwinds to tryParse(). */
+[[noreturn]] void
+bail(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string message = vstrprintf(fmt, args);
+    va_end(args);
+    throw SpecParseFailure{
+        Status(StatusCode::InvalidArgument, std::move(message))};
+}
 
 /** Remove every whitespace character. */
 std::string
@@ -34,12 +53,12 @@ parseSize(const std::string &text, const char *what)
     if (startsWith(text, "2^")) {
         auto exponent = parseU64(text.substr(2));
         if (!exponent || *exponent > 32)
-            fatal("spec: bad %s size '%s'", what, text.c_str());
+            bail("spec: bad %s size '%s'", what, text.c_str());
         return std::size_t{1} << *exponent;
     }
     auto value = parseU64(text);
     if (!value)
-        fatal("spec: bad %s size '%s'", what, text.c_str());
+        bail("spec: bad %s size '%s'", what, text.c_str());
     return *value;
 }
 
@@ -51,7 +70,7 @@ splitCall(const std::string &text, std::string &name, std::string &args)
     if (open == std::string::npos)
         return false;
     if (text.back() != ')')
-        fatal("spec: unbalanced parentheses in '%s'", text.c_str());
+        bail("spec: unbalanced parentheses in '%s'", text.c_str());
     name = text.substr(0, open);
     args = text.substr(open + 1, text.size() - open - 2);
     return true;
@@ -73,7 +92,7 @@ canonicalScheme(const std::string &name)
         return "AlwaysTaken";
     if (lower == "btfn") return "BTFN";
     if (lower == "profiling" || lower == "profile") return "Profiling";
-    fatal("spec: unknown scheme '%s'", name.c_str());
+    bail("spec: unknown scheme '%s'", name.c_str());
 }
 
 } // namespace
@@ -91,12 +110,16 @@ SchemeSpec::isStaticTraining() const
     return scheme == "GSg" || scheme == "PSg";
 }
 
+namespace
+{
+
+/** The throwing core of the parser; failures unwind via bail(). */
 SchemeSpec
-SchemeSpec::parse(std::string_view raw)
+parseOrThrow(std::string_view raw)
 {
     std::string text = stripSpaces(raw);
     if (text.empty())
-        fatal("spec: empty specification");
+        bail("spec: empty specification");
 
     SchemeSpec spec;
     std::string name, args;
@@ -105,7 +128,7 @@ SchemeSpec::parse(std::string_view raw)
         spec.scheme = canonicalScheme(text);
         if (spec.scheme != "AlwaysTaken" && spec.scheme != "BTFN" &&
             spec.scheme != "Profiling") {
-            fatal("spec: scheme '%s' requires parameters",
+            bail("spec: scheme '%s' requires parameters",
                   spec.scheme.c_str());
         }
         return spec;
@@ -114,7 +137,7 @@ SchemeSpec::parse(std::string_view raw)
     if (spec.scheme == "AlwaysTaken" || spec.scheme == "BTFN" ||
         spec.scheme == "Profiling") {
         if (!args.empty())
-            fatal("spec: scheme '%s' takes no parameters",
+            bail("spec: scheme '%s' takes no parameters",
                   spec.scheme.c_str());
         return spec;
     }
@@ -126,12 +149,12 @@ SchemeSpec::parse(std::string_view raw)
         fields.pop_back();
     }
     if (fields.empty())
-        fatal("spec: missing history part in '%s'", text.c_str());
+        bail("spec: missing history part in '%s'", text.c_str());
 
     // --- First level -----------------------------------------------
     std::string history_name, history_args;
     if (!splitCall(fields[0], history_name, history_args))
-        fatal("spec: bad history part '%s'", fields[0].c_str());
+        bail("spec: bad history part '%s'", fields[0].c_str());
     std::string history_kind = toLower(history_name);
     if (history_kind == "hr")
         spec.historyKind = "HR";
@@ -140,13 +163,13 @@ SchemeSpec::parse(std::string_view raw)
     else if (history_kind == "ibht")
         spec.historyKind = "IBHT";
     else
-        fatal("spec: unknown history structure '%s'",
+        bail("spec: unknown history structure '%s'",
               history_name.c_str());
 
     std::vector<std::string> history_fields =
         splitTopLevel(history_args, ',');
     if (history_fields.size() != 3)
-        fatal("spec: history part needs (size,assoc,content): '%s'",
+        bail("spec: history part needs (size,assoc,content): '%s'",
               fields[0].c_str());
 
     spec.historyEntries = parseSize(history_fields[0], "history");
@@ -155,7 +178,7 @@ SchemeSpec::parse(std::string_view raw)
     } else {
         auto assoc = parseU64(history_fields[1]);
         if (!assoc || *assoc == 0)
-            fatal("spec: bad associativity '%s'",
+            bail("spec: bad associativity '%s'",
                   history_fields[1].c_str());
         spec.assoc = static_cast<unsigned>(*assoc);
     }
@@ -165,23 +188,23 @@ SchemeSpec::parse(std::string_view raw)
         auto bits = parseU64(
             std::string_view(content).substr(0, content.size() - 3));
         if (!bits || *bits == 0 || *bits > 24)
-            fatal("spec: bad history register content '%s'",
+            bail("spec: bad history register content '%s'",
                   content.c_str());
         spec.historyBits = static_cast<unsigned>(*bits);
     } else if (Automaton::isKnown(content)) {
         spec.historyContent = Automaton::byName(content).name();
     } else {
-        fatal("spec: bad history entry content '%s'", content.c_str());
+        bail("spec: bad history entry content '%s'", content.c_str());
     }
 
     // --- Second level ----------------------------------------------
     if (fields.size() > 2)
-        fatal("spec: too many parts in '%s'", text.c_str());
+        bail("spec: too many parts in '%s'", text.c_str());
     if (fields.size() == 2 && !fields[1].empty()) {
         std::string pattern_field = fields[1];
         std::size_t x = pattern_field.find_first_of("xX");
         if (x == std::string::npos)
-            fatal("spec: pattern part needs 'NxPHT(...)': '%s'",
+            bail("spec: pattern part needs 'NxPHT(...)': '%s'",
                   pattern_field.c_str());
         std::string set_size = pattern_field.substr(0, x);
         spec.patternTables = parseSize(set_size, "pattern set");
@@ -191,12 +214,12 @@ SchemeSpec::parse(std::string_view raw)
         if (!splitCall(pattern_field.substr(x + 1), pattern_name,
                        pattern_args) ||
             toLower(pattern_name) != "pht") {
-            fatal("spec: bad pattern part '%s'", pattern_field.c_str());
+            bail("spec: bad pattern part '%s'", pattern_field.c_str());
         }
         std::vector<std::string> pattern_fields =
             splitTopLevel(pattern_args, ',');
         if (pattern_fields.size() != 2)
-            fatal("spec: pattern part needs (size,content): '%s'",
+            bail("spec: pattern part needs (size,content): '%s'",
                   pattern_field.c_str());
         spec.patternEntries = parseSize(pattern_fields[0], "pattern");
         const std::string &pattern_content = pattern_fields[1];
@@ -206,44 +229,65 @@ SchemeSpec::parse(std::string_view raw)
             spec.patternContent =
                 Automaton::byName(pattern_content).name();
         else
-            fatal("spec: bad pattern entry content '%s'",
+            bail("spec: bad pattern entry content '%s'",
                   pattern_content.c_str());
     }
 
     // --- Consistency checks ----------------------------------------
     if (spec.isTwoLevel() || spec.isStaticTraining()) {
         if (spec.historyBits == 0)
-            fatal("spec: %s needs a k-sr history register content",
+            bail("spec: %s needs a k-sr history register content",
                   spec.scheme.c_str());
         if (spec.patternContent.empty())
-            fatal("spec: %s needs a pattern part", spec.scheme.c_str());
+            bail("spec: %s needs a pattern part", spec.scheme.c_str());
         std::size_t expected = std::size_t{1} << spec.historyBits;
         if (spec.patternEntries != 0 && spec.patternEntries != expected) {
-            fatal("spec: pattern table size %zu does not match 2^%u",
+            bail("spec: pattern table size %zu does not match 2^%u",
                   spec.patternEntries, spec.historyBits);
         }
         spec.patternEntries = expected;
         bool global_history = spec.scheme[0] == 'G';
         if (global_history && spec.historyKind != "HR")
-            fatal("spec: %s uses a single HR", spec.scheme.c_str());
+            bail("spec: %s uses a single HR", spec.scheme.c_str());
         if (!global_history && spec.historyKind == "HR")
-            fatal("spec: %s needs a BHT or IBHT", spec.scheme.c_str());
+            bail("spec: %s needs a BHT or IBHT", spec.scheme.c_str());
         if (spec.isStaticTraining() && spec.patternContent != "PB")
-            fatal("spec: %s pattern content must be PB",
+            bail("spec: %s pattern content must be PB",
                   spec.scheme.c_str());
         if (spec.isTwoLevel() && spec.patternContent == "PB")
-            fatal("spec: %s pattern content cannot be PB",
+            bail("spec: %s pattern content cannot be PB",
                   spec.scheme.c_str());
     } else if (spec.scheme == "BTB") {
         if (spec.historyContent.empty())
-            fatal("spec: BTB entry content must be an automaton");
+            bail("spec: BTB entry content must be an automaton");
         if (!spec.patternContent.empty())
-            fatal("spec: BTB has no pattern part");
+            bail("spec: BTB has no pattern part");
         if (spec.historyKind != "BHT")
-            fatal("spec: BTB needs a practical BHT");
+            bail("spec: BTB needs a practical BHT");
     }
 
     return spec;
+}
+
+} // namespace
+
+StatusOr<SchemeSpec>
+SchemeSpec::tryParse(std::string_view raw)
+{
+    try {
+        return parseOrThrow(raw);
+    } catch (const SpecParseFailure &failure) {
+        return failure.status;
+    }
+}
+
+SchemeSpec
+SchemeSpec::parse(std::string_view raw)
+{
+    StatusOr<SchemeSpec> spec = tryParse(raw);
+    if (!spec.ok())
+        fatal("%s", spec.status().message().c_str());
+    return *std::move(spec);
 }
 
 std::string

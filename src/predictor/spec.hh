@@ -30,6 +30,8 @@
 #include <string>
 #include <string_view>
 
+#include "util/status_or.hh"
+
 namespace tl
 {
 
@@ -79,10 +81,14 @@ struct SchemeSpec
     bool contextSwitch = false;
 
     /**
-     * Parse a specification string. Calls fatal() with a diagnostic
-     * on malformed input or inconsistent parameters (e.g. a pattern
-     * table size that is not 2^k for the given history length).
+     * Parse a specification string. Fails with
+     * StatusCode::InvalidArgument and a diagnostic on malformed input
+     * or inconsistent parameters (e.g. a pattern table size that is
+     * not 2^k for the given history length).
      */
+    static StatusOr<SchemeSpec> tryParse(std::string_view text);
+
+    /** Shim around tryParse(): calls fatal() on failure. */
     static SchemeSpec parse(std::string_view text);
 
     /** Render back into the naming convention. */

@@ -1,9 +1,21 @@
 #include "sim/multiprogram.hh"
 
 #include "util/status.hh"
+#include "util/table.hh"
 
 namespace tl
 {
+
+std::size_t
+MultiProgramResult::failedProcesses() const
+{
+    std::size_t failed = 0;
+    for (const Status &status : perProcessStatus) {
+        if (!status.ok())
+            ++failed;
+    }
+    return failed;
+}
 
 double
 MultiProgramResult::accuracyPercent() const
@@ -17,21 +29,61 @@ MultiProgramResult::accuracyPercent() const
                     : 0.0;
 }
 
-MultiProgramResult
-simulateMultiprogrammed(const std::vector<const Trace *> &traces,
-                        BranchPredictor &predictor,
-                        const MultiProgramOptions &options)
+std::string
+MultiProgramResult::report(const std::vector<std::string> &names) const
+{
+    TextTable table({"Process", "CondBranches", "Accuracy%", "Status"});
+    table.setTitle(strprintf(
+        "Multiprogrammed run: %zu processes, %zu failed, %llu switches",
+        perProcess.size(), failedProcesses(),
+        static_cast<unsigned long long>(switches)));
+    for (std::size_t i = 0; i < perProcess.size(); ++i) {
+        std::string name =
+            i < names.size() ? names[i] : strprintf("p%zu", i);
+        bool ok = i >= perProcessStatus.size() ||
+                  perProcessStatus[i].ok();
+        table.addRow({
+            name,
+            ok ? TextTable::num(perProcess[i].conditionalBranches)
+               : "-",
+            ok ? TextTable::num(perProcess[i].accuracyPercent(), 2)
+               : "-",
+            ok ? "ok" : perProcessStatus[i].toString(),
+        });
+    }
+    return table.toText();
+}
+
+StatusOr<MultiProgramResult>
+trySimulateMultiprogrammed(const std::vector<const Trace *> &traces,
+                           BranchPredictor &predictor,
+                           const MultiProgramOptions &options)
 {
     if (traces.empty())
-        fatal("multiprogram: no processes");
+        return invalidArgumentError("multiprogram: no processes");
     if (options.quantum == 0)
-        fatal("multiprogram: quantum must be positive");
+        return invalidArgumentError(
+            "multiprogram: quantum must be positive");
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        if (!traces[i]) {
+            return invalidArgumentError(
+                "multiprogram: process %zu has no trace", i);
+        }
+    }
 
     MultiProgramResult result;
     result.perProcess.resize(traces.size());
+    result.perProcessStatus.resize(traces.size());
     std::vector<std::size_t> positions(traces.size(), 0);
 
-    std::size_t live = traces.size();
+    // A trace that is empty from the start (e.g. salvaged down to
+    // nothing) is born finished; counting it as live would spin the
+    // scheduler forever once real processes complete.
+    std::size_t live = 0;
+    for (const Trace *trace : traces) {
+        if (!trace->empty())
+            ++live;
+    }
     std::size_t current = 0;
     while (live > 0) {
         const Trace &trace = *traces[current];
@@ -80,6 +132,65 @@ simulateMultiprogrammed(const std::vector<const Trace *> &traces,
             current = (current + 1) % traces.size();
         }
     }
+    return result;
+}
+
+MultiProgramResult
+simulateMultiprogrammed(const std::vector<const Trace *> &traces,
+                        BranchPredictor &predictor,
+                        const MultiProgramOptions &options)
+{
+    StatusOr<MultiProgramResult> result =
+        trySimulateMultiprogrammed(traces, predictor, options);
+    if (!result.ok())
+        fatal("%s", result.status().message().c_str());
+    return *std::move(result);
+}
+
+StatusOr<MultiProgramResult>
+simulateMultiprogrammedFromFiles(const std::vector<std::string> &paths,
+                                 BranchPredictor &predictor,
+                                 const MultiProgramOptions &options,
+                                 const TraceReadOptions &readOptions)
+{
+    if (paths.empty())
+        return invalidArgumentError("multiprogram: no trace files");
+
+    std::vector<Trace> loaded(paths.size());
+    std::vector<Status> statuses(paths.size());
+    std::vector<const Trace *> live;
+    std::vector<std::size_t> liveIndex;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        StatusOr<Trace> trace = tryLoadTrace(paths[i], readOptions);
+        if (!trace.ok()) {
+            statuses[i] = trace.status();
+            warn("multiprogram: skipping workload %zu ('%s'): %s", i,
+                 paths[i].c_str(),
+                 trace.status().toString().c_str());
+            continue;
+        }
+        loaded[i] = *std::move(trace);
+        live.push_back(&loaded[i]);
+        liveIndex.push_back(i);
+    }
+    if (live.empty()) {
+        return failedPreconditionError(
+            "multiprogram: all %zu workloads failed to load "
+            "(first: %s)",
+            paths.size(), statuses[0].toString().c_str());
+    }
+
+    TL_ASSIGN_OR_RETURN(
+        MultiProgramResult partial,
+        trySimulateMultiprogrammed(live, predictor, options));
+
+    // Scatter the live results back to input-aligned slots.
+    MultiProgramResult result;
+    result.perProcess.resize(paths.size());
+    result.perProcessStatus = std::move(statuses);
+    result.switches = partial.switches;
+    for (std::size_t j = 0; j < liveIndex.size(); ++j)
+        result.perProcess[liveIndex[j]] = partial.perProcess[j];
     return result;
 }
 

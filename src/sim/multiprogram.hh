@@ -27,7 +27,9 @@
 
 #include "predictor/predictor.hh"
 #include "sim/engine.hh"
+#include "trace/io.hh"
 #include "trace/trace.hh"
+#include "util/status_or.hh"
 
 namespace tl
 {
@@ -67,11 +69,27 @@ struct MultiProgramResult
     /** One SimResult per process, in input order. */
     std::vector<SimResult> perProcess;
 
+    /**
+     * One Status per process, in input order. A non-OK entry means
+     * the workload could not run (e.g. its trace failed to load) and
+     * its SimResult is all-zero; the other processes still completed.
+     */
+    std::vector<Status> perProcessStatus;
+
     /** Scheduling switches performed. */
     std::uint64_t switches = 0;
 
-    /** Aggregate accuracy over all processes. */
+    /** Processes whose status is non-OK. */
+    std::size_t failedProcesses() const;
+
+    /** Aggregate accuracy over the processes that ran. */
     double accuracyPercent() const;
+
+    /**
+     * Paper-style per-workload table including each process's error
+     * status. @p names labels the rows (default "p0", "p1", ...).
+     */
+    std::string report(const std::vector<std::string> &names = {}) const;
 };
 
 /**
@@ -81,11 +99,37 @@ struct MultiProgramResult
  * quantum of instructions elapses (or its trace ends). Each process
  * replays its trace once. Conditional branches are predicted and
  * verified exactly as in simulate().
+ *
+ * Fails with StatusCode::InvalidArgument when @p traces is empty,
+ * holds a null pointer, or options.quantum is zero.
  */
+StatusOr<MultiProgramResult>
+trySimulateMultiprogrammed(const std::vector<const Trace *> &traces,
+                           BranchPredictor &predictor,
+                           const MultiProgramOptions &options = {});
+
+/** Shim around trySimulateMultiprogrammed(): fatal() on failure. */
 MultiProgramResult
 simulateMultiprogrammed(const std::vector<const Trace *> &traces,
                         BranchPredictor &predictor,
                         const MultiProgramOptions &options = {});
+
+/**
+ * Load each trace file in @p paths and time-slice the loadable ones
+ * through @p predictor: graceful degradation for multi-workload
+ * evaluations. A workload whose trace fails to load (missing file,
+ * corrupt bytes) is reported in perProcessStatus and skipped — the
+ * remaining programs still complete, and result slots stay aligned
+ * with @p paths. @p readOptions is forwarded to the trace reader, so
+ * salvage mode can be requested per run.
+ *
+ * Fails (FailedPrecondition) only when every workload is unusable or
+ * the options are invalid.
+ */
+StatusOr<MultiProgramResult> simulateMultiprogrammedFromFiles(
+    const std::vector<std::string> &paths, BranchPredictor &predictor,
+    const MultiProgramOptions &options = {},
+    const TraceReadOptions &readOptions = {});
 
 } // namespace tl
 

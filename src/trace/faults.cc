@@ -1,0 +1,198 @@
+#include "trace/faults.hh"
+
+#include <cstring>
+
+#include "util/random.hh"
+
+namespace tl
+{
+
+namespace
+{
+
+/** v2 binary layout mirrored from trace/io.cc. */
+constexpr std::size_t binaryHeaderBytes = 16;
+constexpr std::size_t binaryFrameBytes = 28;
+
+/** Number of whole v2 frames when @p bytes is a v2 binary trace. */
+std::size_t
+v2FrameCount(const std::string &bytes)
+{
+    if (bytes.size() < binaryHeaderBytes ||
+        std::memcmp(bytes.data(), "TLBT", 4) != 0) {
+        return 0;
+    }
+    std::uint32_t version = 0;
+    for (int i = 0; i < 4; ++i)
+        version |= static_cast<std::uint32_t>(
+                       static_cast<unsigned char>(bytes[4 + i]))
+                   << (8 * i);
+    if (version != 2)
+        return 0;
+    return (bytes.size() - binaryHeaderBytes) / binaryFrameBytes;
+}
+
+std::string
+flipOneBit(std::string bytes, Rng &rng)
+{
+    if (bytes.empty())
+        return bytes;
+    std::size_t pos = rng.nextBelow(bytes.size());
+    unsigned bit = static_cast<unsigned>(rng.nextBelow(8));
+    bytes[pos] = static_cast<char>(
+        static_cast<unsigned char>(bytes[pos]) ^ (1u << bit));
+    return bytes;
+}
+
+std::string
+truncateTail(std::string bytes, Rng &rng)
+{
+    if (bytes.empty())
+        return bytes;
+    bytes.resize(rng.nextBelow(bytes.size()));
+    return bytes;
+}
+
+std::string
+duplicateRun(const std::string &bytes, Rng &rng)
+{
+    if (bytes.empty())
+        return bytes;
+    std::size_t begin, length;
+    if (std::size_t frames = v2FrameCount(bytes); frames > 0) {
+        std::size_t frame = rng.nextBelow(frames);
+        begin = binaryHeaderBytes + frame * binaryFrameBytes;
+        length = binaryFrameBytes;
+    } else {
+        length = std::min<std::size_t>(1 + rng.nextBelow(28),
+                                       bytes.size());
+        begin = rng.nextBelow(bytes.size() - length + 1);
+    }
+    std::string out = bytes;
+    out.insert(begin + length, bytes, begin, length);
+    return out;
+}
+
+std::string
+reorderRuns(const std::string &bytes, Rng &rng)
+{
+    std::size_t begin, length;
+    if (std::size_t frames = v2FrameCount(bytes); frames >= 2) {
+        std::size_t frame = rng.nextBelow(frames - 1);
+        begin = binaryHeaderBytes + frame * binaryFrameBytes;
+        length = binaryFrameBytes;
+    } else {
+        if (bytes.size() < 2)
+            return bytes;
+        length = std::min<std::size_t>(1 + rng.nextBelow(28),
+                                       bytes.size() / 2);
+        begin = rng.nextBelow(bytes.size() - 2 * length + 1);
+    }
+    std::string out = bytes;
+    for (std::size_t i = 0; i < length; ++i)
+        std::swap(out[begin + i], out[begin + length + i]);
+    return out;
+}
+
+std::string
+garbageBytes(std::string bytes, Rng &rng)
+{
+    if (bytes.empty())
+        return bytes;
+    std::size_t length =
+        std::min<std::size_t>(1 + rng.nextBelow(16), bytes.size());
+    std::size_t begin = rng.nextBelow(bytes.size() - length + 1);
+    for (std::size_t i = 0; i < length; ++i) {
+        // XOR with a nonzero byte so every covered byte really changes.
+        bytes[begin + i] = static_cast<char>(
+            static_cast<unsigned char>(bytes[begin + i]) ^
+            static_cast<unsigned char>(1 + rng.nextBelow(255)));
+    }
+    return bytes;
+}
+
+std::string
+garbageLine(const std::string &bytes, Rng &rng)
+{
+    // Splice the junk at a line boundary so it reads as its own line.
+    std::string junk = "@@garbage";
+    for (int i = 0; i < 3; ++i) {
+        junk += ' ';
+        junk += std::to_string(rng.nextU64());
+    }
+    junk += '\n';
+
+    std::vector<std::size_t> boundaries{0};
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        if (bytes[i] == '\n')
+            boundaries.push_back(i + 1);
+    }
+    std::size_t at = boundaries[rng.nextBelow(boundaries.size())];
+    std::string out = bytes;
+    out.insert(at, junk);
+    return out;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::BitFlip: return "bit-flip";
+      case FaultKind::Truncate: return "truncate";
+      case FaultKind::DuplicateRecord: return "duplicate-record";
+      case FaultKind::ReorderRecords: return "reorder-records";
+      case FaultKind::GarbageBytes: return "garbage-bytes";
+      case FaultKind::GarbageLine: return "garbage-line";
+    }
+    return "unknown";
+}
+
+std::vector<FaultKind>
+allFaultKinds()
+{
+    return {FaultKind::BitFlip,         FaultKind::Truncate,
+            FaultKind::DuplicateRecord, FaultKind::ReorderRecords,
+            FaultKind::GarbageBytes,    FaultKind::GarbageLine};
+}
+
+std::string
+injectFault(const std::string &bytes, FaultKind kind,
+            std::uint64_t seed)
+{
+    // Mix the kind into the seed so sweeping kinds at one seed does
+    // not hit correlated positions.
+    Rng rng(seed * 0x100 + static_cast<std::uint64_t>(kind) + 1);
+    std::string out;
+    switch (kind) {
+      case FaultKind::BitFlip:
+        out = flipOneBit(bytes, rng);
+        break;
+      case FaultKind::Truncate:
+        out = truncateTail(bytes, rng);
+        break;
+      case FaultKind::DuplicateRecord:
+        out = duplicateRun(bytes, rng);
+        break;
+      case FaultKind::ReorderRecords:
+        out = reorderRuns(bytes, rng);
+        break;
+      case FaultKind::GarbageBytes:
+        out = garbageBytes(bytes, rng);
+        break;
+      case FaultKind::GarbageLine:
+        out = garbageLine(bytes, rng);
+        break;
+      default:
+        out = flipOneBit(bytes, rng);
+        break;
+    }
+    // The reorder fallback can swap identical runs; keep the promise
+    // that the output differs from a non-empty input.
+    if (out == bytes && !bytes.empty())
+        out = flipOneBit(std::move(out), rng);
+    return out;
+}
+
+} // namespace tl

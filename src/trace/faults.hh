@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fault injection for trace files.
+ *
+ * Deterministic, seeded corruptors that damage a serialized trace in
+ * the ways real trace archives get damaged: single bit flips, cut-off
+ * tails, duplicated/reordered records, overwritten byte runs, and
+ * garbage lines spliced into text traces. The test suite drives every
+ * corruptor through the recoverable readers (trace/io.hh) across a
+ * seed sweep to prove the contract: a damaged trace yields a clean
+ * non-OK Status or a documented salvage — never a crash, a hang, or a
+ * silently wrong answer.
+ *
+ * Each corruptor is a pure function of (bytes, seed), so a failing
+ * (kind, seed) pair from a test log reproduces exactly.
+ */
+
+#ifndef TL_TRACE_FAULTS_HH
+#define TL_TRACE_FAULTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tl
+{
+
+/** The ways a serialized trace can be damaged. */
+enum class FaultKind
+{
+    BitFlip,         //!< flip one randomly chosen bit
+    Truncate,        //!< cut the file at a random byte
+    DuplicateRecord, //!< splice a copy of one record frame in place
+    ReorderRecords,  //!< swap two adjacent record frames
+    GarbageBytes,    //!< overwrite a random run with random bytes
+    GarbageLine,     //!< splice a non-record line (text traces)
+};
+
+/** Number of distinct fault kinds. */
+constexpr unsigned numFaultKinds = 6;
+
+/** Short printable name for a fault kind. */
+const char *faultKindName(FaultKind kind);
+
+/** Every fault kind, for sweep loops. */
+std::vector<FaultKind> allFaultKinds();
+
+/**
+ * Return a damaged copy of @p bytes.
+ *
+ * DuplicateRecord and ReorderRecords understand the v2 binary frame
+ * layout and operate on whole frames when @p bytes is a v2 binary
+ * trace with enough records; on any other input (text traces, v1,
+ * tiny files) they degrade to duplicating/swapping raw byte runs.
+ * The result always differs from the input unless @p bytes is empty.
+ */
+std::string injectFault(const std::string &bytes, FaultKind kind,
+                        std::uint64_t seed);
+
+} // namespace tl
+
+#endif // TL_TRACE_FAULTS_HH

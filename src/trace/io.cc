@@ -1,11 +1,13 @@
 #include "trace/io.hh"
 
+#include <charconv>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "util/crc32.hh"
 #include "util/status.hh"
 #include "util/strings.hh"
 
@@ -16,6 +18,9 @@ namespace
 {
 
 constexpr char traceMagic[4] = {'T', 'L', 'B', 'T'};
+
+/** Payload bytes per record (pc, target, flags, instsSince). */
+constexpr std::size_t recordPayloadBytes = 24;
 
 void
 putU32(std::ostream &out, std::uint32_t value)
@@ -36,12 +41,8 @@ putU64(std::ostream &out, std::uint64_t value)
 }
 
 std::uint32_t
-getU32(std::istream &in)
+loadU32(const unsigned char *bytes)
 {
-    unsigned char bytes[4];
-    in.read(reinterpret_cast<char *>(bytes), 4);
-    if (!in)
-        fatal("truncated binary trace (u32)");
     std::uint32_t value = 0;
     for (int i = 0; i < 4; ++i)
         value |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
@@ -49,19 +50,118 @@ getU32(std::istream &in)
 }
 
 std::uint64_t
-getU64(std::istream &in)
+loadU64(const unsigned char *bytes)
 {
-    unsigned char bytes[8];
-    in.read(reinterpret_cast<char *>(bytes), 8);
-    if (!in)
-        fatal("truncated binary trace (u64)");
     std::uint64_t value = 0;
     for (int i = 0; i < 8; ++i)
         value |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
     return value;
 }
 
-BranchClass
+void
+storeRecordPayload(const BranchRecord &r,
+                   unsigned char (&payload)[recordPayloadBytes])
+{
+    std::uint32_t flags = static_cast<std::uint32_t>(r.cls) |
+                          (r.taken ? 0x100u : 0u) |
+                          (r.trap ? 0x200u : 0u);
+    for (int i = 0; i < 8; ++i)
+        payload[i] = static_cast<unsigned char>((r.pc >> (8 * i)) & 0xff);
+    for (int i = 0; i < 8; ++i)
+        payload[8 + i] =
+            static_cast<unsigned char>((r.target >> (8 * i)) & 0xff);
+    for (int i = 0; i < 4; ++i)
+        payload[16 + i] =
+            static_cast<unsigned char>((flags >> (8 * i)) & 0xff);
+    for (int i = 0; i < 4; ++i)
+        payload[20 + i] =
+            static_cast<unsigned char>((r.instsSince >> (8 * i)) & 0xff);
+}
+
+Status
+decodeRecordPayload(const unsigned char (&payload)[recordPayloadBytes],
+                    std::uint64_t index, BranchRecord &r)
+{
+    r.pc = loadU64(payload);
+    r.target = loadU64(payload + 8);
+    std::uint32_t flags = loadU32(payload + 16);
+    unsigned cls = flags & 0xff;
+    if (cls >= numBranchClasses) {
+        return corruptDataError(
+            "corrupt binary trace: branch class %u in record %llu", cls,
+            static_cast<unsigned long long>(index));
+    }
+    r.cls = static_cast<BranchClass>(cls);
+    r.taken = (flags & 0x100u) != 0;
+    r.trap = (flags & 0x200u) != 0;
+    r.instsSince = loadU32(payload + 20);
+    return Status();
+}
+
+/**
+ * CRC-32 of a frame: the header's record count and the frame index as
+ * salt, then the payload. Salting with the count means a bit flip in
+ * the header's count field breaks every frame checksum instead of
+ * silently shortening the trace; salting with the index catches
+ * duplicated, dropped and reordered frames.
+ */
+std::uint32_t
+frameCrc(std::uint64_t count, std::uint64_t index,
+         const unsigned char (&payload)[recordPayloadBytes])
+{
+    Crc32 crc;
+    crc.updateU64(count);
+    crc.updateU64(index);
+    crc.update(payload, recordPayloadBytes);
+    return crc.value();
+}
+
+/** Byte-counting reader so diagnostics can name exact offsets. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::istream &in) : in(in) {}
+
+    /** Read exactly @p size bytes; false on a short read. */
+    bool
+    read(void *buffer, std::size_t size)
+    {
+        in.read(static_cast<char *>(buffer),
+                static_cast<std::streamsize>(size));
+        std::size_t got = static_cast<std::size_t>(in.gcount());
+        position += got;
+        return got == size;
+    }
+
+    /** Bytes consumed so far. */
+    std::uint64_t offset() const { return position; }
+
+  private:
+    std::istream &in;
+    std::uint64_t position = 0;
+};
+
+/** Parse "0x1f" or "123" without throwing; nullopt on anything else. */
+std::optional<std::uint64_t>
+parseNumber(std::string_view text)
+{
+    int base = 10;
+    if (startsWith(text, "0x") || startsWith(text, "0X")) {
+        base = 16;
+        text.remove_prefix(2);
+    }
+    if (text.empty())
+        return std::nullopt;
+    std::uint64_t value = 0;
+    auto [end, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value,
+                        base);
+    if (ec != std::errc() || end != text.data() + text.size())
+        return std::nullopt;
+    return value;
+}
+
+std::optional<BranchClass>
 classFromName(const std::string &name)
 {
     for (unsigned i = 0; i < numBranchClasses; ++i) {
@@ -69,7 +169,7 @@ classFromName(const std::string &name)
         if (name == branchClassName(cls))
             return cls;
     }
-    fatal("unknown branch class name '%s'", name.c_str());
+    return std::nullopt;
 }
 
 } // namespace
@@ -80,45 +180,124 @@ writeBinaryTrace(const Trace &trace, std::ostream &out)
     out.write(traceMagic, 4);
     putU32(out, traceFormatVersion);
     putU64(out, trace.size());
+    std::uint64_t index = 0;
     for (const BranchRecord &r : trace.records()) {
-        putU64(out, r.pc);
-        putU64(out, r.target);
-        std::uint32_t flags = static_cast<std::uint32_t>(r.cls) |
-                              (r.taken ? 0x100u : 0u) |
-                              (r.trap ? 0x200u : 0u);
-        putU32(out, flags);
-        putU32(out, r.instsSince);
+        unsigned char payload[recordPayloadBytes];
+        storeRecordPayload(r, payload);
+        out.write(reinterpret_cast<const char *>(payload),
+                  recordPayloadBytes);
+        putU32(out, frameCrc(trace.size(), index, payload));
+        ++index;
     }
+}
+
+StatusOr<Trace>
+tryReadBinaryTrace(std::istream &in, const TraceReadOptions &options,
+                   TraceReadStats *stats)
+{
+    if (stats)
+        *stats = TraceReadStats{};
+
+    ByteReader reader(in);
+    char magic[4];
+    if (!reader.read(magic, 4) ||
+        std::memcmp(magic, traceMagic, 4) != 0) {
+        return corruptDataError("not a binary trace (bad magic)");
+    }
+    unsigned char header[12];
+    if (!reader.read(header, sizeof(header)))
+        return corruptDataError("truncated binary trace header");
+    std::uint32_t version = loadU32(header);
+    if (version < minTraceFormatVersion || version > traceFormatVersion)
+        return corruptDataError("unsupported trace format version %u",
+                                version);
+    std::uint64_t count = loadU64(header + 4);
+
+    Trace trace;
+    auto salvage = [&](std::uint64_t goodRecords) -> StatusOr<Trace> {
+        std::uint64_t dropped = count - goodRecords;
+        warn("binary trace damaged at byte %llu: salvaged %llu of %llu "
+             "records (%llu dropped)",
+             static_cast<unsigned long long>(reader.offset()),
+             static_cast<unsigned long long>(goodRecords),
+             static_cast<unsigned long long>(count),
+             static_cast<unsigned long long>(dropped));
+        if (stats) {
+            stats->droppedRecords = dropped;
+            stats->salvaged = true;
+        }
+        return trace;
+    };
+
+    for (std::uint64_t i = 0; i < count; ++i) {
+        unsigned char payload[recordPayloadBytes];
+        if (!reader.read(payload, recordPayloadBytes)) {
+            if (options.salvageTruncated)
+                return salvage(i);
+            return corruptDataError(
+                "truncated binary trace at byte %llu "
+                "(record %llu of %llu)",
+                static_cast<unsigned long long>(reader.offset()),
+                static_cast<unsigned long long>(i),
+                static_cast<unsigned long long>(count));
+        }
+        if (version >= 2) {
+            unsigned char crc_bytes[4];
+            if (!reader.read(crc_bytes, 4)) {
+                if (options.salvageTruncated)
+                    return salvage(i);
+                return corruptDataError(
+                    "truncated binary trace at byte %llu "
+                    "(checksum of record %llu of %llu)",
+                    static_cast<unsigned long long>(reader.offset()),
+                    static_cast<unsigned long long>(i),
+                    static_cast<unsigned long long>(count));
+            }
+            std::uint32_t stored = loadU32(crc_bytes);
+            std::uint32_t expected = frameCrc(count, i, payload);
+            if (stored != expected) {
+                if (options.salvageTruncated)
+                    return salvage(i);
+                return corruptDataError(
+                    "corrupt binary trace: checksum mismatch in record "
+                    "%llu of %llu near byte %llu "
+                    "(stored %08x, computed %08x)",
+                    static_cast<unsigned long long>(i),
+                    static_cast<unsigned long long>(count),
+                    static_cast<unsigned long long>(reader.offset()),
+                    stored, expected);
+            }
+        }
+        BranchRecord r;
+        Status decoded = decodeRecordPayload(payload, i, r);
+        if (!decoded.ok()) {
+            if (options.salvageTruncated)
+                return salvage(i);
+            return decoded;
+        }
+        trace.append(r);
+    }
+    // v2 is fully framed: bytes after the last frame are damage (e.g.
+    // a duplicated final record). v1 stays lenient, as it always was.
+    if (version >= 2 && in.peek() != std::istream::traits_type::eof()) {
+        if (options.salvageTruncated)
+            return salvage(count);
+        return corruptDataError(
+            "corrupt binary trace: trailing bytes after record %llu "
+            "(byte %llu)",
+            static_cast<unsigned long long>(count),
+            static_cast<unsigned long long>(reader.offset()));
+    }
+    return trace;
 }
 
 Trace
 readBinaryTrace(std::istream &in)
 {
-    char magic[4];
-    in.read(magic, 4);
-    if (!in || std::memcmp(magic, traceMagic, 4) != 0)
-        fatal("not a binary trace (bad magic)");
-    std::uint32_t version = getU32(in);
-    if (version != traceFormatVersion)
-        fatal("unsupported trace format version %u", version);
-    std::uint64_t count = getU64(in);
-
-    Trace trace;
-    for (std::uint64_t i = 0; i < count; ++i) {
-        BranchRecord r;
-        r.pc = getU64(in);
-        r.target = getU64(in);
-        std::uint32_t flags = getU32(in);
-        unsigned cls = flags & 0xff;
-        if (cls >= numBranchClasses)
-            fatal("corrupt binary trace: branch class %u", cls);
-        r.cls = static_cast<BranchClass>(cls);
-        r.taken = (flags & 0x100u) != 0;
-        r.trap = (flags & 0x200u) != 0;
-        r.instsSince = getU32(in);
-        trace.append(r);
-    }
-    return trace;
+    StatusOr<Trace> trace = tryReadBinaryTrace(in);
+    if (!trace.ok())
+        fatal("%s", trace.status().message().c_str());
+    return *std::move(trace);
 }
 
 void
@@ -129,8 +308,8 @@ writeTextTrace(const Trace &trace, std::ostream &out)
         out << r.toString() << "\n";
 }
 
-Trace
-readTextTrace(std::istream &in)
+StatusOr<Trace>
+tryReadTextTrace(std::istream &in)
 {
     Trace trace;
     std::string line;
@@ -141,52 +320,135 @@ readTextTrace(std::istream &in)
         if (text.empty() || text[0] == '#')
             continue;
         std::istringstream fields{std::string(text)};
-        std::string pc_str, target_str, cls_str, dir_str, trap_str;
-        std::uint32_t insts = 0;
-        fields >> pc_str >> target_str >> cls_str >> dir_str >> insts >>
+        std::string pc_str, target_str, cls_str, dir_str, insts_str,
             trap_str;
-        if (!fields)
-            fatal("malformed trace line %zu: '%s'", lineno, line.c_str());
+        fields >> pc_str >> target_str >> cls_str >> dir_str >>
+            insts_str >> trap_str;
+        if (!fields) {
+            return corruptDataError("malformed trace line %zu: '%s'",
+                                    lineno, line.c_str());
+        }
         BranchRecord r;
-        r.pc = std::stoull(pc_str, nullptr, 0);
-        r.target = std::stoull(target_str, nullptr, 0);
-        r.cls = classFromName(cls_str);
-        if (dir_str != "T" && dir_str != "N")
-            fatal("malformed direction on trace line %zu", lineno);
+        auto pc = parseNumber(pc_str);
+        if (!pc) {
+            return corruptDataError(
+                "malformed pc '%s' on trace line %zu", pc_str.c_str(),
+                lineno);
+        }
+        r.pc = *pc;
+        auto target = parseNumber(target_str);
+        if (!target) {
+            return corruptDataError(
+                "malformed target '%s' on trace line %zu",
+                target_str.c_str(), lineno);
+        }
+        r.target = *target;
+        auto cls = classFromName(cls_str);
+        if (!cls) {
+            return corruptDataError(
+                "unknown branch class '%s' on trace line %zu",
+                cls_str.c_str(), lineno);
+        }
+        r.cls = *cls;
+        if (dir_str != "T" && dir_str != "N") {
+            return corruptDataError(
+                "malformed direction on trace line %zu", lineno);
+        }
         r.taken = dir_str == "T";
-        r.instsSince = insts;
-        if (trap_str != "!" && trap_str != ".")
-            fatal("malformed trap flag on trace line %zu", lineno);
+        auto insts = parseNumber(insts_str);
+        if (!insts || *insts > 0xffffffffull) {
+            return corruptDataError(
+                "malformed instruction count '%s' on trace line %zu",
+                insts_str.c_str(), lineno);
+        }
+        r.instsSince = static_cast<std::uint32_t>(*insts);
+        if (trap_str != "!" && trap_str != ".") {
+            return corruptDataError(
+                "malformed trap flag on trace line %zu", lineno);
+        }
         r.trap = trap_str == "!";
         trace.append(r);
     }
     return trace;
 }
 
-void
-saveTrace(const Trace &trace, const std::string &path)
+Trace
+readTextTrace(std::istream &in)
 {
-    bool text = endsWith(path, ".txt");
+    StatusOr<Trace> trace = tryReadTextTrace(in);
+    if (!trace.ok())
+        fatal("%s", trace.status().message().c_str());
+    return *std::move(trace);
+}
+
+StatusOr<TraceFormat>
+traceFormatFromPath(const std::string &path)
+{
+    std::size_t slash = path.find_last_of("/\\");
+    std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    std::size_t dot = base.find_last_of('.');
+    if (dot == std::string::npos || dot == 0 ||
+        dot == base.size() - 1) {
+        return invalidArgumentError(
+            "cannot infer trace format of '%s': path has no file "
+            "extension (.txt = text, anything else = binary)",
+            path.c_str());
+    }
+    return toLower(base.substr(dot + 1)) == "txt" ? TraceFormat::Text
+                                                  : TraceFormat::Binary;
+}
+
+Status
+trySaveTrace(const Trace &trace, const std::string &path)
+{
+    TL_ASSIGN_OR_RETURN(TraceFormat format, traceFormatFromPath(path));
+    bool text = format == TraceFormat::Text;
     std::ofstream out(path,
                       text ? std::ios::out : std::ios::out |
                                                  std::ios::binary);
     if (!out)
-        fatal("cannot open '%s' for writing", path.c_str());
+        return ioError("cannot open '%s' for writing", path.c_str());
     if (text)
         writeTextTrace(trace, out);
     else
         writeBinaryTrace(trace, out);
+    out.flush();
+    if (!out)
+        return ioError("write to '%s' failed", path.c_str());
+    return Status();
+}
+
+void
+saveTrace(const Trace &trace, const std::string &path)
+{
+    Status status = trySaveTrace(trace, path);
+    if (!status.ok())
+        fatal("%s", status.message().c_str());
+}
+
+StatusOr<Trace>
+tryLoadTrace(const std::string &path, const TraceReadOptions &options,
+             TraceReadStats *stats)
+{
+    TL_ASSIGN_OR_RETURN(TraceFormat format, traceFormatFromPath(path));
+    bool text = format == TraceFormat::Text;
+    std::ifstream in(path,
+                     text ? std::ios::in : std::ios::in | std::ios::binary);
+    if (!in)
+        return notFoundError("cannot open '%s' for reading",
+                             path.c_str());
+    return text ? tryReadTextTrace(in)
+                : tryReadBinaryTrace(in, options, stats);
 }
 
 Trace
 loadTrace(const std::string &path)
 {
-    bool text = endsWith(path, ".txt");
-    std::ifstream in(path,
-                     text ? std::ios::in : std::ios::in | std::ios::binary);
-    if (!in)
-        fatal("cannot open '%s' for reading", path.c_str());
-    return text ? readTextTrace(in) : readBinaryTrace(in);
+    StatusOr<Trace> trace = tryLoadTrace(path);
+    if (!trace.ok())
+        fatal("%s", trace.status().message().c_str());
+    return *std::move(trace);
 }
 
 } // namespace tl

@@ -6,6 +6,26 @@
  *  - a compact little-endian binary format ("TLBT" magic, versioned),
  *  - a line-oriented text format matching BranchRecord::toString(),
  *    convenient for inspection and for importing external traces.
+ *
+ * Binary format v2 (written by this library) hardens v1 against
+ * corruption. Layout, all integers little-endian:
+ *
+ *   header:  "TLBT" magic | u32 version = 2 | u64 record count
+ *   frame i: u64 pc | u64 target | u32 flags | u32 instsSince
+ *            | u32 crc32( u64-LE count || u64-LE index i || payload )
+ *
+ * Salting each frame's CRC-32 with the record count and the frame
+ * index means a bit flip anywhere (payload, checksum, or the header's
+ * count field), a duplicated frame, a dropped frame, and two
+ * reordered frames all fail a checksum even when the payload bytes
+ * are intact. v1 files (version = 1, 24-byte unprotected frames) are
+ * still read; the text format carries no integrity protection.
+ *
+ * Every reader/writer comes in two flavors:
+ *  - tryXxx() returns StatusOr/Status with a precise byte-offset or
+ *    line-number diagnostic and never terminates the process;
+ *  - the historical Xxx() shims wrap tryXxx() and call fatal() on
+ *    failure, preserving the CLI-tool behavior.
  */
 
 #ifndef TL_TRACE_IO_HH
@@ -15,22 +35,65 @@
 #include <string>
 
 #include "trace/trace.hh"
+#include "util/status_or.hh"
 
 namespace tl
 {
 
 /** Binary trace format version written by this library. */
-constexpr std::uint32_t traceFormatVersion = 1;
+constexpr std::uint32_t traceFormatVersion = 2;
 
-/** Write @p trace to @p out in the binary format. */
+/** Oldest binary format version still readable. */
+constexpr std::uint32_t minTraceFormatVersion = 1;
+
+/** On-disk trace encodings. */
+enum class TraceFormat
+{
+    Binary,
+    Text,
+};
+
+/** Knobs for the recoverable readers. */
+struct TraceReadOptions
+{
+    /**
+     * Salvage the valid prefix of a damaged binary trace instead of
+     * failing: reading stops at the first truncated or checksum-failing
+     * frame, a warn() reports how many records were dropped, and the
+     * records before the damage are returned as a successful (shorter)
+     * trace. Only the error is recovered from — a salvaged trace never
+     * contains a record that failed its checksum.
+     */
+    bool salvageTruncated = false;
+};
+
+/** What the recoverable readers observed (optional out-param). */
+struct TraceReadStats
+{
+    /** Records announced by the header but not returned. */
+    std::uint64_t droppedRecords = 0;
+
+    /** True when salvage mode recovered from damage. */
+    bool salvaged = false;
+};
+
+/** Write @p trace to @p out in the binary format (v2). */
 void writeBinaryTrace(const Trace &trace, std::ostream &out);
 
 /**
- * Read a binary trace from @p in.
+ * Read a binary trace (v1 or v2) from @p in.
  *
- * Calls fatal() on a malformed stream (bad magic, truncated record,
- * unsupported version).
+ * Fails with StatusCode::CorruptData on bad magic, an unsupported
+ * version, a truncated header or frame, an out-of-range branch class,
+ * or (v2) a frame checksum mismatch; diagnostics carry the byte offset
+ * and frame index. With options.salvageTruncated, damage after the
+ * header yields the valid prefix instead (see TraceReadOptions).
  */
+StatusOr<Trace> tryReadBinaryTrace(std::istream &in,
+                                   const TraceReadOptions &options = {},
+                                   TraceReadStats *stats = nullptr);
+
+/** Shim around tryReadBinaryTrace(): calls fatal() on failure. */
 Trace readBinaryTrace(std::istream &in);
 
 /** Write @p trace to @p out, one record per line. */
@@ -38,14 +101,34 @@ void writeTextTrace(const Trace &trace, std::ostream &out);
 
 /**
  * Read a text trace from @p in. Blank lines and lines starting with
- * '#' are ignored. Calls fatal() on malformed lines.
+ * '#' are ignored. Fails with StatusCode::CorruptData and a
+ * line-number diagnostic on any malformed line.
  */
+StatusOr<Trace> tryReadTextTrace(std::istream &in);
+
+/** Shim around tryReadTextTrace(): calls fatal() on failure. */
 Trace readTextTrace(std::istream &in);
 
-/** Write a trace to a file, choosing format by extension (.txt = text). */
+/**
+ * Decide a file's trace format from its extension: ".txt" (matched
+ * case-insensitively) is text, any other extension is binary, and a
+ * path whose final component has no extension is an error — guessing
+ * binary for those silently misparsed real-world inputs.
+ */
+StatusOr<TraceFormat> traceFormatFromPath(const std::string &path);
+
+/** Write a trace to a file, choosing the format by extension. */
+Status trySaveTrace(const Trace &trace, const std::string &path);
+
+/** Shim around trySaveTrace(): calls fatal() on failure. */
 void saveTrace(const Trace &trace, const std::string &path);
 
-/** Read a trace from a file, choosing format by extension (.txt = text). */
+/** Read a trace from a file, choosing the format by extension. */
+StatusOr<Trace> tryLoadTrace(const std::string &path,
+                             const TraceReadOptions &options = {},
+                             TraceReadStats *stats = nullptr);
+
+/** Shim around tryLoadTrace(): calls fatal() on failure. */
 Trace loadTrace(const std::string &path);
 
 } // namespace tl

@@ -1,0 +1,64 @@
+#include "util/crc32.hh"
+
+#include <array>
+
+namespace tl
+{
+
+namespace
+{
+
+constexpr std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c >> 1) ^ ((c & 1u) ? 0xedb88320u : 0u);
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr std::array<std::uint32_t, 256> crcTable = makeTable();
+
+} // namespace
+
+void
+Crc32::update(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint32_t c = state;
+    for (std::size_t i = 0; i < size; ++i)
+        c = crcTable[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+    state = c;
+}
+
+void
+Crc32::updateU32(std::uint32_t value)
+{
+    unsigned char bytes[4];
+    for (int i = 0; i < 4; ++i)
+        bytes[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xff);
+    update(bytes, 4);
+}
+
+void
+Crc32::updateU64(std::uint64_t value)
+{
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xff);
+    update(bytes, 8);
+}
+
+std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    Crc32 crc;
+    crc.update(data, size);
+    return crc.value();
+}
+
+} // namespace tl

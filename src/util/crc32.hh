@@ -1,0 +1,43 @@
+/**
+ * @file
+ * CRC-32 (the IEEE 802.3 polynomial, reflected form 0xEDB88320) used
+ * to frame records in the v2 binary trace format. One-shot and
+ * incremental interfaces; both are the standard CRC-32 every zip/png
+ * tool computes, so trace files can be checked externally.
+ */
+
+#ifndef TL_UTIL_CRC32_HH
+#define TL_UTIL_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tl
+{
+
+/** CRC-32 of @p size bytes at @p data. */
+std::uint32_t crc32(const void *data, std::size_t size);
+
+/** Incremental CRC-32 accumulator. */
+class Crc32
+{
+  public:
+    /** Fold @p size bytes at @p data into the checksum. */
+    void update(const void *data, std::size_t size);
+
+    /** Fold a little-endian u32 into the checksum. */
+    void updateU32(std::uint32_t value);
+
+    /** Fold a little-endian u64 into the checksum. */
+    void updateU64(std::uint64_t value);
+
+    /** The checksum of everything folded in so far. */
+    std::uint32_t value() const { return state ^ 0xffffffffu; }
+
+  private:
+    std::uint32_t state = 0xffffffffu;
+};
+
+} // namespace tl
+
+#endif // TL_UTIL_CRC32_HH

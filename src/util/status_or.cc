@@ -1,0 +1,61 @@
+#include "util/status_or.hh"
+
+namespace tl
+{
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "OK";
+      case StatusCode::InvalidArgument: return "InvalidArgument";
+      case StatusCode::NotFound: return "NotFound";
+      case StatusCode::CorruptData: return "CorruptData";
+      case StatusCode::OutOfRange: return "OutOfRange";
+      case StatusCode::IoError: return "IoError";
+      case StatusCode::FailedPrecondition: return "FailedPrecondition";
+      case StatusCode::Internal: return "Internal";
+    }
+    return "Unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "OK";
+    return std::string(statusCodeName(code_)) + ": " + message_;
+}
+
+namespace
+{
+
+Status
+makeStatus(StatusCode code, const char *fmt, std::va_list args)
+{
+    return Status(code, vstrprintf(fmt, args));
+}
+
+} // namespace
+
+#define TL_DEFINE_STATUS_CTOR(name, code)                               \
+    Status name(const char *fmt, ...)                                   \
+    {                                                                   \
+        std::va_list args;                                              \
+        va_start(args, fmt);                                            \
+        Status status = makeStatus(StatusCode::code, fmt, args);        \
+        va_end(args);                                                   \
+        return status;                                                  \
+    }
+
+TL_DEFINE_STATUS_CTOR(invalidArgumentError, InvalidArgument)
+TL_DEFINE_STATUS_CTOR(notFoundError, NotFound)
+TL_DEFINE_STATUS_CTOR(corruptDataError, CorruptData)
+TL_DEFINE_STATUS_CTOR(outOfRangeError, OutOfRange)
+TL_DEFINE_STATUS_CTOR(ioError, IoError)
+TL_DEFINE_STATUS_CTOR(failedPreconditionError, FailedPrecondition)
+TL_DEFINE_STATUS_CTOR(internalError, Internal)
+
+#undef TL_DEFINE_STATUS_CTOR
+
+} // namespace tl

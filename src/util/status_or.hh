@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Recoverable error handling: Status and StatusOr<T>.
+ *
+ * fatal()/panic() (util/status.hh) terminate the process and remain
+ * appropriate for CLI front ends and internal invariant violations.
+ * Library code on input-facing paths (trace files, scheme specs,
+ * assembly sources) instead reports failures as values so that a
+ * long-running embedder can survive one bad input: a Status carries an
+ * error code plus a human-readable message, and StatusOr<T> is
+ * either a value or the Status explaining why there is none.
+ *
+ * Conventions:
+ *  - Functions that can fail on user input return Status or
+ *    StatusOr<T> and never call fatal().
+ *  - Accessing the value of a non-OK StatusOr is a programming error
+ *    and panics; check ok() (or use valueOr()/the macros) first.
+ *  - TL_RETURN_IF_ERROR / TL_ASSIGN_OR_RETURN propagate failures up
+ *    a StatusOr-returning call chain without boilerplate.
+ */
+
+#ifndef TL_UTIL_STATUS_OR_HH
+#define TL_UTIL_STATUS_OR_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+/** Machine-inspectable classification of a failure. */
+enum class StatusCode : std::uint8_t
+{
+    Ok = 0,
+    InvalidArgument, //!< malformed spec string, bad option value
+    NotFound,        //!< missing file, unknown workload name
+    CorruptData,     //!< failed checksum, bad magic, garbage record
+    OutOfRange,      //!< value outside the representable range
+    IoError,         //!< the OS refused a read/write/open
+    FailedPrecondition, //!< the call is valid but not in this state
+    Internal,        //!< a bug in this library surfaced as a Status
+};
+
+/** Short stable name ("CorruptData") for a status code. */
+const char *statusCodeName(StatusCode code);
+
+/** An error code plus a human-readable message; default is OK. */
+class [[nodiscard]] Status
+{
+  public:
+    /** OK status. */
+    Status() = default;
+
+    /** Non-OK constructor. @pre code != StatusCode::Ok. */
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {}
+
+    /** True when the operation succeeded. */
+    bool ok() const { return code_ == StatusCode::Ok; }
+
+    StatusCode code() const { return code_; }
+
+    /** Empty for an OK status. */
+    const std::string &message() const { return message_; }
+
+    /** "CorruptData: bad magic" style rendering; "OK" when ok(). */
+    std::string toString() const;
+
+    bool operator==(const Status &other) const = default;
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/// @name printf-style Status constructors
+/// @{
+Status invalidArgumentError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status notFoundError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status corruptDataError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status outOfRangeError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status ioError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status failedPreconditionError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status internalError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+/// @}
+
+/**
+ * Either a T or the Status explaining why there is none.
+ *
+ * Implicitly constructible from both, so StatusOr-returning functions
+ * can `return value;` and `return corruptDataError(...);` alike.
+ */
+template <typename T>
+class [[nodiscard]] StatusOr
+{
+  public:
+    /** Wrap a failure. @pre !status.ok() (an OK status panics). */
+    StatusOr(Status status) : status_(std::move(status))
+    {
+        if (status_.ok())
+            panic("StatusOr constructed from an OK status");
+    }
+
+    /** Wrap a value. */
+    StatusOr(T value) : value_(std::move(value)) {}
+
+    /** True when a value is held. */
+    bool ok() const { return value_.has_value(); }
+
+    /** The status; OK when a value is held. */
+    const Status &status() const { return status_; }
+
+    /// @name Value access; panics when !ok().
+    /// @{
+    const T &value() const & { return checked(); }
+    T &value() & { return checked(); }
+    T &&value() && { return std::move(checked()); }
+    const T &operator*() const & { return checked(); }
+    T &operator*() & { return checked(); }
+    T &&operator*() && { return std::move(checked()); }
+    const T *operator->() const { return &checked(); }
+    T *operator->() { return &checked(); }
+    /// @}
+
+    /** The value, or @p fallback when this holds an error. */
+    template <typename U>
+    T
+    valueOr(U &&fallback) const &
+    {
+        return ok() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+    }
+
+    /** @copydoc valueOr */
+    template <typename U>
+    T
+    valueOr(U &&fallback) &&
+    {
+        return ok() ? std::move(*value_)
+                    : static_cast<T>(std::forward<U>(fallback));
+    }
+
+    /**
+     * Monadic map: apply @p f to the value, passing a failure through
+     * unchanged. @p f returns a plain value.
+     */
+    template <typename F>
+    auto
+    transform(F &&f) && -> StatusOr<decltype(f(std::declval<T &&>()))>
+    {
+        if (!ok())
+            return status_;
+        return f(std::move(*value_));
+    }
+
+    /**
+     * Monadic bind: apply @p f (which itself returns a StatusOr) to
+     * the value, passing a failure through unchanged.
+     */
+    template <typename F>
+    auto
+    andThen(F &&f) && -> decltype(f(std::declval<T &&>()))
+    {
+        if (!ok())
+            return status_;
+        return f(std::move(*value_));
+    }
+
+  private:
+    T &
+    checked() const
+    {
+        if (!value_.has_value()) {
+            panic("StatusOr::value() on error: %s",
+                  status_.toString().c_str());
+        }
+        return const_cast<T &>(*value_);
+    }
+
+    Status status_;
+    mutable std::optional<T> value_;
+};
+
+/** @cond internal macro plumbing */
+#define TL_STATUS_CONCAT_IMPL(a, b) a##b
+#define TL_STATUS_CONCAT(a, b) TL_STATUS_CONCAT_IMPL(a, b)
+/** @endcond */
+
+/**
+ * Evaluate a Status-returning expression; on failure, return the
+ * Status from the enclosing function.
+ */
+#define TL_RETURN_IF_ERROR(expr)                                        \
+    do {                                                                \
+        ::tl::Status tl_status_tmp_ = (expr);                           \
+        if (!tl_status_tmp_.ok())                                       \
+            return tl_status_tmp_;                                      \
+    } while (false)
+
+/** @cond internal macro plumbing */
+#define TL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)                        \
+    auto tmp = (expr);                                                  \
+    if (!tmp.ok())                                                      \
+        return tmp.status();                                            \
+    lhs = std::move(tmp).value()
+/** @endcond */
+
+/**
+ * Evaluate a StatusOr-returning expression; on failure, return its
+ * Status from the enclosing function, otherwise assign the value:
+ *
+ *   TL_ASSIGN_OR_RETURN(Trace trace, tryReadBinaryTrace(in));
+ */
+#define TL_ASSIGN_OR_RETURN(lhs, expr)                                  \
+    TL_ASSIGN_OR_RETURN_IMPL(                                           \
+        TL_STATUS_CONCAT(tl_statusor_tmp_, __LINE__), lhs, expr)
+
+} // namespace tl
+
+#endif // TL_UTIL_STATUS_OR_HH

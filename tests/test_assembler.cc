@@ -139,6 +139,47 @@ TEST(Assembler, JumpTableProgramExecutes)
     EXPECT_EQ(cpu.reg(3), 31);
 }
 
+TEST(Assembler, TryAssembleReturnsProgram)
+{
+    StatusOr<Program> program = tryAssemble("li r1, 42\nhalt\n");
+    ASSERT_TRUE(program.ok()) << program.status().toString();
+    Cpu cpu(*program);
+    cpu.run();
+    EXPECT_EQ(cpu.reg(1), 42);
+}
+
+TEST(Assembler, TryAssembleReportsLineNumberedErrors)
+{
+    StatusOr<Program> program = tryAssemble("nop\nnop\nbadop\n");
+    ASSERT_FALSE(program.ok());
+    EXPECT_EQ(program.status().code(), StatusCode::InvalidArgument);
+    EXPECT_NE(program.status().message().find("line 3"),
+              std::string::npos)
+        << program.status().toString();
+    EXPECT_NE(program.status().message().find("unknown mnemonic"),
+              std::string::npos);
+}
+
+TEST(Assembler, TryAssembleReportsUnboundLabelWithUseSite)
+{
+    StatusOr<Program> program =
+        tryAssemble("nop\nbeqz r1, nowhere\nhalt\n");
+    ASSERT_FALSE(program.ok());
+    EXPECT_NE(program.status().message().find("never bound"),
+              std::string::npos);
+    EXPECT_NE(program.status().message().find("line 2"),
+              std::string::npos)
+        << program.status().toString();
+}
+
+TEST(Assembler, TryAssembleFileMissingIsNotFound)
+{
+    StatusOr<Program> program =
+        tryAssembleFile("/nonexistent/tl_no_such_file.s");
+    ASSERT_FALSE(program.ok());
+    EXPECT_EQ(program.status().code(), StatusCode::NotFound);
+}
+
 TEST(AssemblerDeath, UnknownMnemonic)
 {
     EXPECT_EXIT(assemble("frobnicate r1, r2\n"),

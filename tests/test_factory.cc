@@ -91,6 +91,43 @@ TEST(Factory, AutomatonSelectionMatters)
     EXPECT_GT(a2_acc, lt_acc + 10.0);
 }
 
+TEST(Factory, TryMakePredictorSucceedsOnValidSpecs)
+{
+    StatusOr<std::unique_ptr<BranchPredictor>> predictor =
+        tryMakePredictor("PAg(BHT(512,4,12-sr),1xPHT(4096,A2))");
+    ASSERT_TRUE(predictor.ok()) << predictor.status().toString();
+    EXPECT_NE(*predictor, nullptr);
+}
+
+TEST(Factory, TryMakePredictorRejectsMalformedSpecText)
+{
+    StatusOr<std::unique_ptr<BranchPredictor>> predictor =
+        tryMakePredictor("NotAScheme(1,2,3)");
+    ASSERT_FALSE(predictor.ok());
+    EXPECT_EQ(predictor.status().code(),
+              StatusCode::InvalidArgument);
+}
+
+TEST(Factory, TryMakePredictorRejectsNonPowerOfTwoGeometry)
+{
+    StatusOr<std::unique_ptr<BranchPredictor>> predictor =
+        tryMakePredictor("PAg(BHT(500,4,12-sr),1xPHT(4096,A2))");
+    ASSERT_FALSE(predictor.ok());
+    EXPECT_EQ(predictor.status().code(),
+              StatusCode::InvalidArgument);
+    EXPECT_NE(predictor.status().message().find("power of two"),
+              std::string::npos);
+}
+
+TEST(FactoryDeath, ShimStillFatalsOnBadSpec)
+{
+    EXPECT_EXIT(makePredictor("NotAScheme(1,2,3)"),
+                ::testing::ExitedWithCode(1), "unknown scheme");
+    EXPECT_EXIT(
+        makePredictor("PAg(BHT(500,4,12-sr),1xPHT(4096,A2))"),
+        ::testing::ExitedWithCode(1), "power of two");
+}
+
 TEST(Factory, ContextSwitchFlagDoesNotAffectConstruction)
 {
     auto predictor =

@@ -117,6 +117,56 @@ TEST(Multiprogram, UnevenTraceLengthsDrainCorrectly)
     EXPECT_EQ(result.perProcess[1].conditionalBranches, 5000u);
 }
 
+TEST(Multiprogram, TryVariantRejectsBadInputsRecoverably)
+{
+    AlwaysTakenPredictor predictor;
+    StatusOr<MultiProgramResult> empty =
+        trySimulateMultiprogrammed({}, predictor);
+    ASSERT_FALSE(empty.ok());
+    EXPECT_EQ(empty.status().code(), StatusCode::InvalidArgument);
+
+    Trace trace = patternTrace(0x1000, "T", 10);
+    MultiProgramOptions options;
+    options.quantum = 0;
+    StatusOr<MultiProgramResult> zero_quantum =
+        trySimulateMultiprogrammed({&trace}, predictor, options);
+    ASSERT_FALSE(zero_quantum.ok());
+    EXPECT_EQ(zero_quantum.status().code(),
+              StatusCode::InvalidArgument);
+
+    StatusOr<MultiProgramResult> null_trace =
+        trySimulateMultiprogrammed({&trace, nullptr}, predictor);
+    ASSERT_FALSE(null_trace.ok());
+    EXPECT_NE(null_trace.status().message().find("process 1"),
+              std::string::npos);
+}
+
+TEST(Multiprogram, EmptyTraceDoesNotHangScheduler)
+{
+    // A workload salvaged down to zero records must be treated as
+    // already finished, not spun on forever.
+    Trace a = patternTrace(0x1000, "T", 100);
+    Trace empty;
+    AlwaysTakenPredictor predictor;
+    MultiProgramResult result =
+        simulateMultiprogrammed({&a, &empty}, predictor);
+    EXPECT_EQ(result.perProcess[0].conditionalBranches, 100u);
+    EXPECT_EQ(result.perProcess[1].conditionalBranches, 0u);
+}
+
+TEST(Multiprogram, ReportListsEveryProcessStatus)
+{
+    Trace a = patternTrace(0x1000, "T", 20);
+    Trace b = patternTrace(0x2000, "N", 20);
+    AlwaysTakenPredictor predictor;
+    MultiProgramResult result =
+        simulateMultiprogrammed({&a, &b}, predictor);
+    std::string report = result.report({"first", "second"});
+    EXPECT_NE(report.find("first"), std::string::npos);
+    EXPECT_NE(report.find("second"), std::string::npos);
+    EXPECT_NE(report.find("0 failed"), std::string::npos);
+}
+
 TEST(MultiprogramDeath, Validation)
 {
     AlwaysTakenPredictor predictor;

@@ -156,6 +156,54 @@ INSTANTIATE_TEST_SUITE_P(
         "BTB(BHT(512,4,A2))", "BTB(BHT(512,4,LT))", "AlwaysTaken",
         "BTFN", "Profiling"));
 
+TEST(Spec, TryParseReturnsValueOnSuccess)
+{
+    StatusOr<SchemeSpec> spec =
+        SchemeSpec::tryParse("GAg(HR(1,,18-sr),1xPHT(262144,A2))");
+    ASSERT_TRUE(spec.ok()) << spec.status().toString();
+    EXPECT_EQ(spec->scheme, "GAg");
+    EXPECT_EQ(spec->historyBits, 18u);
+}
+
+TEST(Spec, TryParseReportsInvalidArgument)
+{
+    struct Case
+    {
+        const char *text;
+        const char *expect;
+    };
+    const Case cases[] = {
+        {"", "empty"},
+        {"XXg(HR(1,,6-sr),1xPHT(64,A2))", "unknown scheme"},
+        {"GAg", "requires parameters"},
+        {"GAg(BHT(512,4,6-sr),1xPHT(64,A2))", "single HR"},
+        {"PAg(BHT(512,4,6-sr),1xPHT(128,A2))", "does not match"},
+        {"PAg(BHT(512,4,6-sr)", "unbalanced"},
+        {"PAg(BHT(512,4,6-sr),1xPHT(64,A9))", "content"},
+    };
+    for (const Case &c : cases) {
+        StatusOr<SchemeSpec> spec = SchemeSpec::tryParse(c.text);
+        ASSERT_FALSE(spec.ok()) << c.text;
+        EXPECT_EQ(spec.status().code(), StatusCode::InvalidArgument)
+            << c.text;
+        EXPECT_NE(spec.status().message().find(c.expect),
+                  std::string::npos)
+            << c.text << " -> " << spec.status().toString();
+    }
+}
+
+TEST(Spec, TryParseSurvivesManyMalformedInputsInOneProcess)
+{
+    // The point of the recoverable parser: a server can shrug off an
+    // unbounded stream of bad specs without dying.
+    for (int i = 0; i < 100; ++i) {
+        std::string bad = "GAg(HR(" + std::string(i, '(') + ")";
+        EXPECT_FALSE(SchemeSpec::tryParse(bad).ok());
+    }
+    EXPECT_TRUE(
+        SchemeSpec::tryParse("GAg(HR(1,,6-sr),1xPHT(64,A2))").ok());
+}
+
 TEST(SpecDeath, Errors)
 {
     EXPECT_EXIT(SchemeSpec::parse(""), ::testing::ExitedWithCode(1),

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for the recoverable error layer (Status / StatusOr) and
+ * the CRC-32 used by the v2 trace format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "util/crc32.hh"
+#include "util/status_or.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(Status, DefaultIsOk)
+{
+    Status status;
+    EXPECT_TRUE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::Ok);
+    EXPECT_EQ(status.message(), "");
+    EXPECT_EQ(status.toString(), "OK");
+}
+
+TEST(Status, ConstructorsFormatAndClassify)
+{
+    Status status = corruptDataError("bad byte at %d", 42);
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::CorruptData);
+    EXPECT_EQ(status.message(), "bad byte at 42");
+    EXPECT_EQ(status.toString(), "CorruptData: bad byte at 42");
+
+    EXPECT_EQ(invalidArgumentError("x").code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(notFoundError("x").code(), StatusCode::NotFound);
+    EXPECT_EQ(outOfRangeError("x").code(), StatusCode::OutOfRange);
+    EXPECT_EQ(ioError("x").code(), StatusCode::IoError);
+    EXPECT_EQ(failedPreconditionError("x").code(),
+              StatusCode::FailedPrecondition);
+    EXPECT_EQ(internalError("x").code(), StatusCode::Internal);
+}
+
+TEST(Status, CodeNamesAreStable)
+{
+    EXPECT_STREQ(statusCodeName(StatusCode::Ok), "OK");
+    EXPECT_STREQ(statusCodeName(StatusCode::CorruptData),
+                 "CorruptData");
+    EXPECT_STREQ(statusCodeName(StatusCode::InvalidArgument),
+                 "InvalidArgument");
+}
+
+TEST(StatusOr, HoldsValue)
+{
+    StatusOr<int> result = 7;
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.status().ok());
+    EXPECT_EQ(result.value(), 7);
+    EXPECT_EQ(*result, 7);
+    EXPECT_EQ(result.valueOr(-1), 7);
+}
+
+TEST(StatusOr, HoldsError)
+{
+    StatusOr<int> result = notFoundError("no such thing");
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::NotFound);
+    EXPECT_EQ(result.valueOr(-1), -1);
+}
+
+TEST(StatusOr, MoveOnlyTypes)
+{
+    StatusOr<std::unique_ptr<int>> result = std::make_unique<int>(9);
+    ASSERT_TRUE(result.ok());
+    std::unique_ptr<int> owned = *std::move(result);
+    EXPECT_EQ(*owned, 9);
+}
+
+TEST(StatusOr, TransformMapsValueAndPropagatesError)
+{
+    StatusOr<int> seven = 7;
+    StatusOr<int> doubled =
+        std::move(seven).transform([](int v) { return v * 2; });
+    ASSERT_TRUE(doubled.ok());
+    EXPECT_EQ(*doubled, 14);
+
+    StatusOr<int> bad = corruptDataError("nope");
+    StatusOr<int> still_bad =
+        std::move(bad).transform([](int v) { return v * 2; });
+    EXPECT_FALSE(still_bad.ok());
+    EXPECT_EQ(still_bad.status().code(), StatusCode::CorruptData);
+}
+
+TEST(StatusOr, AndThenChainsStatusOrs)
+{
+    auto half = [](int v) -> StatusOr<int> {
+        if (v % 2 != 0)
+            return invalidArgumentError("%d is odd", v);
+        return v / 2;
+    };
+    StatusOr<int> four = StatusOr<int>(8).andThen(half);
+    ASSERT_TRUE(four.ok());
+    EXPECT_EQ(*four, 4);
+    EXPECT_FALSE(StatusOr<int>(7).andThen(half).ok());
+}
+
+StatusOr<int>
+parsePositive(int v)
+{
+    if (v <= 0)
+        return outOfRangeError("%d is not positive", v);
+    return v;
+}
+
+Status
+sumPositive(int a, int b, int &out)
+{
+    TL_ASSIGN_OR_RETURN(int left, parsePositive(a));
+    TL_ASSIGN_OR_RETURN(int right, parsePositive(b));
+    out = left + right;
+    return Status();
+}
+
+TEST(StatusOr, AssignOrReturnMacro)
+{
+    int out = 0;
+    EXPECT_TRUE(sumPositive(2, 3, out).ok());
+    EXPECT_EQ(out, 5);
+
+    Status status = sumPositive(2, -1, out);
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::OutOfRange);
+}
+
+Status
+checkTwice(const Status &inner)
+{
+    TL_RETURN_IF_ERROR(inner);
+    TL_RETURN_IF_ERROR(Status());
+    return Status();
+}
+
+TEST(StatusOr, ReturnIfErrorMacro)
+{
+    EXPECT_TRUE(checkTwice(Status()).ok());
+    EXPECT_EQ(checkTwice(ioError("disk on fire")).code(),
+              StatusCode::IoError);
+}
+
+TEST(StatusOrDeath, ValueOnErrorPanics)
+{
+    StatusOr<int> bad = corruptDataError("nope");
+    EXPECT_DEATH((void)bad.value(), "nope");
+}
+
+// The IEEE CRC-32 check value: crc32("123456789") == 0xcbf43926.
+TEST(Crc32, MatchesKnownVectors)
+{
+    const char *check = "123456789";
+    EXPECT_EQ(crc32(check, std::strlen(check)), 0xcbf43926u);
+    EXPECT_EQ(crc32("", 0), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    std::string data = "the quick brown fox jumps over the lazy dog";
+    Crc32 crc;
+    crc.update(data.data(), 10);
+    crc.update(data.data() + 10, data.size() - 10);
+    EXPECT_EQ(crc.value(), crc32(data.data(), data.size()));
+}
+
+TEST(Crc32, IntegerHelpersMatchByteEncoding)
+{
+    unsigned char bytes[12] = {0x78, 0x56, 0x34, 0x12, 0xef, 0xcd,
+                               0xab, 0x89, 0x67, 0x45, 0x23, 0x01};
+    Crc32 a;
+    a.updateU32(0x12345678u);
+    a.updateU64(0x0123456789abcdefull);
+    EXPECT_EQ(a.value(), crc32(bytes, sizeof(bytes)));
+}
+
+} // namespace
+} // namespace tl

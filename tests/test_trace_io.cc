@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "trace/faults.hh"
 #include "trace/io.hh"
 #include "trace/synthetic.hh"
 
@@ -132,6 +133,222 @@ TEST(TraceIoDeath, UnknownClass)
     stream << "0x1000 0x2000 banana T 4 .\n";
     EXPECT_EXIT(readTextTrace(stream), ::testing::ExitedWithCode(1),
                 "class");
+}
+
+TEST(TraceIo, WriterEmitsVersion2Framing)
+{
+    Trace original = sampleTrace();
+    std::stringstream stream;
+    writeBinaryTrace(original, stream);
+    std::string bytes = stream.str();
+    // header (16) + per record: 24-byte payload + 4-byte CRC.
+    ASSERT_EQ(bytes.size(), 16 + original.size() * 28);
+    EXPECT_EQ(bytes.substr(0, 4), "TLBT");
+    EXPECT_EQ(static_cast<unsigned char>(bytes[4]),
+              traceFormatVersion);
+}
+
+TEST(TraceIo, Version1TracesStillLoad)
+{
+    Trace original = sampleTrace();
+    // Serialize by hand in the v1 layout: header with version 1,
+    // then unprotected 24-byte records.
+    std::string bytes = "TLBT";
+    auto putU32 = [&](std::uint32_t v) {
+        for (int i = 0; i < 4; ++i)
+            bytes += static_cast<char>((v >> (8 * i)) & 0xff);
+    };
+    auto putU64 = [&](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            bytes += static_cast<char>((v >> (8 * i)) & 0xff);
+    };
+    putU32(1);
+    putU64(original.size());
+    for (const BranchRecord &r : original.records()) {
+        putU64(r.pc);
+        putU64(r.target);
+        putU32(static_cast<std::uint32_t>(r.cls) |
+               (r.taken ? 0x100u : 0u) | (r.trap ? 0x200u : 0u));
+        putU32(r.instsSince);
+    }
+
+    std::istringstream in(bytes);
+    StatusOr<Trace> loaded = tryReadBinaryTrace(in);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    EXPECT_EQ(*loaded, original);
+}
+
+TEST(TraceIo, TryReadReportsChecksumMismatch)
+{
+    Trace original = sampleTrace();
+    std::stringstream stream;
+    writeBinaryTrace(original, stream);
+    std::string bytes = stream.str();
+    bytes[16 + 3] ^= 0x40; // flip one payload bit in record 0
+
+    std::istringstream in(bytes);
+    StatusOr<Trace> result = tryReadBinaryTrace(in);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::CorruptData);
+    EXPECT_NE(result.status().message().find("checksum"),
+              std::string::npos);
+    EXPECT_NE(result.status().message().find("record 0"),
+              std::string::npos);
+}
+
+TEST(TraceIo, TryReadDiagnosesTruncationWithByteOffset)
+{
+    Trace original = sampleTrace();
+    std::stringstream stream;
+    writeBinaryTrace(original, stream);
+    std::string bytes = stream.str();
+    std::istringstream in(bytes.substr(0, bytes.size() - 5));
+    StatusOr<Trace> result = tryReadBinaryTrace(in);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::CorruptData);
+    EXPECT_NE(result.status().message().find("truncated"),
+              std::string::npos);
+    EXPECT_NE(result.status().message().find("byte"),
+              std::string::npos);
+}
+
+TEST(TraceIo, TryReadTextReportsLineNumbers)
+{
+    std::stringstream stream;
+    stream << "0x1000 0x2000 cond T 4 .\n"
+           << "0x1000 zzz cond T 4 .\n";
+    StatusOr<Trace> result = tryReadTextTrace(stream);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::CorruptData);
+    EXPECT_NE(result.status().message().find("line 2"),
+              std::string::npos);
+}
+
+TEST(TraceIo, TextNumbersNoLongerThrow)
+{
+    // Overlong and non-numeric fields used to escape as uncaught
+    // std::stoull exceptions; now they are diagnostics.
+    std::stringstream stream;
+    stream << "99999999999999999999999999 0x2000 cond T 4 .\n";
+    StatusOr<Trace> result = tryReadTextTrace(stream);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::CorruptData);
+}
+
+TEST(TraceIo, FormatFromPathIsCaseInsensitive)
+{
+    ASSERT_TRUE(traceFormatFromPath("a/b/trace.txt").ok());
+    EXPECT_EQ(*traceFormatFromPath("a/b/trace.txt"),
+              TraceFormat::Text);
+    EXPECT_EQ(*traceFormatFromPath("a/b/TRACE.TXT"),
+              TraceFormat::Text);
+    EXPECT_EQ(*traceFormatFromPath("a/b/trace.Txt"),
+              TraceFormat::Text);
+    EXPECT_EQ(*traceFormatFromPath("a/b/trace.bin"),
+              TraceFormat::Binary);
+    EXPECT_EQ(*traceFormatFromPath("trace.tlbt"),
+              TraceFormat::Binary);
+}
+
+TEST(TraceIo, ExtensionlessPathsAreRejectedNotMisparsed)
+{
+    for (const char *path :
+         {"trace", "dir.txt/trace", ".hidden", "trace."}) {
+        StatusOr<TraceFormat> format = traceFormatFromPath(path);
+        ASSERT_FALSE(format.ok()) << path;
+        EXPECT_EQ(format.status().code(), StatusCode::InvalidArgument)
+            << path;
+    }
+
+    Trace trace = sampleTrace();
+    EXPECT_EQ(trySaveTrace(trace, "/tmp/tl_noext").code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(tryLoadTrace("/tmp/tl_noext").status().code(),
+              StatusCode::InvalidArgument);
+}
+
+TEST(TraceIo, CaseInsensitiveExtensionRoundTrip)
+{
+    Trace original = sampleTrace();
+    std::string path = ::testing::TempDir() + "/tl_trace.TXT";
+    ASSERT_TRUE(trySaveTrace(original, path).ok());
+    std::ifstream in(path);
+    std::string first_line;
+    std::getline(in, first_line);
+    EXPECT_EQ(first_line[0], '#'); // really the text format
+    StatusOr<Trace> loaded = tryLoadTrace(path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(*loaded, original);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, TryLoadMissingFileIsNotFound)
+{
+    StatusOr<Trace> result =
+        tryLoadTrace(::testing::TempDir() + "/tl_does_not_exist.bin");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::NotFound);
+}
+
+// Satellite property test: random synthetic traces, written in v2,
+// corrupted with every fault kind under a seed sweep, must come back
+// as error-or-salvage — and clean round trips must be exact.
+TEST(TraceIoProperty, SeedSweepRoundTripAndCorruption)
+{
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        ClassMixSource::Config config;
+        config.trapProbability = seed % 3 == 0 ? 0.05 : 0.0;
+        config.sitesPerClass = 4 + static_cast<unsigned>(seed);
+        ClassMixSource source(config, 50 + 30 * seed, seed);
+        Trace original;
+        original.appendAll(source);
+
+        std::stringstream stream;
+        writeBinaryTrace(original, stream);
+        std::string bytes = stream.str();
+
+        // Clean round trip is exact.
+        std::istringstream clean(bytes);
+        StatusOr<Trace> loaded = tryReadBinaryTrace(clean);
+        ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+        EXPECT_EQ(*loaded, original);
+
+        for (FaultKind kind : allFaultKinds()) {
+            std::string damaged = injectFault(bytes, kind, seed);
+            std::istringstream strict_in(damaged);
+            EXPECT_FALSE(tryReadBinaryTrace(strict_in).ok())
+                << faultKindName(kind) << " seed " << seed;
+
+            TraceReadOptions salvage;
+            salvage.salvageTruncated = true;
+            TraceReadStats stats;
+            std::istringstream salvage_in(damaged);
+            StatusOr<Trace> recovered =
+                tryReadBinaryTrace(salvage_in, salvage, &stats);
+            if (recovered.ok()) {
+                EXPECT_TRUE(stats.salvaged);
+                EXPECT_LE(recovered->size(), original.size());
+            }
+        }
+    }
+}
+
+TEST(TraceIoDeath, ExtensionlessLoadFatalsInShim)
+{
+    EXPECT_EXIT(loadTrace("/tmp/tl_noext"),
+                ::testing::ExitedWithCode(1), "extension");
+}
+
+TEST(TraceIoDeath, ChecksumMismatchFatalsInShim)
+{
+    Trace original = sampleTrace();
+    std::stringstream stream;
+    writeBinaryTrace(original, stream);
+    std::string bytes = stream.str();
+    bytes[16] ^= 0x01;
+    std::istringstream in(bytes);
+    EXPECT_EXIT(readBinaryTrace(in), ::testing::ExitedWithCode(1),
+                "checksum");
 }
 
 TEST(TraceIo, FileRoundTripByExtension)
