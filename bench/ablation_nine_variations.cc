@@ -4,7 +4,8 @@
  * follow-up work develops from this paper's three variations. First
  * level: one global register (G), 64 per-set registers (S), or
  * per-address registers (P, ideal); second level: one table (g), 64
- * per-set tables (s), or per-address tables (p). All at k = 8.
+ * per-set tables (s), or per-address tables (p). All at k = 8, the
+ * nine variations fanned out as one parallel sweep.
  *
  * The paper's GAg/PAg/PAp are the corners of this matrix; the set
  * schemes trade interference against cost between them.
@@ -13,8 +14,9 @@
 #include <cstdio>
 
 #include "predictor/two_level.hh"
-#include "sim/experiment.hh"
+#include "sim/sweep.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace
 {
@@ -40,8 +42,6 @@ configFor(HistoryScope history, PatternScope pattern)
 int
 main()
 {
-    WorkloadSuite suite;
-
     const HistoryScope histories[] = {HistoryScope::Global,
                                       HistoryScope::PerSet,
                                       HistoryScope::PerAddress};
@@ -49,28 +49,36 @@ main()
                                      PatternScope::PerSet,
                                      PatternScope::PerAddress};
 
+    std::vector<SweepSpec> columns;
+    for (HistoryScope history : histories) {
+        for (PatternScope pattern : patterns) {
+            TwoLevelConfig config = configFor(history, pattern);
+            SweepSpec column;
+            column.displayName = config.variationName();
+            column.make = [config] {
+                return std::make_unique<TwoLevelPredictor>(config);
+            };
+            columns.push_back(std::move(column));
+        }
+    }
+
+    RunOptions options;
+    options.threads = ThreadPool::hardwareThreads();
+    SweepRunner runner(options);
+    std::vector<ResultSet> results = runner.run(columns);
+
     TextTable table({"History \\ Pattern", "global (g)",
                      "per-set (s)", "per-address (p)"});
     table.setTitle("Extension: Tot GMean accuracy (%) over the "
                    "{G,S,P} x {g,s,p} taxonomy at k=8");
-
-    for (HistoryScope history : histories) {
+    for (std::size_t h = 0; h < 3; ++h) {
         std::vector<std::string> row;
-        row.push_back(history == HistoryScope::Global ? "global (G)"
-                      : history == HistoryScope::PerSet
-                          ? "per-set (S)"
-                          : "per-address (P)");
-        for (PatternScope pattern : patterns) {
-            TwoLevelConfig config = configFor(history, pattern);
-            ResultSet results = runOnSuite(
-                config.variationName(),
-                [&config] {
-                    return std::make_unique<TwoLevelPredictor>(
-                        config);
-                },
-                suite);
-            row.push_back(TextTable::num(results.totalGMean()));
-        }
+        row.push_back(h == 0   ? "global (G)"
+                      : h == 1 ? "per-set (S)"
+                               : "per-address (P)");
+        for (std::size_t p = 0; p < 3; ++p)
+            row.push_back(
+                TextTable::num(results[3 * h + p].totalGMean()));
         table.addRow(std::move(row));
     }
     std::fputs(table.toText().c_str(), stdout);

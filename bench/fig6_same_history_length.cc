@@ -4,6 +4,8 @@
  * the same length, for k = 2..12 (ideal BHTs isolate the structural
  * interference effects, as in the paper's definitional comparison).
  *
+ * All 18 (scheme, k) configurations fan out as one parallel sweep.
+ *
  * Paper result: PAp best, PAg second, GAg worst at equal k; GAg is
  * not effective with short registers because every branch updates the
  * same history register.
@@ -11,46 +13,44 @@
 
 #include <cstdio>
 
-#include "sim/experiment.hh"
+#include "sim/sweep.hh"
 #include "util/status.hh"
-#include "sim/report.hh"
+#include "util/strings.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 int
 main()
 {
     using namespace tl;
 
-    WorkloadSuite suite;
-    TextTable table(
-        {"k", "GAg", "PAg(IBHT)", "PAp(IBHT)"});
+    const unsigned ks[] = {2, 4, 6, 8, 10, 12};
+
+    std::vector<SweepSpec> columns;
+    for (unsigned k : ks) {
+        unsigned long long entries = 1ULL << k;
+        columns.push_back(sweepSpec(strprintf(
+            "GAg(HR(1,,%u-sr),1xPHT(%llu,A2))", k, entries)));
+        columns.push_back(sweepSpec(strprintf(
+            "PAg(IBHT(inf,,%u-sr),1xPHT(%llu,A2))", k, entries)));
+        columns.push_back(sweepSpec(strprintf(
+            "PAp(IBHT(inf,,%u-sr),infxPHT(%llu,A2))", k, entries)));
+    }
+
+    RunOptions options;
+    options.threads = ThreadPool::hardwareThreads();
+    SweepRunner runner(options);
+    std::vector<ResultSet> results = runner.run(columns);
+
+    TextTable table({"k", "GAg", "PAg(IBHT)", "PAp(IBHT)"});
     table.setTitle("Figure 6: Tot GMean accuracy (%) at equal "
                    "history register length");
-
-    for (unsigned k : {2u, 4u, 6u, 8u, 10u, 12u}) {
-        std::uint64_t entries = std::uint64_t{1} << k;
-        double gag = runOnSuite(
-                         strprintf("GAg(HR(1,,%u-sr),1xPHT(%llu,A2))",
-                                   k,
-                                   static_cast<unsigned long long>(
-                                       entries)),
-                         suite)
-                         .totalGMean();
-        double pag =
-            runOnSuite(
-                strprintf("PAg(IBHT(inf,,%u-sr),1xPHT(%llu,A2))", k,
-                          static_cast<unsigned long long>(entries)),
-                suite)
-                .totalGMean();
-        double pap =
-            runOnSuite(
-                strprintf("PAp(IBHT(inf,,%u-sr),infxPHT(%llu,A2))", k,
-                          static_cast<unsigned long long>(entries)),
-                suite)
-                .totalGMean();
-        table.addRow({TextTable::num(std::uint64_t{k}),
-                      TextTable::num(gag), TextTable::num(pag),
-                      TextTable::num(pap)});
+    for (std::size_t i = 0; i < std::size(ks); ++i) {
+        table.addRow(
+            {TextTable::num(std::uint64_t{ks[i]}),
+             TextTable::num(results[3 * i + 0].totalGMean()),
+             TextTable::num(results[3 * i + 1].totalGMean()),
+             TextTable::num(results[3 * i + 2].totalGMean())});
     }
     std::fputs(table.toText().c_str(), stdout);
     std::printf("\nexpected shape: PAp >= PAg >> GAg at small k; "

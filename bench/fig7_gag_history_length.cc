@@ -1,41 +1,44 @@
 /**
  * @file
  * Figure 7: GAg accuracy as a function of history register length,
- * k = 6..18. The paper reports a 9 percent accuracy gain from
- * lengthening the register from 6 to 18 bits.
+ * k = 6..18, all seven configurations as one parallel sweep. The
+ * paper reports a 9 percent accuracy gain from lengthening the
+ * register from 6 to 18 bits.
  */
 
 #include <cstdio>
 
-#include "sim/experiment.hh"
-#include "util/status.hh"
 #include "sim/report.hh"
+#include "sim/sweep.hh"
+#include "util/strings.hh"
+#include "util/thread_pool.hh"
 
 int
 main()
 {
     using namespace tl;
 
-    WorkloadSuite suite;
-    std::vector<ResultSet> columns;
+    std::vector<SweepSpec> columns;
     for (unsigned k : {6u, 8u, 10u, 12u, 14u, 16u, 18u}) {
-        std::string spec = strprintf(
+        SweepSpec column = sweepSpec(strprintf(
             "GAg(HR(1,,%u-sr),1xPHT(%llu,A2))", k,
-            static_cast<unsigned long long>(std::uint64_t{1} << k));
-        ResultSet results = runOnSuite(spec, suite);
+            static_cast<unsigned long long>(std::uint64_t{1} << k)));
         // Compact column label for readability.
-        ResultSet relabeled(strprintf("k=%u", k));
-        for (const BenchmarkResult &r : results.results())
-            relabeled.add(r);
-        columns.push_back(std::move(relabeled));
+        column.displayName = strprintf("k=%u", k);
+        columns.push_back(std::move(column));
     }
+
+    RunOptions options;
+    options.threads = ThreadPool::hardwareThreads();
+    SweepRunner runner(options);
+    std::vector<ResultSet> results = runner.run(columns);
 
     printReport("Figure 7: GAg accuracy (%) vs history register "
                 "length",
-                columns, "fig7_gag_history_length");
+                results, "fig7_gag_history_length");
     std::printf("paper: +9%% accuracy from k=6 to k=18; measured "
                 "Tot GMean gain: %.2f%%\n",
-                columns.back().totalGMean() -
-                    columns.front().totalGMean());
+                results.back().totalGMean() -
+                    results.front().totalGMean());
     return 0;
 }

@@ -1,127 +1,193 @@
 /**
  * @file
- * google-benchmark microbenchmarks: predictor lookup/update
- * throughput and tracer speed — the library's quality-of-service
- * numbers (not a paper figure).
+ * Sweep throughput: aggregate predictions/second of the experiment
+ * engine over the nine-workload suite, serial vs. parallel — the
+ * library's quality-of-service numbers (not a paper figure).
+ *
+ * Runs a six-configuration x nine-workload grid once serially
+ * (threads = 0, the baseline every parallel run must match
+ * counter-for-counter) and then at increasing thread counts, prints
+ * the timing table, and writes machine-readable
+ * "BENCH_throughput.json" (into TL_RESULTS_DIR if set, else the
+ * current directory) so the performance trajectory is recorded
+ * across revisions.
+ *
+ * Usage: throughput [--threads=N]   (adds N to the measured counts)
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
-#include "predictor/btb.hh"
-#include "predictor/static_schemes.hh"
-#include "predictor/two_level.hh"
-#include "sim/engine.hh"
-#include "trace/synthetic.hh"
-#include "workloads/registry.hh"
+#include "sim/sweep.hh"
+#include "util/status.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace
 {
 
 using namespace tl;
 
-/** A reusable noisy trace for predictor throughput runs. */
-const Trace &
-benchTrace()
+/** Wall-clock seconds of one full sweep at @p threads workers. */
+double
+timedSweep(WorkloadSuite &suite, const std::vector<SweepSpec> &columns,
+           unsigned threads, std::vector<ResultSet> &out)
 {
-    static const Trace trace = [] {
-        Trace t;
-        MarkovSource source({{0x1000, 0.9, 0.7},
-                             {0x2040, 0.8, 0.8},
-                             {0x30c0, 0.95, 0.3},
-                             {0x4100, 0.6, 0.6}},
-                            200000, 12345);
-        t.appendAll(source);
-        return t;
-    }();
-    return trace;
+    RunOptions options;
+    options.threads = threads;
+    SweepRunner runner(suite, options);
+    auto start = std::chrono::steady_clock::now();
+    out = runner.run(columns);
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count();
 }
 
-void
-runPredictor(benchmark::State &state, BranchPredictor &predictor)
+/** Counter-for-counter comparison against the serial baseline. */
+bool
+identicalResults(const std::vector<ResultSet> &a,
+                 const std::vector<ResultSet> &b)
 {
-    const Trace &trace = benchTrace();
-    for (auto _ : state) {
-        SimResult result = simulate(trace, predictor);
-        benchmark::DoNotOptimize(result.correct);
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const auto &ra = a[i].results();
+        const auto &rb = b[i].results();
+        if (ra.size() != rb.size())
+            return false;
+        for (std::size_t j = 0; j < ra.size(); ++j) {
+            if (ra[j].benchmark != rb[j].benchmark ||
+                !(ra[j].sim == rb[j].sim))
+                return false;
+        }
     }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(trace.size()));
+    return true;
 }
 
-void
-BM_GAg(benchmark::State &state)
+std::uint64_t
+totalPredictions(const std::vector<ResultSet> &results)
 {
-    TwoLevelPredictor predictor(TwoLevelConfig::gag(
-        static_cast<unsigned>(state.range(0))));
-    runPredictor(state, predictor);
+    std::uint64_t total = 0;
+    for (const ResultSet &column : results)
+        for (const BenchmarkResult &r : column.results())
+            total += r.sim.conditionalBranches;
+    return total;
 }
-BENCHMARK(BM_GAg)->Arg(6)->Arg(12)->Arg(18);
-
-void
-BM_PAgPractical(benchmark::State &state)
-{
-    TwoLevelPredictor predictor(TwoLevelConfig::pag(12));
-    runPredictor(state, predictor);
-}
-BENCHMARK(BM_PAgPractical);
-
-void
-BM_PAgIdeal(benchmark::State &state)
-{
-    TwoLevelPredictor predictor(TwoLevelConfig::pagIdeal(12));
-    runPredictor(state, predictor);
-}
-BENCHMARK(BM_PAgIdeal);
-
-void
-BM_PApPractical(benchmark::State &state)
-{
-    TwoLevelPredictor predictor(TwoLevelConfig::pap(6));
-    runPredictor(state, predictor);
-}
-BENCHMARK(BM_PApPractical);
-
-void
-BM_Btb(benchmark::State &state)
-{
-    BtbPredictor predictor(BtbConfig{});
-    runPredictor(state, predictor);
-}
-BENCHMARK(BM_Btb);
-
-void
-BM_AlwaysTaken(benchmark::State &state)
-{
-    AlwaysTakenPredictor predictor;
-    runPredictor(state, predictor);
-}
-BENCHMARK(BM_AlwaysTaken);
-
-void
-BM_TracerMatrix300(benchmark::State &state)
-{
-    for (auto _ : state) {
-        Trace trace = matrix300Workload().captureTesting(20000);
-        benchmark::DoNotOptimize(trace.size());
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) * 20000);
-}
-BENCHMARK(BM_TracerMatrix300);
-
-void
-BM_TracerGcc(benchmark::State &state)
-{
-    for (auto _ : state) {
-        Trace trace = gccWorkload().captureTesting(20000);
-        benchmark::DoNotOptimize(trace.size());
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) * 20000);
-}
-BENCHMARK(BM_TracerGcc);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    unsigned extraThreads = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--threads=", 10) == 0)
+            extraThreads = static_cast<unsigned>(
+                std::strtoul(argv[i] + 10, nullptr, 10));
+    }
+
+    // Adaptive schemes only (no training pass), so every cell is one
+    // simulate() call and the grid is uniform.
+    const std::vector<SweepSpec> columns = {
+        sweepSpec("GAg(HR(1,,12-sr),1xPHT(4096,A2))"),
+        sweepSpec("PAg(BHT(512,4,12-sr),1xPHT(4096,A2))"),
+        sweepSpec("PAg(IBHT(inf,,12-sr),1xPHT(4096,A2))"),
+        sweepSpec("PAp(BHT(512,4,6-sr),512xPHT(64,A2))"),
+        sweepSpec("BTB(BHT(512,4,A2))"),
+        sweepSpec("AlwaysTaken"),
+    };
+
+    // Generate all traces up front so the timings below measure the
+    // sweep engine, not the tracer.
+    WorkloadSuite suite;
+    for (const Workload *workload : allWorkloads())
+        suite.testingTrace(*workload);
+
+    std::vector<unsigned> threadCounts = {1, 2, 4};
+    unsigned hardware = ThreadPool::hardwareThreads();
+    if (hardware > 4)
+        threadCounts.push_back(hardware);
+    if (extraThreads != 0)
+        threadCounts.push_back(extraThreads);
+
+    std::vector<ResultSet> serial;
+    double serialSeconds = timedSweep(suite, columns, 0, serial);
+    std::uint64_t predictions = totalPredictions(serial);
+    double serialRate =
+        static_cast<double>(predictions) / serialSeconds;
+
+    TextTable table({"threads", "seconds", "predictions/sec",
+                     "speedup", "identical"});
+    table.setTitle(strprintf(
+        "Sweep throughput: %zu configs x 9 workloads, %llu "
+        "predictions/run (%u hardware threads)",
+        columns.size(),
+        static_cast<unsigned long long>(predictions), hardware));
+    table.addRow({"serial", TextTable::num(serialSeconds),
+                  TextTable::num(serialRate), TextTable::num(1.0),
+                  "yes"});
+
+    std::string parallelJson;
+    for (unsigned threads : threadCounts) {
+        std::vector<ResultSet> parallel;
+        double seconds = timedSweep(suite, columns, threads, parallel);
+        bool identical = identicalResults(serial, parallel);
+        double rate = static_cast<double>(predictions) / seconds;
+        double speedup = serialSeconds / seconds;
+        table.addRow({TextTable::num(std::uint64_t{threads}),
+                      TextTable::num(seconds), TextTable::num(rate),
+                      TextTable::num(speedup),
+                      identical ? "yes" : "NO"});
+        if (!parallelJson.empty())
+            parallelJson += ",\n";
+        parallelJson += strprintf(
+            "    {\"threads\": %u, \"seconds\": %.6f, "
+            "\"predictionsPerSec\": %.0f, \"speedup\": %.3f, "
+            "\"identicalToSerial\": %s}",
+            threads, seconds, rate, speedup,
+            identical ? "true" : "false");
+        if (!identical)
+            warn("threads=%u diverged from the serial baseline",
+                 threads);
+    }
+    std::fputs(table.toText().c_str(), stdout);
+    std::printf("\nexpected: speedup approaching the smaller of the "
+                "thread count and the %u hardware threads; "
+                "'identical' must stay yes\n",
+                hardware);
+
+    std::string dir = ".";
+    if (const char *env = std::getenv("TL_RESULTS_DIR"))
+        dir = env;
+    std::string path = dir + "/BENCH_throughput.json";
+    std::FILE *json = std::fopen(path.c_str(), "w");
+    if (!json) {
+        warn("cannot write %s", path.c_str());
+        return 1;
+    }
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"bench\": \"throughput\",\n"
+        "  \"branchBudget\": %llu,\n"
+        "  \"workloads\": 9,\n"
+        "  \"configs\": %zu,\n"
+        "  \"predictionsPerRun\": %llu,\n"
+        "  \"hardwareThreads\": %u,\n"
+        "  \"serial\": {\"seconds\": %.6f, "
+        "\"predictionsPerSec\": %.0f},\n"
+        "  \"parallel\": [\n%s\n  ]\n"
+        "}\n",
+        static_cast<unsigned long long>(suite.condBranches()),
+        columns.size(),
+        static_cast<unsigned long long>(predictions), hardware,
+        serialSeconds, serialRate, parallelJson.c_str());
+    std::fclose(json);
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}

@@ -1,33 +1,47 @@
 /**
  * @file
  * compare_schemes: run a set of predictors over the nine-benchmark
- * suite and print the paper-style accuracy table (a smaller
- * Figure 11).
+ * suite — in parallel — and print the paper-style accuracy table (a
+ * smaller Figure 11).
  *
  * Usage:
  *   compare_schemes                     # the default scheme zoo
  *   compare_schemes "<spec>" ...        # explicit Table-3 specs, e.g.
  *       compare_schemes "PAg(BHT(512,4,12-sr),1xPHT(4096,A2))" BTFN
+ *   compare_schemes --threads=4 ...     # worker threads (default:
+ *                                       # all hardware threads;
+ *                                       # 0 runs serially)
  *
- * Set TL_BENCH_BRANCHES to change the per-benchmark trace length.
+ * Set TL_BENCH_BRANCHES to change the per-benchmark trace length
+ * (read once at startup).
  */
 
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
-#include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "sim/sweep.hh"
+#include "util/thread_pool.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace tl;
 
+    RunOptions options;
+    options.threads = ThreadPool::hardwareThreads();
+
     std::vector<std::string> specs;
-    if (argc > 1) {
-        for (int i = 1; i < argc; ++i)
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--threads=", 10) == 0)
+            options.threads = static_cast<unsigned>(
+                std::strtoul(argv[i] + 10, nullptr, 10));
+        else
             specs.emplace_back(argv[i]);
-    } else {
+    }
+    if (specs.empty()) {
         specs = {
             "PAg(BHT(512,4,12-sr),1xPHT(4096,A2))",
             "PSg(BHT(512,4,12-sr),1xPHT(4096,PB))",
@@ -39,13 +53,15 @@ main(int argc, char **argv)
         };
     }
 
-    WorkloadSuite suite;
-    std::vector<ResultSet> columns;
+    std::vector<SweepSpec> columns;
     columns.reserve(specs.size());
     for (const std::string &spec : specs)
-        columns.push_back(runOnSuite(spec, suite));
+        columns.push_back(sweepSpec(spec));
 
-    printReport("Prediction accuracy (percent) per scheme", columns,
+    SweepRunner runner(options);
+    std::vector<ResultSet> results = runner.run(columns);
+
+    printReport("Prediction accuracy (percent) per scheme", results,
                 "compare_schemes");
     return 0;
 }

@@ -126,4 +126,31 @@ makePredictor(std::string_view text)
     return *std::move(predictor);
 }
 
+StatusOr<PredictorFactory>
+tryFactoryFromSpec(SchemeSpec spec)
+{
+    StatusOr<std::unique_ptr<BranchPredictor>> probe =
+        tryMakePredictor(spec);
+    if (!probe.ok())
+        return probe.status();
+    return PredictorFactory(
+        [spec = std::move(spec)] { return makePredictor(spec); });
+}
+
+PredictorFactory
+factoryFromSpec(SchemeSpec spec)
+{
+    StatusOr<PredictorFactory> factory =
+        tryFactoryFromSpec(std::move(spec));
+    if (!factory.ok())
+        fatal("%s", factory.status().message().c_str());
+    return *std::move(factory);
+}
+
+PredictorFactory
+factoryFromSpec(std::string_view text)
+{
+    return factoryFromSpec(SchemeSpec::parse(text));
+}
+
 } // namespace tl

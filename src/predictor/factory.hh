@@ -9,6 +9,7 @@
 #ifndef TL_PREDICTOR_FACTORY_HH
 #define TL_PREDICTOR_FACTORY_HH
 
+#include <functional>
 #include <memory>
 #include <string_view>
 
@@ -18,6 +19,14 @@
 
 namespace tl
 {
+
+/**
+ * A factory producing fresh predictors of one configuration — the
+ * unit the experiment harness sweeps: one fresh predictor per
+ * (configuration, benchmark) cell.
+ */
+using PredictorFactory =
+    std::function<std::unique_ptr<BranchPredictor>()>;
 
 /**
  * Build a predictor from a parsed spec.
@@ -39,6 +48,20 @@ std::unique_ptr<BranchPredictor> makePredictor(const SchemeSpec &spec);
 
 /** Shim around tryMakePredictor(text): calls fatal() on failure. */
 std::unique_ptr<BranchPredictor> makePredictor(std::string_view text);
+
+/**
+ * A PredictorFactory that builds fresh predictors from @p spec. The
+ * spec is validated eagerly (one probe construction), so a
+ * misconfiguration surfaces here rather than at the first cell of a
+ * sweep.
+ */
+StatusOr<PredictorFactory> tryFactoryFromSpec(SchemeSpec spec);
+
+/** Shim around tryFactoryFromSpec(): calls fatal() on failure. */
+PredictorFactory factoryFromSpec(SchemeSpec spec);
+
+/** Parse @p text and build the factory; calls fatal() on failure. */
+PredictorFactory factoryFromSpec(std::string_view text);
 
 } // namespace tl
 

@@ -11,13 +11,11 @@ simulate(TraceSource &source, BranchPredictor &predictor,
     std::uint64_t insts_since_switch = 0;
 
     BranchRecord record;
-    while (source.next(record)) {
-        if (options.maxConditionalBranches != 0 &&
-            result.conditionalBranches >=
-                options.maxConditionalBranches) {
-            break;
-        }
-
+    while (result.conditionalBranches <
+               (options.maxConditionalBranches
+                    ? options.maxConditionalBranches
+                    : UINT64_MAX) &&
+           source.next(record)) {
         ++result.allBranches;
         result.instructions += record.instsSince;
 

@@ -76,6 +76,9 @@ struct SimResult
         return conditionalBranches == 0 ? 0.0
                                         : 100.0 - accuracyPercent();
     }
+
+    /** Counter-for-counter equality (sweep determinism checks). */
+    bool operator==(const SimResult &other) const = default;
 };
 
 /**
@@ -86,6 +89,12 @@ struct SimResult
  * once decoded, as the paper notes for its conditional-branch focus).
  * The predictor is NOT reset first, so warmed-up predictors can be
  * measured; call predictor.reset() beforehand for a cold run.
+ *
+ * When maxConditionalBranches stops the run, the source is left
+ * positioned exactly after the last counted conditional branch — no
+ * record is consumed and discarded — so a follow-up simulate() on the
+ * same source resumes seamlessly (how RunOptions::warmupFraction
+ * splits a trace into a warmup phase and a measured phase).
  */
 SimResult simulate(TraceSource &source, BranchPredictor &predictor,
                    const SimOptions &options = {});

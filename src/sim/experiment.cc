@@ -8,8 +8,11 @@
 namespace tl
 {
 
+namespace
+{
+
 std::uint64_t
-defaultBranchBudget()
+readBranchBudgetFromEnv()
 {
     if (const char *env = std::getenv("TL_BENCH_BRANCHES")) {
         auto value = parseU64(env);
@@ -20,35 +23,82 @@ defaultBranchBudget()
     return 200000;
 }
 
+} // namespace
+
+std::uint64_t
+defaultBranchBudget()
+{
+    // Read once: callers must not depend on the process environment
+    // changing mid-run (and worker threads must not race getenv
+    // against a setenv elsewhere).
+    static const std::uint64_t cachedBudget = readBranchBudgetFromEnv();
+    return cachedBudget;
+}
+
 WorkloadSuite::WorkloadSuite(std::uint64_t condBranches)
     : budget(condBranches ? condBranches : defaultBranchBudget())
 {
 }
 
+std::shared_ptr<const Trace>
+WorkloadSuite::cached(std::map<std::string, Entry> &cache,
+                      const Workload &workload, bool wantTraining)
+{
+    std::promise<std::shared_ptr<const Trace>> promise;
+    Entry entry;
+    bool producer = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = cache.find(workload.name());
+        if (it == cache.end()) {
+            producer = true;
+            entry = promise.get_future().share();
+            cache.emplace(workload.name(), entry);
+        } else {
+            entry = it->second;
+        }
+    }
+    // Trace generation happens outside the lock so different
+    // workloads can be captured concurrently; waiters on the same
+    // workload block on the shared_future instead of the mutex.
+    if (producer) {
+        promise.set_value(std::make_shared<const Trace>(
+            wantTraining ? workload.captureTraining(budget)
+                         : workload.captureTesting(budget)));
+    }
+    return entry.get();
+}
+
+std::shared_ptr<const Trace>
+WorkloadSuite::testingTrace(const Workload &workload)
+{
+    return cached(testingTraces, workload, false);
+}
+
+StatusOr<std::shared_ptr<const Trace>>
+WorkloadSuite::tryTraining(const Workload &workload)
+{
+    if (!workload.hasTraining()) {
+        return failedPreconditionError(
+            "workload '%s' has no training dataset (Table 2: NA)",
+            workload.name().c_str());
+    }
+    return cached(trainingTraces, workload, true);
+}
+
 const Trace &
 WorkloadSuite::testing(const Workload &workload)
 {
-    auto it = testingTraces.find(workload.name());
-    if (it == testingTraces.end()) {
-        it = testingTraces
-                 .emplace(workload.name(),
-                          workload.captureTesting(budget))
-                 .first;
-    }
-    return it->second;
+    return *testingTrace(workload);
 }
 
 const Trace &
 WorkloadSuite::training(const Workload &workload)
 {
-    auto it = trainingTraces.find(workload.name());
-    if (it == trainingTraces.end()) {
-        it = trainingTraces
-                 .emplace(workload.name(),
-                          workload.captureTraining(budget))
-                 .first;
-    }
-    return it->second;
+    auto trace = tryTraining(workload);
+    if (!trace.ok())
+        fatal("%s", trace.status().message().c_str());
+    return **trace;
 }
 
 ResultSet
@@ -79,9 +129,8 @@ runOnSuite(const std::string &specText, WorkloadSuite &suite,
     SchemeSpec spec = SchemeSpec::parse(specText);
     if (spec.contextSwitch)
         options.contextSwitches = true;
-    return runOnSuite(
-        spec.toString(), [&spec] { return makePredictor(spec); },
-        suite, options);
+    return runOnSuite(spec.toString(), factoryFromSpec(spec), suite,
+                      options);
 }
 
 } // namespace tl

@@ -5,31 +5,50 @@
  * configurations) and helpers that run one scheme over the whole
  * nine-benchmark suite.
  *
+ * WorkloadSuite is thread-safe: traces are generated once, cached
+ * behind a mutex, and handed out as std::shared_ptr<const Trace>, so
+ * a parallel sweep (sim/sweep.hh) can share one suite across worker
+ * threads. Two threads asking for different workloads generate them
+ * concurrently; two threads asking for the same workload generate it
+ * once (the second blocks until the first finishes).
+ *
  * The conditional-branch budget per benchmark defaults to a
  * laptop-friendly value and can be overridden with the environment
- * variable TL_BENCH_BRANCHES (the paper uses 20 million).
+ * variable TL_BENCH_BRANCHES (the paper uses 20 million). The
+ * variable is read once, at the first defaultBranchBudget() call;
+ * later environment changes are ignored. Prefer routing an explicit
+ * budget through RunOptions::branchBudget (sim/sweep.hh).
  */
 
 #ifndef TL_SIM_EXPERIMENT_HH
 #define TL_SIM_EXPERIMENT_HH
 
-#include <functional>
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "predictor/factory.hh"
 #include "sim/engine.hh"
 #include "sim/metrics.hh"
+#include "util/status_or.hh"
 #include "workloads/registry.hh"
 
 namespace tl
 {
 
-/** Branch budget per benchmark: TL_BENCH_BRANCHES or 200000. */
+/**
+ * Branch budget per benchmark: TL_BENCH_BRANCHES or 200000. The
+ * environment is consulted once; the value is cached for the life of
+ * the process.
+ */
 std::uint64_t defaultBranchBudget();
 
-/** Lazily generated, cached traces for the nine-benchmark suite. */
+/**
+ * Lazily generated, cached traces for the nine-benchmark suite.
+ * Thread-safe; see the file comment.
+ */
 class WorkloadSuite
 {
   public:
@@ -38,27 +57,48 @@ class WorkloadSuite
     /** Conditional branches captured per benchmark. */
     std::uint64_t condBranches() const { return budget; }
 
-    /** The testing-dataset trace of @p workload (cached). */
-    const Trace &testing(const Workload &workload);
+    /** The testing-dataset trace of @p workload (cached, shared). */
+    std::shared_ptr<const Trace> testingTrace(const Workload &workload);
 
     /**
-     * The training-dataset trace of @p workload (cached); calls
-     * fatal() for benchmarks whose Table 2 entry is NA.
+     * The training-dataset trace of @p workload (cached, shared);
+     * fails with StatusCode::FailedPrecondition for benchmarks whose
+     * Table 2 entry is NA instead of calling fatal().
      */
+    StatusOr<std::shared_ptr<const Trace>>
+    tryTraining(const Workload &workload);
+
+    /**
+     * @name Reference-returning shims (pre-sweep API)
+     * The references stay valid for the suite's lifetime (the cache
+     * never evicts). training() calls fatal() for NA benchmarks; new
+     * code should use tryTraining().
+     */
+    /// @{
+    const Trace &testing(const Workload &workload);
     const Trace &training(const Workload &workload);
+    /// @}
 
   private:
+    /** One cache slot: ready when the producing thread finished. */
+    using Entry = std::shared_future<std::shared_ptr<const Trace>>;
+
+    std::shared_ptr<const Trace>
+    cached(std::map<std::string, Entry> &cache,
+           const Workload &workload, bool wantTraining);
+
     std::uint64_t budget;
-    std::map<std::string, Trace> testingTraces;
-    std::map<std::string, Trace> trainingTraces;
+    std::mutex mutex;
+    std::map<std::string, Entry> testingTraces;
+    std::map<std::string, Entry> trainingTraces;
 };
 
-/** A factory producing a fresh predictor per benchmark. */
-using PredictorFactory =
-    std::function<std::unique_ptr<BranchPredictor>()>;
-
 /**
- * Run one scheme over every benchmark in the suite.
+ * Run one scheme over every benchmark in the suite, serially.
+ *
+ * Pre-sweep shim: new code should use runSuite()/SweepRunner
+ * (sim/sweep.hh), which add RunOptions and parallel execution. Kept
+ * for callers that need raw SimOptions control.
  *
  * A fresh predictor is built per benchmark. Schemes that need
  * training are trained on the benchmark's training trace; benchmarks

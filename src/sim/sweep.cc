@@ -1,0 +1,152 @@
+#include "sim/sweep.hh"
+
+#include "util/status.hh"
+#include "util/thread_pool.hh"
+
+namespace tl
+{
+
+SweepSpec
+sweepSpec(const SchemeSpec &spec)
+{
+    SweepSpec column;
+    column.displayName = spec.toString();
+    column.contextSwitches = spec.contextSwitch;
+    column.make = factoryFromSpec(spec);
+    return column;
+}
+
+SweepSpec
+sweepSpec(std::string_view specText)
+{
+    return sweepSpec(SchemeSpec::parse(specText));
+}
+
+SweepRunner::SweepRunner(RunOptions options)
+    : runOptions(options),
+      ownedSuite(std::make_unique<WorkloadSuite>(options.branchBudget)),
+      suitePtr(ownedSuite.get())
+{
+    if (runOptions.warmupFraction < 0.0 ||
+        runOptions.warmupFraction >= 1.0) {
+        fatal("RunOptions::warmupFraction must be in [0, 1), got %g",
+              runOptions.warmupFraction);
+    }
+}
+
+SweepRunner::SweepRunner(WorkloadSuite &suite, RunOptions options)
+    : runOptions(options), suitePtr(&suite)
+{
+    if (runOptions.warmupFraction < 0.0 ||
+        runOptions.warmupFraction >= 1.0) {
+        fatal("RunOptions::warmupFraction must be in [0, 1), got %g",
+              runOptions.warmupFraction);
+    }
+}
+
+std::optional<BenchmarkResult>
+SweepRunner::runCell(const SweepSpec &column,
+                     const Workload &workload) const
+{
+    std::unique_ptr<BranchPredictor> predictor = column.make();
+
+    if (predictor->needsTraining()) {
+        StatusOr<std::shared_ptr<const Trace>> training =
+            suitePtr->tryTraining(workload);
+        if (!training.ok())
+            return std::nullopt; // omitted point, as in Fig. 11
+        TraceReplaySource source(**training);
+        predictor->train(source);
+    }
+
+    SimOptions sim;
+    sim.contextSwitches =
+        runOptions.contextSwitches || column.contextSwitches;
+    sim.contextSwitchInterval = runOptions.contextSwitchInterval;
+    sim.switchOnTrap = runOptions.switchOnTrap;
+
+    std::shared_ptr<const Trace> testing =
+        suitePtr->testingTrace(workload);
+    TraceReplaySource source(*testing);
+    if (runOptions.warmupFraction > 0.0) {
+        SimOptions warmup = sim;
+        warmup.maxConditionalBranches = static_cast<std::uint64_t>(
+            runOptions.warmupFraction *
+            static_cast<double>(suitePtr->condBranches()));
+        simulate(source, *predictor, warmup); // state kept, counters
+                                              // discarded
+    }
+    SimResult result = simulate(source, *predictor, sim);
+    return BenchmarkResult{workload.name(), workload.isInteger(),
+                           result};
+}
+
+std::vector<ResultSet>
+SweepRunner::run(const std::vector<SweepSpec> &columns)
+{
+    const std::vector<const Workload *> &workloads = allWorkloads();
+    const std::size_t perColumn = workloads.size();
+    const std::size_t cells = columns.size() * perColumn;
+
+    // Each cell writes only its own slot, so the grid needs no lock;
+    // assembling from the grid afterwards makes the output order a
+    // function of the indices alone, not of thread scheduling.
+    std::vector<std::optional<BenchmarkResult>> grid(cells);
+    auto compute = [&](std::size_t cell) {
+        grid[cell] = runCell(columns[cell / perColumn],
+                             *workloads[cell % perColumn]);
+    };
+
+    if (runOptions.threads == 0) {
+        for (std::size_t cell = 0; cell < cells; ++cell)
+            compute(cell);
+    } else {
+        ThreadPool pool(runOptions.threads);
+        parallelFor(pool, cells, compute);
+    }
+
+    std::vector<ResultSet> results;
+    results.reserve(columns.size());
+    for (std::size_t ci = 0; ci < columns.size(); ++ci) {
+        ResultSet column(columns[ci].displayName);
+        for (std::size_t wi = 0; wi < perColumn; ++wi) {
+            if (const auto &cell = grid[ci * perColumn + wi])
+                column.add(*cell);
+        }
+        results.push_back(std::move(column));
+    }
+    return results;
+}
+
+ResultSet
+SweepRunner::run(const SweepSpec &column)
+{
+    return run(std::vector<SweepSpec>{column}).front();
+}
+
+ResultSet
+SweepRunner::run(std::string_view specText)
+{
+    return run(sweepSpec(specText));
+}
+
+ResultSet
+runSuite(const std::string &displayName, const PredictorFactory &make,
+         WorkloadSuite &suite, const RunOptions &options)
+{
+    SweepSpec column;
+    column.displayName = displayName;
+    column.make = make;
+    SweepRunner runner(suite, options);
+    return runner.run(column);
+}
+
+ResultSet
+runSuite(const std::string &specText, WorkloadSuite &suite,
+         const RunOptions &options)
+{
+    SweepRunner runner(suite, options);
+    return runner.run(sweepSpec(specText));
+}
+
+} // namespace tl

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The parallel experiment engine: fan a (predictor configuration x
+ * workload) grid out across a work-stealing thread pool.
+ *
+ * The unit of work is one *cell* — one fresh predictor simulated over
+ * one benchmark's trace. Cells are independent by construction (a
+ * fresh predictor per cell, immutable shared traces), so the sweep is
+ * deterministic: serial and parallel runs produce identical metrics,
+ * and results always come back in (column, registry) order no matter
+ * how the scheduler interleaved the cells. tests/test_determinism.cc
+ * asserts this counter-for-counter; the tsan preset re-checks it
+ * under ThreadSanitizer.
+ *
+ * All knobs travel in RunOptions — no environment reads mid-run. The
+ * old runOnSuite() entry points (sim/experiment.hh) remain as serial
+ * shims for one PR.
+ */
+
+#ifndef TL_SIM_SWEEP_HH
+#define TL_SIM_SWEEP_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace tl
+{
+
+/** Options for a suite run or sweep; plain data, no env reads. */
+struct RunOptions
+{
+    /**
+     * Worker threads for the sweep. 0 runs every cell serially on
+     * the calling thread (the deterministic baseline the parallel
+     * path must match).
+     */
+    unsigned threads = 0;
+
+    /**
+     * Conditional branches per benchmark; 0 uses
+     * defaultBranchBudget(). Only consulted when the runner builds
+     * its own WorkloadSuite — a caller-supplied suite already fixed
+     * its budget.
+     */
+    std::uint64_t branchBudget = 0;
+
+    /**
+     * Fraction of the trace simulated before counters start, in
+     * [0, 1). The predictor keeps the warmed state; only the
+     * remaining (1 - warmupFraction) of the trace is measured. 0
+     * measures from cold, as the paper does.
+     */
+    double warmupFraction = 0.0;
+
+    /** Simulate context switches for every column. */
+    bool contextSwitches = false;
+
+    /** Instruction quantum between forced switches (Sec. 5.1.4). */
+    std::uint64_t contextSwitchInterval = 500000;
+
+    /** Also switch on every trap marker in the trace. */
+    bool switchOnTrap = true;
+};
+
+/** One column of a sweep: a predictor configuration to run. */
+struct SweepSpec
+{
+    /** Column label in reports. */
+    std::string displayName;
+
+    /** Fresh-predictor factory, called once per cell. */
+    PredictorFactory make;
+
+    /**
+     * Turn on context switches for this column only (a Table-3
+     * spec's ",c" flag), independent of RunOptions::contextSwitches.
+     */
+    bool contextSwitches = false;
+};
+
+/** Build a SweepSpec from a parsed Table-3 spec. */
+SweepSpec sweepSpec(const SchemeSpec &spec);
+
+/** Build a SweepSpec from Table-3 spec text; fatal() on bad text. */
+SweepSpec sweepSpec(std::string_view specText);
+
+/**
+ * Runs (configuration x workload) grids over the nine-benchmark
+ * suite, optionally in parallel. One fresh predictor per cell;
+ * result ordering is deterministic regardless of scheduling.
+ */
+class SweepRunner
+{
+  public:
+    /** Own a suite (budget from options.branchBudget). */
+    explicit SweepRunner(RunOptions options = {});
+
+    /**
+     * Share @p suite (must outlive the runner). The suite's budget
+     * wins; options.branchBudget is ignored.
+     */
+    explicit SweepRunner(WorkloadSuite &suite, RunOptions options = {});
+
+    /** The trace cache used by this runner. */
+    WorkloadSuite &suite() { return *suitePtr; }
+
+    const RunOptions &options() const { return runOptions; }
+
+    /**
+     * Run every (column, workload) cell of the grid. Results come
+     * back one ResultSet per column, in column order, each with its
+     * benchmarks in registry order. Columns that need training skip
+     * benchmarks whose Table 2 entry is NA, as in the paper's
+     * Figure 11.
+     */
+    std::vector<ResultSet> run(const std::vector<SweepSpec> &columns);
+
+    /** Single-column convenience. */
+    ResultSet run(const SweepSpec &column);
+
+    /** Single-column convenience from Table-3 spec text. */
+    ResultSet run(std::string_view specText);
+
+  private:
+    /** One cell; nullopt when the column skips this benchmark. */
+    std::optional<BenchmarkResult>
+    runCell(const SweepSpec &column, const Workload &workload) const;
+
+    RunOptions runOptions;
+    std::unique_ptr<WorkloadSuite> ownedSuite;
+    WorkloadSuite *suitePtr;
+};
+
+/**
+ * Run one scheme over every benchmark, options-driven. The RunOptions
+ * replacement for runOnSuite(): same semantics at the default
+ * options, plus threads / warmup / explicit context-switch control.
+ */
+ResultSet runSuite(const std::string &displayName,
+                   const PredictorFactory &make, WorkloadSuite &suite,
+                   const RunOptions &options = {});
+
+/**
+ * Convenience overload: build predictors from a Table-3 style spec
+ * string; the spec's ",c" flag turns on context-switch simulation
+ * for this column.
+ */
+ResultSet runSuite(const std::string &specText, WorkloadSuite &suite,
+                   const RunOptions &options = {});
+
+} // namespace tl
+
+#endif // TL_SIM_SWEEP_HH

@@ -1,0 +1,150 @@
+#include "util/thread_pool.hh"
+
+namespace tl
+{
+
+namespace
+{
+
+/** The pool (if any) the current thread is a worker of. */
+thread_local ThreadPool *currentPool = nullptr;
+thread_local std::size_t currentWorker = 0;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threadCount)
+{
+    workers.reserve(threadCount);
+    for (unsigned i = 0; i < threadCount; ++i)
+        workers.push_back(std::make_unique<Worker>());
+    threads.reserve(threadCount);
+    for (unsigned i = 0; i < threadCount; ++i)
+        threads.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (std::thread &thread : threads)
+        thread.join();
+}
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    std::packaged_task<void()> packaged(std::move(task));
+    std::future<void> future = packaged.get_future();
+
+    if (workers.empty()) {
+        // Inline fallback: run on the calling thread right now. The
+        // packaged_task still routes an exception into the future.
+        packaged();
+        return future;
+    }
+
+    // A worker submitting keeps the task local (it will pop it LIFO);
+    // external submitters spread tasks round-robin.
+    std::size_t target =
+        currentPool == this
+            ? currentWorker
+            : nextQueue.fetch_add(1, std::memory_order_relaxed) %
+                  workers.size();
+    {
+        std::lock_guard<std::mutex> lock(workers[target]->mutex);
+        workers[target]->deque.push_back(std::move(packaged));
+    }
+    pending.fetch_add(1, std::memory_order_release);
+    {
+        // Taking the sleep mutex pairs with the wait predicate so a
+        // worker checking `pending` cannot miss this submission.
+        std::lock_guard<std::mutex> lock(sleepMutex);
+    }
+    wake.notify_one();
+    return future;
+}
+
+bool
+ThreadPool::popOwn(std::size_t self, std::packaged_task<void()> &task)
+{
+    Worker &worker = *workers[self];
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    if (worker.deque.empty())
+        return false;
+    task = std::move(worker.deque.back());
+    worker.deque.pop_back();
+    return true;
+}
+
+bool
+ThreadPool::steal(std::size_t self, std::packaged_task<void()> &task)
+{
+    for (std::size_t offset = 1; offset < workers.size(); ++offset) {
+        Worker &victim = *workers[(self + offset) % workers.size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (victim.deque.empty())
+            continue;
+        task = std::move(victim.deque.front());
+        victim.deque.pop_front();
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    currentPool = this;
+    currentWorker = self;
+    for (;;) {
+        std::packaged_task<void()> task;
+        if (popOwn(self, task) || steal(self, task)) {
+            pending.fetch_sub(1, std::memory_order_acq_rel);
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleepMutex);
+        if (stopping && pending.load(std::memory_order_acquire) == 0)
+            return;
+        wake.wait(lock, [this] {
+            return stopping ||
+                   pending.load(std::memory_order_acquire) > 0;
+        });
+        if (stopping && pending.load(std::memory_order_acquire) == 0)
+            return;
+    }
+}
+
+void
+parallelFor(ThreadPool &pool, std::size_t count,
+            const std::function<void(std::size_t)> &body)
+{
+    std::vector<std::future<void>> futures;
+    futures.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        futures.push_back(pool.submit([&body, i] { body(i); }));
+
+    std::exception_ptr first;
+    for (std::future<void> &future : futures) {
+        try {
+            future.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace tl

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * A small work-stealing thread pool for fanning independent
+ * simulation cells out across cores.
+ *
+ * Each worker owns a deque: the owner pushes and pops at the back
+ * (LIFO, cache-warm), idle workers steal from the front of a victim's
+ * deque (FIFO, oldest first). External submissions are distributed
+ * round-robin; submissions made from inside a worker go to that
+ * worker's own deque, the classic work-stealing discipline.
+ *
+ * Results and exceptions travel through std::future, so callers
+ * observe a deterministic completion order regardless of how tasks
+ * were scheduled: wait on the futures in the order you submitted.
+ *
+ * A pool constructed with zero threads runs every task inline in
+ * submit() on the calling thread — the serial fallback used when
+ * parallelism is disabled — with identical future semantics
+ * (exceptions are still captured into the future, not thrown out of
+ * submit()).
+ */
+
+#ifndef TL_UTIL_THREAD_POOL_HH
+#define TL_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tl
+{
+
+/** Fixed-size work-stealing thread pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p threads workers. Zero means no workers: submit() then
+     * executes tasks inline on the calling thread.
+     */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains: blocks until every submitted task has finished. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker count (0 for an inline pool). */
+    unsigned
+    threadCount() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+    /**
+     * Enqueue @p task. The returned future becomes ready when the
+     * task finishes; an exception escaping the task is rethrown by
+     * future::get().
+     */
+    std::future<void> submit(std::function<void()> task);
+
+    /** std::thread::hardware_concurrency(), never zero. */
+    static unsigned hardwareThreads();
+
+  private:
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<std::packaged_task<void()>> deque;
+    };
+
+    void workerLoop(std::size_t self);
+    bool popOwn(std::size_t self, std::packaged_task<void()> &task);
+    bool steal(std::size_t self, std::packaged_task<void()> &task);
+
+    std::vector<std::unique_ptr<Worker>> workers;
+    std::vector<std::thread> threads;
+    std::mutex sleepMutex;
+    std::condition_variable wake;
+    std::atomic<std::size_t> pending{0};
+    std::atomic<std::size_t> nextQueue{0};
+    bool stopping = false; // guarded by sleepMutex
+};
+
+/**
+ * Run body(0) .. body(count - 1) on @p pool and wait for all of them.
+ * Blocks until every iteration finished even when some fail; the
+ * first exception (in index order) is then rethrown. With an inline
+ * (zero-thread) pool this is a plain serial loop.
+ */
+void parallelFor(ThreadPool &pool, std::size_t count,
+                 const std::function<void(std::size_t)> &body);
+
+} // namespace tl
+
+#endif // TL_UTIL_THREAD_POOL_HH

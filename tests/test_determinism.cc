@@ -12,6 +12,7 @@
 
 #include "predictor/factory.hh"
 #include "sim/experiment.hh"
+#include "sim/sweep.hh"
 #include "trace/synthetic.hh"
 #include "workloads/registry.hh"
 
@@ -89,6 +90,69 @@ TEST(Determinism, SuiteRunsAreStableAcrossRepetition)
                   second.results()[i].sim.correct);
     }
     EXPECT_DOUBLE_EQ(first.totalGMean(), second.totalGMean());
+}
+
+TEST(Determinism, ParallelSweepMatchesSerialCounterForCounter)
+{
+    // The sweep engine's core guarantee: a parallel run (threads = 4)
+    // of a GAg/PAg/PAp grid over all nine workloads produces metrics
+    // identical to the serial run in every counter, and in the same
+    // order, regardless of how the scheduler interleaved the cells.
+    // The `tsan` preset re-runs this under ThreadSanitizer.
+    const std::vector<SweepSpec> columns = {
+        sweepSpec("GAg(HR(1,,8-sr),1xPHT(256,A2))"),
+        sweepSpec("PAg(BHT(512,4,8-sr),1xPHT(256,A2))"),
+        sweepSpec("PAp(BHT(64,2,4-sr),64xPHT(16,A2))"),
+    };
+
+    WorkloadSuite suite(3000);
+    RunOptions serialOptions;
+    SweepRunner serial(suite, serialOptions);
+    std::vector<ResultSet> expected = serial.run(columns);
+
+    RunOptions parallelOptions;
+    parallelOptions.threads = 4;
+    SweepRunner parallel(suite, parallelOptions);
+    std::vector<ResultSet> actual = parallel.run(columns);
+
+    ASSERT_EQ(expected.size(), actual.size());
+    for (std::size_t ci = 0; ci < expected.size(); ++ci) {
+        SCOPED_TRACE(columns[ci].displayName);
+        EXPECT_EQ(expected[ci].scheme(), actual[ci].scheme());
+        ASSERT_EQ(expected[ci].results().size(), 9u);
+        ASSERT_EQ(actual[ci].results().size(), 9u);
+        for (std::size_t wi = 0; wi < 9; ++wi) {
+            const BenchmarkResult &e = expected[ci].results()[wi];
+            const BenchmarkResult &a = actual[ci].results()[wi];
+            SCOPED_TRACE(e.benchmark);
+            EXPECT_EQ(e.benchmark, a.benchmark);
+            EXPECT_EQ(e.isInteger, a.isInteger);
+            EXPECT_EQ(e.sim, a.sim); // every counter, byte for byte
+        }
+    }
+}
+
+TEST(Determinism, ParallelSweepIsStableAcrossFreshSuites)
+{
+    // Even when the parallel run generates its traces concurrently
+    // (fresh suite, cold cache), the outcome matches a serial run
+    // with its own fresh suite.
+    RunOptions serialOptions;
+    serialOptions.branchBudget = 2000;
+    SweepRunner serial(serialOptions);
+    ResultSet expected =
+        serial.run("PAg(BHT(512,4,8-sr),1xPHT(256,A2))");
+
+    RunOptions parallelOptions;
+    parallelOptions.branchBudget = 2000;
+    parallelOptions.threads = 4;
+    SweepRunner parallel(parallelOptions);
+    ResultSet actual =
+        parallel.run("PAg(BHT(512,4,8-sr),1xPHT(256,A2))");
+
+    ASSERT_EQ(expected.results().size(), actual.results().size());
+    for (std::size_t i = 0; i < expected.results().size(); ++i)
+        EXPECT_EQ(expected.results()[i].sim, actual.results()[i].sim);
 }
 
 TEST(Determinism, TrainingIsReproducible)

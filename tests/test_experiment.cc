@@ -94,14 +94,19 @@ TEST(RunOnSuite, CustomFactoryAndName)
     EXPECT_EQ(results.results().size(), 9u);
 }
 
-TEST(DefaultBranchBudget, EnvOverride)
+TEST(DefaultBranchBudget, ReadOnceAndCached)
 {
+    // The environment is consulted exactly once per process; callers
+    // must not see the budget change mid-run. (Route explicit budgets
+    // through RunOptions::branchBudget instead.)
+    std::uint64_t first = defaultBranchBudget();
+    EXPECT_GT(first, 0u);
     ::setenv("TL_BENCH_BRANCHES", "4321", 1);
-    EXPECT_EQ(defaultBranchBudget(), 4321u);
+    EXPECT_EQ(defaultBranchBudget(), first);
     ::setenv("TL_BENCH_BRANCHES", "bogus", 1);
-    EXPECT_EQ(defaultBranchBudget(), 200000u);
+    EXPECT_EQ(defaultBranchBudget(), first);
     ::unsetenv("TL_BENCH_BRANCHES");
-    EXPECT_EQ(defaultBranchBudget(), 200000u);
+    EXPECT_EQ(defaultBranchBudget(), first);
 }
 
 } // namespace

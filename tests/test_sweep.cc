@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the options-driven sweep API: RunOptions semantics,
+ * SweepRunner grids, result ordering, warmup accounting, the
+ * spec-based factory helper, the thread-safe WorkloadSuite accessors
+ * and equivalence with the legacy serial helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "predictor/two_level.hh"
+#include "sim/sweep.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(Sweep, MatchesLegacyRunOnSuite)
+{
+    WorkloadSuite suite(1500);
+    ResultSet legacy =
+        runOnSuite("PAg(BHT(512,4,8-sr),1xPHT(256,A2))", suite);
+    ResultSet modern =
+        runSuite("PAg(BHT(512,4,8-sr),1xPHT(256,A2))", suite);
+    ASSERT_EQ(legacy.results().size(), modern.results().size());
+    for (std::size_t i = 0; i < legacy.results().size(); ++i) {
+        EXPECT_EQ(legacy.results()[i].benchmark,
+                  modern.results()[i].benchmark);
+        EXPECT_EQ(legacy.results()[i].sim, modern.results()[i].sim);
+    }
+}
+
+TEST(Sweep, GridComesBackInColumnAndRegistryOrder)
+{
+    RunOptions options;
+    options.threads = 4;
+    options.branchBudget = 1000;
+    SweepRunner runner(options);
+    std::vector<SweepSpec> columns = {
+        sweepSpec("AlwaysTaken"),
+        sweepSpec("BTFN"),
+        sweepSpec("GAg(HR(1,,6-sr),1xPHT(64,A2))"),
+    };
+    std::vector<ResultSet> results = runner.run(columns);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].scheme(), "AlwaysTaken");
+    EXPECT_EQ(results[1].scheme(), "BTFN");
+    const std::vector<const Workload *> &workloads = allWorkloads();
+    for (const ResultSet &column : results) {
+        ASSERT_EQ(column.results().size(), workloads.size());
+        for (std::size_t wi = 0; wi < workloads.size(); ++wi)
+            EXPECT_EQ(column.results()[wi].benchmark,
+                      workloads[wi]->name());
+    }
+}
+
+TEST(Sweep, OwnedSuiteUsesBranchBudgetOption)
+{
+    RunOptions options;
+    options.branchBudget = 1234;
+    SweepRunner runner(options);
+    EXPECT_EQ(runner.suite().condBranches(), 1234u);
+    ResultSet results = runner.run("AlwaysTaken");
+    for (const BenchmarkResult &r : results.results())
+        EXPECT_EQ(r.sim.conditionalBranches, 1234u);
+}
+
+TEST(Sweep, TrainingColumnsSkipNaBenchmarks)
+{
+    RunOptions options;
+    options.threads = 2;
+    options.branchBudget = 1200;
+    SweepRunner runner(options);
+    ResultSet results =
+        runner.run("PSg(BHT(512,4,8-sr),1xPHT(256,PB))");
+    EXPECT_EQ(results.results().size(), 5u);
+    EXPECT_FALSE(results.accuracy("eqntott").has_value());
+    EXPECT_TRUE(results.accuracy("gcc").has_value());
+}
+
+TEST(Sweep, ContextSwitchFlagFromSpecIsPerColumn)
+{
+    // 8000 branches: enough for gcc (the trap-heaviest workload) to
+    // execute at least one trap, so ",c" visibly injects switches.
+    WorkloadSuite suite(8000);
+    ResultSet without =
+        runSuite("GAg(HR(1,,8-sr),1xPHT(256,A2))", suite);
+    ResultSet with =
+        runSuite("GAg(HR(1,,8-sr),1xPHT(256,A2),c)", suite);
+    ASSERT_EQ(without.results().size(), with.results().size());
+    bool anySwitches = false;
+    for (const BenchmarkResult &r : with.results())
+        anySwitches |= r.sim.contextSwitchCount > 0;
+    EXPECT_TRUE(anySwitches);
+    for (const BenchmarkResult &r : without.results())
+        EXPECT_EQ(r.sim.contextSwitchCount, 0u);
+}
+
+TEST(Sweep, WarmupFractionSplitsTheTrace)
+{
+    WorkloadSuite suite(2000);
+    RunOptions cold;
+    ResultSet coldRun =
+        runSuite("PAg(BHT(512,4,8-sr),1xPHT(256,A2))", suite, cold);
+
+    RunOptions warm;
+    warm.warmupFraction = 0.5;
+    ResultSet warmRun =
+        runSuite("PAg(BHT(512,4,8-sr),1xPHT(256,A2))", suite, warm);
+
+    ASSERT_EQ(warmRun.results().size(), 9u);
+    for (const BenchmarkResult &r : warmRun.results())
+        EXPECT_EQ(r.sim.conditionalBranches, 1000u); // measured half
+    for (const BenchmarkResult &r : coldRun.results())
+        EXPECT_EQ(r.sim.conditionalBranches, 2000u);
+}
+
+TEST(Sweep, FactoryFromSpecBuildsFreshPredictors)
+{
+    PredictorFactory make =
+        factoryFromSpec("PAg(BHT(512,4,8-sr),1xPHT(256,A2))");
+    auto a = make();
+    auto b = make();
+    ASSERT_NE(a.get(), nullptr);
+    ASSERT_NE(b.get(), nullptr);
+    EXPECT_NE(a.get(), b.get()); // fresh instance per call
+}
+
+TEST(Sweep, TryFactoryFromSpecReportsBadSpecs)
+{
+    SchemeSpec spec =
+        SchemeSpec::parse("PAg(BHT(512,4,8-sr),1xPHT(256,A2))");
+    spec.historyEntries = 300; // not a power of two
+    StatusOr<PredictorFactory> factory = tryFactoryFromSpec(spec);
+    EXPECT_FALSE(factory.ok());
+    EXPECT_EQ(factory.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST(WorkloadSuiteSharedCache, TryTrainingReportsNaAsStatus)
+{
+    WorkloadSuite suite(800);
+    StatusOr<std::shared_ptr<const Trace>> na =
+        suite.tryTraining(tomcatvWorkload());
+    ASSERT_FALSE(na.ok());
+    EXPECT_EQ(na.status().code(), StatusCode::FailedPrecondition);
+
+    StatusOr<std::shared_ptr<const Trace>> ok =
+        suite.tryTraining(gccWorkload());
+    ASSERT_TRUE(ok.ok());
+    EXPECT_FALSE((*ok)->empty());
+}
+
+TEST(WorkloadSuiteSharedCache, SharedPointersAliasTheCache)
+{
+    WorkloadSuite suite(800);
+    std::shared_ptr<const Trace> first =
+        suite.testingTrace(matrix300Workload());
+    std::shared_ptr<const Trace> second =
+        suite.testingTrace(matrix300Workload());
+    EXPECT_EQ(first.get(), second.get());
+    // The reference shim hands out the same cached object.
+    EXPECT_EQ(&suite.testing(matrix300Workload()), first.get());
+}
+
+TEST(WorkloadSuiteSharedCache, ConcurrentAccessYieldsOneTrace)
+{
+    // Many threads asking for the same (and different) workloads must
+    // agree on a single cached trace per workload; TSan (the `tsan`
+    // preset) checks the synchronization.
+    WorkloadSuite suite(500);
+    constexpr int threadCount = 8;
+    std::vector<std::shared_ptr<const Trace>> seen(threadCount);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < threadCount; ++t) {
+        threads.emplace_back([&suite, &seen, t] {
+            const Workload &other = t % 2 ? gccWorkload()
+                                          : doducWorkload();
+            suite.testingTrace(other);
+            seen[t] = suite.testingTrace(eqntottWorkload());
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    for (int t = 1; t < threadCount; ++t)
+        EXPECT_EQ(seen[t].get(), seen[0].get());
+}
+
+TEST(Sweep, CustomFactoryColumn)
+{
+    RunOptions options;
+    options.threads = 2;
+    options.branchBudget = 1000;
+    SweepRunner runner(options);
+    SweepSpec column;
+    column.displayName = "my-column";
+    column.make = [] {
+        return std::make_unique<TwoLevelPredictor>(
+            TwoLevelConfig::pag(8));
+    };
+    ResultSet results = runner.run(column);
+    EXPECT_EQ(results.scheme(), "my-column");
+    EXPECT_EQ(results.results().size(), 9u);
+}
+
+} // namespace
+} // namespace tl

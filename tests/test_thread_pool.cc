@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Thread pool unit tests: completion, deterministic result ordering,
+ * exception propagation through futures, the zero-thread inline
+ * fallback, nested submission (work-stealing's local-queue path) and
+ * destructor drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 200; ++i)
+        futures.push_back(pool.submit([&counter] { ++counter; }));
+    for (auto &future : futures)
+        future.get();
+    EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ResultOrderingIsDeterministic)
+{
+    // Tasks finish in arbitrary order, but writing through
+    // parallelFor's index means the output is a pure function of the
+    // index, not of the schedule.
+    ThreadPool pool(4);
+    std::vector<std::size_t> out(100, 0);
+    parallelFor(pool, out.size(),
+                [&out](std::size_t i) { out[i] = i * i; });
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    std::future<void> future = pool.submit(
+        [] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+
+    // A failure must not poison the pool.
+    std::atomic<bool> ran{false};
+    pool.submit([&ran] { ran = true; }).get();
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstFailureAfterFinishing)
+{
+    ThreadPool pool(4);
+    std::atomic<int> completed{0};
+    EXPECT_THROW(parallelFor(pool, 50,
+                             [&completed](std::size_t i) {
+                                 if (i == 7)
+                                     throw std::runtime_error("cell 7");
+                                 ++completed;
+                             }),
+                 std::runtime_error);
+    // Every non-throwing iteration still ran: no early abandonment.
+    EXPECT_EQ(completed.load(), 49);
+}
+
+TEST(ThreadPool, ZeroThreadsRunsInline)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 0u);
+    std::thread::id executor;
+    // With no workers the task runs during submit(), on this thread:
+    // the side effect is visible before touching the future.
+    bool ran = false;
+    std::future<void> future = pool.submit([&] {
+        ran = true;
+        executor = std::this_thread::get_id();
+    });
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(executor, std::this_thread::get_id());
+    future.get(); // already ready
+
+    // Inline execution keeps future-based exception semantics.
+    std::future<void> failing =
+        pool.submit([] { throw std::runtime_error("inline"); });
+    EXPECT_THROW(failing.get(), std::runtime_error);
+
+    std::vector<int> out(10, 0);
+    parallelFor(pool, out.size(),
+                [&out](std::size_t i) { out[i] = static_cast<int>(i); });
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(out[i], i);
+}
+
+TEST(ThreadPool, NestedSubmissionDoesNotDeadlock)
+{
+    // A task submitting follow-up work exercises the worker-local
+    // queue (the work-stealing fast path).
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> inner(4);
+    pool.submit([&] {
+           for (auto &slot : inner)
+               slot = pool.submit([&counter] { ++counter; });
+       })
+        .get();
+    for (auto &future : inner)
+        future.get();
+    EXPECT_EQ(counter.load(), 4);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&counter] { ++counter; });
+        // No explicit wait: ~ThreadPool must finish the queue.
+    }
+    EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+} // namespace
+} // namespace tl
