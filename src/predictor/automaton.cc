@@ -1,11 +1,34 @@
 #include "predictor/automaton.hh"
 
+#include "predictor/automaton_defs.hh"
 #include "util/bitops.hh"
 #include "util/status.hh"
 #include "util/strings.hh"
 
 namespace tl
 {
+
+namespace
+{
+
+/**
+ * Materialize a runtime Automaton from one of the constexpr Fig. 2
+ * definitions (predictor/automaton_defs.hh). The tables those
+ * definitions carry are proven total, closed and paper-consistent by
+ * static_assert when this file is compiled.
+ */
+template <std::size_t N>
+Automaton
+fromDef(const automata::AutomatonDef<N> &def)
+{
+    std::vector<std::array<Automaton::State, 2>> transitions(
+        def.next.begin(), def.next.end());
+    std::vector<bool> predictions(def.taken.begin(), def.taken.end());
+    return Automaton(def.name, std::move(transitions),
+                     std::move(predictions), def.init);
+}
+
+} // namespace
 
 Automaton::Automaton(std::string name,
                      std::vector<std::array<State, 2>> transitions,
@@ -35,8 +58,7 @@ const Automaton &
 Automaton::lastTime()
 {
     // State = the last outcome; predict it again.
-    static const Automaton atm(
-        "LT", {{0, 1}, {0, 1}}, {false, true}, 1);
+    static const Automaton atm = fromDef(automata::lastTime);
     return atm;
 }
 
@@ -45,15 +67,7 @@ Automaton::a1()
 {
     // State = last two outcomes as (older << 1) | newer.
     // Predict not-taken only when no taken outcome is recorded.
-    static const Automaton atm(
-        "A1",
-        {
-            {0, 1}, // 00 -> shift in outcome
-            {2, 3}, // 01
-            {0, 1}, // 10
-            {2, 3}, // 11
-        },
-        {false, true, true, true}, 3);
+    static const Automaton atm = fromDef(automata::a1);
     return atm;
 }
 
@@ -61,15 +75,7 @@ const Automaton &
 Automaton::a2()
 {
     // Classic 2-bit saturating up-down counter; taken in {2,3}.
-    static const Automaton atm(
-        "A2",
-        {
-            {0, 1},
-            {0, 2},
-            {1, 3},
-            {2, 3},
-        },
-        {false, false, true, true}, 3);
+    static const Automaton atm = fromDef(automata::a2);
     return atm;
 }
 
@@ -79,15 +85,7 @@ Automaton::a3()
     // A2 variant: weak states resolve fast. A mispredict in a weak
     // state (1 taken / 2 not-taken) jumps to the opposite strong
     // state rather than moving one step.
-    static const Automaton atm(
-        "A3",
-        {
-            {0, 1},
-            {0, 3}, // taken in weakly-not-taken jumps to strongly-taken
-            {0, 3}, // not-taken in weakly-taken jumps to strongly-not-taken
-            {2, 3},
-        },
-        {false, false, true, true}, 3);
+    static const Automaton atm = fromDef(automata::a3);
     return atm;
 }
 
@@ -98,15 +96,7 @@ Automaton::a4()
     // taken state (2) drops directly to strongly-not-taken, while
     // every other transition matches A2 — in particular the strong
     // states keep their hysteresis (unlike Last-Time).
-    static const Automaton atm(
-        "A4",
-        {
-            {0, 1},
-            {0, 2},
-            {0, 3}, // not-taken in weakly-taken falls to state 0
-            {2, 3},
-        },
-        {false, false, true, true}, 3);
+    static const Automaton atm = fromDef(automata::a4);
     return atm;
 }
 

@@ -23,6 +23,11 @@
  *
  * Automaton instances are immutable tables; predictors store only the
  * per-entry state bits.
+ *
+ * The five paper machines are materialized from the constexpr
+ * definitions in predictor/automaton_defs.hh, whose static_asserts
+ * prove each table total, closed over its state set, orphan-free and
+ * prediction-consistent with the paper at compile time.
  */
 
 #ifndef TL_PREDICTOR_AUTOMATON_HH

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Compile-time definitions and proofs of the Figure 2 automata.
+ *
+ * The five pattern-history machines of the paper (Last-Time, A1-A4)
+ * are defined here as constexpr transition/prediction tables, and the
+ * runtime Automaton singletons (automaton.cc) are built *from* these
+ * tables — there is one source of truth, and it is checked when the
+ * library is compiled, not when it runs.
+ *
+ * Three families of properties are proven by the static_asserts at the
+ * bottom of this header:
+ *
+ *  1. Well-formedness. Each machine is total (delta is defined for
+ *     every (state, outcome) pair — enforced by std::array's shape and
+ *     asserted for documentation), closed over its state set (every
+ *     transition and the initial state land inside [0, N)), and has no
+ *     orphan states (every state is reachable from the initial state,
+ *     as in the Fig. 2 diagrams, which draw no disconnected nodes).
+ *
+ *  2. Paper-consistent prediction rules (the lambda of Eq. 1).
+ *     Last-Time predicts taken iff its single bit is 1; A1 predicts
+ *     not-taken only when neither recorded outcome was taken; A2, A3
+ *     and A4 predict taken iff the counter is in the upper half
+ *     (state >= 2), and initialize to the strongly-taken state 3
+ *     (all-1s bias, Section 4.2).
+ *
+ *  3. Exact transition tables (the delta of Eq. 2). LT and A1 must
+ *     equal an independently *generated* outcome shift register of
+ *     length 1 and 2; A2 must equal a generated 2-bit saturating
+ *     up-down counter; A3 and A4 must equal A2 with exactly their
+ *     documented fast-resolution edges replaced (see DESIGN.md,
+ *     substitution S2). Because every single table entry is pinned by
+ *     an independent recomputation, perturbing ANY entry of ANY
+ *     machine fails compilation. For example, changing a2.next[1][1]
+ *     from 2 to 3 trips `a2 matches the generated ...` below; try it.
+ *     tools/run_checks.sh relies on this: a tree that compiles has
+ *     correct Fig. 2 tables.
+ */
+
+#ifndef TL_PREDICTOR_AUTOMATON_DEFS_HH
+#define TL_PREDICTOR_AUTOMATON_DEFS_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace tl
+{
+namespace automata
+{
+
+/** A compile-time Moore machine over N states (lambda, delta). */
+template <std::size_t N>
+struct AutomatonDef
+{
+    /** Short identifier ("A2", "LT", ...). */
+    const char *name;
+
+    /** delta: next[s][outcome], outcome 0 = not taken, 1 = taken. */
+    std::array<std::array<std::uint8_t, 2>, N> next;
+
+    /** lambda: taken[s] = predict taken in state s. */
+    std::array<bool, N> taken;
+
+    /** Power-on state of every pattern table entry. */
+    std::uint8_t init;
+
+    /** Number of states. */
+    static constexpr std::size_t numStates = N;
+
+    /** Tables compare equal entry-for-entry (names may differ). */
+    constexpr bool
+    operator==(const AutomatonDef &other) const
+    {
+        return next == other.next && taken == other.taken &&
+               init == other.init;
+    }
+};
+
+/// @name The five machines of Figure 2
+/// @{
+
+/** Last-Time: state = the last outcome; predict it again. */
+inline constexpr AutomatonDef<2> lastTime{
+    "LT",
+    {{{0, 1}, {0, 1}}},
+    {false, true},
+    1,
+};
+
+/**
+ * A1: shift register of the last two outcomes, (older << 1) | newer;
+ * predict not-taken only when no recorded outcome was taken.
+ */
+inline constexpr AutomatonDef<4> a1{
+    "A1",
+    {{
+        {0, 1}, // 00
+        {2, 3}, // 01
+        {0, 1}, // 10
+        {2, 3}, // 11
+    }},
+    {false, true, true, true},
+    3,
+};
+
+/** A2: the classic 2-bit saturating up-down counter (J. Smith). */
+inline constexpr AutomatonDef<4> a2{
+    "A2",
+    {{
+        {0, 1},
+        {0, 2},
+        {1, 3},
+        {2, 3},
+    }},
+    {false, false, true, true},
+    3,
+};
+
+/**
+ * A3: A2 with fast resolution of both weak states — a mispredict in a
+ * weak state jumps to the opposite strong state.
+ */
+inline constexpr AutomatonDef<4> a3{
+    "A3",
+    {{
+        {0, 1},
+        {0, 3}, // taken in weakly-not-taken jumps to strongly-taken
+        {0, 3}, // not-taken in weakly-taken jumps to strongly-not-taken
+        {2, 3},
+    }},
+    {false, false, true, true},
+    3,
+};
+
+/**
+ * A4: A2 with a one-sided fast fall — a not-taken in the weakly-taken
+ * state drops directly to strongly-not-taken.
+ */
+inline constexpr AutomatonDef<4> a4{
+    "A4",
+    {{
+        {0, 1},
+        {0, 2},
+        {0, 3}, // not-taken in weakly-taken falls to state 0
+        {2, 3},
+    }},
+    {false, false, true, true},
+    3,
+};
+
+/// @}
+
+/// @name Proof predicates (all constexpr)
+/// @{
+
+/**
+ * Totality of delta: an entry exists for every (state, outcome) pair.
+ * std::array enforces the shape, so this is true by construction for
+ * any AutomatonDef; the predicate states the claim explicitly and
+ * additionally requires a non-empty state set.
+ */
+template <std::size_t N>
+constexpr bool
+isTotal(const AutomatonDef<N> &def)
+{
+    return N > 0 && def.next.size() == N && def.taken.size() == N &&
+           def.next[0].size() == 2;
+}
+
+/** Closure: delta and the initial state stay inside [0, N). */
+template <std::size_t N>
+constexpr bool
+isClosed(const AutomatonDef<N> &def)
+{
+    if (def.init >= N)
+        return false;
+    for (std::size_t s = 0; s < N; ++s) {
+        if (def.next[s][0] >= N || def.next[s][1] >= N)
+            return false;
+    }
+    return true;
+}
+
+/** No orphan states: every state is reachable from init via delta. */
+template <std::size_t N>
+constexpr bool
+allStatesReachable(const AutomatonDef<N> &def)
+{
+    std::array<bool, N> seen{};
+    seen[def.init] = true;
+    // N passes of relaxation reach any state reachable at all.
+    for (std::size_t pass = 0; pass < N; ++pass) {
+        for (std::size_t s = 0; s < N; ++s) {
+            if (seen[s]) {
+                seen[def.next[s][0]] = true;
+                seen[def.next[s][1]] = true;
+            }
+        }
+    }
+    for (std::size_t s = 0; s < N; ++s) {
+        if (!seen[s])
+            return false;
+    }
+    return true;
+}
+
+/**
+ * The counter prediction rule of A2-A4: predict taken iff the state
+ * is in the upper half (>= 2 for four states).
+ */
+template <std::size_t N>
+constexpr bool
+predictsUpperHalf(const AutomatonDef<N> &def)
+{
+    for (std::size_t s = 0; s < N; ++s) {
+        if (def.taken[s] != (s >= N / 2))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Hysteresis at the extremes: a confirming outcome keeps a strong
+ * state put (state 0 absorbs not-taken, state N-1 absorbs taken).
+ */
+template <std::size_t N>
+constexpr bool
+strongStatesAbsorb(const AutomatonDef<N> &def)
+{
+    return def.next[0][0] == 0 && def.next[N - 1][1] == N - 1;
+}
+
+/**
+ * An independently generated saturating up-down counter over N
+ * states: up on taken, down on not-taken, clamped at the ends,
+ * predict-taken in the upper half, initialized to the maximum state.
+ */
+template <std::size_t N>
+constexpr AutomatonDef<N>
+generatedSaturatingCounter(const char *name)
+{
+    AutomatonDef<N> def{name, {}, {}, static_cast<std::uint8_t>(N - 1)};
+    for (std::size_t s = 0; s < N; ++s) {
+        def.next[s][0] = static_cast<std::uint8_t>(s > 0 ? s - 1 : 0);
+        def.next[s][1] =
+            static_cast<std::uint8_t>(s < N - 1 ? s + 1 : N - 1);
+        def.taken[s] = s >= N / 2;
+    }
+    return def;
+}
+
+/**
+ * An independently generated outcome shift register over N = 2^s
+ * states: the state is the last s outcomes, shifted left as new ones
+ * arrive; @p predictAnyTaken selects the lambda (true: predict taken
+ * unless every recorded outcome is not-taken — the A1 rule, which for
+ * s = 1 degenerates to the Last-Time rule; false: strict majority).
+ */
+template <std::size_t N>
+constexpr AutomatonDef<N>
+generatedShiftRegister(const char *name, bool predictAnyTaken)
+{
+    AutomatonDef<N> def{name, {}, {}, static_cast<std::uint8_t>(N - 1)};
+    for (std::size_t s = 0; s < N; ++s) {
+        def.next[s][0] = static_cast<std::uint8_t>((s << 1) % N);
+        def.next[s][1] = static_cast<std::uint8_t>(((s << 1) | 1) % N);
+        if (predictAnyTaken) {
+            def.taken[s] = s != 0;
+        } else {
+            std::size_t ones = 0, bits = 0;
+            for (std::size_t n = N; n > 1; n >>= 1)
+                ++bits;
+            for (std::size_t b = 0; b < bits; ++b)
+                ones += (s >> b) & 1;
+            def.taken[s] = 2 * ones >= bits;
+        }
+    }
+    return def;
+}
+
+/** @p def with the single transition delta(s, outcome) replaced. */
+template <std::size_t N>
+constexpr AutomatonDef<N>
+withTransition(AutomatonDef<N> def, std::size_t state,
+               std::size_t outcome, std::uint8_t next)
+{
+    def.next[state][outcome] = next;
+    return def;
+}
+
+/// @}
+
+// ---------------------------------------------------------------------
+// Family 1: well-formedness of all five machines.
+// ---------------------------------------------------------------------
+
+static_assert(isTotal(lastTime) && isClosed(lastTime) &&
+                  allStatesReachable(lastTime),
+              "LT must be a total, closed automaton without orphan "
+              "states");
+static_assert(isTotal(a1) && isClosed(a1) && allStatesReachable(a1),
+              "A1 must be a total, closed automaton without orphan "
+              "states");
+static_assert(isTotal(a2) && isClosed(a2) && allStatesReachable(a2),
+              "A2 must be a total, closed automaton without orphan "
+              "states");
+static_assert(isTotal(a3) && isClosed(a3) && allStatesReachable(a3),
+              "A3 must be a total, closed automaton without orphan "
+              "states");
+static_assert(isTotal(a4) && isClosed(a4) && allStatesReachable(a4),
+              "A4 must be a total, closed automaton without orphan "
+              "states");
+
+// ---------------------------------------------------------------------
+// Family 2: the paper's prediction rules and initial states.
+// ---------------------------------------------------------------------
+
+static_assert(!lastTime.taken[0] && lastTime.taken[1] &&
+                  lastTime.init == 1,
+              "Last-Time predicts taken iff state == 1 and powers on "
+              "predicting taken");
+static_assert(!a1.taken[0] && a1.taken[1] && a1.taken[2] && a1.taken[3],
+              "A1 predicts not-taken only when neither recorded "
+              "outcome was taken");
+static_assert(predictsUpperHalf(a2) && predictsUpperHalf(a3) &&
+                  predictsUpperHalf(a4),
+              "A2-A4 predict taken iff counter >= 2 (Eq. 1)");
+static_assert(a1.init == 3 && a2.init == 3 && a3.init == 3 &&
+                  a4.init == 3,
+              "the four-state machines power on in the strongly-taken "
+              "state (all-1s bias, Section 4.2)");
+static_assert(strongStatesAbsorb(a2) && strongStatesAbsorb(a3) &&
+                  strongStatesAbsorb(a4),
+              "the counters keep hysteresis in their strong states");
+
+// ---------------------------------------------------------------------
+// Family 3: exact transition tables, pinned entry-for-entry against
+// independent generators. Perturbing any entry above breaks one of
+// these.
+// ---------------------------------------------------------------------
+
+static_assert(lastTime == generatedShiftRegister<2>("LT", true),
+              "LT matches the generated 1-bit outcome shift register");
+static_assert(a1 == generatedShiftRegister<4>("A1", true),
+              "A1 matches the generated 2-bit outcome shift register "
+              "with the any-taken rule");
+static_assert(a2 == generatedSaturatingCounter<4>("A2"),
+              "A2 matches the generated 2-bit saturating up-down "
+              "counter");
+static_assert(a3 == withTransition(withTransition(a2, 1, 1, 3), 2, 0, 0),
+              "A3 is exactly A2 with both weak states resolving fast");
+static_assert(a4 == withTransition(a2, 2, 0, 0),
+              "A4 is exactly A2 with the one-sided fast not-taken "
+              "fall");
+
+} // namespace automata
+} // namespace tl
+
+#endif // TL_PREDICTOR_AUTOMATON_DEFS_HH

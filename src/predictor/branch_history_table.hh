@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "predictor/concepts.hh"
 #include "util/bitops.hh"
 #include "util/status.hh"
 #include "util/status_or.hh"
@@ -77,7 +78,16 @@ struct TableStats
  * A tagged set-associative table with true LRU replacement.
  *
  * @tparam Payload Per-entry content (history register + prediction
- *         bit for the BHT, an automaton state for a BTB, ...).
+ *         bit for the BHT, an automaton state for a BTB, ...);
+ *         checked against concepts::TablePayload when the table is
+ *         constructed, so an unusable payload fails with one message
+ *         rather than deep inside a member function. (The check is a
+ *         static_assert in the constructor rather than a constrained
+ *         template parameter because the predictors instantiate the
+ *         table with private nested structs whose default member
+ *         initializers are not parsed until the enclosing class is
+ *         complete — a constraint at the template-id would evaluate
+ *         too early and fail.)
  */
 template <typename Payload>
 class AssociativeTable
@@ -95,6 +105,9 @@ class AssociativeTable
     explicit AssociativeTable(BhtGeometry geometry)
         : geometry(geometry)
     {
+        static_assert(concepts::TablePayload<Payload>,
+                      "AssociativeTable payloads must be default-"
+                      "initializable and copyable");
         geometry.validate();
         slots.assign(geometry.numEntries, Slot{});
     }
@@ -217,6 +230,53 @@ class AssociativeTable
                 ++count;
         }
         return count;
+    }
+
+    /**
+     * Structural self-check: geometry still sane, every LRU stamp at
+     * or below the clock, and no set holding the same tag twice (a
+     * duplicate would make hits nondeterministic). A non-OK
+     * (Internal) result means corruption or a library bug.
+     */
+    Status
+    validate() const
+    {
+        TL_RETURN_IF_ERROR(geometry.check());
+        if (slots.size() != geometry.numEntries) {
+            return internalError(
+                "associative table: %zu slots, geometry says %zu",
+                slots.size(), geometry.numEntries);
+        }
+        for (std::size_t set = 0; set < geometry.sets(); ++set) {
+            for (unsigned way = 0; way < geometry.assoc; ++way) {
+                const Slot &slot =
+                    slots[set * geometry.assoc + way];
+                if (!slot.valid)
+                    continue;
+                if (slot.lastUse > tick) {
+                    return internalError(
+                        "associative table set %zu way %u: LRU stamp "
+                        "%llu ahead of the clock %llu",
+                        set, way,
+                        static_cast<unsigned long long>(slot.lastUse),
+                        static_cast<unsigned long long>(tick));
+                }
+                for (unsigned other = way + 1;
+                     other < geometry.assoc; ++other) {
+                    const Slot &dup =
+                        slots[set * geometry.assoc + other];
+                    if (dup.valid && dup.tag == slot.tag) {
+                        return internalError(
+                            "associative table set %zu: tag %#llx "
+                            "present in ways %u and %u",
+                            set,
+                            static_cast<unsigned long long>(slot.tag),
+                            way, other);
+                    }
+                }
+            }
+        }
+        return Status();
     }
 
   private:

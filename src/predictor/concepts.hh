@@ -1,0 +1,87 @@
+/**
+ * @file
+ * C++20 concepts for the library's core duck-typed roles.
+ *
+ * The simulator wires its pieces together through two kinds of
+ * polymorphism: virtual interfaces (BranchPredictor, TraceSource) and
+ * unconstrained templates (AssociativeTable's Payload, the
+ * std::function predictor factories). The concepts here give both
+ * kinds a checkable name:
+ *
+ *  - template parameters that used to be duck-typed
+ *    (AssociativeTable<Payload>, the factory helpers) now state their
+ *    requirements, so a misuse fails at the constrained signature with
+ *    the violated requirement spelled out instead of deep inside an
+ *    instantiation;
+ *  - every concrete predictor and trace source carries a
+ *    static_assert that it models its concept, so removing or
+ *    mis-typing an interface method fails at compile time even for
+ *    code paths no test happens to instantiate.
+ */
+
+#ifndef TL_PREDICTOR_CONCEPTS_HH
+#define TL_PREDICTOR_CONCEPTS_HH
+
+#include <concepts>
+#include <memory>
+#include <string>
+
+#include "predictor/predictor.hh"
+#include "trace/record.hh"
+
+namespace tl
+{
+namespace concepts
+{
+
+/**
+ * A branch direction predictor: everything the simulation engine
+ * needs from a scheme (the BranchPredictor virtual interface, stated
+ * structurally). Satisfied by every concrete scheme in predictor/.
+ */
+template <typename P>
+concept Predictor = requires(P &p, const P &cp,
+                             const BranchQuery &query, bool taken) {
+    { cp.name() } -> std::convertible_to<std::string>;
+    { p.predict(query) } -> std::same_as<bool>;
+    { p.update(query, taken) } -> std::same_as<void>;
+    { p.contextSwitch() } -> std::same_as<void>;
+    { p.reset() } -> std::same_as<void>;
+};
+
+/**
+ * A stream of branch records: the pull interface the simulator and
+ * the trace transformers consume.
+ */
+template <typename S>
+concept TraceSource = requires(S &s, BranchRecord &record) {
+    { s.next(record) } -> std::same_as<bool>;
+};
+
+/**
+ * A factory of fresh predictors — the unit a sweep fans out: one
+ * invocation per (configuration, benchmark) cell.
+ */
+template <typename F>
+concept PredictorFactory =
+    std::invocable<F &> &&
+    std::convertible_to<std::invoke_result_t<F &>,
+                        std::unique_ptr<BranchPredictor>>;
+
+/**
+ * A payload storable in an AssociativeTable slot: default
+ * construction is the "freshly allocated" state, and slots are
+ * copied when the table is (re)initialized.
+ */
+template <typename T>
+concept TablePayload = std::default_initializable<T> && std::copyable<T>;
+
+} // namespace concepts
+
+// The virtual interfaces are their own first models.
+static_assert(concepts::Predictor<BranchPredictor>,
+              "BranchPredictor must model concepts::Predictor");
+
+} // namespace tl
+
+#endif // TL_PREDICTOR_CONCEPTS_HH

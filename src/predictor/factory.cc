@@ -1,6 +1,7 @@
 #include "predictor/factory.hh"
 
 #include "predictor/btb.hh"
+#include "predictor/concepts.hh"
 #include "predictor/static_schemes.hh"
 #include "predictor/static_training.hh"
 #include "predictor/two_level.hh"
@@ -22,20 +23,34 @@ geometryFrom(const SchemeSpec &spec)
     return geometry;
 }
 
+/**
+ * Construct a concrete predictor behind the base-class pointer. The
+ * constraint rejects, at compile time, registering a type here that
+ * does not actually model the predictor protocol (a plausible mistake
+ * when a new scheme forgets an override and silently hides the base
+ * method instead).
+ */
+template <typename P, typename... Args>
+    requires concepts::Predictor<P> &&
+             std::derived_from<P, BranchPredictor>
+StatusOr<std::unique_ptr<BranchPredictor>>
+made(Args &&...args)
+{
+    return std::unique_ptr<BranchPredictor>(
+        std::make_unique<P>(std::forward<Args>(args)...));
+}
+
 } // namespace
 
 StatusOr<std::unique_ptr<BranchPredictor>>
 tryMakePredictor(const SchemeSpec &spec)
 {
     if (spec.scheme == "AlwaysTaken")
-        return std::unique_ptr<BranchPredictor>(
-            std::make_unique<AlwaysTakenPredictor>());
+        return made<AlwaysTakenPredictor>();
     if (spec.scheme == "BTFN")
-        return std::unique_ptr<BranchPredictor>(
-            std::make_unique<BtfnPredictor>());
+        return made<BtfnPredictor>();
     if (spec.scheme == "Profiling")
-        return std::unique_ptr<BranchPredictor>(
-            std::make_unique<ProfilePredictor>());
+        return made<ProfilePredictor>();
 
     if (spec.scheme == "BTB") {
         BtbConfig config;
@@ -46,8 +61,7 @@ tryMakePredictor(const SchemeSpec &spec)
                 spec.historyContent.c_str());
         }
         config.automaton = &Automaton::byName(spec.historyContent);
-        return std::unique_ptr<BranchPredictor>(
-            std::make_unique<BtbPredictor>(config));
+        return made<BtbPredictor>(config);
     }
 
     if (spec.isStaticTraining()) {
@@ -64,8 +78,7 @@ tryMakePredictor(const SchemeSpec &spec)
                 TL_ASSIGN_OR_RETURN(config.bht, geometryFrom(spec));
             }
         }
-        return std::unique_ptr<BranchPredictor>(
-            std::make_unique<StaticTrainingPredictor>(config));
+        return made<StaticTrainingPredictor>(config);
     }
 
     if (spec.isTwoLevel()) {
@@ -91,8 +104,7 @@ tryMakePredictor(const SchemeSpec &spec)
                 TL_ASSIGN_OR_RETURN(config.bht, geometryFrom(spec));
             }
         }
-        return std::unique_ptr<BranchPredictor>(
-            std::make_unique<TwoLevelPredictor>(config));
+        return made<TwoLevelPredictor>(config);
     }
 
     return invalidArgumentError("factory: unhandled scheme '%s'",

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Compile-time geometry of the two predictor levels.
+ *
+ * The paper's structures are parameterized by a handful of widths: the
+ * k-bit history register of Section 2.1 and the 2^k-entry pattern
+ * history table it indexes. The representable ranges of those widths
+ * are library-wide contracts — the PHT index must fit the paper's
+ * concatenation indexing, 2^k entries must be addressable, and the
+ * all-1s initial pattern must equal mask(k). This header states those
+ * limits once as constexpr constants, proves the arithmetic behind
+ * them with static_asserts, and every construction-time range check in
+ * predictor/ and sim/ refers back to them instead of repeating magic
+ * numbers.
+ */
+
+#ifndef TL_PREDICTOR_GEOMETRY_HH
+#define TL_PREDICTOR_GEOMETRY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "util/bitops.hh"
+
+namespace tl
+{
+
+/**
+ * Largest supported pattern-history length k for structures that
+ * materialize a 2^k-entry table (PatternHistoryTable, the two-level
+ * predictors, static training, interference analysis). 24 bits is a
+ * 16M-entry table — far beyond the paper's design space (k <= 18) but
+ * still cheap to allocate.
+ */
+inline constexpr unsigned maxPatternHistoryBits = 24;
+
+/**
+ * Largest supported history-register length. Wider than
+ * maxPatternHistoryBits so register-only experiments can run without
+ * materializing a table; still leaves the shifted-in bit far from the
+ * top of the uint64_t pattern word.
+ */
+inline constexpr unsigned maxHistoryRegisterBits = 30;
+
+/** True when k is a usable pattern-history length. */
+constexpr bool
+patternHistoryBitsValid(unsigned k)
+{
+    return k >= 1 && k <= maxPatternHistoryBits;
+}
+
+/** True when k is a usable history-register length. */
+constexpr bool
+historyRegisterBitsValid(unsigned k)
+{
+    return k >= 1 && k <= maxHistoryRegisterBits;
+}
+
+/** Entries of a pattern history table over k history bits (2^k). */
+constexpr std::size_t
+patternTableEntries(unsigned k)
+{
+    return std::size_t{1} << k;
+}
+
+// A table-backed k never overflows std::size_t, and every history
+// pattern of a valid k indexes inside the table.
+static_assert(maxPatternHistoryBits <= maxHistoryRegisterBits,
+              "a table-backed history register is still a history "
+              "register");
+static_assert(maxPatternHistoryBits <
+                  std::numeric_limits<std::size_t>::digits,
+              "2^k pattern table entries must be countable in size_t");
+static_assert(patternTableEntries(1) == 2 &&
+                  patternTableEntries(maxPatternHistoryBits) ==
+                      (std::size_t{1} << maxPatternHistoryBits),
+              "the pattern table has one entry per k-bit pattern");
+static_assert(mask(maxPatternHistoryBits) ==
+                  patternTableEntries(maxPatternHistoryBits) - 1,
+              "the all-1s history pattern is the highest table index");
+static_assert(maxHistoryRegisterBits < 64,
+              "history patterns are stored in a uint64_t");
+static_assert(mask(1) == 1 && mask(maxHistoryRegisterBits) ==
+                  (std::uint64_t{1} << maxHistoryRegisterBits) - 1,
+              "mask(k) is exactly the k-bit all-1s initial pattern "
+              "(Section 4.2)");
+
+} // namespace tl
+
+#endif // TL_PREDICTOR_GEOMETRY_HH

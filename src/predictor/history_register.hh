@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "predictor/geometry.hh"
 #include "util/bitops.hh"
 #include "util/status.hh"
 
@@ -28,9 +29,9 @@ class HistoryRegister
     explicit HistoryRegister(unsigned kBits = 1)
         : kBits(kBits)
     {
-        if (kBits == 0 || kBits > 30)
-            fatal("history register length %u out of range [1, 30]",
-                  kBits);
+        if (!historyRegisterBitsValid(kBits))
+            fatal("history register length %u out of range [1, %u]",
+                  kBits, maxHistoryRegisterBits);
         resetAllOnes();
     }
 
@@ -40,11 +41,23 @@ class HistoryRegister
     /** Current pattern R_{c-k} ... R_{c-1}; the PHT index. */
     std::uint64_t value() const { return pattern; }
 
+    /**
+     * The pure shift function of Section 2.1 as a constexpr value:
+     * R_{c-k+1} ... R_c = (R_{c-k} ... R_{c-1} << 1 | R_c) mod 2^k.
+     * Exposed so its algebra is provable at compile time (see the
+     * static_asserts below the class).
+     */
+    static constexpr std::uint64_t
+    shifted(std::uint64_t pattern, bool taken, unsigned kBits)
+    {
+        return ((pattern << 1) | (taken ? 1 : 0)) & mask(kBits);
+    }
+
     /** Shift the latest outcome into the least significant bit. */
     void
     shiftIn(bool taken)
     {
-        pattern = ((pattern << 1) | (taken ? 1 : 0)) & mask(kBits);
+        pattern = shifted(pattern, taken, kBits);
     }
 
     /** Set every bit to @p taken (first-result extension). */
@@ -70,6 +83,38 @@ class HistoryRegister
     unsigned kBits;
     std::uint64_t pattern = 0;
 };
+
+// Compile-time proofs of the register algebra for every supported k:
+// the all-1s allocation state (Section 4.2) is a fixpoint of taken
+// outcomes, the all-0s state a fixpoint of not-taken outcomes, the
+// shifted-out bit R_{c-k} never lingers, and the pattern always stays
+// a valid PHT index.
+namespace detail
+{
+
+constexpr bool
+historyShiftAlgebraHolds()
+{
+    for (unsigned k = 1; k <= maxHistoryRegisterBits; ++k) {
+        if (HistoryRegister::shifted(mask(k), true, k) != mask(k))
+            return false; // all-1s must absorb taken outcomes
+        if (HistoryRegister::shifted(0, false, k) != 0)
+            return false; // all-0s must absorb not-taken outcomes
+        if (HistoryRegister::shifted(mask(k), false, k) !=
+            (mask(k) ^ 1)) {
+            return false; // one not-taken lands in the low bit only
+        }
+        if (HistoryRegister::shifted(mask(k), true, k) > mask(k))
+            return false; // the pattern must stay a k-bit index
+    }
+    return true;
+}
+
+static_assert(historyShiftAlgebraHolds(),
+              "the k-bit history shift must satisfy Section 2.1's "
+              "recurrence for every supported k");
+
+} // namespace detail
 
 } // namespace tl
 

@@ -1,6 +1,7 @@
 #include "predictor/pattern_table.hh"
 
 #include "util/bitops.hh"
+#include "util/check.hh"
 #include "util/status.hh"
 
 namespace tl
@@ -10,23 +11,31 @@ PatternHistoryTable::PatternHistoryTable(unsigned historyBits,
                                          const Automaton &automaton)
     : atm(&automaton), historyBits(historyBits)
 {
-    if (historyBits == 0 || historyBits > 24)
+    if (!patternHistoryBitsValid(historyBits)) {
         fatal("pattern history table: history length %u out of "
-              "range [1, 24]",
-              historyBits);
-    states.assign(std::size_t{1} << historyBits, atm->initState());
+              "range [1, %u]",
+              historyBits, maxPatternHistoryBits);
+    }
+    states.assign(patternTableEntries(historyBits), atm->initState());
 }
 
 bool
 PatternHistoryTable::predict(std::uint64_t pattern) const
 {
-    return atm->predict(states[pattern & mask(historyBits)]);
+    Automaton::State state = states[pattern & mask(historyBits)];
+    TL_DCHECK(state < atm->numStates(),
+              "PHT entry holds state %u of an %u-state automaton",
+              unsigned(state), atm->numStates());
+    return atm->predict(state);
 }
 
 void
 PatternHistoryTable::update(std::uint64_t pattern, bool taken)
 {
     Automaton::State &state = states[pattern & mask(historyBits)];
+    TL_DCHECK(state < atm->numStates(),
+              "PHT entry holds state %u of an %u-state automaton",
+              unsigned(state), atm->numStates());
     state = atm->next(state, taken);
 }
 
@@ -40,8 +49,9 @@ void
 PatternHistoryTable::setState(std::uint64_t pattern,
                               Automaton::State state)
 {
-    if (state >= atm->numStates())
-        fatal("setState: state %u out of range", unsigned(state));
+    TL_CHECK(state < atm->numStates(),
+             "setState: state %u out of range for automaton '%s'",
+             unsigned(state), atm->name().c_str());
     states[pattern & mask(historyBits)] = state;
 }
 
@@ -49,6 +59,33 @@ void
 PatternHistoryTable::reset()
 {
     states.assign(states.size(), atm->initState());
+}
+
+Status
+PatternHistoryTable::validate() const
+{
+    if (states.size() != patternTableEntries(historyBits)) {
+        return internalError(
+            "pattern table: %zu entries, expected 2^%u", states.size(),
+            historyBits);
+    }
+    for (std::size_t entry = 0; entry < states.size(); ++entry) {
+        if (states[entry] >= atm->numStates()) {
+            return internalError(
+                "pattern table entry %zu: state %u out of range for "
+                "the %u-state '%s' automaton",
+                entry, unsigned(states[entry]), atm->numStates(),
+                atm->name().c_str());
+        }
+    }
+    return Status();
+}
+
+void
+PatternHistoryTable::injectFault(std::uint64_t pattern,
+                                 Automaton::State rawState)
+{
+    states[pattern & mask(historyBits)] = rawState;
 }
 
 } // namespace tl

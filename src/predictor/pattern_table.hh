@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "predictor/automaton.hh"
+#include "predictor/geometry.hh"
+#include "util/status_or.hh"
 
 namespace tl
 {
@@ -21,7 +23,8 @@ class PatternHistoryTable
 {
   public:
     /**
-     * @param historyBits k; the table has 2^k entries.
+     * @param historyBits k; the table has 2^k entries. Must satisfy
+     *        patternHistoryBitsValid() (predictor/geometry.hh).
      * @param automaton The Moore machine stored in each entry; must
      *        outlive the table (the five paper automata are static).
      */
@@ -54,6 +57,23 @@ class PatternHistoryTable
      * for power-on and slot reallocation in PAp.
      */
     void reset();
+
+    /**
+     * Structural self-check: every entry holds a state the automaton
+     * actually has. OK in any reachable configuration — a non-OK
+     * (Internal) result means memory corruption or a library bug, not
+     * a user error. SweepRunner runs this between cells in debug
+     * builds; tests/test_check.cc exercises it via injectFault().
+     */
+    Status validate() const;
+
+    /**
+     * Overwrite an entry's raw state bits with no range checking —
+     * deliberately able to corrupt the table. For fault-injection
+     * tests of validate() only (the PHT sibling of trace/faults.hh);
+     * never called by library code.
+     */
+    void injectFault(std::uint64_t pattern, Automaton::State rawState);
 
   private:
     const Automaton *atm;

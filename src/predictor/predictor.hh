@@ -12,6 +12,7 @@
 #include <string>
 
 #include "trace/record.hh"
+#include "util/status_or.hh"
 
 namespace tl
 {
@@ -73,6 +74,17 @@ class BranchPredictor
 
     /** Return every structure to its power-on state. */
     virtual void reset() = 0;
+
+    /**
+     * Structural self-check of the run-time tables: non-OK (Internal)
+     * when an invariant that simulation can never legally break —
+     * automaton states in range, history patterns inside their k-bit
+     * window, consistent table geometry — does not hold, i.e. on
+     * memory corruption or a library bug. Schemes without checkable
+     * state report OK. SweepRunner calls this between sweep cells in
+     * debug builds (TL_DCHECK_ENABLED).
+     */
+    virtual Status validate() const { return Status(); }
 
     /**
      * True if the scheme needs a profiling pass over a training trace

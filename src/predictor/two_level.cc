@@ -1,5 +1,6 @@
 #include "predictor/two_level.hh"
 
+#include "util/check.hh"
 #include "util/status.hh"
 
 namespace tl
@@ -56,33 +57,47 @@ TwoLevelConfig::schemeName() const
                      history.c_str(), pattern.c_str());
 }
 
-void
-TwoLevelConfig::validate() const
+Status
+TwoLevelConfig::check() const
 {
-    if (historyBits == 0 || historyBits > 24)
-        fatal("two-level: history length %u out of range [1, 24]",
-              historyBits);
+    if (!patternHistoryBitsValid(historyBits)) {
+        return invalidArgumentError(
+            "two-level: history length %u out of range [1, %u]",
+            historyBits, maxPatternHistoryBits);
+    }
     if (!automaton)
-        fatal("two-level: no automaton configured");
+        return invalidArgumentError("two-level: no automaton configured");
     if (historyScope == HistoryScope::PerAddress &&
         bhtKind == BhtKind::Practical) {
-        bht.validate();
+        TL_RETURN_IF_ERROR(bht.check());
     }
     if (indexMode == IndexMode::Xor &&
         patternScope != PatternScope::Global) {
-        fatal("two-level: XOR indexing only applies to shared pattern "
-              "tables");
+        return invalidArgumentError(
+            "two-level: XOR indexing only applies to shared pattern "
+            "tables");
     }
     if (historyScope == HistoryScope::PerSet &&
         (historySetBits == 0 || historySetBits > 16)) {
-        fatal("two-level: history set bits %u out of range [1, 16]",
-              historySetBits);
+        return invalidArgumentError(
+            "two-level: history set bits %u out of range [1, 16]",
+            historySetBits);
     }
     if (patternScope == PatternScope::PerSet &&
         (patternSetBits == 0 || patternSetBits > 16)) {
-        fatal("two-level: pattern set bits %u out of range [1, 16]",
-              patternSetBits);
+        return invalidArgumentError(
+            "two-level: pattern set bits %u out of range [1, 16]",
+            patternSetBits);
     }
+    return Status();
+}
+
+void
+TwoLevelConfig::validate() const
+{
+    Status status = check();
+    if (!status.ok())
+        fatal("%s", status.message().c_str());
 }
 
 TwoLevelConfig
@@ -295,9 +310,14 @@ TwoLevelPredictor::index(std::uint64_t pattern, std::uint64_t pc) const
 bool
 TwoLevelPredictor::predict(const BranchQuery &branch)
 {
+    TL_DCHECK(branch.cls == BranchClass::Conditional,
+              "two-level predictors only see conditional branches");
     std::size_t slot = 0;
     HistoryEntry &entry = historyFor(branch.pc, slot);
     PatternHistoryTable &pht = phtFor(branch.pc, slot);
+    TL_DCHECK(entry.arch <= allOnes() && entry.spec <= allOnes(),
+              "history pattern escaped its %u-bit window",
+              cfg.historyBits);
 
     bool speculative = cfg.speculative != SpeculativeMode::Off;
     std::uint64_t pattern = speculative ? entry.spec : entry.arch;
@@ -315,9 +335,17 @@ TwoLevelPredictor::predict(const BranchQuery &branch)
 void
 TwoLevelPredictor::update(const BranchQuery &branch, bool taken)
 {
+    TL_DCHECK(branch.cls == BranchClass::Conditional,
+              "two-level predictors only see conditional branches");
     std::size_t slot = 0;
     HistoryEntry &entry = historyFor(branch.pc, slot);
     PatternHistoryTable &pht = phtFor(branch.pc, slot);
+    TL_DCHECK(slot < tables.size() ||
+                  cfg.patternScope != PatternScope::PerAddress ||
+                  cfg.historyScope != HistoryScope::PerAddress ||
+                  cfg.bhtKind != BhtKind::Practical,
+              "BHT slot %zu outside the per-address PHT array",
+              slot);
 
     // The PHT entry addressed by the architectural history pattern is
     // updated with the resolved outcome (Eq. 2). With speculative
@@ -380,6 +408,87 @@ TwoLevelPredictor::contextSwitch()
     // slotOwner intentionally survives: if the same branch reclaims
     // its slot after the switch, its per-address pattern history is
     // still valid (the paper keeps PHT contents across switches).
+}
+
+Status
+TwoLevelPredictor::validate() const
+{
+    TL_RETURN_IF_ERROR(cfg.check());
+
+    // Second-level geometry: the table count must match what the
+    // configuration promises (on-demand ideal tables aside).
+    if (cfg.patternScope == PatternScope::Global) {
+        if (tables.size() != 1) {
+            return internalError(
+                "two-level %s: %zu pattern tables, expected 1",
+                cfg.variationName().c_str(), tables.size());
+        }
+    } else if (cfg.patternScope == PatternScope::PerSet) {
+        std::size_t expected = std::size_t{1} << cfg.patternSetBits;
+        if (tables.size() != expected) {
+            return internalError(
+                "two-level %s: %zu pattern tables, expected %zu",
+                cfg.variationName().c_str(), tables.size(), expected);
+        }
+    } else if (cfg.historyScope == HistoryScope::PerAddress &&
+               cfg.bhtKind == BhtKind::Practical) {
+        if (tables.size() != cfg.bht.numEntries ||
+            slotOwner.size() != cfg.bht.numEntries) {
+            return internalError(
+                "two-level %s: %zu pattern tables and %zu slot owners "
+                "for a %zu-entry BHT",
+                cfg.variationName().c_str(), tables.size(),
+                slotOwner.size(), cfg.bht.numEntries);
+        }
+    } else {
+        if (tables.size() != idealPhtIndex.size()) {
+            return internalError(
+                "two-level %s: %zu on-demand pattern tables but %zu "
+                "index entries",
+                cfg.variationName().c_str(), tables.size(),
+                idealPhtIndex.size());
+        }
+        for (const auto &[pc, table] : idealPhtIndex) {
+            if (table >= tables.size()) {
+                return internalError(
+                    "two-level %s: pc %#llx maps to pattern table %zu "
+                    "of %zu",
+                    cfg.variationName().c_str(),
+                    static_cast<unsigned long long>(pc), table,
+                    tables.size());
+            }
+        }
+    }
+
+    for (const PatternHistoryTable &table : tables)
+        TL_RETURN_IF_ERROR(table.validate());
+    if (practical)
+        TL_RETURN_IF_ERROR(practical->validate());
+
+    // First-level history patterns must stay inside the k-bit window.
+    auto entryOk = [this](const HistoryEntry &entry) {
+        return entry.arch <= allOnes() && entry.spec <= allOnes();
+    };
+    if (!entryOk(globalEntry))
+        return internalError("two-level: global history pattern "
+                             "escaped its %u-bit window",
+                             cfg.historyBits);
+    for (const HistoryEntry &entry : setEntries) {
+        if (!entryOk(entry)) {
+            return internalError("two-level: per-set history pattern "
+                                 "escaped its %u-bit window",
+                                 cfg.historyBits);
+        }
+    }
+    for (const auto &[pc, entry] : ideal) {
+        if (!entryOk(entry)) {
+            return internalError(
+                "two-level: history pattern of pc %#llx escaped its "
+                "%u-bit window",
+                static_cast<unsigned long long>(pc), cfg.historyBits);
+        }
+    }
+    return Status();
 }
 
 TableStats

@@ -41,7 +41,9 @@
 
 #include "predictor/automaton.hh"
 #include "predictor/branch_history_table.hh"
+#include "predictor/concepts.hh"
 #include "predictor/cost_model.hh"
+#include "predictor/geometry.hh"
 #include "predictor/history_register.hh"
 #include "predictor/pattern_table.hh"
 #include "predictor/predictor.hh"
@@ -135,7 +137,10 @@ struct TwoLevelConfig
     /** Full name in the paper's naming convention. */
     std::string schemeName() const;
 
-    /** Calls fatal() on an invalid combination. */
+    /** Non-OK (InvalidArgument) on an invalid combination. */
+    Status check() const;
+
+    /** Shim around check(): calls fatal() on an invalid combination. */
     void validate() const;
 
     /// @name Named constructors for the paper's configurations
@@ -169,6 +174,7 @@ class TwoLevelPredictor : public BranchPredictor
     void update(const BranchQuery &branch, bool taken) override;
     void contextSwitch() override;
     void reset() override;
+    Status validate() const override;
 
     /** The configuration this predictor was built with. */
     const TwoLevelConfig &config() const { return cfg; }
@@ -238,6 +244,9 @@ class TwoLevelPredictor : public BranchPredictor
 
     static constexpr std::uint64_t noOwner = ~std::uint64_t{0};
 };
+
+static_assert(concepts::Predictor<TwoLevelPredictor>,
+              "TwoLevelPredictor must model concepts::Predictor");
 
 } // namespace tl
 

@@ -1,7 +1,27 @@
 #include "sim/engine.hh"
 
+#include "predictor/concepts.hh"
+#include "trace/filter.hh"
+#include "trace/synthetic.hh"
+#include "util/check.hh"
+
 namespace tl
 {
+
+// The concrete trace sources must model the pull protocol the
+// simulation loop below consumes. The asserts live here — the one
+// translation unit that sees both layers — so trace/ headers stay
+// free of predictor/ includes.
+static_assert(concepts::TraceSource<TraceSource>,
+              "the TraceSource interface must model its own concept");
+static_assert(concepts::TraceSource<TraceReplaySource>);
+static_assert(concepts::TraceSource<FilterSource>);
+static_assert(concepts::TraceSource<PatternSource>);
+static_assert(concepts::TraceSource<LoopSource>);
+static_assert(concepts::TraceSource<BiasedSource>);
+static_assert(concepts::TraceSource<MarkovSource>);
+static_assert(concepts::TraceSource<InterleaveSource>);
+static_assert(concepts::TraceSource<ClassMixSource>);
 
 SimResult
 simulate(TraceSource &source, BranchPredictor &predictor,
@@ -39,6 +59,9 @@ simulate(TraceSource &source, BranchPredictor &predictor,
             ++result.taken;
 
         BranchQuery query = BranchQuery::fromRecord(record);
+        TL_DCHECK(query.cls == BranchClass::Conditional,
+                  "isConditional record produced a %d-class query",
+                  static_cast<int>(query.cls));
         bool prediction = predictor.predict(query);
         predictor.update(query, record.taken);
         if (prediction == record.taken)

@@ -103,13 +103,13 @@ struct MultiProgramResult
  * Fails with StatusCode::InvalidArgument when @p traces is empty,
  * holds a null pointer, or options.quantum is zero.
  */
-StatusOr<MultiProgramResult>
+[[nodiscard]] StatusOr<MultiProgramResult>
 trySimulateMultiprogrammed(const std::vector<const Trace *> &traces,
                            BranchPredictor &predictor,
                            const MultiProgramOptions &options = {});
 
 /** Shim around trySimulateMultiprogrammed(): fatal() on failure. */
-MultiProgramResult
+[[nodiscard]] MultiProgramResult
 simulateMultiprogrammed(const std::vector<const Trace *> &traces,
                         BranchPredictor &predictor,
                         const MultiProgramOptions &options = {});
@@ -126,7 +126,7 @@ simulateMultiprogrammed(const std::vector<const Trace *> &traces,
  * Fails (FailedPrecondition) only when every workload is unusable or
  * the options are invalid.
  */
-StatusOr<MultiProgramResult> simulateMultiprogrammedFromFiles(
+[[nodiscard]] StatusOr<MultiProgramResult> simulateMultiprogrammedFromFiles(
     const std::vector<std::string> &paths, BranchPredictor &predictor,
     const MultiProgramOptions &options = {},
     const TraceReadOptions &readOptions = {});

@@ -1,5 +1,6 @@
 #include "sim/sweep.hh"
 
+#include "util/check.hh"
 #include "util/status.hh"
 #include "util/thread_pool.hh"
 
@@ -77,6 +78,18 @@ SweepRunner::runCell(const SweepSpec &column,
                                               // discarded
     }
     SimResult result = simulate(source, *predictor, sim);
+
+#if TL_DCHECK_ENABLED
+    // Between sweep cells the predictor's run-time tables must still
+    // satisfy their structural invariants; a failure here points at
+    // corruption or a library bug, never at the configuration.
+    Status health = predictor->validate();
+    TL_INVARIANT(health.ok(),
+                 "predictor '%s' failed its self-check after %s: %s",
+                 predictor->name().c_str(), workload.name().c_str(),
+                 health.message().c_str());
+#endif
+
     return BenchmarkResult{workload.name(), workload.isInteger(),
                            result};
 }

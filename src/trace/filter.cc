@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/check.hh"
 #include "util/status.hh"
 
 namespace tl
@@ -12,8 +13,8 @@ FilterSource::FilterSource(TraceSource &inner,
                            RecordPredicate predicate)
     : inner(inner), predicate(std::move(predicate))
 {
-    if (!this->predicate)
-        fatal("FilterSource: empty predicate");
+    TL_CHECK(static_cast<bool>(this->predicate),
+             "FilterSource: empty predicate");
 }
 
 bool
@@ -48,15 +49,29 @@ filterTrace(const Trace &trace, const RecordPredicate &predicate)
     return out;
 }
 
+StatusOr<Trace>
+tryFilterByAddressRange(const Trace &trace, std::uint64_t lo,
+                        std::uint64_t hi)
+{
+    if (lo >= hi) {
+        return invalidArgumentError(
+            "filterByAddressRange: empty range [%#llx, %#llx)",
+            static_cast<unsigned long long>(lo),
+            static_cast<unsigned long long>(hi));
+    }
+    return filterTrace(trace, [lo, hi](const BranchRecord &record) {
+        return record.pc >= lo && record.pc < hi;
+    });
+}
+
 Trace
 filterByAddressRange(const Trace &trace, std::uint64_t lo,
                      std::uint64_t hi)
 {
-    if (lo >= hi)
-        fatal("filterByAddressRange: empty range");
-    return filterTrace(trace, [lo, hi](const BranchRecord &record) {
-        return record.pc >= lo && record.pc < hi;
-    });
+    StatusOr<Trace> filtered = tryFilterByAddressRange(trace, lo, hi);
+    if (!filtered.ok())
+        fatal("%s", filtered.status().message().c_str());
+    return *std::move(filtered);
 }
 
 Trace
@@ -67,11 +82,13 @@ filterByClass(const Trace &trace, BranchClass cls)
     });
 }
 
-std::pair<Trace, Trace>
-splitTrace(const Trace &trace, double fraction)
+StatusOr<std::pair<Trace, Trace>>
+trySplitTrace(const Trace &trace, double fraction)
 {
-    if (fraction < 0.0 || fraction > 1.0)
-        fatal("splitTrace: fraction %g outside [0, 1]", fraction);
+    if (fraction < 0.0 || fraction > 1.0) {
+        return invalidArgumentError(
+            "splitTrace: fraction %g outside [0, 1]", fraction);
+    }
     std::size_t cut = static_cast<std::size_t>(
         fraction * static_cast<double>(trace.size()));
     Trace head, tail;
@@ -81,14 +98,26 @@ splitTrace(const Trace &trace, double fraction)
         else
             tail.append(trace[i]);
     }
-    return {std::move(head), std::move(tail)};
+    return std::pair<Trace, Trace>{std::move(head), std::move(tail)};
 }
 
-Trace
-subsampleConditionals(const Trace &trace, unsigned stride)
+std::pair<Trace, Trace>
+splitTrace(const Trace &trace, double fraction)
 {
-    if (stride == 0)
-        fatal("subsampleConditionals: stride must be positive");
+    StatusOr<std::pair<Trace, Trace>> split =
+        trySplitTrace(trace, fraction);
+    if (!split.ok())
+        fatal("%s", split.status().message().c_str());
+    return *std::move(split);
+}
+
+StatusOr<Trace>
+trySubsampleConditionals(const Trace &trace, unsigned stride)
+{
+    if (stride == 0) {
+        return invalidArgumentError(
+            "subsampleConditionals: stride must be positive");
+    }
     std::unordered_map<std::uint64_t, unsigned> counters;
     return filterTrace(trace,
                        [&counters, stride](const BranchRecord &r) {
@@ -97,6 +126,15 @@ subsampleConditionals(const Trace &trace, unsigned stride)
                            unsigned count = counters[r.pc]++;
                            return count % stride == 0;
                        });
+}
+
+Trace
+subsampleConditionals(const Trace &trace, unsigned stride)
+{
+    StatusOr<Trace> thinned = trySubsampleConditionals(trace, stride);
+    if (!thinned.ok())
+        fatal("%s", thinned.status().message().c_str());
+    return *std::move(thinned);
 }
 
 } // namespace tl

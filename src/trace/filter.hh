@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "trace/trace.hh"
+#include "util/status_or.hh"
 
 namespace tl
 {
@@ -43,7 +44,15 @@ class FilterSource : public TraceSource
 /** Copy the records of @p trace matching @p predicate. */
 Trace filterTrace(const Trace &trace, const RecordPredicate &predicate);
 
-/** Records whose pc lies in [lo, hi). */
+/**
+ * Records whose pc lies in [lo, hi). Non-OK (InvalidArgument) on an
+ * empty range.
+ */
+StatusOr<Trace> tryFilterByAddressRange(const Trace &trace,
+                                        std::uint64_t lo,
+                                        std::uint64_t hi);
+
+/** Shim around tryFilterByAddressRange(): fatal() on a bad range. */
 Trace filterByAddressRange(const Trace &trace, std::uint64_t lo,
                            std::uint64_t hi);
 
@@ -53,16 +62,26 @@ Trace filterByClass(const Trace &trace, BranchClass cls);
 /**
  * Split @p trace at @p fraction (0..1) of its records: first part and
  * remainder — e.g. train a profiling scheme on the first 30% of a run
- * and test it on the rest.
+ * and test it on the rest. Non-OK (InvalidArgument) when @p fraction
+ * lies outside [0, 1].
  */
+StatusOr<std::pair<Trace, Trace>> trySplitTrace(const Trace &trace,
+                                                double fraction);
+
+/** Shim around trySplitTrace(): fatal() on a bad fraction. */
 std::pair<Trace, Trace> splitTrace(const Trace &trace,
                                    double fraction);
 
 /**
  * Keep every @p stride-th conditional branch of each static site
  * (non-conditional records are preserved); a cheap way to thin very
- * long traces while keeping per-site behaviour.
+ * long traces while keeping per-site behaviour. Non-OK
+ * (InvalidArgument) on a zero stride.
  */
+StatusOr<Trace> trySubsampleConditionals(const Trace &trace,
+                                         unsigned stride);
+
+/** Shim around trySubsampleConditionals(): fatal() on stride 0. */
 Trace subsampleConditionals(const Trace &trace, unsigned stride);
 
 } // namespace tl

@@ -89,12 +89,12 @@ void writeBinaryTrace(const Trace &trace, std::ostream &out);
  * and frame index. With options.salvageTruncated, damage after the
  * header yields the valid prefix instead (see TraceReadOptions).
  */
-StatusOr<Trace> tryReadBinaryTrace(std::istream &in,
+[[nodiscard]] StatusOr<Trace> tryReadBinaryTrace(std::istream &in,
                                    const TraceReadOptions &options = {},
                                    TraceReadStats *stats = nullptr);
 
 /** Shim around tryReadBinaryTrace(): calls fatal() on failure. */
-Trace readBinaryTrace(std::istream &in);
+[[nodiscard]] Trace readBinaryTrace(std::istream &in);
 
 /** Write @p trace to @p out, one record per line. */
 void writeTextTrace(const Trace &trace, std::ostream &out);
@@ -104,10 +104,10 @@ void writeTextTrace(const Trace &trace, std::ostream &out);
  * '#' are ignored. Fails with StatusCode::CorruptData and a
  * line-number diagnostic on any malformed line.
  */
-StatusOr<Trace> tryReadTextTrace(std::istream &in);
+[[nodiscard]] StatusOr<Trace> tryReadTextTrace(std::istream &in);
 
 /** Shim around tryReadTextTrace(): calls fatal() on failure. */
-Trace readTextTrace(std::istream &in);
+[[nodiscard]] Trace readTextTrace(std::istream &in);
 
 /**
  * Decide a file's trace format from its extension: ".txt" (matched
@@ -115,21 +115,21 @@ Trace readTextTrace(std::istream &in);
  * path whose final component has no extension is an error — guessing
  * binary for those silently misparsed real-world inputs.
  */
-StatusOr<TraceFormat> traceFormatFromPath(const std::string &path);
+[[nodiscard]] StatusOr<TraceFormat> traceFormatFromPath(const std::string &path);
 
 /** Write a trace to a file, choosing the format by extension. */
-Status trySaveTrace(const Trace &trace, const std::string &path);
+[[nodiscard]] Status trySaveTrace(const Trace &trace, const std::string &path);
 
 /** Shim around trySaveTrace(): calls fatal() on failure. */
 void saveTrace(const Trace &trace, const std::string &path);
 
 /** Read a trace from a file, choosing the format by extension. */
-StatusOr<Trace> tryLoadTrace(const std::string &path,
+[[nodiscard]] StatusOr<Trace> tryLoadTrace(const std::string &path,
                              const TraceReadOptions &options = {},
                              TraceReadStats *stats = nullptr);
 
 /** Shim around tryLoadTrace(): calls fatal() on failure. */
-Trace loadTrace(const std::string &path);
+[[nodiscard]] Trace loadTrace(const std::string &path);
 
 } // namespace tl
 

@@ -23,19 +23,44 @@ fillConditional(BranchRecord &record, std::uint64_t pc, bool taken,
     record.trap = false;
 }
 
+/** fatal()-shim plumbing shared by the checked constructors. */
+void
+requireOk(const Status &status)
+{
+    if (!status.ok())
+        fatal("%s", status.message().c_str());
+}
+
 } // namespace
+
+Status
+PatternSource::checkConfig(const std::string &pattern)
+{
+    if (pattern.empty())
+        return invalidArgumentError("PatternSource: empty pattern");
+    for (char c : pattern) {
+        if (c != 'T' && c != 'N') {
+            return invalidArgumentError(
+                "PatternSource: bad pattern character '%c'", c);
+        }
+    }
+    return Status();
+}
+
+StatusOr<PatternSource>
+PatternSource::tryMake(std::uint64_t pc, std::string pattern,
+                       std::uint64_t count, bool backward)
+{
+    TL_RETURN_IF_ERROR(checkConfig(pattern));
+    return PatternSource(pc, std::move(pattern), count, backward);
+}
 
 PatternSource::PatternSource(std::uint64_t pc, std::string pattern,
                              std::uint64_t count, bool backward)
     : pc(pc), pattern(std::move(pattern)), remaining(count),
       backward(backward)
 {
-    if (this->pattern.empty())
-        fatal("PatternSource: empty pattern");
-    for (char c : this->pattern) {
-        if (c != 'T' && c != 'N')
-            fatal("PatternSource: bad pattern character '%c'", c);
-    }
+    requireOk(checkConfig(this->pattern));
 }
 
 bool
@@ -50,12 +75,27 @@ PatternSource::next(BranchRecord &record)
     return true;
 }
 
+Status
+LoopSource::checkConfig(unsigned period)
+{
+    if (period == 0)
+        return invalidArgumentError("LoopSource: period must be >= 1");
+    return Status();
+}
+
+StatusOr<LoopSource>
+LoopSource::tryMake(std::uint64_t pc, unsigned period,
+                    std::uint64_t loops)
+{
+    TL_RETURN_IF_ERROR(checkConfig(period));
+    return LoopSource(pc, period, loops);
+}
+
 LoopSource::LoopSource(std::uint64_t pc, unsigned period,
                        std::uint64_t loops)
     : pc(pc), period(period), remaining(loops * period)
 {
-    if (period == 0)
-        fatal("LoopSource: period must be >= 1");
+    requireOk(checkConfig(period));
 }
 
 bool
@@ -70,12 +110,27 @@ LoopSource::next(BranchRecord &record)
     return true;
 }
 
+Status
+BiasedSource::checkConfig(const std::vector<Site> &sites)
+{
+    if (sites.empty())
+        return invalidArgumentError("BiasedSource: no sites");
+    return Status();
+}
+
+StatusOr<BiasedSource>
+BiasedSource::tryMake(std::vector<Site> sites, std::uint64_t count,
+                      std::uint64_t seed)
+{
+    TL_RETURN_IF_ERROR(checkConfig(sites));
+    return BiasedSource(std::move(sites), count, seed);
+}
+
 BiasedSource::BiasedSource(std::vector<Site> sites, std::uint64_t count,
                            std::uint64_t seed)
     : sites(std::move(sites)), remaining(count), rng(seed)
 {
-    if (this->sites.empty())
-        fatal("BiasedSource: no sites");
+    requireOk(checkConfig(this->sites));
 }
 
 bool
@@ -91,12 +146,27 @@ BiasedSource::next(BranchRecord &record)
     return true;
 }
 
+Status
+MarkovSource::checkConfig(const std::vector<Site> &sites)
+{
+    if (sites.empty())
+        return invalidArgumentError("MarkovSource: no sites");
+    return Status();
+}
+
+StatusOr<MarkovSource>
+MarkovSource::tryMake(std::vector<Site> sites, std::uint64_t count,
+                      std::uint64_t seed)
+{
+    TL_RETURN_IF_ERROR(checkConfig(sites));
+    return MarkovSource(std::move(sites), count, seed);
+}
+
 MarkovSource::MarkovSource(std::vector<Site> sites, std::uint64_t count,
                            std::uint64_t seed)
     : sites(std::move(sites)), remaining(count), rng(seed)
 {
-    if (this->sites.empty())
-        fatal("MarkovSource: no sites");
+    requireOk(checkConfig(this->sites));
     lastTaken.assign(this->sites.size(), true);
 }
 
@@ -116,12 +186,32 @@ MarkovSource::next(BranchRecord &record)
     return true;
 }
 
+Status
+InterleaveSource::checkConfig(
+    const std::vector<std::unique_ptr<TraceSource>> &children)
+{
+    if (children.empty())
+        return invalidArgumentError("InterleaveSource: no children");
+    for (const std::unique_ptr<TraceSource> &child : children) {
+        if (!child)
+            return invalidArgumentError("InterleaveSource: null child");
+    }
+    return Status();
+}
+
+StatusOr<InterleaveSource>
+InterleaveSource::tryMake(
+    std::vector<std::unique_ptr<TraceSource>> children)
+{
+    TL_RETURN_IF_ERROR(checkConfig(children));
+    return InterleaveSource(std::move(children));
+}
+
 InterleaveSource::InterleaveSource(
     std::vector<std::unique_ptr<TraceSource>> children)
     : children(std::move(children))
 {
-    if (this->children.empty())
-        fatal("InterleaveSource: no children");
+    requireOk(checkConfig(this->children));
 }
 
 bool
@@ -133,19 +223,39 @@ InterleaveSource::next(BranchRecord &record)
     return true;
 }
 
+Status
+ClassMixSource::Config::check() const
+{
+    if (classWeights.size() != numBranchClasses) {
+        return invalidArgumentError(
+            "ClassMixSource: expected %u class weights",
+            numBranchClasses);
+    }
+    if (sitesPerClass == 0) {
+        return invalidArgumentError(
+            "ClassMixSource: sitesPerClass must be >= 1");
+    }
+    if (minInstsBetween < 1 || minInstsBetween > maxInstsBetween) {
+        return invalidArgumentError(
+            "ClassMixSource: bad instruction gap range [%u, %u]",
+            minInstsBetween, maxInstsBetween);
+    }
+    return Status();
+}
+
+StatusOr<ClassMixSource>
+ClassMixSource::tryMake(Config config, std::uint64_t count,
+                        std::uint64_t seed)
+{
+    TL_RETURN_IF_ERROR(config.check());
+    return ClassMixSource(std::move(config), count, seed);
+}
+
 ClassMixSource::ClassMixSource(Config config, std::uint64_t count,
                                std::uint64_t seed)
     : config(std::move(config)), remaining(count), rng(seed)
 {
-    if (this->config.classWeights.size() != numBranchClasses)
-        fatal("ClassMixSource: expected %u class weights",
-              numBranchClasses);
-    if (this->config.sitesPerClass == 0)
-        fatal("ClassMixSource: sitesPerClass must be >= 1");
-    if (this->config.minInstsBetween < 1 ||
-        this->config.minInstsBetween > this->config.maxInstsBetween) {
-        fatal("ClassMixSource: bad instruction gap range");
-    }
+    requireOk(this->config.check());
 }
 
 bool

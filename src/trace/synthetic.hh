@@ -20,6 +20,7 @@
 
 #include "trace/trace.hh"
 #include "util/random.hh"
+#include "util/status_or.hh"
 
 namespace tl
 {
@@ -32,7 +33,18 @@ namespace tl
 class PatternSource : public TraceSource
 {
   public:
+    /** Non-OK (InvalidArgument) on an empty or non-'T'/'N' pattern. */
+    static Status checkConfig(const std::string &pattern);
+
+    /** Checked construction; see checkConfig() for the error cases. */
+    static StatusOr<PatternSource> tryMake(std::uint64_t pc,
+                                           std::string pattern,
+                                           std::uint64_t count,
+                                           bool backward = true);
+
     /**
+     * Shim around tryMake(): fatal() on a bad pattern.
+     *
      * @param pc Branch address.
      * @param pattern String of 'T'/'N' characters.
      * @param count Total branches to emit.
@@ -58,7 +70,17 @@ class PatternSource : public TraceSource
 class LoopSource : public TraceSource
 {
   public:
+    /** Non-OK (InvalidArgument) on a zero period. */
+    static Status checkConfig(unsigned period);
+
+    /** Checked construction; see checkConfig() for the error cases. */
+    static StatusOr<LoopSource> tryMake(std::uint64_t pc,
+                                        unsigned period,
+                                        std::uint64_t loops);
+
     /**
+     * Shim around tryMake(): fatal() on a zero period.
+     *
      * @param pc Branch address.
      * @param period Loop trip count (>= 1).
      * @param loops Number of complete loop executions.
@@ -85,7 +107,17 @@ class BiasedSource : public TraceSource
         double takenProbability;
     };
 
+    /** Non-OK (InvalidArgument) on an empty site pool. */
+    static Status checkConfig(const std::vector<Site> &sites);
+
+    /** Checked construction; see checkConfig() for the error cases. */
+    static StatusOr<BiasedSource> tryMake(std::vector<Site> sites,
+                                          std::uint64_t count,
+                                          std::uint64_t seed);
+
     /**
+     * Shim around tryMake(): fatal() on an empty site pool.
+     *
      * @param sites Static branch pool (visited round-robin).
      * @param count Total branches to emit.
      * @param seed PRNG seed.
@@ -119,6 +151,15 @@ class MarkovSource : public TraceSource
         double pStayNotTaken; //!< P(!taken_{i+1} | !taken_i)
     };
 
+    /** Non-OK (InvalidArgument) on an empty site pool. */
+    static Status checkConfig(const std::vector<Site> &sites);
+
+    /** Checked construction; see checkConfig() for the error cases. */
+    static StatusOr<MarkovSource> tryMake(std::vector<Site> sites,
+                                          std::uint64_t count,
+                                          std::uint64_t seed);
+
+    /** Shim around tryMake(): fatal() on an empty site pool. */
     MarkovSource(std::vector<Site> sites, std::uint64_t count,
                  std::uint64_t seed);
 
@@ -140,6 +181,15 @@ class MarkovSource : public TraceSource
 class InterleaveSource : public TraceSource
 {
   public:
+    /** Non-OK (InvalidArgument) on an empty child list. */
+    static Status
+    checkConfig(const std::vector<std::unique_ptr<TraceSource>> &children);
+
+    /** Checked construction; see checkConfig() for the error cases. */
+    static StatusOr<InterleaveSource>
+    tryMake(std::vector<std::unique_ptr<TraceSource>> children);
+
+    /** Shim around tryMake(): fatal() on an empty child list. */
     explicit InterleaveSource(
         std::vector<std::unique_ptr<TraceSource>> children);
 
@@ -167,8 +217,20 @@ class ClassMixSource : public TraceSource
         double trapProbability = 0.0;
         std::uint32_t minInstsBetween = 2;
         std::uint32_t maxInstsBetween = 10;
+
+        /**
+         * Non-OK (InvalidArgument) on a weight-count mismatch, a zero
+         * site pool, or a bad instruction gap range.
+         */
+        Status check() const;
     };
 
+    /** Checked construction; see Config::check() for the errors. */
+    static StatusOr<ClassMixSource> tryMake(Config config,
+                                            std::uint64_t count,
+                                            std::uint64_t seed);
+
+    /** Shim around tryMake(): fatal() on a bad Config. */
     ClassMixSource(Config config, std::uint64_t count,
                    std::uint64_t seed);
 

@@ -1,0 +1,75 @@
+#include "util/check.hh"
+
+#include <atomic>
+#include <cstdarg>
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+namespace
+{
+
+/** nullptr means "use the default handler" (panic). */
+std::atomic<CheckFailureHandler> failureHandler{nullptr};
+
+} // namespace
+
+std::string
+CheckFailure::toString() const
+{
+    std::string rendered =
+        strprintf("%s:%d: check failed: %s", file, line, condition);
+    if (!message.empty()) {
+        rendered += " (";
+        rendered += message;
+        rendered += ")";
+    }
+    return rendered;
+}
+
+CheckFailureHandler
+setCheckFailureHandler(CheckFailureHandler handler)
+{
+    return failureHandler.exchange(handler);
+}
+
+namespace detail
+{
+
+namespace
+{
+
+void
+dispatch(CheckFailure failure)
+{
+    if (CheckFailureHandler handler = failureHandler.load())
+        handler(failure);
+    // Either no handler is installed, or the installed one returned
+    // normally. A failed check never resumes the caller.
+    panic("%s", failure.toString().c_str());
+}
+
+} // namespace
+
+void
+checkFailed(const char *file, int line, const char *condition)
+{
+    dispatch(CheckFailure{file, line, condition, std::string()});
+}
+
+void
+checkFailed(const char *file, int line, const char *condition,
+            const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string message = vstrprintf(fmt, args);
+    va_end(args);
+    dispatch(CheckFailure{file, line, condition, std::move(message)});
+}
+
+} // namespace detail
+
+} // namespace tl

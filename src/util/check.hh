@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Contract macros: TL_CHECK, TL_DCHECK and TL_INVARIANT.
+ *
+ * These complement the error taxonomy of util/status.hh and
+ * util/status_or.hh: fatal() reports *user* errors, Status/StatusOr
+ * report *recoverable input* errors, and the macros here guard against
+ * *programming* errors — preconditions and data-structure invariants
+ * that can only be false when this library (or an embedder poking at
+ * internals) has a bug.
+ *
+ *  - TL_CHECK(cond, ...)   Always compiled, in every build type. For
+ *    cold paths: constructor preconditions, API misuse. On failure the
+ *    installed failure handler runs (the default aborts via panic()).
+ *  - TL_DCHECK(cond, ...)  Compiled out (condition unevaluated) when
+ *    TL_DCHECK_ENABLED is 0 — the Release default. For hot paths:
+ *    per-prediction index and state checks that must cost nothing in
+ *    measured runs.
+ *  - TL_INVARIANT(cond, ...) Same build gating as TL_DCHECK, spelled
+ *    differently to mark *object consistency* claims (the body of
+ *    validate() self-checks) rather than argument preconditions.
+ *
+ * All three accept an optional printf-style message after the
+ * condition:
+ *
+ *   TL_CHECK(state < numStates(), "state %u out of range", state);
+ *
+ * The failure handler is process-global and swappable, so tests can
+ * observe failures without dying and embedders can route them into
+ * their own reporting. A handler may throw (TL_CHECK sites are not
+ * noexcept) or terminate; if it returns normally, panic() runs anyway
+ * — a failed check never continues execution.
+ */
+
+#ifndef TL_UTIL_CHECK_HH
+#define TL_UTIL_CHECK_HH
+
+#include <string>
+
+namespace tl
+{
+
+/** Everything known about one failed check. */
+struct CheckFailure
+{
+    /** Source file of the failing TL_CHECK/TL_DCHECK/TL_INVARIANT. */
+    const char *file = "";
+
+    /** Source line. */
+    int line = 0;
+
+    /** The stringified condition text. */
+    const char *condition = "";
+
+    /** The formatted optional message; empty when none was given. */
+    std::string message;
+
+    /** "file:line: check failed: cond (message)" rendering. */
+    std::string toString() const;
+};
+
+/**
+ * Receives every failed check. Must not return normally to resume the
+ * caller — throw or terminate; a handler that does return falls
+ * through to panic().
+ */
+using CheckFailureHandler = void (*)(const CheckFailure &failure);
+
+/**
+ * Install @p handler as the global failure handler and return the
+ * previous one. nullptr restores the default (panic). Not intended to
+ * be raced with failing checks on other threads.
+ */
+CheckFailureHandler setCheckFailureHandler(CheckFailureHandler handler);
+
+namespace detail
+{
+
+/** Build a CheckFailure and dispatch it to the installed handler. */
+void checkFailed(const char *file, int line, const char *condition);
+
+/** @copydoc checkFailed */
+void checkFailed(const char *file, int line, const char *condition,
+                 const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/** Swallows arguments of a disabled check without evaluating them. */
+template <typename... Args>
+inline void
+checkSink(Args &&...)
+{}
+
+} // namespace detail
+
+} // namespace tl
+
+/**
+ * TL_DCHECK_ENABLED gates TL_DCHECK and TL_INVARIANT. It follows
+ * NDEBUG (on in Debug builds, off in Release/RelWithDebInfo) unless
+ * the build predefines it, e.g. -DTL_DCHECK_ENABLED=1 to debug-check a
+ * Release build.
+ */
+#ifndef TL_DCHECK_ENABLED
+#ifdef NDEBUG
+#define TL_DCHECK_ENABLED 0
+#else
+#define TL_DCHECK_ENABLED 1
+#endif
+#endif
+
+/** Always-on precondition check; see the file comment. */
+#define TL_CHECK(cond, ...)                                             \
+    do {                                                                \
+        if (!(cond)) [[unlikely]] {                                     \
+            ::tl::detail::checkFailed(__FILE__, __LINE__,               \
+                                      #cond __VA_OPT__(, ) __VA_ARGS__);\
+        }                                                               \
+    } while (false)
+
+/** @cond internal macro plumbing */
+#define TL_DISABLED_CHECK_IMPL(cond, ...)                               \
+    do {                                                                \
+        /* Never taken: keeps cond's operands "used" (no unused-     */ \
+        /* variable warnings) without evaluating them at run time.   */ \
+        if (false) {                                                    \
+            ::tl::detail::checkSink((cond)__VA_OPT__(, ) __VA_ARGS__);  \
+        }                                                               \
+    } while (false)
+/** @endcond */
+
+#if TL_DCHECK_ENABLED
+/** Hot-path check, compiled out of Release; see the file comment. */
+#define TL_DCHECK(cond, ...) TL_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+/** Object-invariant check, same gating as TL_DCHECK. */
+#define TL_INVARIANT(cond, ...) TL_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#else
+#define TL_DCHECK(cond, ...)                                            \
+    TL_DISABLED_CHECK_IMPL(cond __VA_OPT__(, ) __VA_ARGS__)
+#define TL_INVARIANT(cond, ...)                                         \
+    TL_DISABLED_CHECK_IMPL(cond __VA_OPT__(, ) __VA_ARGS__)
+#endif
+
+#endif // TL_UTIL_CHECK_HH

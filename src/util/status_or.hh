@@ -45,7 +45,7 @@ enum class StatusCode : std::uint8_t
 };
 
 /** Short stable name ("CorruptData") for a status code. */
-const char *statusCodeName(StatusCode code);
+[[nodiscard]] const char *statusCodeName(StatusCode code);
 
 /** An error code plus a human-readable message; default is OK. */
 class [[nodiscard]] Status
@@ -60,15 +60,15 @@ class [[nodiscard]] Status
     {}
 
     /** True when the operation succeeded. */
-    bool ok() const { return code_ == StatusCode::Ok; }
+    [[nodiscard]] bool ok() const { return code_ == StatusCode::Ok; }
 
-    StatusCode code() const { return code_; }
+    [[nodiscard]] StatusCode code() const { return code_; }
 
     /** Empty for an OK status. */
-    const std::string &message() const { return message_; }
+    [[nodiscard]] const std::string &message() const { return message_; }
 
     /** "CorruptData: bad magic" style rendering; "OK" when ok(). */
-    std::string toString() const;
+    [[nodiscard]] std::string toString() const;
 
     bool operator==(const Status &other) const = default;
 
@@ -116,10 +116,10 @@ class [[nodiscard]] StatusOr
     StatusOr(T value) : value_(std::move(value)) {}
 
     /** True when a value is held. */
-    bool ok() const { return value_.has_value(); }
+    [[nodiscard]] bool ok() const { return value_.has_value(); }
 
     /** The status; OK when a value is held. */
-    const Status &status() const { return status_; }
+    [[nodiscard]] const Status &status() const { return status_; }
 
     /// @name Value access; panics when !ok().
     /// @{

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Contract-macro behaviour (util/check.hh) and the validate()
+ * self-check chain: the swappable failure handler, abort-by-default,
+ * Release compilation of TL_DCHECK to a true no-op, and fault
+ * injection proving validate() actually detects corrupted tables.
+ */
+
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "predictor/automaton.hh"
+#include "predictor/branch_history_table.hh"
+#include "predictor/pattern_table.hh"
+#include "predictor/two_level.hh"
+#include "sim/engine.hh"
+#include "trace/synthetic.hh"
+#include "util/check.hh"
+
+namespace tl
+{
+namespace
+{
+
+/** Thrown by the test handler instead of dying. */
+struct CheckCaught : std::runtime_error
+{
+    explicit CheckCaught(const CheckFailure &failure)
+        : std::runtime_error(failure.toString()),
+          condition(failure.condition), message(failure.message),
+          line(failure.line)
+    {}
+
+    std::string condition;
+    std::string message;
+    int line;
+};
+
+[[noreturn]] void
+throwingHandler(const CheckFailure &failure)
+{
+    throw CheckCaught(failure);
+}
+
+/** Installs the throwing handler for one scope. */
+class HandlerGuard
+{
+  public:
+    HandlerGuard() : previous(setCheckFailureHandler(throwingHandler)) {}
+    ~HandlerGuard() { setCheckFailureHandler(previous); }
+
+  private:
+    CheckFailureHandler previous;
+};
+
+TEST(TlCheck, PassingCheckIsSilent)
+{
+    HandlerGuard guard;
+    TL_CHECK(1 + 1 == 2);
+    TL_CHECK(true, "never rendered %d", 42);
+}
+
+TEST(TlCheck, FailureReachesInstalledHandler)
+{
+    HandlerGuard guard;
+    try {
+        TL_CHECK(2 + 2 == 5, "arithmetic holds at %d", 4);
+        FAIL() << "TL_CHECK(false) continued execution";
+    } catch (const CheckCaught &caught) {
+        EXPECT_EQ(caught.condition, "2 + 2 == 5");
+        EXPECT_EQ(caught.message, "arithmetic holds at 4");
+        EXPECT_GT(caught.line, 0);
+        EXPECT_NE(std::string(caught.what()).find("test_check.cc"),
+                  std::string::npos);
+    }
+}
+
+TEST(TlCheck, MessageIsOptional)
+{
+    HandlerGuard guard;
+    try {
+        TL_CHECK(false);
+        FAIL() << "TL_CHECK(false) continued execution";
+    } catch (const CheckCaught &caught) {
+        EXPECT_EQ(caught.condition, "false");
+        EXPECT_TRUE(caught.message.empty());
+    }
+}
+
+TEST(TlCheck, HandlerSwapReturnsPrevious)
+{
+    CheckFailureHandler original = setCheckFailureHandler(throwingHandler);
+    EXPECT_EQ(setCheckFailureHandler(nullptr), throwingHandler);
+    // Leave the default (panic) installed, as the other tests expect.
+    setCheckFailureHandler(original);
+}
+
+TEST(TlCheckDeath, DefaultHandlerAborts)
+{
+    EXPECT_DEATH(TL_CHECK(false, "contract broken in test"),
+                 "contract broken in test");
+}
+
+#if TL_DCHECK_ENABLED
+
+TEST(TlCheck, DcheckFiresInDebugBuilds)
+{
+    HandlerGuard guard;
+    EXPECT_THROW(TL_DCHECK(false, "hot-path check"), CheckCaught);
+    EXPECT_THROW(TL_INVARIANT(false, "invariant check"), CheckCaught);
+}
+
+#else
+
+TEST(TlCheck, DcheckDoesNotEvaluateInRelease)
+{
+    // The condition and its message operands must not run at all: a
+    // disabled TL_DCHECK may not cost a single call in measured code.
+    int evaluations = 0;
+    auto touch = [&evaluations] {
+        ++evaluations;
+        return false;
+    };
+    TL_DCHECK(touch());
+    TL_INVARIANT(touch(), "count %d", ++evaluations);
+    EXPECT_EQ(evaluations, 0);
+}
+
+#endif // TL_DCHECK_ENABLED
+
+TEST(PatternTableFaults, ValidateAcceptsHealthyTable)
+{
+    PatternHistoryTable pht(4, Automaton::a2());
+    for (std::uint64_t p = 0; p < 16; ++p)
+        pht.update(p, p % 2 == 0);
+    EXPECT_TRUE(pht.validate().ok());
+}
+
+TEST(PatternTableFaults, ValidateCatchesInjectedCorruption)
+{
+    PatternHistoryTable pht(3, Automaton::a2());
+    ASSERT_TRUE(pht.validate().ok());
+    pht.injectFault(5, 9); // A2 has states 0..3; 9 is garbage
+    Status status = pht.validate();
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::Internal);
+    EXPECT_NE(status.message().find("state"), std::string::npos);
+}
+
+TEST(PatternTableFaults, ResetClearsInjectedFault)
+{
+    PatternHistoryTable pht(3, Automaton::a4());
+    pht.injectFault(0, 200);
+    pht.reset();
+    EXPECT_TRUE(pht.validate().ok());
+}
+
+TEST(AssociativeTableValidate, HealthyTableIsOk)
+{
+    AssociativeTable<int> table(BhtGeometry{64, 4});
+    for (std::uint64_t pc = 0; pc < 1024; pc += 4) {
+        if (!table.access(pc))
+            table.allocate(pc);
+    }
+    EXPECT_TRUE(table.validate().ok());
+}
+
+TEST(PredictorValidate, FreshTwoLevelIsOk)
+{
+    TwoLevelPredictor gag(TwoLevelConfig::gag(8));
+    EXPECT_TRUE(gag.validate().ok());
+    TwoLevelPredictor pap(TwoLevelConfig::pap(6, {256, 4}));
+    EXPECT_TRUE(pap.validate().ok());
+}
+
+TEST(PredictorValidate, OkAfterSimulationAcrossVariations)
+{
+    const TwoLevelConfig configs[] = {
+        TwoLevelConfig::gag(10),
+        TwoLevelConfig::pag(8, {256, 4}),
+        TwoLevelConfig::pagIdeal(8),
+        TwoLevelConfig::pap(6, {128, 2}),
+        TwoLevelConfig::papIdeal(6),
+        TwoLevelConfig::sas(6, 3),
+    };
+    for (const TwoLevelConfig &config : configs) {
+        TwoLevelPredictor predictor(config);
+        ClassMixSource source(ClassMixSource::Config{}, 20000, 7);
+        SimOptions options;
+        options.contextSwitches = true;
+        options.contextSwitchInterval = 5000;
+        simulate(source, predictor, options);
+        Status health = predictor.validate();
+        EXPECT_TRUE(health.ok())
+            << predictor.name() << ": " << health.toString();
+    }
+}
+
+TEST(PredictorValidate, ConfigCheckReportsInvalidArgument)
+{
+    TwoLevelConfig config = TwoLevelConfig::gag(0);
+    Status status = config.check();
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::InvalidArgument);
+
+    config = TwoLevelConfig::pag(8, {300, 4}); // not a power of two
+    EXPECT_FALSE(config.check().ok());
+
+    config = TwoLevelConfig::gag(12);
+    config.indexMode = IndexMode::Xor;
+    config.patternScope = PatternScope::PerAddress;
+    EXPECT_FALSE(config.check().ok());
+
+    EXPECT_TRUE(TwoLevelConfig::pap(12).check().ok());
+}
+
+} // namespace
+} // namespace tl

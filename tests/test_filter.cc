@@ -145,9 +145,10 @@ TEST(FilterDeath, BadArguments)
                 ::testing::ExitedWithCode(1), "stride");
     EXPECT_EXIT(filterByAddressRange(trace, 5, 5),
                 ::testing::ExitedWithCode(1), "empty range");
+    // An empty predicate is a caller bug, not a user error: the
+    // TL_CHECK contract aborts rather than exiting cleanly.
     TraceReplaySource source(trace);
-    EXPECT_EXIT(FilterSource(source, nullptr),
-                ::testing::ExitedWithCode(1), "predicate");
+    EXPECT_DEATH(FilterSource(source, nullptr), "predicate");
 }
 
 TEST(Filter, SelfTrainingUseCase)

@@ -77,9 +77,10 @@ TEST(PatternHistoryTableDeath, BadParameters)
                 ::testing::ExitedWithCode(1), "out");
     EXPECT_EXIT(PatternHistoryTable(25, Automaton::a2()),
                 ::testing::ExitedWithCode(1), "out");
+    // An out-of-range state is a caller bug, not a user error: the
+    // TL_CHECK contract aborts rather than exiting cleanly.
     PatternHistoryTable pht(3, Automaton::a2());
-    EXPECT_EXIT(pht.setState(0, 7), ::testing::ExitedWithCode(1),
-                "state");
+    EXPECT_DEATH(pht.setState(0, 7), "state");
 }
 
 /**

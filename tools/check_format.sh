@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Diff-only formatting gate: checks clang-format conformance of the
+# lines actually touched relative to a base ref (default: the merge
+# base with main), so the repo does not need a flag-day reformat.
+#
+# Usage: tools/check_format.sh [base-ref]
+# Exit:  0 clean (or clang-format unavailable), 1 formatting diffs.
+set -u -o pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+base="${1:-}"
+if [ -z "$base" ]; then
+    base="$(git merge-base HEAD origin/main 2>/dev/null ||
+            git merge-base HEAD main 2>/dev/null || echo HEAD)"
+fi
+
+if ! command -v clang-format >/dev/null 2>&1; then
+    echo "check_format: SKIP (clang-format not installed)"
+    exit 0
+fi
+
+# git-clang-format ships with clang-format and checks only changed
+# lines; fall back to whole-file checking of changed files without it.
+if command -v git-clang-format >/dev/null 2>&1; then
+    out="$(git clang-format --diff --quiet "$base" -- \
+               '*.cc' '*.hh' 2>&1)"
+    status=$?
+    if [ $status -ne 0 ] && [ -n "$out" ]; then
+        echo "$out"
+        echo "check_format: changed lines need reformatting" \
+             "(apply with: git clang-format $base)"
+        exit 1
+    fi
+    echo "check_format: clean"
+    exit 0
+fi
+
+failed=0
+while IFS= read -r file; do
+    [ -f "$file" ] || continue
+    if ! diff -u "$file" <(clang-format "$file") >/dev/null; then
+        echo "check_format: $file is not clang-format clean"
+        failed=1
+    fi
+done < <(git diff --name-only "$base" -- '*.cc' '*.hh')
+if [ $failed -ne 0 ]; then
+    echo "check_format: run clang-format -i on the files above"
+    exit 1
+fi
+echo "check_format: clean"

@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""Repo-specific lint gate for the two-level predictor library.
+
+Rules (all scoped to src/; examples/ and bench/ are CLI front ends and
+exempt):
+
+  fatal-ratchet   fatal() is the user-error exit for CLI front ends and
+                  for documented fatal()-shims around Status-returning
+                  APIs. Library code must not grow new call sites: each
+                  file's count of real fatal( calls (comments and
+                  string literals stripped) may not exceed the baseline
+                  recorded below. Migrating a file to Status/StatusOr
+                  lowers its ceiling permanently (run with
+                  --update-baseline and paste the output).
+
+  getenv          Environment lookups make library behaviour depend on
+                  ambient process state, which breaks reproducibility
+                  of sweeps. Only the two blessed option-load sites may
+                  call std::getenv.
+
+  nodiscard       Status and StatusOr must stay class-level
+                  [[nodiscard]] so that *every* function returning them
+                  warns when the result is dropped; no per-function
+                  annotation can be forgotten that way.
+
+  thread          Raw std::thread has no exception-propagating join and
+                  bypasses the pool's worker accounting; all
+                  parallelism goes through util/thread_pool.
+
+A line may opt out of a rule with a trailing comment:
+
+    legacy_call();  // tl-lint: allow(fatal-ratchet)
+
+Exit status: 0 clean, 1 violations, 2 usage error.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Per-file ceilings for real fatal() call sites (comments/strings
+# stripped). Regenerate with --update-baseline after burning one down.
+FATAL_BASELINE = {
+    "src/isa/assembler.cc": 2,
+    "src/isa/cpu.cc": 10,
+    "src/isa/program.cc": 6,
+    "src/predictor/automaton.cc": 7,
+    "src/predictor/branch_history_table.cc": 1,
+    "src/predictor/btb.cc": 1,
+    "src/predictor/cost_model.cc": 6,
+    "src/predictor/factory.cc": 3,
+    "src/predictor/history_register.hh": 1,
+    "src/predictor/indirect.cc": 1,
+    "src/predictor/pattern_table.cc": 1,
+    "src/predictor/return_stack.cc": 1,
+    "src/predictor/spec.cc": 1,
+    "src/predictor/static_training.cc": 3,
+    "src/predictor/tournament.cc": 2,
+    "src/predictor/two_level.cc": 1,
+    "src/sim/analysis.cc": 2,
+    "src/sim/experiment.cc": 1,
+    "src/sim/multiprogram.cc": 1,
+    "src/sim/pipeline.cc": 2,
+    "src/sim/sweep.cc": 2,
+    "src/trace/filter.cc": 3,
+    "src/trace/io.cc": 4,
+    "src/trace/synthetic.cc": 1,
+    "src/util/status.cc": 1,
+    "src/workloads/doduc.cc": 1,
+    "src/workloads/eqntott.cc": 1,
+    "src/workloads/espresso.cc": 1,
+    "src/workloads/fpppp.cc": 1,
+    "src/workloads/gcc.cc": 1,
+    "src/workloads/li.cc": 1,
+    "src/workloads/matrix300.cc": 1,
+    "src/workloads/registry.cc": 1,
+    "src/workloads/spice2g6.cc": 1,
+    "src/workloads/tomcatv.cc": 1,
+    "src/workloads/workload.cc": 1,
+}
+
+GETENV_ALLOWED = {
+    "src/sim/experiment.cc",
+    "src/sim/report.cc",
+}
+
+THREAD_ALLOWED = {
+    "src/util/thread_pool.hh",
+    "src/util/thread_pool.cc",
+}
+
+ALLOW_RE = re.compile(r"//\s*tl-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line
+    structure so reported line numbers stay meaningful."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line-comment | block-comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line-comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block-comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # string or char
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if (state == "string" and c == '"') or \
+               (state == "char" and c == "'"):
+                state = "code"
+            out.append(" " if c != "\n" else c)
+        i += 1
+    return "".join(out)
+
+
+def allowed_rules(raw_line):
+    match = ALLOW_RE.search(raw_line)
+    if not match:
+        return set()
+    return {rule.strip() for rule in match.group(1).split(",")}
+
+
+FATAL_CALL_RE = re.compile(r"(?<![\w.])fatal\s*\(")
+FATAL_DECL_RE = re.compile(r"void\s+fatal\s*\(")  # the prototype itself
+GETENV_RE = re.compile(r"(?<![\w.])(?:std::)?getenv\s*\(")
+THREAD_RE = re.compile(r"std::thread\b(?!::hardware_concurrency)")
+
+
+def lint_file(path, rel, violations, fatal_counts):
+    text = path.read_text()
+    raw_lines = text.splitlines()
+    code_lines = strip_comments_and_strings(text).splitlines()
+
+    fatal_count = 0
+    for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+        allowed = allowed_rules(raw)
+
+        if FATAL_CALL_RE.search(code) and "fatal-ratchet" not in allowed:
+            fatal_count += len(FATAL_CALL_RE.findall(code)) - \
+                len(FATAL_DECL_RE.findall(code))
+
+        if GETENV_RE.search(code) and rel not in GETENV_ALLOWED and \
+           "getenv" not in allowed:
+            violations.append(
+                (rel, lineno, "getenv",
+                 "std::getenv outside the blessed option-load sites "
+                 "(%s)" % ", ".join(sorted(GETENV_ALLOWED))))
+
+        if THREAD_RE.search(code) and rel not in THREAD_ALLOWED and \
+           "thread" not in allowed:
+            violations.append(
+                (rel, lineno, "thread",
+                 "raw std::thread; use util/thread_pool instead"))
+
+    if fatal_count:
+        fatal_counts[rel] = fatal_count
+    ceiling = FATAL_BASELINE.get(rel, 0)
+    if fatal_count > ceiling:
+        violations.append(
+            (rel, 0, "fatal-ratchet",
+             "%d fatal() call sites, baseline allows %d — return "
+             "Status/StatusOr from library code instead (or, for a "
+             "documented shim, raise the baseline in tl_lint.py)"
+             % (fatal_count, ceiling)))
+
+
+def lint_nodiscard(repo, violations):
+    rel = "src/util/status_or.hh"
+    text = (repo / rel).read_text()
+    for cls in ("Status", "StatusOr"):
+        if not re.search(r"class\s+\[\[nodiscard\]\]\s+%s\b" % cls, text):
+            violations.append(
+                (rel, 0, "nodiscard",
+                 "class %s must be declared [[nodiscard]] so dropped "
+                 "results warn everywhere" % cls))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repo", default=None,
+                        help="repository root (default: two levels up "
+                        "from this script)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="print the current fatal() counts as a "
+                        "replacement FATAL_BASELINE dict and exit")
+    args = parser.parse_args()
+
+    repo = Path(args.repo) if args.repo else \
+        Path(__file__).resolve().parent.parent.parent
+    src = repo / "src"
+    if not src.is_dir():
+        print("tl_lint: no src/ under %s" % repo, file=sys.stderr)
+        return 2
+
+    violations = []
+    fatal_counts = {}
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".cc", ".hh"):
+            continue
+        rel = path.relative_to(repo).as_posix()
+        lint_file(path, rel, violations, fatal_counts)
+    lint_nodiscard(repo, violations)
+
+    if args.update_baseline:
+        print("FATAL_BASELINE = {")
+        for rel in sorted(fatal_counts):
+            print('    "%s": %d,' % (rel, fatal_counts[rel]))
+        print("}")
+        return 0
+
+    for rel, lineno, rule, message in sorted(violations):
+        location = "%s:%d" % (rel, lineno) if lineno else rel
+        print("%s: [%s] %s" % (location, rule, message))
+    if violations:
+        print("tl_lint: %d violation(s)" % len(violations),
+              file=sys.stderr)
+        return 1
+    print("tl_lint: clean (%d files)" %
+          sum(1 for p in src.rglob("*") if p.suffix in (".cc", ".hh")))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# The static verification gate, runnable locally and in CI:
+#
+#   1. tl_lint.py        — repo-specific rules (fatal ratchet, getenv,
+#                          [[nodiscard]], raw threads)
+#   2. check_format.sh   — clang-format conformance of changed lines
+#   3. verify preset     — Debug, -Werror, TL_CHECK/TL_DCHECK enabled,
+#                          full test suite (includes every
+#                          static_assert proof in the headers)
+#   4. cppcheck          — if installed
+#   5. clang-tidy        — if installed, over the verify preset's
+#                          compile_commands.json
+#
+# Tools that are not installed are skipped with a notice (the CI image
+# installs them; the dev container may not have them). Any *finding*
+# from a tool that did run fails the script.
+#
+# Usage: tools/run_checks.sh [--no-build]
+#   --no-build  skip step 3 (the slow one) for a quick pre-commit loop
+set -u -o pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+build=1
+if [ "${1:-}" = "--no-build" ]; then
+    build=0
+fi
+
+failures=0
+note() { printf '== %s\n' "$*"; }
+
+note "tl_lint"
+if python3 tools/lint/tl_lint.py; then :; else failures=$((failures+1)); fi
+
+note "check_format"
+if bash tools/check_format.sh; then :; else failures=$((failures+1)); fi
+
+if [ $build -eq 1 ]; then
+    note "verify preset (-Werror Debug build + tests)"
+    if cmake --preset verify >/dev/null &&
+       cmake --build --preset verify -j "$(nproc)" &&
+       ctest --preset verify; then :; else
+        failures=$((failures+1))
+    fi
+else
+    note "verify preset: SKIP (--no-build)"
+fi
+
+note "cppcheck"
+if command -v cppcheck >/dev/null 2>&1; then
+    # --error-exitcode makes findings fail the gate; the inline
+    # suppressions keep the noise-prone checks informational.
+    if cppcheck --std=c++20 --language=c++ --enable=warning,performance \
+            --inline-suppr --quiet --error-exitcode=1 \
+            --suppress=internalAstError \
+            -I src src; then :; else failures=$((failures+1)); fi
+else
+    echo "cppcheck: SKIP (not installed)"
+fi
+
+note "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1 &&
+   command -v run-clang-tidy >/dev/null 2>&1; then
+    if [ -f build-verify/compile_commands.json ] || {
+           [ $build -eq 1 ] || cmake --preset verify >/dev/null; }; then
+        if run-clang-tidy -quiet -p build-verify \
+               "$repo/src/.*\.cc$"; then :; else
+            failures=$((failures+1))
+        fi
+    else
+        echo "clang-tidy: SKIP (no build-verify/compile_commands.json)"
+    fi
+else
+    echo "clang-tidy: SKIP (not installed)"
+fi
+
+if [ $failures -ne 0 ]; then
+    note "FAILED: $failures check(s) reported problems"
+    exit 1
+fi
+note "all checks passed"
