@@ -12,6 +12,7 @@
 #include "predictor/two_level.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "sim/sweep.hh"
 #include "util/status.hh"
 
 int
@@ -23,9 +24,9 @@ main()
     constexpr unsigned k = 12;
 
     std::vector<ResultSet> columns;
-    columns.push_back(runOnSuite(
+    columns.push_back(runSuite(
         strprintf("GAg(HR(1,,%u-sr),1xPHT(4096,A2))", k), suite));
-    columns.push_back(runOnSuite(
+    columns.push_back(runSuite(
         "gshare(12)",
         [] {
             TwoLevelConfig config = TwoLevelConfig::gag(k);
@@ -33,7 +34,7 @@ main()
             return std::make_unique<TwoLevelPredictor>(config);
         },
         suite));
-    columns.push_back(runOnSuite(
+    columns.push_back(runSuite(
         "GAp(12)",
         [] {
             TwoLevelConfig config = TwoLevelConfig::gag(k);

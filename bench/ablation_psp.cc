@@ -13,6 +13,7 @@
 #include "predictor/static_training.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "sim/sweep.hh"
 
 int
 main()
@@ -23,10 +24,10 @@ main()
     std::vector<ResultSet> columns;
 
     columns.push_back(
-        runOnSuite("GSg(HR(1,,12-sr),1xPHT(4096,PB))", suite));
+        runSuite("GSg(HR(1,,12-sr),1xPHT(4096,PB))", suite));
     columns.push_back(
-        runOnSuite("PSg(BHT(512,4,12-sr),1xPHT(4096,PB))", suite));
-    columns.push_back(runOnSuite(
+        runSuite("PSg(BHT(512,4,12-sr),1xPHT(4096,PB))", suite));
+    columns.push_back(runSuite(
         "PSp(BHT(512,4,12-sr),infxPHT(4096,PB))",
         [] {
             return std::make_unique<StaticTrainingPredictor>(
@@ -34,7 +35,7 @@ main()
         },
         suite));
     columns.push_back(
-        runOnSuite("PAg(BHT(512,4,12-sr),1xPHT(4096,A2))", suite));
+        runSuite("PAg(BHT(512,4,12-sr),1xPHT(4096,A2))", suite));
 
     printReport("Extension: the Static Training family including the "
                 "unsimulated PSp (accuracy %; only benchmarks with "

@@ -12,6 +12,7 @@
 #include "predictor/two_level.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "sim/sweep.hh"
 
 int
 main()
@@ -34,7 +35,7 @@ main()
 
     std::vector<ResultSet> columns;
     for (const Mode &m : modes) {
-        columns.push_back(runOnSuite(
+        columns.push_back(runSuite(
             m.label,
             [&m] {
                 TwoLevelConfig config = TwoLevelConfig::pag(12);

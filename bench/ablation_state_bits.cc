@@ -14,6 +14,7 @@
 #include "predictor/two_level.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "sim/sweep.hh"
 
 int
 main()
@@ -33,7 +34,7 @@ main()
     std::vector<ResultSet> columns;
     for (const Automaton *atm :
          {&sc1, &sc2, &sc3, &sc4, &sm2, &sm3}) {
-        columns.push_back(runOnSuite(
+        columns.push_back(runSuite(
             atm->name(),
             [atm] {
                 TwoLevelConfig config = TwoLevelConfig::pag(12);

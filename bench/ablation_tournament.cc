@@ -14,6 +14,7 @@
 #include "predictor/two_level.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "sim/sweep.hh"
 
 int
 main()
@@ -24,9 +25,9 @@ main()
     std::vector<ResultSet> columns;
 
     columns.push_back(
-        runOnSuite("PAg(BHT(512,4,12-sr),1xPHT(4096,A2))", suite));
-    columns.push_back(runOnSuite("BTB(BHT(512,4,A2))", suite));
-    columns.push_back(runOnSuite(
+        runSuite("PAg(BHT(512,4,12-sr),1xPHT(4096,A2))", suite));
+    columns.push_back(runSuite("BTB(BHT(512,4,A2))", suite));
+    columns.push_back(runSuite(
         "Tournament(PAg,BTB-A2)",
         [] {
             return std::make_unique<TournamentPredictor>(

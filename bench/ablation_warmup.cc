@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "sim/experiment.hh"
+#include "sim/sweep.hh"
 #include "util/table.hh"
 
 int
@@ -29,7 +30,7 @@ main()
 
     for (std::uint64_t budget : budgets) {
         WorkloadSuite suite(budget);
-        ResultSet results = runOnSuite(
+        ResultSet results = runSuite(
             "PAg(BHT(512,4,12-sr),1xPHT(4096,A2))", suite);
         table.addRow({
             TextTable::num(budget),

@@ -12,6 +12,7 @@
 
 #include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "sim/sweep.hh"
 
 int
 main()
@@ -29,7 +30,7 @@ main()
 
     std::vector<ResultSet> columns;
     for (const char *spec : specs)
-        columns.push_back(runOnSuite(spec, suite));
+        columns.push_back(runSuite(spec, suite));
 
     printReport("Figure 10: PAg accuracy (%) by BHT implementation "
                 "(with context switches)",

@@ -13,6 +13,7 @@
 #include "sim/experiment.hh"
 #include "util/status.hh"
 #include "sim/report.hh"
+#include "sim/sweep.hh"
 
 int
 main()
@@ -24,7 +25,7 @@ main()
     for (const char *atm : {"A1", "A2", "A3", "A4", "LT"}) {
         std::string spec = strprintf(
             "PAg(BHT(512,4,12-sr),1xPHT(4096,%s))", atm);
-        columns.push_back(runOnSuite(spec, suite));
+        columns.push_back(runSuite(spec, suite));
     }
 
     printReport("Figure 5: PAg(512,4,12-sr) with different pattern "

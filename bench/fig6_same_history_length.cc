@@ -5,6 +5,12 @@
  * interference effects, as in the paper's definitional comparison).
  *
  * All 18 (scheme, k) configurations fan out as one parallel sweep.
+ * This binary is also the exemplar of a fully instrumented run: the
+ * sweep feeds a MetricsRegistry (predictor-internal counters, whose
+ * totals are independent of the thread count), an EventLog timeline
+ * ("RUN_fig6.events.jsonl"), a throttled progress callback, and a
+ * "RUN_fig6.json" manifest that tools/report.py can render without
+ * rerunning anything.
  *
  * Paper result: PAp best, PAg second, GAg worst at equal k; GAg is
  * not effective with short registers because every branch updates the
@@ -13,7 +19,11 @@
 
 #include <cstdio>
 
+#include "sim/manifest.hh"
+#include "sim/report.hh"
 #include "sim/sweep.hh"
+#include "util/event_log.hh"
+#include "util/metrics.hh"
 #include "util/status.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
@@ -37,10 +47,28 @@ main()
             "PAp(IBHT(inf,,%u-sr),infxPHT(%llu,A2))", k, entries)));
     }
 
+    std::string dir = resultsDir();
+    if (dir.empty())
+        dir = ".";
+
+    MetricsRegistry metrics;
+    EventLog events;
+    Status opened = events.open(dir + "/RUN_fig6.events.jsonl");
+    if (!opened.ok())
+        warn("%s", opened.message().c_str());
+
     RunOptions options;
     options.threads = ThreadPool::hardwareThreads();
+    options.metrics = &metrics;
+    options.events = &events;
+    options.progress = [](std::size_t done, std::size_t total) {
+        std::fprintf(stderr, "fig6: %zu/%zu cells\r", done, total);
+        if (done == total)
+            std::fputc('\n', stderr);
+    };
     SweepRunner runner(options);
     std::vector<ResultSet> results = runner.run(columns);
+    events.close();
 
     TextTable table({"k", "GAg", "PAg(IBHT)", "PAp(IBHT)"});
     table.setTitle("Figure 6: Tot GMean accuracy (%) at equal "
@@ -55,5 +83,17 @@ main()
     std::fputs(table.toText().c_str(), stdout);
     std::printf("\nexpected shape: PAp >= PAg >> GAg at small k; "
                 "the gap closes as k grows\n");
+
+    RunManifest manifest("fig6");
+    manifest.recordOptions(options);
+    manifest.addResults(results);
+    manifest.recordProfile(runner.lastProfile());
+    manifest.recordMetrics(metrics.snapshot());
+    manifest.note("eventLog", Json::str("RUN_fig6.events.jsonl"));
+    Status wrote = manifest.writeTo(dir);
+    if (!wrote.ok()) {
+        warn("%s", wrote.message().c_str());
+        return 1;
+    }
     return 0;
 }

@@ -14,6 +14,7 @@
 #include "predictor/two_level.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "sim/sweep.hh"
 
 int
 main()
@@ -37,7 +38,7 @@ main()
 
     std::vector<ResultSet> columns;
     for (const Config &c : configs)
-        columns.push_back(runOnSuite(c.spec, suite));
+        columns.push_back(runSuite(c.spec, suite));
     printReport("Figure 8: the three variations at iso-accuracy "
                 "(accuracy %)",
                 columns, "fig8_iso_accuracy");

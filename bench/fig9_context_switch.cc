@@ -14,6 +14,7 @@
 
 #include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "sim/sweep.hh"
 
 int
 main()
@@ -29,10 +30,10 @@ main()
 
     std::vector<ResultSet> columns;
     for (const char *spec : specs) {
-        columns.push_back(runOnSuite(spec, suite));
+        columns.push_back(runSuite(spec, suite));
         std::string with_switches(spec);
         with_switches.insert(with_switches.size() - 1, ",c");
-        columns.push_back(runOnSuite(with_switches, suite));
+        columns.push_back(runSuite(with_switches, suite));
     }
 
     printReport("Figure 9: accuracy (%) without / with context "

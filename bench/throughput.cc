@@ -7,10 +7,15 @@
  * Runs a six-configuration x nine-workload grid once serially
  * (threads = 0, the baseline every parallel run must match
  * counter-for-counter) and then at increasing thread counts, prints
- * the timing table, and writes machine-readable
- * "BENCH_throughput.json" (into TL_RESULTS_DIR if set, else the
- * current directory) so the performance trajectory is recorded
- * across revisions.
+ * the timing table, and writes "BENCH_throughput.json" — a run
+ * manifest (sim/manifest.hh) with the timing series under
+ * "notes.parallel" — into TL_RESULTS_DIR if set, else the current
+ * directory, so the performance trajectory is recorded across
+ * revisions.
+ *
+ * Instrumentation stays OFF here: this binary measures the engine's
+ * bare throughput, the number the "disabled instrumentation is free"
+ * claim is judged against.
  *
  * Usage: throughput [--threads=N]   (adds N to the measured counts)
  */
@@ -22,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/manifest.hh"
+#include "sim/report.hh"
 #include "sim/sweep.hh"
 #include "util/status.hh"
 #include "util/strings.hh"
@@ -36,7 +43,8 @@ using namespace tl;
 /** Wall-clock seconds of one full sweep at @p threads workers. */
 double
 timedSweep(WorkloadSuite &suite, const std::vector<SweepSpec> &columns,
-           unsigned threads, std::vector<ResultSet> &out)
+           unsigned threads, std::vector<ResultSet> &out,
+           SweepProfile *profile = nullptr)
 {
     RunOptions options;
     options.threads = threads;
@@ -45,6 +53,8 @@ timedSweep(WorkloadSuite &suite, const std::vector<SweepSpec> &columns,
     out = runner.run(columns);
     std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - start;
+    if (profile)
+        *profile = runner.lastProfile();
     return elapsed.count();
 }
 
@@ -116,7 +126,9 @@ main(int argc, char **argv)
         threadCounts.push_back(extraThreads);
 
     std::vector<ResultSet> serial;
-    double serialSeconds = timedSweep(suite, columns, 0, serial);
+    SweepProfile serialProfile;
+    double serialSeconds =
+        timedSweep(suite, columns, 0, serial, &serialProfile);
     std::uint64_t predictions = totalPredictions(serial);
     double serialRate =
         static_cast<double>(predictions) / serialSeconds;
@@ -132,7 +144,7 @@ main(int argc, char **argv)
                   TextTable::num(serialRate), TextTable::num(1.0),
                   "yes"});
 
-    std::string parallelJson;
+    Json parallelRuns = Json::array();
     for (unsigned threads : threadCounts) {
         std::vector<ResultSet> parallel;
         double seconds = timedSweep(suite, columns, threads, parallel);
@@ -143,14 +155,13 @@ main(int argc, char **argv)
                       TextTable::num(seconds), TextTable::num(rate),
                       TextTable::num(speedup),
                       identical ? "yes" : "NO"});
-        if (!parallelJson.empty())
-            parallelJson += ",\n";
-        parallelJson += strprintf(
-            "    {\"threads\": %u, \"seconds\": %.6f, "
-            "\"predictionsPerSec\": %.0f, \"speedup\": %.3f, "
-            "\"identicalToSerial\": %s}",
-            threads, seconds, rate, speedup,
-            identical ? "true" : "false");
+        Json run = Json::object();
+        run.set("threads", Json::number(std::uint64_t{threads}));
+        run.set("seconds", Json::number(seconds));
+        run.set("predictionsPerSec", Json::number(rate));
+        run.set("speedup", Json::number(speedup));
+        run.set("identicalToSerial", Json::boolean(identical));
+        parallelRuns.push(std::move(run));
         if (!identical)
             warn("threads=%u diverged from the serial baseline",
                  threads);
@@ -161,33 +172,34 @@ main(int argc, char **argv)
                 "'identical' must stay yes\n",
                 hardware);
 
-    std::string dir = ".";
-    if (const char *env = std::getenv("TL_RESULTS_DIR"))
-        dir = env;
-    std::string path = dir + "/BENCH_throughput.json";
-    std::FILE *json = std::fopen(path.c_str(), "w");
-    if (!json) {
-        warn("cannot write %s", path.c_str());
+    std::string dir = resultsDir();
+    if (dir.empty())
+        dir = ".";
+
+    // The same general manifest format as the RUN_*.json figure
+    // manifests; the throughput series travels under "notes".
+    RunManifest manifest("throughput");
+    RunOptions serialOptions; // threads = 0, the recorded baseline
+    manifest.recordOptions(serialOptions);
+    manifest.addResults(serial);
+    manifest.recordProfile(serialProfile);
+
+    Json serialRun = Json::object();
+    serialRun.set("seconds", Json::number(serialSeconds));
+    serialRun.set("predictionsPerSec", Json::number(serialRate));
+    manifest.note("branchBudget",
+                  Json::number(suite.condBranches()));
+    manifest.note("predictionsPerRun", Json::number(predictions));
+    manifest.note("hardwareThreads",
+                  Json::number(std::uint64_t{hardware}));
+    manifest.note("serial", std::move(serialRun));
+    manifest.note("parallel", std::move(parallelRuns));
+
+    Status wrote =
+        manifest.writeFile(dir + "/BENCH_throughput.json");
+    if (!wrote.ok()) {
+        warn("%s", wrote.message().c_str());
         return 1;
     }
-    std::fprintf(
-        json,
-        "{\n"
-        "  \"bench\": \"throughput\",\n"
-        "  \"branchBudget\": %llu,\n"
-        "  \"workloads\": 9,\n"
-        "  \"configs\": %zu,\n"
-        "  \"predictionsPerRun\": %llu,\n"
-        "  \"hardwareThreads\": %u,\n"
-        "  \"serial\": {\"seconds\": %.6f, "
-        "\"predictionsPerSec\": %.0f},\n"
-        "  \"parallel\": [\n%s\n  ]\n"
-        "}\n",
-        static_cast<unsigned long long>(suite.condBranches()),
-        columns.size(),
-        static_cast<unsigned long long>(predictions), hardware,
-        serialSeconds, serialRate, parallelJson.c_str());
-    std::fclose(json);
-    std::printf("wrote %s\n", path.c_str());
     return 0;
 }

@@ -16,6 +16,7 @@
 
 #include "predictor/two_level.hh"
 #include "sim/experiment.hh"
+#include "sim/sweep.hh"
 #include "util/table.hh"
 
 int
@@ -54,7 +55,7 @@ main(int argc, char **argv)
 
     const Candidate *best = nullptr;
     for (Candidate &candidate : candidates) {
-        ResultSet results = runOnSuite(
+        ResultSet results = runSuite(
             candidate.config.schemeName(),
             [&candidate] {
                 return std::make_unique<TwoLevelPredictor>(

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Plain tally structs for predictor-internal instrumentation, and the
+ * helper that pours them into a MetricsRegistry.
+ *
+ * Two-tier design: the simulator hot loop increments raw struct
+ * members (no name lookup, no lock — an add and sometimes a compare),
+ * and the harvest point (SweepRunner after each cell, or a test)
+ * reports the struct into a registry under stable metric names. The
+ * structs live behind a null-by-default pointer in each predictor, so
+ * an uninstrumented run pays only a predictable never-taken branch.
+ */
+
+#ifndef TL_PREDICTOR_COUNTERS_HH
+#define TL_PREDICTOR_COUNTERS_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "predictor/branch_history_table.hh"
+#include "util/metrics.hh"
+
+namespace tl
+{
+
+/** Pattern-history-table activity (Section 2.1's lambda and delta). */
+struct PhtCounters
+{
+    /** Prediction-rule firings: lambda evaluations (Eq. 1). */
+    std::uint64_t predictions = 0;
+
+    /** Firings whose rule said "taken". */
+    std::uint64_t predictedTaken = 0;
+
+    /** State-transition applications: delta evaluations (Eq. 2). */
+    std::uint64_t updates = 0;
+
+    /** Updates that actually changed the stored state. */
+    std::uint64_t transitions = 0;
+};
+
+/** Speculative-history maintenance events (Section 3.1). */
+struct SpeculativeCounters
+{
+    /** Mispredicts that restored spec history from architectural. */
+    std::uint64_t repairs = 0;
+
+    /** Mispredicts that reinitialized the spec history to all 1s. */
+    std::uint64_t reinitializations = 0;
+
+    /** Mispredicts that left the spec history corrupted (NoRepair). */
+    std::uint64_t corruptionsKept = 0;
+};
+
+/** Everything a TwoLevelPredictor tallies when instrumented. */
+struct TwoLevelCounters
+{
+    PhtCounters pht;
+    SpeculativeCounters speculative;
+};
+
+/** Report an associative table's hit/miss/eviction tallies. */
+inline void
+reportTableStats(MetricsRegistry &registry, std::string_view prefix,
+                 const TableStats &stats)
+{
+    std::string base(prefix);
+    registry.add(base + ".hits", stats.hits);
+    registry.add(base + ".misses", stats.misses);
+    registry.add(base + ".evictions", stats.evictions);
+}
+
+/** Report PHT activity, plus per-automaton rule firings. */
+inline void
+reportPhtCounters(MetricsRegistry &registry, std::string_view prefix,
+                  std::string_view automatonName,
+                  const PhtCounters &counters)
+{
+    std::string base(prefix);
+    registry.add(base + ".predictions", counters.predictions);
+    registry.add(base + ".predictedTaken", counters.predictedTaken);
+    registry.add(base + ".updates", counters.updates);
+    registry.add(base + ".transitions", counters.transitions);
+    std::string rule = base + ".rule." + std::string(automatonName);
+    registry.add(rule + ".taken", counters.predictedTaken);
+    registry.add(rule + ".notTaken",
+                 counters.predictions - counters.predictedTaken);
+}
+
+/** Report speculative-history maintenance events. */
+inline void
+reportSpeculativeCounters(MetricsRegistry &registry,
+                          std::string_view prefix,
+                          const SpeculativeCounters &counters)
+{
+    std::string base(prefix);
+    registry.add(base + ".repairs", counters.repairs);
+    registry.add(base + ".reinitializations",
+                 counters.reinitializations);
+    registry.add(base + ".corruptionsKept", counters.corruptionsKept);
+}
+
+} // namespace tl
+
+#endif // TL_PREDICTOR_COUNTERS_HH

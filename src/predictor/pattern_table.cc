@@ -1,5 +1,6 @@
 #include "predictor/pattern_table.hh"
 
+#include "predictor/counters.hh"
 #include "util/bitops.hh"
 #include "util/check.hh"
 #include "util/status.hh"
@@ -26,7 +27,12 @@ PatternHistoryTable::predict(std::uint64_t pattern) const
     TL_DCHECK(state < atm->numStates(),
               "PHT entry holds state %u of an %u-state automaton",
               unsigned(state), atm->numStates());
-    return atm->predict(state);
+    bool taken = atm->predict(state);
+    if (tally) {
+        ++tally->predictions;
+        tally->predictedTaken += taken ? 1 : 0;
+    }
+    return taken;
 }
 
 void
@@ -36,7 +42,12 @@ PatternHistoryTable::update(std::uint64_t pattern, bool taken)
     TL_DCHECK(state < atm->numStates(),
               "PHT entry holds state %u of an %u-state automaton",
               unsigned(state), atm->numStates());
-    state = atm->next(state, taken);
+    Automaton::State next = atm->next(state, taken);
+    if (tally) {
+        ++tally->updates;
+        tally->transitions += next != state ? 1 : 0;
+    }
+    state = next;
 }
 
 Automaton::State

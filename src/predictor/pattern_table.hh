@@ -18,6 +18,8 @@
 namespace tl
 {
 
+struct PhtCounters;
+
 /** A 2^k-entry table of automaton states indexed by history pattern. */
 class PatternHistoryTable
 {
@@ -75,10 +77,20 @@ class PatternHistoryTable
      */
     void injectFault(std::uint64_t pattern, Automaton::State rawState);
 
+    /**
+     * Tally lambda/delta activity into @p counters (shared by every
+     * table of a predictor; predictor/counters.hh). nullptr (the
+     * default) disables tallying: the hot path then pays only a
+     * never-taken branch. The caller owns @p counters and must keep
+     * it alive as long as the table may predict or update.
+     */
+    void attachCounters(PhtCounters *counters) { tally = counters; }
+
   private:
     const Automaton *atm;
     unsigned historyBits;
     std::vector<Automaton::State> states;
+    PhtCounters *tally = nullptr;
 };
 
 } // namespace tl

@@ -18,6 +18,7 @@ namespace tl
 {
 
 class TraceSource;
+class MetricsRegistry;
 
 /** Static information available when a branch is predicted. */
 struct BranchQuery
@@ -85,6 +86,28 @@ class BranchPredictor
      * debug builds (TL_DCHECK_ENABLED).
      */
     virtual Status validate() const { return Status(); }
+
+    /**
+     * Turn on internal tallying (BHT hit/miss/eviction, PHT
+     * state-transition counts, speculative-history repairs, ...).
+     * Off by default so the uninstrumented hot path stays unchanged;
+     * schemes without internal counters ignore the call. Must be
+     * called before the run whose activity should be counted —
+     * enabling mid-run tallies only from that point on.
+     */
+    virtual void enableInstrumentation() {}
+
+    /**
+     * Pour the internal tallies into @p registry under stable
+     * "predictor.*" names (predictor/counters.hh). A no-op for
+     * schemes without counters or when instrumentation was never
+     * enabled. Counters are cumulative since enableInstrumentation()
+     * or the last reset().
+     */
+    virtual void reportMetrics(MetricsRegistry &registry) const
+    {
+        (void)registry;
+    }
 
     /**
      * True if the scheme needs a profiling pass over a training trace

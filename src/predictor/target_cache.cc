@@ -1,5 +1,7 @@
 #include "predictor/target_cache.hh"
 
+#include "predictor/counters.hh"
+
 namespace tl
 {
 
@@ -24,6 +26,15 @@ TargetCache::update(std::uint64_t pc, std::uint64_t target)
     if (!ref)
         ref = table.allocate(pc);
     ref.payload->target = target;
+}
+
+void
+TargetCache::reportMetrics(MetricsRegistry &registry,
+                           std::string_view prefix) const
+{
+    reportTableStats(registry, prefix, table.stats());
+    registry.gauge(std::string(prefix) + ".validEntries",
+                   static_cast<double>(table.validEntries()));
 }
 
 } // namespace tl

@@ -20,11 +20,14 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 
 #include "predictor/branch_history_table.hh"
 
 namespace tl
 {
+
+class MetricsRegistry;
 
 /** A cache of branch target addresses keyed by branch address. */
 class TargetCache
@@ -54,6 +57,14 @@ class TargetCache
 
     /** Hit/miss statistics. */
     const TableStats &stats() const { return table.stats(); }
+
+    /**
+     * Pour hit/miss/eviction tallies and an occupancy gauge into
+     * @p registry under "<prefix>.*" names (predictor/counters.hh).
+     */
+    void reportMetrics(MetricsRegistry &registry,
+                       std::string_view prefix =
+                           "predictor.targetCache") const;
 
     /** Geometry. */
     const BhtGeometry &geom() const { return table.geom(); }

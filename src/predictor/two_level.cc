@@ -213,8 +213,38 @@ TwoLevelPredictor::name() const
 }
 
 void
+TwoLevelPredictor::enableInstrumentation()
+{
+    if (tally)
+        return;
+    tally = std::make_unique<TwoLevelCounters>();
+    for (PatternHistoryTable &table : tables)
+        table.attachCounters(phtTally());
+}
+
+void
+TwoLevelPredictor::reportMetrics(MetricsRegistry &registry) const
+{
+    reportTableStats(registry, "predictor.bht", bhtStats());
+    if (practical) {
+        registry.gauge("predictor.bht.validEntries",
+                       static_cast<double>(practical->validEntries()));
+    }
+    if (!tally)
+        return;
+    reportPhtCounters(registry, "predictor.pht",
+                      cfg.automaton->name(), tally->pht);
+    if (cfg.speculative != SpeculativeMode::Off) {
+        reportSpeculativeCounters(registry, "predictor.spec",
+                                  tally->speculative);
+    }
+}
+
+void
 TwoLevelPredictor::reset()
 {
+    if (tally)
+        *tally = TwoLevelCounters{};
     globalEntry = HistoryEntry{};
     globalEntry.arch = globalEntry.spec = allOnes();
     for (HistoryEntry &entry : setEntries) {
@@ -294,6 +324,7 @@ TwoLevelPredictor::phtFor(std::uint64_t pc, std::size_t slot)
     if (it == idealPhtIndex.end()) {
         idealPhtIndex.emplace(pc, tables.size());
         tables.emplace_back(cfg.historyBits, *cfg.automaton);
+        tables.back().attachCounters(phtTally());
         return tables.back();
     }
     return tables[it->second];
@@ -364,19 +395,29 @@ TwoLevelPredictor::update(const BranchQuery &branch, bool taken)
         entry.arch = ((entry.arch << 1) | (taken ? 1 : 0)) & allOnes();
     }
 
+    bool mispredicted =
+        entry.hasPrediction && entry.lastPrediction != taken;
     switch (cfg.speculative) {
       case SpeculativeMode::Off:
         entry.spec = entry.arch;
         break;
       case SpeculativeMode::NoRepair:
+        if (tally && mispredicted)
+            ++tally->speculative.corruptionsKept;
         break;
       case SpeculativeMode::Reinitialize:
-        if (entry.hasPrediction && entry.lastPrediction != taken)
+        if (mispredicted) {
             entry.spec = allOnes();
+            if (tally)
+                ++tally->speculative.reinitializations;
+        }
         break;
       case SpeculativeMode::Repair:
-        if (entry.hasPrediction && entry.lastPrediction != taken)
+        if (mispredicted) {
             entry.spec = entry.arch;
+            if (tally)
+                ++tally->speculative.repairs;
+        }
         break;
     }
 }

@@ -43,6 +43,7 @@
 #include "predictor/branch_history_table.hh"
 #include "predictor/concepts.hh"
 #include "predictor/cost_model.hh"
+#include "predictor/counters.hh"
 #include "predictor/geometry.hh"
 #include "predictor/history_register.hh"
 #include "predictor/pattern_table.hh"
@@ -175,6 +176,14 @@ class TwoLevelPredictor : public BranchPredictor
     void contextSwitch() override;
     void reset() override;
     Status validate() const override;
+    void enableInstrumentation() override;
+    void reportMetrics(MetricsRegistry &registry) const override;
+
+    /** Internal tallies; nullptr until enableInstrumentation(). */
+    const TwoLevelCounters *instrumentation() const
+    {
+        return tally.get();
+    }
 
     /** The configuration this predictor was built with. */
     const TwoLevelConfig &config() const { return cfg; }
@@ -237,10 +246,19 @@ class TwoLevelPredictor : public BranchPredictor
     std::unique_ptr<AssociativeTable<HistoryEntry>> practical;
     TableStats idealStats;
 
+    /** The shared PHT tally, or nullptr when uninstrumented. */
+    PhtCounters *phtTally() const
+    {
+        return tally ? &tally->pht : nullptr;
+    }
+
     // Second level.
     std::vector<PatternHistoryTable> tables;
     std::unordered_map<std::uint64_t, std::size_t> idealPhtIndex;
     std::vector<std::uint64_t> slotOwner;
+
+    /** Instrumentation tallies; allocated by enableInstrumentation. */
+    std::unique_ptr<TwoLevelCounters> tally;
 
     static constexpr std::uint64_t noOwner = ~std::uint64_t{0};
 };

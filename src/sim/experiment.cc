@@ -101,36 +101,4 @@ WorkloadSuite::training(const Workload &workload)
     return **trace;
 }
 
-ResultSet
-runOnSuite(const std::string &displayName, const PredictorFactory &make,
-           WorkloadSuite &suite, const SimOptions &options)
-{
-    ResultSet results(displayName);
-    for (const Workload *workload : allWorkloads()) {
-        std::unique_ptr<BranchPredictor> predictor = make();
-        if (predictor->needsTraining()) {
-            if (!workload->hasTraining())
-                continue; // omitted point, as in the paper's Fig. 11
-            TraceReplaySource training(suite.training(*workload));
-            predictor->train(training);
-        }
-        SimResult sim =
-            simulate(suite.testing(*workload), *predictor, options);
-        results.add(BenchmarkResult{workload->name(),
-                                    workload->isInteger(), sim});
-    }
-    return results;
-}
-
-ResultSet
-runOnSuite(const std::string &specText, WorkloadSuite &suite,
-           SimOptions options)
-{
-    SchemeSpec spec = SchemeSpec::parse(specText);
-    if (spec.contextSwitch)
-        options.contextSwitches = true;
-    return runOnSuite(spec.toString(), factoryFromSpec(spec), suite,
-                      options);
-}
-
 } // namespace tl

@@ -93,34 +93,6 @@ class WorkloadSuite
     std::map<std::string, Entry> trainingTraces;
 };
 
-/**
- * Run one scheme over every benchmark in the suite, serially.
- *
- * Pre-sweep shim: new code should use runSuite()/SweepRunner
- * (sim/sweep.hh), which add RunOptions and parallel execution. Kept
- * for callers that need raw SimOptions control.
- *
- * A fresh predictor is built per benchmark. Schemes that need
- * training are trained on the benchmark's training trace; benchmarks
- * without a training dataset are skipped for such schemes, exactly as
- * the paper omits those data points in Figure 11.
- *
- * @param displayName Column label in reports.
- * @param make Fresh-predictor factory.
- * @param suite Trace cache.
- * @param options Simulation options (context switches etc.).
- */
-ResultSet runOnSuite(const std::string &displayName,
-                     const PredictorFactory &make, WorkloadSuite &suite,
-                     const SimOptions &options = {});
-
-/**
- * Convenience overload: build predictors from a Table-3 style spec
- * string; the spec's ",c" flag turns on context-switch simulation.
- */
-ResultSet runOnSuite(const std::string &specText, WorkloadSuite &suite,
-                     SimOptions options = {});
-
 } // namespace tl
 
 #endif // TL_SIM_EXPERIMENT_HH

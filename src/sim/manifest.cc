@@ -1,0 +1,213 @@
+#include "sim/manifest.hh"
+
+#include <cstdio>
+
+#include "util/build_info.hh"
+#include "util/status.hh"
+
+namespace tl
+{
+
+Json
+runOptionsToJson(const RunOptions &options)
+{
+    Json json = Json::object();
+    json.set("threads", Json::number(std::uint64_t(options.threads)));
+    json.set("branchBudget", Json::number(options.branchBudget));
+    json.set("warmupFraction", Json::number(options.warmupFraction));
+    json.set("contextSwitches",
+             Json::boolean(options.contextSwitches));
+    json.set("contextSwitchInterval",
+             Json::number(options.contextSwitchInterval));
+    json.set("switchOnTrap", Json::boolean(options.switchOnTrap));
+    json.set("instrument",
+             Json::boolean(options.instrument ||
+                           options.metrics != nullptr));
+    return json;
+}
+
+Json
+resultSetToJson(const ResultSet &column)
+{
+    Json cells = Json::array();
+    for (const BenchmarkResult &result : column.results()) {
+        Json cell = Json::object();
+        cell.set("benchmark", Json::str(result.benchmark));
+        cell.set("isInteger", Json::boolean(result.isInteger));
+        cell.set("accuracyPercent",
+                 Json::number(result.sim.accuracyPercent()));
+        cell.set("conditionalBranches",
+                 Json::number(result.sim.conditionalBranches));
+        cell.set("correct", Json::number(result.sim.correct));
+        cell.set("taken", Json::number(result.sim.taken));
+        cell.set("allBranches", Json::number(result.sim.allBranches));
+        cell.set("instructions",
+                 Json::number(result.sim.instructions));
+        cell.set("contextSwitches",
+                 Json::number(result.sim.contextSwitchCount));
+        cells.push(std::move(cell));
+    }
+
+    Json gmeans = Json::object();
+    gmeans.set("integer", Json::number(column.intGMean()));
+    gmeans.set("fp", Json::number(column.fpGMean()));
+    gmeans.set("total", Json::number(column.totalGMean()));
+
+    Json json = Json::object();
+    json.set("scheme", Json::str(column.scheme()));
+    json.set("cells", std::move(cells));
+    json.set("gmeans", std::move(gmeans));
+    return json;
+}
+
+Json
+metricsToJson(const MetricsSnapshot &snapshot)
+{
+    Json counters = Json::object();
+    for (const auto &[name, value] : snapshot.counters)
+        counters.set(name, Json::number(value));
+
+    Json gauges = Json::object();
+    for (const auto &[name, value] : snapshot.gauges)
+        gauges.set(name, Json::number(value));
+
+    Json histograms = Json::object();
+    for (const auto &[name, histogram] : snapshot.histograms) {
+        Json entry = Json::object();
+        entry.set("count", Json::number(histogram.count));
+        entry.set("sum", Json::number(histogram.sum));
+        entry.set("min", Json::number(histogram.min));
+        entry.set("max", Json::number(histogram.max));
+        entry.set("mean", Json::number(histogram.mean()));
+        histograms.set(name, std::move(entry));
+    }
+
+    Json json = Json::object();
+    json.set("counters", std::move(counters));
+    json.set("gauges", std::move(gauges));
+    json.set("histograms", std::move(histograms));
+    return json;
+}
+
+Json
+sweepProfileToJson(const SweepProfile &profile)
+{
+    Json cells = Json::array();
+    for (const CellProfile &cell : profile.cells) {
+        Json entry = Json::object();
+        entry.set("column", Json::str(cell.column));
+        entry.set("workload", Json::str(cell.workload));
+        entry.set("worker",
+                  Json::number(std::int64_t(cell.worker + 1)));
+        entry.set("queueSeconds", Json::number(cell.queueSeconds));
+        entry.set("wallSeconds", Json::number(cell.wallSeconds));
+        entry.set("skipped", Json::boolean(cell.skipped));
+        cells.push(std::move(entry));
+    }
+
+    Json workers = Json::array();
+    for (double busy : profile.workerBusySeconds)
+        workers.push(Json::number(busy));
+
+    Json json = Json::object();
+    json.set("threads", Json::number(std::uint64_t(profile.threads)));
+    json.set("wallSeconds", Json::number(profile.wallSeconds));
+    json.set("busySeconds", Json::number(profile.busySeconds()));
+    json.set("occupancy", Json::number(profile.occupancy()));
+    json.set("workerBusySeconds", std::move(workers));
+    json.set("cells", std::move(cells));
+    return json;
+}
+
+RunManifest::RunManifest(std::string name) : runName(std::move(name))
+{
+}
+
+std::string
+RunManifest::fileName() const
+{
+    return "RUN_" + runName + ".json";
+}
+
+void
+RunManifest::recordOptions(const RunOptions &options)
+{
+    optionsJson = runOptionsToJson(options);
+}
+
+void
+RunManifest::addResults(const ResultSet &column)
+{
+    resultsJson.push(resultSetToJson(column));
+}
+
+void
+RunManifest::addResults(const std::vector<ResultSet> &columns)
+{
+    for (const ResultSet &column : columns)
+        addResults(column);
+}
+
+void
+RunManifest::recordProfile(const SweepProfile &profile)
+{
+    profileJson = sweepProfileToJson(profile);
+}
+
+void
+RunManifest::recordMetrics(const MetricsSnapshot &snapshot)
+{
+    metricsJson = metricsToJson(snapshot);
+}
+
+void
+RunManifest::note(const std::string &key, Json value)
+{
+    notesJson.set(key, std::move(value));
+}
+
+Json
+RunManifest::toJson() const
+{
+    Json git = Json::object();
+    git.set("sha", Json::str(buildGitSha()));
+    git.set("dirty", Json::boolean(buildTreeWasDirty()));
+
+    Json json = Json::object();
+    json.set("schemaVersion",
+             Json::number(std::int64_t(runManifestSchemaVersion)));
+    json.set("kind", Json::str("run-manifest"));
+    json.set("name", Json::str(runName));
+    json.set("git", std::move(git));
+    json.set("options", optionsJson);
+    json.set("results", resultsJson);
+    json.set("profile", profileJson);
+    json.set("metrics", metricsJson);
+    if (notesJson.size() > 0)
+        json.set("notes", notesJson);
+    return json;
+}
+
+Status
+RunManifest::writeTo(const std::string &directory) const
+{
+    return writeFile(directory + "/" + fileName());
+}
+
+Status
+RunManifest::writeFile(const std::string &path) const
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (!file) {
+        return invalidArgumentError(
+            "cannot write run manifest '%s'", path.c_str());
+    }
+    std::string text = toJson().dump(2);
+    text.push_back('\n');
+    std::fwrite(text.data(), 1, text.size(), file);
+    std::fclose(file);
+    inform("wrote %s", path.c_str());
+    return Status();
+}
+
+} // namespace tl

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Machine-readable run manifests: every figure or bench binary can
+ * summarize what it just did — build identity, the RunOptions in
+ * force, the result grid with its geometric means, per-cell wall
+ * times, and a metrics snapshot — into one "RUN_<name>.json" file.
+ *
+ * The schema (kind "run-manifest", schemaVersion 1) is what
+ * tools/validate_manifest.py checks and tools/report.py renders; keep
+ * the three in sync. BENCH_throughput.json is the same format with a
+ * different file stem (bench/throughput.cc).
+ *
+ * Manifests never read the environment: callers decide the output
+ * directory (sim/report.hh routes the figure binaries through the one
+ * blessed TL_RESULTS_DIR read).
+ */
+
+#ifndef TL_SIM_MANIFEST_HH
+#define TL_SIM_MANIFEST_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "sim/sweep.hh"
+#include "util/json.hh"
+#include "util/metrics.hh"
+#include "util/status_or.hh"
+
+namespace tl
+{
+
+/** Manifest schema version written into every file. */
+inline constexpr int runManifestSchemaVersion = 1;
+
+/** Builder for one run's manifest. */
+class RunManifest
+{
+  public:
+    /** @param name The run's file stem: "RUN_<name>.json". */
+    explicit RunManifest(std::string name);
+
+    const std::string &name() const { return runName; }
+
+    /** "RUN_<name>.json". */
+    std::string fileName() const;
+
+    /** Record the options the run was driven with. */
+    void recordOptions(const RunOptions &options);
+
+    /** Append one result column (scheme, cells, gmean rows). */
+    void addResults(const ResultSet &column);
+
+    /** Append every column of a sweep. */
+    void addResults(const std::vector<ResultSet> &columns);
+
+    /** Record the sweep's wall-clock profile. */
+    void recordProfile(const SweepProfile &profile);
+
+    /** Record a merged metrics snapshot. */
+    void recordMetrics(const MetricsSnapshot &snapshot);
+
+    /**
+     * Attach an arbitrary extra value under "notes.<key>" — bench
+     * binaries use this for measurements outside the common schema
+     * (throughput rates, speedup ratios).
+     */
+    void note(const std::string &key, Json value);
+
+    /** The manifest document built so far. */
+    Json toJson() const;
+
+    /**
+     * Write "<directory>/RUN_<name>.json"; non-OK when the file
+     * cannot be created.
+     */
+    Status writeTo(const std::string &directory) const;
+
+    /**
+     * Write the manifest to an explicit @p path (for stems outside
+     * the RUN_ convention, e.g. BENCH_throughput.json).
+     */
+    Status writeFile(const std::string &path) const;
+
+  private:
+    std::string runName;
+    Json optionsJson;
+    Json resultsJson = Json::array();
+    Json profileJson;
+    Json metricsJson;
+    Json notesJson = Json::object();
+};
+
+/** Serialize one result column (shared with toJson()). */
+Json resultSetToJson(const ResultSet &column);
+
+/** Serialize a metrics snapshot. */
+Json metricsToJson(const MetricsSnapshot &snapshot);
+
+/** Serialize a sweep profile. */
+Json sweepProfileToJson(const SweepProfile &profile);
+
+/** Serialize the options a run was driven with. */
+Json runOptionsToJson(const RunOptions &options);
+
+} // namespace tl
+
+#endif // TL_SIM_MANIFEST_HH

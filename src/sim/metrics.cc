@@ -31,10 +31,16 @@ ResultSet::gmeanWhere(bool wantInteger, bool all) const
 {
     std::vector<double> values;
     for (const BenchmarkResult &entry : entries) {
-        if (all || entry.isInteger == wantInteger)
-            values.push_back(entry.sim.accuracyPercent());
+        if (all || entry.isInteger == wantInteger) {
+            double accuracy = entry.sim.accuracyPercent();
+            // A zero factor annihilates the product; report 0.0
+            // instead of feeding geometricMean() a value it rejects.
+            if (accuracy <= 0.0)
+                return 0.0;
+            values.push_back(accuracy);
+        }
     }
-    return geometricMean(values);
+    return geometricMean(values); // 0.0 on an empty selection
 }
 
 double

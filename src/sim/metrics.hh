@@ -48,7 +48,16 @@ class ResultSet
     /** Accuracy for @p benchmark; empty if absent. */
     std::optional<double> accuracy(const std::string &benchmark) const;
 
-    /** Geometric mean accuracy across all benchmarks (percent). */
+    /**
+     * Geometric mean accuracy across all benchmarks (percent).
+     *
+     * Convention for all three gmean accessors: an empty selection
+     * (no results at all, or — for the class means — a set whose
+     * benchmarks are all of the other class) yields 0.0, as does a
+     * selection containing a zero accuracy (a zero factor makes the
+     * product zero). 0.0 therefore always means "no meaningful
+     * mean", never a panic.
+     */
     double totalGMean() const;
 
     /** Geometric mean accuracy across integer benchmarks (percent). */

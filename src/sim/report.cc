@@ -43,27 +43,42 @@ accuracyTable(const std::vector<ResultSet> &columns)
     return table;
 }
 
+std::string
+resultsDir()
+{
+    const char *dir = std::getenv("TL_RESULTS_DIR");
+    return dir ? std::string(dir) : std::string();
+}
+
 void
 printReport(const std::string &title,
             const std::vector<ResultSet> &columns,
-            const std::string &fileStem)
+            const std::string &fileStem, RunManifest *manifest)
 {
     TextTable table = accuracyTable(columns);
     table.setTitle(title);
     std::fputs(table.toText().c_str(), stdout);
     std::fputc('\n', stdout);
 
-    if (const char *dir = std::getenv("TL_RESULTS_DIR")) {
-        std::string path =
-            std::string(dir) + "/" + fileStem + ".csv";
-        std::ofstream out(path);
-        if (!out) {
-            warn("cannot write results CSV '%s'", path.c_str());
-            return;
-        }
+    std::string dir = resultsDir();
+    if (dir.empty())
+        return;
+
+    std::string path = dir + "/" + fileStem + ".csv";
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write results CSV '%s'", path.c_str());
+    } else {
         out << table.toCsv();
         inform("wrote %s", path.c_str());
     }
+
+    RunManifest plain(fileStem);
+    RunManifest &full = manifest ? *manifest : plain;
+    full.addResults(columns);
+    Status wrote = full.writeTo(dir);
+    if (!wrote.ok())
+        warn("%s", wrote.message().c_str());
 }
 
 } // namespace tl

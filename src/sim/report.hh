@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/manifest.hh"
 #include "sim/metrics.hh"
 #include "util/table.hh"
 
@@ -25,12 +26,28 @@ namespace tl
 TextTable accuracyTable(const std::vector<ResultSet> &columns);
 
 /**
- * Print @p columns under @p title, and — when the TL_RESULTS_DIR
- * environment variable is set — also write "<dir>/<fileStem>.csv".
+ * The directory results should be written into (the TL_RESULTS_DIR
+ * environment variable), or empty when none was requested. This is
+ * the library's one blessed read of that variable; everything
+ * downstream takes the directory as a parameter.
+ */
+std::string resultsDir();
+
+/**
+ * Print @p columns under @p title, and — when resultsDir() is set —
+ * also write "<dir>/<fileStem>.csv" plus a run manifest
+ * (sim/manifest.hh).
+ *
+ * @param manifest When non-null, @p columns are appended to it and
+ *        it is written as "RUN_<manifest name>.json" — the way an
+ *        instrumented binary attaches options, profile and metrics.
+ *        When null, a plain results-only "RUN_<fileStem>.json" is
+ *        emitted.
  */
 void printReport(const std::string &title,
                  const std::vector<ResultSet> &columns,
-                 const std::string &fileStem);
+                 const std::string &fileStem,
+                 RunManifest *manifest = nullptr);
 
 } // namespace tl
 

@@ -1,11 +1,50 @@
 #include "sim/sweep.hh"
 
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
 #include "util/check.hh"
+#include "util/event_log.hh"
 #include "util/status.hh"
 #include "util/thread_pool.hh"
 
 namespace tl
 {
+
+namespace
+{
+
+using SweepClock = std::chrono::steady_clock;
+
+double
+elapsedSeconds(SweepClock::time_point from, SweepClock::time_point to)
+{
+    return std::chrono::duration<double>(to - from).count();
+}
+
+} // namespace
+
+double
+SweepProfile::busySeconds() const
+{
+    double total = 0.0;
+    for (double slot : workerBusySeconds)
+        total += slot;
+    return total;
+}
+
+double
+SweepProfile::occupancy() const
+{
+    std::size_t occupied = 0;
+    for (double slot : workerBusySeconds)
+        occupied += slot > 0.0 ? 1 : 0;
+    if (occupied == 0 || wallSeconds <= 0.0)
+        return 0.0;
+    return busySeconds() /
+           (wallSeconds * static_cast<double>(occupied));
+}
 
 SweepSpec
 sweepSpec(const SchemeSpec &spec)
@@ -45,17 +84,30 @@ SweepRunner::SweepRunner(WorkloadSuite &suite, RunOptions options)
     }
 }
 
-std::optional<BenchmarkResult>
+SweepRunner::CellOutcome
 SweepRunner::runCell(const SweepSpec &column,
                      const Workload &workload) const
 {
+    CellOutcome out;
+    const bool instrumented =
+        runOptions.instrument || runOptions.metrics != nullptr;
+
     std::unique_ptr<BranchPredictor> predictor = column.make();
+    if (instrumented)
+        predictor->enableInstrumentation();
 
     if (predictor->needsTraining()) {
         StatusOr<std::shared_ptr<const Trace>> training =
             suitePtr->tryTraining(workload);
-        if (!training.ok())
-            return std::nullopt; // omitted point, as in Fig. 11
+        if (!training.ok()) {
+            // Omitted point, as in Fig. 11.
+            if (instrumented) {
+                MetricsRegistry cellMetrics;
+                cellMetrics.add("sweep.cellsSkipped");
+                out.metrics = cellMetrics.snapshot();
+            }
+            return out;
+        }
         TraceReplaySource source(**training);
         predictor->train(source);
     }
@@ -90,8 +142,26 @@ SweepRunner::runCell(const SweepSpec &column,
                  health.message().c_str());
 #endif
 
-    return BenchmarkResult{workload.name(), workload.isInteger(),
-                           result};
+    out.result = BenchmarkResult{workload.name(),
+                                 workload.isInteger(), result};
+
+    if (instrumented) {
+        // Harvest into a cell-private registry; run() later merges
+        // the snapshots in grid order so totals stay deterministic.
+        MetricsRegistry cellMetrics;
+        predictor->reportMetrics(cellMetrics);
+        cellMetrics.add("sweep.cellsRun");
+        cellMetrics.add("sim.conditionalBranches",
+                        result.conditionalBranches);
+        cellMetrics.add("sim.correctPredictions", result.correct);
+        cellMetrics.add("sim.takenBranches", result.taken);
+        cellMetrics.add("sim.allBranches", result.allBranches);
+        cellMetrics.add("sim.instructions", result.instructions);
+        cellMetrics.add("sim.contextSwitches",
+                        result.contextSwitchCount);
+        out.metrics = cellMetrics.snapshot();
+    }
+    return out;
 }
 
 std::vector<ResultSet>
@@ -101,13 +171,81 @@ SweepRunner::run(const std::vector<SweepSpec> &columns)
     const std::size_t perColumn = workloads.size();
     const std::size_t cells = columns.size() * perColumn;
 
+    if (runOptions.events) {
+        runOptions.events->emit(
+            "sweep.start",
+            {EventField::u64("columns", columns.size()),
+             EventField::u64("workloads", perColumn),
+             EventField::u64("threads", runOptions.threads)});
+    }
+
+    profile = SweepProfile{};
+    profile.threads = runOptions.threads;
+    profile.cells.resize(cells);
+    profile.workerBusySeconds.assign(runOptions.threads + 1, 0.0);
+
+    std::atomic<std::size_t> cellsDone{0};
+    std::mutex progressMutex;
+    const SweepClock::time_point sweepStart = SweepClock::now();
+    SweepClock::time_point lastProgress = sweepStart;
+
     // Each cell writes only its own slot, so the grid needs no lock;
     // assembling from the grid afterwards makes the output order a
-    // function of the indices alone, not of thread scheduling.
-    std::vector<std::optional<BenchmarkResult>> grid(cells);
+    // function of the indices alone, not of thread scheduling. The
+    // same holds for the profile: a cell's record and its worker's
+    // busy-seconds slot are only ever touched by the thread running
+    // that cell.
+    std::vector<CellOutcome> grid(cells);
     auto compute = [&](std::size_t cell) {
-        grid[cell] = runCell(columns[cell / perColumn],
-                             *workloads[cell % perColumn]);
+        const SweepSpec &column = columns[cell / perColumn];
+        const Workload &workload = *workloads[cell % perColumn];
+
+        if (runOptions.events) {
+            runOptions.events->emit(
+                "cell.start",
+                {EventField::str("column", column.displayName),
+                 EventField::str("workload", workload.name())});
+        }
+
+        const SweepClock::time_point start = SweepClock::now();
+        grid[cell] = runCell(column, workload);
+        const SweepClock::time_point end = SweepClock::now();
+
+        CellProfile &timing = profile.cells[cell];
+        timing.column = column.displayName;
+        timing.workload = workload.name();
+        timing.worker = ThreadPool::currentWorkerIndex();
+        timing.queueSeconds = elapsedSeconds(sweepStart, start);
+        timing.wallSeconds = elapsedSeconds(start, end);
+        timing.skipped = !grid[cell].result.has_value();
+        profile.workerBusySeconds[timing.worker + 1] +=
+            timing.wallSeconds;
+
+        if (runOptions.events) {
+            runOptions.events->emit(
+                "cell.done",
+                {EventField::str("column", column.displayName),
+                 EventField::str("workload", workload.name()),
+                 EventField::u64(
+                     "worker",
+                     static_cast<std::uint64_t>(timing.worker + 1)),
+                 EventField::real("queueSeconds",
+                                  timing.queueSeconds),
+                 EventField::real("wallSeconds", timing.wallSeconds),
+                 EventField::boolean("skipped", timing.skipped)});
+        }
+
+        const std::size_t done =
+            cellsDone.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (runOptions.progress) {
+            std::lock_guard<std::mutex> lock(progressMutex);
+            if (done == cells ||
+                elapsedSeconds(lastProgress, end) >=
+                    runOptions.progressInterval) {
+                lastProgress = end;
+                runOptions.progress(done, cells);
+            }
+        }
     };
 
     if (runOptions.threads == 0) {
@@ -118,12 +256,31 @@ SweepRunner::run(const std::vector<SweepSpec> &columns)
         parallelFor(pool, cells, compute);
     }
 
+    profile.wallSeconds =
+        elapsedSeconds(sweepStart, SweepClock::now());
+
+    // Deterministic harvest: fold the per-cell snapshots into the
+    // shared registry in grid-index order, after the barrier. Counter
+    // totals are then byte-identical for threads=0 and threads=N.
+    if (runOptions.metrics) {
+        for (const CellOutcome &cell : grid)
+            runOptions.metrics->merge(cell.metrics);
+    }
+
+    if (runOptions.events) {
+        runOptions.events->emit(
+            "sweep.done",
+            {EventField::u64("cells", cells),
+             EventField::real("wallSeconds", profile.wallSeconds),
+             EventField::real("occupancy", profile.occupancy())});
+    }
+
     std::vector<ResultSet> results;
     results.reserve(columns.size());
     for (std::size_t ci = 0; ci < columns.size(); ++ci) {
         ResultSet column(columns[ci].displayName);
         for (std::size_t wi = 0; wi < perColumn; ++wi) {
-            if (const auto &cell = grid[ci * perColumn + wi])
+            if (const auto &cell = grid[ci * perColumn + wi].result)
                 column.add(*cell);
         }
         results.push_back(std::move(column));

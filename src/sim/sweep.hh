@@ -12,23 +12,36 @@
  * asserts this counter-for-counter; the tsan preset re-checks it
  * under ThreadSanitizer.
  *
- * All knobs travel in RunOptions — no environment reads mid-run. The
- * old runOnSuite() entry points (sim/experiment.hh) remain as serial
- * shims for one PR.
+ * All knobs travel in RunOptions — no environment reads mid-run.
+ *
+ * Instrumented runs: RunOptions can carry a MetricsRegistry (counter
+ * totals, harvested deterministically), an EventLog (a cell-by-cell
+ * JSONL timeline) and a throttled progress callback; the runner also
+ * keeps a wall-clock SweepProfile of its last run. The registry
+ * contents are part of the determinism contract — per-cell counter
+ * snapshots are merged in grid-index order after the parallel
+ * barrier, so totals are byte-identical for threads=0 and threads=N.
+ * The profile and the event timeline are observational (timings vary
+ * run to run) and never feed back into results.
  */
 
 #ifndef TL_SIM_SWEEP_HH
 #define TL_SIM_SWEEP_HH
 
+#include <cstddef>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "util/metrics.hh"
 
 namespace tl
 {
+
+class EventLog;
 
 /** Options for a suite run or sweep; plain data, no env reads. */
 struct RunOptions
@@ -64,6 +77,87 @@ struct RunOptions
 
     /** Also switch on every trap marker in the trace. */
     bool switchOnTrap = true;
+
+    /**
+     * Turn on predictor-internal tallying (BHT hit/miss/eviction,
+     * PHT transitions, speculative-history repairs) for every cell.
+     * Off by default so the Release hot path stays unchanged; a
+     * non-null #metrics implies instrumentation too.
+     */
+    bool instrument = false;
+
+    /**
+     * Where instrumented cells deposit their counters. The runner
+     * snapshots each cell's tallies privately and merges them into
+     * this registry in grid-index order after the sweep, so the
+     * totals do not depend on #threads. Not owned; may be null.
+     */
+    MetricsRegistry *metrics = nullptr;
+
+    /**
+     * Structured event sink for the sweep timeline (sweep.start,
+     * cell.start, cell.done, sweep.done). Not owned; may be null or
+     * disabled.
+     */
+    EventLog *events = nullptr;
+
+    /**
+     * Progress callback, called with (cells finished, cells total)
+     * from whichever thread finished a cell, throttled to at most one
+     * call per #progressInterval seconds (the final cell always
+     * reports). Must be thread-safe for threaded runs.
+     */
+    std::function<void(std::size_t, std::size_t)> progress;
+
+    /** Minimum seconds between progress callbacks. */
+    double progressInterval = 0.25;
+};
+
+/** Timing record of one sweep cell (observational only). */
+struct CellProfile
+{
+    std::string column;   //!< column display name
+    std::string workload; //!< benchmark name
+
+    /** Pool worker that ran the cell; -1 = the calling thread. */
+    int worker = -1;
+
+    /** Seconds from sweep start until the cell began (queue wait). */
+    double queueSeconds = 0.0;
+
+    /** Seconds the cell spent simulating. */
+    double wallSeconds = 0.0;
+
+    /** Column omitted this benchmark (no training set, Fig. 11). */
+    bool skipped = false;
+};
+
+/** Wall-clock profile of one sweep (observational only). */
+struct SweepProfile
+{
+    /** RunOptions::threads of the run. */
+    unsigned threads = 0;
+
+    /** Sweep wall time, barrier to barrier. */
+    double wallSeconds = 0.0;
+
+    /** One record per cell, in grid (column-major cell) order. */
+    std::vector<CellProfile> cells;
+
+    /**
+     * Busy seconds per execution slot: slot 0 is the calling thread,
+     * slot i + 1 is pool worker i. Serial runs use only slot 0.
+     */
+    std::vector<double> workerBusySeconds;
+
+    /** Total busy seconds across all slots. */
+    double busySeconds() const;
+
+    /**
+     * Mean fraction of the sweep wall time the occupied slots spent
+     * busy — 1.0 means every slot computed the whole time.
+     */
+    double occupancy() const;
 };
 
 /** One column of a sweep: a predictor configuration to run. */
@@ -125,20 +219,33 @@ class SweepRunner
     /** Single-column convenience from Table-3 spec text. */
     ResultSet run(std::string_view specText);
 
+    /** Wall-clock profile of the most recent run(). */
+    const SweepProfile &lastProfile() const { return profile; }
+
   private:
-    /** One cell; nullopt when the column skips this benchmark. */
-    std::optional<BenchmarkResult>
-    runCell(const SweepSpec &column, const Workload &workload) const;
+    /** Everything one cell produces. */
+    struct CellOutcome
+    {
+        /** nullopt when the column skips this benchmark. */
+        std::optional<BenchmarkResult> result;
+
+        /** The cell's private counter harvest (empty when off). */
+        MetricsSnapshot metrics;
+    };
+
+    CellOutcome runCell(const SweepSpec &column,
+                        const Workload &workload) const;
 
     RunOptions runOptions;
     std::unique_ptr<WorkloadSuite> ownedSuite;
     WorkloadSuite *suitePtr;
+    SweepProfile profile;
 };
 
 /**
- * Run one scheme over every benchmark, options-driven. The RunOptions
- * replacement for runOnSuite(): same semantics at the default
- * options, plus threads / warmup / explicit context-switch control.
+ * Run one scheme over every benchmark, options-driven: serial at the
+ * default options, plus threads / warmup / explicit context-switch /
+ * instrumentation control through RunOptions.
  */
 ResultSet runSuite(const std::string &displayName,
                    const PredictorFactory &make, WorkloadSuite &suite,

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Build provenance baked in at configure time, so every run manifest
+ * (sim/manifest.hh) can record which revision produced it.
+ */
+
+#ifndef TL_UTIL_BUILD_INFO_HH
+#define TL_UTIL_BUILD_INFO_HH
+
+namespace tl
+{
+
+/**
+ * The git commit SHA recorded when CMake last configured, or
+ * "unknown" outside a git checkout. Configure-time, not build-time:
+ * commits made without re-running CMake are not reflected (the
+ * manifest also records whether the tree was dirty at configure).
+ */
+const char *buildGitSha();
+
+/** True when the work tree had uncommitted changes at configure. */
+bool buildTreeWasDirty();
+
+} // namespace tl
+
+#endif // TL_UTIL_BUILD_INFO_HH

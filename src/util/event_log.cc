@@ -1,0 +1,84 @@
+#include "util/event_log.hh"
+
+#include "util/json.hh"
+#include "util/status.hh"
+
+namespace tl
+{
+
+EventLog::~EventLog()
+{
+    close();
+}
+
+Status
+EventLog::open(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (file) {
+        std::fclose(file);
+        file = nullptr;
+    }
+    std::FILE *opened_file = std::fopen(path.c_str(), "w");
+    if (!opened_file) {
+        return invalidArgumentError("event log: cannot open '%s'",
+                                    path.c_str());
+    }
+    file = opened_file;
+    opened = std::chrono::steady_clock::now();
+    sequence = 0;
+    return Status();
+}
+
+void
+EventLog::close()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (file) {
+        std::fclose(file);
+        file = nullptr;
+    }
+}
+
+void
+EventLog::emit(std::string_view event,
+               std::initializer_list<EventField> fields)
+{
+    if (!file)
+        return;
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!file) // closed while we were waiting
+        return;
+
+    std::chrono::duration<double> since =
+        std::chrono::steady_clock::now() - opened;
+
+    Json line = Json::object();
+    line.set("seq", Json::number(sequence));
+    line.set("ts", Json::number(since.count()));
+    line.set("event", Json::str(std::string(event)));
+    for (const EventField &field : fields) {
+        Json value;
+        switch (field.kind) {
+          case EventField::Kind::Str:
+            value = Json::str(std::string(field.text));
+            break;
+          case EventField::Kind::U64:
+            value = Json::number(field.unsignedValue);
+            break;
+          case EventField::Kind::Real:
+            value = Json::number(field.realValue);
+            break;
+          case EventField::Kind::Bool:
+            value = Json::boolean(field.boolValue);
+            break;
+        }
+        line.set(std::string(field.key), std::move(value));
+    }
+    std::string text = line.dump(0);
+    std::fputs(text.c_str(), file);
+    std::fputc('\n', file);
+    ++sequence;
+}
+
+} // namespace tl

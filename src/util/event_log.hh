@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Structured event tracing: a line-per-event JSONL sink for the
+ * instrumented sweep (sim/sweep.hh) and anything else that wants a
+ * machine-readable timeline.
+ *
+ * Each emitted event becomes one compact JSON object on its own line:
+ *
+ *     {"seq": 3, "ts": 0.104512, "event": "cell.done",
+ *      "column": "GAg(...)", "workload": "gcc", "wallSeconds": 0.1}
+ *
+ * `seq` is a per-log monotonic sequence number and `ts` seconds since
+ * the log was opened. Writes are serialized by a mutex, so worker
+ * threads may emit concurrently; lines are never interleaved. Events
+ * are observational: timestamps and ordering across threads are not
+ * part of any determinism contract (the reproducible artifacts are
+ * the metric totals and result counters, not the timeline).
+ *
+ * A default-constructed log is disabled; emit() is then a cheap
+ * no-op, which lets call sites thread an EventLog* unconditionally.
+ */
+
+#ifndef TL_UTIL_EVENT_LOG_HH
+#define TL_UTIL_EVENT_LOG_HH
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/status_or.hh"
+
+namespace tl
+{
+
+/** One key/value pair of an event. */
+struct EventField
+{
+    enum class Kind
+    {
+        Str,
+        U64,
+        Real,
+        Bool
+    };
+
+    std::string_view key;
+    Kind kind = Kind::U64;
+    std::string_view text;
+    std::uint64_t unsignedValue = 0;
+    double realValue = 0.0;
+    bool boolValue = false;
+
+    static EventField
+    str(std::string_view key, std::string_view value)
+    {
+        EventField field;
+        field.key = key;
+        field.kind = Kind::Str;
+        field.text = value;
+        return field;
+    }
+
+    static EventField
+    u64(std::string_view key, std::uint64_t value)
+    {
+        EventField field;
+        field.key = key;
+        field.unsignedValue = value;
+        return field;
+    }
+
+    static EventField
+    real(std::string_view key, double value)
+    {
+        EventField field;
+        field.key = key;
+        field.kind = Kind::Real;
+        field.realValue = value;
+        return field;
+    }
+
+    static EventField
+    boolean(std::string_view key, bool value)
+    {
+        EventField field;
+        field.key = key;
+        field.kind = Kind::Bool;
+        field.boolValue = value;
+        return field;
+    }
+};
+
+/** Thread-safe JSONL event sink. */
+class EventLog
+{
+  public:
+    /** A disabled sink: emit() does nothing. */
+    EventLog() = default;
+
+    ~EventLog();
+
+    EventLog(const EventLog &) = delete;
+    EventLog &operator=(const EventLog &) = delete;
+
+    /**
+     * Open (truncate) @p path and start the clock. Non-OK when the
+     * file cannot be created; the log stays disabled then.
+     */
+    Status open(const std::string &path);
+
+    /** Flush and close; the log becomes disabled. */
+    void close();
+
+    bool enabled() const { return file != nullptr; }
+
+    /** Events written so far. */
+    std::uint64_t eventCount() const { return sequence; }
+
+    /** Emit one event line; no-op on a disabled log. */
+    void emit(std::string_view event,
+              std::initializer_list<EventField> fields);
+
+  private:
+    std::FILE *file = nullptr;
+    std::mutex mutex;
+    std::chrono::steady_clock::time_point opened;
+    std::uint64_t sequence = 0;
+};
+
+} // namespace tl
+
+#endif // TL_UTIL_EVENT_LOG_HH

@@ -1,0 +1,250 @@
+#include "util/json.hh"
+
+#include <charconv>
+#include <cmath>
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+Json
+Json::boolean(bool value)
+{
+    Json json;
+    json.kind = Kind::Bool;
+    json.boolValue = value;
+    return json;
+}
+
+Json
+Json::number(double value)
+{
+    Json json;
+    json.kind = Kind::Double;
+    json.doubleValue = value;
+    return json;
+}
+
+Json
+Json::number(std::uint64_t value)
+{
+    Json json;
+    json.kind = Kind::Unsigned;
+    json.unsignedValue = value;
+    return json;
+}
+
+Json
+Json::number(std::int64_t value)
+{
+    Json json;
+    json.kind = Kind::Signed;
+    json.signedValue = value;
+    return json;
+}
+
+Json
+Json::str(std::string value)
+{
+    Json json;
+    json.kind = Kind::String;
+    json.stringValue = std::move(value);
+    return json;
+}
+
+Json
+Json::array()
+{
+    Json json;
+    json.kind = Kind::Array;
+    return json;
+}
+
+Json
+Json::object()
+{
+    Json json;
+    json.kind = Kind::Object;
+    return json;
+}
+
+Json &
+Json::push(Json value)
+{
+    if (kind != Kind::Array)
+        panic("Json::push on a non-array value");
+    items.push_back(std::move(value));
+    return *this;
+}
+
+Json &
+Json::set(std::string key, Json value)
+{
+    if (kind != Kind::Object)
+        panic("Json::set on a non-object value");
+    for (auto &[existing, held] : fields) {
+        if (existing == key) {
+            held = std::move(value);
+            return *this;
+        }
+    }
+    fields.emplace_back(std::move(key), std::move(value));
+    return *this;
+}
+
+std::size_t
+Json::size() const
+{
+    if (kind == Kind::Array)
+        return items.size();
+    if (kind == Kind::Object)
+        return fields.size();
+    return 0;
+}
+
+namespace
+{
+
+void
+writeDouble(std::string &out, double value)
+{
+    if (!std::isfinite(value)) {
+        // JSON has no Infinity/NaN; null is the conventional stand-in.
+        out += "null";
+        return;
+    }
+    char buffer[32];
+    auto [end, ec] =
+        std::to_chars(buffer, buffer + sizeof buffer, value);
+    if (ec != std::errc()) {
+        out += "0";
+        return;
+    }
+    out.append(buffer, end);
+}
+
+void
+newlineIndent(std::string &out, int indent, int depth)
+{
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) *
+                   static_cast<std::size_t>(depth),
+               ' ');
+}
+
+} // namespace
+
+void
+Json::write(std::string &out, int indent, int depth) const
+{
+    switch (kind) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += boolValue ? "true" : "false";
+        break;
+      case Kind::Double:
+        writeDouble(out, doubleValue);
+        break;
+      case Kind::Unsigned:
+        out += strprintf("%llu",
+                         static_cast<unsigned long long>(unsignedValue));
+        break;
+      case Kind::Signed:
+        out += strprintf("%lld",
+                         static_cast<long long>(signedValue));
+        break;
+      case Kind::String:
+        out += '"';
+        out += jsonEscape(stringValue);
+        out += '"';
+        break;
+      case Kind::Array:
+        if (items.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            if (i)
+                out += indent ? "," : ", ";
+            if (indent)
+                newlineIndent(out, indent, depth + 1);
+            items[i].write(out, indent, depth + 1);
+        }
+        if (indent)
+            newlineIndent(out, indent, depth);
+        out += ']';
+        break;
+      case Kind::Object:
+        if (fields.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < fields.size(); ++i) {
+            if (i)
+                out += indent ? "," : ", ";
+            if (indent)
+                newlineIndent(out, indent, depth + 1);
+            out += '"';
+            out += jsonEscape(fields[i].first);
+            out += "\": ";
+            fields[i].second.write(out, indent, depth + 1);
+        }
+        if (indent)
+            newlineIndent(out, indent, depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    write(out, indent, 0);
+    return out;
+}
+
+} // namespace tl

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A minimal JSON document model for the observability layer: run
+ * manifests (sim/manifest.hh) and event-log lines (util/event_log.hh)
+ * are built as Json trees and serialized with dump().
+ *
+ * Deliberately small: construction and serialization only, no parsing
+ * (nothing in the library consumes JSON; tools/*.py do, with Python's
+ * parser). Object keys keep insertion order so serialized output is
+ * deterministic and diffs between two runs line up field for field.
+ */
+
+#ifndef TL_UTIL_JSON_HH
+#define TL_UTIL_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tl
+{
+
+/** Escape @p text for inclusion inside a JSON string literal. */
+std::string jsonEscape(std::string_view text);
+
+/** One JSON value: null, bool, number, string, array or object. */
+class Json
+{
+  public:
+    /** A null value. */
+    Json() = default;
+
+    /// @name Leaf constructors
+    /// @{
+    static Json boolean(bool value);
+    static Json number(double value);
+    static Json number(std::uint64_t value);
+    static Json number(std::int64_t value);
+    static Json str(std::string value);
+    /// @}
+
+    /** An empty array; fill with push(). */
+    static Json array();
+
+    /** An empty object; fill with set(). */
+    static Json object();
+
+    /** Append to an array; panic() if this is not an array. */
+    Json &push(Json value);
+
+    /**
+     * Set a key on an object (insertion order preserved; setting an
+     * existing key overwrites in place); panic() if not an object.
+     */
+    Json &set(std::string key, Json value);
+
+    /// @name Kind queries
+    /// @{
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    /// @}
+
+    /** Array or object element count (0 for leaves). */
+    std::size_t size() const;
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints with that many spaces
+     * per level; 0 produces one compact line (the event-log format).
+     */
+    std::string dump(int indent = 2) const;
+
+  private:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Double,
+        Unsigned,
+        Signed,
+        String,
+        Array,
+        Object
+    };
+
+    void write(std::string &out, int indent, int depth) const;
+
+    Kind kind = Kind::Null;
+    bool boolValue = false;
+    double doubleValue = 0.0;
+    std::uint64_t unsignedValue = 0;
+    std::int64_t signedValue = 0;
+    std::string stringValue;
+    std::vector<Json> items;
+    std::vector<std::pair<std::string, Json>> fields;
+};
+
+} // namespace tl
+
+#endif // TL_UTIL_JSON_HH

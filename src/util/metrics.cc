@@ -1,0 +1,195 @@
+#include "util/metrics.hh"
+
+#include <atomic>
+#include <cmath>
+#include <unordered_map>
+
+namespace tl
+{
+
+namespace
+{
+
+/**
+ * Each thread caches (registry id -> shard pointer). Ids are process
+ * unique and never reused, so an entry left behind by a destroyed
+ * registry is inert: nothing looks that id up again. (The registry
+ * owns the shard storage, so the stale pointer is never dereferenced
+ * either.)
+ */
+thread_local std::unordered_map<std::uint64_t, void *> tlsShards;
+
+std::uint64_t
+nextRegistryId()
+{
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+unsigned
+bucketOf(double value)
+{
+    if (value < 2.0)
+        return 0;
+    int exponent = 0;
+    std::frexp(value, &exponent);
+    // frexp: value = m * 2^exponent with m in [0.5, 1), so values in
+    // [2^i, 2^(i+1)) report exponent i+1.
+    unsigned bucket = static_cast<unsigned>(exponent - 1);
+    return bucket < HistogramSnapshot::numBuckets
+               ? bucket
+               : HistogramSnapshot::numBuckets - 1;
+}
+
+} // namespace
+
+void
+MetricsRegistry::Histogram::observe(double value)
+{
+    if (buckets.empty())
+        buckets.assign(HistogramSnapshot::numBuckets, 0);
+    if (count == 0) {
+        min = max = value;
+    } else {
+        if (value < min)
+            min = value;
+        if (value > max)
+            max = value;
+    }
+    ++count;
+    sum += value;
+    ++buckets[bucketOf(value)];
+}
+
+void
+MetricsRegistry::Histogram::fold(HistogramSnapshot &into) const
+{
+    if (count == 0)
+        return;
+    if (into.buckets.empty())
+        into.buckets.assign(HistogramSnapshot::numBuckets, 0);
+    if (into.count == 0) {
+        into.min = min;
+        into.max = max;
+    } else {
+        if (min < into.min)
+            into.min = min;
+        if (max > into.max)
+            into.max = max;
+    }
+    into.count += count;
+    into.sum += sum;
+    for (unsigned i = 0; i < HistogramSnapshot::numBuckets; ++i)
+        into.buckets[i] += buckets[i];
+}
+
+MetricsRegistry::MetricsRegistry(bool enabled)
+    : isEnabled(enabled), id(nextRegistryId())
+{
+}
+
+MetricsRegistry::~MetricsRegistry()
+{
+    // This thread's cache entry would otherwise linger (harmlessly)
+    // for the life of the thread; other threads' entries do linger,
+    // which is safe because ids are never reused.
+    tlsShards.erase(id);
+}
+
+MetricsRegistry::Shard &
+MetricsRegistry::localShard()
+{
+    auto it = tlsShards.find(id);
+    if (it != tlsShards.end())
+        return *static_cast<Shard *>(it->second);
+    std::lock_guard<std::mutex> lock(mutex);
+    shards.push_back(std::make_unique<Shard>());
+    Shard *shard = shards.back().get();
+    tlsShards.emplace(id, shard);
+    return *shard;
+}
+
+void
+MetricsRegistry::add(std::string_view name, std::uint64_t delta)
+{
+    if (!isEnabled)
+        return;
+    localShard().counters[std::string(name)] += delta;
+}
+
+void
+MetricsRegistry::gauge(std::string_view name, double value)
+{
+    if (!isEnabled)
+        return;
+    auto &gauges = localShard().gauges;
+    auto [it, inserted] = gauges.emplace(std::string(name), value);
+    if (!inserted && value > it->second)
+        it->second = value;
+}
+
+void
+MetricsRegistry::observe(std::string_view name, double value)
+{
+    if (!isEnabled)
+        return;
+    localShard().histograms[std::string(name)].observe(value);
+}
+
+void
+MetricsRegistry::merge(const MetricsSnapshot &other)
+{
+    if (!isEnabled)
+        return;
+    Shard &shard = localShard();
+    for (const auto &[name, value] : other.counters)
+        shard.counters[name] += value;
+    for (const auto &[name, value] : other.gauges) {
+        auto [it, inserted] = shard.gauges.emplace(name, value);
+        if (!inserted && value > it->second)
+            it->second = value;
+    }
+    for (const auto &[name, hist] : other.histograms) {
+        Histogram &mine = shard.histograms[name];
+        if (hist.count == 0)
+            continue;
+        if (mine.buckets.empty())
+            mine.buckets.assign(HistogramSnapshot::numBuckets, 0);
+        if (mine.count == 0) {
+            mine.min = hist.min;
+            mine.max = hist.max;
+        } else {
+            if (hist.min < mine.min)
+                mine.min = hist.min;
+            if (hist.max > mine.max)
+                mine.max = hist.max;
+        }
+        mine.count += hist.count;
+        mine.sum += hist.sum;
+        for (unsigned i = 0;
+             i < HistogramSnapshot::numBuckets && i < hist.buckets.size();
+             ++i)
+            mine.buckets[i] += hist.buckets[i];
+    }
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot merged;
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const std::unique_ptr<Shard> &shard : shards) {
+        for (const auto &[name, value] : shard->counters)
+            merged.counters[name] += value;
+        for (const auto &[name, value] : shard->gauges) {
+            auto [it, inserted] = merged.gauges.emplace(name, value);
+            if (!inserted && value > it->second)
+                it->second = value;
+        }
+        for (const auto &[name, hist] : shard->histograms)
+            hist.fold(merged.histograms[name]);
+    }
+    return merged;
+}
+
+} // namespace tl

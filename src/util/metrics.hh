@@ -1,0 +1,156 @@
+/**
+ * @file
+ * A metrics registry for instrumented runs: named counters, gauges
+ * and histograms that many threads can feed concurrently without
+ * locking the hot path.
+ *
+ * Each thread that touches a registry gets its own *shard* — a
+ * private map of named values. Creating the shard takes the registry
+ * mutex once per (thread, registry) pair; every increment after that
+ * touches only thread-private memory, so concurrent writers never
+ * contend and TSan sees no shared mutable state. snapshot() merges
+ * the shards into one deterministic view.
+ *
+ * Determinism contract (what makes parallel sweeps reproducible):
+ *  - counters merge by integer addition — exact and commutative, so
+ *    the totals are independent of thread count and scheduling;
+ *  - gauges merge by maximum — commutative, order-independent;
+ *  - histograms merge bucket-wise (power-of-two buckets) plus
+ *    count/sum/min/max — sums of the same value multiset, so counts
+ *    and bucket totals are exact; only `sum` is a float fold and the
+ *    sweep engine avoids cross-thread float folds by merging per-cell
+ *    snapshots in grid order (sim/sweep.cc).
+ *
+ * snapshot() may run concurrently with shard *creation* but not with
+ * in-flight increments: call it only at quiescent points (after a
+ * parallelFor barrier, after a pool drained). The sweep engine obeys
+ * this; tests/test_metrics_registry.cc checks the merge is exact
+ * under the tsan preset.
+ *
+ * A registry constructed disabled turns every mutation into a no-op
+ * and snapshots empty — the "instrumentation off" configuration whose
+ * cost must not show up in Release throughput. Simulator hot loops
+ * should not even pay the name lookup: predictors tally into plain
+ * structs (predictor/counters.hh) and report them here once per run.
+ */
+
+#ifndef TL_UTIL_METRICS_HH
+#define TL_UTIL_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tl
+{
+
+/** Merged view of one histogram. */
+struct HistogramSnapshot
+{
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    /**
+     * buckets[i] counts samples with floor(log2(max(v, 1))) == i for
+     * v >= 1; bucket 0 also absorbs samples below 1.
+     */
+    static constexpr unsigned numBuckets = 64;
+    std::vector<std::uint64_t> buckets; // size numBuckets when count>0
+
+    double mean() const
+    {
+        return count ? sum / static_cast<double>(count) : 0.0;
+    }
+};
+
+/** Merged, deterministic view of a registry. */
+struct MetricsSnapshot
+{
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+
+    bool
+    empty() const
+    {
+        return counters.empty() && gauges.empty() &&
+               histograms.empty();
+    }
+};
+
+/** Sharded-per-thread registry of named metrics. */
+class MetricsRegistry
+{
+  public:
+    /** @param enabled false turns every mutation into a no-op. */
+    explicit MetricsRegistry(bool enabled = true);
+    ~MetricsRegistry();
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    bool enabled() const { return isEnabled; }
+
+    /** Add @p delta to counter @p name (creates it at zero). */
+    void add(std::string_view name, std::uint64_t delta = 1);
+
+    /** Record gauge @p name; shards merge by maximum. */
+    void gauge(std::string_view name, double value);
+
+    /** Record one histogram sample. */
+    void observe(std::string_view name, double value);
+
+    /**
+     * Fold a pre-merged snapshot in (counters add, gauges max,
+     * histograms merge). The sweep engine uses this to fold per-cell
+     * snapshots in deterministic grid order.
+     */
+    void merge(const MetricsSnapshot &other);
+
+    /**
+     * Merge every shard into one deterministic view. Must not race
+     * in-flight increments; see the file comment.
+     */
+    MetricsSnapshot snapshot() const;
+
+  private:
+    struct Histogram
+    {
+        std::uint64_t count = 0;
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+        std::vector<std::uint64_t> buckets;
+
+        void observe(double value);
+        void fold(HistogramSnapshot &into) const;
+    };
+
+    struct Shard
+    {
+        std::map<std::string, std::uint64_t> counters;
+        std::map<std::string, double> gauges;
+        std::map<std::string, Histogram> histograms;
+    };
+
+    /** The calling thread's shard, created on first use. */
+    Shard &localShard();
+
+    bool isEnabled;
+
+    /** Process-unique id; keys the thread-local shard cache. */
+    std::uint64_t id;
+
+    mutable std::mutex mutex; // guards shards (the vector, not entries)
+    std::vector<std::unique_ptr<Shard>> shards;
+};
+
+} // namespace tl
+
+#endif // TL_UTIL_METRICS_HH

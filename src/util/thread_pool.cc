@@ -40,6 +40,12 @@ ThreadPool::hardwareThreads()
     return n ? n : 1;
 }
 
+int
+ThreadPool::currentWorkerIndex()
+{
+    return currentPool ? static_cast<int>(currentWorker) : -1;
+}
+
 std::future<void>
 ThreadPool::submit(std::function<void()> task)
 {

@@ -70,6 +70,14 @@ class ThreadPool
     /** std::thread::hardware_concurrency(), never zero. */
     static unsigned hardwareThreads();
 
+    /**
+     * Index of the pool worker running the calling thread, or -1 when
+     * the caller is not a pool worker (the main thread, an inline
+     * pool). Instrumentation uses this to label which worker ran a
+     * task; it carries no scheduling guarantees.
+     */
+    static int currentWorkerIndex();
+
   private:
     struct Worker
     {

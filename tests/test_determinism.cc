@@ -81,9 +81,9 @@ TEST(Determinism, SuiteRunsAreStableAcrossRepetition)
 {
     WorkloadSuite suite(3000);
     ResultSet first =
-        runOnSuite("PAg(BHT(512,4,8-sr),1xPHT(256,A2))", suite);
+        runSuite("PAg(BHT(512,4,8-sr),1xPHT(256,A2))", suite);
     ResultSet second =
-        runOnSuite("PAg(BHT(512,4,8-sr),1xPHT(256,A2))", suite);
+        runSuite("PAg(BHT(512,4,8-sr),1xPHT(256,A2))", suite);
     ASSERT_EQ(first.results().size(), second.results().size());
     for (std::size_t i = 0; i < first.results().size(); ++i) {
         EXPECT_EQ(first.results()[i].sim.correct,
@@ -159,7 +159,7 @@ TEST(Determinism, TrainingIsReproducible)
 {
     WorkloadSuite suite(3000);
     auto run = [&suite] {
-        return runOnSuite("PSg(BHT(512,4,8-sr),1xPHT(256,PB))",
+        return runSuite("PSg(BHT(512,4,8-sr),1xPHT(256,PB))",
                           suite)
             .totalGMean();
     };

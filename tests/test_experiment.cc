@@ -8,6 +8,7 @@
 
 #include "predictor/two_level.hh"
 #include "sim/experiment.hh"
+#include "sim/sweep.hh"
 
 namespace tl
 {
@@ -42,11 +43,11 @@ TEST(WorkloadSuiteCache, TrainingTracesForTable2Benchmarks)
                 ::testing::ExitedWithCode(1), "no training");
 }
 
-TEST(RunOnSuite, CoversAllNineForAdaptiveSchemes)
+TEST(RunSuite, CoversAllNineForAdaptiveSchemes)
 {
     WorkloadSuite suite(1200);
     ResultSet results =
-        runOnSuite("PAg(BHT(512,4,8-sr),1xPHT(256,A2))", suite);
+        runSuite("PAg(BHT(512,4,8-sr),1xPHT(256,A2))", suite);
     EXPECT_EQ(results.results().size(), 9u);
     for (const BenchmarkResult &r : results.results())
         EXPECT_EQ(r.sim.conditionalBranches, 1200u);
@@ -54,13 +55,13 @@ TEST(RunOnSuite, CoversAllNineForAdaptiveSchemes)
     EXPECT_LE(results.totalGMean(), 100.0);
 }
 
-TEST(RunOnSuite, SkipsUntrainableBenchmarks)
+TEST(RunSuite, SkipsUntrainableBenchmarks)
 {
     // Static training runs only on the five benchmarks that have a
     // training dataset (Table 2), as in the paper's Figure 11.
     WorkloadSuite suite(1200);
     ResultSet results =
-        runOnSuite("PSg(BHT(512,4,8-sr),1xPHT(256,PB))", suite);
+        runSuite("PSg(BHT(512,4,8-sr),1xPHT(256,PB))", suite);
     EXPECT_EQ(results.results().size(), 5u);
     EXPECT_FALSE(results.accuracy("eqntott").has_value());
     EXPECT_FALSE(results.accuracy("fpppp").has_value());
@@ -68,22 +69,22 @@ TEST(RunOnSuite, SkipsUntrainableBenchmarks)
     EXPECT_TRUE(results.accuracy("li").has_value());
 }
 
-TEST(RunOnSuite, ContextSwitchFlagFromSpec)
+TEST(RunSuite, ContextSwitchFlagFromSpec)
 {
     WorkloadSuite suite(1200);
     // Same scheme with and without ",c" must both run; the flag only
     // changes simulation options.
     ResultSet without =
-        runOnSuite("GAg(HR(1,,8-sr),1xPHT(256,A2))", suite);
+        runSuite("GAg(HR(1,,8-sr),1xPHT(256,A2))", suite);
     ResultSet with =
-        runOnSuite("GAg(HR(1,,8-sr),1xPHT(256,A2),c)", suite);
+        runSuite("GAg(HR(1,,8-sr),1xPHT(256,A2),c)", suite);
     EXPECT_EQ(without.results().size(), with.results().size());
 }
 
-TEST(RunOnSuite, CustomFactoryAndName)
+TEST(RunSuite, CustomFactoryAndName)
 {
     WorkloadSuite suite(1000);
-    ResultSet results = runOnSuite(
+    ResultSet results = runSuite(
         "my-column",
         [] {
             return std::make_unique<TwoLevelPredictor>(

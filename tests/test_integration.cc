@@ -9,6 +9,7 @@
 
 #include "predictor/factory.hh"
 #include "sim/experiment.hh"
+#include "sim/sweep.hh"
 
 namespace tl
 {
@@ -29,7 +30,7 @@ class IntegrationSuite : public ::testing::Test
     static double
     gmean(const std::string &spec)
     {
-        return runOnSuite(spec, suite()).totalGMean();
+        return runSuite(spec, suite()).totalGMean();
     }
 };
 
@@ -115,9 +116,9 @@ TEST_F(IntegrationSuite, StaticTrainingTrailsAdaptive)
 {
     // Figure 11: PSg sits below the adaptive top curve on the
     // benchmarks it covers.
-    ResultSet psg = runOnSuite(
+    ResultSet psg = runSuite(
         "PSg(BHT(512,4,12-sr),1xPHT(4096,PB))", suite());
-    ResultSet pag = runOnSuite(
+    ResultSet pag = runSuite(
         "PAg(BHT(512,4,12-sr),1xPHT(4096,A2))", suite());
     // Compare only over the five benchmarks PSg covers.
     double psg_product = 1.0;

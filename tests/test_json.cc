@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the minimal JSON document model (util/json.hh):
+ * serialization of each kind, escaping, insertion-order objects, and
+ * the compact one-line mode the event log uses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "util/json.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(Json, LeavesSerialize)
+{
+    EXPECT_EQ(Json().dump(0), "null");
+    EXPECT_EQ(Json::boolean(true).dump(0), "true");
+    EXPECT_EQ(Json::boolean(false).dump(0), "false");
+    EXPECT_EQ(Json::number(std::uint64_t{42}).dump(0), "42");
+    EXPECT_EQ(Json::number(std::int64_t{-7}).dump(0), "-7");
+    EXPECT_EQ(Json::str("hi").dump(0), "\"hi\"");
+}
+
+TEST(Json, DoublesRoundTripShortest)
+{
+    EXPECT_EQ(Json::number(0.5).dump(0), "0.5");
+    EXPECT_EQ(Json::number(100.0).dump(0), "100");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull)
+{
+    EXPECT_EQ(Json::number(std::numeric_limits<double>::infinity())
+                  .dump(0),
+              "null");
+    EXPECT_EQ(
+        Json::number(std::numeric_limits<double>::quiet_NaN()).dump(0),
+        "null");
+}
+
+TEST(Json, StringsAreEscaped)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(Json::str("tab\there").dump(0), "\"tab\\there\"");
+}
+
+TEST(Json, ObjectsKeepInsertionOrder)
+{
+    Json object = Json::object();
+    object.set("zebra", Json::number(std::uint64_t{1}));
+    object.set("apple", Json::number(std::uint64_t{2}));
+    EXPECT_EQ(object.dump(0), "{\"zebra\": 1, \"apple\": 2}");
+}
+
+TEST(Json, SettingAnExistingKeyOverwritesInPlace)
+{
+    Json object = Json::object();
+    object.set("a", Json::number(std::uint64_t{1}));
+    object.set("b", Json::number(std::uint64_t{2}));
+    object.set("a", Json::number(std::uint64_t{9}));
+    EXPECT_EQ(object.size(), 2u);
+    EXPECT_EQ(object.dump(0), "{\"a\": 9, \"b\": 2}");
+}
+
+TEST(Json, ArraysAndNestingPrettyPrint)
+{
+    Json array = Json::array();
+    array.push(Json::number(std::uint64_t{1}));
+    array.push(Json::str("two"));
+    Json object = Json::object();
+    object.set("list", std::move(array));
+    EXPECT_EQ(object.dump(0), "{\"list\": [1, \"two\"]}");
+    EXPECT_EQ(object.dump(2),
+              "{\n  \"list\": [\n    1,\n    \"two\"\n  ]\n}");
+}
+
+TEST(Json, EmptyContainers)
+{
+    EXPECT_EQ(Json::array().dump(0), "[]");
+    EXPECT_EQ(Json::object().dump(0), "{}");
+    EXPECT_EQ(Json::array().size(), 0u);
+}
+
+} // namespace
+} // namespace tl

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for run manifests (sim/manifest.hh): schema envelope, result
+ * serialization (gmean rows recoverable from the cells alone), and
+ * the round trip through writeTo()/writeFile().
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/manifest.hh"
+#include "util/build_info.hh"
+
+namespace tl
+{
+namespace
+{
+
+BenchmarkResult
+cell(const std::string &name, bool integer, std::uint64_t correct,
+     std::uint64_t total)
+{
+    BenchmarkResult r;
+    r.benchmark = name;
+    r.isInteger = integer;
+    r.sim.conditionalBranches = total;
+    r.sim.correct = correct;
+    return r;
+}
+
+ResultSet
+sampleColumn()
+{
+    ResultSet column("PAg(test)");
+    column.add(cell("gcc", true, 90, 100));
+    column.add(cell("tomcatv", false, 98, 100));
+    return column;
+}
+
+TEST(RunManifest, EnvelopeHasSchemaKindNameAndGit)
+{
+    RunManifest manifest("fig6");
+    EXPECT_EQ(manifest.fileName(), "RUN_fig6.json");
+    std::string text = manifest.toJson().dump(0);
+    EXPECT_NE(text.find("\"schemaVersion\": 1"), std::string::npos);
+    EXPECT_NE(text.find("\"kind\": \"run-manifest\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"name\": \"fig6\""), std::string::npos);
+    EXPECT_NE(text.find("\"git\": "), std::string::npos);
+    EXPECT_NE(text.find("\"sha\": "), std::string::npos);
+    // The configure-time SHA is whatever the build captured, but the
+    // accessor must agree with the manifest.
+    EXPECT_NE(text.find(buildGitSha()), std::string::npos);
+}
+
+TEST(RunManifest, ResultsCarryCellsAndGMeanRows)
+{
+    RunManifest manifest("unit");
+    ResultSet column = sampleColumn();
+    manifest.addResults(column);
+    std::string text = manifest.toJson().dump(0);
+    EXPECT_NE(text.find("\"scheme\": \"PAg(test)\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"benchmark\": \"gcc\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"accuracyPercent\": 90"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"gmeans\": "), std::string::npos);
+    EXPECT_NE(text.find("\"total\": "), std::string::npos);
+}
+
+TEST(RunManifest, OptionsRecordEveryKnob)
+{
+    RunOptions options;
+    options.threads = 8;
+    options.warmupFraction = 0.25;
+    options.instrument = true;
+    RunManifest manifest("unit");
+    manifest.recordOptions(options);
+    std::string text = manifest.toJson().dump(0);
+    EXPECT_NE(text.find("\"threads\": 8"), std::string::npos);
+    EXPECT_NE(text.find("\"warmupFraction\": 0.25"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"instrument\": true"), std::string::npos);
+    EXPECT_NE(text.find("\"contextSwitchInterval\": 500000"),
+              std::string::npos);
+}
+
+TEST(RunManifest, MetricsAndProfileSerialize)
+{
+    MetricsRegistry registry;
+    registry.add("predictor.bht.hits", 7);
+    registry.gauge("predictor.bht.validEntries", 12.0);
+
+    SweepProfile profile;
+    profile.threads = 2;
+    profile.wallSeconds = 1.0;
+    profile.workerBusySeconds = {0.0, 0.4, 0.6};
+    CellProfile one;
+    one.column = "GAg";
+    one.workload = "gcc";
+    one.worker = 0;
+    one.wallSeconds = 0.4;
+    profile.cells.push_back(one);
+
+    RunManifest manifest("unit");
+    manifest.recordMetrics(registry.snapshot());
+    manifest.recordProfile(profile);
+    std::string text = manifest.toJson().dump(0);
+    EXPECT_NE(text.find("\"predictor.bht.hits\": 7"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"predictor.bht.validEntries\": 12"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"wallSeconds\": 1"), std::string::npos);
+    EXPECT_NE(text.find("\"column\": \"GAg\""), std::string::npos);
+    EXPECT_NE(text.find("\"workerBusySeconds\": "),
+              std::string::npos);
+}
+
+TEST(RunManifest, NotesAppearOnlyWhenSet)
+{
+    RunManifest bare("unit");
+    EXPECT_EQ(bare.toJson().dump(0).find("\"notes\""),
+              std::string::npos);
+
+    RunManifest noted("unit");
+    noted.note("hardwareThreads",
+               Json::number(std::uint64_t{16}));
+    std::string text = noted.toJson().dump(0);
+    EXPECT_NE(text.find("\"notes\": "), std::string::npos);
+    EXPECT_NE(text.find("\"hardwareThreads\": 16"),
+              std::string::npos);
+}
+
+TEST(RunManifest, WriteToProducesTheConventionalFileName)
+{
+    RunManifest manifest("writetest");
+    manifest.addResults(sampleColumn());
+    std::string dir = ::testing::TempDir();
+    ASSERT_TRUE(manifest.writeTo(dir).ok());
+
+    std::ifstream in(dir + "/RUN_writetest.json");
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+    EXPECT_EQ(text.front(), '{');
+    EXPECT_EQ(text.back(), '\n');
+    EXPECT_NE(text.find("\"kind\": \"run-manifest\""),
+              std::string::npos);
+}
+
+TEST(RunManifest, WriteFileReportsUnwritablePaths)
+{
+    RunManifest manifest("unit");
+    Status status =
+        manifest.writeFile("/nonexistent-dir/RUN_unit.json");
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::InvalidArgument);
+}
+
+} // namespace
+} // namespace tl

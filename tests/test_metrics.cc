@@ -59,6 +59,44 @@ TEST(ResultSet, GMeanIsNotArithmetic)
     EXPECT_NEAR(set.intGMean(), std::sqrt(50.0 * 100.0), 1e-9);
 }
 
+TEST(ResultSet, EmptySetGMeansAreZero)
+{
+    ResultSet set("empty");
+    EXPECT_DOUBLE_EQ(set.totalGMean(), 0.0);
+    EXPECT_DOUBLE_EQ(set.intGMean(), 0.0);
+    EXPECT_DOUBLE_EQ(set.fpGMean(), 0.0);
+}
+
+TEST(ResultSet, SingleClassSetYieldsZeroForTheOtherClass)
+{
+    ResultSet set("int-only");
+    set.add(result("int_a", true, 90, 100));
+    set.add(result("int_b", true, 80, 100));
+    EXPECT_DOUBLE_EQ(set.fpGMean(), 0.0); // no FP benchmarks
+    EXPECT_NEAR(set.intGMean(), std::sqrt(90.0 * 80.0), 1e-9);
+    EXPECT_NEAR(set.totalGMean(), std::sqrt(90.0 * 80.0), 1e-9);
+}
+
+TEST(ResultSet, ZeroAccuracyYieldsZeroGMeanWithoutPanic)
+{
+    ResultSet set("X");
+    set.add(result("good", true, 90, 100));
+    set.add(result("hopeless", true, 0, 100)); // 0% accuracy
+    set.add(result("fp_a", false, 50, 100));
+    EXPECT_DOUBLE_EQ(set.totalGMean(), 0.0);
+    EXPECT_DOUBLE_EQ(set.intGMean(), 0.0);
+    EXPECT_NEAR(set.fpGMean(), 50.0, 1e-9); // FP class unaffected
+}
+
+TEST(ResultSet, SingleBenchmarkGMeanIsItsAccuracy)
+{
+    ResultSet set("X");
+    set.add(result("only", false, 75, 100));
+    EXPECT_NEAR(set.totalGMean(), 75.0, 1e-9);
+    EXPECT_NEAR(set.fpGMean(), 75.0, 1e-9);
+    EXPECT_DOUBLE_EQ(set.intGMean(), 0.0);
+}
+
 TEST(ResultSet, InsertionOrderPreserved)
 {
     ResultSet set("X");

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the metrics registry (util/metrics.hh): single-thread
+ * semantics, the disabled no-op mode, snapshot merging, and — the
+ * property the sweep engine's determinism rests on — exact counter
+ * totals when many pool workers increment concurrently. The tsan
+ * preset reruns the concurrent cases under ThreadSanitizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/metrics.hh"
+#include "util/thread_pool.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(MetricsRegistry, CountersAccumulate)
+{
+    MetricsRegistry registry;
+    registry.add("a");
+    registry.add("a", 4);
+    registry.add("b", 2);
+    MetricsSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters.at("a"), 5u);
+    EXPECT_EQ(snap.counters.at("b"), 2u);
+}
+
+TEST(MetricsRegistry, GaugesKeepTheMaximum)
+{
+    MetricsRegistry registry;
+    registry.gauge("occupancy", 0.25);
+    registry.gauge("occupancy", 0.75);
+    registry.gauge("occupancy", 0.5);
+    EXPECT_DOUBLE_EQ(registry.snapshot().gauges.at("occupancy"),
+                     0.75);
+}
+
+TEST(MetricsRegistry, HistogramsTrackCountSumMinMax)
+{
+    MetricsRegistry registry;
+    registry.observe("latency", 1.0);
+    registry.observe("latency", 4.0);
+    registry.observe("latency", 16.0);
+    HistogramSnapshot h =
+        registry.snapshot().histograms.at("latency");
+    EXPECT_EQ(h.count, 3u);
+    EXPECT_DOUBLE_EQ(h.sum, 21.0);
+    EXPECT_DOUBLE_EQ(h.min, 1.0);
+    EXPECT_DOUBLE_EQ(h.max, 16.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+    ASSERT_EQ(h.buckets.size(), HistogramSnapshot::numBuckets);
+    std::uint64_t bucketTotal = 0;
+    for (std::uint64_t b : h.buckets)
+        bucketTotal += b;
+    EXPECT_EQ(bucketTotal, 3u);
+}
+
+TEST(MetricsRegistry, DisabledRegistryRecordsNothing)
+{
+    MetricsRegistry registry(false);
+    EXPECT_FALSE(registry.enabled());
+    registry.add("counter", 100);
+    registry.gauge("gauge", 1.0);
+    registry.observe("histogram", 1.0);
+    MetricsSnapshot snap = registry.snapshot();
+    EXPECT_TRUE(snap.empty());
+    EXPECT_TRUE(snap.counters.empty());
+    EXPECT_TRUE(snap.gauges.empty());
+    EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsMergeExactly)
+{
+    // The determinism contract: counter totals are sums of integers,
+    // so however the pool schedules the increments the snapshot must
+    // be exact — never "close".
+    constexpr unsigned workers = 8;
+    constexpr std::size_t tasks = 64;
+    constexpr std::uint64_t perTask = 1000;
+
+    MetricsRegistry registry;
+    ThreadPool pool(workers);
+    parallelFor(pool, tasks, [&registry](std::size_t task) {
+        for (std::uint64_t i = 0; i < perTask; ++i)
+            registry.add("shared");
+        registry.add("perTask", task);
+        registry.observe("taskIndex", static_cast<double>(task));
+    });
+
+    MetricsSnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counters.at("shared"), tasks * perTask);
+    EXPECT_EQ(snap.counters.at("perTask"),
+              tasks * (tasks - 1) / 2); // sum 0..63
+    EXPECT_EQ(snap.histograms.at("taskIndex").count, tasks);
+}
+
+TEST(MetricsRegistry, SnapshotsFromRepeatedRunsAreIdentical)
+{
+    auto runOnce = [] {
+        MetricsRegistry registry;
+        ThreadPool pool(4);
+        parallelFor(pool, 32, [&registry](std::size_t task) {
+            registry.add("events", task % 5);
+            registry.gauge("peak", static_cast<double>(task));
+        });
+        return registry.snapshot();
+    };
+    MetricsSnapshot first = runOnce();
+    MetricsSnapshot second = runOnce();
+    EXPECT_EQ(first.counters, second.counters);
+    EXPECT_EQ(first.gauges, second.gauges);
+}
+
+TEST(MetricsRegistry, MergeFoldsSnapshotsDeterministically)
+{
+    MetricsRegistry a;
+    a.add("count", 3);
+    a.gauge("peak", 1.0);
+    a.observe("size", 2.0);
+
+    MetricsRegistry b;
+    b.add("count", 4);
+    b.gauge("peak", 5.0);
+    b.observe("size", 8.0);
+
+    MetricsRegistry merged;
+    merged.merge(a.snapshot());
+    merged.merge(b.snapshot());
+    MetricsSnapshot snap = merged.snapshot();
+    EXPECT_EQ(snap.counters.at("count"), 7u);
+    EXPECT_DOUBLE_EQ(snap.gauges.at("peak"), 5.0);
+    EXPECT_EQ(snap.histograms.at("size").count, 2u);
+    EXPECT_DOUBLE_EQ(snap.histograms.at("size").sum, 10.0);
+    EXPECT_DOUBLE_EQ(snap.histograms.at("size").min, 2.0);
+    EXPECT_DOUBLE_EQ(snap.histograms.at("size").max, 8.0);
+}
+
+TEST(MetricsRegistry, MergeIntoDisabledRegistryIsANoOp)
+{
+    MetricsRegistry source;
+    source.add("count", 3);
+
+    MetricsRegistry disabled(false);
+    disabled.merge(source.snapshot());
+    EXPECT_TRUE(disabled.snapshot().empty());
+}
+
+TEST(MetricsRegistry, ManyRegistriesOnOneThreadStayIndependent)
+{
+    MetricsRegistry first;
+    MetricsRegistry second;
+    first.add("x", 1);
+    second.add("x", 10);
+    EXPECT_EQ(first.snapshot().counters.at("x"), 1u);
+    EXPECT_EQ(second.snapshot().counters.at("x"), 10u);
+}
+
+} // namespace
+} // namespace tl

@@ -3,34 +3,46 @@
  * Tests for the options-driven sweep API: RunOptions semantics,
  * SweepRunner grids, result ordering, warmup accounting, the
  * spec-based factory helper, the thread-safe WorkloadSuite accessors
- * and equivalence with the legacy serial helpers.
+ * and equivalence with driving the simulation engine directly.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "predictor/two_level.hh"
+#include "sim/manifest.hh"
 #include "sim/sweep.hh"
+#include "util/event_log.hh"
 
 namespace tl
 {
 namespace
 {
 
-TEST(Sweep, MatchesLegacyRunOnSuite)
+TEST(Sweep, MatchesDirectEngineSimulation)
 {
+    // runSuite() must be observationally identical to driving the
+    // engine by hand, one fresh predictor per benchmark.
     WorkloadSuite suite(1500);
-    ResultSet legacy =
-        runOnSuite("PAg(BHT(512,4,8-sr),1xPHT(256,A2))", suite);
-    ResultSet modern =
+    ResultSet swept =
         runSuite("PAg(BHT(512,4,8-sr),1xPHT(256,A2))", suite);
-    ASSERT_EQ(legacy.results().size(), modern.results().size());
-    for (std::size_t i = 0; i < legacy.results().size(); ++i) {
-        EXPECT_EQ(legacy.results()[i].benchmark,
-                  modern.results()[i].benchmark);
-        EXPECT_EQ(legacy.results()[i].sim, modern.results()[i].sim);
+
+    PredictorFactory make =
+        factoryFromSpec("PAg(BHT(512,4,8-sr),1xPHT(256,A2))");
+    const std::vector<const Workload *> &workloads = allWorkloads();
+    ASSERT_EQ(swept.results().size(), workloads.size());
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        std::unique_ptr<BranchPredictor> predictor = make();
+        SimResult direct = simulate(suite.testing(*workloads[i]),
+                                    *predictor, SimOptions{});
+        EXPECT_EQ(swept.results()[i].benchmark,
+                  workloads[i]->name());
+        EXPECT_EQ(swept.results()[i].sim, direct);
     }
 }
 
@@ -204,6 +216,157 @@ TEST(Sweep, CustomFactoryColumn)
     ResultSet results = runner.run(column);
     EXPECT_EQ(results.scheme(), "my-column");
     EXPECT_EQ(results.results().size(), 9u);
+}
+
+std::vector<SweepSpec>
+instrumentedColumns()
+{
+    return {
+        sweepSpec("PAg(BHT(512,4,8-sr),1xPHT(256,A2))"),
+        sweepSpec("GAg(HR(1,,6-sr),1xPHT(64,A2))"),
+        sweepSpec("PSg(BHT(512,4,8-sr),1xPHT(256,PB))"), // skips NA
+    };
+}
+
+MetricsSnapshot
+instrumentedSweep(unsigned threads)
+{
+    MetricsRegistry metrics;
+    RunOptions options;
+    options.threads = threads;
+    options.branchBudget = 1200;
+    options.metrics = &metrics;
+    SweepRunner runner(options);
+    runner.run(instrumentedColumns());
+    return metrics.snapshot();
+}
+
+TEST(SweepInstrumentation, CounterTotalsAreThreadCountInvariant)
+{
+    // The acceptance bar for instrumented sweeps: the harvested
+    // totals must be byte-identical between a serial run and a
+    // heavily threaded one — compare the serialized snapshots, not
+    // just the maps.
+    MetricsSnapshot serial = instrumentedSweep(0);
+    MetricsSnapshot parallel = instrumentedSweep(8);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(metricsToJson(serial).dump(0),
+              metricsToJson(parallel).dump(0));
+
+    EXPECT_GT(serial.counters.at("predictor.pht.predictions"), 0u);
+    EXPECT_GT(serial.counters.at("predictor.pht.updates"), 0u);
+    EXPECT_GT(serial.counters.at("predictor.bht.hits") +
+                  serial.counters.at("predictor.bht.misses"),
+              0u);
+    EXPECT_EQ(serial.counters.at("sweep.cellsRun"), 23u); // 27 - 4 NA
+    EXPECT_EQ(serial.counters.at("sweep.cellsSkipped"), 4u);
+}
+
+TEST(SweepInstrumentation, DisabledRegistryHarvestsNothing)
+{
+    MetricsRegistry metrics(false);
+    RunOptions options;
+    options.branchBudget = 800;
+    options.metrics = &metrics;
+    SweepRunner runner(options);
+    runner.run(sweepSpec("GAg(HR(1,,6-sr),1xPHT(64,A2))"));
+    EXPECT_TRUE(metrics.snapshot().empty());
+}
+
+TEST(SweepInstrumentation, ProfileRecordsEveryCell)
+{
+    RunOptions options;
+    options.threads = 2;
+    options.branchBudget = 800;
+    SweepRunner runner(options);
+    runner.run(instrumentedColumns());
+
+    const SweepProfile &profile = runner.lastProfile();
+    EXPECT_EQ(profile.threads, 2u);
+    EXPECT_GT(profile.wallSeconds, 0.0);
+    ASSERT_EQ(profile.cells.size(), 27u); // 3 columns x 9 workloads
+    ASSERT_EQ(profile.workerBusySeconds.size(), 3u); // caller + 2
+    for (const CellProfile &cell : profile.cells) {
+        EXPECT_FALSE(cell.column.empty());
+        EXPECT_FALSE(cell.workload.empty());
+        EXPECT_GE(cell.queueSeconds, 0.0);
+        EXPECT_GE(cell.wallSeconds, 0.0);
+        EXPECT_GE(cell.worker, -1);
+        EXPECT_LT(cell.worker, 2);
+    }
+    EXPECT_GT(profile.busySeconds(), 0.0);
+    EXPECT_GT(profile.occupancy(), 0.0);
+    EXPECT_LE(profile.occupancy(), 1.0 + 1e-9);
+}
+
+TEST(SweepInstrumentation, EventLogCapturesTheTimeline)
+{
+    std::string path = ::testing::TempDir() + "sweep_events.jsonl";
+    EventLog events;
+    ASSERT_TRUE(events.open(path).ok());
+
+    RunOptions options;
+    options.threads = 2;
+    options.branchBudget = 800;
+    options.events = &events;
+    SweepRunner runner(options);
+    runner.run(sweepSpec("GAg(HR(1,,6-sr),1xPHT(64,A2))"));
+    events.close();
+
+    std::ifstream in(path);
+    std::size_t sweepStart = 0, cellStart = 0, cellDone = 0,
+                sweepDone = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        sweepStart += line.find("\"sweep.start\"") !=
+                      std::string::npos;
+        cellStart += line.find("\"cell.start\"") != std::string::npos;
+        cellDone += line.find("\"cell.done\"") != std::string::npos;
+        sweepDone += line.find("\"sweep.done\"") != std::string::npos;
+    }
+    EXPECT_EQ(sweepStart, 1u);
+    EXPECT_EQ(cellStart, 9u);
+    EXPECT_EQ(cellDone, 9u);
+    EXPECT_EQ(sweepDone, 1u);
+}
+
+TEST(SweepInstrumentation, ProgressReportsTheFinalCell)
+{
+    std::atomic<std::size_t> lastDone{0};
+    std::atomic<std::size_t> lastTotal{0};
+    std::atomic<unsigned> calls{0};
+
+    RunOptions options;
+    options.threads = 4;
+    options.branchBudget = 800;
+    options.progressInterval = 0.0; // report every cell
+    options.progress = [&](std::size_t done, std::size_t total) {
+        // Callbacks from different workers may be delivered out of
+        // order; track the maximum completed count seen.
+        std::size_t prev = lastDone.load();
+        while (done > prev &&
+               !lastDone.compare_exchange_weak(prev, done)) {
+        }
+        lastTotal = total;
+        ++calls;
+    };
+    SweepRunner runner(options);
+    runner.run(sweepSpec("GAg(HR(1,,6-sr),1xPHT(64,A2))"));
+
+    EXPECT_EQ(lastDone.load(), 9u);
+    EXPECT_EQ(lastTotal.load(), 9u);
+    EXPECT_EQ(calls.load(), 9u);
+}
+
+TEST(SweepInstrumentation, UninstrumentedRunLeavesPredictorsBare)
+{
+    // The default path must not allocate tallies: a predictor built
+    // by the factory reports no instrumentation until asked.
+    TwoLevelPredictor predictor(TwoLevelConfig::pag(8));
+    EXPECT_EQ(predictor.instrumentation(), nullptr);
+    predictor.enableInstrumentation();
+    ASSERT_NE(predictor.instrumentation(), nullptr);
+    EXPECT_EQ(predictor.instrumentation()->pht.predictions, 0u);
 }
 
 } // namespace

@@ -27,6 +27,13 @@ exempt):
                   bypasses the pool's worker accounting; all
                   parallelism goes through util/thread_pool.
 
+  iostream        Library code must not write to std::cout/std::cerr
+                  (or include <iostream>): ad-hoc printing bypasses the
+                  structured observability surfaces — inform()/warn()
+                  for diagnostics, EventLog for timelines, RunManifest
+                  for results — and iostream globals add static-init
+                  weight to every translation unit.
+
 A line may opt out of a rule with a trailing comment:
 
     legacy_call();  // tl-lint: allow(fatal-ratchet)
@@ -161,6 +168,7 @@ FATAL_CALL_RE = re.compile(r"(?<![\w.])fatal\s*\(")
 FATAL_DECL_RE = re.compile(r"void\s+fatal\s*\(")  # the prototype itself
 GETENV_RE = re.compile(r"(?<![\w.])(?:std::)?getenv\s*\(")
 THREAD_RE = re.compile(r"std::thread\b(?!::hardware_concurrency)")
+IOSTREAM_RE = re.compile(r"std::c(?:out|err)\b|#\s*include\s*<iostream>")
 
 
 def lint_file(path, rel, violations, fatal_counts):
@@ -188,6 +196,12 @@ def lint_file(path, rel, violations, fatal_counts):
             violations.append(
                 (rel, lineno, "thread",
                  "raw std::thread; use util/thread_pool instead"))
+
+        if IOSTREAM_RE.search(code) and "iostream" not in allowed:
+            violations.append(
+                (rel, lineno, "iostream",
+                 "raw std::cout/std::cerr/<iostream> in library code; "
+                 "use inform()/warn(), EventLog, or RunManifest"))
 
     if fatal_count:
         fatal_counts[rel] = fatal_count

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Render a run manifest (RUN_*.json) into human-readable tables.
+
+Reads a manifest produced by sim/manifest.hh and prints:
+  * the figure table — per-benchmark prediction accuracy with the
+    integer / floating-point / total geometric-mean rows recomputed
+    from the per-cell records (and cross-checked against the stored
+    gmeans, proving the figure is reproducible from the manifest
+    alone);
+  * a timing summary — sweep wall time, worker occupancy, queue
+    wait, and the slowest cells (the hotspots);
+  * a metrics digest — the predictor / simulator counter totals.
+
+Usage: report.py MANIFEST.json
+Exit:  0 on success; 1 when the file is unreadable, not a
+       run-manifest, or a stored gmean disagrees with the recomputed
+       value.
+"""
+
+import json
+import math
+import sys
+
+GMEAN_TOLERANCE = 1e-6
+
+
+def gmean(values):
+    if not values or any(v <= 0.0 for v in values):
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def render_table(headers, rows):
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, field in enumerate(row):
+            widths[i] = max(widths[i], len(field))
+    lines = []
+
+    def fmt(row):
+        cells = [row[0].ljust(widths[0])]
+        cells += [field.rjust(widths[i + 1])
+                  for i, field in enumerate(row[1:])]
+        return "  ".join(cells).rstrip()
+
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def figure_table(results):
+    """Per-benchmark accuracy plus recomputed gmean rows.
+
+    Returns (text, mismatches) where mismatches counts stored gmeans
+    that disagree with the values recomputed from the cells.
+    """
+    schemes = [r["scheme"] for r in results]
+    benchmarks = []  # (name, isInteger) in first-column order
+    accuracy = {}  # (benchmark, scheme) -> cell
+    for result in results:
+        for cell in result["cells"]:
+            key = (cell["benchmark"], cell["isInteger"])
+            if key not in [(n, i) for n, i in benchmarks]:
+                benchmarks.append(key)
+            accuracy[(cell["benchmark"], result["scheme"])] = cell
+
+    def fmt_cell(benchmark, scheme):
+        cell = accuracy.get((benchmark, scheme))
+        if cell is None:
+            return "n/a"
+        return f"{cell['accuracyPercent']:.2f}"
+
+    rows = []
+    for name, integer in benchmarks:
+        label = f"{name} ({'int' if integer else 'fp'})"
+        rows.append([label] + [fmt_cell(name, s) for s in schemes])
+
+    mismatches = 0
+    for row_key, label in (("integer", "gmean (int)"),
+                           ("fp", "gmean (fp)"),
+                           ("total", "gmean (total)")):
+        fields = [label]
+        for result in results:
+            if row_key == "integer":
+                values = [c["accuracyPercent"]
+                          for c in result["cells"] if c["isInteger"]]
+            elif row_key == "fp":
+                values = [c["accuracyPercent"]
+                          for c in result["cells"]
+                          if not c["isInteger"]]
+            else:
+                values = [c["accuracyPercent"]
+                          for c in result["cells"]]
+            recomputed = gmean(values)
+            stored = result["gmeans"][row_key]
+            if abs(recomputed - stored) >= GMEAN_TOLERANCE:
+                mismatches += 1
+                fields.append(f"{recomputed:.2f}!={stored:.2f}")
+            else:
+                fields.append(f"{recomputed:.2f}")
+        rows.append(fields)
+
+    text = render_table(["benchmark"] + schemes, rows)
+    return text, mismatches
+
+
+def timing_summary(profile, top=5):
+    lines = []
+    wall = profile.get("wallSeconds", 0.0)
+    busy = sum(profile.get("workerBusySeconds", []))
+    cells = profile.get("cells", [])
+    ran = [c for c in cells if not c.get("skipped")]
+    skipped = len(cells) - len(ran)
+    lines.append(f"threads:        {profile.get('threads')}")
+    lines.append(f"wall time:      {wall:.3f} s")
+    lines.append(f"busy time:      {busy:.3f} s "
+                 f"(sum over worker slots)")
+    slots = [s for s in profile.get("workerBusySeconds", [])
+             if s > 0.0]
+    if wall > 0.0 and slots:
+        occupancy = busy / (wall * len(slots))
+        lines.append(f"occupancy:      {occupancy:.1%} across "
+                     f"{len(slots)} active slot(s)")
+    lines.append(f"cells:          {len(ran)} run, "
+                 f"{skipped} skipped")
+    if ran:
+        total_queue = sum(c["queueSeconds"] for c in ran)
+        lines.append(f"mean queue wait: "
+                     f"{total_queue / len(ran):.3f} s")
+        lines.append("")
+        lines.append(f"slowest cells (top {min(top, len(ran))}):")
+        hot = sorted(ran, key=lambda c: c["wallSeconds"],
+                     reverse=True)
+        rows = [[f"  {c['column']} / {c['workload']}",
+                 f"{c['wallSeconds']:.3f} s",
+                 f"worker {c['worker']}"] for c in hot[:top]]
+        lines.append(render_table(["  cell", "wall", "where"],
+                                  rows))
+    return "\n".join(lines)
+
+
+def metrics_digest(metrics):
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    lines = []
+    if counters:
+        rows = [[name, f"{value:,}"]
+                for name, value in sorted(counters.items())]
+        lines.append(render_table(["counter", "total"], rows))
+    if gauges:
+        rows = [[name, f"{value:g}"]
+                for name, value in sorted(gauges.items())]
+        lines.append("")
+        lines.append(render_table(["gauge", "max"], rows))
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        rows = [[name, f"{h['count']:,}", f"{h['mean']:g}",
+                 f"{h['min']:g}", f"{h['max']:g}"]
+                for name, h in sorted(histograms.items())]
+        lines.append("")
+        lines.append(render_table(
+            ["histogram", "count", "mean", "min", "max"], rows))
+    return "\n".join(lines)
+
+
+def heading(title):
+    return f"\n== {title} ==\n"
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    try:
+        with open(argv[1], encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"{argv[1]}: {error}", file=sys.stderr)
+        return 1
+    if manifest.get("kind") != "run-manifest":
+        print(f"{argv[1]}: not a run-manifest", file=sys.stderr)
+        return 1
+
+    git = manifest.get("git", {})
+    dirty = " (dirty)" if git.get("dirty") else ""
+    print(f"run:   {manifest.get('name')}")
+    print(f"git:   {git.get('sha', '?')}{dirty}")
+    options = manifest.get("options")
+    if options:
+        print(f"opts:  threads={options.get('threads')} "
+              f"branchBudget={options.get('branchBudget'):,} "
+              f"warmup={options.get('warmupFraction')} "
+              f"instrument={options.get('instrument')}")
+
+    mismatches = 0
+    results = manifest.get("results", [])
+    if results:
+        print(heading("figure table (gmeans recomputed from cells)"))
+        text, mismatches = figure_table(results)
+        print(text)
+        if mismatches:
+            print(f"\nERROR: {mismatches} stored gmean value(s) "
+                  f"disagree with the cells", file=sys.stderr)
+
+    profile = manifest.get("profile")
+    if profile:
+        print(heading("timing"))
+        print(timing_summary(profile))
+
+    metrics = manifest.get("metrics")
+    if metrics and any(metrics.get(k) for k in
+                       ("counters", "gauges", "histograms")):
+        print(heading("metrics"))
+        print(metrics_digest(metrics))
+
+    notes = manifest.get("notes")
+    if notes:
+        print(heading("notes"))
+        print(json.dumps(notes, indent=2))
+
+    return 1 if mismatches else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

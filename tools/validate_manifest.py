@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Schema validation for run manifests (sim/manifest.hh).
+
+Checks that a RUN_*.json / BENCH_*.json file is a well-formed
+"run-manifest" document (schemaVersion 1): required envelope fields,
+typed options, per-cell result records whose accuracy agrees with
+their raw counters, gmean rows that are recomputable from the cells
+alone, and structurally sound profile / metrics sections.
+
+Usage: validate_manifest.py MANIFEST.json [MANIFEST.json ...]
+Exit:  0 when every file validates, 1 otherwise.
+"""
+
+import json
+import math
+import sys
+
+SCHEMA_VERSION = 1
+
+
+class ValidationError(Exception):
+    pass
+
+
+def expect(condition, message):
+    if not condition:
+        raise ValidationError(message)
+
+
+def expect_type(value, types, where):
+    expect(isinstance(value, types),
+           f"{where}: expected {types}, got {type(value).__name__}")
+
+
+def expect_number(value, where):
+    expect(isinstance(value, (int, float)) and
+           not isinstance(value, bool),
+           f"{where}: expected a number, got {type(value).__name__}")
+
+
+def gmean(values):
+    if not values or any(v <= 0.0 for v in values):
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def check_options(options):
+    expect_type(options, dict, "options")
+    for key, types in (("threads", int), ("branchBudget", int),
+                       ("warmupFraction", (int, float)),
+                       ("contextSwitches", bool),
+                       ("contextSwitchInterval", int),
+                       ("switchOnTrap", bool), ("instrument", bool)):
+        expect(key in options, f"options.{key}: missing")
+        expect_type(options[key], types, f"options.{key}")
+
+
+def check_cell(cell, where):
+    expect_type(cell, dict, where)
+    expect_type(cell.get("benchmark"), str, f"{where}.benchmark")
+    expect_type(cell.get("isInteger"), bool, f"{where}.isInteger")
+    expect_number(cell.get("accuracyPercent"),
+                  f"{where}.accuracyPercent")
+    for key in ("conditionalBranches", "correct", "taken",
+                "allBranches", "instructions", "contextSwitches"):
+        expect_type(cell.get(key), int, f"{where}.{key}")
+        expect(not isinstance(cell[key], bool) and cell[key] >= 0,
+               f"{where}.{key}: negative")
+    branches = cell["conditionalBranches"]
+    if branches:
+        recomputed = 100.0 * cell["correct"] / branches
+        expect(abs(recomputed - cell["accuracyPercent"]) < 1e-6,
+               f"{where}: accuracyPercent {cell['accuracyPercent']} "
+               f"!= 100*correct/conditionalBranches {recomputed}")
+
+
+def check_result(result, index):
+    where = f"results[{index}]"
+    expect_type(result, dict, where)
+    expect_type(result.get("scheme"), str, f"{where}.scheme")
+    expect_type(result.get("cells"), list, f"{where}.cells")
+    for ci, cell in enumerate(result["cells"]):
+        check_cell(cell, f"{where}.cells[{ci}]")
+
+    gmeans = result.get("gmeans")
+    expect_type(gmeans, dict, f"{where}.gmeans")
+    for key in ("integer", "fp", "total"):
+        expect_number(gmeans.get(key), f"{where}.gmeans.{key}")
+
+    # The gmean rows must be recomputable from the cells alone.
+    accuracies = [c["accuracyPercent"] for c in result["cells"]]
+    ints = [c["accuracyPercent"] for c in result["cells"]
+            if c["isInteger"]]
+    fps = [c["accuracyPercent"] for c in result["cells"]
+           if not c["isInteger"]]
+    for key, values in (("total", accuracies), ("integer", ints),
+                        ("fp", fps)):
+        expect(abs(gmean(values) - gmeans[key]) < 1e-6,
+               f"{where}.gmeans.{key}: stored {gmeans[key]} != "
+               f"recomputed {gmean(values)}")
+
+
+def check_profile(profile):
+    if profile is None:
+        return
+    expect_type(profile, dict, "profile")
+    expect_type(profile.get("threads"), int, "profile.threads")
+    expect_number(profile.get("wallSeconds"), "profile.wallSeconds")
+    expect_type(profile.get("cells"), list, "profile.cells")
+    expect_type(profile.get("workerBusySeconds"), list,
+                "profile.workerBusySeconds")
+    for ci, cell in enumerate(profile["cells"]):
+        where = f"profile.cells[{ci}]"
+        expect_type(cell.get("column"), str, f"{where}.column")
+        expect_type(cell.get("workload"), str, f"{where}.workload")
+        expect_type(cell.get("worker"), int, f"{where}.worker")
+        expect_number(cell.get("queueSeconds"),
+                      f"{where}.queueSeconds")
+        expect_number(cell.get("wallSeconds"),
+                      f"{where}.wallSeconds")
+        expect_type(cell.get("skipped"), bool, f"{where}.skipped")
+
+
+def check_metrics(metrics):
+    if metrics is None:
+        return
+    expect_type(metrics, dict, "metrics")
+    for section in ("counters", "gauges", "histograms"):
+        expect_type(metrics.get(section), dict, f"metrics.{section}")
+    for name, value in metrics["counters"].items():
+        expect(isinstance(value, int) and
+               not isinstance(value, bool) and value >= 0,
+               f"metrics.counters[{name}]: not a non-negative int")
+    for name, value in metrics["gauges"].items():
+        expect_number(value, f"metrics.gauges[{name}]")
+    for name, value in metrics["histograms"].items():
+        where = f"metrics.histograms[{name}]"
+        expect_type(value, dict, where)
+        expect_type(value.get("count"), int, f"{where}.count")
+        for key in ("sum", "min", "max", "mean"):
+            expect_number(value.get(key), f"{where}.{key}")
+
+
+def validate(manifest):
+    expect_type(manifest, dict, "manifest")
+    expect(manifest.get("kind") == "run-manifest",
+           f"kind: expected 'run-manifest', got "
+           f"{manifest.get('kind')!r}")
+    expect(manifest.get("schemaVersion") == SCHEMA_VERSION,
+           f"schemaVersion: expected {SCHEMA_VERSION}, got "
+           f"{manifest.get('schemaVersion')!r}")
+    expect_type(manifest.get("name"), str, "name")
+    expect(manifest["name"], "name: empty")
+
+    git = manifest.get("git")
+    expect_type(git, dict, "git")
+    expect_type(git.get("sha"), str, "git.sha")
+    expect_type(git.get("dirty"), bool, "git.dirty")
+
+    options = manifest.get("options")
+    if options is not None:
+        check_options(options)
+
+    results = manifest.get("results")
+    expect_type(results, list, "results")
+    for index, result in enumerate(results):
+        check_result(result, index)
+
+    check_profile(manifest.get("profile"))
+    check_metrics(manifest.get("metrics"))
+
+    notes = manifest.get("notes")
+    if notes is not None:
+        expect_type(notes, dict, "notes")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    failed = 0
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            validate(manifest)
+        except (OSError, json.JSONDecodeError,
+                ValidationError) as error:
+            print(f"{path}: INVALID: {error}")
+            failed += 1
+            continue
+        results = manifest.get("results", [])
+        cells = sum(len(r.get("cells", [])) for r in results)
+        print(f"{path}: OK ({manifest['name']}, "
+              f"{len(results)} result column(s), {cells} cell(s))")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
