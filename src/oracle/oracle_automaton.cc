@@ -1,0 +1,131 @@
+#include "oracle/oracle_automaton.hh"
+
+#include "util/status.hh"
+
+namespace tl
+{
+namespace
+{
+
+std::string
+lowered(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name)
+        out.push_back(c >= 'A' && c <= 'Z' ? char(c - 'A' + 'a') : c);
+    return out;
+}
+
+} // namespace
+
+StatusOr<ReferenceAutomaton>
+ReferenceAutomaton::tryByName(const std::string &name)
+{
+    std::string key = lowered(name);
+    if (key == "lt")
+        return ReferenceAutomaton(ReferenceAutomatonKind::LastTime);
+    if (key == "a1")
+        return ReferenceAutomaton(ReferenceAutomatonKind::A1);
+    if (key == "a2")
+        return ReferenceAutomaton(ReferenceAutomatonKind::A2);
+    if (key == "a3")
+        return ReferenceAutomaton(ReferenceAutomatonKind::A3);
+    if (key == "a4")
+        return ReferenceAutomaton(ReferenceAutomatonKind::A4);
+    return invalidArgumentError(
+        "oracle: no reference automaton for '%s' (the oracle models "
+        "only the paper's LT/A1-A4 machines)",
+        name.c_str());
+}
+
+int
+ReferenceAutomaton::numStates() const
+{
+    return kind_ == ReferenceAutomatonKind::LastTime ? 2 : 4;
+}
+
+int
+ReferenceAutomaton::initState() const
+{
+    // Every machine powers on predicting taken as strongly as it can:
+    // Last-Time remembers a taken, the others sit in their top state.
+    return kind_ == ReferenceAutomatonKind::LastTime ? 1 : 3;
+}
+
+bool
+ReferenceAutomaton::predictTaken(int state) const
+{
+    switch (kind_) {
+      case ReferenceAutomatonKind::LastTime:
+        // Predict whatever happened last time.
+        return state == 1;
+      case ReferenceAutomatonKind::A1:
+        // Predict not-taken only when both remembered outcomes were
+        // not-taken; the state is (older << 1) | newer.
+        return state != 0;
+      case ReferenceAutomatonKind::A2:
+      case ReferenceAutomatonKind::A3:
+      case ReferenceAutomatonKind::A4:
+        // Saturating counter: taken in the upper half.
+        return state >= 2;
+    }
+    return true;
+}
+
+int
+ReferenceAutomaton::nextState(int state, bool taken) const
+{
+    int outcome = taken ? 1 : 0;
+    switch (kind_) {
+      case ReferenceAutomatonKind::LastTime:
+        // Remember only the latest outcome.
+        return outcome;
+      case ReferenceAutomatonKind::A1: {
+        // Shift the outcome into a two-outcome window: the previous
+        // "newer" bit ages into "older".
+        int newer = state % 2;
+        return newer * 2 + outcome;
+      }
+      case ReferenceAutomatonKind::A2: {
+        // Count up on taken, down on not-taken, saturating at the
+        // ends.
+        int next = taken ? state + 1 : state - 1;
+        if (next < 0)
+            next = 0;
+        if (next > 3)
+            next = 3;
+        return next;
+      }
+      case ReferenceAutomatonKind::A3: {
+        // Like A2, but a misprediction in a weak state resolves
+        // immediately to the opposite strong state.
+        if (state == 1 && taken)
+            return 3;
+        if (state == 2 && !taken)
+            return 0;
+        int next = taken ? state + 1 : state - 1;
+        if (next < 0)
+            next = 0;
+        if (next > 3)
+            next = 3;
+        return next;
+      }
+      case ReferenceAutomatonKind::A4: {
+        // Like A2, but only the not-taken side falls fast: a
+        // not-taken in the weakly-taken state drops straight to
+        // strongly-not-taken.
+        if (state == 2 && !taken)
+            return 0;
+        int next = taken ? state + 1 : state - 1;
+        if (next < 0)
+            next = 0;
+        if (next > 3)
+            next = 3;
+        return next;
+      }
+    }
+    return state;
+}
+
+} // namespace tl

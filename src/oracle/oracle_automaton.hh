@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Rule-based reference implementations of the paper's five
+ * pattern-history automata (Figure 2), written for the differential
+ * oracle (src/oracle/).
+ *
+ * These are deliberately NOT the constexpr tables of
+ * predictor/automaton_defs.hh: each machine is spelled out as the
+ * prose rule it implements (saturating counter arithmetic, "remember
+ * the last two outcomes", ...) so that a transcription slip in the
+ * optimized tables and a slip here would have to coincide to go
+ * unnoticed. tests/proptest/test_oracle.cc pins the two against each
+ * other exhaustively over every (state, outcome) pair.
+ *
+ * Nothing under src/predictor/ or src/sim/ may include this header;
+ * tools/lint/tl_lint.py (rule oracle-isolation) enforces the
+ * direction so the oracle stays an independent witness.
+ */
+
+#ifndef TL_ORACLE_ORACLE_AUTOMATON_HH
+#define TL_ORACLE_ORACLE_AUTOMATON_HH
+
+#include <string>
+
+#include "util/status_or.hh"
+
+namespace tl
+{
+
+/** Which of the paper's five machines a ReferenceAutomaton models. */
+enum class ReferenceAutomatonKind
+{
+    LastTime, //!< 1 bit: predict whatever happened last time
+    A1,       //!< last two outcomes; not-taken only when both were
+    A2,       //!< 2-bit saturating up-down counter
+    A3,       //!< A2 with fast resolution of both weak states
+    A4        //!< A2 with a fast not-taken fall from the weak-taken state
+};
+
+/**
+ * A reference Moore machine defined by prose rules instead of
+ * transition tables. States are plain ints; the encoding matches the
+ * engine's (A1 keeps (older << 1) | newer, the counters count).
+ */
+class ReferenceAutomaton
+{
+  public:
+    explicit ReferenceAutomaton(ReferenceAutomatonKind kind)
+        : kind_(kind)
+    {
+    }
+
+    /**
+     * Map an engine automaton name ("LT", "A1", ... "A4",
+     * case-insensitive) to the reference machine. Non-OK
+     * (InvalidArgument) for machines the oracle does not model (the
+     * generic saturatingCounter/shiftMajority extensions).
+     */
+    static StatusOr<ReferenceAutomaton>
+    tryByName(const std::string &name);
+
+    ReferenceAutomatonKind kind() const { return kind_; }
+
+    /** Number of states (2 for Last-Time, 4 for the others). */
+    int numStates() const;
+
+    /** Power-on state (the "predict taken" bias of Section 2.1). */
+    int initState() const;
+
+    /** The prediction decision function lambda. */
+    bool predictTaken(int state) const;
+
+    /** The state transition function delta. */
+    int nextState(int state, bool taken) const;
+
+  private:
+    ReferenceAutomatonKind kind_;
+};
+
+} // namespace tl
+
+#endif // TL_ORACLE_ORACLE_AUTOMATON_HH

@@ -1,0 +1,400 @@
+#include "oracle/reference_two_level.hh"
+
+#include "util/status.hh"
+
+namespace tl
+{
+namespace
+{
+
+/** 2^bits by repeated doubling — no shifts in the oracle. */
+std::uint64_t
+powerOfTwo(unsigned bits)
+{
+    std::uint64_t value = 1;
+    for (unsigned i = 0; i < bits; ++i)
+        value = value * 2;
+    return value;
+}
+
+/** The word-aligned instruction index of @p pc. */
+std::uint64_t
+instructionKey(std::uint64_t pc)
+{
+    return pc / 4;
+}
+
+ReferenceAutomaton
+resolveAutomaton(const TwoLevelConfig &config)
+{
+    config.validate();
+    StatusOr<ReferenceAutomaton> automaton =
+        ReferenceAutomaton::tryByName(config.automaton->name());
+    if (!automaton.ok())
+        fatal("%s", automaton.status().message().c_str());
+    return *automaton;
+}
+
+} // namespace
+
+ReferenceTwoLevel::ReferenceTwoLevel(const TwoLevelConfig &config)
+    : cfg(config), automaton(resolveAutomaton(config))
+{
+    reset();
+}
+
+StatusOr<std::unique_ptr<ReferenceTwoLevel>>
+ReferenceTwoLevel::tryMake(const TwoLevelConfig &config)
+{
+    TL_RETURN_IF_ERROR(config.check());
+    TL_RETURN_IF_ERROR(
+        ReferenceAutomaton::tryByName(config.automaton->name())
+            .status());
+    return std::make_unique<ReferenceTwoLevel>(config);
+}
+
+std::string
+ReferenceTwoLevel::name() const
+{
+    return "Oracle[" + cfg.schemeName() + "]";
+}
+
+ReferenceTwoLevel::History
+ReferenceTwoLevel::freshHistory(bool fillPending) const
+{
+    // Power-on/allocation contents per Section 4.2: every history bit
+    // starts at taken.
+    History history;
+    history.arch.assign(cfg.historyBits, true);
+    history.spec.assign(cfg.historyBits, true);
+    history.fillPending = fillPending;
+    return history;
+}
+
+void
+ReferenceTwoLevel::shiftIn(std::vector<bool> &bits, bool outcome) const
+{
+    // Oldest-first: drop the front, append the newest outcome.
+    bits.erase(bits.begin());
+    bits.push_back(outcome);
+}
+
+std::uint64_t
+ReferenceTwoLevel::patternOf(const std::vector<bool> &bits) const
+{
+    // Oldest outcome is the most significant digit, matching the
+    // engine's left-shifting register.
+    std::uint64_t pattern = 0;
+    for (bool bit : bits)
+        pattern = pattern * 2 + (bit ? 1 : 0);
+    return pattern;
+}
+
+std::uint64_t
+ReferenceTwoLevel::tableIndex(std::uint64_t pattern,
+                              std::uint64_t pc) const
+{
+    if (cfg.indexMode == IndexMode::Concat)
+        return pattern;
+    return pattern ^
+           (instructionKey(pc) % powerOfTwo(cfg.historyBits));
+}
+
+ReferenceTwoLevel::History &
+ReferenceTwoLevel::historyFor(std::uint64_t pc, std::size_t &slot)
+{
+    slot = 0;
+    if (cfg.historyScope == HistoryScope::Global)
+        return globalHistory;
+    if (cfg.historyScope == HistoryScope::PerSet) {
+        return setHistories[instructionKey(pc) %
+                            setHistories.size()];
+    }
+
+    if (cfg.bhtKind == BhtKind::Ideal) {
+        auto it = idealHistories.find(pc);
+        if (it == idealHistories.end()) {
+            it = idealHistories
+                     .emplace(pc, freshHistory(/*fillPending=*/true))
+                     .first;
+        }
+        return it->second;
+    }
+
+    // Practical BHT: a tagged set-associative cache with true LRU,
+    // spelled out with division and per-way scans.
+    std::uint64_t key = instructionKey(pc);
+    std::size_t numSets = bhtSets.size();
+    std::vector<BhtWay> &set = bhtSets[key % numSets];
+    std::uint64_t tag = key / numSets;
+
+    for (std::size_t way = 0; way < set.size(); ++way) {
+        if (set[way].valid && set[way].tag == tag) {
+            set[way].lastUse = ++lruClock;
+            slot = (key % numSets) * set.size() + way;
+            return set[way].history;
+        }
+    }
+
+    // Miss: take the first invalid way, else the least recently used
+    // one (ties go to the lowest way, like the engine's strict scan).
+    std::size_t victim = 0;
+    bool foundInvalid = false;
+    for (std::size_t way = 0; way < set.size(); ++way) {
+        if (!set[way].valid) {
+            victim = way;
+            foundInvalid = true;
+            break;
+        }
+    }
+    if (!foundInvalid) {
+        for (std::size_t way = 1; way < set.size(); ++way) {
+            if (set[way].lastUse < set[victim].lastUse)
+                victim = way;
+        }
+    }
+
+    BhtWay &way = set[victim];
+    way.valid = true;
+    way.tag = tag;
+    way.lastUse = ++lruClock;
+    way.history = freshHistory(/*fillPending=*/true);
+    slot = (key % numSets) * set.size() + victim;
+
+    if (!slotTables.empty() && slotOwner[slot] != pc) {
+        // A different static branch takes over this slot: its
+        // per-address pattern history starts fresh (PAp).
+        slotTables[slot].states.clear();
+        slotOwner[slot] = pc;
+    }
+    return way.history;
+}
+
+ReferenceTwoLevel::Pht &
+ReferenceTwoLevel::phtFor(std::uint64_t pc, std::size_t slot)
+{
+    if (cfg.patternScope == PatternScope::Global)
+        return sharedTables[0];
+    if (cfg.patternScope == PatternScope::PerSet) {
+        return sharedTables[instructionKey(pc) %
+                            sharedTables.size()];
+    }
+    if (!slotTables.empty())
+        return slotTables[slot];
+    // One table per static branch, on demand (GAp / ideal PAp).
+    return perPcTables[pc];
+}
+
+bool
+ReferenceTwoLevel::phtPredict(const Pht &pht,
+                              std::uint64_t index) const
+{
+    auto it = pht.states.find(index % powerOfTwo(cfg.historyBits));
+    int state =
+        it == pht.states.end() ? automaton.initState() : it->second;
+    return automaton.predictTaken(state);
+}
+
+void
+ReferenceTwoLevel::phtUpdate(Pht &pht, std::uint64_t index, bool taken)
+{
+    std::uint64_t entry = index % powerOfTwo(cfg.historyBits);
+    auto it = pht.states.find(entry);
+    int state =
+        it == pht.states.end() ? automaton.initState() : it->second;
+    pht.states[entry] = automaton.nextState(state, taken);
+}
+
+bool
+ReferenceTwoLevel::predict(const BranchQuery &branch)
+{
+    std::size_t slot = 0;
+    History &history = historyFor(branch.pc, slot);
+    Pht &pht = phtFor(branch.pc, slot);
+
+    bool speculative = cfg.speculative != SpeculativeMode::Off;
+    const std::vector<bool> &bits =
+        speculative ? history.spec : history.arch;
+    bool prediction =
+        phtPredict(pht, tableIndex(patternOf(bits), branch.pc));
+
+    history.lastPrediction = prediction;
+    history.hasPrediction = true;
+    if (speculative)
+        shiftIn(history.spec, prediction);
+    return prediction;
+}
+
+void
+ReferenceTwoLevel::update(const BranchQuery &branch, bool taken)
+{
+    std::size_t slot = 0;
+    History &history = historyFor(branch.pc, slot);
+    Pht &pht = phtFor(branch.pc, slot);
+
+    // The PHT entry addressed by the architectural pattern learns the
+    // resolved outcome, even when the read used speculative history.
+    phtUpdate(pht, tableIndex(patternOf(history.arch), branch.pc),
+              taken);
+
+    if (history.fillPending) {
+        // First resolved outcome after allocation extends through the
+        // whole register (Section 4.2).
+        history.arch.assign(cfg.historyBits, taken);
+        history.fillPending = false;
+    } else {
+        shiftIn(history.arch, taken);
+    }
+
+    bool mispredicted =
+        history.hasPrediction && history.lastPrediction != taken;
+    switch (cfg.speculative) {
+      case SpeculativeMode::Off:
+        history.spec = history.arch;
+        break;
+      case SpeculativeMode::NoRepair:
+        break;
+      case SpeculativeMode::Reinitialize:
+        if (mispredicted)
+            history.spec.assign(cfg.historyBits, true);
+        break;
+      case SpeculativeMode::Repair:
+        if (mispredicted)
+            history.spec = history.arch;
+        break;
+    }
+}
+
+void
+ReferenceTwoLevel::contextSwitch()
+{
+    // Flush and reinitialize first-level history; pattern tables keep
+    // their contents (Section 5.1.4).
+    if (cfg.historyScope == HistoryScope::Global) {
+        globalHistory = freshHistory(/*fillPending=*/false);
+        return;
+    }
+    if (cfg.historyScope == HistoryScope::PerSet) {
+        for (History &history : setHistories)
+            history = freshHistory(/*fillPending=*/false);
+        return;
+    }
+    if (cfg.bhtKind == BhtKind::Ideal) {
+        idealHistories.clear();
+        return;
+    }
+    for (std::vector<BhtWay> &set : bhtSets) {
+        for (BhtWay &way : set)
+            way.valid = false;
+    }
+    // slotOwner survives: a branch reclaiming its slot after the
+    // switch keeps its per-address pattern history.
+}
+
+void
+ReferenceTwoLevel::reset()
+{
+    globalHistory = freshHistory(/*fillPending=*/false);
+
+    setHistories.clear();
+    if (cfg.historyScope == HistoryScope::PerSet) {
+        setHistories.assign(powerOfTwo(cfg.historySetBits),
+                            freshHistory(/*fillPending=*/false));
+    }
+
+    idealHistories.clear();
+
+    bhtSets.clear();
+    lruClock = 0;
+    bool practical = cfg.historyScope == HistoryScope::PerAddress &&
+                     cfg.bhtKind == BhtKind::Practical;
+    if (practical) {
+        bhtSets.assign(cfg.bht.numEntries / cfg.bht.assoc,
+                       std::vector<BhtWay>(cfg.bht.assoc));
+    }
+
+    sharedTables.clear();
+    if (cfg.patternScope == PatternScope::Global)
+        sharedTables.assign(1, Pht{});
+    else if (cfg.patternScope == PatternScope::PerSet)
+        sharedTables.assign(powerOfTwo(cfg.patternSetBits), Pht{});
+
+    slotTables.clear();
+    slotOwner.clear();
+    if (cfg.patternScope == PatternScope::PerAddress && practical) {
+        slotTables.assign(cfg.bht.numEntries, Pht{});
+        slotOwner.assign(cfg.bht.numEntries, noOwner);
+    }
+
+    perPcTables.clear();
+}
+
+Status
+ReferenceTwoLevel::validate() const
+{
+    TL_RETURN_IF_ERROR(cfg.check());
+
+    auto historyOk = [this](const History &history) {
+        return history.arch.size() == cfg.historyBits &&
+               history.spec.size() == cfg.historyBits;
+    };
+    if (!historyOk(globalHistory))
+        return internalError("oracle: global history register is not "
+                             "%u bits wide",
+                             cfg.historyBits);
+    for (const History &history : setHistories) {
+        if (!historyOk(history)) {
+            return internalError("oracle: per-set history register is "
+                                 "not %u bits wide",
+                                 cfg.historyBits);
+        }
+    }
+    for (const auto &[pc, history] : idealHistories) {
+        if (!historyOk(history)) {
+            return internalError(
+                "oracle: history register of pc %#llx is not %u bits "
+                "wide",
+                static_cast<unsigned long long>(pc), cfg.historyBits);
+        }
+    }
+    for (const std::vector<BhtWay> &set : bhtSets) {
+        for (const BhtWay &way : set) {
+            if (way.valid && !historyOk(way.history)) {
+                return internalError("oracle: BHT history register is "
+                                     "not %u bits wide",
+                                     cfg.historyBits);
+            }
+        }
+    }
+
+    auto tableOk = [this](const Pht &pht) {
+        for (const auto &[pattern, state] : pht.states) {
+            if (pattern >= powerOfTwo(cfg.historyBits) || state < 0 ||
+                state >= automaton.numStates()) {
+                return false;
+            }
+        }
+        return true;
+    };
+    for (const Pht &pht : sharedTables) {
+        if (!tableOk(pht))
+            return internalError("oracle: shared pattern table holds "
+                                 "an out-of-range entry");
+    }
+    for (const Pht &pht : slotTables) {
+        if (!tableOk(pht))
+            return internalError("oracle: slot pattern table holds an "
+                                 "out-of-range entry");
+    }
+    for (const auto &[pc, pht] : perPcTables) {
+        if (!tableOk(pht)) {
+            return internalError(
+                "oracle: pattern table of pc %#llx holds an "
+                "out-of-range entry",
+                static_cast<unsigned long long>(pc));
+        }
+    }
+    return Status();
+}
+
+} // namespace tl

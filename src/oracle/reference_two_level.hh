@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A deliberately naive reference implementation of the Two-Level
+ * Adaptive predictor for differential testing.
+ *
+ * ReferenceTwoLevel accepts the same TwoLevelConfig as the optimized
+ * TwoLevelPredictor and must agree with it prediction for prediction,
+ * but shares none of its machinery: history registers are
+ * std::vector<bool> kept oldest-first and shifted by erase/push_back,
+ * pattern history tables are std::map keyed by the integer pattern
+ * with absent entries meaning "init state", the practical BHT is a
+ * vector-of-vectors LRU cache using plain division and modulo instead
+ * of mask/shift bit tricks, and the automata are the rule-based
+ * machines of oracle/oracle_automaton.hh. Slow and transparent on
+ * purpose — every structure can be printed and single-stepped.
+ *
+ * The include dependency is one-way: the oracle may see the engine's
+ * configuration struct, but nothing under src/predictor/ or src/sim/
+ * may include src/oracle/ headers (lint rule oracle-isolation), so
+ * the witness cannot inherit an engine bug by construction.
+ */
+
+#ifndef TL_ORACLE_REFERENCE_TWO_LEVEL_HH
+#define TL_ORACLE_REFERENCE_TWO_LEVEL_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "oracle/oracle_automaton.hh"
+#include "predictor/predictor.hh"
+#include "predictor/two_level.hh"
+#include "util/status_or.hh"
+
+namespace tl
+{
+
+/** The transparent witness for TwoLevelPredictor. */
+class ReferenceTwoLevel : public BranchPredictor
+{
+  public:
+    /**
+     * Build a witness for @p config. Calls fatal() on an invalid
+     * configuration or an automaton the oracle does not model; use
+     * tryMake() for a recoverable answer.
+     */
+    explicit ReferenceTwoLevel(const TwoLevelConfig &config);
+
+    /** Non-OK instead of fatal() for unusable configurations. */
+    static StatusOr<std::unique_ptr<ReferenceTwoLevel>>
+    tryMake(const TwoLevelConfig &config);
+
+    std::string name() const override;
+    bool predict(const BranchQuery &branch) override;
+    void update(const BranchQuery &branch, bool taken) override;
+    void contextSwitch() override;
+    void reset() override;
+    Status validate() const override;
+
+    /** The configuration this witness was built for. */
+    const TwoLevelConfig &config() const { return cfg; }
+
+  private:
+    /** One first-level history register, oldest outcome first. */
+    struct History
+    {
+        std::vector<bool> arch;
+        std::vector<bool> spec;
+        bool fillPending = false;
+        bool lastPrediction = false;
+        bool hasPrediction = false;
+    };
+
+    /** One way of the naive practical BHT. */
+    struct BhtWay
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        History history;
+    };
+
+    /** One naive pattern history table: pattern -> automaton state. */
+    struct Pht
+    {
+        std::map<std::uint64_t, int> states;
+    };
+
+    History freshHistory(bool fillPending) const;
+    void shiftIn(std::vector<bool> &bits, bool outcome) const;
+    std::uint64_t patternOf(const std::vector<bool> &bits) const;
+    std::uint64_t tableIndex(std::uint64_t pattern,
+                             std::uint64_t pc) const;
+
+    /** Locate or allocate the history for @p pc; sets @p slot. */
+    History &historyFor(std::uint64_t pc, std::size_t &slot);
+
+    /** The pattern table serving @p pc in BHT slot @p slot. */
+    Pht &phtFor(std::uint64_t pc, std::size_t slot);
+
+    bool phtPredict(const Pht &pht, std::uint64_t index) const;
+    void phtUpdate(Pht &pht, std::uint64_t index, bool taken);
+
+    TwoLevelConfig cfg;
+    ReferenceAutomaton automaton;
+
+    // First level.
+    History globalHistory;
+    std::vector<History> setHistories;
+    std::map<std::uint64_t, History> idealHistories;
+    std::vector<std::vector<BhtWay>> bhtSets;
+    std::uint64_t lruClock = 0;
+
+    // Second level.
+    std::vector<Pht> sharedTables;          //!< global / per-set
+    std::vector<Pht> slotTables;            //!< PAp over a practical BHT
+    std::vector<std::uint64_t> slotOwner;   //!< pc owning each slotTable
+    std::map<std::uint64_t, Pht> perPcTables; //!< GAp / ideal PAp
+
+    static constexpr std::uint64_t noOwner = ~std::uint64_t{0};
+};
+
+} // namespace tl
+
+#endif // TL_ORACLE_REFERENCE_TWO_LEVEL_HH

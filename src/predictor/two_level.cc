@@ -570,6 +570,16 @@ TwoLevelPredictor::hardwareCost(unsigned addressBits,
     return fullCost(params, constants);
 }
 
+void
+TwoLevelPredictor::injectFault(std::size_t table,
+                               std::uint64_t pattern,
+                               Automaton::State rawState)
+{
+    TL_CHECK(table < tables.size(),
+             "injectFault: table %zu of %zu", table, tables.size());
+    tables[table].injectFault(pattern, rawState);
+}
+
 std::uint64_t
 TwoLevelPredictor::historyPattern(std::uint64_t pc) const
 {

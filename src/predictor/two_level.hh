@@ -209,6 +209,17 @@ class TwoLevelPredictor : public BranchPredictor
     /** Read the current (speculative) history pattern for @p pc. */
     std::uint64_t historyPattern(std::uint64_t pc) const;
 
+    /**
+     * Overwrite one PHT entry with @p rawState, bypassing the
+     * automaton — fault-injection hook for tests that must make the
+     * predictor observably wrong (the differential harness proves it
+     * catches and shrinks such faults). Sibling of
+     * PatternHistoryTable::injectFault(); TL_CHECK on a bad table
+     * index.
+     */
+    void injectFault(std::size_t table, std::uint64_t pattern,
+                     Automaton::State rawState);
+
   private:
     /** Per-branch first-level state. */
     struct HistoryEntry

@@ -5,8 +5,8 @@
  * are built as Json trees and serialized with dump().
  *
  * Deliberately small: construction and serialization only, no parsing
- * (nothing in the library consumes JSON; tools/*.py do, with Python's
- * parser). Object keys keep insertion order so serialized output is
+ * (nothing in the library consumes JSON; the tools/ scripts do, with
+ * Python's parser). Object keys keep insertion order so serialized output is
  * deterministic and diffs between two runs line up field for field.
  */
 

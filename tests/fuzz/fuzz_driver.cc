@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Standalone driver for the fuzz targets (see fuzz_driver.hh).
+ * Compiled only when the toolchain has no libFuzzer.
+ *
+ * Usage:
+ *   fuzz_target FILE...            replay corpus files
+ *   fuzz_target --smoke [N [SEED]] deterministic smoke loop
+ *                                  (default N=2000, SEED=0x51105e)
+ */
+
+#include "fuzz_driver.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "trace/faults.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+void
+runInput(const std::string &bytes)
+{
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t *>(bytes.data()),
+        bytes.size());
+}
+
+int
+replayFiles(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::ifstream in(argv[i], std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "fuzz: cannot open %s\n", argv[i]);
+            return 2;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        runInput(buffer.str());
+        std::fprintf(stderr, "fuzz: replayed %s (%zu bytes)\n",
+                     argv[i], buffer.str().size());
+    }
+    return 0;
+}
+
+int
+smoke(std::uint64_t iterations, std::uint64_t seed)
+{
+    std::vector<std::string> seeds = fuzzSeedInputs();
+    std::vector<tl::FaultKind> kinds = tl::allFaultKinds();
+    tl::Rng rng(seed);
+
+    for (const std::string &input : seeds)
+        runInput(input);
+
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+        if (!seeds.empty() && rng.nextBool(0.7)) {
+            // Damage a well-formed input, possibly repeatedly.
+            std::string bytes =
+                seeds[rng.nextBelow(seeds.size())];
+            unsigned rounds = 1 + unsigned(rng.nextBelow(3));
+            for (unsigned round = 0; round < rounds; ++round) {
+                bytes = tl::injectFault(
+                    bytes, kinds[rng.nextBelow(kinds.size())],
+                    rng.nextU64());
+            }
+            runInput(bytes);
+        } else {
+            // Unstructured random bytes.
+            std::string bytes(rng.nextBelow(256), '\0');
+            for (char &c : bytes)
+                c = char(rng.nextBelow(256));
+            runInput(bytes);
+        }
+    }
+    std::fprintf(stderr,
+                 "fuzz: smoke clean (%llu inputs, seed %#llx)\n",
+                 static_cast<unsigned long long>(iterations),
+                 static_cast<unsigned long long>(seed));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1 && std::strcmp(argv[1], "--smoke") != 0)
+        return replayFiles(argc, argv);
+    std::uint64_t iterations =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 2000;
+    std::uint64_t seed =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 0) : 0x51105e;
+    return smoke(iterations, seed);
+}

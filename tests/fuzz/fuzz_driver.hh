@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared scaffolding for the fuzz targets.
+ *
+ * Every target defines the standard libFuzzer entry point
+ *
+ *     extern "C" int LLVMFuzzerTestOneInput(const uint8_t *, size_t);
+ *
+ * plus fuzzSeedInputs(), a handful of well-formed inputs the driver
+ * mutates. With a fuzzer-capable toolchain (clang's
+ * -fsanitize=fuzzer) the same source links against libFuzzer for
+ * coverage-guided runs; everywhere else (the baked-in toolchain is
+ * g++, which has no libFuzzer) TL_FUZZ_STANDALONE compiles in a
+ * main() that either replays corpus files passed as arguments or runs
+ * a deterministic seeded smoke loop: random byte blobs interleaved
+ * with seed inputs damaged by the trace/faults.hh corruptors. The
+ * smoke loop is what the sanitizer CI preset executes.
+ *
+ * A target signals a found bug by calling std::abort() (fuzzers and
+ * ctest both treat the resulting non-zero exit as a failure).
+ */
+
+#ifndef TL_TESTS_FUZZ_FUZZ_DRIVER_HH
+#define TL_TESTS_FUZZ_FUZZ_DRIVER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t *data,
+                                      std::size_t size);
+
+/** Well-formed inputs the standalone driver mutates. */
+std::vector<std::string> fuzzSeedInputs();
+
+#endif // TL_TESTS_FUZZ_FUZZ_DRIVER_HH

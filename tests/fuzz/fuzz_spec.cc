@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fuzz target for scheme-spec parsing (predictor/spec.hh): arbitrary
+ * strings must produce a clean Status or a spec whose toString()
+ * re-parses to the same canonical form (fixed-point stability).
+ */
+
+#include "fuzz_driver.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "predictor/spec.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    std::string text(reinterpret_cast<const char *>(data), size);
+    tl::StatusOr<tl::SchemeSpec> spec = tl::SchemeSpec::tryParse(text);
+    if (!spec.ok())
+        return 0;
+    std::string canonical = spec->toString();
+    tl::StatusOr<tl::SchemeSpec> again =
+        tl::SchemeSpec::tryParse(canonical);
+    if (!again.ok() || again->toString() != canonical)
+        std::abort();
+    return 0;
+}
+
+std::vector<std::string>
+fuzzSeedInputs()
+{
+    return {
+        "GAg(HR(1,,12-sr),1xPHT(4096,A2))",
+        "PAg(BHT(512,4,12-sr),1xPHT(4096,A2))",
+        "PAp(BHT(256,4,6-sr),256xPHT(64,A2))",
+        "PAg(IBHT(inf,,8-sr),1xPHT(256,LT))",
+        "SAs(SHR(16,,4-sr),16xPHT(16,A3))",
+        "GAs(HR(1,,6-sr),4xPHT(64,A4))",
+        "",
+    };
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fuzz target for trace deserialization (trace/io.hh): binary v1/v2
+ * (strict and salvage modes) and the text reader. The contract under
+ * fuzzing is the one trace/faults.hh tests promise — arbitrary bytes
+ * produce a clean Status or a valid trace, never a crash — plus
+ * write/re-read round-trip stability for every input that parses.
+ */
+
+#include "fuzz_driver.hh"
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "trace/io.hh"
+#include "trace/trace.hh"
+
+namespace
+{
+
+void
+checkBinary(const std::string &bytes)
+{
+    for (bool salvage : {false, true}) {
+        std::istringstream in(bytes);
+        tl::TraceReadOptions options;
+        options.salvageTruncated = salvage;
+        tl::TraceReadStats stats;
+        tl::StatusOr<tl::Trace> trace =
+            tl::tryReadBinaryTrace(in, options, &stats);
+        if (!trace.ok())
+            continue;
+        // Whatever parsed must survive a write/re-read round trip.
+        std::ostringstream out;
+        tl::writeBinaryTrace(*trace, out);
+        std::istringstream back(out.str());
+        tl::StatusOr<tl::Trace> again = tl::tryReadBinaryTrace(back);
+        if (!again.ok() || !(*again == *trace))
+            std::abort();
+    }
+}
+
+void
+checkText(const std::string &bytes)
+{
+    std::istringstream in(bytes);
+    tl::StatusOr<tl::Trace> trace = tl::tryReadTextTrace(in);
+    if (!trace.ok())
+        return;
+    std::ostringstream out;
+    tl::writeTextTrace(*trace, out);
+    std::istringstream back(out.str());
+    tl::StatusOr<tl::Trace> again = tl::tryReadTextTrace(back);
+    if (!again.ok() || !(*again == *trace))
+        std::abort();
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    std::string bytes(reinterpret_cast<const char *>(data), size);
+    checkBinary(bytes);
+    checkText(bytes);
+    return 0;
+}
+
+std::vector<std::string>
+fuzzSeedInputs()
+{
+    tl::Trace trace;
+    for (int i = 0; i < 24; ++i) {
+        tl::BranchRecord record;
+        record.pc = 0x1000 + (i % 7) * 4;
+        record.target = record.pc + (i % 2 ? 16 : -16);
+        record.cls = tl::BranchClass(i % 5);
+        record.taken = i % 3 != 0;
+        record.instsSince = 1 + i % 9;
+        record.trap = i % 11 == 0;
+        trace.append(record);
+    }
+
+    std::vector<std::string> seeds;
+    std::ostringstream binary;
+    tl::writeBinaryTrace(trace, binary);
+    seeds.push_back(binary.str());
+    std::ostringstream text;
+    tl::writeTextTrace(trace, text);
+    seeds.push_back(text.str());
+    seeds.push_back("");
+    return seeds;
+}

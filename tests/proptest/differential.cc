@@ -1,0 +1,332 @@
+#include "differential.hh"
+
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "oracle/reference_two_level.hh"
+#include "predictor/automaton.hh"
+#include "trace/io.hh"
+#include "util/status.hh"
+
+namespace tl::proptest
+{
+
+DiffResult
+runDifferential(const TwoLevelConfig &config, const Trace &trace,
+                const DiffOptions &options)
+{
+    TwoLevelPredictor engine(config);
+    ReferenceTwoLevel oracle(config);
+    if (options.prepareEngine)
+        options.prepareEngine(engine);
+
+    DiffResult result;
+    std::uint64_t sinceSwitch = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const BranchRecord &record = trace[i];
+        if (!record.isConditional())
+            continue;
+        if (options.switchEvery && sinceSwitch == options.switchEvery) {
+            engine.contextSwitch();
+            oracle.contextSwitch();
+            sinceSwitch = 0;
+        }
+        BranchQuery query = BranchQuery::fromRecord(record);
+        bool fromEngine = engine.predict(query);
+        bool fromOracle = oracle.predict(query);
+        ++result.predictions;
+        ++sinceSwitch;
+        if (fromEngine != fromOracle) {
+            result.divergence =
+                Divergence{i, record, fromEngine, fromOracle};
+            return result;
+        }
+        engine.update(query, record.taken);
+        oracle.update(query, record.taken);
+    }
+    return result;
+}
+
+std::optional<ShrunkCase>
+shrinkTrace(const TwoLevelConfig &config, const Trace &trace,
+            const DiffOptions &options)
+{
+    DiffResult initial = runDifferential(config, trace, options);
+    if (!initial.divergence)
+        return std::nullopt;
+
+    ShrunkCase best;
+    best.attempts = 1;
+
+    // Everything after the divergence is irrelevant by construction.
+    auto truncated = [&](const Trace &source, std::size_t last) {
+        Trace out;
+        for (std::size_t i = 0; i <= last && i < source.size(); ++i)
+            out.append(source[i]);
+        return out;
+    };
+    best.trace = truncated(trace, initial.divergence->recordIndex);
+    best.divergence = *initial.divergence;
+
+    // ddmin: remove windows of halving size while the failure holds.
+    std::size_t chunk = best.trace.size() / 2;
+    while (chunk >= 1) {
+        bool removedAny = false;
+        std::size_t start = 0;
+        while (start < best.trace.size()) {
+            Trace candidate;
+            for (std::size_t i = 0; i < best.trace.size(); ++i) {
+                if (i < start || i >= start + chunk)
+                    candidate.append(best.trace[i]);
+            }
+            if (candidate.size() == best.trace.size() ||
+                candidate.empty()) {
+                start += chunk;
+                continue;
+            }
+            DiffResult attempt =
+                runDifferential(config, candidate, options);
+            ++best.attempts;
+            if (attempt.divergence) {
+                best.trace = truncated(
+                    candidate, attempt.divergence->recordIndex);
+                best.divergence = *attempt.divergence;
+                removedAny = true;
+                // Keep scanning from the same offset: the window now
+                // covers different records.
+            } else {
+                start += chunk;
+            }
+        }
+        if (!removedAny)
+            chunk /= 2;
+        else if (chunk > best.trace.size())
+            chunk = best.trace.size() / 2;
+    }
+    return best;
+}
+
+namespace
+{
+
+const char *
+historyScopeName(HistoryScope scope)
+{
+    switch (scope) {
+      case HistoryScope::Global:
+        return "Global";
+      case HistoryScope::PerSet:
+        return "PerSet";
+      case HistoryScope::PerAddress:
+        return "PerAddress";
+    }
+    return "?";
+}
+
+const char *
+patternScopeName(PatternScope scope)
+{
+    switch (scope) {
+      case PatternScope::Global:
+        return "Global";
+      case PatternScope::PerSet:
+        return "PerSet";
+      case PatternScope::PerAddress:
+        return "PerAddress";
+    }
+    return "?";
+}
+
+const char *
+speculativeName(SpeculativeMode mode)
+{
+    switch (mode) {
+      case SpeculativeMode::Off:
+        return "Off";
+      case SpeculativeMode::NoRepair:
+        return "NoRepair";
+      case SpeculativeMode::Reinitialize:
+        return "Reinitialize";
+      case SpeculativeMode::Repair:
+        return "Repair";
+    }
+    return "?";
+}
+
+Status
+parseUnsigned(const std::string &value, std::uint64_t &out)
+{
+    char *end = nullptr;
+    out = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0') {
+        return invalidArgumentError("tlrepro: bad number '%s'",
+                                    value.c_str());
+    }
+    return Status();
+}
+
+Status
+applyConfigKey(Repro &repro, const std::string &key,
+               const std::string &value)
+{
+    TwoLevelConfig &config = repro.config;
+    std::uint64_t number = 0;
+    if (key == "automaton") {
+        if (!Automaton::isKnown(value)) {
+            return invalidArgumentError(
+                "tlrepro: unknown automaton '%s'", value.c_str());
+        }
+        config.automaton = &Automaton::byName(value);
+        return Status();
+    }
+    if (key == "historyScope") {
+        if (value == "Global")
+            config.historyScope = HistoryScope::Global;
+        else if (value == "PerSet")
+            config.historyScope = HistoryScope::PerSet;
+        else if (value == "PerAddress")
+            config.historyScope = HistoryScope::PerAddress;
+        else
+            return invalidArgumentError(
+                "tlrepro: bad historyScope '%s'", value.c_str());
+        return Status();
+    }
+    if (key == "patternScope") {
+        if (value == "Global")
+            config.patternScope = PatternScope::Global;
+        else if (value == "PerSet")
+            config.patternScope = PatternScope::PerSet;
+        else if (value == "PerAddress")
+            config.patternScope = PatternScope::PerAddress;
+        else
+            return invalidArgumentError(
+                "tlrepro: bad patternScope '%s'", value.c_str());
+        return Status();
+    }
+    if (key == "bhtKind") {
+        if (value == "Ideal")
+            config.bhtKind = BhtKind::Ideal;
+        else if (value == "Practical")
+            config.bhtKind = BhtKind::Practical;
+        else
+            return invalidArgumentError("tlrepro: bad bhtKind '%s'",
+                                        value.c_str());
+        return Status();
+    }
+    if (key == "speculative") {
+        if (value == "Off")
+            config.speculative = SpeculativeMode::Off;
+        else if (value == "NoRepair")
+            config.speculative = SpeculativeMode::NoRepair;
+        else if (value == "Reinitialize")
+            config.speculative = SpeculativeMode::Reinitialize;
+        else if (value == "Repair")
+            config.speculative = SpeculativeMode::Repair;
+        else
+            return invalidArgumentError(
+                "tlrepro: bad speculative '%s'", value.c_str());
+        return Status();
+    }
+    if (key == "indexMode") {
+        if (value == "Concat")
+            config.indexMode = IndexMode::Concat;
+        else if (value == "Xor")
+            config.indexMode = IndexMode::Xor;
+        else
+            return invalidArgumentError("tlrepro: bad indexMode '%s'",
+                                        value.c_str());
+        return Status();
+    }
+    TL_RETURN_IF_ERROR(parseUnsigned(value, number));
+    if (key == "historyBits")
+        config.historyBits = unsigned(number);
+    else if (key == "bhtEntries")
+        config.bht.numEntries = std::size_t(number);
+    else if (key == "bhtAssoc")
+        config.bht.assoc = unsigned(number);
+    else if (key == "historySetBits")
+        config.historySetBits = unsigned(number);
+    else if (key == "patternSetBits")
+        config.patternSetBits = unsigned(number);
+    else if (key == "switchEvery")
+        repro.switchEvery = number;
+    else
+        return invalidArgumentError("tlrepro: unknown key '%s'",
+                                    key.c_str());
+    return Status();
+}
+
+} // namespace
+
+void
+writeTlrepro(std::ostream &out, const TwoLevelConfig &config,
+             std::uint64_t switchEvery, const Trace &trace)
+{
+    out << "# tlrepro v1\n";
+    out << "# config:"
+        << " historyScope=" << historyScopeName(config.historyScope)
+        << " patternScope=" << patternScopeName(config.patternScope)
+        << " historyBits=" << config.historyBits
+        << " automaton=" << config.automaton->name()
+        << " bhtKind="
+        << (config.bhtKind == BhtKind::Ideal ? "Ideal" : "Practical")
+        << " bhtEntries=" << config.bht.numEntries
+        << " bhtAssoc=" << config.bht.assoc
+        << " speculative=" << speculativeName(config.speculative)
+        << " indexMode="
+        << (config.indexMode == IndexMode::Concat ? "Concat" : "Xor")
+        << " historySetBits=" << config.historySetBits
+        << " patternSetBits=" << config.patternSetBits
+        << " switchEvery=" << switchEvery << "\n";
+    writeTextTrace(trace, out);
+}
+
+StatusOr<Repro>
+tryReadTlrepro(std::istream &in)
+{
+    std::ostringstream buffered;
+    buffered << in.rdbuf();
+    std::string text = buffered.str();
+
+    // Locate the "# config:" comment line.
+    std::istringstream lines(text);
+    std::string line;
+    std::string configLine;
+    while (std::getline(lines, line)) {
+        if (line.rfind("# config:", 0) == 0) {
+            configLine = line.substr(std::string("# config:").size());
+            break;
+        }
+    }
+    if (configLine.empty()) {
+        return invalidArgumentError(
+            "tlrepro: no '# config:' line found");
+    }
+
+    Repro repro;
+    std::istringstream tokens(configLine);
+    std::string token;
+    while (tokens >> token) {
+        std::size_t eq = token.find('=');
+        if (eq == std::string::npos) {
+            return invalidArgumentError("tlrepro: bad token '%s'",
+                                        token.c_str());
+        }
+        TL_RETURN_IF_ERROR(applyConfigKey(
+            repro, token.substr(0, eq), token.substr(eq + 1)));
+    }
+    TL_RETURN_IF_ERROR(repro.config.check());
+
+    // The record lines are the standard text trace format; its reader
+    // skips every comment line, including ours.
+    std::istringstream records(text);
+    StatusOr<Trace> trace = tryReadTextTrace(records);
+    TL_RETURN_IF_ERROR(trace.status());
+    repro.trace = *std::move(trace);
+    return repro;
+}
+
+} // namespace tl::proptest

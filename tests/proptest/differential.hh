@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The differential runner that locks the optimized TwoLevelPredictor
+ * to the naive oracle (src/oracle/) prediction by prediction, the
+ * ddmin-style shrinker that reduces a failing (config, trace) pair to
+ * a minimal counterexample, and the `.tlrepro` replay format that
+ * stores one.
+ *
+ * A `.tlrepro` file is a text trace (trace/io.hh text format) whose
+ * leading comment lines carry the configuration:
+ *
+ *     # tlrepro v1
+ *     # config: historyScope=PerAddress patternScope=Global ...
+ *     0x1000 0xff0 cond T 3 .
+ *     ...
+ *
+ * so the records are also loadable with any text-trace tool.
+ */
+
+#ifndef TL_TESTS_PROPTEST_DIFFERENTIAL_HH
+#define TL_TESTS_PROPTEST_DIFFERENTIAL_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+
+#include "predictor/two_level.hh"
+#include "trace/trace.hh"
+#include "util/status_or.hh"
+
+namespace tl::proptest
+{
+
+/** Knobs of one differential run. */
+struct DiffOptions
+{
+    /**
+     * Context-switch both predictors every N conditional branches;
+     * 0 disables switching.
+     */
+    std::uint64_t switchEvery = 0;
+
+    /**
+     * Applied to the freshly constructed engine before the run (and
+     * again on every shrink attempt) — the hook the fault-injection
+     * tests use to corrupt one PHT entry via
+     * TwoLevelPredictor::injectFault().
+     */
+    std::function<void(TwoLevelPredictor &)> prepareEngine;
+};
+
+/** First disagreement between engine and oracle. */
+struct Divergence
+{
+    std::size_t recordIndex = 0; //!< index into the trace
+    BranchRecord record;
+    bool enginePrediction = false;
+    bool oraclePrediction = false;
+};
+
+/** Outcome of a differential run. */
+struct DiffResult
+{
+    /** Empty when engine and oracle agreed on every prediction. */
+    std::optional<Divergence> divergence;
+
+    /** Conditional branches compared (stops at the divergence). */
+    std::uint64_t predictions = 0;
+};
+
+/**
+ * Run @p trace through a fresh engine and a fresh oracle built from
+ * @p config, comparing every prediction. Non-conditional records are
+ * skipped (the simulator never routes them to direction predictors).
+ */
+DiffResult runDifferential(const TwoLevelConfig &config,
+                           const Trace &trace,
+                           const DiffOptions &options = {});
+
+/** A failing pair reduced by shrinkTrace(). */
+struct ShrunkCase
+{
+    Trace trace;           //!< minimal failing trace
+    Divergence divergence; //!< divergence of the shrunk trace
+    std::size_t attempts = 0; //!< differential runs spent shrinking
+};
+
+/**
+ * Reduce a failing trace to a (locally) minimal counterexample:
+ * truncate everything after the divergence, then delete chunks of
+ * halving size while the divergence persists (ddmin). @p trace must
+ * actually fail under (@p config, @p options); returns nullopt if it
+ * does not.
+ */
+std::optional<ShrunkCase> shrinkTrace(const TwoLevelConfig &config,
+                                      const Trace &trace,
+                                      const DiffOptions &options = {});
+
+/** A parsed `.tlrepro` artifact. */
+struct Repro
+{
+    TwoLevelConfig config;
+    std::uint64_t switchEvery = 0;
+    Trace trace;
+};
+
+/** Write a replayable `.tlrepro` artifact to @p out. */
+void writeTlrepro(std::ostream &out, const TwoLevelConfig &config,
+                  std::uint64_t switchEvery, const Trace &trace);
+
+/**
+ * Parse a `.tlrepro` artifact. Non-OK (InvalidArgument) on a missing
+ * or malformed config line, unknown keys, or malformed records.
+ */
+[[nodiscard]] StatusOr<Repro> tryReadTlrepro(std::istream &in);
+
+} // namespace tl::proptest
+
+#endif // TL_TESTS_PROPTEST_DIFFERENTIAL_HH

@@ -1,0 +1,232 @@
+#include "generators.hh"
+
+#include <string>
+#include <vector>
+
+#include "predictor/automaton.hh"
+
+namespace tl::proptest
+{
+namespace
+{
+
+const char *const automatonNames[] = {"LT", "A1", "A2", "A3", "A4"};
+
+HistoryScope
+randomHistoryScope(Rng &rng)
+{
+    switch (rng.nextBelow(3)) {
+      case 0:
+        return HistoryScope::Global;
+      case 1:
+        return HistoryScope::PerSet;
+      default:
+        return HistoryScope::PerAddress;
+    }
+}
+
+PatternScope
+randomPatternScope(Rng &rng)
+{
+    switch (rng.nextBelow(3)) {
+      case 0:
+        return PatternScope::Global;
+      case 1:
+        return PatternScope::PerSet;
+      default:
+        return PatternScope::PerAddress;
+    }
+}
+
+unsigned
+randomHistoryBits(Rng &rng)
+{
+    // Skew short so the pattern tables actually train inside a few
+    // thousand branches, but keep the k=1 and k=18 edges reachable.
+    static const unsigned widths[] = {1,  1, 2, 2, 3, 3, 4, 4, 5,
+                                      6,  7, 8, 8, 10, 12, 18};
+    return widths[rng.nextBelow(std::size(widths))];
+}
+
+} // namespace
+
+TwoLevelConfig
+randomConfig(Rng &rng)
+{
+    TwoLevelConfig config;
+    config.historyScope = randomHistoryScope(rng);
+    config.patternScope = randomPatternScope(rng);
+    config.historyBits = randomHistoryBits(rng);
+    config.automaton = &Automaton::byName(
+        automatonNames[rng.nextBelow(std::size(automatonNames))]);
+
+    config.bhtKind =
+        rng.nextBool() ? BhtKind::Practical : BhtKind::Ideal;
+    std::size_t entries = std::size_t{16}
+                          << rng.nextBelow(6); // 16 .. 512
+    unsigned assoc = 1u << rng.nextBelow(4);   // 1 .. 8
+    if (assoc > entries)
+        assoc = static_cast<unsigned>(entries);
+    config.bht = BhtGeometry{entries, assoc};
+
+    switch (rng.nextBelow(4)) {
+      case 0:
+        config.speculative = SpeculativeMode::Off;
+        break;
+      case 1:
+        config.speculative = SpeculativeMode::NoRepair;
+        break;
+      case 2:
+        config.speculative = SpeculativeMode::Reinitialize;
+        break;
+      default:
+        config.speculative = SpeculativeMode::Repair;
+        break;
+    }
+
+    config.historySetBits = 1 + unsigned(rng.nextBelow(6));
+    config.patternSetBits = 1 + unsigned(rng.nextBelow(6));
+
+    // Long histories with per-address tables would allocate 2^k
+    // states per BHT slot in the engine; keep those points global.
+    if (config.historyBits > 12)
+        config.patternScope = PatternScope::Global;
+
+    config.indexMode = (config.patternScope == PatternScope::Global &&
+                        rng.nextBool(0.25))
+                           ? IndexMode::Xor
+                           : IndexMode::Concat;
+    return config;
+}
+
+namespace
+{
+
+/** Behaviour model of one static branch site. */
+struct SiteModel
+{
+    enum class Kind
+    {
+        Bias,
+        Loop,
+        Markov,
+        Pattern
+    };
+
+    std::uint64_t pc = 0;
+    Kind kind = Kind::Bias;
+
+    double takenProbability = 0.5; // Bias
+    unsigned period = 4;           // Loop
+    unsigned phase = 0;
+    double pStayTaken = 0.9; // Markov
+    double pStayNotTaken = 0.9;
+    bool last = true;
+    std::string pattern = "T"; // Pattern
+    std::size_t position = 0;
+
+    bool
+    step(Rng &rng)
+    {
+        switch (kind) {
+          case Kind::Bias:
+            return rng.nextBool(takenProbability);
+          case Kind::Loop: {
+            bool taken = phase + 1 < period;
+            phase = (phase + 1) % period;
+            return taken;
+          }
+          case Kind::Markov:
+            last = last ? rng.nextBool(pStayTaken)
+                        : !rng.nextBool(pStayNotTaken);
+            return last;
+          case Kind::Pattern: {
+            bool taken = pattern[position] == 'T';
+            position = (position + 1) % pattern.size();
+            return taken;
+          }
+        }
+        return true;
+    }
+};
+
+SiteModel
+randomSite(Rng &rng, std::uint64_t pc)
+{
+    SiteModel site;
+    site.pc = pc;
+    switch (rng.nextBelow(4)) {
+      case 0:
+        site.kind = SiteModel::Kind::Bias;
+        // Mix near-deterministic and coin-flip sites.
+        site.takenProbability =
+            rng.nextBool() ? rng.nextDouble()
+                           : (rng.nextBool() ? 0.98 : 0.02);
+        break;
+      case 1:
+        site.kind = SiteModel::Kind::Loop;
+        site.period = 2 + unsigned(rng.nextBelow(7));
+        break;
+      case 2:
+        site.kind = SiteModel::Kind::Markov;
+        site.pStayTaken = 0.5 + rng.nextDouble() / 2;
+        site.pStayNotTaken = 0.5 + rng.nextDouble() / 2;
+        break;
+      default: {
+        site.kind = SiteModel::Kind::Pattern;
+        std::size_t length = 2 + rng.nextBelow(8);
+        site.pattern.clear();
+        for (std::size_t i = 0; i < length; ++i)
+            site.pattern.push_back(rng.nextBool() ? 'T' : 'N');
+        break;
+      }
+    }
+    return site;
+}
+
+} // namespace
+
+Trace
+randomTrace(Rng &rng, const TwoLevelConfig &config,
+            std::size_t records)
+{
+    std::size_t numSites = 1 + rng.nextBelow(12);
+    bool alias = rng.nextBool();
+    std::uint64_t base = 0x1000 + rng.nextBelow(64) * 4;
+    // Stride that keeps every site in BHT set 0: sets() instruction
+    // slots apart (pc advances in 4-byte units).
+    std::uint64_t aliasStride = config.bht.sets() * 4;
+
+    std::vector<SiteModel> sites;
+    sites.reserve(numSites);
+    for (std::size_t i = 0; i < numSites; ++i) {
+        std::uint64_t pc =
+            alias ? base + i * aliasStride
+                  : base + rng.nextBelow(4096) * 4;
+        sites.push_back(randomSite(rng, pc));
+    }
+
+    Trace trace;
+    for (std::size_t i = 0; i < records; ++i) {
+        SiteModel &site = sites[rng.nextBelow(sites.size())];
+        BranchRecord record;
+        record.pc = site.pc;
+        record.target =
+            site.pc + (rng.nextBool() ? 16 : std::uint64_t(-16));
+        record.cls = BranchClass::Conditional;
+        record.taken = site.step(rng);
+        record.instsSince = 1 + std::uint32_t(rng.nextBelow(10));
+        trace.append(record);
+    }
+    return trace;
+}
+
+std::uint64_t
+randomSwitchInterval(Rng &rng)
+{
+    if (rng.nextBool(0.6))
+        return 0;
+    return 16 + rng.nextBelow(497);
+}
+
+} // namespace tl::proptest

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Seeded generators for the property-based differential tests:
+ * random TwoLevelConfig points covering the whole design space the
+ * engine accepts, and synthetic traces mixing biased, loopy,
+ * correlated (Markov) and pattern-following branch sites over pc
+ * pools chosen to alias in the practical BHT.
+ *
+ * Everything is a pure function of the Rng passed in, so a failing
+ * (config, trace) pair is reproducible from its seed alone.
+ */
+
+#ifndef TL_TESTS_PROPTEST_GENERATORS_HH
+#define TL_TESTS_PROPTEST_GENERATORS_HH
+
+#include <cstdint>
+
+#include "predictor/two_level.hh"
+#include "trace/trace.hh"
+#include "util/random.hh"
+
+namespace tl::proptest
+{
+
+/**
+ * Draw a random valid TwoLevelConfig. All three history scopes,
+ * both BHT kinds, the five automata, all speculative modes and both
+ * index modes are reachable; history lengths skew short (fast
+ * convergence) but include the k=1 and k=18 edge widths. The result
+ * always passes TwoLevelConfig::check().
+ */
+TwoLevelConfig randomConfig(Rng &rng);
+
+/**
+ * Generate a conditional-branch trace of @p records records.
+ *
+ * Sites are drawn from a pool mixing independent-bias, loop, Markov
+ * and fixed-pattern behaviours. With probability ~1/2 the pool's
+ * addresses are strided so that every site falls into the same set of
+ * @p config's practical BHT (adversarial aliasing: constant
+ * evictions, first-result fills and PAp slot takeovers).
+ */
+Trace randomTrace(Rng &rng, const TwoLevelConfig &config,
+                  std::size_t records);
+
+/**
+ * Context-switch cadence for a differential run: usually 0 (off),
+ * sometimes every 16..512 conditional branches.
+ */
+std::uint64_t randomSwitchInterval(Rng &rng);
+
+} // namespace tl::proptest
+
+#endif // TL_TESTS_PROPTEST_GENERATORS_HH

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Pins the naive oracle (src/oracle/) to the optimized engine:
+ * exhaustive automaton agreement over every (state, outcome) pair,
+ * and record-by-record agreement on structured traces across every
+ * named configuration, both speculative-history modes of interest,
+ * XOR indexing, and the k=1 / k=18 edge history widths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "differential.hh"
+#include "oracle/oracle_automaton.hh"
+#include "oracle/reference_two_level.hh"
+#include "predictor/automaton.hh"
+#include "predictor/two_level.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(OracleAutomaton, AgreesWithEngineTablesExhaustively)
+{
+    for (const char *name : {"LT", "A1", "A2", "A3", "A4"}) {
+        SCOPED_TRACE(name);
+        const Automaton &engine = Automaton::byName(name);
+        StatusOr<ReferenceAutomaton> reference =
+            ReferenceAutomaton::tryByName(name);
+        ASSERT_TRUE(reference.ok()) << reference.status().message();
+
+        EXPECT_EQ(int(engine.numStates()), reference->numStates());
+        EXPECT_EQ(int(engine.initState()), reference->initState());
+        for (unsigned state = 0; state < engine.numStates(); ++state) {
+            EXPECT_EQ(engine.predict(Automaton::State(state)),
+                      reference->predictTaken(int(state)))
+                << "state " << state;
+            for (bool taken : {false, true}) {
+                EXPECT_EQ(
+                    int(engine.next(Automaton::State(state), taken)),
+                    reference->nextState(int(state), taken))
+                    << "state " << state << " taken " << taken;
+            }
+        }
+    }
+}
+
+TEST(OracleAutomaton, RejectsUnknownMachines)
+{
+    EXPECT_FALSE(ReferenceAutomaton::tryByName("SAT3").ok());
+    EXPECT_FALSE(ReferenceAutomaton::tryByName("").ok());
+    EXPECT_TRUE(ReferenceAutomaton::tryByName("lt").ok());
+    EXPECT_TRUE(ReferenceAutomaton::tryByName("a4").ok());
+}
+
+TEST(ReferenceTwoLevel, TryMakeRejectsGenericAutomata)
+{
+    static const Automaton sat3 = Automaton::saturatingCounter(3);
+    TwoLevelConfig config = TwoLevelConfig::gag(6);
+    config.automaton = &sat3;
+    EXPECT_FALSE(ReferenceTwoLevel::tryMake(config).ok());
+    EXPECT_TRUE(
+        ReferenceTwoLevel::tryMake(TwoLevelConfig::gag(6)).ok());
+}
+
+TEST(ReferenceTwoLevel, RejectsInvalidConfig)
+{
+    TwoLevelConfig config = TwoLevelConfig::gag(0);
+    EXPECT_FALSE(ReferenceTwoLevel::tryMake(config).ok());
+}
+
+/** A structured mix: loops, bias, and a repeating pattern. */
+Trace
+structuredTrace(std::uint64_t count)
+{
+    std::vector<std::unique_ptr<TraceSource>> children;
+    children.push_back(
+        std::make_unique<LoopSource>(0x1000, 4, count));
+    children.push_back(std::make_unique<BiasedSource>(
+        std::vector<BiasedSource::Site>{{0x2000, 0.9},
+                                        {0x3000, 0.15},
+                                        {0x2400, 0.5}},
+        count, 42));
+    children.push_back(std::make_unique<PatternSource>(
+        0x1000 + 64 * 4, "TTNTN", count));
+    InterleaveSource interleave(std::move(children));
+    Trace trace;
+    trace.appendAll(interleave);
+    return trace;
+}
+
+void
+expectAgreement(const TwoLevelConfig &config,
+                std::uint64_t switchEvery = 0)
+{
+    SCOPED_TRACE(config.schemeName());
+    proptest::DiffOptions options;
+    options.switchEvery = switchEvery;
+    proptest::DiffResult result = proptest::runDifferential(
+        config, structuredTrace(800), options);
+    EXPECT_FALSE(result.divergence.has_value())
+        << "diverged at record "
+        << result.divergence->recordIndex << ": engine="
+        << result.divergence->enginePrediction
+        << " oracle=" << result.divergence->oraclePrediction;
+    EXPECT_GT(result.predictions, 2000u);
+}
+
+TEST(ReferenceTwoLevel, MatchesEngineOnNamedConfigurations)
+{
+    expectAgreement(TwoLevelConfig::gag(6));
+    expectAgreement(TwoLevelConfig::pag(6, {64, 4}));
+    expectAgreement(TwoLevelConfig::pagIdeal(6));
+    expectAgreement(TwoLevelConfig::pap(4, {64, 2}));
+    expectAgreement(TwoLevelConfig::papIdeal(4));
+    expectAgreement(TwoLevelConfig::sag(5, 3));
+    expectAgreement(TwoLevelConfig::sas(4, 2));
+}
+
+TEST(ReferenceTwoLevel, MatchesEngineAtEdgeHistoryWidths)
+{
+    // k=1 and k=18 stress the first-result fill (a 1-bit register is
+    // all fill) and the widest supported pattern space.
+    expectAgreement(TwoLevelConfig::gag(1));
+    expectAgreement(TwoLevelConfig::pag(1, {32, 2}));
+    expectAgreement(TwoLevelConfig::papIdeal(1));
+    expectAgreement(TwoLevelConfig::gag(18));
+    expectAgreement(TwoLevelConfig::pagIdeal(18));
+}
+
+TEST(ReferenceTwoLevel, MatchesEngineUnderContextSwitches)
+{
+    expectAgreement(TwoLevelConfig::gag(6), 64);
+    expectAgreement(TwoLevelConfig::pag(6, {64, 4}), 64);
+    expectAgreement(TwoLevelConfig::pagIdeal(6), 48);
+    expectAgreement(TwoLevelConfig::pap(4, {64, 2}), 33);
+    expectAgreement(TwoLevelConfig::sas(4, 2), 100);
+}
+
+TEST(ReferenceTwoLevel, MatchesEngineWithSpeculativeHistory)
+{
+    for (SpeculativeMode mode :
+         {SpeculativeMode::NoRepair, SpeculativeMode::Reinitialize,
+          SpeculativeMode::Repair}) {
+        TwoLevelConfig config = TwoLevelConfig::pag(6, {64, 4});
+        config.speculative = mode;
+        expectAgreement(config);
+        TwoLevelConfig global = TwoLevelConfig::gag(8);
+        global.speculative = mode;
+        expectAgreement(global, 75);
+    }
+}
+
+TEST(ReferenceTwoLevel, MatchesEngineWithXorIndexing)
+{
+    TwoLevelConfig config = TwoLevelConfig::gag(8);
+    config.indexMode = IndexMode::Xor;
+    expectAgreement(config);
+    TwoLevelConfig perAddress = TwoLevelConfig::pag(7, {64, 4});
+    perAddress.indexMode = IndexMode::Xor;
+    expectAgreement(perAddress, 90);
+}
+
+TEST(ReferenceTwoLevel, PerSetAutomataVariants)
+{
+    for (const char *name : {"LT", "A1", "A3", "A4"}) {
+        TwoLevelConfig config = TwoLevelConfig::sas(4, 3);
+        config.automaton = &Automaton::byName(name);
+        expectAgreement(config);
+    }
+}
+
+TEST(ReferenceTwoLevel, ValidateIsOkAfterUse)
+{
+    TwoLevelConfig config = TwoLevelConfig::pap(4, {32, 2});
+    ReferenceTwoLevel oracle(config);
+    Trace trace = structuredTrace(200);
+    for (const BranchRecord &record : trace.records()) {
+        BranchQuery query = BranchQuery::fromRecord(record);
+        oracle.predict(query);
+        oracle.update(query, record.taken);
+    }
+    EXPECT_TRUE(oracle.validate().ok());
+    oracle.contextSwitch();
+    EXPECT_TRUE(oracle.validate().ok());
+    oracle.reset();
+    EXPECT_TRUE(oracle.validate().ok());
+}
+
+TEST(ReferenceTwoLevel, NameMarksTheWitness)
+{
+    ReferenceTwoLevel oracle(TwoLevelConfig::gag(4));
+    EXPECT_EQ(oracle.name(),
+              "Oracle[" + TwoLevelConfig::gag(4).schemeName() + "]");
+}
+
+} // namespace
+} // namespace tl

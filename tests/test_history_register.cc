@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+
 #include "predictor/history_register.hh"
+#include "util/random.hh"
 
 namespace tl
 {
@@ -80,6 +83,157 @@ TEST_P(HistoryRegisterWidth, ValueStaysWithinWidth)
 INSTANTIATE_TEST_SUITE_P(Widths, HistoryRegisterWidth,
                          ::testing::Values(1u, 2u, 6u, 12u, 18u, 24u,
                                            30u));
+
+/**
+ * Naive witness for the shift register: a deque of outcome bits,
+ * oldest at the front, whose value is read off bit by bit. The
+ * register under test must agree with it operation for operation.
+ */
+class DequeModel
+{
+  public:
+    explicit DequeModel(unsigned kBits) { fill(kBits, true); }
+
+    void
+    fill(unsigned kBits, bool taken)
+    {
+        bits.assign(kBits, taken);
+    }
+
+    void
+    shiftIn(bool taken)
+    {
+        bits.pop_front();
+        bits.push_back(taken);
+    }
+
+    void
+    set(unsigned kBits, std::uint64_t value)
+    {
+        bits.clear();
+        for (unsigned i = 0; i < kBits; ++i)
+            bits.push_front((value >> i) & 1);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        std::uint64_t pattern = 0;
+        for (bool bit : bits)
+            pattern = pattern << 1 | (bit ? 1 : 0);
+        return pattern;
+    }
+
+  private:
+    std::deque<bool> bits;
+};
+
+/**
+ * Exhaustive one-step check for every small width: from every one of
+ * the 2^k reachable states, both outcomes must transition exactly as
+ * the deque model says. Together with the sequence tests below this
+ * covers the full transition relation for k <= 8.
+ */
+TEST(HistoryRegisterExhaustive, OneStepMatchesDequeModelForSmallK)
+{
+    for (unsigned k = 1; k <= 8; ++k) {
+        for (std::uint64_t state = 0; state < (1ull << k); ++state) {
+            for (bool taken : {false, true}) {
+                HistoryRegister hr(k);
+                hr.set(state);
+                DequeModel model(k);
+                model.set(k, state);
+                hr.shiftIn(taken);
+                model.shiftIn(taken);
+                EXPECT_EQ(hr.value(), model.value())
+                    << "k=" << k << " state=" << state
+                    << " taken=" << taken;
+            }
+        }
+    }
+}
+
+/**
+ * For k=1 every outcome sequence up to length 12 is enumerable:
+ * walk all of them (the sequence is the bits of the enumeration
+ * index) and demand lockstep agreement with the model after every
+ * shift. k=1 is the degenerate width where the whole register is
+ * the last outcome, a frequent source of off-by-one shifts.
+ */
+TEST(HistoryRegisterExhaustive, AllSequencesAgreeAtKOne)
+{
+    for (unsigned length = 1; length <= 12; ++length) {
+        for (std::uint64_t seq = 0; seq < (1ull << length); ++seq) {
+            HistoryRegister hr(1);
+            DequeModel model(1);
+            for (unsigned i = 0; i < length; ++i) {
+                bool taken = (seq >> i) & 1;
+                hr.shiftIn(taken);
+                model.shiftIn(taken);
+                ASSERT_EQ(hr.value(), model.value())
+                    << "len=" << length << " seq=" << seq
+                    << " step=" << i;
+            }
+            EXPECT_EQ(hr.value(), (seq >> (length - 1)) & 1);
+        }
+    }
+}
+
+/**
+ * The paper's largest configuration uses k=18 (Section 4);
+ * interleave every mutator with the deque model over a long random
+ * stream so fill/reset/set interplay is exercised at full width.
+ */
+TEST(HistoryRegisterExhaustive, EighteenBitAgreesWithModelUnderAllOps)
+{
+    HistoryRegister hr(18);
+    DequeModel model(18);
+    Rng rng(0x18b175);
+    for (int i = 0; i < 100000; ++i) {
+        switch (rng.nextBelow(8)) {
+          case 0: {
+            bool taken = rng.nextBool(0.5);
+            hr.fill(taken);
+            model.fill(18, taken);
+            break;
+          }
+          case 1:
+            hr.resetAllOnes();
+            model.fill(18, true);
+            break;
+          case 2: {
+            std::uint64_t raw = rng.nextU64();
+            hr.set(raw);
+            model.set(18, raw & mask(18));
+            break;
+          }
+          default: {
+            bool taken = rng.nextBool(0.6);
+            hr.shiftIn(taken);
+            model.shiftIn(taken);
+            break;
+          }
+        }
+        ASSERT_EQ(hr.value(), model.value()) << "op " << i;
+    }
+}
+
+/** First-result extension after a partial warm-up, per Section 4.2. */
+TEST(HistoryRegisterExhaustive, FillOverridesPartialWarmup)
+{
+    for (unsigned k : {1u, 2u, 5u, 18u}) {
+        HistoryRegister hr(k);
+        hr.shiftIn(false);
+        hr.shiftIn(true);
+        hr.fill(false);
+        EXPECT_EQ(hr.value(), 0u) << "k=" << k;
+        hr.fill(true);
+        EXPECT_EQ(hr.value(), mask(k)) << "k=" << k;
+        // After filling, shifts resume from the extended state.
+        hr.shiftIn(false);
+        EXPECT_EQ(hr.value(), mask(k) ^ 1) << "k=" << k;
+    }
+}
 
 TEST(HistoryRegisterDeath, RejectsBadLength)
 {

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 
@@ -78,6 +79,87 @@ TEST(Json, ArraysAndNestingPrettyPrint)
     EXPECT_EQ(object.dump(0), "{\"list\": [1, \"two\"]}");
     EXPECT_EQ(object.dump(2),
               "{\n  \"list\": [\n    1,\n    \"two\"\n  ]\n}");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNullInsideContainers)
+{
+    Json array = Json::array();
+    array.push(Json::number(-std::numeric_limits<double>::infinity()));
+    array.push(Json::number(1.5));
+    Json object = Json::object();
+    object.set("bad",
+               Json::number(std::numeric_limits<double>::quiet_NaN()));
+    object.set("vals", std::move(array));
+    // A consumer must always get parseable JSON, never "nan"/"inf"
+    // bare words.
+    EXPECT_EQ(object.dump(0),
+              "{\"bad\": null, \"vals\": [null, 1.5]}");
+}
+
+TEST(Json, IntegersAbove2To53SerializeExactly)
+{
+    // Doubles lose integer precision past 2^53; the dedicated
+    // integer kinds must not round-trip through double.
+    const std::uint64_t above = (1ull << 53) + 1;
+    EXPECT_EQ(Json::number(above).dump(0), "9007199254740993");
+    EXPECT_EQ(Json::number(
+                  std::numeric_limits<std::uint64_t>::max())
+                  .dump(0),
+              "18446744073709551615");
+    EXPECT_EQ(Json::number(std::numeric_limits<std::int64_t>::min())
+                  .dump(0),
+              "-9223372036854775808");
+    EXPECT_EQ(Json::number(std::numeric_limits<std::int64_t>::max())
+                  .dump(0),
+              "9223372036854775807");
+    // The same magnitude as a double is allowed to round: this is
+    // exactly the trap the integer overloads exist to avoid.
+    EXPECT_EQ(Json::number(double(above)).dump(0),
+              "9007199254740992");
+}
+
+TEST(Json, DeepNestingSerializesWithoutTruncation)
+{
+    constexpr int depth = 1000;
+    Json value = Json::number(std::uint64_t{7});
+    for (int i = 0; i < depth; ++i) {
+        Json wrapper = Json::array();
+        wrapper.push(std::move(value));
+        value = std::move(wrapper);
+    }
+    std::string compact = value.dump(0);
+    std::string expected;
+    expected.append(depth, '[');
+    expected += "7";
+    expected.append(depth, ']');
+    EXPECT_EQ(compact, expected);
+    // Pretty printing recurses once per level too; it must survive
+    // the same depth and stay balanced.
+    std::string pretty = value.dump(2);
+    EXPECT_EQ(std::count(pretty.begin(), pretty.end(), '['),
+              depth);
+    EXPECT_EQ(std::count(pretty.begin(), pretty.end(), ']'),
+              depth);
+}
+
+TEST(Json, DeepObjectNestingKeepsKeysQuoted)
+{
+    constexpr int depth = 200;
+    Json value = Json::str("leaf");
+    for (int i = 0; i < depth; ++i) {
+        Json wrapper = Json::object();
+        wrapper.set("k", std::move(value));
+        value = std::move(wrapper);
+    }
+    std::string compact = value.dump(0);
+    std::string unit = "{\"k\": ";
+    std::size_t count = 0;
+    for (std::size_t pos = compact.find(unit);
+         pos != std::string::npos;
+         pos = compact.find(unit, pos + 1)) {
+        ++count;
+    }
+    EXPECT_EQ(count, std::size_t(depth));
 }
 
 TEST(Json, EmptyContainers)

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -216,6 +217,65 @@ TEST(Sweep, CustomFactoryColumn)
     ResultSet results = runner.run(column);
     EXPECT_EQ(results.scheme(), "my-column");
     EXPECT_EQ(results.results().size(), 9u);
+}
+
+TEST(Sweep, WorkerExceptionCancelsGridWithoutDeadlock)
+{
+    // One poisoned cell mid-grid: the factory for the second column
+    // throws on its fourth call. run() must propagate the exception
+    // to the caller in both execution modes, and — the regression
+    // this guards — the pool must not deadlock waiting on the failed
+    // cell. The modes legitimately differ in how much of the grid
+    // executes: the serial loop is fail-fast, while parallelFor
+    // blocks until every queued cell finished and then rethrows the
+    // first failure in index order, so every healthy cell still
+    // built its predictor.
+    for (unsigned threads : {0u, 4u}) {
+        std::atomic<std::size_t> built{0};
+        std::atomic<std::size_t> calls{0};
+
+        RunOptions options;
+        options.threads = threads;
+        options.branchBudget = 600;
+        SweepRunner runner(options);
+
+        SweepSpec healthy;
+        healthy.displayName = "healthy";
+        healthy.make = [&built] {
+            ++built;
+            return std::make_unique<TwoLevelPredictor>(
+                TwoLevelConfig::gag(6));
+        };
+        SweepSpec poisoned;
+        poisoned.displayName = "poisoned";
+        poisoned.make = [&built, &calls]()
+            -> std::unique_ptr<BranchPredictor> {
+            if (++calls == 4)
+                throw std::runtime_error("factory failed mid-grid");
+            ++built;
+            return std::make_unique<TwoLevelPredictor>(
+                TwoLevelConfig::gag(6));
+        };
+        std::vector<SweepSpec> columns = {healthy, poisoned, healthy};
+
+        EXPECT_THROW(runner.run(columns), std::runtime_error)
+            << "threads=" << threads;
+        if (threads == 0) {
+            // Fail-fast: column 0 (9 cells) plus the poisoned
+            // column's three good cells ran before the throw.
+            EXPECT_EQ(built.load(), 12u);
+            EXPECT_EQ(calls.load(), 4u);
+        } else {
+            // Run-to-completion: every cell but the poisoned one —
+            // 3 columns x 9 workloads minus 1.
+            EXPECT_EQ(built.load(), 26u);
+            EXPECT_EQ(calls.load(), 9u);
+        }
+
+        // The runner must stay usable after a failed grid.
+        ResultSet retry = runner.run(sweepSpec("AlwaysTaken"));
+        EXPECT_EQ(retry.results().size(), 9u);
+    }
 }
 
 std::vector<SweepSpec>

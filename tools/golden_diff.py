@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Golden-figure regression comparator for run manifests.
+
+Compares the `results` section of a freshly produced run manifest
+(sim/manifest.hh, RUN_*.json) against a pinned golden manifest from
+tests/golden/: the result columns must match scheme for scheme and
+cell for cell — same benchmarks, same conditional-branch counts
+(the workloads are seeded and deterministic), and accuracy / gmean
+values equal within a tolerance. Everything outside `results`
+(git SHA, timings, metrics) is intentionally ignored.
+
+Usage: golden_diff.py [--tolerance T] GOLDEN ACTUAL [GOLDEN ACTUAL ...]
+Exit:  0 when every pair matches, 1 otherwise.
+
+The default tolerance is 1e-9 percentage points: runs are
+deterministic, so any real drift is a semantic change — regenerate
+the goldens (see tests/golden/README.md) only when the change is
+intended and understood.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def close(a, b, tolerance):
+    return abs(a - b) <= tolerance
+
+
+def diff_cell(golden, actual, where, tolerance, problems):
+    for key in ("benchmark", "isInteger", "conditionalBranches"):
+        if golden.get(key) != actual.get(key):
+            problems.append(
+                f"{where}.{key}: golden {golden.get(key)!r} != "
+                f"actual {actual.get(key)!r}")
+    if not close(golden["accuracyPercent"], actual["accuracyPercent"],
+                 tolerance):
+        problems.append(
+            f"{where}.accuracyPercent: golden "
+            f"{golden['accuracyPercent']} != actual "
+            f"{actual['accuracyPercent']} "
+            f"(|diff| {abs(golden['accuracyPercent'] - actual['accuracyPercent']):.3g}"
+            f" > tolerance {tolerance:g})")
+
+
+def diff_results(golden, actual, tolerance, problems):
+    g_results = golden.get("results", [])
+    a_results = actual.get("results", [])
+    g_schemes = [r.get("scheme") for r in g_results]
+    a_schemes = [r.get("scheme") for r in a_results]
+    if g_schemes != a_schemes:
+        problems.append(
+            f"results: scheme columns differ:\n"
+            f"  golden: {g_schemes}\n  actual: {a_schemes}")
+        return
+    for index, (g_col, a_col) in enumerate(zip(g_results, a_results)):
+        where = f"results[{index}] ({g_col.get('scheme')})"
+        g_cells = g_col.get("cells", [])
+        a_cells = a_col.get("cells", [])
+        if len(g_cells) != len(a_cells):
+            problems.append(
+                f"{where}: {len(g_cells)} golden cells != "
+                f"{len(a_cells)} actual cells")
+            continue
+        for ci, (g_cell, a_cell) in enumerate(zip(g_cells, a_cells)):
+            diff_cell(g_cell, a_cell, f"{where}.cells[{ci}]",
+                      tolerance, problems)
+        g_gmeans = g_col.get("gmeans", {})
+        a_gmeans = a_col.get("gmeans", {})
+        for key in ("integer", "fp", "total"):
+            if not close(g_gmeans.get(key, 0.0),
+                         a_gmeans.get(key, 0.0), tolerance):
+                problems.append(
+                    f"{where}.gmeans.{key}: golden "
+                    f"{g_gmeans.get(key)} != actual "
+                    f"{a_gmeans.get(key)}")
+
+
+def diff_pair(golden_path, actual_path, tolerance):
+    problems = []
+    try:
+        golden = load(golden_path)
+        actual = load(actual_path)
+    except (OSError, json.JSONDecodeError) as error:
+        return [str(error)]
+    for manifest, path in ((golden, golden_path),
+                           (actual, actual_path)):
+        if manifest.get("kind") != "run-manifest":
+            problems.append(f"{path}: not a run-manifest")
+    if problems:
+        return problems
+    if golden.get("name") != actual.get("name"):
+        problems.append(
+            f"name: golden {golden.get('name')!r} != actual "
+            f"{actual.get('name')!r}")
+    diff_results(golden, actual, tolerance, problems)
+    return problems
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("--tolerance", type=float, default=1e-9,
+                        help="max |accuracy difference| in percentage "
+                        "points (default: %(default)g)")
+    parser.add_argument("paths", nargs="+",
+                        metavar="GOLDEN ACTUAL",
+                        help="pairs of golden and actual manifests")
+    args = parser.parse_args(argv[1:])
+    if len(args.paths) % 2:
+        parser.error("paths must come in GOLDEN ACTUAL pairs")
+
+    failed = 0
+    for i in range(0, len(args.paths), 2):
+        golden_path, actual_path = args.paths[i], args.paths[i + 1]
+        problems = diff_pair(golden_path, actual_path, args.tolerance)
+        if problems:
+            failed += 1
+            print(f"{actual_path}: DIFFERS from {golden_path}:")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            cells = sum(
+                len(r.get("cells", []))
+                for r in load(golden_path).get("results", []))
+            print(f"{actual_path}: matches {golden_path} "
+                  f"({cells} cells within {args.tolerance:g})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -27,6 +27,14 @@ exempt):
                   bypasses the pool's worker accounting; all
                   parallelism goes through util/thread_pool.
 
+  oracle-isolation
+                  The differential-testing witness (src/oracle/) may
+                  depend on the engine, never the reverse: an engine
+                  file including an oracle header could let reference
+                  semantics leak into the implementation under test,
+                  making the differential harness circular. No file in
+                  src/predictor/ or src/sim/ may include "oracle/...".
+
   iostream        Library code must not write to std::cout/std::cerr
                   (or include <iostream>): ad-hoc printing bypasses the
                   structured observability surfaces — inform()/warn()
@@ -52,6 +60,7 @@ FATAL_BASELINE = {
     "src/isa/assembler.cc": 2,
     "src/isa/cpu.cc": 10,
     "src/isa/program.cc": 6,
+    "src/oracle/reference_two_level.cc": 1,
     "src/predictor/automaton.cc": 7,
     "src/predictor/branch_history_table.cc": 1,
     "src/predictor/btb.cc": 1,
@@ -169,6 +178,9 @@ FATAL_DECL_RE = re.compile(r"void\s+fatal\s*\(")  # the prototype itself
 GETENV_RE = re.compile(r"(?<![\w.])(?:std::)?getenv\s*\(")
 THREAD_RE = re.compile(r"std::thread\b(?!::hardware_concurrency)")
 IOSTREAM_RE = re.compile(r"std::c(?:out|err)\b|#\s*include\s*<iostream>")
+ORACLE_INCLUDE_RE = re.compile(r'#\s*include\s*"oracle/')
+# Engine directories that must never see reference semantics.
+ORACLE_FORBIDDEN_PREFIXES = ("src/predictor/", "src/sim/")
 
 
 def lint_file(path, rel, violations, fatal_counts):
@@ -196,6 +208,16 @@ def lint_file(path, rel, violations, fatal_counts):
             violations.append(
                 (rel, lineno, "thread",
                  "raw std::thread; use util/thread_pool instead"))
+
+        # The include path is a string literal, so test the raw line.
+        if ORACLE_INCLUDE_RE.search(raw) and \
+           rel.startswith(ORACLE_FORBIDDEN_PREFIXES) and \
+           "oracle-isolation" not in allowed:
+            violations.append(
+                (rel, lineno, "oracle-isolation",
+                 "engine code must not include oracle/ headers; the "
+                 "differential witness depends on the engine, never "
+                 "the reverse"))
 
         if IOSTREAM_RE.search(code) and "iostream" not in allowed:
             violations.append(
