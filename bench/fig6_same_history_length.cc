@@ -5,12 +5,19 @@
  * interference effects, as in the paper's definitional comparison).
  *
  * All 18 (scheme, k) configurations fan out as one parallel sweep.
- * This binary is also the exemplar of a fully instrumented run: the
- * sweep feeds a MetricsRegistry (predictor-internal counters, whose
- * totals are independent of the thread count), an EventLog timeline
- * ("RUN_fig6.events.jsonl"), a throttled progress callback, and a
- * "RUN_fig6.json" manifest that tools/report.py can render without
- * rerunning anything.
+ * This binary is also the exemplar of a fully instrumented and
+ * supervised run: the sweep feeds a MetricsRegistry
+ * (predictor-internal counters, whose totals are independent of the
+ * thread count), an EventLog timeline ("RUN_fig6.events.jsonl"), a
+ * throttled progress callback, and a "RUN_fig6.json" manifest
+ * (schemaVersion 2, with the per-cell supervision record) that
+ * tools/report.py can render without rerunning anything.
+ *
+ * The sweep runs under the fault-tolerant supervisor
+ * (sim/supervisor.hh): every finished cell is journaled to
+ * "CHECKPOINT_fig6.jsonl" in the results directory, and `--resume`
+ * restores those cells instead of recomputing them after an
+ * interrupted run (see README "Resuming an interrupted sweep").
  *
  * Paper result: PAp best, PAg second, GAg worst at equal k; GAg is
  * not effective with short registers because every branch updates the
@@ -18,9 +25,11 @@
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "sim/manifest.hh"
 #include "sim/report.hh"
+#include "sim/supervisor.hh"
 #include "sim/sweep.hh"
 #include "util/event_log.hh"
 #include "util/metrics.hh"
@@ -30,9 +39,15 @@
 #include "util/thread_pool.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tl;
+
+    bool resume = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--resume") == 0)
+            resume = true;
+    }
 
     const unsigned ks[] = {2, 4, 6, 8, 10, 12};
 
@@ -66,9 +81,17 @@ main()
         if (done == total)
             std::fputc('\n', stderr);
     };
-    SweepRunner runner(options);
-    std::vector<ResultSet> results = runner.run(columns);
+    SweepSupervisor::Config supervision;
+    supervision.name = "fig6";
+    supervision.directory = dir;
+    supervision.resume = resume;
+    SweepSupervisor supervisor(supervision, options);
+    SupervisedSweep sweep = supervisor.run(columns);
     events.close();
+    const std::vector<ResultSet> &results = sweep.results;
+    if (sweep.degraded)
+        warn("fig6: sweep degraded — the figure below is missing "
+             "cells (rerun with --resume to fill them in)");
 
     TextTable table({"k", "GAg", "PAg(IBHT)", "PAp(IBHT)"});
     table.setTitle("Figure 6: Tot GMean accuracy (%) at equal "
@@ -87,8 +110,9 @@ main()
     RunManifest manifest("fig6");
     manifest.recordOptions(options);
     manifest.addResults(results);
-    manifest.recordProfile(runner.lastProfile());
+    manifest.recordProfile(sweep.profile);
     manifest.recordMetrics(metrics.snapshot());
+    manifest.recordSupervision(sweep);
     manifest.note("eventLog", Json::str("RUN_fig6.events.jsonl"));
     Status wrote = manifest.writeTo(dir);
     if (!wrote.ok()) {

@@ -17,7 +17,15 @@
  * bare throughput, the number the "disabled instrumentation is free"
  * claim is judged against.
  *
- * Usage: throughput [--threads=N]   (adds N to the measured counts)
+ * The serial baseline runs under the fault-tolerant supervisor
+ * (sim/supervisor.hh) so its per-cell dispositions land in the
+ * manifest's supervision section and an interrupted run can be
+ * finished with `--resume` instead of starting over; the timed
+ * parallel sweeps stay on the bare SweepRunner so the published
+ * predictions/second numbers do not include journaling overhead.
+ *
+ * Usage: throughput [--threads=N] [--resume]
+ *        (--threads adds N to the measured counts)
  */
 
 #include <chrono>
@@ -29,6 +37,7 @@
 
 #include "sim/manifest.hh"
 #include "sim/report.hh"
+#include "sim/supervisor.hh"
 #include "sim/sweep.hh"
 #include "util/status.hh"
 #include "util/strings.hh"
@@ -95,10 +104,13 @@ int
 main(int argc, char **argv)
 {
     unsigned extraThreads = 0;
+    bool resume = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--threads=", 10) == 0)
             extraThreads = static_cast<unsigned>(
                 std::strtoul(argv[i] + 10, nullptr, 10));
+        else if (std::strcmp(argv[i], "--resume") == 0)
+            resume = true;
     }
 
     // Adaptive schemes only (no training pass), so every cell is one
@@ -125,10 +137,27 @@ main(int argc, char **argv)
     if (extraThreads != 0)
         threadCounts.push_back(extraThreads);
 
-    std::vector<ResultSet> serial;
-    SweepProfile serialProfile;
-    double serialSeconds =
-        timedSweep(suite, columns, 0, serial, &serialProfile);
+    std::string dir = resultsDir();
+    if (dir.empty())
+        dir = ".";
+
+    // Serial baseline, supervised: checkpointed cell by cell and
+    // restorable with --resume after an interruption.
+    SweepSupervisor::Config supervision;
+    supervision.name = "throughput";
+    supervision.directory = dir;
+    supervision.resume = resume;
+    RunOptions serialOptions; // threads = 0, the recorded baseline
+    SweepSupervisor supervisor(supervision, suite, serialOptions);
+    auto serialStart = std::chrono::steady_clock::now();
+    SupervisedSweep supervised = supervisor.run(columns);
+    std::chrono::duration<double> serialElapsed =
+        std::chrono::steady_clock::now() - serialStart;
+    const std::vector<ResultSet> &serial = supervised.results;
+    double serialSeconds = serialElapsed.count();
+    if (supervised.degraded)
+        warn("throughput: serial baseline degraded — rerun with "
+             "--resume to finish the missing cells");
     std::uint64_t predictions = totalPredictions(serial);
     double serialRate =
         static_cast<double>(predictions) / serialSeconds;
@@ -172,17 +201,13 @@ main(int argc, char **argv)
                 "'identical' must stay yes\n",
                 hardware);
 
-    std::string dir = resultsDir();
-    if (dir.empty())
-        dir = ".";
-
     // The same general manifest format as the RUN_*.json figure
     // manifests; the throughput series travels under "notes".
     RunManifest manifest("throughput");
-    RunOptions serialOptions; // threads = 0, the recorded baseline
     manifest.recordOptions(serialOptions);
     manifest.addResults(serial);
-    manifest.recordProfile(serialProfile);
+    manifest.recordProfile(supervised.profile);
+    manifest.recordSupervision(supervised);
 
     Json serialRun = Json::object();
     serialRun.set("seconds", Json::number(serialSeconds));

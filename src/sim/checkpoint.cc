@@ -1,0 +1,692 @@
+#include "sim/checkpoint.hh"
+
+#include <charconv>
+#include <utility>
+
+#include "util/crc32.hh"
+#include "util/event_log.hh"
+#include "util/json.hh"
+
+namespace tl
+{
+
+const char *
+cellStateName(CellState state)
+{
+    switch (state) {
+      case CellState::Ok: return "ok";
+      case CellState::Skipped: return "skipped";
+      case CellState::TimedOut: return "timed-out";
+      case CellState::Failed: return "failed";
+    }
+    return "unknown";
+}
+
+StatusOr<CellState>
+cellStateFromName(std::string_view name)
+{
+    if (name == "ok")
+        return CellState::Ok;
+    if (name == "skipped")
+        return CellState::Skipped;
+    if (name == "timed-out")
+        return CellState::TimedOut;
+    if (name == "failed")
+        return CellState::Failed;
+    return corruptDataError("unknown cell state '%.*s'",
+                            static_cast<int>(name.size()),
+                            name.data());
+}
+
+const CheckpointCell *
+Checkpoint::find(std::uint64_t cell) const
+{
+    for (const CheckpointCell &record : cells) {
+        if (record.cell == cell)
+            return &record;
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+/**
+ * Seal a compact JSON object line with its own checksum: the "crc"
+ * field holds the CRC-32 of the serialization *without* that field,
+ * spliced in before the closing brace. The line stays plain JSON —
+ * python's json.loads reads it unchanged — while the reader can
+ * reconstruct the covered payload exactly.
+ */
+std::string
+sealLine(const Json &object)
+{
+    std::string payload = object.dump(0);
+    std::uint32_t crc = crc32(payload.data(), payload.size());
+    std::string line = payload.substr(0, payload.size() - 1);
+    line += ",\"crc\":";
+    line += std::to_string(crc);
+    line += '}';
+    return line;
+}
+
+/**
+ * Inverse of sealLine(): locate the spliced crc suffix, verify it
+ * against the reconstructed payload, and return the payload.
+ */
+StatusOr<std::string>
+unsealLine(std::string_view line)
+{
+    static constexpr std::string_view kMarker = ",\"crc\":";
+    std::size_t marker = line.rfind(kMarker);
+    if (marker == std::string_view::npos)
+        return corruptDataError("checkpoint line has no crc field");
+    std::string_view digits =
+        line.substr(marker + kMarker.size());
+    if (digits.size() < 2 || digits.back() != '}')
+        return corruptDataError("checkpoint line crc suffix is torn");
+    digits.remove_suffix(1);
+    std::uint64_t stored = 0;
+    const char *digits_end = digits.data() + digits.size();
+    auto [parse_end, ec] =
+        std::from_chars(digits.data(), digits_end, stored);
+    if (ec != std::errc() || parse_end != digits_end ||
+        stored > 0xffffffffu)
+        return corruptDataError("checkpoint line crc is not a u32");
+
+    std::string payload(line.substr(0, marker));
+    payload += '}';
+    std::uint32_t computed = crc32(payload.data(), payload.size());
+    if (computed != static_cast<std::uint32_t>(stored)) {
+        return corruptDataError(
+            "checkpoint line crc mismatch: stored %llu, computed %u",
+            static_cast<unsigned long long>(stored), computed);
+    }
+    return payload;
+}
+
+/**
+ * util/json deliberately has no parser (nothing in the library reads
+ * JSON back — except this journal, whose producer is the library
+ * itself). This is the minimal strict counterpart of Json::dump(0):
+ * one value per line, standard escapes, u64-or-double numbers, depth
+ * capped. Anything it rejects is a torn or corrupt record.
+ */
+struct Parsed
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Num,
+        Str,
+        Arr,
+        Obj
+    };
+
+    Kind kind = Kind::Null;
+    bool boolValue = false;
+    bool isUnsigned = false;     //!< num fits in a u64
+    std::uint64_t u64 = 0;
+    double num = 0.0;
+    std::string str;
+    std::vector<Parsed> items;
+    std::vector<std::pair<std::string, Parsed>> fields;
+
+    const Parsed *
+    field(std::string_view key) const
+    {
+        for (const auto &[name, value] : fields) {
+            if (name == key)
+                return &value;
+        }
+        return nullptr;
+    }
+};
+
+class LineParser
+{
+  public:
+    explicit LineParser(std::string_view text) : text(text) {}
+
+    StatusOr<Parsed>
+    parse()
+    {
+        TL_ASSIGN_OR_RETURN(Parsed value, parseValue(0));
+        skipSpace();
+        if (pos != text.size())
+            return corruptDataError("trailing bytes after JSON value");
+        return value;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 16;
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\r' || text[pos] == '\n'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(std::string_view word)
+    {
+        if (text.substr(pos, word.size()) == word) {
+            pos += word.size();
+            return true;
+        }
+        return false;
+    }
+
+    StatusOr<Parsed>
+    parseValue(int depth)
+    {
+        if (depth > kMaxDepth)
+            return corruptDataError("JSON nested deeper than %d",
+                                    kMaxDepth);
+        skipSpace();
+        if (pos >= text.size())
+            return corruptDataError("unexpected end of JSON line");
+        char c = text[pos];
+        if (c == '{')
+            return parseObject(depth);
+        if (c == '[')
+            return parseArray(depth);
+        if (c == '"')
+            return parseString();
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return parseNumber();
+        Parsed value;
+        if (consumeWord("null"))
+            return value;
+        if (consumeWord("true")) {
+            value.kind = Parsed::Kind::Bool;
+            value.boolValue = true;
+            return value;
+        }
+        if (consumeWord("false")) {
+            value.kind = Parsed::Kind::Bool;
+            return value;
+        }
+        return corruptDataError("unexpected byte 0x%02x in JSON",
+                                static_cast<unsigned char>(c));
+    }
+
+    StatusOr<Parsed>
+    parseObject(int depth)
+    {
+        ++pos; // '{'
+        Parsed object;
+        object.kind = Parsed::Kind::Obj;
+        skipSpace();
+        if (consume('}'))
+            return object;
+        while (true) {
+            skipSpace();
+            if (pos >= text.size() || text[pos] != '"')
+                return corruptDataError("object key is not a string");
+            TL_ASSIGN_OR_RETURN(Parsed key, parseString());
+            skipSpace();
+            if (!consume(':'))
+                return corruptDataError("missing ':' after object key");
+            TL_ASSIGN_OR_RETURN(Parsed value, parseValue(depth + 1));
+            object.fields.emplace_back(std::move(key.str),
+                                       std::move(value));
+            skipSpace();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return object;
+            return corruptDataError("missing ',' or '}' in object");
+        }
+    }
+
+    StatusOr<Parsed>
+    parseArray(int depth)
+    {
+        ++pos; // '['
+        Parsed array;
+        array.kind = Parsed::Kind::Arr;
+        skipSpace();
+        if (consume(']'))
+            return array;
+        while (true) {
+            TL_ASSIGN_OR_RETURN(Parsed value, parseValue(depth + 1));
+            array.items.push_back(std::move(value));
+            skipSpace();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return array;
+            return corruptDataError("missing ',' or ']' in array");
+        }
+    }
+
+    StatusOr<Parsed>
+    parseString()
+    {
+        ++pos; // '"'
+        Parsed value;
+        value.kind = Parsed::Kind::Str;
+        while (true) {
+            if (pos >= text.size())
+                return corruptDataError("unterminated JSON string");
+            char c = text[pos++];
+            if (c == '"')
+                return value;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return corruptDataError(
+                    "raw control byte 0x%02x in JSON string",
+                    static_cast<unsigned char>(c));
+            if (c != '\\') {
+                value.str += c;
+                continue;
+            }
+            if (pos >= text.size())
+                return corruptDataError("dangling escape in string");
+            char esc = text[pos++];
+            switch (esc) {
+              case '"': value.str += '"'; break;
+              case '\\': value.str += '\\'; break;
+              case '/': value.str += '/'; break;
+              case 'b': value.str += '\b'; break;
+              case 'f': value.str += '\f'; break;
+              case 'n': value.str += '\n'; break;
+              case 'r': value.str += '\r'; break;
+              case 't': value.str += '\t'; break;
+              case 'u': {
+                TL_ASSIGN_OR_RETURN(std::uint32_t code, parseHex4());
+                appendUtf8(value.str, code);
+                break;
+              }
+              default:
+                return corruptDataError("unknown escape '\\%c'", esc);
+            }
+        }
+    }
+
+    StatusOr<std::uint32_t>
+    parseHex4()
+    {
+        if (pos + 4 > text.size())
+            return corruptDataError("truncated \\u escape");
+        std::uint32_t code = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text[pos++];
+            code <<= 4;
+            if (c >= '0' && c <= '9')
+                code |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                code |= static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                code |= static_cast<std::uint32_t>(c - 'A' + 10);
+            else
+                return corruptDataError("bad hex digit in \\u escape");
+        }
+        return code;
+    }
+
+    static void
+    appendUtf8(std::string &out, std::uint32_t code)
+    {
+        // The writer only escapes bytes < 0x20, so codes here are
+        // tiny; encode the general BMP form anyway for robustness.
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        }
+    }
+
+    StatusOr<Parsed>
+    parseNumber()
+    {
+        std::size_t start = pos;
+        if (consume('-')) {}
+        while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9')
+            ++pos;
+        bool integral = pos > start + (text[start] == '-' ? 1u : 0u);
+        if (!integral)
+            return corruptDataError("malformed JSON number");
+        bool plain = true;
+        if (consume('.')) {
+            plain = false;
+            std::size_t frac = pos;
+            while (pos < text.size() && text[pos] >= '0' &&
+                   text[pos] <= '9')
+                ++pos;
+            if (pos == frac)
+                return corruptDataError("malformed JSON fraction");
+        }
+        if (pos < text.size() &&
+            (text[pos] == 'e' || text[pos] == 'E')) {
+            plain = false;
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            std::size_t exp = pos;
+            while (pos < text.size() && text[pos] >= '0' &&
+                   text[pos] <= '9')
+                ++pos;
+            if (pos == exp)
+                return corruptDataError("malformed JSON exponent");
+        }
+        std::string_view token = text.substr(start, pos - start);
+        Parsed value;
+        value.kind = Parsed::Kind::Num;
+        if (plain && token[0] != '-') {
+            std::uint64_t parsed = 0;
+            auto [end, ec] = std::from_chars(
+                token.data(), token.data() + token.size(), parsed);
+            if (ec == std::errc() && end == token.data() + token.size()) {
+                value.isUnsigned = true;
+                value.u64 = parsed;
+                value.num = static_cast<double>(parsed);
+                return value;
+            }
+        }
+        double parsed = 0.0;
+        auto [end, ec] = std::from_chars(
+            token.data(), token.data() + token.size(), parsed);
+        if (ec != std::errc() || end != token.data() + token.size())
+            return corruptDataError("JSON number out of range");
+        value.num = parsed;
+        return value;
+    }
+
+    std::string_view text;
+    std::size_t pos = 0;
+};
+
+Status
+getU64(const Parsed &object, std::string_view key, std::uint64_t &out)
+{
+    const Parsed *value = object.field(key);
+    if (!value || value->kind != Parsed::Kind::Num ||
+        !value->isUnsigned) {
+        return corruptDataError(
+            "checkpoint field '%.*s' missing or not a u64",
+            static_cast<int>(key.size()), key.data());
+    }
+    out = value->u64;
+    return Status();
+}
+
+Status
+getStr(const Parsed &object, std::string_view key, std::string &out)
+{
+    const Parsed *value = object.field(key);
+    if (!value || value->kind != Parsed::Kind::Str) {
+        return corruptDataError(
+            "checkpoint field '%.*s' missing or not a string",
+            static_cast<int>(key.size()), key.data());
+    }
+    out = value->str;
+    return Status();
+}
+
+Status
+getBool(const Parsed &object, std::string_view key, bool &out)
+{
+    const Parsed *value = object.field(key);
+    if (!value || value->kind != Parsed::Kind::Bool) {
+        return corruptDataError(
+            "checkpoint field '%.*s' missing or not a bool",
+            static_cast<int>(key.size()), key.data());
+    }
+    out = value->boolValue;
+    return Status();
+}
+
+StatusOr<Parsed>
+parseSealedObject(std::string_view line)
+{
+    TL_ASSIGN_OR_RETURN(std::string payload, unsealLine(line));
+    TL_ASSIGN_OR_RETURN(Parsed value, LineParser(payload).parse());
+    if (value.kind != Parsed::Kind::Obj)
+        return corruptDataError("checkpoint line is not an object");
+    return value;
+}
+
+StatusOr<CheckpointHeader>
+parseHeaderLine(std::string_view line)
+{
+    TL_ASSIGN_OR_RETURN(Parsed object, parseSealedObject(line));
+    std::string kind;
+    TL_RETURN_IF_ERROR(getStr(object, "kind", kind));
+    if (kind != "checkpoint-header") {
+        return corruptDataError(
+            "first checkpoint line has kind '%s', "
+            "expected 'checkpoint-header'",
+            kind.c_str());
+    }
+    CheckpointHeader header;
+    TL_RETURN_IF_ERROR(getStr(object, "name", header.name));
+    TL_RETURN_IF_ERROR(getU64(object, "columns", header.columns));
+    TL_RETURN_IF_ERROR(getU64(object, "workloads", header.workloads));
+    TL_RETURN_IF_ERROR(
+        getU64(object, "branchBudget", header.branchBudget));
+    std::uint64_t signature = 0;
+    TL_RETURN_IF_ERROR(getU64(object, "signature", signature));
+    if (signature > 0xffffffffu)
+        return corruptDataError("checkpoint signature is not a u32");
+    header.signature = static_cast<std::uint32_t>(signature);
+    return header;
+}
+
+StatusOr<CheckpointCell>
+parseCellLine(std::string_view line)
+{
+    TL_ASSIGN_OR_RETURN(Parsed object, parseSealedObject(line));
+    CheckpointCell cell;
+    TL_RETURN_IF_ERROR(getU64(object, "cell", cell.cell));
+    std::string state;
+    TL_RETURN_IF_ERROR(getStr(object, "state", state));
+    TL_ASSIGN_OR_RETURN(cell.state, cellStateFromName(state));
+    TL_RETURN_IF_ERROR(getStr(object, "column", cell.column));
+    TL_RETURN_IF_ERROR(getStr(object, "workload", cell.workload));
+    std::uint64_t attempts = 0;
+    TL_RETURN_IF_ERROR(getU64(object, "attempts", attempts));
+    if (attempts == 0 || attempts > 0xffffffffu)
+        return corruptDataError("checkpoint attempts out of range");
+    cell.attempts = static_cast<std::uint32_t>(attempts);
+    TL_RETURN_IF_ERROR(getU64(object, "wallMs", cell.wallMs));
+    TL_RETURN_IF_ERROR(getBool(object, "isInteger", cell.isInteger));
+    TL_RETURN_IF_ERROR(getU64(object, "conditionalBranches",
+                              cell.result.conditionalBranches));
+    TL_RETURN_IF_ERROR(getU64(object, "correct", cell.result.correct));
+    TL_RETURN_IF_ERROR(getU64(object, "taken", cell.result.taken));
+    TL_RETURN_IF_ERROR(
+        getU64(object, "allBranches", cell.result.allBranches));
+    TL_RETURN_IF_ERROR(
+        getU64(object, "instructions", cell.result.instructions));
+    TL_RETURN_IF_ERROR(getU64(object, "contextSwitches",
+                              cell.result.contextSwitchCount));
+    return cell;
+}
+
+} // namespace
+
+std::string
+checkpointHeaderLine(const CheckpointHeader &header)
+{
+    Json object = Json::object();
+    object.set("kind", Json::str("checkpoint-header"));
+    object.set("name", Json::str(header.name));
+    object.set("columns", Json::number(header.columns));
+    object.set("workloads", Json::number(header.workloads));
+    object.set("branchBudget", Json::number(header.branchBudget));
+    object.set("signature",
+               Json::number(static_cast<std::uint64_t>(
+                   header.signature)));
+    return sealLine(object);
+}
+
+std::string
+checkpointCellLine(const CheckpointCell &cell)
+{
+    Json object = Json::object();
+    object.set("cell", Json::number(cell.cell));
+    object.set("state", Json::str(cellStateName(cell.state)));
+    object.set("column", Json::str(cell.column));
+    object.set("workload", Json::str(cell.workload));
+    object.set("attempts", Json::number(static_cast<std::uint64_t>(
+                               cell.attempts)));
+    object.set("wallMs", Json::number(cell.wallMs));
+    object.set("isInteger", Json::boolean(cell.isInteger));
+    object.set("conditionalBranches",
+               Json::number(cell.result.conditionalBranches));
+    object.set("correct", Json::number(cell.result.correct));
+    object.set("taken", Json::number(cell.result.taken));
+    object.set("allBranches", Json::number(cell.result.allBranches));
+    object.set("instructions", Json::number(cell.result.instructions));
+    object.set("contextSwitches",
+               Json::number(cell.result.contextSwitchCount));
+    return sealLine(object);
+}
+
+StatusOr<Checkpoint>
+readCheckpoint(std::string_view bytes)
+{
+    std::vector<std::string> lines = salvageJsonlLines(bytes);
+    if (lines.empty())
+        return corruptDataError("checkpoint has no complete lines");
+
+    Checkpoint checkpoint;
+    StatusOr<CheckpointHeader> header = parseHeaderLine(lines[0]);
+    if (!header.ok()) {
+        // A bad header condemns the file: without a trusted grid
+        // identity, "restoring" cells could silently mix runs.
+        return corruptDataError("checkpoint header invalid: %s",
+                                header.status().message().c_str());
+    }
+    checkpoint.header = std::move(header).value();
+    const std::uint64_t gridCells =
+        checkpoint.header.columns * checkpoint.header.workloads;
+
+    // An unterminated tail is a torn final write.
+    if (!bytes.empty() && bytes.back() != '\n')
+        ++checkpoint.droppedLines;
+
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        StatusOr<CheckpointCell> cell = parseCellLine(lines[i]);
+        bool valid = cell.ok() && cell->cell < gridCells;
+        if (!valid) {
+            // Keep only the valid prefix: records after a torn or
+            // corrupt line were written after the corruption event
+            // and cannot be trusted either.
+            checkpoint.droppedLines += lines.size() - i;
+            break;
+        }
+        if (checkpoint.find(cell->cell)) {
+            ++checkpoint.duplicateLines;
+            continue;
+        }
+        checkpoint.cells.push_back(std::move(cell).value());
+    }
+    return checkpoint;
+}
+
+StatusOr<Checkpoint>
+readCheckpointFile(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return ioError("cannot open checkpoint '%s'", path.c_str());
+    std::string bytes;
+    char buffer[65536];
+    std::size_t got;
+    while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0)
+        bytes.append(buffer, got);
+    bool readError = std::ferror(file) != 0;
+    std::fclose(file);
+    if (readError)
+        return ioError("error reading checkpoint '%s'", path.c_str());
+    return readCheckpoint(bytes);
+}
+
+CheckpointWriter::~CheckpointWriter()
+{
+    close();
+}
+
+CheckpointWriter::CheckpointWriter(CheckpointWriter &&other) noexcept
+    : stream(std::exchange(other.stream, nullptr))
+{}
+
+CheckpointWriter &
+CheckpointWriter::operator=(CheckpointWriter &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        stream = std::exchange(other.stream, nullptr);
+    }
+    return *this;
+}
+
+void
+CheckpointWriter::close()
+{
+    if (stream) {
+        std::fclose(stream);
+        stream = nullptr;
+    }
+}
+
+namespace
+{
+
+Status
+writeJournalLine(std::FILE *stream, std::string line)
+{
+    line += '\n';
+    if (std::fputs(line.c_str(), stream) == EOF ||
+        std::fflush(stream) != 0)
+        return ioError("checkpoint write failed");
+    return Status();
+}
+
+} // namespace
+
+Status
+CheckpointWriter::open(const std::string &path,
+                       const CheckpointHeader &header)
+{
+    close();
+    stream = std::fopen(path.c_str(), "wb");
+    if (!stream) {
+        return ioError("cannot open checkpoint '%s' for writing",
+                       path.c_str());
+    }
+    return writeJournalLine(stream, checkpointHeaderLine(header));
+}
+
+Status
+CheckpointWriter::append(const CheckpointCell &cell)
+{
+    if (!stream)
+        return failedPreconditionError(
+            "CheckpointWriter::append before open");
+    return writeJournalLine(stream, checkpointCellLine(cell));
+}
+
+} // namespace tl

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Crash-safe sweep checkpoints: an append-only JSONL journal of
+ * completed grid cells.
+ *
+ * The sweep supervisor (sim/supervisor.hh) appends one CRC32-protected
+ * record per finished cell to CHECKPOINT_<name>.jsonl; after a crash
+ * or kill, readCheckpointFile() salvages every intact record and the
+ * supervisor restores those cells instead of recomputing them. Because
+ * the grid ordering is deterministic (sim/sweep.hh), a resumed run
+ * reassembles a ResultSet byte-identical to an uninterrupted one.
+ *
+ * File format — line 1 is a header record, every further line one
+ * cell record; each line is a single compact JSON object whose last
+ * field is the CRC-32 of the object serialized *without* that field:
+ *
+ *   {"kind": "checkpoint-header", "name": ..., "signature": S,"crc":C}
+ *   {"cell": 0, "state": "ok", ..., "instructions": N,"crc":C}
+ *
+ * The reader is deliberately paranoid: it accepts only a valid prefix
+ * of the journal. A torn or corrupt line (the tail of a crashed
+ * write) and everything after it are dropped and counted, duplicate
+ * cell indices keep the first record, and a bad header condemns the
+ * whole file. util/json only serializes, so the strict single-line
+ * parser the reader needs lives in checkpoint.cc; the fuzz target
+ * tests/fuzz/fuzz_checkpoint.cc hammers it with garbage.
+ */
+
+#ifndef TL_SIM_CHECKPOINT_HH
+#define TL_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "util/status_or.hh"
+
+namespace tl
+{
+
+/** Terminal disposition of one supervised sweep cell. */
+enum class CellState : std::uint8_t
+{
+    Ok,       //!< simulated to completion; result is valid
+    Skipped,  //!< column omits this benchmark (Fig. 11 NA entry)
+    TimedOut, //!< cancelled by the watchdog past cellDeadline
+    Failed,   //!< permanent failure, or retries exhausted
+};
+
+/** Stable wire name ("ok", "timed-out", ...) of a cell state. */
+[[nodiscard]] const char *cellStateName(CellState state);
+
+/** Inverse of cellStateName(); error on an unknown name. */
+[[nodiscard]] StatusOr<CellState> cellStateFromName(
+    std::string_view name);
+
+/** True for the states a checkpoint may restore on resume. */
+[[nodiscard]] constexpr bool
+cellStateRestorable(CellState state)
+{
+    return state == CellState::Ok || state == CellState::Skipped;
+}
+
+/**
+ * Journal line 1: identifies the grid so a stale checkpoint (edited
+ * columns, different budget) is rejected instead of resumed.
+ */
+struct CheckpointHeader
+{
+    std::string name;             //!< run name (manifest name)
+    std::uint64_t columns = 0;    //!< grid columns
+    std::uint64_t workloads = 0;  //!< workloads per column
+    std::uint64_t branchBudget = 0; //!< suite branch budget
+    std::uint32_t signature = 0;  //!< gridSignature() of the request
+
+    bool operator==(const CheckpointHeader &other) const = default;
+};
+
+/** One journaled cell: identity, disposition, and counters. */
+struct CheckpointCell
+{
+    std::uint64_t cell = 0; //!< grid index (column-major, sweep order)
+    CellState state = CellState::Ok;
+    std::string column;     //!< column display name (for humans/tools)
+    std::string workload;   //!< benchmark name
+    std::uint32_t attempts = 1; //!< attempts consumed incl. the last
+    std::uint64_t wallMs = 0;   //!< wall milliseconds of the last attempt
+    bool isInteger = false;     //!< workload class (ResultSet rebuild)
+    SimResult result;           //!< zeros unless state == Ok
+
+    bool operator==(const CheckpointCell &other) const = default;
+};
+
+/** Everything readCheckpoint() salvaged from a journal. */
+struct Checkpoint
+{
+    CheckpointHeader header;
+
+    /** Intact records in journal order, duplicates removed. */
+    std::vector<CheckpointCell> cells;
+
+    /** Records dropped because their cell index was already seen. */
+    std::size_t duplicateLines = 0;
+
+    /** Torn/corrupt lines (and their successors) dropped. */
+    std::size_t droppedLines = 0;
+
+    /** The record for @p cell, or nullptr if not journaled. */
+    [[nodiscard]] const CheckpointCell *find(std::uint64_t cell) const;
+};
+
+/// @name Record serialization (one line, no trailing newline)
+/// @{
+[[nodiscard]] std::string checkpointHeaderLine(
+    const CheckpointHeader &header);
+[[nodiscard]] std::string checkpointCellLine(const CheckpointCell &cell);
+/// @}
+
+/**
+ * Parse a journal from raw bytes. Fails only when no valid header
+ * line exists; torn cell records degrade to droppedLines instead.
+ */
+[[nodiscard]] StatusOr<Checkpoint> readCheckpoint(
+    std::string_view bytes);
+
+/** readCheckpoint() over a file's contents; IoError if unreadable. */
+[[nodiscard]] StatusOr<Checkpoint> readCheckpointFile(
+    const std::string &path);
+
+/**
+ * Append-side of the journal. open() truncates and writes the header;
+ * append() writes one cell record and flushes so the line is in the
+ * OS page cache before the supervisor moves on — a kill -9 loses at
+ * most the cell in flight, never a completed one.
+ */
+class CheckpointWriter
+{
+  public:
+    CheckpointWriter() = default;
+    ~CheckpointWriter();
+
+    CheckpointWriter(const CheckpointWriter &) = delete;
+    CheckpointWriter &operator=(const CheckpointWriter &) = delete;
+    CheckpointWriter(CheckpointWriter &&other) noexcept;
+    CheckpointWriter &operator=(CheckpointWriter &&other) noexcept;
+
+    /** Truncate @p path and journal @p header. */
+    Status open(const std::string &path,
+                const CheckpointHeader &header);
+
+    /** Journal one cell; flushed before returning. */
+    Status append(const CheckpointCell &cell);
+
+    [[nodiscard]] bool isOpen() const { return stream != nullptr; }
+
+    void close();
+
+  private:
+    std::FILE *stream = nullptr;
+};
+
+} // namespace tl
+
+#endif // TL_SIM_CHECKPOINT_HH

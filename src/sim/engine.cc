@@ -30,12 +30,26 @@ simulate(TraceSource &source, BranchPredictor &predictor,
     SimResult result;
     std::uint64_t insts_since_switch = 0;
 
+    // Cancellation poll cadence: an atomic load per record would be
+    // measurable on the hot loop, so the token is checked once per
+    // kCancelPollStride records — bounding the overshoot after the
+    // supervisor's watchdog fires to a few hundred records.
+    constexpr std::uint32_t kCancelPollStride = 256;
+    std::uint32_t records_until_poll = kCancelPollStride;
+
     BranchRecord record;
     while (result.conditionalBranches <
                (options.maxConditionalBranches
                     ? options.maxConditionalBranches
                     : UINT64_MAX) &&
            source.next(record)) {
+        if (options.cancelToken && --records_until_poll == 0) {
+            records_until_poll = kCancelPollStride;
+            if (options.cancelToken->load(std::memory_order_relaxed)) {
+                result.cancelled = true;
+                break;
+            }
+        }
         ++result.allBranches;
         result.instructions += record.instsSince;
 

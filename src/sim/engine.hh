@@ -10,6 +10,7 @@
 #ifndef TL_SIM_ENGINE_HH
 #define TL_SIM_ENGINE_HH
 
+#include <atomic>
 #include <cstdint>
 
 #include "predictor/predictor.hh"
@@ -36,6 +37,19 @@ struct SimOptions
 
     /** Also switch on every trap marker in the trace. */
     bool switchOnTrap = true;
+
+    /**
+     * Cooperative cancellation token, or nullptr for none. The
+     * simulation loop polls it every few hundred records; once it
+     * reads true the loop stops early and the SimResult comes back
+     * with cancelled set. This is how the sweep supervisor
+     * (sim/supervisor.hh) reclaims a worker from a cell that blew
+     * past its deadline without killing the process. The counters of
+     * a cancelled result reflect only the records consumed before
+     * the poll noticed the token, so they must not be merged into a
+     * figure.
+     */
+    const std::atomic<bool> *cancelToken = nullptr;
 };
 
 /** Counters produced by a simulation run. */
@@ -58,6 +72,14 @@ struct SimResult
 
     /** Context switches injected. */
     std::uint64_t contextSwitchCount = 0;
+
+    /**
+     * True when SimOptions::cancelToken stopped the run before the
+     * source drained or the branch budget was reached. Not a counter:
+     * kept out of the paper metrics, but part of operator== so a
+     * cancelled run can never compare equal to a complete one.
+     */
+    bool cancelled = false;
 
     /** Prediction accuracy in percent (the paper's metric). */
     double

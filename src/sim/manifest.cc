@@ -23,6 +23,37 @@ runOptionsToJson(const RunOptions &options)
     json.set("instrument",
              Json::boolean(options.instrument ||
                            options.metrics != nullptr));
+    json.set("cellDeadline", Json::number(options.cellDeadline));
+    json.set("maxCellAttempts",
+             Json::number(std::uint64_t(options.maxCellAttempts)));
+    json.set("retryBackoffSeconds",
+             Json::number(options.retryBackoffSeconds));
+    return json;
+}
+
+Json
+supervisionToJson(const SupervisedSweep &sweep)
+{
+    Json cells = Json::array();
+    for (const CellReport &report : sweep.cells) {
+        Json cell = Json::object();
+        cell.set("column", Json::str(report.column));
+        cell.set("workload", Json::str(report.workload));
+        cell.set("state", Json::str(cellStateName(report.state)));
+        cell.set("attempts",
+                 Json::number(std::uint64_t(report.attempts)));
+        cell.set("wallMs", Json::number(report.wallMs));
+        cell.set("restored", Json::boolean(report.restored));
+        if (!report.error.ok())
+            cell.set("error", Json::str(report.error.toString()));
+        cells.push(std::move(cell));
+    }
+
+    Json json = Json::object();
+    json.set("degraded", Json::boolean(sweep.degraded));
+    json.set("restoredCells",
+             Json::number(std::uint64_t(sweep.restoredCells)));
+    json.set("cells", std::move(cells));
     return json;
 }
 
@@ -161,6 +192,12 @@ RunManifest::recordMetrics(const MetricsSnapshot &snapshot)
 }
 
 void
+RunManifest::recordSupervision(const SupervisedSweep &sweep)
+{
+    supervisionJson = supervisionToJson(sweep);
+}
+
+void
 RunManifest::note(const std::string &key, Json value)
 {
     notesJson.set(key, std::move(value));
@@ -173,9 +210,12 @@ RunManifest::toJson() const
     git.set("sha", Json::str(buildGitSha()));
     git.set("dirty", Json::boolean(buildTreeWasDirty()));
 
+    const bool supervised = supervisionJson.isObject();
     Json json = Json::object();
     json.set("schemaVersion",
-             Json::number(std::int64_t(runManifestSchemaVersion)));
+             Json::number(std::int64_t(
+                 supervised ? supervisedManifestSchemaVersion
+                            : runManifestSchemaVersion)));
     json.set("kind", Json::str("run-manifest"));
     json.set("name", Json::str(runName));
     json.set("git", std::move(git));
@@ -183,6 +223,8 @@ RunManifest::toJson() const
     json.set("results", resultsJson);
     json.set("profile", profileJson);
     json.set("metrics", metricsJson);
+    if (supervised)
+        json.set("supervision", supervisionJson);
     if (notesJson.size() > 0)
         json.set("notes", notesJson);
     return json;

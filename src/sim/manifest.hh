@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sim/metrics.hh"
+#include "sim/supervisor.hh"
 #include "sim/sweep.hh"
 #include "util/json.hh"
 #include "util/metrics.hh"
@@ -30,8 +31,16 @@
 namespace tl
 {
 
-/** Manifest schema version written into every file. */
+/** Schema version of a plain (unsupervised) manifest. */
 inline constexpr int runManifestSchemaVersion = 1;
+
+/**
+ * Schema version once a "supervision" section is present (per-cell
+ * state/attempts/wallMs, degraded flag). tools/validate_manifest.py
+ * accepts both; a manifest upgrades itself to 2 the moment
+ * recordSupervision() is called.
+ */
+inline constexpr int supervisedManifestSchemaVersion = 2;
 
 /** Builder for one run's manifest. */
 class RunManifest
@@ -61,6 +70,13 @@ class RunManifest
     void recordMetrics(const MetricsSnapshot &snapshot);
 
     /**
+     * Record a supervised sweep's per-cell dispositions (and its
+     * result columns, via addResults by the caller). Upgrades the
+     * manifest to schemaVersion 2.
+     */
+    void recordSupervision(const SupervisedSweep &sweep);
+
+    /**
      * Attach an arbitrary extra value under "notes.<key>" — bench
      * binaries use this for measurements outside the common schema
      * (throughput rates, speedup ratios).
@@ -88,6 +104,7 @@ class RunManifest
     Json resultsJson = Json::array();
     Json profileJson;
     Json metricsJson;
+    Json supervisionJson;
     Json notesJson = Json::object();
 };
 
@@ -102,6 +119,9 @@ Json sweepProfileToJson(const SweepProfile &profile);
 
 /** Serialize the options a run was driven with. */
 Json runOptionsToJson(const RunOptions &options);
+
+/** Serialize a supervised sweep's cell dispositions. */
+Json supervisionToJson(const SupervisedSweep &sweep);
 
 } // namespace tl
 

@@ -1,0 +1,867 @@
+#include "sim/supervisor.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread> // tl-lint: allow(thread) — watchdog, see Watchdog
+#include <utility>
+
+#include "util/crc32.hh"
+#include "util/event_log.hh"
+#include "util/json.hh"
+#include "util/status.hh"
+#include "util/thread_pool.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TL_CRASH_REPORTS 1
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace tl
+{
+
+namespace
+{
+
+using SweepClock = std::chrono::steady_clock;
+
+double
+elapsedSeconds(SweepClock::time_point from, SweepClock::time_point to)
+{
+    return std::chrono::duration<double>(to - from).count();
+}
+
+std::uint64_t
+elapsedMs(SweepClock::time_point from, SweepClock::time_point to)
+{
+    double ms = elapsedSeconds(from, to) * 1000.0;
+    return ms <= 0.0 ? 0 : static_cast<std::uint64_t>(ms);
+}
+
+void
+validateSupervisorOptions(const RunOptions &options)
+{
+    if (options.warmupFraction < 0.0 ||
+        options.warmupFraction >= 1.0) {
+        fatal("RunOptions::warmupFraction must be in [0, 1), got %g",
+              options.warmupFraction);
+    }
+}
+
+/**
+ * Deadline enforcement. One background thread holds a map of armed
+ * cells; when a cell's deadline passes, its cancel token is set and
+ * the entry dropped. The worker arms before an attempt and disarms
+ * after, so a retried cell gets a fresh deadline per attempt.
+ *
+ * This is deliberately a raw std::thread and not a pool task: the
+ * watchdog must keep running while every pool worker is wedged inside
+ * a hung cell — scheduling it on the pool would deadlock exactly when
+ * it is needed. Exceptions cannot escape its loop (it only touches
+ * the map and atomics) and the destructor joins it.
+ */
+class Watchdog
+{
+  public:
+    explicit Watchdog(double deadlineSeconds)
+        : deadline(deadlineSeconds),
+          ticker([this] { loop(); }) // tl-lint: allow(thread)
+    {}
+
+    ~Watchdog()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            stopping = true;
+        }
+        wake.notify_all();
+        ticker.join();
+    }
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /** Start @p cell's deadline clock; the watchdog may set @p cancel. */
+    void
+    arm(std::size_t cell, std::atomic<bool> *cancel)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        armed[cell] = Armed{
+            cancel,
+            SweepClock::now() +
+                std::chrono::duration_cast<SweepClock::duration>(
+                    std::chrono::duration<double>(deadline))};
+    }
+
+    /** Stop watching @p cell (its token may already be set). */
+    void
+    disarm(std::size_t cell)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        armed.erase(cell);
+    }
+
+  private:
+    struct Armed
+    {
+        std::atomic<bool> *cancel = nullptr;
+        SweepClock::time_point expires;
+    };
+
+    void
+    loop()
+    {
+        // Tick fast enough that a timeout is noticed well before a
+        // deadline's worth of extra work happens, without spinning.
+        const auto tick = std::chrono::duration_cast<
+            std::chrono::milliseconds>(std::chrono::duration<double>(
+            std::clamp(deadline / 8.0, 0.001, 0.05)));
+        std::unique_lock<std::mutex> lock(mutex);
+        while (!stopping) {
+            wake.wait_for(lock, tick);
+            if (stopping)
+                break;
+            const SweepClock::time_point now = SweepClock::now();
+            for (auto it = armed.begin(); it != armed.end();) {
+                if (now >= it->second.expires) {
+                    it->second.cancel->store(
+                        true, std::memory_order_relaxed);
+                    it = armed.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+    }
+
+    const double deadline;
+    std::mutex mutex;
+    std::condition_variable wake;
+    bool stopping = false; // guarded by mutex
+    std::map<std::size_t, Armed> armed;
+    std::thread ticker; // tl-lint: allow(thread)
+};
+
+#ifdef TL_CRASH_REPORTS
+
+/**
+ * Signal-safe crash reporting. Everything the handler touches is
+ * preallocated, fixed-size process-global state: workers pre-render
+ * their cell identity into a per-slot char buffer *before* running
+ * the cell, so the handler only has to open/write/close — all
+ * async-signal-safe — and re-raise. One report per process: the
+ * first crashing thread claims the file.
+ */
+constexpr int kCrashSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL,
+                                 SIGABRT};
+constexpr std::size_t kNumCrashSignals =
+    sizeof kCrashSignals / sizeof kCrashSignals[0];
+
+/** Slot 0 is the calling thread, slot i + 1 pool worker i. */
+constexpr std::size_t kMaxCrashSlots = 129;
+constexpr std::size_t kCrashTextBytes = 384;
+
+struct CrashSlot
+{
+    std::atomic<bool> active{false};
+    char text[kCrashTextBytes] = {};
+};
+
+struct CrashState
+{
+    std::atomic<bool> installed{false};
+    std::atomic<bool> reported{false};
+    char path[512] = {};
+    CrashSlot slots[kMaxCrashSlots];
+    struct sigaction saved[kNumCrashSignals] = {};
+};
+
+CrashState g_crash;
+
+void
+crashWrite(int fd, const char *data, std::size_t size)
+{
+    while (size > 0) {
+        ssize_t wrote = ::write(fd, data, size);
+        if (wrote <= 0)
+            return;
+        data += wrote;
+        size -= static_cast<std::size_t>(wrote);
+    }
+}
+
+void
+crashWriteStr(int fd, const char *text)
+{
+    std::size_t size = 0;
+    while (text[size] != '\0')
+        ++size;
+    crashWrite(fd, text, size);
+}
+
+void
+crashWriteU64(int fd, unsigned long long value)
+{
+    char buffer[24];
+    std::size_t at = sizeof buffer;
+    do {
+        buffer[--at] = static_cast<char>('0' + value % 10);
+        value /= 10;
+    } while (value > 0 && at > 0);
+    crashWrite(fd, buffer + at, sizeof buffer - at);
+}
+
+extern "C" void
+tlCrashHandler(int signal)
+{
+    if (!g_crash.reported.exchange(true)) {
+        int fd = ::open(g_crash.path, O_WRONLY | O_CREAT | O_TRUNC,
+                        0644);
+        if (fd >= 0) {
+            crashWriteStr(fd,
+                          "{\"kind\": \"crash-report\", \"signal\": ");
+            crashWriteU64(fd,
+                          static_cast<unsigned long long>(signal));
+            crashWriteStr(fd, ", \"cells\": [");
+            bool first = true;
+            for (const CrashSlot &slot : g_crash.slots) {
+                if (!slot.active.load(std::memory_order_acquire))
+                    continue;
+                if (!first)
+                    crashWriteStr(fd, ", ");
+                crashWriteStr(fd, slot.text);
+                first = false;
+            }
+            crashWriteStr(fd, "]}\n");
+            ::close(fd);
+        }
+    }
+    // Put the original disposition back and re-deliver, so the
+    // process still dies by this signal (death tests and shells see
+    // the true cause, core dumps still happen where enabled).
+    for (std::size_t i = 0; i < kNumCrashSignals; ++i) {
+        if (kCrashSignals[i] == signal)
+            ::sigaction(signal, &g_crash.saved[i], nullptr);
+    }
+    ::raise(signal);
+}
+
+bool
+installCrashReporter(const std::string &path)
+{
+    bool expected = false;
+    if (!g_crash.installed.compare_exchange_strong(expected, true))
+        return false; // another supervisor owns the handlers
+    g_crash.reported.store(false);
+    std::snprintf(g_crash.path, sizeof g_crash.path, "%s",
+                  path.c_str());
+    struct sigaction action = {};
+    action.sa_handler = tlCrashHandler;
+    sigemptyset(&action.sa_mask);
+    for (std::size_t i = 0; i < kNumCrashSignals; ++i)
+        ::sigaction(kCrashSignals[i], &action, &g_crash.saved[i]);
+    return true;
+}
+
+void
+uninstallCrashReporter()
+{
+    for (std::size_t i = 0; i < kNumCrashSignals; ++i)
+        ::sigaction(kCrashSignals[i], &g_crash.saved[i], nullptr);
+    for (CrashSlot &slot : g_crash.slots)
+        slot.active.store(false, std::memory_order_relaxed);
+    g_crash.installed.store(false);
+}
+
+std::size_t
+crashSlotIndex()
+{
+    return static_cast<std::size_t>(ThreadPool::currentWorkerIndex() +
+                                    1);
+}
+
+void
+publishCrashCell(std::size_t slot, std::size_t cell,
+                 const std::string &column,
+                 const std::string &workload, std::uint32_t attempt,
+                 const std::string &resumeFrom)
+{
+    if (!g_crash.installed.load(std::memory_order_relaxed) ||
+        slot >= kMaxCrashSlots)
+        return;
+    CrashSlot &entry = g_crash.slots[slot];
+    entry.active.store(false, std::memory_order_relaxed);
+    std::string column_escaped = jsonEscape(column);
+    std::string workload_escaped = jsonEscape(workload);
+    std::string resume_escaped = jsonEscape(resumeFrom);
+    std::snprintf(entry.text, sizeof entry.text,
+                  "{\"cell\": %llu, \"column\": \"%s\", "
+                  "\"workload\": \"%s\", \"attempt\": %u, "
+                  "\"resume\": \"%s\"}",
+                  static_cast<unsigned long long>(cell),
+                  column_escaped.c_str(), workload_escaped.c_str(),
+                  attempt, resume_escaped.c_str());
+    entry.active.store(true, std::memory_order_release);
+}
+
+void
+clearCrashCell(std::size_t slot)
+{
+    if (slot < kMaxCrashSlots)
+        g_crash.slots[slot].active.store(false,
+                                         std::memory_order_relaxed);
+}
+
+#else // !TL_CRASH_REPORTS
+
+bool
+installCrashReporter(const std::string &)
+{
+    return false;
+}
+
+void
+uninstallCrashReporter()
+{
+}
+
+std::size_t
+crashSlotIndex()
+{
+    return 0;
+}
+
+void
+publishCrashCell(std::size_t, std::size_t, const std::string &,
+                 const std::string &, std::uint32_t,
+                 const std::string &)
+{
+}
+
+void
+clearCrashCell(std::size_t)
+{
+}
+
+#endif // TL_CRASH_REPORTS
+
+} // namespace
+
+FaultPlan &
+FaultPlan::fault(std::size_t cell, CellFaultKind kind,
+                 std::uint32_t failAttempts)
+{
+    entries.push_back(Entry{cell, kind, failAttempts});
+    return *this;
+}
+
+CellFaultHook
+FaultPlan::hook() const
+{
+    // Copy the schedule into the closure so the plan object need not
+    // outlive the supervisor run.
+    std::vector<Entry> plan = entries;
+    return [plan](std::size_t cell, std::uint32_t attempt,
+                  const std::atomic<bool> &cancel) -> Status {
+        for (const Entry &entry : plan) {
+            if (entry.cell != cell || attempt > entry.failAttempts)
+                continue;
+            switch (entry.kind) {
+              case CellFaultKind::RetryableFailure:
+                return unavailableError(
+                    "injected retryable fault (cell %llu attempt %u)",
+                    static_cast<unsigned long long>(cell), attempt);
+              case CellFaultKind::PermanentFailure:
+                return corruptDataError(
+                    "injected permanent fault (cell %llu attempt %u)",
+                    static_cast<unsigned long long>(cell), attempt);
+              case CellFaultKind::Throw:
+                throw std::runtime_error(strprintf(
+                    "injected throw (cell %llu attempt %u)",
+                    static_cast<unsigned long long>(cell), attempt));
+              case CellFaultKind::Hang:
+                // Wedge until the watchdog fires; the poll keeps the
+                // hang cooperative so tests stay fast and TSan-clean.
+                while (!cancel.load(std::memory_order_relaxed)) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+                }
+                return Status();
+            }
+        }
+        return Status();
+    };
+}
+
+std::uint32_t
+gridSignature(const std::vector<SweepSpec> &columns,
+              const std::vector<const Workload *> &workloads,
+              std::uint64_t branchBudget, const RunOptions &options)
+{
+    Crc32 crc;
+    crc.updateU64(branchBudget);
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    std::uint64_t warmup_bits = 0;
+    std::memcpy(&warmup_bits, &options.warmupFraction,
+                sizeof warmup_bits);
+    crc.updateU64(warmup_bits);
+    crc.updateU32(options.contextSwitches ? 1 : 0);
+    crc.updateU64(options.contextSwitchInterval);
+    crc.updateU32(options.switchOnTrap ? 1 : 0);
+    crc.updateU64(columns.size());
+    for (const SweepSpec &column : columns) {
+        crc.update(column.displayName.data(),
+                   column.displayName.size());
+        crc.updateU32(column.contextSwitches ? 1 : 0);
+    }
+    crc.updateU64(workloads.size());
+    for (const Workload *workload : workloads) {
+        const std::string name = workload->name();
+        crc.update(name.data(), name.size());
+    }
+    return crc.value();
+}
+
+SweepSupervisor::SweepSupervisor(Config config, RunOptions options)
+    : supConfig(std::move(config)),
+      runOptions(options),
+      ownedSuite(
+          std::make_unique<WorkloadSuite>(options.branchBudget)),
+      suitePtr(ownedSuite.get())
+{
+    validateSupervisorOptions(runOptions);
+}
+
+SweepSupervisor::SweepSupervisor(Config config, WorkloadSuite &suite,
+                                 RunOptions options)
+    : supConfig(std::move(config)), runOptions(options),
+      suitePtr(&suite)
+{
+    validateSupervisorOptions(runOptions);
+}
+
+std::string
+SweepSupervisor::checkpointPath() const
+{
+    return supConfig.directory + "/CHECKPOINT_" + supConfig.name +
+           ".jsonl";
+}
+
+std::string
+SweepSupervisor::crashReportPath() const
+{
+    return supConfig.directory + "/CRASH_" + supConfig.name + ".json";
+}
+
+void
+SweepSupervisor::setFaultHook(CellFaultHook hook)
+{
+    faultHook = std::move(hook);
+}
+
+namespace
+{
+
+/** Mutable per-cell supervision state (one writer per cell). */
+struct SupervisedCell
+{
+    CellExecution exec;
+    CellState state = CellState::Failed;
+    std::uint32_t attempts = 0;
+    std::uint64_t wallMs = 0;
+    bool restored = false;
+    Status error;
+};
+
+CheckpointCell
+journalRecord(std::uint64_t cell, const SweepSpec &column,
+              const Workload &workload, const SupervisedCell &slot)
+{
+    CheckpointCell record;
+    record.cell = cell;
+    record.state = slot.state;
+    record.column = column.displayName;
+    record.workload = workload.name();
+    record.attempts = slot.attempts;
+    record.wallMs = slot.wallMs;
+    record.isInteger = workload.isInteger();
+    if (slot.exec.result)
+        record.result = slot.exec.result->sim;
+    return record;
+}
+
+} // namespace
+
+SupervisedSweep
+SweepSupervisor::run(const std::vector<SweepSpec> &columns)
+{
+    const std::vector<const Workload *> &workloads = allWorkloads();
+    const std::size_t perColumn = workloads.size();
+    const std::size_t cells = columns.size() * perColumn;
+    const std::string checkpointFile = checkpointPath();
+
+    CheckpointHeader header;
+    header.name = supConfig.name;
+    header.columns = columns.size();
+    header.workloads = perColumn;
+    header.branchBudget = suitePtr->condBranches();
+    header.signature = gridSignature(columns, workloads,
+                                     header.branchBudget, runOptions);
+
+    SupervisedSweep sweep;
+    std::vector<SupervisedCell> grid(cells);
+
+    // Phase 1: restore. A checkpoint is only trusted when its header
+    // matches this exact request; anything else (missing file, torn
+    // header, different grid) degrades to a fresh run with a warning,
+    // never to mixed results.
+    if (supConfig.resume && supConfig.checkpoint) {
+        StatusOr<Checkpoint> loaded =
+            readCheckpointFile(checkpointFile);
+        if (!loaded.ok()) {
+            warn("supervisor '%s': no resumable checkpoint (%s); "
+                 "starting fresh",
+                 supConfig.name.c_str(),
+                 loaded.status().toString().c_str());
+        } else if (!(loaded->header == header)) {
+            warn("supervisor '%s': checkpoint %s was written by a "
+                 "different request (signature %u, expected %u); "
+                 "starting fresh",
+                 supConfig.name.c_str(), checkpointFile.c_str(),
+                 loaded->header.signature, header.signature);
+        } else {
+            if (loaded->droppedLines > 0 ||
+                loaded->duplicateLines > 0) {
+                warn("supervisor '%s': checkpoint salvage dropped "
+                     "%llu torn and %llu duplicate line(s)",
+                     supConfig.name.c_str(),
+                     static_cast<unsigned long long>(
+                         loaded->droppedLines),
+                     static_cast<unsigned long long>(
+                         loaded->duplicateLines));
+            }
+            for (const CheckpointCell &record : loaded->cells) {
+                if (!cellStateRestorable(record.state))
+                    continue;
+                SupervisedCell &slot = grid[record.cell];
+                slot.restored = true;
+                slot.state = record.state;
+                slot.attempts = record.attempts;
+                slot.wallMs = record.wallMs;
+                if (record.state == CellState::Ok) {
+                    slot.exec.result = BenchmarkResult{
+                        record.workload, record.isInteger,
+                        record.result};
+                }
+                ++sweep.restoredCells;
+            }
+            inform("supervisor '%s': restored %llu of %llu cells "
+                   "from %s",
+                   supConfig.name.c_str(),
+                   static_cast<unsigned long long>(
+                       sweep.restoredCells),
+                   static_cast<unsigned long long>(cells),
+                   checkpointFile.c_str());
+        }
+    }
+
+    // Phase 2: reopen the journal. Restored cells are re-journaled
+    // first so the file is always a complete record of the current
+    // run — a second resume never depends on the previous file.
+    CheckpointWriter journal;
+    std::mutex journalMutex;
+    if (supConfig.checkpoint) {
+        Status opened = journal.open(checkpointFile, header);
+        if (!opened.ok()) {
+            warn("supervisor '%s': checkpointing disabled: %s",
+                 supConfig.name.c_str(),
+                 opened.toString().c_str());
+        } else {
+            for (std::size_t cell = 0; cell < cells; ++cell) {
+                if (!grid[cell].restored)
+                    continue;
+                const SweepSpec &column = columns[cell / perColumn];
+                const Workload &workload = *workloads[cell % perColumn];
+                Status appended = journal.append(journalRecord(
+                    cell, column, workload, grid[cell]));
+                if (!appended.ok()) {
+                    warn("supervisor '%s': checkpoint append failed: "
+                         "%s",
+                         supConfig.name.c_str(),
+                         appended.toString().c_str());
+                    break;
+                }
+            }
+        }
+    }
+
+    const bool crashReporting =
+        supConfig.crashReports &&
+        installCrashReporter(crashReportPath());
+
+    std::unique_ptr<Watchdog> watchdog;
+    if (runOptions.cellDeadline > 0.0)
+        watchdog = std::make_unique<Watchdog>(runOptions.cellDeadline);
+
+    if (runOptions.events) {
+        runOptions.events->emit(
+            "sweep.start",
+            {EventField::u64("columns", columns.size()),
+             EventField::u64("workloads", perColumn),
+             EventField::u64("threads", runOptions.threads),
+             EventField::boolean("supervised", true),
+             EventField::u64("restored", sweep.restoredCells)});
+    }
+
+    sweep.profile = SweepProfile{};
+    sweep.profile.threads = runOptions.threads;
+    sweep.profile.cells.resize(cells);
+    sweep.profile.workerBusySeconds.assign(runOptions.threads + 1,
+                                           0.0);
+
+    std::atomic<std::size_t> cellsDone{0};
+    std::mutex progressMutex;
+    const SweepClock::time_point sweepStart = SweepClock::now();
+    SweepClock::time_point lastProgress = sweepStart;
+
+    const std::uint32_t maxAttempts =
+        std::max(1u, runOptions.maxCellAttempts);
+
+    auto finishCell = [&](std::size_t cell, const SweepSpec &column,
+                          const Workload &workload,
+                          SweepClock::time_point end) {
+        SupervisedCell &slot = grid[cell];
+        if (runOptions.events) {
+            runOptions.events->emit(
+                "cell.done",
+                {EventField::str("column", column.displayName),
+                 EventField::str("workload", workload.name()),
+                 EventField::str("state",
+                                 cellStateName(slot.state)),
+                 EventField::u64("attempts", slot.attempts),
+                 EventField::u64("wallMs", slot.wallMs),
+                 EventField::boolean("restored", slot.restored)});
+        }
+        const std::size_t done =
+            cellsDone.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (runOptions.progress) {
+            std::lock_guard<std::mutex> lock(progressMutex);
+            if (done == cells ||
+                elapsedSeconds(lastProgress, end) >=
+                    runOptions.progressInterval) {
+                lastProgress = end;
+                runOptions.progress(done, cells);
+            }
+        }
+    };
+
+    auto compute = [&](std::size_t cell) {
+        const SweepSpec &column = columns[cell / perColumn];
+        const Workload &workload = *workloads[cell % perColumn];
+        SupervisedCell &slot = grid[cell];
+        CellProfile &timing = sweep.profile.cells[cell];
+        timing.column = column.displayName;
+        timing.workload = workload.name();
+
+        if (slot.restored) {
+            // Satisfied from the checkpoint: no simulation, no wall
+            // time, attributed to no worker.
+            timing.worker = -1;
+            timing.skipped = !slot.exec.result.has_value();
+            finishCell(cell, column, workload, SweepClock::now());
+            return;
+        }
+
+        if (runOptions.events) {
+            runOptions.events->emit(
+                "cell.start",
+                {EventField::str("column", column.displayName),
+                 EventField::str("workload", workload.name())});
+        }
+
+        const SweepClock::time_point start = SweepClock::now();
+        const std::size_t crashSlot = crashSlotIndex();
+        std::atomic<bool> cancel{false};
+
+        for (std::uint32_t attempt = 1;; ++attempt) {
+            cancel.store(false, std::memory_order_relaxed);
+            publishCrashCell(crashSlot, cell, column.displayName,
+                             workload.name(), attempt,
+                             checkpointFile);
+            const SweepClock::time_point attemptStart =
+                SweepClock::now();
+
+            Status failure;
+            CellExecution exec;
+            if (watchdog)
+                watchdog->arm(cell, &cancel);
+            try {
+                if (faultHook)
+                    failure = faultHook(cell, attempt, cancel);
+                if (failure.ok() &&
+                    !cancel.load(std::memory_order_relaxed)) {
+                    exec = runSweepCell(*suitePtr, runOptions,
+                                        column, workload, &cancel);
+                }
+            } catch (const std::exception &error) {
+                failure = internalError("cell threw: %s",
+                                        error.what());
+            } catch (...) { // tl-lint: allow(catch-all)
+                // Not swallowed: the unknown exception is recorded
+                // as a permanent Status on the cell report.
+                failure = internalError(
+                    "cell threw a non-standard exception");
+            }
+            if (watchdog)
+                watchdog->disarm(cell);
+            clearCrashCell(crashSlot);
+
+            slot.attempts = attempt;
+            slot.wallMs =
+                elapsedMs(attemptStart, SweepClock::now());
+
+            if (cancel.load(std::memory_order_relaxed) ||
+                exec.cancelled) {
+                // Terminal, never retried: a cell that cannot finish
+                // inside the deadline once would just burn another
+                // deadline's worth of wall time per retry.
+                slot.state = CellState::TimedOut;
+                slot.error = unavailableError(
+                    "cell exceeded its %gs deadline",
+                    runOptions.cellDeadline);
+                break;
+            }
+            if (failure.ok() && !exec.trainingStatus.ok()) {
+                if (exec.trainingStatus.code() ==
+                    StatusCode::FailedPrecondition) {
+                    // The paper's NA entries: an omitted point, not
+                    // a failure (Fig. 11).
+                    slot.state = CellState::Skipped;
+                    slot.error = exec.trainingStatus;
+                    slot.exec = std::move(exec);
+                    break;
+                }
+                failure = exec.trainingStatus;
+            }
+            if (failure.ok()) {
+                slot.state = CellState::Ok;
+                slot.exec = std::move(exec);
+                break;
+            }
+            slot.error = failure;
+            if (isRetryable(failure.code()) &&
+                attempt < maxAttempts) {
+                if (runOptions.retryBackoffSeconds > 0.0) {
+                    const std::uint32_t shift =
+                        std::min(attempt - 1, 20u);
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(
+                            runOptions.retryBackoffSeconds *
+                            static_cast<double>(1u << shift)));
+                }
+                continue;
+            }
+            slot.state = CellState::Failed;
+            break;
+        }
+
+        const SweepClock::time_point end = SweepClock::now();
+        timing.worker = ThreadPool::currentWorkerIndex();
+        timing.queueSeconds = elapsedSeconds(sweepStart, start);
+        timing.wallSeconds = elapsedSeconds(start, end);
+        timing.skipped = !slot.exec.result.has_value();
+        sweep.profile.workerBusySeconds[timing.worker + 1] +=
+            timing.wallSeconds;
+
+        if (cellStateRestorable(slot.state)) {
+            std::lock_guard<std::mutex> lock(journalMutex);
+            if (journal.isOpen()) {
+                Status appended = journal.append(
+                    journalRecord(cell, column, workload, slot));
+                if (!appended.ok()) {
+                    warn("supervisor '%s': checkpoint append "
+                         "failed: %s",
+                         supConfig.name.c_str(),
+                         appended.toString().c_str());
+                    journal.close();
+                }
+            }
+        }
+
+        finishCell(cell, column, workload, end);
+    };
+
+    if (runOptions.threads == 0) {
+        for (std::size_t cell = 0; cell < cells; ++cell)
+            compute(cell);
+    } else {
+        ThreadPool pool(runOptions.threads);
+        parallelFor(pool, cells, compute);
+    }
+
+    watchdog.reset();
+    if (crashReporting)
+        uninstallCrashReporter();
+
+    sweep.profile.wallSeconds =
+        elapsedSeconds(sweepStart, SweepClock::now());
+
+    // Deterministic harvest, as in SweepRunner: grid-index order.
+    // Restored cells carry no metrics (their counters died with the
+    // interrupted process); only cells executed here contribute.
+    if (runOptions.metrics) {
+        for (const SupervisedCell &slot : grid) {
+            if (!slot.restored && cellStateRestorable(slot.state))
+                runOptions.metrics->merge(slot.exec.metrics);
+        }
+    }
+
+    sweep.cells.reserve(cells);
+    for (std::size_t cell = 0; cell < cells; ++cell) {
+        const SupervisedCell &slot = grid[cell];
+        CellReport report;
+        report.column = columns[cell / perColumn].displayName;
+        report.workload = workloads[cell % perColumn]->name();
+        report.state = slot.state;
+        report.attempts = std::max(1u, slot.attempts);
+        report.wallMs = slot.wallMs;
+        report.restored = slot.restored;
+        report.error = slot.error;
+        if (slot.state == CellState::TimedOut ||
+            slot.state == CellState::Failed)
+            sweep.degraded = true;
+        sweep.cells.push_back(std::move(report));
+    }
+
+    sweep.results.reserve(columns.size());
+    for (std::size_t ci = 0; ci < columns.size(); ++ci) {
+        ResultSet column(columns[ci].displayName);
+        for (std::size_t wi = 0; wi < perColumn; ++wi) {
+            if (const auto &cell =
+                    grid[ci * perColumn + wi].exec.result)
+                column.add(*cell);
+        }
+        sweep.results.push_back(std::move(column));
+    }
+
+    if (runOptions.events) {
+        runOptions.events->emit(
+            "sweep.done",
+            {EventField::u64("cells", cells),
+             EventField::real("wallSeconds",
+                              sweep.profile.wallSeconds),
+             EventField::real("occupancy",
+                              sweep.profile.occupancy()),
+             EventField::boolean("degraded", sweep.degraded)});
+    }
+
+    return sweep;
+}
+
+} // namespace tl

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Fault-tolerant sweep supervision: SweepRunner's grid semantics plus
+ * the survival machinery long paper-scale runs need.
+ *
+ * A SweepSupervisor runs the same deterministic (column x workload)
+ * grid as SweepRunner (sim/sweep.hh), but wraps every cell in a
+ * supervision loop:
+ *
+ *  - checkpoint/resume — each finished cell is journaled to
+ *    CHECKPOINT_<name>.jsonl (sim/checkpoint.hh); with Config::resume
+ *    a restart restores journaled cells instead of recomputing them,
+ *    and because cell ordering is deterministic the resumed ResultSet
+ *    is byte-identical to an uninterrupted run's;
+ *  - deadlines — RunOptions::cellDeadline arms a watchdog thread that
+ *    cancels an overdue cell cooperatively (the simulate() loop polls
+ *    SimOptions::cancelToken) and reports it timed-out while the rest
+ *    of the grid completes;
+ *  - bounded retry — a cell failing with a retryable Status
+ *    (isRetryable in util/status_or.hh) is re-run up to
+ *    RunOptions::maxCellAttempts times with exponential backoff;
+ *  - graceful degradation — failed, timed-out and retry-exhausted
+ *    cells never abort the sweep: they are reported per cell in
+ *    SupervisedSweep (and manifest schemaVersion 2 via
+ *    RunManifest::recordSupervision), gmeans cover the survivors,
+ *    and SupervisedSweep::degraded flags the loss;
+ *  - crash isolation — around worker execution a signal-safe handler
+ *    writes CRASH_<name>.json naming the in-flight cells and the
+ *    checkpoint to resume from, so even a SIGSEGV'd run is resumable.
+ *
+ * Failure *classification* is deterministic under the fixed-seed
+ * regime (the chaos tests in tests/test_supervisor.cc inject faults
+ * through a FaultPlan and assert exact outcomes); wall times and the
+ * watchdog's firing moment are observational, like SweepProfile.
+ */
+
+#ifndef TL_SIM_SUPERVISOR_HH
+#define TL_SIM_SUPERVISOR_HH
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/checkpoint.hh"
+#include "sim/sweep.hh"
+
+namespace tl
+{
+
+/** What happened to one supervised cell, in grid order. */
+struct CellReport
+{
+    std::string column;   //!< column display name
+    std::string workload; //!< benchmark name
+    CellState state = CellState::Ok;
+    std::uint32_t attempts = 1; //!< attempts consumed incl. the last
+    std::uint64_t wallMs = 0;   //!< wall ms of the final attempt
+    bool restored = false;      //!< satisfied from the checkpoint
+    Status error; //!< last failure (OK for ok; NA reason for skipped)
+};
+
+/** Everything a supervised sweep produced. */
+struct SupervisedSweep
+{
+    /**
+     * One ResultSet per column, in column order, built from the
+     * surviving (ok) cells — the same shape SweepRunner::run()
+     * returns, so manifest/report plumbing is unchanged.
+     */
+    std::vector<ResultSet> results;
+
+    /** Per-cell dispositions, grid (column-major cell) order. */
+    std::vector<CellReport> cells;
+
+    /** Wall-clock profile (restored cells appear with zero time). */
+    SweepProfile profile;
+
+    /** At least one cell timed out or failed; gmeans are partial. */
+    bool degraded = false;
+
+    /** Cells satisfied from the checkpoint instead of recomputed. */
+    std::size_t restoredCells = 0;
+};
+
+/**
+ * Chaos-injection hook, called at the top of every cell attempt.
+ * Returning a non-OK Status makes the attempt fail with that status;
+ * the hook may also block on @p cancel to simulate a hang (the
+ * watchdog sets it) or throw to simulate an escaping bug. Production
+ * runs leave it unset; tests/test_supervisor.cc drives every
+ * supervision path through it deterministically.
+ */
+using CellFaultHook = std::function<Status(
+    std::size_t cell, std::uint32_t attempt,
+    const std::atomic<bool> &cancel)>;
+
+/** Fault species a FaultPlan can schedule (cf. trace/faults.hh). */
+enum class CellFaultKind : std::uint8_t
+{
+    RetryableFailure, //!< fail with a retryable Status (Unavailable)
+    PermanentFailure, //!< fail with a permanent Status (CorruptData)
+    Throw,            //!< throw std::runtime_error out of the cell
+    Hang,             //!< block until the watchdog cancels the cell
+};
+
+/**
+ * A deterministic schedule of cell faults — the supervisor-level
+ * analogue of trace/faults.hh's byte-level injectFault(). Faults are
+ * keyed by grid cell index; each fires on the first @p failAttempts
+ * attempts of its cell (kAlways = every attempt), so
+ * "fail twice, then succeed" is fault(cell, RetryableFailure, 2).
+ */
+class FaultPlan
+{
+  public:
+    /** Fire on every attempt. */
+    static constexpr std::uint32_t kAlways = ~std::uint32_t(0);
+
+    /** Schedule @p kind for @p cell's first @p failAttempts attempts. */
+    FaultPlan &fault(std::size_t cell, CellFaultKind kind,
+                     std::uint32_t failAttempts = kAlways);
+
+    /** The hook enacting this plan; copyable, shares no state. */
+    [[nodiscard]] CellFaultHook hook() const;
+
+  private:
+    struct Entry
+    {
+        std::size_t cell;
+        CellFaultKind kind;
+        std::uint32_t failAttempts;
+    };
+
+    std::vector<Entry> entries;
+};
+
+/**
+ * Identity of a sweep request, folded to 32 bits: the column specs,
+ * workload names, branch budget and the RunOptions that shape
+ * results. A checkpoint whose header signature differs was written by
+ * a different request and must not be resumed.
+ */
+[[nodiscard]] std::uint32_t gridSignature(
+    const std::vector<SweepSpec> &columns,
+    const std::vector<const Workload *> &workloads,
+    std::uint64_t branchBudget, const RunOptions &options);
+
+/** SweepRunner with checkpoints, deadlines, retries and isolation. */
+class SweepSupervisor
+{
+  public:
+    /** Supervision knobs; grid knobs stay in RunOptions. */
+    struct Config
+    {
+        /** Run name: CHECKPOINT_<name>.jsonl, CRASH_<name>.json. */
+        std::string name = "sweep";
+
+        /** Directory for the checkpoint and crash files. */
+        std::string directory = ".";
+
+        /** Restore cells from an existing checkpoint before running. */
+        bool resume = false;
+
+        /** Journal finished cells (off = supervise without a file). */
+        bool checkpoint = true;
+
+        /** Install the signal-safe crash reporter around the run. */
+        bool crashReports = true;
+    };
+
+    /** Own a suite (budget from options.branchBudget). */
+    explicit SweepSupervisor(Config config, RunOptions options = {});
+
+    /** Share @p suite (must outlive the supervisor). */
+    SweepSupervisor(Config config, WorkloadSuite &suite,
+                    RunOptions options = {});
+
+    WorkloadSuite &suite() { return *suitePtr; }
+
+    const RunOptions &options() const { return runOptions; }
+
+    const Config &config() const { return supConfig; }
+
+    /** "<directory>/CHECKPOINT_<name>.jsonl". */
+    [[nodiscard]] std::string checkpointPath() const;
+
+    /** "<directory>/CRASH_<name>.json". */
+    [[nodiscard]] std::string crashReportPath() const;
+
+    /** Install a chaos hook (tests); pass nullptr to clear. */
+    void setFaultHook(CellFaultHook hook);
+
+    /**
+     * Run the grid under supervision. Unlike SweepRunner::run(), this
+     * never throws for a cell-level problem: every disposition comes
+     * back in SupervisedSweep::cells.
+     */
+    SupervisedSweep run(const std::vector<SweepSpec> &columns);
+
+  private:
+    Config supConfig;
+    RunOptions runOptions;
+    std::unique_ptr<WorkloadSuite> ownedSuite;
+    WorkloadSuite *suitePtr;
+    CellFaultHook faultHook;
+};
+
+} // namespace tl
+
+#endif // TL_SIM_SUPERVISOR_HH

@@ -84,13 +84,14 @@ SweepRunner::SweepRunner(WorkloadSuite &suite, RunOptions options)
     }
 }
 
-SweepRunner::CellOutcome
-SweepRunner::runCell(const SweepSpec &column,
-                     const Workload &workload) const
+CellExecution
+runSweepCell(WorkloadSuite &suite, const RunOptions &options,
+             const SweepSpec &column, const Workload &workload,
+             const std::atomic<bool> *cancel)
 {
-    CellOutcome out;
+    CellExecution out;
     const bool instrumented =
-        runOptions.instrument || runOptions.metrics != nullptr;
+        options.instrument || options.metrics != nullptr;
 
     std::unique_ptr<BranchPredictor> predictor = column.make();
     if (instrumented)
@@ -98,9 +99,13 @@ SweepRunner::runCell(const SweepSpec &column,
 
     if (predictor->needsTraining()) {
         StatusOr<std::shared_ptr<const Trace>> training =
-            suitePtr->tryTraining(workload);
+            suite.tryTraining(workload);
         if (!training.ok()) {
-            // Omitted point, as in Fig. 11.
+            // Omitted point, as in Fig. 11. The status is preserved
+            // so a supervisor can tell an NA benchmark
+            // (FailedPrecondition, permanent) from a broken training
+            // trace (IoError, worth a retry).
+            out.trainingStatus = training.status();
             if (instrumented) {
                 MetricsRegistry cellMetrics;
                 cellMetrics.add("sweep.cellsSkipped");
@@ -114,22 +119,31 @@ SweepRunner::runCell(const SweepSpec &column,
 
     SimOptions sim;
     sim.contextSwitches =
-        runOptions.contextSwitches || column.contextSwitches;
-    sim.contextSwitchInterval = runOptions.contextSwitchInterval;
-    sim.switchOnTrap = runOptions.switchOnTrap;
+        options.contextSwitches || column.contextSwitches;
+    sim.contextSwitchInterval = options.contextSwitchInterval;
+    sim.switchOnTrap = options.switchOnTrap;
+    sim.cancelToken = cancel;
 
-    std::shared_ptr<const Trace> testing =
-        suitePtr->testingTrace(workload);
+    std::shared_ptr<const Trace> testing = suite.testingTrace(workload);
     TraceReplaySource source(*testing);
-    if (runOptions.warmupFraction > 0.0) {
+    if (options.warmupFraction > 0.0) {
         SimOptions warmup = sim;
         warmup.maxConditionalBranches = static_cast<std::uint64_t>(
-            runOptions.warmupFraction *
-            static_cast<double>(suitePtr->condBranches()));
-        simulate(source, *predictor, warmup); // state kept, counters
-                                              // discarded
+            options.warmupFraction *
+            static_cast<double>(suite.condBranches()));
+        SimResult warm = simulate(source, *predictor, warmup);
+        // State kept, counters discarded — unless the watchdog fired
+        // mid-warmup, in which case the cell has no usable result.
+        if (warm.cancelled) {
+            out.cancelled = true;
+            return out;
+        }
     }
     SimResult result = simulate(source, *predictor, sim);
+    if (result.cancelled) {
+        out.cancelled = true;
+        return out;
+    }
 
 #if TL_DCHECK_ENABLED
     // Between sweep cells the predictor's run-time tables must still
@@ -146,7 +160,7 @@ SweepRunner::runCell(const SweepSpec &column,
                                  workload.isInteger(), result};
 
     if (instrumented) {
-        // Harvest into a cell-private registry; run() later merges
+        // Harvest into a cell-private registry; the caller merges
         // the snapshots in grid order so totals stay deterministic.
         MetricsRegistry cellMetrics;
         predictor->reportMetrics(cellMetrics);
@@ -162,6 +176,16 @@ SweepRunner::runCell(const SweepSpec &column,
         out.metrics = cellMetrics.snapshot();
     }
     return out;
+}
+
+SweepRunner::CellOutcome
+SweepRunner::runCell(const SweepSpec &column,
+                     const Workload &workload) const
+{
+    CellExecution exec =
+        runSweepCell(*suitePtr, runOptions, column, workload);
+    return CellOutcome{std::move(exec.result),
+                       std::move(exec.metrics)};
 }
 
 std::vector<ResultSet>

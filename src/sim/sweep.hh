@@ -28,6 +28,7 @@
 #ifndef TL_SIM_SWEEP_HH
 #define TL_SIM_SWEEP_HH
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -111,6 +112,34 @@ struct RunOptions
 
     /** Minimum seconds between progress callbacks. */
     double progressInterval = 0.25;
+
+    /// @name Supervision knobs (consulted by sim/supervisor.hh only;
+    /// a plain SweepRunner ignores them).
+    /// @{
+
+    /**
+     * Wall-clock budget per cell in seconds; 0 disables the deadline.
+     * A supervised cell that exceeds it is cancelled cooperatively
+     * (via SimOptions::cancelToken) and reported timed-out; the rest
+     * of the grid is unaffected.
+     */
+    double cellDeadline = 0.0;
+
+    /**
+     * Attempts per cell before a retryable failure (isRetryable in
+     * util/status_or.hh) becomes terminal. 1 = no retry; 0 is
+     * treated as 1.
+     */
+    unsigned maxCellAttempts = 1;
+
+    /**
+     * Base of the exponential backoff between retry attempts:
+     * attempt n waits retryBackoffSeconds * 2^(n-1) before retrying.
+     * 0 retries immediately (keeps tests fast and deterministic).
+     */
+    double retryBackoffSeconds = 0.0;
+
+    /// @}
 };
 
 /** Timing record of one sweep cell (observational only). */
@@ -181,6 +210,43 @@ SweepSpec sweepSpec(const SchemeSpec &spec);
 
 /** Build a SweepSpec from Table-3 spec text; fatal() on bad text. */
 SweepSpec sweepSpec(std::string_view specText);
+
+/**
+ * Everything one executed cell produces, including the failure facts
+ * a supervisor needs to classify the outcome.
+ */
+struct CellExecution
+{
+    /** nullopt when the column skips this benchmark or was cancelled. */
+    std::optional<BenchmarkResult> result;
+
+    /** The cell's private counter harvest (empty when off). */
+    MetricsSnapshot metrics;
+
+    /**
+     * Why training was unavailable when the cell was skipped
+     * (FailedPrecondition for Table 2 NA entries, IoError/CorruptData
+     * for broken training traces); OK for an executed cell.
+     */
+    Status trainingStatus;
+
+    /** The cancel token stopped the warmup or measured simulation. */
+    bool cancelled = false;
+};
+
+/**
+ * Execute one sweep cell — one fresh predictor from @p column over
+ * @p workload's trace under @p options — and report everything that
+ * happened. This is the single cell implementation shared by
+ * SweepRunner (which discards the failure detail) and SweepSupervisor
+ * (which classifies it); @p cancel, when non-null, is polled by the
+ * simulation loop so a watchdog can reclaim the worker.
+ */
+CellExecution runSweepCell(WorkloadSuite &suite,
+                           const RunOptions &options,
+                           const SweepSpec &column,
+                           const Workload &workload,
+                           const std::atomic<bool> *cancel = nullptr);
 
 /**
  * Runs (configuration x workload) grids over the nine-benchmark

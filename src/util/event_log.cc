@@ -6,6 +6,25 @@
 namespace tl
 {
 
+std::vector<std::string>
+salvageJsonlLines(std::string_view bytes)
+{
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < bytes.size()) {
+        std::size_t newline = bytes.find('\n', start);
+        if (newline == std::string_view::npos)
+            break; // unterminated tail: a torn write, not a record
+        std::string_view line = bytes.substr(start, newline - start);
+        if (!line.empty() && line.back() == '\r')
+            line.remove_suffix(1);
+        if (!line.empty())
+            lines.emplace_back(line);
+        start = newline + 1;
+    }
+    return lines;
+}
+
 EventLog::~EventLog()
 {
     close();
@@ -75,9 +94,13 @@ EventLog::emit(std::string_view event,
         }
         line.set(std::string(field.key), std::move(value));
     }
+    // One buffered write for record plus terminator, then a flush:
+    // after a crash the file holds only whole lines plus at most one
+    // torn tail, which salvageJsonlLines() recovers from.
     std::string text = line.dump(0);
+    text.push_back('\n');
     std::fputs(text.c_str(), file);
-    std::fputc('\n', file);
+    std::fflush(file);
     ++sequence;
 }
 

@@ -30,11 +30,24 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/status_or.hh"
 
 namespace tl
 {
+
+/**
+ * Crash-salvage primitive for JSONL files: the complete (newline-
+ * terminated) lines of @p bytes, in order, blanks skipped. A process
+ * that dies mid-write tears at most the final line — emit() writes
+ * each record with one buffered fputs and flushes — so dropping the
+ * unterminated tail recovers every record that was fully written.
+ * Shared by the checkpoint reader (sim/checkpoint.hh) and the
+ * event-log crash-consistency tests.
+ */
+[[nodiscard]] std::vector<std::string> salvageJsonlLines(
+    std::string_view bytes);
 
 /** One key/value pair of an event. */
 struct EventField

@@ -15,8 +15,16 @@ statusCodeName(StatusCode code)
       case StatusCode::IoError: return "IoError";
       case StatusCode::FailedPrecondition: return "FailedPrecondition";
       case StatusCode::Internal: return "Internal";
+      case StatusCode::Unavailable: return "Unavailable";
     }
     return "Unknown";
+}
+
+bool
+isRetryable(StatusCode code)
+{
+    return code == StatusCode::Unavailable ||
+           code == StatusCode::IoError;
 }
 
 std::string
@@ -55,6 +63,7 @@ TL_DEFINE_STATUS_CTOR(outOfRangeError, OutOfRange)
 TL_DEFINE_STATUS_CTOR(ioError, IoError)
 TL_DEFINE_STATUS_CTOR(failedPreconditionError, FailedPrecondition)
 TL_DEFINE_STATUS_CTOR(internalError, Internal)
+TL_DEFINE_STATUS_CTOR(unavailableError, Unavailable)
 
 #undef TL_DEFINE_STATUS_CTOR
 

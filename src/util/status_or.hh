@@ -42,10 +42,23 @@ enum class StatusCode : std::uint8_t
     IoError,         //!< the OS refused a read/write/open
     FailedPrecondition, //!< the call is valid but not in this state
     Internal,        //!< a bug in this library surfaced as a Status
+    Unavailable,     //!< transient condition; retrying may succeed
 };
 
 /** Short stable name ("CorruptData") for a status code. */
 [[nodiscard]] const char *statusCodeName(StatusCode code);
+
+/**
+ * Whether a failure with this code is worth retrying. The contract
+ * the sweep supervisor (sim/supervisor.hh) relies on: Unavailable is
+ * transient by definition, and IoError covers OS-level refusals
+ * (EINTR, ENOSPC races, NFS hiccups) that frequently clear on a
+ * second attempt. Everything else — malformed input, failed
+ * checksums, precondition violations, library bugs — is permanent:
+ * retrying cannot change the outcome, so callers should degrade
+ * instead of burning their retry budget.
+ */
+[[nodiscard]] bool isRetryable(StatusCode code);
 
 /** An error code plus a human-readable message; default is OK. */
 class [[nodiscard]] Status
@@ -92,6 +105,8 @@ Status ioError(const char *fmt, ...)
 Status failedPreconditionError(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 Status internalError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+Status unavailableError(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 /// @}
 

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fuzz target for the checkpoint journal reader
+ * (sim/checkpoint.hh): arbitrary bytes fed to readCheckpoint() must
+ * produce a clean Status or a Checkpoint — never a crash, hang, or
+ * sanitizer report. Accepted checkpoints are additionally re-sealed
+ * line by line and must survive a second read with identical content
+ * (the CRC splice is a fixed point).
+ */
+
+#include "fuzz_driver.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "sim/checkpoint.hh"
+
+namespace
+{
+
+std::string
+rewrite(const tl::Checkpoint &checkpoint)
+{
+    std::string bytes = tl::checkpointHeaderLine(checkpoint.header);
+    bytes += '\n';
+    for (const tl::CheckpointCell &cell : checkpoint.cells) {
+        bytes += tl::checkpointCellLine(cell);
+        bytes += '\n';
+    }
+    return bytes;
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    std::string bytes(reinterpret_cast<const char *>(data), size);
+    tl::StatusOr<tl::Checkpoint> loaded = tl::readCheckpoint(bytes);
+    if (!loaded.ok())
+        return 0;
+
+    // Round trip: re-serializing a salvaged checkpoint and reading
+    // it back must reproduce it exactly, with nothing dropped.
+    tl::StatusOr<tl::Checkpoint> again =
+        tl::readCheckpoint(rewrite(*loaded));
+    if (!again.ok())
+        std::abort();
+    if (!(again->header == loaded->header))
+        std::abort();
+    if (again->cells != loaded->cells)
+        std::abort();
+    if (again->droppedLines != 0 || again->duplicateLines != 0)
+        std::abort();
+    return 0;
+}
+
+std::vector<std::string>
+fuzzSeedInputs()
+{
+    tl::CheckpointHeader header;
+    header.name = "fuzz";
+    header.columns = 2;
+    header.workloads = 9;
+    header.branchBudget = 800;
+    header.signature = 0x5eed;
+
+    tl::CheckpointCell ok;
+    ok.cell = 3;
+    ok.state = tl::CellState::Ok;
+    ok.column = "GAg(HR(1,,6-sr),1xPHT(64,A2))";
+    ok.workload = "gcc";
+    ok.attempts = 2;
+    ok.wallMs = 12;
+    ok.isInteger = true;
+    ok.result.conditionalBranches = 800;
+    ok.result.correct = 640;
+    ok.result.taken = 410;
+    ok.result.allBranches = 1030;
+    ok.result.instructions = 5210;
+
+    tl::CheckpointCell skip;
+    skip.cell = 17;
+    skip.state = tl::CellState::Skipped;
+    skip.column = "PSg(BHT(512,4,8-sr),1xPHT(256,PB))";
+    skip.workload = "tomcatv";
+
+    std::string full = tl::checkpointHeaderLine(header) + "\n" +
+                       tl::checkpointCellLine(ok) + "\n" +
+                       tl::checkpointCellLine(skip) + "\n";
+    return {
+        full,
+        tl::checkpointHeaderLine(header) + "\n",
+        tl::checkpointCellLine(ok) + "\n",
+        full.substr(0, full.size() / 2), // torn tail
+        "",
+    };
+}

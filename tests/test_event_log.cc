@@ -136,5 +136,46 @@ TEST(EventLog, ReopeningResetsSequenceAndClock)
     EXPECT_NE(lines[0].find("\"seq\": 0"), std::string::npos);
 }
 
+TEST(EventLog, SalvageRecoversWholeLinesFromTornLog)
+{
+    // A log truncated mid-record (crash, full disk, SIGKILL) must
+    // still yield every fully-written line.
+    std::string bytes = "{\"seq\": 0}\n"
+                        "{\"seq\": 1}\r\n"
+                        "\n"
+                        "{\"seq\": 2, \"half";
+    std::vector<std::string> lines = salvageJsonlLines(bytes);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], "{\"seq\": 0}");
+    EXPECT_EQ(lines[1], "{\"seq\": 1}"); // CR stripped
+}
+
+TEST(EventLog, SalvageOfEmptyAndTailOnlyInput)
+{
+    EXPECT_TRUE(salvageJsonlLines("").empty());
+    EXPECT_TRUE(salvageJsonlLines("{\"unterminated").empty());
+    ASSERT_EQ(salvageJsonlLines("x\n").size(), 1u);
+}
+
+TEST(EventLog, EveryEmitIsFlushedAndSalvageable)
+{
+    // emit() flushes each record, so a reader (or crash handler) can
+    // salvage the log while the writer still holds it open.
+    std::string path = tempPath("event_log_flush.jsonl");
+    EventLog log;
+    ASSERT_TRUE(log.open(path).ok());
+    log.emit("first", {EventField::u64("k", 1)});
+    log.emit("second", {});
+
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::vector<std::string> lines = salvageJsonlLines(bytes);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[0].find("\"event\": \"first\""),
+              std::string::npos);
+    log.close();
+}
+
 } // namespace
 } // namespace tl

@@ -44,6 +44,28 @@ TEST(Status, ConstructorsFormatAndClassify)
     EXPECT_EQ(internalError("x").code(), StatusCode::Internal);
 }
 
+TEST(Status, RetryabilityPartitionsTheCodes)
+{
+    EXPECT_EQ(unavailableError("worker %d gone", 3).code(),
+              StatusCode::Unavailable);
+    EXPECT_EQ(unavailableError("worker %d gone", 3).message(),
+              "worker 3 gone");
+    EXPECT_STREQ(statusCodeName(StatusCode::Unavailable),
+                 "Unavailable");
+
+    // Transient conditions are worth another attempt...
+    EXPECT_TRUE(isRetryable(StatusCode::Unavailable));
+    EXPECT_TRUE(isRetryable(StatusCode::IoError));
+    // ...while deterministic failures would just fail again.
+    EXPECT_FALSE(isRetryable(StatusCode::Ok));
+    EXPECT_FALSE(isRetryable(StatusCode::InvalidArgument));
+    EXPECT_FALSE(isRetryable(StatusCode::NotFound));
+    EXPECT_FALSE(isRetryable(StatusCode::CorruptData));
+    EXPECT_FALSE(isRetryable(StatusCode::OutOfRange));
+    EXPECT_FALSE(isRetryable(StatusCode::FailedPrecondition));
+    EXPECT_FALSE(isRetryable(StatusCode::Internal));
+}
+
 TEST(Status, CodeNamesAreStable)
 {
     EXPECT_STREQ(statusCodeName(StatusCode::Ok), "OK");

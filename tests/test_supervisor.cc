@@ -1,0 +1,565 @@
+/**
+ * @file
+ * Chaos tests for the fault-tolerant sweep supervisor
+ * (sim/supervisor.hh) and the checkpoint journal (sim/checkpoint.hh).
+ *
+ * FaultPlan injects deterministic failures, hangs and throws into
+ * scheduled cells, and every supervision path is asserted exactly:
+ * kill-and-resume equivalence (byte-identical ResultSets), timeout
+ * containment, retry-then-succeed, permanent-failure degradation, and
+ * checkpoint salvage of torn/corrupt/duplicate journal lines.
+ *
+ * Suite naming is load-bearing for the preset filters
+ * (CMakePresets.json): SweepSupervisor.* matches the tsan preset's
+ * "Sweep" filter, so the concurrency paths (watchdog + workers +
+ * journal mutex) are re-checked under ThreadSanitizer, while the
+ * SupervisorCrashDeathTest fork-based tests stay out of the
+ * sanitizer presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/manifest.hh"
+#include "sim/supervisor.hh"
+#include "trace/trace.hh"
+
+namespace tl
+{
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+/** The serialized result columns — the byte-identity witness. */
+std::string
+resultsText(const std::vector<ResultSet> &results)
+{
+    std::string text;
+    for (const ResultSet &column : results) {
+        text += resultSetToJson(column).dump(0);
+        text += '\n';
+    }
+    return text;
+}
+
+std::vector<SweepSpec>
+smallGrid()
+{
+    return {sweepSpec("AlwaysTaken"),
+            sweepSpec("GAg(HR(1,,6-sr),1xPHT(64,A2))")};
+}
+
+SweepSupervisor::Config
+config(const std::string &name, bool resume = false)
+{
+    SweepSupervisor::Config config;
+    config.name = name;
+    config.directory = ::testing::TempDir();
+    config.resume = resume;
+    // The signal-handler slots are process-global; tests exercise
+    // them only in the dedicated death test so runs can't interact.
+    config.crashReports = false;
+    return config;
+}
+
+TEST(SweepSupervisor, MatchesUnsupervisedRunner)
+{
+    WorkloadSuite suite(800);
+    RunOptions options;
+    options.threads = 2;
+    std::vector<SweepSpec> columns = smallGrid();
+
+    SweepRunner runner(suite, options);
+    std::vector<ResultSet> reference = runner.run(columns);
+
+    SweepSupervisor supervisor(config("sup_match"), suite, options);
+    SupervisedSweep supervised = supervisor.run(columns);
+
+    EXPECT_EQ(resultsText(supervised.results),
+              resultsText(reference));
+    EXPECT_FALSE(supervised.degraded);
+    EXPECT_EQ(supervised.restoredCells, 0u);
+    ASSERT_EQ(supervised.cells.size(), 18u);
+    for (const CellReport &report : supervised.cells) {
+        EXPECT_EQ(report.state, CellState::Ok);
+        EXPECT_EQ(report.attempts, 1u);
+        EXPECT_FALSE(report.restored);
+        EXPECT_TRUE(report.error.ok());
+    }
+}
+
+TEST(SweepSupervisor, ResumeAfterPartialRunIsByteIdentical)
+{
+    WorkloadSuite suite(800);
+    RunOptions options;
+    options.threads = 2;
+    std::vector<SweepSpec> columns = smallGrid();
+
+    SweepRunner runner(suite, options);
+    const std::string reference = resultsText(runner.run(columns));
+
+    // Run 1: cells 3 and 10 fail permanently, so they are never
+    // journaled — the moral equivalent of a run killed with work
+    // outstanding.
+    SweepSupervisor first(config("sup_resume"), suite, options);
+    first.setFaultHook(FaultPlan()
+                           .fault(3, CellFaultKind::PermanentFailure)
+                           .fault(10, CellFaultKind::PermanentFailure)
+                           .hook());
+    SupervisedSweep partial = first.run(columns);
+    EXPECT_TRUE(partial.degraded);
+    EXPECT_EQ(partial.cells[3].state, CellState::Failed);
+    EXPECT_EQ(partial.cells[10].state, CellState::Failed);
+    EXPECT_NE(resultsText(partial.results), reference);
+
+    // Run 2: resume. Only the two missing cells are recomputed, and
+    // the reassembled grid is byte-identical to an uninterrupted run.
+    SweepSupervisor second(config("sup_resume", true), suite,
+                           options);
+    SupervisedSweep resumed = second.run(columns);
+    EXPECT_EQ(resumed.restoredCells, 16u);
+    EXPECT_FALSE(resumed.degraded);
+    EXPECT_EQ(resultsText(resumed.results), reference);
+    EXPECT_TRUE(resumed.cells[0].restored);
+    EXPECT_FALSE(resumed.cells[3].restored);
+    EXPECT_FALSE(resumed.cells[10].restored);
+}
+
+TEST(SweepSupervisor, HangPastDeadlineIsTimedOutOthersComplete)
+{
+    WorkloadSuite suite(800);
+    RunOptions options;
+    options.threads = 2;
+    // Generous deadline: an 800-branch cell finishes in well under
+    // a millisecond even under TSan, so only the injected hang (which
+    // waits forever for the cancel token) can ever exceed it.
+    options.cellDeadline = 2.0;
+    std::vector<SweepSpec> columns = smallGrid();
+
+    SweepSupervisor supervisor(config("sup_hang"), suite, options);
+    supervisor.setFaultHook(
+        FaultPlan().fault(4, CellFaultKind::Hang).hook());
+    SupervisedSweep swept = supervisor.run(columns);
+
+    EXPECT_TRUE(swept.degraded);
+    EXPECT_EQ(swept.cells[4].state, CellState::TimedOut);
+    EXPECT_EQ(swept.cells[4].attempts, 1u); // deadlines don't retry
+    EXPECT_FALSE(swept.cells[4].error.ok());
+    for (std::size_t cell = 0; cell < swept.cells.size(); ++cell) {
+        if (cell != 4) {
+            EXPECT_EQ(swept.cells[cell].state, CellState::Ok)
+                << "cell " << cell;
+        }
+    }
+    // The timed-out benchmark is absent from its column; the rest of
+    // the grid is intact.
+    EXPECT_EQ(swept.results[0].results().size(), 8u);
+    EXPECT_EQ(swept.results[1].results().size(), 9u);
+
+    // The timed-out cell was not journaled, so a resume without the
+    // hang recomputes exactly that cell and completes the figure.
+    SweepRunner runner(suite, options);
+    const std::string reference = resultsText(runner.run(columns));
+    SweepSupervisor retry(config("sup_hang", true), suite, options);
+    SupervisedSweep resumed = retry.run(columns);
+    EXPECT_EQ(resumed.restoredCells, 17u);
+    EXPECT_EQ(resultsText(resumed.results), reference);
+}
+
+TEST(SweepSupervisor, RetryableFailureSucceedsOnThirdAttempt)
+{
+    WorkloadSuite suite(600);
+    RunOptions options;
+    options.maxCellAttempts = 3;
+    std::vector<SweepSpec> columns = smallGrid();
+
+    SweepSupervisor supervisor(config("sup_retry"), suite, options);
+    supervisor.setFaultHook(
+        FaultPlan()
+            .fault(2, CellFaultKind::RetryableFailure, 2)
+            .hook());
+    SupervisedSweep swept = supervisor.run(columns);
+
+    EXPECT_FALSE(swept.degraded);
+    EXPECT_EQ(swept.cells[2].state, CellState::Ok);
+    EXPECT_EQ(swept.cells[2].attempts, 3u);
+    for (std::size_t cell = 0; cell < swept.cells.size(); ++cell) {
+        if (cell != 2) {
+            EXPECT_EQ(swept.cells[cell].attempts, 1u);
+        }
+    }
+
+    // The acceptance criterion: attempts surface in the manifest.
+    RunManifest manifest("sup_retry");
+    manifest.recordSupervision(swept);
+    const std::string json = manifest.toJson().dump(0);
+    EXPECT_NE(json.find("\"schemaVersion\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"attempts\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"degraded\": false"), std::string::npos);
+}
+
+TEST(SweepSupervisor, ExhaustedRetriesReportFailed)
+{
+    WorkloadSuite suite(600);
+    RunOptions options;
+    options.maxCellAttempts = 2;
+    std::vector<SweepSpec> columns = smallGrid();
+
+    SweepSupervisor supervisor(config("sup_exhaust"), suite,
+                               options);
+    supervisor.setFaultHook(
+        FaultPlan()
+            .fault(0, CellFaultKind::RetryableFailure)
+            .hook());
+    SupervisedSweep swept = supervisor.run(columns);
+
+    EXPECT_TRUE(swept.degraded);
+    EXPECT_EQ(swept.cells[0].state, CellState::Failed);
+    EXPECT_EQ(swept.cells[0].attempts, 2u);
+    EXPECT_EQ(swept.cells[0].error.code(), StatusCode::Unavailable);
+    EXPECT_NE(swept.cells[0].error.message().find("injected"),
+              std::string::npos);
+}
+
+TEST(SweepSupervisor, PermanentFailureIsNotRetried)
+{
+    WorkloadSuite suite(600);
+    RunOptions options;
+    options.maxCellAttempts = 5;
+    std::vector<SweepSpec> columns = smallGrid();
+
+    SweepSupervisor supervisor(config("sup_perm"), suite, options);
+    supervisor.setFaultHook(
+        FaultPlan()
+            .fault(1, CellFaultKind::PermanentFailure)
+            .hook());
+    SupervisedSweep swept = supervisor.run(columns);
+
+    EXPECT_TRUE(swept.degraded);
+    EXPECT_EQ(swept.cells[1].state, CellState::Failed);
+    EXPECT_EQ(swept.cells[1].attempts, 1u); // no retry budget burned
+    EXPECT_EQ(swept.cells[1].error.code(), StatusCode::CorruptData);
+}
+
+TEST(SweepSupervisor, ThrowingCellDegradesInsteadOfAborting)
+{
+    WorkloadSuite suite(600);
+    RunOptions options;
+    options.threads = 2;
+    std::vector<SweepSpec> columns = smallGrid();
+
+    SweepSupervisor supervisor(config("sup_throw"), suite, options);
+    supervisor.setFaultHook(
+        FaultPlan().fault(7, CellFaultKind::Throw).hook());
+    SupervisedSweep swept = supervisor.run(columns); // must not throw
+
+    EXPECT_TRUE(swept.degraded);
+    EXPECT_EQ(swept.cells[7].state, CellState::Failed);
+    EXPECT_EQ(swept.cells[7].error.code(), StatusCode::Internal);
+    EXPECT_NE(swept.cells[7].error.message().find("injected throw"),
+              std::string::npos);
+    for (std::size_t cell = 0; cell < swept.cells.size(); ++cell) {
+        if (cell != 7) {
+            EXPECT_EQ(swept.cells[cell].state, CellState::Ok);
+        }
+    }
+}
+
+TEST(SweepSupervisor, SkippedNaCellsAreCheckpointedAndRestored)
+{
+    WorkloadSuite suite(600);
+    RunOptions options;
+    std::vector<SweepSpec> columns = {
+        sweepSpec("PSg(BHT(512,4,8-sr),1xPHT(256,PB))")}; // 4 NA
+    SweepSupervisor supervisor(config("sup_skip"), suite, options);
+    SupervisedSweep swept = supervisor.run(columns);
+
+    std::size_t skipped = 0;
+    for (const CellReport &report : swept.cells) {
+        if (report.state == CellState::Skipped) {
+            ++skipped;
+            EXPECT_EQ(report.error.code(),
+                      StatusCode::FailedPrecondition);
+        }
+    }
+    EXPECT_EQ(skipped, 4u);
+    EXPECT_FALSE(swept.degraded); // NA entries are not failures
+    EXPECT_EQ(swept.results[0].results().size(), 5u);
+
+    // Skips are journaled too: a resume recomputes nothing.
+    SweepSupervisor again(config("sup_skip", true), suite, options);
+    SupervisedSweep resumed = again.run(columns);
+    EXPECT_EQ(resumed.restoredCells, 9u);
+    EXPECT_EQ(resultsText(resumed.results), resultsText(swept.results));
+}
+
+TEST(SweepSupervisor, SignatureMismatchStartsFresh)
+{
+    RunOptions options;
+    options.branchBudget = 500;
+    SweepSupervisor first(config("sup_sig"), options);
+    first.run({sweepSpec("AlwaysTaken")});
+
+    // Same name, different budget: the checkpoint must be rejected,
+    // not resumed into a mixed-budget figure.
+    RunOptions other;
+    other.branchBudget = 700;
+    SweepSupervisor second(config("sup_sig", true), other);
+    SupervisedSweep swept = second.run({sweepSpec("AlwaysTaken")});
+    EXPECT_EQ(swept.restoredCells, 0u);
+    for (const BenchmarkResult &result : swept.results[0].results())
+        EXPECT_EQ(result.sim.conditionalBranches, 700u);
+}
+
+TEST(SweepSupervisor, EngineCancelPollStopsSimulate)
+{
+    WorkloadSuite suite(3000);
+    const Trace &trace = suite.testing(gccWorkload());
+
+    std::atomic<bool> cancel{true}; // already expired
+    SimOptions options;
+    options.cancelToken = &cancel;
+    std::unique_ptr<BranchPredictor> predictor =
+        factoryFromSpec("AlwaysTaken")();
+    TraceReplaySource source(trace);
+    SimResult result = simulate(source, *predictor, options);
+    EXPECT_TRUE(result.cancelled);
+    EXPECT_LE(result.allBranches, 256u); // poll stride bounds overshoot
+    EXPECT_LT(result.conditionalBranches, 3000u);
+
+    // An armed but never-fired token must not change anything.
+    std::atomic<bool> calm{false};
+    SimOptions calmOptions;
+    calmOptions.cancelToken = &calm;
+    std::unique_ptr<BranchPredictor> fresh =
+        factoryFromSpec("AlwaysTaken")();
+    TraceReplaySource fullSource(trace);
+    SimResult full = simulate(fullSource, *fresh, calmOptions);
+    EXPECT_FALSE(full.cancelled);
+    EXPECT_EQ(full.conditionalBranches, 3000u);
+}
+
+TEST(SupervisorCheckpoint, WriterReaderRoundTrip)
+{
+    CheckpointHeader header;
+    header.name = "roundtrip";
+    header.columns = 2;
+    header.workloads = 9;
+    header.branchBudget = 800;
+    header.signature = 0xdeadbeef;
+
+    CheckpointCell ok;
+    ok.cell = 0;
+    ok.state = CellState::Ok;
+    ok.column = "AlwaysTaken";
+    ok.workload = "eqntott";
+    ok.attempts = 2;
+    ok.wallMs = 17;
+    ok.isInteger = true;
+    ok.result.conditionalBranches = 800;
+    ok.result.correct = 500;
+    ok.result.taken = 420;
+    ok.result.allBranches = 1100;
+    ok.result.instructions = 5600;
+
+    CheckpointCell skip;
+    skip.cell = 7;
+    skip.state = CellState::Skipped;
+    skip.column = "PSg(\"quoted\")"; // exercises string escaping
+    skip.workload = "tomcatv";
+
+    const std::string path = tempPath("ckpt_roundtrip.jsonl");
+    CheckpointWriter writer;
+    ASSERT_TRUE(writer.open(path, header).ok());
+    ASSERT_TRUE(writer.append(ok).ok());
+    ASSERT_TRUE(writer.append(skip).ok());
+    writer.close();
+
+    StatusOr<Checkpoint> loaded = readCheckpointFile(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    EXPECT_EQ(loaded->header, header);
+    ASSERT_EQ(loaded->cells.size(), 2u);
+    EXPECT_EQ(loaded->cells[0], ok);
+    EXPECT_EQ(loaded->cells[1], skip);
+    EXPECT_EQ(loaded->droppedLines, 0u);
+    EXPECT_EQ(loaded->duplicateLines, 0u);
+    EXPECT_NE(loaded->find(7), nullptr);
+    EXPECT_EQ(loaded->find(3), nullptr);
+}
+
+TEST(SupervisorCheckpoint, TornTailLineIsDropped)
+{
+    CheckpointHeader header;
+    header.name = "torn";
+    header.columns = 1;
+    header.workloads = 9;
+    CheckpointCell cell;
+    cell.cell = 2;
+    cell.column = "c";
+    cell.workload = "w";
+
+    std::string bytes = checkpointHeaderLine(header) + "\n" +
+                        checkpointCellLine(cell) + "\n";
+    std::string torn = checkpointCellLine(cell);
+    bytes += torn.substr(0, torn.size() / 2); // mid-write kill
+
+    StatusOr<Checkpoint> loaded = readCheckpoint(bytes);
+    ASSERT_TRUE(loaded.ok());
+    ASSERT_EQ(loaded->cells.size(), 1u);
+    EXPECT_EQ(loaded->cells[0].cell, 2u);
+    EXPECT_EQ(loaded->droppedLines, 1u);
+}
+
+TEST(SupervisorCheckpoint, CorruptLineDropsItAndItsSuccessors)
+{
+    CheckpointHeader header;
+    header.name = "corrupt";
+    header.columns = 1;
+    header.workloads = 9;
+    CheckpointCell cell;
+    cell.column = "c";
+    cell.workload = "w";
+
+    cell.cell = 0;
+    std::string good = checkpointCellLine(cell);
+    cell.cell = 1;
+    std::string bad = checkpointCellLine(cell);
+    cell.cell = 2;
+    std::string after = checkpointCellLine(cell);
+    bad[bad.size() / 2] ^= 0x20; // flip a payload bit: CRC must catch
+
+    std::string bytes = checkpointHeaderLine(header) + "\n" + good +
+                        "\n" + bad + "\n" + after + "\n";
+    StatusOr<Checkpoint> loaded = readCheckpoint(bytes);
+    ASSERT_TRUE(loaded.ok());
+    ASSERT_EQ(loaded->cells.size(), 1u); // only the valid prefix
+    EXPECT_EQ(loaded->cells[0].cell, 0u);
+    EXPECT_EQ(loaded->droppedLines, 2u);
+}
+
+TEST(SupervisorCheckpoint, DuplicateCellsKeepTheFirstRecord)
+{
+    CheckpointHeader header;
+    header.name = "dup";
+    header.columns = 1;
+    header.workloads = 9;
+    CheckpointCell cell;
+    cell.cell = 4;
+    cell.column = "c";
+    cell.workload = "w";
+    cell.result.correct = 111;
+    std::string first = checkpointCellLine(cell);
+    cell.result.correct = 999;
+    std::string second = checkpointCellLine(cell);
+
+    std::string bytes = checkpointHeaderLine(header) + "\n" + first +
+                        "\n" + second + "\n";
+    StatusOr<Checkpoint> loaded = readCheckpoint(bytes);
+    ASSERT_TRUE(loaded.ok());
+    ASSERT_EQ(loaded->cells.size(), 1u);
+    EXPECT_EQ(loaded->cells[0].result.correct, 111u);
+    EXPECT_EQ(loaded->duplicateLines, 1u);
+}
+
+TEST(SupervisorCheckpoint, BadHeaderCondemnsTheFile)
+{
+    CheckpointHeader header;
+    header.name = "bad";
+    std::string line = checkpointHeaderLine(header);
+    line[line.size() / 2] ^= 0x01;
+    StatusOr<Checkpoint> loaded = readCheckpoint(line + "\n");
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::CorruptData);
+
+    EXPECT_FALSE(readCheckpoint("").ok());
+    EXPECT_FALSE(readCheckpoint("not json\n").ok());
+}
+
+TEST(SupervisorCheckpoint, CellStateNamesRoundTrip)
+{
+    for (CellState state :
+         {CellState::Ok, CellState::Skipped, CellState::TimedOut,
+          CellState::Failed}) {
+        StatusOr<CellState> parsed =
+            cellStateFromName(cellStateName(state));
+        ASSERT_TRUE(parsed.ok());
+        EXPECT_EQ(*parsed, state);
+    }
+    EXPECT_FALSE(cellStateFromName("exploded").ok());
+    EXPECT_TRUE(cellStateRestorable(CellState::Ok));
+    EXPECT_TRUE(cellStateRestorable(CellState::Skipped));
+    EXPECT_FALSE(cellStateRestorable(CellState::TimedOut));
+    EXPECT_FALSE(cellStateRestorable(CellState::Failed));
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+TEST(SupervisorCrashDeathTest, AbortWritesCrashReportAndResumes)
+{
+    WorkloadSuite suite(600);
+    RunOptions options; // serial: deterministic five cells first
+    std::vector<SweepSpec> columns = smallGrid();
+
+    SweepSupervisor::Config crashConfig = config("sup_crash");
+    crashConfig.crashReports = true;
+    const std::string crashFile =
+        crashConfig.directory + "/CRASH_sup_crash.json";
+    std::remove(crashFile.c_str());
+
+    // The child journals cells 0..4, then dies by SIGABRT inside
+    // cell 5 — the harshest version of "killed after N of M cells".
+    SweepSupervisor doomed(crashConfig, suite, options);
+    doomed.setFaultHook([](std::size_t cell, std::uint32_t,
+                           const std::atomic<bool> &) -> Status {
+        if (cell == 5)
+            std::abort();
+        return Status();
+    });
+    EXPECT_EXIT(doomed.run(columns),
+                ::testing::KilledBySignal(SIGABRT), "");
+
+    // The handler's report names the in-flight cell and the journal
+    // to resume from.
+    std::string report = readFile(crashFile);
+    EXPECT_NE(report.find("\"kind\": \"crash-report\""),
+              std::string::npos);
+    EXPECT_NE(report.find("\"signal\": 6"), std::string::npos);
+    EXPECT_NE(report.find("\"cell\": 5"), std::string::npos);
+    EXPECT_NE(report.find("CHECKPOINT_sup_crash.jsonl"),
+              std::string::npos);
+
+    // The parent resumes from the dead child's checkpoint and lands
+    // on the byte-identical uninterrupted figure.
+    SweepRunner runner(suite, options);
+    const std::string reference = resultsText(runner.run(columns));
+    SweepSupervisor revived(config("sup_crash", true), suite,
+                            options);
+    SupervisedSweep resumed = revived.run(columns);
+    EXPECT_EQ(resumed.restoredCells, 5u);
+    EXPECT_FALSE(resumed.degraded);
+    EXPECT_EQ(resultsText(resumed.results), reference);
+}
+
+#endif // __unix__ || __APPLE__
+
+} // namespace
+} // namespace tl

@@ -9,7 +9,10 @@ Reads a manifest produced by sim/manifest.hh and prints:
     alone);
   * a timing summary — sweep wall time, worker occupancy, queue
     wait, and the slowest cells (the hotspots);
-  * a metrics digest — the predictor / simulator counter totals.
+  * a metrics digest — the predictor / simulator counter totals;
+  * for supervised manifests (schemaVersion 2) a supervision
+    summary — restored / retried / degraded cells, with a "degraded
+    cells" table naming every cell that timed out or failed and why.
 
 Usage: report.py MANIFEST.json
 Exit:  0 on success; 1 when the file is unreadable, not a
@@ -164,6 +167,40 @@ def metrics_digest(metrics):
     return "\n".join(lines)
 
 
+def supervision_summary(supervision):
+    cells = supervision.get("cells", [])
+    restored = [c for c in cells if c.get("restored")]
+    retried = [c for c in cells if c.get("attempts", 1) > 1]
+    degraded = [c for c in cells
+                if c.get("state") in ("timed-out", "failed")]
+    skipped = [c for c in cells if c.get("state") == "skipped"]
+    lines = []
+    lines.append(f"cells:          {len(cells)} total, "
+                 f"{len(restored)} restored from checkpoint, "
+                 f"{len(skipped)} skipped (n/a)")
+    if retried:
+        worst = max(c.get("attempts", 1) for c in retried)
+        lines.append(f"retries:        {len(retried)} cell(s) needed "
+                     f"more than one attempt (worst: {worst})")
+    if degraded:
+        lines.append(f"DEGRADED:       {len(degraded)} cell(s) "
+                     f"missing from the figure — gmeans cover "
+                     f"survivors only")
+        lines.append("")
+        lines.append("degraded cells:")
+        rows = [[f"  {c['column']} / {c['workload']}",
+                 c["state"],
+                 str(c.get("attempts", 1)),
+                 f"{c.get('wallMs', 0):,} ms",
+                 c.get("error", "")] for c in degraded]
+        lines.append(render_table(
+            ["  cell", "state", "attempts", "wall", "error"], rows))
+    else:
+        lines.append("degraded:       none — every scheduled cell "
+                     "completed or was n/a")
+    return "\n".join(lines)
+
+
 def heading(title):
     return f"\n== {title} ==\n"
 
@@ -202,6 +239,11 @@ def main(argv):
         if mismatches:
             print(f"\nERROR: {mismatches} stored gmean value(s) "
                   f"disagree with the cells", file=sys.stderr)
+
+    supervision = manifest.get("supervision")
+    if supervision:
+        print(heading("supervision"))
+        print(supervision_summary(supervision))
 
     profile = manifest.get("profile")
     if profile:

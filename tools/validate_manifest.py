@@ -2,10 +2,15 @@
 """Schema validation for run manifests (sim/manifest.hh).
 
 Checks that a RUN_*.json / BENCH_*.json file is a well-formed
-"run-manifest" document (schemaVersion 1): required envelope fields,
-typed options, per-cell result records whose accuracy agrees with
-their raw counters, gmean rows that are recomputable from the cells
-alone, and structurally sound profile / metrics sections.
+"run-manifest" document (schemaVersion 1 or 2): required envelope
+fields, typed options, per-cell result records whose accuracy agrees
+with their raw counters, gmean rows that are recomputable from the
+cells alone, and structurally sound profile / metrics sections.
+Version 2 adds a mandatory "supervision" section (written by
+sim/supervisor.hh): per-cell state/attempts/wallMs dispositions,
+restored-cell counts, and the degraded flag; its cell states must be
+drawn from the supervisor's vocabulary and failed cells must carry an
+error string.
 
 Usage: validate_manifest.py MANIFEST.json [MANIFEST.json ...]
 Exit:  0 when every file validates, 1 otherwise.
@@ -15,7 +20,8 @@ import json
 import math
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSIONS = (1, 2)
+CELL_STATES = ("ok", "skipped", "timed-out", "failed")
 
 
 class ValidationError(Exception):
@@ -53,6 +59,57 @@ def check_options(options):
                        ("switchOnTrap", bool), ("instrument", bool)):
         expect(key in options, f"options.{key}: missing")
         expect_type(options[key], types, f"options.{key}")
+    # Supervision knobs are optional (absent in pre-supervisor
+    # manifests) but typed when present.
+    for key, types in (("cellDeadline", (int, float)),
+                       ("maxCellAttempts", int),
+                       ("retryBackoffSeconds", (int, float))):
+        if key in options:
+            expect_type(options[key], types, f"options.{key}")
+
+
+def check_supervision(supervision):
+    expect_type(supervision, dict, "supervision")
+    expect_type(supervision.get("degraded"), bool,
+                "supervision.degraded")
+    restored = supervision.get("restoredCells")
+    expect(isinstance(restored, int) and not isinstance(restored, bool)
+           and restored >= 0,
+           "supervision.restoredCells: not a non-negative int")
+    cells = supervision.get("cells")
+    expect_type(cells, list, "supervision.cells")
+
+    degraded = False
+    restored_count = 0
+    for ci, cell in enumerate(cells):
+        where = f"supervision.cells[{ci}]"
+        expect_type(cell, dict, where)
+        expect_type(cell.get("column"), str, f"{where}.column")
+        expect_type(cell.get("workload"), str, f"{where}.workload")
+        state = cell.get("state")
+        expect(state in CELL_STATES,
+               f"{where}.state: {state!r} not in {CELL_STATES}")
+        attempts = cell.get("attempts")
+        expect(isinstance(attempts, int) and
+               not isinstance(attempts, bool) and attempts >= 1,
+               f"{where}.attempts: not a positive int")
+        expect_number(cell.get("wallMs"), f"{where}.wallMs")
+        expect(cell["wallMs"] >= 0, f"{where}.wallMs: negative")
+        expect_type(cell.get("restored"), bool, f"{where}.restored")
+        if cell["restored"]:
+            restored_count += 1
+        if state in ("timed-out", "failed"):
+            degraded = True
+            expect_type(cell.get("error"), str, f"{where}.error")
+        elif "error" in cell and state == "ok":
+            raise ValidationError(f"{where}: ok cell carries an error")
+
+    expect(supervision["degraded"] == degraded,
+           f"supervision.degraded: stored "
+           f"{supervision['degraded']}, recomputed {degraded}")
+    expect(supervision["restoredCells"] == restored_count,
+           f"supervision.restoredCells: stored "
+           f"{supervision['restoredCells']}, counted {restored_count}")
 
 
 def check_cell(cell, where):
@@ -146,9 +203,10 @@ def validate(manifest):
     expect(manifest.get("kind") == "run-manifest",
            f"kind: expected 'run-manifest', got "
            f"{manifest.get('kind')!r}")
-    expect(manifest.get("schemaVersion") == SCHEMA_VERSION,
-           f"schemaVersion: expected {SCHEMA_VERSION}, got "
-           f"{manifest.get('schemaVersion')!r}")
+    version = manifest.get("schemaVersion")
+    expect(version in SCHEMA_VERSIONS,
+           f"schemaVersion: expected one of {SCHEMA_VERSIONS}, got "
+           f"{version!r}")
     expect_type(manifest.get("name"), str, "name")
     expect(manifest["name"], "name: empty")
 
@@ -168,6 +226,15 @@ def validate(manifest):
 
     check_profile(manifest.get("profile"))
     check_metrics(manifest.get("metrics"))
+
+    supervision = manifest.get("supervision")
+    if version >= 2:
+        expect(supervision is not None,
+               "supervision: missing (required at schemaVersion 2)")
+        check_supervision(supervision)
+    else:
+        expect(supervision is None,
+               "supervision: present but schemaVersion is 1")
 
     notes = manifest.get("notes")
     if notes is not None:
