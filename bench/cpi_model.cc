@@ -39,8 +39,13 @@ main()
     for (std::size_t s = 0; s < std::size(specs); ++s) {
         for (const Workload *workload : allWorkloads()) {
             auto predictor = makePredictor(specs[s]);
-            SimResult result =
-                simulate(suite.testing(*workload), *predictor);
+            // Factory predictors are base pointers, so route through
+            // the devirtualizing dispatcher rather than the virtual
+            // shim — one dynamic_cast per run, template loop after.
+            std::shared_ptr<const FlatTrace> trace =
+                suite.flatTestingTrace(*workload);
+            FlatCursor source(*trace);
+            SimResult result = simulateDispatch(source, *predictor);
             totals[s].sum.instructions += result.instructions;
             totals[s].sum.conditionalBranches +=
                 result.conditionalBranches;

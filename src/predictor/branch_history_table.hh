@@ -19,6 +19,7 @@
 #ifndef TL_PREDICTOR_BRANCH_HISTORY_TABLE_HH
 #define TL_PREDICTOR_BRANCH_HISTORY_TABLE_HH
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -109,7 +110,15 @@ class AssociativeTable
                       "AssociativeTable payloads must be default-"
                       "initializable and copyable");
         geometry.validate();
-        slots.assign(geometry.numEntries, Slot{});
+        // Derived once here: setIndexBits() hides an integer division
+        // and a bit-scan loop, far too expensive to recompute on
+        // every probe of the two-per-predicted-branch hot path.
+        setBits = geometry.setIndexBits();
+        setMask = mask(setBits);
+        tags.assign(geometry.numEntries, kInvalidTag);
+        lastUse.assign(geometry.numEntries, 0);
+        valid.assign(geometry.numEntries, 0);
+        payloads.assign(geometry.numEntries, Payload{});
     }
 
     /** Table geometry. */
@@ -127,18 +136,80 @@ class AssociativeTable
     access(std::uint64_t address)
     {
         std::uint64_t key = addressKey(address);
-        std::size_t set = setOf(key);
+        std::size_t base = setOf(key) * geometry.assoc;
         std::uint64_t tag = tagOf(key);
-        for (unsigned way = 0; way < geometry.assoc; ++way) {
-            Slot &slot = slotAt(set, way);
-            if (slot.valid && slot.tag == tag) {
-                ++tableStats.hits;
-                slot.lastUse = ++tick;
-                return Ref{&slot.payload, slotIndex(set, way)};
-            }
+        unsigned match = matchMask(base, tag);
+        if (match) {
+            std::size_t slot = base + std::countr_zero(match);
+            ++tableStats.hits;
+            lastUse[slot] = ++tick;
+            return Ref{&payloads[slot], slot};
         }
         ++tableStats.misses;
         return Ref{};
+    }
+
+    /**
+     * access() plus allocate() fused into a single set walk — the
+     * predictor hot paths always allocate on a miss, and with branchy
+     * workloads spilling the table the second walk of the same set is
+     * measurable. Counters, LRU refresh, and victim choice are
+     * bit-identical to access() followed by allocate().
+     *
+     * @param allocated Set to whether a miss allocation happened
+     *        (i.e. the returned payload is freshly defaulted).
+     * @param evicted Set to true when that allocation displaced a
+     *        valid entry.
+     */
+    Ref
+    accessOrAllocate(std::uint64_t address, bool *allocated = nullptr,
+                     bool *evicted = nullptr)
+    {
+        std::uint64_t key = addressKey(address);
+        std::size_t base = setOf(key) * geometry.assoc;
+        std::uint64_t tag = tagOf(key);
+
+        unsigned match = matchMask(base, tag);
+        if (match) {
+            std::size_t slot = base + std::countr_zero(match);
+            ++tableStats.hits;
+            lastUse[slot] = ++tick;
+            if (allocated)
+                *allocated = false;
+            return Ref{&payloads[slot], slot};
+        }
+
+        // allocate()'s victim: the first invalid way, else the least
+        // recently used with ties to the earliest way.
+        std::size_t victim = base;
+        std::uint64_t oldest = ~std::uint64_t{0};
+        for (unsigned way = 0; way < geometry.assoc; ++way) {
+            std::size_t slot = base + way;
+            if (!valid[slot]) {
+                victim = slot;
+                break;
+            }
+            if (lastUse[slot] < oldest) {
+                oldest = lastUse[slot];
+                victim = slot;
+            }
+        }
+
+        ++tableStats.misses;
+        if (valid[victim]) {
+            ++tableStats.evictions;
+            if (evicted)
+                *evicted = true;
+        } else if (evicted) {
+            *evicted = false;
+        }
+        valid[victim] = 1;
+        tags[victim] = tag;
+        lastUse[victim] = ++tick;
+        payloads[victim] = Payload{};
+        if (allocated)
+            *allocated = true;
+        return Ref{&payloads[victim], victim};
     }
 
     /**
@@ -149,12 +220,12 @@ class AssociativeTable
     peek(std::uint64_t address)
     {
         std::uint64_t key = addressKey(address);
-        std::size_t set = setOf(key);
+        std::size_t base = setOf(key) * geometry.assoc;
         std::uint64_t tag = tagOf(key);
-        for (unsigned way = 0; way < geometry.assoc; ++way) {
-            Slot &slot = slotAt(set, way);
-            if (slot.valid && slot.tag == tag)
-                return Ref{&slot.payload, slotIndex(set, way)};
+        unsigned match = matchMask(base, tag);
+        if (match) {
+            std::size_t slot = base + std::countr_zero(match);
+            return Ref{&payloads[slot], slot};
         }
         return Ref{};
     }
@@ -170,45 +241,46 @@ class AssociativeTable
     allocate(std::uint64_t address, bool *evicted = nullptr)
     {
         std::uint64_t key = addressKey(address);
-        std::size_t set = setOf(key);
+        std::size_t base = setOf(key) * geometry.assoc;
         std::uint64_t tag = tagOf(key);
 
-        unsigned victim = 0;
+        std::size_t victim = base;
         std::uint64_t oldest = ~std::uint64_t{0};
         for (unsigned way = 0; way < geometry.assoc; ++way) {
-            Slot &slot = slotAt(set, way);
-            if (!slot.valid) {
-                victim = way;
+            std::size_t slot = base + way;
+            if (!valid[slot]) {
+                victim = slot;
                 oldest = 0;
                 break;
             }
-            if (slot.lastUse < oldest) {
-                oldest = slot.lastUse;
-                victim = way;
+            if (lastUse[slot] < oldest) {
+                oldest = lastUse[slot];
+                victim = slot;
             }
         }
 
-        Slot &slot = slotAt(set, victim);
-        if (slot.valid) {
+        if (valid[victim]) {
             ++tableStats.evictions;
             if (evicted)
                 *evicted = true;
         } else if (evicted) {
             *evicted = false;
         }
-        slot.valid = true;
-        slot.tag = tag;
-        slot.lastUse = ++tick;
-        slot.payload = Payload{};
-        return Ref{&slot.payload, slotIndex(set, victim)};
+        valid[victim] = 1;
+        tags[victim] = tag;
+        lastUse[victim] = ++tick;
+        payloads[victim] = Payload{};
+        return Ref{&payloads[victim], victim};
     }
 
     /** Invalidate every entry (context switch flush). */
     void
     flush()
     {
-        for (Slot &slot : slots)
-            slot.valid = false;
+        for (std::uint8_t &v : valid)
+            v = 0;
+        for (std::uint64_t &t : tags)
+            t = kInvalidTag;
     }
 
     /** Invalidate entries and clear statistics (power-on reset). */
@@ -225,8 +297,8 @@ class AssociativeTable
     validEntries() const
     {
         std::size_t count = 0;
-        for (const Slot &slot : slots) {
-            if (slot.valid)
+        for (std::uint8_t v : valid) {
+            if (v)
                 ++count;
         }
         return count;
@@ -242,35 +314,43 @@ class AssociativeTable
     validate() const
     {
         TL_RETURN_IF_ERROR(geometry.check());
-        if (slots.size() != geometry.numEntries) {
+        if (tags.size() != geometry.numEntries) {
             return internalError(
                 "associative table: %zu slots, geometry says %zu",
-                slots.size(), geometry.numEntries);
+                tags.size(), geometry.numEntries);
+        }
+        for (std::size_t slot = 0; slot < tags.size(); ++slot) {
+            if (!valid[slot] && tags[slot] != kInvalidTag) {
+                return internalError(
+                    "associative table slot %zu: invalid but tag "
+                    "%#llx is not the sentinel",
+                    slot,
+                    static_cast<unsigned long long>(tags[slot]));
+            }
         }
         for (std::size_t set = 0; set < geometry.sets(); ++set) {
             for (unsigned way = 0; way < geometry.assoc; ++way) {
-                const Slot &slot =
-                    slots[set * geometry.assoc + way];
-                if (!slot.valid)
+                std::size_t slot = set * geometry.assoc + way;
+                if (!valid[slot])
                     continue;
-                if (slot.lastUse > tick) {
+                if (lastUse[slot] > tick) {
                     return internalError(
                         "associative table set %zu way %u: LRU stamp "
                         "%llu ahead of the clock %llu",
                         set, way,
-                        static_cast<unsigned long long>(slot.lastUse),
+                        static_cast<unsigned long long>(lastUse[slot]),
                         static_cast<unsigned long long>(tick));
                 }
                 for (unsigned other = way + 1;
                      other < geometry.assoc; ++other) {
-                    const Slot &dup =
-                        slots[set * geometry.assoc + other];
-                    if (dup.valid && dup.tag == slot.tag) {
+                    std::size_t dup = set * geometry.assoc + other;
+                    if (valid[dup] && tags[dup] == tags[slot]) {
                         return internalError(
                             "associative table set %zu: tag %#llx "
                             "present in ways %u and %u",
                             set,
-                            static_cast<unsigned long long>(slot.tag),
+                            static_cast<unsigned long long>(
+                                tags[slot]),
                             way, other);
                     }
                 }
@@ -280,13 +360,33 @@ class AssociativeTable
     }
 
   private:
-    struct Slot
+    /**
+     * Bitmask of the ways of the set at @p base whose tag equals
+     * @p tag (bit w = way w). Branchless on purpose: which way hits
+     * is data-dependent, so a scan-with-early-exit mispredicts once
+     * per probe on branchy workloads; accumulating a mask and taking
+     * countr_zero costs a couple of ALU ops instead. At most one bit
+     * is set (duplicate tags in a set are a validate() failure).
+     */
+    unsigned
+    matchMask(std::size_t base, std::uint64_t tag) const
     {
-        bool valid = false;
-        std::uint64_t tag = 0;
-        std::uint64_t lastUse = 0;
-        Payload payload{};
-    };
+        const std::uint64_t *t = tags.data() + base;
+        // The paper's tables are 4-way; spelling that case out (no
+        // runtime trip count) lets the compiler turn it into one
+        // vector compare + movemask.
+        if (geometry.assoc == 4) {
+            return (t[0] == tag ? 1u : 0u) | (t[1] == tag ? 2u : 0u) |
+                   (t[2] == tag ? 4u : 0u) | (t[3] == tag ? 8u : 0u);
+        }
+        unsigned match = 0;
+        for (unsigned way = 0; way < geometry.assoc; ++way)
+            match |= (t[way] == tag ? 1u : 0u) << way;
+        return match;
+    }
+
+    /** A tag value no real address can produce (see tags below). */
+    static constexpr std::uint64_t kInvalidTag = ~std::uint64_t{0};
 
     /** Drop the always-zero instruction offset bits. */
     static std::uint64_t addressKey(std::uint64_t address)
@@ -296,26 +396,33 @@ class AssociativeTable
 
     std::size_t setOf(std::uint64_t key) const
     {
-        return key & mask(geometry.setIndexBits());
+        return key & setMask;
     }
 
     std::uint64_t tagOf(std::uint64_t key) const
     {
-        return key >> geometry.setIndexBits();
-    }
-
-    std::size_t slotIndex(std::size_t set, unsigned way) const
-    {
-        return set * geometry.assoc + way;
-    }
-
-    Slot &slotAt(std::size_t set, unsigned way)
-    {
-        return slots[slotIndex(set, way)];
+        return key >> setBits;
     }
 
     BhtGeometry geometry;
-    std::vector<Slot> slots;
+    unsigned setBits = 0;          //!< cached geometry.setIndexBits()
+    std::uint64_t setMask = 0;     //!< cached mask(setBits)
+
+    // Struct-of-arrays slot storage. A probe walks one set's tags
+    // (assoc contiguous 8-byte words — a single cache line for the
+    // paper's 4-way tables) instead of striding across full
+    // tag+LRU+payload records; payloads are touched only on a hit.
+    //
+    // Invalid slots hold kInvalidTag so the probe is a bare tag
+    // compare with no validity load. The sentinel is unreachable:
+    // tags are (address >> 2) >> setBits, so their top two bits are
+    // always clear. valid[] is kept in lockstep for the allocation
+    // and audit paths, which want the boolean directly.
+    std::vector<std::uint64_t> tags;
+    std::vector<std::uint64_t> lastUse;
+    std::vector<std::uint8_t> valid;
+    std::vector<Payload> payloads;
+
     TableStats tableStats;
     std::uint64_t tick = 0;
 };

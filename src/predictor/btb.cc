@@ -36,11 +36,10 @@ BtbPredictor::name() const
 bool
 BtbPredictor::predict(const BranchQuery &branch)
 {
-    auto ref = table->access(branch.pc);
-    if (!ref) {
-        ref = table->allocate(branch.pc);
+    bool allocated = false;
+    auto ref = table->accessOrAllocate(branch.pc, &allocated);
+    if (allocated)
         ref.payload->state = cfg.automaton->initState();
-    }
     return cfg.automaton->predict(ref.payload->state);
 }
 

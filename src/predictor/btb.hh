@@ -35,7 +35,7 @@ struct BtbConfig
 };
 
 /** Per-branch automaton predictor in a tagged buffer. */
-class BtbPredictor : public BranchPredictor
+class BtbPredictor final : public BranchPredictor
 {
   public:
     explicit BtbPredictor(BtbConfig config);

@@ -1,0 +1,173 @@
+#include "predictor/packed_pht.hh"
+
+#include <algorithm>
+
+#include "util/status.hh"
+
+namespace tl
+{
+
+PackedAutomaton
+PackedAutomaton::from(const Automaton &automaton)
+{
+    unsigned states = automaton.numStates();
+    TL_CHECK(states >= 1 && states <= kMaxStates,
+             "packed automaton '%s': %u states, supported range "
+             "[1, %u]",
+             automaton.name().c_str(), states, kMaxStates);
+    PackedAutomaton packed;
+    packed.label = automaton.name().c_str();
+    packed.init = automaton.initState();
+    packed.states = static_cast<std::uint16_t>(states);
+    packed.stateBits =
+        static_cast<std::uint8_t>(automaton.stateBits());
+    packed.fieldBitsLog =
+        static_cast<std::uint8_t>(ceilLog2(packed.stateBits));
+    for (unsigned s = 0; s < kMaxStates; ++s) {
+        bool real = s < states;
+        Automaton::State from = static_cast<Automaton::State>(s);
+        packed.next[(s << 1) | 0] =
+            real ? automaton.next(from, false) : from;
+        packed.next[(s << 1) | 1] =
+            real ? automaton.next(from, true) : from;
+        packed.taken[s] = real && automaton.predict(from) ? 1 : 0;
+    }
+    return packed;
+}
+
+PackedPatternTable::PackedPatternTable(unsigned historyBits,
+                                       const PackedAutomaton &automaton)
+    : lut(&automaton), historyBits_(historyBits),
+      fLog(automaton.fieldBitsLog)
+{
+    if (!patternHistoryBitsValid(historyBits)) {
+        fatal("packed pattern table: history length %u out of "
+              "range [1, %u]",
+              historyBits, maxPatternHistoryBits);
+    }
+    std::size_t bits = entries() << fLog;
+    byteCount = (bits + 7) >> 3;
+    if (byteCount > kInlineBytes)
+        large.assign(byteCount, 0);
+    rebind();
+    reset();
+}
+
+PackedPatternTable::PackedPatternTable(const PackedPatternTable &other)
+    : lut(other.lut), historyBits_(other.historyBits_),
+      fLog(other.fLog), small(other.small), large(other.large),
+      byteCount(other.byteCount), tally(other.tally)
+{
+    rebind();
+}
+
+PackedPatternTable::PackedPatternTable(
+    PackedPatternTable &&other) noexcept
+    : lut(other.lut), historyBits_(other.historyBits_),
+      fLog(other.fLog), small(other.small),
+      large(std::move(other.large)), byteCount(other.byteCount),
+      tally(other.tally)
+{
+    rebind();
+    other.rebind(); // keep the moved-from table self-consistent
+}
+
+PackedPatternTable &
+PackedPatternTable::operator=(const PackedPatternTable &other)
+{
+    if (this == &other)
+        return *this;
+    lut = other.lut;
+    historyBits_ = other.historyBits_;
+    fLog = other.fLog;
+    small = other.small;
+    large = other.large;
+    byteCount = other.byteCount;
+    tally = other.tally;
+    rebind();
+    return *this;
+}
+
+PackedPatternTable &
+PackedPatternTable::operator=(PackedPatternTable &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    lut = other.lut;
+    historyBits_ = other.historyBits_;
+    fLog = other.fLog;
+    small = other.small;
+    large = std::move(other.large);
+    byteCount = other.byteCount;
+    tally = other.tally;
+    rebind();
+    other.rebind();
+    return *this;
+}
+
+void
+PackedPatternTable::store(std::uint64_t idx, std::uint8_t value)
+{
+    unsigned shift = fieldShift(idx);
+    std::uint8_t &byte = bytes[idx >> (3u - fLog)];
+    byte = static_cast<std::uint8_t>(
+        (byte & ~(lut->fieldMask() << shift)) |
+        ((value & lut->fieldMask()) << shift));
+}
+
+void
+PackedPatternTable::setState(std::uint64_t pattern,
+                             Automaton::State state)
+{
+    TL_CHECK(state < lut->states,
+             "setState: state %u out of range for automaton '%s'",
+             unsigned(state), lut->label);
+    store(pattern & mask(historyBits_), state);
+}
+
+void
+PackedPatternTable::reset()
+{
+    // Replicate the init state across every field of a byte, then
+    // fill; fields beyond the last entry are never read.
+    std::uint8_t fill = 0;
+    for (unsigned field = 0; field < (8u >> fLog); ++field)
+        fill |= static_cast<std::uint8_t>(lut->init << (field << fLog));
+    std::fill(bytes, bytes + byteCount, fill);
+}
+
+Status
+PackedPatternTable::validate() const
+{
+    std::size_t bits = entries() << fLog;
+    if (byteCount != (bits + 7) >> 3) {
+        return internalError(
+            "packed pattern table: %zu bytes for 2^%u %u-bit fields",
+            byteCount, historyBits_, fieldBits());
+    }
+    if (bytes !=
+        (byteCount <= kInlineBytes ? small.data() : large.data())) {
+        return internalError("packed pattern table: storage pointer "
+                             "detached from its buffer");
+    }
+    for (std::size_t entry = 0; entry < entries(); ++entry) {
+        std::uint8_t state = load(entry);
+        if (state >= lut->states) {
+            return internalError(
+                "packed pattern table entry %zu: state %u out of "
+                "range for the %u-state '%s' automaton",
+                entry, unsigned(state), unsigned(lut->states),
+                lut->label);
+        }
+    }
+    return Status();
+}
+
+void
+PackedPatternTable::injectFault(std::uint64_t pattern,
+                                Automaton::State rawState)
+{
+    store(pattern & mask(historyBits_), rawState);
+}
+
+} // namespace tl

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * The bit-packed fast path of the pattern history table.
+ *
+ * PatternHistoryTable (pattern_table.hh) stores one Automaton::State
+ * byte per entry and consults the Automaton object — two pointer
+ * chases (transition vector, prediction vector<bool>) — on every
+ * lambda/delta evaluation. That layout is the readable reference; this
+ * file is the layout the simulator actually runs:
+ *
+ *  - PackedAutomaton flattens an automaton into two L1-resident
+ *    constant arrays: next[(state << 1) | outcome] (delta, Eq. 2) and
+ *    taken[state] (lambda, Eq. 1). A transition is one indexed load —
+ *    no branches, no pointer chase, no vector<bool> bit fiddling.
+ *
+ *  - PackedPatternTable stores the 2^k automaton states bit-packed at
+ *    the automaton's natural field width: 2-bit states (LT and the
+ *    four-state Figure 2 machines) pack four per byte, so a 4096-entry
+ *    A2 table is 1 KiB and stays cache-resident across the simulation.
+ *    Wider extension automata (saturatingCounter(3..4), shiftMajority)
+ *    pack at 4 or 8 bits per field through the same branchless
+ *    shift/mask path.
+ *
+ * Equivalence with the unpacked reference is proven exhaustively by
+ * tests/test_packed_pht.cc (every state x slot position x outcome for
+ * each paper machine) and continuously by the PR 5 differential
+ * oracle, which locks the packed TwoLevelPredictor against the naive
+ * reference implementation prediction by prediction.
+ */
+
+#ifndef TL_PREDICTOR_PACKED_PHT_HH
+#define TL_PREDICTOR_PACKED_PHT_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "predictor/automaton.hh"
+#include "predictor/automaton_defs.hh"
+#include "predictor/counters.hh"
+#include "predictor/geometry.hh"
+#include "util/bitops.hh"
+#include "util/check.hh"
+#include "util/status_or.hh"
+
+namespace tl
+{
+
+/**
+ * An automaton flattened into branchless lookup tables.
+ *
+ * Supports up to 256 states (Automaton::State is one byte). The
+ * next[] region beyond the real state set maps each phantom state to
+ * itself, so a deliberately corrupted entry (injectFault) stays
+ * observably corrupt instead of silently healing.
+ */
+struct PackedAutomaton
+{
+    static constexpr unsigned kMaxStates = 256;
+
+    /** delta: next[(state << 1) | outcome], outcome 1 = taken. */
+    std::array<std::uint8_t, 2 * kMaxStates> next{};
+
+    /** lambda: taken[state] != 0 means predict taken. */
+    std::array<std::uint8_t, kMaxStates> taken{};
+
+    /** Power-on state of every table entry. */
+    std::uint8_t init = 0;
+
+    /** Real state count (<= kMaxStates). */
+    std::uint16_t states = 0;
+
+    /** Bits of architectural state: the cost model's s. */
+    std::uint8_t stateBits = 0;
+
+    /** log2 of the packed field width (field width >= stateBits). */
+    std::uint8_t fieldBitsLog = 0;
+
+    /** Short identifier; must outlive this object. */
+    const char *label = "";
+
+    /** Packed field width in bits (1, 2, 4 or 8). */
+    constexpr unsigned fieldBits() const { return 1u << fieldBitsLog; }
+
+    /** Mask selecting one packed field. */
+    constexpr std::uint8_t
+    fieldMask() const
+    {
+        return static_cast<std::uint8_t>(mask(fieldBits()));
+    }
+
+    /** Flatten a constexpr Figure 2 definition (compile-time capable). */
+    template <std::size_t N>
+    static constexpr PackedAutomaton
+    fromDef(const automata::AutomatonDef<N> &def)
+    {
+        static_assert(N >= 1 && N <= kMaxStates,
+                      "packed automata hold at most 256 states");
+        PackedAutomaton packed;
+        packed.label = def.name;
+        packed.init = def.init;
+        packed.states = static_cast<std::uint16_t>(N);
+        packed.stateBits =
+            static_cast<std::uint8_t>(N > 1 ? ceilLog2(N) : 1);
+        packed.fieldBitsLog =
+            static_cast<std::uint8_t>(ceilLog2(packed.stateBits));
+        for (unsigned s = 0; s < kMaxStates; ++s) {
+            bool real = s < N;
+            packed.next[(s << 1) | 0] =
+                real ? def.next[s][0] : static_cast<std::uint8_t>(s);
+            packed.next[(s << 1) | 1] =
+                real ? def.next[s][1] : static_cast<std::uint8_t>(s);
+            packed.taken[s] = real && def.taken[s] ? 1 : 0;
+        }
+        return packed;
+    }
+
+    /**
+     * Flatten a runtime Automaton. @p automaton must outlive the
+     * result (the label aliases its name), the same lifetime contract
+     * PatternHistoryTable has always had.
+     */
+    static PackedAutomaton from(const Automaton &automaton);
+};
+
+/**
+ * A 2^k-entry pattern history table over bit-packed automaton states.
+ *
+ * API mirror of PatternHistoryTable with the same observable
+ * semantics (including PhtCounters tallying); only the storage layout
+ * and transition mechanism differ. The automaton reference must
+ * outlive the table.
+ */
+class PackedPatternTable
+{
+  public:
+    /**
+     * @param historyBits k; the table has 2^k entries. Must satisfy
+     *        patternHistoryBitsValid() (predictor/geometry.hh).
+     * @param automaton The flattened machine; must outlive the table.
+     */
+    PackedPatternTable(unsigned historyBits,
+                       const PackedAutomaton &automaton);
+
+    // The storage pointer aliases either the inline buffer or the
+    // heap vector (see rebind()), so all four special members must
+    // re-aim it after the bytes move.
+    PackedPatternTable(const PackedPatternTable &other);
+    PackedPatternTable(PackedPatternTable &&other) noexcept;
+    PackedPatternTable &operator=(const PackedPatternTable &other);
+    PackedPatternTable &operator=(PackedPatternTable &&other) noexcept;
+
+    /** Number of entries (2^k). */
+    std::size_t entries() const
+    {
+        return std::size_t{1} << historyBits_;
+    }
+
+    /** Bits of state per entry (the cost model's s). */
+    unsigned stateBits() const { return lut->stateBits; }
+
+    /** Packed field width in bits (>= stateBits, power of two). */
+    unsigned fieldBits() const { return 1u << fLog; }
+
+    /** The flattened automaton stored in the entries. */
+    const PackedAutomaton &automaton() const { return *lut; }
+
+    /** Predict for @p pattern: lambda(S_c), Eq. 1. Branchless. */
+    bool
+    predict(std::uint64_t pattern) const
+    {
+        std::uint8_t state = load(pattern & mask(historyBits_));
+        TL_DCHECK(state < lut->states,
+                  "packed PHT entry holds state %u of a %u-state "
+                  "automaton",
+                  unsigned(state), unsigned(lut->states));
+        bool taken = lut->taken[state] != 0;
+        if (tally) {
+            ++tally->predictions;
+            tally->predictedTaken += taken ? 1 : 0;
+        }
+        return taken;
+    }
+
+    /** Update entry @p pattern with @p taken: delta, Eq. 2. */
+    void
+    update(std::uint64_t pattern, bool taken)
+    {
+        std::uint64_t idx = pattern & mask(historyBits_);
+        unsigned shift = fieldShift(idx);
+        std::uint8_t &byte = bytes[idx >> (3u - fLog)];
+        std::uint8_t state = (byte >> shift) & lut->fieldMask();
+        TL_DCHECK(state < lut->states,
+                  "packed PHT entry holds state %u of a %u-state "
+                  "automaton",
+                  unsigned(state), unsigned(lut->states));
+        std::uint8_t nextState =
+            lut->next[(unsigned(state) << 1) | (taken ? 1u : 0u)];
+        if (tally) {
+            ++tally->updates;
+            tally->transitions += nextState != state ? 1 : 0;
+        }
+        byte = static_cast<std::uint8_t>(
+            (byte & ~(lut->fieldMask() << shift)) |
+            (nextState << shift));
+    }
+
+    /** Raw state of an entry (tests and diagnostics). */
+    Automaton::State
+    state(std::uint64_t pattern) const
+    {
+        return load(pattern & mask(historyBits_));
+    }
+
+    /** Overwrite the state of an entry (static-training presets). */
+    void setState(std::uint64_t pattern, Automaton::State state);
+
+    /** Reinitialize every entry to the automaton's init state. */
+    void reset();
+
+    /**
+     * Structural self-check: every entry holds a state the automaton
+     * actually has. Non-OK (Internal) means corruption or a library
+     * bug, never a user error.
+     */
+    Status validate() const;
+
+    /**
+     * Overwrite an entry's raw state bits with no range checking —
+     * the fault-injection sibling of PatternHistoryTable's. The value
+     * is truncated to the packed field width, so corrupting a table
+     * whose field width equals its state bits (the 2-bit machines)
+     * requires an in-range-but-wrong state rather than a garbage one;
+     * tests that need unreachable garbage states use the unpacked
+     * reference table or a wider automaton.
+     */
+    void injectFault(std::uint64_t pattern, Automaton::State rawState);
+
+    /**
+     * Tally lambda/delta activity into @p counters (shared by every
+     * table of a predictor; predictor/counters.hh). nullptr disables
+     * tallying. The caller owns @p counters.
+     */
+    void attachCounters(PhtCounters *counters) { tally = counters; }
+
+  private:
+    /** Bit offset of field @p idx inside its byte. */
+    unsigned
+    fieldShift(std::uint64_t idx) const
+    {
+        return static_cast<unsigned>((idx & mask(3u - fLog)) << fLog);
+    }
+
+    std::uint8_t
+    load(std::uint64_t idx) const
+    {
+        return (bytes[idx >> (3u - fLog)] >> fieldShift(idx)) &
+               lut->fieldMask();
+    }
+
+    void store(std::uint64_t idx, std::uint8_t value);
+
+    /** Point bytes at the inline buffer or the heap vector. */
+    void
+    rebind()
+    {
+        bytes = byteCount <= kInlineBytes ? small.data() : large.data();
+    }
+
+    /**
+     * Tables up to 512 LT / 256 two-bit entries live inline so a
+     * per-address predictor's array of small PHTs (PAp: 512 tables of
+     * 16 bytes) is one contiguous block instead of 512 scattered heap
+     * allocations — the hot path then costs one pointer chase, not
+     * two, and the whole first level stays cache-resident.
+     */
+    static constexpr std::size_t kInlineBytes = 64;
+
+    const PackedAutomaton *lut;
+    unsigned historyBits_;
+    unsigned fLog; //!< copy of lut->fieldBitsLog for the hot path
+    std::array<std::uint8_t, kInlineBytes> small{};
+    std::vector<std::uint8_t> large;
+    std::uint8_t *bytes = nullptr; //!< small.data() or large.data()
+    std::size_t byteCount = 0;
+    PhtCounters *tally = nullptr;
+};
+
+namespace automata
+{
+
+// The flattener is constexpr, so the compiler proves once and for all
+// that the branchless LUT agrees with the Figure 2 definitions entry
+// for entry — the packed fast path cannot drift from the proven
+// tables without failing this translation unit.
+template <std::size_t N>
+constexpr bool
+packedMatchesDef(const AutomatonDef<N> &def)
+{
+    PackedAutomaton packed = PackedAutomaton::fromDef(def);
+    if (packed.states != N || packed.init != def.init)
+        return false;
+    for (std::size_t s = 0; s < N; ++s) {
+        if (packed.next[(s << 1) | 0] != def.next[s][0] ||
+            packed.next[(s << 1) | 1] != def.next[s][1] ||
+            (packed.taken[s] != 0) != def.taken[s])
+            return false;
+    }
+    for (std::size_t s = N; s < PackedAutomaton::kMaxStates; ++s) {
+        if (packed.next[(s << 1) | 0] != s ||
+            packed.next[(s << 1) | 1] != s || packed.taken[s] != 0)
+            return false;
+    }
+    return true;
+}
+
+static_assert(packedMatchesDef(lastTime) && packedMatchesDef(a1) &&
+                  packedMatchesDef(a2) && packedMatchesDef(a3) &&
+                  packedMatchesDef(a4),
+              "the packed LUTs must agree with the proven Figure 2 "
+              "tables entry for entry");
+static_assert(PackedAutomaton::fromDef(lastTime).fieldBits() == 1 &&
+                  PackedAutomaton::fromDef(a2).fieldBits() == 2,
+              "LT packs 8 states/byte and the 4-state machines pack "
+              "4 states/byte");
+
+} // namespace automata
+
+} // namespace tl
+
+#endif // TL_PREDICTOR_PACKED_PHT_HH

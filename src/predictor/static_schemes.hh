@@ -23,13 +23,16 @@ class AlwaysTakenPredictor : public BranchPredictor
   public:
     std::string name() const override { return "AlwaysTaken"; }
 
+    // predict/update are final so the engine's template tier can
+    // devirtualize and inline them; subclasses (the tests' context-
+    // switch counters) customize contextSwitch() only.
     bool
-    predict(const BranchQuery &) override
+    predict(const BranchQuery &) final
     {
         return true;
     }
 
-    void update(const BranchQuery &, bool) override {}
+    void update(const BranchQuery &, bool) final {}
     void reset() override {}
 };
 

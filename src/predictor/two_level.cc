@@ -170,6 +170,7 @@ TwoLevelPredictor::TwoLevelPredictor(TwoLevelConfig config)
     : cfg(config)
 {
     cfg.validate();
+    lut = PackedAutomaton::from(*cfg.automaton);
 
     bool per_addr_history =
         cfg.historyScope == HistoryScope::PerAddress;
@@ -187,17 +188,17 @@ TwoLevelPredictor::TwoLevelPredictor(TwoLevelConfig config)
     }
 
     if (cfg.patternScope == PatternScope::Global) {
-        tables.emplace_back(cfg.historyBits, *cfg.automaton);
+        tables.emplace_back(cfg.historyBits, lut);
     } else if (cfg.patternScope == PatternScope::PerSet) {
         std::size_t count = std::size_t{1} << cfg.patternSetBits;
         tables.reserve(count);
         for (std::size_t set = 0; set < count; ++set)
-            tables.emplace_back(cfg.historyBits, *cfg.automaton);
+            tables.emplace_back(cfg.historyBits, lut);
     } else if (practical_bht) {
         // One PHT per BHT slot (the paper's p = h).
         tables.reserve(cfg.bht.numEntries);
         for (std::size_t slot = 0; slot < cfg.bht.numEntries; ++slot)
-            tables.emplace_back(cfg.historyBits, *cfg.automaton);
+            tables.emplace_back(cfg.historyBits, lut);
         slotOwner.assign(cfg.bht.numEntries, noOwner);
     }
     // Per-address PHTs over an ideal BHT (or global history, "GAp")
@@ -218,7 +219,7 @@ TwoLevelPredictor::enableInstrumentation()
     if (tally)
         return;
     tally = std::make_unique<TwoLevelCounters>();
-    for (PatternHistoryTable &table : tables)
+    for (PackedPatternTable &table : tables)
         table.attachCounters(phtTally());
 }
 
@@ -255,7 +256,7 @@ TwoLevelPredictor::reset()
     idealStats = TableStats{};
     if (practical)
         practical->reset();
-    for (PatternHistoryTable &table : tables)
+    for (PackedPatternTable &table : tables)
         table.reset();
     if (cfg.patternScope == PatternScope::PerAddress &&
         (cfg.historyScope != HistoryScope::PerAddress ||
@@ -265,161 +266,6 @@ TwoLevelPredictor::reset()
     }
     if (!slotOwner.empty())
         slotOwner.assign(slotOwner.size(), noOwner);
-}
-
-TwoLevelPredictor::HistoryEntry &
-TwoLevelPredictor::historyFor(std::uint64_t pc, std::size_t &slot)
-{
-    slot = 0;
-    if (cfg.historyScope == HistoryScope::Global)
-        return globalEntry;
-    if (cfg.historyScope == HistoryScope::PerSet)
-        return setEntries[setIndex(pc, cfg.historySetBits)];
-
-    if (cfg.bhtKind == BhtKind::Ideal) {
-        auto [it, inserted] = ideal.try_emplace(pc);
-        if (inserted) {
-            ++idealStats.misses;
-            HistoryEntry &entry = it->second;
-            entry.arch = entry.spec = allOnes();
-            entry.fillPending = true;
-        } else {
-            ++idealStats.hits;
-        }
-        return it->second;
-    }
-
-    auto ref = practical->access(pc);
-    if (!ref) {
-        ref = practical->allocate(pc);
-        HistoryEntry &entry = *ref.payload;
-        entry.arch = entry.spec = allOnes();
-        entry.fillPending = true;
-        if (!slotOwner.empty() && slotOwner[ref.slot] != pc) {
-            // A different static branch takes over this slot: its
-            // per-address pattern history starts fresh (PAp).
-            tables[ref.slot].reset();
-            slotOwner[ref.slot] = pc;
-        }
-    }
-    slot = ref.slot;
-    return *ref.payload;
-}
-
-PatternHistoryTable &
-TwoLevelPredictor::phtFor(std::uint64_t pc, std::size_t slot)
-{
-    if (cfg.patternScope == PatternScope::Global)
-        return tables[0];
-    if (cfg.patternScope == PatternScope::PerSet)
-        return tables[setIndex(pc, cfg.patternSetBits)];
-
-    bool slot_bound = cfg.historyScope == HistoryScope::PerAddress &&
-                      cfg.bhtKind == BhtKind::Practical;
-    if (slot_bound)
-        return tables[slot];
-
-    // Ideal per-address tables: one per static branch, on demand.
-    auto it = idealPhtIndex.find(pc);
-    if (it == idealPhtIndex.end()) {
-        idealPhtIndex.emplace(pc, tables.size());
-        tables.emplace_back(cfg.historyBits, *cfg.automaton);
-        tables.back().attachCounters(phtTally());
-        return tables.back();
-    }
-    return tables[it->second];
-}
-
-std::uint64_t
-TwoLevelPredictor::index(std::uint64_t pattern, std::uint64_t pc) const
-{
-    if (cfg.indexMode == IndexMode::Concat)
-        return pattern;
-    return pattern ^ ((pc >> 2) & allOnes());
-}
-
-bool
-TwoLevelPredictor::predict(const BranchQuery &branch)
-{
-    TL_DCHECK(branch.cls == BranchClass::Conditional,
-              "two-level predictors only see conditional branches");
-    std::size_t slot = 0;
-    HistoryEntry &entry = historyFor(branch.pc, slot);
-    PatternHistoryTable &pht = phtFor(branch.pc, slot);
-    TL_DCHECK(entry.arch <= allOnes() && entry.spec <= allOnes(),
-              "history pattern escaped its %u-bit window",
-              cfg.historyBits);
-
-    bool speculative = cfg.speculative != SpeculativeMode::Off;
-    std::uint64_t pattern = speculative ? entry.spec : entry.arch;
-    bool prediction = pht.predict(index(pattern, branch.pc));
-
-    entry.lastPrediction = prediction;
-    entry.hasPrediction = true;
-    if (speculative) {
-        entry.spec =
-            ((entry.spec << 1) | (prediction ? 1 : 0)) & allOnes();
-    }
-    return prediction;
-}
-
-void
-TwoLevelPredictor::update(const BranchQuery &branch, bool taken)
-{
-    TL_DCHECK(branch.cls == BranchClass::Conditional,
-              "two-level predictors only see conditional branches");
-    std::size_t slot = 0;
-    HistoryEntry &entry = historyFor(branch.pc, slot);
-    PatternHistoryTable &pht = phtFor(branch.pc, slot);
-    TL_DCHECK(slot < tables.size() ||
-                  cfg.patternScope != PatternScope::PerAddress ||
-                  cfg.historyScope != HistoryScope::PerAddress ||
-                  cfg.bhtKind != BhtKind::Practical,
-              "BHT slot %zu outside the per-address PHT array",
-              slot);
-
-    // The PHT entry addressed by the architectural history pattern is
-    // updated with the resolved outcome (Eq. 2). With speculative
-    // history the *read* may have used a corrupted pattern, but the
-    // update targets the architecturally correct entry (Section 3.1:
-    // the PHT update is not timing critical and waits for the
-    // resolved result).
-    pht.update(index(entry.arch, branch.pc), taken);
-
-    if (entry.fillPending) {
-        // First resolved outcome after allocation: extend the result
-        // bit throughout the history register (Section 4.2).
-        entry.arch = taken ? allOnes() : 0;
-        entry.fillPending = false;
-    } else {
-        entry.arch = ((entry.arch << 1) | (taken ? 1 : 0)) & allOnes();
-    }
-
-    bool mispredicted =
-        entry.hasPrediction && entry.lastPrediction != taken;
-    switch (cfg.speculative) {
-      case SpeculativeMode::Off:
-        entry.spec = entry.arch;
-        break;
-      case SpeculativeMode::NoRepair:
-        if (tally && mispredicted)
-            ++tally->speculative.corruptionsKept;
-        break;
-      case SpeculativeMode::Reinitialize:
-        if (mispredicted) {
-            entry.spec = allOnes();
-            if (tally)
-                ++tally->speculative.reinitializations;
-        }
-        break;
-      case SpeculativeMode::Repair:
-        if (mispredicted) {
-            entry.spec = entry.arch;
-            if (tally)
-                ++tally->speculative.repairs;
-        }
-        break;
-    }
 }
 
 void
@@ -489,19 +335,22 @@ TwoLevelPredictor::validate() const
                 cfg.variationName().c_str(), tables.size(),
                 idealPhtIndex.size());
         }
-        for (const auto &[pc, table] : idealPhtIndex) {
-            if (table >= tables.size()) {
-                return internalError(
+        Status mapping;
+        idealPhtIndex.forEach([&](std::uint64_t pc,
+                                  const std::size_t &table) {
+            if (table >= tables.size() && mapping.ok()) {
+                mapping = internalError(
                     "two-level %s: pc %#llx maps to pattern table %zu "
                     "of %zu",
                     cfg.variationName().c_str(),
                     static_cast<unsigned long long>(pc), table,
                     tables.size());
             }
-        }
+        });
+        TL_RETURN_IF_ERROR(mapping);
     }
 
-    for (const PatternHistoryTable &table : tables)
+    for (const PackedPatternTable &table : tables)
         TL_RETURN_IF_ERROR(table.validate());
     if (practical)
         TL_RETURN_IF_ERROR(practical->validate());
@@ -521,15 +370,16 @@ TwoLevelPredictor::validate() const
                                  cfg.historyBits);
         }
     }
-    for (const auto &[pc, entry] : ideal) {
-        if (!entryOk(entry)) {
-            return internalError(
+    Status windows;
+    ideal.forEach([&](std::uint64_t pc, const HistoryEntry &entry) {
+        if (!entryOk(entry) && windows.ok()) {
+            windows = internalError(
                 "two-level: history pattern of pc %#llx escaped its "
                 "%u-bit window",
                 static_cast<unsigned long long>(pc), cfg.historyBits);
         }
-    }
-    return Status();
+    });
+    return windows;
 }
 
 TableStats
@@ -594,12 +444,11 @@ TwoLevelPredictor::historyPattern(std::uint64_t pc) const
                                                        : entry.spec;
     }
     if (cfg.bhtKind == BhtKind::Ideal) {
-        auto it = ideal.find(pc);
-        if (it == ideal.end())
+        const HistoryEntry *entry = ideal.find(pc);
+        if (!entry)
             return allOnes();
-        return cfg.speculative == SpeculativeMode::Off
-                   ? it->second.arch
-                   : it->second.spec;
+        return cfg.speculative == SpeculativeMode::Off ? entry->arch
+                                                       : entry->spec;
     }
     auto ref = const_cast<AssociativeTable<HistoryEntry> &>(*practical)
                    .peek(pc);

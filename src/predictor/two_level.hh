@@ -36,7 +36,6 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "predictor/automaton.hh"
@@ -46,8 +45,10 @@
 #include "predictor/counters.hh"
 #include "predictor/geometry.hh"
 #include "predictor/history_register.hh"
-#include "predictor/pattern_table.hh"
+#include "predictor/packed_pht.hh"
 #include "predictor/predictor.hh"
+#include "util/check.hh"
+#include "util/pc_map.hh"
 
 namespace tl
 {
@@ -164,8 +165,17 @@ struct TwoLevelConfig
     /// @}
 };
 
-/** The unified GAg / PAg / PAp predictor. */
-class TwoLevelPredictor : public BranchPredictor
+/**
+ * The unified GAg / PAg / PAp predictor.
+ *
+ * Declared final, with the per-branch hot path (predict, update and
+ * their historyFor/phtFor helpers) defined inline below the class:
+ * the engine's template tier (sim/engine.hh) instantiates its loop
+ * over the concrete type, and finality plus header visibility are
+ * what let the compiler devirtualize and inline the whole
+ * prediction step into that loop.
+ */
+class TwoLevelPredictor final : public BranchPredictor
 {
   public:
     explicit TwoLevelPredictor(TwoLevelConfig config);
@@ -173,6 +183,25 @@ class TwoLevelPredictor : public BranchPredictor
     std::string name() const override;
     bool predict(const BranchQuery &branch) override;
     void update(const BranchQuery &branch, bool taken) override;
+
+    /**
+     * Compile-time-specialized predict/update: the same hot path as
+     * the virtual pair, with the configuration dispatch constant-
+     * folded away (see the private hot-path comment). The caller
+     * must pass mode parameters matching config() — checked by
+     * TL_DCHECK; sim/engine.cc's dispatch lanes are the intended
+     * (and only) callers.
+     */
+    /// @{
+    template <HistoryScope HS, PatternScope PS, BhtKind BK,
+              SpeculativeMode SM, IndexMode IM>
+    bool predictStatic(const BranchQuery &branch);
+
+    template <HistoryScope HS, PatternScope PS, BhtKind BK,
+              SpeculativeMode SM, IndexMode IM>
+    void updateStatic(const BranchQuery &branch, bool taken);
+    /// @}
+
     void contextSwitch() override;
     void reset() override;
     Status validate() const override;
@@ -214,11 +243,25 @@ class TwoLevelPredictor : public BranchPredictor
      * automaton — fault-injection hook for tests that must make the
      * predictor observably wrong (the differential harness proves it
      * catches and shrinks such faults). Sibling of
-     * PatternHistoryTable::injectFault(); TL_CHECK on a bad table
-     * index.
+     * PackedPatternTable::injectFault() (the value is truncated to
+     * the packed field width); TL_CHECK on a bad table index.
      */
     void injectFault(std::size_t table, std::uint64_t pattern,
                      Automaton::State rawState);
+
+    /**
+     * Packed field width (bits per stored PHT state) of the
+     * second-level tables — 2 for the four-state Figure 2 machines
+     * (four states per byte), 1 for Last-Time. Tests pin the fast
+     * path with this: a differential run at fieldBits <= 2 is
+     * exercising the bit-packed storage, not a byte-per-state
+     * fallback.
+     */
+    unsigned
+    patternFieldBits() const
+    {
+        return lut.fieldBits();
+    }
 
   private:
     /** Per-branch first-level state. */
@@ -231,14 +274,38 @@ class TwoLevelPredictor : public BranchPredictor
         bool hasPrediction = false; //!< lastPrediction is meaningful
     };
 
+    /**
+     * The hot path is written ONCE, parameterized over a "modes"
+     * bundle (detail::TwoLevelModes*). The virtual predict()/update()
+     * bind it to the runtime configuration; the engine's dispatch
+     * lanes (sim/engine.cc) bind it to compile-time constants, so
+     * every `modes.historyScope() == ...` test constant-folds and the
+     * specialized loop carries no per-branch configuration dispatch.
+     * One body, two bindings — the lanes cannot drift semantically.
+     */
+    /// @{
     /** Locate (or allocate) the history entry for @p pc. */
-    HistoryEntry &historyFor(std::uint64_t pc, std::size_t &slot);
+    template <typename Modes>
+    HistoryEntry &historyFor(Modes modes, std::uint64_t pc,
+                             std::size_t &slot);
 
     /** Pattern history table serving @p pc in slot @p slot. */
-    PatternHistoryTable &phtFor(std::uint64_t pc, std::size_t slot);
+    template <typename Modes>
+    PackedPatternTable &phtFor(Modes modes, std::uint64_t pc,
+                               std::size_t slot);
 
     /** PHT index derived from a history pattern (IndexMode). */
-    std::uint64_t index(std::uint64_t pattern, std::uint64_t pc) const;
+    template <typename Modes>
+    std::uint64_t index(Modes modes, std::uint64_t pattern,
+                        std::uint64_t pc) const;
+
+    template <typename Modes>
+    bool predictImpl(Modes modes, const BranchQuery &branch);
+
+    template <typename Modes>
+    void updateImpl(Modes modes, const BranchQuery &branch,
+                    bool taken);
+    /// @}
 
     std::uint64_t allOnes() const { return mask(cfg.historyBits); }
 
@@ -250,10 +317,12 @@ class TwoLevelPredictor : public BranchPredictor
 
     TwoLevelConfig cfg;
 
-    // First level.
+    // First level. The ideal BHT is a flat open-addressing map
+    // (util/pc_map.hh), not std::unordered_map: the two probes per
+    // predicted branch are the IBHT configurations' hot path.
     HistoryEntry globalEntry;
     std::vector<HistoryEntry> setEntries;
-    std::unordered_map<std::uint64_t, HistoryEntry> ideal;
+    PcMap<HistoryEntry> ideal;
     std::unique_ptr<AssociativeTable<HistoryEntry>> practical;
     TableStats idealStats;
 
@@ -263,9 +332,13 @@ class TwoLevelPredictor : public BranchPredictor
         return tally ? &tally->pht : nullptr;
     }
 
-    // Second level.
-    std::vector<PatternHistoryTable> tables;
-    std::unordered_map<std::uint64_t, std::size_t> idealPhtIndex;
+    // Second level: bit-packed state arrays over one flattened
+    // automaton (predictor/packed_pht.hh). `lut` is declared before
+    // `tables` — every table aliases it, so it must be built first
+    // and destroyed last.
+    PackedAutomaton lut;
+    std::vector<PackedPatternTable> tables;
+    PcMap<std::size_t> idealPhtIndex;
     std::vector<std::uint64_t> slotOwner;
 
     /** Instrumentation tallies; allocated by enableInstrumentation. */
@@ -273,6 +346,242 @@ class TwoLevelPredictor : public BranchPredictor
 
     static constexpr std::uint64_t noOwner = ~std::uint64_t{0};
 };
+
+// ---------------------------------------------------------------------
+// Hot path. One body, two mode bindings (see the class comment): the
+// virtual predict()/update() bind TwoLevelModesDynamic (every mode
+// query reads cfg at run time); the engine's dispatch lanes bind
+// TwoLevelModesStatic (every mode query is a constant, so the
+// configuration tests below fold away entirely).
+// ---------------------------------------------------------------------
+
+namespace detail
+{
+
+/** Mode bundle answering from the runtime configuration. */
+struct TwoLevelModesDynamic
+{
+    const TwoLevelConfig &c;
+
+    HistoryScope historyScope() const { return c.historyScope; }
+    PatternScope patternScope() const { return c.patternScope; }
+    BhtKind bhtKind() const { return c.bhtKind; }
+    SpeculativeMode speculative() const { return c.speculative; }
+    IndexMode indexMode() const { return c.indexMode; }
+};
+
+/** Mode bundle answering compile-time constants. */
+template <HistoryScope HS, PatternScope PS, BhtKind BK,
+          SpeculativeMode SM, IndexMode IM>
+struct TwoLevelModesStatic
+{
+    static constexpr HistoryScope historyScope() { return HS; }
+    static constexpr PatternScope patternScope() { return PS; }
+    static constexpr BhtKind bhtKind() { return BK; }
+    static constexpr SpeculativeMode speculative() { return SM; }
+    static constexpr IndexMode indexMode() { return IM; }
+};
+
+} // namespace detail
+
+template <typename Modes>
+inline TwoLevelPredictor::HistoryEntry &
+TwoLevelPredictor::historyFor(Modes modes, std::uint64_t pc,
+                              std::size_t &slot)
+{
+    slot = 0;
+    if (modes.historyScope() == HistoryScope::Global)
+        return globalEntry;
+    if (modes.historyScope() == HistoryScope::PerSet)
+        return setEntries[setIndex(pc, cfg.historySetBits)];
+
+    if (modes.bhtKind() == BhtKind::Ideal) {
+        auto [entry, inserted] = ideal.tryEmplace(pc);
+        if (inserted) {
+            ++idealStats.misses;
+            entry->arch = entry->spec = allOnes();
+            entry->fillPending = true;
+        } else {
+            ++idealStats.hits;
+        }
+        return *entry;
+    }
+
+    bool allocated = false;
+    auto ref = practical->accessOrAllocate(pc, &allocated);
+    if (allocated) {
+        HistoryEntry &entry = *ref.payload;
+        entry.arch = entry.spec = allOnes();
+        entry.fillPending = true;
+        if (!slotOwner.empty() && slotOwner[ref.slot] != pc) {
+            // A different static branch takes over this slot: its
+            // per-address pattern history starts fresh (PAp).
+            tables[ref.slot].reset();
+            slotOwner[ref.slot] = pc;
+        }
+    }
+    slot = ref.slot;
+    return *ref.payload;
+}
+
+template <typename Modes>
+inline PackedPatternTable &
+TwoLevelPredictor::phtFor(Modes modes, std::uint64_t pc,
+                          std::size_t slot)
+{
+    if (modes.patternScope() == PatternScope::Global)
+        return tables[0];
+    if (modes.patternScope() == PatternScope::PerSet)
+        return tables[setIndex(pc, cfg.patternSetBits)];
+
+    bool slot_bound = modes.historyScope() == HistoryScope::PerAddress &&
+                      modes.bhtKind() == BhtKind::Practical;
+    if (slot_bound)
+        return tables[slot];
+
+    // Ideal per-address tables: one per static branch, on demand.
+    auto [index, inserted] = idealPhtIndex.tryEmplace(pc);
+    if (inserted) {
+        *index = tables.size();
+        tables.emplace_back(cfg.historyBits, lut);
+        tables.back().attachCounters(phtTally());
+        return tables.back();
+    }
+    return tables[*index];
+}
+
+template <typename Modes>
+inline std::uint64_t
+TwoLevelPredictor::index(Modes modes, std::uint64_t pattern,
+                         std::uint64_t pc) const
+{
+    if (modes.indexMode() == IndexMode::Concat)
+        return pattern;
+    return pattern ^ ((pc >> 2) & allOnes());
+}
+
+template <typename Modes>
+inline bool
+TwoLevelPredictor::predictImpl(Modes modes, const BranchQuery &branch)
+{
+    TL_DCHECK(branch.cls == BranchClass::Conditional,
+              "two-level predictors only see conditional branches");
+    std::size_t slot = 0;
+    HistoryEntry &entry = historyFor(modes, branch.pc, slot);
+    PackedPatternTable &pht = phtFor(modes, branch.pc, slot);
+    TL_DCHECK(entry.arch <= allOnes() && entry.spec <= allOnes(),
+              "history pattern escaped its %u-bit window",
+              cfg.historyBits);
+
+    bool speculative = modes.speculative() != SpeculativeMode::Off;
+    std::uint64_t pattern = speculative ? entry.spec : entry.arch;
+    bool prediction = pht.predict(index(modes, pattern, branch.pc));
+
+    entry.lastPrediction = prediction;
+    entry.hasPrediction = true;
+    if (speculative) {
+        entry.spec =
+            ((entry.spec << 1) | (prediction ? 1 : 0)) & allOnes();
+    }
+    return prediction;
+}
+
+template <typename Modes>
+inline void
+TwoLevelPredictor::updateImpl(Modes modes, const BranchQuery &branch,
+                              bool taken)
+{
+    TL_DCHECK(branch.cls == BranchClass::Conditional,
+              "two-level predictors only see conditional branches");
+    std::size_t slot = 0;
+    HistoryEntry &entry = historyFor(modes, branch.pc, slot);
+    PackedPatternTable &pht = phtFor(modes, branch.pc, slot);
+    TL_DCHECK(slot < tables.size() ||
+                  modes.patternScope() != PatternScope::PerAddress ||
+                  modes.historyScope() != HistoryScope::PerAddress ||
+                  modes.bhtKind() != BhtKind::Practical,
+              "BHT slot %zu outside the per-address PHT array",
+              slot);
+
+    // The PHT entry addressed by the architectural history pattern is
+    // updated with the resolved outcome (Eq. 2). With speculative
+    // history the *read* may have used a corrupted pattern, but the
+    // update targets the architecturally correct entry (Section 3.1:
+    // the PHT update is not timing critical and waits for the
+    // resolved result).
+    pht.update(index(modes, entry.arch, branch.pc), taken);
+
+    if (entry.fillPending) {
+        // First resolved outcome after allocation: extend the result
+        // bit throughout the history register (Section 4.2).
+        entry.arch = taken ? allOnes() : 0;
+        entry.fillPending = false;
+    } else {
+        entry.arch = ((entry.arch << 1) | (taken ? 1 : 0)) & allOnes();
+    }
+
+    bool mispredicted =
+        entry.hasPrediction && entry.lastPrediction != taken;
+    switch (modes.speculative()) {
+      case SpeculativeMode::Off:
+        entry.spec = entry.arch;
+        break;
+      case SpeculativeMode::NoRepair:
+        if (tally && mispredicted)
+            ++tally->speculative.corruptionsKept;
+        break;
+      case SpeculativeMode::Reinitialize:
+        if (mispredicted) {
+            entry.spec = allOnes();
+            if (tally)
+                ++tally->speculative.reinitializations;
+        }
+        break;
+      case SpeculativeMode::Repair:
+        if (mispredicted) {
+            entry.spec = entry.arch;
+            if (tally)
+                ++tally->speculative.repairs;
+        }
+        break;
+    }
+}
+
+inline bool
+TwoLevelPredictor::predict(const BranchQuery &branch)
+{
+    return predictImpl(detail::TwoLevelModesDynamic{cfg}, branch);
+}
+
+inline void
+TwoLevelPredictor::update(const BranchQuery &branch, bool taken)
+{
+    updateImpl(detail::TwoLevelModesDynamic{cfg}, branch, taken);
+}
+
+template <HistoryScope HS, PatternScope PS, BhtKind BK,
+          SpeculativeMode SM, IndexMode IM>
+inline bool
+TwoLevelPredictor::predictStatic(const BranchQuery &branch)
+{
+    TL_DCHECK(cfg.historyScope == HS && cfg.patternScope == PS &&
+                  cfg.speculative == SM && cfg.indexMode == IM,
+              "static modes disagree with the configuration");
+    return predictImpl(
+        detail::TwoLevelModesStatic<HS, PS, BK, SM, IM>{}, branch);
+}
+
+template <HistoryScope HS, PatternScope PS, BhtKind BK,
+          SpeculativeMode SM, IndexMode IM>
+inline void
+TwoLevelPredictor::updateStatic(const BranchQuery &branch, bool taken)
+{
+    TL_DCHECK(cfg.historyScope == HS && cfg.patternScope == PS &&
+                  cfg.speculative == SM && cfg.indexMode == IM,
+              "static modes disagree with the configuration");
+    updateImpl(detail::TwoLevelModesStatic<HS, PS, BK, SM, IM>{},
+               branch, taken);
+}
 
 static_assert(concepts::Predictor<TwoLevelPredictor>,
               "TwoLevelPredictor must model concepts::Predictor");

@@ -1,20 +1,22 @@
 #include "sim/engine.hh"
 
-#include "predictor/concepts.hh"
+#include "predictor/btb.hh"
+#include "predictor/static_schemes.hh"
+#include "predictor/two_level.hh"
 #include "trace/filter.hh"
 #include "trace/synthetic.hh"
-#include "util/check.hh"
 
 namespace tl
 {
 
 // The concrete trace sources must model the pull protocol the
-// simulation loop below consumes. The asserts live here — the one
+// simulation loop consumes. The asserts live here — the one
 // translation unit that sees both layers — so trace/ headers stay
 // free of predictor/ includes.
 static_assert(concepts::TraceSource<TraceSource>,
               "the TraceSource interface must model its own concept");
 static_assert(concepts::TraceSource<TraceReplaySource>);
+static_assert(concepts::TraceSource<FlatCursor>);
 static_assert(concepts::TraceSource<FilterSource>);
 static_assert(concepts::TraceSource<PatternSource>);
 static_assert(concepts::TraceSource<LoopSource>);
@@ -27,61 +29,7 @@ SimResult
 simulate(TraceSource &source, BranchPredictor &predictor,
          const SimOptions &options)
 {
-    SimResult result;
-    std::uint64_t insts_since_switch = 0;
-
-    // Cancellation poll cadence: an atomic load per record would be
-    // measurable on the hot loop, so the token is checked once per
-    // kCancelPollStride records — bounding the overshoot after the
-    // supervisor's watchdog fires to a few hundred records.
-    constexpr std::uint32_t kCancelPollStride = 256;
-    std::uint32_t records_until_poll = kCancelPollStride;
-
-    BranchRecord record;
-    while (result.conditionalBranches <
-               (options.maxConditionalBranches
-                    ? options.maxConditionalBranches
-                    : UINT64_MAX) &&
-           source.next(record)) {
-        if (options.cancelToken && --records_until_poll == 0) {
-            records_until_poll = kCancelPollStride;
-            if (options.cancelToken->load(std::memory_order_relaxed)) {
-                result.cancelled = true;
-                break;
-            }
-        }
-        ++result.allBranches;
-        result.instructions += record.instsSince;
-
-        if (options.contextSwitches) {
-            insts_since_switch += record.instsSince;
-            bool trap_switch = options.switchOnTrap && record.trap;
-            bool quantum_switch =
-                insts_since_switch >= options.contextSwitchInterval;
-            if (trap_switch || quantum_switch) {
-                predictor.contextSwitch();
-                ++result.contextSwitchCount;
-                insts_since_switch = 0;
-            }
-        }
-
-        if (!record.isConditional())
-            continue;
-
-        ++result.conditionalBranches;
-        if (record.taken)
-            ++result.taken;
-
-        BranchQuery query = BranchQuery::fromRecord(record);
-        TL_DCHECK(query.cls == BranchClass::Conditional,
-                  "isConditional record produced a %d-class query",
-                  static_cast<int>(query.cls));
-        bool prediction = predictor.predict(query);
-        predictor.update(query, record.taken);
-        if (prediction == record.taken)
-            ++result.correct;
-    }
-    return result;
+    return detail::simulateLoop(source, predictor, options);
 }
 
 SimResult
@@ -89,7 +37,110 @@ simulate(const Trace &trace, BranchPredictor &predictor,
          const SimOptions &options)
 {
     TraceReplaySource source(trace);
-    return simulate(source, predictor, options);
+    return detail::simulateLoop(source, predictor, options);
+}
+
+namespace
+{
+
+/**
+ * Adapter making one compile-time mode binding of TwoLevelPredictor's
+ * hot path (predictStatic/updateStatic) look like a predictor to the
+ * template tier. The bench sweeps all run speculative-off, concat-
+ * indexed configurations, so only those modes get lanes.
+ */
+template <HistoryScope HS, PatternScope PS, BhtKind BK>
+struct FastTwoLevel
+{
+    TwoLevelPredictor &p;
+
+    std::string name() const { return p.name(); }
+    bool
+    predict(const BranchQuery &query)
+    {
+        return p.predictStatic<HS, PS, BK, SpeculativeMode::Off,
+                               IndexMode::Concat>(query);
+    }
+    void
+    update(const BranchQuery &query, bool taken)
+    {
+        p.updateStatic<HS, PS, BK, SpeculativeMode::Off,
+                       IndexMode::Concat>(query, taken);
+    }
+    void contextSwitch() { p.contextSwitch(); }
+    void reset() { p.reset(); }
+};
+
+template <HistoryScope HS, PatternScope PS, BhtKind BK>
+SimResult
+runFastTwoLevel(FlatCursor &cursor, TwoLevelPredictor &predictor,
+                const SimOptions &options)
+{
+    static_assert(
+        concepts::Predictor<FastTwoLevel<HS, PS, BK>>,
+        "the dispatch lanes must model concepts::Predictor");
+    FastTwoLevel<HS, PS, BK> fast{predictor};
+    return simulate(cursor, fast, options);
+}
+
+SimResult
+dispatchTwoLevel(FlatCursor &cursor, TwoLevelPredictor &predictor,
+                 const SimOptions &options)
+{
+    const TwoLevelConfig &cfg = predictor.config();
+    if (cfg.speculative == SpeculativeMode::Off &&
+        cfg.indexMode == IndexMode::Concat) {
+        const bool perAddr =
+            cfg.historyScope == HistoryScope::PerAddress;
+        const bool ideal = cfg.bhtKind == BhtKind::Ideal;
+        if (cfg.historyScope == HistoryScope::Global &&
+            cfg.patternScope == PatternScope::Global) {
+            return runFastTwoLevel<HistoryScope::Global,
+                                   PatternScope::Global,
+                                   BhtKind::Practical>(
+                cursor, predictor, options);
+        }
+        if (perAddr && cfg.patternScope == PatternScope::Global) {
+            return ideal
+                       ? runFastTwoLevel<HistoryScope::PerAddress,
+                                         PatternScope::Global,
+                                         BhtKind::Ideal>(
+                             cursor, predictor, options)
+                       : runFastTwoLevel<HistoryScope::PerAddress,
+                                         PatternScope::Global,
+                                         BhtKind::Practical>(
+                             cursor, predictor, options);
+        }
+        if (perAddr && cfg.patternScope == PatternScope::PerAddress) {
+            return ideal
+                       ? runFastTwoLevel<HistoryScope::PerAddress,
+                                         PatternScope::PerAddress,
+                                         BhtKind::Ideal>(
+                             cursor, predictor, options)
+                       : runFastTwoLevel<HistoryScope::PerAddress,
+                                         PatternScope::PerAddress,
+                                         BhtKind::Practical>(
+                             cursor, predictor, options);
+        }
+    }
+    // Extension quadrants and speculative/xor modes: still the
+    // devirtualized (dynamic-modes) loop, just without lane folding.
+    return simulate(cursor, predictor, options);
+}
+
+} // namespace
+
+SimResult
+simulateDispatch(FlatCursor &cursor, BranchPredictor &predictor,
+                 const SimOptions &options)
+{
+    if (auto *twoLevel = dynamic_cast<TwoLevelPredictor *>(&predictor))
+        return dispatchTwoLevel(cursor, *twoLevel, options);
+    if (auto *btb = dynamic_cast<BtbPredictor *>(&predictor))
+        return simulate(cursor, *btb, options);
+    if (auto *fixed = dynamic_cast<AlwaysTakenPredictor *>(&predictor))
+        return simulate(cursor, *fixed, options);
+    return simulate(cursor, predictor, options);
 }
 
 } // namespace tl

@@ -5,16 +5,50 @@
  * against the recorded outcomes, and injects context switches per
  * Section 5.1.4 (on every trap, or every 500,000 instructions when no
  * trap occurs).
+ *
+ * The entry point comes in two tiers sharing one loop:
+ *
+ *  - **Template tier** (the fast path): `simulate(source, predictor)`
+ *    constrained on concepts::TraceSource / concepts::Predictor. Call
+ *    it with concrete types — `TraceReplaySource` + `TwoLevelPredictor`,
+ *    say — and the compiler instantiates the loop with direct,
+ *    inlinable calls: no virtual dispatch on either the per-record
+ *    next() or the per-branch predict()/update(). A dedicated overload
+ *    for FlatCursor (trace/flat.hh) goes further and reads the
+ *    structure-of-arrays columns in place, with no per-record call or
+ *    BranchRecord materialization at all. This is what the sweep
+ *    runner and the throughput benchmark use.
+ *
+ *  - **Virtual tier** (the glue path): the classic non-template
+ *    `simulate(TraceSource &, BranchPredictor &)` overload survives as
+ *    a thin shim that instantiates the same loop over the abstract
+ *    interfaces. Use it where the types genuinely aren't known at
+ *    compile time — the predictor zoo's factory output, the
+ *    differential oracle, tools that take a `unique_ptr<
+ *    BranchPredictor>`. Overload resolution does the right thing
+ *    automatically: exact base references pick the shim, anything more
+ *    concrete picks the template (a derived-to-base conversion loses
+ *    to an exact match), so callers never name a tier explicitly.
+ *
+ * Both tiers run the one loop in detail::simulateLoop, so semantics —
+ * budget resume positioning, cancellation polling, context-switch
+ * injection — cannot drift between them; tests/test_engine.cc pins
+ * tier-for-tier identical SimResults, and the PR 5 differential
+ * oracle and golden figures hold across the devirtualization.
  */
 
 #ifndef TL_SIM_ENGINE_HH
 #define TL_SIM_ENGINE_HH
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 
+#include "predictor/concepts.hh"
 #include "predictor/predictor.hh"
+#include "trace/flat.hh"
 #include "trace/trace.hh"
+#include "util/check.hh"
 
 namespace tl
 {
@@ -103,8 +137,81 @@ struct SimResult
     bool operator==(const SimResult &other) const = default;
 };
 
+namespace detail
+{
+
 /**
- * Drive @p source through @p predictor.
+ * The simulation loop, generic over the source and predictor types.
+ * Instantiated once per concrete (S, P) pair by the template tier and
+ * once over the abstract interfaces by the virtual shims; the
+ * semantics documented on simulate() live here.
+ */
+template <typename S, typename P>
+SimResult
+simulateLoop(S &source, P &predictor, const SimOptions &options)
+{
+    SimResult result;
+    std::uint64_t insts_since_switch = 0;
+
+    // Cancellation poll cadence: an atomic load per record would be
+    // measurable on the hot loop, so the token is checked once per
+    // kCancelPollStride records — bounding the overshoot after the
+    // supervisor's watchdog fires to a few hundred records.
+    constexpr std::uint32_t kCancelPollStride = 256;
+    std::uint32_t records_until_poll = kCancelPollStride;
+
+    BranchRecord record;
+    while (result.conditionalBranches <
+               (options.maxConditionalBranches
+                    ? options.maxConditionalBranches
+                    : UINT64_MAX) &&
+           source.next(record)) {
+        if (options.cancelToken && --records_until_poll == 0) {
+            records_until_poll = kCancelPollStride;
+            if (options.cancelToken->load(std::memory_order_relaxed)) {
+                result.cancelled = true;
+                break;
+            }
+        }
+        ++result.allBranches;
+        result.instructions += record.instsSince;
+
+        if (options.contextSwitches) {
+            insts_since_switch += record.instsSince;
+            bool trap_switch = options.switchOnTrap && record.trap;
+            bool quantum_switch =
+                insts_since_switch >= options.contextSwitchInterval;
+            if (trap_switch || quantum_switch) {
+                predictor.contextSwitch();
+                ++result.contextSwitchCount;
+                insts_since_switch = 0;
+            }
+        }
+
+        if (!record.isConditional())
+            continue;
+
+        ++result.conditionalBranches;
+        if (record.taken)
+            ++result.taken;
+
+        BranchQuery query = BranchQuery::fromRecord(record);
+        TL_DCHECK(query.cls == BranchClass::Conditional,
+                  "isConditional record produced a %d-class query",
+                  static_cast<int>(query.cls));
+        bool prediction = predictor.predict(query);
+        predictor.update(query, record.taken);
+        if (prediction == record.taken)
+            ++result.correct;
+    }
+    return result;
+}
+
+} // namespace detail
+
+/**
+ * Drive @p source through @p predictor (template tier — see the file
+ * comment for when each tier applies).
  *
  * Only conditional branches are predicted and verified; other branch
  * classes advance the instruction counters (they are fully determined
@@ -118,12 +225,166 @@ struct SimResult
  * same source resumes seamlessly (how RunOptions::warmupFraction
  * splits a trace into a warmup phase and a measured phase).
  */
+template <concepts::TraceSource S, concepts::Predictor P>
+SimResult
+simulate(S &source, P &predictor, const SimOptions &options = {})
+{
+    return detail::simulateLoop(source, predictor, options);
+}
+
+/**
+ * Structure-of-arrays fast path: drive a FlatCursor through
+ * @p predictor reading the FlatTrace columns in place — no virtual
+ * next(), no BranchRecord copy per record. Semantics are identical to
+ * the generic loop record for record (cursor.pos implements the same
+ * resume-after-budget positioning the source contract promises);
+ * preferred over the generic template by partial ordering whenever
+ * the source IS a FlatCursor.
+ */
+template <concepts::Predictor P>
+SimResult
+simulate(FlatCursor &cursor, P &predictor,
+         const SimOptions &options = {})
+{
+    SimResult result;
+    if (!cursor.trace)
+        return result;
+
+    const std::uint64_t cap = options.maxConditionalBranches
+                                  ? options.maxConditionalBranches
+                                  : UINT64_MAX;
+    const std::size_t n = cursor.trace->size();
+    const std::uint64_t *pc = cursor.trace->pc();
+    const std::uint64_t *target = cursor.trace->target();
+    const std::uint32_t *instsSince = cursor.trace->instsSince();
+    const std::uint8_t *meta = cursor.trace->meta();
+    constexpr std::uint8_t kConditional =
+        static_cast<std::uint8_t>(BranchClass::Conditional);
+
+    // Straight-line fast path: with no context switches to interleave
+    // and no cancel token to poll, the per-record side effects of the
+    // generic loop (record and instruction tallies) are pure functions
+    // of the consumed range [start, endPos). So walk the trace's
+    // conditional-branch index directly — skipping the meta decode,
+    // the instruction accumulate, and the poll bookkeeping entirely —
+    // and reconstruct those tallies from the prefix sums. Counter-for-
+    // counter identical to the loop below, including where cursor.pos
+    // lands when the budget runs out mid-trace.
+    if (!options.contextSwitches && !options.cancelToken) {
+        const std::vector<std::uint32_t> &cond =
+            cursor.trace->condPos();
+        const std::uint64_t *prefix = cursor.trace->prefixInsts();
+        constexpr std::uint32_t kTaken = FlatTrace::kCondTakenFlag;
+        const std::size_t start = cursor.pos;
+        std::size_t j = static_cast<std::size_t>(
+            std::lower_bound(cond.begin(), cond.end(), start,
+                             [](std::uint32_t entry, std::size_t p) {
+                                 return (entry & ~kTaken) < p;
+                             }) -
+            cond.begin());
+        std::size_t lastPos = 0;
+        while (result.conditionalBranches < cap && j < cond.size()) {
+            const std::uint32_t entry = cond[j++];
+            const std::size_t i = entry & ~kTaken;
+            const bool taken = (entry & kTaken) != 0;
+            ++result.conditionalBranches;
+            result.taken += taken ? 1 : 0;
+            BranchQuery query{pc[i], target[i],
+                              BranchClass::Conditional};
+            bool prediction = predictor.predict(query);
+            predictor.update(query, taken);
+            result.correct += prediction == taken ? 1 : 0;
+            lastPos = i;
+        }
+        // The generic loop stops consuming right after the budget-
+        // exhausting conditional; otherwise it drains the trace.
+        const std::size_t endPos =
+            result.conditionalBranches >= cap ? lastPos + 1 : n;
+        result.allBranches += endPos - start;
+        result.instructions += prefix[endPos] - prefix[start];
+        cursor.pos = endPos;
+        return result;
+    }
+
+    std::uint64_t insts_since_switch = 0;
+    constexpr std::uint32_t kCancelPollStride = 256;
+    std::uint32_t records_until_poll = kCancelPollStride;
+
+    while (result.conditionalBranches < cap && cursor.pos < n) {
+        const std::size_t i = cursor.pos++;
+        if (options.cancelToken && --records_until_poll == 0) {
+            records_until_poll = kCancelPollStride;
+            if (options.cancelToken->load(std::memory_order_relaxed)) {
+                result.cancelled = true;
+                break;
+            }
+        }
+        ++result.allBranches;
+        result.instructions += instsSince[i];
+
+        if (options.contextSwitches) {
+            insts_since_switch += instsSince[i];
+            bool trap_switch = options.switchOnTrap &&
+                               (meta[i] & FlatTrace::kTrapBit) != 0;
+            bool quantum_switch =
+                insts_since_switch >= options.contextSwitchInterval;
+            if (trap_switch || quantum_switch) {
+                predictor.contextSwitch();
+                ++result.contextSwitchCount;
+                insts_since_switch = 0;
+            }
+        }
+
+        const std::uint8_t m = meta[i];
+        if ((m & FlatTrace::kClassMask) != kConditional)
+            continue;
+
+        ++result.conditionalBranches;
+        const bool taken = (m & FlatTrace::kTakenBit) != 0;
+        result.taken += taken ? 1 : 0;
+
+        BranchQuery query{pc[i], target[i], BranchClass::Conditional};
+        bool prediction = predictor.predict(query);
+        predictor.update(query, taken);
+        result.correct += prediction == taken ? 1 : 0;
+    }
+    return result;
+}
+
+/** Template-tier convenience overload replaying an in-memory trace. */
+template <concepts::Predictor P>
+SimResult
+simulate(const Trace &trace, P &predictor,
+         const SimOptions &options = {})
+{
+    TraceReplaySource source(trace);
+    return detail::simulateLoop(source, predictor, options);
+}
+
+/**
+ * Virtual tier: type-erased shim over the same loop for callers that
+ * only hold the abstract interfaces (the predictor zoo, the
+ * differential oracle). Selected by overload resolution exactly when
+ * both arguments are base references.
+ */
 SimResult simulate(TraceSource &source, BranchPredictor &predictor,
                    const SimOptions &options = {});
 
-/** Convenience overload replaying an in-memory trace. */
+/** Virtual-tier convenience overload replaying an in-memory trace. */
 SimResult simulate(const Trace &trace, BranchPredictor &predictor,
                    const SimOptions &options = {});
+
+/**
+ * Devirtualizing dispatcher for the sweep hot path: recognizes the
+ * schemes that dominate sweep time (TwoLevelPredictor, the BTB, the
+ * static always-taken baseline) behind a BranchPredictor reference
+ * and reroutes each to its concrete FlatCursor template instantiation;
+ * anything else falls back to the virtual tier. One dynamic_cast per
+ * *run* buys devirtualized predict()/update() for millions of records.
+ */
+SimResult simulateDispatch(FlatCursor &cursor,
+                           BranchPredictor &predictor,
+                           const SimOptions &options = {});
 
 } // namespace tl
 

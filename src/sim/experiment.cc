@@ -75,6 +75,32 @@ WorkloadSuite::testingTrace(const Workload &workload)
     return cached(testingTraces, workload, false);
 }
 
+std::shared_ptr<const FlatTrace>
+WorkloadSuite::flatTestingTrace(const Workload &workload)
+{
+    std::promise<std::shared_ptr<const FlatTrace>> promise;
+    FlatEntry entry;
+    bool producer = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = flatTestingTraces.find(workload.name());
+        if (it == flatTestingTraces.end()) {
+            producer = true;
+            entry = promise.get_future().share();
+            flatTestingTraces.emplace(workload.name(), entry);
+        } else {
+            entry = it->second;
+        }
+    }
+    // The transpose source is the cached AoS trace, so the two views
+    // can never drift; testingTrace() handles its own locking.
+    if (producer) {
+        promise.set_value(std::make_shared<const FlatTrace>(
+            *testingTrace(workload)));
+    }
+    return entry.get();
+}
+
 StatusOr<std::shared_ptr<const Trace>>
 WorkloadSuite::tryTraining(const Workload &workload)
 {

@@ -61,6 +61,15 @@ class WorkloadSuite
     std::shared_ptr<const Trace> testingTrace(const Workload &workload);
 
     /**
+     * The testing trace transposed into structure-of-arrays columns
+     * (trace/flat.hh) for the engine's FlatCursor fast path. Cached
+     * and shared like testingTrace(); built from the same cached
+     * Trace, so both views describe identical records.
+     */
+    std::shared_ptr<const FlatTrace>
+    flatTestingTrace(const Workload &workload);
+
+    /**
      * The training-dataset trace of @p workload (cached, shared);
      * fails with StatusCode::FailedPrecondition for benchmarks whose
      * Table 2 entry is NA instead of calling fatal().
@@ -82,6 +91,8 @@ class WorkloadSuite
   private:
     /** One cache slot: ready when the producing thread finished. */
     using Entry = std::shared_future<std::shared_ptr<const Trace>>;
+    using FlatEntry =
+        std::shared_future<std::shared_ptr<const FlatTrace>>;
 
     std::shared_ptr<const Trace>
     cached(std::map<std::string, Entry> &cache,
@@ -91,6 +102,7 @@ class WorkloadSuite
     std::mutex mutex;
     std::map<std::string, Entry> testingTraces;
     std::map<std::string, Entry> trainingTraces;
+    std::map<std::string, FlatEntry> flatTestingTraces;
 };
 
 } // namespace tl

@@ -1,9 +1,5 @@
 #include "sim/fetch.hh"
 
-#include "isa/isa.hh"
-#include "predictor/indirect.hh"
-#include "predictor/return_stack.hh"
-
 namespace tl
 {
 
@@ -12,55 +8,8 @@ simulateFetch(TraceSource &source, BranchPredictor &direction,
               TargetCache &targets, ReturnStack *returnStack,
               IndirectTargetPredictor *indirect)
 {
-    FetchResult result;
-    BranchRecord record;
-    while (source.next(record)) {
-        ++result.branches;
-
-        bool predicted_taken = true;
-        if (record.isConditional()) {
-            BranchQuery query = BranchQuery::fromRecord(record);
-            predicted_taken = direction.predict(query);
-            direction.update(query, record.taken);
-            if (indirect)
-                indirect->observeDirection(record.taken);
-        }
-
-        if (returnStack && record.cls == BranchClass::Call) {
-            // Hardware pushes the fall-through address at call time.
-            returnStack->pushCall(record.pc + isa::instBytes);
-        }
-
-        if (predicted_taken != record.taken) {
-            ++result.mispredicts;
-            targets.update(record.pc, record.target);
-            continue;
-        }
-
-        if (!record.taken) {
-            // Fall-through: the sequential fetch was correct; no
-            // target needed.
-            ++result.correctFetch;
-            continue;
-        }
-
-        std::optional<std::uint64_t> predicted_target;
-        if (returnStack && record.cls == BranchClass::Return)
-            predicted_target = returnStack->popReturn();
-        if (indirect && record.cls == BranchClass::Indirect)
-            predicted_target = indirect->lookup(record.pc);
-        if (!predicted_target)
-            predicted_target = targets.lookup(record.pc);
-
-        if (predicted_target && *predicted_target == record.target)
-            ++result.correctFetch;
-        else
-            ++result.misfetches;
-        if (indirect && record.cls == BranchClass::Indirect)
-            indirect->update(record.pc, record.target);
-        targets.update(record.pc, record.target);
-    }
-    return result;
+    return detail::fetchLoop(source, direction, targets, returnStack,
+                             indirect);
 }
 
 FetchResult
@@ -69,8 +18,8 @@ simulateFetch(const Trace &trace, BranchPredictor &direction,
               IndirectTargetPredictor *indirect)
 {
     TraceReplaySource source(trace);
-    return simulateFetch(source, direction, targets, returnStack,
-                         indirect);
+    return detail::fetchLoop(source, direction, targets, returnStack,
+                             indirect);
 }
 
 } // namespace tl

@@ -17,14 +17,24 @@
  * jumps) always "go" and only need a target; returns are counted as
  * target misses unless the cached target happens to match (the
  * paper's cited Kaeli/Emma problem of moving-target returns).
+ *
+ * Like simulate() (sim/engine.hh), the entry point is two-tier: a
+ * concept-constrained template instantiates the loop with direct
+ * calls for concrete source/predictor types, and a non-template shim
+ * over the abstract interfaces keeps type-erased callers working.
  */
 
 #ifndef TL_SIM_FETCH_HH
 #define TL_SIM_FETCH_HH
 
 #include <cstdint>
+#include <optional>
 
+#include "isa/isa.hh"
+#include "predictor/concepts.hh"
+#include "predictor/indirect.hh"
 #include "predictor/predictor.hh"
+#include "predictor/return_stack.hh"
 #include "predictor/target_cache.hh"
 #include "trace/trace.hh"
 
@@ -64,11 +74,72 @@ struct FetchResult
     }
 };
 
-class ReturnStack;
-class IndirectTargetPredictor;
+namespace detail
+{
+
+/** The fetch loop, generic over the source and direction predictor. */
+template <typename S, typename P>
+FetchResult
+fetchLoop(S &source, P &direction, TargetCache &targets,
+          ReturnStack *returnStack, IndirectTargetPredictor *indirect)
+{
+    FetchResult result;
+    BranchRecord record;
+    while (source.next(record)) {
+        ++result.branches;
+
+        bool predicted_taken = true;
+        if (record.isConditional()) {
+            BranchQuery query = BranchQuery::fromRecord(record);
+            predicted_taken = direction.predict(query);
+            direction.update(query, record.taken);
+            if (indirect)
+                indirect->observeDirection(record.taken);
+        }
+
+        if (returnStack && record.cls == BranchClass::Call) {
+            // Hardware pushes the fall-through address at call time.
+            returnStack->pushCall(record.pc + isa::instBytes);
+        }
+
+        if (predicted_taken != record.taken) {
+            ++result.mispredicts;
+            targets.update(record.pc, record.target);
+            continue;
+        }
+
+        if (!record.taken) {
+            // Fall-through: the sequential fetch was correct; no
+            // target needed.
+            ++result.correctFetch;
+            continue;
+        }
+
+        std::optional<std::uint64_t> predicted_target;
+        if (returnStack && record.cls == BranchClass::Return)
+            predicted_target = returnStack->popReturn();
+        if (indirect && record.cls == BranchClass::Indirect)
+            predicted_target = indirect->lookup(record.pc);
+        if (!predicted_target)
+            predicted_target = targets.lookup(record.pc);
+
+        if (predicted_target && *predicted_target == record.target)
+            ++result.correctFetch;
+        else
+            ++result.misfetches;
+        if (indirect && record.cls == BranchClass::Indirect)
+            indirect->update(record.pc, record.target);
+        targets.update(record.pc, record.target);
+    }
+    return result;
+}
+
+} // namespace detail
 
 /**
- * Drive @p source through a direction predictor plus target cache.
+ * Drive @p source through a direction predictor plus target cache
+ * (template tier; the non-template overload below shims the same loop
+ * for abstract-interface callers).
  *
  * The direction predictor handles conditional branches only; other
  * classes are always taken and judged purely on target availability.
@@ -82,13 +153,36 @@ class IndirectTargetPredictor;
  *        from the history-indexed table instead of the target cache —
  *        the two-level idea applied to jump-table dispatch.
  */
+template <concepts::TraceSource S, concepts::Predictor P>
+FetchResult
+simulateFetch(S &source, P &direction, TargetCache &targets,
+              ReturnStack *returnStack = nullptr,
+              IndirectTargetPredictor *indirect = nullptr)
+{
+    return detail::fetchLoop(source, direction, targets, returnStack,
+                             indirect);
+}
+
+/** Template-tier convenience overload for in-memory traces. */
+template <concepts::Predictor P>
+FetchResult
+simulateFetch(const Trace &trace, P &direction, TargetCache &targets,
+              ReturnStack *returnStack = nullptr,
+              IndirectTargetPredictor *indirect = nullptr)
+{
+    TraceReplaySource source(trace);
+    return detail::fetchLoop(source, direction, targets, returnStack,
+                             indirect);
+}
+
+/** Virtual tier: type-erased shim over the same loop. */
 FetchResult simulateFetch(TraceSource &source,
                           BranchPredictor &direction,
                           TargetCache &targets,
                           ReturnStack *returnStack = nullptr,
                           IndirectTargetPredictor *indirect = nullptr);
 
-/** Convenience overload for in-memory traces. */
+/** Virtual-tier convenience overload for in-memory traces. */
 FetchResult simulateFetch(const Trace &trace,
                           BranchPredictor &direction,
                           TargetCache &targets,

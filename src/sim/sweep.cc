@@ -124,14 +124,19 @@ runSweepCell(WorkloadSuite &suite, const RunOptions &options,
     sim.switchOnTrap = options.switchOnTrap;
     sim.cancelToken = cancel;
 
-    std::shared_ptr<const Trace> testing = suite.testingTrace(workload);
-    TraceReplaySource source(*testing);
+    // The measured replay runs on the structure-of-arrays view
+    // through the devirtualizing dispatcher — the sweep hot path.
+    // The cursor carries the resume position across the warmup/
+    // measured split exactly like a TraceReplaySource would.
+    std::shared_ptr<const FlatTrace> testing =
+        suite.flatTestingTrace(workload);
+    FlatCursor source(*testing);
     if (options.warmupFraction > 0.0) {
         SimOptions warmup = sim;
         warmup.maxConditionalBranches = static_cast<std::uint64_t>(
             options.warmupFraction *
             static_cast<double>(suite.condBranches()));
-        SimResult warm = simulate(source, *predictor, warmup);
+        SimResult warm = simulateDispatch(source, *predictor, warmup);
         // State kept, counters discarded — unless the watchdog fired
         // mid-warmup, in which case the cell has no usable result.
         if (warm.cancelled) {
@@ -139,7 +144,7 @@ runSweepCell(WorkloadSuite &suite, const RunOptions &options,
             return out;
         }
     }
-    SimResult result = simulate(source, *predictor, sim);
+    SimResult result = simulateDispatch(source, *predictor, sim);
     if (result.cancelled) {
         out.cancelled = true;
         return out;

@@ -1,0 +1,53 @@
+#include "trace/flat.hh"
+
+#include "util/check.hh"
+
+namespace tl
+{
+
+FlatTrace::FlatTrace(const Trace &trace)
+{
+    const std::size_t n = trace.size();
+    TL_CHECK(n < kCondTakenFlag,
+             "flat trace: %zu records overflow the 31-bit conditional "
+             "index",
+             n);
+    pc_.reserve(n);
+    target_.reserve(n);
+    instsSince_.reserve(n);
+    meta_.reserve(n);
+    prefixInsts_.reserve(n + 1);
+    prefixInsts_.push_back(0);
+    std::uint64_t insts = 0;
+    std::uint32_t index = 0;
+    for (const BranchRecord &record : trace.records()) {
+        pc_.push_back(record.pc);
+        target_.push_back(record.target);
+        instsSince_.push_back(record.instsSince);
+        meta_.push_back(
+            packMeta(record.cls, record.taken, record.trap));
+        insts += record.instsSince;
+        prefixInsts_.push_back(insts);
+        if (record.cls == BranchClass::Conditional) {
+            condPos_.push_back(
+                index | (record.taken ? kCondTakenFlag : 0));
+        }
+        ++index;
+    }
+}
+
+BranchRecord
+FlatTrace::toRecord(std::size_t index) const
+{
+    BranchRecord record;
+    record.pc = pc_[index];
+    record.target = target_[index];
+    record.instsSince = instsSince_[index];
+    std::uint8_t m = meta_[index];
+    record.cls = static_cast<BranchClass>(m & kClassMask);
+    record.taken = (m & kTakenBit) != 0;
+    record.trap = (m & kTrapBit) != 0;
+    return record;
+}
+
+} // namespace tl

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Structure-of-arrays trace storage for the simulation hot loop.
+ *
+ * Trace stores an array of BranchRecord structs; the simulation loop
+ * only ever touches a few fields per record, so the AoS layout drags
+ * cold bytes through the cache and the virtual TraceSource::next()
+ * protocol adds an indirect call plus a 24-byte struct copy per
+ * record. FlatTrace transposes the same records into parallel columns
+ * (pc, target, instsSince, and a one-byte meta field packing class,
+ * direction and trap flag), and FlatCursor walks them by index — the
+ * engine's dedicated FlatCursor overload (sim/engine.hh) reads the
+ * columns directly with no per-record call or copy at all.
+ *
+ * A FlatTrace is a pure re-encoding: toRecord(i) reproduces the
+ * original BranchRecord bit for bit, and the engine overloads are
+ * locked to the generic loop by tests/test_engine.cc, so SimResults
+ * off a FlatTrace are identical to those off the Trace it came from.
+ */
+
+#ifndef TL_TRACE_FLAT_HH
+#define TL_TRACE_FLAT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace tl
+{
+
+/** A Trace transposed into structure-of-arrays columns. */
+class FlatTrace
+{
+  public:
+    FlatTrace() = default;
+
+    /** Transpose @p trace (a pure, lossless re-encoding). */
+    explicit FlatTrace(const Trace &trace);
+
+    /** Number of records. */
+    std::size_t size() const { return pc_.size(); }
+
+    /** True when the trace holds no records. */
+    bool empty() const { return pc_.empty(); }
+
+    /// @name Column accessors (indexed 0 .. size()-1)
+    /// @{
+    const std::uint64_t *pc() const { return pc_.data(); }
+    const std::uint64_t *target() const { return target_.data(); }
+    const std::uint32_t *instsSince() const
+    {
+        return instsSince_.data();
+    }
+    const std::uint8_t *meta() const { return meta_.data(); }
+    /// @}
+
+    /// @name Meta-byte layout: class | taken << 3 | trap << 4
+    /// @{
+    static constexpr std::uint8_t kClassMask = 0x7;
+    static constexpr std::uint8_t kTakenBit = 1u << 3;
+    static constexpr std::uint8_t kTrapBit = 1u << 4;
+
+    static constexpr std::uint8_t
+    packMeta(BranchClass cls, bool taken, bool trap)
+    {
+        return static_cast<std::uint8_t>(
+            static_cast<std::uint8_t>(cls) | (taken ? kTakenBit : 0) |
+            (trap ? kTrapBit : 0));
+    }
+    /// @}
+
+    /** Reconstruct record @p index (inverse of the transpose). */
+    BranchRecord toRecord(std::size_t index) const;
+
+    /// @name Derived indexes for the straight-line fast path
+    ///
+    /// When a simulation run needs neither context switches nor
+    /// cancellation polling, the only per-record state it accumulates
+    /// (record and instruction counts) is a pure function of the
+    /// consumed range — so the engine can walk conditional branches
+    /// directly via condPos() and reconstruct the bookkeeping from
+    /// prefixInsts() (see the FlatCursor overload in sim/engine.hh).
+    /// @{
+
+    /** Set in a condPos() entry when that branch was taken. */
+    static constexpr std::uint32_t kCondTakenFlag = 1u << 31;
+
+    /**
+     * Record index of every conditional branch, ascending, with
+     * kCondTakenFlag OR-ed in for taken ones (record indexes fit in
+     * 31 bits — checked at construction).
+     */
+    const std::vector<std::uint32_t> &condPos() const
+    {
+        return condPos_;
+    }
+
+    /**
+     * prefixInsts()[i] = instructions covered by records [0, i);
+     * size() + 1 entries, so consumed instructions over [a, b) are
+     * prefixInsts()[b] - prefixInsts()[a].
+     */
+    const std::uint64_t *prefixInsts() const
+    {
+        return prefixInsts_.data();
+    }
+    /// @}
+
+  private:
+    std::vector<std::uint64_t> pc_;
+    std::vector<std::uint64_t> target_;
+    std::vector<std::uint32_t> instsSince_;
+    std::vector<std::uint8_t> meta_;
+    std::vector<std::uint32_t> condPos_;
+    std::vector<std::uint64_t> prefixInsts_;
+};
+
+/**
+ * A replay position over a FlatTrace — the SoA sibling of
+ * TraceReplaySource. Models concepts::TraceSource (next() materializes
+ * a BranchRecord) so generic code accepts it, but the simulation
+ * engine recognizes the type and reads the columns directly; pos is
+ * public because the engine advances it in place, preserving the
+ * resume-after-budget positioning contract of simulate().
+ */
+struct FlatCursor
+{
+    const FlatTrace *trace = nullptr;
+    std::size_t pos = 0;
+
+    explicit FlatCursor(const FlatTrace &t, std::size_t start = 0)
+        : trace(&t), pos(start)
+    {
+    }
+
+    /** Produce the next record (TraceSource protocol). */
+    bool
+    next(BranchRecord &record)
+    {
+        if (!trace || pos >= trace->size())
+            return false;
+        record = trace->toRecord(pos++);
+        return true;
+    }
+
+    /** Restart replay from the beginning. */
+    void rewind() { pos = 0; }
+};
+
+} // namespace tl
+
+#endif // TL_TRACE_FLAT_HH

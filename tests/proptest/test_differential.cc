@@ -55,6 +55,26 @@ dumpCounterexample(const TwoLevelConfig &config,
     return path.string();
 }
 
+/**
+ * The differential suite must be testing the bit-packed hot path,
+ * not a byte-per-state fallback: every automaton the generator can
+ * pick is a Figure 2 machine whose states pack at 1 or 2 bits per
+ * field. If a refactor silently reroutes TwoLevelPredictor onto
+ * unpacked storage (fieldBits would report 8), the oracle lockstep
+ * below would be exercising the wrong engine — fail fast instead.
+ */
+TEST(Differential, PinnedToThePackedEngine)
+{
+    Rng rng(0x7151);
+    for (int i = 0; i < 64; ++i) {
+        TwoLevelConfig config = proptest::randomConfig(rng);
+        TwoLevelPredictor engine(config);
+        EXPECT_LE(engine.patternFieldBits(), 2u)
+            << config.schemeName()
+            << " is not running bit-packed PHT storage";
+    }
+}
+
 TEST(Differential, RandomPairsNeverDiverge)
 {
     std::uint64_t pairs = envOr("TL_PROPTEST_PAIRS", 40);

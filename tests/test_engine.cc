@@ -1,15 +1,25 @@
 /**
  * @file
  * Unit tests for the trace-driven simulation engine: counting,
- * limits, and the Section 5.1.4 context-switch model.
+ * limits, the Section 5.1.4 context-switch model, and the lockstep
+ * guarantees between the engine's tiers — the generic template loop,
+ * the FlatCursor SoA overload (with and without its straight-line
+ * fast path), the virtual shim, and the devirtualizing
+ * simulateDispatch() — which must all produce identical SimResults
+ * for the same trace and predictor.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
+#include "predictor/btb.hh"
 #include "predictor/static_schemes.hh"
 #include "predictor/two_level.hh"
 #include "sim/engine.hh"
+#include "trace/flat.hh"
 #include "trace/synthetic.hh"
+#include "util/random.hh"
 
 namespace tl
 {
@@ -165,6 +175,205 @@ TEST(Engine, ContextSwitchDegradesTwoLevelAccuracy)
     double with = run(true);
     EXPECT_GT(without, with);
     EXPECT_LT(without - with, 5.0); // but the damage is small
+}
+
+/**
+ * A varied pseudo-random trace: every branch class, biased but
+ * non-trivial directions over a working set of sites, occasional
+ * traps, irregular instruction gaps — enough texture that a tier
+ * diverging on any record type or counter shows up.
+ */
+Trace
+randomTrace(std::uint64_t seed, int records)
+{
+    Rng rng(seed);
+    Trace trace;
+    BranchRecord r;
+    for (int i = 0; i < records; ++i) {
+        r.pc = 0x400000 + 4 * rng.nextBelow(200);
+        r.target = 0x400000 + 4 * rng.nextBelow(4000);
+        switch (rng.nextBelow(10)) {
+          case 0:
+            r.cls = BranchClass::Call;
+            break;
+          case 1:
+            r.cls = BranchClass::Return;
+            break;
+          case 2:
+            r.cls = BranchClass::Unconditional;
+            break;
+          case 3:
+            r.cls = BranchClass::Indirect;
+            break;
+          default:
+            r.cls = BranchClass::Conditional;
+            break;
+        }
+        // Direction correlates with the site so two-level predictors
+        // have structure to learn (and mispredict) on.
+        r.taken = ((r.pc >> 2) + rng.nextBelow(3)) % 3 != 0;
+        r.trap = rng.nextBelow(97) == 0;
+        r.instsSince = static_cast<std::uint32_t>(rng.nextBelow(30));
+        trace.append(r);
+    }
+    return trace;
+}
+
+void
+expectSameResult(const SimResult &a, const SimResult &b,
+                 const char *what)
+{
+    EXPECT_EQ(a.conditionalBranches, b.conditionalBranches) << what;
+    EXPECT_EQ(a.correct, b.correct) << what;
+    EXPECT_EQ(a.taken, b.taken) << what;
+    EXPECT_EQ(a.allBranches, b.allBranches) << what;
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.contextSwitchCount, b.contextSwitchCount) << what;
+    EXPECT_EQ(a.cancelled, b.cancelled) << what;
+}
+
+// The FlatCursor overload (straight-line fast path included) against
+// the generic record-at-a-time loop over the same trace, across
+// no-options, budget-capped, and context-switch runs.
+TEST(EngineTiers, FlatCursorMatchesGenericLoop)
+{
+    Trace trace = randomTrace(11, 5000);
+    FlatTrace flat(trace);
+
+    SimOptions plain;
+    SimOptions capped;
+    capped.maxConditionalBranches = 1234;
+    SimOptions switching;
+    switching.contextSwitches = true;
+    switching.contextSwitchInterval = 700;
+    for (const SimOptions &options : {plain, capped, switching}) {
+        TwoLevelPredictor generic(TwoLevelConfig::pag(8));
+        TwoLevelPredictor viaFlat(TwoLevelConfig::pag(8));
+        SimResult expected = simulate(trace, generic, options);
+        FlatCursor cursor(flat);
+        SimResult actual = simulate(cursor, viaFlat, options);
+        expectSameResult(actual, expected, "flat vs generic");
+    }
+}
+
+// With a never-set cancel token the FlatCursor overload takes its
+// polled generic loop instead of the straight-line fast path; both
+// must agree counter for counter — including where cursor.pos lands
+// when a budget stops the run mid-trace.
+TEST(EngineTiers, FastPathMatchesPolledLoop)
+{
+    Trace trace = randomTrace(22, 5000);
+    FlatTrace flat(trace);
+    std::atomic<bool> cancel{false};
+
+    for (std::uint64_t budget : {std::uint64_t{0}, std::uint64_t{1},
+                                 std::uint64_t{999},
+                                 std::uint64_t{1u << 20}}) {
+        SimOptions fastOptions;
+        fastOptions.maxConditionalBranches = budget;
+        SimOptions polledOptions = fastOptions;
+        polledOptions.cancelToken = &cancel;
+
+        TwoLevelPredictor fastPredictor(TwoLevelConfig::pap(6));
+        TwoLevelPredictor polledPredictor(TwoLevelConfig::pap(6));
+        FlatCursor fastCursor(flat);
+        FlatCursor polledCursor(flat);
+        SimResult fast =
+            simulate(fastCursor, fastPredictor, fastOptions);
+        SimResult polled =
+            simulate(polledCursor, polledPredictor, polledOptions);
+        expectSameResult(fast, polled, "fast vs polled");
+        EXPECT_EQ(fastCursor.pos, polledCursor.pos)
+            << "budget " << budget;
+    }
+}
+
+// Resume-after-budget positioning: a run split in two by a budget
+// must replay exactly the same records as one uninterrupted run (the
+// contract RunOptions::warmupFraction builds on).
+TEST(EngineTiers, BudgetSplitResumesSeamlessly)
+{
+    Trace trace = randomTrace(33, 4000);
+    FlatTrace flat(trace);
+
+    TwoLevelPredictor whole(TwoLevelConfig::gag(10));
+    FlatCursor wholeCursor(flat);
+    SimResult full = simulate(wholeCursor, whole);
+
+    TwoLevelPredictor split(TwoLevelConfig::gag(10));
+    FlatCursor splitCursor(flat);
+    SimOptions firstHalf;
+    firstHalf.maxConditionalBranches = 800;
+    SimResult head = simulate(splitCursor, split, firstHalf);
+    EXPECT_EQ(head.conditionalBranches, 800u);
+    SimResult tail = simulate(splitCursor, split);
+
+    EXPECT_EQ(head.conditionalBranches + tail.conditionalBranches,
+              full.conditionalBranches);
+    EXPECT_EQ(head.correct + tail.correct, full.correct);
+    EXPECT_EQ(head.taken + tail.taken, full.taken);
+    EXPECT_EQ(head.allBranches + tail.allBranches, full.allBranches);
+    EXPECT_EQ(head.instructions + tail.instructions,
+              full.instructions);
+    EXPECT_EQ(wholeCursor.pos, splitCursor.pos);
+}
+
+// The virtual shim and the template tier run the same loop; a
+// predictor driven through its BranchPredictor base must land on
+// identical results.
+TEST(EngineTiers, VirtualShimMatchesTemplateTier)
+{
+    Trace trace = randomTrace(44, 3000);
+    TwoLevelPredictor typed(TwoLevelConfig::pag(8));
+    TwoLevelPredictor erased(TwoLevelConfig::pag(8));
+    BranchPredictor &base = erased;
+    SimResult fromTemplate = simulate(trace, typed);
+    SimResult fromVirtual = simulate(trace, base);
+    expectSameResult(fromTemplate, fromVirtual,
+                     "template vs virtual");
+}
+
+// simulateDispatch must be a pure routing layer: for every predictor
+// it recognizes (static-mode two-level lanes, dynamic-mode two-level
+// fallback, BTB, always-taken) and for one it cannot (a user
+// subclass), results equal the virtual tier's.
+TEST(EngineTiers, DispatchMatchesVirtualTier)
+{
+    Trace trace = randomTrace(55, 4000);
+    FlatTrace flat(trace);
+
+    auto compare = [&](BranchPredictor &dispatched,
+                       BranchPredictor &reference,
+                       const char *what) {
+        FlatCursor cursor(flat);
+        SimResult viaDispatch = simulateDispatch(cursor, dispatched);
+        SimResult viaVirtual = simulate(trace, reference);
+        expectSameResult(viaDispatch, viaVirtual, what);
+    };
+
+    // A devirtualized static-mode lane (PAg, practical BHT).
+    TwoLevelPredictor laneA(TwoLevelConfig::pag(8));
+    TwoLevelPredictor laneB(TwoLevelConfig::pag(8));
+    compare(laneA, laneB, "PAg lane");
+
+    // Outside every lane: speculative history forces the dynamic-
+    // modes fallback.
+    TwoLevelConfig spec = TwoLevelConfig::gag(8);
+    spec.speculative = SpeculativeMode::Reinitialize;
+    TwoLevelPredictor specA(spec);
+    TwoLevelPredictor specB(spec);
+    compare(specA, specB, "dynamic-modes fallback");
+
+    BtbPredictor btbA(BtbConfig{});
+    BtbPredictor btbB(BtbConfig{});
+    compare(btbA, btbB, "BTB");
+
+    AlwaysTakenPredictor atA, atB;
+    compare(atA, atB, "always-taken");
+
+    // Unknown subclass: dispatch must fall back to the virtual tier.
+    SwitchCounter customA, customB;
+    compare(customA, customB, "unrecognized predictor");
 }
 
 } // namespace

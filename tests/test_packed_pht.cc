@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Equivalence proofs for the bit-packed pattern history table.
+ *
+ * PackedPatternTable is the layout the simulator actually runs;
+ * PatternHistoryTable is the readable reference. These tests pin the
+ * two together: an exhaustive sweep of every state x packed slot
+ * position x outcome for each paper automaton (the read-modify-write
+ * of one packed field must transition exactly like the reference and
+ * disturb no neighbouring field), plus long random-stream lockstep
+ * runs, tally equivalence, and the SBO storage-boundary cases the
+ * packed table adds on top of the reference semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "predictor/automaton.hh"
+#include "predictor/counters.hh"
+#include "predictor/packed_pht.hh"
+#include "predictor/pattern_table.hh"
+#include "util/random.hh"
+
+namespace tl
+{
+namespace
+{
+
+const Automaton &
+paperAutomaton(int index)
+{
+    switch (index) {
+      case 0:
+        return Automaton::lastTime();
+      case 1:
+        return Automaton::a1();
+      case 2:
+        return Automaton::a2();
+      case 3:
+        return Automaton::a3();
+      default:
+        return Automaton::a4();
+    }
+}
+
+// Every state x packed slot position x outcome, for each paper
+// machine: updating one packed field must apply exactly the reference
+// transition and leave every neighbouring field of the shared byte
+// (and the adjacent bytes) untouched. Neighbours are pre-loaded with
+// a rolling mix of states so a mask that is one bit too wide cannot
+// hide behind identical neighbours.
+TEST(PackedPatternTable, ExhaustiveSingleUpdateEquivalence)
+{
+    for (int a = 0; a < 5; ++a) {
+        const Automaton &automaton = paperAutomaton(a);
+        const PackedAutomaton packed =
+            PackedAutomaton::from(automaton);
+        const unsigned slots = 8u / packed.fieldBits();
+        const unsigned states = automaton.numStates();
+        // 16 entries cover two-plus bytes at every field width.
+        const unsigned historyBits = 4;
+        const std::uint64_t entries = 1u << historyBits;
+
+        for (unsigned state = 0; state < states; ++state) {
+            for (unsigned slot = 0; slot < slots; ++slot) {
+                for (int outcome = 0; outcome < 2; ++outcome) {
+                    PackedPatternTable fast(historyBits, packed);
+                    PatternHistoryTable reference(historyBits,
+                                                  automaton);
+                    for (std::uint64_t p = 0; p < entries; ++p) {
+                        auto s = static_cast<Automaton::State>(
+                            (state + p) % states);
+                        fast.setState(p, s);
+                        reference.setState(p, s);
+                    }
+                    const std::uint64_t target = 8 + slot;
+                    fast.setState(
+                        target, static_cast<Automaton::State>(state));
+                    reference.setState(
+                        target, static_cast<Automaton::State>(state));
+
+                    EXPECT_EQ(fast.predict(target),
+                              reference.predict(target));
+                    fast.update(target, outcome != 0);
+                    reference.update(target, outcome != 0);
+
+                    for (std::uint64_t p = 0; p < entries; ++p) {
+                        EXPECT_EQ(fast.state(p), reference.state(p))
+                            << automaton.name() << " state " << state
+                            << " slot " << slot << " outcome "
+                            << outcome << " entry " << p;
+                        EXPECT_EQ(fast.predict(p),
+                                  reference.predict(p));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// Long random pattern/outcome streams, checked prediction for
+// prediction and state for state — the paper machines plus the wide
+// extension automata that pack at 4 and 8 bits per field.
+TEST(PackedPatternTable, RandomStreamLockstep)
+{
+    std::vector<Automaton> automata;
+    for (int a = 0; a < 5; ++a)
+        automata.push_back(paperAutomaton(a));
+    automata.push_back(Automaton::saturatingCounter(3)); // 4-bit field
+    automata.push_back(Automaton::shiftMajority(4));     // 4-bit field
+    automata.push_back(Automaton::saturatingCounter(5)); // 8-bit field
+
+    for (const Automaton &automaton : automata) {
+        const PackedAutomaton packed =
+            PackedAutomaton::from(automaton);
+        const unsigned historyBits = 8;
+        PackedPatternTable fast(historyBits, packed);
+        PatternHistoryTable reference(historyBits, automaton);
+
+        Rng rng(0x9e3779b9u + automaton.numStates());
+        for (int i = 0; i < 20000; ++i) {
+            std::uint64_t pattern = rng.nextU64();
+            bool taken = (rng.nextU64() & 1) != 0;
+            ASSERT_EQ(fast.predict(pattern),
+                      reference.predict(pattern))
+                << automaton.name() << " step " << i;
+            fast.update(pattern, taken);
+            reference.update(pattern, taken);
+            ASSERT_EQ(fast.state(pattern), reference.state(pattern))
+                << automaton.name() << " step " << i;
+        }
+        EXPECT_TRUE(fast.validate().ok());
+        EXPECT_TRUE(reference.validate().ok());
+    }
+}
+
+// The packed table's PhtCounters tally must agree event for event
+// with the reference's: same lambda firings, same taken tallies, same
+// delta applications, same actually-changed-state transitions.
+TEST(PackedPatternTable, TallyEquivalence)
+{
+    PhtCounters fastTally;
+    PhtCounters referenceTally;
+    const PackedAutomaton packed = PackedAutomaton::from(Automaton::a3());
+    PackedPatternTable fast(6, packed);
+    PatternHistoryTable reference(6, Automaton::a3());
+    fast.attachCounters(&fastTally);
+    reference.attachCounters(&referenceTally);
+
+    Rng rng(42);
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t pattern = rng.nextU64();
+        bool taken = (rng.nextU64() & 3) != 0; // biased, like real code
+        EXPECT_EQ(fast.predict(pattern), reference.predict(pattern));
+        fast.update(pattern, taken);
+        reference.update(pattern, taken);
+    }
+    EXPECT_EQ(fastTally.predictions, referenceTally.predictions);
+    EXPECT_EQ(fastTally.predictedTaken, referenceTally.predictedTaken);
+    EXPECT_EQ(fastTally.updates, referenceTally.updates);
+    EXPECT_EQ(fastTally.transitions, referenceTally.transitions);
+    EXPECT_EQ(fastTally.predictions, 5000u);
+}
+
+TEST(PackedPatternTable, ResetRestoresInitEverywhere)
+{
+    const PackedAutomaton packed = PackedAutomaton::from(Automaton::a2());
+    PackedPatternTable pht(5, packed);
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i)
+        pht.update(rng.nextU64(), (rng.nextU64() & 1) != 0);
+    pht.reset();
+    for (std::uint64_t p = 0; p < 32; ++p) {
+        EXPECT_EQ(pht.state(p), Automaton::a2().initState());
+        EXPECT_TRUE(pht.predict(p));
+    }
+    EXPECT_TRUE(pht.validate().ok());
+}
+
+// injectFault() on a wide automaton can plant a genuinely out-of-range
+// state; validate() must notice and reset() must clear it. (For the
+// 2-bit machines the field width equals the state width, so every
+// rawstate aliases to a legal one — documented on injectFault.)
+TEST(PackedPatternTable, ValidateCatchesInjectedFault)
+{
+    Automaton wide = Automaton::saturatingCounter(3); // 8 states, 4-bit
+    const PackedAutomaton packed = PackedAutomaton::from(wide);
+    PackedPatternTable pht(4, packed);
+    EXPECT_TRUE(pht.validate().ok());
+    pht.injectFault(3, 0xF); // states are 0..7; 15 is garbage
+    EXPECT_FALSE(pht.validate().ok());
+    pht.reset();
+    EXPECT_TRUE(pht.validate().ok());
+}
+
+// Storage crosses from the inline buffer to the heap at 64 bytes; the
+// behaviour on both sides of the boundary must be identical to the
+// reference, and copies/moves must re-aim the storage pointer.
+TEST(PackedPatternTable, InlineAndHeapStorageBehaveIdentically)
+{
+    // 2-bit fields: historyBits 8 -> 64 bytes (inline edge),
+    // historyBits 9 -> 128 bytes (heap).
+    const PackedAutomaton packed = PackedAutomaton::from(Automaton::a2());
+    for (unsigned historyBits : {4u, 8u, 9u, 12u}) {
+        PackedPatternTable fast(historyBits, packed);
+        PatternHistoryTable reference(historyBits, Automaton::a2());
+        Rng rng(historyBits);
+        for (int i = 0; i < 4000; ++i) {
+            std::uint64_t pattern = rng.nextU64();
+            bool taken = (rng.nextU64() & 1) != 0;
+            ASSERT_EQ(fast.predict(pattern),
+                      reference.predict(pattern));
+            fast.update(pattern, taken);
+            reference.update(pattern, taken);
+        }
+        EXPECT_TRUE(fast.validate().ok());
+    }
+}
+
+TEST(PackedPatternTable, CopyAndMoveRebindStorage)
+{
+    const PackedAutomaton packedA2 =
+        PackedAutomaton::from(Automaton::a2());
+    const PackedAutomaton packedLt =
+        PackedAutomaton::from(Automaton::lastTime());
+    for (unsigned historyBits : {6u, 10u}) { // inline and heap
+        PackedPatternTable original(historyBits, packedA2);
+        original.update(1, false);
+        original.update(1, false);
+
+        PackedPatternTable copy(original);
+        EXPECT_EQ(copy.state(1), original.state(1));
+        copy.update(2, false);
+        copy.update(2, false);
+        copy.update(2, false);
+        EXPECT_FALSE(copy.predict(2));
+        EXPECT_TRUE(original.predict(2)) << "copy mutated original";
+        EXPECT_TRUE(copy.validate().ok());
+        EXPECT_TRUE(original.validate().ok());
+
+        PackedPatternTable moved(std::move(copy));
+        EXPECT_FALSE(moved.predict(2));
+        EXPECT_EQ(moved.state(1), original.state(1));
+        EXPECT_TRUE(moved.validate().ok());
+
+        PackedPatternTable assigned(3, packedLt);
+        assigned = original;
+        EXPECT_EQ(assigned.entries(), original.entries());
+        EXPECT_EQ(assigned.state(1), original.state(1));
+        EXPECT_TRUE(assigned.validate().ok());
+
+        assigned = std::move(moved);
+        EXPECT_FALSE(assigned.predict(2));
+        EXPECT_TRUE(assigned.validate().ok());
+    }
+}
+
+// Mirrors the reference table's death test: setState is range
+// checked by TL_CHECK in every build type.
+TEST(PackedPatternTable, SetStateRangeChecked)
+{
+    const PackedAutomaton packed =
+        PackedAutomaton::from(Automaton::a2());
+    PackedPatternTable pht(4, packed);
+    EXPECT_DEATH(pht.setState(0, 7), "state");
+}
+
+} // namespace
+} // namespace tl

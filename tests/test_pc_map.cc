@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for the flat open-addressing PcMap, differentially
+ * against std::unordered_map: the two must agree on membership, value
+ * state and size through arbitrary interleavings of tryEmplace, find,
+ * mutation through returned pointers, clear, and load-factor-driven
+ * growth — including the adversarial key shapes (arithmetic
+ * progressions of branch addresses, high-bit-only differences) that
+ * multiplicative hashing must spread.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/pc_map.hh"
+#include "util/random.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(PcMap, EmptyMapFindsNothing)
+{
+    PcMap<int> map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.find(0), nullptr);
+    EXPECT_EQ(map.find(0x400000), nullptr);
+}
+
+TEST(PcMap, TryEmplaceInsertsOnceAndFindsValue)
+{
+    PcMap<int> map;
+    auto [value, inserted] = map.tryEmplace(0x400100);
+    EXPECT_TRUE(inserted);
+    *value = 7;
+
+    auto [again, insertedAgain] = map.tryEmplace(0x400100);
+    EXPECT_FALSE(insertedAgain);
+    EXPECT_EQ(*again, 7);
+    EXPECT_EQ(map.size(), 1u);
+
+    const int *found = map.find(0x400100);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, 7);
+}
+
+TEST(PcMap, ClearKeepsWorkingAfterwards)
+{
+    PcMap<int> map;
+    for (std::uint64_t pc = 0; pc < 100; ++pc)
+        *map.tryEmplace(0x1000 + 4 * pc).first = int(pc);
+    EXPECT_EQ(map.size(), 100u);
+    map.clear();
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.find(0x1000), nullptr);
+    auto [value, inserted] = map.tryEmplace(0x1000);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(*value, 0); // default-constructed, not stale
+}
+
+// Differential against unordered_map across growth, with the key
+// shapes branch addresses actually take: a dense arithmetic
+// progression (word-aligned PCs), a sparse one, keys differing only
+// in high bits, and uniform random keys.
+TEST(PcMap, DifferentialAgainstUnorderedMap)
+{
+    std::vector<std::vector<std::uint64_t>> keySets;
+    std::vector<std::uint64_t> dense, sparse, highBits, random;
+    for (std::uint64_t i = 0; i < 3000; ++i)
+        dense.push_back(0x400000 + 4 * i);
+    for (std::uint64_t i = 0; i < 3000; ++i)
+        sparse.push_back(0x10000000 + 0x1000 * i);
+    for (std::uint64_t i = 0; i < 512; ++i)
+        highBits.push_back(i << 52);
+    Rng rng(1234);
+    for (int i = 0; i < 3000; ++i)
+        random.push_back(rng.nextU64());
+    keySets = {dense, sparse, highBits, random};
+
+    for (const auto &keys : keySets) {
+        PcMap<std::uint64_t> map;
+        std::unordered_map<std::uint64_t, std::uint64_t> reference;
+        Rng ops(99);
+        // Interleave inserts with lookups of both present and absent
+        // keys; values record insertion order so collisions that
+        // return the wrong slot are caught, not just membership.
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+            std::uint64_t key = keys[i];
+            auto [value, inserted] = map.tryEmplace(key);
+            auto [it, refInserted] = reference.try_emplace(key, i);
+            EXPECT_EQ(inserted, refInserted);
+            if (inserted)
+                *value = i;
+            EXPECT_EQ(*value, it->second);
+
+            std::uint64_t probe =
+                keys[ops.nextBelow(keys.size())];
+            const std::uint64_t *found = map.find(probe);
+            auto refFound = reference.find(probe);
+            ASSERT_EQ(found != nullptr,
+                      refFound != reference.end());
+            if (found) {
+                EXPECT_EQ(*found, refFound->second);
+            }
+
+            std::uint64_t absent = key ^ 0x1; // never word-aligned+1
+            if (reference.find(absent) == reference.end()) {
+                EXPECT_EQ(map.find(absent), nullptr);
+            }
+        }
+        EXPECT_EQ(map.size(), reference.size());
+
+        // forEach must visit every entry exactly once with the value
+        // the reference holds.
+        std::unordered_map<std::uint64_t, std::uint64_t> seen;
+        map.forEach([&](std::uint64_t key, std::uint64_t value) {
+            auto [it, inserted] = seen.try_emplace(key, value);
+            EXPECT_TRUE(inserted) << "forEach repeated a key";
+        });
+        EXPECT_EQ(seen.size(), reference.size());
+        for (const auto &[key, value] : reference) {
+            auto it = seen.find(key);
+            ASSERT_NE(it, seen.end());
+            EXPECT_EQ(it->second, value);
+        }
+    }
+}
+
+// Value pointers stay valid until the next insertion (the documented
+// unordered_map-under-rehash contract), and mutations through them
+// land in the map.
+TEST(PcMap, MutationThroughPointerPersists)
+{
+    PcMap<std::vector<int>> map;
+    auto [value, inserted] = map.tryEmplace(0x8000);
+    ASSERT_TRUE(inserted);
+    value->assign({1, 2, 3});
+    const std::vector<int> *found = map.find(0x8000);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, (std::vector<int>{1, 2, 3}));
+}
+
+// Growth preserves every stored value; crossing the 3/4 load factor
+// of the 64-slot initial table several times over exercises grow()'s
+// shift recomputation at multiple table sizes.
+TEST(PcMap, GrowthPreservesEntries)
+{
+    PcMap<std::uint64_t> map;
+    constexpr std::uint64_t kEntries = 10000;
+    for (std::uint64_t i = 0; i < kEntries; ++i)
+        *map.tryEmplace(i * 0x9e37).first = ~i;
+    EXPECT_EQ(map.size(), kEntries);
+    for (std::uint64_t i = 0; i < kEntries; ++i) {
+        const std::uint64_t *found = map.find(i * 0x9e37);
+        ASSERT_NE(found, nullptr) << "key " << i;
+        EXPECT_EQ(*found, ~i);
+    }
+}
+
+// Determinism: the map is a pure function of the insertion sequence
+// (what keeps sweeps byte-identical serial vs parallel), so two maps
+// fed the same sequence must agree entry for entry in table order.
+TEST(PcMap, DeterministicForEachOrder)
+{
+    PcMap<int> first, second;
+    Rng rng(5);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < 500; ++i)
+        keys.push_back(rng.nextU64());
+    for (std::uint64_t key : keys) {
+        *first.tryEmplace(key).first = int(key & 0xFF);
+        *second.tryEmplace(key).first = int(key & 0xFF);
+    }
+    std::vector<std::pair<std::uint64_t, int>> a, b;
+    first.forEach([&](std::uint64_t k, int v) { a.push_back({k, v}); });
+    second.forEach([&](std::uint64_t k, int v) { b.push_back({k, v}); });
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace tl

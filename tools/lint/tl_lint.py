@@ -53,6 +53,17 @@ exempt):
                   for results — and iostream globals add static-init
                   weight to every translation unit.
 
+  artifact-placement
+                  Benchmark and run artifacts (BENCH_*.json,
+                  RUN_*.json) are scratch output wherever a binary
+                  happens to run; the only blessed homes for
+                  *committed* copies are bench/baselines/ (perf
+                  baselines) and tests/golden/ (golden figures). A
+                  stray tracked artifact silently becomes a fake
+                  reference — this rule checks `git ls-files` so one
+                  can never land again. Skipped when git (or the work
+                  tree) is unavailable.
+
 A line may opt out of a rule with a trailing comment:
 
     legacy_call();  // tl-lint: allow(fatal-ratchet)
@@ -79,6 +90,7 @@ FATAL_BASELINE = {
     "src/predictor/factory.cc": 3,
     "src/predictor/history_register.hh": 1,
     "src/predictor/indirect.cc": 1,
+    "src/predictor/packed_pht.cc": 1,
     "src/predictor/pattern_table.cc": 1,
     "src/predictor/return_stack.cc": 1,
     "src/predictor/spec.cc": 1,
@@ -269,6 +281,36 @@ def lint_file(path, rel, violations, fatal_counts):
              % (fatal_count, ceiling)))
 
 
+ARTIFACT_RE = re.compile(r"(?:^|/)(?:BENCH|RUN)_[^/]*\.json$")
+ARTIFACT_ALLOWED_DIRS = ("bench/baselines/", "tests/golden/")
+
+
+def lint_artifact_placement(repo, violations):
+    """Tracked BENCH_*/RUN_* artifacts may live only in the blessed
+    reference directories. Uses git ls-files; silently skipped when
+    git is unavailable (e.g. linting an exported tarball)."""
+    import subprocess
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(repo), "ls-files"],
+            capture_output=True, text=True, timeout=30)
+    except (OSError, subprocess.TimeoutExpired):
+        return
+    if proc.returncode != 0:
+        return
+    for rel in proc.stdout.splitlines():
+        if not ARTIFACT_RE.search(rel):
+            continue
+        if rel.startswith(ARTIFACT_ALLOWED_DIRS):
+            continue
+        violations.append(
+            (rel, 0, "artifact-placement",
+             "tracked benchmark/run artifact outside %s — committed "
+             "reference copies live there; everything else is scratch "
+             "output and belongs in .gitignore"
+             % " or ".join(ARTIFACT_ALLOWED_DIRS)))
+
+
 def lint_nodiscard(repo, violations):
     rel = "src/util/status_or.hh"
     text = (repo / rel).read_text()
@@ -305,6 +347,7 @@ def main():
         rel = path.relative_to(repo).as_posix()
         lint_file(path, rel, violations, fatal_counts)
     lint_nodiscard(repo, violations)
+    lint_artifact_placement(repo, violations)
 
     if args.update_baseline:
         print("FATAL_BASELINE = {")

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Throughput regression gate for bench/throughput manifests.
+
+Compares the headline throughput of a freshly produced
+BENCH_throughput.json (its `notes.headline.MpredPerSec`, the best-of-N
+bare serial sweep measured by bench/throughput.cc) against the
+committed baseline under bench/baselines/. The gate fails when the
+fresh rate falls more than --tolerance (default 15%) below the
+baseline rate.
+
+Unlike the golden-figure comparator (tools/golden_diff.py), which
+demands bit-level agreement because accuracy is deterministic, raw
+speed is machine- and load-dependent: the tolerance absorbs scheduler
+noise while still catching an accidental re-virtualization or a hot-
+path pessimization, which cost well over 15%. The gate also re-checks
+the accuracy handshake: the headline run must report
+`identicalToSerial` (counter-for-counter agreement with the supervised
+serial sweep), so a "fast but wrong" engine cannot pass.
+
+Accuracy equivalence aside, the gate intentionally ignores everything
+else in the manifest — absolute cell timings, parallel speedups — so
+it stays meaningful across machines of different speeds as long as
+the baseline was produced on the same class of machine (CI pins one
+runner type for exactly this reason).
+
+Usage: perf_gate.py [--tolerance FRACTION] BASELINE ACTUAL
+Exit:  0 pass, 1 regression or malformed manifest, 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_headline(path, problems):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        problems.append(str(error))
+        return None
+    if manifest.get("kind") != "run-manifest":
+        problems.append(f"{path}: not a run-manifest")
+        return None
+    headline = manifest.get("notes", {}).get("headline")
+    if not isinstance(headline, dict) or \
+            "MpredPerSec" not in headline:
+        problems.append(
+            f"{path}: no notes.headline.MpredPerSec — produced by a "
+            f"pre-headline bench/throughput? Regenerate it (see "
+            f"bench/baselines/README.md)")
+        return None
+    budget = manifest.get("notes", {}).get("branchBudget")
+    return {
+        "rate": float(headline["MpredPerSec"]),
+        "nsPerBranch": headline.get("nsPerBranch"),
+        "identical": headline.get("identicalToSerial"),
+        "budget": budget,
+    }
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="max fractional Mpred/s drop vs the "
+                        "baseline (default: %(default)g)")
+    parser.add_argument("baseline", help="committed reference manifest")
+    parser.add_argument("actual", help="freshly produced manifest")
+    args = parser.parse_args(argv[1:])
+    if not 0 <= args.tolerance < 1:
+        parser.error("--tolerance must be a fraction in [0, 1)")
+
+    problems = []
+    baseline = load_headline(args.baseline, problems)
+    actual = load_headline(args.actual, problems)
+    for problem in problems:
+        print(f"perf_gate: {problem}", file=sys.stderr)
+    if baseline is None or actual is None:
+        return 1
+
+    failed = False
+    if baseline["budget"] != actual["budget"]:
+        print(f"perf_gate: branch budgets differ (baseline "
+              f"{baseline['budget']}, actual {actual['budget']}) — "
+              f"rates are not comparable across budgets",
+              file=sys.stderr)
+        failed = True
+    if actual["identical"] is not True:
+        print("perf_gate: headline run is not identicalToSerial — "
+              "the fast path disagrees with the supervised serial "
+              "sweep, so its speed is meaningless", file=sys.stderr)
+        failed = True
+
+    floor = baseline["rate"] * (1.0 - args.tolerance)
+    delta = (actual["rate"] - baseline["rate"]) / baseline["rate"]
+    line = (f"baseline {baseline['rate']:.1f} Mpred/s, "
+            f"actual {actual['rate']:.1f} Mpred/s "
+            f"({delta:+.1%}), floor {floor:.1f} "
+            f"(tolerance {args.tolerance:.0%})")
+    if actual["rate"] < floor:
+        print(f"perf_gate: FAIL: {line}", file=sys.stderr)
+        failed = True
+    elif not failed:
+        print(f"perf_gate: ok: {line}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

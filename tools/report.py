@@ -15,9 +15,17 @@ Reads a manifest produced by sim/manifest.hh and prints:
     cells" table naming every cell that timed out or failed and why.
 
 Usage: report.py MANIFEST.json
+       report.py --perf-trajectory [TRAJECTORY.json]
+
+The second form renders the engine's per-PR headline throughput
+history (bench/baselines/PERF_TRAJECTORY.json by default): one row
+per entry with Mpred/s, ns/branch, the delta against the previous
+entry, and a proportional bar — the longitudinal answer to "did the
+engine get faster", where the manifest form answers it for one run.
+
 Exit:  0 on success; 1 when the file is unreadable, not a
-       run-manifest, or a stored gmean disagrees with the recomputed
-       value.
+       run-manifest / perf-trajectory, or a stored gmean disagrees
+       with the recomputed value.
 """
 
 import json
@@ -205,7 +213,62 @@ def heading(title):
     return f"\n== {title} ==\n"
 
 
+DEFAULT_TRAJECTORY = "bench/baselines/PERF_TRAJECTORY.json"
+
+
+def perf_trajectory(path):
+    """Render the per-PR headline throughput history."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            trajectory = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"{path}: {error}", file=sys.stderr)
+        return 1
+    if trajectory.get("kind") != "perf-trajectory":
+        print(f"{path}: not a perf-trajectory", file=sys.stderr)
+        return 1
+    entries = trajectory.get("entries", [])
+    if not entries:
+        print(f"{path}: no entries", file=sys.stderr)
+        return 1
+
+    peak = max(e["MpredPerSec"] for e in entries)
+    rows = []
+    previous = None
+    for entry in entries:
+        rate = entry["MpredPerSec"]
+        delta = ("" if previous is None
+                 else f"{(rate - previous) / previous:+.0%}")
+        bar = "#" * max(1, round(24 * rate / peak))
+        budget = entry.get("branchBudget")
+        rows.append([f"PR {entry.get('pr', '?')}",
+                     f"{rate:.1f}",
+                     f"{entry.get('nsPerBranch', 0):.1f}",
+                     delta,
+                     f"{budget:,}" if budget else "?",
+                     bar])
+        previous = rate
+    print(heading("engine throughput trajectory (headline Mpred/s)"))
+    print(render_table(
+        ["entry", "Mpred/s", "ns/branch", "delta", "budget", ""],
+        rows))
+    first, last = entries[0]["MpredPerSec"], entries[-1]["MpredPerSec"]
+    print(f"\ncumulative: {first:.1f} -> {last:.1f} Mpred/s "
+          f"({last / first:.2f}x)")
+    for entry in entries:
+        note = entry.get("note")
+        if note:
+            print(f"  PR {entry.get('pr', '?')}: {note}")
+    return 0
+
+
 def main(argv):
+    if len(argv) >= 2 and argv[1] == "--perf-trajectory":
+        if len(argv) > 3:
+            print(__doc__.strip(), file=sys.stderr)
+            return 1
+        return perf_trajectory(
+            argv[2] if len(argv) == 3 else DEFAULT_TRAJECTORY)
     if len(argv) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 1
