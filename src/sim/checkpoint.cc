@@ -629,27 +629,20 @@ CheckpointWriter::~CheckpointWriter()
     close();
 }
 
-CheckpointWriter::CheckpointWriter(CheckpointWriter &&other) noexcept
-    : stream(std::exchange(other.stream, nullptr))
-{}
-
-CheckpointWriter &
-CheckpointWriter::operator=(CheckpointWriter &&other) noexcept
-{
-    if (this != &other) {
-        close();
-        stream = std::exchange(other.stream, nullptr);
-    }
-    return *this;
-}
-
 void
-CheckpointWriter::close()
+CheckpointWriter::closeLocked()
 {
     if (stream) {
         std::fclose(stream);
         stream = nullptr;
     }
+}
+
+void
+CheckpointWriter::close()
+{
+    MutexLock lock(mutex);
+    closeLocked();
 }
 
 namespace
@@ -671,7 +664,8 @@ Status
 CheckpointWriter::open(const std::string &path,
                        const CheckpointHeader &header)
 {
-    close();
+    MutexLock lock(mutex);
+    closeLocked();
     stream = std::fopen(path.c_str(), "wb");
     if (!stream) {
         return ioError("cannot open checkpoint '%s' for writing",
@@ -683,10 +677,14 @@ CheckpointWriter::open(const std::string &path,
 Status
 CheckpointWriter::append(const CheckpointCell &cell)
 {
+    // The line is rendered before taking the lock so concurrent
+    // appenders only serialize on the write itself.
+    std::string line = checkpointCellLine(cell);
+    MutexLock lock(mutex);
     if (!stream)
         return failedPreconditionError(
-            "CheckpointWriter::append before open");
-    return writeJournalLine(stream, checkpointCellLine(cell));
+            "CheckpointWriter::append before open (or after close)");
+    return writeJournalLine(stream, std::move(line));
 }
 
 } // namespace tl

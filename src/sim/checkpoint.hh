@@ -36,6 +36,8 @@
 #include <vector>
 
 #include "sim/engine.hh"
+#include "util/annotations.hh"
+#include "util/mutex.hh"
 #include "util/status_or.hh"
 
 namespace tl
@@ -135,6 +137,10 @@ struct Checkpoint
  * append() writes one cell record and flushes so the line is in the
  * OS page cache before the supervisor moves on — a kill -9 loses at
  * most the cell in flight, never a completed one.
+ *
+ * Thread-safe: append() from concurrent sweep workers is serialized
+ * internally, so whole journal lines never interleave. append() on a
+ * writer another thread just closed degrades to FailedPrecondition.
  */
 class CheckpointWriter
 {
@@ -144,22 +150,29 @@ class CheckpointWriter
 
     CheckpointWriter(const CheckpointWriter &) = delete;
     CheckpointWriter &operator=(const CheckpointWriter &) = delete;
-    CheckpointWriter(CheckpointWriter &&other) noexcept;
-    CheckpointWriter &operator=(CheckpointWriter &&other) noexcept;
 
     /** Truncate @p path and journal @p header. */
     Status open(const std::string &path,
-                const CheckpointHeader &header);
+                const CheckpointHeader &header) TL_EXCLUDES(mutex);
 
     /** Journal one cell; flushed before returning. */
-    Status append(const CheckpointCell &cell);
+    Status append(const CheckpointCell &cell) TL_EXCLUDES(mutex);
 
-    [[nodiscard]] bool isOpen() const { return stream != nullptr; }
+    [[nodiscard]] bool
+    isOpen() const TL_EXCLUDES(mutex)
+    {
+        MutexLock lock(mutex);
+        return stream != nullptr;
+    }
 
-    void close();
+    void close() TL_EXCLUDES(mutex);
 
   private:
-    std::FILE *stream = nullptr;
+    /** close() body for callers already holding the lock. */
+    void closeLocked() TL_REQUIRES(mutex);
+
+    mutable Mutex mutex;
+    std::FILE *stream TL_GUARDED_BY(mutex) = nullptr;
 };
 
 } // namespace tl

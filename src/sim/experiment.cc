@@ -48,7 +48,7 @@ WorkloadSuite::cached(std::map<std::string, Entry> &cache,
     Entry entry;
     bool producer = false;
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         auto it = cache.find(workload.name());
         if (it == cache.end()) {
             producer = true;
@@ -62,9 +62,18 @@ WorkloadSuite::cached(std::map<std::string, Entry> &cache,
     // workloads can be captured concurrently; waiters on the same
     // workload block on the shared_future instead of the mutex.
     if (producer) {
-        promise.set_value(std::make_shared<const Trace>(
-            wantTraining ? workload.captureTraining(budget)
-                         : workload.captureTesting(budget)));
+        try {
+            promise.set_value(std::make_shared<const Trace>(
+                wantTraining ? workload.captureTraining(budget)
+                             : workload.captureTesting(budget)));
+        } catch (...) { // tl-lint: allow(catch-all)
+            // Not swallowed: the exception is published through the
+            // shared_future, so this waiter and every other one
+            // rethrows it from entry.get() below. Without this, a
+            // throwing capture would leave an unfulfilled promise in
+            // the cache and later waiters would block forever.
+            promise.set_exception(std::current_exception());
+        }
     }
     return entry.get();
 }
@@ -82,7 +91,7 @@ WorkloadSuite::flatTestingTrace(const Workload &workload)
     FlatEntry entry;
     bool producer = false;
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         auto it = flatTestingTraces.find(workload.name());
         if (it == flatTestingTraces.end()) {
             producer = true;
@@ -95,8 +104,13 @@ WorkloadSuite::flatTestingTrace(const Workload &workload)
     // The transpose source is the cached AoS trace, so the two views
     // can never drift; testingTrace() handles its own locking.
     if (producer) {
-        promise.set_value(std::make_shared<const FlatTrace>(
-            *testingTrace(workload)));
+        try {
+            promise.set_value(std::make_shared<const FlatTrace>(
+                *testingTrace(workload)));
+        } catch (...) { // tl-lint: allow(catch-all)
+            // Published, not swallowed — see cached().
+            promise.set_exception(std::current_exception());
+        }
     }
     return entry.get();
 }

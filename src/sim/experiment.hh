@@ -26,12 +26,13 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "predictor/factory.hh"
 #include "sim/engine.hh"
 #include "sim/metrics.hh"
+#include "util/annotations.hh"
+#include "util/mutex.hh"
 #include "util/status_or.hh"
 #include "workloads/registry.hh"
 
@@ -99,10 +100,17 @@ class WorkloadSuite
            const Workload &workload, bool wantTraining);
 
     std::uint64_t budget;
-    std::mutex mutex;
-    std::map<std::string, Entry> testingTraces;
-    std::map<std::string, Entry> trainingTraces;
-    std::map<std::string, FlatEntry> flatTestingTraces;
+
+    /**
+     * Guards the cache *maps*; the traces themselves are immutable
+     * once published through the shared_future, so readers holding
+     * an Entry need no lock.
+     */
+    Mutex mutex;
+    std::map<std::string, Entry> testingTraces TL_GUARDED_BY(mutex);
+    std::map<std::string, Entry> trainingTraces TL_GUARDED_BY(mutex);
+    std::map<std::string, FlatEntry> flatTestingTraces
+        TL_GUARDED_BY(mutex);
 };
 
 } // namespace tl

@@ -2,17 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <thread> // tl-lint: allow(thread) — watchdog, see Watchdog
 #include <utility>
 
+#include "sim/progress.hh"
+#include "util/annotations.hh"
 #include "util/crc32.hh"
 #include "util/event_log.hh"
 #include "util/json.hh"
+#include "util/mutex.hh"
 #include "util/status.hh"
 #include "util/thread_pool.hh"
 
@@ -77,10 +78,10 @@ class Watchdog
     ~Watchdog()
     {
         {
-            std::lock_guard<std::mutex> lock(mutex);
+            MutexLock lock(mutex);
             stopping = true;
         }
-        wake.notify_all();
+        wake.notifyAll();
         ticker.join();
     }
 
@@ -91,7 +92,7 @@ class Watchdog
     void
     arm(std::size_t cell, std::atomic<bool> *cancel)
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         armed[cell] = Armed{
             cancel,
             SweepClock::now() +
@@ -103,7 +104,7 @@ class Watchdog
     void
     disarm(std::size_t cell)
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         armed.erase(cell);
     }
 
@@ -122,9 +123,9 @@ class Watchdog
         const auto tick = std::chrono::duration_cast<
             std::chrono::milliseconds>(std::chrono::duration<double>(
             std::clamp(deadline / 8.0, 0.001, 0.05)));
-        std::unique_lock<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         while (!stopping) {
-            wake.wait_for(lock, tick);
+            (void)wake.waitFor(mutex, tick);
             if (stopping)
                 break;
             const SweepClock::time_point now = SweepClock::now();
@@ -141,10 +142,10 @@ class Watchdog
     }
 
     const double deadline;
-    std::mutex mutex;
-    std::condition_variable wake;
-    bool stopping = false; // guarded by mutex
-    std::map<std::size_t, Armed> armed;
+    Mutex mutex;
+    CondVar wake;
+    bool stopping TL_GUARDED_BY(mutex) = false;
+    std::map<std::size_t, Armed> armed TL_GUARDED_BY(mutex);
     std::thread ticker; // tl-lint: allow(thread)
 };
 
@@ -574,8 +575,10 @@ SweepSupervisor::run(const std::vector<SweepSpec> &columns)
     // Phase 2: reopen the journal. Restored cells are re-journaled
     // first so the file is always a complete record of the current
     // run — a second resume never depends on the previous file.
+    // CheckpointWriter serializes appends internally, so the workers
+    // share it with no supervisor-side lock (and thus no ordering
+    // constraint against the supervisor's own mutexes).
     CheckpointWriter journal;
-    std::mutex journalMutex;
     if (supConfig.checkpoint) {
         Status opened = journal.open(checkpointFile, header);
         if (!opened.ok()) {
@@ -625,10 +628,10 @@ SweepSupervisor::run(const std::vector<SweepSpec> &columns)
     sweep.profile.workerBusySeconds.assign(runOptions.threads + 1,
                                            0.0);
 
-    std::atomic<std::size_t> cellsDone{0};
-    std::mutex progressMutex;
     const SweepClock::time_point sweepStart = SweepClock::now();
-    SweepClock::time_point lastProgress = sweepStart;
+    ProgressMeter progressMeter(runOptions.progress,
+                                runOptions.progressInterval,
+                                sweepStart);
 
     const std::uint32_t maxAttempts =
         std::max(1u, runOptions.maxCellAttempts);
@@ -648,17 +651,7 @@ SweepSupervisor::run(const std::vector<SweepSpec> &columns)
                  EventField::u64("wallMs", slot.wallMs),
                  EventField::boolean("restored", slot.restored)});
         }
-        const std::size_t done =
-            cellsDone.fetch_add(1, std::memory_order_relaxed) + 1;
-        if (runOptions.progress) {
-            std::lock_guard<std::mutex> lock(progressMutex);
-            if (done == cells ||
-                elapsedSeconds(lastProgress, end) >=
-                    runOptions.progressInterval) {
-                lastProgress = end;
-                runOptions.progress(done, cells);
-            }
-        }
+        progressMeter.tick(cells, end);
     };
 
     auto compute = [&](std::size_t cell) {
@@ -780,17 +773,18 @@ SweepSupervisor::run(const std::vector<SweepSpec> &columns)
             timing.wallSeconds;
 
         if (cellStateRestorable(slot.state)) {
-            std::lock_guard<std::mutex> lock(journalMutex);
-            if (journal.isOpen()) {
-                Status appended = journal.append(
-                    journalRecord(cell, column, workload, slot));
-                if (!appended.ok()) {
-                    warn("supervisor '%s': checkpoint append "
-                         "failed: %s",
-                         supConfig.name.c_str(),
-                         appended.toString().c_str());
-                    journal.close();
-                }
+            Status appended = journal.append(
+                journalRecord(cell, column, workload, slot));
+            if (!appended.ok() &&
+                appended.code() != StatusCode::FailedPrecondition) {
+                // FailedPrecondition = journal never opened or
+                // already shut down by a failed append elsewhere;
+                // only a fresh I/O failure warrants the warning and
+                // the shutdown.
+                warn("supervisor '%s': checkpoint append failed: %s",
+                     supConfig.name.c_str(),
+                     appended.toString().c_str());
+                journal.close();
             }
         }
 

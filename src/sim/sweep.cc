@@ -2,8 +2,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 
+#include "sim/progress.hh"
 #include "util/check.hh"
 #include "util/event_log.hh"
 #include "util/status.hh"
@@ -213,10 +213,10 @@ SweepRunner::run(const std::vector<SweepSpec> &columns)
     profile.cells.resize(cells);
     profile.workerBusySeconds.assign(runOptions.threads + 1, 0.0);
 
-    std::atomic<std::size_t> cellsDone{0};
-    std::mutex progressMutex;
     const SweepClock::time_point sweepStart = SweepClock::now();
-    SweepClock::time_point lastProgress = sweepStart;
+    ProgressMeter progressMeter(runOptions.progress,
+                                runOptions.progressInterval,
+                                sweepStart);
 
     // Each cell writes only its own slot, so the grid needs no lock;
     // assembling from the grid afterwards makes the output order a
@@ -264,17 +264,7 @@ SweepRunner::run(const std::vector<SweepSpec> &columns)
                  EventField::boolean("skipped", timing.skipped)});
         }
 
-        const std::size_t done =
-            cellsDone.fetch_add(1, std::memory_order_relaxed) + 1;
-        if (runOptions.progress) {
-            std::lock_guard<std::mutex> lock(progressMutex);
-            if (done == cells ||
-                elapsedSeconds(lastProgress, end) >=
-                    runOptions.progressInterval) {
-                lastProgress = end;
-                runOptions.progress(done, cells);
-            }
-        }
+        progressMeter.tick(cells, end);
     };
 
     if (runOptions.threads == 0) {

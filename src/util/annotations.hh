@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis annotations, compiled to nothing on
+ * other compilers.
+ *
+ * The macros below let the locking discipline of the concurrent
+ * substrate (util/thread_pool, util/metrics, util/event_log,
+ * sim/sweep, sim/supervisor, sim/checkpoint, the WorkloadSuite trace
+ * cache) be *stated in the source* and *proved at compile time*:
+ * every field that a mutex protects carries TL_GUARDED_BY(mutex), and
+ * clang's -Wthread-safety pass rejects any access that does not hold
+ * the capability. The CI `thread-safety` job builds with clang and
+ * -Wthread-safety -Werror, so a data race that TSan could only catch
+ * when a test happened to interleave the right way becomes a compile
+ * error on every run.
+ *
+ * Use the annotated wrappers in util/mutex.hh (tl::Mutex,
+ * tl::MutexLock, tl::CondVar) rather than std::mutex — the tl_lint
+ * `raw-mutex` rule enforces this for src/. Conventions:
+ *
+ *   - every shared mutable field:        TL_GUARDED_BY(mutex)
+ *   - data reached through a pointer:    TL_PT_GUARDED_BY(mutex)
+ *   - private functions assuming a lock: TL_REQUIRES(mutex)
+ *   - functions that must NOT hold it:   TL_EXCLUDES(mutex)
+ *
+ * TL_NO_THREAD_SAFETY_ANALYSIS is the escape hatch for code the
+ * analysis cannot follow (e.g. adopting a lock owned elsewhere); each
+ * use needs a comment saying why the analysis is wrong there.
+ *
+ * Follows the attribute set documented in
+ * https://clang.llvm.org/docs/ThreadSafetyAnalysis.html.
+ */
+
+#ifndef TL_UTIL_ANNOTATIONS_HH
+#define TL_UTIL_ANNOTATIONS_HH
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define TL_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef TL_THREAD_ANNOTATION
+#define TL_THREAD_ANNOTATION(x) // no-op off clang
+#endif
+
+/** Marks a class as a lockable capability ("mutex"). */
+#define TL_CAPABILITY(x) TL_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII class that acquires in its ctor, releases in dtor. */
+#define TL_SCOPED_CAPABILITY TL_THREAD_ANNOTATION(scoped_lockable)
+
+/** Field may only be touched while holding @p x. */
+#define TL_GUARDED_BY(x) TL_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee (not the pointer) is protected by @p x. */
+#define TL_PT_GUARDED_BY(x) TL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Caller must hold the listed capabilities. */
+#define TL_REQUIRES(...) \
+    TL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function acquires the listed capabilities (and returns holding). */
+#define TL_ACQUIRE(...) \
+    TL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the listed capabilities. */
+#define TL_RELEASE(...) \
+    TL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function acquires iff it returns @p ... (first arg = success value). */
+#define TL_TRY_ACQUIRE(...) \
+    TL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the listed capabilities (deadlock guard). */
+#define TL_EXCLUDES(...) \
+    TL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Declares a lock-ordering edge: this lock before @p ... */
+#define TL_ACQUIRED_BEFORE(...) \
+    TL_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/** Declares a lock-ordering edge: this lock after @p ... */
+#define TL_ACQUIRED_AFTER(...) \
+    TL_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/** Function returns a reference to the named capability. */
+#define TL_RETURN_CAPABILITY(x) \
+    TL_THREAD_ANNOTATION(lock_returned(x))
+
+/**
+ * Opt a function out of the analysis. Every use must carry a comment
+ * explaining what the analysis cannot see.
+ */
+#define TL_NO_THREAD_SAFETY_ANALYSIS \
+    TL_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // TL_UTIL_ANNOTATIONS_HH

@@ -33,10 +33,11 @@ EventLog::~EventLog()
 Status
 EventLog::open(const std::string &path)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     if (file) {
         std::fclose(file);
         file = nullptr;
+        active.store(false, std::memory_order_release);
     }
     std::FILE *opened_file = std::fopen(path.c_str(), "w");
     if (!opened_file) {
@@ -46,26 +47,38 @@ EventLog::open(const std::string &path)
     file = opened_file;
     opened = std::chrono::steady_clock::now();
     sequence = 0;
+    active.store(true, std::memory_order_release);
     return Status();
 }
 
 void
 EventLog::close()
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     if (file) {
         std::fclose(file);
         file = nullptr;
+        active.store(false, std::memory_order_release);
     }
+}
+
+std::uint64_t
+EventLog::eventCount() const
+{
+    MutexLock lock(mutex);
+    return sequence;
 }
 
 void
 EventLog::emit(std::string_view event,
                std::initializer_list<EventField> fields)
 {
-    if (!file)
+    // Wait-free early out for the disabled-log configuration; the
+    // authoritative check is `file` under the lock, so a close()
+    // racing this emit is a clean no-op, not a write to a dead FILE.
+    if (!active.load(std::memory_order_acquire))
         return;
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     if (!file) // closed while we were waiting
         return;
 

@@ -23,15 +23,17 @@
 #ifndef TL_UTIL_EVENT_LOG_HH
 #define TL_UTIL_EVENT_LOG_HH
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <initializer_list>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/annotations.hh"
+#include "util/mutex.hh"
 #include "util/status_or.hh"
 
 namespace tl
@@ -128,20 +130,35 @@ class EventLog
     /** Flush and close; the log becomes disabled. */
     void close();
 
-    bool enabled() const { return file != nullptr; }
+    bool
+    enabled() const
+    {
+        return active.load(std::memory_order_acquire);
+    }
 
     /** Events written so far. */
-    std::uint64_t eventCount() const { return sequence; }
+    std::uint64_t eventCount() const;
 
     /** Emit one event line; no-op on a disabled log. */
     void emit(std::string_view event,
               std::initializer_list<EventField> fields);
 
   private:
-    std::FILE *file = nullptr;
-    std::mutex mutex;
-    std::chrono::steady_clock::time_point opened;
-    std::uint64_t sequence = 0;
+    mutable Mutex mutex;
+
+    /**
+     * Mirrors `file != nullptr`; written only under `mutex`. Lets
+     * emit() on a disabled log stay a cheap wait-free check while
+     * keeping every read of the stream itself under the lock (the
+     * pre-annotation code read `file` unlocked here, a data race
+     * against close()).
+     */
+    std::atomic<bool> active{false};
+
+    std::FILE *file TL_GUARDED_BY(mutex) = nullptr;
+    std::chrono::steady_clock::time_point opened
+        TL_GUARDED_BY(mutex);
+    std::uint64_t sequence TL_GUARDED_BY(mutex) = 0;
 };
 
 } // namespace tl

@@ -102,7 +102,7 @@ MetricsRegistry::localShard()
     auto it = tlsShards.find(id);
     if (it != tlsShards.end())
         return *static_cast<Shard *>(it->second);
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     shards.push_back(std::make_unique<Shard>());
     Shard *shard = shards.back().get();
     tlsShards.emplace(id, shard);
@@ -177,7 +177,7 @@ MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
     MetricsSnapshot merged;
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     for (const std::unique_ptr<Shard> &shard : shards) {
         for (const auto &[name, value] : shard->counters)
             merged.counters[name] += value;

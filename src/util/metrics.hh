@@ -40,10 +40,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/annotations.hh"
+#include "util/mutex.hh"
 
 namespace tl
 {
@@ -147,8 +149,16 @@ class MetricsRegistry
     /** Process-unique id; keys the thread-local shard cache. */
     std::uint64_t id;
 
-    mutable std::mutex mutex; // guards shards (the vector, not entries)
-    std::vector<std::unique_ptr<Shard>> shards;
+    /**
+     * Guards the shard *vector*, not the entries: each Shard is
+     * written only by its owning thread (see localShard()), which is
+     * what keeps increments lock-free. snapshot()'s reads of entry
+     * contents are safe by the quiescence contract in the file
+     * comment, which the analysis cannot express — hence the pointee
+     * is not annotated, only the vector.
+     */
+    mutable Mutex mutex;
+    std::vector<std::unique_ptr<Shard>> shards TL_GUARDED_BY(mutex);
 };
 
 } // namespace tl

@@ -25,10 +25,10 @@ ThreadPool::ThreadPool(unsigned threadCount)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(sleepMutex);
+        MutexLock lock(sleepMutex);
         stopping = true;
     }
-    wake.notify_all();
+    wake.notifyAll();
     for (std::thread &thread : threads)
         thread.join();
 }
@@ -67,16 +67,16 @@ ThreadPool::submit(std::function<void()> task)
             : nextQueue.fetch_add(1, std::memory_order_relaxed) %
                   workers.size();
     {
-        std::lock_guard<std::mutex> lock(workers[target]->mutex);
+        MutexLock lock(workers[target]->mutex);
         workers[target]->deque.push_back(std::move(packaged));
     }
     pending.fetch_add(1, std::memory_order_release);
     {
-        // Taking the sleep mutex pairs with the wait predicate so a
+        // Taking the sleep mutex pairs with the wait loop so a
         // worker checking `pending` cannot miss this submission.
-        std::lock_guard<std::mutex> lock(sleepMutex);
+        MutexLock lock(sleepMutex);
     }
-    wake.notify_one();
+    wake.notifyOne();
     return future;
 }
 
@@ -84,7 +84,7 @@ bool
 ThreadPool::popOwn(std::size_t self, std::packaged_task<void()> &task)
 {
     Worker &worker = *workers[self];
-    std::lock_guard<std::mutex> lock(worker.mutex);
+    MutexLock lock(worker.mutex);
     if (worker.deque.empty())
         return false;
     task = std::move(worker.deque.back());
@@ -97,7 +97,7 @@ ThreadPool::steal(std::size_t self, std::packaged_task<void()> &task)
 {
     for (std::size_t offset = 1; offset < workers.size(); ++offset) {
         Worker &victim = *workers[(self + offset) % workers.size()];
-        std::lock_guard<std::mutex> lock(victim.mutex);
+        MutexLock lock(victim.mutex);
         if (victim.deque.empty())
             continue;
         task = std::move(victim.deque.front());
@@ -119,13 +119,14 @@ ThreadPool::workerLoop(std::size_t self)
             task();
             continue;
         }
-        std::unique_lock<std::mutex> lock(sleepMutex);
-        if (stopping && pending.load(std::memory_order_acquire) == 0)
-            return;
-        wake.wait(lock, [this] {
-            return stopping ||
-                   pending.load(std::memory_order_acquire) > 0;
-        });
+        MutexLock lock(sleepMutex);
+        // Explicit wait loop (not a predicate overload) so the
+        // thread-safety analysis sees `stopping` read under its
+        // mutex; see util/mutex.hh.
+        while (!stopping &&
+               pending.load(std::memory_order_acquire) == 0) {
+            wake.wait(sleepMutex);
+        }
         if (stopping && pending.load(std::memory_order_acquire) == 0)
             return;
     }

@@ -24,15 +24,16 @@
 #define TL_UTIL_THREAD_POOL_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hh"
+#include "util/mutex.hh"
 
 namespace tl
 {
@@ -81,8 +82,9 @@ class ThreadPool
   private:
     struct Worker
     {
-        std::mutex mutex;
-        std::deque<std::packaged_task<void()>> deque;
+        Mutex mutex;
+        std::deque<std::packaged_task<void()>>
+            deque TL_GUARDED_BY(mutex);
     };
 
     void workerLoop(std::size_t self);
@@ -91,11 +93,11 @@ class ThreadPool
 
     std::vector<std::unique_ptr<Worker>> workers;
     std::vector<std::thread> threads;
-    std::mutex sleepMutex;
-    std::condition_variable wake;
+    Mutex sleepMutex;
+    CondVar wake;
     std::atomic<std::size_t> pending{0};
     std::atomic<std::size_t> nextQueue{0};
-    bool stopping = false; // guarded by sleepMutex
+    bool stopping TL_GUARDED_BY(sleepMutex) = false;
 };
 
 /**

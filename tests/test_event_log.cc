@@ -118,6 +118,41 @@ TEST(EventLog, ConcurrentEmittersNeverInterleaveLines)
     }
 }
 
+TEST(EventLog, EmitRacingCloseIsSafe)
+{
+    // Regression test for an unlocked fast-path read of the FILE
+    // handle: emit() used to test `file` without the mutex, racing a
+    // concurrent close()'s fclose. The sink now publishes liveness
+    // through an atomic and rechecks under the lock, so a close in
+    // the middle of a storm of emitters loses events but never tears
+    // a line or touches a dead stream. The tsan preset re-runs this
+    // under ThreadSanitizer.
+    std::string path = tempPath("event_log_race_close.jsonl");
+    EventLog log;
+    ASSERT_TRUE(log.open(path).ok());
+
+    constexpr std::size_t events = 400;
+    ThreadPool pool(8);
+    parallelFor(pool, events, [&log](std::size_t i) {
+        if (i == events / 2)
+            log.close();
+        else
+            log.emit("tick", {EventField::u64("i", i)});
+    });
+
+    EXPECT_FALSE(log.enabled());
+    std::uint64_t landed = log.eventCount();
+    log.emit("late", {});
+    EXPECT_EQ(log.eventCount(), landed); // emit after close: no-op
+
+    std::vector<std::string> lines = readLines(path);
+    EXPECT_EQ(lines.size(), landed);
+    for (const std::string &line : lines) {
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+    }
+}
+
 TEST(EventLog, ReopeningResetsSequenceAndClock)
 {
     std::string path = tempPath("event_log_reopen.jsonl");

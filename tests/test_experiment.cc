@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "predictor/two_level.hh"
 #include "sim/experiment.hh"
 #include "sim/sweep.hh"
@@ -14,6 +16,28 @@ namespace tl
 {
 namespace
 {
+
+/** A workload whose trace capture always throws. */
+class ThrowingWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "throwing-fixture"; }
+    bool isInteger() const override { return true; }
+    std::string testingDataset() const override { return "boom"; }
+
+    Dataset
+    dataset(const std::string &) const override
+    {
+        throw std::runtime_error("capture exploded");
+    }
+
+    isa::Program
+    build(const Dataset &data) const override
+    {
+        (void)data;
+        throw std::runtime_error("unreachable");
+    }
+};
 
 TEST(WorkloadSuiteCache, CachesTraces)
 {
@@ -41,6 +65,23 @@ TEST(WorkloadSuiteCache, TrainingTracesForTable2Benchmarks)
     EXPECT_FALSE(suite.training(gccWorkload()).empty());
     EXPECT_EXIT(suite.training(tomcatvWorkload()),
                 ::testing::ExitedWithCode(1), "no training");
+}
+
+TEST(WorkloadSuiteCache, ThrowingCaptureReachesEveryWaiter)
+{
+    // Regression test for a stuck cache slot: a capture that threw
+    // used to leave its promise unfulfilled in the map, so the
+    // *second* caller blocked forever on the shared_future. The
+    // exception is now published with set_exception, so every caller
+    // — producer and later waiters alike — rethrows it.
+    WorkloadSuite suite(500);
+    ThrowingWorkload workload;
+    EXPECT_THROW((void)suite.testingTrace(workload),
+                 std::runtime_error);
+    EXPECT_THROW((void)suite.testingTrace(workload),
+                 std::runtime_error); // pre-fix: deadlock, not throw
+    EXPECT_THROW((void)suite.flatTestingTrace(workload),
+                 std::runtime_error);
 }
 
 TEST(RunSuite, CoversAllNineForAdaptiveSchemes)

@@ -29,6 +29,7 @@
 #include "sim/manifest.hh"
 #include "sim/supervisor.hh"
 #include "trace/trace.hh"
+#include "util/thread_pool.hh"
 
 namespace tl
 {
@@ -404,6 +405,86 @@ TEST(SupervisorCheckpoint, WriterReaderRoundTrip)
     EXPECT_EQ(loaded->duplicateLines, 0u);
     EXPECT_NE(loaded->find(7), nullptr);
     EXPECT_EQ(loaded->find(3), nullptr);
+}
+
+TEST(SupervisorCheckpoint, ConcurrentAppendsNeverTearLines)
+{
+    // The writer serializes appends internally (sim/checkpoint.hh),
+    // so sweep workers journal directly with no supervisor-side lock.
+    // Every record must survive intact — the reader counts a torn or
+    // interleaved line as dropped. The tsan preset re-runs this under
+    // ThreadSanitizer ("Checkpoint" matches its filter).
+    CheckpointHeader header;
+    header.name = "concurrent";
+    header.columns = 8;
+    header.workloads = 16;
+    header.signature = 0x5eed;
+
+    const std::string path = tempPath("ckpt_concurrent.jsonl");
+    CheckpointWriter writer;
+    ASSERT_TRUE(writer.open(path, header).ok());
+
+    constexpr std::size_t cells = 128;
+    ThreadPool pool(8);
+    parallelFor(pool, cells, [&writer](std::size_t i) {
+        CheckpointCell cell;
+        cell.cell = i;
+        cell.state = CellState::Ok;
+        cell.column = "col" + std::to_string(i % 8);
+        cell.workload = "wl" + std::to_string(i / 8);
+        cell.result.conditionalBranches = 100 + i;
+        ASSERT_TRUE(writer.append(cell).ok());
+    });
+    writer.close();
+
+    StatusOr<Checkpoint> loaded = readCheckpointFile(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    EXPECT_EQ(loaded->droppedLines, 0u);
+    EXPECT_EQ(loaded->duplicateLines, 0u);
+    ASSERT_EQ(loaded->cells.size(), cells);
+    for (std::size_t i = 0; i < cells; ++i) {
+        const CheckpointCell *cell = loaded->find(i);
+        ASSERT_NE(cell, nullptr) << "cell " << i;
+        EXPECT_EQ(cell->result.conditionalBranches, 100 + i);
+    }
+}
+
+TEST(SupervisorCheckpoint, AppendRacingCloseDegradesGracefully)
+{
+    // Workers may still be draining when the journal shuts down (for
+    // example after an I/O failure); a late append must come back as
+    // FailedPrecondition, never crash or write through a dead stream.
+    CheckpointHeader header;
+    header.name = "race-close";
+    header.columns = 25;
+    header.workloads = 8; // grid of 200 >= every appended index
+
+    const std::string path = tempPath("ckpt_race_close.jsonl");
+    CheckpointWriter writer;
+    ASSERT_TRUE(writer.open(path, header).ok());
+
+    constexpr std::size_t attempts = 200;
+    ThreadPool pool(8);
+    parallelFor(pool, attempts, [&writer](std::size_t i) {
+        if (i == attempts / 2) {
+            writer.close();
+            return;
+        }
+        CheckpointCell cell;
+        cell.cell = i;
+        cell.column = "col";
+        cell.workload = "wl";
+        Status appended = writer.append(cell);
+        if (!appended.ok()) {
+            EXPECT_EQ(appended.code(), StatusCode::FailedPrecondition);
+        }
+    });
+    EXPECT_FALSE(writer.isOpen());
+
+    // Whatever landed before the close is a valid journal prefix.
+    StatusOr<Checkpoint> loaded = readCheckpointFile(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    EXPECT_EQ(loaded->droppedLines, 0u);
 }
 
 TEST(SupervisorCheckpoint, TornTailLineIsDropped)

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fixture for test_hotpath_gate.py: a lane that honours the hot-path
+ * discipline. The function name contains "FastTwoLevel" so the gate's
+ * default pattern selects it; the body is the pure integer core of a
+ * GAg-style lane — table reads, saturating-counter updates, history
+ * shifts — with nothing for the gate to object to.
+ */
+
+#include <cstdint>
+
+namespace tlfixture
+{
+
+std::uint64_t
+runFastTwoLevelCleanLane(const std::uint8_t *taken, std::uint64_t n,
+                         std::uint8_t *pht, std::uint64_t mask)
+{
+    std::uint64_t history = 0;
+    std::uint64_t correct = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint8_t &counter = pht[history & mask];
+        const bool predict = counter >= 2;
+        const bool outcome = taken[i] != 0;
+        correct += predict == outcome ? 1 : 0;
+        if (outcome) {
+            if (counter < 3)
+                ++counter;
+        } else if (counter > 0) {
+            --counter;
+        }
+        history = (history << 1) | (outcome ? 1 : 0);
+    }
+    return correct;
+}
+
+} // namespace tlfixture

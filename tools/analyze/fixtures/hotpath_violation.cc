@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fixture for test_hotpath_gate.py: a lane that breaks the hot-path
+ * discipline three ways, so the self-test can prove the gate trips on
+ * every banned category it claims to police:
+ *
+ *   - pthread_mutex_lock/unlock around the loop  -> "locking"
+ *   - a call through a volatile function pointer -> "indirect"
+ *   - a throw on the exit path                   -> "throw" (and the
+ *     exception's typeinfo reference -> "rtti")
+ *
+ * The volatile pointer defeats -O3 devirtualization, guaranteeing an
+ * actual `call *%reg` in the object code rather than an inlined or
+ * direct call.
+ */
+
+#include <cstdint>
+
+#include <pthread.h>
+
+namespace tlfixture
+{
+
+using Hook = std::uint64_t (*)(std::uint64_t);
+
+volatile Hook fastTwoLevelHook = nullptr;
+pthread_mutex_t fastTwoLevelLock = PTHREAD_MUTEX_INITIALIZER;
+
+std::uint64_t
+runFastTwoLevelViolatingLane(const std::uint8_t *taken, std::uint64_t n)
+{
+    std::uint64_t correct = 0;
+    pthread_mutex_lock(&fastTwoLevelLock);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Hook hook = fastTwoLevelHook;
+        if (hook)
+            correct += hook(taken[i]);
+    }
+    pthread_mutex_unlock(&fastTwoLevelLock);
+    if (correct > n)
+        throw correct;
+    return correct;
+}
+
+} // namespace tlfixture

@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Hot-path discipline gate: prove, from the compiled object code, that
+the simulation inner loops stay free of slow-path machinery.
+
+The engine's measured throughput rests on the FastTwoLevel lanes
+(src/sim/engine.cc) being tight integer loops: no locks, no throws, no
+RTTI, no dispatch the branch predictor being *simulated* would blush
+at. Source review cannot prove that — an innocent-looking call can
+drag in operator new or an exception edge after inlining — so this
+gate inspects the -O3 object file instead: it disassembles every
+function whose mangled name matches a hot pattern (default:
+FastTwoLevel, which covers the per-configuration lanes and the
+runFastTwoLevel dispatcher) and fails if the code references a banned
+symbol category or contains an indirect call/jump.
+
+Banned categories (regexes over the *mangled* relocation target):
+
+  allocation   operator new/delete, malloc family. The PHT grows by
+               first-touch inside the lane, so the vector-growth pair
+               is explicitly allowlisted below — everything else fails.
+  locking      pthread_* / __gthrw*: a lock in a lane serializes the
+               sweep and invalidates every throughput number.
+  throw        __cxa_throw / __cxa_allocate_exception / the libstdc++
+               __throw_* helpers: raising an exception in a lane means
+               a failure path grew into the measured region. (The
+               length_error guard on vector growth is allowlisted: it
+               is the unreachable overflow check, not a live path.)
+  rtti         __dynamic_cast / typeinfo: the one sanctioned
+               dynamic_cast per run lives in simulateDispatch(), which
+               is deliberately NOT a hot function.
+  indirect     `call *...` / `jmp *...` instructions: virtual or
+               function-pointer dispatch inside a lane defeats the
+               whole two-tier devirtualization design. Not waivable by
+               symbol (there is no symbol); waivable per function via
+               ALLOWED_INDIRECT, currently empty.
+
+Unknown symbols (memcpy, PackedPatternTable ctors, contextSwitch, ...)
+are fine: the gate bans categories, it does not enumerate goodness.
+
+Exit status: 0 clean, 1 violations, 2 usage/toolchain error (including
+"no hot function matched" — an empty selection must never pass).
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+BANNED = [
+    ("allocation",
+     re.compile(r"^(_Znwm|_Znam|_ZdlPv|_ZdaPv|malloc$|calloc$|"
+                r"realloc$|free$|posix_memalign$|aligned_alloc$)")),
+    ("locking",
+     re.compile(r"^(pthread_(mutex|cond|rwlock|spin|once)|__gthrw)")),
+    ("throw",
+     re.compile(r"^(__cxa_throw$|__cxa_allocate_exception$|"
+                r"_ZSt\d+__throw_)")),
+    ("rtti",
+     re.compile(r"^(__dynamic_cast$|_ZTI|_ZTV|_ZTS)")),
+]
+
+# Symbol-level waivers: mangled name -> reason. Every entry documents a
+# slow-path symbol the hot lanes legitimately reference today; adding
+# to this list is a reviewed decision, not a build fix.
+ALLOWED = {
+    "_Znwm":
+        "PHT first-touch growth: a pattern-table page is allocated the "
+        "first time a history pattern is observed (vector growth), "
+        "amortized to zero over the measured region",
+    "_ZdlPvm":
+        "paired operator delete for the same vector growth/relocation",
+    "_ZSt20__throw_length_errorPKc":
+        "std::vector's overflow guard on the growth path; unreachable "
+        "at any table geometry the spec grammar can express",
+}
+
+# Demangled-name substrings whose indirect branches are waived. Empty:
+# the lanes are fully devirtualized and must stay that way.
+ALLOWED_INDIRECT = set()
+
+# Unwind plumbing is permitted everywhere: landing pads for the
+# allowlisted growth path drag these in, and banning them would really
+# be banning the (allowlisted) allocation again. An actual raise still
+# fails via the `throw` category, so this cannot hide a live throw.
+UNWIND_OK = re.compile(r"^(_Unwind_|__cxa_(begin_catch|end_catch|"
+                       r"rethrow)$|__gxx_personality)")
+
+FUNC_RE = re.compile(r"^[0-9a-f]+ <(.+)>:$")
+RELOC_RE = re.compile(r"^\s+[0-9a-f]+:\s+(R_\w+)\s+(\S+)")
+INDIRECT_RE = re.compile(r"\b(?:notrack\s+)?(call|jmp)q?\s+\*")
+INSN_RE = re.compile(r"^\s+([0-9a-f]+):\s+(?:[0-9a-f]{2} )+\s*(.*)$")
+
+
+def demangler():
+    """Return a best-effort mangled->readable function."""
+    cache = {}
+
+    def demangle(name):
+        if name not in cache:
+            try:
+                proc = subprocess.run(["c++filt", name],
+                                      capture_output=True, text=True,
+                                      timeout=10)
+                cache[name] = proc.stdout.strip() or name
+            except OSError:
+                cache[name] = name
+        return cache[name]
+
+    return demangle
+
+
+def parse_functions(objdump, path):
+    """Disassemble @p path; yield (mangled_name, lines) per function."""
+    proc = subprocess.run([objdump, "-dr", str(path)],
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError("%s -dr %s failed:\n%s"
+                           % (objdump, path, proc.stderr))
+    name, lines = None, []
+    for line in proc.stdout.splitlines():
+        match = FUNC_RE.match(line)
+        if match:
+            if name is not None:
+                yield name, lines
+            name, lines = match.group(1), []
+        elif name is not None:
+            lines.append(line)
+    if name is not None:
+        yield name, lines
+
+
+def strip_addend(target):
+    """`_Znwm-0x4` / `foo+0x10` -> bare symbol."""
+    return re.sub(r"[+-]0x[0-9a-f]+$", "", target)
+
+
+def check_function(obj, name, lines, demangle, report):
+    pretty = demangle(name)
+    waive_indirect = any(sub in pretty for sub in ALLOWED_INDIRECT)
+    for line in lines:
+        reloc = RELOC_RE.match(line)
+        if reloc:
+            symbol = strip_addend(reloc.group(2))
+            if symbol.startswith("."):
+                continue  # section-relative: constants, cold text
+            if UNWIND_OK.match(symbol):
+                continue
+            for category, pattern in BANNED:
+                if not pattern.match(symbol):
+                    continue
+                entry = {
+                    "object": str(obj), "function": pretty,
+                    "symbol": symbol, "category": category,
+                }
+                if symbol in ALLOWED:
+                    entry["reason"] = ALLOWED[symbol]
+                    report["waived"].append(entry)
+                else:
+                    report["violations"].append(entry)
+            continue
+        insn = INSN_RE.match(line)
+        if insn and INDIRECT_RE.search(insn.group(2)):
+            entry = {
+                "object": str(obj), "function": pretty,
+                "symbol": insn.group(2).strip(),
+                "category": "indirect",
+            }
+            if waive_indirect:
+                entry["reason"] = "function listed in ALLOWED_INDIRECT"
+                report["waived"].append(entry)
+            else:
+                report["violations"].append(entry)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("objects", nargs="+", type=Path,
+                        help="compiled object files to inspect")
+    parser.add_argument("--hot-pattern", action="append", default=[],
+                        help="regex over mangled names selecting hot "
+                        "functions (default: FastTwoLevel)")
+    parser.add_argument("--report", type=Path, default=None,
+                        help="write a JSON report here")
+    parser.add_argument("--objdump", default="objdump",
+                        help="objdump binary (default: objdump)")
+    args = parser.parse_args()
+
+    patterns = [re.compile(p)
+                for p in (args.hot_pattern or ["FastTwoLevel"])]
+    demangle = demangler()
+    report = {
+        "objects": [str(p) for p in args.objects],
+        "hotPatterns": [p.pattern for p in patterns],
+        "hotFunctions": [],
+        "waived": [],
+        "violations": [],
+    }
+
+    try:
+        for obj in args.objects:
+            if not obj.is_file():
+                raise RuntimeError("no such object: %s" % obj)
+            for name, lines in parse_functions(args.objdump, obj):
+                if not any(p.search(name) for p in patterns):
+                    continue
+                report["hotFunctions"].append(demangle(name))
+                check_function(obj, name, lines, demangle, report)
+    except RuntimeError as error:
+        print("hotpath_gate: %s" % error, file=sys.stderr)
+        return 2
+
+    if not report["hotFunctions"]:
+        print("hotpath_gate: no function matched %s in %s — an empty "
+              "selection must never pass; fix the pattern or the build"
+              % ([p.pattern for p in patterns],
+                 [str(o) for o in args.objects]), file=sys.stderr)
+        return 2
+
+    report["ok"] = not report["violations"]
+    if args.report:
+        args.report.write_text(json.dumps(report, indent=2) + "\n")
+
+    for entry in report["violations"]:
+        print("VIOLATION [%s] %s in %s (%s)"
+              % (entry["category"], entry["symbol"],
+                 entry["function"], entry["object"]))
+    if report["violations"]:
+        print("hotpath_gate: %d violation(s) across %d hot function(s)"
+              % (len(report["violations"]),
+                 len(report["hotFunctions"])), file=sys.stderr)
+        return 1
+    print("hotpath_gate: clean — %d hot function(s), %d waived "
+          "reference(s)" % (len(report["hotFunctions"]),
+                            len(report["waived"])))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

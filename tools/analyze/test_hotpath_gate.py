@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Self-test for hotpath_gate.py.
+
+A gate that never trips is indistinguishable from a gate that works,
+so this test compiles two fixture translation units at -O3 — one
+honouring the hot-path discipline, one violating it three ways — and
+asserts the gate passes the first, fails the second with the expected
+categories, and refuses (exit 2) to bless an empty hot-function
+selection. Runs under ctest as hotpath_gate_selftest.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+GATE = HERE / "hotpath_gate.py"
+FIXTURES = HERE / "fixtures"
+CXX = os.environ.get("CXX", "g++")
+
+
+def compile_fixture(source, outdir):
+    obj = Path(outdir) / (source.stem + ".o")
+    subprocess.run([CXX, "-O3", "-std=c++20", "-c", str(source),
+                    "-o", str(obj)], check=True)
+    return obj
+
+
+def run_gate(*argv):
+    return subprocess.run([sys.executable, str(GATE)] +
+                          [str(a) for a in argv],
+                          capture_output=True, text=True)
+
+
+class HotpathGateTest(unittest.TestCase):
+
+    @classmethod
+    def setUpClass(cls):
+        if shutil.which(CXX) is None:
+            raise unittest.SkipTest("no C++ compiler (%s)" % CXX)
+        if shutil.which("objdump") is None:
+            raise unittest.SkipTest("no objdump")
+        cls._tmp = tempfile.TemporaryDirectory()
+        cls.clean_obj = compile_fixture(
+            FIXTURES / "hotpath_clean.cc", cls._tmp.name)
+        cls.violation_obj = compile_fixture(
+            FIXTURES / "hotpath_violation.cc", cls._tmp.name)
+
+    @classmethod
+    def tearDownClass(cls):
+        cls._tmp.cleanup()
+
+    def test_clean_lane_passes(self):
+        report = Path(self._tmp.name) / "clean.json"
+        proc = run_gate(self.clean_obj, "--report", report)
+        self.assertEqual(proc.returncode, 0, proc.stderr + proc.stdout)
+        data = json.loads(report.read_text())
+        self.assertTrue(data["ok"])
+        self.assertEqual(data["violations"], [])
+        self.assertEqual(len(data["hotFunctions"]), 1)
+        self.assertIn("runFastTwoLevelCleanLane",
+                      data["hotFunctions"][0])
+
+    def test_violating_lane_trips_every_category(self):
+        report = Path(self._tmp.name) / "violation.json"
+        proc = run_gate(self.violation_obj, "--report", report)
+        self.assertEqual(proc.returncode, 1, proc.stderr + proc.stdout)
+        data = json.loads(report.read_text())
+        self.assertFalse(data["ok"])
+        categories = {v["category"] for v in data["violations"]}
+        self.assertIn("locking", categories)   # pthread_mutex_lock
+        self.assertIn("indirect", categories)  # call through Hook
+        self.assertIn("throw", categories)     # throw correct;
+        # Every violation names the lane, so CI output is actionable.
+        for violation in data["violations"]:
+            self.assertIn("runFastTwoLevelViolatingLane",
+                          violation["function"])
+
+    def test_empty_selection_is_an_error_not_a_pass(self):
+        proc = run_gate(self.clean_obj,
+                        "--hot-pattern", "NoSuchFunctionAnywhere")
+        self.assertEqual(proc.returncode, 2, proc.stderr + proc.stdout)
+        self.assertIn("never pass", proc.stderr)
+
+    def test_missing_object_is_a_usage_error(self):
+        proc = run_gate(Path(self._tmp.name) / "nonexistent.o")
+        self.assertEqual(proc.returncode, 2, proc.stderr + proc.stdout)
+
+    def test_real_engine_object_when_built(self):
+        """The gate's reason to exist: the shipped engine TU is clean.
+
+        Skipped when the default build tree is absent (the ctest entry
+        runs the gate against the real object unconditionally)."""
+        repo = HERE.parent.parent
+        engine = (repo / "build" / "src" / "CMakeFiles" / "tl_sim.dir"
+                  / "sim" / "engine.cc.o")
+        if not engine.is_file():
+            self.skipTest("default build tree not present")
+        proc = run_gate(engine)
+        self.assertEqual(proc.returncode, 0, proc.stderr + proc.stdout)
+        self.assertIn("clean", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,312 @@
+#!/usr/bin/env python3
+"""Unit tests for tl_lint.py: each rule is exercised against a small
+fixture tree in a temp directory — one test proves the rule trips on a
+violating file, and most also prove the documented escape hatches
+(allow-comments, baselines, blessed files) still work.
+
+Run directly (python3 tools/lint/test_tl_lint.py) or via ctest
+(lint_selftest).
+"""
+
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import tl_lint  # noqa: E402  (path set up above)
+
+
+class FixtureTree:
+    """A throwaway repo layout: write(relpath, text), then lint()."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    def write(self, rel, text):
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        return path
+
+    def lint(self):
+        violations, _, _ = tl_lint.run_lint(self.root)
+        return violations
+
+    def rules(self):
+        return [rule for _, _, rule, _ in self.lint()]
+
+
+class TlLintTest(unittest.TestCase):
+
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.tree = FixtureTree(self._tmp.name)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def test_clean_tree_has_no_violations(self):
+        self.tree.write("src/util/thing.cc",
+                        '#include "util/thing.hh"\n'
+                        "int tlThing() { return 1; }\n")
+        self.assertEqual(self.tree.lint(), [])
+
+    # ------------------------------------------------------------------
+    # fatal-ratchet
+    # ------------------------------------------------------------------
+
+    def test_fatal_ratchet_trips_above_baseline(self):
+        # No baseline entry for this path => ceiling 0.
+        self.tree.write("src/util/fresh.cc",
+                        'void f() { fatal("boom %d", 1); }\n')
+        self.assertIn("fatal-ratchet", self.tree.rules())
+
+    def test_fatal_ratchet_respects_baseline_ceiling(self):
+        # src/util/status.cc has a baseline of 1 in the real repo.
+        self.assertEqual(tl_lint.FATAL_BASELINE["src/util/status.cc"], 1)
+        self.tree.write("src/util/status.cc",
+                        'void f() { fatal("boom"); }\n')
+        self.assertNotIn("fatal-ratchet", self.tree.rules())
+
+    def test_fatal_in_comment_or_string_does_not_count(self):
+        self.tree.write("src/util/doc.cc",
+                        "// fatal(...) is documented here\n"
+                        'const char *kMsg = "fatal(oops)";\n')
+        self.assertNotIn("fatal-ratchet", self.tree.rules())
+
+    def test_fatal_allow_comment_opts_out(self):
+        self.tree.write(
+            "src/util/shim.cc",
+            'void f() { fatal("x"); }  // tl-lint: allow(fatal-ratchet)\n')
+        self.assertNotIn("fatal-ratchet", self.tree.rules())
+
+    # ------------------------------------------------------------------
+    # getenv
+    # ------------------------------------------------------------------
+
+    def test_getenv_trips_outside_blessed_sites(self):
+        self.tree.write("src/trace/io.cc",
+                        '#include <cstdlib>\n'
+                        'const char *v = std::getenv("HOME");\n')
+        self.assertIn("getenv", self.tree.rules())
+
+    def test_getenv_allowed_in_blessed_file(self):
+        self.tree.write("src/sim/experiment.cc",
+                        'const char *v = std::getenv("TL_THREADS");\n')
+        self.assertNotIn("getenv", self.tree.rules())
+
+    # ------------------------------------------------------------------
+    # iostream
+    # ------------------------------------------------------------------
+
+    def test_iostream_include_and_stream_use_trip(self):
+        self.tree.write("src/sim/chatty.cc",
+                        "#include <iostream>\n"
+                        'void f() { std::cout << "hi"; }\n')
+        rules = self.tree.rules()
+        self.assertEqual(rules.count("iostream"), 2)
+
+    def test_cerr_trips(self):
+        self.tree.write("src/sim/chatty.cc",
+                        'void f() { std::cerr << "uh oh"; }\n')
+        self.assertIn("iostream", self.tree.rules())
+
+    # ------------------------------------------------------------------
+    # catch-all
+    # ------------------------------------------------------------------
+
+    def test_catch_all_trips_without_baseline(self):
+        self.tree.write("src/sim/swallow.cc",
+                        "void f() { try { g(); } catch (...) {} }\n")
+        self.assertIn("catch-all", self.tree.rules())
+
+    def test_catch_all_allow_comment_opts_out(self):
+        self.tree.write(
+            "src/sim/swallow.cc",
+            "void f() {\n"
+            "    try { g(); }\n"
+            "    catch (...) {  // tl-lint: allow(catch-all)\n"
+            "    }\n"
+            "}\n")
+        self.assertNotIn("catch-all", self.tree.rules())
+
+    def test_catch_all_baseline_file_keeps_one(self):
+        self.assertEqual(
+            tl_lint.CATCH_ALL_BASELINE["src/util/thread_pool.cc"], 1)
+        self.tree.write("src/util/thread_pool.cc",
+                        "void f() { try { g(); } catch (...) {} }\n")
+        self.assertNotIn("catch-all", self.tree.rules())
+
+    # ------------------------------------------------------------------
+    # thread
+    # ------------------------------------------------------------------
+
+    def test_raw_std_thread_trips(self):
+        self.tree.write("src/sim/diy.cc",
+                        "#include <thread>\n"
+                        "std::thread worker;\n")
+        self.assertIn("thread", self.tree.rules())
+
+    def test_hardware_concurrency_is_exempt(self):
+        self.tree.write(
+            "src/sim/probe.cc",
+            "unsigned n = std::thread::hardware_concurrency();\n")
+        self.assertNotIn("thread", self.tree.rules())
+
+    # ------------------------------------------------------------------
+    # raw-mutex
+    # ------------------------------------------------------------------
+
+    def test_raw_mutex_member_trips(self):
+        self.tree.write("src/sim/locky.cc",
+                        "#include <mutex>\n"
+                        "struct S { std::mutex m; };\n")
+        rules = self.tree.rules()
+        self.assertEqual(rules.count("raw-mutex"), 2)
+
+    def test_raw_lock_guard_and_condvar_trip(self):
+        self.tree.write(
+            "src/util/locky.cc",
+            "void f() { std::lock_guard<tl::Mutex> lock(m); }\n"
+            "std::condition_variable cv;\n")
+        self.assertEqual(self.tree.rules().count("raw-mutex"), 2)
+
+    def test_mutex_wrapper_file_is_exempt(self):
+        self.tree.write("src/util/mutex.hh",
+                        "#include <mutex>\n"
+                        "struct Mutex { std::mutex raw; };\n")
+        self.assertNotIn("raw-mutex", self.tree.rules())
+
+    def test_mutex_in_comment_does_not_trip(self):
+        self.tree.write("src/sim/doc.cc",
+                        "// a std::mutex would be wrong here\n"
+                        "int x;\n")
+        self.assertNotIn("raw-mutex", self.tree.rules())
+
+    # ------------------------------------------------------------------
+    # layering
+    # ------------------------------------------------------------------
+
+    def test_back_edge_include_trips(self):
+        self.tree.write("src/util/bad.cc",
+                        '#include "sim/engine.hh"\n')
+        self.assertIn("layering", self.tree.rules())
+
+    def test_predictor_including_workloads_trips(self):
+        self.tree.write("src/predictor/bad.cc",
+                        '#include "workloads/workload.hh"\n')
+        self.assertIn("layering", self.tree.rules())
+
+    def test_forward_edge_include_is_fine(self):
+        self.tree.write("src/sim/good.cc",
+                        '#include "predictor/two_level.hh"\n'
+                        '#include "workloads/workload.hh"\n'
+                        '#include "util/status.hh"\n')
+        self.assertNotIn("layering", self.tree.rules())
+
+    def test_same_layer_and_system_includes_are_fine(self):
+        self.tree.write("src/trace/good.cc",
+                        "#include <vector>\n"
+                        '#include "trace/record.hh"\n'
+                        '#include "local_detail.hh"\n')
+        self.assertNotIn("layering", self.tree.rules())
+
+    def test_layering_allow_comment_opts_out(self):
+        self.tree.write(
+            "src/util/bridge.cc",
+            '#include "sim/engine.hh"  // tl-lint: allow(layering)\n')
+        self.assertNotIn("layering", self.tree.rules())
+
+    # ------------------------------------------------------------------
+    # oracle-isolation
+    # ------------------------------------------------------------------
+
+    def test_engine_including_oracle_trips(self):
+        self.tree.write("src/sim/bad.cc",
+                        '#include "oracle/reference_two_level.hh"\n')
+        self.assertIn("oracle-isolation", self.tree.rules())
+
+    def test_oracle_including_predictor_is_fine(self):
+        self.tree.write("src/oracle/witness.cc",
+                        '#include "predictor/two_level.hh"\n')
+        rules = self.tree.rules()
+        self.assertNotIn("oracle-isolation", rules)
+        self.assertNotIn("layering", rules)
+
+    # ------------------------------------------------------------------
+    # nodiscard
+    # ------------------------------------------------------------------
+
+    def test_nodiscard_trips_when_annotation_missing(self):
+        self.tree.write("src/util/status_or.hh",
+                        "class Status {};\n"
+                        "template <typename T> class StatusOr {};\n")
+        self.assertEqual(self.tree.rules().count("nodiscard"), 2)
+
+    def test_nodiscard_satisfied(self):
+        self.tree.write(
+            "src/util/status_or.hh",
+            "class [[nodiscard]] Status {};\n"
+            "template <typename T> class [[nodiscard]] StatusOr {};\n")
+        self.assertNotIn("nodiscard", self.tree.rules())
+
+    # ------------------------------------------------------------------
+    # artifact-placement (needs a real git index)
+    # ------------------------------------------------------------------
+
+    def _git(self, *argv):
+        return subprocess.run(["git", "-C", str(self.tree.root)] +
+                              list(argv), capture_output=True, text=True)
+
+    def test_tracked_artifact_outside_blessed_dirs_trips(self):
+        if self._git("init", "-q").returncode != 0:
+            self.skipTest("git unavailable")
+        self.tree.write("src/util/ok.cc", "int x;\n")
+        self.tree.write("BENCH_throughput.json", "{}\n")
+        self.tree.write("bench/baselines/BENCH_throughput.json", "{}\n")
+        self.tree.write("tests/golden/RUN_fig11.json", "{}\n")
+        self._git("add", "-A")
+        violations = [v for v in self.tree.lint()
+                      if v[2] == "artifact-placement"]
+        self.assertEqual(len(violations), 1)
+        self.assertEqual(violations[0][0], "BENCH_throughput.json")
+
+    def test_untracked_artifact_is_scratch_output(self):
+        if self._git("init", "-q").returncode != 0:
+            self.skipTest("git unavailable")
+        self.tree.write("src/util/ok.cc", "int x;\n")
+        self._git("add", "-A")
+        # Written after the add => untracked => not a fake reference.
+        self.tree.write("RUN_scratch.json", "{}\n")
+        self.assertNotIn("artifact-placement", self.tree.rules())
+
+    # ------------------------------------------------------------------
+    # the comment/string stripper itself
+    # ------------------------------------------------------------------
+
+    def test_strip_preserves_line_numbers(self):
+        text = 'a\n/* b\nc */ d\n"e\\n"\n'
+        stripped = tl_lint.strip_comments_and_strings(text)
+        self.assertEqual(stripped.count("\n"), text.count("\n"))
+        self.assertNotIn("b", stripped)
+        self.assertNotIn("e", stripped)
+        self.assertIn("d", stripped)
+
+    # ------------------------------------------------------------------
+    # the real tree must be clean with the rules in this checkout
+    # ------------------------------------------------------------------
+
+    def test_real_repo_is_clean(self):
+        repo = Path(__file__).resolve().parent.parent.parent
+        violations, _, files = tl_lint.run_lint(repo)
+        self.assertEqual(
+            violations, [],
+            "tl_lint violations in the working tree:\n" +
+            "\n".join("%s:%d [%s] %s" % v for v in violations))
+        self.assertGreater(files, 100)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -53,6 +53,27 @@ exempt):
                   for results — and iostream globals add static-init
                   weight to every translation unit.
 
+  raw-mutex       All locking goes through the annotated wrappers
+                  (tl::Mutex, tl::MutexLock, tl::CondVar in
+                  util/mutex.hh) so Clang Thread Safety Analysis sees
+                  every acquire/release. A raw std::mutex or
+                  std::condition_variable is invisible to the analysis
+                  and silently re-opens the class of bugs the
+                  annotation pass closed; only util/mutex.hh itself may
+                  name the std primitives.
+
+  layering        Quoted includes in src/ must respect the layer DAG
+                  (util <- trace <- isa/predictor <- workloads <- sim;
+                  oracle sees predictor/trace/util only). The DAG is
+                  what keeps the engine's translation units small and
+                  lets tools reason about one layer at a time; a
+                  back-edge (util including sim/, predictor including
+                  workloads/) couples layers that CMake links as
+                  separate libraries and eventually cycles. Checked
+                  from the source text, so it holds for every build
+                  configuration at once, not just the one that produced
+                  a compile_commands.json.
+
   artifact-placement
                   Benchmark and run artifacts (BENCH_*.json,
                   RUN_*.json) are scratch output wherever a binary
@@ -137,6 +158,25 @@ THREAD_ALLOWED = {
     "src/util/thread_pool.cc",
 }
 
+# The one file allowed to name the raw std locking primitives: the
+# annotated wrapper that everything else uses instead.
+MUTEX_ALLOWED = {
+    "src/util/mutex.hh",
+}
+
+# Allowed quoted-include targets per src/ top-level directory (the
+# file's own directory is always allowed). This is the link-time DAG
+# from src/CMakeLists.txt, restated for the include graph.
+LAYER_DEPS = {
+    "util": set(),
+    "trace": {"util"},
+    "isa": {"trace", "util"},
+    "predictor": {"trace", "util"},
+    "workloads": {"isa", "trace", "util"},
+    "sim": {"predictor", "workloads", "isa", "trace", "util"},
+    "oracle": {"predictor", "trace", "util"},
+}
+
 ALLOW_RE = re.compile(r"//\s*tl-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
 
@@ -213,6 +253,12 @@ IOSTREAM_RE = re.compile(r"std::c(?:out|err)\b|#\s*include\s*<iostream>")
 ORACLE_INCLUDE_RE = re.compile(r'#\s*include\s*"oracle/')
 # Engine directories that must never see reference semantics.
 ORACLE_FORBIDDEN_PREFIXES = ("src/predictor/", "src/sim/")
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:recursive_|timed_|recursive_timed_|shared_)?mutex\b"
+    r"|std::condition_variable(?:_any)?\b"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>")
+QUOTED_INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
 
 
 def lint_file(path, rel, violations, fatal_counts):
@@ -260,6 +306,30 @@ def lint_file(path, rel, violations, fatal_counts):
                 (rel, lineno, "iostream",
                  "raw std::cout/std::cerr/<iostream> in library code; "
                  "use inform()/warn(), EventLog, or RunManifest"))
+
+        if RAW_MUTEX_RE.search(code) and rel not in MUTEX_ALLOWED and \
+           "raw-mutex" not in allowed:
+            violations.append(
+                (rel, lineno, "raw-mutex",
+                 "raw std locking primitive; use tl::Mutex/MutexLock/"
+                 "CondVar (util/mutex.hh) so thread-safety analysis "
+                 "sees the acquire/release"))
+
+        # Include paths are string literals, so test the raw line.
+        layer = rel.split("/")[1] if rel.count("/") >= 2 else None
+        include = QUOTED_INCLUDE_RE.search(raw)
+        if layer in LAYER_DEPS and include and \
+           "layering" not in allowed:
+            target = include.group(1).split("/")[0] \
+                if "/" in include.group(1) else layer
+            if target in LAYER_DEPS and target != layer and \
+               target not in LAYER_DEPS[layer]:
+                violations.append(
+                    (rel, lineno, "layering",
+                     'src/%s/ must not include "%s/..." — allowed '
+                     "layers: %s (see the DAG in tl_lint.py)"
+                     % (layer, target,
+                        ", ".join(sorted(LAYER_DEPS[layer] | {layer})))))
 
     if catch_all_count > CATCH_ALL_BASELINE.get(rel, 0):
         violations.append(
@@ -313,6 +383,8 @@ def lint_artifact_placement(repo, violations):
 
 def lint_nodiscard(repo, violations):
     rel = "src/util/status_or.hh"
+    if not (repo / rel).is_file():
+        return  # fixture trees in test_tl_lint.py omit it
     text = (repo / rel).read_text()
     for cls in ("Status", "StatusOr"):
         if not re.search(r"class\s+\[\[nodiscard\]\]\s+%s\b" % cls, text):
@@ -320,6 +392,29 @@ def lint_nodiscard(repo, violations):
                 (rel, 0, "nodiscard",
                  "class %s must be declared [[nodiscard]] so dropped "
                  "results warn everywhere" % cls))
+
+
+def run_lint(repo):
+    """Lint the tree rooted at @p repo (a Path).
+
+    Returns (violations, fatal_counts, files_scanned); violations is a
+    list of (rel_path, lineno, rule, message) tuples, lineno 0 for
+    whole-file rules. Importable so tools/lint/test_tl_lint.py can run
+    every rule against fixture trees without spawning a process.
+    """
+    violations = []
+    fatal_counts = {}
+    files = 0
+    src = repo / "src"
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".cc", ".hh"):
+            continue
+        files += 1
+        rel = path.relative_to(repo).as_posix()
+        lint_file(path, rel, violations, fatal_counts)
+    lint_nodiscard(repo, violations)
+    lint_artifact_placement(repo, violations)
+    return violations, fatal_counts, files
 
 
 def main():
@@ -334,20 +429,11 @@ def main():
 
     repo = Path(args.repo) if args.repo else \
         Path(__file__).resolve().parent.parent.parent
-    src = repo / "src"
-    if not src.is_dir():
+    if not (repo / "src").is_dir():
         print("tl_lint: no src/ under %s" % repo, file=sys.stderr)
         return 2
 
-    violations = []
-    fatal_counts = {}
-    for path in sorted(src.rglob("*")):
-        if path.suffix not in (".cc", ".hh"):
-            continue
-        rel = path.relative_to(repo).as_posix()
-        lint_file(path, rel, violations, fatal_counts)
-    lint_nodiscard(repo, violations)
-    lint_artifact_placement(repo, violations)
+    violations, fatal_counts, files = run_lint(repo)
 
     if args.update_baseline:
         print("FATAL_BASELINE = {")
@@ -363,8 +449,7 @@ def main():
         print("tl_lint: %d violation(s)" % len(violations),
               file=sys.stderr)
         return 1
-    print("tl_lint: clean (%d files)" %
-          sum(1 for p in src.rglob("*") if p.suffix in (".cc", ".hh")))
+    print("tl_lint: clean (%d files)" % files)
     return 0
 
 

@@ -2,13 +2,20 @@
 # The static verification gate, runnable locally and in CI:
 #
 #   1. tl_lint.py        — repo-specific rules (fatal ratchet, getenv,
-#                          [[nodiscard]], raw threads)
+#                          [[nodiscard]], raw threads/mutexes, include
+#                          layering) plus its own unit tests
 #   2. check_format.sh   — clang-format conformance of changed lines
-#   3. verify preset     — Debug, -Werror, TL_CHECK/TL_DCHECK enabled,
+#   3. hotpath gate      — self-test (must trip on the violation
+#                          fixture), then the real engine library if
+#                          the default build tree exists
+#   4. verify preset     — Debug, -Werror, TL_CHECK/TL_DCHECK enabled,
 #                          full test suite (includes every
 #                          static_assert proof in the headers)
-#   4. cppcheck          — if installed
-#   5. clang-tidy        — if installed, over the verify preset's
+#   5. thread-safety     — if clang++ is installed: compile with
+#                          Clang Thread Safety Analysis promoted to
+#                          errors (-Werror=thread-safety)
+#   6. cppcheck          — if installed
+#   7. clang-tidy        — if installed, over the verify preset's
 #                          compile_commands.json
 #
 # Tools that are not installed are skipped with a notice (the CI image
@@ -33,8 +40,30 @@ note() { printf '== %s\n' "$*"; }
 note "tl_lint"
 if python3 tools/lint/tl_lint.py; then :; else failures=$((failures+1)); fi
 
+note "tl_lint unit tests"
+if python3 tools/lint/test_tl_lint.py; then :; else
+    failures=$((failures+1))
+fi
+
 note "check_format"
 if bash tools/check_format.sh; then :; else failures=$((failures+1)); fi
+
+note "hotpath gate self-test"
+if python3 tools/analyze/test_hotpath_gate.py; then :; else
+    failures=$((failures+1))
+fi
+
+note "hotpath gate (engine hot lanes)"
+if [ -f build/src/libtl_sim.a ]; then
+    if python3 tools/analyze/hotpath_gate.py build/src/libtl_sim.a; then
+        :
+    else
+        failures=$((failures+1))
+    fi
+else
+    echo "hotpath gate: SKIP (no build/src/libtl_sim.a — run the" \
+         "default preset first)"
+fi
 
 if [ $build -eq 1 ]; then
     note "verify preset (-Werror Debug build + tests)"
@@ -45,6 +74,22 @@ if [ $build -eq 1 ]; then
     fi
 else
     note "verify preset: SKIP (--no-build)"
+fi
+
+note "clang thread-safety analysis"
+if command -v clang++ >/dev/null 2>&1; then
+    if [ $build -eq 1 ]; then
+        if cmake --preset thread-safety >/dev/null &&
+           cmake --build --preset thread-safety -j "$(nproc)"; then :
+        else
+            failures=$((failures+1))
+        fi
+    else
+        echo "thread-safety: SKIP (--no-build)"
+    fi
+else
+    echo "thread-safety: SKIP (clang++ not installed; the analysis" \
+         "only runs under Clang)"
 fi
 
 note "cppcheck"
