@@ -9,9 +9,13 @@
  * supervised run: the sweep feeds a MetricsRegistry
  * (predictor-internal counters, whose totals are independent of the
  * thread count), an EventLog timeline ("RUN_fig6.events.jsonl"), a
- * throttled progress callback, and a "RUN_fig6.json" manifest
- * (schemaVersion 2, with the per-cell supervision record) that
- * tools/report.py can render without rerunning anything.
+ * misprediction-provenance collector (per-PC top-K misses + taxonomy,
+ * sim/attribution.hh — rendered by `tools/report.py --h2p`), a
+ * throttled progress callback, a Perfetto-loadable
+ * "TRACE_fig6.json" timeline, and a "RUN_fig6.json" manifest
+ * (schemaVersion 3, with the per-cell supervision record and the
+ * attribution section) that tools/report.py can render without
+ * rerunning anything.
  *
  * The sweep runs under the fault-tolerant supervisor
  * (sim/supervisor.hh): every finished cell is journaled to
@@ -71,11 +75,13 @@ main(int argc, char **argv)
     Status opened = events.open(dir + "/RUN_fig6.events.jsonl");
     if (!opened.ok())
         warn("%s", opened.message().c_str());
+    AttributionCollector attribution;
 
     RunOptions options;
     options.threads = ThreadPool::hardwareThreads();
     options.metrics = &metrics;
     options.events = &events;
+    options.attribution = &attribution;
     options.progress = [](std::size_t done, std::size_t total) {
         std::fprintf(stderr, "fig6: %zu/%zu cells\r", done, total);
         if (done == total)
@@ -113,7 +119,12 @@ main(int argc, char **argv)
     manifest.recordProfile(sweep.profile);
     manifest.recordMetrics(metrics.snapshot());
     manifest.recordSupervision(sweep);
+    manifest.recordAttribution(attribution);
     manifest.note("eventLog", Json::str("RUN_fig6.events.jsonl"));
+    manifest.note("traceEvents", Json::str("TRACE_fig6.json"));
+    Status traced = writeTraceFile(dir, "fig6", sweep.profile, &sweep);
+    if (!traced.ok())
+        warn("%s", traced.message().c_str());
     Status wrote = manifest.writeTo(dir);
     if (!wrote.ok()) {
         warn("%s", wrote.message().c_str());

@@ -9,6 +9,7 @@
 #define TL_PREDICTOR_PREDICTOR_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "trace/record.hh"
@@ -19,6 +20,28 @@ namespace tl
 
 class TraceSource;
 class MetricsRegistry;
+class Automaton;
+
+/**
+ * What a per-PC-tagged shadow of the predictor would need to replay
+ * one prediction: the history pattern the real predictor used to
+ * index its pattern table for this PC, and the automaton that
+ * interprets pattern-table state. The miss attributor
+ * (sim/attribution.hh) keeps a private per-(PC, pattern) automaton
+ * keyed on this — an interference-free PHT — to classify each miss as
+ * cold, destructive interference, or automaton hysteresis. Schemes
+ * whose indexing pattern is not observable (or not meaningful, e.g.
+ * under speculative history update) return nullopt and their misses
+ * stay unclassified.
+ */
+struct ShadowProbe
+{
+    /** History pattern used to index the pattern table for this PC. */
+    std::uint64_t pattern = 0;
+
+    /** Automaton the scheme runs in its pattern-table entries. */
+    const Automaton *automaton = nullptr;
+};
 
 /** Static information available when a branch is predicted. */
 struct BranchQuery
@@ -107,6 +130,20 @@ class BranchPredictor
     virtual void reportMetrics(MetricsRegistry &registry) const
     {
         (void)registry;
+    }
+
+    /**
+     * Describe how a shadow per-PC-tagged pattern table would replay
+     * the *next* prediction for @p branch's PC (see ShadowProbe).
+     * Called by the miss attributor between predict() and update(),
+     * so implementations must report the pattern that predict() just
+     * used for indexing. Default: nullopt (misses unclassifiable).
+     */
+    virtual std::optional<ShadowProbe>
+    shadowProbe(std::uint64_t pc) const
+    {
+        (void)pc;
+        return std::nullopt;
     }
 
     /**

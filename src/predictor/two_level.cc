@@ -458,4 +458,12 @@ TwoLevelPredictor::historyPattern(std::uint64_t pc) const
                                                    : ref.payload->spec;
 }
 
+std::optional<ShadowProbe>
+TwoLevelPredictor::shadowProbe(std::uint64_t pc) const
+{
+    if (cfg.speculative != SpeculativeMode::Off)
+        return std::nullopt;
+    return ShadowProbe{historyPattern(pc), cfg.automaton};
+}
+
 } // namespace tl

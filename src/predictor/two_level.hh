@@ -239,6 +239,20 @@ class TwoLevelPredictor final : public BranchPredictor
     std::uint64_t historyPattern(std::uint64_t pc) const;
 
     /**
+     * Shadow-replay hook for the miss attributor (predictor.hh).
+     * With history updated architecturally (SpeculativeMode::Off) the
+     * pattern predict() just used for indexing is exactly
+     * historyPattern(pc) until update() shifts in the outcome, so
+     * between the two calls a shadow per-PC-tagged PHT can replay the
+     * prediction interference-free. Speculative modes return nullopt:
+     * there the indexing pattern mixes unresolved guesses, and a
+     * shadow replay would misattribute repair effects as
+     * interference.
+     */
+    std::optional<ShadowProbe>
+    shadowProbe(std::uint64_t pc) const override;
+
+    /**
      * Overwrite one PHT entry with @p rawState, bypassing the
      * automaton — fault-injection hook for tests that must make the
      * predictor observably wrong (the differential harness proves it

@@ -1,0 +1,114 @@
+#include "sim/attribution.hh"
+
+#include "sim/engine.hh"
+
+namespace tl
+{
+
+namespace detail
+{
+
+void
+attributionObserve(MissAttributor &attribution,
+                   const BranchQuery &query, bool predicted,
+                   bool taken, const BranchPredictor &predictor)
+{
+    attribution.observe(query, predicted, taken, predictor);
+}
+
+} // namespace detail
+
+void
+AttributionSnapshot::merge(const AttributionSnapshot &other)
+{
+    topPcs.merge(other.topPcs);
+    taxonomy.merge(other.taxonomy);
+    branches += other.branches;
+    misses += other.misses;
+    staticBranches += other.staticBranches;
+}
+
+void
+MissAttributor::observe(const BranchQuery &branch, bool predicted,
+                        bool taken, const BranchPredictor &predictor)
+{
+    ++state.branches;
+    const bool miss = predicted != taken;
+
+    // Track the PC even when the scheme offers no probe, so
+    // staticBranches counts every distinct conditional branch.
+    ShadowSite &site = shadow[branch.pc];
+
+    std::optional<ShadowProbe> probe = predictor.shadowProbe(branch.pc);
+    if (!probe || !probe->automaton) {
+        if (miss) {
+            ++state.misses;
+            state.topPcs.offer(branch.pc);
+            ++state.taxonomy.unclassified;
+        }
+        return;
+    }
+
+    auto [entry, fresh] = site.try_emplace(
+        probe->pattern, probe->automaton->initState());
+    if (miss) {
+        ++state.misses;
+        state.topPcs.offer(branch.pc);
+        if (fresh) {
+            ++state.taxonomy.cold;
+        } else if (probe->automaton->predict(entry->second) == taken) {
+            ++state.taxonomy.interference;
+        } else {
+            ++state.taxonomy.hysteresis;
+        }
+    }
+    entry->second = probe->automaton->next(entry->second, taken);
+}
+
+AttributionSnapshot
+MissAttributor::snapshot() const
+{
+    AttributionSnapshot out = state;
+    out.staticBranches = shadow.size();
+    return out;
+}
+
+AttributionCollector::Scheme &
+AttributionCollector::slot(const std::string &name)
+{
+    for (Scheme &scheme : table) {
+        if (scheme.name == name)
+            return scheme;
+    }
+    table.push_back(Scheme{name, AttributionSnapshot(k), 0, 0});
+    return table.back();
+}
+
+void
+AttributionCollector::add(const std::string &scheme,
+                          const AttributionSnapshot &snapshot)
+{
+    Scheme &entry = slot(scheme);
+    entry.folded.merge(snapshot);
+    ++entry.cells;
+}
+
+void
+AttributionCollector::markMissing(const std::string &scheme)
+{
+    Scheme &entry = slot(scheme);
+    ++entry.cells;
+    ++entry.missingCells;
+}
+
+bool
+AttributionCollector::complete() const
+{
+    for (const Scheme &scheme : table) {
+        if (scheme.missingCells > 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace tl

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Misprediction provenance: *which* static branches miss, and *why*.
+ *
+ * The paper's figures count how many branches each two-level variant
+ * mispredicts; this layer attributes every miss to a PC and a cause,
+ * the observability substrate for the H2P (hard-to-predict branch)
+ * science of ROADMAP item 4 — showing that a small set of static
+ * branches concentrates the misses of every scheme, per Lin & Tarsa's
+ * "Branch Prediction Is Not a Solved Problem" (PAPERS.md).
+ *
+ * The attributor rides the *generic* simulation tier only: the engine
+ * calls MissAttributor::observe() between predict() and update() for
+ * BranchPredictor-derived predictors when SimOptions::attribution is
+ * set. The FastTwoLevel lanes never see it — a constexpr guard keeps
+ * the symbols out of their object code, and the hot-path gate
+ * (tools/analyze/hotpath_gate.py) bans them there outright.
+ * simulateDispatch() falls back to the virtual tier when attribution
+ * is requested.
+ *
+ * Per-PC totals live in a Space-Saving sketch (util/topk.hh): bounded
+ * memory, exact while the distinct-miss-PC count stays under the
+ * capacity, and deterministic to merge — per-cell attributors folded
+ * in grid-index order give byte-identical top-K tables for serial and
+ * N-thread sweeps (the PR 4 harvest contract).
+ *
+ * Each miss is classified with a *shadow per-PC-tagged pattern
+ * table*: a private automaton per (PC, history pattern), fed the same
+ * stream of outcomes as the real predictor (predictor.hh's
+ * ShadowProbe supplies the pattern and the automaton). Because the
+ * shadow is tagged by PC it is free of the inter-branch pattern-table
+ * interference the paper analyzes for shared PHTs, so:
+ *
+ *  - Cold          — first time this (PC, pattern) pair was seen; no
+ *                    predictor could have known (first-touch miss);
+ *  - Interference  — the shadow predicted correctly, so the shared
+ *                    table's entry was disturbed by other branches
+ *                    (destructive aliasing; ~0 for per-address PHTs);
+ *  - Hysteresis    — the shadow missed too: the automaton itself lags
+ *                    the branch's behaviour (state-machine inertia);
+ *  - Unclassified  — the scheme offered no ShadowProbe (speculative
+ *                    history modes, non-two-level schemes).
+ *
+ * Cost: the shadow table is O(static branches x live patterns) per
+ * cell — this is an opt-in diagnosis run, not the benchmark path.
+ */
+
+#ifndef TL_SIM_ATTRIBUTION_HH
+#define TL_SIM_ATTRIBUTION_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "predictor/automaton.hh"
+#include "predictor/predictor.hh"
+#include "util/topk.hh"
+
+namespace tl
+{
+
+/** Per-cause miss counts (see the file comment for the taxonomy). */
+struct MissTaxonomy
+{
+    std::uint64_t cold = 0;
+    std::uint64_t interference = 0;
+    std::uint64_t hysteresis = 0;
+    std::uint64_t unclassified = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return cold + interference + hysteresis + unclassified;
+    }
+
+    void
+    merge(const MissTaxonomy &other)
+    {
+        cold += other.cold;
+        interference += other.interference;
+        hysteresis += other.hysteresis;
+        unclassified += other.unclassified;
+    }
+
+    bool operator==(const MissTaxonomy &) const = default;
+};
+
+/** One cell's (or one folded scheme's) attribution state. */
+struct AttributionSnapshot
+{
+    explicit AttributionSnapshot(std::size_t topK) : topPcs(topK) {}
+
+    /** Per-PC miss counts, heaviest hitters first. */
+    SpaceSaving<std::uint64_t> topPcs;
+
+    MissTaxonomy taxonomy;
+
+    /** Conditional branches observed. */
+    std::uint64_t branches = 0;
+
+    /** Mispredictions observed (== taxonomy.total()). */
+    std::uint64_t misses = 0;
+
+    /**
+     * Distinct static branch PCs observed. Folded snapshots sum the
+     * per-cell counts: cells simulate distinct workloads, so this is
+     * the denominator of the coverage curve ("top N static branches
+     * carry X% of misses") across the whole grid.
+     */
+    std::uint64_t staticBranches = 0;
+
+    /** Grid-order fold; preserves every sketch and taxonomy bound. */
+    void merge(const AttributionSnapshot &other);
+};
+
+/**
+ * The per-run observer. Single-threaded by design (one per sweep
+ * cell, like the cell-private MetricsRegistry); the engine calls
+ * observe() once per conditional branch, between predict() and
+ * update().
+ */
+class MissAttributor
+{
+  public:
+    /**
+     * Default sketch capacity. Large enough that the nine M88-lite
+     * workloads' miss PCs fit without eviction (the sketch stays
+     * exact), small enough to bound a billion-branch stream.
+     */
+    static constexpr std::size_t kDefaultTopK = 64;
+
+    explicit MissAttributor(std::size_t topK = kDefaultTopK)
+        : state(topK)
+    {
+    }
+
+    std::size_t topK() const { return state.topPcs.capacity(); }
+
+    /**
+     * Record one resolved branch: @p predicted is what @p predictor
+     * answered for @p branch, @p taken the architectural outcome.
+     * Must be called after predict() and before update() — the
+     * ShadowProbe contract pins the pattern to the one predict()
+     * used.
+     */
+    void observe(const BranchQuery &branch, bool predicted,
+                 bool taken, const BranchPredictor &predictor);
+
+    /** Copy out the current totals (shadow table stays private). */
+    AttributionSnapshot snapshot() const;
+
+  private:
+    /** Shadow automaton states for one PC, keyed by pattern. */
+    using ShadowSite =
+        std::unordered_map<std::uint64_t, Automaton::State>;
+
+    AttributionSnapshot state;
+    std::unordered_map<std::uint64_t, ShadowSite> shadow;
+};
+
+/**
+ * Folds per-cell snapshots into per-scheme tables for the manifest.
+ * Deterministic under the same contract as MetricsRegistry::merge:
+ * the sweep folds cells in grid-index order after the parallel
+ * barrier, so scheme order and every count are identical for serial
+ * and N-thread runs.
+ *
+ * Cells that produced a result but no snapshot (e.g. restored from a
+ * checkpoint, which journals results only) are markMissing()ed: the
+ * scheme keeps its partial table and the manifest's `complete` flag
+ * drops, telling validators not to cross-check totals against result
+ * cells.
+ */
+class AttributionCollector
+{
+  public:
+    struct Scheme
+    {
+        std::string name;
+        AttributionSnapshot folded;
+        std::uint64_t cells = 0;
+        std::uint64_t missingCells = 0;
+    };
+
+    explicit AttributionCollector(
+        std::size_t topK = MissAttributor::kDefaultTopK)
+        : k(topK)
+    {
+    }
+
+    std::size_t topK() const { return k; }
+
+    /** Fold one executed cell's snapshot into @p scheme's table. */
+    void add(const std::string &scheme,
+             const AttributionSnapshot &snapshot);
+
+    /** Note a @p scheme cell whose snapshot is unavailable. */
+    void markMissing(const std::string &scheme);
+
+    /** True when every contributing cell brought a snapshot. */
+    bool complete() const;
+
+    /** Schemes in first-contribution (grid) order. */
+    const std::vector<Scheme> &schemes() const { return table; }
+
+  private:
+    Scheme &slot(const std::string &name);
+
+    std::size_t k;
+    std::vector<Scheme> table;
+};
+
+} // namespace tl
+
+#endif // TL_SIM_ATTRIBUTION_HH

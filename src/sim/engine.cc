@@ -134,6 +134,11 @@ SimResult
 simulateDispatch(FlatCursor &cursor, BranchPredictor &predictor,
                  const SimOptions &options)
 {
+    // Provenance runs exclude the devirtualized lanes: the attributor
+    // needs the virtual ShadowProbe hook, and the FastTwoLevel object
+    // code must stay attribution-free (hotpath_gate.py enforces it).
+    if (options.attribution)
+        return simulate(cursor, predictor, options);
     if (auto *twoLevel = dynamic_cast<TwoLevelPredictor *>(&predictor))
         return dispatchTwoLevel(cursor, *twoLevel, options);
     if (auto *btb = dynamic_cast<BtbPredictor *>(&predictor))

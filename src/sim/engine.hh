@@ -43,6 +43,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <type_traits>
 
 #include "predictor/concepts.hh"
 #include "predictor/predictor.hh"
@@ -52,6 +53,23 @@
 
 namespace tl
 {
+
+class MissAttributor;
+
+namespace detail
+{
+
+/**
+ * Out-of-line trampoline into MissAttributor::observe
+ * (sim/attribution.cc) so engine.hh needs only the forward
+ * declaration and the loop body stays a single call on the opt-in
+ * path.
+ */
+void attributionObserve(MissAttributor &attribution,
+                        const BranchQuery &query, bool predicted,
+                        bool taken, const BranchPredictor &predictor);
+
+} // namespace detail
 
 /** Simulation options. */
 struct SimOptions
@@ -84,6 +102,19 @@ struct SimOptions
      * figure.
      */
     const std::atomic<bool> *cancelToken = nullptr;
+
+    /**
+     * Opt-in misprediction provenance (sim/attribution.hh), or
+     * nullptr for none. Only the generic tier honors it — the
+     * attributor's shadow replay needs the virtual ShadowProbe hook,
+     * so the hook is compiled only into loop instantiations whose
+     * predictor derives from BranchPredictor, never into the
+     * FastTwoLevel lanes (the hot-path gate bans attribution symbols
+     * there). simulateDispatch() falls back to the virtual tier when
+     * this is set. Single-threaded, like the rest of SimOptions: one
+     * attributor per concurrent simulation.
+     */
+    MissAttributor *attribution = nullptr;
 };
 
 /** Counters produced by a simulation run. */
@@ -200,6 +231,18 @@ simulateLoop(S &source, P &predictor, const SimOptions &options)
                   "isConditional record produced a %d-class query",
                   static_cast<int>(query.cls));
         bool prediction = predictor.predict(query);
+        // Attribution observes between predict() and update(): the
+        // ShadowProbe contract needs the history pattern predict()
+        // just used, before update() shifts in the outcome. Guarded
+        // so non-virtual predictors (the FastTwoLevel lanes) compile
+        // without any attribution reference in their object code.
+        if constexpr (std::is_base_of_v<BranchPredictor, P>) {
+            if (options.attribution) {
+                detail::attributionObserve(*options.attribution, query,
+                                           prediction, record.taken,
+                                           predictor);
+            }
+        }
         predictor.update(query, record.taken);
         if (prediction == record.taken)
             ++result.correct;
@@ -249,6 +292,17 @@ simulate(FlatCursor &cursor, P &predictor,
     SimResult result;
     if (!cursor.trace)
         return result;
+
+    // Attribution runs on the generic loop: FlatCursor models the
+    // TraceSource concept, so delegating keeps this overload's two
+    // fast bodies observation-free (and for non-BranchPredictor
+    // instantiations the hook cannot compile at all — the request is
+    // ignored, by design; simulateDispatch routes around the fast
+    // lanes before it ever gets here).
+    if constexpr (std::is_base_of_v<BranchPredictor, P>) {
+        if (options.attribution)
+            return detail::simulateLoop(cursor, predictor, options);
+    }
 
     const std::uint64_t cap = options.maxConditionalBranches
                                   ? options.maxConditionalBranches

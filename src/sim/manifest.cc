@@ -1,9 +1,13 @@
 #include "sim/manifest.hh"
 
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
 #include <cstdio>
 
 #include "util/build_info.hh"
 #include "util/status.hh"
+#include "util/trace_event.hh"
 
 namespace tl
 {
@@ -28,6 +32,8 @@ runOptionsToJson(const RunOptions &options)
              Json::number(std::uint64_t(options.maxCellAttempts)));
     json.set("retryBackoffSeconds",
              Json::number(options.retryBackoffSeconds));
+    json.set("attribution",
+             Json::boolean(options.attribution != nullptr));
     return json;
 }
 
@@ -54,6 +60,109 @@ supervisionToJson(const SupervisedSweep &sweep)
     json.set("restoredCells",
              Json::number(std::uint64_t(sweep.restoredCells)));
     json.set("cells", std::move(cells));
+    return json;
+}
+
+namespace
+{
+
+std::string
+hexPc(std::uint64_t pc)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "0x%" PRIx64, pc);
+    return buffer;
+}
+
+/**
+ * Coverage point: what share of @p misses the @p n heaviest entries
+ * carry. With an exact sketch this is exact; after eviction the
+ * counts are upper bounds, so the share is one too — the validator
+ * only cross-checks exact tables.
+ */
+Json
+coveragePoint(const std::vector<SpaceSaving<std::uint64_t>::Entry>
+                  &entries,
+              double fraction, std::uint64_t staticBranches,
+              std::uint64_t misses)
+{
+    std::size_t n = static_cast<std::size_t>(std::ceil(
+        fraction * static_cast<double>(staticBranches)));
+    n = std::max<std::size_t>(n, 1);
+    n = std::min(n, entries.size());
+    std::uint64_t covered = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        covered += entries[i].count;
+    Json json = Json::object();
+    json.set("fraction", Json::number(fraction));
+    json.set("branches", Json::number(std::uint64_t(n)));
+    json.set("missShare",
+             Json::number(misses == 0
+                              ? 0.0
+                              : static_cast<double>(covered) /
+                                    static_cast<double>(misses)));
+    return json;
+}
+
+} // namespace
+
+Json
+attributionToJson(const AttributionCollector &collector)
+{
+    Json schemes = Json::array();
+    for (const AttributionCollector::Scheme &scheme :
+         collector.schemes()) {
+        const AttributionSnapshot &folded = scheme.folded;
+        const auto entries = folded.topPcs.entries();
+
+        Json top = Json::array();
+        for (const auto &entry : entries) {
+            Json row = Json::object();
+            row.set("pc", Json::number(entry.key));
+            row.set("pcHex", Json::str(hexPc(entry.key)));
+            row.set("misses", Json::number(entry.count));
+            row.set("error", Json::number(entry.error));
+            top.push(std::move(row));
+        }
+
+        Json taxonomy = Json::object();
+        taxonomy.set("cold", Json::number(folded.taxonomy.cold));
+        taxonomy.set("interference",
+                     Json::number(folded.taxonomy.interference));
+        taxonomy.set("hysteresis",
+                     Json::number(folded.taxonomy.hysteresis));
+        taxonomy.set("unclassified",
+                     Json::number(folded.taxonomy.unclassified));
+
+        Json coverage = Json::array();
+        for (double fraction : {0.01, 0.05, 0.10}) {
+            coverage.push(coveragePoint(entries, fraction,
+                                        folded.staticBranches,
+                                        folded.misses));
+        }
+
+        Json json = Json::object();
+        json.set("scheme", Json::str(scheme.name));
+        json.set("cells", Json::number(scheme.cells));
+        json.set("missingCells", Json::number(scheme.missingCells));
+        json.set("branches", Json::number(folded.branches));
+        json.set("misses", Json::number(folded.misses));
+        json.set("staticBranches",
+                 Json::number(folded.staticBranches));
+        json.set("sketchExact",
+                 Json::boolean(!folded.topPcs.everEvicted()));
+        json.set("sketchMinCount",
+                 Json::number(folded.topPcs.minCount()));
+        json.set("taxonomy", std::move(taxonomy));
+        json.set("coverage", std::move(coverage));
+        json.set("topPcs", std::move(top));
+        schemes.push(std::move(json));
+    }
+
+    Json json = Json::object();
+    json.set("topK", Json::number(std::uint64_t(collector.topK())));
+    json.set("complete", Json::boolean(collector.complete()));
+    json.set("schemes", std::move(schemes));
     return json;
 }
 
@@ -198,6 +307,12 @@ RunManifest::recordSupervision(const SupervisedSweep &sweep)
 }
 
 void
+RunManifest::recordAttribution(const AttributionCollector &collector)
+{
+    attributionJson = attributionToJson(collector);
+}
+
+void
 RunManifest::note(const std::string &key, Json value)
 {
     notesJson.set(key, std::move(value));
@@ -211,11 +326,14 @@ RunManifest::toJson() const
     git.set("dirty", Json::boolean(buildTreeWasDirty()));
 
     const bool supervised = supervisionJson.isObject();
+    const bool attributed = attributionJson.isObject();
+    int version = runManifestSchemaVersion;
+    if (supervised)
+        version = supervisedManifestSchemaVersion;
+    if (attributed)
+        version = attributedManifestSchemaVersion;
     Json json = Json::object();
-    json.set("schemaVersion",
-             Json::number(std::int64_t(
-                 supervised ? supervisedManifestSchemaVersion
-                            : runManifestSchemaVersion)));
+    json.set("schemaVersion", Json::number(std::int64_t(version)));
     json.set("kind", Json::str("run-manifest"));
     json.set("name", Json::str(runName));
     json.set("git", std::move(git));
@@ -225,6 +343,8 @@ RunManifest::toJson() const
     json.set("metrics", metricsJson);
     if (supervised)
         json.set("supervision", supervisionJson);
+    if (attributed)
+        json.set("attribution", attributionJson);
     if (notesJson.size() > 0)
         json.set("notes", notesJson);
     return json;
@@ -250,6 +370,130 @@ RunManifest::writeFile(const std::string &path) const
     std::fclose(file);
     inform("wrote %s", path.c_str());
     return Status();
+}
+
+namespace
+{
+
+std::uint64_t
+toMicros(double seconds)
+{
+    return seconds <= 0.0
+               ? 0
+               : static_cast<std::uint64_t>(seconds * 1e6);
+}
+
+} // namespace
+
+void
+sweepTraceEvents(const SweepProfile &profile,
+                 const SupervisedSweep *sweep,
+                 TraceEventWriter &writer)
+{
+    // One lane per execution slot (slot 0 = the calling thread, as in
+    // SweepProfile::workerBusySeconds), plus the process lane for
+    // sweep-scope events.
+    writer.threadName(TraceEventWriter::processTid, "sweep");
+    for (std::size_t slot = 0;
+         slot < profile.workerBusySeconds.size(); ++slot) {
+        writer.threadName(
+            TraceEventWriter::workerTid(
+                static_cast<std::uint32_t>(slot)),
+            slot == 0 ? "caller"
+                      : "worker " + std::to_string(slot - 1));
+    }
+
+    Json sweepArgs = Json::object();
+    sweepArgs.set("threads",
+                  Json::number(std::uint64_t(profile.threads)));
+    sweepArgs.set("cells",
+                  Json::number(std::uint64_t(profile.cells.size())));
+    sweepArgs.set("occupancy", Json::number(profile.occupancy()));
+    writer.duration("sweep", "sweep", TraceEventWriter::processTid, 0,
+                    toMicros(profile.wallSeconds),
+                    std::move(sweepArgs));
+
+    // Supervision reports are index-aligned with the profile cells
+    // (both are built in grid order); guard anyway so a mismatched
+    // pair degrades to a plain timeline instead of misattributing.
+    const bool supervised =
+        sweep && sweep->cells.size() == profile.cells.size();
+
+    for (std::size_t i = 0; i < profile.cells.size(); ++i) {
+        const CellProfile &cell = profile.cells[i];
+        const std::uint32_t tid = TraceEventWriter::workerTid(
+            static_cast<std::uint32_t>(cell.worker + 1));
+        const std::uint64_t startUs = toMicros(cell.queueSeconds);
+        const std::uint64_t durUs = toMicros(cell.wallSeconds);
+        const std::uint64_t endUs = startUs + durUs;
+
+        Json args = Json::object();
+        args.set("column", Json::str(cell.column));
+        args.set("workload", Json::str(cell.workload));
+        args.set("skipped", Json::boolean(cell.skipped));
+
+        const CellReport *report =
+            supervised ? &sweep->cells[i] : nullptr;
+        if (report) {
+            args.set("state",
+                     Json::str(cellStateName(report->state)));
+            args.set("attempts", Json::number(
+                                     std::uint64_t(report->attempts)));
+            if (report->restored) {
+                // A restored cell never ran here: render it as an
+                // instant on the process lane, not a zero-width span
+                // on a worker.
+                Json restoreArgs = Json::object();
+                restoreArgs.set("column", Json::str(cell.column));
+                restoreArgs.set("workload", Json::str(cell.workload));
+                writer.instant("restore." + cell.workload,
+                               "checkpoint",
+                               TraceEventWriter::processTid, 0,
+                               std::move(restoreArgs));
+                continue;
+            }
+        }
+
+        writer.duration(cell.column + " / " + cell.workload, "cell",
+                        tid, startUs, durUs, std::move(args));
+
+        if (!report)
+            continue;
+        if (report->attempts > 1) {
+            Json retryArgs = Json::object();
+            retryArgs.set("attempts", Json::number(std::uint64_t(
+                                          report->attempts)));
+            writer.instant("retry." + cell.workload, "supervisor",
+                           tid, endUs, std::move(retryArgs));
+        }
+        if (report->state == CellState::TimedOut) {
+            writer.instant("timeout." + cell.workload, "supervisor",
+                           tid, endUs);
+        } else if (report->state == CellState::Failed) {
+            Json failArgs = Json::object();
+            if (!report->error.ok())
+                failArgs.set("error",
+                             Json::str(report->error.toString()));
+            writer.instant("fail." + cell.workload, "supervisor",
+                           tid, endUs, std::move(failArgs));
+        } else if (supervised) {
+            // Executed restorable cells append a checkpoint record
+            // right as they finish (supervisor.cc).
+            writer.instant("checkpoint." + cell.workload,
+                           "checkpoint", TraceEventWriter::processTid,
+                           endUs);
+        }
+    }
+}
+
+Status
+writeTraceFile(const std::string &directory, const std::string &name,
+               const SweepProfile &profile,
+               const SupervisedSweep *sweep)
+{
+    TraceEventWriter writer;
+    sweepTraceEvents(profile, sweep, writer);
+    return writer.writeFile(directory + "/TRACE_" + name + ".json");
 }
 
 } // namespace tl

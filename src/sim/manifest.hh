@@ -42,6 +42,14 @@ inline constexpr int runManifestSchemaVersion = 1;
  */
 inline constexpr int supervisedManifestSchemaVersion = 2;
 
+/**
+ * Schema version once an "attribution" section is present (per-scheme
+ * top-K miss PCs, taxonomy totals, coverage curve — see
+ * sim/attribution.hh). recordAttribution() upgrades the manifest to
+ * 3; tools/validate_manifest.py accepts 1, 2 and 3.
+ */
+inline constexpr int attributedManifestSchemaVersion = 3;
+
 /** Builder for one run's manifest. */
 class RunManifest
 {
@@ -77,6 +85,13 @@ class RunManifest
     void recordSupervision(const SupervisedSweep &sweep);
 
     /**
+     * Record folded misprediction provenance (per-scheme top-K PCs,
+     * taxonomy, coverage curve). Upgrades the manifest to
+     * schemaVersion 3.
+     */
+    void recordAttribution(const AttributionCollector &collector);
+
+    /**
      * Attach an arbitrary extra value under "notes.<key>" — bench
      * binaries use this for measurements outside the common schema
      * (throughput rates, speedup ratios).
@@ -105,6 +120,7 @@ class RunManifest
     Json profileJson;
     Json metricsJson;
     Json supervisionJson;
+    Json attributionJson;
     Json notesJson = Json::object();
 };
 
@@ -122,6 +138,37 @@ Json runOptionsToJson(const RunOptions &options);
 
 /** Serialize a supervised sweep's cell dispositions. */
 Json supervisionToJson(const SupervisedSweep &sweep);
+
+/**
+ * Serialize folded provenance: per scheme the top-K miss PCs (count +
+ * error bound), taxonomy totals, and a coverage curve — "the top N
+ * heaviest static branches carry X% of the misses" at 1%, 5% and 10%
+ * of each scheme's static branches — the cross-scheme concentration
+ * table tools/report.py --h2p renders.
+ */
+Json attributionToJson(const AttributionCollector &collector);
+
+class TraceEventWriter;
+
+/**
+ * Render a sweep's observational timeline as Chrome trace events
+ * (util/trace_event.hh) into @p writer: one lane per execution slot
+ * with a duration span per cell (queue wait recovered from the
+ * profile), plus instant markers for the supervisor's retries,
+ * timeouts, failures and restores when @p sweep is non-null.
+ */
+void sweepTraceEvents(const SweepProfile &profile,
+                      const SupervisedSweep *sweep,
+                      TraceEventWriter &writer);
+
+/**
+ * Convenience: render @p profile (and @p sweep's supervision
+ * markers) and write "<directory>/TRACE_<name>.json".
+ */
+Status writeTraceFile(const std::string &directory,
+                      const std::string &name,
+                      const SweepProfile &profile,
+                      const SupervisedSweep *sweep = nullptr);
 
 } // namespace tl
 

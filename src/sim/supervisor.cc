@@ -816,6 +816,30 @@ SweepSupervisor::run(const std::vector<SweepSpec> &columns)
         }
     }
 
+    // Provenance harvest, same grid order. A restored cell has a
+    // result but no attribution snapshot (the checkpoint journals
+    // results only), so it is marked missing — the collector keeps
+    // the partial per-scheme tables and drops its `complete` flag,
+    // which tells the manifest validator not to cross-check totals
+    // against result cells.
+    if (runOptions.attribution) {
+        for (std::size_t cell = 0; cell < cells; ++cell) {
+            const SupervisedCell &slot = grid[cell];
+            if (!cellStateRestorable(slot.state) ||
+                !slot.exec.result) {
+                continue;
+            }
+            const std::string &scheme =
+                columns[cell / perColumn].displayName;
+            if (!slot.restored && slot.exec.attribution) {
+                runOptions.attribution->add(scheme,
+                                            *slot.exec.attribution);
+            } else {
+                runOptions.attribution->markMissing(scheme);
+            }
+        }
+    }
+
     sweep.cells.reserve(cells);
     for (std::size_t cell = 0; cell < cells; ++cell) {
         const SupervisedCell &slot = grid[cell];

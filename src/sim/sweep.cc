@@ -124,6 +124,14 @@ runSweepCell(WorkloadSuite &suite, const RunOptions &options,
     sim.switchOnTrap = options.switchOnTrap;
     sim.cancelToken = cancel;
 
+    // Cell-private attributor, measured phase only (attached to `sim`
+    // after the warmup split below): provenance describes the same
+    // branches the result counters count, and the warmup stays on the
+    // fast dispatch lanes.
+    std::optional<MissAttributor> attributor;
+    if (options.attribution)
+        attributor.emplace(options.attribution->topK());
+
     // The measured replay runs on the structure-of-arrays view
     // through the devirtualizing dispatcher — the sweep hot path.
     // The cursor carries the resume position across the warmup/
@@ -144,11 +152,15 @@ runSweepCell(WorkloadSuite &suite, const RunOptions &options,
             return out;
         }
     }
+    if (attributor)
+        sim.attribution = &*attributor;
     SimResult result = simulateDispatch(source, *predictor, sim);
     if (result.cancelled) {
         out.cancelled = true;
         return out;
     }
+    if (attributor)
+        out.attribution = attributor->snapshot();
 
 #if TL_DCHECK_ENABLED
     // Between sweep cells the predictor's run-time tables must still
@@ -190,7 +202,8 @@ SweepRunner::runCell(const SweepSpec &column,
     CellExecution exec =
         runSweepCell(*suitePtr, runOptions, column, workload);
     return CellOutcome{std::move(exec.result),
-                       std::move(exec.metrics)};
+                       std::move(exec.metrics),
+                       std::move(exec.attribution)};
 }
 
 std::vector<ResultSet>
@@ -284,6 +297,27 @@ SweepRunner::run(const std::vector<SweepSpec> &columns)
     if (runOptions.metrics) {
         for (const CellOutcome &cell : grid)
             runOptions.metrics->merge(cell.metrics);
+    }
+
+    // Same contract for provenance: per-scheme top-K tables and
+    // taxonomy totals are folded cell by cell in grid-index order, so
+    // the collector state is byte-identical for threads=0 and
+    // threads=N. Skipped cells (no result) contribute nothing; they
+    // have no branches to attribute.
+    if (runOptions.attribution) {
+        for (std::size_t cell = 0; cell < cells; ++cell) {
+            const CellOutcome &outcome = grid[cell];
+            if (!outcome.result)
+                continue;
+            const std::string &scheme =
+                columns[cell / perColumn].displayName;
+            if (outcome.attribution) {
+                runOptions.attribution->add(scheme,
+                                            *outcome.attribution);
+            } else {
+                runOptions.attribution->markMissing(scheme);
+            }
+        }
     }
 
     if (runOptions.events) {

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/attribution.hh"
 #include "sim/experiment.hh"
 #include "util/metrics.hh"
 
@@ -101,6 +102,19 @@ struct RunOptions
      * disabled.
      */
     EventLog *events = nullptr;
+
+    /**
+     * Where misprediction provenance is folded (sim/attribution.hh).
+     * Non-null routes every cell's *measured* phase through the
+     * generic tier with a cell-private MissAttributor and folds the
+     * snapshots per scheme in grid-index order after the barrier —
+     * the same determinism contract as #metrics, so the top-K tables
+     * are byte-identical for threads=0 and threads=N. Warmup stays
+     * unattributed, mirroring what the result counters measure. Not
+     * owned; may be null (the default: zero overhead, and the fast
+     * dispatch lanes stay in play).
+     */
+    AttributionCollector *attribution = nullptr;
 
     /**
      * Progress callback, called with (cells finished, cells total)
@@ -232,6 +246,12 @@ struct CellExecution
 
     /** The cancel token stopped the warmup or measured simulation. */
     bool cancelled = false;
+
+    /**
+     * Measured-phase provenance; engaged only when
+     * RunOptions::attribution requested it and the cell executed.
+     */
+    std::optional<AttributionSnapshot> attribution;
 };
 
 /**
@@ -297,6 +317,9 @@ class SweepRunner
 
         /** The cell's private counter harvest (empty when off). */
         MetricsSnapshot metrics;
+
+        /** Provenance snapshot (engaged when attribution is on). */
+        std::optional<AttributionSnapshot> attribution;
     };
 
     CellOutcome runCell(const SweepSpec &column,

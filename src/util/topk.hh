@@ -1,0 +1,272 @@
+/**
+ * @file
+ * A Space-Saving heavy-hitter sketch (Metwally, Agrawal, El Abbadi,
+ * "Efficient Computation of Frequent and Top-k Elements in Data
+ * Streams"): track the top-K keys of a weighted stream in O(K)
+ * memory, with a per-key error bound instead of a silent guess.
+ *
+ * Guarantees (the ones the attribution layer and its oracle
+ * cross-check test rely on):
+ *
+ *  - every stored count is an over-estimate: true <= count;
+ *  - the over-estimate is bounded: count - error <= true;
+ *  - exact on small cardinality: while the number of distinct keys
+ *    offered never exceeds the capacity, no eviction happens, every
+ *    error is zero and every count is the true count
+ *    (everEvicted() == false is the machine-checkable witness);
+ *  - any key NOT in the sketch has a true count <= minCount().
+ *
+ * merge() folds two sketches deterministically — a pure function of
+ * the two operand *states*, with ties broken by key — so per-cell
+ * sketches folded in grid-index order after a parallel barrier
+ * produce byte-identical tables for serial and N-thread sweeps,
+ * matching the MetricsRegistry harvest contract (util/metrics.hh).
+ * Keys absent from one operand are credited that operand's floor
+ * (its minCount() when it ever evicted, else 0), which preserves
+ * both bounds above across the fold.
+ *
+ * Single-writer by design, like the predictor tally structs: one
+ * sketch per cell, merged at quiescent points. No locks anywhere.
+ */
+
+#ifndef TL_UTIL_TOPK_HH
+#define TL_UTIL_TOPK_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/check.hh"
+
+namespace tl
+{
+
+/** Bounded top-K counter table over keys of type @p Key. */
+template <typename Key>
+class SpaceSaving
+{
+  public:
+    /** One tracked key with its count and over-estimate bound. */
+    struct Entry
+    {
+        Key key{};
+
+        /** Upper bound on the key's true offered weight. */
+        std::uint64_t count = 0;
+
+        /**
+         * Over-estimation bound: the count the slot held when this
+         * key took it over. true weight >= count - error.
+         */
+        std::uint64_t error = 0;
+    };
+
+    /** @param capacity Maximum keys tracked; must be positive. */
+    explicit SpaceSaving(std::size_t capacity) : cap(capacity)
+    {
+        TL_CHECK(capacity > 0,
+                 "SpaceSaving needs a positive capacity");
+        slots.reserve(capacity);
+        heap.reserve(capacity);
+        heapPos.reserve(capacity);
+    }
+
+    std::size_t capacity() const { return cap; }
+
+    /** Distinct keys currently tracked (<= capacity()). */
+    std::size_t size() const { return slots.size(); }
+
+    /** Total weight offered (and merged) so far. */
+    std::uint64_t streamWeight() const { return total; }
+
+    /**
+     * False while the sketch is still exact: no key was ever evicted
+     * and no merge ever truncated, so every count is a true count.
+     */
+    bool everEvicted() const { return evicted; }
+
+    /**
+     * Smallest tracked count — the upper bound on the true weight of
+     * any key NOT in the sketch. 0 while the sketch is empty.
+     */
+    std::uint64_t
+    minCount() const
+    {
+        return heap.empty() ? 0 : slots[heap.front()].count;
+    }
+
+    /** Count @p weight occurrences of @p key. */
+    void
+    offer(const Key &key, std::uint64_t weight = 1)
+    {
+        total += weight;
+        auto found = byKey.find(key);
+        if (found != byKey.end()) {
+            slots[found->second].count += weight;
+            siftDown(heapPos[found->second]);
+            return;
+        }
+        if (slots.size() < cap) {
+            const std::uint32_t slot =
+                static_cast<std::uint32_t>(slots.size());
+            slots.push_back(Entry{key, weight, 0});
+            heapPos.push_back(static_cast<std::uint32_t>(heap.size()));
+            heap.push_back(slot);
+            byKey.emplace(key, slot);
+            siftUp(heapPos[slot]);
+            return;
+        }
+        // Classic Space-Saving eviction: the minimum-count key hands
+        // its slot (and its count, as the error bound) to the
+        // newcomer.
+        const std::uint32_t slot = heap.front();
+        Entry &entry = slots[slot];
+        evicted = true;
+        byKey.erase(entry.key);
+        entry.error = entry.count;
+        entry.count += weight;
+        entry.key = key;
+        byKey.emplace(key, slot);
+        siftDown(0);
+    }
+
+    /**
+     * The tracked table, sorted by count descending then key
+     * ascending — the canonical order every consumer (JSON, merge,
+     * tests) sees, so equal sketches serialize identically.
+     */
+    std::vector<Entry>
+    entries() const
+    {
+        std::vector<Entry> out = slots;
+        std::sort(out.begin(), out.end(),
+                  [](const Entry &a, const Entry &b) {
+                      if (a.count != b.count)
+                          return a.count > b.count;
+                      return a.key < b.key;
+                  });
+        return out;
+    }
+
+    /**
+     * Fold @p other into this sketch (see the file comment for the
+     * floor rule and the determinism contract).
+     */
+    void
+    merge(const SpaceSaving &other)
+    {
+        const std::uint64_t floorMine = evicted ? minCount() : 0;
+        const std::uint64_t floorTheirs =
+            other.evicted ? other.minCount() : 0;
+
+        std::vector<Entry> merged;
+        merged.reserve(slots.size() + other.slots.size());
+        for (const Entry &mine : slots) {
+            Entry entry = mine;
+            auto theirs = other.byKey.find(mine.key);
+            if (theirs != other.byKey.end()) {
+                entry.count += other.slots[theirs->second].count;
+                entry.error += other.slots[theirs->second].error;
+            } else {
+                entry.count += floorTheirs;
+                entry.error += floorTheirs;
+            }
+            merged.push_back(entry);
+        }
+        for (const Entry &theirs : other.slots) {
+            if (byKey.find(theirs.key) != byKey.end())
+                continue;
+            Entry entry = theirs;
+            entry.count += floorMine;
+            entry.error += floorMine;
+            merged.push_back(entry);
+        }
+        std::sort(merged.begin(), merged.end(),
+                  [](const Entry &a, const Entry &b) {
+                      if (a.count != b.count)
+                          return a.count > b.count;
+                      return a.key < b.key;
+                  });
+
+        evicted = evicted || other.evicted || merged.size() > cap;
+        if (merged.size() > cap)
+            merged.resize(cap);
+        total += other.total;
+
+        slots = std::move(merged);
+        byKey.clear();
+        heap.clear();
+        heapPos.assign(slots.size(), 0);
+        for (std::uint32_t slot = 0;
+             slot < static_cast<std::uint32_t>(slots.size()); ++slot) {
+            byKey.emplace(slots[slot].key, slot);
+            heapPos[slot] = static_cast<std::uint32_t>(heap.size());
+            heap.push_back(slot);
+            siftUp(heapPos[slot]);
+        }
+    }
+
+  private:
+    /** Heap order: by count, ties by key — fully deterministic. */
+    bool
+    heapLess(std::uint32_t a, std::uint32_t b) const
+    {
+        if (slots[a].count != slots[b].count)
+            return slots[a].count < slots[b].count;
+        return slots[a].key < slots[b].key;
+    }
+
+    void
+    heapSwap(std::size_t i, std::size_t j)
+    {
+        std::swap(heap[i], heap[j]);
+        heapPos[heap[i]] = static_cast<std::uint32_t>(i);
+        heapPos[heap[j]] = static_cast<std::uint32_t>(j);
+    }
+
+    void
+    siftUp(std::size_t at)
+    {
+        while (at > 0) {
+            const std::size_t parent = (at - 1) / 2;
+            if (!heapLess(heap[at], heap[parent]))
+                return;
+            heapSwap(at, parent);
+            at = parent;
+        }
+    }
+
+    void
+    siftDown(std::size_t at)
+    {
+        for (;;) {
+            std::size_t least = at;
+            const std::size_t left = 2 * at + 1;
+            const std::size_t right = 2 * at + 2;
+            if (left < heap.size() &&
+                heapLess(heap[left], heap[least]))
+                least = left;
+            if (right < heap.size() &&
+                heapLess(heap[right], heap[least]))
+                least = right;
+            if (least == at)
+                return;
+            heapSwap(at, least);
+            at = least;
+        }
+    }
+
+    std::size_t cap;
+    std::vector<Entry> slots;
+    std::vector<std::uint32_t> heap;    //!< slot ids, min at front
+    std::vector<std::uint32_t> heapPos; //!< slot -> position in heap
+    std::unordered_map<Key, std::uint32_t> byKey;
+    std::uint64_t total = 0;
+    bool evicted = false;
+};
+
+} // namespace tl
+
+#endif // TL_UTIL_TOPK_HH

@@ -1,0 +1,102 @@
+#include "util/trace_event.hh"
+
+#include <cstdio>
+#include <utility>
+
+namespace tl
+{
+
+namespace
+{
+
+Json
+argsOrEmpty(Json args)
+{
+    return args.isNull() ? Json::object() : std::move(args);
+}
+
+} // namespace
+
+TraceEventWriter::TraceEventWriter() : events(Json::array()) {}
+
+void
+TraceEventWriter::append(Json event)
+{
+    ++count;
+    events.push(std::move(event));
+}
+
+void
+TraceEventWriter::duration(std::string name, std::string category,
+                           std::uint32_t tid, std::uint64_t startUs,
+                           std::uint64_t durationUs, Json args)
+{
+    Json event = Json::object();
+    event.set("name", Json::str(std::move(name)));
+    event.set("cat", Json::str(std::move(category)));
+    event.set("ph", Json::str("X"));
+    event.set("ts", Json::number(startUs));
+    event.set("dur", Json::number(durationUs));
+    event.set("pid", Json::number(std::uint64_t{processId}));
+    event.set("tid", Json::number(std::uint64_t{tid}));
+    event.set("args", argsOrEmpty(std::move(args)));
+    append(std::move(event));
+}
+
+void
+TraceEventWriter::instant(std::string name, std::string category,
+                          std::uint32_t tid, std::uint64_t timestampUs,
+                          Json args)
+{
+    Json event = Json::object();
+    event.set("name", Json::str(std::move(name)));
+    event.set("cat", Json::str(std::move(category)));
+    event.set("ph", Json::str("i"));
+    event.set("s", Json::str("t"));
+    event.set("ts", Json::number(timestampUs));
+    event.set("pid", Json::number(std::uint64_t{processId}));
+    event.set("tid", Json::number(std::uint64_t{tid}));
+    event.set("args", argsOrEmpty(std::move(args)));
+    append(std::move(event));
+}
+
+void
+TraceEventWriter::threadName(std::uint32_t tid, std::string name)
+{
+    Json event = Json::object();
+    event.set("name", Json::str("thread_name"));
+    event.set("ph", Json::str("M"));
+    event.set("pid", Json::number(std::uint64_t{processId}));
+    event.set("tid", Json::number(std::uint64_t{tid}));
+    Json args = Json::object();
+    args.set("name", Json::str(std::move(name)));
+    event.set("args", std::move(args));
+    append(std::move(event));
+}
+
+Json
+TraceEventWriter::toJson() const
+{
+    Json document = Json::object();
+    document.set("traceEvents", events);
+    document.set("displayTimeUnit", Json::str("ms"));
+    return document;
+}
+
+Status
+TraceEventWriter::writeFile(const std::string &path) const
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (!file) {
+        return invalidArgumentError(
+            "cannot write trace-event file '%s'", path.c_str());
+    }
+    std::string text = toJson().dump(2);
+    text.push_back('\n');
+    std::fwrite(text.data(), 1, text.size(), file);
+    std::fclose(file);
+    inform("wrote %s", path.c_str());
+    return Status();
+}
+
+} // namespace tl

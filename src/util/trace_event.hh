@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A Chrome trace-event (a.k.a. Perfetto legacy JSON) writer: turn the
+ * sweep timeline — cell executions, supervisor retries and timeouts,
+ * checkpoint writes — into a `TRACE_<name>.json` file that the
+ * Perfetto UI (https://ui.perfetto.dev) or chrome://tracing renders
+ * as a per-worker timeline.
+ *
+ * Only the tiny subset of the trace-event format the sweep needs:
+ *
+ *  - complete events (ph "X"): a named span with start + duration,
+ *    used for sweep cells and checkpoint writes;
+ *  - instant events (ph "i"): a point marker, used for retries,
+ *    watchdog timeouts and restores;
+ *  - metadata events (ph "M"): thread names, so lanes read
+ *    "worker 0".."worker N" instead of bare tids.
+ *
+ * Timestamps and durations are microseconds, per the format. The
+ * whole process is pid 1 and worker w maps to tid w + 1 (tid 0 is
+ * reserved for process-scope events) — the trace describes the
+ * sweep's logical workers, not OS threads. Like the rest of the
+ * observability layer this is construction + serialization only;
+ * nothing in the library reads trace files back.
+ */
+
+#ifndef TL_UTIL_TRACE_EVENT_HH
+#define TL_UTIL_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/json.hh"
+#include "util/status_or.hh"
+
+namespace tl
+{
+
+/** Accumulates trace events and serializes the JSON object form. */
+class TraceEventWriter
+{
+  public:
+    TraceEventWriter();
+
+    /** The process id all events carry. */
+    static constexpr std::uint32_t processId = 1;
+
+    /** The tid of process-scope (no specific worker) events. */
+    static constexpr std::uint32_t processTid = 0;
+
+    /** Map a sweep worker index to its trace lane tid. */
+    static constexpr std::uint32_t
+    workerTid(std::uint32_t worker)
+    {
+        return worker + 1;
+    }
+
+    /**
+     * A complete ("X") event: @p name spans [startUs, startUs +
+     * durationUs) on lane @p tid under category @p category. Pass
+     * detail fields as a JSON object in @p args (a null @p args
+     * becomes an empty object).
+     */
+    void duration(std::string name, std::string category,
+                  std::uint32_t tid, std::uint64_t startUs,
+                  std::uint64_t durationUs, Json args = Json());
+
+    /** An instant ("i") event at @p timestampUs, thread-scoped. */
+    void instant(std::string name, std::string category,
+                 std::uint32_t tid, std::uint64_t timestampUs,
+                 Json args = Json());
+
+    /** Name lane @p tid (a "thread_name" metadata event). */
+    void threadName(std::uint32_t tid, std::string name);
+
+    /** Number of events recorded so far. */
+    std::size_t size() const { return count; }
+
+    /** The {"traceEvents": [...], ...} document. */
+    Json toJson() const;
+
+    /** Serialize toJson() to @p path (same idiom as RunManifest). */
+    Status writeFile(const std::string &path) const;
+
+  private:
+    void append(Json event);
+
+    Json events;
+    std::size_t count = 0;
+};
+
+} // namespace tl
+
+#endif // TL_UTIL_TRACE_EVENT_HH

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Oracle cross-check for misprediction attribution: the per-PC miss
+ * totals the Space-Saving sketch (util/topk.hh) reports for random
+ * (config, trace) pairs must agree with *exact* per-PC recounts
+ * computed from the ReferenceTwoLevel oracle (src/oracle/) running
+ * the same stream.
+ *
+ * Two regimes, both asserted:
+ *
+ *  - capacity covers the miss-PC set: the sketch must be exact and
+ *    admit it (everEvicted() false, every error 0, the entry set
+ *    equal to the exact nonzero map);
+ *  - forced eviction (tiny capacity): the classical Space-Saving
+ *    bound `count >= true >= count - error` must hold for every
+ *    reported entry, and the heaviest true hitter must survive in
+ *    the table.
+ *
+ * The attributor is fed exactly as the generic engine tier feeds it
+ * (between predict() and update()), with the *engine's* prediction;
+ * the oracle independently predicts each branch and the test insists
+ * the two agree first, so the exact recount is a genuine second
+ * opinion, not a copy of the engine's bookkeeping.
+ *
+ * Scale knobs (same environment contract as test_differential):
+ *
+ *   TL_PROPTEST_PAIRS    random pairs to run (default 40)
+ *   TL_PROPTEST_RECORDS  records per trace   (default 2500)
+ *   TL_PROPTEST_SEED     base seed           (default 0x7151)
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "generators.hh"
+#include "oracle/reference_two_level.hh"
+#include "predictor/two_level.hh"
+#include "sim/attribution.hh"
+#include "util/random.hh"
+
+namespace tl
+{
+namespace
+{
+
+std::uint64_t
+envOr(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    return std::strtoull(value, nullptr, 0);
+}
+
+/** Ground truth recomputed from the oracle's own predictions. */
+struct ExactCounts
+{
+    std::map<std::uint64_t, std::uint64_t> missesPerPc;
+    std::set<std::uint64_t> pcs;
+    std::uint64_t branches = 0;
+    std::uint64_t misses = 0;
+};
+
+/**
+ * Run @p trace through engine + oracle + attributor; returns the
+ * oracle's exact recount. Fails the test on engine/oracle divergence
+ * (that is test_differential's bug to shrink, not ours).
+ */
+ExactCounts
+runAttributed(const TwoLevelConfig &config, const Trace &trace,
+              MissAttributor &attributor)
+{
+    TwoLevelPredictor engine(config);
+    ReferenceTwoLevel oracle(config);
+    ExactCounts exact;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const BranchRecord &record = trace[i];
+        if (!record.isConditional())
+            continue;
+        BranchQuery query = BranchQuery::fromRecord(record);
+        bool fromEngine = engine.predict(query);
+        bool fromOracle = oracle.predict(query);
+        EXPECT_EQ(fromEngine, fromOracle)
+            << "engine/oracle divergence at record " << i;
+        attributor.observe(query, fromEngine, record.taken, engine);
+        ++exact.branches;
+        exact.pcs.insert(record.pc);
+        if (fromOracle != record.taken) {
+            ++exact.misses;
+            ++exact.missesPerPc[record.pc];
+        }
+        engine.update(query, record.taken);
+        oracle.update(query, record.taken);
+    }
+    return exact;
+}
+
+void
+checkAgainstExact(const AttributionSnapshot &snap,
+                  const ExactCounts &exact, std::uint64_t pairSeed)
+{
+    SCOPED_TRACE("seed=" + std::to_string(pairSeed));
+    EXPECT_EQ(snap.branches, exact.branches);
+    EXPECT_EQ(snap.misses, exact.misses);
+    EXPECT_EQ(snap.staticBranches, exact.pcs.size());
+    EXPECT_EQ(snap.taxonomy.total(), snap.misses);
+
+    const auto entries = snap.topPcs.entries();
+    for (const auto &entry : entries) {
+        auto found = exact.missesPerPc.find(entry.key);
+        std::uint64_t truth =
+            found == exact.missesPerPc.end() ? 0 : found->second;
+        // The classical Space-Saving guarantee.
+        EXPECT_GE(entry.count, truth) << "pc=" << entry.key;
+        EXPECT_LE(entry.count - entry.error, truth)
+            << "pc=" << entry.key;
+        EXPECT_LE(entry.error, entry.count);
+    }
+    if (!snap.topPcs.everEvicted()) {
+        // Exact regime: the sketch must *be* the nonzero miss map.
+        ASSERT_EQ(entries.size(), exact.missesPerPc.size());
+        for (const auto &entry : entries) {
+            EXPECT_EQ(entry.error, 0u);
+            auto found = exact.missesPerPc.find(entry.key);
+            ASSERT_NE(found, exact.missesPerPc.end());
+            EXPECT_EQ(entry.count, found->second);
+        }
+    }
+}
+
+TEST(AttributionOracle, ExactWhenCapacityCoversMissSet)
+{
+    std::uint64_t pairs = envOr("TL_PROPTEST_PAIRS", 40);
+    std::uint64_t records = envOr("TL_PROPTEST_RECORDS", 2500);
+    std::uint64_t seed = envOr("TL_PROPTEST_SEED", 0x7151);
+
+    for (std::uint64_t pair = 0; pair < pairs; ++pair) {
+        std::uint64_t pairSeed = seed + pair;
+        Rng rng(pairSeed);
+        TwoLevelConfig config = proptest::randomConfig(rng);
+        Trace trace = proptest::randomTrace(rng, config, records);
+
+        // Generator pc pools are far smaller than this, so the
+        // sketch must never evict — and must report itself exact.
+        MissAttributor attributor(4096);
+        ExactCounts exact =
+            runAttributed(config, trace, attributor);
+        AttributionSnapshot snap = attributor.snapshot();
+        EXPECT_FALSE(snap.topPcs.everEvicted())
+            << "seed=" << pairSeed << ": " << exact.missesPerPc.size()
+            << " miss PCs overflowed capacity 4096";
+        checkAgainstExact(snap, exact, pairSeed);
+
+        // Taxonomy semantics ride along: non-speculative two-level
+        // schemes classify every miss, speculative ones classify
+        // none (no ShadowProbe).
+        if (config.speculative == SpeculativeMode::Off) {
+            EXPECT_EQ(snap.taxonomy.unclassified, 0u)
+                << "seed=" << pairSeed;
+        } else {
+            EXPECT_EQ(snap.taxonomy.unclassified, snap.misses)
+                << "seed=" << pairSeed;
+        }
+    }
+}
+
+TEST(AttributionOracle, BoundsHoldUnderForcedEviction)
+{
+    std::uint64_t pairs = envOr("TL_PROPTEST_PAIRS", 40);
+    std::uint64_t records = envOr("TL_PROPTEST_RECORDS", 2500);
+    std::uint64_t seed = envOr("TL_PROPTEST_SEED", 0x7151);
+
+    std::uint64_t evictedRuns = 0;
+    for (std::uint64_t pair = 0; pair < pairs; ++pair) {
+        std::uint64_t pairSeed = seed + pair;
+        Rng rng(pairSeed);
+        TwoLevelConfig config = proptest::randomConfig(rng);
+        Trace trace = proptest::randomTrace(rng, config, records);
+
+        // Capacity 4: almost every generated trace has more distinct
+        // missing PCs than that, so the error-bound branch of
+        // checkAgainstExact() is genuinely exercised.
+        MissAttributor attributor(4);
+        ExactCounts exact =
+            runAttributed(config, trace, attributor);
+        AttributionSnapshot snap = attributor.snapshot();
+        checkAgainstExact(snap, exact, pairSeed);
+        if (!snap.topPcs.everEvicted())
+            continue;
+        ++evictedRuns;
+
+        // Classical heavy-hitter guarantee: any key whose true count
+        // exceeds N/k (stream weight over capacity) is in the table.
+        std::uint64_t threshold =
+            snap.topPcs.streamWeight() / snap.topPcs.capacity();
+        std::set<std::uint64_t> reported;
+        for (const auto &entry : snap.topPcs.entries())
+            reported.insert(entry.key);
+        for (const auto &[pc, count] : exact.missesPerPc) {
+            if (count > threshold) {
+                EXPECT_TRUE(reported.count(pc))
+                    << "seed=" << pairSeed << ": pc " << pc
+                    << " with " << count << " misses (threshold "
+                    << threshold << ") fell out of the sketch";
+            }
+        }
+    }
+    // The regime must actually occur or the test proves nothing.
+    EXPECT_GT(evictedRuns, 0u);
+}
+
+} // namespace
+} // namespace tl

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for misprediction provenance (sim/attribution.hh): the
+ * cold / interference / hysteresis taxonomy on hand-built streams
+ * whose classification is derivable on paper, the unclassified bin
+ * for schemes without a ShadowProbe, collector fold semantics
+ * (first-contribution scheme order, markMissing and the complete
+ * flag), engine-tier integration (observation must not perturb the
+ * simulation), and the determinism contract: a serial sweep and an
+ * 8-thread sweep must fold to byte-identical attribution JSON.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "predictor/factory.hh"
+#include "predictor/two_level.hh"
+#include "sim/attribution.hh"
+#include "sim/engine.hh"
+#include "sim/manifest.hh"
+#include "sim/sweep.hh"
+
+namespace tl
+{
+namespace
+{
+
+BranchQuery
+at(std::uint64_t pc)
+{
+    BranchQuery query;
+    query.pc = pc;
+    query.target = pc + 4;
+    return query;
+}
+
+/** predict/observe/update one branch; returns the prediction. */
+bool
+step(BranchPredictor &predictor, MissAttributor &attribution,
+     std::uint64_t pc, bool taken)
+{
+    BranchQuery query = at(pc);
+    bool predicted = predictor.predict(query);
+    attribution.observe(query, predicted, taken, predictor);
+    predictor.update(query, taken);
+    return predicted;
+}
+
+TEST(Attribution, SinglePcStreamCannotShowInterference)
+{
+    // With one static branch the shadow (PC, pattern) table is
+    // structurally identical to the real GAg PHT — same automaton,
+    // same pattern stream, same updates — so every miss is cold
+    // (first touch of a pattern) or hysteresis, never interference.
+    auto predictor = factoryFromSpec("GAg(HR(1,,2-sr),1xPHT(4,A2))")();
+    MissAttributor attribution;
+    for (int i = 0; i < 200; ++i)
+        step(*predictor, attribution, 0x40, i % 2 == 0);
+    AttributionSnapshot snap = attribution.snapshot();
+
+    EXPECT_EQ(snap.branches, 200u);
+    EXPECT_EQ(snap.staticBranches, 1u);
+    EXPECT_GT(snap.misses, 0u);
+    EXPECT_EQ(snap.taxonomy.total(), snap.misses);
+    EXPECT_EQ(snap.taxonomy.interference, 0u);
+    EXPECT_EQ(snap.taxonomy.unclassified, 0u);
+    // A strict alternation defeats a 2-bit counter persistently:
+    // the automaton lags every flip, so hysteresis dominates.
+    EXPECT_GT(snap.taxonomy.hysteresis, 0u);
+    // All misses land on the one PC, exactly.
+    ASSERT_EQ(snap.topPcs.entries().size(), 1u);
+    EXPECT_EQ(snap.topPcs.entries()[0].key, 0x40u);
+    EXPECT_EQ(snap.topPcs.entries()[0].count, snap.misses);
+    EXPECT_FALSE(snap.topPcs.everEvicted());
+}
+
+TEST(Attribution, SharedPhtConflictIsInterferenceAndPApIsImmune)
+{
+    // Block [A taken, A taken, B not-taken] with k=1 global history:
+    // the second A and B both index the PHT through pattern "T", so
+    // A keeps dragging the shared entry toward taken while B wants
+    // not-taken. B's private shadow sees only B's outcomes and
+    // predicts them perfectly, so B's steady-state misses classify
+    // as destructive interference under GAg. PAp gives every PC its
+    // own pattern table — the shadow replicates it exactly — so the
+    // identical stream shows zero interference.
+    auto runBlocks = [](const char *spec) {
+        auto predictor = factoryFromSpec(spec)();
+        MissAttributor attribution;
+        for (int i = 0; i < 100; ++i) {
+            step(*predictor, attribution, 0xa0, true);
+            step(*predictor, attribution, 0xa0, true);
+            step(*predictor, attribution, 0xb0, false);
+        }
+        return attribution.snapshot();
+    };
+
+    AttributionSnapshot gag =
+        runBlocks("GAg(HR(1,,1-sr),1xPHT(2,A2))");
+    EXPECT_GT(gag.taxonomy.interference, 0u);
+    EXPECT_EQ(gag.taxonomy.unclassified, 0u);
+
+    AttributionSnapshot pap =
+        runBlocks("PAp(IBHT(inf,,1-sr),infxPHT(2,A2))");
+    EXPECT_EQ(pap.taxonomy.interference, 0u);
+    EXPECT_EQ(pap.taxonomy.unclassified, 0u);
+    // Removing the interference channel must not cost accuracy: PAp
+    // misses at most as often as GAg on this stream.
+    EXPECT_LE(pap.misses, gag.misses);
+}
+
+TEST(Attribution, SchemesWithoutShadowProbeStayUnclassified)
+{
+    // AlwaysTaken is not a two-level predictor; shadowProbe()
+    // returns nullopt and every miss lands in the unclassified bin
+    // rather than being wrongly binned by a meaningless shadow.
+    auto predictor = factoryFromSpec("AlwaysTaken")();
+    MissAttributor attribution;
+    for (int i = 0; i < 10; ++i)
+        step(*predictor, attribution, 0x10, false);
+    AttributionSnapshot snap = attribution.snapshot();
+    EXPECT_EQ(snap.misses, 10u);
+    EXPECT_EQ(snap.taxonomy.unclassified, 10u);
+    EXPECT_EQ(snap.taxonomy.cold + snap.taxonomy.interference +
+                  snap.taxonomy.hysteresis,
+              0u);
+    // The sketch still attributes the misses per PC.
+    ASSERT_EQ(snap.topPcs.entries().size(), 1u);
+    EXPECT_EQ(snap.topPcs.entries()[0].count, 10u);
+}
+
+TEST(Attribution, SpeculativeHistoryDeclinesTheShadow)
+{
+    // Speculative history modes shift predictions into the pattern
+    // before the outcome is architectural, so the probe's pattern
+    // pin does not hold; the predictor must decline and misses stay
+    // unclassified.
+    TwoLevelConfig config = TwoLevelConfig::pagIdeal(4);
+    config.speculative = SpeculativeMode::Repair;
+    TwoLevelPredictor predictor(config);
+    EXPECT_EQ(predictor.shadowProbe(0x20), std::nullopt);
+    MissAttributor attribution;
+    for (int i = 0; i < 50; ++i)
+        step(predictor, attribution, 0x20, i % 3 == 0);
+    AttributionSnapshot snap = attribution.snapshot();
+    EXPECT_GT(snap.misses, 0u);
+    EXPECT_EQ(snap.taxonomy.unclassified, snap.misses);
+}
+
+TEST(Attribution, CollectorKeepsFirstContributionOrderAndCompleteness)
+{
+    AttributionCollector collector(8);
+    MissAttributor cell(8);
+    AttributionSnapshot snap = cell.snapshot();
+
+    collector.add("PAg", snap);
+    collector.add("GAg", snap);
+    collector.add("PAg", snap);
+    EXPECT_TRUE(collector.complete());
+    ASSERT_EQ(collector.schemes().size(), 2u);
+    EXPECT_EQ(collector.schemes()[0].name, "PAg");
+    EXPECT_EQ(collector.schemes()[0].cells, 2u);
+    EXPECT_EQ(collector.schemes()[1].name, "GAg");
+
+    collector.markMissing("GAg");
+    EXPECT_FALSE(collector.complete());
+    EXPECT_EQ(collector.schemes()[1].missingCells, 1u);
+    EXPECT_EQ(collector.schemes()[0].missingCells, 0u);
+}
+
+TEST(Attribution, ObservationDoesNotPerturbTheSimulation)
+{
+    // The generic tier with attribution must produce the same
+    // SimResult as the devirtualized dispatch without it — the
+    // attributor is an observer, not a participant.
+    WorkloadSuite suite(2000);
+    const Workload *workload = allWorkloads().front();
+    FlatTrace flat(suite.testing(*workload));
+
+    auto make = factoryFromSpec("PAg(BHT(512,4,6-sr),1xPHT(64,A2))")();
+    FlatCursor plainCursor(flat);
+    SimResult plain =
+        simulateDispatch(plainCursor, *make, SimOptions{});
+
+    auto attributed = factoryFromSpec(
+        "PAg(BHT(512,4,6-sr),1xPHT(64,A2))")();
+    MissAttributor attribution;
+    SimOptions options;
+    options.attribution = &attribution;
+    FlatCursor observedCursor(flat);
+    SimResult observed =
+        simulateDispatch(observedCursor, *attributed, options);
+
+    EXPECT_EQ(plain, observed);
+    AttributionSnapshot snap = attribution.snapshot();
+    EXPECT_EQ(snap.branches, observed.conditionalBranches);
+    EXPECT_EQ(snap.misses,
+              observed.conditionalBranches - observed.correct);
+}
+
+TEST(Attribution, ParallelFoldMatchesSerialByteForByte)
+{
+    // The manifest determinism contract: serial and 8-thread sweeps
+    // fold per-cell snapshots in grid index order, so the serialized
+    // attribution section must be byte-identical.
+    const std::vector<SweepSpec> columns = {
+        sweepSpec("GAg(HR(1,,6-sr),1xPHT(64,A2))"),
+        sweepSpec("PAg(IBHT(inf,,6-sr),1xPHT(64,A2))"),
+        sweepSpec("PAp(IBHT(inf,,6-sr),infxPHT(64,A2))"),
+    };
+
+    auto foldedJson = [&columns](unsigned threads) {
+        AttributionCollector collector;
+        RunOptions options;
+        options.threads = threads;
+        options.branchBudget = 3000;
+        options.attribution = &collector;
+        SweepRunner runner(options);
+        runner.run(columns);
+        EXPECT_TRUE(collector.complete());
+        return attributionToJson(collector).dump(2);
+    };
+
+    std::string serial = foldedJson(0);
+    std::string parallel = foldedJson(8);
+    EXPECT_EQ(serial, parallel);
+    // Sanity: the dump actually contains per-scheme tables.
+    EXPECT_NE(serial.find("\"topPcs\""), std::string::npos);
+    EXPECT_NE(serial.find("\"taxonomy\""), std::string::npos);
+}
+
+} // namespace
+} // namespace tl

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Unit tests for the Space-Saving heavy-hitter sketch (util/topk.hh):
+ * exactness below capacity (with everEvicted() as the witness), the
+ * count/error bounds under heavy-skew, uniform and churn streams,
+ * deterministic entry ordering, and the merge used by the sweep's
+ * grid-order fold — including that merging in the same order is
+ * reproducible byte for byte and that merge floors preserve the
+ * classical bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/random.hh"
+#include "util/topk.hh"
+
+namespace tl
+{
+namespace
+{
+
+using Sketch = SpaceSaving<std::uint64_t>;
+
+/** Feed @p stream into @p sketch and return the exact counts. */
+std::map<std::uint64_t, std::uint64_t>
+feed(Sketch &sketch, const std::vector<std::uint64_t> &stream)
+{
+    std::map<std::uint64_t, std::uint64_t> exact;
+    for (std::uint64_t key : stream) {
+        sketch.offer(key);
+        ++exact[key];
+    }
+    return exact;
+}
+
+/** The classical guarantee: count >= true >= count - error. */
+void
+expectBounds(const Sketch &sketch,
+             const std::map<std::uint64_t, std::uint64_t> &exact)
+{
+    for (const auto &entry : sketch.entries()) {
+        auto found = exact.find(entry.key);
+        std::uint64_t truth =
+            found == exact.end() ? 0 : found->second;
+        EXPECT_GE(entry.count, truth) << "key=" << entry.key;
+        EXPECT_LE(entry.count - entry.error, truth)
+            << "key=" << entry.key;
+    }
+}
+
+TEST(SpaceSaving, ExactBelowCapacity)
+{
+    Sketch sketch(8);
+    std::map<std::uint64_t, std::uint64_t> exact = feed(
+        sketch, {5, 3, 5, 9, 3, 5, 1, 9, 5, 1, 3, 5});
+
+    EXPECT_FALSE(sketch.everEvicted());
+    EXPECT_EQ(sketch.size(), exact.size());
+    EXPECT_EQ(sketch.streamWeight(), 12u);
+
+    auto entries = sketch.entries();
+    ASSERT_EQ(entries.size(), 4u);
+    for (const auto &entry : entries) {
+        EXPECT_EQ(entry.error, 0u);
+        EXPECT_EQ(entry.count, exact.at(entry.key));
+    }
+    // Sorted heaviest first, key-ascending among ties.
+    EXPECT_EQ(entries[0].key, 5u); // 5 misses
+    EXPECT_EQ(entries[1].key, 3u); // 3
+    EXPECT_EQ(entries[2].key, 1u); // 2 — ties break toward small key
+    EXPECT_EQ(entries[3].key, 9u); // 2
+    EXPECT_EQ(entries[2].count, entries[3].count);
+    EXPECT_LT(entries[2].key, entries[3].key);
+}
+
+TEST(SpaceSaving, WeightedOffersCountAsTheirWeight)
+{
+    Sketch sketch(4);
+    sketch.offer(1, 10);
+    sketch.offer(2, 3);
+    sketch.offer(1, 5);
+    EXPECT_EQ(sketch.streamWeight(), 18u);
+    auto entries = sketch.entries();
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].key, 1u);
+    EXPECT_EQ(entries[0].count, 15u);
+    EXPECT_EQ(entries[1].count, 3u);
+}
+
+TEST(SpaceSaving, HeavySkewKeepsTheHitters)
+{
+    // Zipf-ish: key k appears roughly 2^(16-k) times, far more keys
+    // than capacity. The heavy head must survive the churn exactly
+    // at the top of the table.
+    Sketch sketch(8);
+    std::vector<std::uint64_t> stream;
+    for (std::uint64_t key = 0; key < 64; ++key) {
+        std::uint64_t repeats = 1ull << (key < 16 ? 16 - key : 0);
+        for (std::uint64_t i = 0; i < repeats; ++i)
+            stream.push_back(key);
+    }
+    // Interleave deterministically so the tail churns the table
+    // while the head keeps arriving.
+    Rng rng(0x70cc);
+    rng.shuffle(stream);
+    auto exact = feed(sketch, stream);
+
+    EXPECT_TRUE(sketch.everEvicted());
+    expectBounds(sketch, exact);
+    auto entries = sketch.entries();
+    ASSERT_EQ(entries.size(), 8u);
+    // Any key with true count > N/k must be present; keys 0 and 1
+    // (2^16 and 2^15 of the ~2^17 stream) clear that threshold.
+    std::uint64_t threshold =
+        sketch.streamWeight() / sketch.capacity();
+    for (std::uint64_t key = 0; key < 2; ++key) {
+        ASSERT_GT(exact.at(key), threshold);
+        bool present = false;
+        for (const auto &entry : entries)
+            present = present || entry.key == key;
+        EXPECT_TRUE(present) << "heavy key " << key << " evicted";
+    }
+    EXPECT_EQ(entries[0].key, 0u);
+}
+
+TEST(SpaceSaving, UniformStreamStaysWithinBounds)
+{
+    // No true heavy hitter: every reported count may be inflated but
+    // the bound must still hold, and minCount() bounds the damage.
+    Sketch sketch(16);
+    std::vector<std::uint64_t> stream;
+    Rng rng(0xdead);
+    for (int i = 0; i < 20000; ++i)
+        stream.push_back(rng.nextBelow(512));
+    auto exact = feed(sketch, stream);
+
+    EXPECT_TRUE(sketch.everEvicted());
+    expectBounds(sketch, exact);
+    for (const auto &entry : sketch.entries())
+        EXPECT_LE(entry.error, sketch.minCount());
+}
+
+TEST(SpaceSaving, ChurnAdversary)
+{
+    // Phase 1 fills the table with keys that never return; phase 2
+    // streams fresh singletons (maximum eviction churn); phase 3's
+    // late heavy hitter must still rise to the top.
+    Sketch sketch(4);
+    std::map<std::uint64_t, std::uint64_t> exact;
+    for (std::uint64_t key = 0; key < 4; ++key) {
+        sketch.offer(key);
+        ++exact[key];
+    }
+    for (std::uint64_t key = 100; key < 400; ++key) {
+        sketch.offer(key);
+        ++exact[key];
+    }
+    for (int i = 0; i < 500; ++i) {
+        sketch.offer(7777);
+        ++exact[7777];
+    }
+    expectBounds(sketch, exact);
+    auto entries = sketch.entries();
+    ASSERT_FALSE(entries.empty());
+    EXPECT_EQ(entries[0].key, 7777u);
+    EXPECT_GE(entries[0].count, 500u);
+    EXPECT_LE(entries[0].count - entries[0].error, 500u);
+}
+
+TEST(SpaceSaving, MergeEqualsSingleStreamWhenExact)
+{
+    // Below capacity on both sides, merge must be the exact union.
+    Sketch left(16), right(16), whole(16);
+    std::vector<std::uint64_t> a = {1, 2, 1, 3, 1, 2};
+    std::vector<std::uint64_t> b = {2, 4, 4, 2, 1};
+    feed(left, a);
+    feed(right, b);
+    std::vector<std::uint64_t> ab = a;
+    ab.insert(ab.end(), b.begin(), b.end());
+    auto exact = feed(whole, ab);
+
+    left.merge(right);
+    EXPECT_FALSE(left.everEvicted());
+    EXPECT_EQ(left.streamWeight(), whole.streamWeight());
+    auto merged = left.entries();
+    auto direct = whole.entries();
+    ASSERT_EQ(merged.size(), direct.size());
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+        EXPECT_EQ(merged[i].key, direct[i].key);
+        EXPECT_EQ(merged[i].count, direct[i].count);
+        EXPECT_EQ(merged[i].error, direct[i].error);
+        EXPECT_EQ(merged[i].count, exact.at(merged[i].key));
+    }
+}
+
+TEST(SpaceSaving, MergePreservesBoundsUnderEviction)
+{
+    // Split one big skewed stream across four shards, merge in shard
+    // order, and check the classical bound against the exact counts
+    // of the whole stream — the fold the sweep performs per scheme.
+    Rng rng(0xfeed);
+    std::vector<std::uint64_t> stream;
+    for (int i = 0; i < 40000; ++i) {
+        // Skew: four dominant keys (~15% each), long random tail.
+        std::uint64_t roll = rng.nextBelow(100);
+        stream.push_back(roll < 60 ? roll % 4
+                                   : 1000 + rng.nextBelow(2000));
+    }
+    std::map<std::uint64_t, std::uint64_t> exact;
+    for (std::uint64_t key : stream)
+        ++exact[key];
+
+    std::vector<Sketch> shards(4, Sketch(12));
+    for (std::size_t i = 0; i < stream.size(); ++i)
+        shards[i % 4].offer(stream[i]);
+
+    Sketch folded(12);
+    for (const Sketch &shard : shards)
+        folded.merge(shard);
+    EXPECT_EQ(folded.streamWeight(), stream.size());
+    EXPECT_TRUE(folded.everEvicted());
+    expectBounds(folded, exact);
+    // The dominant keys (0..3 carry ~60% of the stream) survive.
+    auto entries = folded.entries();
+    std::uint64_t threshold =
+        folded.streamWeight() / folded.capacity();
+    for (std::uint64_t key = 0; key < 4; ++key) {
+        ASSERT_GT(exact.at(key), threshold);
+        bool present = false;
+        for (const auto &entry : entries)
+            present = present || entry.key == key;
+        EXPECT_TRUE(present) << "dominant key " << key;
+    }
+}
+
+TEST(SpaceSaving, MergeIsDeterministicInFoldOrder)
+{
+    // Same shards, same fold order, twice: identical tables entry
+    // for entry — the property the serial-vs-parallel manifest
+    // comparison rests on (cells always fold in grid index order).
+    Rng rng(0xabcd);
+    std::vector<Sketch> shards(8, Sketch(6));
+    for (int i = 0; i < 10000; ++i)
+        shards[static_cast<std::size_t>(i) % 8].offer(
+            rng.nextBelow(200));
+
+    auto foldAll = [&shards]() {
+        Sketch folded(6);
+        for (const Sketch &shard : shards)
+            folded.merge(shard);
+        return folded.entries();
+    };
+    auto first = foldAll();
+    auto second = foldAll();
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].key, second[i].key);
+        EXPECT_EQ(first[i].count, second[i].count);
+        EXPECT_EQ(first[i].error, second[i].error);
+    }
+}
+
+TEST(SpaceSaving, MergeTruncationMarksEvicted)
+{
+    // Both sides exact, but the union overflows capacity: the merge
+    // must truncate to the heaviest K and stop claiming exactness.
+    Sketch left(4), right(4);
+    feed(left, {1, 1, 1, 2, 2, 3, 4});
+    feed(right, {5, 5, 6, 7});
+    EXPECT_FALSE(left.everEvicted());
+    EXPECT_FALSE(right.everEvicted());
+    left.merge(right);
+    EXPECT_TRUE(left.everEvicted());
+    EXPECT_EQ(left.size(), 4u);
+    EXPECT_EQ(left.streamWeight(), 11u);
+    EXPECT_EQ(left.entries()[0].key, 1u);
+}
+
+} // namespace
+} // namespace tl

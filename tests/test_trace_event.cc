@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the Chrome trace-event writer (util/trace_event.hh) and
+ * the sweep-timeline renderer (sim/manifest.hh's sweepTraceEvents /
+ * writeTraceFile): the emitted document must carry the structural
+ * subset Perfetto requires — a traceEvents list whose members have
+ * the right ph / pid / tid / ts / dur shapes — and a real sweep's
+ * profile must render to named worker lanes with one span per
+ * executed cell. tools/validate_trace.py enforces the same contract
+ * on CI artifacts; this test pins it at the writer level.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/manifest.hh"
+#include "sim/sweep.hh"
+#include "util/trace_event.hh"
+
+namespace tl
+{
+namespace
+{
+
+TEST(TraceEvent, CompleteEventCarriesTheFullShape)
+{
+    TraceEventWriter writer;
+    Json args = Json::object();
+    args.set("column", Json::str("GAg"));
+    writer.duration("GAg / gcc", "cell",
+                    TraceEventWriter::workerTid(2), 100, 250,
+                    std::move(args));
+    ASSERT_EQ(writer.size(), 1u);
+    std::string text = writer.toJson().dump(0);
+    EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(text.find("\"name\": \"GAg / gcc\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"cat\": \"cell\""), std::string::npos);
+    EXPECT_NE(text.find("\"pid\": 1"), std::string::npos);
+    EXPECT_NE(text.find("\"tid\": 3"), std::string::npos);
+    EXPECT_NE(text.find("\"ts\": 100"), std::string::npos);
+    EXPECT_NE(text.find("\"dur\": 250"), std::string::npos);
+    EXPECT_NE(text.find("\"column\": \"GAg\""), std::string::npos);
+    EXPECT_NE(text.find("\"displayTimeUnit\": \"ms\""),
+              std::string::npos);
+}
+
+TEST(TraceEvent, InstantEventsAreThreadScoped)
+{
+    TraceEventWriter writer;
+    writer.instant("retry.gcc", "supervisor",
+                   TraceEventWriter::processTid, 42);
+    std::string text = writer.toJson().dump(0);
+    EXPECT_NE(text.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(text.find("\"s\": \"t\""), std::string::npos);
+    EXPECT_NE(text.find("\"ts\": 42"), std::string::npos);
+    // A null args still serializes as an object, not JSON null.
+    EXPECT_NE(text.find("\"args\": {}"), std::string::npos);
+}
+
+TEST(TraceEvent, ThreadNamesAreMetadataRecords)
+{
+    TraceEventWriter writer;
+    writer.threadName(TraceEventWriter::workerTid(0), "worker 0");
+    std::string text = writer.toJson().dump(0);
+    EXPECT_NE(text.find("\"ph\": \"M\""), std::string::npos);
+    EXPECT_NE(text.find("\"name\": \"thread_name\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"worker 0\""), std::string::npos);
+}
+
+TEST(TraceEvent, SweepProfileRendersOneSpanPerExecutedCell)
+{
+    RunOptions options;
+    options.threads = 2;
+    options.branchBudget = 1000;
+    SweepRunner runner(options);
+    const std::vector<SweepSpec> columns = {
+        sweepSpec("AlwaysTaken"),
+        sweepSpec("GAg(HR(1,,4-sr),1xPHT(16,A2))"),
+    };
+    runner.run(columns);
+    const SweepProfile &profile = runner.lastProfile();
+
+    TraceEventWriter writer;
+    sweepTraceEvents(profile, nullptr, writer);
+    std::string text = writer.toJson().dump(0);
+
+    // One "sweep" umbrella span plus one span per non-skipped cell,
+    // and a thread_name record for the sweep lane and each worker
+    // lane that ran cells.
+    std::size_t ran = 0;
+    for (const CellProfile &cell : profile.cells)
+        if (!cell.skipped)
+            ++ran;
+    std::size_t spans = 0, names = 0;
+    for (std::size_t pos = 0;
+         (pos = text.find("\"ph\": \"X\"", pos)) != std::string::npos;
+         ++pos)
+        ++spans;
+    for (std::size_t pos = 0;
+         (pos = text.find("\"thread_name\"", pos)) !=
+         std::string::npos;
+         ++pos)
+        ++names;
+    EXPECT_EQ(spans, ran + 1);
+    EXPECT_GE(names, 2u);
+    EXPECT_NE(text.find("\"sweep\""), std::string::npos);
+    EXPECT_NE(text.find("AlwaysTaken / "), std::string::npos);
+}
+
+TEST(TraceEvent, WriteFileRoundTripsTheDocument)
+{
+    TraceEventWriter writer;
+    writer.threadName(TraceEventWriter::processTid, "sweep");
+    writer.duration("span", "cell", 1, 0, 10);
+    std::string path = std::string(::testing::TempDir()) +
+                       "TRACE_unit.json";
+    Status wrote = writer.writeFile(path);
+    ASSERT_TRUE(wrote.ok()) << wrote.message();
+
+    std::ifstream in(path);
+    std::stringstream content;
+    content << in.rdbuf();
+    EXPECT_EQ(content.str(), writer.toJson().dump(2) + "\n");
+    std::remove(path.c_str());
+}
+
+TEST(TraceEvent, WriteTraceFileNamesTheArtifact)
+{
+    RunOptions options;
+    options.branchBudget = 500;
+    SweepRunner runner(options);
+    runner.run({sweepSpec("AlwaysTaken")});
+
+    std::string dir = ::testing::TempDir();
+    Status wrote =
+        writeTraceFile(dir, "unit", runner.lastProfile());
+    ASSERT_TRUE(wrote.ok()) << wrote.message();
+    std::string path = dir + "/TRACE_unit.json";
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good());
+    std::stringstream content;
+    content << in.rdbuf();
+    EXPECT_NE(content.str().find("\"traceEvents\""),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace tl

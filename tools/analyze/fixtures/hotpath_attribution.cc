@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fixture for test_hotpath_gate.py: a lane that smuggles the
+ * misprediction-provenance layer into the measured loop. The three
+ * extern declarations mirror the real attribution surface —
+ * tl::MissAttributor (sim/attribution.hh), tl::SpaceSaving
+ * (util/topk.hh) and the tl::detail::attributionObserve trampoline
+ * (sim/engine.hh) — without including the headers, so the calls
+ * survive -O3 as relocations to the genuinely mangled names the
+ * gate's "attribution" category must recognise.
+ *
+ * In the real engine this cannot happen: the `if constexpr
+ * (std::is_base_of_v<BranchPredictor, P>)` guard keeps attribution
+ * out of the FastTwoLevel lanes, and simulateDispatch() routes
+ * attributed runs to the virtual tier. This fixture is what the
+ * object code would look like if that guard regressed.
+ */
+
+#include <cstdint>
+
+namespace tl
+{
+
+template <typename Key> class SpaceSaving
+{
+  public:
+    void offer(Key key, std::uint64_t weight);
+};
+
+class MissAttributor
+{
+  public:
+    void observe(std::uint64_t pc, bool predicted, bool taken);
+};
+
+namespace detail
+{
+void attributionObserve(MissAttributor &attribution, std::uint64_t pc,
+                        bool predicted, bool taken);
+} // namespace detail
+
+} // namespace tl
+
+namespace tlfixture
+{
+
+std::uint64_t
+runFastTwoLevelAttributedLane(const std::uint8_t *taken,
+                              std::uint64_t n,
+                              tl::MissAttributor &attribution,
+                              tl::SpaceSaving<std::uint64_t> &sketch)
+{
+    std::uint64_t history = 0;
+    std::uint64_t correct = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const bool predict = (history & 1) != 0;
+        const bool outcome = taken[i] != 0;
+        if (predict == outcome)
+            ++correct;
+        else
+            sketch.offer(i, 1);
+        attribution.observe(i, predict, outcome);
+        tl::detail::attributionObserve(attribution, i, predict,
+                                       outcome);
+        history = (history << 1) | (outcome ? 1 : 0);
+    }
+    return correct;
+}
+
+} // namespace tlfixture

@@ -28,6 +28,12 @@ Banned categories (regexes over the *mangled* relocation target):
   rtti         __dynamic_cast / typeinfo: the one sanctioned
                dynamic_cast per run lives in simulateDispatch(), which
                is deliberately NOT a hot function.
+  attribution  MissAttributor / SpaceSaving / attributionObserve: the
+               misprediction-provenance layer (sim/attribution.hh) is
+               generic-tier-only by design — simulateDispatch() falls
+               back to the virtual tier when it is requested. Any of
+               its symbols inside a lane means the `if constexpr`
+               guard in engine.hh stopped holding.
   indirect     `call *...` / `jmp *...` instructions: virtual or
                function-pointer dispatch inside a lane defeats the
                whole two-tier devirtualization design. Not waivable by
@@ -59,6 +65,11 @@ BANNED = [
                 r"_ZSt\d+__throw_)")),
     ("rtti",
      re.compile(r"^(__dynamic_cast$|_ZTI|_ZTV|_ZTS)")),
+    # Length-prefixed mangled forms, so e.g. a hypothetical
+    # "MissAttributorish" class would not false-positive.
+    ("attribution",
+     re.compile(r"^_Z.*(?:14MissAttributor|11SpaceSavingI|"
+                r"18attributionObserve)")),
 ]
 
 # Symbol-level waivers: mangled name -> reason. Every entry documents a

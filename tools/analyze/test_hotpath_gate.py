@@ -50,6 +50,8 @@ class HotpathGateTest(unittest.TestCase):
             FIXTURES / "hotpath_clean.cc", cls._tmp.name)
         cls.violation_obj = compile_fixture(
             FIXTURES / "hotpath_violation.cc", cls._tmp.name)
+        cls.attribution_obj = compile_fixture(
+            FIXTURES / "hotpath_attribution.cc", cls._tmp.name)
 
     @classmethod
     def tearDownClass(cls):
@@ -79,6 +81,22 @@ class HotpathGateTest(unittest.TestCase):
         # Every violation names the lane, so CI output is actionable.
         for violation in data["violations"]:
             self.assertIn("runFastTwoLevelViolatingLane",
+                          violation["function"])
+
+    def test_attribution_in_lane_trips_the_gate(self):
+        report = Path(self._tmp.name) / "attribution.json"
+        proc = run_gate(self.attribution_obj, "--report", report)
+        self.assertEqual(proc.returncode, 1, proc.stderr + proc.stdout)
+        data = json.loads(report.read_text())
+        self.assertFalse(data["ok"])
+        self.assertEqual({v["category"] for v in data["violations"]},
+                         {"attribution"})
+        symbols = " ".join(v["symbol"] for v in data["violations"])
+        self.assertIn("MissAttributor", symbols)
+        self.assertIn("SpaceSaving", symbols)
+        self.assertIn("attributionObserve", symbols)
+        for violation in data["violations"]:
+            self.assertIn("runFastTwoLevelAttributedLane",
                           violation["function"])
 
     def test_empty_selection_is_an_error_not_a_pass(self):

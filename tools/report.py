@@ -15,17 +15,29 @@ Reads a manifest produced by sim/manifest.hh and prints:
     cells" table naming every cell that timed out or failed and why.
 
 Usage: report.py MANIFEST.json
+       report.py --h2p MANIFEST.json
        report.py --perf-trajectory [TRAJECTORY.json]
 
-The second form renders the engine's per-PR headline throughput
-history (bench/baselines/PERF_TRAJECTORY.json by default): one row
-per entry with Mpred/s, ns/branch, the delta against the previous
-entry, and a proportional bar — the longitudinal answer to "did the
-engine get faster", where the manifest form answers it for one run.
+The --h2p form renders an attributed manifest's (schemaVersion 3)
+misprediction-provenance section: per scheme the miss taxonomy (cold /
+interference / hysteresis shares) and the concentration curve (what
+share of misses the top 1% / 5% / 10% of static branches carry), then
+the cross-scheme hard-to-predict table — the top-K branches by summed
+misses, with how many schemes each shows up under, answering whether
+the same few branches are hard everywhere or each scheme manufactures
+its own misses.
+
+The --perf-trajectory form renders the engine's per-PR headline
+throughput history (bench/baselines/PERF_TRAJECTORY.json by default):
+one row per entry with Mpred/s, ns/branch, the delta against the
+previous entry, and a proportional bar — the longitudinal answer to
+"did the engine get faster", where the manifest form answers it for
+one run.
 
 Exit:  0 on success; 1 when the file is unreadable, not a
-       run-manifest / perf-trajectory, or a stored gmean disagrees
-       with the recomputed value.
+       run-manifest / perf-trajectory, lacks the section a mode
+       requires, or a stored gmean disagrees with the recomputed
+       value.
 """
 
 import json
@@ -213,6 +225,100 @@ def heading(title):
     return f"\n== {title} ==\n"
 
 
+def taxonomy_table(schemes):
+    """Per-scheme miss taxonomy + concentration curve."""
+    rows = []
+    for scheme in schemes:
+        taxonomy = scheme.get("taxonomy", {})
+        misses = scheme.get("misses", 0)
+        branches = scheme.get("branches", 0)
+
+        def share(count):
+            return f"{count / misses:.1%}" if misses else "-"
+
+        coverage = {f"{p['fraction']:g}": p["missShare"]
+                    for p in scheme.get("coverage", [])}
+
+        def cov(fraction):
+            value = coverage.get(fraction)
+            return f"{value:.1%}" if value is not None else "-"
+
+        sketch = ("exact" if scheme.get("sketchExact")
+                  else f"±{scheme.get('sketchMinCount', 0):,}")
+        rows.append([
+            scheme.get("scheme", "?"),
+            f"{misses:,}",
+            f"{misses / branches:.2%}" if branches else "-",
+            share(taxonomy.get("cold", 0)),
+            share(taxonomy.get("interference", 0)),
+            share(taxonomy.get("hysteresis", 0)),
+            cov("0.01"), cov("0.05"), cov("0.1"),
+            sketch,
+        ])
+    return render_table(
+        ["scheme", "misses", "rate", "cold", "interf", "hyster",
+         "top1%", "top5%", "top10%", "sketch"], rows)
+
+
+def h2p_table(schemes, top=10):
+    """Cross-scheme concentration: which branches are hard everywhere.
+
+    Ranks PCs by misses summed over every scheme's top-K table and
+    shows how many schemes list each one — a PC near the top with
+    schemes ~= all is a structurally hard branch; one listed by a
+    single scheme is that scheme's own pathology.
+    """
+    per_pc = {}  # pc -> {"misses": total, "schemes": count}
+    total_misses = 0
+    for scheme in schemes:
+        total_misses += scheme.get("misses", 0)
+        for entry in scheme.get("topPcs", []):
+            slot = per_pc.setdefault(entry["pc"],
+                                     {"misses": 0, "schemes": 0})
+            slot["misses"] += entry["misses"]
+            slot["schemes"] += 1
+    ranked = sorted(per_pc.items(),
+                    key=lambda item: (-item[1]["misses"], item[0]))
+    rows = []
+    for pc, slot in ranked[:top]:
+        share = (f"{slot['misses'] / total_misses:.1%}"
+                 if total_misses else "-")
+        rows.append([f"0x{pc:x}",
+                     f"{slot['schemes']}/{len(schemes)}",
+                     f"{slot['misses']:,}",
+                     share])
+    return render_table(["pc", "schemes", "misses", "share"], rows)
+
+
+def h2p_summary(manifest, path):
+    """Render the attribution section; 1 when there is none."""
+    attribution = manifest.get("attribution")
+    if not attribution:
+        print(f"{path}: no attribution section — rerun the bench "
+              f"with provenance enabled (schemaVersion 3)",
+              file=sys.stderr)
+        return 1
+    schemes = attribution.get("schemes", [])
+    print(f"run:   {manifest.get('name')}")
+    print(f"h2p:   top-{attribution.get('topK')} per scheme, "
+          f"{len(schemes)} scheme(s), "
+          f"{'complete' if attribution.get('complete') else 'PARTIAL'}")
+    if schemes:
+        print(heading("miss taxonomy and concentration "
+                      "(share of each scheme's misses)"))
+        print(taxonomy_table(schemes))
+        print(heading("hard-to-predict branches across schemes "
+                      "(summed top-K misses)"))
+        print(h2p_table(schemes))
+        if all(s.get("sketchExact") for s in schemes):
+            note = "every scheme exact (sketch never evicted)"
+        else:
+            note = ("some schemes evicted — counts are upper "
+                    "bounds, error bounded by the sketch minimum")
+        print(f"\nsketch: {note}")
+    return 0
+
+
 DEFAULT_TRAJECTORY = "bench/baselines/PERF_TRAJECTORY.json"
 
 
@@ -269,6 +375,9 @@ def main(argv):
             return 1
         return perf_trajectory(
             argv[2] if len(argv) == 3 else DEFAULT_TRAJECTORY)
+    h2p = len(argv) >= 2 and argv[1] == "--h2p"
+    if h2p:
+        argv = argv[:1] + argv[2:]
     if len(argv) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 1
@@ -281,6 +390,8 @@ def main(argv):
     if manifest.get("kind") != "run-manifest":
         print(f"{argv[1]}: not a run-manifest", file=sys.stderr)
         return 1
+    if h2p:
+        return h2p_summary(manifest, argv[1])
 
     git = manifest.get("git", {})
     dirty = " (dirty)" if git.get("dirty") else ""

@@ -2,7 +2,7 @@
 """Schema validation for run manifests (sim/manifest.hh).
 
 Checks that a RUN_*.json / BENCH_*.json file is a well-formed
-"run-manifest" document (schemaVersion 1 or 2): required envelope
+"run-manifest" document (schemaVersion 1, 2 or 3): required envelope
 fields, typed options, per-cell result records whose accuracy agrees
 with their raw counters, gmean rows that are recomputable from the
 cells alone, and structurally sound profile / metrics sections.
@@ -11,6 +11,15 @@ sim/supervisor.hh): per-cell state/attempts/wallMs dispositions,
 restored-cell counts, and the degraded flag; its cell states must be
 drawn from the supervisor's vocabulary and failed cells must carry an
 error string.
+Version 3 adds a mandatory "attribution" section (sim/attribution.hh):
+per-scheme top-K miss PCs with Space-Saving error bounds, a miss
+taxonomy (cold / interference / hysteresis / unclassified) that must
+sum to the scheme's misses, and a coverage curve. When the section is
+`complete` (every contributing cell brought a snapshot — false after
+a checkpoint restore, whose journal carries results only) the
+per-scheme branch and miss totals are cross-checked against the
+result cells; supervision remains optional at version 3 (a plain
+SweepRunner can attribute without a supervisor).
 
 Usage: validate_manifest.py MANIFEST.json [MANIFEST.json ...]
 Exit:  0 when every file validates, 1 otherwise.
@@ -20,7 +29,7 @@ import json
 import math
 import sys
 
-SCHEMA_VERSIONS = (1, 2)
+SCHEMA_VERSIONS = (1, 2, 3)
 CELL_STATES = ("ok", "skipped", "timed-out", "failed")
 
 
@@ -59,11 +68,12 @@ def check_options(options):
                        ("switchOnTrap", bool), ("instrument", bool)):
         expect(key in options, f"options.{key}: missing")
         expect_type(options[key], types, f"options.{key}")
-    # Supervision knobs are optional (absent in pre-supervisor
+    # Supervision and attribution knobs are optional (absent in older
     # manifests) but typed when present.
     for key, types in (("cellDeadline", (int, float)),
                        ("maxCellAttempts", int),
-                       ("retryBackoffSeconds", (int, float))):
+                       ("retryBackoffSeconds", (int, float)),
+                       ("attribution", bool)):
         if key in options:
             expect_type(options[key], types, f"options.{key}")
 
@@ -198,6 +208,119 @@ def check_metrics(metrics):
             expect_number(value.get(key), f"{where}.{key}")
 
 
+def check_attribution_scheme(scheme, results, complete, top_k, where):
+    expect_type(scheme, dict, where)
+    expect_type(scheme.get("scheme"), str, f"{where}.scheme")
+    for key in ("cells", "missingCells", "branches", "misses",
+                "staticBranches", "sketchMinCount"):
+        value = scheme.get(key)
+        expect(isinstance(value, int) and
+               not isinstance(value, bool) and value >= 0,
+               f"{where}.{key}: not a non-negative int")
+    expect_type(scheme.get("sketchExact"), bool,
+                f"{where}.sketchExact")
+    expect(scheme["misses"] <= scheme["branches"],
+           f"{where}: misses {scheme['misses']} > branches "
+           f"{scheme['branches']}")
+
+    taxonomy = scheme.get("taxonomy")
+    expect_type(taxonomy, dict, f"{where}.taxonomy")
+    total = 0
+    for key in ("cold", "interference", "hysteresis", "unclassified"):
+        value = taxonomy.get(key)
+        expect(isinstance(value, int) and
+               not isinstance(value, bool) and value >= 0,
+               f"{where}.taxonomy.{key}: not a non-negative int")
+        total += value
+    expect(total == scheme["misses"],
+           f"{where}.taxonomy: sums to {total}, misses "
+           f"{scheme['misses']}")
+
+    top = scheme.get("topPcs")
+    expect_type(top, list, f"{where}.topPcs")
+    expect(len(top) <= top_k,
+           f"{where}.topPcs: {len(top)} entries exceed topK {top_k}")
+    previous = None
+    exact_sum = 0
+    for ei, entry in enumerate(top):
+        ewhere = f"{where}.topPcs[{ei}]"
+        expect_type(entry, dict, ewhere)
+        for key in ("pc", "misses", "error"):
+            value = entry.get(key)
+            expect(isinstance(value, int) and
+                   not isinstance(value, bool) and value >= 0,
+                   f"{ewhere}.{key}: not a non-negative int")
+        expect_type(entry.get("pcHex"), str, f"{ewhere}.pcHex")
+        expect(entry["error"] <= entry["misses"],
+               f"{ewhere}: error bound exceeds the count")
+        if scheme["sketchExact"]:
+            expect(entry["error"] == 0,
+                   f"{ewhere}: exact sketch with non-zero error")
+        key_now = (-entry["misses"], entry["pc"])
+        expect(previous is None or previous <= key_now,
+               f"{ewhere}: not sorted by (misses desc, pc asc)")
+        previous = key_now
+        exact_sum += entry["misses"]
+    if scheme["sketchExact"]:
+        # Never-evicted sketch: every missing PC is in the table, so
+        # the per-PC counts partition the miss total exactly.
+        expect(exact_sum == scheme["misses"],
+               f"{where}.topPcs: exact sketch sums to {exact_sum}, "
+               f"misses {scheme['misses']}")
+
+    coverage = scheme.get("coverage")
+    expect_type(coverage, list, f"{where}.coverage")
+    for pi, point in enumerate(coverage):
+        pwhere = f"{where}.coverage[{pi}]"
+        expect_type(point, dict, pwhere)
+        expect_number(point.get("fraction"), f"{pwhere}.fraction")
+        expect(isinstance(point.get("branches"), int),
+               f"{pwhere}.branches: not an int")
+        expect_number(point.get("missShare"), f"{pwhere}.missShare")
+        expect(point["missShare"] >= 0,
+               f"{pwhere}.missShare: negative")
+        if scheme["sketchExact"]:
+            expect(point["missShare"] <= 1 + 1e-9,
+                   f"{pwhere}.missShare: exceeds 1 on an exact "
+                   f"sketch")
+
+    # Cross-check against the result cells: attribution observes the
+    # same measured phase the result counters count, so when every
+    # cell contributed a snapshot the totals must agree exactly.
+    if complete and scheme["missingCells"] == 0:
+        columns = [r for r in results
+                   if r.get("scheme") == scheme["scheme"]]
+        expect(columns,
+               f"{where}: scheme {scheme['scheme']!r} has no result "
+               f"column")
+        cells = columns[0].get("cells", [])
+        branches = sum(c["conditionalBranches"] for c in cells)
+        misses = sum(c["conditionalBranches"] - c["correct"]
+                     for c in cells)
+        expect(scheme["branches"] == branches,
+               f"{where}.branches: {scheme['branches']} != result "
+               f"cells' {branches}")
+        expect(scheme["misses"] == misses,
+               f"{where}.misses: {scheme['misses']} != result "
+               f"cells' {misses}")
+
+
+def check_attribution(attribution, results):
+    expect_type(attribution, dict, "attribution")
+    top_k = attribution.get("topK")
+    expect(isinstance(top_k, int) and not isinstance(top_k, bool)
+           and top_k >= 1,
+           "attribution.topK: not a positive int")
+    expect_type(attribution.get("complete"), bool,
+                "attribution.complete")
+    schemes = attribution.get("schemes")
+    expect_type(schemes, list, "attribution.schemes")
+    for si, scheme in enumerate(schemes):
+        check_attribution_scheme(scheme, results,
+                                 attribution["complete"], top_k,
+                                 f"attribution.schemes[{si}]")
+
+
 def validate(manifest):
     expect_type(manifest, dict, "manifest")
     expect(manifest.get("kind") == "run-manifest",
@@ -228,13 +351,26 @@ def validate(manifest):
     check_metrics(manifest.get("metrics"))
 
     supervision = manifest.get("supervision")
-    if version >= 2:
+    if version == 2:
         expect(supervision is not None,
                "supervision: missing (required at schemaVersion 2)")
-        check_supervision(supervision)
+    if version >= 2:
+        # Optional at version 3: a plain SweepRunner can attribute
+        # without a supervisor.
+        if supervision is not None:
+            check_supervision(supervision)
     else:
         expect(supervision is None,
                "supervision: present but schemaVersion is 1")
+
+    attribution = manifest.get("attribution")
+    if version >= 3:
+        expect(attribution is not None,
+               "attribution: missing (required at schemaVersion 3)")
+        check_attribution(attribution, results)
+    else:
+        expect(attribution is None,
+               f"attribution: present but schemaVersion is {version}")
 
     notes = manifest.get("notes")
     if notes is not None:

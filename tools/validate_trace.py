@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Structurally validate TRACE_*.json Chrome trace-event files.
+
+The sweep timelines (util/trace_event.hh) claim to be loadable by the
+Perfetto UI / chrome://tracing. This validator enforces the subset of
+the trace-event format those viewers require, so a malformed trace
+fails CI instead of failing silently in a browser nobody opened:
+
+  * top-level JSON object with a non-empty "traceEvents" list;
+  * every event carries ph / name / pid / tid with the right types,
+    and ph is one the writer emits ("X" complete, "i" instant,
+    "M" metadata);
+  * "X" events carry non-negative integer ts and dur plus a category;
+  * "i" events carry ts, a category, and thread scope ("s": "t");
+  * "M" events are "thread_name" records naming a lane via args.name;
+  * at least one span and one thread-name record exist (a trace with
+    no lanes or no spans renders as an empty screen).
+
+Usage: validate_trace.py TRACE.json [TRACE.json ...]
+Exit:  0 when every file validates; 1 otherwise.
+"""
+
+import json
+import sys
+
+PHASES = {"X", "i", "M"}
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return False
+
+
+def check_common(path, index, event):
+    if not isinstance(event, dict):
+        return fail(path, f"event {index}: expected object")
+    for key, kind in (("ph", str), ("name", str)):
+        if not isinstance(event.get(key), kind) or not event.get(key):
+            return fail(path,
+                        f"event {index}: missing/empty '{key}'")
+    for key in ("pid", "tid"):
+        value = event.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or \
+                value < 0:
+            return fail(path, f"event {index}: '{key}' must be a "
+                        f"non-negative integer, got {value!r}")
+    if event["ph"] not in PHASES:
+        return fail(path, f"event {index}: unknown phase "
+                    f"{event['ph']!r} (writer emits {sorted(PHASES)})")
+    return True
+
+
+def check_timestamped(path, index, event, keys):
+    for key in keys:
+        value = event.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or \
+                value < 0:
+            return fail(path, f"event {index}: '{key}' must be a "
+                        f"non-negative integer, got {value!r}")
+    if not isinstance(event.get("cat"), str) or not event["cat"]:
+        return fail(path, f"event {index}: missing category")
+    return True
+
+
+def validate(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(path, str(error))
+    if not isinstance(trace, dict):
+        return fail(path, "top level must be an object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail(path, "'traceEvents' must be a non-empty list")
+
+    ok = True
+    spans = names = 0
+    for index, event in enumerate(events):
+        if not check_common(path, index, event):
+            ok = False
+            continue
+        phase = event["ph"]
+        if phase == "X":
+            spans += 1
+            ok = check_timestamped(path, index, event,
+                                   ("ts", "dur")) and ok
+        elif phase == "i":
+            ok = check_timestamped(path, index, event, ("ts",)) and ok
+            if event.get("s") != "t":
+                ok = fail(path, f"event {index}: instant events must "
+                          f"be thread-scoped ('s': 't')")
+        else:  # "M"
+            if event["name"] != "thread_name":
+                ok = fail(path, f"event {index}: unexpected metadata "
+                          f"record {event['name']!r}")
+            elif not isinstance(event.get("args", {}).get("name"),
+                                str):
+                ok = fail(path, f"event {index}: thread_name needs "
+                          f"args.name")
+            else:
+                names += 1
+    if spans == 0:
+        ok = fail(path, "no complete ('X') events — nothing to render")
+    if names == 0:
+        ok = fail(path, "no thread_name records — unlabelled lanes")
+    if ok:
+        print(f"{path}: OK ({len(events)} events, {spans} spans, "
+              f"{names} named lanes)")
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    results = [validate(path) for path in argv[1:]]
+    return 0 if all(results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
