@@ -48,9 +48,20 @@ main(int argc, char **argv)
     using namespace tl;
 
     bool resume = false;
+    unsigned threads = ThreadPool::hardwareThreads();
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--resume") == 0)
+        if (std::strcmp(argv[i], "--resume") == 0) {
             resume = true;
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            // Explicit thread count, chiefly for the determinism
+            // check: --threads 0 (serial) and --threads 8 must write
+            // byte-identical results sections.
+            auto value = parseU64(argv[++i]);
+            if (!value || *value > 1024)
+                fatal("fig6: bad --threads value '%s'", argv[i]);
+            threads = static_cast<unsigned>(*value);
+        }
     }
 
     const unsigned ks[] = {2, 4, 6, 8, 10, 12};
@@ -78,7 +89,7 @@ main(int argc, char **argv)
     AttributionCollector attribution;
 
     RunOptions options;
-    options.threads = ThreadPool::hardwareThreads();
+    options.threads = threads;
     options.metrics = &metrics;
     options.events = &events;
     options.attribution = &attribution;

@@ -48,6 +48,16 @@ Checkpoint::find(std::uint64_t cell) const
     return nullptr;
 }
 
+const CheckpointProgress *
+Checkpoint::findProgress(std::uint64_t cell) const
+{
+    for (const CheckpointProgress &record : progress) {
+        if (record.cell == cell)
+            return &record;
+    }
+    return nullptr;
+}
+
 namespace
 {
 
@@ -494,9 +504,8 @@ parseHeaderLine(std::string_view line)
 }
 
 StatusOr<CheckpointCell>
-parseCellLine(std::string_view line)
+parseCellFields(const Parsed &object)
 {
-    TL_ASSIGN_OR_RETURN(Parsed object, parseSealedObject(line));
     CheckpointCell cell;
     TL_RETURN_IF_ERROR(getU64(object, "cell", cell.cell));
     std::string state;
@@ -522,6 +531,18 @@ parseCellLine(std::string_view line)
     TL_RETURN_IF_ERROR(getU64(object, "contextSwitches",
                               cell.result.contextSwitchCount));
     return cell;
+}
+
+StatusOr<CheckpointProgress>
+parseProgressFields(const Parsed &object)
+{
+    CheckpointProgress progress;
+    TL_RETURN_IF_ERROR(getU64(object, "cell", progress.cell));
+    TL_RETURN_IF_ERROR(getU64(object, "window", progress.window));
+    TL_RETURN_IF_ERROR(getU64(object, "records", progress.records));
+    TL_RETURN_IF_ERROR(getU64(object, "conditionalBranches",
+                              progress.conditionalBranches));
+    return progress;
 }
 
 } // namespace
@@ -564,6 +585,19 @@ checkpointCellLine(const CheckpointCell &cell)
     return sealLine(object);
 }
 
+std::string
+checkpointProgressLine(const CheckpointProgress &progress)
+{
+    Json object = Json::object();
+    object.set("kind", Json::str("progress"));
+    object.set("cell", Json::number(progress.cell));
+    object.set("window", Json::number(progress.window));
+    object.set("records", Json::number(progress.records));
+    object.set("conditionalBranches",
+               Json::number(progress.conditionalBranches));
+    return sealLine(object);
+}
+
 StatusOr<Checkpoint>
 readCheckpoint(std::string_view bytes)
 {
@@ -588,20 +622,56 @@ readCheckpoint(std::string_view bytes)
         ++checkpoint.droppedLines;
 
     for (std::size_t i = 1; i < lines.size(); ++i) {
-        StatusOr<CheckpointCell> cell = parseCellLine(lines[i]);
-        bool valid = cell.ok() && cell->cell < gridCells;
-        if (!valid) {
-            // Keep only the valid prefix: records after a torn or
-            // corrupt line were written after the corruption event
-            // and cannot be trusted either.
-            checkpoint.droppedLines += lines.size() - i;
-            break;
+        StatusOr<Parsed> object = parseSealedObject(lines[i]);
+        bool valid = false;
+        if (object.ok()) {
+            // Dispatch on "kind" before cell parsing: a progress
+            // record has no "state" field and must not read as a
+            // torn cell line (which would drop the rest of the
+            // journal).
+            const Parsed *kind = object->field("kind");
+            if (kind && kind->kind == Parsed::Kind::Str &&
+                kind->str == "progress") {
+                StatusOr<CheckpointProgress> record =
+                    parseProgressFields(*object);
+                valid = record.ok() && record->cell < gridCells;
+                if (valid) {
+                    // Last record wins: the cursor only advances.
+                    bool replaced = false;
+                    for (CheckpointProgress &existing :
+                         checkpoint.progress) {
+                        if (existing.cell == record->cell) {
+                            existing = *record;
+                            replaced = true;
+                            break;
+                        }
+                    }
+                    if (!replaced) {
+                        checkpoint.progress.push_back(
+                            std::move(record).value());
+                    }
+                    continue;
+                }
+            } else {
+                StatusOr<CheckpointCell> cell =
+                    parseCellFields(*object);
+                valid = cell.ok() && cell->cell < gridCells;
+                if (valid) {
+                    if (checkpoint.find(cell->cell)) {
+                        ++checkpoint.duplicateLines;
+                        continue;
+                    }
+                    checkpoint.cells.push_back(
+                        std::move(cell).value());
+                    continue;
+                }
+            }
         }
-        if (checkpoint.find(cell->cell)) {
-            ++checkpoint.duplicateLines;
-            continue;
-        }
-        checkpoint.cells.push_back(std::move(cell).value());
+        // Keep only the valid prefix: records after a torn or
+        // corrupt line were written after the corruption event and
+        // cannot be trusted either.
+        checkpoint.droppedLines += lines.size() - i;
+        break;
     }
     return checkpoint;
 }
@@ -680,6 +750,17 @@ CheckpointWriter::append(const CheckpointCell &cell)
     // The line is rendered before taking the lock so concurrent
     // appenders only serialize on the write itself.
     std::string line = checkpointCellLine(cell);
+    MutexLock lock(mutex);
+    if (!stream)
+        return failedPreconditionError(
+            "CheckpointWriter::append before open (or after close)");
+    return writeJournalLine(stream, std::move(line));
+}
+
+Status
+CheckpointWriter::append(const CheckpointProgress &progress)
+{
+    std::string line = checkpointProgressLine(progress);
     MutexLock lock(mutex);
     if (!stream)
         return failedPreconditionError(

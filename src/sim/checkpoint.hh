@@ -11,11 +11,22 @@
  * reassembles a ResultSet byte-identical to an uninterrupted one.
  *
  * File format — line 1 is a header record, every further line one
- * cell record; each line is a single compact JSON object whose last
- * field is the CRC-32 of the object serialized *without* that field:
+ * cell record or one streaming progress record; each line is a single
+ * compact JSON object whose last field is the CRC-32 of the object
+ * serialized *without* that field:
  *
  *   {"kind": "checkpoint-header", "name": ..., "signature": S,"crc":C}
  *   {"cell": 0, "state": "ok", ..., "instructions": N,"crc":C}
+ *   {"kind": "progress", "cell": 3, "window": 7, ...,"crc":C}
+ *
+ * Progress records are the streaming path's chunk cursor: a
+ * supervised cell that streams its trace journals one after every
+ * consumed window, so a killed run shows exactly how far each
+ * in-flight cell got. They are observability, not state transfer —
+ * resume recomputes incomplete cells from the start, which is
+ * deterministic, so the final manifest is byte-identical either way.
+ * Within one cell the *last* progress record wins (the cursor moves
+ * forward); cell records keep first-wins semantics as before.
  *
  * The reader is deliberately paranoid: it accepts only a valid prefix
  * of the journal. A torn or corrupt line (the tail of a crashed
@@ -96,6 +107,21 @@ struct CheckpointCell
     bool operator==(const CheckpointCell &other) const = default;
 };
 
+/**
+ * One streaming chunk cursor: how far a streamed cell's replay had
+ * advanced when the record was journaled. See the file comment for
+ * the resume semantics (observability; last record per cell wins).
+ */
+struct CheckpointProgress
+{
+    std::uint64_t cell = 0;    //!< grid index, as in CheckpointCell
+    std::uint64_t window = 0;  //!< trace windows fully consumed
+    std::uint64_t records = 0; //!< trace records consumed
+    std::uint64_t conditionalBranches = 0; //!< of the current phase
+
+    bool operator==(const CheckpointProgress &other) const = default;
+};
+
 /** Everything readCheckpoint() salvaged from a journal. */
 struct Checkpoint
 {
@@ -103,6 +129,13 @@ struct Checkpoint
 
     /** Intact records in journal order, duplicates removed. */
     std::vector<CheckpointCell> cells;
+
+    /**
+     * Latest chunk cursor per streamed cell (last record wins);
+     * cursors for cells that also have a terminal record are kept —
+     * they describe the completed replay.
+     */
+    std::vector<CheckpointProgress> progress;
 
     /** Records dropped because their cell index was already seen. */
     std::size_t duplicateLines = 0;
@@ -112,6 +145,10 @@ struct Checkpoint
 
     /** The record for @p cell, or nullptr if not journaled. */
     [[nodiscard]] const CheckpointCell *find(std::uint64_t cell) const;
+
+    /** The latest chunk cursor for @p cell, or nullptr. */
+    [[nodiscard]] const CheckpointProgress *
+    findProgress(std::uint64_t cell) const;
 };
 
 /// @name Record serialization (one line, no trailing newline)
@@ -119,6 +156,8 @@ struct Checkpoint
 [[nodiscard]] std::string checkpointHeaderLine(
     const CheckpointHeader &header);
 [[nodiscard]] std::string checkpointCellLine(const CheckpointCell &cell);
+[[nodiscard]] std::string checkpointProgressLine(
+    const CheckpointProgress &progress);
 /// @}
 
 /**
@@ -157,6 +196,10 @@ class CheckpointWriter
 
     /** Journal one cell; flushed before returning. */
     Status append(const CheckpointCell &cell) TL_EXCLUDES(mutex);
+
+    /** Journal one streaming chunk cursor; flushed before returning. */
+    Status append(const CheckpointProgress &progress)
+        TL_EXCLUDES(mutex);
 
     [[nodiscard]] bool
     isOpen() const TL_EXCLUDES(mutex)

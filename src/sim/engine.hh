@@ -115,6 +115,19 @@ struct SimOptions
      * attributor per concurrent simulation.
      */
     MissAttributor *attribution = nullptr;
+
+    /**
+     * Context-switch phase carried across piecewise runs, or nullptr
+     * for a self-contained run. The streaming path (sim/streaming.hh)
+     * simulates one chunk window at a time; pointing every piece at
+     * the same counter makes the instructions-since-last-switch state
+     * flow across window boundaries, so a chunked run injects context
+     * switches at exactly the record positions a monolithic run
+     * would. Read at loop entry, written back when the loop exits.
+     * Ignored (left untouched) when contextSwitches is false, since
+     * no switch state exists to carry.
+     */
+    std::uint64_t *switchCarry = nullptr;
 };
 
 /** Counters produced by a simulation run. */
@@ -182,7 +195,8 @@ SimResult
 simulateLoop(S &source, P &predictor, const SimOptions &options)
 {
     SimResult result;
-    std::uint64_t insts_since_switch = 0;
+    std::uint64_t insts_since_switch =
+        options.switchCarry ? *options.switchCarry : 0;
 
     // Cancellation poll cadence: an atomic load per record would be
     // measurable on the hot loop, so the token is checked once per
@@ -247,6 +261,8 @@ simulateLoop(S &source, P &predictor, const SimOptions &options)
         if (prediction == record.taken)
             ++result.correct;
     }
+    if (options.contextSwitches && options.switchCarry)
+        *options.switchCarry = insts_since_switch;
     return result;
 }
 
@@ -360,7 +376,8 @@ simulate(FlatCursor &cursor, P &predictor,
         return result;
     }
 
-    std::uint64_t insts_since_switch = 0;
+    std::uint64_t insts_since_switch =
+        options.switchCarry ? *options.switchCarry : 0;
     constexpr std::uint32_t kCancelPollStride = 256;
     std::uint32_t records_until_poll = kCancelPollStride;
 
@@ -402,6 +419,8 @@ simulate(FlatCursor &cursor, P &predictor,
         predictor.update(query, taken);
         result.correct += prediction == taken ? 1 : 0;
     }
+    if (options.contextSwitches && options.switchCarry)
+        *options.switchCarry = insts_since_switch;
     return result;
 }
 

@@ -1,6 +1,11 @@
 #include "sim/experiment.hh"
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
+
+#include <sys/stat.h>
+#include <sys/types.h>
 
 #include "util/status.hh"
 #include "util/strings.hh"
@@ -23,6 +28,58 @@ readBranchBudgetFromEnv()
     return 200000;
 }
 
+TraceStreamingOptions
+readStreamingFromEnv()
+{
+    TraceStreamingOptions options;
+    if (const char *env = std::getenv("TL_STREAM_TRACES")) {
+        if (std::strcmp(env, "1") == 0) {
+            options.enabled = true;
+        } else if (std::strcmp(env, "0") == 0) {
+            options.autoThreshold = 0; // explicit off: never auto
+        } else {
+            warn("ignoring invalid TL_STREAM_TRACES='%s' (want 0 or 1)",
+                 env);
+        }
+    }
+    if (const char *env = std::getenv("TL_STREAM_THRESHOLD")) {
+        if (auto value = parseU64(env))
+            options.autoThreshold = *value;
+        else
+            warn("ignoring invalid TL_STREAM_THRESHOLD='%s'", env);
+    }
+    if (const char *env = std::getenv("TL_SPILL_DIR")) {
+        if (*env)
+            options.spillDir = env;
+    }
+    if (const char *env = std::getenv("TL_CHUNK_RECORDS")) {
+        auto value = parseU64(env);
+        if (value && *value > 0 && *value <= 0xffffffffu)
+            options.chunkRecords = static_cast<std::uint32_t>(*value);
+        else
+            warn("ignoring invalid TL_CHUNK_RECORDS='%s'", env);
+    }
+    return options;
+}
+
+/** mkdir -p: create @p dir and any missing parents. */
+Status
+ensureDirectory(const std::string &dir)
+{
+    for (std::size_t slash = dir.find('/', 1);;
+         slash = dir.find('/', slash + 1)) {
+        std::string prefix =
+            slash == std::string::npos ? dir : dir.substr(0, slash);
+        if (!prefix.empty() &&
+            ::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+            return ioError("cannot create spill directory '%s': %s",
+                           prefix.c_str(), std::strerror(errno));
+        }
+        if (slash == std::string::npos)
+            return Status();
+    }
+}
+
 } // namespace
 
 std::uint64_t
@@ -35,9 +92,33 @@ defaultBranchBudget()
     return cachedBudget;
 }
 
-WorkloadSuite::WorkloadSuite(std::uint64_t condBranches)
-    : budget(condBranches ? condBranches : defaultBranchBudget())
+const TraceStreamingOptions &
+defaultTraceStreaming()
 {
+    // Read once, same contract as defaultBranchBudget().
+    static const TraceStreamingOptions cachedOptions =
+        readStreamingFromEnv();
+    return cachedOptions;
+}
+
+WorkloadSuite::WorkloadSuite(std::uint64_t condBranches)
+    : budget(condBranches ? condBranches : defaultBranchBudget()),
+      streamingOptions(defaultTraceStreaming())
+{
+}
+
+void
+WorkloadSuite::setStreaming(const TraceStreamingOptions &options)
+{
+    streamingOptions = options;
+}
+
+bool
+WorkloadSuite::streamingTesting() const
+{
+    return streamingOptions.enabled ||
+           (streamingOptions.autoThreshold != 0 &&
+            budget >= streamingOptions.autoThreshold);
 }
 
 std::shared_ptr<const Trace>
@@ -139,6 +220,78 @@ WorkloadSuite::training(const Workload &workload)
     if (!trace.ok())
         fatal("%s", trace.status().message().c_str());
     return **trace;
+}
+
+StatusOr<std::string>
+WorkloadSuite::captureSpill(const Workload &workload) const
+{
+    TL_RETURN_IF_ERROR(ensureDirectory(streamingOptions.spillDir));
+    std::string path = streamingOptions.spillDir + "/" +
+                       workload.name() + "-testing-" +
+                       std::to_string(budget) + "-c" +
+                       std::to_string(streamingOptions.chunkRecords) +
+                       ".tl3";
+    // A finished spill from an earlier process (a resumed sweep) is
+    // deterministic — same workload, budget and chunking — so reuse
+    // it when its header and footer parse strictly. A writer killed
+    // mid-capture leaves a file that fails this check (count 0, no
+    // footer) and is simply recaptured.
+    {
+        TraceReadOptions strict;
+        strict.salvageTruncated = false;
+        StatusOr<ChunkedTraceSource> existing =
+            ChunkedTraceSource::open(path, strict);
+        if (existing.ok() && existing->recordCount() > 0)
+            return path;
+    }
+    auto source = workload.openTestingCapture(budget);
+    ChunkedTraceWriter writer;
+    TL_RETURN_IF_ERROR(
+        writer.open(path, streamingOptions.chunkRecords));
+    TL_RETURN_IF_ERROR(writer.appendAll(*source));
+    TL_RETURN_IF_ERROR(writer.finish());
+    return path;
+}
+
+StatusOr<std::string>
+WorkloadSuite::streamTestingPath(const Workload &workload)
+{
+    std::promise<StatusOr<std::string>> promise;
+    SpillEntry entry;
+    bool producer = false;
+    {
+        MutexLock lock(mutex);
+        auto it = spillPaths.find(workload.name());
+        if (it == spillPaths.end()) {
+            producer = true;
+            entry = promise.get_future().share();
+            spillPaths.emplace(workload.name(), entry);
+        } else {
+            entry = it->second;
+        }
+    }
+    // Capture outside the lock, like cached(): concurrent cells on
+    // the same workload block on the shared_future, not the mutex.
+    if (producer) {
+        try {
+            promise.set_value(captureSpill(workload));
+        } catch (...) { // tl-lint: allow(catch-all)
+            // Published, not swallowed — see cached().
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return entry.get();
+}
+
+StatusOr<std::unique_ptr<TraceSource>>
+WorkloadSuite::streamTraining(const Workload &workload) const
+{
+    if (!workload.hasTraining()) {
+        return failedPreconditionError(
+            "workload '%s' has no training dataset (Table 2: NA)",
+            workload.name().c_str());
+    }
+    return workload.openCapture(workload.trainingDataset(), budget);
 }
 
 } // namespace tl

@@ -31,6 +31,7 @@
 #include "predictor/factory.hh"
 #include "sim/engine.hh"
 #include "sim/metrics.hh"
+#include "trace/chunked.hh"
 #include "util/annotations.hh"
 #include "util/mutex.hh"
 #include "util/status_or.hh"
@@ -45,6 +46,42 @@ namespace tl
  * the process.
  */
 std::uint64_t defaultBranchBudget();
+
+/**
+ * How a WorkloadSuite handles traces too large to materialize: when
+ * streaming is in effect, each workload's testing trace is captured
+ * once into a chunked v3 spill file (trace/chunked.hh) and simulation
+ * cells stream it window by window under a fixed memory budget
+ * instead of sharing an in-RAM Trace.
+ */
+struct TraceStreamingOptions
+{
+    /** Stream regardless of budget. */
+    bool enabled = false;
+
+    /**
+     * Stream automatically when the suite's conditional-branch budget
+     * reaches this many branches (0 = never auto-stream). The default
+     * keeps the historical in-RAM path for laptop-sized budgets and
+     * switches to spill files near paper scale.
+     */
+    std::uint64_t autoThreshold = 2000000;
+
+    /** Directory for v3 spill files (created on first use). */
+    std::string spillDir = "tl-spill";
+
+    /** Records per spill chunk. */
+    std::uint32_t chunkRecords = defaultChunkRecords;
+};
+
+/**
+ * Process-wide streaming defaults, read once from the environment:
+ * TL_STREAM_TRACES (1 forces streaming, 0 disables auto-streaming),
+ * TL_STREAM_THRESHOLD (auto-stream budget), TL_SPILL_DIR and
+ * TL_CHUNK_RECORDS. Prefer WorkloadSuite::setStreaming() for an
+ * explicit, environment-independent configuration (tests).
+ */
+const TraceStreamingOptions &defaultTraceStreaming();
 
 /**
  * Lazily generated, cached traces for the nine-benchmark suite.
@@ -89,17 +126,67 @@ class WorkloadSuite
     const Trace &training(const Workload &workload);
     /// @}
 
+    /**
+     * @name Streaming (trace format v3 spill files)
+     * At paper-scale budgets a materialized trace is hundreds of
+     * megabytes per benchmark; the streaming path instead captures
+     * each testing trace once into a chunked v3 spill file and lets
+     * simulation cells stream private mmap windows of it.
+     */
+    /// @{
+
+    /**
+     * Override the streaming configuration (defaultTraceStreaming()
+     * otherwise). Call before the first trace request; not guarded
+     * against concurrent trace generation.
+     */
+    void setStreaming(const TraceStreamingOptions &options);
+
+    /** The active streaming configuration. */
+    const TraceStreamingOptions &streaming() const
+    {
+        return streamingOptions;
+    }
+
+    /** True when testing traces should stream from spill files. */
+    bool streamingTesting() const;
+
+    /**
+     * Path of the v3 spill file holding @p workload's testing trace,
+     * capturing it on first use (cached and shared like
+     * testingTrace(); concurrent callers block on one producer). The
+     * file is keyed by workload, budget and chunk size, so a valid
+     * spill left by an earlier process — a resumed sweep — is reused
+     * rather than recaptured.
+     */
+    StatusOr<std::string> streamTestingPath(const Workload &workload);
+
+    /**
+     * Streaming training source for @p workload (no spill file:
+     * training runs are single-pass, so the capped live capture is
+     * already memory-bounded); fails with
+     * StatusCode::FailedPrecondition for NA benchmarks.
+     */
+    StatusOr<std::unique_ptr<TraceSource>>
+    streamTraining(const Workload &workload) const;
+    /// @}
+
   private:
     /** One cache slot: ready when the producing thread finished. */
     using Entry = std::shared_future<std::shared_ptr<const Trace>>;
     using FlatEntry =
         std::shared_future<std::shared_ptr<const FlatTrace>>;
+    using SpillEntry = std::shared_future<StatusOr<std::string>>;
 
     std::shared_ptr<const Trace>
     cached(std::map<std::string, Entry> &cache,
            const Workload &workload, bool wantTraining);
 
+    /** Capture (or validate and reuse) one spill file. */
+    StatusOr<std::string> captureSpill(const Workload &workload) const;
+
     std::uint64_t budget;
+    TraceStreamingOptions streamingOptions;
 
     /**
      * Guards the cache *maps*; the traces themselves are immutable
@@ -111,6 +198,7 @@ class WorkloadSuite
     std::map<std::string, Entry> trainingTraces TL_GUARDED_BY(mutex);
     std::map<std::string, FlatEntry> flatTestingTraces
         TL_GUARDED_BY(mutex);
+    std::map<std::string, SpillEntry> spillPaths TL_GUARDED_BY(mutex);
 };
 
 } // namespace tl

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Streaming simulation: drive a predictor across the FlatTrace
+ * windows of a WindowSupplier (trace/chunked.hh) with all simulation
+ * state carried between windows, so a streamed run is counter-
+ * identical to materializing the whole trace — including where a
+ * branch budget lands mid-window and how a warmup/measured split
+ * straddles a chunk boundary.
+ *
+ * The determinism argument is a composition of existing contracts:
+ *
+ *  - simulate() on a FlatCursor leaves cursor.pos exactly after the
+ *    budget-exhausting conditional branch (engine.hh), so resuming
+ *    the same window continues at the precise record a monolithic
+ *    run would process next;
+ *  - predictor state (tables, histories) lives in the predictor and
+ *    flows across windows untouched;
+ *  - the only loop-local state, the instructions-since-context-switch
+ *    phase, is threaded through SimOptions::switchCarry.
+ *
+ * A StreamCursor persists across calls, which is how the warmup and
+ * measured phases of a sweep cell share one pass over the trace: the
+ * warmup call stops mid-window at the exact split record, and the
+ * measured call resumes from that position (the warmup-fraction
+ * distortion fix — split positioning no longer depends on how the
+ * trace was chunked).
+ */
+
+#ifndef TL_SIM_STREAMING_HH
+#define TL_SIM_STREAMING_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/engine.hh"
+#include "trace/chunked.hh"
+#include "trace/flat.hh"
+#include "util/status_or.hh"
+
+namespace tl
+{
+
+/**
+ * Per-window progress report, delivered after each fully consumed
+ * window. The supervisor journals these as checkpoint chunk cursors
+ * (sim/checkpoint.hh), giving kill-and-resume runs mid-cell
+ * observability.
+ */
+struct StreamProgress
+{
+    std::uint64_t window = 0;  //!< windows fully consumed so far
+    std::uint64_t records = 0; //!< records consumed so far
+    std::uint64_t conditionalBranches = 0; //!< this call's running sum
+};
+
+using StreamProgressFn = std::function<void(const StreamProgress &)>;
+
+/**
+ * Replay position over a windowed trace stream — the streaming
+ * sibling of FlatCursor. Owns the reusable window and the cross-
+ * window carry state; persists across simulateStream() calls so
+ * budget-split runs (warmup, then measured) resume exactly where the
+ * previous call stopped.
+ *
+ * Window-load failures follow the TraceSource idiom: the stream ends
+ * and status() records why (OK at a clean end of stream). Check it
+ * after the last simulateStream() call on the cursor.
+ */
+class StreamCursor
+{
+  public:
+    explicit StreamCursor(WindowSupplier &supplier)
+        : supplier_(&supplier)
+    {
+    }
+
+    /** Why the stream ended; OK while healthy / at a clean end. */
+    const Status &status() const { return status_; }
+
+    /** Windows fully consumed so far. */
+    std::uint64_t windowsConsumed() const { return windowsConsumed_; }
+
+    /**
+     * Global record index of the replay position: records in fully
+     * consumed windows plus the position inside the current one.
+     * This is the index the warmup-split regression test pins.
+     */
+    std::uint64_t
+    globalRecordIndex() const
+    {
+        return recordsBefore_ + pos_;
+    }
+
+  private:
+    template <typename SimulateWindow>
+    friend SimResult streamLoop(StreamCursor &cursor,
+                                const SimOptions &options,
+                                SimulateWindow &&simulateWindow,
+                                const StreamProgressFn &progress);
+
+    WindowSupplier *supplier_;
+    FlatTrace window_;
+    std::size_t pos_ = 0;
+    bool windowLoaded_ = false;
+    bool exhausted_ = false;
+    std::uint64_t windowsConsumed_ = 0;
+    std::uint64_t recordsBefore_ = 0; //!< records in consumed windows
+    std::uint64_t carry_ = 0; //!< insts-since-switch across windows
+    Status status_;
+};
+
+/**
+ * The window-by-window driver shared by the streaming entry points:
+ * pulls windows from the cursor's supplier, simulates each with the
+ * remaining budget and the carry threaded through, and accumulates
+ * one SimResult. @p simulateWindow is invoked as
+ * (FlatCursor &, const SimOptions &) -> SimResult; @p progress fires
+ * after each fully consumed window.
+ */
+template <typename SimulateWindow>
+SimResult
+streamLoop(StreamCursor &cursor, const SimOptions &options,
+           SimulateWindow &&simulateWindow,
+           const StreamProgressFn &progress)
+{
+    SimResult total;
+    const std::uint64_t cap = options.maxConditionalBranches;
+    while (!cap || total.conditionalBranches < cap) {
+        if (!cursor.windowLoaded_) {
+            if (cursor.exhausted_ || !cursor.status_.ok())
+                break;
+            StatusOr<bool> got =
+                cursor.supplier_->nextWindow(cursor.window_);
+            if (!got.ok()) {
+                cursor.status_ = got.status();
+                cursor.exhausted_ = true;
+                break;
+            }
+            if (!*got || cursor.window_.empty()) {
+                cursor.exhausted_ = true;
+                break;
+            }
+            cursor.windowLoaded_ = true;
+            cursor.pos_ = 0;
+        }
+        SimOptions window = options;
+        window.maxConditionalBranches =
+            cap ? cap - total.conditionalBranches : 0;
+        window.switchCarry = &cursor.carry_;
+        FlatCursor flat(cursor.window_, cursor.pos_);
+        SimResult piece = simulateWindow(flat, window);
+        cursor.pos_ = flat.pos;
+        total.conditionalBranches += piece.conditionalBranches;
+        total.correct += piece.correct;
+        total.taken += piece.taken;
+        total.allBranches += piece.allBranches;
+        total.instructions += piece.instructions;
+        total.contextSwitchCount += piece.contextSwitchCount;
+        if (cursor.pos_ >= cursor.window_.size()) {
+            cursor.recordsBefore_ += cursor.window_.size();
+            cursor.windowLoaded_ = false;
+            cursor.pos_ = 0; // retired: the global index must not
+                             // re-count this window's records
+            ++cursor.windowsConsumed_;
+            if (progress) {
+                progress({cursor.windowsConsumed_,
+                          cursor.recordsBefore_,
+                          total.conditionalBranches});
+            }
+        }
+        if (piece.cancelled) {
+            total.cancelled = true;
+            break;
+        }
+    }
+    return total;
+}
+
+/**
+ * Template-tier streaming simulate: the windowed equivalent of
+ * simulate(FlatCursor &, P &). Resumable — a budget-stopped call
+ * leaves the cursor positioned exactly after the last counted
+ * conditional branch, and the next call on the same cursor continues
+ * from there.
+ */
+template <concepts::Predictor P>
+SimResult
+simulateStream(StreamCursor &cursor, P &predictor,
+               const SimOptions &options = {})
+{
+    return streamLoop(cursor, options,
+                      [&](FlatCursor &flat, const SimOptions &window) {
+                          return simulate(flat, predictor, window);
+                      },
+                      StreamProgressFn{});
+}
+
+/**
+ * Streaming counterpart of simulateDispatch(): each window runs
+ * through the devirtualizing dispatcher, so the FastTwoLevel lanes
+ * consume chunk windows at full speed. @p progress (optional) fires
+ * after every fully consumed window — the supervisor's checkpoint
+ * chunk cursor.
+ */
+inline SimResult
+simulateStreamDispatch(StreamCursor &cursor, BranchPredictor &predictor,
+                       const SimOptions &options = {},
+                       const StreamProgressFn &progress = {})
+{
+    return streamLoop(
+        cursor, options,
+        [&](FlatCursor &flat, const SimOptions &window) {
+            return simulateDispatch(flat, predictor, window);
+        },
+        progress);
+}
+
+} // namespace tl
+
+#endif // TL_SIM_STREAMING_HH

@@ -466,6 +466,12 @@ SweepSupervisor::setFaultHook(CellFaultHook hook)
     faultHook = std::move(hook);
 }
 
+void
+SweepSupervisor::setWindowHook(WindowHook hook)
+{
+    windowHook = std::move(hook);
+}
+
 namespace
 {
 
@@ -546,6 +552,22 @@ SweepSupervisor::run(const std::vector<SweepSpec> &columns)
                          loaded->droppedLines),
                      static_cast<unsigned long long>(
                          loaded->duplicateLines));
+            }
+            // Chunk cursors of cells the interrupted run had in
+            // flight: pure observability — the cells recompute
+            // deterministically from the start, so the manifest stays
+            // byte-identical to an uninterrupted run's.
+            for (const CheckpointProgress &cursor : loaded->progress) {
+                if (cursor.cell >= cells || loaded->find(cursor.cell))
+                    continue;
+                inform("supervisor '%s': cell %llu was interrupted "
+                       "after %llu streamed window(s) (%llu records); "
+                       "recomputing",
+                       supConfig.name.c_str(),
+                       static_cast<unsigned long long>(cursor.cell),
+                       static_cast<unsigned long long>(cursor.window),
+                       static_cast<unsigned long long>(
+                           cursor.records));
             }
             for (const CheckpointCell &record : loaded->cells) {
                 if (!cellStateRestorable(record.state))
@@ -682,6 +704,25 @@ SweepSupervisor::run(const std::vector<SweepSpec> &columns)
         const std::size_t crashSlot = crashSlotIndex();
         std::atomic<bool> cancel{false};
 
+        // Streamed cells journal a chunk cursor after every consumed
+        // window (and only then invoke the test hook, so a kill from
+        // the hook finds the cursor already flushed). Journal-append
+        // failures are ignored here: progress records are
+        // observability, and a dead journal already warned once.
+        StreamProgressFn streamProgress;
+        if (journal.isOpen() || windowHook) {
+            streamProgress = [&, cell](const StreamProgress &at) {
+                CheckpointProgress record;
+                record.cell = cell;
+                record.window = at.window;
+                record.records = at.records;
+                record.conditionalBranches = at.conditionalBranches;
+                (void)journal.append(record);
+                if (windowHook)
+                    windowHook(cell, at.window);
+            };
+        }
+
         for (std::uint32_t attempt = 1;; ++attempt) {
             cancel.store(false, std::memory_order_relaxed);
             publishCrashCell(crashSlot, cell, column.displayName,
@@ -700,7 +741,8 @@ SweepSupervisor::run(const std::vector<SweepSpec> &columns)
                 if (failure.ok() &&
                     !cancel.load(std::memory_order_relaxed)) {
                     exec = runSweepCell(*suitePtr, runOptions,
-                                        column, workload, &cancel);
+                                        column, workload, &cancel,
+                                        streamProgress);
                 }
             } catch (const std::exception &error) {
                 failure = internalError("cell threw: %s",
@@ -742,6 +784,11 @@ SweepSupervisor::run(const std::vector<SweepSpec> &columns)
                 }
                 failure = exec.trainingStatus;
             }
+            // A streaming failure (unwritable spill, bad chunk CRC
+            // mid-replay) classifies like any other cell failure:
+            // IoError retries, CorruptData is terminal.
+            if (failure.ok() && !exec.streamStatus.ok())
+                failure = exec.streamStatus;
             if (failure.ok()) {
                 slot.state = CellState::Ok;
                 slot.exec = std::move(exec);

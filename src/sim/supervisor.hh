@@ -97,6 +97,17 @@ using CellFaultHook = std::function<Status(
     std::size_t cell, std::uint32_t attempt,
     const std::atomic<bool> &cancel)>;
 
+/**
+ * Streaming observation hook, called after each consumed trace window
+ * of a streamed cell — *after* the chunk cursor has been journaled,
+ * so a test that kills the process from inside the hook knows the
+ * progress record for (cell, window) is already flushed. Production
+ * runs leave it unset; the mid-chunk kill-and-resume death test in
+ * tests/test_supervisor.cc raises SIGKILL from it.
+ */
+using WindowHook =
+    std::function<void(std::size_t cell, std::uint64_t window)>;
+
 /** Fault species a FaultPlan can schedule (cf. trace/faults.hh). */
 enum class CellFaultKind : std::uint8_t
 {
@@ -193,6 +204,9 @@ class SweepSupervisor
     /** Install a chaos hook (tests); pass nullptr to clear. */
     void setFaultHook(CellFaultHook hook);
 
+    /** Install a streaming window hook (tests); nullptr to clear. */
+    void setWindowHook(WindowHook hook);
+
     /**
      * Run the grid under supervision. Unlike SweepRunner::run(), this
      * never throws for a cell-level problem: every disposition comes
@@ -206,6 +220,7 @@ class SweepSupervisor
     std::unique_ptr<WorkloadSuite> ownedSuite;
     WorkloadSuite *suitePtr;
     CellFaultHook faultHook;
+    WindowHook windowHook;
 };
 
 } // namespace tl

@@ -87,34 +87,54 @@ SweepRunner::SweepRunner(WorkloadSuite &suite, RunOptions options)
 CellExecution
 runSweepCell(WorkloadSuite &suite, const RunOptions &options,
              const SweepSpec &column, const Workload &workload,
-             const std::atomic<bool> *cancel)
+             const std::atomic<bool> *cancel,
+             const StreamProgressFn &progress)
 {
     CellExecution out;
     const bool instrumented =
         options.instrument || options.metrics != nullptr;
+    const bool streamed = suite.streamingTesting();
 
     std::unique_ptr<BranchPredictor> predictor = column.make();
     if (instrumented)
         predictor->enableInstrumentation();
 
     if (predictor->needsTraining()) {
-        StatusOr<std::shared_ptr<const Trace>> training =
-            suite.tryTraining(workload);
-        if (!training.ok()) {
-            // Omitted point, as in Fig. 11. The status is preserved
-            // so a supervisor can tell an NA benchmark
-            // (FailedPrecondition, permanent) from a broken training
-            // trace (IoError, worth a retry).
-            out.trainingStatus = training.status();
-            if (instrumented) {
-                MetricsRegistry cellMetrics;
-                cellMetrics.add("sweep.cellsSkipped");
-                out.metrics = cellMetrics.snapshot();
+        if (streamed) {
+            // Single-pass live capture: training never materializes
+            // either. The NA / broken-trace status semantics match
+            // the in-RAM branch below.
+            StatusOr<std::unique_ptr<TraceSource>> training =
+                suite.streamTraining(workload);
+            if (!training.ok()) {
+                out.trainingStatus = training.status();
+                if (instrumented) {
+                    MetricsRegistry cellMetrics;
+                    cellMetrics.add("sweep.cellsSkipped");
+                    out.metrics = cellMetrics.snapshot();
+                }
+                return out;
             }
-            return out;
+            predictor->train(**training);
+        } else {
+            StatusOr<std::shared_ptr<const Trace>> training =
+                suite.tryTraining(workload);
+            if (!training.ok()) {
+                // Omitted point, as in Fig. 11. The status is
+                // preserved so a supervisor can tell an NA benchmark
+                // (FailedPrecondition, permanent) from a broken
+                // training trace (IoError, worth a retry).
+                out.trainingStatus = training.status();
+                if (instrumented) {
+                    MetricsRegistry cellMetrics;
+                    cellMetrics.add("sweep.cellsSkipped");
+                    out.metrics = cellMetrics.snapshot();
+                }
+                return out;
+            }
+            TraceReplaySource source(**training);
+            predictor->train(source);
         }
-        TraceReplaySource source(**training);
-        predictor->train(source);
     }
 
     SimOptions sim;
@@ -132,32 +152,85 @@ runSweepCell(WorkloadSuite &suite, const RunOptions &options,
     if (options.attribution)
         attributor.emplace(options.attribution->topK());
 
-    // The measured replay runs on the structure-of-arrays view
-    // through the devirtualizing dispatcher — the sweep hot path.
-    // The cursor carries the resume position across the warmup/
-    // measured split exactly like a TraceReplaySource would.
-    std::shared_ptr<const FlatTrace> testing =
-        suite.flatTestingTrace(workload);
-    FlatCursor source(*testing);
-    if (options.warmupFraction > 0.0) {
-        SimOptions warmup = sim;
-        warmup.maxConditionalBranches = static_cast<std::uint64_t>(
-            options.warmupFraction *
-            static_cast<double>(suite.condBranches()));
-        SimResult warm = simulateDispatch(source, *predictor, warmup);
-        // State kept, counters discarded — unless the watchdog fired
-        // mid-warmup, in which case the cell has no usable result.
-        if (warm.cancelled) {
+    const std::uint64_t warmupBranches =
+        options.warmupFraction > 0.0
+            ? static_cast<std::uint64_t>(
+                  options.warmupFraction *
+                  static_cast<double>(suite.condBranches()))
+            : 0;
+
+    SimResult result;
+    if (streamed) {
+        // Stream the v3 spill file through a cell-private mmap; the
+        // StreamCursor persists across the warmup/measured split, so
+        // the split record is the same one the in-RAM path measures
+        // from (sim/streaming.hh's determinism argument).
+        StatusOr<std::string> path = suite.streamTestingPath(workload);
+        if (!path.ok()) {
+            out.streamStatus = path.status();
+            return out;
+        }
+        StatusOr<ChunkedTraceSource> spill =
+            ChunkedTraceSource::open(*path);
+        if (!spill.ok()) {
+            out.streamStatus = spill.status();
+            return out;
+        }
+        ChunkWindowSupplier supplier(*spill);
+        StreamCursor cursor(supplier);
+        if (warmupBranches > 0) {
+            SimOptions warmup = sim;
+            warmup.maxConditionalBranches = warmupBranches;
+            SimResult warm = simulateStreamDispatch(cursor, *predictor,
+                                                    warmup, progress);
+            if (warm.cancelled) {
+                out.cancelled = true;
+                return out;
+            }
+        }
+        if (attributor)
+            sim.attribution = &*attributor;
+        result = simulateStreamDispatch(cursor, *predictor, sim,
+                                        progress);
+        if (!cursor.status().ok()) {
+            // The replay ended on a damaged chunk: the counters are
+            // a prefix of the real run, so the cell reports failure
+            // rather than a silently-short result.
+            out.streamStatus = cursor.status();
+            return out;
+        }
+        if (result.cancelled) {
             out.cancelled = true;
             return out;
         }
-    }
-    if (attributor)
-        sim.attribution = &*attributor;
-    SimResult result = simulateDispatch(source, *predictor, sim);
-    if (result.cancelled) {
-        out.cancelled = true;
-        return out;
+    } else {
+        // The measured replay runs on the structure-of-arrays view
+        // through the devirtualizing dispatcher — the sweep hot path.
+        // The cursor carries the resume position across the warmup/
+        // measured split exactly like a TraceReplaySource would.
+        std::shared_ptr<const FlatTrace> testing =
+            suite.flatTestingTrace(workload);
+        FlatCursor source(*testing);
+        if (warmupBranches > 0) {
+            SimOptions warmup = sim;
+            warmup.maxConditionalBranches = warmupBranches;
+            SimResult warm =
+                simulateDispatch(source, *predictor, warmup);
+            // State kept, counters discarded — unless the watchdog
+            // fired mid-warmup, in which case the cell has no usable
+            // result.
+            if (warm.cancelled) {
+                out.cancelled = true;
+                return out;
+            }
+        }
+        if (attributor)
+            sim.attribution = &*attributor;
+        result = simulateDispatch(source, *predictor, sim);
+        if (result.cancelled) {
+            out.cancelled = true;
+            return out;
+        }
     }
     if (attributor)
         out.attribution = attributor->snapshot();
@@ -182,6 +255,8 @@ runSweepCell(WorkloadSuite &suite, const RunOptions &options,
         MetricsRegistry cellMetrics;
         predictor->reportMetrics(cellMetrics);
         cellMetrics.add("sweep.cellsRun");
+        if (streamed)
+            cellMetrics.add("sweep.cellsStreamed");
         cellMetrics.add("sim.conditionalBranches",
                         result.conditionalBranches);
         cellMetrics.add("sim.correctPredictions", result.correct);

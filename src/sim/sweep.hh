@@ -38,6 +38,7 @@
 
 #include "sim/attribution.hh"
 #include "sim/experiment.hh"
+#include "sim/streaming.hh"
 #include "util/metrics.hh"
 
 namespace tl
@@ -248,6 +249,14 @@ struct CellExecution
     bool cancelled = false;
 
     /**
+     * Why a streaming cell could not run (or stopped early): spill
+     * capture failure, an unreadable spill file, or a mid-replay
+     * chunk error. OK for in-RAM cells and healthy streamed ones. A
+     * cell with a non-OK streamStatus has no result.
+     */
+    Status streamStatus;
+
+    /**
      * Measured-phase provenance; engaged only when
      * RunOptions::attribution requested it and the cell executed.
      */
@@ -261,12 +270,20 @@ struct CellExecution
  * SweepRunner (which discards the failure detail) and SweepSupervisor
  * (which classifies it); @p cancel, when non-null, is polled by the
  * simulation loop so a watchdog can reclaim the worker.
+ *
+ * When the suite streams (WorkloadSuite::streamingTesting()), the
+ * cell replays the workload's v3 spill file window by window through
+ * a private mmap instead of touching the materialized trace caches;
+ * @p progress then fires after every fully consumed window (the
+ * supervisor journals these as checkpoint chunk cursors). Streamed
+ * and in-RAM cells are counter-identical (sim/streaming.hh).
  */
 CellExecution runSweepCell(WorkloadSuite &suite,
                            const RunOptions &options,
                            const SweepSpec &column,
                            const Workload &workload,
-                           const std::atomic<bool> *cancel = nullptr);
+                           const std::atomic<bool> *cancel = nullptr,
+                           const StreamProgressFn &progress = {});
 
 /**
  * Runs (configuration x workload) grids over the nine-benchmark

@@ -1,0 +1,764 @@
+#include "trace/chunked.hh"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define TL_CHUNKED_MMAP 1
+#endif
+
+#include "util/check.hh"
+#include "util/crc32.hh"
+#include "util/status.hh"
+
+namespace tl
+{
+
+namespace
+{
+
+constexpr char chunkedMagic[4] = {'T', 'L', 'B', 'T'};
+constexpr char footerMagic[4] = {'T', 'L', 'C', 'F'};
+
+constexpr std::size_t headerSize = 24;
+constexpr std::size_t footerFixedSize = 12; //!< magic + u64 numChunks
+constexpr std::size_t footerEntrySize = 12; //!< u64 offset + u32 count
+constexpr std::size_t trailerSize = 12;     //!< u64 offset + u32 crc
+
+using detail::decodeRecordPayload;
+using detail::loadWireU32;
+using detail::loadWireU64;
+using detail::recordPayloadBytes;
+using detail::storeRecordPayload;
+
+void
+appendU32(std::string &out, std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+void
+appendU64(std::string &out, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+/**
+ * Chunk CRC: the v2 frame scheme (trace/io.hh) with the chunk's own
+ * record count as the count salt — a streaming writer cannot know the
+ * file total — and the chunk index as the index salt, so duplicated,
+ * dropped and reordered chunks all fail their checksum.
+ */
+std::uint32_t
+chunkCrc(std::uint64_t records, std::uint64_t index, const void *payload,
+         std::size_t payloadBytes)
+{
+    Crc32 crc;
+    crc.updateU64(records);
+    crc.updateU64(index);
+    crc.update(payload, payloadBytes);
+    return crc.value();
+}
+
+std::uint32_t
+trailerCrc(std::uint64_t footerOffset)
+{
+    Crc32 crc;
+    crc.updateU64(footerOffset);
+    crc.update(footerMagic, 4);
+    return crc.value();
+}
+
+std::string
+headerBytes(std::uint64_t recordCount, std::uint32_t chunkRecords)
+{
+    std::string out;
+    out.reserve(headerSize);
+    out.append(chunkedMagic, 4);
+    appendU32(out, chunkedTraceFormatVersion);
+    appendU64(out, recordCount);
+    appendU32(out, chunkRecords);
+    appendU32(out, crc32(out.data(), out.size()));
+    return out;
+}
+
+/** Bytes a chunk of @p records occupies on disk (payloads + CRC). */
+std::uint64_t
+chunkDiskBytes(std::uint64_t records)
+{
+    return records * recordPayloadBytes + 4;
+}
+
+std::string
+footerAndTrailerBytes(
+    const std::vector<ChunkedTraceIndex::Chunk> &chunks,
+    std::uint64_t footerOffset)
+{
+    std::string out;
+    out.append(footerMagic, 4);
+    appendU64(out, chunks.size());
+    for (const ChunkedTraceIndex::Chunk &chunk : chunks) {
+        appendU64(out, chunk.offset);
+        appendU32(out, chunk.records);
+    }
+    appendU32(out, crc32(out.data(), out.size()));
+    appendU64(out, footerOffset);
+    appendU32(out, trailerCrc(footerOffset));
+    return out;
+}
+
+/**
+ * Rebuild the chunk index by scanning forward from the header,
+ * keeping the CRC-valid prefix — the salvage path for a torn
+ * footer/trailer or a writer that died before finish(). The CRC gate
+ * is what terminates the scan: whatever follows the last good chunk
+ * (a partial footer, a half-written chunk, garbage) fails its
+ * checksum and is dropped.
+ */
+void
+scanChunks(std::string_view bytes, ChunkedTraceIndex &index)
+{
+    const auto *data =
+        reinterpret_cast<const unsigned char *>(bytes.data());
+    index.chunks.clear();
+    index.recordCount = 0;
+    index.salvaged = true;
+    std::uint64_t offset = headerSize;
+    for (std::uint64_t i = 0;; ++i) {
+        std::uint64_t remaining = bytes.size() - offset;
+        std::uint64_t records = index.chunkRecords;
+        if (index.announcedRecords > 0) {
+            std::uint64_t left = index.announcedRecords -
+                                 index.recordCount;
+            if (left == 0)
+                break;
+            records = std::min<std::uint64_t>(records, left);
+        } else if (chunkDiskBytes(records) > remaining) {
+            // Unfinished file (count never patched): accept a final
+            // partial chunk only when the tail is exactly record-
+            // granular; anything else is a torn write.
+            if (remaining < chunkDiskBytes(1) ||
+                (remaining - 4) % recordPayloadBytes != 0) {
+                break;
+            }
+            records = (remaining - 4) / recordPayloadBytes;
+        }
+        if (chunkDiskBytes(records) > remaining)
+            break;
+        std::uint64_t payloadBytes = records * recordPayloadBytes;
+        std::uint32_t stored =
+            loadWireU32(data + offset + payloadBytes);
+        if (chunkCrc(records, i, data + offset, payloadBytes) != stored)
+            break;
+        index.chunks.push_back(
+            {offset, static_cast<std::uint32_t>(records),
+             index.recordCount});
+        index.recordCount += records;
+        offset += chunkDiskBytes(records);
+    }
+}
+
+Status
+parseFooter(std::string_view bytes, ChunkedTraceIndex &index)
+{
+    const auto *data =
+        reinterpret_cast<const unsigned char *>(bytes.data());
+    if (bytes.size() < headerSize + footerFixedSize + trailerSize + 4)
+        return corruptDataError("truncated chunked trace (no footer)");
+    std::size_t trailerOffset = bytes.size() - trailerSize;
+    std::uint64_t footerOffset = loadWireU64(data + trailerOffset);
+    std::uint32_t storedTrailerCrc =
+        loadWireU32(data + trailerOffset + 8);
+    if (trailerCrc(footerOffset) != storedTrailerCrc)
+        return corruptDataError(
+            "corrupt chunked trace: trailer checksum mismatch");
+    if (footerOffset < headerSize ||
+        footerOffset + footerFixedSize + 4 > trailerOffset) {
+        return corruptDataError(
+            "corrupt chunked trace: footer offset %llu out of range",
+            static_cast<unsigned long long>(footerOffset));
+    }
+    if (std::memcmp(data + footerOffset, footerMagic, 4) != 0)
+        return corruptDataError(
+            "corrupt chunked trace: bad footer magic at byte %llu",
+            static_cast<unsigned long long>(footerOffset));
+    std::uint64_t numChunks = loadWireU64(data + footerOffset + 4);
+    std::uint64_t footerBytes =
+        footerFixedSize + numChunks * footerEntrySize + 4;
+    if (footerOffset + footerBytes != trailerOffset) {
+        return corruptDataError(
+            "corrupt chunked trace: footer advertises %llu chunks but "
+            "spans the wrong byte range",
+            static_cast<unsigned long long>(numChunks));
+    }
+    std::uint32_t storedFooterCrc =
+        loadWireU32(data + trailerOffset - 4);
+    if (crc32(data + footerOffset, footerBytes - 4) != storedFooterCrc)
+        return corruptDataError(
+            "corrupt chunked trace: footer checksum mismatch");
+
+    index.chunks.clear();
+    index.recordCount = 0;
+    std::uint64_t cursor = headerSize;
+    const unsigned char *entry = data + footerOffset + footerFixedSize;
+    for (std::uint64_t i = 0; i < numChunks;
+         ++i, entry += footerEntrySize) {
+        std::uint64_t offset = loadWireU64(entry);
+        std::uint32_t records = loadWireU32(entry + 8);
+        if (records == 0 || records > index.chunkRecords ||
+            (i + 1 < numChunks && records != index.chunkRecords) ||
+            offset != cursor) {
+            return corruptDataError(
+                "corrupt chunked trace: footer entry %llu is "
+                "inconsistent (offset %llu, %u records)",
+                static_cast<unsigned long long>(i),
+                static_cast<unsigned long long>(offset), records);
+        }
+        index.chunks.push_back({offset, records, index.recordCount});
+        index.recordCount += records;
+        cursor += chunkDiskBytes(records);
+    }
+    if (cursor != footerOffset) {
+        return corruptDataError(
+            "corrupt chunked trace: chunks end at byte %llu but the "
+            "footer starts at byte %llu",
+            static_cast<unsigned long long>(cursor),
+            static_cast<unsigned long long>(footerOffset));
+    }
+    if (index.recordCount != index.announcedRecords) {
+        return corruptDataError(
+            "corrupt chunked trace: header announces %llu records but "
+            "the footer indexes %llu",
+            static_cast<unsigned long long>(index.announcedRecords),
+            static_cast<unsigned long long>(index.recordCount));
+    }
+    return Status();
+}
+
+} // namespace
+
+ChunkedTraceWriter::~ChunkedTraceWriter()
+{
+    abandon();
+}
+
+Status
+ChunkedTraceWriter::open(const std::string &path,
+                         std::uint32_t chunkRecords)
+{
+    if (chunkRecords == 0)
+        return invalidArgumentError(
+            "chunked trace writer: chunkRecords must be positive");
+    if (file_)
+        return failedPreconditionError(
+            "chunked trace writer: already open on '%s'",
+            path_.c_str());
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        return ioError("cannot open '%s' for writing", path.c_str());
+    // The streaming header announces 0 records; finish() back-patches
+    // the real count once it is known.
+    std::string header = headerBytes(0, chunkRecords);
+    if (std::fwrite(header.data(), 1, header.size(), file) !=
+        header.size()) {
+        std::fclose(file);
+        return ioError("write to '%s' failed", path.c_str());
+    }
+    file_ = file;
+    path_ = path;
+    chunkRecords_ = chunkRecords;
+    records_ = 0;
+    pending_.clear();
+    pending_.reserve(static_cast<std::size_t>(chunkRecords) *
+                     recordPayloadBytes);
+    pendingRecords_ = 0;
+    chunks_.clear();
+    return Status();
+}
+
+Status
+ChunkedTraceWriter::flushChunk()
+{
+    if (pendingRecords_ == 0)
+        return Status();
+    std::uint64_t offset =
+        chunks_.empty() ? headerSize
+                        : chunks_.back().offset +
+                              chunkDiskBytes(chunks_.back().records);
+    appendU32(pending_, chunkCrc(pendingRecords_, chunks_.size(),
+                                 pending_.data(),
+                                 pending_.size()));
+    if (std::fwrite(pending_.data(), 1, pending_.size(), file_) !=
+        pending_.size()) {
+        return ioError("write to '%s' failed", path_.c_str());
+    }
+    chunks_.push_back({offset, pendingRecords_});
+    pending_.clear();
+    pendingRecords_ = 0;
+    return Status();
+}
+
+Status
+ChunkedTraceWriter::append(const BranchRecord &record)
+{
+    if (!file_)
+        return failedPreconditionError(
+            "chunked trace writer: append before open");
+    unsigned char payload[recordPayloadBytes];
+    storeRecordPayload(record, payload);
+    pending_.append(reinterpret_cast<const char *>(payload),
+                    recordPayloadBytes);
+    ++pendingRecords_;
+    ++records_;
+    if (pendingRecords_ == chunkRecords_)
+        return flushChunk();
+    return Status();
+}
+
+Status
+ChunkedTraceWriter::appendAll(TraceSource &source)
+{
+    BranchRecord record;
+    while (source.next(record))
+        TL_RETURN_IF_ERROR(append(record));
+    return Status();
+}
+
+Status
+ChunkedTraceWriter::finish()
+{
+    if (!file_)
+        return failedPreconditionError(
+            "chunked trace writer: finish before open");
+    TL_RETURN_IF_ERROR(flushChunk());
+    std::uint64_t footerOffset =
+        chunks_.empty() ? headerSize
+                        : chunks_.back().offset +
+                              chunkDiskBytes(chunks_.back().records);
+    std::vector<ChunkedTraceIndex::Chunk> entries;
+    entries.reserve(chunks_.size());
+    for (const ChunkEntry &chunk : chunks_)
+        entries.push_back({chunk.offset, chunk.records, 0});
+    std::string tail = footerAndTrailerBytes(entries, footerOffset);
+    if (std::fwrite(tail.data(), 1, tail.size(), file_) != tail.size())
+        return ioError("write to '%s' failed", path_.c_str());
+    // Back-patch the header with the final record count.
+    std::string header = headerBytes(records_, chunkRecords_);
+    if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+        std::fwrite(header.data(), 1, header.size(), file_) !=
+            header.size()) {
+        return ioError("header patch of '%s' failed", path_.c_str());
+    }
+    std::FILE *file = file_;
+    file_ = nullptr;
+    if (std::fflush(file) != 0 || std::fclose(file) != 0)
+        return ioError("close of '%s' failed", path_.c_str());
+    return Status();
+}
+
+void
+ChunkedTraceWriter::abandon()
+{
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+std::string
+writeChunkedTraceBytes(const Trace &trace, std::uint32_t chunkRecords)
+{
+    TL_CHECK(chunkRecords > 0,
+             "writeChunkedTraceBytes: chunkRecords must be positive");
+    std::string out = headerBytes(trace.size(), chunkRecords);
+    std::vector<ChunkedTraceIndex::Chunk> chunks;
+    std::size_t i = 0;
+    std::uint64_t firstRecord = 0;
+    while (i < trace.size()) {
+        std::uint32_t records = static_cast<std::uint32_t>(
+            std::min<std::size_t>(chunkRecords, trace.size() - i));
+        std::uint64_t offset = out.size();
+        std::string payload;
+        payload.reserve(static_cast<std::size_t>(records) *
+                        recordPayloadBytes);
+        for (std::uint32_t r = 0; r < records; ++r) {
+            unsigned char bytes[recordPayloadBytes];
+            storeRecordPayload(trace[i + r], bytes);
+            payload.append(reinterpret_cast<const char *>(bytes),
+                           recordPayloadBytes);
+        }
+        out += payload;
+        appendU32(out, chunkCrc(records, chunks.size(), payload.data(),
+                                payload.size()));
+        chunks.push_back({offset, records, firstRecord});
+        firstRecord += records;
+        i += records;
+    }
+    out += footerAndTrailerBytes(chunks, out.size());
+    return out;
+}
+
+StatusOr<ChunkedTraceIndex>
+indexChunkedTrace(std::string_view bytes,
+                  const TraceReadOptions &options)
+{
+    const auto *data =
+        reinterpret_cast<const unsigned char *>(bytes.data());
+    if (bytes.size() < headerSize)
+        return corruptDataError("truncated chunked trace header");
+    if (std::memcmp(data, chunkedMagic, 4) != 0)
+        return corruptDataError("not a binary trace (bad magic)");
+    std::uint32_t version = loadWireU32(data + 4);
+    if (version != chunkedTraceFormatVersion)
+        return corruptDataError(
+            "not a chunked trace (format version %u)", version);
+    // Header damage is never salvaged, matching the v2 policy: with
+    // the chunk size unknown there is no layout to scan against.
+    if (crc32(data, headerSize - 4) != loadWireU32(data + 20))
+        return corruptDataError(
+            "corrupt chunked trace: header checksum mismatch");
+    ChunkedTraceIndex index;
+    index.announcedRecords = loadWireU64(data + 8);
+    index.chunkRecords = loadWireU32(data + 16);
+    if (index.chunkRecords == 0)
+        return corruptDataError(
+            "corrupt chunked trace: zero records per chunk");
+
+    Status footer = parseFooter(bytes, index);
+    if (footer.ok())
+        return index;
+    if (!options.salvageTruncated)
+        return footer;
+    scanChunks(bytes, index);
+    warn("%s: salvaged %llu of %llu records across %zu chunks",
+         footer.message().c_str(),
+         static_cast<unsigned long long>(index.recordCount),
+         static_cast<unsigned long long>(index.announcedRecords),
+         index.chunks.size());
+    return index;
+}
+
+Status
+decodeChunk(std::string_view bytes, const ChunkedTraceIndex &index,
+            std::size_t chunk, FlatTrace &window)
+{
+    if (chunk >= index.chunks.size())
+        return invalidArgumentError(
+            "chunk %zu out of range (trace has %zu chunks)", chunk,
+            index.chunks.size());
+    const ChunkedTraceIndex::Chunk &entry = index.chunks[chunk];
+    const auto *data =
+        reinterpret_cast<const unsigned char *>(bytes.data());
+    std::uint64_t payloadBytes =
+        static_cast<std::uint64_t>(entry.records) * recordPayloadBytes;
+    if (entry.offset + payloadBytes + 4 > bytes.size())
+        return corruptDataError(
+            "corrupt chunked trace: chunk %zu overruns the file",
+            chunk);
+    std::uint32_t stored = loadWireU32(data + entry.offset +
+                                       payloadBytes);
+    std::uint32_t computed = chunkCrc(entry.records, chunk,
+                                      data + entry.offset,
+                                      payloadBytes);
+    if (stored != computed) {
+        return corruptDataError(
+            "corrupt chunked trace: checksum mismatch in chunk %zu of "
+            "%zu (stored %08x, computed %08x)",
+            chunk, index.chunks.size(), stored, computed);
+    }
+    window.clear();
+    const unsigned char *payload = data + entry.offset;
+    for (std::uint32_t r = 0; r < entry.records; ++r) {
+        BranchRecord record;
+        TL_RETURN_IF_ERROR(decodeRecordPayload(
+            payload + static_cast<std::size_t>(r) * recordPayloadBytes,
+            entry.firstRecord + r, record));
+        window.append(record);
+    }
+    return Status();
+}
+
+StatusOr<Trace>
+tryReadChunkedTrace(std::string_view bytes,
+                    const TraceReadOptions &options,
+                    TraceReadStats *stats)
+{
+    if (stats)
+        *stats = TraceReadStats{};
+    TL_ASSIGN_OR_RETURN(ChunkedTraceIndex index,
+                        indexChunkedTrace(bytes, options));
+    Trace trace;
+    FlatTrace window;
+    for (std::size_t chunk = 0; chunk < index.chunks.size(); ++chunk) {
+        Status decoded = decodeChunk(bytes, index, chunk, window);
+        if (!decoded.ok()) {
+            if (!options.salvageTruncated)
+                return decoded;
+            warn("%s: salvaged %llu of %llu records",
+                 decoded.message().c_str(),
+                 static_cast<unsigned long long>(trace.size()),
+                 static_cast<unsigned long long>(
+                     index.announcedRecords));
+            if (stats) {
+                stats->salvaged = true;
+                stats->droppedRecords =
+                    index.announcedRecords - trace.size();
+            }
+            return trace;
+        }
+        for (std::size_t r = 0; r < window.size(); ++r)
+            trace.append(window.toRecord(r));
+    }
+    if (stats && index.salvaged) {
+        stats->salvaged = true;
+        stats->droppedRecords = index.droppedRecords();
+    }
+    return trace;
+}
+
+StatusOr<ChunkedTraceSource>
+ChunkedTraceSource::open(const std::string &path,
+                         const TraceReadOptions &options)
+{
+    ChunkedTraceSource source;
+    source.options_ = options;
+#ifdef TL_CHUNKED_MMAP
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return notFoundError("cannot open '%s' for reading",
+                             path.c_str());
+    struct stat st = {};
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+        void *map = ::mmap(nullptr,
+                           static_cast<std::size_t>(st.st_size),
+                           PROT_READ, MAP_PRIVATE, fd, 0);
+        if (map != MAP_FAILED) {
+            source.map_ = map;
+            source.mapSize_ = static_cast<std::size_t>(st.st_size);
+#ifdef MADV_SEQUENTIAL
+            ::madvise(map, source.mapSize_, MADV_SEQUENTIAL);
+#endif
+        }
+    }
+    ::close(fd);
+#endif
+    if (!source.map_) {
+        // mmap unavailable (platform, filesystem, empty file): fall
+        // back to a buffered whole-file read.
+        std::ifstream in(path, std::ios::in | std::ios::binary);
+        if (!in)
+            return notFoundError("cannot open '%s' for reading",
+                                 path.c_str());
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        source.fallback_ = std::move(buffer).str();
+    }
+    TL_ASSIGN_OR_RETURN(source.index_,
+                        indexChunkedTrace(source.bytes(), options));
+    return source;
+}
+
+ChunkedTraceSource::~ChunkedTraceSource()
+{
+    unmap();
+}
+
+ChunkedTraceSource::ChunkedTraceSource(
+    ChunkedTraceSource &&other) noexcept
+    : map_(other.map_), mapSize_(other.mapSize_),
+      fallback_(std::move(other.fallback_)),
+      droppedBytes_(other.droppedBytes_), options_(other.options_),
+      index_(std::move(other.index_)),
+      window_(std::move(other.window_)), nextChunk_(other.nextChunk_),
+      pos_(other.pos_), status_(std::move(other.status_))
+{
+    other.map_ = nullptr;
+    other.mapSize_ = 0;
+}
+
+ChunkedTraceSource &
+ChunkedTraceSource::operator=(ChunkedTraceSource &&other) noexcept
+{
+    if (this != &other) {
+        unmap();
+        map_ = other.map_;
+        mapSize_ = other.mapSize_;
+        fallback_ = std::move(other.fallback_);
+        droppedBytes_ = other.droppedBytes_;
+        options_ = other.options_;
+        index_ = std::move(other.index_);
+        window_ = std::move(other.window_);
+        nextChunk_ = other.nextChunk_;
+        pos_ = other.pos_;
+        status_ = std::move(other.status_);
+        other.map_ = nullptr;
+        other.mapSize_ = 0;
+    }
+    return *this;
+}
+
+void
+ChunkedTraceSource::unmap()
+{
+#ifdef TL_CHUNKED_MMAP
+    if (map_) {
+        ::munmap(map_, mapSize_);
+        map_ = nullptr;
+        mapSize_ = 0;
+    }
+#endif
+}
+
+std::string_view
+ChunkedTraceSource::bytes() const
+{
+    if (map_)
+        return {static_cast<const char *>(map_), mapSize_};
+    return fallback_;
+}
+
+void
+ChunkedTraceSource::dropPagesBefore(std::uint64_t offset)
+{
+#if defined(TL_CHUNKED_MMAP) && defined(MADV_DONTNEED)
+    if (!map_)
+        return;
+    static const std::uint64_t pageSize =
+        static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+    std::uint64_t aligned = offset & ~(pageSize - 1);
+    if (aligned <= droppedBytes_)
+        return;
+    ::madvise(static_cast<char *>(map_) + droppedBytes_,
+              static_cast<std::size_t>(aligned - droppedBytes_),
+              MADV_DONTNEED);
+    droppedBytes_ = aligned;
+#else
+    (void)offset;
+#endif
+}
+
+Status
+ChunkedTraceSource::loadWindow(std::size_t chunk, FlatTrace &window)
+{
+    TL_RETURN_IF_ERROR(decodeChunk(bytes(), index_, chunk, window));
+    // The run replays forward, so everything before this chunk is
+    // consumed: release its pages and keep resident memory bounded by
+    // a single chunk. Dropped pages refault from the page cache if a
+    // rewind ever revisits them.
+    dropPagesBefore(index_.chunks[chunk].offset);
+    return Status();
+}
+
+bool
+ChunkedTraceSource::next(BranchRecord &record)
+{
+    while (pos_ >= window_.size()) {
+        if (!status_.ok() || nextChunk_ >= chunkCount())
+            return false;
+        Status loaded = loadWindow(nextChunk_, window_);
+        if (!loaded.ok()) {
+            if (salvageDamage()) {
+                warn("%s — ending replay at the valid prefix",
+                     loaded.message().c_str());
+            } else {
+                status_ = loaded;
+            }
+            nextChunk_ = chunkCount();
+            window_.clear();
+            pos_ = 0;
+            return false;
+        }
+        ++nextChunk_;
+        pos_ = 0;
+    }
+    record = window_.toRecord(pos_++);
+    return true;
+}
+
+void
+ChunkedTraceSource::rewind()
+{
+    nextChunk_ = 0;
+    pos_ = 0;
+    window_.clear();
+    status_ = Status();
+}
+
+Status
+ChunkWindowSupplier::reset()
+{
+    nextChunk_ = 0;
+    return Status();
+}
+
+StatusOr<bool>
+ChunkWindowSupplier::nextWindow(FlatTrace &window)
+{
+    if (nextChunk_ >= source_->chunkCount())
+        return false;
+    Status loaded = source_->loadWindow(nextChunk_, window);
+    if (!loaded.ok()) {
+        if (source_->salvageDamage()) {
+            warn("%s — ending stream at the valid prefix",
+                 loaded.message().c_str());
+            nextChunk_ = source_->chunkCount();
+            return false;
+        }
+        return loaded;
+    }
+    ++nextChunk_;
+    return true;
+}
+
+Status
+GeneratorWindowSupplier::reset()
+{
+    if (!factory_)
+        return failedPreconditionError(
+            "generator window supplier: no source factory");
+    if (windowRecords_ == 0)
+        return invalidArgumentError(
+            "generator window supplier: windowRecords must be "
+            "positive");
+    source_ = factory_();
+    if (!source_)
+        return failedPreconditionError(
+            "generator window supplier: factory returned no source");
+    conditionalSeen_ = 0;
+    done_ = false;
+    return Status();
+}
+
+StatusOr<bool>
+GeneratorWindowSupplier::nextWindow(FlatTrace &window)
+{
+    if (!source_ && !done_)
+        TL_RETURN_IF_ERROR(reset());
+    if (done_)
+        return false;
+    window.clear();
+    BranchRecord record;
+    while (window.size() < windowRecords_) {
+        if (maxConditional_ && conditionalSeen_ >= maxConditional_) {
+            done_ = true;
+            break;
+        }
+        if (!source_->next(record)) {
+            done_ = true;
+            break;
+        }
+        window.append(record);
+        if (record.isConditional())
+            ++conditionalSeen_;
+    }
+    return !window.empty();
+}
+
+} // namespace tl

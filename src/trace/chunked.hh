@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Trace format v3: a chunked, mmap-able binary layout plus the
+ * streaming sources that let 20M+ branch traces run through a fixed
+ * memory budget (ROADMAP item 2) instead of materializing a Trace.
+ *
+ * Layout, all integers little-endian:
+ *
+ *   header:  "TLBT" | u32 version = 3 | u64 record count
+ *            | u32 chunkRecords | u32 crc32(preceding 20 bytes)
+ *   chunk i: r_i x 24-byte record payloads (the v2 payload encoding)
+ *            | u32 crc32( u64-LE r_i || u64-LE i || payloads )
+ *   footer:  "TLCF" | u64 numChunks
+ *            | numChunks x { u64 chunkOffset | u32 chunkRecords }
+ *            | u32 crc32(footer bytes before this field)
+ *   trailer: u64 footerOffset
+ *            | u32 crc32( u64-LE footerOffset || "TLCF" )
+ *
+ * Every chunk except the last holds exactly chunkRecords records; the
+ * chunk CRC reuses the v2 frame scheme (count-and-index salting, see
+ * trace/io.hh) with the per-chunk record count standing in for the
+ * file total, which a streaming writer does not know yet. The fixed
+ * 12-byte trailer locates the footer from the end of the file, so a
+ * reader seeks straight to the index without scanning; a torn footer
+ * or trailer is recoverable by rescanning chunks from the front.
+ *
+ * The record count header field is back-patched when the writer
+ * finishes; a file whose writer died mid-stream announces 0 records
+ * and is recovered (salvage mode) by scanning for CRC-valid chunks.
+ *
+ * v1/v2 files remain readable through trace/io.hh, which routes
+ * version-3 bytes here.
+ */
+
+#ifndef TL_TRACE_CHUNKED_HH
+#define TL_TRACE_CHUNKED_HH
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/flat.hh"
+#include "trace/io.hh"
+#include "trace/trace.hh"
+#include "util/status_or.hh"
+
+namespace tl
+{
+
+/** Records per chunk written by default (~1.5 MiB of payload). */
+constexpr std::uint32_t defaultChunkRecords = 65536;
+
+/**
+ * Incremental v3 writer: records stream in one at a time, chunks are
+ * flushed as they fill, and finish() writes the footer index and
+ * back-patches the header's record count. A writer that is destroyed
+ * (or abandoned) without finish() leaves a file that salvage-mode
+ * readers recover chunk by chunk.
+ */
+class ChunkedTraceWriter
+{
+  public:
+    ChunkedTraceWriter() = default;
+    ~ChunkedTraceWriter();
+
+    ChunkedTraceWriter(const ChunkedTraceWriter &) = delete;
+    ChunkedTraceWriter &operator=(const ChunkedTraceWriter &) = delete;
+
+    /** Create (truncate) @p path and write the streaming header. */
+    [[nodiscard]] Status open(const std::string &path,
+                              std::uint32_t chunkRecords =
+                                  defaultChunkRecords);
+
+    /** Append one record, flushing a chunk when it fills. */
+    [[nodiscard]] Status append(const BranchRecord &record);
+
+    /** Drain @p source to the file. */
+    [[nodiscard]] Status appendAll(TraceSource &source);
+
+    /** Records appended so far. */
+    std::uint64_t recordsWritten() const { return records_; }
+
+    /** Seal the file: final chunk, footer, trailer, header patch. */
+    [[nodiscard]] Status finish();
+
+    /** Close without sealing (the destructor's behavior). */
+    void abandon();
+
+  private:
+    Status flushChunk();
+
+    std::FILE *file_ = nullptr;
+    std::string path_;
+    std::uint32_t chunkRecords_ = 0;
+    std::uint64_t records_ = 0;
+    std::string pending_;                //!< current chunk's payloads
+    std::uint32_t pendingRecords_ = 0;
+    struct ChunkEntry
+    {
+        std::uint64_t offset;
+        std::uint32_t records;
+    };
+    std::vector<ChunkEntry> chunks_;
+};
+
+/** Serialize @p trace as v3 bytes (tests, fuzzing, io-free callers). */
+std::string writeChunkedTraceBytes(const Trace &trace,
+                                   std::uint32_t chunkRecords =
+                                       defaultChunkRecords);
+
+/**
+ * The parsed chunk index of a v3 byte range: where every chunk lives
+ * and how many records it holds. Chunk payload CRCs are validated
+ * lazily, when a chunk is decoded — not while indexing — so opening a
+ * large file costs a header, footer and trailer read only.
+ */
+struct ChunkedTraceIndex
+{
+    struct Chunk
+    {
+        std::uint64_t offset = 0; //!< byte offset of the first payload
+        std::uint32_t records = 0;
+        std::uint64_t firstRecord = 0; //!< global index of record 0
+    };
+
+    std::uint64_t recordCount = 0; //!< records covered by `chunks`
+    std::uint64_t announcedRecords = 0; //!< header's record count
+    std::uint32_t chunkRecords = 0;     //!< nominal records per chunk
+    std::vector<Chunk> chunks;
+    bool salvaged = false; //!< index rebuilt around damage
+
+    /** Records the header announced but the index cannot reach. */
+    std::uint64_t
+    droppedRecords() const
+    {
+        return announcedRecords > recordCount
+                   ? announcedRecords - recordCount
+                   : 0;
+    }
+};
+
+/**
+ * Parse the header, footer and trailer of v3 @p bytes into an index.
+ *
+ * Fails with StatusCode::CorruptData on bad magic/version, a header
+ * CRC mismatch, or (without salvage) a damaged footer or trailer.
+ * With options.salvageTruncated, a torn footer/trailer — or a file
+ * whose writer never finished — is recovered by scanning chunks from
+ * the front and keeping the CRC-valid prefix.
+ */
+[[nodiscard]] StatusOr<ChunkedTraceIndex>
+indexChunkedTrace(std::string_view bytes,
+                  const TraceReadOptions &options = {});
+
+/**
+ * Decode chunk @p chunk of @p bytes into @p window (cleared first),
+ * verifying the chunk CRC. @p bytes must be the same byte range
+ * @p index was built from.
+ */
+[[nodiscard]] Status decodeChunk(std::string_view bytes,
+                                 const ChunkedTraceIndex &index,
+                                 std::size_t chunk, FlatTrace &window);
+
+/**
+ * Materialize a whole v3 byte range as a Trace — the compatibility
+ * path behind tryLoadTrace() for version-3 files. Salvage semantics
+ * match tryReadBinaryTrace(): the valid chunk prefix is returned and
+ * the drop is warn()ed and reported via @p stats.
+ */
+[[nodiscard]] StatusOr<Trace>
+tryReadChunkedTrace(std::string_view bytes,
+                    const TraceReadOptions &options = {},
+                    TraceReadStats *stats = nullptr);
+
+/**
+ * A v3 file opened for streaming replay: the file is mmap()ed (with a
+ * buffered-read fallback), one chunk at a time is decoded into an
+ * internal FlatTrace window, and consumed pages are released with
+ * madvise(MADV_DONTNEED) — so resident memory stays bounded by one
+ * chunk regardless of trace length. Models concepts::TraceSource;
+ * next() replays records in order across chunk boundaries.
+ *
+ * Damage handling follows the TraceSource idiom: next() ends the
+ * stream and status() reports why (OK at a clean end of trace). Each
+ * simulation cell opens its own instance, so page drops and window
+ * state never race across threads.
+ */
+class ChunkedTraceSource : public TraceSource
+{
+  public:
+    /** Open and index @p path. */
+    static StatusOr<ChunkedTraceSource>
+    open(const std::string &path, const TraceReadOptions &options = {});
+
+    ~ChunkedTraceSource() override;
+
+    ChunkedTraceSource(ChunkedTraceSource &&other) noexcept;
+    ChunkedTraceSource &operator=(ChunkedTraceSource &&other) noexcept;
+    ChunkedTraceSource(const ChunkedTraceSource &) = delete;
+    ChunkedTraceSource &operator=(const ChunkedTraceSource &) = delete;
+
+    /** The chunk index (offsets, counts, salvage provenance). */
+    const ChunkedTraceIndex &index() const { return index_; }
+
+    /** Total records reachable through the index. */
+    std::uint64_t recordCount() const { return index_.recordCount; }
+
+    /** Number of chunks. */
+    std::size_t chunkCount() const { return index_.chunks.size(); }
+
+    /** True when opened with salvage and the index was rebuilt. */
+    bool salvaged() const { return index_.salvaged; }
+
+    /** Salvage damaged chunks at replay time (from open options). */
+    bool salvageDamage() const { return options_.salvageTruncated; }
+
+    /**
+     * Decode chunk @p chunk into @p window (CRC-verified) and release
+     * the pages of every earlier chunk.
+     */
+    [[nodiscard]] Status loadWindow(std::size_t chunk,
+                                    FlatTrace &window);
+
+    /** Produce the next record (TraceSource protocol). */
+    bool next(BranchRecord &record) override;
+
+    /** Restart replay from the first chunk. */
+    void rewind();
+
+    /** Why next() stopped early; OK at a clean end of stream. */
+    const Status &status() const { return status_; }
+
+  private:
+    ChunkedTraceSource() = default;
+
+    std::string_view bytes() const;
+    void dropPagesBefore(std::uint64_t offset);
+    void unmap();
+
+    void *map_ = nullptr;       //!< mmap base (nullptr = fallback)
+    std::size_t mapSize_ = 0;
+    std::string fallback_;      //!< whole file when mmap unavailable
+    std::uint64_t droppedBytes_ = 0; //!< page-drop high-water mark
+    TraceReadOptions options_;
+    ChunkedTraceIndex index_;
+
+    // Streaming replay state (next()).
+    FlatTrace window_;
+    std::size_t nextChunk_ = 0; //!< next chunk to load
+    std::size_t pos_ = 0;       //!< replay position inside window_
+    Status status_;
+};
+
+/**
+ * The unit of streaming simulation: a supplier hands out consecutive
+ * FlatTrace windows of a logical trace. sim/streaming.hh drives a
+ * predictor across the windows with state carried in between, which
+ * is what makes streamed results counter-identical to materialized
+ * ones.
+ */
+class WindowSupplier
+{
+  public:
+    virtual ~WindowSupplier() = default;
+
+    /** Rewind to the start of the stream (deterministic replay). */
+    [[nodiscard]] virtual Status reset() = 0;
+
+    /**
+     * Fill @p window with the next window of records. Returns false
+     * at a clean end of stream, an error Status on damage (or, when
+     * the underlying source salvages, ends the stream early instead).
+     */
+    [[nodiscard]] virtual StatusOr<bool>
+    nextWindow(FlatTrace &window) = 0;
+};
+
+/** Windows a ChunkedTraceSource one chunk at a time, zero-copy. */
+class ChunkWindowSupplier : public WindowSupplier
+{
+  public:
+    explicit ChunkWindowSupplier(ChunkedTraceSource &source)
+        : source_(&source)
+    {
+    }
+
+    [[nodiscard]] Status reset() override;
+    [[nodiscard]] StatusOr<bool> nextWindow(FlatTrace &window) override;
+
+  private:
+    ChunkedTraceSource *source_;
+    std::size_t nextChunk_ = 0;
+};
+
+/**
+ * The generator-as-source wrapper: streams any TraceSource factory
+ * (synthetic workloads, ISA captures) window by window without ever
+ * materializing the whole trace. reset() recreates the source from
+ * the factory, so deterministic generators replay the identical
+ * stream. An optional conditional-branch cap mirrors
+ * Trace::appendConditionalLimited(): generation stops once
+ * @p maxConditional conditional branches have been emitted.
+ */
+class GeneratorWindowSupplier : public WindowSupplier
+{
+  public:
+    using Factory = std::function<std::unique_ptr<TraceSource>()>;
+
+    GeneratorWindowSupplier(Factory factory,
+                            std::uint32_t windowRecords,
+                            std::uint64_t maxConditional = 0)
+        : factory_(std::move(factory)), windowRecords_(windowRecords),
+          maxConditional_(maxConditional)
+    {
+    }
+
+    [[nodiscard]] Status reset() override;
+    [[nodiscard]] StatusOr<bool> nextWindow(FlatTrace &window) override;
+
+  private:
+    Factory factory_;
+    std::uint32_t windowRecords_;
+    std::uint64_t maxConditional_;
+    std::unique_ptr<TraceSource> source_;
+    std::uint64_t conditionalSeen_ = 0;
+    bool done_ = false;
+};
+
+} // namespace tl
+
+#endif // TL_TRACE_CHUNKED_HH

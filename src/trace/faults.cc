@@ -1,7 +1,9 @@
 #include "trace/faults.hh"
 
 #include <cstring>
+#include <utility>
 
+#include "trace/io.hh"
 #include "util/random.hh"
 
 namespace tl
@@ -111,6 +113,112 @@ garbageBytes(std::string bytes, Rng &rng)
     return bytes;
 }
 
+/**
+ * The v3 chunked layout mirrored from trace/chunked.cc, parsed just
+ * far enough to aim a fault: chunk table (offset, records) plus the
+ * footer offset. No checksum verification — the input is a healthy
+ * file the caller is about to damage.
+ */
+struct V3Layout
+{
+    bool valid = false;
+    std::vector<std::pair<std::size_t, std::uint32_t>> chunks;
+    std::size_t footerOffset = 0;
+};
+
+V3Layout
+v3Layout(const std::string &bytes)
+{
+    constexpr std::size_t header = 24, trailer = 12, footerFixed = 12,
+                          entry = 12;
+    V3Layout layout;
+    if (bytes.size() < header + footerFixed + trailer ||
+        std::memcmp(bytes.data(), "TLBT", 4) != 0) {
+        return layout;
+    }
+    const auto *data =
+        reinterpret_cast<const unsigned char *>(bytes.data());
+    if (detail::loadWireU32(data + 4) != chunkedTraceFormatVersion)
+        return layout;
+    std::uint64_t footerOffset =
+        detail::loadWireU64(data + bytes.size() - trailer);
+    if (footerOffset < header ||
+        footerOffset + footerFixed > bytes.size() - trailer ||
+        std::memcmp(bytes.data() + footerOffset, "TLCF", 4) != 0) {
+        return layout;
+    }
+    std::uint64_t numChunks =
+        detail::loadWireU64(data + footerOffset + 4);
+    if (numChunks > bytes.size() / entry ||
+        footerOffset + footerFixed + numChunks * entry >
+            bytes.size() - trailer) {
+        return layout;
+    }
+    layout.chunks.reserve(numChunks);
+    for (std::uint64_t i = 0; i < numChunks; ++i) {
+        const unsigned char *at =
+            data + footerOffset + footerFixed + i * entry;
+        layout.chunks.emplace_back(
+            static_cast<std::size_t>(detail::loadWireU64(at)),
+            detail::loadWireU32(at + 8));
+    }
+    layout.footerOffset = static_cast<std::size_t>(footerOffset);
+    layout.valid = true;
+    return layout;
+}
+
+std::string
+tornFooter(const std::string &bytes, Rng &rng)
+{
+    V3Layout layout = v3Layout(bytes);
+    if (!layout.valid)
+        return truncateTail(bytes, rng);
+    // Cut anywhere from the footer's first byte to just short of the
+    // end: every chunk payload survives, but the index or trailer is
+    // torn — the shape a died-during-finish() writer leaves.
+    std::size_t keep =
+        layout.footerOffset +
+        rng.nextBelow(bytes.size() - layout.footerOffset);
+    return bytes.substr(0, keep);
+}
+
+std::string
+badChunkCrc(const std::string &bytes, Rng &rng)
+{
+    V3Layout layout = v3Layout(bytes);
+    if (!layout.valid || layout.chunks.empty())
+        return garbageBytes(bytes, rng);
+    auto [offset, records] =
+        layout.chunks[rng.nextBelow(layout.chunks.size())];
+    std::size_t crcAt =
+        offset + static_cast<std::size_t>(records) *
+                     detail::recordPayloadBytes +
+        rng.nextBelow(4);
+    if (crcAt >= bytes.size())
+        return garbageBytes(bytes, rng);
+    std::string out = bytes;
+    out[crcAt] = static_cast<char>(
+        static_cast<unsigned char>(out[crcAt]) ^
+        static_cast<unsigned char>(1 + rng.nextBelow(255)));
+    return out;
+}
+
+std::string
+truncateFinalChunk(const std::string &bytes, Rng &rng)
+{
+    V3Layout layout = v3Layout(bytes);
+    if (!layout.valid || layout.chunks.empty())
+        return truncateTail(bytes, rng);
+    // Cut strictly inside the last chunk (past its first byte, before
+    // its checksum ends): full predecessor chunks stay salvageable.
+    std::size_t begin = layout.chunks.back().first;
+    std::size_t span = layout.footerOffset - begin;
+    if (span < 2)
+        return truncateTail(bytes, rng);
+    std::size_t keep = begin + 1 + rng.nextBelow(span - 1);
+    return bytes.substr(0, keep);
+}
+
 std::string
 garbageLine(const std::string &bytes, Rng &rng)
 {
@@ -145,6 +253,9 @@ faultKindName(FaultKind kind)
       case FaultKind::ReorderRecords: return "reorder-records";
       case FaultKind::GarbageBytes: return "garbage-bytes";
       case FaultKind::GarbageLine: return "garbage-line";
+      case FaultKind::TornFooter: return "torn-footer";
+      case FaultKind::BadChunkCrc: return "bad-chunk-crc";
+      case FaultKind::TruncateFinalChunk: return "truncate-final-chunk";
     }
     return "unknown";
 }
@@ -152,9 +263,11 @@ faultKindName(FaultKind kind)
 std::vector<FaultKind>
 allFaultKinds()
 {
-    return {FaultKind::BitFlip,         FaultKind::Truncate,
+    return {FaultKind::BitFlip,      FaultKind::Truncate,
             FaultKind::DuplicateRecord, FaultKind::ReorderRecords,
-            FaultKind::GarbageBytes,    FaultKind::GarbageLine};
+            FaultKind::GarbageBytes, FaultKind::GarbageLine,
+            FaultKind::TornFooter,   FaultKind::BadChunkCrc,
+            FaultKind::TruncateFinalChunk};
 }
 
 std::string
@@ -183,6 +296,15 @@ injectFault(const std::string &bytes, FaultKind kind,
         break;
       case FaultKind::GarbageLine:
         out = garbageLine(bytes, rng);
+        break;
+      case FaultKind::TornFooter:
+        out = tornFooter(bytes, rng);
+        break;
+      case FaultKind::BadChunkCrc:
+        out = badChunkCrc(bytes, rng);
+        break;
+      case FaultKind::TruncateFinalChunk:
+        out = truncateFinalChunk(bytes, rng);
         break;
       default:
         out = flipOneBit(bytes, rng);

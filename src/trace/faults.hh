@@ -34,10 +34,13 @@ enum class FaultKind
     ReorderRecords,  //!< swap two adjacent record frames
     GarbageBytes,    //!< overwrite a random run with random bytes
     GarbageLine,     //!< splice a non-record line (text traces)
+    TornFooter,      //!< cut a v3 file inside its footer/trailer
+    BadChunkCrc,     //!< corrupt one v3 chunk checksum
+    TruncateFinalChunk, //!< cut a v3 file inside its last chunk
 };
 
 /** Number of distinct fault kinds. */
-constexpr unsigned numFaultKinds = 6;
+constexpr unsigned numFaultKinds = 9;
 
 /** Short printable name for a fault kind. */
 const char *faultKindName(FaultKind kind);
@@ -52,6 +55,10 @@ std::vector<FaultKind> allFaultKinds();
  * layout and operate on whole frames when @p bytes is a v2 binary
  * trace with enough records; on any other input (text traces, v1,
  * tiny files) they degrade to duplicating/swapping raw byte runs.
+ * TornFooter, BadChunkCrc and TruncateFinalChunk understand the
+ * chunked v3 layout (trace/chunked.hh) and target its footer index,
+ * a chunk checksum, and the final chunk's payload respectively; on
+ * non-v3 input they degrade to Truncate / GarbageBytes / Truncate.
  * The result always differs from the input unless @p bytes is empty.
  */
 std::string injectFault(const std::string &bytes, FaultKind kind,

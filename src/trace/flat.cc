@@ -8,32 +8,45 @@ namespace tl
 FlatTrace::FlatTrace(const Trace &trace)
 {
     const std::size_t n = trace.size();
-    TL_CHECK(n < kCondTakenFlag,
-             "flat trace: %zu records overflow the 31-bit conditional "
-             "index",
-             n);
     pc_.reserve(n);
     target_.reserve(n);
     instsSince_.reserve(n);
     meta_.reserve(n);
     prefixInsts_.reserve(n + 1);
-    prefixInsts_.push_back(0);
-    std::uint64_t insts = 0;
-    std::uint32_t index = 0;
-    for (const BranchRecord &record : trace.records()) {
-        pc_.push_back(record.pc);
-        target_.push_back(record.target);
-        instsSince_.push_back(record.instsSince);
-        meta_.push_back(
-            packMeta(record.cls, record.taken, record.trap));
-        insts += record.instsSince;
-        prefixInsts_.push_back(insts);
-        if (record.cls == BranchClass::Conditional) {
-            condPos_.push_back(
-                index | (record.taken ? kCondTakenFlag : 0));
-        }
-        ++index;
+    for (const BranchRecord &record : trace.records())
+        append(record);
+}
+
+void
+FlatTrace::append(const BranchRecord &record)
+{
+    const std::size_t index = pc_.size();
+    TL_CHECK(index + 1 < kCondTakenFlag,
+             "flat trace: %zu records overflow the 31-bit conditional "
+             "index",
+             index + 1);
+    if (prefixInsts_.empty())
+        prefixInsts_.push_back(0);
+    pc_.push_back(record.pc);
+    target_.push_back(record.target);
+    instsSince_.push_back(record.instsSince);
+    meta_.push_back(packMeta(record.cls, record.taken, record.trap));
+    prefixInsts_.push_back(prefixInsts_.back() + record.instsSince);
+    if (record.cls == BranchClass::Conditional) {
+        condPos_.push_back(static_cast<std::uint32_t>(index) |
+                           (record.taken ? kCondTakenFlag : 0));
     }
+}
+
+void
+FlatTrace::clear()
+{
+    pc_.clear();
+    target_.clear();
+    instsSince_.clear();
+    meta_.clear();
+    condPos_.clear();
+    prefixInsts_.clear();
 }
 
 BranchRecord

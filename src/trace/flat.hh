@@ -38,6 +38,16 @@ class FlatTrace
     /** Transpose @p trace (a pure, lossless re-encoding). */
     explicit FlatTrace(const Trace &trace);
 
+    /**
+     * Append one record, maintaining every derived index; the chunked
+     * readers (trace/chunked.hh) decode windows record by record into
+     * a reusable FlatTrace instead of round-tripping through a Trace.
+     */
+    void append(const BranchRecord &record);
+
+    /** Drop all records, keeping the column capacity for reuse. */
+    void clear();
+
     /** Number of records. */
     std::size_t size() const { return pc_.size(); }
 

@@ -7,6 +7,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "trace/chunked.hh"
 #include "util/crc32.hh"
 #include "util/status.hh"
 #include "util/strings.hh"
@@ -19,8 +20,11 @@ namespace
 
 constexpr char traceMagic[4] = {'T', 'L', 'B', 'T'};
 
-/** Payload bytes per record (pc, target, flags, instsSince). */
-constexpr std::size_t recordPayloadBytes = 24;
+using detail::decodeRecordPayload;
+using detail::loadWireU32;
+using detail::loadWireU64;
+using detail::recordPayloadBytes;
+using detail::storeRecordPayload;
 
 void
 putU32(std::ostream &out, std::uint32_t value)
@@ -38,64 +42,6 @@ putU64(std::ostream &out, std::uint64_t value)
     for (int i = 0; i < 8; ++i)
         bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
     out.write(bytes, 8);
-}
-
-std::uint32_t
-loadU32(const unsigned char *bytes)
-{
-    std::uint32_t value = 0;
-    for (int i = 0; i < 4; ++i)
-        value |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
-    return value;
-}
-
-std::uint64_t
-loadU64(const unsigned char *bytes)
-{
-    std::uint64_t value = 0;
-    for (int i = 0; i < 8; ++i)
-        value |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
-    return value;
-}
-
-void
-storeRecordPayload(const BranchRecord &r,
-                   unsigned char (&payload)[recordPayloadBytes])
-{
-    std::uint32_t flags = static_cast<std::uint32_t>(r.cls) |
-                          (r.taken ? 0x100u : 0u) |
-                          (r.trap ? 0x200u : 0u);
-    for (int i = 0; i < 8; ++i)
-        payload[i] = static_cast<unsigned char>((r.pc >> (8 * i)) & 0xff);
-    for (int i = 0; i < 8; ++i)
-        payload[8 + i] =
-            static_cast<unsigned char>((r.target >> (8 * i)) & 0xff);
-    for (int i = 0; i < 4; ++i)
-        payload[16 + i] =
-            static_cast<unsigned char>((flags >> (8 * i)) & 0xff);
-    for (int i = 0; i < 4; ++i)
-        payload[20 + i] =
-            static_cast<unsigned char>((r.instsSince >> (8 * i)) & 0xff);
-}
-
-Status
-decodeRecordPayload(const unsigned char (&payload)[recordPayloadBytes],
-                    std::uint64_t index, BranchRecord &r)
-{
-    r.pc = loadU64(payload);
-    r.target = loadU64(payload + 8);
-    std::uint32_t flags = loadU32(payload + 16);
-    unsigned cls = flags & 0xff;
-    if (cls >= numBranchClasses) {
-        return corruptDataError(
-            "corrupt binary trace: branch class %u in record %llu", cls,
-            static_cast<unsigned long long>(index));
-    }
-    r.cls = static_cast<BranchClass>(cls);
-    r.taken = (flags & 0x100u) != 0;
-    r.trap = (flags & 0x200u) != 0;
-    r.instsSince = loadU32(payload + 20);
-    return Status();
 }
 
 /**
@@ -207,11 +153,24 @@ tryReadBinaryTrace(std::istream &in, const TraceReadOptions &options,
     unsigned char header[12];
     if (!reader.read(header, sizeof(header)))
         return corruptDataError("truncated binary trace header");
-    std::uint32_t version = loadU32(header);
+    std::uint32_t version = loadWireU32(header);
+    if (version == chunkedTraceFormatVersion) {
+        // The chunked format is indexed from the end of the file
+        // (footer + trailer), so hand the whole byte range to the v3
+        // reader (trace/chunked.hh) instead of framing records here.
+        std::string bytes;
+        bytes.append(magic, 4);
+        bytes.append(reinterpret_cast<const char *>(header),
+                     sizeof(header));
+        std::ostringstream rest;
+        rest << in.rdbuf();
+        bytes += rest.str();
+        return tryReadChunkedTrace(bytes, options, stats);
+    }
     if (version < minTraceFormatVersion || version > traceFormatVersion)
         return corruptDataError("unsupported trace format version %u",
                                 version);
-    std::uint64_t count = loadU64(header + 4);
+    std::uint64_t count = loadWireU64(header + 4);
 
     Trace trace;
     auto salvage = [&](std::uint64_t goodRecords) -> StatusOr<Trace> {
@@ -253,7 +212,7 @@ tryReadBinaryTrace(std::istream &in, const TraceReadOptions &options,
                     static_cast<unsigned long long>(i),
                     static_cast<unsigned long long>(count));
             }
-            std::uint32_t stored = loadU32(crc_bytes);
+            std::uint32_t stored = loadWireU32(crc_bytes);
             std::uint32_t expected = frameCrc(count, i, payload);
             if (stored != expected) {
                 if (options.salvageTruncated)
@@ -450,5 +409,67 @@ loadTrace(const std::string &path)
         fatal("%s", trace.status().message().c_str());
     return *std::move(trace);
 }
+
+namespace detail
+{
+
+std::uint32_t
+loadWireU32(const unsigned char *bytes)
+{
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
+    return value;
+}
+
+std::uint64_t
+loadWireU64(const unsigned char *bytes)
+{
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+    return value;
+}
+
+void
+storeRecordPayload(const BranchRecord &r, unsigned char *payload)
+{
+    std::uint32_t flags = static_cast<std::uint32_t>(r.cls) |
+                          (r.taken ? 0x100u : 0u) |
+                          (r.trap ? 0x200u : 0u);
+    for (int i = 0; i < 8; ++i)
+        payload[i] = static_cast<unsigned char>((r.pc >> (8 * i)) & 0xff);
+    for (int i = 0; i < 8; ++i)
+        payload[8 + i] =
+            static_cast<unsigned char>((r.target >> (8 * i)) & 0xff);
+    for (int i = 0; i < 4; ++i)
+        payload[16 + i] =
+            static_cast<unsigned char>((flags >> (8 * i)) & 0xff);
+    for (int i = 0; i < 4; ++i)
+        payload[20 + i] =
+            static_cast<unsigned char>((r.instsSince >> (8 * i)) & 0xff);
+}
+
+Status
+decodeRecordPayload(const unsigned char *payload, std::uint64_t index,
+                    BranchRecord &r)
+{
+    r.pc = loadWireU64(payload);
+    r.target = loadWireU64(payload + 8);
+    std::uint32_t flags = loadWireU32(payload + 16);
+    unsigned cls = flags & 0xff;
+    if (cls >= numBranchClasses) {
+        return corruptDataError(
+            "corrupt binary trace: branch class %u in record %llu", cls,
+            static_cast<unsigned long long>(index));
+    }
+    r.cls = static_cast<BranchClass>(cls);
+    r.taken = (flags & 0x100u) != 0;
+    r.trap = (flags & 0x200u) != 0;
+    r.instsSince = loadWireU32(payload + 20);
+    return Status();
+}
+
+} // namespace detail
 
 } // namespace tl

@@ -40,8 +40,11 @@
 namespace tl
 {
 
-/** Binary trace format version written by this library. */
+/** Record-framed binary format version written by writeBinaryTrace. */
 constexpr std::uint32_t traceFormatVersion = 2;
+
+/** Chunked binary format version written by trace/chunked.hh. */
+constexpr std::uint32_t chunkedTraceFormatVersion = 3;
 
 /** Oldest binary format version still readable. */
 constexpr std::uint32_t minTraceFormatVersion = 1;
@@ -130,6 +133,24 @@ void saveTrace(const Trace &trace, const std::string &path);
 
 /** Shim around tryLoadTrace(): calls fatal() on failure. */
 [[nodiscard]] Trace loadTrace(const std::string &path);
+
+namespace detail
+{
+
+/** Payload bytes per record (pc, target, flags, instsSince). */
+constexpr std::size_t recordPayloadBytes = 24;
+
+/// @name Record payload codec shared by the v2 and v3 readers
+/// @{
+std::uint32_t loadWireU32(const unsigned char *bytes);
+std::uint64_t loadWireU64(const unsigned char *bytes);
+void storeRecordPayload(const BranchRecord &r, unsigned char *payload);
+[[nodiscard]] Status decodeRecordPayload(const unsigned char *payload,
+                                         std::uint64_t index,
+                                         BranchRecord &r);
+/// @}
+
+} // namespace detail
 
 } // namespace tl
 

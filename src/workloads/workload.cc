@@ -28,6 +28,57 @@ Workload::captureTraining(std::uint64_t maxConditional) const
     return capture(trainingDataset(), maxConditional);
 }
 
+namespace
+{
+
+/**
+ * A running CPU wrapped with the conditional-branch cap of
+ * Trace::appendConditionalLimited(): the record carrying the
+ * maxConditional-th conditional branch is the last one emitted, so
+ * draining this source reproduces capture() record for record.
+ */
+class CappedCaptureSource : public TraceSource
+{
+  public:
+    CappedCaptureSource(isa::Program program, std::uint64_t maxConditional)
+        : cpu_(std::move(program)), maxConditional_(maxConditional)
+    {
+    }
+
+    bool
+    next(BranchRecord &record) override
+    {
+        if (conditionalSeen_ >= maxConditional_)
+            return false;
+        if (!cpu_.next(record))
+            return false;
+        if (record.isConditional())
+            ++conditionalSeen_;
+        return true;
+    }
+
+  private:
+    isa::Cpu cpu_;
+    std::uint64_t maxConditional_;
+    std::uint64_t conditionalSeen_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<TraceSource>
+Workload::openCapture(const std::string &datasetName,
+                      std::uint64_t maxConditional) const
+{
+    return std::make_unique<CappedCaptureSource>(
+        build(dataset(datasetName)), maxConditional);
+}
+
+std::unique_ptr<TraceSource>
+Workload::openTestingCapture(std::uint64_t maxConditional) const
+{
+    return openCapture(testingDataset(), maxConditional);
+}
+
 namespace workload_util
 {
 

@@ -22,6 +22,7 @@
 #define TL_WORKLOADS_WORKLOAD_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,23 @@ class Workload
 
     /** capture() on the training dataset; fatal() when NA. */
     Trace captureTraining(std::uint64_t maxConditional) const;
+
+    /**
+     * Streaming counterpart of capture(): a self-contained
+     * TraceSource (owning the program and CPU) that emits exactly the
+     * records capture(datasetName, maxConditional) would materialize
+     * — without ever holding more than one in memory. The CPU is
+     * deterministic, so two sources from the same call replay
+     * identical streams; this is what lets 20M-branch workloads
+     * stream through a fixed memory budget (sim/streaming.hh).
+     */
+    std::unique_ptr<TraceSource>
+    openCapture(const std::string &datasetName,
+                std::uint64_t maxConditional) const;
+
+    /** openCapture() on the testing dataset. */
+    std::unique_ptr<TraceSource>
+    openTestingCapture(std::uint64_t maxConditional) const;
 };
 
 /**

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fuzz target for the chunked v3 trace layout (trace/chunked.hh):
+ * indexing, per-chunk decoding and whole-trace materialization in
+ * strict and salvage modes. The contract is the trace/faults.hh one —
+ * arbitrary bytes produce a clean Status or a valid trace, never a
+ * crash — plus two v3-specific invariants: a salvaged read is always
+ * a record-for-record prefix-consistent subset reachable through the
+ * rebuilt index, and anything that parses round-trips through
+ * writeChunkedTraceBytes() byte-stably.
+ */
+
+#include "fuzz_driver.hh"
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "trace/chunked.hh"
+#include "trace/io.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace.hh"
+
+namespace
+{
+
+void
+checkChunked(const std::string &bytes)
+{
+    for (bool salvage : {false, true}) {
+        tl::TraceReadOptions options;
+        options.salvageTruncated = salvage;
+
+        // Indexing must never crash; whatever it indexes must be
+        // decodable chunk by chunk or fail with a clean Status.
+        tl::StatusOr<tl::ChunkedTraceIndex> index =
+            tl::indexChunkedTrace(bytes, options);
+        std::uint64_t decodable = 0;
+        if (index.ok()) {
+            if (index->recordCount >
+                bytes.size() / tl::detail::recordPayloadBytes + 1)
+                std::abort(); // index claims more than the bytes hold
+            tl::FlatTrace window;
+            for (std::size_t c = 0; c < index->chunks.size(); ++c) {
+                if (index->chunks[c].firstRecord != decodable)
+                    std::abort(); // index must be gapless, in order
+                if (!tl::decodeChunk(bytes, *index, c, window).ok())
+                    break; // lazily validated damage: clean stop
+                decodable += window.size();
+            }
+        }
+
+        tl::TraceReadStats stats;
+        tl::StatusOr<tl::Trace> trace =
+            tl::tryReadChunkedTrace(bytes, options, &stats);
+        if (!trace.ok())
+            continue;
+        // The materialized read sees exactly the decodable records.
+        if (index.ok() && trace->size() != decodable)
+            std::abort();
+        // Whatever parsed must survive a write/re-read round trip.
+        const std::string again = tl::writeChunkedTraceBytes(*trace);
+        tl::StatusOr<tl::Trace> back = tl::tryReadChunkedTrace(again);
+        if (!back.ok() || !(*back == *trace))
+            std::abort();
+    }
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    std::string bytes(reinterpret_cast<const char *>(data), size);
+    checkChunked(bytes);
+    return 0;
+}
+
+std::vector<std::string>
+fuzzSeedInputs()
+{
+    tl::ClassMixSource::Config config;
+    config.trapProbability = 0.02;
+    tl::ClassMixSource source(config, 160, 99);
+    tl::Trace trace;
+    trace.appendAll(source);
+
+    std::vector<std::string> seeds;
+    // Several chunkings of one trace, so mutations explore chunk
+    // boundaries, a single-chunk file and a degenerate 1-record
+    // chunking; plus the empty trace and a bare header.
+    for (std::uint32_t chunkRecords : {1u, 7u, 64u, 4096u})
+        seeds.push_back(tl::writeChunkedTraceBytes(trace, chunkRecords));
+    seeds.push_back(tl::writeChunkedTraceBytes(tl::Trace{}, 16));
+    seeds.push_back(seeds.back().substr(0, 24));
+    return seeds;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Property-based differential lane for the streaming simulation path:
+ * random (config, trace) pairs from the oracle-lock generators run
+ * once over a materialized FlatTrace and once window by window
+ * (sim/streaming.hh) under a random chunking, and every counter must
+ * agree — the streaming sibling of test_differential.cc's
+ * engine-vs-oracle lock, aimed at chunk-boundary state instead of
+ * predictor state.
+ *
+ * Scale knobs (environment, like the oracle lane):
+ *
+ *   TL_PROPTEST_PAIRS    random pairs to run (default 40)
+ *   TL_PROPTEST_RECORDS  records per trace   (default 2500)
+ *   TL_PROPTEST_SEED     base seed           (default 0x7153)
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "generators.hh"
+#include "predictor/two_level.hh"
+#include "sim/streaming.hh"
+#include "trace/chunked.hh"
+#include "trace/flat.hh"
+#include "util/random.hh"
+
+namespace tl
+{
+namespace
+{
+
+std::uint64_t
+envOr(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    return std::strtoull(value, nullptr, 0);
+}
+
+/** A chunking that probes boundaries: degenerate, small, page-ish. */
+std::uint32_t
+randomChunkRecords(Rng &rng)
+{
+    switch (rng.nextBelow(4)) {
+      case 0: return 1;
+      case 1: return static_cast<std::uint32_t>(2 + rng.nextBelow(62));
+      case 2: return 4096;
+      default:
+        return static_cast<std::uint32_t>(256 + rng.nextBelow(2048));
+    }
+}
+
+TEST(StreamingDifferential, WindowedRunsMatchMaterializedRuns)
+{
+    const std::uint64_t pairs = envOr("TL_PROPTEST_PAIRS", 40);
+    const std::uint64_t records = envOr("TL_PROPTEST_RECORDS", 2500);
+    const std::uint64_t baseSeed = envOr("TL_PROPTEST_SEED", 0x7153);
+
+    for (std::uint64_t pair = 0; pair < pairs; ++pair) {
+        const std::uint64_t pairSeed = baseSeed + pair;
+        Rng rng(pairSeed);
+        const TwoLevelConfig config = proptest::randomConfig(rng);
+        const Trace trace =
+            proptest::randomTrace(rng, config, records);
+        const std::uint32_t chunkRecords = randomChunkRecords(rng);
+
+        SimOptions options;
+        // Half the pairs stop at a random mid-trace budget, probing
+        // budget exhaustion against chunk boundaries; the rest drain.
+        if (rng.nextBelow(2) == 0)
+            options.maxConditionalBranches = 1 + rng.nextBelow(records);
+        if (rng.nextBelow(2) == 0) {
+            options.contextSwitches = true;
+            options.contextSwitchInterval = 16 + rng.nextBelow(512);
+        }
+
+        SCOPED_TRACE("pair seed 0x" +
+                     std::to_string(pairSeed) + " chunk " +
+                     std::to_string(chunkRecords) + " budget " +
+                     std::to_string(options.maxConditionalBranches));
+
+        // Materialized lane: the whole trace in one FlatTrace, the
+        // template-tier fast path.
+        FlatTrace flat(trace);
+        TwoLevelPredictor reference(config);
+        FlatCursor cursor(flat);
+        const SimResult expected = simulate(cursor, reference, options);
+
+        // Streamed lane: identical records through the generator-as-
+        // source wrapper, windowed at the random chunking, the
+        // template-tier streaming path.
+        GeneratorWindowSupplier supplier(
+            [&trace]() {
+                return std::make_unique<TraceReplaySource>(trace);
+            },
+            chunkRecords);
+        StreamCursor stream(supplier);
+        TwoLevelPredictor streamedEngine(config);
+        const SimResult streamed =
+            simulateStream(stream, streamedEngine, options);
+        EXPECT_TRUE(stream.status().ok())
+            << stream.status().toString();
+        EXPECT_EQ(streamed, expected);
+
+        // Every eighth pair additionally round-trips through v3
+        // bytes on disk and streams per-chunk mmap windows — the
+        // full spill-file lane a paper-scale sweep cell runs.
+        if (pair % 8 == 0) {
+            const std::string path =
+                ::testing::TempDir() + "streamdiff_" +
+                std::to_string(pairSeed) + ".tl3";
+            {
+                ChunkedTraceWriter writer;
+                ASSERT_TRUE(writer.open(path, chunkRecords).ok());
+                TraceReplaySource source(trace);
+                ASSERT_TRUE(writer.appendAll(source).ok());
+                ASSERT_TRUE(writer.finish().ok());
+            }
+            StatusOr<ChunkedTraceSource> spill =
+                ChunkedTraceSource::open(path);
+            ASSERT_TRUE(spill.ok()) << spill.status().toString();
+            ChunkWindowSupplier chunkSupplier(*spill);
+            StreamCursor chunkStream(chunkSupplier);
+            TwoLevelPredictor spillEngine(config);
+            const SimResult spilled =
+                simulateStream(chunkStream, spillEngine, options);
+            EXPECT_TRUE(chunkStream.status().ok())
+                << chunkStream.status().toString();
+            EXPECT_EQ(spilled, expected);
+            std::remove(path.c_str());
+        }
+    }
+}
+
+} // namespace
+} // namespace tl

@@ -1,0 +1,637 @@
+/**
+ * @file
+ * Trace format v3 and the streaming simulation path
+ * (trace/chunked.hh, sim/streaming.hh): the streaming-equivalence
+ * battery the chunked layout is locked down by.
+ *
+ * The core contract under test is counter-identity: a simulation
+ * streamed chunk window by chunk window — any chunk size, any scheme,
+ * any automaton, context switches on or off, branch budgets landing
+ * on, inside or past a chunk boundary — produces the exact SimResult,
+ * per-PC attribution snapshot and metrics harvest of the same
+ * simulation over one materialized trace. On top of that: v3
+ * round-trips across chunk sizes, tryLoadTrace() routing, salvage of
+ * unfinished/torn files, the v3-aware fault kinds (trace/faults.hh),
+ * the generator-as-source wrapper, and the streamed sweep-cell path
+ * of WorkloadSuite/runSweepCell.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "predictor/factory.hh"
+#include "sim/attribution.hh"
+#include "sim/experiment.hh"
+#include "sim/manifest.hh"
+#include "sim/streaming.hh"
+#include "sim/sweep.hh"
+#include "trace/chunked.hh"
+#include "trace/faults.hh"
+#include "trace/io.hh"
+#include "trace/synthetic.hh"
+
+namespace tl
+{
+namespace
+{
+
+static_assert(concepts::TraceSource<ChunkedTraceSource>,
+              "ChunkedTraceSource must satisfy concepts::TraceSource");
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+/**
+ * A mixed-class trace with traps and irregular instruction gaps — the
+ * record shapes that stress chunk boundaries, context-switch state
+ * and the v2 payload codec at once.
+ */
+Trace
+mixedTrace(std::uint64_t records, std::uint64_t seed)
+{
+    ClassMixSource::Config config;
+    config.trapProbability = 0.01;
+    ClassMixSource source(config, records, seed);
+    Trace trace;
+    trace.appendAll(source);
+    return trace;
+}
+
+/** Conditional branches among the first @p records records. */
+std::uint64_t
+conditionalsInPrefix(const Trace &trace, std::size_t records)
+{
+    std::uint64_t count = 0;
+    for (std::size_t i = 0; i < records && i < trace.size(); ++i) {
+        if (trace[i].isConditional())
+            ++count;
+    }
+    return count;
+}
+
+/** Serialize @p trace to a v3 file through the incremental writer. */
+std::string
+writeV3File(const Trace &trace, const std::string &name,
+            std::uint32_t chunkRecords)
+{
+    const std::string path = tempPath(name);
+    ChunkedTraceWriter writer;
+    EXPECT_TRUE(writer.open(path, chunkRecords).ok());
+    TraceReplaySource source(trace);
+    EXPECT_TRUE(writer.appendAll(source).ok());
+    EXPECT_TRUE(writer.finish().ok());
+    return path;
+}
+
+/** Canonical text of an attribution snapshot for exact comparison. */
+std::string
+attributionText(const AttributionSnapshot &snapshot)
+{
+    std::string text;
+    for (const auto &entry : snapshot.topPcs.entries()) {
+        text += std::to_string(entry.key) + ":" +
+                std::to_string(entry.count) + ":" +
+                std::to_string(entry.error) + "\n";
+    }
+    text += "cold=" + std::to_string(snapshot.taxonomy.cold);
+    text += " interference=" +
+            std::to_string(snapshot.taxonomy.interference);
+    text += " hysteresis=" +
+            std::to_string(snapshot.taxonomy.hysteresis);
+    text += " unclassified=" +
+            std::to_string(snapshot.taxonomy.unclassified);
+    text += " branches=" + std::to_string(snapshot.branches);
+    text += " misses=" + std::to_string(snapshot.misses);
+    text += " static=" + std::to_string(snapshot.staticBranches);
+    return text;
+}
+
+/** Chunk sizes exercised everywhere: degenerate, prime, large, one. */
+const std::uint32_t kChunkSizes[] = {1, 7, 4096, 1u << 20};
+
+/**
+ * Every implemented Two-Level variation (global/per-address history x
+ * global/per-address pattern tables, finite and ideal BHTs) across
+ * the automaton zoo (LT, A1..A4), so the battery covers each scope
+ * and each counter the streamed hot lanes can devirtualize to.
+ */
+const char *const kSpecs[] = {
+    "GAg(HR(1,,8-sr),1xPHT(256,A2))",
+    "GAg(HR(1,,6-sr),1xPHT(64,A4))",
+    "GAp(HR(1,,8-sr),64xPHT(256,A2))",
+    "PAg(BHT(512,4,10-sr),1xPHT(1024,A1))",
+    "PAg(BHT(256,1,12-sr),1xPHT(4096,A3))",
+    "PAp(BHT(64,2,4-sr),64xPHT(16,LT))",
+    "PAp(IBHT(inf,,6-sr),infxPHT(64,A2))",
+};
+
+TEST(ChunkedTraceFormat, BytesRoundTripAcrossChunkSizes)
+{
+    const Trace trace = mixedTrace(1000, 11);
+    for (std::uint32_t chunkRecords : kChunkSizes) {
+        SCOPED_TRACE("chunkRecords=" + std::to_string(chunkRecords));
+        const std::string bytes =
+            writeChunkedTraceBytes(trace, chunkRecords);
+
+        StatusOr<ChunkedTraceIndex> index = indexChunkedTrace(bytes);
+        ASSERT_TRUE(index.ok()) << index.status().toString();
+        EXPECT_EQ(index->recordCount, trace.size());
+        EXPECT_EQ(index->announcedRecords, trace.size());
+        EXPECT_EQ(index->chunkRecords, chunkRecords);
+        EXPECT_FALSE(index->salvaged);
+        EXPECT_EQ(index->chunks.size(),
+                  (trace.size() + chunkRecords - 1) / chunkRecords);
+        // Every chunk except the last holds exactly chunkRecords.
+        for (std::size_t i = 0; i + 1 < index->chunks.size(); ++i)
+            EXPECT_EQ(index->chunks[i].records, chunkRecords);
+
+        StatusOr<Trace> read = tryReadChunkedTrace(bytes);
+        ASSERT_TRUE(read.ok()) << read.status().toString();
+        EXPECT_EQ(*read, trace);
+    }
+}
+
+TEST(ChunkedTraceFormat, WriterFileReplaysIdentically)
+{
+    const Trace trace = mixedTrace(500, 23);
+    const std::string path = writeV3File(trace, "v3_replay.tl3", 64);
+
+    StatusOr<ChunkedTraceSource> source = ChunkedTraceSource::open(path);
+    ASSERT_TRUE(source.ok()) << source.status().toString();
+    EXPECT_EQ(source->recordCount(), trace.size());
+    EXPECT_EQ(source->chunkCount(), (trace.size() + 63) / 64);
+    EXPECT_FALSE(source->salvaged());
+
+    for (int pass = 0; pass < 2; ++pass) {
+        Trace replayed;
+        replayed.appendAll(*source);
+        EXPECT_TRUE(source->status().ok())
+            << source->status().toString();
+        EXPECT_EQ(replayed, trace) << "pass " << pass;
+        source->rewind();
+    }
+}
+
+TEST(ChunkedTraceFormat, LoadTraceRoutesV3Files)
+{
+    const Trace trace = mixedTrace(300, 5);
+    const std::string path = writeV3File(trace, "v3_routed.tl3", 32);
+    StatusOr<Trace> loaded = tryLoadTrace(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    EXPECT_EQ(*loaded, trace);
+}
+
+TEST(ChunkedTraceFormat, UnfinishedWriterIsSalvageable)
+{
+    const Trace trace = mixedTrace(200, 7);
+    const std::string path = tempPath("v3_unfinished.tl3");
+    {
+        ChunkedTraceWriter writer;
+        ASSERT_TRUE(writer.open(path, 64).ok());
+        TraceReplaySource source(trace);
+        ASSERT_TRUE(writer.appendAll(source).ok());
+        writer.abandon(); // died before finish(): no footer, count 0
+    }
+
+    EXPECT_FALSE(ChunkedTraceSource::open(path).ok());
+
+    TraceReadOptions salvage;
+    salvage.salvageTruncated = true;
+    StatusOr<ChunkedTraceSource> recovered =
+        ChunkedTraceSource::open(path, salvage);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().toString();
+    EXPECT_TRUE(recovered->salvaged());
+    // Every fully flushed chunk survives; only the records still in
+    // the writer's pending buffer at abandon() time are lost.
+    const std::size_t flushed = trace.size() - trace.size() % 64;
+    EXPECT_EQ(recovered->recordCount(), flushed);
+    Trace replayed;
+    replayed.appendAll(*recovered);
+    ASSERT_EQ(replayed.size(), flushed);
+    for (std::size_t i = 0; i < flushed; ++i)
+        EXPECT_EQ(replayed[i], trace[i]) << "record " << i;
+}
+
+TEST(ChunkedTraceFaults, EveryKindFailsStrictAndSalvagesCleanly)
+{
+    const Trace trace = mixedTrace(600, 3);
+    constexpr std::uint32_t chunkRecords = 64;
+    const std::string bytes =
+        writeChunkedTraceBytes(trace, chunkRecords);
+    const std::uint64_t lastChunkRecords = trace.size() % chunkRecords;
+    ASSERT_NE(lastChunkRecords, 0u); // the final chunk is partial
+
+    TraceReadOptions salvage;
+    salvage.salvageTruncated = true;
+    for (FaultKind kind : allFaultKinds()) {
+        for (std::uint64_t seed = 0; seed < 10; ++seed) {
+            SCOPED_TRACE(std::string(faultKindName(kind)) + " seed " +
+                         std::to_string(seed));
+            const std::string hurt = injectFault(bytes, kind, seed);
+            ASSERT_NE(hurt, bytes);
+
+            // Strict reads reject every damaged variant: all v3
+            // bytes are covered by the header, chunk, footer or
+            // trailer checksum.
+            StatusOr<Trace> strict = tryReadChunkedTrace(hurt);
+            EXPECT_FALSE(strict.ok());
+
+            // Salvage either recovers a valid prefix (never invents
+            // records) or reports clean damage.
+            TraceReadStats stats;
+            StatusOr<Trace> soft =
+                tryReadChunkedTrace(hurt, salvage, &stats);
+            if (soft.ok()) {
+                EXPECT_LE(soft->size(), trace.size());
+                for (std::size_t i = 0; i < soft->size(); ++i)
+                    EXPECT_EQ((*soft)[i], trace[i]) << "record " << i;
+            }
+
+            if (kind == FaultKind::TornFooter) {
+                // Chunk payloads are untouched: salvage rescans and
+                // recovers every record.
+                ASSERT_TRUE(soft.ok()) << soft.status().toString();
+                EXPECT_TRUE(stats.salvaged);
+                EXPECT_EQ(*soft, trace);
+            } else if (kind == FaultKind::TruncateFinalChunk) {
+                // The torn final chunk fails its CRC; all its full
+                // predecessors survive.
+                ASSERT_TRUE(soft.ok()) << soft.status().toString();
+                EXPECT_TRUE(stats.salvaged);
+                EXPECT_EQ(soft->size(),
+                          trace.size() - lastChunkRecords);
+            } else if (kind == FaultKind::BadChunkCrc) {
+                // Lazy CRC validation: indexing still succeeds, the
+                // poisoned chunk is caught at decode time.
+                EXPECT_TRUE(indexChunkedTrace(hurt).ok());
+                ASSERT_TRUE(soft.ok()) << soft.status().toString();
+                EXPECT_TRUE(stats.salvaged);
+                EXPECT_LT(soft->size(), trace.size());
+                EXPECT_EQ(soft->size() % chunkRecords, 0u);
+            }
+        }
+    }
+}
+
+TEST(StreamingEquivalence, CounterIdenticalAcrossTheBattery)
+{
+    const Trace trace = mixedTrace(4000, 42);
+    FlatTrace flat(trace);
+
+    // Budgets probing chunk-boundary cut points for the 7-record
+    // chunking (and interior/past-the-end points for every other
+    // size): on a boundary, inside a chunk, far past the end, and
+    // unlimited.
+    const std::uint64_t budgets[] = {
+        conditionalsInPrefix(trace, 7),
+        conditionalsInPrefix(trace, 14),
+        conditionalsInPrefix(trace, 10) + 1,
+        conditionalsInPrefix(trace, 4001) + 50,
+        0,
+    };
+
+    for (const char *spec : kSpecs) {
+        for (bool switches : {false, true}) {
+            for (std::uint64_t budget : budgets) {
+                SimOptions options;
+                options.maxConditionalBranches = budget;
+                options.contextSwitches = switches;
+                options.contextSwitchInterval = 97;
+
+                std::unique_ptr<BranchPredictor> reference =
+                    factoryFromSpec(spec)();
+                FlatCursor cursor(flat);
+                const SimResult expected =
+                    simulateDispatch(cursor, *reference, options);
+
+                for (std::uint32_t chunkRecords : kChunkSizes) {
+                    SCOPED_TRACE(std::string(spec) + " switches=" +
+                                 std::to_string(switches) +
+                                 " budget=" + std::to_string(budget) +
+                                 " chunk=" +
+                                 std::to_string(chunkRecords));
+                    const std::string path = writeV3File(
+                        trace,
+                        "v3_battery_" + std::to_string(chunkRecords) +
+                            ".tl3",
+                        chunkRecords);
+                    StatusOr<ChunkedTraceSource> source =
+                        ChunkedTraceSource::open(path);
+                    ASSERT_TRUE(source.ok())
+                        << source.status().toString();
+                    ChunkWindowSupplier supplier(*source);
+                    StreamCursor stream(supplier);
+                    std::unique_ptr<BranchPredictor> predictor =
+                        factoryFromSpec(spec)();
+                    const SimResult streamed = simulateStreamDispatch(
+                        stream, *predictor, options);
+                    EXPECT_TRUE(stream.status().ok())
+                        << stream.status().toString();
+                    EXPECT_EQ(streamed, expected);
+                }
+            }
+        }
+    }
+}
+
+TEST(StreamingEquivalence, AttributionSnapshotsMatch)
+{
+    const Trace trace = mixedTrace(2500, 17);
+    FlatTrace flat(trace);
+    const std::string path = writeV3File(trace, "v3_attr.tl3", 53);
+
+    for (const char *spec :
+         {"GAg(HR(1,,8-sr),1xPHT(256,A2))",
+          "PAg(BHT(512,4,10-sr),1xPHT(1024,A2))"}) {
+        SCOPED_TRACE(spec);
+        MissAttributor expectedAttr;
+        SimOptions options;
+        options.attribution = &expectedAttr;
+        std::unique_ptr<BranchPredictor> reference =
+            factoryFromSpec(spec)();
+        FlatCursor cursor(flat);
+        const SimResult expected =
+            simulateDispatch(cursor, *reference, options);
+
+        StatusOr<ChunkedTraceSource> source =
+            ChunkedTraceSource::open(path);
+        ASSERT_TRUE(source.ok()) << source.status().toString();
+        ChunkWindowSupplier supplier(*source);
+        StreamCursor stream(supplier);
+        MissAttributor streamedAttr;
+        SimOptions streamedOptions;
+        streamedOptions.attribution = &streamedAttr;
+        std::unique_ptr<BranchPredictor> predictor =
+            factoryFromSpec(spec)();
+        const SimResult streamed = simulateStreamDispatch(
+            stream, *predictor, streamedOptions);
+
+        EXPECT_EQ(streamed, expected);
+        EXPECT_EQ(attributionText(streamedAttr.snapshot()),
+                  attributionText(expectedAttr.snapshot()));
+    }
+}
+
+TEST(StreamingEquivalence, WarmupSplitIndexIsChunkInvariant)
+{
+    // The warmup-fraction distortion regression (EXPERIMENTS.md): the
+    // warmup/measured split must land on the same global record
+    // regardless of how the trace is chunked — including splits that
+    // straddle a chunk boundary — and the measured counters must
+    // follow suit.
+    const Trace trace = mixedTrace(3000, 29);
+    FlatTrace flat(trace);
+    const char *spec = "PAg(BHT(512,4,10-sr),1xPHT(1024,A2))";
+
+    const std::uint64_t splits[] = {
+        1,
+        conditionalsInPrefix(trace, 7),      // on a 7-chunk boundary
+        conditionalsInPrefix(trace, 7) + 1,  // just past it
+        conditionalsInPrefix(trace, 1500),   // deep interior
+    };
+
+    for (std::uint64_t warmup : splits) {
+        // Reference: one materialized pass, warmup then measured on
+        // the same FlatCursor.
+        std::unique_ptr<BranchPredictor> reference =
+            factoryFromSpec(spec)();
+        FlatCursor cursor(flat);
+        SimOptions warmupOptions;
+        warmupOptions.maxConditionalBranches = warmup;
+        simulateDispatch(cursor, *reference, warmupOptions);
+        const std::size_t expectedSplit = cursor.pos;
+        const SimResult expectedMeasured =
+            simulateDispatch(cursor, *reference, SimOptions{});
+
+        for (std::uint32_t chunkRecords : kChunkSizes) {
+            SCOPED_TRACE("warmup=" + std::to_string(warmup) +
+                         " chunk=" + std::to_string(chunkRecords));
+            const std::string path = writeV3File(
+                trace,
+                "v3_warmup_" + std::to_string(chunkRecords) + ".tl3",
+                chunkRecords);
+            StatusOr<ChunkedTraceSource> source =
+                ChunkedTraceSource::open(path);
+            ASSERT_TRUE(source.ok()) << source.status().toString();
+            ChunkWindowSupplier supplier(*source);
+            StreamCursor stream(supplier);
+            std::unique_ptr<BranchPredictor> predictor =
+                factoryFromSpec(spec)();
+            simulateStreamDispatch(stream, *predictor, warmupOptions);
+            // The pinned invariant: the split record index does not
+            // depend on the chunking.
+            EXPECT_EQ(stream.globalRecordIndex(), expectedSplit);
+            const SimResult measured = simulateStreamDispatch(
+                stream, *predictor, SimOptions{});
+            EXPECT_TRUE(stream.status().ok())
+                << stream.status().toString();
+            EXPECT_EQ(measured, expectedMeasured);
+        }
+    }
+}
+
+TEST(StreamingEquivalence, SplitRunsSumToTheWholeRun)
+{
+    // Context-switch phase must flow across both window boundaries
+    // and simulateStream call boundaries (SimOptions::switchCarry).
+    const Trace trace = mixedTrace(2000, 31);
+    FlatTrace flat(trace);
+    const char *spec = "GAg(HR(1,,8-sr),1xPHT(256,A2))";
+
+    SimOptions options;
+    options.contextSwitches = true;
+    options.contextSwitchInterval = 73;
+    std::unique_ptr<BranchPredictor> reference =
+        factoryFromSpec(spec)();
+    FlatCursor cursor(flat);
+    const SimResult whole = simulateDispatch(cursor, *reference,
+                                             options);
+
+    const std::string path = writeV3File(trace, "v3_split.tl3", 7);
+    StatusOr<ChunkedTraceSource> source = ChunkedTraceSource::open(path);
+    ASSERT_TRUE(source.ok()) << source.status().toString();
+    ChunkWindowSupplier supplier(*source);
+    StreamCursor stream(supplier);
+    std::unique_ptr<BranchPredictor> predictor = factoryFromSpec(spec)();
+    SimOptions firstHalf = options;
+    firstHalf.maxConditionalBranches = whole.conditionalBranches / 2;
+    const SimResult a = simulateStreamDispatch(stream, *predictor,
+                                               firstHalf);
+    const SimResult b = simulateStreamDispatch(stream, *predictor,
+                                               options);
+
+    EXPECT_EQ(a.conditionalBranches + b.conditionalBranches,
+              whole.conditionalBranches);
+    EXPECT_EQ(a.correct + b.correct, whole.correct);
+    EXPECT_EQ(a.taken + b.taken, whole.taken);
+    EXPECT_EQ(a.allBranches + b.allBranches, whole.allBranches);
+    EXPECT_EQ(a.instructions + b.instructions, whole.instructions);
+    EXPECT_EQ(a.contextSwitchCount + b.contextSwitchCount,
+              whole.contextSwitchCount);
+}
+
+TEST(StreamingEquivalence, GeneratorSupplierStreamsWithoutBuffering)
+{
+    // The generator-as-source wrapper must window the identical
+    // record stream a materializing capture would produce, both
+    // unbounded and under the conditional-branch capture cap.
+    ClassMixSource::Config config;
+    config.trapProbability = 0.02;
+    const auto factory = [&config]() {
+        return std::make_unique<ClassMixSource>(config, 900, 77);
+    };
+
+    Trace everything;
+    {
+        std::unique_ptr<TraceSource> source = factory();
+        everything.appendAll(*source);
+    }
+    Trace capped;
+    {
+        std::unique_ptr<TraceSource> source = factory();
+        capped.appendConditionalLimited(*source, 200);
+    }
+
+    struct Case
+    {
+        std::uint64_t maxConditional;
+        const Trace *expected;
+    };
+    const Case cases[] = {{0, &everything}, {200, &capped}};
+    for (const Case &c : cases) {
+        for (std::uint32_t windowRecords : {1u, 7u, 4096u}) {
+            SCOPED_TRACE("cap=" + std::to_string(c.maxConditional) +
+                         " window=" + std::to_string(windowRecords));
+            GeneratorWindowSupplier supplier(factory, windowRecords,
+                                             c.maxConditional);
+            for (int pass = 0; pass < 2; ++pass) {
+                ASSERT_TRUE(supplier.reset().ok());
+                Trace streamed;
+                FlatTrace window;
+                for (;;) {
+                    StatusOr<bool> got = supplier.nextWindow(window);
+                    ASSERT_TRUE(got.ok()) << got.status().toString();
+                    if (!*got)
+                        break;
+                    ASSERT_LE(window.size(), windowRecords);
+                    for (std::size_t i = 0; i < window.size(); ++i)
+                        streamed.append(window.toRecord(i));
+                }
+                EXPECT_EQ(streamed, *c.expected) << "pass " << pass;
+            }
+        }
+    }
+}
+
+TEST(StreamingSuite, StreamedSweepCellMatchesInRam)
+{
+    // The system-level lock: runSweepCell through v3 spill files ==
+    // runSweepCell through the materialized caches, counters,
+    // attribution and warmup split included.
+    WorkloadSuite plain(3000);
+    WorkloadSuite streamed(3000);
+    TraceStreamingOptions streaming;
+    streaming.enabled = true;
+    streaming.spillDir = tempPath("spill_cell");
+    streaming.chunkRecords = 512; // several windows per cell
+    streamed.setStreaming(streaming);
+    ASSERT_FALSE(plain.streamingTesting());
+    ASSERT_TRUE(streamed.streamingTesting());
+
+    AttributionCollector plainCollector, streamedCollector;
+    RunOptions options;
+    options.warmupFraction = 0.25; // exercises the split positioning
+    options.instrument = true;     // harvest the per-cell counters
+    RunOptions plainOptions = options;
+    plainOptions.attribution = &plainCollector;
+    RunOptions streamedOptions = options;
+    streamedOptions.attribution = &streamedCollector;
+
+    const SweepSpec column =
+        sweepSpec("PAg(BHT(512,4,10-sr),1xPHT(1024,A2))");
+    for (const Workload *workload :
+         {&gccWorkload(), &eqntottWorkload()}) {
+        SCOPED_TRACE(workload->name());
+        CellExecution expected =
+            runSweepCell(plain, plainOptions, column, *workload);
+        CellExecution got = runSweepCell(streamed, streamedOptions,
+                                         column, *workload);
+
+        ASSERT_TRUE(got.streamStatus.ok())
+            << got.streamStatus.toString();
+        ASSERT_TRUE(expected.result.has_value());
+        ASSERT_TRUE(got.result.has_value());
+        EXPECT_EQ(got.result->sim, expected.result->sim);
+
+        ASSERT_TRUE(expected.attribution.has_value());
+        ASSERT_TRUE(got.attribution.has_value());
+        EXPECT_EQ(attributionText(*got.attribution),
+                  attributionText(*expected.attribution));
+
+        // Metrics harvests are identical except for the streaming
+        // marker counter.
+        MetricsSnapshot gotMetrics = got.metrics;
+        auto marker = gotMetrics.counters.find("sweep.cellsStreamed");
+        ASSERT_NE(marker, gotMetrics.counters.end());
+        EXPECT_EQ(marker->second, 1u);
+        gotMetrics.counters.erase(marker);
+        EXPECT_EQ(gotMetrics.counters, expected.metrics.counters);
+    }
+}
+
+TEST(StreamingSuite, StreamedSweepGridIsIdenticalAndSpillsAreReused)
+{
+    WorkloadSuite plain(600);
+    RunOptions options;
+    options.threads = 2;
+    const std::vector<SweepSpec> columns = {
+        sweepSpec("GAg(HR(1,,6-sr),1xPHT(64,A2))"),
+        sweepSpec("PAp(BHT(64,2,4-sr),64xPHT(16,A2))"),
+    };
+    SweepRunner reference(plain, options);
+    const std::vector<ResultSet> expected = reference.run(columns);
+
+    TraceStreamingOptions streaming;
+    streaming.enabled = true;
+    streaming.spillDir = tempPath("spill_grid");
+    streaming.chunkRecords = 256;
+
+    WorkloadSuite streamed(600);
+    streamed.setStreaming(streaming);
+    SweepRunner runner(streamed, options);
+    const std::vector<ResultSet> got = runner.run(columns);
+
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t column = 0; column < got.size(); ++column) {
+        EXPECT_EQ(resultSetToJson(got[column]).dump(0),
+                  resultSetToJson(expected[column]).dump(0))
+            << "column " << column;
+    }
+
+    // A second suite pointed at the same spill directory reuses the
+    // capture (the resume path): the path comes back identical and
+    // opens strictly.
+    StatusOr<std::string> first =
+        streamed.streamTestingPath(gccWorkload());
+    ASSERT_TRUE(first.ok()) << first.status().toString();
+    WorkloadSuite reuser(600);
+    reuser.setStreaming(streaming);
+    StatusOr<std::string> second =
+        reuser.streamTestingPath(gccWorkload());
+    ASSERT_TRUE(second.ok()) << second.status().toString();
+    EXPECT_EQ(*second, *first);
+    StatusOr<ChunkedTraceSource> opened =
+        ChunkedTraceSource::open(*second);
+    ASSERT_TRUE(opened.ok()) << opened.status().toString();
+    EXPECT_GT(opened->recordCount(), 0u);
+}
+
+} // namespace
+} // namespace tl

@@ -640,6 +640,68 @@ TEST(SupervisorCrashDeathTest, AbortWritesCrashReportAndResumes)
     EXPECT_EQ(resultsText(resumed.results), reference);
 }
 
+TEST(SupervisorCrashDeathTest, SigkillMidChunkResumesByteIdentical)
+{
+    // The harshest streaming failure: SIGKILL lands between two chunk
+    // windows of a streamed cell — no destructors, no flushes beyond
+    // what the journal already wrote. The checkpoint must hold the
+    // finished cells plus a chunk cursor for the in-flight cell, and
+    // a resume must land on the byte-identical uninterrupted figure.
+    TraceStreamingOptions streaming;
+    streaming.enabled = true;
+    streaming.spillDir = tempPath("sup_stream_kill_spill");
+    streaming.chunkRecords = 256; // several windows per 3000-branch cell
+
+    RunOptions options; // serial: deterministic cell order
+    options.branchBudget = 3000;
+    std::vector<SweepSpec> columns = {
+        sweepSpec("PAg(BHT(512,4,10-sr),1xPHT(1024,A2))")};
+
+    // The child journals cells 0 and 1, then dies by SIGKILL right
+    // after the journal flushed the (cell 2, window 2) chunk cursor —
+    // the WindowHook contract guarantees the record is on disk.
+    WorkloadSuite doomedSuite(options.branchBudget);
+    doomedSuite.setStreaming(streaming);
+    SweepSupervisor doomed(config("sup_stream_kill"), doomedSuite,
+                           options);
+    doomed.setWindowHook([](std::size_t cell, std::uint64_t window) {
+        if (cell == 2 && window == 2)
+            raise(SIGKILL);
+    });
+    EXPECT_EXIT(doomed.run(columns),
+                ::testing::KilledBySignal(SIGKILL), "");
+
+    // The journal survived the kill: a valid prefix with cells 0..1
+    // complete and the interrupted cell's chunk cursor journaled.
+    StatusOr<Checkpoint> journal = readCheckpointFile(
+        ::testing::TempDir() + "CHECKPOINT_sup_stream_kill.jsonl");
+    ASSERT_TRUE(journal.ok()) << journal.status().toString();
+    EXPECT_NE(journal->find(0), nullptr);
+    EXPECT_NE(journal->find(1), nullptr);
+    EXPECT_EQ(journal->find(2), nullptr); // died mid-cell
+    const CheckpointProgress *cursor = journal->findProgress(2);
+    ASSERT_NE(cursor, nullptr);
+    EXPECT_EQ(cursor->window, 2u); // last-wins: the latest cursor
+    EXPECT_EQ(cursor->records, 2u * streaming.chunkRecords);
+    EXPECT_GT(cursor->conditionalBranches, 0u);
+
+    // Resume from the dead child's checkpoint; the reassembled grid
+    // is byte-identical to an uninterrupted (and, by the streaming
+    // equivalence battery, an in-RAM) run.
+    WorkloadSuite referenceSuite(options.branchBudget);
+    SweepRunner runner(referenceSuite, options);
+    const std::string reference = resultsText(runner.run(columns));
+
+    WorkloadSuite revivedSuite(options.branchBudget);
+    revivedSuite.setStreaming(streaming);
+    SweepSupervisor revived(config("sup_stream_kill", true),
+                            revivedSuite, options);
+    SupervisedSweep resumed = revived.run(columns);
+    EXPECT_EQ(resumed.restoredCells, 2u);
+    EXPECT_FALSE(resumed.degraded);
+    EXPECT_EQ(resultsText(resumed.results), reference);
+}
+
 #endif // __unix__ || __APPLE__
 
 } // namespace

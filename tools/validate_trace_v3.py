@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Structurally validate chunked v3 trace files (trace/chunked.hh).
+
+An independent reimplementation of the v3 layout in ~100 lines of
+Python: it shares no code with the C++ reader, so a bug that makes the
+writer and reader agree on malformed bytes fails CI here instead of
+surviving as a dialect only this repo can parse. The file CRCs are the
+standard IEEE CRC-32 (zlib.crc32), checked end to end:
+
+  * header: "TLBT" magic, version 3, CRC over the preceding 20 bytes;
+  * trailer: footer offset located from EOF, CRC over the offset
+    salted with the footer magic;
+  * footer: "TLCF" magic, chunk count, entry table spanning exactly
+    the bytes between footer offset and trailer, footer CRC;
+  * every chunk: offset/record monotonicity, payload record
+    granularity (24-byte records), and the per-chunk CRC salted with
+    the chunk's record count and index — so duplicated, dropped and
+    reordered chunks are all caught;
+  * the header's announced record count equals the sum over chunks,
+    and every chunk except the last holds exactly chunkRecords.
+
+Usage: validate_trace_v3.py FILE.tl3 [FILE.tl3 ...]
+       validate_trace_v3.py --selftest
+Exit:  0 when every file validates; 1 otherwise.
+"""
+
+import os
+import struct
+import sys
+import tempfile
+import zlib
+
+HEADER_SIZE = 24
+FOOTER_FIXED = 12
+ENTRY_SIZE = 12
+TRAILER_SIZE = 12
+RECORD_BYTES = 24
+VERSION = 3
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return False
+
+
+def chunk_crc(records, index, payload):
+    salt = struct.pack("<QQ", records, index)
+    return zlib.crc32(payload, zlib.crc32(salt))
+
+
+def trailer_crc(footer_offset):
+    return zlib.crc32(b"TLCF", zlib.crc32(struct.pack("<Q",
+                                                      footer_offset)))
+
+
+def validate(path):
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as error:
+        return fail(path, str(error))
+    if len(data) < HEADER_SIZE + FOOTER_FIXED + TRAILER_SIZE + 4:
+        return fail(path, f"too short for a v3 trace ({len(data)} "
+                    f"bytes)")
+
+    magic, version, announced, chunk_records, header_crc = \
+        struct.unpack_from("<4sIQII", data, 0)
+    if magic != b"TLBT":
+        return fail(path, f"bad magic {magic!r}")
+    if version != VERSION:
+        return fail(path, f"version {version}, expected {VERSION}")
+    if header_crc != zlib.crc32(data[:20]):
+        return fail(path, "header checksum mismatch")
+    if chunk_records == 0:
+        return fail(path, "chunkRecords is zero")
+
+    trailer_at = len(data) - TRAILER_SIZE
+    footer_offset, stored = struct.unpack_from("<QI", data, trailer_at)
+    if stored != trailer_crc(footer_offset):
+        return fail(path, "trailer checksum mismatch")
+    if not HEADER_SIZE <= footer_offset <= trailer_at - FOOTER_FIXED - 4:
+        return fail(path, f"footer offset {footer_offset} out of range")
+    if data[footer_offset:footer_offset + 4] != b"TLCF":
+        return fail(path, f"bad footer magic at byte {footer_offset}")
+    (num_chunks,) = struct.unpack_from("<Q", data, footer_offset + 4)
+    footer_end = footer_offset + FOOTER_FIXED + num_chunks * ENTRY_SIZE
+    if footer_end + 4 != trailer_at:
+        return fail(path, f"footer advertises {num_chunks} chunks but "
+                    f"spans the wrong byte range")
+    (footer_crc,) = struct.unpack_from("<I", data, footer_end)
+    if footer_crc != zlib.crc32(data[footer_offset:footer_end]):
+        return fail(path, "footer checksum mismatch")
+
+    total = 0
+    expected_offset = HEADER_SIZE
+    for index in range(num_chunks):
+        offset, records = struct.unpack_from(
+            "<QI", data, footer_offset + FOOTER_FIXED +
+            index * ENTRY_SIZE)
+        if offset != expected_offset:
+            return fail(path, f"chunk {index}: offset {offset}, "
+                        f"expected {expected_offset}")
+        if records == 0:
+            return fail(path, f"chunk {index}: empty chunk")
+        if records != chunk_records and index != num_chunks - 1:
+            return fail(path, f"chunk {index}: {records} records in a "
+                        f"non-final chunk of a {chunk_records}-record "
+                        f"layout")
+        payload_end = offset + records * RECORD_BYTES
+        if payload_end + 4 > footer_offset:
+            return fail(path, f"chunk {index}: payload overruns the "
+                        f"footer")
+        (stored,) = struct.unpack_from("<I", data, payload_end)
+        if stored != chunk_crc(records, index,
+                               data[offset:payload_end]):
+            return fail(path, f"chunk {index}: checksum mismatch")
+        total += records
+        expected_offset = payload_end + 4
+    if expected_offset != footer_offset:
+        return fail(path, f"{footer_offset - expected_offset} "
+                    f"unindexed bytes between chunks and footer")
+    if total != announced:
+        return fail(path, f"header announces {announced} records, "
+                    f"chunks hold {total}")
+    print(f"{path}: OK ({total} records in {num_chunks} chunks of "
+          f"{chunk_records})")
+    return True
+
+
+def build_v3(records, chunk_records):
+    """Write a synthetic v3 byte string, independently of the C++."""
+    chunks = []
+    out = bytearray()
+    header = struct.pack("<4sIQI", b"TLBT", VERSION, records,
+                         chunk_records)
+    out += header + struct.pack("<I", zlib.crc32(header))
+    done = 0
+    index = 0
+    while done < records:
+        count = min(chunk_records, records - done)
+        payload = bytes((done + i) % 251
+                        for i in range(count * RECORD_BYTES))
+        chunks.append((len(out), count))
+        out += payload + struct.pack("<I",
+                                     chunk_crc(count, index, payload))
+        done += count
+        index += 1
+    footer_offset = len(out)
+    footer = struct.pack("<4sQ", b"TLCF", len(chunks))
+    for offset, count in chunks:
+        footer += struct.pack("<QI", offset, count)
+    out += footer + struct.pack("<I", zlib.crc32(footer))
+    out += struct.pack("<QI", footer_offset,
+                       trailer_crc(footer_offset))
+    return bytes(out)
+
+
+def selftest():
+    """The validator must pass a well-formed file and catch damage."""
+    clean = build_v3(records=100, chunk_records=16)
+    corruptions = [
+        ("chunk payload bit flip",
+         lambda b: b[:40] + bytes([b[40] ^ 1]) + b[41:]),
+        ("torn trailer", lambda b: b[:-5]),
+        ("footer magic smashed",
+         lambda b: b.replace(b"TLCF", b"XXXX", 1)),
+        ("record count inflated",
+         lambda b: b[:8] + struct.pack("<Q", 101) + b[16:]),
+        ("wrong version", lambda b: b[:4] + b"\x02" + b[5:]),
+    ]
+    ok = True
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "clean.tl3")
+        with open(path, "wb") as handle:
+            handle.write(clean)
+        if not validate(path):
+            ok = fail("selftest", "rejected a well-formed file")
+        for name, corrupt in corruptions:
+            bad = os.path.join(tmp, "bad.tl3")
+            with open(bad, "wb") as handle:
+                handle.write(corrupt(clean))
+            print(f"selftest: expect a failure for: {name}")
+            if validate(bad):
+                ok = fail("selftest", f"accepted damage: {name}")
+    if ok:
+        print("selftest: OK")
+    return ok
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--selftest":
+        return 0 if selftest() else 1
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    results = [validate(path) for path in argv[1:]]
+    return 0 if all(results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
